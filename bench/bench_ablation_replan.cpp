@@ -1,0 +1,83 @@
+// Ablation: the master's step-2c replanning rule ("recompute the
+// parameters when more than half of the A_i changed"). We hit the
+// cluster with a mid-run load burst and compare replanning on/off.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lss/cluster/load.hpp"
+#include "lss/sim/experiment.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+
+using namespace lss;
+
+namespace {
+
+sim::Report run_burst(const std::string& scheme, bool replanning,
+                      double burst_at,
+                      std::shared_ptr<const Workload> workload) {
+  sim::SimConfig cfg = lssbench::paper_config(
+      8, sim::SchedulerConfig::distributed(scheme), false,
+      std::move(workload));
+  cfg.scheduler.dist_replanning = replanning;
+  cfg.loads.assign(8, cluster::LoadScript::none());
+  // Burst: two extra processes land on 6 of 8 PEs and stay.
+  for (int s = 0; s < 6; ++s)
+    cfg.loads[static_cast<std::size_t>(s)] =
+        cluster::LoadScript({cluster::LoadPhase{burst_at, 1e9, 2}});
+  return sim::run_simulation(cfg);
+}
+
+}  // namespace
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  std::cout << "Ablation — ACPSA majority replanning (step 2c), p = 8, "
+               "load burst on 6 of 8 PEs\n\n";
+  TextTable t({"scheme", "burst at", "T_p replan ON", "replans",
+               "T_p replan OFF", "delta"});
+  for (const std::string scheme : {"dtss", "dfiss"}) {
+    for (double burst : {1.0, 5.0}) {
+      const auto on = run_burst(scheme, true, burst, workload);
+      const auto off = run_burst(scheme, false, burst, workload);
+      t.add_row({scheme, fmt_fixed(burst, 0) + " s",
+                 fmt_fixed(on.t_parallel, 2), std::to_string(on.replans),
+                 fmt_fixed(off.t_parallel, 2),
+                 fmt_fixed(off.t_parallel - on.t_parallel, 2)});
+    }
+  }
+  t.print(std::cout);
+
+  std::cout << "\nStep-1a initial queue order (dedicated, 20 ms start "
+               "jitter, 10 replications):\n";
+  TextTable t2({"scheme", "sorted by ACP", "FIFO arrival"});
+  for (const std::string scheme : {"dtss", "dfss", "dtfss"}) {
+    sim::SimConfig cfg = lssbench::paper_config(
+        8, sim::SchedulerConfig::distributed(scheme), false, workload);
+    const auto sorted = sim::run_replicated(cfg, 10, 1, 0.02);
+    cfg.scheduler.sorted_initial_queue = false;
+    const auto fifo = sim::run_replicated(cfg, 10, 1, 0.02);
+    t2.add_row({scheme,
+                fmt_fixed(sorted.mean, 2) + " ± " +
+                    fmt_fixed(sorted.stddev, 2),
+                fmt_fixed(fifo.mean, 2) + " ± " +
+                    fmt_fixed(fifo.stddev, 2)});
+  }
+  t2.print(std::cout);
+  std::cout
+      << "\nStep-1a reading: sorting matters exactly where the chunk "
+         "depends on request order — DTSS's descending trapezoid must "
+         "hand its big first chunks to the strong PEs (sorting removes "
+         "both the ~1 s penalty and all arrival-order variance); the "
+         "stage-based schemes split by power regardless of order and "
+         "do not care.\n";
+  std::cout
+      << "\nStep-2c reading: DTSS barely needs step 2c — its chunk law scales by "
+         "the requester's *fresh* A_i on every request, so only the "
+         "trapezoid ramp goes stale. DFISS precomputes its stage totals "
+         "(SC_0, B) at plan time, so an early burst leaves it issuing "
+         "oversized stages until the replan rescues it — that is where "
+         "the majority-change rule pays off.\n";
+  return 0;
+}

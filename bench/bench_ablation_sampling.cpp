@@ -1,0 +1,45 @@
+// Ablation: sampling frequency S_f (§2.1). Does the reordering help,
+// and how much is enough? Sweeps S_f over schemes on the Mandelbrot
+// loop (smaller window to keep the sweep quick).
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "lss/workload/sampling.hpp"
+
+using namespace lss;
+
+int main() {
+  MandelbrotParams params = MandelbrotParams::paper(2000, 1000);
+  auto base = std::make_shared<MandelbrotWorkload>(params);
+
+  const std::vector<sim::SchedulerConfig> schemes{
+      sim::SchedulerConfig::simple("tss"),
+      sim::SchedulerConfig::simple("fss"),
+      sim::SchedulerConfig::simple("css:k=64"),
+      sim::SchedulerConfig::distributed("dtss")};
+
+  std::cout << "Ablation — sampling frequency S_f, Mandelbrot 2000x1000, "
+               "p = 8 dedicated (T_p in simulated s)\n\n";
+  TextTable t({"S_f", "tss", "fss", "css(k=64)", "dtss"});
+  for (Index sf : {1, 2, 4, 8, 16, 64}) {
+    auto workload = sampled(base, sf);
+    std::vector<std::string> row{std::to_string(sf)};
+    for (const auto& sc : schemes) {
+      const auto rep = sim::run_simulation(
+          lssbench::paper_config(8, sc, false, workload));
+      row.push_back(fmt_fixed(rep.t_parallel, 2));
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+  std::cout << "\nReading: S_f = 1 is the raw loop; the paper used S_f = 4."
+               "\nDecreasing-chunk schemes suffer most at S_f = 1 because "
+               "their large early chunks swallow the whole expensive "
+               "region; reordering spreads it across chunks.\n";
+  return 0;
+}

@@ -1,0 +1,137 @@
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+
+#include "lss/cluster/load.hpp"
+#include "lss/support/csv.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "lss/workload/sampling.hpp"
+
+namespace lssbench {
+
+using namespace lss;
+
+std::shared_ptr<const Workload> paper_workload(int width, int height,
+                                               Index sf) {
+  MandelbrotParams params = MandelbrotParams::paper(width, height);
+  auto base = std::make_shared<MandelbrotWorkload>(params);
+  return sampled(std::move(base), sf);
+}
+
+sim::SimConfig paper_config(int p, sim::SchedulerConfig sched,
+                            bool nondedicated,
+                            std::shared_ptr<const Workload> workload) {
+  sim::SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(p);
+  cfg.scheduler = std::move(sched);
+  cfg.workload = std::move(workload);
+  if (nondedicated) cfg.loads = cluster::paper_nondedicated_loads(p);
+  return cfg;
+}
+
+void print_breakdown_table(
+    const std::string& title,
+    const std::vector<sim::SchedulerConfig>& schemes, bool nondedicated,
+    std::shared_ptr<const Workload> workload) {
+  std::vector<sim::Report> reports;
+  std::vector<std::string> header{"PE"};
+  for (const auto& sc : schemes) {
+    reports.push_back(
+        sim::run_simulation(paper_config(8, sc, nondedicated, workload)));
+    header.push_back(sc.display_name());
+  }
+
+  std::cout << title << "  (PE cells: Tcom/Twait/Tcomp in simulated s)\n";
+  TextTable t(header);
+  for (int pe = 0; pe < 8; ++pe) {
+    std::vector<std::string> row{std::to_string(pe + 1)};
+    for (const auto& r : reports)
+      row.push_back(r.slaves[static_cast<std::size_t>(pe)].times.to_cell());
+    t.add_row(row);
+  }
+  t.add_rule();
+  std::vector<std::string> tp{"T_p"};
+  for (const auto& r : reports) tp.push_back(fmt_fixed(r.t_parallel, 1));
+  t.add_row(tp);
+  std::vector<std::string> iters{"iters(fast:slow)"};
+  for (const auto& r : reports) {
+    Index fast = 0, slow = 0;
+    for (int pe = 0; pe < 8; ++pe)
+      (pe < 3 ? fast : slow) +=
+          r.slaves[static_cast<std::size_t>(pe)].iterations;
+    iters.push_back(std::to_string(fast) + ":" + std::to_string(slow));
+  }
+  t.add_row(iters);
+  t.print(std::cout);
+  std::cout << '\n';
+}
+
+void print_speedup_figure(const std::string& title,
+                          const std::vector<sim::SchedulerConfig>& schemes,
+                          bool nondedicated,
+                          std::shared_ptr<const Workload> workload) {
+  const double fast_speed =
+      cluster::paper_cluster_for_p(1).slave(0).speed;
+  const double t_serial = sim::serial_time(*workload, fast_speed);
+
+  std::cout << title << "  (S_p = T_serial / T_p, T_serial = "
+            << fmt_fixed(t_serial, 1) << " s on one dedicated fast PE)\n";
+  TextTable t({"scheme", "p", "T_p", "S_p", "speedup"});
+  double smax = 1.0;
+  struct Row {
+    std::string scheme;
+    int p;
+    double tp, sp;
+  };
+  std::vector<Row> rows;
+  for (const auto& sc : schemes) {
+    for (int p : {1, 2, 4, 8}) {
+      const auto rep =
+          sim::run_simulation(paper_config(p, sc, nondedicated, workload));
+      const double sp = t_serial / rep.t_parallel;
+      smax = std::max(smax, sp);
+      rows.push_back(Row{sc.display_name(), p, rep.t_parallel, sp});
+    }
+  }
+  for (const Row& r : rows)
+    t.add_row({r.scheme, std::to_string(r.p), fmt_fixed(r.tp, 1),
+               fmt_fixed(r.sp, 2), ascii_bar(r.sp, smax)});
+  t.set_align(4, TextTable::Align::Left);
+  t.print(std::cout);
+  std::cout << '\n';
+
+  if (const char* dir = std::getenv("LSS_BENCH_CSV_DIR")) {
+    std::string slug;
+    for (char ch : title)
+      slug += (std::isalnum(static_cast<unsigned char>(ch)) != 0)
+                  ? static_cast<char>(
+                        std::tolower(static_cast<unsigned char>(ch)))
+                  : '_';
+    const std::string path = std::string(dir) + "/" + slug + ".csv";
+    std::ofstream os(path);
+    if (os) {
+      CsvWriter csv(os, {"scheme", "p", "t_parallel", "speedup"});
+      for (const Row& r : rows)
+        csv.write_row({r.scheme, std::to_string(r.p), fmt_fixed(r.tp, 4),
+                       fmt_fixed(r.sp, 4)});
+      std::cout << "(wrote " << path << ")\n";
+    }
+  }
+}
+
+std::string ascii_bar(double value, double full_scale, int width) {
+  if (full_scale <= 0.0) full_scale = 1.0;
+  int n = static_cast<int>(value / full_scale * width + 0.5);
+  n = std::clamp(n, 0, width);
+  return std::string(static_cast<std::size_t>(n), '#') +
+         std::string(static_cast<std::size_t>(width - n), '.');
+}
+
+}  // namespace lssbench

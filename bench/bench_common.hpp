@@ -1,0 +1,49 @@
+// Shared setup for the benchmark harnesses that regenerate the
+// paper's tables and figures.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/sim/config.hpp"
+#include "lss/sim/report.hpp"
+#include "lss/workload/workload.hpp"
+
+namespace lssbench {
+
+/// The paper's workload: Mandelbrot window, column tasks, reordered
+/// with sampling frequency S_f (§5: S_f = 4).
+std::shared_ptr<const lss::Workload> paper_workload(int width = 4000,
+                                                    int height = 2000,
+                                                    lss::Index sf = 4);
+
+/// Simulation config on the paper's cluster shape for a given p
+/// (1, 2, 4, 8), with §5.1 non-dedicated load placement if requested.
+lss::sim::SimConfig paper_config(
+    int p, lss::sim::SchedulerConfig sched, bool nondedicated,
+    std::shared_ptr<const lss::Workload> workload);
+
+/// Runs every scheme at p = 8 and prints a Table 2/3-style table:
+/// one PE row per slave with Tcom/Twait/Tcomp cells and a T_p footer.
+void print_breakdown_table(
+    const std::string& title,
+    const std::vector<lss::sim::SchedulerConfig>& schemes,
+    bool nondedicated, std::shared_ptr<const lss::Workload> workload);
+
+/// Runs every scheme at p in {1,2,4,8} and prints a Figure 4-7-style
+/// speedup table (plus ASCII bars), using the dedicated serial time
+/// on one fast PE as the baseline.
+void print_speedup_figure(
+    const std::string& title,
+    const std::vector<lss::sim::SchedulerConfig>& schemes,
+    bool nondedicated, std::shared_ptr<const lss::Workload> workload);
+
+/// "#####----" bar of `value` against `full_scale`.
+std::string ascii_bar(double value, double full_scale, int width = 24);
+
+/// If the LSS_BENCH_CSV_DIR environment variable is set,
+/// print_speedup_figure also writes "<dir>/<slug>.csv" with columns
+/// scheme,p,t_parallel,speedup for external plotting.
+
+}  // namespace lssbench

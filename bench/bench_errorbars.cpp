@@ -1,0 +1,47 @@
+// Replicated headline comparison: the paper's single-shot Tables 2-3
+// T_p values with error bars (10 replications under start-time
+// jitter), to show the scheme rankings are not timing accidents.
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lss/sim/experiment.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+
+using namespace lss;
+
+int main() {
+  auto workload = lssbench::paper_workload(2000, 1000);
+  std::cout << "T_p with error bars — 10 replications, 5 ms start "
+               "jitter, p = 8, Mandelbrot 2000x1000 (simulated s)\n\n";
+  TextTable t({"scheme", "ded mean±sd", "ded [min,max]", "nonded mean±sd"});
+  const std::vector<sim::SchedulerConfig> schemes{
+      sim::SchedulerConfig::simple("tss"),
+      sim::SchedulerConfig::simple("fss"),
+      sim::SchedulerConfig::simple("tfss"),
+      sim::SchedulerConfig::distributed("dtss"),
+      sim::SchedulerConfig::distributed("dfiss"),
+      sim::SchedulerConfig::distributed("awf"),
+      sim::SchedulerConfig::tree(true)};
+  for (const auto& sc : schemes) {
+    const auto ded = sim::run_replicated(
+        lssbench::paper_config(8, sc, false, workload), 10, 1);
+    const auto non = sim::run_replicated(
+        lssbench::paper_config(8, sc, true, workload), 10, 1);
+    t.add_row({sc.display_name(),
+               fmt_fixed(ded.mean, 2) + " ± " + fmt_fixed(ded.stddev, 2),
+               "[" + fmt_fixed(ded.min, 2) + ", " + fmt_fixed(ded.max, 2) +
+                   "]",
+               fmt_fixed(non.mean, 2) + " ± " + fmt_fixed(non.stddev, 2)});
+  }
+  t.print(std::cout);
+  std::cout
+      << "\nReading: the distributed-vs-simple gap dwarfs the replication "
+         "noise, so the paper's single-shot rankings are meaningful — "
+         "but differences *within* the simple family sit inside one "
+         "standard deviation. Note the zero variance of the "
+         "ACP-gathering schemes: the step-1a gather makes the schedule "
+         "independent of request arrival order, while the simple "
+         "schemes' outcome is an artifact of who asked first.\n";
+  return 0;
+}

@@ -1,0 +1,29 @@
+// Reproduces Figure 4: speedup of the simple schemes, dedicated,
+// p = 1, 2, 4, 8 (cluster shapes per §5.1: p=2 is 1 fast + 1 slow —
+// the 'dip'; p=8 is 3 fast + 5 slow).
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lss/metrics/speedup.hpp"
+
+using lss::sim::SchedulerConfig;
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  const std::vector<SchedulerConfig> schemes{
+      SchedulerConfig::simple("tss"), SchedulerConfig::simple("fss"),
+      SchedulerConfig::simple("fiss"), SchedulerConfig::simple("tfss"),
+      SchedulerConfig::tree(false)};
+  std::cout << "Figure 4 — Speedup of Simple Schemes, Dedicated\n";
+  std::cout << "(expect: dip at p = 2 from the slow PE + communication; "
+               "flattening by p = 8 because simple schemes assign equal "
+               "chunks to unequal PEs)\n\n";
+  lssbench::print_speedup_figure("Dedicated speedups:", schemes, false,
+                                 workload);
+  const double bound =
+      lss::metrics::speedup_bound({3, 3, 3, 1, 1, 1, 1, 1});
+  std::cout << "Heterogeneity bound at p = 8 (3 fast + 5 slow, ratio 3): "
+               "S_p <= "
+            << bound << "\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Reproduces Figure 5: speedup of the simple schemes, non-dedicated
+// (external load on 1 fast PE at p=1,2,4 and 1 fast + 3 slow at p=8).
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using lss::sim::SchedulerConfig;
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  const std::vector<SchedulerConfig> schemes{
+      SchedulerConfig::simple("tss"), SchedulerConfig::simple("fss"),
+      SchedulerConfig::simple("fiss"), SchedulerConfig::simple("tfss"),
+      SchedulerConfig::tree(false)};
+  std::cout << "Figure 5 — Speedup of Simple Schemes, NonDedicated\n";
+  std::cout << "(expect: low speedups overall; TSS scales best because its "
+               "self-paced requests adapt; schemes with equal per-stage "
+               "chunks stall on the loaded PEs)\n\n";
+  lssbench::print_speedup_figure("Non-dedicated speedups:", schemes, true,
+                                 workload);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Figure 6: speedup of the distributed schemes, dedicated.
+// The paper notes fast PEs are ~3x the slow ones, so without
+// communication S_p <= (3*3 + 5*1)/3 = 4.67 ("about 4.5").
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "lss/metrics/speedup.hpp"
+
+using lss::sim::SchedulerConfig;
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  const std::vector<SchedulerConfig> schemes{
+      SchedulerConfig::distributed("dtss"),
+      SchedulerConfig::distributed("dfss"),
+      SchedulerConfig::distributed("dfiss"),
+      SchedulerConfig::distributed("dtfss"), SchedulerConfig::tree(true)};
+  std::cout << "Figure 6 — Speedup of Distributed Schemes, Dedicated\n";
+  std::cout << "(expect: speedups approach the virtual-power bound because "
+               "chunks follow the PEs' powers)\n\n";
+  lssbench::print_speedup_figure("Dedicated speedups:", schemes, false,
+                                 workload);
+  const double bound =
+      lss::metrics::speedup_bound({3, 3, 3, 1, 1, 1, 1, 1});
+  std::cout << "Paper's remark for this figure: S_p <= 4.5 (exact bound "
+            << bound << ")\n";
+  return 0;
+}

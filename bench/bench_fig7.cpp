@@ -1,0 +1,24 @@
+// Reproduces Figure 7: speedup of the distributed schemes,
+// non-dedicated. Two fast PEs stay dedicated (the third is loaded),
+// hence the paper's S_p <= 6 remark; DTSS scales best.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using lss::sim::SchedulerConfig;
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  const std::vector<SchedulerConfig> schemes{
+      SchedulerConfig::distributed("dtss"),
+      SchedulerConfig::distributed("dfss"),
+      SchedulerConfig::distributed("dfiss"),
+      SchedulerConfig::distributed("dtfss"), SchedulerConfig::tree(true)};
+  std::cout << "Figure 7 — Speedup of Distributed Schemes, NonDedicated\n";
+  std::cout << "(expect: the 'dip' at p = 2 is communication only; DTSS "
+               "scales the best; all schemes stay well above the simple "
+               "schemes of Figure 5)\n\n";
+  lssbench::print_speedup_figure("Non-dedicated speedups:", schemes, true,
+                                 workload);
+  return 0;
+}

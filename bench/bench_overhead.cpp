@@ -1,0 +1,84 @@
+// Micro-benchmark (google-benchmark): per-decision cost of each
+// scheduling scheme — the master-side overhead the paper's
+// master_overhead models. Also measures the full drain of a loop.
+#include <benchmark/benchmark.h>
+
+#include "lss/distsched/dfactory.hpp"
+#include "lss/sched/factory.hpp"
+
+using namespace lss;
+
+namespace {
+
+void BM_SimpleNext(benchmark::State& state, const std::string& spec) {
+  const Index total = 1 << 20;
+  const int p = 8;
+  auto s = sched::make_scheduler(spec, total, p);
+  int pe = 0;
+  for (auto _ : state) {
+    if (s->done()) {
+      state.PauseTiming();
+      s = sched::make_scheduler(spec, total, p);
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(s->next(pe));
+    pe = (pe + 1) & 7;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_DistNext(benchmark::State& state, const std::string& spec) {
+  const Index total = 1 << 20;
+  const int p = 8;
+  const std::vector<double> acps{30, 30, 30, 10, 10, 10, 10, 10};
+  auto make = [&] {
+    auto s = distsched::make_dist_scheduler(spec, total, p);
+    s->initialize(acps);
+    return s;
+  };
+  auto s = make();
+  int pe = 0;
+  for (auto _ : state) {
+    if (s->done()) {
+      state.PauseTiming();
+      s = make();
+      state.ResumeTiming();
+    }
+    benchmark::DoNotOptimize(
+        s->next(pe, acps[static_cast<std::size_t>(pe)]));
+    pe = (pe + 1) & 7;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+
+void BM_DrainWholeLoop(benchmark::State& state, const std::string& spec) {
+  const Index total = 100000;
+  for (auto _ : state) {
+    auto s = sched::make_scheduler(spec, total, 8);
+    int pe = 0;
+    while (!s->done()) {
+      benchmark::DoNotOptimize(s->next(pe));
+      pe = (pe + 1) & 7;
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_SimpleNext, ss, "ss");
+BENCHMARK_CAPTURE(BM_SimpleNext, css, "css:k=64");
+BENCHMARK_CAPTURE(BM_SimpleNext, gss, "gss");
+BENCHMARK_CAPTURE(BM_SimpleNext, tss, "tss");
+BENCHMARK_CAPTURE(BM_SimpleNext, fss, "fss");
+BENCHMARK_CAPTURE(BM_SimpleNext, fiss, "fiss");
+BENCHMARK_CAPTURE(BM_SimpleNext, tfss, "tfss");
+BENCHMARK_CAPTURE(BM_SimpleNext, wf, "wf");
+BENCHMARK_CAPTURE(BM_DistNext, dtss, "dtss");
+BENCHMARK_CAPTURE(BM_DistNext, dfss, "dfss");
+BENCHMARK_CAPTURE(BM_DistNext, dfiss, "dfiss");
+BENCHMARK_CAPTURE(BM_DistNext, dtfss, "dtfss");
+BENCHMARK_CAPTURE(BM_DrainWholeLoop, gss, "gss");
+BENCHMARK_CAPTURE(BM_DrainWholeLoop, tss, "tss");
+BENCHMARK_CAPTURE(BM_DrainWholeLoop, tfss, "tfss");
+
+BENCHMARK_MAIN();

@@ -1,0 +1,55 @@
+// Micro-benchmark (google-benchmark): real shared-memory throughput
+// of rt::parallel_for under every scheme, including the affinity
+// extension, on an irregular body.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+
+#include "lss/rt/parallel_for.hpp"
+
+using namespace lss;
+
+namespace {
+
+// Irregular body: spin count varies pseudo-randomly per index
+// (escape-iteration flavour), ~0.1-3 us each.
+inline std::uint64_t spin(Index i) {
+  std::uint64_t x = static_cast<std::uint64_t>(i) * 0x9e3779b97f4a7c15ULL;
+  x ^= x >> 29;
+  const std::uint64_t reps = 50 + (x % 1500);
+  std::uint64_t acc = 0;
+  for (std::uint64_t k = 0; k < reps; ++k) acc += k * x;
+  return acc;
+}
+
+void BM_ParallelFor(benchmark::State& state, const std::string& scheme) {
+  const Index n = 1 << 15;
+  const int threads = static_cast<int>(state.range(0));
+  std::atomic<std::uint64_t> sink{0};
+  for (auto _ : state) {
+    const auto r = rt::parallel_for(
+        0, n,
+        [&](Index i) {
+          sink.fetch_add(spin(i), std::memory_order_relaxed);
+        },
+        {.scheme = scheme, .num_threads = threads});
+    benchmark::DoNotOptimize(r.iterations);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_ParallelFor, ss, "ss")->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelFor, css64, "css:k=64")->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelFor, gss, "gss")->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelFor, tss, "tss")->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelFor, fss, "fss")->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelFor, tfss, "tfss")->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelFor, static_, "static")->Arg(4)->UseRealTime();
+BENCHMARK_CAPTURE(BM_ParallelFor, affinity, "affinity")
+    ->Arg(4)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

@@ -1,0 +1,27 @@
+// Reproduces Table 2: the *simple* schemes (power-oblivious) on the
+// heterogeneous 8-slave cluster, dedicated and non-dedicated, with
+// per-PE Tcom/Twait/Tcomp and T_p.
+//
+// Expected shape (paper §5.1): slow PEs (4-8) accumulate ~3x the
+// computation time of fast PEs because every PE is handed the same
+// chunk sizes; waiting time dominates for early finishers; TSS has
+// the best T_p; non-dedicated runs roughly double T_p.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using lss::sim::SchedulerConfig;
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  const std::vector<SchedulerConfig> schemes{
+      SchedulerConfig::simple("tss"), SchedulerConfig::simple("fss"),
+      SchedulerConfig::simple("fiss"), SchedulerConfig::simple("tfss"),
+      SchedulerConfig::tree(false)};
+
+  std::cout << "Table 2 — Simple Schemes, p = 8, Mandelbrot 4000x2000 "
+               "(S_f = 4)\n\n";
+  lssbench::print_breakdown_table("Dedicated:", schemes, false, workload);
+  lssbench::print_breakdown_table("NonDedicated:", schemes, true, workload);
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Reproduces Table 3: the *distributed* schemes (ACP-aware) on the
+// same cluster and workload as Table 2.
+//
+// Expected shape (paper §6.1): computation times balance across fast
+// and slow PEs (fast PEs execute ~3x the iterations), T_p drops to
+// roughly half of the simple schemes' values, communication/waiting
+// shrink, DTSS best, DFISS second; weighted TreeS degrades most in
+// the non-dedicated case.
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using lss::sim::SchedulerConfig;
+
+int main() {
+  auto workload = lssbench::paper_workload();
+  const std::vector<SchedulerConfig> schemes{
+      SchedulerConfig::distributed("dtss"),
+      SchedulerConfig::distributed("dfss"),
+      SchedulerConfig::distributed("dfiss"),
+      SchedulerConfig::distributed("dtfss"), SchedulerConfig::tree(true)};
+
+  std::cout << "Table 3 — Distributed Schemes, p = 8, Mandelbrot "
+               "4000x2000 (S_f = 4)\n\n";
+  lssbench::print_breakdown_table("Dedicated:", schemes, false, workload);
+  lssbench::print_breakdown_table("NonDedicated:", schemes, true, workload);
+  return 0;
+}

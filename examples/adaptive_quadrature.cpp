@@ -1,0 +1,112 @@
+// Domain example: numerical integration with wildly uneven
+// per-interval cost — the kind of scientific loop the paper's
+// introduction motivates.
+//
+// We integrate f(x) = sin(1/x) on [1e-4, 2] by splitting the domain
+// into N sub-intervals and running adaptive Simpson quadrature on
+// each, in parallel. Near x = 0 the integrand oscillates violently,
+// so the left intervals cost orders of magnitude more than the right
+// ones — a textbook irregular loop. The example runs it under
+// several schemes via rt::parallel_for and compares wall times and
+// the (identical) results.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "lss/rt/parallel_for.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+
+namespace {
+
+double f(double x) { return std::sin(1.0 / x); }
+
+double simpson(double a, double b, double fa, double fm, double fb) {
+  return (b - a) / 6.0 * (fa + 4.0 * fm + fb);
+}
+
+double adaptive(double a, double b, double fa, double fm, double fb,
+                double whole, double eps, int depth) {
+  const double m = 0.5 * (a + b);
+  const double lm = 0.5 * (a + m), rm = 0.5 * (m + b);
+  const double flm = f(lm), frm = f(rm);
+  const double left = simpson(a, m, fa, flm, fm);
+  const double right = simpson(m, b, fm, frm, fb);
+  if (depth <= 0 || std::abs(left + right - whole) <= 15.0 * eps)
+    return left + right + (left + right - whole) / 15.0;
+  return adaptive(a, m, fa, flm, fm, left, eps / 2.0, depth - 1) +
+         adaptive(m, b, fm, frm, fb, right, eps / 2.0, depth - 1);
+}
+
+double integrate_interval(double a, double b, double eps) {
+  const double m = 0.5 * (a + b);
+  const double fa = f(a), fm = f(m), fb = f(b);
+  return adaptive(a, b, fa, fm, fb, simpson(a, b, fa, fm, fb), eps, 48);
+}
+
+}  // namespace
+
+int main() {
+  using namespace lss;
+  const Index n = 4000;           // sub-intervals == loop iterations
+  const double lo = 1e-4, hi = 2.0;
+  const double eps = 1e-10;
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "Integrating sin(1/x) on [" << lo << ", " << hi << "] with "
+            << n << " irregular sub-interval tasks on 4 threads ("
+            << cores << " hardware core" << (cores == 1 ? "" : "s")
+            << ")\n\n";
+
+  // Serial reference.
+  std::vector<double> partial(static_cast<std::size_t>(n), 0.0);
+  const auto interval_of = [&](Index i) {
+    const double a = lo + (hi - lo) * static_cast<double>(i) /
+                              static_cast<double>(n);
+    const double b = lo + (hi - lo) * static_cast<double>(i + 1) /
+                              static_cast<double>(n);
+    return std::pair<double, double>{a, b};
+  };
+  double serial_sum = 0.0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (Index i = 0; i < n; ++i) {
+    const auto [a, b] = interval_of(i);
+    serial_sum += integrate_interval(a, b, eps * (b - a) / (hi - lo));
+  }
+  const double t_serial =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  TextTable t({"scheme", "wall (s)", "speedup", "chunks", "|err|"});
+  for (const char* scheme :
+       {"static", "css:k=64", "gss", "tss", "fss", "tfss", "affinity"}) {
+    std::fill(partial.begin(), partial.end(), 0.0);
+    const auto r = rt::parallel_for(
+        0, n,
+        [&](Index i) {
+          const auto [a, b] = interval_of(i);
+          partial[static_cast<std::size_t>(i)] =
+              integrate_interval(a, b, eps * (b - a) / (hi - lo));
+        },
+        {.scheme = scheme, .num_threads = 4});
+    double sum = 0.0;
+    for (double v : partial) sum += v;
+    t.add_row({scheme, fmt_fixed(r.t_wall, 3),
+               fmt_fixed(t_serial / r.t_wall, 2),
+               std::to_string(r.chunks),
+               fmt_fixed(std::abs(sum - serial_sum), 12)});
+  }
+  t.print(std::cout);
+  std::cout << "\nserial: " << fmt_fixed(t_serial, 3)
+            << " s, integral = " << fmt_fixed(serial_sum, 9)
+            << "\nThe expensive intervals cluster at the left edge, so "
+               "'static' strands one thread with nearly all the work; "
+               "the self-scheduling schemes spread it.\n";
+  if (cores <= 1)
+    std::cout << "(single-core host: speedups are bounded by 1; the "
+                 "chunk counts still show each scheme's behaviour)\n";
+  return 0;
+}

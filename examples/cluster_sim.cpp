@@ -1,0 +1,193 @@
+// Command-line front-end for the cluster simulator: pick a scheme, a
+// cluster shape, a workload and a load scenario; prints the per-PE
+// Tcom/Twait/Tcomp breakdown and T_p.
+//
+// Usage examples:
+//   cluster_sim --scheme dtss --p 8 --nondedicated
+//   cluster_sim --scheme fss --kind simple --p 4 --workload linear
+//   cluster_sim --scheme trees --kind tree --weighted --sf 8
+//   cluster_sim --scheme dfiss --acp integer --p 8 --nondedicated
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/lss.hpp"
+
+namespace {
+
+using namespace lss;
+
+struct Options {
+  std::string scheme = "dtss";
+  std::string kind = "auto";  // simple | dist | tree | auto
+  int p = 8;
+  bool nondedicated = false;
+  bool weighted = false;
+  std::string workload = "mandelbrot";
+  int width = 2000;
+  int height = 1000;
+  Index iterations = 4000;
+  Index sf = 4;
+  std::string acp = "decimal";
+  double amin = 1.0;
+  std::string config_path;  // optional cluster file
+  std::string trace_path;   // optional workload trace
+  bool gantt = false;
+  int replications = 1;
+
+  [[noreturn]] static void usage() {
+    std::cout <<
+        "cluster_sim — heterogeneous-cluster loop-scheduling simulator\n"
+        "  --scheme <spec>   tss|fss|fiss|tfss|gss|css:k=..|wf|static|\n"
+        "                    dtss|dfss|dfiss|dtfss|dist(<simple>)|trees\n"
+        "  --kind <k>        simple|dist|tree|auto (default: auto)\n"
+        "  --p <n>           slaves: 1, 2, 4 or 8 (default 8)\n"
+        "  --nondedicated    apply the paper's external-load placement\n"
+        "  --weighted        TreeS: power-weighted initial allocation\n"
+        "  --workload <w>    mandelbrot|uniform|linear|irregular|spmv\n"
+        "  --trace <file>    per-iteration costs from a trace file\n"
+        "  --width/--height  Mandelbrot window (default 2000x1000)\n"
+        "  --iters <n>       synthetic workload size (default 4000)\n"
+        "  --sf <n>          sampling frequency (default 4)\n"
+        "  --acp <m>         decimal|integer|exact (default decimal)\n"
+        "  --amin <x>        availability threshold (default 1)\n"
+        "  --config <file>   cluster description file (overrides --p,\n"
+        "                    --nondedicated; see cluster/config_file.hpp)\n"
+        "  --gantt           print an ASCII Gantt chart of the run\n"
+        "  --replications <n> repeat under start jitter; report "
+        "mean±sd\n";
+    std::exit(0);
+  }
+};
+
+Options parse_args(int argc, char** argv) {
+  Options o;
+  const auto need = [&](int& i) -> std::string {
+    LSS_REQUIRE(i + 1 < argc, "missing value for option");
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a == "--scheme") o.scheme = need(i);
+    else if (a == "--kind") o.kind = need(i);
+    else if (a == "--p") o.p = static_cast<int>(parse_int(need(i)));
+    else if (a == "--nondedicated") o.nondedicated = true;
+    else if (a == "--weighted") o.weighted = true;
+    else if (a == "--workload") o.workload = need(i);
+    else if (a == "--width") o.width = static_cast<int>(parse_int(need(i)));
+    else if (a == "--height") o.height = static_cast<int>(parse_int(need(i)));
+    else if (a == "--iters") o.iterations = parse_int(need(i));
+    else if (a == "--sf") o.sf = parse_int(need(i));
+    else if (a == "--acp") o.acp = need(i);
+    else if (a == "--amin") o.amin = parse_double(need(i));
+    else if (a == "--config") o.config_path = need(i);
+    else if (a == "--trace") o.trace_path = need(i);
+    else if (a == "--gantt") o.gantt = true;
+    else if (a == "--replications")
+      o.replications = static_cast<int>(parse_int(need(i)));
+    else if (a == "--help" || a == "-h") Options::usage();
+    else LSS_REQUIRE(false, "unknown option: " + a);
+  }
+  return o;
+}
+
+std::shared_ptr<const Workload> make_workload(const Options& o) {
+  std::shared_ptr<const Workload> base;
+  if (!o.trace_path.empty()) {
+    base = std::make_shared<FileWorkload>(
+        FileWorkload::from_file(o.trace_path));
+  } else if (o.workload == "mandelbrot") {
+    base = std::make_shared<MandelbrotWorkload>(
+        MandelbrotParams::paper(o.width, o.height));
+  } else if (o.workload == "uniform") {
+    base = std::make_shared<UniformWorkload>(o.iterations, 25000.0);
+  } else if (o.workload == "linear") {
+    base = std::make_shared<LinearIncreasingWorkload>(o.iterations, 12.0);
+  } else if (o.workload == "irregular") {
+    base = std::make_shared<IrregularWorkload>(o.iterations, 10.0, 0.6,
+                                               2026);
+  } else if (o.workload == "spmv") {
+    base = std::make_shared<SparseMatVecWorkload>(o.iterations, 25000.0,
+                                                  1.5, 2026);
+  } else {
+    LSS_REQUIRE(false, "unknown workload: " + o.workload);
+  }
+  return sampled(std::move(base), o.sf);
+}
+
+sim::SchedulerConfig make_scheduler_config(const Options& o) {
+  std::string kind = o.kind;
+  if (kind == "auto") {
+    if (o.scheme == "trees") {
+      kind = "tree";
+    } else {
+      kind = "simple";
+      const std::string head = o.scheme.substr(0, o.scheme.find(':'));
+      for (const std::string& d : distsched::DistSchemeSpec::known_schemes())
+        if (head == d || o.scheme.rfind("dist(", 0) == 0) kind = "dist";
+    }
+  }
+  if (kind == "tree") return sim::SchedulerConfig::tree(o.weighted);
+  if (kind == "dist") return sim::SchedulerConfig::distributed(o.scheme);
+  return sim::SchedulerConfig::simple(o.scheme);
+}
+
+cluster::AcpPolicy make_acp(const Options& o) {
+  if (o.acp == "integer") return cluster::AcpPolicy::original_dtss();
+  if (o.acp == "exact")
+    return cluster::AcpPolicy{cluster::AcpMode::Exact, 10.0, o.amin};
+  LSS_REQUIRE(o.acp == "decimal", "unknown ACP mode: " + o.acp);
+  return cluster::AcpPolicy::improved(10.0, o.amin);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Options o = parse_args(argc, argv);
+    sim::SimConfig cfg;
+    if (!o.config_path.empty()) {
+      const cluster::ClusterConfig file =
+          cluster::load_cluster_config(o.config_path);
+      cfg.cluster = file.cluster;
+      cfg.loads = file.loads;
+      if (file.has_crashes()) cfg.faults.crash_at_s = file.crash_at_s;
+      cfg.master_bandwidth_bps = file.master_bandwidth_bps;
+      cfg.master_latency_s = file.master_latency_s;
+    } else {
+      cfg.cluster = cluster::paper_cluster_for_p(o.p);
+      if (o.nondedicated) cfg.loads = cluster::paper_nondedicated_loads(o.p);
+    }
+    cfg.scheduler = make_scheduler_config(o);
+    cfg.workload = make_workload(o);
+    cfg.acp = make_acp(o);
+
+    if (o.replications > 1) {
+      const auto rr = sim::run_replicated(cfg, o.replications);
+      std::cout << rr.scheme << ": T_p = " << fmt_fixed(rr.mean, 2)
+                << " ± " << fmt_fixed(rr.stddev, 2) << " s over "
+                << rr.replications << " replications  [min "
+                << fmt_fixed(rr.min, 2) << ", median "
+                << fmt_fixed(rr.median, 2) << ", max "
+                << fmt_fixed(rr.max, 2) << "]\n";
+      return 0;
+    }
+    const sim::Report r = sim::run_simulation(cfg);
+    std::cout << r.to_table();
+    if (o.gantt) std::cout << '\n' << sim::render_gantt(r);
+    const auto imb = metrics::imbalance(r.comp_times());
+    std::cout << "scheduling messages: " << r.master_messages
+              << ", master rx: "
+              << fmt_fixed(r.master_rx_bytes / 1e6, 1) << " MB"
+              << ", replans: " << r.replans
+              << ", comp-time imbalance (max/mean): "
+              << fmt_fixed(imb.max_over_mean, 2) << '\n';
+    if (!r.exactly_once() && !r.starved)
+      std::cout << "WARNING: coverage violation detected!\n";
+    return 0;
+  } catch (const ContractError& e) {
+    std::cerr << "error: " << e.what() << "\n(try --help)\n";
+    return 1;
+  }
+}

@@ -1,0 +1,105 @@
+// Extending the library with a user-defined scheme.
+//
+// The paper's generic self-scheduling step (eq. 1) is the base-class
+// contract: implement propose_chunk() and the bookkeeping, clamping
+// and termination come for free. Here we add "HSS" (halving
+// self-scheduling): every chunk is half the remaining work divided
+// by p, i.e. GSS with a 2x safety factor — then race it against the
+// paper's schemes on the simulated cluster.
+#include <iostream>
+#include <memory>
+
+#include "lss/lss.hpp"
+
+namespace {
+
+using namespace lss;
+
+class HalvingScheduler final : public sched::ChunkScheduler {
+ public:
+  HalvingScheduler(Index total, int num_pes)
+      : ChunkScheduler(total, num_pes) {}
+
+  std::string name() const override { return "hss(custom)"; }
+
+ protected:
+  Index propose_chunk(int /*pe*/) override {
+    return remaining() / (2 * num_pes());  // base class raises 0 to 1
+  }
+};
+
+// Any scheme gains a power-aware distributed version through the
+// weighted adapter; a hand-rolled DistScheduler works the same way.
+class HalvingDistScheduler final : public distsched::DistScheduler {
+ public:
+  HalvingDistScheduler(Index total, int num_pes)
+      : DistScheduler(total, num_pes) {}
+
+  std::string name() const override { return "dhss(custom)"; }
+
+ protected:
+  void plan(Index /*remaining_total*/) override {}
+
+  Index propose_chunk(int pe) override {
+    const double share = acpsa().get(pe) / acpsa().total();
+    return static_cast<Index>(static_cast<double>(remaining()) / 2.0 *
+                              share);
+  }
+};
+
+}  // namespace
+
+int main() {
+  // 1) The chunk sequence it generates.
+  HalvingScheduler h(1000, 4);
+  std::cout << "custom HSS chunks (I=1000, p=4):\n  "
+            << sched::format_sizes(sched::chunk_sizes(h)) << "\n\n";
+
+  // 2) Drive the simulator directly with custom scheduler objects is
+  //    done through the factory for built-ins; for a quick comparison
+  //    we drain both schedulers against per-chunk costs here.
+  auto workload = sampled(
+      std::make_shared<PeakedWorkload>(4000, 8000.0, 80000.0, 0.35, 0.12),
+      4);
+
+  // Greedy list-scheduling evaluation: assign each chunk to the PE
+  // that becomes free first (speeds 3,3,3,1,1,1,1,1) — a quick
+  // quality probe without the full DES.
+  const auto evaluate = [&](sched::ChunkScheduler& s) {
+    std::vector<double> free_at(8, 0.0);
+    const double speeds[8] = {3e6, 3e6, 3e6, 1e6, 1e6, 1e6, 1e6, 1e6};
+    while (!s.done()) {
+      int pe = 0;
+      for (int j = 1; j < 8; ++j)
+        if (free_at[static_cast<std::size_t>(j)] <
+            free_at[static_cast<std::size_t>(pe)])
+          pe = j;
+      const Range r = s.next(pe);
+      double cost = 0.0;
+      for (Index i = r.begin; i < r.end; ++i) cost += workload->cost(i);
+      free_at[static_cast<std::size_t>(pe)] +=
+          cost / speeds[static_cast<std::size_t>(pe)];
+    }
+    double makespan = 0.0;
+    for (double t : free_at) makespan = std::max(makespan, t);
+    return makespan;
+  };
+
+  HalvingScheduler mine(workload->size(), 8);
+  auto tss = sched::make_scheduler("tss", workload->size(), 8);
+  auto tfss = sched::make_scheduler("tfss", workload->size(), 8);
+  std::cout << "greedy-evaluation makespans on a 3:1 cluster (s):\n";
+  std::cout << "  hss(custom): " << fmt_fixed(evaluate(mine), 2) << '\n';
+  std::cout << "  tss        : " << fmt_fixed(evaluate(*tss), 2) << '\n';
+  std::cout << "  tfss       : " << fmt_fixed(evaluate(*tfss), 2) << '\n';
+
+  // 3) The distributed variant in the full simulator, via the same
+  //    pattern the built-ins use.
+  HalvingDistScheduler dist(1000, 4);
+  dist.initialize({30.0, 10.0, 10.0, 10.0});
+  std::cout << "\ncustom distributed first chunks (ACP 30,10,10,10): ";
+  for (int pe = 0; pe < 4; ++pe)
+    std::cout << dist.next(pe, pe == 0 ? 30.0 : 10.0).size() << ' ';
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Fault-tolerance walkthrough: run DTSS on the paper cluster, kill a
+// fast slave mid-run, and show the Gantt chart of the recovery — the
+// crash mark, the timeout gap, and the victim's chunk re-appearing
+// on another PE.
+#include <iostream>
+#include <limits>
+#include <memory>
+
+#include "lss/lss.hpp"
+
+int main() {
+  using namespace lss;
+
+  auto base = std::make_shared<PeakedWorkload>(2000, 8000.0, 80000.0,
+                                               0.35, 0.12);
+  sim::SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(8);
+  cfg.scheduler = sim::SchedulerConfig::distributed("dtss");
+  cfg.workload = sampled(base, 4);
+  cfg.faults.crash_at_s.assign(8, std::numeric_limits<double>::infinity());
+  cfg.faults.crash_at_s[1] = 4.0;  // a fast PE dies at t = 4 s
+  cfg.faults.master_timeout_s = 2.0;
+
+  std::cout << "DTSS on the paper cluster; PE2 (fast) crashes at t = 4 s, "
+               "master timeout 2 s\n\n";
+  const sim::Report r = sim::run_simulation(cfg);
+  std::cout << r.to_table() << '\n' << sim::render_gantt(r) << '\n';
+  std::cout << "reassignments: " << r.reassignments
+            << ", results delivered exactly once: "
+            << (r.exactly_once_acknowledged() ? "yes" : "NO") << '\n';
+
+  // The same run without the crash, for comparison.
+  cfg.faults.crash_at_s.clear();
+  const sim::Report ok = sim::run_simulation(cfg);
+  std::cout << "\nwithout the crash T_p = " << fmt_fixed(ok.t_parallel, 2)
+            << " s vs " << fmt_fixed(r.t_parallel, 2)
+            << " s with it — the cost of losing a fast PE plus the "
+               "detection timeout.\n";
+  return 0;
+}

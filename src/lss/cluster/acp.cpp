@@ -1,0 +1,48 @@
+#include "lss/cluster/acp.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::cluster {
+
+double compute_acp(double virtual_power, int run_queue, const AcpPolicy& p) {
+  LSS_REQUIRE(virtual_power > 0.0, "virtual power must be positive");
+  LSS_REQUIRE(run_queue >= 1, "run queue length must be at least 1");
+  LSS_REQUIRE(p.scale > 0.0, "ACP scale must be positive");
+  const double ratio = virtual_power / static_cast<double>(run_queue);
+  double a = 0.0;
+  switch (p.mode) {
+    case AcpMode::Integer:
+      a = std::floor(ratio);
+      break;
+    case AcpMode::DecimalScaled:
+      a = std::floor(p.scale * ratio);
+      break;
+    case AcpMode::Exact:
+      // Same scale as DecimalScaled (the scale cancels in A_j / A),
+      // but without the floor.
+      a = p.scale * ratio;
+      break;
+  }
+  if (a < p.a_min) return 0.0;
+  return a;
+}
+
+bool is_available(double virtual_power, int run_queue, const AcpPolicy& p) {
+  return compute_acp(virtual_power, run_queue, p) > 0.0;
+}
+
+std::string to_string(AcpMode mode) {
+  switch (mode) {
+    case AcpMode::Integer:
+      return "integer";
+    case AcpMode::DecimalScaled:
+      return "decimal";
+    case AcpMode::Exact:
+      return "exact";
+  }
+  return "?";
+}
+
+}  // namespace lss::cluster

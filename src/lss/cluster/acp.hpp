@@ -1,0 +1,45 @@
+// Available Computing Power (§3.1 and the paper's §5.2 improvements).
+//
+// DTSS's original model:      A_i = floor(V_i / Q_i)   (integer)
+// Paper's improved model:     A_i = floor(scale * V_i / Q_i)
+// with decimal division, a scale factor (e.g. 10), and an optional
+// availability threshold A_min below which a PE is excluded.
+//
+// The integer model can starve whole clusters (V=1,Q=2 and V=3,Q=3
+// both floor to 0); the decimal model keeps loaded PEs usable and
+// represents fractional virtual powers (V = 3.4) faithfully.
+#pragma once
+
+#include <string>
+
+#include "lss/support/types.hpp"
+
+namespace lss::cluster {
+
+enum class AcpMode {
+  Integer,        ///< original DTSS: floor(V/Q), scale ignored
+  DecimalScaled,  ///< paper §5.2: floor(scale * V/Q)
+  Exact,          ///< un-floored V/Q (idealized reference)
+};
+
+struct AcpPolicy {
+  AcpMode mode = AcpMode::DecimalScaled;
+  double scale = 10.0;  ///< used by DecimalScaled
+  double a_min = 0.0;   ///< PEs with A_i < a_min are unavailable
+
+  static AcpPolicy original_dtss() { return {AcpMode::Integer, 1.0, 1.0}; }
+  static AcpPolicy improved(double scale = 10.0, double a_min = 1.0) {
+    return {AcpMode::DecimalScaled, scale, a_min};
+  }
+};
+
+/// A_i for a PE with virtual power V and run-queue length Q (>= 1).
+/// Returns 0 when the PE falls below the policy's a_min (unavailable).
+double compute_acp(double virtual_power, int run_queue, const AcpPolicy& p);
+
+/// True when compute_acp(...) > 0, i.e. the PE may request work.
+bool is_available(double virtual_power, int run_queue, const AcpPolicy& p);
+
+std::string to_string(AcpMode mode);
+
+}  // namespace lss::cluster

@@ -1,0 +1,119 @@
+#include "lss/cluster/cluster.hpp"
+
+#include <algorithm>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::cluster {
+
+double LinkSpec::transfer_time(double bytes) const {
+  LSS_REQUIRE(bytes >= 0.0, "negative message size");
+  return bytes / bandwidth_bps;
+}
+
+ClusterSpec::ClusterSpec(std::vector<NodeSpec> slaves)
+    : slaves_(std::move(slaves)) {
+  for (const NodeSpec& n : slaves_) {
+    LSS_REQUIRE(n.speed > 0.0, "node speed must be positive");
+    LSS_REQUIRE(n.virtual_power > 0.0, "virtual power must be positive");
+    LSS_REQUIRE(n.link.bandwidth_bps > 0.0, "bandwidth must be positive");
+    LSS_REQUIRE(n.link.latency_s >= 0.0, "latency must be non-negative");
+  }
+}
+
+const NodeSpec& ClusterSpec::slave(int i) const {
+  LSS_REQUIRE(i >= 0 && i < num_slaves(), "slave index out of range");
+  return slaves_[static_cast<std::size_t>(i)];
+}
+
+double ClusterSpec::total_virtual_power() const {
+  double v = 0.0;
+  for (const NodeSpec& n : slaves_) v += n.virtual_power;
+  return v;
+}
+
+std::vector<double> ClusterSpec::virtual_powers() const {
+  std::vector<double> out;
+  out.reserve(slaves_.size());
+  for (const NodeSpec& n : slaves_) out.push_back(n.virtual_power);
+  return out;
+}
+
+double ClusterSpec::max_speed() const {
+  double m = 0.0;
+  for (const NodeSpec& n : slaves_) m = std::max(m, n.speed);
+  return m;
+}
+
+void ClusterSpec::normalize_virtual_powers() {
+  if (slaves_.empty()) return;
+  double vmin = slaves_.front().virtual_power;
+  for (const NodeSpec& n : slaves_) vmin = std::min(vmin, n.virtual_power);
+  LSS_ASSERT(vmin > 0.0, "virtual powers must stay positive");
+  for (NodeSpec& n : slaves_) n.virtual_power /= vmin;
+}
+
+ClusterSpec homogeneous_cluster(int p, double speed, double bandwidth_bps,
+                                double latency_s) {
+  LSS_REQUIRE(p >= 1, "need at least one slave");
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(static_cast<std::size_t>(p));
+  for (int i = 0; i < p; ++i) {
+    NodeSpec n;
+    n.hostname = "node" + std::to_string(i + 1);
+    n.speed = speed;
+    n.virtual_power = 1.0;
+    n.link.bandwidth_bps = bandwidth_bps;
+    n.link.latency_s = latency_s;
+    nodes.push_back(n);
+  }
+  return ClusterSpec(std::move(nodes));
+}
+
+ClusterSpec paper_cluster(int fast, int slow, double slow_speed,
+                          double speed_ratio) {
+  LSS_REQUIRE(fast >= 0 && slow >= 0 && fast + slow >= 1,
+              "need at least one slave");
+  LSS_REQUIRE(slow_speed > 0.0 && speed_ratio >= 1.0,
+              "bad speed parameters");
+  std::vector<NodeSpec> nodes;
+  nodes.reserve(static_cast<std::size_t>(fast + slow));
+  for (int i = 0; i < fast; ++i) {
+    NodeSpec n;
+    n.hostname = "ultra10-" + std::to_string(i + 1);
+    n.speed = slow_speed * speed_ratio;
+    n.virtual_power = speed_ratio;
+    n.link.bandwidth_bps = 100e6 / 8.0;  // 100 Mbit/s
+    n.link.latency_s = 1e-3;
+    nodes.push_back(n);
+  }
+  for (int i = 0; i < slow; ++i) {
+    NodeSpec n;
+    n.hostname = "ultra1-" + std::to_string(i + 1);
+    n.speed = slow_speed;
+    n.virtual_power = 1.0;
+    n.link.bandwidth_bps = 10e6 / 8.0;  // 10 Mbit/s
+    n.link.latency_s = 1e-3;
+    nodes.push_back(n);
+  }
+  return ClusterSpec(std::move(nodes));
+}
+
+ClusterSpec paper_cluster_for_p(int p, double slow_speed,
+                                double speed_ratio) {
+  switch (p) {
+    case 1:
+      return paper_cluster(1, 0, slow_speed, speed_ratio);
+    case 2:
+      return paper_cluster(1, 1, slow_speed, speed_ratio);
+    case 4:
+      return paper_cluster(2, 2, slow_speed, speed_ratio);
+    case 8:
+      return paper_cluster(3, 5, slow_speed, speed_ratio);
+    default:
+      LSS_REQUIRE(false, "paper configurations exist for p in {1,2,4,8}");
+  }
+  return ClusterSpec{};
+}
+
+}  // namespace lss::cluster

@@ -1,0 +1,76 @@
+// Heterogeneous cluster description (§3, §5.1 of the paper).
+//
+// A cluster is a master plus p slave nodes. Each slave has a compute
+// speed (basic operations per second — the unit Workload::cost is
+// measured in), a network link to the master (latency + bandwidth),
+// and a *virtual power* V_i: its relative speed with V_i = 1 for the
+// slowest machine. The paper's testbed had two machine classes
+// (UltraSPARC-10/440MHz/100Mbit vs UltraSPARC-1/166MHz/10Mbit).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::cluster {
+
+struct LinkSpec {
+  double bandwidth_bps = 100e6 / 8.0;  ///< bytes per second
+  double latency_s = 1e-3;             ///< one-way message latency
+
+  /// Time to push `bytes` through the link (excluding latency).
+  double transfer_time(double bytes) const;
+};
+
+struct NodeSpec {
+  std::string hostname;
+  double speed = 1.0;  ///< basic operations per (simulated) second
+  double virtual_power = 1.0;  ///< V_i, relative to the slowest PE
+  LinkSpec link;
+};
+
+class ClusterSpec {
+ public:
+  ClusterSpec() = default;
+  explicit ClusterSpec(std::vector<NodeSpec> slaves);
+
+  int num_slaves() const { return static_cast<int>(slaves_.size()); }
+  const NodeSpec& slave(int i) const;
+  const std::vector<NodeSpec>& slaves() const { return slaves_; }
+
+  /// V = sum of virtual powers.
+  double total_virtual_power() const;
+  /// Virtual powers as a weight vector (for WF / weighted TreeS).
+  std::vector<double> virtual_powers() const;
+  /// Fastest slave's speed (used as the serial-time reference).
+  double max_speed() const;
+
+  /// Normalizes virtual powers so the slowest PE has V_i = 1.
+  void normalize_virtual_powers();
+
+ private:
+  std::vector<NodeSpec> slaves_;
+};
+
+/// Builders -----------------------------------------------------------
+
+/// `p` identical slaves.
+ClusterSpec homogeneous_cluster(int p, double speed = 1.0e6,
+                                double bandwidth_bps = 100e6 / 8.0,
+                                double latency_s = 1e-3);
+
+/// The paper's testbed shape: `fast` UltraSPARC-10-class slaves
+/// (speed ratio ~3:1 vs slow, 100 Mbit links) followed by `slow`
+/// UltraSPARC-1-class slaves (10 Mbit links). `slow_speed` is in
+/// basic ops per second.
+ClusterSpec paper_cluster(int fast, int slow, double slow_speed = 1.0e6,
+                          double speed_ratio = 3.0);
+
+/// The exact p-slave configurations used in the paper's speedup plots:
+/// p=1: 1 fast; p=2: 1 fast + 1 slow; p=4: 2 fast + 2 slow;
+/// p=8: 3 fast + 5 slow.
+ClusterSpec paper_cluster_for_p(int p, double slow_speed = 1.0e6,
+                                double speed_ratio = 3.0);
+
+}  // namespace lss::cluster

@@ -1,0 +1,221 @@
+#include "lss/cluster/config_file.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::cluster {
+
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  LSS_REQUIRE(false, "cluster config line " + std::to_string(line) + ": " +
+                         msg);
+  std::abort();  // unreachable; LSS_REQUIRE(false, ...) throws
+}
+
+/// Splits "key=value" tokens of a line after the leading words.
+std::map<std::string, std::string> parse_kv(
+    const std::vector<std::string>& tokens, std::size_t first, int line) {
+  std::map<std::string, std::string> out;
+  for (std::size_t i = first; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos)
+      fail(line, "expected key=value, got '" + tok + "'");
+    const std::string key = to_lower(trim(tok.substr(0, eq)));
+    const std::string value{trim(tok.substr(eq + 1))};
+    if (out.count(key) != 0) fail(line, "duplicate key '" + key + "'");
+    out[key] = value;
+  }
+  return out;
+}
+
+std::vector<std::string> tokenize(std::string_view line) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char c : line) {
+    if (c == ' ' || c == '\t') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+}  // namespace
+
+double parse_bandwidth(std::string_view text) {
+  const std::string s = to_lower(trim(text));
+  struct Unit {
+    const char* suffix;
+    double bits_multiplier;
+  };
+  static constexpr Unit kUnits[] = {
+      {"gbit", 1e9}, {"mbit", 1e6}, {"kbit", 1e3}, {"bit", 1.0}};
+  for (const Unit& u : kUnits) {
+    if (ends_with(s, u.suffix)) {
+      const double v =
+          parse_double(s.substr(0, s.size() - std::string(u.suffix).size()));
+      LSS_REQUIRE(v > 0.0, "bandwidth must be positive");
+      return v * u.bits_multiplier / 8.0;  // bits/s -> bytes/s
+    }
+  }
+  const double v = parse_double(s);  // plain bytes per second
+  LSS_REQUIRE(v > 0.0, "bandwidth must be positive");
+  return v;
+}
+
+double parse_duration(std::string_view text) {
+  const std::string s = to_lower(trim(text));
+  if (s == "inf" || s == "never")
+    return std::numeric_limits<double>::infinity();
+  struct Unit {
+    const char* suffix;
+    double seconds;
+  };
+  static constexpr Unit kUnits[] = {{"us", 1e-6}, {"ms", 1e-3}, {"s", 1.0}};
+  for (const Unit& u : kUnits) {
+    if (ends_with(s, u.suffix)) {
+      const std::string head{
+          s.substr(0, s.size() - std::string(u.suffix).size())};
+      // Avoid treating the exponent of "2e-3" as a unit.
+      if (!head.empty() &&
+          (std::isdigit(static_cast<unsigned char>(head.back())) != 0 ||
+           head.back() == '.')) {
+        return parse_double(head) * u.seconds;
+      }
+    }
+  }
+  return parse_double(s);  // plain seconds
+}
+
+bool ClusterConfig::has_loads() const {
+  for (const LoadScript& l : loads)
+    if (!l.empty()) return true;
+  return false;
+}
+
+bool ClusterConfig::has_crashes() const {
+  for (double t : crash_at_s)
+    if (t < std::numeric_limits<double>::infinity()) return true;
+  return false;
+}
+
+ClusterConfig parse_cluster_config(std::istream& in) {
+  std::vector<NodeSpec> nodes;
+  std::map<std::string, int> node_index;
+  std::vector<std::vector<LoadPhase>> phases;
+  std::vector<double> crashes;
+  double master_bw = 100e6 / 8.0;
+  double master_lat = 1e-3;
+
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    const auto tokens = tokenize(line);
+    const std::string kind = to_lower(tokens[0]);
+
+    if (kind == "master") {
+      const auto kv = parse_kv(tokens, 1, line_no);
+      for (const auto& [key, value] : kv) {
+        if (key == "bandwidth") master_bw = parse_bandwidth(value);
+        else if (key == "latency") master_lat = parse_duration(value);
+        else fail(line_no, "unknown master key '" + key + "'");
+      }
+    } else if (kind == "node") {
+      if (tokens.size() < 2) fail(line_no, "node needs a name");
+      const std::string name = tokens[1];
+      if (node_index.count(name) != 0)
+        fail(line_no, "duplicate node '" + name + "'");
+      NodeSpec n;
+      n.hostname = name;
+      const auto kv = parse_kv(tokens, 2, line_no);
+      for (const auto& [key, value] : kv) {
+        if (key == "speed") n.speed = parse_double(value);
+        else if (key == "power") n.virtual_power = parse_double(value);
+        else if (key == "bandwidth") n.link.bandwidth_bps = parse_bandwidth(value);
+        else if (key == "latency") n.link.latency_s = parse_duration(value);
+        else fail(line_no, "unknown node key '" + key + "'");
+      }
+      node_index[name] = static_cast<int>(nodes.size());
+      nodes.push_back(n);
+      phases.emplace_back();
+      crashes.push_back(std::numeric_limits<double>::infinity());
+    } else if (kind == "load") {
+      if (tokens.size() < 2) fail(line_no, "load needs a node name");
+      const auto it = node_index.find(tokens[1]);
+      if (it == node_index.end())
+        fail(line_no, "unknown node '" + tokens[1] + "'");
+      LoadPhase ph;
+      ph.start_s = 0.0;
+      ph.end_s = std::numeric_limits<double>::infinity();
+      ph.processes = 1;
+      const auto kv = parse_kv(tokens, 2, line_no);
+      for (const auto& [key, value] : kv) {
+        if (key == "start") ph.start_s = parse_duration(value);
+        else if (key == "end") ph.end_s = parse_duration(value);
+        else if (key == "processes")
+          ph.processes = static_cast<int>(parse_int(value));
+        else fail(line_no, "unknown load key '" + key + "'");
+      }
+      if (!(ph.end_s > ph.start_s))
+        fail(line_no, "load phase must have positive length");
+      phases[static_cast<std::size_t>(it->second)].push_back(ph);
+    } else if (kind == "crash") {
+      if (tokens.size() < 2) fail(line_no, "crash needs a node name");
+      const auto it = node_index.find(tokens[1]);
+      if (it == node_index.end())
+        fail(line_no, "unknown node '" + tokens[1] + "'");
+      const auto kv = parse_kv(tokens, 2, line_no);
+      const auto at = kv.find("at");
+      if (at == kv.end()) fail(line_no, "crash needs at=<time>");
+      crashes[static_cast<std::size_t>(it->second)] =
+          parse_duration(at->second);
+    } else {
+      fail(line_no, "unknown directive '" + kind + "'");
+    }
+  }
+
+  LSS_REQUIRE(!nodes.empty(), "cluster config defines no nodes");
+  ClusterConfig out;
+  out.cluster = ClusterSpec(std::move(nodes));
+  out.loads.reserve(phases.size());
+  for (auto& ph : phases) out.loads.emplace_back(std::move(ph));
+  out.crash_at_s = std::move(crashes);
+  out.master_bandwidth_bps = master_bw;
+  out.master_latency_s = master_lat;
+  return out;
+}
+
+ClusterConfig parse_cluster_config_string(std::string_view text) {
+  std::istringstream in{std::string(text)};
+  return parse_cluster_config(in);
+}
+
+ClusterConfig load_cluster_config(const std::string& path) {
+  std::ifstream in(path);
+  LSS_REQUIRE(in.good(), "cannot open cluster config: " + path);
+  return parse_cluster_config(in);
+}
+
+}  // namespace lss::cluster

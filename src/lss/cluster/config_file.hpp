@@ -1,0 +1,47 @@
+// Cluster description files — so experiments can be configured
+// without recompiling. Line-oriented format, '#' comments:
+//
+//   # the paper's testbed
+//   master bandwidth=100Mbit latency=1ms
+//   node ultra10-1 speed=3e6 power=3 bandwidth=100Mbit latency=1ms
+//   node ultra1-1  speed=1e6 power=1 bandwidth=10Mbit
+//   load ultra1-1  start=0 end=inf processes=2
+//   crash ultra10-1 at=5.0
+//
+// Bandwidth accepts Gbit/Mbit/Kbit/bit (per second) or plain
+// bytes-per-second; times accept s/ms/us suffixes. Nodes appear in
+// file order; loads/crashes refer to nodes by name.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/cluster/cluster.hpp"
+#include "lss/cluster/load.hpp"
+
+namespace lss::cluster {
+
+struct ClusterConfig {
+  ClusterSpec cluster;
+  LoadScripts loads;                 ///< one per node (possibly empty scripts)
+  std::vector<double> crash_at_s;    ///< one per node; +inf = never
+  double master_bandwidth_bps = 100e6 / 8.0;
+  double master_latency_s = 1e-3;
+
+  bool has_loads() const;
+  bool has_crashes() const;
+};
+
+/// Parses a config; throws lss::ContractError with a line number on
+/// malformed input.
+ClusterConfig parse_cluster_config(std::istream& in);
+ClusterConfig parse_cluster_config_string(std::string_view text);
+ClusterConfig load_cluster_config(const std::string& path);
+
+/// Unit helpers (exposed for tests).
+double parse_bandwidth(std::string_view text);  ///< -> bytes per second
+double parse_duration(std::string_view text);   ///< -> seconds ("inf" ok)
+
+}  // namespace lss::cluster

@@ -1,0 +1,74 @@
+#include "lss/cluster/load.hpp"
+
+#include <limits>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::cluster {
+
+LoadScript::LoadScript(std::vector<LoadPhase> phases)
+    : phases_(std::move(phases)) {
+  for (const LoadPhase& ph : phases_) {
+    LSS_REQUIRE(ph.end_s > ph.start_s, "load phase must have positive length");
+    LSS_REQUIRE(ph.processes >= 1, "load phase needs at least one process");
+  }
+}
+
+LoadScript LoadScript::constant(int processes) {
+  LSS_REQUIRE(processes >= 0, "negative process count");
+  if (processes == 0) return LoadScript{};
+  return LoadScript({LoadPhase{0.0, std::numeric_limits<double>::infinity(),
+                               processes}});
+}
+
+int LoadScript::external_at(double t) const {
+  int n = 0;
+  for (const LoadPhase& ph : phases_)
+    if (t >= ph.start_s && t < ph.end_s) n += ph.processes;
+  return n;
+}
+
+int LoadScript::run_queue_at(double t) const { return 1 + external_at(t); }
+
+double LoadScript::next_change_after(double t) const {
+  double next = std::numeric_limits<double>::infinity();
+  for (const LoadPhase& ph : phases_) {
+    if (ph.start_s > t && ph.start_s < next) next = ph.start_s;
+    if (ph.end_s > t && ph.end_s < next) next = ph.end_s;
+  }
+  return next;
+}
+
+LoadScripts paper_nondedicated_loads(int p, int processes_per_node) {
+  LSS_REQUIRE(processes_per_node >= 1, "need at least one process");
+  LoadScripts out(static_cast<std::size_t>(p));
+  const auto overload = [&](int slave) {
+    LSS_REQUIRE(slave >= 0 && slave < p, "slave index out of range");
+    out[static_cast<std::size_t>(slave)] =
+        LoadScript::constant(processes_per_node);
+  };
+  switch (p) {
+    case 1:
+      overload(0);  // the single fast PE
+      break;
+    case 2:
+      overload(0);  // 1 fast
+      overload(1);  // 1 slow
+      break;
+    case 4:
+      overload(0);  // 1 fast (of 2)
+      overload(2);  // 1 slow (of 2)
+      break;
+    case 8:
+      overload(0);  // 1 fast (of 3)
+      overload(3);  // 3 slow (of 5)
+      overload(4);
+      overload(5);
+      break;
+    default:
+      LSS_REQUIRE(false, "paper load placements exist for p in {1,2,4,8}");
+  }
+  return out;
+}
+
+}  // namespace lss::cluster

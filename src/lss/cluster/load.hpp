@@ -1,0 +1,61 @@
+// External load model for non-dedicated runs (§3.1, §5.1).
+//
+// The paper overloads some slaves by launching CPU-bound processes
+// (random-matrix additions). We model this as a per-node *load
+// script*: a piecewise-constant count of external processes over
+// time. The run queue length is Q(t) = 1 + external(t) (our loop
+// process plus the externals), and a CPU-bound process receives a
+// 1/Q(t) share of the processor (the paper's equal-share assumption).
+#pragma once
+
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::cluster {
+
+/// [start, end) interval during which `processes` external CPU-bound
+/// processes run on the node.
+struct LoadPhase {
+  double start_s = 0.0;
+  double end_s = 0.0;
+  int processes = 0;
+};
+
+class LoadScript {
+ public:
+  LoadScript() = default;
+  /// Phases may overlap; the external count at time t is the sum of
+  /// all phases covering t.
+  explicit LoadScript(std::vector<LoadPhase> phases);
+
+  /// A constant load of `processes` for the whole run.
+  static LoadScript constant(int processes);
+  static LoadScript none() { return LoadScript{}; }
+
+  /// Number of external processes at time t.
+  int external_at(double t) const;
+  /// Run-queue length Q(t) = 1 + external_at(t); always >= 1.
+  int run_queue_at(double t) const;
+
+  /// Earliest time strictly greater than t at which the external
+  /// count changes; +infinity if it never changes again.
+  double next_change_after(double t) const;
+
+  bool empty() const { return phases_.empty(); }
+  const std::vector<LoadPhase>& phases() const { return phases_; }
+
+ private:
+  std::vector<LoadPhase> phases_;
+};
+
+/// Per-slave load scripts; index matches ClusterSpec::slave.
+using LoadScripts = std::vector<LoadScript>;
+
+/// The paper's non-dedicated placements: two external processes on
+/// the overloaded slaves. Slave ids refer to paper_cluster_for_p(p)
+/// order (fast PEs first). p=1: fast#0; p=2: fast#0 + slow#1;
+/// p=4: fast#0 + slow#2; p=8: fast#0 + slow#3,4,5.
+LoadScripts paper_nondedicated_loads(int p, int processes_per_node = 2);
+
+}  // namespace lss::cluster

@@ -1,0 +1,53 @@
+#include "lss/distsched/acpsa.hpp"
+
+#include "lss/support/assert.hpp"
+
+namespace lss::distsched {
+
+Acpsa::Acpsa(int num_pes)
+    : acp_(static_cast<std::size_t>(num_pes), 0.0),
+      at_plan_(static_cast<std::size_t>(num_pes), 0.0) {
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+}
+
+bool Acpsa::update(int pe, double acp) {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  LSS_REQUIRE(acp >= 0.0, "ACP cannot be negative");
+  const auto idx = static_cast<std::size_t>(pe);
+  const bool changed = acp_[idx] != acp;
+  acp_[idx] = acp;
+  return changed;
+}
+
+double Acpsa::get(int pe) const {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  return acp_[static_cast<std::size_t>(pe)];
+}
+
+double Acpsa::total() const {
+  double a = 0.0;
+  for (double v : acp_) a += v;
+  return a;
+}
+
+int Acpsa::num_available() const {
+  int n = 0;
+  for (double v : acp_)
+    if (v > 0.0) ++n;
+  return n;
+}
+
+int Acpsa::num_changed_since_plan() const {
+  int n = 0;
+  for (std::size_t i = 0; i < acp_.size(); ++i)
+    if (acp_[i] != at_plan_[i]) ++n;
+  return n;
+}
+
+bool Acpsa::majority_changed() const {
+  return 2 * num_changed_since_plan() > num_pes();
+}
+
+void Acpsa::mark_planned() { at_plan_ = acp_; }
+
+}  // namespace lss::distsched

@@ -1,0 +1,43 @@
+// ACP Status Array (paper §3.1, Master step 1a/2a/2c).
+//
+// The master stores the most recently reported A_i of every slave and
+// replans (recomputes scheme parameters over the remaining
+// iterations) when more than half of the entries changed since the
+// last plan.
+#pragma once
+
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::distsched {
+
+class Acpsa {
+ public:
+  explicit Acpsa(int num_pes);
+
+  int num_pes() const { return static_cast<int>(acp_.size()); }
+
+  /// Record a report from `pe`; returns true if the value differs
+  /// from the stored one.
+  bool update(int pe, double acp);
+
+  double get(int pe) const;
+  /// A = sum of all A_i.
+  double total() const;
+  /// PEs with A_i > 0 (available for work).
+  int num_available() const;
+
+  /// Entries that differ from their value at the last mark_planned().
+  int num_changed_since_plan() const;
+  /// Paper step 2c: "more than half of the A_i's changed".
+  bool majority_changed() const;
+  /// Snapshot current values as the plan baseline.
+  void mark_planned();
+
+ private:
+  std::vector<double> acp_;
+  std::vector<double> at_plan_;
+};
+
+}  // namespace lss::distsched

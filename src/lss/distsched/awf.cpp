@@ -1,0 +1,88 @@
+#include "lss/distsched/awf.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::distsched {
+
+AwfScheduler::AwfScheduler(Index total, int num_pes, double alpha,
+                           double probe_factor)
+    : DistScheduler(total, num_pes),
+      alpha_(alpha),
+      probe_factor_(probe_factor),
+      iters_done_(static_cast<std::size_t>(num_pes), 0),
+      time_spent_(static_cast<std::size_t>(num_pes), 0.0) {
+  LSS_REQUIRE(alpha > 0.0, "alpha must be positive");
+  LSS_REQUIRE(probe_factor >= 1.0, "probe factor must be >= 1");
+}
+
+std::string AwfScheduler::name() const {
+  std::string n = "awf(alpha=";
+  n += fmt_fixed(alpha_, 1);
+  n += ')';
+  return n;
+}
+
+void AwfScheduler::on_feedback(int pe, Index iterations, double seconds) {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  LSS_REQUIRE(iterations >= 0, "negative iteration count");
+  LSS_REQUIRE(seconds >= 0.0, "negative duration");
+  iters_done_[static_cast<std::size_t>(pe)] += iterations;
+  time_spent_[static_cast<std::size_t>(pe)] += seconds;
+}
+
+bool AwfScheduler::has_feedback(int pe) const {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  return iters_done_[static_cast<std::size_t>(pe)] > 0 &&
+         time_spent_[static_cast<std::size_t>(pe)] > 0.0;
+}
+
+double AwfScheduler::measured_rate(int pe) const {
+  if (!has_feedback(pe)) return 0.0;
+  return static_cast<double>(iters_done_[static_cast<std::size_t>(pe)]) /
+         time_spent_[static_cast<std::size_t>(pe)];
+}
+
+double AwfScheduler::weight(int pe) const {
+  if (has_feedback(pe)) return measured_rate(pe);
+  // Calibrate ACP units into rate units using the PEs that have
+  // reported: kappa = sum(rates) / sum(their ACPs).
+  double rate_sum = 0.0, acp_sum = 0.0;
+  for (int j = 0; j < num_pes(); ++j) {
+    if (has_feedback(j)) {
+      rate_sum += measured_rate(j);
+      acp_sum += acpsa().get(j);
+    }
+  }
+  const double kappa =
+      (rate_sum > 0.0 && acp_sum > 0.0) ? rate_sum / acp_sum : 1.0;
+  return acpsa().get(pe) * kappa;
+}
+
+void AwfScheduler::plan(Index /*remaining_total*/) {
+  // Restart the current stage from the live remaining count; the
+  // probe stage is not repeated on replans.
+  stage_left_ = 0;
+}
+
+Index AwfScheduler::propose_chunk(int pe) {
+  if (stage_left_ == 0) {
+    const bool probe = stage_ == 0;
+    stage_total_ = static_cast<double>(remaining()) /
+                   (probe ? alpha_ * probe_factor_ : alpha_);
+    stage_left_ = num_pes();
+  }
+  double wsum = 0.0;
+  for (int j = 0; j < num_pes(); ++j) wsum += weight(j);
+  LSS_ASSERT(wsum > 0.0, "total weight must be positive");
+  const double share = stage_total_ * weight(pe) / wsum;
+  return static_cast<Index>(std::ceil(share));
+}
+
+void AwfScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  if (--stage_left_ == 0) ++stage_;
+}
+
+}  // namespace lss::distsched

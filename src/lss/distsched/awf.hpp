@@ -1,0 +1,55 @@
+// Adaptive Weighted Factoring (AWF) — an extension beyond the paper
+// in the direction its conclusion points: instead of *asking* slaves
+// for their available power (V_i / Q_i), the master *measures* it.
+//
+// Structure (following Banicescu et al.'s batched AWF variants):
+//   * stage 0 is a small *probe* stage — total R/(alpha*probe_factor),
+//     split by reported ACP — so every PE returns a timing sample
+//     quickly instead of sitting on a full-size first chunk;
+//   * later stages use FSS's rule (total = R/alpha) split by adaptive
+//     weights: a PE's weight is its measured throughput (cumulative
+//     iterations / cumulative compute seconds). PEs that have not
+//     reported yet get an estimated rate acp * kappa, where kappa
+//     calibrates ACP units to rate units from the PEs that have.
+//
+// The scheme needs no run-queue introspection: external load shows
+// up in the measured rates automatically, and wrong virtual powers
+// are corrected after the probe stage.
+#pragma once
+
+#include <vector>
+
+#include "lss/distsched/dist_scheme.hpp"
+
+namespace lss::distsched {
+
+class AwfScheduler final : public DistScheduler {
+ public:
+  AwfScheduler(Index total, int num_pes, double alpha = 2.0,
+               double probe_factor = 4.0);
+
+  std::string name() const override;
+  void on_feedback(int pe, Index iterations, double seconds) override;
+
+  /// Measured throughput of `pe`; 0 before any feedback.
+  double measured_rate(int pe) const;
+  bool has_feedback(int pe) const;
+  /// Effective weight used for splitting (measured or calibrated).
+  double weight(int pe) const;
+
+ protected:
+  void plan(Index remaining_total) override;
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  double alpha_;
+  double probe_factor_;
+  std::vector<Index> iters_done_;
+  std::vector<double> time_spent_;
+  int stage_ = 0;
+  int stage_left_ = 0;
+  double stage_total_ = 0.0;
+};
+
+}  // namespace lss::distsched

@@ -1,0 +1,82 @@
+#include "lss/distsched/dfactory.hpp"
+
+#include "lss/distsched/awf.hpp"
+#include "lss/distsched/dfiss.hpp"
+#include "lss/distsched/dfss.hpp"
+#include "lss/distsched/dtfss.hpp"
+#include "lss/distsched/dtss.hpp"
+#include "lss/distsched/weighted_adapter.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::distsched {
+
+DistSchemeSpec DistSchemeSpec::parse(std::string_view spec) {
+  DistSchemeSpec out;
+  out.spec_ = std::string(trim(spec));
+  LSS_REQUIRE(!out.spec_.empty(), "empty scheme spec");
+
+  // dist(<simple-spec>) — generic adapter.
+  if (out.spec_.rfind("dist(", 0) == 0) {
+    LSS_REQUIRE(out.spec_.back() == ')', "dist(...) missing ')'");
+    out.kind_ = "dist";
+    out.inner_ = out.spec_.substr(5, out.spec_.size() - 6);
+    sched::SchemeSpec::parse(out.inner_);  // validate eagerly
+    return out;
+  }
+
+  const auto colon = out.spec_.find(':');
+  out.kind_ = to_lower(trim(out.spec_.substr(0, colon)));
+  if (colon != std::string::npos) {
+    for (const std::string& kv : split(out.spec_.substr(colon + 1), ',')) {
+      const auto eq = kv.find('=');
+      LSS_REQUIRE(eq != std::string::npos,
+                  "malformed parameter (want key=value): '" + kv + "'");
+      const std::string key = to_lower(trim(kv.substr(0, eq)));
+      const std::string value{trim(kv.substr(eq + 1))};
+      if (key == "alpha") {
+        out.alpha_ = parse_double(value);
+      } else if (key == "sigma") {
+        out.sigma_ = static_cast<int>(parse_int(value));
+      } else if (key == "x") {
+        out.x_ = static_cast<int>(parse_int(value));
+      } else {
+        LSS_REQUIRE(false, "unknown scheme parameter: '" + key + "'");
+      }
+    }
+  }
+
+  bool ok = false;
+  for (const std::string& name : known_schemes()) ok = ok || name == out.kind_;
+  LSS_REQUIRE(ok, "unknown distributed scheme: '" + out.kind_ + "'");
+  return out;
+}
+
+std::unique_ptr<DistScheduler> DistSchemeSpec::make(Index total,
+                                                    int num_pes) const {
+  if (kind_ == "dtss") return std::make_unique<DtssScheduler>(total, num_pes);
+  if (kind_ == "dfss")
+    return std::make_unique<DfssScheduler>(total, num_pes, alpha_);
+  if (kind_ == "dfiss")
+    return std::make_unique<DfissScheduler>(total, num_pes, sigma_, x_);
+  if (kind_ == "dtfss")
+    return std::make_unique<DtfssScheduler>(total, num_pes);
+  if (kind_ == "awf")
+    return std::make_unique<AwfScheduler>(total, num_pes, alpha_);
+  if (kind_ == "dist")
+    return std::make_unique<WeightedAdapterScheduler>(
+        total, num_pes, sched::SchemeSpec::parse(inner_));
+  LSS_ASSERT(false, "unreachable: kind validated in parse()");
+  return nullptr;
+}
+
+std::vector<std::string> DistSchemeSpec::known_schemes() {
+  return {"dtss", "dfss", "dfiss", "dtfss", "awf", "dist"};
+}
+
+std::unique_ptr<DistScheduler> make_dist_scheduler(std::string_view spec,
+                                                   Index total, int num_pes) {
+  return DistSchemeSpec::parse(spec).make(total, num_pes);
+}
+
+}  // namespace lss::distsched

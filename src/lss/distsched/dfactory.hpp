@@ -1,0 +1,40 @@
+// Construction of distributed schemes by name.
+//
+// Spec grammar:  name[:key=value[,...]]
+//   dtss | dfss[:alpha=2] | dfiss[:sigma=3,x=5] | dtfss |
+//   awf[:alpha=2] | dist(<simple-spec>)   e.g. dist(gss:k=2)
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/distsched/dist_scheme.hpp"
+
+namespace lss::distsched {
+
+class DistSchemeSpec {
+ public:
+  static DistSchemeSpec parse(std::string_view spec);
+
+  const std::string& kind() const { return kind_; }
+  std::string spec_string() const { return spec_; }
+
+  std::unique_ptr<DistScheduler> make(Index total, int num_pes) const;
+
+  static std::vector<std::string> known_schemes();
+
+ private:
+  std::string kind_;
+  std::string spec_;
+  std::string inner_;  // for dist(...)
+  double alpha_ = 2.0;
+  int sigma_ = 3;
+  int x_ = -1;
+};
+
+std::unique_ptr<DistScheduler> make_dist_scheduler(std::string_view spec,
+                                                   Index total, int num_pes);
+
+}  // namespace lss::distsched

@@ -1,0 +1,59 @@
+#include "lss/distsched/dfiss.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::distsched {
+
+DfissScheduler::DfissScheduler(Index total, int num_pes, int stages, int x)
+    : DistScheduler(total, num_pes),
+      sigma_(stages),
+      x_(x > 0 ? x : stages + 2) {
+  LSS_REQUIRE(stages >= 1, "need at least one stage");
+  LSS_REQUIRE(x_ > 0, "X must be positive");
+}
+
+std::string DfissScheduler::name() const {
+  return "dfiss(sigma=" + std::to_string(sigma_) + ",X=" +
+         std::to_string(x_) + ")";
+}
+
+void DfissScheduler::plan(Index remaining_total) {
+  first_total_ = remaining_total / x_;
+  if (first_total_ < 1) first_total_ = 1;
+  bump_ = 0;
+  if (sigma_ >= 2) {
+    const double sig = static_cast<double>(sigma_);
+    const double numer = 2.0 * static_cast<double>(remaining_total) *
+                         (1.0 - sig / static_cast<double>(x_));
+    const double denom = sig * (sig - 1.0);
+    const double b = numer / denom;
+    bump_ = b > 0.0 ? static_cast<Index>(std::ceil(b)) : 0;
+  }
+  stage_ = 0;
+  stage_left_ = 0;
+}
+
+Index DfissScheduler::propose_chunk(int pe) {
+  if (stage_left_ == 0) {
+    const bool last_stage = stage_ >= sigma_ - 1;
+    if (last_stage) {
+      stage_total_ = static_cast<double>(remaining());
+    } else {
+      stage_total_ = static_cast<double>(
+          first_total_ + static_cast<Index>(stage_) * bump_);
+    }
+    stage_left_ = num_pes();
+  }
+  const double a = acpsa().total();
+  LSS_ASSERT(a > 0.0, "total ACP must be positive");
+  const double share = stage_total_ * acpsa().get(pe) / a;
+  return static_cast<Index>(std::floor(share));
+}
+
+void DfissScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  if (--stage_left_ == 0) ++stage_;
+}
+
+}  // namespace lss::distsched

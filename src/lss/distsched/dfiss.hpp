@@ -1,0 +1,35 @@
+// Distributed Fixed Increase Self-Scheduling (paper §6):
+//   SC_0 = floor(I / X),  B = ceil(2I(1 - sigma/X) / (sigma(sigma-1)))
+//   SC_k = SC_{k-1} + B,  C_j = SC_k * A_j / A
+// with the FISS convention that the final stage absorbs the residue.
+#pragma once
+
+#include "lss/distsched/dist_scheme.hpp"
+
+namespace lss::distsched {
+
+class DfissScheduler final : public DistScheduler {
+ public:
+  /// `stages` = sigma >= 1; `x` <= 0 selects X = sigma + 2.
+  DfissScheduler(Index total, int num_pes, int stages = 3, int x = -1);
+
+  std::string name() const override;
+  int stages() const { return sigma_; }
+  Index bump() const { return bump_; }
+
+ protected:
+  void plan(Index remaining_total) override;
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  int sigma_;
+  int x_;
+  Index first_total_ = 1;  ///< SC_0
+  Index bump_ = 0;         ///< B
+  int stage_ = 0;
+  int stage_left_ = 0;
+  double stage_total_ = 0.0;
+};
+
+}  // namespace lss::distsched

@@ -1,0 +1,43 @@
+#include "lss/distsched/dfss.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::distsched {
+
+DfssScheduler::DfssScheduler(Index total, int num_pes, double alpha)
+    : DistScheduler(total, num_pes), alpha_(alpha) {
+  LSS_REQUIRE(alpha > 0.0, "alpha must be positive");
+}
+
+std::string DfssScheduler::name() const {
+  std::string n = "dfss(alpha=";
+  n += fmt_fixed(alpha_, 1);
+  n += ')';
+  return n;
+}
+
+void DfssScheduler::plan(Index /*remaining_total*/) {
+  // Factoring recomputes from the live remaining count at each stage;
+  // a replan simply restarts the current stage.
+  stage_left_ = 0;
+}
+
+Index DfssScheduler::propose_chunk(int pe) {
+  if (stage_left_ == 0) {
+    stage_total_ = static_cast<double>(remaining()) / alpha_;
+    stage_left_ = num_pes();
+  }
+  const double a = acpsa().total();
+  LSS_ASSERT(a > 0.0, "total ACP must be positive");
+  const double share = stage_total_ * acpsa().get(pe) / a;
+  return static_cast<Index>(std::ceil(share));
+}
+
+void DfssScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  if (stage_left_ > 0) --stage_left_;
+}
+
+}  // namespace lss::distsched

@@ -1,0 +1,32 @@
+// Distributed Factoring Self-Scheduling (paper §6).
+//
+// FSS's stage rule with power-proportional splitting: at each stage
+// the master earmarks SC_k = R / alpha iterations (alpha = 2) and a
+// requester with power A_j receives C_j = SC_k * A_j / A. With equal
+// ACPs this reduces exactly to FSS. (The paper prints SC_k = 2R/A,
+// which is dimensionally inconsistent — see DESIGN.md errata.)
+#pragma once
+
+#include "lss/distsched/dist_scheme.hpp"
+
+namespace lss::distsched {
+
+class DfssScheduler final : public DistScheduler {
+ public:
+  DfssScheduler(Index total, int num_pes, double alpha = 2.0);
+
+  std::string name() const override;
+  double alpha() const { return alpha_; }
+
+ protected:
+  void plan(Index remaining_total) override;
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  double alpha_;
+  int stage_left_ = 0;
+  double stage_total_ = 0.0;  ///< SC_k
+};
+
+}  // namespace lss::distsched

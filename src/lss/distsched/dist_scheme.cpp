@@ -1,0 +1,58 @@
+#include "lss/distsched/dist_scheme.hpp"
+
+#include "lss/support/assert.hpp"
+
+namespace lss::distsched {
+
+DistScheduler::DistScheduler(Index total, int num_pes)
+    : total_(total), num_pes_(num_pes), acpsa_(num_pes) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+}
+
+void DistScheduler::initialize(const std::vector<double>& initial_acps) {
+  LSS_REQUIRE(!initialized_, "initialize() may only be called once");
+  LSS_REQUIRE(static_cast<int>(initial_acps.size()) == num_pes_,
+              "need one initial ACP per PE");
+  double sum = 0.0;
+  for (int pe = 0; pe < num_pes_; ++pe) {
+    acpsa_.update(pe, initial_acps[static_cast<std::size_t>(pe)]);
+    sum += initial_acps[static_cast<std::size_t>(pe)];
+  }
+  LSS_REQUIRE(sum > 0.0, "at least one PE must have positive ACP");
+  acpsa_.mark_planned();
+  plan(remaining());
+  initialized_ = true;
+}
+
+Range DistScheduler::next(int pe, double acp) {
+  LSS_REQUIRE(initialized_, "call initialize() before next()");
+  LSS_REQUIRE(pe >= 0 && pe < num_pes_, "PE id out of range");
+  LSS_REQUIRE(acp > 0.0, "unavailable PEs (A_i = 0) must not request work");
+  if (done()) return Range{cursor_, cursor_};
+
+  // Step 2a: store the newly received A_i if different; step 2c:
+  // replan over the remaining iterations on majority change.
+  acpsa_.update(pe, acp);
+  if (replanning_ && acpsa_.majority_changed()) {
+    acpsa_.mark_planned();
+    plan(remaining());
+    ++replans_;
+  }
+
+  Index chunk = propose_chunk(pe);
+  if (chunk < 1) chunk = 1;
+  if (chunk > remaining()) chunk = remaining();
+  const Range granted{cursor_, cursor_ + chunk};
+  cursor_ += chunk;
+  ++steps_;
+  on_granted(pe, chunk);
+  return granted;
+}
+
+void DistScheduler::on_granted(int /*pe*/, Index /*granted*/) {}
+
+void DistScheduler::on_feedback(int /*pe*/, Index /*iterations*/,
+                                double /*seconds*/) {}
+
+}  // namespace lss::distsched

@@ -1,0 +1,95 @@
+// Distributed self-scheduling schemes (paper §3.1 and §6).
+//
+// A DistScheduler follows the DTSS master pattern: slaves piggy-back
+// their current available computing power A_i on every request; the
+// master keeps an ACP Status Array, hands out chunks proportional to
+// the requester's power, and replans over the remaining iterations
+// whenever more than half of the A_i changed.
+//
+// The stage-based schemes share the paper's §6 rule:
+//     C_j^k = SC_k * A_j / A
+// where SC_k is the stage total that the underlying simple scheme
+// would assign at stage k.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/distsched/acpsa.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::distsched {
+
+using lss::Index;
+using lss::Range;
+
+class DistScheduler {
+ public:
+  DistScheduler(Index total, int num_pes);
+  virtual ~DistScheduler() = default;
+
+  DistScheduler(const DistScheduler&) = delete;
+  DistScheduler& operator=(const DistScheduler&) = delete;
+
+  virtual std::string name() const = 0;
+
+  /// Paper Master step 1a: all available slaves report A_i once;
+  /// computes the initial plan. Must be called before next().
+  void initialize(const std::vector<double>& initial_acps);
+
+  /// Serve a request from `pe` reporting its current `acp` (> 0).
+  /// Returns an empty range once all iterations are assigned.
+  Range next(int pe, double acp);
+
+  /// Optional execution feedback: `pe` finished `iterations` loop
+  /// iterations in `seconds` of wall time. Hosts (the simulator and
+  /// the threaded runtime) call this before next() when the slave
+  /// piggy-backs timing on its request. Rate-adaptive schemes (AWF)
+  /// override; the ACP-based schemes ignore it.
+  virtual void on_feedback(int pe, Index iterations, double seconds);
+
+  Index total() const { return total_; }
+  int num_pes() const { return num_pes_; }
+  Index assigned() const { return cursor_; }
+  Index remaining() const { return total_ - cursor_; }
+  bool done() const { return cursor_ >= total_; }
+  Index steps() const { return steps_; }
+  /// Times the master replanned after initialization (step 2c).
+  int replans() const { return replans_; }
+  bool initialized() const { return initialized_; }
+
+  /// Disable the step-2c majority-change replanning (for ablation:
+  /// the ACPSA still tracks fresh A_i, but scheme parameters stay
+  /// fixed after the initial plan).
+  void set_replanning(bool enabled) { replanning_ = enabled; }
+  bool replanning() const { return replanning_; }
+
+  const Acpsa& acpsa() const { return acpsa_; }
+
+ protected:
+  Acpsa& acpsa() { return acpsa_; }
+
+  /// Recompute scheme parameters for `remaining_total` iterations
+  /// using the current ACPSA (paper step 1b). Called by initialize()
+  /// and on majority-change replans.
+  virtual void plan(Index remaining_total) = 0;
+
+  /// Chunk size for `pe` given the current plan; may exceed
+  /// remaining(); values < 1 are raised to 1 by the base class.
+  virtual Index propose_chunk(int pe) = 0;
+
+  virtual void on_granted(int pe, Index granted);
+
+ private:
+  Index total_;
+  int num_pes_;
+  Index cursor_ = 0;
+  Index steps_ = 0;
+  int replans_ = 0;
+  bool initialized_ = false;
+  bool replanning_ = true;
+  Acpsa acpsa_;
+};
+
+}  // namespace lss::distsched

@@ -1,0 +1,41 @@
+#include "lss/distsched/dtfss.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::distsched {
+
+DtfssScheduler::DtfssScheduler(Index total, int num_pes)
+    : DistScheduler(total, num_pes) {}
+
+void DtfssScheduler::plan(Index remaining_total) {
+  // The stage totals follow the *simple* TFSS over p PEs (paper §6
+  // modification (i): "Compute SC_k = sum_j C_j^TSS"); only the split
+  // within a stage is power-weighted.
+  params_ = sched::tss_params_integer(remaining_total, num_pes());
+  tss_step_ = 0;
+  stage_left_ = 0;
+}
+
+Index DtfssScheduler::propose_chunk(int pe) {
+  if (stage_left_ == 0) {
+    const int p = num_pes();
+    double sum = 0.0;
+    for (int j = 0; j < p; ++j)
+      sum += params_.chunk_at(tss_step_ + j);
+    tss_step_ += p;
+    stage_total_ = sum;
+    stage_left_ = p;
+  }
+  const double a = acpsa().total();
+  LSS_ASSERT(a > 0.0, "total ACP must be positive");
+  const double share = stage_total_ * acpsa().get(pe) / a;
+  return static_cast<Index>(std::ceil(share));
+}
+
+void DtfssScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  if (stage_left_ > 0) --stage_left_;
+}
+
+}  // namespace lss::distsched

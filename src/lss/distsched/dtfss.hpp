@@ -1,0 +1,30 @@
+// Distributed Trapezoid Factoring Self-Scheduling (paper §6) — the
+// distributed version of the paper's new TFSS scheme:
+//   SC_k = sum of the next p TSS chunks,  C_j = SC_k * A_j / A.
+#pragma once
+
+#include "lss/distsched/dist_scheme.hpp"
+#include "lss/sched/tss.hpp"
+
+namespace lss::distsched {
+
+class DtfssScheduler final : public DistScheduler {
+ public:
+  DtfssScheduler(Index total, int num_pes);
+
+  std::string name() const override { return "dtfss"; }
+  const sched::TssParams& tss_params() const { return params_; }
+
+ protected:
+  void plan(Index remaining_total) override;
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  sched::TssParams params_;
+  Index tss_step_ = 0;
+  int stage_left_ = 0;
+  double stage_total_ = 0.0;  ///< SC_k
+};
+
+}  // namespace lss::distsched

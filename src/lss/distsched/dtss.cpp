@@ -1,0 +1,32 @@
+#include "lss/distsched/dtss.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::distsched {
+
+DtssScheduler::DtssScheduler(Index total, int num_pes)
+    : DistScheduler(total, num_pes) {}
+
+void DtssScheduler::plan(Index remaining_total) {
+  const double a = acpsa().total();
+  LSS_ASSERT(a > 0.0, "total ACP must be positive to plan");
+  params_ = sched::tss_params_real(static_cast<double>(remaining_total), a);
+  consumed_slots_ = 0.0;
+}
+
+Index DtssScheduler::propose_chunk(int pe) {
+  const double ai = acpsa().get(pe);
+  LSS_ASSERT(ai > 0.0, "requester must have positive ACP");
+  // Sum of the trapezoid heights over the A_i slots starting at S:
+  //   sum_{s=0..A_i-1} (F - D*(S+s)) = A_i*F - D*(A_i*S + A_i(A_i-1)/2)
+  const double c =
+      ai * (params_.first -
+            params_.decrement * (consumed_slots_ + (ai - 1.0) / 2.0));
+  consumed_slots_ += ai;
+  if (c <= 1.0) return 1;
+  return static_cast<Index>(std::floor(c));
+}
+
+}  // namespace lss::distsched

@@ -1,0 +1,35 @@
+// Distributed Trapezoid Self-Scheduling (Xu & Chronopoulos 1999,
+// reviewed in §3.1). The TSS trapezoid is computed with the total
+// available power A in place of p; a requester with power A_i takes
+// A_i consecutive unit-power slots of the trapezoid:
+//
+//   C_i = A_i * (F - D * (S_{i-1} + (A_i - 1) / 2))
+//
+// with S_{i-1} the cumulative power of all previous assignments.
+// F and D are carried in double precision: with the paper's ×10
+// decimal ACP scale an integer D would floor to 0 and flatten the
+// trapezoid (DESIGN.md).
+#pragma once
+
+#include "lss/distsched/dist_scheme.hpp"
+#include "lss/sched/tss.hpp"
+
+namespace lss::distsched {
+
+class DtssScheduler final : public DistScheduler {
+ public:
+  DtssScheduler(Index total, int num_pes);
+
+  std::string name() const override { return "dtss"; }
+  const sched::TssParams& params() const { return params_; }
+
+ protected:
+  void plan(Index remaining_total) override;
+  Index propose_chunk(int pe) override;
+
+ private:
+  sched::TssParams params_;
+  double consumed_slots_ = 0.0;  ///< S: power-slots already assigned
+};
+
+}  // namespace lss::distsched

@@ -1,0 +1,43 @@
+#include "lss/distsched/weighted_adapter.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::distsched {
+
+WeightedAdapterScheduler::WeightedAdapterScheduler(
+    Index total, int num_pes, sched::SchemeSpec simple_spec)
+    : DistScheduler(total, num_pes), simple_spec_(std::move(simple_spec)) {}
+
+std::string WeightedAdapterScheduler::name() const {
+  return "dist(" + simple_spec_.spec_string() + ")";
+}
+
+void WeightedAdapterScheduler::plan(Index /*remaining_total*/) {
+  stage_left_ = 0;  // restart the stage from the live remaining count
+}
+
+Index WeightedAdapterScheduler::propose_chunk(int pe) {
+  if (stage_left_ == 0) {
+    // SC_k = what the simple scheme would hand to p PEs next, given
+    // the remaining iterations.
+    auto simple = simple_spec_.make(remaining(), num_pes());
+    double sum = 0.0;
+    for (int j = 0; j < num_pes() && !simple->done(); ++j)
+      sum += static_cast<double>(simple->next(j).size());
+    stage_total_ = sum;
+    stage_left_ = num_pes();
+  }
+  const double a = acpsa().total();
+  LSS_ASSERT(a > 0.0, "total ACP must be positive");
+  const double share = stage_total_ * acpsa().get(pe) / a;
+  return static_cast<Index>(std::ceil(share));
+}
+
+void WeightedAdapterScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  if (stage_left_ > 0) --stage_left_;
+}
+
+}  // namespace lss::distsched

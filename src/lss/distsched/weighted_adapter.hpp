@@ -1,0 +1,38 @@
+// Generic distributed adapter (paper §6, opening remark): "any
+// self-scheduling scheme discussed in section 2 can become a
+// Master-Slave centralized distributed scheme".
+//
+// The adapter turns an arbitrary simple scheme into a distributed one
+// by replaying the simple scheme's *stage totals* and splitting each
+// stage by ACP. At every stage boundary it instantiates the simple
+// scheme over the remaining iterations and sums the first p chunks
+// that scheme would grant; that sum becomes SC_k and requesters get
+// C_j = SC_k * A_j / A. For GSS/FSS-style schemes (which recompute
+// from R anyway) this matches the hand-written distributed variants
+// up to rounding.
+#pragma once
+
+#include "lss/distsched/dist_scheme.hpp"
+#include "lss/sched/factory.hpp"
+
+namespace lss::distsched {
+
+class WeightedAdapterScheduler final : public DistScheduler {
+ public:
+  WeightedAdapterScheduler(Index total, int num_pes,
+                           sched::SchemeSpec simple_spec);
+
+  std::string name() const override;
+
+ protected:
+  void plan(Index remaining_total) override;
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  sched::SchemeSpec simple_spec_;
+  int stage_left_ = 0;
+  double stage_total_ = 0.0;
+};
+
+}  // namespace lss::distsched

@@ -1,0 +1,79 @@
+// Umbrella header for the lss library — loop self-scheduling for
+// heterogeneous clusters (reproduction of Chronopoulos et al.,
+// CLUSTER 2001). Include this for everything, or the per-module
+// headers for fine-grained dependencies.
+#pragma once
+
+// Support
+#include "lss/support/assert.hpp"
+#include "lss/support/csv.hpp"
+#include "lss/support/prng.hpp"
+#include "lss/support/stats.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+#include "lss/support/types.hpp"
+
+// Workloads (§2.1)
+#include "lss/workload/file_workload.hpp"
+#include "lss/workload/linalg.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+#include "lss/workload/workload.hpp"
+
+// Simple self-scheduling schemes (§2)
+#include "lss/sched/analysis.hpp"
+#include "lss/sched/css.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/sched/fiss.hpp"
+#include "lss/sched/fss.hpp"
+#include "lss/sched/gss.hpp"
+#include "lss/sched/scheme.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/sched/sss.hpp"
+#include "lss/sched/static_sched.hpp"
+#include "lss/sched/tfss.hpp"
+#include "lss/sched/tss.hpp"
+#include "lss/sched/wf.hpp"
+
+// Cluster model (§3)
+#include "lss/cluster/acp.hpp"
+#include "lss/cluster/cluster.hpp"
+#include "lss/cluster/config_file.hpp"
+#include "lss/cluster/load.hpp"
+
+// Distributed schemes (§3.1, §5.2, §6)
+#include "lss/distsched/acpsa.hpp"
+#include "lss/distsched/awf.hpp"
+#include "lss/distsched/dfactory.hpp"
+#include "lss/distsched/dfiss.hpp"
+#include "lss/distsched/dfss.hpp"
+#include "lss/distsched/dist_scheme.hpp"
+#include "lss/distsched/dtfss.hpp"
+#include "lss/distsched/dtss.hpp"
+#include "lss/distsched/weighted_adapter.hpp"
+
+// Tree Scheduling (§5, §6.1)
+#include "lss/treesched/tree.hpp"
+#include "lss/treesched/tree_sched.hpp"
+
+// Metrics
+#include "lss/metrics/imbalance.hpp"
+#include "lss/metrics/speedup.hpp"
+#include "lss/metrics/timing.hpp"
+
+// Cluster simulator (§5.1, §6.1 experiments)
+#include "lss/sim/config.hpp"
+#include "lss/sim/gantt.hpp"
+#include "lss/sim/report.hpp"
+#include "lss/sim/experiment.hpp"
+#include "lss/sim/simulation.hpp"
+
+// Message passing + threaded runtime
+#include "lss/mp/collectives.hpp"
+#include "lss/mp/comm.hpp"
+#include "lss/mp/message.hpp"
+#include "lss/rt/affinity.hpp"
+#include "lss/rt/parallel_for.hpp"
+#include "lss/rt/run.hpp"
+#include "lss/rt/throttle.hpp"

@@ -1,0 +1,17 @@
+#include "lss/metrics/imbalance.hpp"
+
+#include "lss/support/stats.hpp"
+
+namespace lss::metrics {
+
+ImbalanceReport imbalance(std::span<const double> per_pe_times) {
+  ImbalanceReport out;
+  if (per_pe_times.empty()) return out;
+  const Summary s = summarize(per_pe_times);
+  out.max_over_mean = s.mean > 0.0 ? s.max / s.mean : 1.0;
+  out.cov = s.cov;
+  out.spread = s.max - s.min;
+  return out;
+}
+
+}  // namespace lss::metrics

@@ -1,0 +1,16 @@
+// Load-imbalance measures over per-PE computation times.
+#pragma once
+
+#include <span>
+
+namespace lss::metrics {
+
+struct ImbalanceReport {
+  double max_over_mean = 1.0;  ///< 1.0 == perfect balance
+  double cov = 0.0;            ///< coefficient of variation
+  double spread = 0.0;         ///< max - min (the paper's "gap")
+};
+
+ImbalanceReport imbalance(std::span<const double> per_pe_times);
+
+}  // namespace lss::metrics

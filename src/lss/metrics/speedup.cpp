@@ -1,0 +1,25 @@
+#include "lss/metrics/speedup.hpp"
+
+#include <algorithm>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::metrics {
+
+void SpeedupSeries::add(int p, double t_parallel) {
+  LSS_REQUIRE(t_parallel > 0.0, "parallel time must be positive");
+  points.push_back(SpeedupPoint{p, t_parallel, t_serial / t_parallel});
+}
+
+double speedup_bound(const std::vector<double>& speeds) {
+  LSS_REQUIRE(!speeds.empty(), "need at least one PE");
+  double sum = 0.0, fastest = 0.0;
+  for (double s : speeds) {
+    LSS_REQUIRE(s > 0.0, "speeds must be positive");
+    sum += s;
+    fastest = std::max(fastest, s);
+  }
+  return sum / fastest;
+}
+
+}  // namespace lss::metrics

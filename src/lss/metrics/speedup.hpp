@@ -1,0 +1,30 @@
+// Speedup series (paper Figures 4-7): S_p = T_serial / T_p, with
+// T_serial the loop's time on one dedicated fast PE.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lss::metrics {
+
+struct SpeedupPoint {
+  int p = 0;
+  double t_parallel = 0.0;
+  double speedup = 0.0;
+};
+
+struct SpeedupSeries {
+  std::string scheme;
+  double t_serial = 0.0;
+  std::vector<SpeedupPoint> points;
+
+  void add(int p, double t_parallel);
+};
+
+/// Upper bound on achievable speedup for a heterogeneous cluster:
+/// sum of speeds divided by the fastest speed (e.g. 3 fast + 5 slow
+/// at ratio 3 gives (3*3 + 5*1)/3 = 4.67 — the paper's "S_p <= 4.5"
+/// remark for Figure 6).
+double speedup_bound(const std::vector<double>& speeds);
+
+}  // namespace lss::metrics

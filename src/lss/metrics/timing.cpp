@@ -1,0 +1,30 @@
+#include "lss/metrics/timing.hpp"
+
+#include "lss/support/strings.hpp"
+
+namespace lss::metrics {
+
+TimeBreakdown& TimeBreakdown::operator+=(const TimeBreakdown& other) {
+  t_com += other.t_com;
+  t_wait += other.t_wait;
+  t_comp += other.t_comp;
+  return *this;
+}
+
+std::string TimeBreakdown::to_cell(int decimals) const {
+  return fmt_fixed(t_com, decimals) + "/" + fmt_fixed(t_wait, decimals) +
+         "/" + fmt_fixed(t_comp, decimals);
+}
+
+TimeBreakdown operator+(TimeBreakdown a, const TimeBreakdown& b) {
+  a += b;
+  return a;
+}
+
+TimeBreakdown sum(const std::vector<TimeBreakdown>& xs) {
+  TimeBreakdown out;
+  for (const TimeBreakdown& x : xs) out += x;
+  return out;
+}
+
+}  // namespace lss::metrics

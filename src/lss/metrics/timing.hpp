@@ -1,0 +1,28 @@
+// Per-PE time breakdown — the quantity tabulated in the paper's
+// Tables 2 and 3: T_com / T_wait / T_comp per slave.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lss::metrics {
+
+struct TimeBreakdown {
+  double t_com = 0.0;   ///< actively transferring messages
+  double t_wait = 0.0;  ///< idle, waiting for work or for the master
+  double t_comp = 0.0;  ///< computing loop iterations
+
+  double busy_total() const { return t_com + t_wait + t_comp; }
+
+  TimeBreakdown& operator+=(const TimeBreakdown& other);
+
+  /// The paper's cell format: "2.7/17.5/3.5" (1 decimal).
+  std::string to_cell(int decimals = 1) const;
+};
+
+TimeBreakdown operator+(TimeBreakdown a, const TimeBreakdown& b);
+
+/// Column sums over a set of PEs.
+TimeBreakdown sum(const std::vector<TimeBreakdown>& xs);
+
+}  // namespace lss::metrics

@@ -1,0 +1,51 @@
+#include "lss/mp/channel.hpp"
+
+#include <utility>
+
+namespace lss::mp {
+
+void Mailbox::push(Message m) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(m));
+  }
+  cv_.notify_all();
+}
+
+std::optional<Message> Mailbox::pop_match_locked(int source, int tag) {
+  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+    if (it->matches(source, tag)) {
+      Message m = std::move(*it);
+      queue_.erase(it);
+      return m;
+    }
+  }
+  return std::nullopt;
+}
+
+Message Mailbox::recv(int source, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (auto m = pop_match_locked(source, tag)) return std::move(*m);
+    cv_.wait(lock);
+  }
+}
+
+std::optional<Message> Mailbox::try_recv(int source, int tag) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pop_match_locked(source, tag);
+}
+
+bool Mailbox::probe(int source, int tag) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const Message& m : queue_)
+    if (m.matches(source, tag)) return true;
+  return false;
+}
+
+std::size_t Mailbox::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace lss::mp

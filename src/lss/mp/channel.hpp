@@ -1,0 +1,39 @@
+// Per-rank mailbox: an unbounded MPSC queue with MPI-style matching
+// (receive by source and/or tag, in arrival order per match).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "lss/mp/message.hpp"
+
+namespace lss::mp {
+
+class Mailbox {
+ public:
+  void push(Message m);
+
+  /// Blocking receive of the earliest message matching the filters
+  /// (kAnySource / kAnyTag wildcards).
+  Message recv(int source = kAnySource, int tag = kAnyTag);
+
+  /// Non-blocking receive.
+  std::optional<Message> try_recv(int source = kAnySource,
+                                  int tag = kAnyTag);
+
+  /// True if a matching message is queued (MPI_Iprobe).
+  bool probe(int source = kAnySource, int tag = kAnyTag) const;
+
+  std::size_t pending() const;
+
+ private:
+  std::optional<Message> pop_match_locked(int source, int tag);
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+};
+
+}  // namespace lss::mp

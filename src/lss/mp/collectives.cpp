@@ -1,0 +1,110 @@
+#include "lss/mp/collectives.hpp"
+
+#include <algorithm>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+
+namespace {
+
+constexpr int kTagBarrierIn = kCollectiveTagBase + 0;
+constexpr int kTagBarrierOut = kCollectiveTagBase + 1;
+constexpr int kTagBcast = kCollectiveTagBase + 2;
+constexpr int kTagGather = kCollectiveTagBase + 3;
+constexpr int kTagReduceIn = kCollectiveTagBase + 4;
+constexpr int kTagReduceOut = kCollectiveTagBase + 5;
+
+void check_rank(const Comm& comm, int rank) {
+  LSS_REQUIRE(rank >= 0 && rank < comm.size(), "rank out of range");
+}
+
+double reduce_via_root(Comm& comm, int rank, double value,
+                       double (*combine)(double, double)) {
+  check_rank(comm, rank);
+  if (comm.size() == 1) return value;
+  if (rank == 0) {
+    double acc = value;
+    for (int i = 1; i < comm.size(); ++i) {
+      const Message m = comm.recv(0, kAnySource, kTagReduceIn);
+      PayloadReader rd(m.payload);
+      acc = combine(acc, rd.get_f64());
+    }
+    for (int r = 1; r < comm.size(); ++r) {
+      PayloadWriter w;
+      w.put_f64(acc);
+      comm.send(0, r, kTagReduceOut, w.take());
+    }
+    return acc;
+  }
+  PayloadWriter w;
+  w.put_f64(value);
+  comm.send(rank, 0, kTagReduceIn, w.take());
+  const Message m = comm.recv(rank, 0, kTagReduceOut);
+  PayloadReader rd(m.payload);
+  return rd.get_f64();
+}
+
+}  // namespace
+
+void barrier(Comm& comm, int rank) {
+  check_rank(comm, rank);
+  if (comm.size() == 1) return;
+  if (rank == 0) {
+    for (int i = 1; i < comm.size(); ++i)
+      comm.recv(0, kAnySource, kTagBarrierIn);
+    for (int r = 1; r < comm.size(); ++r)
+      comm.send(0, r, kTagBarrierOut, {});
+    return;
+  }
+  comm.send(rank, 0, kTagBarrierIn, {});
+  comm.recv(rank, 0, kTagBarrierOut);
+}
+
+std::vector<std::byte> broadcast(Comm& comm, int rank, int root,
+                                 std::vector<std::byte> payload) {
+  check_rank(comm, rank);
+  check_rank(comm, root);
+  if (rank == root) {
+    for (int r = 0; r < comm.size(); ++r)
+      if (r != root) comm.send(root, r, kTagBcast, payload);
+    return payload;
+  }
+  Message m = comm.recv(rank, root, kTagBcast);
+  return std::move(m.payload);
+}
+
+std::vector<std::vector<std::byte>> gather(Comm& comm, int rank, int root,
+                                           std::vector<std::byte> payload) {
+  check_rank(comm, rank);
+  check_rank(comm, root);
+  if (rank != root) {
+    comm.send(rank, root, kTagGather, std::move(payload));
+    return {};
+  }
+  std::vector<std::vector<std::byte>> out(
+      static_cast<std::size_t>(comm.size()));
+  out[static_cast<std::size_t>(root)] = std::move(payload);
+  for (int i = 0; i < comm.size() - 1; ++i) {
+    Message m = comm.recv(root, kAnySource, kTagGather);
+    out[static_cast<std::size_t>(m.source)] = std::move(m.payload);
+  }
+  return out;
+}
+
+double all_reduce_sum(Comm& comm, int rank, double value) {
+  return reduce_via_root(comm, rank, value,
+                         [](double a, double b) { return a + b; });
+}
+
+double all_reduce_min(Comm& comm, int rank, double value) {
+  return reduce_via_root(comm, rank, value,
+                         [](double a, double b) { return std::min(a, b); });
+}
+
+double all_reduce_max(Comm& comm, int rank, double value) {
+  return reduce_via_root(comm, rank, value,
+                         [](double a, double b) { return std::max(a, b); });
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,41 @@
+// MPI-style collective operations over an lss::mp::Comm — barrier,
+// broadcast, gather and all-reduce — built from tagged point-to-point
+// messages (rank 0 is the root/coordinator, as in the runtime).
+//
+// Every participating rank must call the same collective; calls on
+// the same communicator must not interleave different collectives
+// concurrently from the same rank (the usual MPI rule). Internal
+// messages use a reserved tag range (>= kCollectiveTagBase) that
+// user code must avoid.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lss/mp/comm.hpp"
+
+namespace lss::mp {
+
+inline constexpr int kCollectiveTagBase = 1 << 20;
+
+/// Blocks until every rank of `comm` has entered the barrier.
+void barrier(Comm& comm, int rank);
+
+/// Root's payload is delivered to every rank (returned unchanged on
+/// the root itself).
+std::vector<std::byte> broadcast(Comm& comm, int rank, int root,
+                                 std::vector<std::byte> payload);
+
+/// Every rank contributes a payload; the root receives all of them
+/// ordered by rank (non-roots get an empty vector).
+std::vector<std::vector<std::byte>> gather(Comm& comm, int rank, int root,
+                                           std::vector<std::byte> payload);
+
+/// Sum-all-reduce of a double: every rank receives the global sum.
+double all_reduce_sum(Comm& comm, int rank, double value);
+
+/// Min/max all-reduce of a double.
+double all_reduce_min(Comm& comm, int rank, double value);
+double all_reduce_max(Comm& comm, int rank, double value);
+
+}  // namespace lss::mp

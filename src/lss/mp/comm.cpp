@@ -1,0 +1,45 @@
+#include "lss/mp/comm.hpp"
+
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+
+Comm::Comm(int size) {
+  LSS_REQUIRE(size >= 1, "communicator needs at least one rank");
+  boxes_.reserve(static_cast<std::size_t>(size));
+  for (int i = 0; i < size; ++i)
+    boxes_.push_back(std::make_unique<Mailbox>());
+}
+
+const Mailbox& Comm::box(int rank) const {
+  LSS_REQUIRE(rank >= 0 && rank < size(), "rank out of range");
+  return *boxes_[static_cast<std::size_t>(rank)];
+}
+
+Mailbox& Comm::box(int rank) {
+  LSS_REQUIRE(rank >= 0 && rank < size(), "rank out of range");
+  return *boxes_[static_cast<std::size_t>(rank)];
+}
+
+void Comm::send(int from, int to, int tag, std::vector<std::byte> payload) {
+  LSS_REQUIRE(from >= 0 && from < size(), "source rank out of range");
+  Message m;
+  m.source = from;
+  m.tag = tag;
+  m.payload = std::move(payload);
+  box(to).push(std::move(m));
+}
+
+Message Comm::recv(int rank, int source, int tag) {
+  return box(rank).recv(source, tag);
+}
+
+std::optional<Message> Comm::try_recv(int rank, int source, int tag) {
+  return box(rank).try_recv(source, tag);
+}
+
+bool Comm::probe(int rank, int source, int tag) const {
+  return box(rank).probe(source, tag);
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,37 @@
+// In-process communicator: a fixed set of ranks with point-to-point
+// tagged messaging. Rank 0 is the master by convention (as in the
+// paper's mpich master-slave programs).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lss/mp/channel.hpp"
+#include "lss/mp/message.hpp"
+
+namespace lss::mp {
+
+class Comm {
+ public:
+  explicit Comm(int size);
+
+  int size() const { return static_cast<int>(boxes_.size()); }
+
+  /// Deliver `payload` to `to`'s mailbox, stamped with `from`.
+  void send(int from, int to, int tag, std::vector<std::byte> payload);
+
+  /// Blocking receive into `rank`'s mailbox.
+  Message recv(int rank, int source = kAnySource, int tag = kAnyTag);
+  std::optional<Message> try_recv(int rank, int source = kAnySource,
+                                  int tag = kAnyTag);
+  bool probe(int rank, int source = kAnySource, int tag = kAnyTag) const;
+
+ private:
+  const Mailbox& box(int rank) const;
+  Mailbox& box(int rank);
+
+  std::vector<std::unique_ptr<Mailbox>> boxes_;
+};
+
+}  // namespace lss::mp

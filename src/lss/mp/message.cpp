@@ -1,0 +1,64 @@
+#include "lss/mp/message.hpp"
+
+#include <cstring>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+
+void PayloadWriter::put_bytes(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::byte*>(p);
+  buf_.insert(buf_.end(), b, b + n);
+}
+
+PayloadWriter& PayloadWriter::put_i64(std::int64_t v) {
+  put_bytes(&v, sizeof v);
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::put_i32(std::int32_t v) {
+  put_bytes(&v, sizeof v);
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::put_f64(double v) {
+  put_bytes(&v, sizeof v);
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::put_range(Range r) {
+  return put_i64(r.begin).put_i64(r.end);
+}
+
+void PayloadReader::get_bytes(void* p, std::size_t n) {
+  LSS_REQUIRE(pos_ + n <= buf_.size(), "payload underrun");
+  std::memcpy(p, buf_.data() + pos_, n);
+  pos_ += n;
+}
+
+std::int64_t PayloadReader::get_i64() {
+  std::int64_t v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+
+std::int32_t PayloadReader::get_i32() {
+  std::int32_t v = 0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+
+double PayloadReader::get_f64() {
+  double v = 0.0;
+  get_bytes(&v, sizeof v);
+  return v;
+}
+
+Range PayloadReader::get_range() {
+  Range r;
+  r.begin = get_i64();
+  r.end = get_i64();
+  return r;
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,66 @@
+// Message type and payload (de)serialization for the in-process
+// message-passing layer — the shape of MPI point-to-point traffic
+// (source, tag, byte buffer) without the wire.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::mp {
+
+inline constexpr int kAnySource = -1;
+inline constexpr int kAnyTag = -1;
+
+struct Message {
+  int source = kAnySource;
+  int tag = 0;
+  std::vector<std::byte> payload;
+
+  bool matches(int source_filter, int tag_filter) const {
+    return (source_filter == kAnySource || source_filter == source) &&
+           (tag_filter == kAnyTag || tag_filter == tag);
+  }
+};
+
+/// Append-only payload builder (little-endian, fixed-width fields).
+class PayloadWriter {
+ public:
+  PayloadWriter& put_i64(std::int64_t v);
+  PayloadWriter& put_i32(std::int32_t v);
+  PayloadWriter& put_f64(double v);
+  PayloadWriter& put_range(Range r);
+
+  std::vector<std::byte> take() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+
+ private:
+  void put_bytes(const void* p, std::size_t n);
+  std::vector<std::byte> buf_;
+};
+
+/// Sequential payload reader; throws lss::ContractError on underrun.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<std::byte>& buf) : buf_(buf) {}
+  // The reader references the buffer; binding a temporary would
+  // dangle as soon as the full expression ends.
+  explicit PayloadReader(std::vector<std::byte>&&) = delete;
+
+  std::int64_t get_i64();
+  std::int32_t get_i32();
+  double get_f64();
+  Range get_range();
+
+  bool exhausted() const { return pos_ == buf_.size(); }
+
+ private:
+  void get_bytes(void* p, std::size_t n);
+  const std::vector<std::byte>& buf_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace lss::mp

@@ -1,0 +1,140 @@
+#include "lss/rt/affinity.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+/// A worker's local queue: a contiguous range taken from the front
+/// by the owner and stolen from the back by thieves.
+class LocalQueue {
+ public:
+  void reset(Range r) { range_ = r; }
+
+  /// Owner side: take ceil(size/k) from the front.
+  Range take_front(int k) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (range_.empty()) return Range{};
+    const Index n = (range_.size() + k - 1) / k;
+    return lss::take_front(range_, n);
+  }
+
+  /// Thief side: take ceil(size/k) from the back.
+  Range steal_back(int k) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (range_.empty()) return Range{};
+    const Index n = (range_.size() + k - 1) / k;
+    Range stolen{range_.end - n, range_.end};
+    range_.end -= n;
+    return stolen;
+  }
+
+  Index size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return range_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  Range range_;
+};
+
+}  // namespace
+
+ParallelForResult affinity_parallel_for(
+    Index begin, Index end, const std::function<void(Index)>& body,
+    const AffinityOptions& options) {
+  LSS_REQUIRE(body != nullptr, "affinity_parallel_for needs a body");
+  LSS_REQUIRE(end >= begin, "empty or inverted range");
+  int threads = options.num_threads;
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = 2;
+  const int k = options.k > 0 ? options.k : threads;
+
+  const Index total = end - begin;
+  std::vector<LocalQueue> queues(static_cast<std::size_t>(threads));
+  // Static initial partition — the affinity in affinity scheduling.
+  for (int w = 0; w < threads; ++w) {
+    const Index lo = begin + w * total / threads;
+    const Index hi = begin + (w + 1) * total / threads;
+    queues[static_cast<std::size_t>(w)].reset(Range{lo, hi});
+  }
+
+  std::atomic<Index> remaining{total};
+  std::atomic<bool> stop{false};
+  std::atomic<Index> chunk_count{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<Index> per_thread(static_cast<std::size_t>(threads), 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto worker = [&](int w) {
+    LocalQueue& mine = queues[static_cast<std::size_t>(w)];
+    while (!stop.load(std::memory_order_relaxed) &&
+           remaining.load(std::memory_order_relaxed) > 0) {
+      Range chunk = mine.take_front(k);
+      if (chunk.empty()) {
+        // Local queue dry: steal 1/k of the most loaded queue.
+        int victim = -1;
+        Index best = 0;
+        for (int v = 0; v < threads; ++v) {
+          if (v == w) continue;
+          const Index size = queues[static_cast<std::size_t>(v)].size();
+          if (size > best) {
+            best = size;
+            victim = v;
+          }
+        }
+        if (victim < 0) {
+          // Everything is claimed; in-flight chunks finish elsewhere.
+          std::this_thread::yield();
+          continue;
+        }
+        chunk = queues[static_cast<std::size_t>(victim)].steal_back(k);
+        if (chunk.empty()) continue;  // raced with the owner
+      }
+      chunk_count.fetch_add(1, std::memory_order_relaxed);
+      try {
+        for (Index i = chunk.begin; i < chunk.end; ++i) body(i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      per_thread[static_cast<std::size_t>(w)] += chunk.size();
+      remaining.fetch_sub(chunk.size(), std::memory_order_relaxed);
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int w = 0; w < threads; ++w) pool.emplace_back(worker, w);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  ParallelForResult out;
+  out.num_threads = threads;
+  out.chunks = chunk_count.load();
+  out.iterations_per_thread = per_thread;
+  for (Index n : per_thread) out.iterations += n;
+  out.t_wall = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  LSS_ASSERT(out.iterations == total, "affinity scheduling lost iterations");
+  return out;
+}
+
+}  // namespace lss::rt

@@ -1,0 +1,33 @@
+// Affinity Scheduling (Markatos & LeBlanc, IEEE TPDS 1994 — the
+// paper's reference [12]): a decentralized shared-memory scheme.
+//
+//   * the iteration space is statically partitioned into p local
+//     queues (cache/page affinity: a thread re-executes "its" part);
+//   * each worker repeatedly takes 1/k of *its own* queue (k = p by
+//     default), so local scheduling needs no shared lock;
+//   * a worker whose queue is empty finds the most loaded queue and
+//     steals 1/k of it from the back.
+//
+// Exposed through rt::parallel_for with scheme "affinity[:k=<n>]".
+#pragma once
+
+#include <functional>
+
+#include "lss/rt/parallel_for.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+
+struct AffinityOptions {
+  int num_threads = 0;  ///< 0 = hardware concurrency
+  /// Denominator of the take/steal fraction; <= 0 selects p.
+  int k = 0;
+};
+
+/// Runs body(i) for every i in [begin, end) under affinity
+/// scheduling; same contract as parallel_for.
+ParallelForResult affinity_parallel_for(
+    Index begin, Index end, const std::function<void(Index)>& body,
+    const AffinityOptions& options = {});
+
+}  // namespace lss::rt

@@ -1,0 +1,103 @@
+#include "lss/rt/parallel_for.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "lss/rt/affinity.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::rt {
+
+// Unlike the master-slave runtime in run.cpp, parallel_for uses the
+// *shared-memory* self-scheduling model the schemes were originally
+// designed for (paper §2.2): idle workers take the scheduler lock and
+// draw the next chunk directly — no master thread, no messages.
+ParallelForResult parallel_for(Index begin, Index end,
+                               const std::function<void(Index)>& body,
+                               const ParallelForOptions& options) {
+  LSS_REQUIRE(body != nullptr, "parallel_for needs a body");
+  LSS_REQUIRE(end >= begin, "empty or inverted range");
+
+  // "affinity[:k=<n>]" selects the decentralized Markatos-LeBlanc
+  // scheme, which has its own per-thread-queue execution structure.
+  if (options.scheme == "affinity" ||
+      options.scheme.rfind("affinity:", 0) == 0) {
+    AffinityOptions aopt;
+    aopt.num_threads = options.num_threads;
+    const auto colon = options.scheme.find(':');
+    if (colon != std::string::npos) {
+      const std::string params = options.scheme.substr(colon + 1);
+      const auto eq = params.find('=');
+      LSS_REQUIRE(eq != std::string::npos &&
+                      to_lower(trim(params.substr(0, eq))) == "k",
+                  "affinity accepts only k=<n>");
+      aopt.k = static_cast<int>(parse_int(params.substr(eq + 1)));
+      LSS_REQUIRE(aopt.k >= 1, "affinity k must be at least 1");
+    }
+    return affinity_parallel_for(begin, end, body, aopt);
+  }
+
+  int threads = options.num_threads;
+  if (threads <= 0)
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  if (threads <= 0) threads = 2;
+
+  const Index total = end - begin;
+  auto scheduler = sched::make_scheduler(options.scheme, total, threads);
+
+  std::mutex scheduler_mu;
+  std::atomic<bool> stop{false};
+  std::atomic<Index> chunk_count{0};
+  std::exception_ptr first_error;
+  std::mutex error_mu;
+  std::vector<Index> per_thread(static_cast<std::size_t>(threads), 0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto worker = [&](int pe) {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Range chunk;
+      {
+        std::lock_guard<std::mutex> lock(scheduler_mu);
+        chunk = scheduler->next(pe);
+      }
+      if (chunk.empty()) return;
+      chunk_count.fetch_add(1, std::memory_order_relaxed);
+      try {
+        for (Index i = chunk.begin; i < chunk.end; ++i) body(begin + i);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        stop.store(true, std::memory_order_relaxed);
+        return;
+      }
+      per_thread[static_cast<std::size_t>(pe)] += chunk.size();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(threads));
+  for (int pe = 0; pe < threads; ++pe) pool.emplace_back(worker, pe);
+  for (std::thread& t : pool) t.join();
+
+  if (first_error) std::rethrow_exception(first_error);
+
+  ParallelForResult out;
+  out.num_threads = threads;
+  out.chunks = chunk_count.load();
+  out.iterations_per_thread = per_thread;
+  for (Index n : per_thread) out.iterations += n;
+  out.t_wall = std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - t0)
+                   .count();
+  LSS_ASSERT(out.iterations == total, "parallel_for lost iterations");
+  return out;
+}
+
+}  // namespace lss::rt

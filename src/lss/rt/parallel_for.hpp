@@ -1,0 +1,43 @@
+// parallel_for — the library's highest-level entry point: run a loop
+// body over [begin, end) on worker threads under any self-scheduling
+// scheme, OpenMP-`schedule(...)`-style but with the paper's full
+// scheme family available:
+//
+//   lss::rt::parallel_for(0, n, [&](Index i) { out[i] = f(i); },
+//                         {.scheme = "tfss", .num_threads = 8});
+//
+// The body must be safe to invoke concurrently for distinct i.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+
+struct ParallelForOptions {
+  /// Simple scheme spec (see sched::SchemeSpec::parse): "static",
+  /// "ss", "css:k=..", "gss", "tss", "fss", "fiss", "tfss", "wf".
+  std::string scheme = "gss";
+  /// 0 = one worker per hardware thread.
+  int num_threads = 0;
+};
+
+struct ParallelForResult {
+  int num_threads = 0;
+  Index iterations = 0;
+  Index chunks = 0;       ///< scheduling steps across all workers
+  double t_wall = 0.0;    ///< seconds
+  std::vector<Index> iterations_per_thread;
+};
+
+/// Runs body(i) for every i in [begin, end) and returns statistics.
+/// Exceptions thrown by the body propagate to the caller (the loop
+/// stops handing out new chunks; in-flight chunks finish).
+ParallelForResult parallel_for(Index begin, Index end,
+                               const std::function<void(Index)>& body,
+                               const ParallelForOptions& options = {});
+
+}  // namespace lss::rt

@@ -1,0 +1,204 @@
+#include "lss/rt/run.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "lss/distsched/dfactory.hpp"
+#include "lss/mp/comm.hpp"
+#include "lss/rt/throttle.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+// Protocol tags (master is rank 0, worker w is rank w+1).
+constexpr int kTagRequest = 1;    // payload: f64 acp, i64 fb_iters,
+                                  //          f64 fb_seconds
+constexpr int kTagAssign = 2;     // payload: range
+constexpr int kTagTerminate = 3;  // empty
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+struct WorkerShared {
+  RtWorkerStats stats;
+  std::vector<Range> executed;
+};
+
+void worker_main(const RtConfig& config, mp::Comm& comm, int w,
+                 double virtual_power, int run_queue, WorkerShared& out) {
+  const int rank = w + 1;
+  Throttle throttle(
+      config.relative_speeds[static_cast<std::size_t>(w)]);
+  Workload& workload = *config.workload;
+
+  const double acp =
+      config.distributed
+          ? cluster::compute_acp(virtual_power, run_queue, config.acp)
+          : 1.0;
+  if (config.distributed && acp <= 0.0) return;  // unavailable worker
+
+  Index fb_iters = 0;
+  double fb_seconds = 0.0;
+  while (true) {
+    {
+      mp::PayloadWriter req;
+      req.put_f64(acp);
+      req.put_i64(fb_iters);
+      req.put_f64(fb_seconds);
+      comm.send(rank, 0, kTagRequest, req.take());
+    }
+    const auto wait_start = Clock::now();
+    mp::Message m = comm.recv(rank, 0);
+    out.stats.times.t_wait += seconds_since(wait_start);
+    if (m.tag == kTagTerminate) break;
+    LSS_ASSERT(m.tag == kTagAssign, "unexpected message tag");
+
+    mp::PayloadReader rd(m.payload);
+    const Range chunk = rd.get_range();
+    const auto comp_start = Clock::now();
+    for (Index i = chunk.begin; i < chunk.end; ++i) workload.execute(i);
+    const auto busy = Clock::now() - comp_start;
+    throttle.pay(busy);
+    // Measured feedback (includes the throttle: it is the *effective*
+    // rate that matters) piggy-backed on the next request.
+    fb_iters = chunk.size();
+    fb_seconds = seconds_since(comp_start);
+    out.stats.times.t_comp += fb_seconds;
+    out.stats.iterations += chunk.size();
+    ++out.stats.chunks;
+    out.executed.push_back(chunk);
+  }
+}
+
+}  // namespace
+
+bool RtResult::exactly_once() const {
+  for (int c : execution_count)
+    if (c != 1) return false;
+  return true;
+}
+
+RtResult run_threaded(const RtConfig& config) {
+  LSS_REQUIRE(config.workload != nullptr, "runtime needs a workload");
+  const int p = static_cast<int>(config.relative_speeds.size());
+  LSS_REQUIRE(p >= 1, "need at least one worker");
+  LSS_REQUIRE(config.run_queues.empty() ||
+                  static_cast<int>(config.run_queues.size()) == p,
+              "need one run-queue length per worker (or none)");
+
+  // Virtual powers: relative speeds normalized so the slowest is 1.
+  std::vector<double> vpower(config.relative_speeds);
+  const double vmin = *std::min_element(vpower.begin(), vpower.end());
+  LSS_REQUIRE(vmin > 0.0, "relative speeds must be positive");
+  for (double& v : vpower) v /= vmin;
+
+  const Index total = config.workload->size();
+  std::unique_ptr<sched::ChunkScheduler> simple;
+  std::unique_ptr<distsched::DistScheduler> dist;
+  if (config.distributed)
+    dist = distsched::make_dist_scheduler(config.scheme, total, p);
+  else
+    simple = sched::make_scheduler(config.scheme, total, p);
+
+  mp::Comm comm(p + 1);
+  std::vector<WorkerShared> shared(static_cast<std::size_t>(p));
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(p));
+
+  const auto t0 = Clock::now();
+  int spawned = 0;
+  for (int w = 0; w < p; ++w) {
+    const int rq = config.run_queues.empty()
+                       ? 1
+                       : config.run_queues[static_cast<std::size_t>(w)];
+    // Unavailable distributed workers never participate.
+    if (config.distributed &&
+        cluster::compute_acp(vpower[static_cast<std::size_t>(w)], rq,
+                             config.acp) <= 0.0)
+      continue;
+    ++spawned;
+    threads.emplace_back(worker_main, std::cref(config), std::ref(comm), w,
+                         vpower[static_cast<std::size_t>(w)], rq,
+                         std::ref(shared[static_cast<std::size_t>(w)]));
+  }
+  LSS_REQUIRE(spawned > 0, "no worker has positive ACP (starved run)");
+
+  // Master loop (rank 0): distributed schemes first gather one report
+  // per participating worker (paper step 1a), then serve FIFO.
+  if (config.distributed) {
+    std::vector<double> acps(static_cast<std::size_t>(p), 0.0);
+    std::vector<mp::Message> first_requests;
+    for (int got = 0; got < spawned; ++got) {
+      mp::Message m = comm.recv(0, mp::kAnySource, kTagRequest);
+      mp::PayloadReader rd(m.payload);
+      acps[static_cast<std::size_t>(m.source - 1)] = rd.get_f64();
+      first_requests.push_back(std::move(m));
+    }
+    dist->initialize(acps);
+    // Serve the gathered batch in decreasing-ACP order (step 1a).
+    std::stable_sort(first_requests.begin(), first_requests.end(),
+                     [&acps](const mp::Message& a, const mp::Message& b) {
+                       return acps[static_cast<std::size_t>(a.source - 1)] >
+                              acps[static_cast<std::size_t>(b.source - 1)];
+                     });
+    int active = spawned;
+    auto serve = [&](const mp::Message& m) {
+      mp::PayloadReader rd(m.payload);
+      const double acp = rd.get_f64();
+      const Index fb_iters = rd.get_i64();
+      const double fb_seconds = rd.get_f64();
+      if (fb_iters > 0) dist->on_feedback(m.source - 1, fb_iters, fb_seconds);
+      const Range chunk = dist->next(m.source - 1, acp);
+      if (chunk.empty()) {
+        comm.send(0, m.source, kTagTerminate, {});
+        --active;
+      } else {
+        mp::PayloadWriter reply;
+        reply.put_range(chunk);
+        comm.send(0, m.source, kTagAssign, reply.take());
+      }
+    };
+    for (const mp::Message& m : first_requests) serve(m);
+    while (active > 0) serve(comm.recv(0, mp::kAnySource, kTagRequest));
+  } else {
+    int active = spawned;
+    while (active > 0) {
+      mp::Message m = comm.recv(0, mp::kAnySource, kTagRequest);
+      const Range chunk = simple->next(m.source - 1);
+      if (chunk.empty()) {
+        comm.send(0, m.source, kTagTerminate, {});
+        --active;
+      } else {
+        mp::PayloadWriter reply;
+        reply.put_range(chunk);
+        comm.send(0, m.source, kTagAssign, reply.take());
+      }
+    }
+  }
+
+  for (std::thread& t : threads) t.join();
+
+  RtResult out;
+  out.scheme = config.distributed ? dist->name() : simple->name();
+  out.t_parallel = seconds_since(t0);
+  out.execution_count.assign(static_cast<std::size_t>(total), 0);
+  out.workers.reserve(static_cast<std::size_t>(p));
+  for (const WorkerShared& ws : shared) {
+    out.workers.push_back(ws.stats);
+    out.total_iterations += ws.stats.iterations;
+    for (const Range& r : ws.executed)
+      for (Index i = r.begin; i < r.end; ++i)
+        ++out.execution_count[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+}  // namespace lss::rt

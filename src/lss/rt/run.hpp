@@ -1,0 +1,61 @@
+// Real threaded master-worker execution of a parallel loop.
+//
+// Unlike lss::sim (which models time), this runtime actually executes
+// Workload::execute(i) on std::threads, exchanging work over the
+// lss::mp communicator exactly like the paper's mpich programs:
+// workers request, the master answers with iteration intervals,
+// termination is an empty reply. Heterogeneity is emulated with
+// per-worker throttles.
+//
+// Thread-safety requirement: Workload::execute must be safe to call
+// concurrently for *distinct* iterations (true for Mandelbrot, whose
+// columns write disjoint buffer slices, and for the default burner).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/cluster/acp.hpp"
+#include "lss/metrics/timing.hpp"
+#include "lss/support/types.hpp"
+#include "lss/workload/workload.hpp"
+
+namespace lss::rt {
+
+struct RtConfig {
+  std::shared_ptr<Workload> workload;
+  /// Simple scheme spec ("tss", "fss", ...) or distributed spec
+  /// ("dtss", "dfiss", ...) when `distributed` is true.
+  std::string scheme = "tss";
+  bool distributed = false;
+  /// One entry per worker, in (0, 1]; 1.0 = full speed. Also used as
+  /// the virtual powers for distributed schemes (normalized so the
+  /// slowest worker has V = 1).
+  std::vector<double> relative_speeds;
+  /// Emulated run-queue length per worker (>= 1); used by the
+  /// distributed schemes' ACP computation. Empty = all dedicated.
+  std::vector<int> run_queues;
+  cluster::AcpPolicy acp = cluster::AcpPolicy::improved();
+};
+
+struct RtWorkerStats {
+  metrics::TimeBreakdown times;
+  Index iterations = 0;
+  Index chunks = 0;
+};
+
+struct RtResult {
+  std::string scheme;
+  double t_parallel = 0.0;  ///< wall seconds, start to last join
+  std::vector<RtWorkerStats> workers;
+  Index total_iterations = 0;
+  std::vector<int> execution_count;  ///< must be all-ones
+
+  bool exactly_once() const;
+};
+
+/// Runs the loop to completion; returns per-worker statistics.
+RtResult run_threaded(const RtConfig& config);
+
+}  // namespace lss::rt

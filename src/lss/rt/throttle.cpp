@@ -1,0 +1,24 @@
+#include "lss/rt/throttle.hpp"
+
+#include <thread>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+Throttle::Throttle(double relative_speed) : relative_speed_(relative_speed) {
+  LSS_REQUIRE(relative_speed > 0.0 && relative_speed <= 1.0,
+              "relative speed must be in (0, 1]");
+}
+
+std::chrono::duration<double> Throttle::pay(
+    std::chrono::duration<double> busy) {
+  LSS_REQUIRE(busy.count() >= 0.0, "negative busy time");
+  if (relative_speed_ >= 1.0) return std::chrono::duration<double>(0.0);
+  const std::chrono::duration<double> pause =
+      busy * (1.0 / relative_speed_ - 1.0);
+  std::this_thread::sleep_for(pause);
+  return pause;
+}
+
+}  // namespace lss::rt

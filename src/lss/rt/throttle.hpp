@@ -1,0 +1,27 @@
+// Heterogeneity emulation for the real threaded runtime: a worker
+// with relative speed s in (0, 1] sleeps (1/s - 1) seconds per second
+// of real compute, so its *effective* rate matches a proportionally
+// slower machine. This substitutes for the paper's physically slower
+// UltraSPARC-1 slaves on a single host (see DESIGN.md substitutions).
+#pragma once
+
+#include <chrono>
+
+namespace lss::rt {
+
+class Throttle {
+ public:
+  /// `relative_speed` in (0, 1]; 1.0 disables throttling.
+  explicit Throttle(double relative_speed);
+
+  double relative_speed() const { return relative_speed_; }
+
+  /// Sleep long enough that `busy` seconds of work look like
+  /// busy / relative_speed seconds of wall time. Returns the pause.
+  std::chrono::duration<double> pay(std::chrono::duration<double> busy);
+
+ private:
+  double relative_speed_;
+};
+
+}  // namespace lss::rt

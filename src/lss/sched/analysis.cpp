@@ -1,0 +1,75 @@
+#include "lss/sched/analysis.hpp"
+
+#include <cmath>
+
+#include "lss/sched/factory.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+
+Index predicted_chunks(std::string_view spec, Index total, int num_pes) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+  if (total == 0) return 0;
+  const SchemeSpec parsed = SchemeSpec::parse(spec);
+  const double I = static_cast<double>(total);
+  const double p = static_cast<double>(num_pes);
+
+  if (parsed.kind() == "static")
+    return std::min<Index>(total, num_pes);
+  if (parsed.kind() == "ss") return total;
+  if (parsed.kind() == "css") {
+    // ceil(I / k): recover k by asking the generator for one chunk.
+    auto s = parsed.make(total, num_pes);
+    const Index k = s->next(0).size();
+    return (total + k - 1) / k;
+  }
+  if (parsed.kind() == "tss" || parsed.kind() == "tfss") {
+    // With the defaults F = floor(I/2p), L = 1 the *assigned* count is
+    // the smallest n with n*F - D*n(n-1)/2 >= I, using the integer
+    // decrement D = floor((F-L)/(N-1)); integer flooring makes the
+    // ramp over-cover I, so this is below the formula N. TFSS shares
+    // TSS's step count (its stages re-bundle the same ramp).
+    const double F = std::max(1.0, std::floor(I / (2.0 * p)));
+    const double N = std::ceil(2.0 * I / (F + 1.0));
+    const double D = N > 1.0 ? std::floor((F - 1.0) / (N - 1.0)) : 0.0;
+    if (D <= 0.0) return static_cast<Index>(std::ceil(I / F));
+    // Solve n*F - D*n(n-1)/2 = I for the positive root.
+    const double b = 2.0 * F + D;
+    const double disc = b * b - 8.0 * D * I;
+    if (disc < 0.0) return static_cast<Index>(N);  // ramp never covers
+    const double n = (b - std::sqrt(disc)) / (2.0 * D);
+    return static_cast<Index>(std::ceil(n));
+  }
+  if (parsed.kind() == "gss") {
+    // Chunks shrink by (1 - 1/p) per step: about p * ln(I/p) + p.
+    return static_cast<Index>(std::ceil(
+               p * std::log(std::max(1.0, I / p)))) +
+           num_pes;
+  }
+  if (parsed.kind() == "fss" || parsed.kind() == "sss" ||
+      parsed.kind() == "wf") {
+    // Stages halve the remainder: ~log2(I/p) stages of p chunks.
+    return static_cast<Index>(
+        p * std::ceil(std::log2(std::max(2.0, I / p))));
+  }
+  if (parsed.kind() == "fiss") {
+    // Exactly sigma stages of p chunks (+ rounding spill-over).
+    auto s = parsed.make(total, num_pes);
+    return static_cast<Index>(chunk_sizes(*s).size());
+  }
+  LSS_REQUIRE(false,
+              "no chunk-count model for scheme '" + parsed.kind() + "'");
+  return 0;
+}
+
+double predicted_master_time(std::string_view spec, Index total,
+                             int num_pes, double overhead_s) {
+  LSS_REQUIRE(overhead_s >= 0.0, "overhead must be non-negative");
+  const Index chunks = predicted_chunks(spec, total, num_pes);
+  return (static_cast<double>(chunks) + static_cast<double>(num_pes)) *
+         overhead_s;
+}
+
+}  // namespace lss::sched

@@ -1,0 +1,24 @@
+// Closed-form scheduling analysis: predicted chunk counts and
+// master-overhead estimates per scheme, checked against the actual
+// generators by the test suite and against the simulator by
+// bench_overhead-style experiments. Useful for capacity planning
+// without running anything.
+#pragma once
+
+#include <string_view>
+
+#include "lss/support/types.hpp"
+
+namespace lss::sched {
+
+/// Predicted number of scheduling steps (chunks) for a scheme spec
+/// over I iterations and p PEs. Exact for static/ss/css/tss/fiss;
+/// tight (within p) for the geometric families (gss/fss/sss/tfss).
+Index predicted_chunks(std::string_view spec, Index total, int num_pes);
+
+/// Total master time spent scheduling: predicted_chunks * overhead
+/// (+ one termination message per PE).
+double predicted_master_time(std::string_view spec, Index total,
+                             int num_pes, double overhead_s);
+
+}  // namespace lss::sched

@@ -1,0 +1,45 @@
+#include "lss/sched/css.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+
+CssScheduler::CssScheduler(Index total, int num_pes, Index chunk_size)
+    : ChunkScheduler(total, num_pes), chunk_size_(chunk_size) {
+  LSS_REQUIRE(chunk_size >= 1, "chunk size must be at least 1");
+}
+
+std::string CssScheduler::name() const {
+  if (chunk_size_ == 1) return "ss";
+  return "css(k=" + std::to_string(chunk_size_) + ")";
+}
+
+Index CssScheduler::propose_chunk(int /*pe*/) { return chunk_size_; }
+
+CssScheduler make_pure_ss(Index total, int num_pes) {
+  return CssScheduler(total, num_pes, 1);
+}
+
+Index kruskal_weiss_chunk(Index total, int num_pes, double overhead,
+                          double iteration_stddev) {
+  LSS_REQUIRE(total >= 1, "need at least one iteration");
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+  LSS_REQUIRE(overhead > 0.0, "scheduling overhead must be positive");
+  LSS_REQUIRE(iteration_stddev >= 0.0, "stddev must be non-negative");
+  const Index per_pe =
+      (total + num_pes - 1) / num_pes;  // never exceed the even split
+  if (num_pes == 1) return total;
+  if (iteration_stddev == 0.0) return per_pe;  // deterministic loop
+  const double p = static_cast<double>(num_pes);
+  const double numer = std::sqrt(2.0) * static_cast<double>(total) * overhead;
+  const double denom = iteration_stddev * p * std::sqrt(std::log(p));
+  const double k = std::pow(numer / denom, 2.0 / 3.0);
+  Index out = static_cast<Index>(std::llround(k));
+  if (out < 1) out = 1;
+  if (out > per_pe) out = per_pe;
+  return out;
+}
+
+}  // namespace lss::sched

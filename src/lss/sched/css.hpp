@@ -1,0 +1,38 @@
+// Chunk Self-Scheduling — CSS(k): every request is granted a fixed
+// chunk of k iterations. CSS(1) is Pure Self-Scheduling (SS).
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+class CssScheduler final : public ChunkScheduler {
+ public:
+  /// `chunk_size` = k >= 1, chosen by the user (paper: hard to pick well).
+  CssScheduler(Index total, int num_pes, Index chunk_size);
+
+  std::string name() const override;
+  Index chunk_size() const { return chunk_size_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+
+ private:
+  Index chunk_size_;
+};
+
+/// Pure Self-Scheduling: one iteration per request.
+CssScheduler make_pure_ss(Index total, int num_pes);
+
+/// Kruskal & Weiss's near-optimal fixed chunk size for CSS
+/// ("Allocating independent subtasks on parallel processors", 1985):
+///
+///   k = ( sqrt(2) * I * h / (sigma * p * sqrt(ln p)) )^(2/3)
+///
+/// where h is the per-chunk scheduling overhead and sigma the
+/// standard deviation of iteration times (same time unit). Clamped
+/// to [1, ceil(I/p)]. For p == 1 the whole loop is one chunk.
+Index kruskal_weiss_chunk(Index total, int num_pes, double overhead,
+                          double iteration_stddev);
+
+}  // namespace lss::sched

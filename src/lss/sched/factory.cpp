@@ -1,0 +1,121 @@
+#include "lss/sched/factory.hpp"
+
+#include "lss/sched/css.hpp"
+#include "lss/sched/fiss.hpp"
+#include "lss/sched/fss.hpp"
+#include "lss/sched/gss.hpp"
+#include "lss/sched/sss.hpp"
+#include "lss/sched/static_sched.hpp"
+#include "lss/sched/tfss.hpp"
+#include "lss/sched/tss.hpp"
+#include "lss/sched/wf.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::sched {
+
+namespace {
+
+Rounding parse_rounding(std::string_view v) {
+  const std::string s = to_lower(v);
+  if (s == "ceil") return Rounding::Ceil;
+  if (s == "floor") return Rounding::Floor;
+  if (s == "nearest") return Rounding::Nearest;
+  LSS_REQUIRE(false, "unknown rounding mode: '" + s + "'");
+  return Rounding::Ceil;
+}
+
+std::vector<double> parse_weights(std::string_view v) {
+  std::vector<double> out;
+  for (const std::string& part : split(v, ';'))
+    out.push_back(parse_double(part));
+  return out;
+}
+
+}  // namespace
+
+SchemeSpec SchemeSpec::parse(std::string_view spec) {
+  SchemeSpec out;
+  out.spec_ = std::string(trim(spec));
+  const auto colon = out.spec_.find(':');
+  out.kind_ = to_lower(trim(out.spec_.substr(0, colon)));
+  LSS_REQUIRE(!out.kind_.empty(), "empty scheme spec");
+
+  if (colon != std::string::npos) {
+    for (const std::string& kv : split(out.spec_.substr(colon + 1), ',')) {
+      const auto eq = kv.find('=');
+      LSS_REQUIRE(eq != std::string::npos,
+                  "malformed parameter (want key=value): '" + kv + "'");
+      const std::string key = to_lower(trim(kv.substr(0, eq)));
+      const std::string value{trim(kv.substr(eq + 1))};
+      if (key == "k") {
+        out.k_ = parse_int(value);
+      } else if (key == "f") {
+        out.first_ = parse_int(value);
+      } else if (key == "l") {
+        out.last_ = parse_int(value);
+      } else if (key == "alpha") {
+        out.alpha_ = parse_double(value);
+      } else if (key == "sigma") {
+        out.sigma_ = static_cast<int>(parse_int(value));
+      } else if (key == "x") {
+        out.x_ = static_cast<int>(parse_int(value));
+      } else if (key == "rounding") {
+        out.rounding_ = parse_rounding(value);
+      } else if (key == "weights") {
+        out.weights_ = parse_weights(value);
+      } else {
+        LSS_REQUIRE(false, "unknown scheme parameter: '" + key + "'");
+      }
+    }
+  }
+
+  // Validate the kind eagerly so errors surface at parse time.
+  const auto known = known_schemes();
+  bool ok = false;
+  for (const std::string& name : known) ok = ok || name == out.kind_;
+  LSS_REQUIRE(ok, "unknown scheme: '" + out.kind_ + "'");
+  return out;
+}
+
+std::unique_ptr<ChunkScheduler> SchemeSpec::make(Index total,
+                                                 int num_pes) const {
+  if (kind_ == "static")
+    return std::make_unique<StaticScheduler>(total, num_pes);
+  if (kind_ == "ss") return std::make_unique<CssScheduler>(total, num_pes, 1);
+  if (kind_ == "css")
+    return std::make_unique<CssScheduler>(total, num_pes, k_);
+  if (kind_ == "gss")
+    return std::make_unique<GssScheduler>(total, num_pes, k_);
+  if (kind_ == "tss")
+    return std::make_unique<TssScheduler>(total, num_pes, first_, last_);
+  if (kind_ == "fss")
+    return std::make_unique<FssScheduler>(total, num_pes, alpha_, rounding_);
+  if (kind_ == "fiss")
+    return std::make_unique<FissScheduler>(total, num_pes, sigma_, x_);
+  if (kind_ == "tfss")
+    return std::make_unique<TfssScheduler>(total, num_pes, first_, last_);
+  if (kind_ == "sss") {
+    const double a = alpha_ == 2.0 ? 0.5 : alpha_;  // scheme default
+    return std::make_unique<SssScheduler>(total, num_pes, a, k_);
+  }
+  if (kind_ == "wf") {
+    std::vector<double> w = weights_;
+    if (w.empty()) w.assign(static_cast<std::size_t>(num_pes), 1.0);
+    return std::make_unique<WfScheduler>(total, num_pes, std::move(w),
+                                         alpha_, rounding_);
+  }
+  LSS_ASSERT(false, "unreachable: kind validated in parse()");
+  return nullptr;
+}
+
+std::vector<std::string> SchemeSpec::known_schemes() {
+  return {"static", "ss", "css", "gss", "tss", "fss", "fiss", "tfss", "sss", "wf"};
+}
+
+std::unique_ptr<ChunkScheduler> make_scheduler(std::string_view spec,
+                                               Index total, int num_pes) {
+  return SchemeSpec::parse(spec).make(total, num_pes);
+}
+
+}  // namespace lss::sched

@@ -1,0 +1,50 @@
+// Construction of simple schemes by name, for CLI tools and benches.
+//
+// Spec grammar:  name[:key=value[,key=value...]]
+//   static | ss | css:k=16 | gss[:k=2] | tss[:F=125,L=1] |
+//   fss[:alpha=2,rounding=ceil] | fiss[:sigma=3,X=5] |
+//   tfss[:F=...,L=...] | sss[:alpha=0.5,k=1] |
+//   wf:weights=3;3;1[,alpha=2]
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+/// Parsed scheme specification; construct schedulers per (I, p).
+class SchemeSpec {
+ public:
+  /// Throws lss::ContractError on unknown scheme or malformed params.
+  static SchemeSpec parse(std::string_view spec);
+
+  const std::string& kind() const { return kind_; }
+  std::string spec_string() const { return spec_; }
+
+  std::unique_ptr<ChunkScheduler> make(Index total, int num_pes) const;
+
+  /// Names of all schemes the factory understands.
+  static std::vector<std::string> known_schemes();
+
+ private:
+  std::string kind_;
+  std::string spec_;
+  Index k_ = 1;
+  Index first_ = -1;
+  Index last_ = -1;
+  double alpha_ = 2.0;
+  int sigma_ = 3;
+  int x_ = -1;
+  Rounding rounding_ = Rounding::Ceil;
+  std::vector<double> weights_;
+};
+
+/// One-shot convenience.
+std::unique_ptr<ChunkScheduler> make_scheduler(std::string_view spec,
+                                               Index total, int num_pes);
+
+}  // namespace lss::sched

@@ -1,0 +1,51 @@
+#include "lss/sched/fiss.hpp"
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+
+FissScheduler::FissScheduler(Index total, int num_pes, int stages, int x)
+    : ChunkScheduler(total, num_pes),
+      sigma_(stages),
+      x_(x > 0 ? x : stages + 2) {
+  LSS_REQUIRE(stages >= 1, "need at least one stage");
+  LSS_REQUIRE(x_ > 0, "X must be positive");
+  const Index p = num_pes;
+  first_chunk_ = total / (static_cast<Index>(x_) * p);
+  if (first_chunk_ < 1) first_chunk_ = 1;
+  if (sigma_ >= 2) {
+    const double sig = static_cast<double>(sigma_);
+    const double numer =
+        2.0 * static_cast<double>(total) * (1.0 - sig / static_cast<double>(x_));
+    const double denom = static_cast<double>(p) * sig * (sig - 1.0);
+    const double b = numer / denom;
+    bump_ = b > 0.0 ? static_cast<Index>(b) : 0;  // floor
+  }
+}
+
+std::string FissScheduler::name() const {
+  return "fiss(sigma=" + std::to_string(sigma_) + ",X=" + std::to_string(x_) +
+         ")";
+}
+
+Index FissScheduler::propose_chunk(int /*pe*/) {
+  if (stage_left_ == 0) {
+    const bool last_stage = stage_ >= sigma_ - 1;
+    if (last_stage) {
+      // Final stage (and any overflow stages): split the remainder
+      // evenly; the base class clamps the trailing chunk.
+      stage_chunk_ = remaining() / num_pes();
+      if (stage_chunk_ < 1) stage_chunk_ = 1;
+    } else {
+      stage_chunk_ = first_chunk_ + static_cast<Index>(stage_) * bump_;
+    }
+    stage_left_ = num_pes();
+  }
+  return stage_chunk_;
+}
+
+void FissScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  if (--stage_left_ == 0) ++stage_;
+}
+
+}  // namespace lss::sched

@@ -1,0 +1,42 @@
+// Fixed Increase Self-Scheduling (Philip & Das 1997): chunk sizes
+// *grow* by a fixed bump B across a fixed number of stages sigma,
+// trading late-loop balance for fewer small early messages:
+//
+//   C_0 = floor(I / (X p)),  B = floor(2I(1 - sigma/X) / (p sigma (sigma-1)))
+//
+// with X a user parameter (suggested X = sigma + 2). The final stage
+// absorbs the integer-rounding residue — stage sigma-1 grants
+// floor(R/p), which is what makes the paper's Table 1 row
+// (50 50 50 50 | 83 ... | 117 ...) sum to exactly I.
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+class FissScheduler final : public ChunkScheduler {
+ public:
+  /// `stages` = sigma >= 1; `x` <= 0 selects the suggested X = sigma+2.
+  FissScheduler(Index total, int num_pes, int stages = 3, int x = -1);
+
+  std::string name() const override;
+  int stages() const { return sigma_; }
+  int x() const { return x_; }
+  /// The fixed bump B (0 when sigma < 2).
+  Index bump() const { return bump_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  int sigma_;
+  int x_;
+  Index first_chunk_ = 1;
+  Index bump_ = 0;
+  int stage_ = 0;
+  Index stage_left_ = 0;
+  Index stage_chunk_ = 0;
+};
+
+}  // namespace lss::sched

@@ -1,0 +1,42 @@
+#include "lss/sched/fss.hpp"
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::sched {
+
+FssScheduler::FssScheduler(Index total, int num_pes, double alpha,
+                           Rounding rounding)
+    : ChunkScheduler(total, num_pes), alpha_(alpha), rounding_(rounding) {
+  LSS_REQUIRE(alpha > 0.0, "alpha must be positive");
+}
+
+std::string FssScheduler::name() const {
+  // Built with += (not operator+ on a temporary) to sidestep GCC 12's
+  // -Wrestrict false positive (GCC bug 105651).
+  std::string n = "fss(alpha=";
+  n += fmt_fixed(alpha_, 1);
+  if (rounding_ != Rounding::Ceil) {
+    n += ',';
+    n += to_string(rounding_);
+  }
+  n += ')';
+  return n;
+}
+
+Index FssScheduler::propose_chunk(int /*pe*/) {
+  if (stage_left_ == 0) {
+    const double p = static_cast<double>(num_pes());
+    stage_chunk_ = apply_rounding(
+        static_cast<double>(remaining()) / (alpha_ * p), rounding_);
+    if (stage_chunk_ < 1) stage_chunk_ = 1;
+    stage_left_ = num_pes();
+  }
+  return stage_chunk_;
+}
+
+void FssScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  --stage_left_;
+}
+
+}  // namespace lss::sched

@@ -1,0 +1,36 @@
+// Factoring Self-Scheduling (Hummel, Schonberg & Flynn 1992):
+// iterations are handed out in *stages* of p equal chunks; each stage
+// assigns 1/alpha of the remaining work (alpha = 2 suboptimal choice):
+//
+//   C_stage = round(R / (alpha * p)),  R -= p * C_stage
+//
+// The canonical rule rounds up; the paper's Table 1 row mixes
+// roundings (see DESIGN.md), so the mode is selectable.
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+class FssScheduler final : public ChunkScheduler {
+ public:
+  FssScheduler(Index total, int num_pes, double alpha = 2.0,
+               Rounding rounding = Rounding::Ceil);
+
+  std::string name() const override;
+  double alpha() const { return alpha_; }
+  /// Chunks remaining in the current stage (diagnostic).
+  Index stage_left() const { return stage_left_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  double alpha_;
+  Rounding rounding_;
+  Index stage_chunk_ = 0;
+  Index stage_left_ = 0;
+};
+
+}  // namespace lss::sched

@@ -1,0 +1,23 @@
+#include "lss/sched/gss.hpp"
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+
+GssScheduler::GssScheduler(Index total, int num_pes, Index min_chunk)
+    : ChunkScheduler(total, num_pes), min_chunk_(min_chunk) {
+  LSS_REQUIRE(min_chunk >= 1, "minimum chunk must be at least 1");
+}
+
+std::string GssScheduler::name() const {
+  if (min_chunk_ == 1) return "gss";
+  return "gss(k=" + std::to_string(min_chunk_) + ")";
+}
+
+Index GssScheduler::propose_chunk(int /*pe*/) {
+  const Index p = num_pes();
+  const Index chunk = (remaining() + p - 1) / p;  // ceil(R / p)
+  return chunk < min_chunk_ ? min_chunk_ : chunk;
+}
+
+}  // namespace lss::sched

@@ -1,0 +1,25 @@
+// Guided Self-Scheduling (Polychronopoulos & Kuck 1987):
+// C_i = ceil(R_{i-1} / p). GSS(k) additionally enforces a minimum
+// chunk of k to curb the flood of tiny trailing chunks.
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+class GssScheduler final : public ChunkScheduler {
+ public:
+  /// `min_chunk` = k >= 1; k == 1 is plain GSS.
+  GssScheduler(Index total, int num_pes, Index min_chunk = 1);
+
+  std::string name() const override;
+  Index min_chunk() const { return min_chunk_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+
+ private:
+  Index min_chunk_;
+};
+
+}  // namespace lss::sched

@@ -1,0 +1,56 @@
+#include "lss/sched/scheme.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+
+ChunkScheduler::ChunkScheduler(Index total, int num_pes)
+    : total_(total), num_pes_(num_pes) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+}
+
+Range ChunkScheduler::next(int pe) {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes_, "PE id out of range");
+  if (done()) return Range{cursor_, cursor_};
+  Index chunk = propose_chunk(pe);
+  if (chunk < 1) chunk = 1;
+  if (chunk > remaining()) chunk = remaining();
+  const Range granted{cursor_, cursor_ + chunk};
+  cursor_ += chunk;
+  ++steps_;
+  on_granted(pe, chunk);
+  return granted;
+}
+
+void ChunkScheduler::on_granted(int /*pe*/, Index /*granted*/) {}
+
+Index apply_rounding(double value, Rounding mode) {
+  LSS_REQUIRE(value >= 0.0, "chunk size cannot be negative");
+  switch (mode) {
+    case Rounding::Ceil:
+      return static_cast<Index>(std::ceil(value));
+    case Rounding::Floor:
+      return static_cast<Index>(std::floor(value));
+    case Rounding::Nearest:
+      return static_cast<Index>(std::llround(value));
+  }
+  LSS_ASSERT(false, "unreachable rounding mode");
+  return 0;
+}
+
+std::string to_string(Rounding mode) {
+  switch (mode) {
+    case Rounding::Ceil:
+      return "ceil";
+    case Rounding::Floor:
+      return "floor";
+    case Rounding::Nearest:
+      return "nearest";
+  }
+  return "?";
+}
+
+}  // namespace lss::sched

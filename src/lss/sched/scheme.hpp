@@ -1,0 +1,78 @@
+// Simple (power-oblivious) self-scheduling schemes — §2 of the paper.
+//
+// A ChunkScheduler is the master-side policy: at each scheduling step
+// an idle PE requests work and the scheduler hands back a chunk of
+// consecutive iterations. The generic step (paper eq. 1):
+//
+//   R_0 = I,   C_i = f(R_{i-1}, p),   R_i = R_{i-1} - C_i
+//
+// Concrete schemes differ only in how they propose C_i; the base class
+// owns the bookkeeping (cursor, clamping to the remaining count, and
+// the guarantee that every granted chunk has size >= 1).
+//
+// Thread-compatibility: schedulers are driven by a single master
+// (simulated or real); they are not internally synchronized.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "lss/support/types.hpp"
+
+namespace lss::sched {
+
+using lss::Index;
+using lss::Range;
+
+class ChunkScheduler {
+ public:
+  /// `total` = I (>= 0), `num_pes` = p (>= 1).
+  ChunkScheduler(Index total, int num_pes);
+  virtual ~ChunkScheduler() = default;
+
+  ChunkScheduler(const ChunkScheduler&) = delete;
+  ChunkScheduler& operator=(const ChunkScheduler&) = delete;
+
+  /// Human-readable scheme name including parameters, e.g. "css(k=16)".
+  virtual std::string name() const = 0;
+
+  /// Serve a request from PE `pe` in [0, num_pes). Returns the next
+  /// chunk, or an empty range once all iterations are assigned.
+  /// Granted chunks are consecutive, non-overlapping and cover
+  /// [0, total) exactly across all calls.
+  Range next(int pe);
+
+  Index total() const { return total_; }
+  int num_pes() const { return num_pes_; }
+  Index assigned() const { return cursor_; }
+  Index remaining() const { return total_ - cursor_; }
+  bool done() const { return cursor_ >= total_; }
+  /// Number of non-empty chunks granted so far (scheduling steps N).
+  Index steps() const { return steps_; }
+
+ protected:
+  /// Chunk size the scheme would like to grant to `pe` given the
+  /// current remaining() (> 0 when called). May exceed remaining();
+  /// values < 1 are raised to 1 by the base class.
+  virtual Index propose_chunk(int pe) = 0;
+
+  /// Notification of what was actually granted (post-clamping) so
+  /// stage-based schemes can advance their stage state.
+  virtual void on_granted(int pe, Index granted);
+
+ private:
+  Index total_;
+  int num_pes_;
+  Index cursor_ = 0;
+  Index steps_ = 0;
+};
+
+/// Rounding rule for fractional chunk sizes (FSS and the distributed
+/// schemes). The paper's tables mix conventions (see DESIGN.md);
+/// Ceil matches the published FSS algorithm.
+enum class Rounding { Ceil, Floor, Nearest };
+
+Index apply_rounding(double value, Rounding mode);
+std::string to_string(Rounding mode);
+
+}  // namespace lss::sched

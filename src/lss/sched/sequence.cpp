@@ -1,0 +1,35 @@
+#include "lss/sched/sequence.hpp"
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+
+std::vector<ChunkGrant> chunk_sequence(ChunkScheduler& scheduler) {
+  std::vector<ChunkGrant> out;
+  int pe = 0;
+  while (!scheduler.done()) {
+    const Range r = scheduler.next(pe);
+    LSS_ASSERT(!r.empty(), "scheduler granted an empty chunk before done()");
+    out.push_back(ChunkGrant{pe, r});
+    pe = (pe + 1) % scheduler.num_pes();
+  }
+  return out;
+}
+
+std::vector<Index> chunk_sizes(ChunkScheduler& scheduler) {
+  std::vector<Index> out;
+  for (const ChunkGrant& g : chunk_sequence(scheduler))
+    out.push_back(g.range.size());
+  return out;
+}
+
+std::string format_sizes(const std::vector<Index>& sizes) {
+  std::string out;
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += std::to_string(sizes[i]);
+  }
+  return out;
+}
+
+}  // namespace lss::sched

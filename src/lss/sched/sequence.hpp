@@ -1,0 +1,26 @@
+// Draining helpers: run a scheduler to completion under a fixed
+// request order and record the granted chunks. This is what the
+// paper's Table 1 shows (requests arriving round-robin, P1..Pp).
+#pragma once
+
+#include <vector>
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+struct ChunkGrant {
+  int pe = 0;
+  Range range;
+};
+
+/// Round-robin request order (P0, P1, ..., Pp-1, P0, ...) until done.
+std::vector<ChunkGrant> chunk_sequence(ChunkScheduler& scheduler);
+
+/// Just the chunk sizes, in grant order.
+std::vector<Index> chunk_sizes(ChunkScheduler& scheduler);
+
+/// Renders sizes as the paper prints them: "125 117 109 ...".
+std::string format_sizes(const std::vector<Index>& sizes);
+
+}  // namespace lss::sched

@@ -1,0 +1,44 @@
+#include "lss/sched/sss.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::sched {
+
+SssScheduler::SssScheduler(Index total, int num_pes, double alpha,
+                           Index min_chunk)
+    : ChunkScheduler(total, num_pes), alpha_(alpha), min_chunk_(min_chunk) {
+  LSS_REQUIRE(alpha > 0.0 && alpha < 1.0, "alpha must be in (0, 1)");
+  LSS_REQUIRE(min_chunk >= 1, "minimum chunk must be at least 1");
+}
+
+std::string SssScheduler::name() const {
+  std::string n = "sss(alpha=";
+  n += fmt_fixed(alpha_, 2);
+  if (min_chunk_ > 1) {
+    n += ",k=";
+    n += std::to_string(min_chunk_);
+  }
+  n += ')';
+  return n;
+}
+
+Index SssScheduler::propose_chunk(int /*pe*/) {
+  if (stage_left_ == 0) {
+    stage_share_ = alpha_ *
+                   std::pow(1.0 - alpha_, static_cast<double>(stage_)) *
+                   static_cast<double>(total()) /
+                   static_cast<double>(num_pes());
+    stage_left_ = num_pes();
+  }
+  const Index chunk = static_cast<Index>(std::ceil(stage_share_));
+  return chunk < min_chunk_ ? min_chunk_ : chunk;
+}
+
+void SssScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  if (--stage_left_ == 0) ++stage_;
+}
+
+}  // namespace lss::sched

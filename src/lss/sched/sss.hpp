@@ -1,0 +1,38 @@
+// Safe Self-Scheduling (Liu, Saletore & Lewis 1994) — a further
+// member of the §2 family: a "safe" fraction alpha of the average
+// per-PE share is allocated in the first batch, and the remainder is
+// self-scheduled in geometrically shrinking batches:
+//
+//   stage j chunk = max(k, ceil(alpha * (1-alpha)^j * I / p))
+//
+// alpha = 0.5 makes every stage half the previous one, matching FSS
+// exactly in exact arithmetic; larger alpha front-loads more work
+// (fewer messages, more imbalance risk).
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+class SssScheduler final : public ChunkScheduler {
+ public:
+  /// `alpha` in (0, 1); `min_chunk` = k >= 1.
+  SssScheduler(Index total, int num_pes, double alpha = 0.5,
+               Index min_chunk = 1);
+
+  std::string name() const override;
+  double alpha() const { return alpha_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  double alpha_;
+  Index min_chunk_;
+  int stage_ = 0;
+  int stage_left_ = 0;
+  double stage_share_ = 0.0;  ///< alpha * (1-alpha)^j * I / p
+};
+
+}  // namespace lss::sched

@@ -1,0 +1,21 @@
+#include "lss/sched/static_sched.hpp"
+
+namespace lss::sched {
+
+StaticScheduler::StaticScheduler(Index total, int num_pes)
+    : ChunkScheduler(total, num_pes) {}
+
+Index StaticScheduler::propose_chunk(int /*pe*/) {
+  const Index p = num_pes();
+  const Index base = total() / p;
+  const Index extra = total() % p;
+  // The first (I mod p) chunks are one larger so the p chunks cover I.
+  if (chunks_granted_ >= p) return remaining();  // all late requests drain
+  return base + (chunks_granted_ < extra ? 1 : 0);
+}
+
+void StaticScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  ++chunks_granted_;
+}
+
+}  // namespace lss::sched

@@ -1,0 +1,24 @@
+// Static scheduling ("S" in Table 1): the iteration space is divided
+// into exactly p near-equal chunks, one per request. The baseline
+// every self-scheduling scheme is compared against.
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+class StaticScheduler final : public ChunkScheduler {
+ public:
+  StaticScheduler(Index total, int num_pes);
+
+  std::string name() const override { return "static"; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  Index chunks_granted_ = 0;
+};
+
+}  // namespace lss::sched

@@ -1,0 +1,40 @@
+#include "lss/sched/tfss.hpp"
+
+namespace lss::sched {
+
+TfssScheduler::TfssScheduler(Index total, int num_pes, Index first,
+                             Index last)
+    : ChunkScheduler(total, num_pes) {
+  if (first <= 0 && last <= 0) {
+    params_ = tss_params_integer(total, num_pes);
+  } else {
+    // Delegate the validated integer parameter construction to TSS.
+    TssScheduler probe(total, num_pes, first, last);
+    params_ = probe.params();
+  }
+}
+
+void TfssScheduler::begin_stage() {
+  const Index p = num_pes();
+  Index sum = 0;
+  for (Index j = 0; j < p; ++j)
+    sum += static_cast<Index>(params_.chunk_at(tss_step_ + j));
+  tss_step_ += p;
+  if (sum < p) sum = p;  // keep chunks >= 1 deep into the tail
+  stage_chunk_ = sum / p;
+  stage_extra_ = sum % p;
+  stage_left_ = p;
+}
+
+Index TfssScheduler::propose_chunk(int /*pe*/) {
+  if (stage_left_ == 0) begin_stage();
+  // The first (SC_k mod p) chunks of the stage carry the residue.
+  const Index served = num_pes() - stage_left_;
+  return stage_chunk_ + (served < stage_extra_ ? 1 : 0);
+}
+
+void TfssScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  --stage_left_;
+}
+
+}  // namespace lss::sched

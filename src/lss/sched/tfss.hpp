@@ -1,0 +1,41 @@
+// Trapezoid Factoring Self-Scheduling — the paper's new scheme (§4).
+//
+// FSS's stage structure with TSS's linear ramp: stage k bundles the
+// next p chunks of the TSS sequence and splits their sum evenly over
+// the p chunks of the stage:
+//
+//   SC_k = sum of the next p TSS formula chunks
+//   C^TFSS_(stage k) = SC_k / p      (per Example 2: 113 81 49 17)
+//
+// Integer residue SC_k mod p is folded into the first chunks of the
+// stage so each stage still assigns exactly SC_k iterations.
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+#include "lss/sched/tss.hpp"
+
+namespace lss::sched {
+
+class TfssScheduler final : public ChunkScheduler {
+ public:
+  /// first/last <= 0 selects the TSS defaults F = floor(I/2p), L = 1.
+  TfssScheduler(Index total, int num_pes, Index first = -1, Index last = -1);
+
+  std::string name() const override { return "tfss"; }
+  const TssParams& tss_params() const { return params_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  void begin_stage();
+
+  TssParams params_;
+  Index tss_step_ = 0;     ///< consumed positions in the TSS sequence
+  Index stage_left_ = 0;   ///< chunks still to grant in this stage
+  Index stage_chunk_ = 0;  ///< base chunk of this stage (SC_k / p)
+  Index stage_extra_ = 0;  ///< leading chunks that get +1 (SC_k mod p)
+};
+
+}  // namespace lss::sched

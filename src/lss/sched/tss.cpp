@@ -1,0 +1,83 @@
+#include "lss/sched/tss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+
+double TssParams::chunk_at(Index step) const {
+  const double c = first - static_cast<double>(step) * decrement;
+  return std::max(c, last);
+}
+
+TssParams tss_params_integer(Index total, Index p) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+  LSS_REQUIRE(p >= 1, "need at least one PE");
+  TssParams out;
+  if (total <= 0) return out;
+  Index first = total / (2 * p);
+  if (first < 1) first = 1;
+  const Index last = 1;
+  // N = ceil(2I / (F+L)); at least 1.
+  Index steps = (2 * total + first + last - 1) / (first + last);
+  if (steps < 1) steps = 1;
+  const Index dec = steps > 1 ? (first - last) / (steps - 1) : 0;
+  out.first = static_cast<double>(first);
+  out.last = static_cast<double>(last);
+  out.steps = steps;
+  out.decrement = static_cast<double>(dec);
+  return out;
+}
+
+TssParams tss_params_real(double total, double p, double first, double last) {
+  LSS_REQUIRE(total >= 0.0, "iteration count must be non-negative");
+  LSS_REQUIRE(p > 0.0, "processor power must be positive");
+  TssParams out;
+  if (total <= 0.0) return out;
+  if (first <= 0.0) first = total / (2.0 * p);
+  if (first < 1.0) first = 1.0;
+  if (last <= 0.0) last = 1.0;
+  if (last > first) last = first;
+  double steps = std::ceil(2.0 * total / (first + last));
+  if (steps < 1.0) steps = 1.0;
+  out.first = first;
+  out.last = last;
+  out.steps = static_cast<Index>(steps);
+  out.decrement = steps > 1.0 ? (first - last) / (steps - 1.0) : 0.0;
+  return out;
+}
+
+TssScheduler::TssScheduler(Index total, int num_pes, Index first, Index last)
+    : ChunkScheduler(total, num_pes) {
+  if (first <= 0 && last <= 0) {
+    params_ = tss_params_integer(total, num_pes);
+    return;
+  }
+  // User-supplied F (and optional L): keep integer arithmetic.
+  Index f = first > 0 ? first : std::max<Index>(total / (2 * num_pes), 1);
+  Index l = last > 0 ? last : 1;
+  LSS_REQUIRE(f >= 1, "first chunk must be at least 1");
+  LSS_REQUIRE(l >= 1 && l <= f, "need 1 <= L <= F");
+  Index steps = total > 0 ? (2 * total + f + l - 1) / (f + l) : 1;
+  if (steps < 1) steps = 1;
+  params_.first = static_cast<double>(f);
+  params_.last = static_cast<double>(l);
+  params_.steps = steps;
+  params_.decrement =
+      steps > 1 ? static_cast<double>((f - l) / (steps - 1)) : 0.0;
+}
+
+std::string TssScheduler::name() const {
+  return "tss(F=" + std::to_string(static_cast<Index>(params_.first)) +
+         ",L=" + std::to_string(static_cast<Index>(params_.last)) + ")";
+}
+
+Index TssScheduler::propose_chunk(int /*pe*/) {
+  return static_cast<Index>(params_.chunk_at(step_));
+}
+
+void TssScheduler::on_granted(int /*pe*/, Index /*granted*/) { ++step_; }
+
+}  // namespace lss::sched

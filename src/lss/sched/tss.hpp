@@ -1,0 +1,55 @@
+// Trapezoid Self-Scheduling (Tzen & Ni 1993): chunk sizes decrease
+// linearly from F to L. Defaults F = floor(I / 2p), L = 1.
+//
+//   N = ceil(2I / (F+L)),  D = floor((F-L) / (N-1)),  C_i = F - (i-1)D
+//
+// Note: the paper prints N with a floor, but its own Table 1 example
+// (I=1000, p=4 -> 16 chunks, D=8) requires the ceiling used by Tzen &
+// Ni; we use the ceiling (see DESIGN.md errata).
+#pragma once
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+/// The trapezoid parameters, exposed separately because the
+/// distributed DTSS/DTFSS schemes recompute them with p replaced by
+/// the cluster's total available computing power (a real number).
+struct TssParams {
+  double first = 1.0;      ///< F
+  double last = 1.0;       ///< L
+  Index steps = 1;         ///< N
+  double decrement = 0.0;  ///< D
+
+  /// Formula value of the i-th chunk (0-based step), floored at `last`.
+  double chunk_at(Index step) const;
+};
+
+/// Integer-exact parameters used by the simple TSS (Table 1 semantics):
+/// F = floor(I/2p) (min 1), L = 1, D floored to an integer.
+TssParams tss_params_integer(Index total, Index p);
+
+/// Real-valued parameters for a possibly fractional "processor count"
+/// (the distributed schemes' total ACP). F and D stay fractional so a
+/// large ACP sum does not floor D to zero and degenerate the ramp.
+TssParams tss_params_real(double total, double p, double first = -1.0,
+                          double last = 1.0);
+
+class TssScheduler final : public ChunkScheduler {
+ public:
+  /// first/last <= 0 selects the defaults F = floor(I/2p), L = 1.
+  TssScheduler(Index total, int num_pes, Index first = -1, Index last = -1);
+
+  std::string name() const override;
+  const TssParams& params() const { return params_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  TssParams params_;
+  Index step_ = 0;
+};
+
+}  // namespace lss::sched

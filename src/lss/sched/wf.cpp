@@ -1,0 +1,45 @@
+#include "lss/sched/wf.hpp"
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::sched {
+
+WfScheduler::WfScheduler(Index total, int num_pes,
+                         std::vector<double> weights, double alpha,
+                         Rounding rounding)
+    : ChunkScheduler(total, num_pes),
+      weights_(std::move(weights)),
+      alpha_(alpha),
+      rounding_(rounding) {
+  LSS_REQUIRE(static_cast<int>(weights_.size()) == num_pes,
+              "need one weight per PE");
+  LSS_REQUIRE(alpha > 0.0, "alpha must be positive");
+  for (double w : weights_) {
+    LSS_REQUIRE(w > 0.0, "weights must be positive");
+    weight_sum_ += w;
+  }
+}
+
+std::string WfScheduler::name() const {
+  std::string n = "wf(alpha=";
+  n += fmt_fixed(alpha_, 1);
+  n += ')';
+  return n;
+}
+
+Index WfScheduler::propose_chunk(int pe) {
+  if (stage_left_ == 0) {
+    stage_total_ = static_cast<double>(remaining()) / alpha_;
+    stage_left_ = num_pes();
+  }
+  const double share =
+      stage_total_ * weights_[static_cast<std::size_t>(pe)] / weight_sum_;
+  return apply_rounding(share, rounding_);
+}
+
+void WfScheduler::on_granted(int /*pe*/, Index /*granted*/) {
+  --stage_left_;
+}
+
+}  // namespace lss::sched

@@ -1,0 +1,36 @@
+// Weighted Factoring (Hummel, Schmidt, Uma & Wein 1996): FSS stages,
+// but within a stage PE j's chunk is proportional to its fixed
+// relative weight w_j (the static processing speed). The paper uses
+// WF as the example of a *non-distributed* heterogeneous scheme: the
+// weights never react to actual machine load.
+#pragma once
+
+#include <vector>
+
+#include "lss/sched/scheme.hpp"
+
+namespace lss::sched {
+
+class WfScheduler final : public ChunkScheduler {
+ public:
+  /// `weights[j]` > 0 is PE j's relative speed; size must equal p.
+  WfScheduler(Index total, int num_pes, std::vector<double> weights,
+              double alpha = 2.0, Rounding rounding = Rounding::Ceil);
+
+  std::string name() const override;
+  const std::vector<double>& weights() const { return weights_; }
+
+ protected:
+  Index propose_chunk(int pe) override;
+  void on_granted(int pe, Index granted) override;
+
+ private:
+  std::vector<double> weights_;
+  double weight_sum_ = 0.0;
+  double alpha_;
+  Rounding rounding_;
+  Index stage_left_ = 0;
+  double stage_total_ = 0.0;  ///< R / alpha at stage start
+};
+
+}  // namespace lss::sched

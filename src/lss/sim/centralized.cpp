@@ -1,0 +1,481 @@
+#include "lss/sim/centralized.hpp"
+
+#include <algorithm>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/prng.hpp"
+
+namespace lss::sim {
+
+CentralizedSim::CentralizedSim(const SimConfig& config)
+    : config_(config),
+      network_(config.cluster, config.master_bandwidth_bps,
+               config.master_latency_s) {
+  LSS_REQUIRE(config.workload != nullptr, "simulation needs a workload");
+  LSS_REQUIRE(config.cluster.num_slaves() >= 1, "need at least one slave");
+  LSS_REQUIRE(config.loads.empty() ||
+                  static_cast<int>(config.loads.size()) ==
+                      config.cluster.num_slaves(),
+              "need one load script per slave (or none)");
+  LSS_REQUIRE(config.scheduler.kind != SchedulerKind::Tree,
+              "TreeS uses TreeSim, not CentralizedSim");
+
+  const int p = config.cluster.num_slaves();
+  const Index total = config.workload->size();
+
+  slaves_.reserve(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    cluster::LoadScript load =
+        config.loads.empty() ? cluster::LoadScript::none()
+                             : config.loads[static_cast<std::size_t>(s)];
+    slaves_.emplace_back(config.cluster.slave(s).speed, std::move(load));
+  }
+
+  cost_prefix_.resize(static_cast<std::size_t>(total) + 1, 0.0);
+  for (Index i = 0; i < total; ++i)
+    cost_prefix_[static_cast<std::size_t>(i) + 1] =
+        cost_prefix_[static_cast<std::size_t>(i)] + config.workload->cost(i);
+  execution_count_.assign(static_cast<std::size_t>(total), 0);
+  acknowledged_count_.assign(static_cast<std::size_t>(total), 0);
+
+  if (config.faults.any()) {
+    LSS_REQUIRE(static_cast<int>(config.faults.crash_at_s.size()) == p,
+                "need one crash time per slave (or none)");
+    LSS_REQUIRE(config.faults.master_timeout_s > 0.0,
+                "master timeout must be positive");
+    LSS_REQUIRE(config.protocol.piggyback,
+                "fault tolerance requires piggy-backed results "
+                "(acknowledgements ride on requests)");
+    for (double t : config.faults.crash_at_s)
+      LSS_REQUIRE(t > 0.0, "crash times must be positive");
+  }
+
+  if (distributed()) {
+    dist_ = distsched::make_dist_scheduler(config.scheduler.spec, total, p);
+    dist_->set_replanning(config.scheduler.dist_replanning);
+    gather_acps_.assign(static_cast<std::size_t>(p), 0.0);
+    gather_pending_ = p;
+  } else {
+    simple_ = sched::make_scheduler(config.scheduler.spec, total, p);
+  }
+}
+
+double CentralizedSim::chunk_cost(Range r) const {
+  return cost_prefix_[static_cast<std::size_t>(r.end)] -
+         cost_prefix_[static_cast<std::size_t>(r.begin)];
+}
+
+Report CentralizedSim::run() {
+  // OS-noise model: each slave's first request is jittered.
+  Xoshiro256 jitter_rng(config_.jitter_seed);
+  for (int s = 0; s < config_.cluster.num_slaves(); ++s) {
+    const double delay =
+        config_.start_jitter_s > 0.0
+            ? jitter_rng.next_double() * config_.start_jitter_s
+            : 0.0;
+    if (delay > 0.0)
+      engine_.schedule_at(delay, [this, s] { slave_begin(s); });
+    else
+      slave_begin(s);
+  }
+  if (config_.faults.any()) {
+    schedule_crashes();
+    schedule_timeout_scan();
+    for (int s = 0; s < config_.cluster.num_slaves(); ++s)
+      schedule_heartbeat(s);
+  }
+  engine_.run();
+
+  Report out;
+  out.scheme = distributed() ? dist_->name() : simple_->name();
+  out.starved = starved_;
+  // The run ends at the last slave activity; engine_.now() may sit
+  // on a later no-op event (e.g. a crash scheduled past completion).
+  double t_end = 0.0;
+  for (const SlaveState& st : slaves_) t_end = std::max(t_end, st.finish);
+  out.t_parallel = starved_ ? engine_.now() : t_end;
+  out.master_messages = master_messages_;
+  out.replans = distributed() ? dist_->replans() : 0;
+  out.execution_count = execution_count_;
+  out.acknowledged_count = acknowledged_count_;
+  out.reassignments = reassignments_;
+  out.master_rx_bytes = master_rx_bytes_;
+  out.trace = trace_;
+  out.slaves.reserve(slaves_.size());
+  for (SlaveState& st : slaves_) {
+    // Terminal barrier: a slave that finished early idles until the
+    // whole run ends (mpich finalize semantics; see DESIGN.md).
+    // Crashed slaves stop accruing anything at their crash time.
+    if (!starved_ && !st.crashed)
+      st.times.t_wait += out.t_parallel - st.finish;
+    SlaveStats stats;
+    stats.times = st.times;
+    stats.finish_time = st.finish;
+    stats.iterations = st.iterations;
+    stats.chunks = st.chunks;
+    stats.crashed = st.crashed;
+    out.slaves.push_back(stats);
+    out.total_iterations += st.iterations;
+  }
+  return out;
+}
+
+// ------------------------------------------------- fault tolerance
+
+void CentralizedSim::schedule_crashes() {
+  for (int s = 0; s < config_.cluster.num_slaves(); ++s) {
+    const double at =
+        config_.faults.crash_at_s[static_cast<std::size_t>(s)];
+    if (!(at < std::numeric_limits<double>::infinity())) continue;
+    engine_.schedule_at(at, [this, s] {
+      SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+      if (st.terminated) return;  // finished before the fault fired
+      st.crashed = true;
+      st.finish = engine_.now();
+    });
+  }
+}
+
+void CentralizedSim::schedule_heartbeat(int s) {
+  engine_.schedule_after(config_.faults.heartbeat_period(), [this, s] {
+    SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+    if (st.crashed || st.terminated) return;  // silence is death
+    const Transfer tr = network_.to_master(
+        s, config_.protocol.request_bytes, engine_.now());
+    master_rx_bytes_ += config_.protocol.request_bytes;
+    st.times.t_com += tr.busy;
+    engine_.schedule_at(tr.arrival, [this, s] {
+      slaves_[static_cast<std::size_t>(s)].last_heard = engine_.now();
+    });
+    schedule_heartbeat(s);
+  });
+}
+
+void CentralizedSim::schedule_timeout_scan() {
+  engine_.schedule_after(config_.faults.master_timeout_s / 2.0, [this] {
+    if (starved_ || acked_total_ >= config_.workload->size()) return;
+    const double now = engine_.now();
+    for (int s = 0; s < config_.cluster.num_slaves(); ++s) {
+      SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+      if (st.outstanding.empty()) continue;
+      // Exponential backoff per chunk: a chunk that was already
+      // reassigned gets progressively more patience, so a timeout
+      // below the true chunk latency cannot bounce it forever.
+      const double patience =
+          config_.faults.master_timeout_s *
+          static_cast<double>(1 << std::min(st.outstanding_attempts, 10));
+      if (now - st.last_heard <= patience) continue;
+      // Declare the slave dead and put its chunk back in play. If
+      // the slave is merely slow, its late results are discarded on
+      // arrival (outstanding already cleared) — at-most-once acks.
+      reassign_pool_.push_back(
+          PoolEntry{st.outstanding, st.outstanding_attempts + 1});
+      st.outstanding = Range{};
+      st.outstanding_attempts = 0;
+      ++reassignments_;
+    }
+    if (!reassign_pool_.empty() && !parked_.empty()) {
+      for (Request& rq : parked_) queue_.push_back(rq);
+      parked_.clear();
+      master_try_serve();
+    }
+    schedule_timeout_scan();
+  });
+}
+
+void CentralizedSim::acknowledge_outstanding(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.outstanding.empty()) return;
+  for (Index i = st.outstanding.begin; i < st.outstanding.end; ++i)
+    ++acknowledged_count_[static_cast<std::size_t>(i)];
+  acked_total_ += st.outstanding.size();
+  st.outstanding = Range{};
+  maybe_release_parked();
+}
+
+void CentralizedSim::maybe_release_parked() {
+  if (parked_.empty() || !reassign_pool_.empty()) return;
+  const bool scheduler_done = distributed()
+                                  ? (dist_->initialized() && dist_->done())
+                                  : simple_->done();
+  if (!scheduler_done) return;
+  // Terminate parked requesters only when nothing can come back to
+  // the pool: no chunk is outstanding anywhere.
+  for (const SlaveState& st : slaves_)
+    if (!st.outstanding.empty()) return;
+  for (Request& rq : parked_) queue_.push_back(rq);
+  parked_.clear();
+  master_try_serve();
+}
+
+// --------------------------------------------------------------- slaves
+
+void CentralizedSim::slave_begin(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  st.ready_at = engine_.now();
+  if (!distributed()) {
+    slave_send_request(s);
+    return;
+  }
+  // Distributed: every slave reports its initial A_i (possibly 0);
+  // unavailable slaves then poll their run queue (Slave step 1).
+  st.acp = st.cpu.acp_at(engine_.now(),
+                         config_.cluster.slave(s).virtual_power,
+                         config_.acp);
+  slave_send_request(s);
+}
+
+void CentralizedSim::slave_poll_until_available(int s) {
+  engine_.schedule_after(config_.protocol.poll_interval_s, [this, s] {
+    SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+    if (st.terminated || st.crashed) return;
+    if (dist_ != nullptr && dist_->initialized() && dist_->done()) {
+      // Nothing left to request; stop polling so the run can end.
+      st.terminated = true;
+      st.times.t_wait += engine_.now() - st.ready_at;
+      st.ready_at = st.finish = engine_.now();
+      return;
+    }
+    st.acp = st.cpu.acp_at(engine_.now(),
+                           config_.cluster.slave(s).virtual_power,
+                           config_.acp);
+    if (st.acp > 0.0)
+      slave_send_request(s);
+    else
+      slave_poll_until_available(s);
+  });
+}
+
+void CentralizedSim::slave_send_request(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  const double now = engine_.now();
+  // Idle time since the previous chunk completed (e.g. polling).
+  st.times.t_wait += now - st.ready_at;
+  st.ready_at = now;
+  st.request_sent_at = now;
+
+  const double bytes = config_.protocol.request_bytes + st.carried_bytes;
+  st.carried_bytes = 0.0;
+  const Transfer tr = network_.to_master(s, bytes, now);
+  master_rx_bytes_ += bytes;
+  st.request_busy = tr.busy;
+  Request rq;
+  rq.slave = s;
+  rq.acp = st.acp;
+  rq.fb_iters = st.fb_iters;
+  rq.fb_seconds = st.fb_seconds;
+  st.fb_iters = 0;
+  st.fb_seconds = 0.0;
+  engine_.schedule_at(tr.arrival, [this, rq] {
+    master_on_arrival(rq.slave, rq);
+  });
+}
+
+void CentralizedSim::slave_on_reply(int s, Range chunk, double reply_busy,
+                                    std::size_t trace_id) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.crashed) return;  // reply to a dead slave: chunk times out
+  const double now = engine_.now();
+  // The request/reply round trip: wire time is communication, the
+  // rest (link queueing, master queueing and service) is waiting.
+  const double round_trip = now - st.request_sent_at;
+  const double com = st.request_busy + reply_busy;
+  st.times.t_com += com;
+  st.times.t_wait += std::max(0.0, round_trip - com);
+
+  if (chunk.empty()) {
+    st.terminated = true;
+    if (!config_.protocol.piggyback && st.stored_bytes > 0.0) {
+      // End-collection mode: ship all stored results now. Everybody
+      // doing this at once is the contention §5 observed.
+      master_rx_bytes_ += st.stored_bytes;
+      const Transfer tr = network_.to_master(s, st.stored_bytes, now);
+      st.times.t_com += tr.busy;
+      st.times.t_wait += tr.wait(now);
+      st.stored_bytes = 0.0;
+      st.finish = tr.arrival;
+      engine_.schedule_at(tr.arrival, [this] { ++master_messages_; });
+    } else {
+      st.finish = now;
+    }
+    st.ready_at = st.finish;
+    return;
+  }
+
+  trace_[trace_id].started_at = now;
+  const double done_at = st.cpu.finish_time(now, chunk_cost(chunk));
+  st.times.t_comp += done_at - now;
+  // Measured execution feedback, piggy-backed on the next request
+  // (consumed by rate-adaptive schemes such as AWF).
+  st.fb_iters = chunk.size();
+  st.fb_seconds = done_at - now;
+  engine_.schedule_at(done_at, [this, s, chunk, trace_id] {
+    slave_on_compute_done(s, chunk, trace_id);
+  });
+}
+
+void CentralizedSim::slave_on_compute_done(int s, Range chunk,
+                                           std::size_t trace_id) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.crashed) return;  // died mid-computation; results lost
+  trace_[trace_id].completed_at = engine_.now();
+  for (Index i = chunk.begin; i < chunk.end; ++i)
+    ++execution_count_[static_cast<std::size_t>(i)];
+  st.iterations += chunk.size();
+  ++st.chunks;
+  const double result_bytes =
+      static_cast<double>(chunk.size()) * config_.protocol.bytes_per_iter;
+  if (config_.protocol.piggyback)
+    st.carried_bytes += result_bytes;
+  else
+    st.stored_bytes += result_bytes;
+  st.ready_at = engine_.now();
+
+  if (distributed()) {
+    st.acp = st.cpu.acp_at(engine_.now(),
+                           config_.cluster.slave(s).virtual_power,
+                           config_.acp);
+    if (st.acp <= 0.0) {
+      // Slave step 1: the node got overloaded below A_min; poll the
+      // run queue until work may be requested again.
+      slave_poll_until_available(s);
+      return;
+    }
+  }
+  slave_send_request(s);
+}
+
+// --------------------------------------------------------------- master
+
+void CentralizedSim::master_on_arrival(int s, Request rq) {
+  ++master_messages_;
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  st.last_heard = engine_.now();
+  // Piggy-backed results acknowledge the previous chunk. If the
+  // master already timed this slave out, outstanding is empty and
+  // the late results are discarded (the chunk was reassigned).
+  if (config_.protocol.piggyback && rq.fb_iters > 0)
+    acknowledge_outstanding(s);
+
+  if (distributed() && !gather_done_) {
+    // Step 1a: collect the initial A_i of every slave.
+    if (!st.reported) {
+      st.reported = true;
+      gather_acps_[static_cast<std::size_t>(s)] = rq.acp;
+      gather_order_.push_back(s);
+      if (--gather_pending_ == 0) finish_gather();
+      return;
+    }
+  }
+  queue_.push_back(rq);
+  master_try_serve();
+}
+
+void CentralizedSim::finish_gather() {
+  double sum = 0.0;
+  for (double a : gather_acps_) sum += a;
+  if (sum <= 0.0) {
+    // The paper's §5.2 trap: integer ACP floors every A_i to zero and
+    // "the solving of the problem will have to wait" — we report the
+    // run as starved instead of hanging.
+    starved_ = true;
+    for (SlaveState& st : slaves_) st.terminated = true;
+    return;
+  }
+  dist_->initialize(gather_acps_);
+  gather_done_ = true;
+
+  // Step 1a: queue the initial requests in decreasing-ACP order
+  // (unless the ablation switch asks for plain arrival order).
+  std::vector<int> order;
+  for (int s : gather_order_)
+    if (gather_acps_[static_cast<std::size_t>(s)] > 0.0) order.push_back(s);
+  if (config_.scheduler.sorted_initial_queue) {
+    std::stable_sort(order.begin(), order.end(), [this](int a, int b) {
+      return gather_acps_[static_cast<std::size_t>(a)] >
+             gather_acps_[static_cast<std::size_t>(b)];
+    });
+  }
+  for (int s : order)
+    queue_.push_back(Request{s, gather_acps_[static_cast<std::size_t>(s)]});
+
+  // Unavailable slaves begin polling their run queues.
+  for (int s = 0; s < config_.cluster.num_slaves(); ++s)
+    if (gather_acps_[static_cast<std::size_t>(s)] <= 0.0)
+      slave_poll_until_available(s);
+
+  master_try_serve();
+}
+
+void CentralizedSim::master_try_serve() {
+  if (serving_ || queue_.empty()) return;
+  if (distributed() && !gather_done_) return;
+  serving_ = true;
+  const Request rq = queue_.front();
+  queue_.pop_front();
+  engine_.schedule_after(config_.protocol.master_overhead_s,
+                         [this, rq] { master_serve(rq); });
+}
+
+void CentralizedSim::master_serve(Request rq) {
+  if (distributed() && rq.fb_iters > 0)
+    dist_->on_feedback(rq.slave, rq.fb_iters, rq.fb_seconds);
+
+  Range chunk;
+  int attempts = 0;
+  if (!reassign_pool_.empty()) {
+    // Re-issue a timed-out chunk before consulting the scheme — but
+    // split it across requesters (an even share per PE, at least the
+    // scheme's trailing-chunk scale) so one slow PE cannot become
+    // the recovery straggler.
+    PoolEntry& entry = reassign_pool_.front();
+    attempts = entry.attempts;
+    const Index share = std::max<Index>(
+        1, (entry.range.size() + config_.cluster.num_slaves() - 1) /
+               config_.cluster.num_slaves());
+    chunk = take_front(entry.range, share);
+    if (entry.range.empty()) reassign_pool_.pop_front();
+  } else {
+    chunk = distributed() ? dist_->next(rq.slave, rq.acp)
+                          : simple_->next(rq.slave);
+    const bool scheduler_done =
+        distributed() ? dist_->done() : simple_->done();
+    if (chunk.empty() && scheduler_done && config_.faults.any()) {
+      // Nothing to hand out *yet*, but an outstanding chunk may
+      // still time out and need this requester: park it.
+      for (const SlaveState& st : slaves_) {
+        if (!st.outstanding.empty() &&
+            &st != &slaves_[static_cast<std::size_t>(rq.slave)]) {
+          parked_.push_back(rq);
+          serving_ = false;
+          master_try_serve();
+          return;
+        }
+      }
+    }
+  }
+  std::size_t trace_id = trace_.size();
+  if (!chunk.empty()) {
+    slaves_[static_cast<std::size_t>(rq.slave)].outstanding = chunk;
+    slaves_[static_cast<std::size_t>(rq.slave)].outstanding_attempts =
+        attempts;
+    ChunkTrace tc;
+    tc.slave = rq.slave;
+    tc.range = chunk;
+    tc.assigned_at = engine_.now();
+    tc.reassigned = attempts > 0;
+    trace_.push_back(tc);
+  }
+
+  const double now = engine_.now();
+  const Transfer tr =
+      network_.to_slave(rq.slave, config_.protocol.reply_bytes, now);
+  const double busy = tr.busy;
+  engine_.schedule_at(tr.arrival, [this, rq, chunk, busy, trace_id] {
+    slave_on_reply(rq.slave, chunk, busy, trace_id);
+  });
+  serving_ = false;
+  master_try_serve();
+}
+
+}  // namespace lss::sim

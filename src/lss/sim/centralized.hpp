@@ -1,0 +1,126 @@
+// Centralized master-slave protocol simulation (paper §2.2, §5):
+//
+//   slave:  request(+piggy-backed previous results, +A_i if
+//           distributed) -> wait -> compute chunk -> repeat
+//   master: FIFO service; chunk from the scheme; replies; terminates
+//           slaves when the loop is exhausted.
+//
+// Used for both the simple (§2) and distributed (§3/§6) schemes; the
+// only difference is whether requests carry ACPs and how the chunk is
+// chosen.
+#pragma once
+
+#include <deque>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "lss/distsched/dfactory.hpp"
+#include "lss/metrics/timing.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/sim/config.hpp"
+#include "lss/sim/cpu.hpp"
+#include "lss/sim/engine.hpp"
+#include "lss/sim/network.hpp"
+#include "lss/sim/report.hpp"
+
+namespace lss::sim {
+
+class CentralizedSim {
+ public:
+  explicit CentralizedSim(const SimConfig& config);
+
+  Report run();
+
+ private:
+  struct SlaveState {
+    CpuModel cpu;
+    metrics::TimeBreakdown times;
+    double ready_at = 0.0;        ///< finished previous chunk / t0
+    double request_sent_at = 0.0; ///< current cycle's send initiation
+    double request_busy = 0.0;    ///< wire time of the current request
+    double carried_bytes = 0.0;   ///< piggy-back payload
+    double stored_bytes = 0.0;    ///< end-collection accumulation
+    double acp = 0.0;
+    Index fb_iters = 0;       ///< measured-feedback payload for the
+    double fb_seconds = 0.0;  ///< next request (previous chunk's size
+                              ///< and compute duration)
+    double finish = 0.0;
+    Index iterations = 0;
+    Index chunks = 0;
+    bool reported = false;  ///< sent its initial ACP report
+    bool terminated = false;
+    bool crashed = false;   ///< fail-stop fault has fired
+    // Master-side per-slave knowledge (fault tolerance):
+    Range outstanding{};       ///< assigned but unacknowledged chunk
+    int outstanding_attempts = 0;  ///< times this chunk was reassigned
+    double last_heard = 0.0;   ///< last message arrival at the master
+
+    SlaveState(double speed, cluster::LoadScript load)
+        : cpu(speed, std::move(load)) {}
+  };
+
+  struct Request {
+    int slave = 0;
+    double acp = 0.0;
+    Index fb_iters = 0;
+    double fb_seconds = 0.0;
+  };
+
+  bool distributed() const {
+    return config_.scheduler.kind == SchedulerKind::Distributed;
+  }
+
+  // Slave side.
+  void slave_begin(int s);
+  void slave_poll_until_available(int s);
+  void slave_send_request(int s);
+  void slave_on_reply(int s, Range chunk, double reply_busy,
+                      std::size_t trace_id);
+  void slave_on_compute_done(int s, Range chunk, std::size_t trace_id);
+
+  // Master side.
+  void master_on_arrival(int s, Request rq);
+  void master_try_serve();
+  void master_serve(Request rq);
+  void finish_gather();
+
+  // Fault tolerance (extension; see sim::FaultPlan).
+  void schedule_crashes();
+  void schedule_heartbeat(int s);
+  void schedule_timeout_scan();
+  void acknowledge_outstanding(int s);
+  void maybe_release_parked();
+
+  double chunk_cost(Range r) const;
+
+  const SimConfig& config_;
+  Engine engine_;
+  Network network_;
+  std::unique_ptr<sched::ChunkScheduler> simple_;
+  std::unique_ptr<distsched::DistScheduler> dist_;
+  std::vector<SlaveState> slaves_;
+  std::vector<double> cost_prefix_;  ///< prefix sums of iteration costs
+  std::vector<int> execution_count_;
+  std::deque<Request> queue_;
+  struct PoolEntry {
+    Range range;
+    int attempts = 0;  ///< drives the exponential timeout backoff
+  };
+  std::deque<PoolEntry> reassign_pool_;  ///< timed-out chunks to re-issue
+  std::vector<Request> parked_;       ///< requests waiting on the pool
+  std::vector<int> acknowledged_count_;
+  std::vector<ChunkTrace> trace_;
+  Index acked_total_ = 0;
+  int reassignments_ = 0;
+  std::vector<double> gather_acps_;
+  std::vector<int> gather_order_;  ///< report arrival order (step 1a)
+  int gather_pending_ = 0;
+  bool gather_done_ = false;
+  bool serving_ = false;
+  bool starved_ = false;
+  int master_messages_ = 0;
+  double master_rx_bytes_ = 0.0;
+};
+
+}  // namespace lss::sim

@@ -1,0 +1,142 @@
+// Simulation configuration: cluster + loads + scheme + workload +
+// protocol constants.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/cluster/acp.hpp"
+#include "lss/cluster/cluster.hpp"
+#include "lss/cluster/load.hpp"
+#include "lss/workload/workload.hpp"
+
+namespace lss::sim {
+
+enum class SchedulerKind {
+  Simple,        ///< §2 schemes — power-oblivious master
+  Distributed,   ///< §3/§6 schemes — ACP-aware master
+  Tree,          ///< TreeS — partner work migration
+  Hierarchical,  ///< extension: two-level master / group masters
+};
+
+struct SchedulerConfig {
+  SchedulerKind kind = SchedulerKind::Simple;
+  /// Scheme spec for the simple/distributed factories ("tss",
+  /// "dfiss:sigma=3", ...). Ignored for Tree.
+  std::string spec = "tss";
+  /// Tree only: initial allocation proportional to virtual power
+  /// (the "distributed" TreeS of §6.1) instead of even.
+  bool tree_weighted = false;
+  /// Distributed only: enable the step-2c majority-change replanning
+  /// (ablation switch; the paper's algorithm has it on).
+  bool dist_replanning = true;
+  /// Distributed only: serve the gathered initial requests in
+  /// decreasing-ACP order (paper step 1a). Off = plain FIFO arrival
+  /// order (ablation switch).
+  bool sorted_initial_queue = true;
+  /// Hierarchical only: the partition of slave ids into groups; each
+  /// group's first member hosts its group master. Must cover every
+  /// slave exactly once.
+  std::vector<std::vector<int>> groups;
+
+  static SchedulerConfig simple(std::string spec_) {
+    SchedulerConfig out;
+    out.kind = SchedulerKind::Simple;
+    out.spec = std::move(spec_);
+    return out;
+  }
+  static SchedulerConfig distributed(std::string spec_) {
+    SchedulerConfig out;
+    out.kind = SchedulerKind::Distributed;
+    out.spec = std::move(spec_);
+    return out;
+  }
+  static SchedulerConfig tree(bool weighted) {
+    SchedulerConfig out;
+    out.kind = SchedulerKind::Tree;
+    out.spec = "trees";
+    out.tree_weighted = weighted;
+    return out;
+  }
+  /// Two-level hierarchy: the super master runs DTSS over groups,
+  /// each group master runs a DFSS-style local split over its pool.
+  static SchedulerConfig hierarchical(std::vector<std::vector<int>> groups_) {
+    SchedulerConfig out;
+    out.kind = SchedulerKind::Hierarchical;
+    out.spec = "hdss";
+    out.groups = std::move(groups_);
+    return out;
+  }
+
+  std::string display_name() const {
+    if (kind == SchedulerKind::Tree)
+      return tree_weighted ? "trees(weighted)" : "trees";
+    if (kind == SchedulerKind::Hierarchical)
+      return "hdss(" + std::to_string(groups.size()) + " groups)";
+    return spec;
+  }
+};
+
+struct ProtocolConfig {
+  double request_bytes = 64.0;  ///< work request / ACP report
+  double reply_bytes = 64.0;    ///< chunk assignment
+  /// Result payload produced per iteration (Mandelbrot column of
+  /// `height` pixels at 4 bytes each -> 8 kB for the 4000x2000 run).
+  double bytes_per_iter = 8000.0;
+  /// Master service time per request (scheduling + syscall cost).
+  double master_overhead_s = 1e-3;
+  /// Piggy-back results on the next request (§5). When false, slaves
+  /// hold results and send everything after the last chunk — the
+  /// end-collection variant the paper measured as clearly worse.
+  bool piggyback = true;
+  /// Unavailable slaves (A_i = 0) re-check their run queue at this
+  /// period (paper Slave step 1 loop).
+  double poll_interval_s = 0.25;
+  /// TreeS: period of the slave -> coordinator result reports.
+  double tree_report_interval_s = 2.0;
+};
+
+/// Fail-stop fault injection (extension beyond the paper): slave s
+/// halts permanently at crash_at_s[s] (simulated seconds; infinity =
+/// never). A crashed slave stops computing and communicating; its
+/// unacknowledged chunk is reassigned by the master after
+/// `master_timeout_s` of silence. Requires piggy-backed results
+/// (results acknowledge the previous chunk) and the centralized
+/// protocol.
+struct FaultPlan {
+  std::vector<double> crash_at_s;  ///< empty = no faults
+  double master_timeout_s = 4.0;   ///< silence before declaring death
+  /// Alive slaves ping the master at this period so long chunks are
+  /// not mistaken for death; <= 0 selects master_timeout_s / 3.
+  double heartbeat_interval_s = 0.0;
+
+  bool any() const { return !crash_at_s.empty(); }
+  double heartbeat_period() const {
+    return heartbeat_interval_s > 0.0 ? heartbeat_interval_s
+                                      : master_timeout_s / 3.0;
+  }
+};
+
+struct SimConfig {
+  cluster::ClusterSpec cluster;
+  /// Per-slave external load; empty = dedicated run.
+  cluster::LoadScripts loads;
+  /// Fail-stop crash schedule; empty = reliable slaves.
+  FaultPlan faults;
+  SchedulerConfig scheduler;
+  std::shared_ptr<const Workload> workload;
+  cluster::AcpPolicy acp = cluster::AcpPolicy::improved();
+  ProtocolConfig protocol;
+  /// Master NIC (the paper's master was on the 100 Mbit segment).
+  double master_bandwidth_bps = 100e6 / 8.0;
+  double master_latency_s = 1e-3;
+  /// OS-noise model for replicated experiments: each slave's first
+  /// request is delayed by Uniform(0, start_jitter_s) drawn from
+  /// `jitter_seed`. 0 = the default fully synchronized start.
+  double start_jitter_s = 0.0;
+  std::uint64_t jitter_seed = 1;
+};
+
+}  // namespace lss::sim

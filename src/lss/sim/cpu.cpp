@@ -1,0 +1,38 @@
+#include "lss/sim/cpu.hpp"
+
+#include <limits>
+#include <utility>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sim {
+
+CpuModel::CpuModel(double speed_ops_per_s, cluster::LoadScript load)
+    : speed_(speed_ops_per_s), load_(std::move(load)) {
+  LSS_REQUIRE(speed_ops_per_s > 0.0, "CPU speed must be positive");
+}
+
+double CpuModel::finish_time(double start, double work) const {
+  LSS_REQUIRE(work >= 0.0, "negative work");
+  LSS_REQUIRE(start >= 0.0, "negative start time");
+  double t = start;
+  double left = work;
+  while (left > 0.0) {
+    const double rate = speed_ / static_cast<double>(load_.run_queue_at(t));
+    const double boundary = load_.next_change_after(t);
+    if (boundary == std::numeric_limits<double>::infinity())
+      return t + left / rate;
+    const double capacity = rate * (boundary - t);
+    if (capacity >= left) return t + left / rate;
+    left -= capacity;
+    t = boundary;
+  }
+  return t;
+}
+
+double CpuModel::acp_at(double t, double virtual_power,
+                        const cluster::AcpPolicy& policy) const {
+  return cluster::compute_acp(virtual_power, load_.run_queue_at(t), policy);
+}
+
+}  // namespace lss::sim

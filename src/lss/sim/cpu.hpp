@@ -1,0 +1,39 @@
+// Processor model with run-queue multiplexing.
+//
+// A node executes `speed` basic operations per second, shared equally
+// among the processes in its run queue (the paper's §3.1 assumption).
+// Our loop process therefore advances at speed / Q(t) where
+// Q(t) = 1 + external(t) from the node's load script.
+#pragma once
+
+#include "lss/cluster/acp.hpp"
+#include "lss/cluster/load.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::sim {
+
+class CpuModel {
+ public:
+  CpuModel(double speed_ops_per_s, cluster::LoadScript load);
+
+  double speed() const { return speed_; }
+  const cluster::LoadScript& load() const { return load_; }
+
+  /// Completion time of `work` basic operations started at `start`,
+  /// integrating the 1/Q(t) share across load-script changes.
+  double finish_time(double start, double work) const;
+
+  /// Run-queue length at time t (>= 1).
+  int run_queue_at(double t) const { return load_.run_queue_at(t); }
+
+  /// The slave-side ACP computation (paper Slave step 1): A_i from
+  /// the node's virtual power and the *current* run queue.
+  double acp_at(double t, double virtual_power,
+                const cluster::AcpPolicy& policy) const;
+
+ private:
+  double speed_;
+  cluster::LoadScript load_;
+};
+
+}  // namespace lss::sim

@@ -1,0 +1,39 @@
+#include "lss/sim/engine.hpp"
+
+#include <utility>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sim {
+
+void Engine::schedule_at(double t, Callback cb) {
+  LSS_REQUIRE(t >= now_, "cannot schedule an event in the past");
+  LSS_REQUIRE(cb != nullptr, "null event callback");
+  queue_.push(Event{t, next_seq_++, std::move(cb)});
+}
+
+void Engine::schedule_after(double delay, Callback cb) {
+  LSS_REQUIRE(delay >= 0.0, "negative delay");
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+bool Engine::step() {
+  if (queue_.empty()) return false;
+  // Copy out before pop so the callback may schedule new events.
+  Event ev = queue_.top();
+  queue_.pop();
+  LSS_ASSERT(ev.t >= now_, "event queue went backwards in time");
+  now_ = ev.t;
+  ++processed_;
+  ev.cb();
+  return true;
+}
+
+void Engine::run(std::uint64_t max_events) {
+  while (step()) {
+    LSS_ASSERT(processed_ <= max_events,
+               "event budget exhausted — likely a livelock in the model");
+  }
+}
+
+}  // namespace lss::sim

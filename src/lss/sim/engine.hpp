@@ -1,0 +1,53 @@
+// Discrete-event simulation core: a clock and a time-ordered event
+// queue. Ties are broken by insertion order, which together with the
+// deterministic PRNGs makes every simulation bit-replayable.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::sim {
+
+class Engine {
+ public:
+  using Callback = std::function<void()>;
+
+  double now() const { return now_; }
+
+  /// Schedule `cb` at absolute time t >= now().
+  void schedule_at(double t, Callback cb);
+  /// Schedule `cb` after a non-negative delay.
+  void schedule_after(double delay, Callback cb);
+
+  /// Process a single event; false when the queue is empty.
+  bool step();
+  /// Run until the queue drains (or `max_events` processed).
+  void run(std::uint64_t max_events = 50'000'000);
+
+  bool empty() const { return queue_.empty(); }
+  std::uint64_t events_processed() const { return processed_; }
+
+ private:
+  struct Event {
+    double t;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace lss::sim

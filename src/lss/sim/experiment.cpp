@@ -1,0 +1,34 @@
+#include "lss/sim/experiment.hpp"
+
+#include "lss/sim/simulation.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/stats.hpp"
+
+namespace lss::sim {
+
+ReplicationResult run_replicated(SimConfig config, int replications,
+                                 std::uint64_t base_seed, double jitter_s) {
+  LSS_REQUIRE(replications >= 1, "need at least one replication");
+  LSS_REQUIRE(jitter_s >= 0.0, "jitter must be non-negative");
+  ReplicationResult out;
+  out.replications = replications;
+  config.start_jitter_s = jitter_s;
+  for (int r = 0; r < replications; ++r) {
+    config.jitter_seed = base_seed + static_cast<std::uint64_t>(r);
+    const Report rep = run_simulation(config);
+    LSS_ASSERT(rep.starved || rep.exactly_once() ||
+                   rep.exactly_once_acknowledged(),
+               "replication violated the coverage invariant");
+    out.scheme = rep.scheme;
+    out.t_parallel.push_back(rep.t_parallel);
+  }
+  const Summary s = summarize(out.t_parallel);
+  out.mean = s.mean;
+  out.stddev = s.stddev;
+  out.min = s.min;
+  out.max = s.max;
+  out.median = median(out.t_parallel);
+  return out;
+}
+
+}  // namespace lss::sim

@@ -1,0 +1,34 @@
+// Replicated experiments: run the same configuration under varying
+// OS-noise seeds (start-time jitter) and report distributional
+// statistics of T_p — the error bars the paper's single-shot tables
+// lack.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lss/sim/config.hpp"
+#include "lss/sim/report.hpp"
+
+namespace lss::sim {
+
+struct ReplicationResult {
+  std::string scheme;
+  int replications = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+  std::vector<double> t_parallel;  ///< per-replication values
+};
+
+/// Runs `replications` copies of `config`, overriding jitter_seed with
+/// base_seed, base_seed+1, ... and start_jitter_s with `jitter_s`
+/// (default: a few master-overhead quanta). Every run must pass the
+/// exactly-once check.
+ReplicationResult run_replicated(SimConfig config, int replications,
+                                 std::uint64_t base_seed = 1,
+                                 double jitter_s = 5e-3);
+
+}  // namespace lss::sim

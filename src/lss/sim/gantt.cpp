@@ -1,0 +1,65 @@
+#include "lss/sim/gantt.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::sim {
+
+std::string render_gantt(const Report& report, int width) {
+  LSS_REQUIRE(width >= 10, "gantt needs at least 10 columns");
+  const double horizon = report.t_parallel;
+  std::ostringstream os;
+  os << "Gantt — " << report.scheme << "  (0 .. "
+     << fmt_fixed(horizon, 1) << " s; '#' compute, '=' chunk in "
+     << "flight, '.' idle, 'X' crash)\n";
+  if (horizon <= 0.0 || report.trace.empty()) {
+    os << "  (no trace)\n";
+    return os.str();
+  }
+
+  const auto column = [&](double t) {
+    int c = static_cast<int>(t / horizon * width);
+    return std::clamp(c, 0, width - 1);
+  };
+
+  const int p = static_cast<int>(report.slaves.size());
+  std::vector<std::string> rows(static_cast<std::size_t>(p),
+                                std::string(static_cast<std::size_t>(width),
+                                            '.'));
+  for (const ChunkTrace& tc : report.trace) {
+    std::string& row = rows[static_cast<std::size_t>(tc.slave)];
+    if (tc.started_at >= 0.0) {
+      for (int c = column(tc.assigned_at); c <= column(tc.started_at); ++c)
+        if (row[static_cast<std::size_t>(c)] == '.')
+          row[static_cast<std::size_t>(c)] = '=';
+    }
+    const double end =
+        tc.completed_at >= 0.0
+            ? tc.completed_at
+            : horizon;  // lost chunk: the victim computed until death
+    if (tc.started_at >= 0.0) {
+      for (int c = column(tc.started_at); c <= column(std::min(end, horizon));
+           ++c)
+        row[static_cast<std::size_t>(c)] = '#';
+    }
+  }
+  for (int s = 0; s < p; ++s) {
+    if (report.slaves[static_cast<std::size_t>(s)].crashed) {
+      const int c =
+          column(report.slaves[static_cast<std::size_t>(s)].finish_time);
+      std::string& row = rows[static_cast<std::size_t>(s)];
+      for (int k = c; k < width; ++k)
+        row[static_cast<std::size_t>(k)] = ' ';
+      row[static_cast<std::size_t>(c)] = 'X';
+    }
+    os << "  PE" << (s + 1) << (s + 1 < 10 ? " " : "") << " |"
+       << rows[static_cast<std::size_t>(s)] << "|\n";
+  }
+  return os.str();
+}
+
+}  // namespace lss::sim

@@ -1,0 +1,15 @@
+// ASCII Gantt chart of a centralized run's chunk trace: one row per
+// PE, time left to right; '#' computing, '=' waiting for the chunk
+// to arrive (assigned but not started), '.' idle, 'X' crash.
+#pragma once
+
+#include <string>
+
+#include "lss/sim/report.hpp"
+
+namespace lss::sim {
+
+/// Renders the report's trace. `width` = characters per timeline.
+std::string render_gantt(const Report& report, int width = 80);
+
+}  // namespace lss::sim

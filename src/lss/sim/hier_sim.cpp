@@ -1,0 +1,385 @@
+#include "lss/sim/hier_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/prng.hpp"
+
+namespace lss::sim {
+
+namespace {
+// Same-node messaging (a slave talking to the group master hosted on
+// its own machine) costs only an IPC hop.
+constexpr double kLocalHop = 1e-5;
+}  // namespace
+
+HierSim::HierSim(const SimConfig& config)
+    : config_(config),
+      network_(config.cluster, config.master_bandwidth_bps,
+               config.master_latency_s) {
+  LSS_REQUIRE(config.workload != nullptr, "simulation needs a workload");
+  LSS_REQUIRE(config.scheduler.kind == SchedulerKind::Hierarchical,
+              "HierSim needs a hierarchical scheduler config");
+  LSS_REQUIRE(!config.scheduler.groups.empty(),
+              "hierarchical scheduling needs at least one group");
+  LSS_REQUIRE(config.loads.empty() ||
+                  static_cast<int>(config.loads.size()) ==
+                      config.cluster.num_slaves(),
+              "need one load script per slave (or none)");
+  LSS_REQUIRE(!config.faults.any(),
+              "fault injection is centralized-only for now");
+
+  const int p = config.cluster.num_slaves();
+  slaves_.reserve(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    cluster::LoadScript load =
+        config.loads.empty() ? cluster::LoadScript::none()
+                             : config.loads[static_cast<std::size_t>(s)];
+    slaves_.emplace_back(config.cluster.slave(s).speed, std::move(load));
+  }
+
+  // Validate the partition and set up the groups.
+  std::vector<bool> seen(static_cast<std::size_t>(p), false);
+  groups_.resize(config.scheduler.groups.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    const auto& members = config.scheduler.groups[g];
+    LSS_REQUIRE(!members.empty(), "empty group");
+    for (int s : members) {
+      LSS_REQUIRE(s >= 0 && s < p, "group member out of range");
+      LSS_REQUIRE(!seen[static_cast<std::size_t>(s)],
+                  "slave assigned to two groups");
+      seen[static_cast<std::size_t>(s)] = true;
+      slaves_[static_cast<std::size_t>(s)].group = static_cast<int>(g);
+    }
+    groups_[g].members = members;
+    groups_[g].host = members.front();
+  }
+  for (int s = 0; s < p; ++s)
+    LSS_REQUIRE(seen[static_cast<std::size_t>(s)],
+                "slave missing from the group partition");
+
+  const Index total = config.workload->size();
+  cost_prefix_.resize(static_cast<std::size_t>(total) + 1, 0.0);
+  for (Index i = 0; i < total; ++i)
+    cost_prefix_[static_cast<std::size_t>(i) + 1] =
+        cost_prefix_[static_cast<std::size_t>(i)] + config.workload->cost(i);
+  execution_count_.assign(static_cast<std::size_t>(total), 0);
+
+  super_ = std::make_unique<distsched::DtssScheduler>(
+      total, static_cast<int>(groups_.size()));
+}
+
+double HierSim::chunk_cost(Range r) const {
+  return cost_prefix_[static_cast<std::size_t>(r.end)] -
+         cost_prefix_[static_cast<std::size_t>(r.begin)];
+}
+
+Transfer HierSim::slave_to_group(int s, int g, double bytes,
+                                 double earliest) {
+  const int host = groups_[static_cast<std::size_t>(g)].host;
+  if (s == host)
+    return Transfer{earliest, earliest + kLocalHop, kLocalHop};
+  return network_.slave_to_slave(s, host, bytes, earliest);
+}
+
+Transfer HierSim::group_to_slave(int g, int s, double bytes,
+                                 double earliest) {
+  const int host = groups_[static_cast<std::size_t>(g)].host;
+  if (s == host)
+    return Transfer{earliest, earliest + kLocalHop, kLocalHop};
+  return network_.slave_to_slave(host, s, bytes, earliest);
+}
+
+Report HierSim::run() {
+  Xoshiro256 jitter_rng(config_.jitter_seed);
+  for (int s = 0; s < config_.cluster.num_slaves(); ++s) {
+    const double delay =
+        config_.start_jitter_s > 0.0
+            ? jitter_rng.next_double() * config_.start_jitter_s
+            : 0.0;
+    if (delay > 0.0)
+      engine_.schedule_at(delay, [this, s] { slave_begin(s); });
+    else
+      slave_begin(s);
+  }
+  engine_.run();
+
+  Report out;
+  out.scheme = config_.scheduler.display_name();
+  out.t_parallel = engine_.now();
+  out.master_messages = master_messages_;
+  out.master_rx_bytes = master_rx_bytes_;
+  out.execution_count = execution_count_;
+  out.slaves.reserve(slaves_.size());
+  for (SlaveState& st : slaves_) {
+    st.times.t_wait += out.t_parallel - st.finish;  // terminal barrier
+    SlaveStats stats;
+    stats.times = st.times;
+    stats.finish_time = st.finish;
+    stats.iterations = st.iterations;
+    stats.chunks = st.chunks;
+    out.slaves.push_back(stats);
+    out.total_iterations += st.iterations;
+  }
+  return out;
+}
+
+// --------------------------------------------------------------- slaves
+
+void HierSim::slave_begin(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  st.ready_at = engine_.now();
+  // ACP with a floor: hierarchical mode does not implement the
+  // unavailable-PE polling loop, so every slave participates with at
+  // least a token power (DESIGN.md notes the simplification).
+  st.acp = std::max(
+      st.cpu.acp_at(engine_.now(), config_.cluster.slave(s).virtual_power,
+                    config_.acp),
+      0.1);
+  slave_send_request(s);
+}
+
+void HierSim::slave_send_request(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  const double now = engine_.now();
+  st.times.t_wait += now - st.ready_at;
+  st.ready_at = now;
+  st.request_sent_at = now;
+
+  const double bytes = config_.protocol.request_bytes + st.carried_bytes;
+  const double carried = st.carried_bytes;
+  st.carried_bytes = 0.0;
+  const Transfer tr = slave_to_group(s, st.group, bytes, now);
+  st.request_busy = tr.busy;
+  const double acp = st.acp;
+  const int g = st.group;
+  engine_.schedule_at(tr.arrival, [this, g, s, acp, carried] {
+    groups_[static_cast<std::size_t>(g)].result_bytes += carried;
+    group_on_arrival(g, s, acp);
+  });
+}
+
+void HierSim::slave_on_reply(int s, std::vector<Range> chunks,
+                             double reply_busy) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  const double now = engine_.now();
+  const double round_trip = now - st.request_sent_at;
+  const double com = st.request_busy + reply_busy;
+  st.times.t_com += com;
+  st.times.t_wait += std::max(0.0, round_trip - com);
+
+  Index size = 0;
+  double cost = 0.0;
+  for (const Range& r : chunks) {
+    size += r.size();
+    cost += chunk_cost(r);
+  }
+  if (size == 0) {
+    st.terminated = true;
+    st.finish = now;
+    st.ready_at = now;
+    // If this was the group's last active member, flush the group's
+    // remaining results up to the super master.
+    GroupState& grp = groups_[static_cast<std::size_t>(st.group)];
+    bool all_done = true;
+    for (int m : grp.members)
+      all_done = all_done && slaves_[static_cast<std::size_t>(m)].terminated;
+    if (all_done && grp.result_bytes > 0.0) {
+      master_rx_bytes_ += grp.result_bytes + config_.protocol.request_bytes;
+      const Transfer up = network_.to_master(
+          grp.host, grp.result_bytes + config_.protocol.request_bytes,
+          engine_.now());
+      grp.result_bytes = 0.0;
+      st.times.t_com += up.busy;  // the host's NIC does the work
+      engine_.schedule_at(up.arrival, [this] { ++master_messages_; });
+    }
+    return;
+  }
+  const double done_at = st.cpu.finish_time(now, cost);
+  st.times.t_comp += done_at - now;
+  engine_.schedule_at(done_at, [this, s, chunks] {
+    slave_on_compute_done(s, chunks);
+  });
+}
+
+void HierSim::slave_on_compute_done(int s, std::vector<Range> chunks) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  Index size = 0;
+  for (const Range& r : chunks) {
+    for (Index i = r.begin; i < r.end; ++i)
+      ++execution_count_[static_cast<std::size_t>(i)];
+    size += r.size();
+  }
+  st.iterations += size;
+  ++st.chunks;
+  st.carried_bytes +=
+      static_cast<double>(size) * config_.protocol.bytes_per_iter;
+  st.ready_at = engine_.now();
+
+  const double fresh = st.cpu.acp_at(
+      engine_.now(), config_.cluster.slave(s).virtual_power, config_.acp);
+  const double new_acp = std::max(fresh, 0.1);
+  GroupState& grp = groups_[static_cast<std::size_t>(st.group)];
+  if (grp.gathered == static_cast<int>(grp.members.size()))
+    grp.acp_sum += new_acp - st.acp;  // keep the aggregate fresh
+  st.acp = new_acp;
+  slave_send_request(s);
+}
+
+// --------------------------------------------------------- group master
+
+void HierSim::group_on_arrival(int g, int s, double acp) {
+  GroupState& grp = groups_[static_cast<std::size_t>(g)];
+  slaves_[static_cast<std::size_t>(s)].acp = acp;
+
+  if (grp.gathered < static_cast<int>(grp.members.size())) {
+    // Local gather: aggregate the group's power, then announce the
+    // group to the super master with the first refill request.
+    ++grp.gathered;
+    grp.acp_sum += acp;
+    grp.waiting.push_back(s);
+    if (grp.gathered == static_cast<int>(grp.members.size()))
+      group_maybe_refill(g);
+    return;
+  }
+  grp.waiting.push_back(s);
+  group_try_serve(g);
+}
+
+void HierSim::group_try_serve(int g) {
+  GroupState& grp = groups_[static_cast<std::size_t>(g)];
+  if (grp.serving || grp.waiting.empty()) return;
+  if (grp.gathered < static_cast<int>(grp.members.size())) return;
+  if (grp.pool.empty() && !grp.drained) {
+    group_maybe_refill(g);
+    return;  // wait for the refill to land
+  }
+  grp.serving = true;
+  const int s = grp.waiting.front();
+  grp.waiting.pop_front();
+  engine_.schedule_after(config_.protocol.master_overhead_s,
+                         [this, g, s] { group_serve(g, s); });
+}
+
+void HierSim::group_serve(int g, int s) {
+  GroupState& grp = groups_[static_cast<std::size_t>(g)];
+  std::vector<Range> chunks;
+  if (!grp.pool.empty()) {
+    // Local DFSS-style split: half the pool, weighted by the
+    // requester's share of the group's power.
+    const double share =
+        static_cast<double>(grp.pool.remaining()) *
+        slaves_[static_cast<std::size_t>(s)].acp / (2.0 * grp.acp_sum);
+    Index n = static_cast<Index>(std::max(1.0, std::floor(share)));
+    chunks = grp.pool.take_front(n);
+  } else {
+    LSS_ASSERT(grp.drained, "serving from an empty, undrained pool");
+  }
+  const Transfer tr =
+      group_to_slave(g, s, config_.protocol.reply_bytes, engine_.now());
+  const double busy = tr.busy;
+  engine_.schedule_at(tr.arrival, [this, s, chunks, busy] {
+    slave_on_reply(s, chunks, busy);
+  });
+  grp.serving = false;
+  group_maybe_refill(g);
+  group_try_serve(g);
+}
+
+void HierSim::group_maybe_refill(int g) {
+  GroupState& grp = groups_[static_cast<std::size_t>(g)];
+  if (grp.drained || grp.refill_outstanding) return;
+  const bool low_water =
+      grp.pool.remaining() < std::max<Index>(grp.last_refill / 2, 1);
+  if (!low_water) return;
+  grp.refill_outstanding = true;
+  // The refill request carries the accumulated results upward.
+  const double bytes = config_.protocol.request_bytes + grp.result_bytes;
+  grp.result_bytes = 0.0;
+  master_rx_bytes_ += bytes;
+  const Transfer tr = network_.to_master(grp.host, bytes, engine_.now());
+  engine_.schedule_at(tr.arrival, [this, g, bytes] {
+    super_on_refill_request(g, bytes);
+  });
+}
+
+void HierSim::super_on_refill_request(int g, double /*result_bytes*/) {
+  ++master_messages_;
+
+  if (!super_planned_) {
+    if (++groups_gathered_ == static_cast<int>(groups_.size())) {
+      std::vector<double> acps;
+      acps.reserve(groups_.size());
+      for (const GroupState& gs : groups_) acps.push_back(gs.acp_sum);
+      super_->initialize(acps);
+      super_planned_ = true;
+      // Answer every queued first refill.
+      for (std::size_t gg = 0; gg < groups_.size(); ++gg) {
+        GroupState& other = groups_[gg];
+        if (!other.refill_outstanding) continue;
+        engine_.schedule_after(config_.protocol.master_overhead_s,
+                               [this, gg] {
+          GroupState& target = groups_[gg];
+          const Range super_chunk =
+              super_->next(static_cast<int>(gg), target.acp_sum);
+          const Transfer tr = network_.to_slave(
+              target.host, config_.protocol.reply_bytes, engine_.now());
+          const bool last = super_chunk.empty();
+          engine_.schedule_at(tr.arrival, [this, gg, super_chunk, last] {
+            group_on_refill(static_cast<int>(gg),
+                            super_chunk.empty()
+                                ? std::vector<Range>{}
+                                : std::vector<Range>{super_chunk},
+                            last);
+          });
+        });
+      }
+    }
+    return;
+  }
+
+  engine_.schedule_after(config_.protocol.master_overhead_s, [this, g] {
+    GroupState& target = groups_[static_cast<std::size_t>(g)];
+    const Range super_chunk = super_->next(g, target.acp_sum);
+    const Transfer tr = network_.to_slave(
+        target.host, config_.protocol.reply_bytes, engine_.now());
+    const bool last = super_chunk.empty();
+    engine_.schedule_at(tr.arrival, [this, g, super_chunk, last] {
+      group_on_refill(g,
+                      super_chunk.empty() ? std::vector<Range>{}
+                                          : std::vector<Range>{super_chunk},
+                      last);
+    });
+  });
+}
+
+void HierSim::group_on_refill(int g, std::vector<Range> ranges, bool last) {
+  GroupState& grp = groups_[static_cast<std::size_t>(g)];
+  grp.refill_outstanding = false;
+  Index got = 0;
+  for (const Range& r : ranges) {
+    got += r.size();
+    grp.pool.add(r);
+  }
+  grp.last_refill = got;
+  if (last) grp.drained = true;
+
+  if (grp.pool.empty() && grp.drained) {
+    // Terminate everyone still waiting.
+    while (!grp.waiting.empty()) {
+      const int s = grp.waiting.front();
+      grp.waiting.pop_front();
+      const Transfer tr =
+          group_to_slave(g, s, config_.protocol.reply_bytes, engine_.now());
+      const double busy = tr.busy;
+      engine_.schedule_at(tr.arrival, [this, s, busy] {
+        slave_on_reply(s, {}, busy);
+      });
+    }
+    return;
+  }
+  group_try_serve(g);
+}
+
+}  // namespace lss::sim

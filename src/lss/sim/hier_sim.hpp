@@ -1,0 +1,103 @@
+// Hierarchical Distributed Self-Scheduling (extension) — a two-level
+// master tree for clusters where a single master saturates:
+//
+//   super master --(super-chunks, DTSS over group powers)--> group
+//   masters --(local DFSS-style power splits)--> slaves
+//
+// Each group's first member hosts its group master, so group-local
+// traffic shares that node's link (both costs and contention are
+// modelled). Slaves piggy-back results to their group master, which
+// batches them upward with its refill requests — the central master
+// sees G conversations instead of p.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "lss/distsched/dtss.hpp"
+#include "lss/metrics/timing.hpp"
+#include "lss/sim/config.hpp"
+#include "lss/sim/cpu.hpp"
+#include "lss/sim/engine.hpp"
+#include "lss/sim/network.hpp"
+#include "lss/sim/report.hpp"
+#include "lss/treesched/tree_sched.hpp"
+
+namespace lss::sim {
+
+class HierSim {
+ public:
+  explicit HierSim(const SimConfig& config);
+
+  Report run();
+
+ private:
+  struct SlaveState {
+    CpuModel cpu;
+    metrics::TimeBreakdown times;
+    double ready_at = 0.0;
+    double request_sent_at = 0.0;
+    double request_busy = 0.0;
+    double carried_bytes = 0.0;
+    double acp = 0.0;
+    double finish = 0.0;
+    Index iterations = 0;
+    Index chunks = 0;
+    bool terminated = false;
+    int group = 0;
+
+    SlaveState(double speed, cluster::LoadScript load)
+        : cpu(speed, std::move(load)) {}
+  };
+
+  struct GroupState {
+    std::vector<int> members;
+    int host = 0;  ///< slave whose node runs this group master
+    treesched::WorkPool pool;
+    std::deque<int> waiting;     ///< parked member requests
+    double acp_sum = 0.0;
+    double result_bytes = 0.0;   ///< accumulated, unforwarded results
+    Index last_refill = 0;
+    bool refill_outstanding = false;
+    bool drained = false;  ///< super master said: no more work
+    bool serving = false;
+    int gathered = 0;
+  };
+
+  // Slave side (talks to its group master).
+  void slave_begin(int s);
+  void slave_send_request(int s);
+  void slave_on_reply(int s, std::vector<Range> chunks,
+                      double reply_busy);
+  void slave_on_compute_done(int s, std::vector<Range> chunks);
+
+  // Group master side.
+  void group_on_arrival(int g, int s, double acp);
+  void group_try_serve(int g);
+  void group_serve(int g, int s);
+  void group_maybe_refill(int g);
+  void group_on_refill(int g, std::vector<Range> ranges, bool last);
+
+  // Super master side.
+  void super_on_refill_request(int g, double result_bytes);
+
+  double chunk_cost(Range r) const;
+  Transfer slave_to_group(int s, int g, double bytes, double earliest);
+  Transfer group_to_slave(int g, int s, double bytes, double earliest);
+
+  const SimConfig& config_;
+  Engine engine_;
+  Network network_;
+  std::unique_ptr<distsched::DtssScheduler> super_;
+  std::vector<SlaveState> slaves_;
+  std::vector<GroupState> groups_;
+  std::vector<double> cost_prefix_;
+  std::vector<int> execution_count_;
+  int groups_gathered_ = 0;
+  bool super_planned_ = false;
+  int master_messages_ = 0;
+  double master_rx_bytes_ = 0.0;
+};
+
+}  // namespace lss::sim

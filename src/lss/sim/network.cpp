@@ -1,0 +1,68 @@
+#include "lss/sim/network.hpp"
+
+#include <algorithm>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::sim {
+
+SerialResource::Slot SerialResource::occupy(double earliest,
+                                            double duration) {
+  LSS_REQUIRE(duration >= 0.0, "negative occupation");
+  const double start = std::max(earliest, free_at_);
+  free_at_ = start + duration;
+  return Slot{start, free_at_};
+}
+
+Network::Network(const cluster::ClusterSpec& cluster,
+                 double master_bandwidth_bps, double master_latency_s)
+    : cluster_(cluster),
+      master_bw_(master_bandwidth_bps),
+      master_latency_(master_latency_s),
+      slave_up_(static_cast<std::size_t>(cluster.num_slaves())),
+      slave_down_(static_cast<std::size_t>(cluster.num_slaves())) {
+  LSS_REQUIRE(master_bandwidth_bps > 0.0, "master bandwidth must be positive");
+  LSS_REQUIRE(master_latency_s >= 0.0, "latency must be non-negative");
+}
+
+Transfer Network::run_transfer(SerialResource& a, SerialResource& b,
+                               double bw_a, double bw_b, double latency,
+                               double bytes, double earliest) {
+  LSS_REQUIRE(bytes >= 0.0, "negative message size");
+  const double duration = latency + bytes / std::min(bw_a, bw_b);
+  // Cut-through: both endpoints are busy for the whole transfer. The
+  // start must respect both resources' availability.
+  const double start = std::max({earliest, a.free_at(), b.free_at()});
+  a.occupy(start, duration);
+  b.occupy(start, duration);
+  return Transfer{start, start + duration, duration};
+}
+
+Transfer Network::to_master(int s, double bytes, double earliest) {
+  const auto& link = cluster_.slave(s).link;
+  return run_transfer(slave_up_[static_cast<std::size_t>(s)], master_in_,
+                      link.bandwidth_bps, master_bw_,
+                      std::max(link.latency_s, master_latency_), bytes,
+                      earliest);
+}
+
+Transfer Network::to_slave(int s, double bytes, double earliest) {
+  const auto& link = cluster_.slave(s).link;
+  return run_transfer(master_out_, slave_down_[static_cast<std::size_t>(s)],
+                      master_bw_, link.bandwidth_bps,
+                      std::max(link.latency_s, master_latency_), bytes,
+                      earliest);
+}
+
+Transfer Network::slave_to_slave(int from, int to, double bytes,
+                                 double earliest) {
+  LSS_REQUIRE(from != to, "slave cannot message itself");
+  const auto& lf = cluster_.slave(from).link;
+  const auto& lt = cluster_.slave(to).link;
+  return run_transfer(slave_up_[static_cast<std::size_t>(from)],
+                      slave_down_[static_cast<std::size_t>(to)],
+                      lf.bandwidth_bps, lt.bandwidth_bps,
+                      std::max(lf.latency_s, lt.latency_s), bytes, earliest);
+}
+
+}  // namespace lss::sim

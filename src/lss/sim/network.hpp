@@ -1,0 +1,72 @@
+// Network model: per-slave links plus the master's NIC, all modelled
+// as serially-occupied resources.
+//
+// Transfers are cut-through: a slave->master message simultaneously
+// occupies the slave's uplink and the master's inbound port for
+// latency + bytes / min(slave_bw, master_bw). This mirrors blocking
+// MPI on a LAN — while the master is receiving a large result from a
+// 10 Mbit slave, everyone else's messages queue behind it, which is
+// exactly the contention §5 of the paper describes.
+#pragma once
+
+#include "lss/cluster/cluster.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::sim {
+
+/// A resource that can serve one transfer at a time.
+class SerialResource {
+ public:
+  struct Slot {
+    double start = 0.0;
+    double end = 0.0;
+    double duration() const { return end - start; }
+  };
+
+  /// Reserve the resource for `duration` starting no earlier than
+  /// `earliest`; returns the granted slot.
+  Slot occupy(double earliest, double duration);
+
+  double free_at() const { return free_at_; }
+
+ private:
+  double free_at_ = 0.0;
+};
+
+struct Transfer {
+  double start = 0.0;    ///< moment the wire work begins
+  double arrival = 0.0;  ///< moment the message is fully received
+  double busy = 0.0;     ///< wire time (latency + serialization)
+
+  /// Queueing delay before the wire work began.
+  double wait(double earliest) const { return start - earliest; }
+};
+
+class Network {
+ public:
+  Network(const cluster::ClusterSpec& cluster, double master_bandwidth_bps,
+          double master_latency_s);
+
+  /// Message from slave `s` to the master, initiated at `earliest`.
+  Transfer to_master(int s, double bytes, double earliest);
+  /// Message from the master to slave `s`.
+  Transfer to_slave(int s, double bytes, double earliest);
+  /// Direct slave-to-slave message (TreeS partner traffic); does not
+  /// touch the master's NIC.
+  Transfer slave_to_slave(int from, int to, double bytes, double earliest);
+
+ private:
+  Transfer run_transfer(SerialResource& a, SerialResource& b, double bw_a,
+                        double bw_b, double latency, double bytes,
+                        double earliest);
+
+  const cluster::ClusterSpec& cluster_;
+  double master_bw_;
+  double master_latency_;
+  std::vector<SerialResource> slave_up_;
+  std::vector<SerialResource> slave_down_;
+  SerialResource master_in_;
+  SerialResource master_out_;
+};
+
+}  // namespace lss::sim

@@ -1,0 +1,41 @@
+#include "lss/sim/report.hpp"
+
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+
+namespace lss::sim {
+
+bool Report::exactly_once() const {
+  if (starved) return false;
+  for (int c : execution_count)
+    if (c != 1) return false;
+  return true;
+}
+
+bool Report::exactly_once_acknowledged() const {
+  if (starved) return false;
+  for (int c : acknowledged_count)
+    if (c != 1) return false;
+  return true;
+}
+
+std::vector<double> Report::comp_times() const {
+  std::vector<double> out;
+  out.reserve(slaves.size());
+  for (const SlaveStats& s : slaves) out.push_back(s.times.t_comp);
+  return out;
+}
+
+std::string Report::to_table(int decimals) const {
+  TextTable t({"PE", "Tcom/Twait/Tcomp", "iters", "chunks"});
+  for (std::size_t i = 0; i < slaves.size(); ++i) {
+    const SlaveStats& s = slaves[i];
+    t.add_row({std::to_string(i + 1), s.times.to_cell(decimals),
+               std::to_string(s.iterations), std::to_string(s.chunks)});
+  }
+  t.add_rule();
+  t.add_row({"T_p", fmt_fixed(t_parallel, decimals), "", ""});
+  return scheme + (starved ? "  [STARVED]" : "") + "\n" + t.to_string();
+}
+
+}  // namespace lss::sim

@@ -1,0 +1,68 @@
+// Simulation results: per-PE time breakdowns (Tables 2-3) and the
+// invariants the test suite checks (exactly-once execution).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lss/metrics/timing.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::sim {
+
+struct SlaveStats {
+  metrics::TimeBreakdown times;
+  double finish_time = 0.0;  ///< slave's own last activity
+  Index iterations = 0;      ///< loop iterations it executed
+  Index chunks = 0;          ///< chunks (scheduling messages) received
+  bool crashed = false;      ///< fail-stop fault fired on this slave
+};
+
+/// One chunk's lifecycle in a centralized run (for Gantt charts and
+/// chunk-profile figures). Times are simulated seconds; a chunk lost
+/// to a crash has completed_at < 0.
+struct ChunkTrace {
+  int slave = 0;
+  Range range;
+  double assigned_at = 0.0;   ///< master decided
+  double started_at = -1.0;   ///< reply reached the slave
+  double completed_at = -1.0; ///< computation finished
+  bool reassigned = false;    ///< re-issued after a timeout
+};
+
+struct Report {
+  std::string scheme;
+  double t_parallel = 0.0;  ///< T_p, measured at the master
+  std::vector<SlaveStats> slaves;
+  /// Chunk lifecycle log (centralized runs; empty for TreeS).
+  std::vector<ChunkTrace> trace;
+  Index total_iterations = 0;
+  int master_messages = 0;
+  /// Payload bytes that crossed the master's inbound port (requests,
+  /// piggy-backed results, heartbeats, reports).
+  double master_rx_bytes = 0.0;
+  int replans = 0;        ///< distributed schemes: step-2c replans
+  bool starved = false;   ///< no PE had positive ACP (original DTSS trap)
+  /// execution_count[i] = times iteration i was executed. Exactly 1
+  /// on reliable runs; reassigned iterations may run more than once
+  /// under faults (a victim may have computed them before dying).
+  std::vector<int> execution_count;
+  /// acknowledged_count[i] = times iteration i's results reached the
+  /// master (piggy-back protocol). Must be exactly 1 even under
+  /// faults — the fault-tolerance correctness criterion.
+  std::vector<int> acknowledged_count;
+  /// Chunks the master reassigned after declaring a slave dead.
+  int reassignments = 0;
+
+  /// True when every iteration ran exactly once.
+  bool exactly_once() const;
+  /// True when every iteration's results were delivered exactly once
+  /// (the guarantee that survives fail-stop crashes).
+  bool exactly_once_acknowledged() const;
+  /// Per-PE computation times (for imbalance metrics).
+  std::vector<double> comp_times() const;
+  /// The paper's table cell column for this run.
+  std::string to_table(int decimals = 1) const;
+};
+
+}  // namespace lss::sim

@@ -1,0 +1,23 @@
+#include "lss/sim/simulation.hpp"
+
+#include "lss/sim/centralized.hpp"
+#include "lss/sim/hier_sim.hpp"
+#include "lss/sim/tree_sim.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sim {
+
+Report run_simulation(const SimConfig& config) {
+  if (config.scheduler.kind == SchedulerKind::Tree)
+    return TreeSim(config).run();
+  if (config.scheduler.kind == SchedulerKind::Hierarchical)
+    return HierSim(config).run();
+  return CentralizedSim(config).run();
+}
+
+double serial_time(const Workload& workload, double speed_ops_per_s) {
+  LSS_REQUIRE(speed_ops_per_s > 0.0, "speed must be positive");
+  return total_cost(workload) / speed_ops_per_s;
+}
+
+}  // namespace lss::sim

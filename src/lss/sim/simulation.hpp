@@ -1,0 +1,21 @@
+// Top-level simulation entry points.
+//
+// run_simulation() executes one parallel-loop run on the modelled
+// cluster under the configured scheme and returns the per-PE time
+// breakdown (the content of the paper's Tables 2-3). Dispatches to
+// the centralized master-slave protocol (simple and distributed
+// schemes) or the TreeS partner protocol.
+#pragma once
+
+#include "lss/sim/config.hpp"
+#include "lss/sim/report.hpp"
+
+namespace lss::sim {
+
+Report run_simulation(const SimConfig& config);
+
+/// Serial reference: the loop on one dedicated PE of the given speed,
+/// no scheduling or communication. Baseline for speedup figures.
+double serial_time(const Workload& workload, double speed_ops_per_s);
+
+}  // namespace lss::sim

@@ -1,0 +1,282 @@
+#include "lss/sim/tree_sim.hpp"
+
+#include <algorithm>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/prng.hpp"
+
+namespace lss::sim {
+
+TreeSim::TreeSim(const SimConfig& config)
+    : config_(config),
+      network_(config.cluster, config.master_bandwidth_bps,
+               config.master_latency_s),
+      tree_(config.cluster.num_slaves()) {
+  LSS_REQUIRE(config.workload != nullptr, "simulation needs a workload");
+  LSS_REQUIRE(config.scheduler.kind == SchedulerKind::Tree,
+              "TreeSim only runs the TreeS scheme");
+  LSS_REQUIRE(config.loads.empty() ||
+                  static_cast<int>(config.loads.size()) ==
+                      config.cluster.num_slaves(),
+              "need one load script per slave (or none)");
+  LSS_REQUIRE(!config.faults.any(),
+              "fault injection is centralized-only for now");
+
+  const int p = config.cluster.num_slaves();
+  weights_ = config.scheduler.tree_weighted
+                 ? config.cluster.virtual_powers()
+                 : std::vector<double>(static_cast<std::size_t>(p), 1.0);
+
+  slaves_.reserve(static_cast<std::size_t>(p));
+  for (int s = 0; s < p; ++s) {
+    cluster::LoadScript load =
+        config.loads.empty() ? cluster::LoadScript::none()
+                             : config.loads[static_cast<std::size_t>(s)];
+    slaves_.emplace_back(config.cluster.slave(s).speed, std::move(load));
+  }
+
+  const Index total = config.workload->size();
+  cost_prefix_.resize(static_cast<std::size_t>(total) + 1, 0.0);
+  for (Index i = 0; i < total; ++i)
+    cost_prefix_[static_cast<std::size_t>(i) + 1] =
+        cost_prefix_[static_cast<std::size_t>(i)] + config.workload->cost(i);
+  execution_count_.assign(static_cast<std::size_t>(total), 0);
+}
+
+Report TreeSim::run() {
+  const Index total = config_.workload->size();
+  const auto ranges = treesched::initial_allocation(total, weights_);
+  Xoshiro256 jitter_rng(config_.jitter_seed);
+  for (int s = 0; s < config_.cluster.num_slaves(); ++s) {
+    const double delay =
+        config_.start_jitter_s > 0.0
+            ? jitter_rng.next_double() * config_.start_jitter_s
+            : 0.0;
+    const Range r = ranges[static_cast<std::size_t>(s)];
+    if (delay > 0.0)
+      engine_.schedule_at(delay, [this, s, r] { deliver_initial(s, r); });
+    else
+      deliver_initial(s, r);
+    schedule_report_tick(s);
+  }
+  if (total == 0) {
+    // Degenerate loop: nothing will ever be reported; terminate now.
+    master_on_report(0);
+  }
+  engine_.run();
+
+  Report out;
+  out.scheme = config_.scheduler.display_name();
+  out.t_parallel = engine_.now();
+  out.master_messages = master_messages_;
+  out.master_rx_bytes = master_rx_bytes_;
+  out.execution_count = execution_count_;
+  out.slaves.reserve(slaves_.size());
+  for (SlaveState& st : slaves_) {
+    st.times.t_wait += out.t_parallel - st.finish;  // terminal barrier
+    SlaveStats stats;
+    stats.times = st.times;
+    stats.finish_time = st.finish;
+    stats.iterations = st.iterations;
+    stats.chunks = st.chunks;
+    out.slaves.push_back(stats);
+    out.total_iterations += st.iterations;
+  }
+  return out;
+}
+
+void TreeSim::deliver_initial(int s, Range range) {
+  const Transfer tr =
+      network_.to_slave(s, config_.protocol.reply_bytes, engine_.now());
+  slaves_[static_cast<std::size_t>(s)].times.t_com += tr.busy;
+  engine_.schedule_at(tr.arrival, [this, s, range] {
+    on_work_arrive(s, {range});
+  });
+}
+
+void TreeSim::end_idle(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (!st.idle) return;
+  st.idle = false;
+  const double span = engine_.now() - st.idle_since;
+  st.times.t_wait += std::max(0.0, span - st.com_while_idle);
+  st.com_while_idle = 0.0;
+}
+
+void TreeSim::on_work_arrive(int s, std::vector<Range> ranges) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.terminated) return;
+  bool got_any = false;
+  for (const Range& r : ranges) {
+    if (!r.empty()) got_any = true;
+    st.pool.add(r);
+  }
+  if (got_any) ++st.chunks;
+  end_idle(s);
+  if (!st.computing) start_compute(s);
+}
+
+void TreeSim::start_compute(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.terminated || st.start_pending) return;
+  if (st.pool.empty()) {
+    become_idle(s);
+    return;
+  }
+  // Blocking result send in flight (mpich semantics): the slave may
+  // not compute until its report has been delivered. This is the
+  // TreeS contention the paper's §5 describes.
+  if (engine_.now() < st.blocked_until) {
+    st.start_pending = true;
+    engine_.schedule_at(st.blocked_until, [this, s] {
+      slaves_[static_cast<std::size_t>(s)].start_pending = false;
+      start_compute(s);
+    });
+    return;
+  }
+  const Index i = st.pool.pop_front();
+  const double now = engine_.now();
+  const double cost = cost_prefix_[static_cast<std::size_t>(i) + 1] -
+                      cost_prefix_[static_cast<std::size_t>(i)];
+  const double done = st.cpu.finish_time(now, cost);
+  st.computing = true;
+  st.times.t_comp += done - now;
+  engine_.schedule_at(done, [this, s, i] { on_iter_done(s, i); });
+}
+
+void TreeSim::on_iter_done(int s, Index iter) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  st.computing = false;
+  ++execution_count_[static_cast<std::size_t>(iter)];
+  ++st.iterations;
+  ++st.unreported_iters;
+  st.unreported_bytes += config_.protocol.bytes_per_iter;
+  start_compute(s);
+}
+
+void TreeSim::become_idle(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.idle || st.terminated) return;
+  st.idle = true;
+  st.idle_since = engine_.now();
+  st.com_while_idle = 0.0;
+  st.finish = engine_.now();  // provisional; updated if work arrives
+  flush_report(s);            // let the coordinator see our progress
+  st.round_left = static_cast<int>(tree_.partners_of(s).size());
+  try_steal(s);
+}
+
+void TreeSim::try_steal(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.terminated || !st.idle) return;
+  if (st.round_left <= 0) {
+    // Whole partner list came back empty; back off and retry.
+    engine_.schedule_after(config_.protocol.poll_interval_s, [this, s] {
+      SlaveState& stt = slaves_[static_cast<std::size_t>(s)];
+      if (stt.terminated || !stt.idle) return;
+      stt.round_left = static_cast<int>(tree_.partners_of(s).size());
+      try_steal(s);
+    });
+    return;
+  }
+  const auto& partners = tree_.partners_of(s);
+  if (partners.empty()) return;  // p == 1: no one to steal from
+  const int victim =
+      partners[static_cast<std::size_t>(st.partner_cursor) %
+               partners.size()];
+  st.partner_cursor =
+      (st.partner_cursor + 1) % static_cast<int>(partners.size());
+  --st.round_left;
+
+  const Transfer tr = network_.slave_to_slave(
+      s, victim, config_.protocol.request_bytes, engine_.now());
+  st.times.t_com += tr.busy;
+  st.com_while_idle += tr.busy;
+  engine_.schedule_at(tr.arrival,
+                      [this, victim, s] { on_steal_request(victim, s); });
+}
+
+void TreeSim::on_steal_request(int victim, int thief) {
+  SlaveState& vst = slaves_[static_cast<std::size_t>(victim)];
+  std::vector<Range> donated;
+  if (!vst.terminated) {
+    const Index amount = treesched::steal_amount(
+        vst.pool.remaining(), weights_[static_cast<std::size_t>(thief)],
+        weights_[static_cast<std::size_t>(victim)]);
+    if (amount > 0) donated = vst.pool.donate_back(amount);
+  }
+  const Transfer tr = network_.slave_to_slave(
+      victim, thief, config_.protocol.reply_bytes, engine_.now());
+  vst.times.t_com += tr.busy;
+  engine_.schedule_at(tr.arrival, [this, thief, donated] {
+    on_steal_reply(thief, donated);
+  });
+}
+
+void TreeSim::on_steal_reply(int thief, std::vector<Range> ranges) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(thief)];
+  if (st.terminated) {
+    // Termination raced a donation; the victim kept >= 1 iteration so
+    // this can only happen with empty hand-offs.
+    LSS_ASSERT(ranges.empty(), "work arrived after termination");
+    return;
+  }
+  bool got_any = false;
+  for (const Range& r : ranges) got_any = got_any || !r.empty();
+  if (got_any) {
+    on_work_arrive(thief, std::move(ranges));
+    return;
+  }
+  try_steal(thief);
+}
+
+void TreeSim::flush_report(int s) {
+  SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+  if (st.unreported_iters == 0) return;
+  const Index count = st.unreported_iters;
+  const double bytes = config_.protocol.request_bytes + st.unreported_bytes;
+  st.unreported_iters = 0;
+  st.unreported_bytes = 0.0;
+  const Transfer tr = network_.to_master(s, bytes, engine_.now());
+  master_rx_bytes_ += bytes;
+  st.times.t_com += tr.busy;
+  // Blocking send: the slave cannot proceed until delivery.
+  st.blocked_until = std::max(st.blocked_until, tr.arrival);
+  if (st.idle) st.com_while_idle += tr.busy;
+  if (tr.arrival > st.finish && st.idle) st.finish = tr.arrival;
+  engine_.schedule_at(tr.arrival, [this, count] {
+    ++master_messages_;
+    master_on_report(count);
+  });
+}
+
+void TreeSim::schedule_report_tick(int s) {
+  engine_.schedule_after(config_.protocol.tree_report_interval_s,
+                         [this, s] {
+    SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+    if (st.terminated) return;
+    flush_report(s);
+    schedule_report_tick(s);
+  });
+}
+
+void TreeSim::master_on_report(Index count) {
+  reported_total_ += count;
+  LSS_ASSERT(reported_total_ <= config_.workload->size(),
+             "more iterations reported than exist");
+  if (terminate_sent_ || reported_total_ < config_.workload->size()) return;
+  terminate_sent_ = true;
+  for (int s = 0; s < config_.cluster.num_slaves(); ++s) {
+    const Transfer tr =
+        network_.to_slave(s, config_.protocol.reply_bytes, engine_.now());
+    engine_.schedule_at(tr.arrival, [this, s] {
+      SlaveState& st = slaves_[static_cast<std::size_t>(s)];
+      if (st.terminated) return;
+      end_idle(s);
+      st.terminated = true;
+      st.finish = engine_.now();
+    });
+  }
+}
+
+}  // namespace lss::sim

@@ -1,0 +1,83 @@
+// Tree Scheduling simulation (paper §5, §6.1; Kim & Purtilo 1996).
+//
+// Protocol: the coordinator hands out contiguous initial ranges (even
+// for the simple variant, virtual-power-weighted for the distributed
+// variant). Slaves execute from their own pool; an idle slave asks
+// its predefined partners (binomial-tree order) for work and receives
+// a weighted half of the victim's remaining range. Results flow to
+// the coordinator at fixed intervals (plus a flush when a slave goes
+// idle); the coordinator broadcasts termination once every iteration
+// has been reported.
+#pragma once
+
+#include <vector>
+
+#include "lss/metrics/timing.hpp"
+#include "lss/sim/config.hpp"
+#include "lss/sim/cpu.hpp"
+#include "lss/sim/engine.hpp"
+#include "lss/sim/network.hpp"
+#include "lss/sim/report.hpp"
+#include "lss/treesched/tree.hpp"
+#include "lss/treesched/tree_sched.hpp"
+
+namespace lss::sim {
+
+class TreeSim {
+ public:
+  explicit TreeSim(const SimConfig& config);
+
+  Report run();
+
+ private:
+  struct SlaveState {
+    CpuModel cpu;
+    treesched::WorkPool pool;
+    metrics::TimeBreakdown times;
+    double finish = 0.0;
+    Index iterations = 0;
+    Index chunks = 0;  ///< work deliveries (initial + steals)
+    bool computing = false;
+    bool idle = false;
+    bool terminated = false;
+    bool start_pending = false;   ///< compute deferred behind a send
+    double blocked_until = 0.0;   ///< blocking result send in flight
+    double idle_since = 0.0;
+    double com_while_idle = 0.0;
+    int partner_cursor = 0;
+    int round_left = 0;
+    double unreported_bytes = 0.0;
+    Index unreported_iters = 0;
+
+    SlaveState(double speed, cluster::LoadScript load)
+        : cpu(speed, std::move(load)) {}
+  };
+
+  void deliver_initial(int s, Range range);
+  void on_work_arrive(int s, std::vector<Range> ranges);
+  void start_compute(int s);
+  void on_iter_done(int s, Index iter);
+  void become_idle(int s);
+  void try_steal(int s);
+  void on_steal_request(int victim, int thief);
+  void on_steal_reply(int thief, std::vector<Range> ranges);
+  void flush_report(int s);
+  void schedule_report_tick(int s);
+  void master_on_report(Index count);
+  void end_idle(int s);
+
+  const SimConfig& config_;
+  Engine engine_;
+  Network network_;
+  treesched::PartnerTree tree_;
+  std::vector<double> weights_;
+  std::vector<SlaveState> slaves_;
+  std::vector<double> cost_prefix_;
+  std::vector<int> execution_count_;
+  Index reported_total_ = 0;
+  bool terminate_sent_ = false;
+  int master_messages_ = 0;
+  double master_rx_bytes_ = 0.0;
+};
+
+}  // namespace lss::sim

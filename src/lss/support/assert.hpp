@@ -1,0 +1,46 @@
+// Lightweight contract checking used across the library.
+//
+// LSS_REQUIRE  — precondition on public API arguments; always on.
+// LSS_ASSERT   — internal invariant; always on (the library is not
+//                performance-critical enough to justify silent UB).
+//
+// Violations throw lss::ContractError so tests can assert on misuse.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace lss {
+
+/// Thrown when a precondition or internal invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void contract_fail(const char* kind, const char* expr,
+                                       const char* file, int line,
+                                       const std::string& msg) {
+  std::string what = std::string(kind) + " failed: " + expr + " at " + file +
+                     ":" + std::to_string(line);
+  if (!msg.empty()) what += " — " + msg;
+  throw ContractError(what);
+}
+}  // namespace detail
+
+}  // namespace lss
+
+#define LSS_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::lss::detail::contract_fail("precondition", #expr, __FILE__,         \
+                                   __LINE__, (msg));                        \
+  } while (false)
+
+#define LSS_ASSERT(expr, msg)                                               \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::lss::detail::contract_fail("invariant", #expr, __FILE__, __LINE__,  \
+                                   (msg));                                  \
+  } while (false)

@@ -1,0 +1,39 @@
+#include "lss/support/csv.hpp"
+
+#include <ostream>
+
+#include "lss/support/assert.hpp"
+
+namespace lss {
+
+CsvWriter::CsvWriter(std::ostream& os, std::vector<std::string> header)
+    : os_(os), columns_(header.size()) {
+  LSS_REQUIRE(columns_ > 0, "CSV needs at least one column");
+  write_row(header);
+  rows_ = 0;  // header does not count
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  LSS_REQUIRE(cells.size() == columns_, "CSV row width mismatch");
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) os_ << ',';
+    os_ << escape(cells[i]);
+  }
+  os_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  const bool needs_quote =
+      field.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace lss

@@ -1,0 +1,28 @@
+// Minimal CSV writer so bench binaries can optionally dump raw series
+// (e.g. speedup curves) for external plotting.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lss {
+
+class CsvWriter {
+ public:
+  /// Writes the header immediately.
+  CsvWriter(std::ostream& os, std::vector<std::string> header);
+
+  void write_row(const std::vector<std::string>& cells);
+  std::size_t rows_written() const { return rows_; }
+
+  /// RFC-4180 quoting of a single field.
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ostream& os_;
+  std::size_t columns_;
+  std::size_t rows_ = 0;
+};
+
+}  // namespace lss

@@ -1,0 +1,54 @@
+// Deterministic pseudo-random number generation.
+//
+// The library never uses std::random_device or global state: every
+// stochastic component (synthetic workloads, load scripts, jittered
+// timings) takes an explicit seed so simulations replay bit-identically.
+#pragma once
+
+#include <cstdint>
+
+namespace lss {
+
+/// SplitMix64 — used to expand a single seed into stream seeds.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next();
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256** 1.0 (Blackman & Vigna) — the workhorse generator.
+/// Satisfies UniformRandomBitGenerator so it can drive <random>
+/// distributions when needed.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t next_int(std::int64_t lo, std::int64_t hi);
+
+  /// Standard normal via Box–Muller (no cached spare; deterministic).
+  double next_normal();
+
+  /// Exponential with the given mean (> 0).
+  double next_exponential(double mean);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace lss

@@ -1,0 +1,85 @@
+#include "lss/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss {
+
+void Accumulator::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::mean() const { return n_ == 0 ? 0.0 : mean_; }
+
+double Accumulator::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double Accumulator::min() const { return n_ == 0 ? 0.0 : min_; }
+
+double Accumulator::max() const { return n_ == 0 ? 0.0 : max_; }
+
+double Accumulator::cov() const {
+  const double m = mean();
+  return m == 0.0 ? 0.0 : stddev() / m;
+}
+
+Summary summarize(std::span<const double> xs) {
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  return Summary{acc.count(), acc.mean(), acc.stddev(), acc.min(),
+                 acc.max(),   acc.sum(),  acc.cov()};
+}
+
+double quantile(std::span<const double> xs, double q) {
+  LSS_REQUIRE(!xs.empty(), "quantile of an empty sample");
+  LSS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> xs) { return quantile(xs, 0.5); }
+
+double imbalance_ratio(std::span<const double> xs) {
+  if (xs.empty()) return 1.0;
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  if (acc.mean() == 0.0) return 1.0;
+  return acc.max() / acc.mean();
+}
+
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins) {
+  LSS_REQUIRE(bins > 0, "histogram needs at least one bin");
+  LSS_REQUIRE(hi > lo, "histogram range must be non-empty");
+  std::vector<std::size_t> out(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double x : xs) {
+    auto idx = static_cast<std::ptrdiff_t>(std::floor((x - lo) / width));
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     static_cast<std::ptrdiff_t>(bins) - 1);
+    ++out[static_cast<std::size_t>(idx)];
+  }
+  return out;
+}
+
+}  // namespace lss

@@ -1,0 +1,62 @@
+// Small descriptive-statistics helpers used by reports and tests.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lss {
+
+/// Streaming accumulator (Welford) for count/mean/variance/min/max.
+class Accumulator {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for n < 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+  /// Coefficient of variation (stddev/mean); 0 if mean == 0.
+  double cov() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Summary of a finished sample.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double sum = 0.0;
+  double cov = 0.0;
+};
+
+Summary summarize(std::span<const double> xs);
+
+/// q-quantile (q in [0, 1]) with linear interpolation between order
+/// statistics; throws on empty input.
+double quantile(std::span<const double> xs, double q);
+double median(std::span<const double> xs);
+
+/// Load-imbalance ratio max/mean (1.0 == perfectly balanced);
+/// returns 1.0 for empty or all-zero input.
+double imbalance_ratio(std::span<const double> xs);
+
+/// Fixed-width histogram over [lo, hi) with `bins` buckets; values
+/// outside the range are clamped into the edge buckets.
+std::vector<std::size_t> histogram(std::span<const double> xs, double lo,
+                                   double hi, std::size_t bins);
+
+}  // namespace lss

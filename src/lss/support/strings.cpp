@@ -1,0 +1,77 @@
+#include "lss/support/strings.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "lss/support/assert.hpp"
+
+namespace lss {
+
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      break;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  return out;
+}
+
+std::string_view trim(std::string_view s) {
+  const auto is_space = [](char c) {
+    return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+  };
+  while (!s.empty() && is_space(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_space(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+std::string join(const std::vector<std::string>& parts,
+                 std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out)
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  return out;
+}
+
+std::string fmt_fixed(double v, int decimals) {
+  LSS_REQUIRE(decimals >= 0 && decimals <= 12, "unsupported precision");
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+long long parse_int(std::string_view s) {
+  s = trim(s);
+  long long v = 0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  LSS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+              "malformed integer: '" + std::string(s) + "'");
+  return v;
+}
+
+double parse_double(std::string_view s) {
+  s = trim(s);
+  double v = 0.0;
+  auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+  LSS_REQUIRE(ec == std::errc{} && ptr == s.data() + s.size(),
+              "malformed number: '" + std::string(s) + "'");
+  return v;
+}
+
+}  // namespace lss

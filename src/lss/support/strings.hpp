@@ -1,0 +1,23 @@
+// String utilities: split/trim/join and printf-free number formatting
+// shared by the table/CSV writers and the scheme factories.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lss {
+
+std::vector<std::string> split(std::string_view s, char sep);
+std::string_view trim(std::string_view s);
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+std::string to_lower(std::string_view s);
+
+/// Fixed-point formatting, e.g. fmt_fixed(3.14159, 2) == "3.14".
+std::string fmt_fixed(double v, int decimals);
+
+/// Parse helpers; throw lss::ContractError on malformed input.
+long long parse_int(std::string_view s);
+double parse_double(std::string_view s);
+
+}  // namespace lss

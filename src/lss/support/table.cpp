@@ -1,0 +1,74 @@
+#include "lss/support/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "lss/support/assert.hpp"
+
+namespace lss {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)), align_(header_.size(), Align::Right) {
+  LSS_REQUIRE(!header_.empty(), "table needs at least one column");
+  align_[0] = Align::Left;
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  LSS_REQUIRE(cells.size() == header_.size(),
+              "row width must match header width");
+  rows_.push_back(Row{std::move(cells), pending_rule_});
+  pending_rule_ = false;
+}
+
+void TextTable::add_rule() { pending_rule_ = true; }
+
+void TextTable::set_align(std::size_t column, Align align) {
+  LSS_REQUIRE(column < align_.size(), "column out of range");
+  align_[column] = align;
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    width[c] = header_[c].size();
+  for (const Row& r : rows_)
+    for (std::size_t c = 0; c < r.cells.size(); ++c)
+      width[c] = std::max(width[c], r.cells[c].size());
+
+  std::ostringstream os;
+  const auto emit_cell = [&](const std::string& s, std::size_t c) {
+    const std::size_t pad = width[c] - s.size();
+    if (align_[c] == Align::Left)
+      os << s << std::string(pad, ' ');
+    else
+      os << std::string(pad, ' ') << s;
+  };
+  const auto emit_rule = [&] {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      if (c > 0) os << "-+-";
+      os << std::string(width[c], '-');
+    }
+    os << '\n';
+  };
+
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    if (c > 0) os << " | ";
+    emit_cell(header_[c], c);
+  }
+  os << '\n';
+  emit_rule();
+  for (const Row& r : rows_) {
+    if (r.rule_before) emit_rule();
+    for (std::size_t c = 0; c < r.cells.size(); ++c) {
+      if (c > 0) os << " | ";
+      emit_cell(r.cells[c], c);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+void TextTable::print(std::ostream& os) const { os << to_string(); }
+
+}  // namespace lss

@@ -1,0 +1,41 @@
+// ASCII table rendering for the benchmark harnesses, which print the
+// paper's tables and figure series to stdout.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace lss {
+
+/// Column-aligned text table. Usage:
+///   TextTable t({"PE", "TSS", "FSS"});
+///   t.add_row({"1", "2.7/17.5/3.5", "0.2/0.8/3.2"});
+///   t.print(std::cout);
+class TextTable {
+ public:
+  enum class Align { Left, Right };
+
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  /// Horizontal rule before the next added row.
+  void add_rule();
+  void set_align(std::size_t column, Align align);
+
+  std::size_t num_rows() const { return rows_.size(); }
+  std::string to_string() const;
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> header_;
+  std::vector<Row> rows_;
+  std::vector<Align> align_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace lss

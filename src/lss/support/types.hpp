@@ -1,0 +1,34 @@
+// Core vocabulary types shared by all lss subsystems.
+#pragma once
+
+#include <cstdint>
+
+#include "lss/support/assert.hpp"
+
+namespace lss {
+
+/// Loop-iteration index. Signed so arithmetic on differences is safe.
+using Index = std::int64_t;
+
+/// Half-open iteration range [begin, end).
+struct Range {
+  Index begin = 0;
+  Index end = 0;
+
+  Index size() const { return end - begin; }
+  bool empty() const { return end <= begin; }
+  bool contains(Index i) const { return i >= begin && i < end; }
+
+  friend bool operator==(const Range&, const Range&) = default;
+};
+
+/// Splits [r.begin, r.end) at begin+n (n clamped to [0, size]).
+inline Range take_front(Range& r, Index n) {
+  LSS_REQUIRE(n >= 0, "cannot take a negative count");
+  if (n > r.size()) n = r.size();
+  Range front{r.begin, r.begin + n};
+  r.begin += n;
+  return front;
+}
+
+}  // namespace lss

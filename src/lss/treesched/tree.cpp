@@ -1,0 +1,75 @@
+#include "lss/treesched/tree.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::treesched {
+
+PartnerTree::PartnerTree(int num_pes) : num_pes_(num_pes) {
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+  partners_.resize(static_cast<std::size_t>(num_pes));
+  for (int pe = 0; pe < num_pes; ++pe) {
+    for (int bit = 1; bit < 2 * num_pes; bit <<= 1) {
+      const int partner = pe ^ bit;
+      if (partner < num_pes && partner != pe)
+        partners_[static_cast<std::size_t>(pe)].push_back(partner);
+    }
+  }
+}
+
+const std::vector<int>& PartnerTree::partners_of(int pe) const {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes_, "PE id out of range");
+  return partners_[static_cast<std::size_t>(pe)];
+}
+
+std::vector<std::pair<int, int>> PartnerTree::edges() const {
+  std::vector<std::pair<int, int>> out;
+  for (int pe = 0; pe < num_pes_; ++pe)
+    for (int q : partners_[static_cast<std::size_t>(pe)])
+      if (pe < q) out.emplace_back(pe, q);
+  return out;
+}
+
+Index steal_amount(Index victim_remaining, double w_thief, double w_victim) {
+  LSS_REQUIRE(victim_remaining >= 0, "negative remaining count");
+  LSS_REQUIRE(w_thief > 0.0 && w_victim > 0.0, "weights must be positive");
+  if (victim_remaining <= 1) return 0;  // not worth migrating
+  const double share = static_cast<double>(victim_remaining) * w_thief /
+                       (w_thief + w_victim);
+  Index amount = static_cast<Index>(std::floor(share));
+  if (amount >= victim_remaining) amount = victim_remaining - 1;
+  if (amount < 0) amount = 0;
+  return amount;
+}
+
+std::vector<Range> initial_allocation(Index total,
+                                      const std::vector<double>& weights) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+  LSS_REQUIRE(!weights.empty(), "need at least one weight");
+  double wsum = 0.0;
+  for (double w : weights) {
+    LSS_REQUIRE(w > 0.0, "weights must be positive");
+    wsum += w;
+  }
+  std::vector<Range> out;
+  out.reserve(weights.size());
+  Index cursor = 0;
+  double acc = 0.0;
+  for (std::size_t j = 0; j < weights.size(); ++j) {
+    acc += weights[j];
+    // Cumulative rounding keeps the partition exact and each range's
+    // size within 1 of its ideal share.
+    const Index end =
+        j + 1 == weights.size()
+            ? total
+            : static_cast<Index>(std::llround(
+                  static_cast<double>(total) * acc / wsum));
+    out.push_back(Range{cursor, end});
+    cursor = end;
+  }
+  LSS_ASSERT(cursor == total, "allocation must cover [0, total)");
+  return out;
+}
+
+}  // namespace lss::treesched

@@ -1,0 +1,45 @@
+// Partner topology for Tree Scheduling (Kim & Purtilo 1996).
+//
+// TreeS avoids master contention: slaves have *predefined partners*
+// and migrate load between themselves. We use the standard
+// hypercube-style pairing — PE i's partner list is i^1, i^2, i^4, ...
+// (dimensions of the enclosing hypercube, invalid ids skipped) —
+// which forms the binomial tree the original paper describes.
+#pragma once
+
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::treesched {
+
+class PartnerTree {
+ public:
+  explicit PartnerTree(int num_pes);
+
+  int num_pes() const { return num_pes_; }
+
+  /// Ordered partner list of `pe` (nearest hypercube dimension first).
+  const std::vector<int>& partners_of(int pe) const;
+
+  /// All (a, b) partner pairs with a < b, for diagnostics/tests.
+  std::vector<std::pair<int, int>> edges() const;
+
+ private:
+  int num_pes_;
+  std::vector<std::vector<int>> partners_;
+};
+
+/// Iterations a thief with weight `w_thief` takes from a victim with
+/// weight `w_victim` holding `victim_remaining` iterations:
+/// floor(remaining * w_thief / (w_thief + w_victim)). Equal weights
+/// give the classic "steal half". Never returns victim_remaining
+/// itself unless it is <= 1 (the victim keeps making progress).
+Index steal_amount(Index victim_remaining, double w_thief, double w_victim);
+
+/// Contiguous initial ranges proportional to weights (equal weights =
+/// the even split of the simple TreeS). The ranges partition [0, I).
+std::vector<Range> initial_allocation(Index total,
+                                      const std::vector<double>& weights);
+
+}  // namespace lss::treesched

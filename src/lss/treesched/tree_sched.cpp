@@ -1,0 +1,58 @@
+#include "lss/treesched/tree_sched.hpp"
+
+#include <algorithm>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::treesched {
+
+void WorkPool::add(Range r) {
+  if (r.empty()) return;
+  remaining_ += r.size();
+  ranges_.push_back(r);
+}
+
+Index WorkPool::pop_front() {
+  LSS_REQUIRE(!empty(), "pop_front on an empty pool");
+  Range& front = ranges_.front();
+  const Index i = front.begin++;
+  --remaining_;
+  if (front.empty()) ranges_.erase(ranges_.begin());
+  return i;
+}
+
+std::vector<Range> WorkPool::take_front(Index n) {
+  LSS_REQUIRE(n >= 0, "cannot take a negative count");
+  n = std::min(n, remaining_);
+  std::vector<Range> out;
+  while (n > 0) {
+    Range& front = ranges_.front();
+    const Index take = std::min(n, front.size());
+    out.push_back(Range{front.begin, front.begin + take});
+    front.begin += take;
+    remaining_ -= take;
+    n -= take;
+    if (front.empty()) ranges_.erase(ranges_.begin());
+  }
+  return out;
+}
+
+std::vector<Range> WorkPool::donate_back(Index n) {
+  LSS_REQUIRE(n >= 0, "cannot donate a negative count");
+  n = std::min(n, remaining_);
+  std::vector<Range> out;
+  while (n > 0) {
+    Range& back = ranges_.back();
+    const Index take = std::min(n, back.size());
+    out.push_back(Range{back.end - take, back.end});
+    back.end -= take;
+    remaining_ -= take;
+    n -= take;
+    if (back.empty()) ranges_.pop_back();
+  }
+  // Donated pieces were collected back-to-front; restore loop order.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace lss::treesched

@@ -1,0 +1,42 @@
+// Slave-side work pool for Tree Scheduling.
+//
+// Each TreeS slave owns a pool of iteration ranges: it executes from
+// the front and donates to idle partners from the back (the part it
+// would reach last), so migrated work is maximally "cold".
+#pragma once
+
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::treesched {
+
+class WorkPool {
+ public:
+  WorkPool() = default;
+
+  /// Appends a range to the back of the pool (ignores empty ranges).
+  void add(Range r);
+
+  bool empty() const { return remaining_ == 0; }
+  Index remaining() const { return remaining_; }
+
+  /// Next iteration to execute; pool must be non-empty.
+  Index pop_front();
+
+  /// Splits `n` iterations off the back (n clamped to remaining());
+  /// returns them as ranges ready to hand to a partner.
+  std::vector<Range> donate_back(Index n);
+
+  /// Splits `n` iterations off the front (n clamped to remaining()),
+  /// in loop order — used by group masters handing out local chunks.
+  std::vector<Range> take_front(Index n);
+
+  const std::vector<Range>& ranges() const { return ranges_; }
+
+ private:
+  std::vector<Range> ranges_;  // executed front-to-back
+  Index remaining_ = 0;
+};
+
+}  // namespace lss::treesched

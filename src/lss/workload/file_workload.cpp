@@ -1,0 +1,67 @@
+#include "lss/workload/file_workload.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss {
+
+FileWorkload::FileWorkload(std::vector<double> costs, std::string name)
+    : costs_(std::move(costs)), name_(std::move(name)) {
+  for (double c : costs_)
+    LSS_REQUIRE(c > 0.0, "trace costs must be positive");
+}
+
+FileWorkload FileWorkload::from_stream(std::istream& in, std::string name) {
+  std::vector<double> costs;
+  std::string raw;
+  int line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    std::string_view line = trim(raw);
+    const auto hash = line.find('#');
+    if (hash != std::string_view::npos) line = trim(line.substr(0, hash));
+    if (line.empty()) continue;
+    double v = 0.0;
+    try {
+      v = parse_double(line);
+    } catch (const ContractError&) {
+      LSS_REQUIRE(false, "trace line " + std::to_string(line_no) +
+                             ": not a number: '" + std::string(line) + "'");
+    }
+    LSS_REQUIRE(v > 0.0, "trace line " + std::to_string(line_no) +
+                             ": costs must be positive");
+    costs.push_back(v);
+  }
+  return FileWorkload(std::move(costs), std::move(name));
+}
+
+FileWorkload FileWorkload::from_string(std::string_view text,
+                                       std::string name) {
+  std::istringstream in{std::string(text)};
+  return from_stream(in, std::move(name));
+}
+
+FileWorkload FileWorkload::from_file(const std::string& path) {
+  std::ifstream in(path);
+  LSS_REQUIRE(in.good(), "cannot open workload trace: " + path);
+  // Name the workload after the file's basename.
+  const auto slash = path.find_last_of('/');
+  return from_stream(
+      in, slash == std::string::npos ? path : path.substr(slash + 1));
+}
+
+double FileWorkload::cost(Index i) const {
+  LSS_REQUIRE(i >= 0 && i < size(), "iteration index out of range");
+  return costs_[static_cast<std::size_t>(i)];
+}
+
+void FileWorkload::save(std::ostream& os) const {
+  os << "# lss workload trace: " << name_ << " (" << costs_.size()
+     << " iterations)\n";
+  for (double c : costs_) os << c << '\n';
+}
+
+}  // namespace lss

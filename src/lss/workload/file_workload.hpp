@@ -1,0 +1,39 @@
+// Trace-driven workload: per-iteration costs loaded from a text file
+// (one number per line, '#' comments) — so users can replay profiled
+// loops from real applications through the schedulers and simulator.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/workload/workload.hpp"
+
+namespace lss {
+
+class FileWorkload final : public Workload {
+ public:
+  /// Costs given directly (also the deserialization target).
+  explicit FileWorkload(std::vector<double> costs,
+                        std::string name = "trace");
+
+  static FileWorkload from_stream(std::istream& in,
+                                  std::string name = "trace");
+  static FileWorkload from_string(std::string_view text,
+                                  std::string name = "trace");
+  static FileWorkload from_file(const std::string& path);
+
+  std::string name() const override { return name_; }
+  Index size() const override { return static_cast<Index>(costs_.size()); }
+  double cost(Index i) const override;
+
+  /// Writes the profile in the same format (round-trips).
+  void save(std::ostream& os) const;
+
+ private:
+  std::vector<double> costs_;
+  std::string name_;
+};
+
+}  // namespace lss

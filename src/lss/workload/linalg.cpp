@@ -1,0 +1,59 @@
+#include "lss/workload/linalg.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/prng.hpp"
+
+namespace lss {
+
+SparseMatVecWorkload::SparseMatVecWorkload(Index rows, double mean_nnz,
+                                           double skew, std::uint64_t seed) {
+  LSS_REQUIRE(rows >= 0, "row count must be non-negative");
+  LSS_REQUIRE(mean_nnz >= 1.0, "mean nnz must be at least 1");
+  LSS_REQUIRE(skew > 0.0, "skew must be positive");
+  Xoshiro256 rng(seed);
+  nnz_.reserve(static_cast<std::size_t>(rows));
+  for (Index i = 0; i < rows; ++i) {
+    // Pareto-flavoured draw: nnz = mean * U^(-1/skew) normalized so
+    // the mean is roughly mean_nnz, truncated to keep rows sane.
+    const double u = 1.0 - rng.next_double();  // (0, 1]
+    const double pareto = std::pow(u, -1.0 / skew);
+    const double scale = mean_nnz * (skew > 1.0 ? (skew - 1.0) / skew : 0.5);
+    Index n = static_cast<Index>(scale * pareto);
+    if (n < 1) n = 1;
+    const Index cap = static_cast<Index>(mean_nnz * 100.0);
+    if (n > cap) n = cap;
+    nnz_.push_back(n);
+    total_ += n;
+  }
+}
+
+Index SparseMatVecWorkload::size() const {
+  return static_cast<Index>(nnz_.size());
+}
+
+double SparseMatVecWorkload::cost(Index i) const {
+  LSS_REQUIRE(i >= 0 && i < size(), "row index out of range");
+  return static_cast<double>(nnz_[static_cast<std::size_t>(i)]);
+}
+
+Index SparseMatVecWorkload::nnz(Index row) const {
+  LSS_REQUIRE(row >= 0 && row < size(), "row index out of range");
+  return nnz_[static_cast<std::size_t>(row)];
+}
+
+Index SparseMatVecWorkload::total_nnz() const { return total_; }
+
+TriangularWorkload::TriangularWorkload(Index rows, double flop_cost)
+    : rows_(rows), flop_cost_(flop_cost) {
+  LSS_REQUIRE(rows >= 0, "row count must be non-negative");
+  LSS_REQUIRE(flop_cost > 0.0, "flop cost must be positive");
+}
+
+double TriangularWorkload::cost(Index i) const {
+  LSS_REQUIRE(i >= 0 && i < rows_, "row index out of range");
+  return static_cast<double>(i + 1) * flop_cost_;
+}
+
+}  // namespace lss

@@ -1,0 +1,53 @@
+// Linear-algebra-flavoured loop workloads: the scientific kernels
+// whose parallel loops motivated the self-scheduling literature.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lss/workload/workload.hpp"
+
+namespace lss {
+
+/// Sparse matrix-vector product by rows: iteration i = row i, cost
+/// proportional to the row's nonzero count. Row populations follow a
+/// truncated power law (seeded), the classic source of irregular
+/// loops in scientific codes.
+class SparseMatVecWorkload final : public Workload {
+ public:
+  /// `rows` >= 0, `mean_nnz` >= 1, `skew` > 0 (larger = heavier tail;
+  /// 1.0 ~ mild, 2.0 ~ a few very dense rows).
+  SparseMatVecWorkload(Index rows, double mean_nnz, double skew,
+                       std::uint64_t seed);
+
+  std::string name() const override { return "spmv"; }
+  Index size() const override;
+  double cost(Index i) const override;
+
+  /// Row nonzero count (== cost; exposed for tests).
+  Index nnz(Index row) const;
+  Index total_nnz() const;
+
+ private:
+  std::vector<Index> nnz_;
+  Index total_ = 0;
+};
+
+/// Dense triangular solve by rows: row i depends on i prior entries,
+/// cost(i) = (i+1) * flop_cost. (The forward-substitution loop body;
+/// the *outer* loop here is assumed restructured to be parallel, as
+/// in wavefront formulations.)
+class TriangularWorkload final : public Workload {
+ public:
+  TriangularWorkload(Index rows, double flop_cost = 2.0);
+
+  std::string name() const override { return "triangular"; }
+  Index size() const override { return rows_; }
+  double cost(Index i) const override;
+
+ private:
+  Index rows_;
+  double flop_cost_;
+};
+
+}  // namespace lss

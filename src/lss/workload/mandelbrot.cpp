@@ -1,0 +1,111 @@
+#include "lss/workload/mandelbrot.hpp"
+
+#include <ostream>
+
+#include "lss/support/assert.hpp"
+
+namespace lss {
+
+MandelbrotParams MandelbrotParams::paper(int width, int height) {
+  MandelbrotParams p;
+  p.width = width;
+  p.height = height;
+  return p;
+}
+
+int mandelbrot_escape(double cx, double cy, int max_iter) {
+  double zx = 0.0, zy = 0.0;
+  int n = 0;
+  while (n < max_iter) {
+    const double zx2 = zx * zx;
+    const double zy2 = zy * zy;
+    ++n;
+    if (zx2 + zy2 > 4.0) break;
+    const double nzx = zx2 - zy2 + cx;
+    zy = 2.0 * zx * zy + cy;
+    zx = nzx;
+  }
+  return n;
+}
+
+MandelbrotWorkload::MandelbrotWorkload(MandelbrotParams params)
+    : params_(params) {
+  LSS_REQUIRE(params_.width > 0 && params_.height > 0,
+              "window must be non-empty");
+  LSS_REQUIRE(params_.max_iter > 0, "max_iter must be positive");
+  LSS_REQUIRE(params_.x_max > params_.x_min && params_.y_max > params_.y_min,
+              "domain must be non-empty");
+  column_cost_.resize(static_cast<std::size_t>(params_.width));
+  image_.assign(static_cast<std::size_t>(params_.width) *
+                    static_cast<std::size_t>(params_.height),
+                0);
+  for (int c = 0; c < params_.width; ++c) {
+    double sum = 0.0;
+    const double cx = col_x(c);
+    for (int r = 0; r < params_.height; ++r)
+      sum += mandelbrot_escape(cx, row_y(r), params_.max_iter);
+    column_cost_[static_cast<std::size_t>(c)] = sum;
+  }
+}
+
+std::string MandelbrotWorkload::name() const {
+  return "mandelbrot-" + std::to_string(params_.width) + "x" +
+         std::to_string(params_.height);
+}
+
+double MandelbrotWorkload::cost(Index i) const {
+  LSS_REQUIRE(i >= 0 && i < size(), "column index out of range");
+  return column_cost_[static_cast<std::size_t>(i)];
+}
+
+void MandelbrotWorkload::execute(Index i) {
+  LSS_REQUIRE(i >= 0 && i < size(), "column index out of range");
+  const int c = static_cast<int>(i);
+  const double cx = col_x(c);
+  const std::size_t base = static_cast<std::size_t>(c) *
+                           static_cast<std::size_t>(params_.height);
+  for (int r = 0; r < params_.height; ++r)
+    image_[base + static_cast<std::size_t>(r)] = static_cast<std::uint16_t>(
+        mandelbrot_escape(cx, row_y(r), params_.max_iter));
+}
+
+int MandelbrotWorkload::pixel(int col, int row) const {
+  LSS_REQUIRE(col >= 0 && col < params_.width, "column out of range");
+  LSS_REQUIRE(row >= 0 && row < params_.height, "row out of range");
+  return mandelbrot_escape(col_x(col), row_y(row), params_.max_iter);
+}
+
+void MandelbrotWorkload::render_pgm(std::ostream& os) {
+  for (Index i = 0; i < size(); ++i) execute(i);
+  os << "P5\n" << params_.width << ' ' << params_.height << "\n255\n";
+  // PGM is row-major; the buffer is column-major.
+  for (int r = 0; r < params_.height; ++r) {
+    for (int c = 0; c < params_.width; ++c) {
+      const std::uint16_t v =
+          image_[static_cast<std::size_t>(c) *
+                     static_cast<std::size_t>(params_.height) +
+                 static_cast<std::size_t>(r)];
+      // Interior points (v == max_iter) render black; exterior shaded
+      // by escape speed.
+      const unsigned char shade =
+          v >= params_.max_iter
+              ? 0
+              : static_cast<unsigned char>(255 - (v * 255) / params_.max_iter);
+      os.put(static_cast<char>(shade));
+    }
+  }
+}
+
+double MandelbrotWorkload::col_x(int col) const {
+  return params_.x_min + (params_.x_max - params_.x_min) *
+                             (static_cast<double>(col) + 0.5) /
+                             static_cast<double>(params_.width);
+}
+
+double MandelbrotWorkload::row_y(int row) const {
+  return params_.y_min + (params_.y_max - params_.y_min) *
+                             (static_cast<double>(row) + 0.5) /
+                             static_cast<double>(params_.height);
+}
+
+}  // namespace lss

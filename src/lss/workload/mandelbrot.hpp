@@ -1,0 +1,66 @@
+// Mandelbrot-set workload — the paper's test problem (§2.1, Figures 1-2).
+//
+// One loop iteration computes one image *column* (the smallest
+// schedulable unit in the paper). The cost of a column is the total
+// number of escape-test iterations over its pixels, which is exactly
+// the "number of basic computations" plotted in Figure 1.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "lss/workload/workload.hpp"
+
+namespace lss {
+
+struct MandelbrotParams {
+  int width = 4000;   ///< columns == loop iterations
+  int height = 2000;  ///< pixels per column
+  double x_min = -2.0;
+  double x_max = 1.25;
+  double y_min = -1.25;
+  double y_max = 1.25;
+  int max_iter = 100;  ///< escape-iteration cap
+
+  /// The paper's window on the classic domain.
+  static MandelbrotParams paper(int width = 4000, int height = 2000);
+};
+
+/// Escape count of a single point c = (cx, cy); in [1, max_iter].
+int mandelbrot_escape(double cx, double cy, int max_iter);
+
+class MandelbrotWorkload final : public Workload {
+ public:
+  explicit MandelbrotWorkload(MandelbrotParams params);
+
+  std::string name() const override;
+  Index size() const override { return params_.width; }
+  /// Total escape iterations of column i (precomputed at construction).
+  double cost(Index i) const override;
+  /// Recomputes column i into the image buffer (real CPU work).
+  void execute(Index i) override;
+
+  const MandelbrotParams& params() const { return params_; }
+
+  /// Escape count of pixel (col, row) — recomputed on the fly.
+  int pixel(int col, int row) const;
+
+  /// Image buffer (column-major, width*height entries); only columns
+  /// that were execute()d are populated, others are zero.
+  const std::vector<std::uint16_t>& image() const { return image_; }
+
+  /// Executes every column and writes a binary PGM (Figure 2).
+  void render_pgm(std::ostream& os);
+
+ private:
+  double col_x(int col) const;
+  double row_y(int row) const;
+
+  MandelbrotParams params_;
+  std::vector<double> column_cost_;
+  std::vector<std::uint16_t> image_;
+};
+
+}  // namespace lss

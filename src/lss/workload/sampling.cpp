@@ -1,0 +1,40 @@
+#include "lss/workload/sampling.hpp"
+
+#include <utility>
+
+#include "lss/support/assert.hpp"
+
+namespace lss {
+
+std::vector<Index> sampling_permutation(Index n, Index sampling_frequency) {
+  LSS_REQUIRE(n >= 0, "size must be non-negative");
+  LSS_REQUIRE(sampling_frequency >= 1, "S_f must be at least 1");
+  std::vector<Index> perm;
+  perm.reserve(static_cast<std::size_t>(n));
+  for (Index phase = 0; phase < sampling_frequency; ++phase)
+    for (Index i = phase; i < n; i += sampling_frequency)
+      perm.push_back(i);
+  return perm;
+}
+
+std::vector<Index> inverse_permutation(std::span<const Index> perm) {
+  const Index n = static_cast<Index>(perm.size());
+  std::vector<Index> inv(perm.size(), Index{-1});
+  for (Index k = 0; k < n; ++k) {
+    const Index p = perm[static_cast<std::size_t>(k)];
+    LSS_REQUIRE(p >= 0 && p < n, "not a permutation: index out of range");
+    LSS_REQUIRE(inv[static_cast<std::size_t>(p)] == -1,
+                "not a permutation: duplicate index");
+    inv[static_cast<std::size_t>(p)] = k;
+  }
+  return inv;
+}
+
+std::shared_ptr<PermutedWorkload> sampled(
+    std::shared_ptr<const Workload> base, Index sampling_frequency) {
+  LSS_REQUIRE(base != nullptr, "null base workload");
+  auto perm = sampling_permutation(base->size(), sampling_frequency);
+  return std::make_shared<PermutedWorkload>(std::move(base), std::move(perm));
+}
+
+}  // namespace lss

@@ -1,0 +1,27 @@
+// Sampled loop reordering (§2.1): with sampling frequency S_f, take
+// first the iterations with i mod S_f == 0, then i mod S_f == 1, ...
+// For peaked/irregular loops this spreads the expensive region across
+// the schedule, making the loop "appear more uniform" (Figure 1b).
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "lss/support/types.hpp"
+#include "lss/workload/workload.hpp"
+
+namespace lss {
+
+/// perm[k] = original index of the iteration executed at position k.
+/// sampling_permutation(8, 4) == {0,4, 1,5, 2,6, 3,7}.
+std::vector<Index> sampling_permutation(Index n, Index sampling_frequency);
+
+/// inv[perm[k]] == k. Requires perm to be a permutation of 0..n-1.
+std::vector<Index> inverse_permutation(std::span<const Index> perm);
+
+/// Convenience: wrap a workload in its S_f-sampled reordering.
+std::shared_ptr<PermutedWorkload> sampled(
+    std::shared_ptr<const Workload> base, Index sampling_frequency);
+
+}  // namespace lss

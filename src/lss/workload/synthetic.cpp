@@ -1,0 +1,118 @@
+#include "lss/workload/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/prng.hpp"
+
+namespace lss {
+
+namespace {
+void check_iterations(Index iterations) {
+  LSS_REQUIRE(iterations >= 0, "iteration count must be non-negative");
+}
+void check_index(Index i, Index n) {
+  LSS_REQUIRE(i >= 0 && i < n, "iteration index out of range");
+}
+}  // namespace
+
+UniformWorkload::UniformWorkload(Index iterations, double body_cost)
+    : iterations_(iterations), body_cost_(body_cost) {
+  check_iterations(iterations);
+  LSS_REQUIRE(body_cost > 0.0, "body cost must be positive");
+}
+
+double UniformWorkload::cost(Index i) const {
+  check_index(i, iterations_);
+  return body_cost_;
+}
+
+LinearIncreasingWorkload::LinearIncreasingWorkload(Index iterations,
+                                                   double body_cost)
+    : iterations_(iterations), body_cost_(body_cost) {
+  check_iterations(iterations);
+  LSS_REQUIRE(body_cost > 0.0, "body cost must be positive");
+}
+
+double LinearIncreasingWorkload::cost(Index i) const {
+  check_index(i, iterations_);
+  return static_cast<double>(i + 1) * body_cost_;
+}
+
+LinearDecreasingWorkload::LinearDecreasingWorkload(Index iterations,
+                                                   double body_cost)
+    : iterations_(iterations), body_cost_(body_cost) {
+  check_iterations(iterations);
+  LSS_REQUIRE(body_cost > 0.0, "body cost must be positive");
+}
+
+double LinearDecreasingWorkload::cost(Index i) const {
+  check_index(i, iterations_);
+  return static_cast<double>(iterations_ - i) * body_cost_;
+}
+
+ConditionalWorkload::ConditionalWorkload(Index iterations, double then_cost,
+                                         double else_cost,
+                                         double then_probability,
+                                         std::uint64_t seed) {
+  check_iterations(iterations);
+  LSS_REQUIRE(then_cost > 0.0 && else_cost > 0.0, "costs must be positive");
+  LSS_REQUIRE(then_probability >= 0.0 && then_probability <= 1.0,
+              "probability must be in [0, 1]");
+  Xoshiro256 rng(seed);
+  cost_.reserve(static_cast<std::size_t>(iterations));
+  for (Index i = 0; i < iterations; ++i)
+    cost_.push_back(rng.next_double() < then_probability ? then_cost
+                                                         : else_cost);
+}
+
+Index ConditionalWorkload::size() const {
+  return static_cast<Index>(cost_.size());
+}
+
+double ConditionalWorkload::cost(Index i) const {
+  check_index(i, size());
+  return cost_[static_cast<std::size_t>(i)];
+}
+
+IrregularWorkload::IrregularWorkload(Index iterations, double mu,
+                                     double sigma, std::uint64_t seed) {
+  check_iterations(iterations);
+  LSS_REQUIRE(sigma >= 0.0, "sigma must be non-negative");
+  Xoshiro256 rng(seed);
+  cost_.reserve(static_cast<std::size_t>(iterations));
+  for (Index i = 0; i < iterations; ++i)
+    cost_.push_back(std::max(1.0, std::exp(mu + sigma * rng.next_normal())));
+}
+
+Index IrregularWorkload::size() const {
+  return static_cast<Index>(cost_.size());
+}
+
+double IrregularWorkload::cost(Index i) const {
+  check_index(i, size());
+  return cost_[static_cast<std::size_t>(i)];
+}
+
+PeakedWorkload::PeakedWorkload(Index iterations, double base,
+                               double amplitude, double center_fraction,
+                               double width_fraction)
+    : iterations_(iterations),
+      base_(base),
+      amplitude_(amplitude),
+      center_(center_fraction * static_cast<double>(iterations)),
+      width_(width_fraction * static_cast<double>(iterations)) {
+  check_iterations(iterations);
+  LSS_REQUIRE(base > 0.0, "base cost must be positive");
+  LSS_REQUIRE(amplitude >= 0.0, "amplitude must be non-negative");
+  LSS_REQUIRE(width_fraction > 0.0, "width must be positive");
+}
+
+double PeakedWorkload::cost(Index i) const {
+  check_index(i, iterations_);
+  const double d = (static_cast<double>(i) - center_) / width_;
+  return base_ + amplitude_ * std::exp(-d * d);
+}
+
+}  // namespace lss

@@ -1,0 +1,99 @@
+// Synthetic parallel-loop styles from §2.1 of the paper: uniform,
+// linearly increasing/decreasing, conditional, plus irregular
+// (random) and peaked profiles for stress-testing schedulers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lss/workload/workload.hpp"
+
+namespace lss {
+
+/// DOALL K=1..I with identical bodies: cost(i) = body_cost.
+class UniformWorkload final : public Workload {
+ public:
+  UniformWorkload(Index iterations, double body_cost);
+  std::string name() const override { return "uniform"; }
+  Index size() const override { return iterations_; }
+  double cost(Index i) const override;
+
+ private:
+  Index iterations_;
+  double body_cost_;
+};
+
+/// Increasing triangular loop: iteration i runs an inner serial loop of
+/// i+1 bodies, so cost(i) = (i+1) * body_cost.
+class LinearIncreasingWorkload final : public Workload {
+ public:
+  LinearIncreasingWorkload(Index iterations, double body_cost);
+  std::string name() const override { return "linear-increasing"; }
+  Index size() const override { return iterations_; }
+  double cost(Index i) const override;
+
+ private:
+  Index iterations_;
+  double body_cost_;
+};
+
+/// Decreasing triangular loop: cost(i) = (I - i) * body_cost.
+class LinearDecreasingWorkload final : public Workload {
+ public:
+  LinearDecreasingWorkload(Index iterations, double body_cost);
+  std::string name() const override { return "linear-decreasing"; }
+  Index size() const override { return iterations_; }
+  double cost(Index i) const override;
+
+ private:
+  Index iterations_;
+  double body_cost_;
+};
+
+/// IF(cond) Block1 ELSE Block2: a seeded Bernoulli draw picks the
+/// branch per iteration (fixed at construction, deterministic).
+class ConditionalWorkload final : public Workload {
+ public:
+  ConditionalWorkload(Index iterations, double then_cost, double else_cost,
+                      double then_probability, std::uint64_t seed);
+  std::string name() const override { return "conditional"; }
+  Index size() const override;
+  double cost(Index i) const override;
+
+ private:
+  std::vector<double> cost_;
+};
+
+/// Unpredictable irregular loop: log-normal iteration costs
+/// exp(mu + sigma * N(0,1)), clamped below at 1.
+class IrregularWorkload final : public Workload {
+ public:
+  IrregularWorkload(Index iterations, double mu, double sigma,
+                    std::uint64_t seed);
+  std::string name() const override { return "irregular"; }
+  Index size() const override;
+  double cost(Index i) const override;
+
+ private:
+  std::vector<double> cost_;
+};
+
+/// Smooth Mandelbrot-like hump: base + amplitude * exp(-((i-c)/w)^2).
+class PeakedWorkload final : public Workload {
+ public:
+  PeakedWorkload(Index iterations, double base, double amplitude,
+                 double center_fraction, double width_fraction);
+  std::string name() const override { return "peaked"; }
+  Index size() const override { return iterations_; }
+  double cost(Index i) const override;
+
+ private:
+  Index iterations_;
+  double base_;
+  double amplitude_;
+  double center_;
+  double width_;
+};
+
+}  // namespace lss

@@ -1,0 +1,60 @@
+#include "lss/workload/workload.hpp"
+
+#include <utility>
+
+namespace lss {
+
+namespace {
+// Sink defeating dead-code elimination of the default spin loop.
+volatile double g_burn_sink = 0.0;
+}  // namespace
+
+void Workload::execute(Index i) {
+  const double ops = cost(i);
+  double acc = 0.0;
+  for (double k = 0.0; k < ops; k += 1.0) acc += k * 1e-9;
+  g_burn_sink = acc;
+}
+
+double total_cost(const Workload& w) {
+  double sum = 0.0;
+  for (Index i = 0; i < w.size(); ++i) sum += w.cost(i);
+  return sum;
+}
+
+std::vector<double> cost_profile(const Workload& w) {
+  std::vector<double> out;
+  out.reserve(static_cast<std::size_t>(w.size()));
+  for (Index i = 0; i < w.size(); ++i) out.push_back(w.cost(i));
+  return out;
+}
+
+PermutedWorkload::PermutedWorkload(std::shared_ptr<const Workload> base,
+                                   std::vector<Index> perm)
+    : base_(std::move(base)), perm_(std::move(perm)) {
+  LSS_REQUIRE(base_ != nullptr, "null base workload");
+  LSS_REQUIRE(static_cast<Index>(perm_.size()) == base_->size(),
+              "permutation size must match workload size");
+  for (Index p : perm_)
+    LSS_REQUIRE(p >= 0 && p < base_->size(), "permutation index out of range");
+}
+
+std::string PermutedWorkload::name() const {
+  return base_->name() + "+permuted";
+}
+
+double PermutedWorkload::cost(Index i) const {
+  LSS_REQUIRE(i >= 0 && i < size(), "iteration index out of range");
+  return base_->cost(perm_[static_cast<std::size_t>(i)]);
+}
+
+void PermutedWorkload::execute(Index i) {
+  LSS_REQUIRE(i >= 0 && i < size(), "iteration index out of range");
+  // `execute` is non-const on the interface; the shared base is held
+  // const because permuted views may share it. Mandelbrot's execute
+  // only recomputes pure per-column values, so a const_cast would be
+  // safe, but we keep the API honest and re-derive work from cost.
+  Workload::execute(i);
+}
+
+}  // namespace lss

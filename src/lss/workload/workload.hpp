@@ -1,0 +1,57 @@
+// Parallel-loop workload abstraction.
+//
+// A Workload is a loop of `size()` independent iterations (tasks).
+// Schedulers only see indices; the simulator uses `cost(i)` (abstract
+// "basic operations", the paper's unit in Figure 1) to advance time,
+// and the real threaded runtime calls `execute(i)` to burn actual CPU.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss {
+
+class Workload {
+ public:
+  virtual ~Workload() = default;
+
+  virtual std::string name() const = 0;
+  /// Number of iterations I.
+  virtual Index size() const = 0;
+  /// Basic-operation count of iteration i in [0, size()).
+  virtual double cost(Index i) const = 0;
+  /// Perform iteration i for real (used by lss::rt). The default
+  /// implementation spins proportionally to cost(i).
+  virtual void execute(Index i);
+};
+
+/// Sum of cost(i) over the whole loop.
+double total_cost(const Workload& w);
+
+/// cost(i) for every i, in order — the loop's "distribution" as in
+/// the paper's Figure 1.
+std::vector<double> cost_profile(const Workload& w);
+
+/// View of a workload through an index permutation: iteration k of the
+/// view is iteration perm[k] of the base. Used for sampled reordering.
+class PermutedWorkload final : public Workload {
+ public:
+  PermutedWorkload(std::shared_ptr<const Workload> base,
+                   std::vector<Index> perm);
+
+  std::string name() const override;
+  Index size() const override { return static_cast<Index>(perm_.size()); }
+  double cost(Index i) const override;
+  void execute(Index i) override;
+
+  const std::vector<Index>& permutation() const { return perm_; }
+
+ private:
+  std::shared_ptr<const Workload> base_;
+  std::vector<Index> perm_;
+};
+
+}  // namespace lss

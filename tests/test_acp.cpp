@@ -1,0 +1,90 @@
+// Available-computing-power model tests, anchored on the worked
+// examples of the paper's §3.1 and §5.2.
+#include <gtest/gtest.h>
+
+#include "lss/cluster/acp.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::cluster {
+namespace {
+
+TEST(AcpInteger, Section31Example) {
+  // V = 2 with one extra process: A = floor(2/2) = 1 — "behaves just
+  // like the slowest processor".
+  const AcpPolicy p = AcpPolicy::original_dtss();
+  EXPECT_DOUBLE_EQ(compute_acp(2.0, 2, p), 1.0);
+}
+
+TEST(AcpInteger, Section52StarvationExample) {
+  // V1=1,Q1=2 and V2=3,Q2=3 both floor to 0 under the original rule:
+  // "there is no available computing power".
+  const AcpPolicy p = AcpPolicy::original_dtss();
+  EXPECT_DOUBLE_EQ(compute_acp(1.0, 2, p), 0.0);
+  // floor(3/3) = 1 >= a_min, but with Q2 = 4 it starves too.
+  EXPECT_DOUBLE_EQ(compute_acp(3.0, 4, p), 0.0);
+}
+
+TEST(AcpDecimal, Section52FixedValues) {
+  // A1 = floor(10 * 1/2) = 5, A2 = floor(10 * 3/4) = 7, A = 12.
+  const AcpPolicy p = AcpPolicy::improved(10.0, /*a_min=*/1.0);
+  const double a1 = compute_acp(1.0, 2, p);
+  const double a2 = compute_acp(3.0, 4, p);
+  EXPECT_DOUBLE_EQ(a1, 5.0);
+  EXPECT_DOUBLE_EQ(a2, 7.0);
+  EXPECT_DOUBLE_EQ(a1 + a2, 12.0);
+}
+
+TEST(AcpDecimal, FractionalVirtualPower) {
+  // §5.2 (II): V = 3.4, Q = 4 -> A = floor(0.85 * 10) = 8 (the
+  // integer model would underestimate at 7).
+  const AcpPolicy dec = AcpPolicy::improved(10.0);
+  EXPECT_DOUBLE_EQ(compute_acp(3.4, 4, dec), 8.0);
+}
+
+TEST(AcpDecimal, AminExcludesSlowMachines) {
+  // §5.2: with A_min = 6, the V=1,Q=2 machine (A=5) is declared
+  // unavailable while V=3,Q=4 (A=7) stays usable.
+  const AcpPolicy p = AcpPolicy::improved(10.0, /*a_min=*/6.0);
+  EXPECT_DOUBLE_EQ(compute_acp(1.0, 2, p), 0.0);
+  EXPECT_DOUBLE_EQ(compute_acp(3.0, 4, p), 7.0);
+  EXPECT_FALSE(is_available(1.0, 2, p));
+  EXPECT_TRUE(is_available(3.0, 4, p));
+}
+
+TEST(AcpExact, NoFlooring) {
+  const AcpPolicy p{AcpMode::Exact, 10.0, 0.0};
+  EXPECT_DOUBLE_EQ(compute_acp(1.0, 3, p), 10.0 / 3.0);
+}
+
+TEST(Acp, DedicatedMachineKeepsFullPower) {
+  EXPECT_DOUBLE_EQ(compute_acp(3.0, 1, AcpPolicy::improved(10.0)), 30.0);
+  EXPECT_DOUBLE_EQ(compute_acp(3.0, 1, AcpPolicy::original_dtss()), 3.0);
+}
+
+TEST(Acp, MoreLoadNeverIncreasesPower) {
+  const AcpPolicy p = AcpPolicy::improved(10.0);
+  double prev = compute_acp(3.0, 1, p);
+  for (int q = 2; q <= 12; ++q) {
+    const double a = compute_acp(3.0, q, p);
+    EXPECT_LE(a, prev);
+    prev = a;
+  }
+}
+
+TEST(Acp, RejectsBadArgs) {
+  const AcpPolicy p = AcpPolicy::improved();
+  EXPECT_THROW(compute_acp(0.0, 1, p), ContractError);
+  EXPECT_THROW(compute_acp(1.0, 0, p), ContractError);
+  AcpPolicy bad = p;
+  bad.scale = 0.0;
+  EXPECT_THROW(compute_acp(1.0, 1, bad), ContractError);
+}
+
+TEST(Acp, ModeNames) {
+  EXPECT_EQ(to_string(AcpMode::Integer), "integer");
+  EXPECT_EQ(to_string(AcpMode::DecimalScaled), "decimal");
+  EXPECT_EQ(to_string(AcpMode::Exact), "exact");
+}
+
+}  // namespace
+}  // namespace lss::cluster

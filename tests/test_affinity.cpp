@@ -1,0 +1,136 @@
+// Affinity scheduling (Markatos & LeBlanc; the paper's ref. [12]).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "lss/rt/affinity.hpp"
+#include "lss/rt/parallel_for.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+namespace {
+
+TEST(Affinity, ComputesEveryIndexExactlyOnce) {
+  const Index n = 10000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  const auto r = affinity_parallel_for(
+      0, n, [&](Index i) { ++hits[static_cast<std::size_t>(i)]; },
+      {.num_threads = 4});
+  EXPECT_EQ(r.iterations, n);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Affinity, RespectsNonZeroBegin) {
+  std::atomic<long long> sum{0};
+  affinity_parallel_for(1000, 1100, [&](Index i) { sum += i; },
+                        {.num_threads = 3});
+  long long want = 0;
+  for (Index i = 1000; i < 1100; ++i) want += i;
+  EXPECT_EQ(sum.load(), want);
+}
+
+TEST(Affinity, SingleThreadProcessesOwnQueueInOrder) {
+  std::vector<Index> seen;
+  affinity_parallel_for(0, 64, [&](Index i) { seen.push_back(i); },
+                        {.num_threads = 1});
+  ASSERT_EQ(seen.size(), 64u);
+  for (Index i = 0; i < 64; ++i)
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Affinity, EmptyRangeIsANoop) {
+  int calls = 0;
+  const auto r =
+      affinity_parallel_for(3, 3, [&](Index) { ++calls; }, {.num_threads = 2});
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(Affinity, ImbalancedBodyTriggersStealing) {
+  // The first quarter of the loop is ~100x more expensive; the
+  // loaded partition's owner cannot finish everything alone — the
+  // cheap-partition threads steal its tail.
+  const Index n = 2000;
+  std::atomic<long long> sink{0};
+  const auto r = affinity_parallel_for(
+      0, n,
+      [&](Index i) {
+        long long acc = 0;
+        const long long reps = i < n / 4 ? 200000 : 2000;
+        for (long long k = 0; k < reps; ++k) acc += k;
+        sink += acc;
+      },
+      {.num_threads = 4});
+  EXPECT_EQ(r.iterations, n);
+  // The overloaded owner did not execute the whole loop, and the
+  // total chunk count exceeds the 4 initial whole-queue grabs of a
+  // k=p schedule's first round.
+  EXPECT_LT(r.iterations_per_thread[0], n);
+  EXPECT_GT(r.chunks, 4);
+}
+
+TEST(Affinity, KParameterControlsChunking) {
+  // k = 1: each worker takes its whole queue in one chunk.
+  const auto r = affinity_parallel_for(0, 400, [](Index) {},
+                                       {.num_threads = 4, .k = 1});
+  EXPECT_EQ(r.iterations, 400);
+  EXPECT_LE(r.chunks, 8);  // p initial chunks (+ rare steal races)
+}
+
+TEST(Affinity, BodyExceptionPropagates) {
+  EXPECT_THROW(affinity_parallel_for(
+                   0, 1000,
+                   [](Index i) {
+                     if (i == 500) throw std::runtime_error("boom");
+                   },
+                   {.num_threads = 4}),
+               std::runtime_error);
+}
+
+TEST(Affinity, ViaParallelForSchemeString) {
+  std::atomic<long long> sum{0};
+  const auto r = parallel_for(0, 1000, [&](Index i) { sum += i; },
+                              {.scheme = "affinity", .num_threads = 4});
+  EXPECT_EQ(sum.load(), 1000LL * 999 / 2);
+  EXPECT_EQ(r.iterations, 1000);
+}
+
+TEST(Affinity, ViaParallelForWithK) {
+  const auto r = parallel_for(0, 400, [](Index) {},
+                              {.scheme = "affinity:k=1", .num_threads = 4});
+  EXPECT_LE(r.chunks, 8);
+}
+
+TEST(Affinity, BadSchemeStringThrows) {
+  EXPECT_THROW(parallel_for(0, 10, [](Index) {},
+                            {.scheme = "affinity:q=2"}),
+               ContractError);
+  EXPECT_THROW(parallel_for(0, 10, [](Index) {},
+                            {.scheme = "affinity:k=0"}),
+               ContractError);
+}
+
+TEST(Affinity, ValidationMirrorsParallelFor) {
+  EXPECT_THROW(affinity_parallel_for(0, 10, nullptr), ContractError);
+  EXPECT_THROW(affinity_parallel_for(10, 0, [](Index) {}), ContractError);
+}
+
+TEST(Affinity, ManyThreadsManyIterationsStress) {
+  const Index n = 100000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  const auto r = affinity_parallel_for(
+      0, n, [&](Index i) { ++hits[static_cast<std::size_t>(i)]; },
+      {.num_threads = 8, .k = 4});
+  EXPECT_EQ(r.iterations, n);
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+  const Index per_total = std::accumulate(
+      r.iterations_per_thread.begin(), r.iterations_per_thread.end(),
+      Index{0});
+  EXPECT_EQ(per_total, n);
+}
+
+}  // namespace
+}  // namespace lss::rt

@@ -1,0 +1,83 @@
+// Closed-form chunk-count predictions vs the actual generators.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+#include <tuple>
+
+#include "lss/sched/analysis.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+namespace {
+
+Index actual_chunks(const std::string& spec, Index total, int p) {
+  auto s = make_scheduler(spec, total, p);
+  return static_cast<Index>(chunk_sizes(*s).size());
+}
+
+TEST(Analysis, ExactForDeterministicSchemes) {
+  EXPECT_EQ(predicted_chunks("static", 1000, 4), 4);
+  EXPECT_EQ(predicted_chunks("static", 2, 4), 2);
+  EXPECT_EQ(predicted_chunks("ss", 1000, 4), 1000);
+  EXPECT_EQ(predicted_chunks("css:k=64", 1000, 4), 16);
+  EXPECT_EQ(predicted_chunks("fiss", 1000, 4),
+            actual_chunks("fiss", 1000, 4));
+}
+
+TEST(Analysis, TssMatchesTheGeneratorExactly) {
+  // The quadratic model accounts for the integer decrement's
+  // over-coverage, so it hits the assigned count to within a step.
+  for (Index total : {Index{1000}, Index{4000}, Index{12345}}) {
+    for (int p : {2, 4, 8}) {
+      const Index pred = predicted_chunks("tss", total, p);
+      const Index act = actual_chunks("tss", total, p);
+      EXPECT_LE(std::llabs(pred - act), 1) << "I=" << total << " p=" << p;
+    }
+  }
+}
+
+class AnalysisSweep
+    : public ::testing::TestWithParam<std::tuple<std::string, Index, int>> {};
+
+TEST_P(AnalysisSweep, PredictionWithinHalfOfActual) {
+  const auto& [spec, total, p] = GetParam();
+  const Index pred = predicted_chunks(spec, total, p);
+  const Index act = actual_chunks(spec, total, p);
+  EXPECT_GE(pred, act / 2) << "actual " << act;
+  EXPECT_LE(pred, 2 * act + 2 * p) << "actual " << act;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AnalysisSweep,
+    ::testing::Combine(::testing::Values("gss", "tss", "fss", "tfss",
+                                         "sss", "fiss"),
+                       ::testing::Values<Index>(500, 4000, 20000),
+                       ::testing::Values(2, 4, 8, 16)),
+    [](const auto& pi) {
+      return std::get<0>(pi.param) + "_I" +
+             std::to_string(std::get<1>(pi.param)) + "_p" +
+             std::to_string(std::get<2>(pi.param));
+    });
+
+TEST(Analysis, MasterTimeScalesWithChunks) {
+  const double t_ss = predicted_master_time("ss", 1000, 4, 1e-3);
+  const double t_tss = predicted_master_time("tss", 1000, 4, 1e-3);
+  EXPECT_DOUBLE_EQ(t_ss, (1000 + 4) * 1e-3);
+  EXPECT_LT(t_tss, t_ss / 10.0);
+}
+
+TEST(Analysis, EmptyLoopNeedsNoChunks) {
+  EXPECT_EQ(predicted_chunks("gss", 0, 4), 0);
+}
+
+TEST(Analysis, UnknownSchemeThrows) {
+  EXPECT_THROW(predicted_chunks("bogus", 100, 2), ContractError);
+  EXPECT_THROW(predicted_chunks("wf", 100, 0), ContractError);
+  EXPECT_THROW(predicted_master_time("ss", 100, 2, -1.0), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::sched

@@ -1,0 +1,77 @@
+// ClusterSpec builders and invariants.
+#include <gtest/gtest.h>
+
+#include "lss/cluster/cluster.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::cluster {
+namespace {
+
+TEST(Link, TransferTime) {
+  LinkSpec l;
+  l.bandwidth_bps = 1e6;
+  EXPECT_DOUBLE_EQ(l.transfer_time(5e5), 0.5);
+  EXPECT_THROW(l.transfer_time(-1.0), ContractError);
+}
+
+TEST(Cluster, HomogeneousBuilder) {
+  const ClusterSpec c = homogeneous_cluster(4, 2e6);
+  EXPECT_EQ(c.num_slaves(), 4);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(c.slave(i).speed, 2e6);
+    EXPECT_DOUBLE_EQ(c.slave(i).virtual_power, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(c.total_virtual_power(), 4.0);
+  EXPECT_DOUBLE_EQ(c.max_speed(), 2e6);
+}
+
+TEST(Cluster, PaperClusterShape) {
+  const ClusterSpec c = paper_cluster(3, 5);
+  ASSERT_EQ(c.num_slaves(), 8);
+  // Fast PEs first: 3x speed, 100 Mbit links.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(c.slave(i).virtual_power, 3.0);
+    EXPECT_DOUBLE_EQ(c.slave(i).link.bandwidth_bps, 100e6 / 8.0);
+  }
+  for (int i = 3; i < 8; ++i) {
+    EXPECT_DOUBLE_EQ(c.slave(i).virtual_power, 1.0);
+    EXPECT_DOUBLE_EQ(c.slave(i).link.bandwidth_bps, 10e6 / 8.0);
+  }
+  EXPECT_DOUBLE_EQ(c.total_virtual_power(), 14.0);
+}
+
+TEST(Cluster, PaperConfigurationsPerP) {
+  EXPECT_EQ(paper_cluster_for_p(1).num_slaves(), 1);
+  EXPECT_EQ(paper_cluster_for_p(2).num_slaves(), 2);
+  EXPECT_EQ(paper_cluster_for_p(4).num_slaves(), 4);
+  EXPECT_EQ(paper_cluster_for_p(8).num_slaves(), 8);
+  // p=4: 2 fast + 2 slow (paper §5.1).
+  const ClusterSpec c4 = paper_cluster_for_p(4);
+  EXPECT_DOUBLE_EQ(c4.slave(0).virtual_power, 3.0);
+  EXPECT_DOUBLE_EQ(c4.slave(1).virtual_power, 3.0);
+  EXPECT_DOUBLE_EQ(c4.slave(2).virtual_power, 1.0);
+  EXPECT_THROW(paper_cluster_for_p(3), ContractError);
+}
+
+TEST(Cluster, VirtualPowersVector) {
+  const auto v = paper_cluster(1, 2).virtual_powers();
+  EXPECT_EQ(v, (std::vector<double>{3.0, 1.0, 1.0}));
+}
+
+TEST(Cluster, NormalizeVirtualPowers) {
+  ClusterSpec c({NodeSpec{"a", 4e6, 4.0, {}}, NodeSpec{"b", 2e6, 2.0, {}}});
+  c.normalize_virtual_powers();
+  EXPECT_DOUBLE_EQ(c.slave(0).virtual_power, 2.0);
+  EXPECT_DOUBLE_EQ(c.slave(1).virtual_power, 1.0);
+}
+
+TEST(Cluster, Validation) {
+  EXPECT_THROW(ClusterSpec({NodeSpec{"x", 0.0, 1.0, {}}}), ContractError);
+  EXPECT_THROW(ClusterSpec({NodeSpec{"x", 1.0, 0.0, {}}}), ContractError);
+  EXPECT_THROW(homogeneous_cluster(0), ContractError);
+  const ClusterSpec c = homogeneous_cluster(2);
+  EXPECT_THROW(c.slave(2), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::cluster

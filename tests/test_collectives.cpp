@@ -1,0 +1,117 @@
+// MPI-style collectives over the in-process communicator.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/collectives.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+namespace {
+
+// Runs `fn(rank)` on `n` threads (rank 0 on the caller's thread).
+template <typename F>
+void run_ranks(int n, F fn) {
+  Comm comm(n);
+  std::vector<std::thread> threads;
+  for (int r = 1; r < n; ++r)
+    threads.emplace_back([&fn, &comm, r] { fn(comm, r); });
+  fn(comm, 0);
+  for (auto& t : threads) t.join();
+}
+
+TEST(Collectives, BarrierSynchronizesAllRanks) {
+  constexpr int kRanks = 6;
+  std::atomic<int> entered{0};
+  std::atomic<bool> all_seen{true};
+  run_ranks(kRanks, [&](Comm& comm, int rank) {
+    ++entered;
+    barrier(comm, rank);
+    // After the barrier every rank must observe all arrivals.
+    if (entered.load() != kRanks) all_seen = false;
+  });
+  EXPECT_TRUE(all_seen.load());
+}
+
+TEST(Collectives, BarrierSingleRankIsNoop) {
+  Comm comm(1);
+  EXPECT_NO_THROW(barrier(comm, 0));
+}
+
+TEST(Collectives, BroadcastDeliversRootPayload) {
+  constexpr int kRanks = 5;
+  std::vector<int> got(kRanks, -1);
+  run_ranks(kRanks, [&](Comm& comm, int rank) {
+    std::vector<std::byte> payload;
+    if (rank == 2) {
+      PayloadWriter w;
+      w.put_i32(777);
+      payload = w.take();
+    }
+    const auto out = broadcast(comm, rank, /*root=*/2, std::move(payload));
+    PayloadReader rd(out);
+    got[static_cast<std::size_t>(rank)] = rd.get_i32();
+  });
+  for (int v : got) EXPECT_EQ(v, 777);
+}
+
+TEST(Collectives, GatherOrdersByRank) {
+  constexpr int kRanks = 7;
+  std::vector<std::vector<std::byte>> gathered;
+  run_ranks(kRanks, [&](Comm& comm, int rank) {
+    PayloadWriter w;
+    w.put_i32(rank * 10);
+    auto out = gather(comm, rank, /*root=*/0, w.take());
+    if (rank == 0) gathered = std::move(out);
+  });
+  ASSERT_EQ(gathered.size(), static_cast<std::size_t>(kRanks));
+  for (int r = 0; r < kRanks; ++r) {
+    PayloadReader rd(gathered[static_cast<std::size_t>(r)]);
+    EXPECT_EQ(rd.get_i32(), r * 10);
+  }
+}
+
+TEST(Collectives, AllReduceSum) {
+  constexpr int kRanks = 8;
+  std::vector<double> results(kRanks, 0.0);
+  run_ranks(kRanks, [&](Comm& comm, int rank) {
+    results[static_cast<std::size_t>(rank)] =
+        all_reduce_sum(comm, rank, static_cast<double>(rank + 1));
+  });
+  for (double v : results) EXPECT_DOUBLE_EQ(v, 36.0);  // 1+..+8
+}
+
+TEST(Collectives, AllReduceMinMax) {
+  constexpr int kRanks = 4;
+  std::vector<double> mins(kRanks), maxs(kRanks);
+  run_ranks(kRanks, [&](Comm& comm, int rank) {
+    const double v = rank == 2 ? -5.0 : static_cast<double>(rank);
+    mins[static_cast<std::size_t>(rank)] = all_reduce_min(comm, rank, v);
+    maxs[static_cast<std::size_t>(rank)] = all_reduce_max(comm, rank, v);
+  });
+  for (double v : mins) EXPECT_DOUBLE_EQ(v, -5.0);
+  for (double v : maxs) EXPECT_DOUBLE_EQ(v, 3.0);
+}
+
+TEST(Collectives, RepeatedCollectivesDoNotCross) {
+  constexpr int kRanks = 4;
+  run_ranks(kRanks, [&](Comm& comm, int rank) {
+    for (int round = 0; round < 50; ++round) {
+      const double sum =
+          all_reduce_sum(comm, rank, static_cast<double>(round));
+      ASSERT_DOUBLE_EQ(sum, 4.0 * round);
+      barrier(comm, rank);
+    }
+  });
+}
+
+TEST(Collectives, RankValidation) {
+  Comm comm(2);
+  EXPECT_THROW(barrier(comm, 5), ContractError);
+  EXPECT_THROW(broadcast(comm, 0, 9, {}), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::mp

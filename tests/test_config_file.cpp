@@ -1,0 +1,117 @@
+// Cluster config file parser.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lss/cluster/config_file.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::cluster {
+namespace {
+
+constexpr const char* kPaperLike = R"(
+# the paper's testbed, abbreviated
+master bandwidth=100Mbit latency=1ms
+node fast-1 speed=3e6 power=3 bandwidth=100Mbit latency=1ms
+node fast-2 speed=3e6 power=3 bandwidth=100Mbit
+node slow-1 speed=1e6 power=1 bandwidth=10Mbit
+load slow-1 start=0 end=inf processes=2
+crash fast-2 at=5s
+)";
+
+TEST(ConfigFile, ParsesNodesInOrder) {
+  const ClusterConfig c = parse_cluster_config_string(kPaperLike);
+  ASSERT_EQ(c.cluster.num_slaves(), 3);
+  EXPECT_EQ(c.cluster.slave(0).hostname, "fast-1");
+  EXPECT_DOUBLE_EQ(c.cluster.slave(0).speed, 3e6);
+  EXPECT_DOUBLE_EQ(c.cluster.slave(0).virtual_power, 3.0);
+  EXPECT_DOUBLE_EQ(c.cluster.slave(2).link.bandwidth_bps, 10e6 / 8.0);
+}
+
+TEST(ConfigFile, ParsesMasterLine) {
+  const ClusterConfig c = parse_cluster_config_string(kPaperLike);
+  EXPECT_DOUBLE_EQ(c.master_bandwidth_bps, 100e6 / 8.0);
+  EXPECT_DOUBLE_EQ(c.master_latency_s, 1e-3);
+}
+
+TEST(ConfigFile, ParsesLoadsPerNode) {
+  const ClusterConfig c = parse_cluster_config_string(kPaperLike);
+  ASSERT_EQ(c.loads.size(), 3u);
+  EXPECT_TRUE(c.has_loads());
+  EXPECT_EQ(c.loads[2].run_queue_at(100.0), 3);  // 2 externals + us
+  EXPECT_EQ(c.loads[0].run_queue_at(100.0), 1);
+}
+
+TEST(ConfigFile, ParsesCrashes) {
+  const ClusterConfig c = parse_cluster_config_string(kPaperLike);
+  EXPECT_TRUE(c.has_crashes());
+  EXPECT_DOUBLE_EQ(c.crash_at_s[1], 5.0);
+  EXPECT_TRUE(std::isinf(c.crash_at_s[0]));
+}
+
+TEST(ConfigFile, DefaultsApply) {
+  const ClusterConfig c =
+      parse_cluster_config_string("node a speed=1e6\n");
+  EXPECT_DOUBLE_EQ(c.cluster.slave(0).virtual_power, 1.0);
+  EXPECT_FALSE(c.has_loads());
+  EXPECT_FALSE(c.has_crashes());
+  EXPECT_DOUBLE_EQ(c.master_latency_s, 1e-3);
+}
+
+TEST(ConfigFile, CommentsAndBlankLinesIgnored) {
+  const ClusterConfig c = parse_cluster_config_string(
+      "\n# comment only\nnode a speed=1 # trailing comment\n\n");
+  EXPECT_EQ(c.cluster.num_slaves(), 1);
+}
+
+TEST(ConfigFile, Bandwidths) {
+  EXPECT_DOUBLE_EQ(parse_bandwidth("100Mbit"), 100e6 / 8.0);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("1Gbit"), 1e9 / 8.0);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("56Kbit"), 56e3 / 8.0);
+  EXPECT_DOUBLE_EQ(parse_bandwidth("1250000"), 1.25e6);  // bytes/s
+  EXPECT_THROW(parse_bandwidth("-1Mbit"), ContractError);
+  EXPECT_THROW(parse_bandwidth("fast"), ContractError);
+}
+
+TEST(ConfigFile, Durations) {
+  EXPECT_DOUBLE_EQ(parse_duration("1ms"), 1e-3);
+  EXPECT_DOUBLE_EQ(parse_duration("250us"), 250e-6);
+  EXPECT_DOUBLE_EQ(parse_duration("2s"), 2.0);
+  EXPECT_DOUBLE_EQ(parse_duration("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parse_duration("2e-3"), 2e-3);  // exponent, not unit
+  EXPECT_TRUE(std::isinf(parse_duration("inf")));
+}
+
+TEST(ConfigFile, ErrorsCarryLineNumbers) {
+  try {
+    parse_cluster_config_string("node a speed=1\nbogus directive\n");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ConfigFile, RejectsMalformedInput) {
+  EXPECT_THROW(parse_cluster_config_string(""), ContractError);  // no nodes
+  EXPECT_THROW(parse_cluster_config_string("node a speed=1\nnode a speed=1\n"),
+               ContractError);  // duplicate
+  EXPECT_THROW(parse_cluster_config_string("load ghost processes=1\n"),
+               ContractError);  // unknown node
+  EXPECT_THROW(parse_cluster_config_string("node a speed=1 turbo=yes\n"),
+               ContractError);  // unknown key
+  EXPECT_THROW(parse_cluster_config_string("node a speed=1\ncrash a\n"),
+               ContractError);  // crash without time
+  EXPECT_THROW(
+      parse_cluster_config_string("node a speed=1\nload a start=5 end=2\n"),
+      ContractError);  // inverted phase
+  EXPECT_THROW(parse_cluster_config_string("node a speed=1 speed=2\n"),
+               ContractError);  // duplicate key
+}
+
+TEST(ConfigFile, MissingFileThrows) {
+  EXPECT_THROW(load_cluster_config("/nonexistent/cluster.cfg"),
+               ContractError);
+}
+
+}  // namespace
+}  // namespace lss::cluster

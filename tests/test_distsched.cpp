@@ -1,0 +1,298 @@
+// Unit tests for the distributed schemes: ACPSA bookkeeping, DTSS
+// chunk law, the §6 stage rules, replanning, and reductions to the
+// simple schemes under equal powers.
+#include <gtest/gtest.h>
+
+#include "lss/distsched/acpsa.hpp"
+#include "lss/distsched/dfactory.hpp"
+#include "lss/distsched/dfiss.hpp"
+#include "lss/distsched/dfss.hpp"
+#include "lss/distsched/dtfss.hpp"
+#include "lss/distsched/dtss.hpp"
+#include "lss/sched/fss.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::distsched {
+namespace {
+
+// ------------------------------------------------------------ acpsa
+
+TEST(Acpsa, TracksValuesAndTotal) {
+  Acpsa a(3);
+  EXPECT_TRUE(a.update(0, 5.0));
+  EXPECT_TRUE(a.update(1, 7.0));
+  EXPECT_FALSE(a.update(1, 7.0));  // unchanged
+  EXPECT_DOUBLE_EQ(a.get(0), 5.0);
+  EXPECT_DOUBLE_EQ(a.total(), 12.0);
+  EXPECT_EQ(a.num_available(), 2);
+}
+
+TEST(Acpsa, MajorityChangeDetection) {
+  Acpsa a(4);
+  for (int i = 0; i < 4; ++i) a.update(i, 10.0);
+  a.mark_planned();
+  EXPECT_FALSE(a.majority_changed());
+  a.update(0, 5.0);
+  a.update(1, 5.0);
+  EXPECT_FALSE(a.majority_changed());  // exactly half is not a majority
+  a.update(2, 5.0);
+  EXPECT_TRUE(a.majority_changed());
+  a.mark_planned();
+  EXPECT_FALSE(a.majority_changed());
+  EXPECT_EQ(a.num_changed_since_plan(), 0);
+}
+
+TEST(Acpsa, RevertedValueCountsAsUnchanged) {
+  Acpsa a(2);
+  a.update(0, 3.0);
+  a.mark_planned();
+  a.update(0, 4.0);
+  EXPECT_EQ(a.num_changed_since_plan(), 1);
+  a.update(0, 3.0);  // back to the plan baseline
+  EXPECT_EQ(a.num_changed_since_plan(), 0);
+}
+
+TEST(Acpsa, RejectsBadArgs) {
+  Acpsa a(2);
+  EXPECT_THROW(a.update(2, 1.0), ContractError);
+  EXPECT_THROW(a.update(0, -1.0), ContractError);
+  EXPECT_THROW(a.get(-1), ContractError);
+  EXPECT_THROW(Acpsa(0), ContractError);
+}
+
+// ------------------------------------------------------- base class
+
+TEST(DistScheduler, RequiresInitializeBeforeNext) {
+  DtssScheduler s(100, 2);
+  EXPECT_THROW(s.next(0, 1.0), ContractError);
+}
+
+TEST(DistScheduler, InitializeValidation) {
+  DtssScheduler s(100, 2);
+  EXPECT_THROW(s.initialize({1.0}), ContractError);       // wrong size
+  EXPECT_THROW(s.initialize({0.0, 0.0}), ContractError);  // all zero
+  s.initialize({1.0, 1.0});
+  EXPECT_THROW(s.initialize({1.0, 1.0}), ContractError);  // double init
+}
+
+TEST(DistScheduler, RejectsZeroAcpRequests) {
+  DtssScheduler s(100, 2);
+  s.initialize({1.0, 1.0});
+  EXPECT_THROW(s.next(0, 0.0), ContractError);
+}
+
+// -------------------------------------------------------------- dtss
+
+TEST(Dtss, FirstChunksProportionalToPower) {
+  // Paper §3.1 example: I=1000, powers 5,5,10,20 (scaled 1/2,1/2,1,2).
+  DtssScheduler s(1000, 4);
+  s.initialize({5.0, 5.0, 10.0, 20.0});
+  // First stage of TSS with A=40: F = 1000/80 = 12.5 per unit power.
+  const Range c4 = s.next(3, 20.0);  // strongest PE first
+  const Range c3 = s.next(2, 10.0);
+  const Range c1 = s.next(0, 5.0);
+  // Ratios approximately follow the powers (trapezoid slope shaves a
+  // little off later requests).
+  EXPECT_GT(c4.size(), c3.size());
+  EXPECT_GT(c3.size(), c1.size());
+  EXPECT_NEAR(static_cast<double>(c4.size()) /
+                  static_cast<double>(c3.size()),
+              2.0, 0.35);
+}
+
+TEST(Dtss, PaperFirstStageSplit) {
+  // "The first stage of 500 iterations will be divided as 75, 75,
+  // 125 and 250" — powers 1/2,1/2,1,2: with A=p-like normalization
+  // the first p chunks must sum to about I/2 and split 1:1:2:4.
+  DtssScheduler s(1000, 4);
+  s.initialize({0.5, 0.5, 1.0, 2.0});
+  const Range a = s.next(3, 2.0);
+  const Range b = s.next(2, 1.0);
+  const Range c = s.next(0, 0.5);
+  const Range d = s.next(1, 0.5);
+  const double stage = static_cast<double>(a.size() + b.size() +
+                                           c.size() + d.size());
+  EXPECT_NEAR(stage, 500.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(a.size()) / static_cast<double>(b.size()),
+              2.0, 0.4);
+  EXPECT_NEAR(static_cast<double>(b.size()) / static_cast<double>(c.size()),
+              2.0, 0.4);
+}
+
+TEST(Dtss, CoversLoopExactly) {
+  DtssScheduler s(4000, 3);
+  s.initialize({30.0, 10.0, 10.0});
+  Index covered = 0;
+  int pe = 0;
+  const double acps[3] = {30.0, 10.0, 10.0};
+  while (!s.done()) {
+    const Range r = s.next(pe, acps[pe]);
+    EXPECT_GE(r.size(), 1);
+    covered += r.size();
+    pe = (pe + 1) % 3;
+  }
+  EXPECT_EQ(covered, 4000);
+}
+
+TEST(Dtss, EqualPowersApproximateTss) {
+  // With all A_i equal the DTSS ramp is TSS's; sizes start near
+  // F = I/2p and decrease.
+  DtssScheduler s(1000, 4);
+  s.initialize({1.0, 1.0, 1.0, 1.0});
+  const Range first = s.next(0, 1.0);
+  EXPECT_NEAR(static_cast<double>(first.size()), 125.0, 2.0);
+  const Range second = s.next(1, 1.0);
+  EXPECT_LT(second.size(), first.size() + 1);
+}
+
+// -------------------------------------------------------------- dfss
+
+TEST(Dfss, EqualPowersReduceToFss) {
+  DfssScheduler d(1000, 4);
+  d.initialize({1.0, 1.0, 1.0, 1.0});
+  sched::FssScheduler f(1000, 4);
+  int pe = 0;
+  while (!f.done()) {
+    const Range fr = f.next(pe);
+    ASSERT_FALSE(d.done());
+    const Range dr = d.next(pe, 1.0);
+    EXPECT_EQ(fr.size(), dr.size()) << "at chunk starting " << fr.begin;
+    pe = (pe + 1) % 4;
+  }
+  EXPECT_TRUE(d.done());
+}
+
+TEST(Dfss, ChunksProportionalToPowerWithinStage) {
+  DfssScheduler d(1200, 3);
+  d.initialize({30.0, 10.0, 20.0});
+  const Range a = d.next(0, 30.0);
+  const Range b = d.next(1, 10.0);
+  const Range c = d.next(2, 20.0);
+  // Stage total = 600, split 3:1:2 -> 300/100/200.
+  EXPECT_EQ(a.size(), 300);
+  EXPECT_EQ(b.size(), 100);
+  EXPECT_EQ(c.size(), 200);
+}
+
+// ------------------------------------------------------------- dfiss
+
+TEST(Dfiss, StageTotalsFollowPaperFormulas) {
+  // I=1000, sigma=3, X=5: SC_0 = 200, B = ceil(2000*0.4/6) = 134.
+  DfissScheduler d(1000, 4);
+  d.initialize({1.0, 1.0, 1.0, 1.0});
+  EXPECT_EQ(d.bump(), 134);
+  Index stage0 = 0;
+  for (int j = 0; j < 4; ++j) stage0 += d.next(j, 1.0).size();
+  EXPECT_EQ(stage0, 200);
+  Index stage1 = 0;
+  for (int j = 0; j < 4; ++j) stage1 += d.next(j, 1.0).size();
+  // Per-PE flooring can lose up to p-1 iterations per stage (the
+  // final stage absorbs them).
+  EXPECT_LE(stage1, 200 + 134);
+  EXPECT_GE(stage1, 200 + 134 - 3);
+}
+
+TEST(Dfiss, LastStageAbsorbsRemainder) {
+  DfissScheduler d(1000, 4);
+  d.initialize({1.0, 1.0, 1.0, 1.0});
+  Index covered = 0;
+  int pe = 0;
+  while (!d.done()) {
+    covered += d.next(pe, 1.0).size();
+    pe = (pe + 1) % 4;
+  }
+  EXPECT_EQ(covered, 1000);
+}
+
+// ------------------------------------------------------------- dtfss
+
+TEST(Dtfss, EqualPowersMatchTfssStageTotals) {
+  DtfssScheduler d(1000, 4);
+  d.initialize({2.0, 2.0, 2.0, 2.0});
+  Index stage0 = 0;
+  for (int j = 0; j < 4; ++j) stage0 += d.next(j, 2.0).size();
+  // TFSS stage 0 total = 452 (sum of first four TSS chunks); ceil
+  // rounding may add up to p-1.
+  EXPECT_GE(stage0, 452);
+  EXPECT_LE(stage0, 455);
+}
+
+TEST(Dtfss, PowerProportionalSplit) {
+  DtfssScheduler d(1000, 2);
+  d.initialize({30.0, 10.0});
+  const Range a = d.next(0, 30.0);
+  const Range b = d.next(1, 10.0);
+  EXPECT_NEAR(static_cast<double>(a.size()) / static_cast<double>(b.size()),
+              3.0, 0.2);
+}
+
+// ----------------------------------------------------------- replans
+
+TEST(Replan, MajorityAcpChangeTriggersReplan) {
+  DtssScheduler s(10000, 4);
+  s.initialize({10.0, 10.0, 10.0, 10.0});
+  EXPECT_EQ(s.replans(), 0);
+  s.next(0, 10.0);
+  // Three of four PEs report halved power -> majority changed.
+  s.next(1, 5.0);
+  EXPECT_EQ(s.replans(), 0);  // only 1 changed so far
+  s.next(2, 5.0);
+  EXPECT_EQ(s.replans(), 0);  // 2 of 4 is not a majority
+  s.next(3, 5.0);
+  EXPECT_EQ(s.replans(), 1);
+}
+
+TEST(Replan, PlanUsesRemainingIterations) {
+  DtssScheduler s(10000, 4);
+  s.initialize({10.0, 10.0, 10.0, 10.0});
+  Index assigned_before = 0;
+  assigned_before += s.next(0, 10.0).size();
+  assigned_before += s.next(1, 20.0).size();
+  assigned_before += s.next(2, 20.0).size();
+  const Index before = s.remaining();
+  const Range after_replan = s.next(3, 20.0);  // triggers replan
+  EXPECT_EQ(s.replans(), 1);
+  // New trapezoid over `before` iterations with A = 70: first chunk
+  // for a = 20 is about 20 * before / (2*70).
+  EXPECT_NEAR(static_cast<double>(after_replan.size()),
+              20.0 * static_cast<double>(before) / 140.0, 30.0);
+}
+
+TEST(Replan, StableAcpsNeverReplan) {
+  DfssScheduler s(5000, 3);
+  s.initialize({10.0, 20.0, 30.0});
+  const double acps[3] = {10.0, 20.0, 30.0};
+  int pe = 0;
+  while (!s.done()) {
+    s.next(pe, acps[pe]);
+    pe = (pe + 1) % 3;
+  }
+  EXPECT_EQ(s.replans(), 0);
+}
+
+// ----------------------------------------------------------- adapter
+
+TEST(Adapter, EqualPowersFollowInnerScheme) {
+  auto d = make_dist_scheduler("dist(gss)", 1000, 4);
+  d->initialize({1.0, 1.0, 1.0, 1.0});
+  // First stage total = sum of GSS's first 4 chunks over R=1000:
+  // 250+188+141+106 = 685; each of 4 equal PEs gets ceil(685/4) = 172.
+  EXPECT_EQ(d->next(0, 1.0).size(), 172);
+}
+
+TEST(Adapter, CoversLoop) {
+  auto d = make_dist_scheduler("dist(fiss:sigma=4)", 3000, 4);
+  d->initialize({30.0, 10.0, 10.0, 10.0});
+  Index covered = 0;
+  int pe = 0;
+  const double acps[4] = {30.0, 10.0, 10.0, 10.0};
+  while (!d->done()) {
+    covered += d->next(pe, acps[pe]).size();
+    pe = (pe + 1) % 4;
+  }
+  EXPECT_EQ(covered, 3000);
+}
+
+}  // namespace
+}  // namespace lss::distsched

@@ -1,0 +1,103 @@
+// Replicated experiments and the start-jitter OS-noise model.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lss/sim/experiment.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::sim {
+namespace {
+
+SimConfig base_config(Index n = 1000) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(8);
+  cfg.scheduler = SchedulerConfig::distributed("dtss");
+  auto base =
+      std::make_shared<PeakedWorkload>(n, 8000.0, 80000.0, 0.35, 0.12);
+  cfg.workload = sampled(base, 4);
+  return cfg;
+}
+
+TEST(Jitter, ZeroJitterIsDeterministicallyIdentical) {
+  SimConfig a = base_config();
+  SimConfig b = base_config();
+  b.jitter_seed = 999;  // seed is irrelevant when jitter is 0
+  EXPECT_DOUBLE_EQ(run_simulation(a).t_parallel,
+                   run_simulation(b).t_parallel);
+}
+
+TEST(Jitter, SameSeedSameRun) {
+  SimConfig cfg = base_config();
+  cfg.start_jitter_s = 0.01;
+  cfg.jitter_seed = 42;
+  EXPECT_DOUBLE_EQ(run_simulation(cfg).t_parallel,
+                   run_simulation(cfg).t_parallel);
+}
+
+TEST(Jitter, DifferentSeedsPerturbTheRun) {
+  SimConfig a = base_config();
+  a.start_jitter_s = 0.02;
+  a.jitter_seed = 1;
+  SimConfig b = a;
+  b.jitter_seed = 2;
+  EXPECT_NE(run_simulation(a).t_parallel, run_simulation(b).t_parallel);
+}
+
+TEST(Jitter, CoverageHoldsUnderJitter) {
+  for (std::uint64_t seed : {1ULL, 7ULL, 13ULL}) {
+    SimConfig cfg = base_config();
+    cfg.start_jitter_s = 0.05;
+    cfg.jitter_seed = seed;
+    EXPECT_TRUE(run_simulation(cfg).exactly_once());
+  }
+}
+
+TEST(Jitter, WorksForTreeAndHierarchicalToo) {
+  SimConfig tree = base_config();
+  tree.scheduler = SchedulerConfig::tree(true);
+  tree.start_jitter_s = 0.02;
+  EXPECT_TRUE(run_simulation(tree).exactly_once());
+
+  SimConfig hier = base_config();
+  hier.scheduler =
+      SchedulerConfig::hierarchical({{0, 1, 2}, {3, 4, 5, 6, 7}});
+  hier.start_jitter_s = 0.02;
+  EXPECT_TRUE(run_simulation(hier).exactly_once());
+}
+
+TEST(Replication, StatisticsAreConsistent) {
+  const ReplicationResult r = run_replicated(base_config(), 8, 100);
+  EXPECT_EQ(r.replications, 8);
+  ASSERT_EQ(r.t_parallel.size(), 8u);
+  EXPECT_GE(r.max, r.median);
+  EXPECT_GE(r.median, r.min);
+  EXPECT_GE(r.mean, r.min);
+  EXPECT_LE(r.mean, r.max);
+  EXPECT_GE(r.stddev, 0.0);
+  EXPECT_FALSE(r.scheme.empty());
+}
+
+TEST(Replication, JitterProducesSpread) {
+  const ReplicationResult r =
+      run_replicated(base_config(), 6, 1, /*jitter_s=*/0.05);
+  EXPECT_GT(r.max - r.min, 0.0);
+}
+
+TEST(Replication, SameBaseSeedReproduces) {
+  const ReplicationResult a = run_replicated(base_config(), 4, 55);
+  const ReplicationResult b = run_replicated(base_config(), 4, 55);
+  for (std::size_t i = 0; i < 4; ++i)
+    EXPECT_DOUBLE_EQ(a.t_parallel[i], b.t_parallel[i]);
+}
+
+TEST(Replication, Validation) {
+  EXPECT_THROW(run_replicated(base_config(), 0), ContractError);
+  EXPECT_THROW(run_replicated(base_config(), 2, 1, -1.0), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::sim

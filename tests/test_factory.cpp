@@ -1,0 +1,96 @@
+// Scheme factory parsing tests (simple and distributed).
+#include <gtest/gtest.h>
+
+#include "lss/distsched/dfactory.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss {
+namespace {
+
+TEST(Factory, AllKnownSchemesConstruct) {
+  for (const std::string& kind : sched::SchemeSpec::known_schemes()) {
+    auto s = sched::make_scheduler(kind, 100, 4);
+    ASSERT_NE(s, nullptr) << kind;
+    EXPECT_FALSE(s->name().empty());
+  }
+}
+
+TEST(Factory, UnknownSchemeThrows) {
+  EXPECT_THROW(sched::SchemeSpec::parse("bogus"), ContractError);
+  EXPECT_THROW(sched::SchemeSpec::parse(""), ContractError);
+}
+
+TEST(Factory, CssHonorsK) {
+  auto s = sched::make_scheduler("css:k=25", 100, 4);
+  EXPECT_EQ(s->next(0).size(), 25);
+}
+
+TEST(Factory, GssHonorsMinChunk) {
+  auto s = sched::make_scheduler("gss:k=9", 100, 50);
+  EXPECT_EQ(s->next(0).size(), 9);  // ceil(100/50)=2 < k=9
+}
+
+TEST(Factory, TssHonorsFirstLast) {
+  auto s = sched::make_scheduler("tss:F=30,L=2", 300, 4);
+  EXPECT_EQ(s->next(0).size(), 30);
+}
+
+TEST(Factory, FssHonorsAlphaAndRounding) {
+  auto s = sched::make_scheduler("fss:alpha=4,rounding=floor", 1000, 4);
+  EXPECT_EQ(s->next(0).size(), 62);  // floor(1000/16)
+}
+
+TEST(Factory, FissHonorsSigmaAndX) {
+  auto s = sched::make_scheduler("fiss:sigma=4,x=8", 800, 4);
+  EXPECT_EQ(s->next(0).size(), 25);  // floor(800 / (8*4))
+}
+
+TEST(Factory, WfHonorsWeights) {
+  auto s = sched::make_scheduler("wf:weights=3;1", 800, 2);
+  // Stage total 400; PE0 gets ceil(400 * 3/4) = 300.
+  EXPECT_EQ(s->next(0).size(), 300);
+}
+
+TEST(Factory, MalformedParamsThrow) {
+  EXPECT_THROW(sched::SchemeSpec::parse("css:k"), ContractError);
+  EXPECT_THROW(sched::SchemeSpec::parse("css:bad=1"), ContractError);
+  EXPECT_THROW(sched::SchemeSpec::parse("fss:rounding=up"), ContractError);
+  EXPECT_THROW(sched::SchemeSpec::parse("css:k=abc"), ContractError);
+}
+
+TEST(Factory, SpecStringRoundTrips) {
+  const auto spec = sched::SchemeSpec::parse("fss:alpha=2.5");
+  EXPECT_EQ(spec.spec_string(), "fss:alpha=2.5");
+  EXPECT_EQ(spec.kind(), "fss");
+}
+
+TEST(DFactory, AllKnownSchemesConstruct) {
+  for (const std::string& kind : distsched::DistSchemeSpec::known_schemes()) {
+    const std::string spec = kind == "dist" ? "dist(tss)" : kind;
+    auto s = distsched::make_dist_scheduler(spec, 100, 4);
+    ASSERT_NE(s, nullptr) << spec;
+    EXPECT_FALSE(s->name().empty());
+  }
+}
+
+TEST(DFactory, UnknownSchemeThrows) {
+  EXPECT_THROW(distsched::DistSchemeSpec::parse("tss"), ContractError);
+  EXPECT_THROW(distsched::DistSchemeSpec::parse("dist(tss"), ContractError);
+  EXPECT_THROW(distsched::DistSchemeSpec::parse("dist(nope)"),
+               ContractError);
+}
+
+TEST(DFactory, ParamsPropagate) {
+  auto s = distsched::make_dist_scheduler("dfiss:sigma=4,x=9", 100, 4);
+  EXPECT_NE(s->name().find("sigma=4"), std::string::npos);
+  EXPECT_NE(s->name().find("X=9"), std::string::npos);
+}
+
+TEST(DFactory, AdapterNameShowsInner) {
+  auto s = distsched::make_dist_scheduler("dist(gss:k=2)", 100, 4);
+  EXPECT_EQ(s->name(), "dist(gss:k=2)");
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,63 @@
+// Trace-driven workloads (FileWorkload) round trip and validation.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lss/support/assert.hpp"
+#include "lss/workload/file_workload.hpp"
+
+namespace lss {
+namespace {
+
+TEST(FileWorkload, ParsesNumbersSkippingComments) {
+  const auto w = FileWorkload::from_string(
+      "# header\n1.5\n\n 2 # trailing\n3e2\n");
+  ASSERT_EQ(w.size(), 3);
+  EXPECT_DOUBLE_EQ(w.cost(0), 1.5);
+  EXPECT_DOUBLE_EQ(w.cost(1), 2.0);
+  EXPECT_DOUBLE_EQ(w.cost(2), 300.0);
+}
+
+TEST(FileWorkload, EmptyTraceIsEmptyLoop) {
+  const auto w = FileWorkload::from_string("# nothing\n");
+  EXPECT_EQ(w.size(), 0);
+}
+
+TEST(FileWorkload, RoundTripsThroughSave) {
+  const auto w = FileWorkload::from_string("1\n2.25\n42\n");
+  std::ostringstream os;
+  w.save(os);
+  const auto back = FileWorkload::from_string(os.str());
+  ASSERT_EQ(back.size(), w.size());
+  for (Index i = 0; i < w.size(); ++i)
+    EXPECT_DOUBLE_EQ(back.cost(i), w.cost(i));
+}
+
+TEST(FileWorkload, ErrorsCarryLineNumbers) {
+  try {
+    FileWorkload::from_string("1\nbogus\n");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(FileWorkload, RejectsNonPositiveCosts) {
+  EXPECT_THROW(FileWorkload::from_string("1\n0\n"), ContractError);
+  EXPECT_THROW(FileWorkload::from_string("-3\n"), ContractError);
+  EXPECT_THROW(FileWorkload({1.0, -1.0}), ContractError);
+}
+
+TEST(FileWorkload, MissingFileThrows) {
+  EXPECT_THROW(FileWorkload::from_file("/no/such/trace.txt"),
+               ContractError);
+}
+
+TEST(FileWorkload, IndexValidation) {
+  const auto w = FileWorkload::from_string("1\n");
+  EXPECT_THROW(w.cost(1), ContractError);
+  EXPECT_THROW(w.cost(-1), ContractError);
+}
+
+}  // namespace
+}  // namespace lss

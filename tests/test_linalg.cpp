@@ -1,0 +1,91 @@
+// Linear-algebra workloads and the quantile helpers they motivated.
+#include <gtest/gtest.h>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/stats.hpp"
+#include "lss/workload/linalg.hpp"
+
+namespace lss {
+namespace {
+
+TEST(Spmv, CostsEqualRowNnz) {
+  SparseMatVecWorkload w(500, 20.0, 1.5, 42);
+  Index total = 0;
+  for (Index i = 0; i < w.size(); ++i) {
+    EXPECT_DOUBLE_EQ(w.cost(i), static_cast<double>(w.nnz(i)));
+    EXPECT_GE(w.nnz(i), 1);
+    total += w.nnz(i);
+  }
+  EXPECT_EQ(total, w.total_nnz());
+}
+
+TEST(Spmv, MeanIsRoughlyRequested) {
+  SparseMatVecWorkload w(20000, 30.0, 2.0, 7);
+  const double mean =
+      static_cast<double>(w.total_nnz()) / static_cast<double>(w.size());
+  EXPECT_GT(mean, 15.0);
+  EXPECT_LT(mean, 60.0);
+}
+
+TEST(Spmv, SkewProducesHeavyTail) {
+  SparseMatVecWorkload heavy(20000, 30.0, 1.1, 11);
+  SparseMatVecWorkload mild(20000, 30.0, 3.0, 11);
+  const auto tail_ratio = [](const SparseMatVecWorkload& w) {
+    const auto profile = cost_profile(w);
+    return quantile(profile, 0.999) / median(profile);
+  };
+  EXPECT_GT(tail_ratio(heavy), 2.0 * tail_ratio(mild));
+}
+
+TEST(Spmv, DeterministicPerSeed) {
+  SparseMatVecWorkload a(100, 10.0, 1.5, 3);
+  SparseMatVecWorkload b(100, 10.0, 1.5, 3);
+  SparseMatVecWorkload c(100, 10.0, 1.5, 4);
+  bool differ = false;
+  for (Index i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.nnz(i), b.nnz(i));
+    differ = differ || a.nnz(i) != c.nnz(i);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(Spmv, RowCapBoundsDenseRows) {
+  SparseMatVecWorkload w(50000, 10.0, 0.5, 9);  // brutal tail
+  for (Index i = 0; i < w.size(); ++i) EXPECT_LE(w.nnz(i), 1000);
+}
+
+TEST(Spmv, Validation) {
+  EXPECT_THROW(SparseMatVecWorkload(-1, 10.0, 1.0, 0), ContractError);
+  EXPECT_THROW(SparseMatVecWorkload(10, 0.5, 1.0, 0), ContractError);
+  EXPECT_THROW(SparseMatVecWorkload(10, 10.0, 0.0, 0), ContractError);
+}
+
+TEST(Triangular, LinearRowCosts) {
+  TriangularWorkload w(100, 2.0);
+  EXPECT_DOUBLE_EQ(w.cost(0), 2.0);
+  EXPECT_DOUBLE_EQ(w.cost(99), 200.0);
+  EXPECT_DOUBLE_EQ(total_cost(w), 2.0 * 100.0 * 101.0 / 2.0);
+}
+
+TEST(Quantile, InterpolatesOrderStatistics) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0 / 3.0), 2.0);
+}
+
+TEST(Quantile, SingleElement) {
+  const std::vector<double> xs{7.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.3), 7.0);
+}
+
+TEST(Quantile, Validation) {
+  EXPECT_THROW(quantile({}, 0.5), ContractError);
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(quantile(xs, 1.5), ContractError);
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,127 @@
+// Mandelbrot workload tests (paper §2.1, Figures 1-2).
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "lss/support/assert.hpp"
+#include "lss/workload/mandelbrot.hpp"
+
+namespace lss {
+namespace {
+
+TEST(Escape, OriginNeverEscapes) {
+  EXPECT_EQ(mandelbrot_escape(0.0, 0.0, 500), 500);
+}
+
+TEST(Escape, FarPointEscapesImmediately) {
+  // |c| > 2: z1 = c already escapes, detected on the second test.
+  EXPECT_LE(mandelbrot_escape(3.0, 3.0, 500), 2);
+}
+
+TEST(Escape, KnownInteriorPoint) {
+  // c = -1 is in the period-2 bulb.
+  EXPECT_EQ(mandelbrot_escape(-1.0, 0.0, 300), 300);
+}
+
+TEST(Escape, CountBounds) {
+  for (double cx = -2.0; cx <= 1.25; cx += 0.17) {
+    const int n = mandelbrot_escape(cx, 0.33, 100);
+    EXPECT_GE(n, 1);
+    EXPECT_LE(n, 100);
+  }
+}
+
+class MandelbrotFixture : public ::testing::Test {
+ protected:
+  MandelbrotParams params() const {
+    MandelbrotParams p = MandelbrotParams::paper(64, 48);
+    p.max_iter = 64;
+    return p;
+  }
+};
+
+TEST_F(MandelbrotFixture, SizeIsColumnCount) {
+  MandelbrotWorkload w(params());
+  EXPECT_EQ(w.size(), 64);
+}
+
+TEST_F(MandelbrotFixture, ColumnCostWithinBounds) {
+  MandelbrotWorkload w(params());
+  for (Index c = 0; c < w.size(); ++c) {
+    EXPECT_GE(w.cost(c), 48.0);          // >= 1 iteration per pixel
+    EXPECT_LE(w.cost(c), 48.0 * 64.0);   // <= max_iter per pixel
+  }
+}
+
+TEST_F(MandelbrotFixture, CostMatchesPixelSum) {
+  MandelbrotWorkload w(params());
+  const int col = 30;
+  double sum = 0.0;
+  for (int r = 0; r < params().height; ++r) sum += w.pixel(col, r);
+  EXPECT_DOUBLE_EQ(w.cost(col), sum);
+}
+
+TEST_F(MandelbrotFixture, VerticallySymmetricDomain) {
+  // The paper's domain is symmetric in y, so pixel costs mirror.
+  MandelbrotWorkload w(params());
+  const int h = params().height;
+  for (int c = 0; c < 8; ++c)
+    for (int r = 0; r < h / 2; ++r)
+      EXPECT_EQ(w.pixel(c * 7, r), w.pixel(c * 7, h - 1 - r));
+}
+
+TEST_F(MandelbrotFixture, InteriorColumnsCostMore) {
+  MandelbrotWorkload w(params());
+  // A column through the set (x ~ -0.5 -> col ~ 28) costs far more
+  // than the leftmost column (x ~ -2).
+  const auto col_of_x = [&](double x) {
+    return static_cast<Index>((x - params().x_min) /
+                              (params().x_max - params().x_min) * 64);
+  };
+  EXPECT_GT(w.cost(col_of_x(-0.5)), 4.0 * w.cost(0));
+}
+
+TEST_F(MandelbrotFixture, ExecuteFillsImageColumn) {
+  MandelbrotWorkload w(params());
+  w.execute(10);
+  const auto& img = w.image();
+  const std::size_t base = 10u * static_cast<std::size_t>(params().height);
+  double sum = 0.0;
+  for (int r = 0; r < params().height; ++r)
+    sum += img[base + static_cast<std::size_t>(r)];
+  EXPECT_DOUBLE_EQ(sum, w.cost(10));
+}
+
+TEST_F(MandelbrotFixture, RenderPgmHeader) {
+  MandelbrotWorkload w(params());
+  std::ostringstream os;
+  w.render_pgm(os);
+  const std::string s = os.str();
+  EXPECT_EQ(s.rfind("P5\n64 48\n255\n", 0), 0u);
+  EXPECT_EQ(s.size(), std::string("P5\n64 48\n255\n").size() + 64u * 48u);
+}
+
+TEST(Mandelbrot, RejectsBadParams) {
+  MandelbrotParams p;
+  p.width = 0;
+  EXPECT_THROW(MandelbrotWorkload{p}, ContractError);
+  p = MandelbrotParams{};
+  p.max_iter = 0;
+  EXPECT_THROW(MandelbrotWorkload{p}, ContractError);
+  p = MandelbrotParams{};
+  p.x_max = p.x_min;
+  EXPECT_THROW(MandelbrotWorkload{p}, ContractError);
+}
+
+TEST(Mandelbrot, PaperParamsDefaults) {
+  const MandelbrotParams p = MandelbrotParams::paper();
+  EXPECT_EQ(p.width, 4000);
+  EXPECT_EQ(p.height, 2000);
+  EXPECT_DOUBLE_EQ(p.x_min, -2.0);
+  EXPECT_DOUBLE_EQ(p.x_max, 1.25);
+  EXPECT_DOUBLE_EQ(p.y_min, -1.25);
+  EXPECT_DOUBLE_EQ(p.y_max, 1.25);
+}
+
+}  // namespace
+}  // namespace lss

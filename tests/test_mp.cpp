@@ -1,0 +1,170 @@
+// In-process message-passing layer: payload serialization, mailbox
+// matching semantics, and cross-thread delivery.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "lss/mp/comm.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+namespace {
+
+// --------------------------------------------------------- payloads
+
+TEST(Payload, RoundTripsScalars) {
+  PayloadWriter w;
+  w.put_i64(-123456789012345).put_i32(42).put_f64(3.25).put_range(
+      Range{7, 19});
+  const auto buf = w.take();
+  PayloadReader r(buf);
+  EXPECT_EQ(r.get_i64(), -123456789012345);
+  EXPECT_EQ(r.get_i32(), 42);
+  EXPECT_DOUBLE_EQ(r.get_f64(), 3.25);
+  EXPECT_EQ(r.get_range(), (Range{7, 19}));
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(Payload, UnderrunThrows) {
+  PayloadWriter w;
+  w.put_i32(1);
+  const auto buf = w.take();
+  PayloadReader r(buf);
+  EXPECT_THROW(r.get_i64(), ContractError);
+}
+
+TEST(Message, MatchesFilters) {
+  Message m;
+  m.source = 3;
+  m.tag = 7;
+  EXPECT_TRUE(m.matches(kAnySource, kAnyTag));
+  EXPECT_TRUE(m.matches(3, 7));
+  EXPECT_TRUE(m.matches(3, kAnyTag));
+  EXPECT_FALSE(m.matches(2, 7));
+  EXPECT_FALSE(m.matches(3, 8));
+}
+
+// ------------------------------------------------------------- comm
+
+TEST(Comm, SendRecvSameThread) {
+  Comm comm(2);
+  PayloadWriter w;
+  w.put_i32(99);
+  comm.send(0, 1, 5, w.take());
+  const Message m = comm.recv(1);
+  EXPECT_EQ(m.source, 0);
+  EXPECT_EQ(m.tag, 5);
+  PayloadReader r(m.payload);
+  EXPECT_EQ(r.get_i32(), 99);
+}
+
+TEST(Comm, FifoPerMatchingFilter) {
+  Comm comm(2);
+  for (int i = 0; i < 5; ++i) {
+    PayloadWriter w;
+    w.put_i32(i);
+    comm.send(0, 1, 1, w.take());
+  }
+  for (int i = 0; i < 5; ++i) {
+    const Message m = comm.recv(1, 0, 1);
+    PayloadReader r(m.payload);
+    EXPECT_EQ(r.get_i32(), i);
+  }
+}
+
+TEST(Comm, TagFilterSkipsNonMatching) {
+  Comm comm(2);
+  comm.send(0, 1, /*tag=*/1, {});
+  comm.send(0, 1, /*tag=*/2, {});
+  const Message m = comm.recv(1, kAnySource, 2);
+  EXPECT_EQ(m.tag, 2);
+  // Tag-1 message still pending.
+  EXPECT_TRUE(comm.probe(1, kAnySource, 1));
+}
+
+TEST(Comm, TryRecvIsNonBlocking) {
+  Comm comm(2);
+  EXPECT_FALSE(comm.try_recv(1).has_value());
+  comm.send(0, 1, 3, {});
+  const auto m = comm.try_recv(1);
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->tag, 3);
+  EXPECT_FALSE(comm.try_recv(1).has_value());
+}
+
+TEST(Comm, ProbeDoesNotConsume) {
+  Comm comm(2);
+  comm.send(0, 1, 3, {});
+  EXPECT_TRUE(comm.probe(1));
+  EXPECT_TRUE(comm.probe(1));
+  comm.recv(1);
+  EXPECT_FALSE(comm.probe(1));
+}
+
+TEST(Comm, RankValidation) {
+  Comm comm(2);
+  EXPECT_THROW(comm.send(0, 5, 0, {}), ContractError);
+  EXPECT_THROW(comm.send(-1, 0, 0, {}), ContractError);
+  EXPECT_THROW(Comm(0), ContractError);
+}
+
+TEST(Comm, BlockingRecvWakesOnSend) {
+  Comm comm(2);
+  std::thread sender([&comm] {
+    PayloadWriter w;
+    w.put_i32(7);
+    comm.send(0, 1, 1, w.take());
+  });
+  const Message m = comm.recv(1, 0, 1);
+  PayloadReader r(m.payload);
+  EXPECT_EQ(r.get_i32(), 7);
+  sender.join();
+}
+
+TEST(Comm, ManyThreadsFanIn) {
+  constexpr int kSenders = 8;
+  constexpr int kEach = 200;
+  Comm comm(kSenders + 1);
+  std::vector<std::thread> senders;
+  for (int s = 1; s <= kSenders; ++s)
+    senders.emplace_back([&comm, s] {
+      for (int i = 0; i < kEach; ++i) {
+        PayloadWriter w;
+        w.put_i32(i);
+        comm.send(s, 0, 1, w.take());
+      }
+    });
+  std::vector<int> last(kSenders + 1, -1);
+  for (int got = 0; got < kSenders * kEach; ++got) {
+    const Message m = comm.recv(0);
+    PayloadReader r(m.payload);
+    const int v = r.get_i32();
+    // Per-pair FIFO: each sender's values arrive in order.
+    EXPECT_EQ(v, last[static_cast<std::size_t>(m.source)] + 1);
+    last[static_cast<std::size_t>(m.source)] = v;
+  }
+  for (auto& t : senders) t.join();
+}
+
+TEST(Comm, PingPong) {
+  Comm comm(2);
+  std::thread peer([&comm] {
+    for (int i = 0; i < 50; ++i) {
+      Message m = comm.recv(1, 0, 1);
+      comm.send(1, 0, 2, std::move(m.payload));
+    }
+  });
+  for (int i = 0; i < 50; ++i) {
+    PayloadWriter w;
+    w.put_i32(i);
+    comm.send(0, 1, 1, w.take());
+    const Message m = comm.recv(0, 1, 2);
+    PayloadReader r(m.payload);
+    EXPECT_EQ(r.get_i32(), i);
+  }
+  peer.join();
+}
+
+}  // namespace
+}  // namespace lss::mp

@@ -1,0 +1,115 @@
+// rt::parallel_for — the shared-memory self-scheduling entry point.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "lss/rt/parallel_for.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+namespace {
+
+TEST(ParallelFor, ComputesEveryIndexExactlyOnce) {
+  const Index n = 5000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  const auto r = parallel_for(
+      0, n, [&](Index i) { ++hits[static_cast<std::size_t>(i)]; },
+      {.scheme = "tfss", .num_threads = 4});
+  EXPECT_EQ(r.iterations, n);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(r.num_threads, 4);
+  EXPECT_GT(r.chunks, 0);
+}
+
+TEST(ParallelFor, RespectsNonZeroBegin) {
+  std::atomic<long long> sum{0};
+  parallel_for(100, 200, [&](Index i) { sum += i; },
+               {.scheme = "gss", .num_threads = 3});
+  long long want = 0;
+  for (Index i = 100; i < 200; ++i) want += i;
+  EXPECT_EQ(sum.load(), want);
+}
+
+class ParallelForScheme : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ParallelForScheme, SumsCorrectly) {
+  std::atomic<long long> sum{0};
+  const auto r =
+      parallel_for(0, 3000, [&](Index i) { sum += i; },
+                   {.scheme = GetParam(), .num_threads = 4});
+  EXPECT_EQ(sum.load(), 3000LL * 2999 / 2);
+  EXPECT_EQ(r.iterations, 3000);
+  Index per_thread_total = std::accumulate(
+      r.iterations_per_thread.begin(), r.iterations_per_thread.end(),
+      Index{0});
+  EXPECT_EQ(per_thread_total, 3000);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, ParallelForScheme,
+                         ::testing::Values("static", "ss", "css:k=64",
+                                           "gss", "tss", "fss", "fiss",
+                                           "tfss"),
+                         [](const auto& pi) {
+                           std::string n = pi.param;
+                           for (char& c : n)
+                             if (c == ':' || c == '=') c = '_';
+                           return n;
+                         });
+
+TEST(ParallelFor, EmptyRangeIsANoop) {
+  int calls = 0;
+  const auto r = parallel_for(5, 5, [&](Index) { ++calls; },
+                              {.num_threads = 2});
+  EXPECT_EQ(calls, 0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(ParallelFor, SingleThreadRunsInOrderPerChunk) {
+  std::vector<Index> seen;
+  parallel_for(0, 100, [&](Index i) { seen.push_back(i); },
+               {.scheme = "gss", .num_threads = 1});
+  ASSERT_EQ(seen.size(), 100u);
+  for (Index i = 0; i < 100; ++i)
+    EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ParallelFor, BodyExceptionPropagates) {
+  EXPECT_THROW(
+      parallel_for(
+          0, 1000,
+          [](Index i) {
+            if (i == 137) throw std::runtime_error("boom");
+          },
+          {.scheme = "ss", .num_threads = 4}),
+      std::runtime_error);
+}
+
+TEST(ParallelFor, InvalidArgumentsThrow) {
+  EXPECT_THROW(parallel_for(0, 10, nullptr), ContractError);
+  EXPECT_THROW(parallel_for(10, 0, [](Index) {}), ContractError);
+  EXPECT_THROW(parallel_for(0, 10, [](Index) {}, {.scheme = "nope"}),
+               ContractError);
+}
+
+TEST(ParallelFor, DefaultThreadCountIsPositive) {
+  const auto r = parallel_for(0, 64, [](Index) {}, {});
+  EXPECT_GT(r.num_threads, 0);
+  EXPECT_EQ(static_cast<int>(r.iterations_per_thread.size()),
+            r.num_threads);
+}
+
+TEST(ParallelFor, ChunkCountTracksScheme) {
+  // SS = one chunk per iteration; CSS(50) = 4 chunks for 200.
+  const auto ss = parallel_for(0, 200, [](Index) {},
+                               {.scheme = "ss", .num_threads = 2});
+  const auto css = parallel_for(0, 200, [](Index) {},
+                                {.scheme = "css:k=50", .num_threads = 2});
+  EXPECT_EQ(ss.chunks, 200);
+  EXPECT_EQ(css.chunks, 4);
+}
+
+}  // namespace
+}  // namespace lss::rt

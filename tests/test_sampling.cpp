@@ -1,0 +1,117 @@
+// Sampled reordering (§2.1): permutation structure and the
+// "appears more uniform" flattening property from Figure 1.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <numeric>
+
+#include "lss/support/assert.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss {
+namespace {
+
+TEST(Sampling, PaperExampleSf4) {
+  const auto perm = sampling_permutation(8, 4);
+  const std::vector<Index> want{0, 4, 1, 5, 2, 6, 3, 7};
+  EXPECT_EQ(perm, want);
+}
+
+TEST(Sampling, SfOneIsIdentity) {
+  const auto perm = sampling_permutation(5, 1);
+  const std::vector<Index> want{0, 1, 2, 3, 4};
+  EXPECT_EQ(perm, want);
+}
+
+TEST(Sampling, SfLargerThanNStillPermutes) {
+  const auto perm = sampling_permutation(3, 10);
+  std::vector<Index> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<Index>{0, 1, 2}));
+}
+
+TEST(Sampling, RejectsBadArgs) {
+  EXPECT_THROW(sampling_permutation(-1, 2), ContractError);
+  EXPECT_THROW(sampling_permutation(10, 0), ContractError);
+}
+
+TEST(Sampling, InversionRoundTrips) {
+  const auto perm = sampling_permutation(97, 4);
+  const auto inv = inverse_permutation(perm);
+  for (Index k = 0; k < 97; ++k)
+    EXPECT_EQ(inv[static_cast<std::size_t>(
+                  perm[static_cast<std::size_t>(k)])],
+              k);
+}
+
+TEST(Sampling, InverseRejectsNonPermutation) {
+  EXPECT_THROW(inverse_permutation(std::vector<Index>{0, 0}), ContractError);
+  EXPECT_THROW(inverse_permutation(std::vector<Index>{0, 5}), ContractError);
+}
+
+class SamplingProperty : public ::testing::TestWithParam<
+                             std::tuple<Index /*n*/, Index /*sf*/>> {};
+
+TEST_P(SamplingProperty, IsAPermutation) {
+  const auto [n, sf] = GetParam();
+  const auto perm = sampling_permutation(n, sf);
+  ASSERT_EQ(static_cast<Index>(perm.size()), n);
+  std::vector<Index> sorted = perm;
+  std::sort(sorted.begin(), sorted.end());
+  for (Index i = 0; i < n; ++i)
+    EXPECT_EQ(sorted[static_cast<std::size_t>(i)], i);
+}
+
+TEST_P(SamplingProperty, PhasesAreInOrder) {
+  const auto [n, sf] = GetParam();
+  const auto perm = sampling_permutation(n, sf);
+  // Within each phase the original indices increase by sf.
+  for (std::size_t k = 1; k < perm.size(); ++k) {
+    if (perm[k] % sf == perm[k - 1] % sf) {
+      EXPECT_EQ(perm[k], perm[k - 1] + sf);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SamplingProperty,
+    ::testing::Combine(::testing::Values<Index>(0, 1, 7, 64, 1000, 1201),
+                       ::testing::Values<Index>(1, 2, 3, 4, 8, 16)));
+
+// The paper's reason for reordering (Figure 1b): after sampling, the
+// loop consists of S_f nearly identical compressed copies of the
+// original profile, so aligned windows of n/S_f iterations carry
+// nearly equal total cost — the loop "appears more uniform".
+TEST(Sampling, FlattensPeakedLoop) {
+  const Index n = 1200;
+  const Index sf = 4;
+  auto base = std::make_shared<PeakedWorkload>(n, 10.0, 200.0, 0.4, 0.05);
+  auto reordered = sampled(base, sf);
+
+  const Index window = n / sf;
+  const auto window_spread = [&](const Workload& w) {
+    double lo = 1e300, hi = 0.0;
+    for (Index s = 0; s + window <= n; s += window) {
+      double sum = 0.0;
+      for (Index i = s; i < s + window; ++i) sum += w.cost(i);
+      lo = std::min(lo, sum);
+      hi = std::max(hi, sum);
+    }
+    return hi / lo;
+  };
+  const double before = window_spread(*base);
+  const double after = window_spread(*reordered);
+  EXPECT_GT(before, 2.0);   // the peak dominates one original window
+  EXPECT_LT(after, 1.02);   // the copies are nearly identical
+}
+
+TEST(Sampling, SampledPreservesTotalCost) {
+  auto base = std::make_shared<LinearIncreasingWorkload>(333, 1.0);
+  auto reordered = sampled(base, 7);
+  EXPECT_DOUBLE_EQ(total_cost(*reordered), total_cost(*base));
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,189 @@
+// Property tests for every simple scheme across a sweep of loop and
+// cluster sizes: full coverage without gaps/overlap, chunk-size
+// invariants, and per-family shape properties.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <tuple>
+
+#include "lss/sched/factory.hpp"
+#include "lss/sched/sequence.hpp"
+
+namespace lss::sched {
+namespace {
+
+using Param = std::tuple<std::string /*spec*/, Index /*I*/, int /*p*/>;
+
+class SchemeProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  std::unique_ptr<ChunkScheduler> make() const {
+    const auto& [spec, total, p] = GetParam();
+    return make_scheduler(spec, total, p);
+  }
+  Index total() const { return std::get<1>(GetParam()); }
+  int pes() const { return std::get<2>(GetParam()); }
+};
+
+TEST_P(SchemeProperty, CoversLoopExactlyWithoutGaps) {
+  auto s = make();
+  Index expected_begin = 0;
+  for (const ChunkGrant& g : chunk_sequence(*s)) {
+    EXPECT_EQ(g.range.begin, expected_begin);
+    EXPECT_GE(g.range.size(), 1);
+    expected_begin = g.range.end;
+  }
+  EXPECT_EQ(expected_begin, total());
+  EXPECT_TRUE(s->done());
+  EXPECT_EQ(s->assigned(), total());
+  EXPECT_EQ(s->remaining(), 0);
+}
+
+TEST_P(SchemeProperty, DoneSchedulerGrantsEmpty) {
+  auto s = make();
+  chunk_sequence(*s);
+  for (int pe = 0; pe < pes(); ++pe) EXPECT_TRUE(s->next(pe).empty());
+}
+
+TEST_P(SchemeProperty, StepCountWithinBounds) {
+  auto s = make();
+  const auto grants = chunk_sequence(*s);
+  EXPECT_EQ(s->steps(), static_cast<Index>(grants.size()));
+  EXPECT_LE(static_cast<Index>(grants.size()), total());
+}
+
+TEST_P(SchemeProperty, NameIsStable) {
+  auto a = make();
+  auto b = make();
+  EXPECT_FALSE(a->name().empty());
+  EXPECT_EQ(a->name(), b->name());
+}
+
+TEST_P(SchemeProperty, RemainingDecreasesMonotonically) {
+  auto s = make();
+  Index prev = s->remaining();
+  int pe = 0;
+  while (!s->done()) {
+    s->next(pe);
+    pe = (pe + 1) % pes();
+    EXPECT_LT(s->remaining(), prev);
+    prev = s->remaining();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SchemeProperty,
+    ::testing::Combine(
+        ::testing::Values("static", "ss", "css:k=7", "gss", "gss:k=3",
+                          "tss", "fss", "fss:rounding=floor",
+                          "fss:alpha=1.5", "fiss", "fiss:sigma=5", "tfss",
+                          "sss", "sss:alpha=0.7", "wf"),
+        ::testing::Values<Index>(0, 1, 5, 100, 1000, 12345),
+        ::testing::Values(1, 2, 4, 8, 16)),
+    [](const ::testing::TestParamInfo<Param>& pi) {
+      std::string name = std::get<0>(pi.param) + "_I" +
+                         std::to_string(std::get<1>(pi.param)) + "_p" +
+                         std::to_string(std::get<2>(pi.param));
+      for (char& c : name)
+        if (c == ':' || c == '=' || c == ',' || c == '.') c = '_';
+      return name;
+    });
+
+// Decreasing-chunk families: once past the first chunk, sizes never
+// grow (modulo the clipped tail).
+class DecreasingScheme
+    : public ::testing::TestWithParam<std::tuple<std::string, Index, int>> {};
+
+TEST_P(DecreasingScheme, ChunksNeverGrow) {
+  const auto& [spec, total, p] = GetParam();
+  auto s = make_scheduler(spec, total, p);
+  const auto sizes = chunk_sizes(*s);
+  for (std::size_t i = 1; i < sizes.size(); ++i)
+    EXPECT_LE(sizes[i], sizes[i - 1]) << "at step " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DecreasingScheme,
+    ::testing::Combine(::testing::Values("gss", "tss", "fss", "tfss"),
+                       ::testing::Values<Index>(64, 1000, 9999),
+                       ::testing::Values(2, 4, 8)),
+    [](const auto& pi) {
+      return std::get<0>(pi.param) + "_I" +
+             std::to_string(std::get<1>(pi.param)) + "_p" +
+             std::to_string(std::get<2>(pi.param));
+    });
+
+// FISS chunks grow by exactly B between consecutive non-final stages.
+class FissGrowth : public ::testing::TestWithParam<std::tuple<Index, int>> {};
+
+TEST_P(FissGrowth, StagesIncreaseByBump) {
+  const auto& [total, p] = GetParam();
+  auto s = make_scheduler("fiss", total, p);
+  const auto sizes = chunk_sizes(*s);
+  const std::size_t pu = static_cast<std::size_t>(p);
+  if (sizes.size() < 2 * pu) return;  // degenerate tiny loop
+  // Stages 0 and 1 are non-final for sigma = 3.
+  EXPECT_GE(sizes[pu], sizes[0]);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, FissGrowth,
+                         ::testing::Combine(::testing::Values<Index>(
+                                                400, 1000, 5000),
+                                            ::testing::Values(2, 4, 8)),
+                         [](const auto& pi) {
+                           return "I" +
+                                  std::to_string(std::get<0>(pi.param)) +
+                                  "_p" +
+                                  std::to_string(std::get<1>(pi.param));
+                         });
+
+// Stage-based schemes assign p equal chunks per full stage.
+class StageScheme
+    : public ::testing::TestWithParam<std::tuple<std::string, Index, int>> {};
+
+TEST_P(StageScheme, FullStagesAreEqualSized) {
+  const auto& [spec, total, p] = GetParam();
+  auto s = make_scheduler(spec, total, p);
+  const auto sizes = chunk_sizes(*s);
+  const std::size_t pu = static_cast<std::size_t>(p);
+  // Ignore the final (possibly clipped) stage.
+  if (sizes.size() < 2 * pu) return;
+  for (std::size_t st = 0; st + 2 * pu <= sizes.size(); st += pu)
+    for (std::size_t j = 1; j < pu; ++j)
+      EXPECT_NEAR(static_cast<double>(sizes[st + j]),
+                  static_cast<double>(sizes[st]), 1.0)
+          << spec << " stage at " << st;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, StageScheme,
+    ::testing::Combine(::testing::Values("fss", "fiss", "tfss", "sss"),
+                       ::testing::Values<Index>(500, 1000, 4000),
+                       ::testing::Values(2, 4, 8)),
+    [](const auto& pi) {
+      return std::get<0>(pi.param) + "_I" +
+             std::to_string(std::get<1>(pi.param)) + "_p" +
+             std::to_string(std::get<2>(pi.param));
+    });
+
+// GSS's defining recurrence: C_i = ceil(R_{i-1} / p).
+TEST(GssRecurrence, MatchesDefinition) {
+  const Index total = 1234;
+  const int p = 5;
+  auto s = make_scheduler("gss", total, p);
+  Index remaining = total;
+  while (remaining > 0) {
+    const Range r = s->next(0);
+    const Index want = (remaining + p - 1) / p;
+    EXPECT_EQ(r.size(), std::min(want, remaining));
+    remaining -= r.size();
+  }
+}
+
+// CSS assigns exactly ceil(I/k) chunks.
+TEST(CssCount, NumberOfChunks) {
+  auto s = make_scheduler("css:k=7", 100, 3);
+  EXPECT_EQ(static_cast<Index>(chunk_sizes(*s).size()), (100 + 6) / 7);
+}
+
+}  // namespace
+}  // namespace lss::sched

@@ -1,0 +1,336 @@
+// Per-scheme unit tests for the simple self-scheduling schemes,
+// anchored on the paper's Table 1 (I = 1000, p = 4).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lss/sched/css.hpp"
+#include "lss/sched/fiss.hpp"
+#include "lss/sched/fss.hpp"
+#include "lss/sched/gss.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/sched/static_sched.hpp"
+#include "lss/sched/tfss.hpp"
+#include "lss/sched/tss.hpp"
+#include "lss/sched/wf.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+namespace {
+
+constexpr Index kI = 1000;
+constexpr int kP = 4;
+
+std::vector<Index> sizes_of(ChunkScheduler& s) { return chunk_sizes(s); }
+
+// ----------------------------------------------------------- static
+
+TEST(Static, Table1Row) {
+  StaticScheduler s(kI, kP);
+  EXPECT_EQ(sizes_of(s), (std::vector<Index>{250, 250, 250, 250}));
+}
+
+TEST(Static, UnevenDivisionFrontLoadsRemainder) {
+  StaticScheduler s(10, 4);
+  EXPECT_EQ(sizes_of(s), (std::vector<Index>{3, 3, 2, 2}));
+}
+
+TEST(Static, FewerIterationsThanPes) {
+  StaticScheduler s(2, 4);
+  EXPECT_EQ(sizes_of(s), (std::vector<Index>{1, 1}));
+}
+
+// --------------------------------------------------------------- css
+
+TEST(Css, PureSelfSchedulingIsAllOnes) {
+  CssScheduler s(7, kP, 1);
+  EXPECT_EQ(s.name(), "ss");
+  EXPECT_EQ(sizes_of(s), (std::vector<Index>{1, 1, 1, 1, 1, 1, 1}));
+}
+
+TEST(Css, FixedChunkWithRemainderTail) {
+  CssScheduler s(kI, kP, 300);
+  EXPECT_EQ(sizes_of(s), (std::vector<Index>{300, 300, 300, 100}));
+}
+
+TEST(Css, NameShowsK) {
+  CssScheduler s(10, 2, 4);
+  EXPECT_EQ(s.name(), "css(k=4)");
+}
+
+TEST(Css, RejectsNonPositiveChunk) {
+  EXPECT_THROW(CssScheduler(10, 2, 0), ContractError);
+}
+
+TEST(Css, MakePureSsFactory) {
+  auto s = make_pure_ss(5, 2);
+  EXPECT_EQ(s.chunk_size(), 1);
+}
+
+// --------------------------------------------------------------- gss
+
+TEST(Gss, Table1Row) {
+  GssScheduler s(kI, kP);
+  const std::vector<Index> want{250, 188, 141, 106, 79, 59, 45, 33,
+                                25,  19,  14,  11,  8,  6,  4,  3,
+                                3,   2,   1,   1,   1,  1};
+  EXPECT_EQ(sizes_of(s), want);
+}
+
+TEST(Gss, MinimumChunkRespected) {
+  GssScheduler s(kI, kP, 10);
+  for (Index c : sizes_of(s)) EXPECT_GE(c, 1);
+  GssScheduler s2(kI, kP, 10);
+  const auto sizes = sizes_of(s2);
+  // All but the clipped last chunk obey the k = 10 floor.
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
+    EXPECT_GE(sizes[i], 10);
+}
+
+TEST(Gss, SinglePeTakesEverythingFirst) {
+  GssScheduler s(100, 1);
+  EXPECT_EQ(sizes_of(s), (std::vector<Index>{100}));
+}
+
+// --------------------------------------------------------------- tss
+
+TEST(Tss, Table1Parameters) {
+  TssScheduler s(kI, kP);
+  EXPECT_DOUBLE_EQ(s.params().first, 125.0);
+  EXPECT_DOUBLE_EQ(s.params().last, 1.0);
+  EXPECT_EQ(s.params().steps, 16);
+  EXPECT_DOUBLE_EQ(s.params().decrement, 8.0);
+}
+
+TEST(Tss, Table1RowClippedToI) {
+  TssScheduler s(kI, kP);
+  // The formula sequence is 125 117 ... 5 (sum 1040); the assigned
+  // sequence clips at I = 1000, so the 13th chunk is 28.
+  const std::vector<Index> want{125, 117, 109, 101, 93, 85, 77,
+                                69,  61,  53,  45,  37, 28};
+  EXPECT_EQ(sizes_of(s), want);
+}
+
+TEST(Tss, FormulaValuesMatchPaper) {
+  const TssParams p = tss_params_integer(kI, kP);
+  std::vector<Index> formula;
+  for (Index i = 0; i < p.steps; ++i)
+    formula.push_back(static_cast<Index>(p.chunk_at(i)));
+  const std::vector<Index> want{125, 117, 109, 101, 93, 85, 77, 69,
+                                61,  53,  45,  37,  29, 21, 13, 5};
+  EXPECT_EQ(formula, want);
+}
+
+TEST(Tss, UserSuppliedFirstLast) {
+  TssScheduler s(kI, kP, /*first=*/100, /*last=*/10);
+  const auto sizes = sizes_of(s);
+  EXPECT_EQ(sizes.front(), 100);
+  for (Index c : sizes) EXPECT_GE(c, 1);
+}
+
+TEST(Tss, RejectsLGreaterThanF) {
+  EXPECT_THROW(TssScheduler(kI, kP, 10, 20), ContractError);
+}
+
+TEST(Tss, ChunkAtFloorsAtLast) {
+  TssParams p{100.0, 1.0, 16, 8.0};
+  EXPECT_DOUBLE_EQ(p.chunk_at(0), 100.0);
+  EXPECT_DOUBLE_EQ(p.chunk_at(1000), 1.0);
+}
+
+TEST(TssParamsReal, FractionalPowerKeepsRamp) {
+  // With total ACP a = 140 (decimal-scaled cluster), integer D would
+  // floor to 0; the real-valued parameters keep a positive slope.
+  const TssParams p = tss_params_real(4000.0, 140.0);
+  EXPECT_GT(p.decrement, 0.0);
+  EXPECT_GT(p.first, p.last);
+}
+
+// --------------------------------------------------------------- fss
+
+TEST(Fss, CanonicalCeilSequence) {
+  FssScheduler s(kI, kP);
+  // ceil rule: 125x4 63x4 31x4 16x4 8x4 4x4 2x4 1x4 (see DESIGN.md
+  // for the one-cell divergence from the paper's printed row).
+  const std::vector<Index> want{125, 125, 125, 125, 63, 63, 63, 63,
+                                31,  31,  31,  31,  16, 16, 16, 16,
+                                8,   8,   8,   8,   4,  4,  4,  4,
+                                2,   2,   2,   2,   1,  1,  1,  1};
+  EXPECT_EQ(sizes_of(s), want);
+}
+
+TEST(Fss, StageStructureFourEqualChunks) {
+  FssScheduler s(kI, kP);
+  const auto sizes = sizes_of(s);
+  for (std::size_t st = 0; st + 4 <= sizes.size(); st += 4)
+    for (std::size_t j = 1; j < 4; ++j)
+      EXPECT_EQ(sizes[st + j], sizes[st]) << "stage " << st / 4;
+}
+
+TEST(Fss, AlphaThreeAssignsThirdPerStage) {
+  FssScheduler s(900, 3, 3.0);
+  const auto sizes = sizes_of(s);
+  EXPECT_EQ(sizes[0], 100);  // ceil(900 / (3*3))
+}
+
+TEST(Fss, FloorRoundingMode) {
+  FssScheduler s(kI, kP, 2.0, Rounding::Floor);
+  const auto sizes = sizes_of(s);
+  EXPECT_EQ(sizes[4], 62);  // floor(500/8)
+}
+
+TEST(Fss, RejectsNonPositiveAlpha) {
+  EXPECT_THROW(FssScheduler(kI, kP, 0.0), ContractError);
+}
+
+// -------------------------------------------------------------- fiss
+
+TEST(Fiss, Table1RowExact) {
+  FissScheduler s(kI, kP);  // sigma=3, X=5
+  const std::vector<Index> want{50,  50,  50,  50,  83,  83,
+                                83,  83,  117, 117, 117, 117};
+  EXPECT_EQ(sizes_of(s), want);
+}
+
+TEST(Fiss, BumpMatchesPaperFormula) {
+  FissScheduler s(kI, kP);
+  // B = floor(2*1000*(1 - 3/5) / (4*3*2)) = floor(33.3) = 33.
+  EXPECT_EQ(s.bump(), 33);
+}
+
+TEST(Fiss, SigmaOneIsSingleRemainderStage) {
+  FissScheduler s(100, 4, 1);
+  EXPECT_EQ(sizes_of(s), (std::vector<Index>{25, 25, 25, 25}));
+}
+
+TEST(Fiss, CustomX) {
+  FissScheduler s(kI, kP, 3, 10);
+  EXPECT_EQ(s.x(), 10);
+  const auto sizes = sizes_of(s);
+  EXPECT_EQ(sizes[0], 25);  // floor(1000 / (10*4))
+}
+
+TEST(Fiss, RejectsBadStages) {
+  EXPECT_THROW(FissScheduler(kI, kP, 0), ContractError);
+}
+
+// -------------------------------------------------------------- tfss
+
+TEST(Tfss, Table1StageValues) {
+  TfssScheduler s(kI, kP);
+  const auto sizes = sizes_of(s);
+  // Stage chunks 113 81 49 17 per Example 2; the tail clips at I.
+  ASSERT_GE(sizes.size(), 12u);
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(sizes[static_cast<std::size_t>(j)], 113);
+  for (int j = 4; j < 8; ++j) EXPECT_EQ(sizes[static_cast<std::size_t>(j)], 81);
+  for (int j = 8; j < 12; ++j) EXPECT_EQ(sizes[static_cast<std::size_t>(j)], 49);
+  EXPECT_EQ(sizes[12], 17);
+}
+
+TEST(Tfss, StageSumsFollowTssGroups) {
+  TfssScheduler s(kI, kP);
+  // First stage total = 125+117+109+101 = 452 -> 113 per chunk.
+  const auto sizes = sizes_of(s);
+  Index stage0 = sizes[0] + sizes[1] + sizes[2] + sizes[3];
+  EXPECT_EQ(stage0, 452);
+}
+
+TEST(Tfss, ResidueGoesToLeadingChunks) {
+  // I = 950, p = 4 gives D = 7, so stage sums are not divisible by 4;
+  // the leading chunks of each stage absorb the +1s.
+  TfssScheduler s(950, 4);
+  const auto sizes = sizes_of(s);
+  Index sum = 0;
+  bool saw_residue = false;
+  for (Index c : sizes) sum += c;
+  EXPECT_EQ(sum, 950);
+  // Skip the final stage, whose tail is clipped at I.
+  for (std::size_t st = 0; st + 8 <= sizes.size(); st += 4) {
+    EXPECT_LE(sizes[st + 3], sizes[st]);
+    EXPECT_LE(sizes[st] - sizes[st + 3], 1);
+    saw_residue = saw_residue || sizes[st] != sizes[st + 3];
+  }
+  EXPECT_TRUE(saw_residue);
+}
+
+// ---------------------------------------------------------------- wf
+
+TEST(Wf, ChunksProportionalToWeights) {
+  WfScheduler s(kI, kP, {2.0, 2.0, 1.0, 1.0});
+  const auto grants = chunk_sequence(s);
+  // First stage: R/2 = 500 split 2:2:1:1 -> ~167,167,84,84 (ceil).
+  EXPECT_NEAR(static_cast<double>(grants[0].range.size()), 167.0, 1.0);
+  EXPECT_NEAR(static_cast<double>(grants[2].range.size()), 84.0, 1.0);
+}
+
+TEST(Wf, EqualWeightsReduceToFss) {
+  WfScheduler wf(kI, kP, {1.0, 1.0, 1.0, 1.0});
+  FssScheduler fss(kI, kP);
+  EXPECT_EQ(sizes_of(wf), sizes_of(fss));
+}
+
+TEST(Wf, RejectsBadWeights) {
+  EXPECT_THROW(WfScheduler(kI, kP, {1.0, 1.0}), ContractError);
+  EXPECT_THROW(WfScheduler(kI, kP, {1.0, 1.0, 1.0, 0.0}), ContractError);
+}
+
+// ------------------------------------------------------------- base
+
+TEST(Scheduler, RejectsBadConstruction) {
+  EXPECT_THROW(CssScheduler(-1, 2, 1), ContractError);
+  EXPECT_THROW(CssScheduler(10, 0, 1), ContractError);
+}
+
+TEST(Scheduler, NextRejectsBadPe) {
+  CssScheduler s(10, 2, 1);
+  EXPECT_THROW(s.next(-1), ContractError);
+  EXPECT_THROW(s.next(2), ContractError);
+}
+
+TEST(Scheduler, EmptyLoopIsImmediatelyDone) {
+  TssScheduler s(0, 4);
+  EXPECT_TRUE(s.done());
+  EXPECT_TRUE(s.next(0).empty());
+  EXPECT_EQ(s.steps(), 0);
+}
+
+TEST(Scheduler, StepsCountsGrants) {
+  StaticScheduler s(100, 4);
+  chunk_sequence(s);
+  EXPECT_EQ(s.steps(), 4);
+}
+
+TEST(KruskalWeiss, MatchesClosedForm) {
+  // k = (sqrt(2) * I * h / (sigma p sqrt(ln p)))^(2/3)
+  // I=1e6, h=1e-3, sigma=1e-4, p=16: numer=sqrt(2)*1000,
+  // denom=1e-4*16*sqrt(ln 16) -> k ~= (1414.2/0.002663)^(2/3).
+  const Index k = kruskal_weiss_chunk(1000000, 16, 1e-3, 1e-4);
+  const double expect = std::pow(
+      std::sqrt(2.0) * 1e6 * 1e-3 / (1e-4 * 16.0 * std::sqrt(std::log(16.0))),
+      2.0 / 3.0);
+  EXPECT_NEAR(static_cast<double>(k), expect, 1.0);
+}
+
+TEST(KruskalWeiss, ClampsToEvenSplit) {
+  // Huge overhead pushes the formula past I/p; clamp there.
+  EXPECT_EQ(kruskal_weiss_chunk(1000, 4, 1e6, 1e-9), 250);
+  // Tiny overhead/huge variance collapses to 1.
+  EXPECT_EQ(kruskal_weiss_chunk(1000, 4, 1e-12, 1e3), 1);
+}
+
+TEST(KruskalWeiss, DegenerateCases) {
+  EXPECT_EQ(kruskal_weiss_chunk(1000, 1, 1e-3, 1.0), 1000);  // p = 1
+  EXPECT_EQ(kruskal_weiss_chunk(1000, 4, 1e-3, 0.0), 250);   // no variance
+  EXPECT_THROW(kruskal_weiss_chunk(0, 4, 1e-3, 1.0), ContractError);
+  EXPECT_THROW(kruskal_weiss_chunk(10, 4, 0.0, 1.0), ContractError);
+}
+
+TEST(Rounding, Modes) {
+  EXPECT_EQ(apply_rounding(2.3, Rounding::Ceil), 3);
+  EXPECT_EQ(apply_rounding(2.3, Rounding::Floor), 2);
+  EXPECT_EQ(apply_rounding(2.5, Rounding::Nearest), 3);
+  EXPECT_THROW(apply_rounding(-1.0, Rounding::Ceil), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::sched

@@ -1,0 +1,248 @@
+// End-to-end centralized simulation tests: exactly-once execution
+// across every scheme, determinism, and the paper's qualitative
+// findings (distributed schemes balance, integer ACP starves, ...).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "lss/cluster/load.hpp"
+#include "lss/metrics/imbalance.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::sim {
+namespace {
+
+std::shared_ptr<const Workload> test_workload(Index n = 2000) {
+  auto base = std::make_shared<PeakedWorkload>(n, 8000.0, 80000.0, 0.35,
+                                               0.12);
+  return sampled(base, 4);
+}
+
+SimConfig base_config(int p, SchedulerConfig sched, bool nondedicated) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(p);
+  cfg.scheduler = std::move(sched);
+  cfg.workload = test_workload();
+  if (nondedicated) cfg.loads = cluster::paper_nondedicated_loads(p);
+  return cfg;
+}
+
+// --------------------------------------------------- property sweep
+
+using Param = std::tuple<std::string /*spec*/, int /*kind: 0=simple,1=dist*/,
+                         int /*p*/, bool /*nondedicated*/>;
+
+class CentralizedProperty : public ::testing::TestWithParam<Param> {
+ protected:
+  SimConfig config() const {
+    const auto& [spec, kind, p, nonded] = GetParam();
+    auto sc = kind == 0 ? SchedulerConfig::simple(spec)
+                        : SchedulerConfig::distributed(spec);
+    return base_config(p, sc, nonded);
+  }
+};
+
+TEST_P(CentralizedProperty, EveryIterationRunsExactlyOnce) {
+  const Report r = run_simulation(config());
+  EXPECT_TRUE(r.exactly_once());
+  EXPECT_EQ(r.total_iterations, 2000);
+}
+
+TEST_P(CentralizedProperty, TimesAreConsistent) {
+  const Report r = run_simulation(config());
+  EXPECT_GT(r.t_parallel, 0.0);
+  for (const SlaveStats& s : r.slaves) {
+    EXPECT_GE(s.times.t_com, 0.0);
+    EXPECT_GE(s.times.t_wait, 0.0);
+    EXPECT_GE(s.times.t_comp, 0.0);
+    EXPECT_LE(s.finish_time, r.t_parallel + 1e-9);
+    // With the terminal barrier, each slave's breakdown spans the run.
+    EXPECT_NEAR(s.times.busy_total(), r.t_parallel, 1e-6);
+  }
+}
+
+TEST_P(CentralizedProperty, DeterministicReplay) {
+  const Report a = run_simulation(config());
+  const Report b = run_simulation(config());
+  EXPECT_DOUBLE_EQ(a.t_parallel, b.t_parallel);
+  ASSERT_EQ(a.slaves.size(), b.slaves.size());
+  for (std::size_t i = 0; i < a.slaves.size(); ++i) {
+    EXPECT_EQ(a.slaves[i].iterations, b.slaves[i].iterations);
+    EXPECT_DOUBLE_EQ(a.slaves[i].times.t_comp, b.slaves[i].times.t_comp);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Simple, CentralizedProperty,
+    ::testing::Combine(::testing::Values("ss", "css:k=32", "gss", "tss",
+                                         "fss", "fiss", "tfss", "static"),
+                       ::testing::Values(0), ::testing::Values(2, 4, 8),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& pi) {
+      std::string n = std::get<0>(pi.param) + "_p" +
+                      std::to_string(std::get<2>(pi.param)) +
+                      (std::get<3>(pi.param) ? "_nonded" : "_ded");
+      for (char& c : n)
+        if (c == ':' || c == '=') c = '_';
+      return n;
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    Distributed, CentralizedProperty,
+    ::testing::Combine(::testing::Values("dtss", "dfss", "dfiss", "dtfss",
+                                         "dist(gss)"),
+                       ::testing::Values(1), ::testing::Values(2, 4, 8),
+                       ::testing::Bool()),
+    [](const ::testing::TestParamInfo<Param>& pi) {
+      std::string n = std::get<0>(pi.param) + "_p" +
+                      std::to_string(std::get<2>(pi.param)) +
+                      (std::get<3>(pi.param) ? "_nonded" : "_ded");
+      for (char& c : n)
+        if (c == ':' || c == '=' || c == '(' || c == ')') c = '_';
+      return n;
+    });
+
+// ------------------------------------------------- qualitative facts
+
+TEST(Centralized, HomogeneousStaticUniformIsBalanced) {
+  SimConfig cfg;
+  cfg.cluster = cluster::homogeneous_cluster(4);
+  cfg.scheduler = SchedulerConfig::simple("static");
+  cfg.workload = std::make_shared<UniformWorkload>(1000, 10000.0);
+  const Report r = run_simulation(cfg);
+  const auto imb = metrics::imbalance(r.comp_times());
+  EXPECT_LT(imb.max_over_mean, 1.01);
+}
+
+TEST(Centralized, SingleSlaveMatchesSerialTimePlusOverheads) {
+  SimConfig cfg;
+  cfg.cluster = cluster::homogeneous_cluster(1, /*speed=*/1e6);
+  cfg.scheduler = SchedulerConfig::simple("static");
+  cfg.workload = std::make_shared<UniformWorkload>(100, 10000.0);
+  const Report r = run_simulation(cfg);
+  const double serial = serial_time(*cfg.workload, 1e6);
+  EXPECT_GE(r.t_parallel, serial);
+  EXPECT_LT(r.t_parallel, serial * 1.2);  // modest protocol overhead
+  EXPECT_NEAR(r.slaves[0].times.t_comp, serial, 1e-9);
+}
+
+TEST(Centralized, NondedicatedRunsSlower) {
+  const Report ded =
+      run_simulation(base_config(8, SchedulerConfig::simple("tss"), false));
+  const Report non =
+      run_simulation(base_config(8, SchedulerConfig::simple("tss"), true));
+  EXPECT_GT(non.t_parallel, ded.t_parallel);
+}
+
+TEST(Centralized, DistributedBalancesComputeTimes) {
+  // Paper §6.1: "The execution is well-balanced, in terms of the
+  // computation times" for the distributed schemes, unlike §5.1.
+  const Report simple =
+      run_simulation(base_config(8, SchedulerConfig::simple("fss"), false));
+  const Report dist = run_simulation(
+      base_config(8, SchedulerConfig::distributed("dfss"), false));
+  const auto imb_simple = metrics::imbalance(simple.comp_times());
+  const auto imb_dist = metrics::imbalance(dist.comp_times());
+  EXPECT_LT(imb_dist.cov, imb_simple.cov);
+  EXPECT_LT(dist.t_parallel, simple.t_parallel);
+}
+
+TEST(Centralized, DistributedWinsBigWhenNondedicated) {
+  const Report simple =
+      run_simulation(base_config(8, SchedulerConfig::simple("tss"), true));
+  const Report dist = run_simulation(
+      base_config(8, SchedulerConfig::distributed("dtss"), true));
+  EXPECT_LT(dist.t_parallel, simple.t_parallel);
+}
+
+TEST(Centralized, IntegerAcpStarvesOverloadedCluster) {
+  // §5.2 trap: every node overloaded (Q=3), V in {3,1}; integer ACP
+  // floors 1/3 and 3/3-with-our-process to 0 on slow nodes and 1 on
+  // fast... with V=1,Q=3 -> 0; the slow majority is excluded. Make
+  // everything slow to starve fully.
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster(0, 4);  // 4 slow slaves, V=1
+  cfg.scheduler = SchedulerConfig::distributed("dtss");
+  cfg.workload = test_workload(200);
+  cfg.loads.assign(4, cluster::LoadScript::constant(2));  // Q=3
+  cfg.acp = cluster::AcpPolicy::original_dtss();
+  const Report r = run_simulation(cfg);
+  EXPECT_TRUE(r.starved);
+  EXPECT_EQ(r.total_iterations, 0);
+}
+
+TEST(Centralized, DecimalAcpRescuesOverloadedCluster) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster(0, 4);
+  cfg.scheduler = SchedulerConfig::distributed("dtss");
+  cfg.workload = test_workload(200);
+  cfg.loads.assign(4, cluster::LoadScript::constant(2));
+  cfg.acp = cluster::AcpPolicy::improved(10.0);
+  const Report r = run_simulation(cfg);
+  EXPECT_FALSE(r.starved);
+  EXPECT_TRUE(r.exactly_once());
+}
+
+TEST(Centralized, MidRunLoadChangeTriggersReplan) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(8);
+  cfg.scheduler = SchedulerConfig::distributed("dtss");
+  cfg.workload = test_workload(4000);
+  // External load lands on 6 of 8 nodes shortly after the start, so
+  // a majority of ACPs change while most of the loop is still
+  // unassigned (paper Master step 2c).
+  cfg.loads.assign(8, cluster::LoadScript::none());
+  for (int s = 0; s < 6; ++s)
+    cfg.loads[static_cast<std::size_t>(s)] =
+        cluster::LoadScript({cluster::LoadPhase{1.0, 1e9, 2}});
+  const Report r = run_simulation(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  EXPECT_GE(r.replans, 1);
+}
+
+TEST(Centralized, PiggybackBeatsEndCollection) {
+  // §5: sending all results at the end causes master contention.
+  SimConfig piggy = base_config(8, SchedulerConfig::simple("tss"), false);
+  SimConfig endc = piggy;
+  endc.protocol.piggyback = false;
+  const Report a = run_simulation(piggy);
+  const Report b = run_simulation(endc);
+  EXPECT_TRUE(b.exactly_once());
+  EXPECT_LT(a.t_parallel, b.t_parallel);
+}
+
+TEST(Centralized, MasterMessageCountMatchesChunks) {
+  const Report r =
+      run_simulation(base_config(4, SchedulerConfig::simple("fss"), false));
+  Index chunks = 0;
+  for (const auto& s : r.slaves) chunks += s.chunks;
+  // One request per chunk plus one final (terminated) request per PE.
+  EXPECT_EQ(r.master_messages, chunks + 4);
+}
+
+TEST(Centralized, EmptyLoopTerminatesImmediately) {
+  SimConfig cfg;
+  cfg.cluster = cluster::homogeneous_cluster(3);
+  cfg.scheduler = SchedulerConfig::simple("tss");
+  cfg.workload = std::make_shared<UniformWorkload>(0, 1.0);
+  const Report r = run_simulation(cfg);
+  EXPECT_EQ(r.total_iterations, 0);
+  EXPECT_TRUE(r.exactly_once());  // vacuously
+  EXPECT_LT(r.t_parallel, 1.0);
+}
+
+TEST(Centralized, FasterClusterFinishesSooner) {
+  SimConfig slow = base_config(8, SchedulerConfig::simple("tss"), false);
+  SimConfig fast = slow;
+  fast.cluster = cluster::paper_cluster(8, 0);  // all-fast cluster
+  const Report a = run_simulation(slow);
+  const Report b = run_simulation(fast);
+  EXPECT_LT(b.t_parallel, a.t_parallel);
+}
+
+}  // namespace
+}  // namespace lss::sim

@@ -1,0 +1,130 @@
+// Cross-cutting consistency properties between the simulator's
+// outputs: trace vs per-PE stats, byte accounting vs protocol math,
+// and conservation across every scheme kind.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "lss/cluster/load.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::sim {
+namespace {
+
+constexpr Index kIters = 1200;
+
+std::shared_ptr<const Workload> wl() {
+  auto base =
+      std::make_shared<PeakedWorkload>(kIters, 8000.0, 80000.0, 0.35, 0.12);
+  return sampled(base, 4);
+}
+
+SimConfig make_config(int kind, const std::string& spec, bool nonded) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(8);
+  switch (kind) {
+    case 0:
+      cfg.scheduler = SchedulerConfig::simple(spec);
+      break;
+    case 1:
+      cfg.scheduler = SchedulerConfig::distributed(spec);
+      break;
+    case 2:
+      cfg.scheduler = SchedulerConfig::tree(true);
+      break;
+    default:
+      cfg.scheduler =
+          SchedulerConfig::hierarchical({{0, 1, 2}, {3, 4, 5, 6, 7}});
+      break;
+  }
+  cfg.workload = wl();
+  if (nonded) cfg.loads = cluster::paper_nondedicated_loads(8);
+  return cfg;
+}
+
+using Param = std::tuple<int, std::string, bool>;
+
+class Consistency : public ::testing::TestWithParam<Param> {
+ protected:
+  Report run() const {
+    const auto& [kind, spec, nonded] = GetParam();
+    return run_simulation(make_config(kind, spec, nonded));
+  }
+};
+
+TEST_P(Consistency, IterationTotalsAgreeEverywhere) {
+  const Report r = run();
+  EXPECT_TRUE(r.exactly_once());
+  Index from_slaves = 0;
+  for (const auto& s : r.slaves) from_slaves += s.iterations;
+  EXPECT_EQ(from_slaves, kIters);
+  EXPECT_EQ(r.total_iterations, kIters);
+}
+
+TEST_P(Consistency, TraceAgreesWithSlaveStats) {
+  const Report r = run();
+  if (r.trace.empty()) return;  // tree/hierarchical runs have no trace
+  std::vector<Index> per_pe(r.slaves.size(), 0);
+  std::vector<Index> chunks(r.slaves.size(), 0);
+  for (const ChunkTrace& tc : r.trace) {
+    per_pe[static_cast<std::size_t>(tc.slave)] += tc.range.size();
+    ++chunks[static_cast<std::size_t>(tc.slave)];
+  }
+  for (std::size_t s = 0; s < r.slaves.size(); ++s) {
+    EXPECT_EQ(per_pe[s], r.slaves[s].iterations) << "PE " << s;
+    EXPECT_EQ(chunks[s], r.slaves[s].chunks) << "PE " << s;
+  }
+}
+
+TEST_P(Consistency, ComputeTimeMatchesWorkAndSpeed) {
+  const auto& [kind, spec, nonded] = GetParam();
+  if (nonded) return;  // run-queue sharing complicates the identity
+  const Report r = run();
+  // Dedicated: Tcomp of each PE == (work it executed) / speed.
+  const auto cluster = cluster::paper_cluster_for_p(8);
+  std::vector<double> work(r.slaves.size(), 0.0);
+  if (r.trace.empty()) return;
+  auto workload = wl();
+  for (const ChunkTrace& tc : r.trace)
+    for (Index i = tc.range.begin; i < tc.range.end; ++i)
+      work[static_cast<std::size_t>(tc.slave)] += workload->cost(i);
+  for (std::size_t s = 0; s < r.slaves.size(); ++s) {
+    const double expect =
+        work[s] / cluster.slave(static_cast<int>(s)).speed;
+    EXPECT_NEAR(r.slaves[s].times.t_comp, expect, 1e-6) << "PE " << s;
+  }
+}
+
+TEST_P(Consistency, MasterBytesCoverTheResultVolume) {
+  const Report r = run();
+  // All result bytes (8 kB per iteration by default) must eventually
+  // cross the master's inbound port, plus the small request traffic.
+  const double results =
+      static_cast<double>(kIters) * 8000.0;
+  EXPECT_GE(r.master_rx_bytes, results);
+  EXPECT_LE(r.master_rx_bytes, results * 1.2 + 1e6);
+}
+
+const Param kParams[] = {
+    {0, "tss", false},  {0, "fss", true},    {0, "tfss", false},
+    {1, "dtss", false}, {1, "dfiss", true},  {1, "awf", false},
+    {2, "trees", false}, {2, "trees", true},
+    {3, "hdss", false}, {3, "hdss", true},
+};
+
+std::string param_name(const ::testing::TestParamInfo<Param>& pi) {
+  static const char* const kinds[] = {"simple", "dist", "tree", "hier"};
+  return std::string(kinds[std::get<0>(pi.param)]) + "_" +
+         std::get<1>(pi.param) +
+         (std::get<2>(pi.param) ? "_nonded" : "_ded");
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, Consistency, ::testing::ValuesIn(kParams),
+                         param_name);
+
+}  // namespace
+}  // namespace lss::sim

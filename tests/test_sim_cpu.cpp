@@ -1,0 +1,101 @@
+// CPU model: rate integration across run-queue changes.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "lss/sim/cpu.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sim {
+namespace {
+
+using cluster::LoadPhase;
+using cluster::LoadScript;
+
+TEST(Cpu, DedicatedRate) {
+  CpuModel cpu(100.0, LoadScript::none());
+  EXPECT_DOUBLE_EQ(cpu.finish_time(0.0, 250.0), 2.5);
+  EXPECT_DOUBLE_EQ(cpu.finish_time(10.0, 100.0), 11.0);
+  EXPECT_DOUBLE_EQ(cpu.finish_time(1.0, 0.0), 1.0);
+}
+
+TEST(Cpu, ConstantLoadHalvesThroughput) {
+  // One external process: Q = 2 -> half speed.
+  CpuModel cpu(100.0, LoadScript::constant(1));
+  EXPECT_DOUBLE_EQ(cpu.finish_time(0.0, 100.0), 2.0);
+  EXPECT_EQ(cpu.run_queue_at(5.0), 2);
+}
+
+TEST(Cpu, PaperTwoProcessOverload) {
+  // The experiments add two matrix-addition processes: Q = 3.
+  CpuModel cpu(300.0, LoadScript::constant(2));
+  EXPECT_DOUBLE_EQ(cpu.finish_time(0.0, 300.0), 3.0);
+}
+
+TEST(Cpu, LoadPhaseBoundaryIsIntegrated) {
+  // External process during [0, 10): rate 50; afterwards rate 100.
+  LoadScript load({LoadPhase{0.0, 10.0, 1}});
+  CpuModel cpu(100.0, load);
+  // 700 ops: 500 in the first 10 s, remaining 200 at full speed.
+  EXPECT_DOUBLE_EQ(cpu.finish_time(0.0, 700.0), 12.0);
+}
+
+TEST(Cpu, LoadArrivingMidComputation) {
+  LoadScript load({LoadPhase{5.0, std::numeric_limits<double>::infinity(),
+                             1}});
+  CpuModel cpu(100.0, load);
+  // 700 ops: 500 before t=5, then half speed: 5 + 200/50 = 9.
+  EXPECT_DOUBLE_EQ(cpu.finish_time(0.0, 700.0), 9.0);
+}
+
+TEST(Cpu, OverlappingPhasesAddProcesses) {
+  LoadScript load({LoadPhase{0.0, 10.0, 1}, LoadPhase{5.0, 10.0, 2}});
+  EXPECT_EQ(load.run_queue_at(2.0), 2);
+  EXPECT_EQ(load.run_queue_at(7.0), 4);
+  EXPECT_EQ(load.run_queue_at(11.0), 1);
+}
+
+TEST(Cpu, NextChangeAfterFindsBoundaries) {
+  LoadScript load({LoadPhase{2.0, 5.0, 1}});
+  EXPECT_DOUBLE_EQ(load.next_change_after(0.0), 2.0);
+  EXPECT_DOUBLE_EQ(load.next_change_after(2.0), 5.0);
+  EXPECT_TRUE(std::isinf(load.next_change_after(5.0)));
+}
+
+TEST(Cpu, AcpTracksLoadScript) {
+  LoadScript load({LoadPhase{10.0, 20.0, 2}});
+  CpuModel cpu(3e6, load);
+  const auto policy = cluster::AcpPolicy::improved(10.0);
+  EXPECT_DOUBLE_EQ(cpu.acp_at(0.0, 3.0, policy), 30.0);   // Q=1
+  EXPECT_DOUBLE_EQ(cpu.acp_at(15.0, 3.0, policy), 10.0);  // Q=3
+}
+
+TEST(Cpu, RejectsBadArgs) {
+  EXPECT_THROW(CpuModel(0.0, LoadScript::none()), ContractError);
+  CpuModel cpu(1.0, LoadScript::none());
+  EXPECT_THROW(cpu.finish_time(-1.0, 1.0), ContractError);
+  EXPECT_THROW(cpu.finish_time(0.0, -1.0), ContractError);
+}
+
+TEST(LoadScriptValidation, RejectsBadPhases) {
+  EXPECT_THROW(LoadScript({LoadPhase{5.0, 5.0, 1}}), ContractError);
+  EXPECT_THROW(LoadScript({LoadPhase{0.0, 1.0, 0}}), ContractError);
+  EXPECT_THROW(LoadScript::constant(-1), ContractError);
+}
+
+TEST(PaperLoads, PlacementsMatchSection51) {
+  // p=8: 1 fast (index 0) and 3 slow (indices 3,4,5) overloaded.
+  const auto loads = cluster::paper_nondedicated_loads(8);
+  ASSERT_EQ(loads.size(), 8u);
+  for (int s : {0, 3, 4, 5}) {
+    EXPECT_EQ(loads[static_cast<std::size_t>(s)].run_queue_at(1.0), 3);
+  }
+  for (int s : {1, 2, 6, 7}) {
+    EXPECT_EQ(loads[static_cast<std::size_t>(s)].run_queue_at(1.0), 1);
+  }
+  EXPECT_THROW(cluster::paper_nondedicated_loads(3), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::sim

@@ -1,0 +1,77 @@
+// DES engine: ordering, tie-breaking, causality.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "lss/sim/engine.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sim {
+namespace {
+
+TEST(Engine, ProcessesInTimeOrder) {
+  Engine e;
+  std::vector<int> order;
+  e.schedule_at(2.0, [&] { order.push_back(2); });
+  e.schedule_at(1.0, [&] { order.push_back(1); });
+  e.schedule_at(3.0, [&] { order.push_back(3); });
+  e.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(e.now(), 3.0);
+}
+
+TEST(Engine, TiesBreakByInsertionOrder) {
+  Engine e;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    e.schedule_at(1.0, [&order, i] { order.push_back(i); });
+  e.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Engine, CallbacksMayScheduleMoreEvents) {
+  Engine e;
+  int fired = 0;
+  e.schedule_at(1.0, [&] {
+    ++fired;
+    e.schedule_after(0.5, [&] { ++fired; });
+  });
+  e.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(e.now(), 1.5);
+}
+
+TEST(Engine, SchedulingInThePastThrows) {
+  Engine e;
+  e.schedule_at(5.0, [] {});
+  e.step();
+  EXPECT_THROW(e.schedule_at(4.0, [] {}), ContractError);
+  EXPECT_THROW(e.schedule_after(-1.0, [] {}), ContractError);
+}
+
+TEST(Engine, NullCallbackThrows) {
+  Engine e;
+  EXPECT_THROW(e.schedule_at(1.0, nullptr), ContractError);
+}
+
+TEST(Engine, StepReturnsFalseWhenEmpty) {
+  Engine e;
+  EXPECT_FALSE(e.step());
+  EXPECT_TRUE(e.empty());
+  EXPECT_EQ(e.events_processed(), 0u);
+}
+
+TEST(Engine, EventBudgetCatchesLivelock) {
+  Engine e;
+  std::function<void()> loop = [&] { e.schedule_after(0.1, loop); };
+  e.schedule_at(0.0, loop);
+  EXPECT_THROW(e.run(/*max_events=*/100), ContractError);
+}
+
+TEST(Engine, ClockStartsAtZero) {
+  Engine e;
+  EXPECT_DOUBLE_EQ(e.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace lss::sim

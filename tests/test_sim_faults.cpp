@@ -1,0 +1,165 @@
+// Fail-stop fault injection and master-side chunk reassignment
+// (library extension; see sim::FaultPlan).
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <memory>
+
+#include "lss/cluster/load.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::sim {
+namespace {
+
+constexpr double kNever = std::numeric_limits<double>::infinity();
+
+std::shared_ptr<const Workload> wl(Index n = 2000) {
+  auto base =
+      std::make_shared<PeakedWorkload>(n, 8000.0, 80000.0, 0.35, 0.12);
+  return sampled(base, 4);
+}
+
+SimConfig faulty_config(const std::string& spec, bool dist,
+                        std::vector<double> crashes,
+                        double timeout = 3.0) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(8);
+  cfg.scheduler = dist ? SchedulerConfig::distributed(spec)
+                       : SchedulerConfig::simple(spec);
+  cfg.workload = wl();
+  cfg.faults.crash_at_s = std::move(crashes);
+  cfg.faults.master_timeout_s = timeout;
+  return cfg;
+}
+
+std::vector<double> crash_one(int slave, double at) {
+  std::vector<double> out(8, kNever);
+  out[static_cast<std::size_t>(slave)] = at;
+  return out;
+}
+
+TEST(Faults, SingleCrashStillDeliversEveryIteration) {
+  const Report r =
+      run_simulation(faulty_config("tss", false, crash_one(4, 5.0)));
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+  EXPECT_TRUE(r.slaves[4].crashed);
+  EXPECT_GE(r.reassignments, 1);
+}
+
+TEST(Faults, CrashedFastSlaveIsCovered) {
+  const Report r =
+      run_simulation(faulty_config("dtss", true, crash_one(0, 4.0)));
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+  EXPECT_TRUE(r.slaves[0].crashed);
+}
+
+TEST(Faults, MultipleCrashesAreTolerated) {
+  std::vector<double> crashes(8, kNever);
+  crashes[1] = 4.0;
+  crashes[5] = 6.0;
+  crashes[7] = 8.0;
+  const Report r = run_simulation(faulty_config("dfss", true, crashes));
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+  int crashed = 0;
+  for (const auto& s : r.slaves) crashed += s.crashed ? 1 : 0;
+  EXPECT_EQ(crashed, 3);
+}
+
+TEST(Faults, ReexecutionMayExceedOnceButAcksNever) {
+  // A victim that computed its chunk but died before delivering
+  // forces re-execution; acknowledgements stay exactly-once.
+  const Report r =
+      run_simulation(faulty_config("fss", false, crash_one(3, 6.0)));
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+  int max_exec = 0;
+  for (int c : r.execution_count) max_exec = std::max(max_exec, c);
+  EXPECT_GE(max_exec, 1);  // re-execution possible, not required
+}
+
+TEST(Faults, CrashAfterCompletionIsHarmless) {
+  // Crash far after the loop finishes: no reassignments needed.
+  const Report reliable =
+      run_simulation(faulty_config("tss", false, crash_one(2, 1e6)));
+  EXPECT_TRUE(reliable.exactly_once_acknowledged());
+  EXPECT_TRUE(reliable.exactly_once());
+  EXPECT_EQ(reliable.reassignments, 0);
+  EXPECT_FALSE(reliable.slaves[2].crashed);  // terminated first
+}
+
+TEST(Faults, CrashCostsTime) {
+  SimConfig ok = faulty_config("dtss", true, crash_one(0, 1e6));
+  SimConfig bad = faulty_config("dtss", true, crash_one(0, 4.0));
+  const Report a = run_simulation(ok);
+  const Report b = run_simulation(bad);
+  EXPECT_GT(b.t_parallel, a.t_parallel);  // lost work + timeout
+}
+
+TEST(Faults, HeartbeatsPreventFalseTimeouts) {
+  // With the default timeout (3 s) and 1 s heartbeats, a crash-free
+  // run never reassigns: live-but-busy slaves stay "heard".
+  const Report r =
+      run_simulation(faulty_config("tss", false, crash_one(4, 1e6)));
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+  EXPECT_EQ(r.reassignments, 0);
+}
+
+TEST(Faults, TightTimeoutStaysCorrectDespiteFalseTimeouts) {
+  // A timeout below the chunk/upload times can wrongly declare live
+  // slaves dead (their heartbeats queue behind piggy-back uploads);
+  // duplicated work is allowed, duplicated acknowledgements are not.
+  const Report r = run_simulation(
+      faulty_config("tss", false, crash_one(4, 1e6), /*timeout=*/0.8));
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+}
+
+TEST(Faults, TightTimeoutStillRecoversActualCrash) {
+  const Report r = run_simulation(
+      faulty_config("tss", false, crash_one(4, 5.0), /*timeout=*/1.0));
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+  EXPECT_GE(r.reassignments, 1);
+  EXPECT_TRUE(r.slaves[4].crashed);
+}
+
+TEST(Faults, DeterministicReplay) {
+  const Report a =
+      run_simulation(faulty_config("dtss", true, crash_one(3, 5.0)));
+  const Report b =
+      run_simulation(faulty_config("dtss", true, crash_one(3, 5.0)));
+  EXPECT_DOUBLE_EQ(a.t_parallel, b.t_parallel);
+  EXPECT_EQ(a.reassignments, b.reassignments);
+}
+
+TEST(Faults, Validation) {
+  SimConfig cfg = faulty_config("tss", false, crash_one(0, 5.0));
+  cfg.faults.crash_at_s.pop_back();  // wrong size
+  EXPECT_THROW(run_simulation(cfg), ContractError);
+
+  cfg = faulty_config("tss", false, crash_one(0, 5.0));
+  cfg.faults.master_timeout_s = 0.0;
+  EXPECT_THROW(run_simulation(cfg), ContractError);
+
+  cfg = faulty_config("tss", false, crash_one(0, 5.0));
+  cfg.protocol.piggyback = false;  // acks need piggy-backing
+  EXPECT_THROW(run_simulation(cfg), ContractError);
+
+  cfg = faulty_config("tss", false, crash_one(0, -1.0));
+  EXPECT_THROW(run_simulation(cfg), ContractError);
+}
+
+TEST(Faults, ReliableRunsKeepAckInvariantToo) {
+  // Without faults, piggy-backed acks must also be exactly-once.
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(4);
+  cfg.scheduler = SchedulerConfig::simple("tfss");
+  cfg.workload = wl(500);
+  const Report r = run_simulation(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+  EXPECT_EQ(r.reassignments, 0);
+}
+
+}  // namespace
+}  // namespace lss::sim

@@ -1,0 +1,127 @@
+// Hierarchical two-level scheduling (extension): coverage,
+// determinism, master offloading, and scaling behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lss/cluster/load.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::sim {
+namespace {
+
+std::shared_ptr<const Workload> wl(Index n = 2000) {
+  auto base =
+      std::make_shared<PeakedWorkload>(n, 8000.0, 80000.0, 0.35, 0.12);
+  return sampled(base, 4);
+}
+
+std::vector<std::vector<int>> paper8_groups() {
+  // Group by link class: the 3 fast PEs, then the 5 slow PEs.
+  return {{0, 1, 2}, {3, 4, 5, 6, 7}};
+}
+
+SimConfig hier_config(std::vector<std::vector<int>> groups,
+                      bool nondedicated = false, Index n = 2000) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(8);
+  cfg.scheduler = SchedulerConfig::hierarchical(std::move(groups));
+  cfg.workload = wl(n);
+  if (nondedicated) cfg.loads = cluster::paper_nondedicated_loads(8);
+  return cfg;
+}
+
+TEST(Hier, EveryIterationRunsExactlyOnce) {
+  const Report r = run_simulation(hier_config(paper8_groups()));
+  EXPECT_TRUE(r.exactly_once());
+  EXPECT_EQ(r.total_iterations, 2000);
+  EXPECT_GT(r.t_parallel, 0.0);
+}
+
+TEST(Hier, NonDedicatedStillCovers) {
+  const Report r = run_simulation(hier_config(paper8_groups(), true));
+  EXPECT_TRUE(r.exactly_once());
+}
+
+TEST(Hier, DeterministicReplay) {
+  const Report a = run_simulation(hier_config(paper8_groups()));
+  const Report b = run_simulation(hier_config(paper8_groups()));
+  EXPECT_DOUBLE_EQ(a.t_parallel, b.t_parallel);
+  for (std::size_t i = 0; i < a.slaves.size(); ++i)
+    EXPECT_EQ(a.slaves[i].iterations, b.slaves[i].iterations);
+}
+
+TEST(Hier, MasterSeesFarFewerMessagesThanFlat) {
+  SimConfig flat;
+  flat.cluster = cluster::paper_cluster_for_p(8);
+  flat.scheduler = SchedulerConfig::distributed("dtss");
+  flat.workload = wl();
+  const Report f = run_simulation(flat);
+  const Report h = run_simulation(hier_config(paper8_groups()));
+  EXPECT_LT(h.master_messages, f.master_messages / 2);
+}
+
+TEST(Hier, FastPesExecuteMoreIterations) {
+  const Report r = run_simulation(hier_config(paper8_groups(), false, 4000));
+  double fast = 0.0, slow = 0.0;
+  for (int s = 0; s < 3; ++s)
+    fast += static_cast<double>(
+        r.slaves[static_cast<std::size_t>(s)].iterations);
+  for (int s = 3; s < 8; ++s)
+    slow += static_cast<double>(
+        r.slaves[static_cast<std::size_t>(s)].iterations);
+  EXPECT_GT(fast / 3.0, 1.8 * (slow / 5.0));
+}
+
+TEST(Hier, CompetitiveWithFlatDtssOnPaperCluster) {
+  SimConfig flat;
+  flat.cluster = cluster::paper_cluster_for_p(8);
+  flat.scheduler = SchedulerConfig::distributed("dtss");
+  flat.workload = wl(4000);
+  const Report f = run_simulation(flat);
+  SimConfig hier = hier_config(paper8_groups(), false, 4000);
+  const Report h = run_simulation(hier);
+  // Two levels add latency on a small cluster; within 40% of flat.
+  EXPECT_LT(h.t_parallel, f.t_parallel * 1.4);
+}
+
+TEST(Hier, SingleGroupDegeneratesGracefully) {
+  const Report r =
+      run_simulation(hier_config({{0, 1, 2, 3, 4, 5, 6, 7}}));
+  EXPECT_TRUE(r.exactly_once());
+}
+
+TEST(Hier, PerGroupOfOne) {
+  const Report r = run_simulation(
+      hier_config({{0}, {1}, {2}, {3}, {4}, {5}, {6}, {7}}));
+  EXPECT_TRUE(r.exactly_once());
+}
+
+TEST(Hier, EmptyLoopTerminates) {
+  SimConfig cfg = hier_config(paper8_groups());
+  cfg.workload = std::make_shared<UniformWorkload>(0, 1.0);
+  const Report r = run_simulation(cfg);
+  EXPECT_EQ(r.total_iterations, 0);
+}
+
+TEST(Hier, PartitionValidation) {
+  EXPECT_THROW(run_simulation(hier_config({{0, 1, 2}})), ContractError);
+  EXPECT_THROW(run_simulation(hier_config({{0, 0, 1, 2, 3, 4, 5, 6, 7}})),
+               ContractError);
+  EXPECT_THROW(
+      run_simulation(hier_config({{0, 1, 2, 3, 4, 5, 6, 7, 8}})),
+      ContractError);
+  EXPECT_THROW(run_simulation(hier_config({})), ContractError);
+}
+
+TEST(Hier, FaultsRejectedForNow) {
+  SimConfig cfg = hier_config(paper8_groups());
+  cfg.faults.crash_at_s.assign(8, 1e6);
+  EXPECT_THROW(run_simulation(cfg), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::sim

@@ -1,0 +1,102 @@
+// Network model: serial resources, cut-through transfer math, and
+// master-port contention.
+#include <gtest/gtest.h>
+
+#include "lss/cluster/cluster.hpp"
+#include "lss/sim/network.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sim {
+namespace {
+
+TEST(SerialResource, BackToBackOccupations) {
+  SerialResource r;
+  const auto a = r.occupy(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(a.start, 0.0);
+  EXPECT_DOUBLE_EQ(a.end, 2.0);
+  const auto b = r.occupy(1.0, 3.0);  // must queue behind a
+  EXPECT_DOUBLE_EQ(b.start, 2.0);
+  EXPECT_DOUBLE_EQ(b.end, 5.0);
+  const auto c = r.occupy(10.0, 1.0);  // idle gap allowed
+  EXPECT_DOUBLE_EQ(c.start, 10.0);
+}
+
+TEST(SerialResource, RejectsNegativeDuration) {
+  SerialResource r;
+  EXPECT_THROW(r.occupy(0.0, -1.0), ContractError);
+}
+
+cluster::ClusterSpec two_slave_cluster() {
+  // Slave 0: fast link (100 Mbit), slave 1: slow link (10 Mbit).
+  return cluster::paper_cluster(1, 1, 1e6, 3.0);
+}
+
+TEST(Network, TransferDurationUsesBottleneckBandwidth) {
+  auto c = two_slave_cluster();
+  Network net(c, /*master_bw=*/100e6 / 8.0, /*latency=*/1e-3);
+  // 1.25 MB over the slow slave's 10 Mbit uplink: 1 s + latency.
+  const Transfer t = net.to_master(1, 1.25e6, 0.0);
+  EXPECT_NEAR(t.busy, 1.0 + 1e-3, 1e-9);
+  EXPECT_NEAR(t.arrival, 1.0 + 1e-3, 1e-9);
+}
+
+TEST(Network, FastLinkBoundByMasterPort) {
+  auto c = two_slave_cluster();
+  // Master NIC at 10 Mbit would throttle even the fast slave.
+  Network net(c, 10e6 / 8.0, 1e-3);
+  const Transfer t = net.to_master(0, 1.25e6, 0.0);
+  EXPECT_NEAR(t.busy, 1.0 + 1e-3, 1e-9);
+}
+
+TEST(Network, MasterPortSerializesConcurrentSenders) {
+  auto c = two_slave_cluster();
+  Network net(c, 100e6 / 8.0, 0.0);
+  // Slave links carry the paper's 1 ms latency even when the master
+  // latency is zero.
+  const Transfer a = net.to_master(0, 12.5e6, 0.0);  // 1 s at 100 Mbit
+  const Transfer b = net.to_master(1, 12.5e3, 0.0);  // tiny, but queued
+  EXPECT_NEAR(a.arrival, 1.0 + 1e-3, 1e-9);
+  EXPECT_GE(b.start, a.arrival);  // waited for the master port
+  EXPECT_DOUBLE_EQ(b.wait(0.0), b.start);
+}
+
+TEST(Network, SeparateSlaveLinksDoNotInterfereDownstream) {
+  auto c = two_slave_cluster();
+  Network net(c, 100e6 / 8.0, 0.0);
+  // Uplink traffic on slave 0 must not delay a reply to slave 1.
+  net.to_master(0, 12.5e6, 0.0);
+  const Transfer down = net.to_slave(1, 12.5e3, 0.0);
+  EXPECT_LT(down.arrival, 0.1);
+}
+
+TEST(Network, SlaveToSlaveBypassesMaster) {
+  auto c = two_slave_cluster();
+  Network net(c, 100e6 / 8.0, 0.0);
+  net.to_master(0, 12.5e6, 0.0);  // master port busy ~1 s
+  const Transfer t = net.slave_to_slave(1, 0, 1e3, 0.0);
+  EXPECT_LT(t.arrival, 0.1);  // unaffected by master congestion
+}
+
+TEST(Network, SlaveToSlaveUsesSlowerLink) {
+  auto c = two_slave_cluster();
+  Network net(c, 100e6 / 8.0, 0.0);
+  // 1.25 MB fast->slow: bound by the 10 Mbit end (plus 1 ms latency).
+  const Transfer t = net.slave_to_slave(0, 1, 1.25e6, 0.0);
+  EXPECT_NEAR(t.busy, 1.0 + 1e-3, 1e-9);
+}
+
+TEST(Network, SelfMessageRejected) {
+  auto c = two_slave_cluster();
+  Network net(c, 100e6 / 8.0, 0.0);
+  EXPECT_THROW(net.slave_to_slave(0, 0, 1.0, 0.0), ContractError);
+}
+
+TEST(Network, LatencyAppliesToEmptyMessages) {
+  auto c = two_slave_cluster();
+  Network net(c, 100e6 / 8.0, 5e-3);
+  const Transfer t = net.to_slave(0, 0.0, 0.0);
+  EXPECT_NEAR(t.arrival, 5e-3, 1e-12);
+}
+
+}  // namespace
+}  // namespace lss::sim

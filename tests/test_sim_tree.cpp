@@ -1,0 +1,121 @@
+// TreeS simulation: exactly-once coverage, weighted allocation, and
+// migration behaviour.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lss/cluster/load.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::sim {
+namespace {
+
+std::shared_ptr<const Workload> test_workload(Index n = 1000) {
+  auto base =
+      std::make_shared<PeakedWorkload>(n, 8000.0, 80000.0, 0.35, 0.12);
+  return sampled(base, 4);
+}
+
+SimConfig tree_config(int p, bool weighted, bool nondedicated,
+                      Index n = 1000) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(p);
+  cfg.scheduler = SchedulerConfig::tree(weighted);
+  cfg.workload = test_workload(n);
+  if (nondedicated) cfg.loads = cluster::paper_nondedicated_loads(p);
+  return cfg;
+}
+
+class TreeProperty
+    : public ::testing::TestWithParam<std::tuple<int, bool, bool>> {};
+
+TEST_P(TreeProperty, EveryIterationRunsExactlyOnce) {
+  const auto& [p, weighted, nonded] = GetParam();
+  const Report r = run_simulation(tree_config(p, weighted, nonded));
+  EXPECT_TRUE(r.exactly_once());
+  EXPECT_EQ(r.total_iterations, 1000);
+  EXPECT_GT(r.t_parallel, 0.0);
+}
+
+TEST_P(TreeProperty, DeterministicReplay) {
+  const auto& [p, weighted, nonded] = GetParam();
+  const Report a = run_simulation(tree_config(p, weighted, nonded));
+  const Report b = run_simulation(tree_config(p, weighted, nonded));
+  EXPECT_DOUBLE_EQ(a.t_parallel, b.t_parallel);
+  for (std::size_t i = 0; i < a.slaves.size(); ++i)
+    EXPECT_EQ(a.slaves[i].iterations, b.slaves[i].iterations);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TreeProperty,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8), ::testing::Bool(),
+                       ::testing::Bool()),
+    [](const auto& pi) {
+      return "p" + std::to_string(std::get<0>(pi.param)) +
+             (std::get<1>(pi.param) ? "_weighted" : "_even") +
+             (std::get<2>(pi.param) ? "_nonded" : "_ded");
+    });
+
+TEST(TreeSim, WeightedAllocationLoadsFastPes) {
+  // With power-weighted initial allocation, fast PEs execute roughly
+  // 3x the iterations of slow PEs (modulo later migration).
+  const Report r = run_simulation(tree_config(8, true, false, 4000));
+  double fast = 0.0, slow = 0.0;
+  for (int s = 0; s < 3; ++s)
+    fast += static_cast<double>(r.slaves[static_cast<std::size_t>(s)].iterations);
+  for (int s = 3; s < 8; ++s)
+    slow += static_cast<double>(r.slaves[static_cast<std::size_t>(s)].iterations);
+  EXPECT_GT(fast / 3.0, 1.8 * (slow / 5.0));
+}
+
+TEST(TreeSim, WeightedBeatsEvenOnHeterogeneousCluster) {
+  const Report even = run_simulation(tree_config(8, false, false, 4000));
+  const Report weighted = run_simulation(tree_config(8, true, false, 4000));
+  EXPECT_LT(weighted.t_parallel, even.t_parallel * 1.05);
+}
+
+TEST(TreeSim, MigrationHappensWhenAllocationIsUneven) {
+  // Even allocation on a 3:1 cluster: fast PEs drain their share and
+  // must steal, so they receive more than the initial delivery.
+  const Report r = run_simulation(tree_config(8, false, false, 4000));
+  bool some_stole = false;
+  for (const auto& s : r.slaves) some_stole = some_stole || s.chunks > 1;
+  EXPECT_TRUE(some_stole);
+  EXPECT_TRUE(r.exactly_once());
+}
+
+TEST(TreeSim, SinglePeComputesEverythingAlone) {
+  const Report r = run_simulation(tree_config(1, false, false, 200));
+  EXPECT_EQ(r.slaves[0].iterations, 200);
+  EXPECT_EQ(r.slaves[0].chunks, 1);
+}
+
+TEST(TreeSim, EmptyLoopTerminates) {
+  SimConfig cfg = tree_config(4, false, false);
+  cfg.workload = std::make_shared<UniformWorkload>(0, 1.0);
+  const Report r = run_simulation(cfg);
+  EXPECT_EQ(r.total_iterations, 0);
+}
+
+TEST(TreeSim, FaultsRejectedForNow) {
+  SimConfig cfg = tree_config(4, false, false);
+  cfg.faults.crash_at_s.assign(4, 1e6);
+  EXPECT_THROW(run_simulation(cfg), ContractError);
+}
+
+TEST(TreeSim, ReportIntervalBoundsResultLatency) {
+  // Tighter reporting intervals mean more master messages.
+  SimConfig sparse = tree_config(8, true, false, 2000);
+  SimConfig dense = sparse;
+  sparse.protocol.tree_report_interval_s = 5.0;
+  dense.protocol.tree_report_interval_s = 0.5;
+  const Report a = run_simulation(sparse);
+  const Report b = run_simulation(dense);
+  EXPECT_GT(b.master_messages, a.master_messages);
+}
+
+}  // namespace
+}  // namespace lss::sim

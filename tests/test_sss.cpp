@@ -1,0 +1,78 @@
+// Safe Self-Scheduling (Liu, Saletore & Lewis 1994).
+#include <gtest/gtest.h>
+
+#include "lss/sched/fss.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/sched/sss.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::sched {
+namespace {
+
+TEST(Sss, FirstBatchIsAlphaShare) {
+  SssScheduler s(1000, 4, 0.5);
+  // alpha * I / p = 125 each for the first batch of p chunks.
+  for (int j = 0; j < 4; ++j) EXPECT_EQ(s.next(j).size(), 125);
+  // Next batch: alpha * (1-alpha) * I / p = 62.5 -> ceil 63.
+  EXPECT_EQ(s.next(0).size(), 63);
+}
+
+TEST(Sss, HalfAlphaMatchesFssFirstStages) {
+  // With alpha = 0.5 the batch shares are I/2p, I/4p, ... — the same
+  // geometric decay as FSS; the sequences agree while rounding does.
+  SssScheduler sss(1024, 4, 0.5);
+  FssScheduler fss(1024, 4);
+  for (int step = 0; step < 16; ++step) {
+    if (sss.done() || fss.done()) break;
+    EXPECT_EQ(sss.next(step % 4).size(), fss.next(step % 4).size())
+        << "step " << step;
+  }
+}
+
+TEST(Sss, LargerAlphaFrontLoads) {
+  SssScheduler s(1000, 4, 0.8);
+  EXPECT_EQ(s.next(0).size(), 200);  // 0.8 * 1000 / 4
+  s.next(1);
+  s.next(2);
+  s.next(3);
+  EXPECT_EQ(s.next(0).size(), 40);  // 0.8 * 0.2 * 1000 / 4
+}
+
+TEST(Sss, MinChunkFloorsTheTail) {
+  SssScheduler s(1000, 4, 0.5, /*min_chunk=*/10);
+  const auto sizes = chunk_sizes(s);
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
+    EXPECT_GE(sizes[i], 10);
+}
+
+TEST(Sss, CoversLoopExactly) {
+  SssScheduler s(12345, 7, 0.6);
+  Index sum = 0;
+  for (Index c : chunk_sizes(s)) sum += c;
+  EXPECT_EQ(sum, 12345);
+}
+
+TEST(Sss, NameShowsParameters) {
+  SssScheduler s(100, 2, 0.6, 5);
+  EXPECT_EQ(s.name(), "sss(alpha=0.60,k=5)");
+}
+
+TEST(Sss, RejectsBadParameters) {
+  EXPECT_THROW(SssScheduler(100, 2, 0.0), ContractError);
+  EXPECT_THROW(SssScheduler(100, 2, 1.0), ContractError);
+  EXPECT_THROW(SssScheduler(100, 2, 0.5, 0), ContractError);
+}
+
+TEST(Sss, FactoryDefaultsToHalf) {
+  auto s = make_scheduler("sss", 1000, 4);
+  EXPECT_EQ(s->next(0).size(), 125);
+}
+
+TEST(Sss, FactoryHonorsAlpha) {
+  auto s = make_scheduler("sss:alpha=0.8", 1000, 4);
+  EXPECT_EQ(s->next(0).size(), 200);
+}
+
+}  // namespace
+}  // namespace lss::sched

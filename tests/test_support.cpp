@@ -1,0 +1,279 @@
+// Unit tests for lss/support: types, prng, stats, strings, table, csv.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/csv.hpp"
+#include "lss/support/prng.hpp"
+#include "lss/support/stats.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/support/table.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss {
+namespace {
+
+// ----------------------------------------------------------- types
+
+TEST(Range, SizeAndEmpty) {
+  Range r{3, 7};
+  EXPECT_EQ(r.size(), 4);
+  EXPECT_FALSE(r.empty());
+  EXPECT_TRUE((Range{5, 5}).empty());
+  EXPECT_TRUE((Range{6, 5}).empty());
+}
+
+TEST(Range, Contains) {
+  Range r{3, 7};
+  EXPECT_FALSE(r.contains(2));
+  EXPECT_TRUE(r.contains(3));
+  EXPECT_TRUE(r.contains(6));
+  EXPECT_FALSE(r.contains(7));
+}
+
+TEST(Range, TakeFront) {
+  Range r{0, 10};
+  Range f = take_front(r, 4);
+  EXPECT_EQ(f, (Range{0, 4}));
+  EXPECT_EQ(r, (Range{4, 10}));
+}
+
+TEST(Range, TakeFrontClampsToSize) {
+  Range r{2, 5};
+  Range f = take_front(r, 100);
+  EXPECT_EQ(f, (Range{2, 5}));
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(Range, TakeFrontRejectsNegative) {
+  Range r{0, 10};
+  EXPECT_THROW(take_front(r, -1), ContractError);
+}
+
+// ------------------------------------------------------------ prng
+
+TEST(Prng, SplitMixIsDeterministic) {
+  SplitMix64 a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, XoshiroIsDeterministic) {
+  Xoshiro256 a(7), b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Prng, DifferentSeedsDiverge) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++equal;
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Prng, DoubleInUnitInterval) {
+  Xoshiro256 rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Prng, IntInRangeInclusive) {
+  Xoshiro256 rng(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.next_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Prng, IntRejectsEmptyRange) {
+  Xoshiro256 rng(5);
+  EXPECT_THROW(rng.next_int(4, 3), ContractError);
+}
+
+TEST(Prng, NormalHasSaneMoments) {
+  Xoshiro256 rng(11);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.next_normal());
+  EXPECT_NEAR(acc.mean(), 0.0, 0.05);
+  EXPECT_NEAR(acc.stddev(), 1.0, 0.05);
+}
+
+TEST(Prng, ExponentialMeanMatches) {
+  Xoshiro256 rng(13);
+  Accumulator acc;
+  for (int i = 0; i < 20000; ++i) acc.add(rng.next_exponential(2.5));
+  EXPECT_NEAR(acc.mean(), 2.5, 0.1);
+}
+
+TEST(Prng, ExponentialRejectsNonPositiveMean) {
+  Xoshiro256 rng(13);
+  EXPECT_THROW(rng.next_exponential(0.0), ContractError);
+}
+
+// ----------------------------------------------------------- stats
+
+TEST(Stats, AccumulatorBasics) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 6.0}) acc.add(x);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 6.0);
+  EXPECT_DOUBLE_EQ(acc.sum(), 12.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 4.0);
+}
+
+TEST(Stats, EmptyAccumulatorIsZero) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.variance(), 0.0);
+}
+
+TEST(Stats, SummarizeMatchesAccumulator) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.sum, 10.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+}
+
+TEST(Stats, ImbalanceRatioBalanced) {
+  const std::vector<double> xs{5.0, 5.0, 5.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(xs), 1.0);
+}
+
+TEST(Stats, ImbalanceRatioSkewed) {
+  const std::vector<double> xs{1.0, 1.0, 4.0};
+  EXPECT_DOUBLE_EQ(imbalance_ratio(xs), 2.0);
+}
+
+TEST(Stats, ImbalanceRatioEmptyIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance_ratio({}), 1.0);
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+  const std::vector<double> xs{-1.0, 0.1, 0.6, 0.6, 2.0};
+  const auto h = histogram(xs, 0.0, 1.0, 2);
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 2u);  // -1.0 clamped, 0.1
+  EXPECT_EQ(h[1], 3u);  // 0.6 x2, 2.0 clamped
+}
+
+TEST(Stats, HistogramRejectsBadArgs) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW(histogram(xs, 0.0, 1.0, 0), ContractError);
+  EXPECT_THROW(histogram(xs, 1.0, 1.0, 4), ContractError);
+}
+
+// --------------------------------------------------------- strings
+
+TEST(Strings, Split) {
+  const auto parts = split("a,b,,c", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(parts[3], "c");
+}
+
+TEST(Strings, SplitNoSeparator) {
+  const auto parts = split("abc", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  x y \t\n"), "x y");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+}
+
+TEST(Strings, ToLower) { EXPECT_EQ(to_lower("TsS-3"), "tss-3"); }
+
+TEST(Strings, FmtFixed) {
+  EXPECT_EQ(fmt_fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_fixed(2.0, 0), "2");
+}
+
+TEST(Strings, ParseInt) {
+  EXPECT_EQ(parse_int(" 42 "), 42);
+  EXPECT_EQ(parse_int("-7"), -7);
+  EXPECT_THROW(parse_int("4x"), ContractError);
+  EXPECT_THROW(parse_int(""), ContractError);
+}
+
+TEST(Strings, ParseDouble) {
+  EXPECT_DOUBLE_EQ(parse_double("2.5"), 2.5);
+  EXPECT_THROW(parse_double("abc"), ContractError);
+}
+
+// ----------------------------------------------------------- table
+
+TEST(Table, RendersAlignedColumns) {
+  TextTable t({"PE", "time"});
+  t.add_row({"1", "2.5"});
+  t.add_row({"10", "13.75"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("PE"), std::string::npos);
+  EXPECT_NE(s.find("13.75"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(Table, RuleSeparatesSections) {
+  TextTable t({"abc"});
+  t.add_row({"1"});
+  t.add_rule();
+  t.add_row({"2"});
+  const std::string s = t.to_string();
+  // One rule after the header, one before the second row.
+  std::size_t rules = 0;
+  for (std::size_t pos = s.find("---"); pos != std::string::npos;
+       pos = s.find("---", pos + 3))
+    ++rules;
+  EXPECT_EQ(rules, 2u);
+}
+
+// ------------------------------------------------------------- csv
+
+TEST(Csv, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"p", "speedup"});
+  w.write_row({"2", "1.5"});
+  EXPECT_EQ(os.str(), "p,speedup\n2,1.5\n");
+  EXPECT_EQ(w.rows_written(), 1u);
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+}
+
+TEST(Csv, RowWidthMismatchThrows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"a", "b"});
+  EXPECT_THROW(w.write_row({"1"}), ContractError);
+}
+
+}  // namespace
+}  // namespace lss

@@ -1,0 +1,150 @@
+// Chunk trace integrity and the Gantt renderer.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lss/cluster/load.hpp"
+#include "lss/sim/gantt.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/workload/sampling.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::sim {
+namespace {
+
+Report small_run(const std::string& spec, bool dist = false) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(4);
+  cfg.scheduler = dist ? SchedulerConfig::distributed(spec)
+                       : SchedulerConfig::simple(spec);
+  auto base =
+      std::make_shared<PeakedWorkload>(800, 8000.0, 80000.0, 0.35, 0.12);
+  cfg.workload = sampled(base, 4);
+  return run_simulation(cfg);
+}
+
+TEST(Trace, OneEntryPerChunk) {
+  const Report r = small_run("fss");
+  Index chunks = 0;
+  for (const auto& s : r.slaves) chunks += s.chunks;
+  EXPECT_EQ(static_cast<Index>(r.trace.size()), chunks);
+}
+
+TEST(Trace, TimesAreOrdered) {
+  const Report r = small_run("dtss", true);
+  for (const ChunkTrace& tc : r.trace) {
+    EXPECT_GE(tc.assigned_at, 0.0);
+    EXPECT_GE(tc.started_at, tc.assigned_at);
+    EXPECT_GE(tc.completed_at, tc.started_at);
+    EXPECT_LE(tc.completed_at, r.t_parallel + 1e-9);
+    EXPECT_FALSE(tc.reassigned);
+  }
+}
+
+TEST(Trace, CoversIterationSpaceExactly) {
+  const Report r = small_run("tss");
+  std::vector<int> seen(800, 0);
+  for (const ChunkTrace& tc : r.trace)
+    for (Index i = tc.range.begin; i < tc.range.end; ++i)
+      ++seen[static_cast<std::size_t>(i)];
+  for (int c : seen) EXPECT_EQ(c, 1);
+}
+
+TEST(Trace, ChunkSizesDecreaseForTss) {
+  const Report r = small_run("tss");
+  // Trace entries are in assignment order; TSS sizes never grow.
+  for (std::size_t i = 1; i < r.trace.size(); ++i)
+    EXPECT_LE(r.trace[i].range.size(), r.trace[i - 1].range.size());
+}
+
+TEST(Trace, TreeRunsHaveNoTrace) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(4);
+  cfg.scheduler = SchedulerConfig::tree(false);
+  auto base = std::make_shared<UniformWorkload>(200, 10000.0);
+  cfg.workload = base;
+  const Report r = run_simulation(cfg);
+  EXPECT_TRUE(r.trace.empty());
+}
+
+TEST(Gantt, RendersOneRowPerPe) {
+  const Report r = small_run("fss");
+  const std::string g = render_gantt(r, 60);
+  EXPECT_NE(g.find("PE1"), std::string::npos);
+  EXPECT_NE(g.find("PE4"), std::string::npos);
+  EXPECT_EQ(g.find("PE5"), std::string::npos);
+  EXPECT_NE(g.find('#'), std::string::npos);  // someone computed
+}
+
+TEST(Gantt, RowsHaveRequestedWidth) {
+  const Report r = small_run("tss");
+  const std::string g = render_gantt(r, 40);
+  // Each PE row contains a |....| timeline of exactly 40 chars.
+  const auto bar = g.find('|');
+  ASSERT_NE(bar, std::string::npos);
+  const auto close = g.find('|', bar + 1);
+  EXPECT_EQ(close - bar - 1, 40u);
+}
+
+TEST(Gantt, CrashedSlaveGetsAnXMark) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(4);
+  cfg.scheduler = SchedulerConfig::simple("tss");
+  auto base =
+      std::make_shared<PeakedWorkload>(800, 8000.0, 80000.0, 0.35, 0.12);
+  cfg.workload = sampled(base, 4);
+  cfg.faults.crash_at_s.assign(4, 1e18);
+  cfg.faults.crash_at_s[2] = 3.0;
+  cfg.faults.master_timeout_s = 2.0;
+  const Report r = run_simulation(cfg);
+  ASSERT_TRUE(r.slaves[2].crashed);
+  const std::string g = render_gantt(r, 60);
+  EXPECT_NE(g.find('X'), std::string::npos);
+}
+
+TEST(Gantt, ReassignedChunksAreTraced) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(4);
+  cfg.scheduler = SchedulerConfig::simple("tss");
+  auto base =
+      std::make_shared<PeakedWorkload>(800, 8000.0, 80000.0, 0.35, 0.12);
+  cfg.workload = sampled(base, 4);
+  cfg.faults.crash_at_s.assign(4, 1e18);
+  cfg.faults.crash_at_s[1] = 2.0;
+  cfg.faults.master_timeout_s = 1.5;
+  const Report r = run_simulation(cfg);
+  bool any_reassigned = false;
+  for (const ChunkTrace& tc : r.trace)
+    any_reassigned = any_reassigned || tc.reassigned;
+  EXPECT_TRUE(any_reassigned);
+  EXPECT_TRUE(r.exactly_once_acknowledged());
+}
+
+TEST(Report, StarvedRunIsFlaggedInTable) {
+  SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster(0, 4);
+  cfg.scheduler = SchedulerConfig::distributed("dtss");
+  cfg.workload = std::make_shared<UniformWorkload>(100, 1000.0);
+  cfg.loads.assign(4, cluster::LoadScript::constant(2));
+  cfg.acp = cluster::AcpPolicy::original_dtss();
+  const Report r = run_simulation(cfg);
+  ASSERT_TRUE(r.starved);
+  EXPECT_NE(r.to_table().find("STARVED"), std::string::npos);
+}
+
+TEST(Gantt, EmptyTraceIsHandled) {
+  Report r;
+  r.scheme = "x";
+  r.t_parallel = 0.0;
+  const std::string g = render_gantt(r);
+  EXPECT_NE(g.find("no trace"), std::string::npos);
+}
+
+TEST(Gantt, RejectsTinyWidth) {
+  Report r;
+  EXPECT_THROW(render_gantt(r, 5), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::sim

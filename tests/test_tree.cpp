@@ -1,0 +1,197 @@
+// Tree Scheduling building blocks: partner topology, steal sizing,
+// initial allocation, and the slave-side work pool.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "lss/support/assert.hpp"
+#include "lss/treesched/tree.hpp"
+#include "lss/treesched/tree_sched.hpp"
+
+namespace lss::treesched {
+namespace {
+
+// ------------------------------------------------------ partner tree
+
+TEST(PartnerTree, PowerOfTwoIsHypercube) {
+  PartnerTree t(8);
+  EXPECT_EQ(t.partners_of(0), (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(t.partners_of(5), (std::vector<int>{4, 7, 1}));
+}
+
+TEST(PartnerTree, PartnershipIsSymmetric) {
+  for (int p : {2, 3, 5, 8, 13}) {
+    PartnerTree t(p);
+    for (int a = 0; a < p; ++a)
+      for (int b : t.partners_of(a)) {
+        const auto& back = t.partners_of(b);
+        EXPECT_NE(std::find(back.begin(), back.end(), a), back.end())
+            << a << " <-> " << b << " (p=" << p << ")";
+      }
+  }
+}
+
+TEST(PartnerTree, NonPowerOfTwoSkipsInvalidIds) {
+  PartnerTree t(5);
+  for (int a = 0; a < 5; ++a)
+    for (int b : t.partners_of(a)) {
+      EXPECT_GE(b, 0);
+      EXPECT_LT(b, 5);
+      EXPECT_NE(b, a);
+    }
+}
+
+TEST(PartnerTree, GraphIsConnected) {
+  for (int p : {1, 2, 3, 6, 8, 11}) {
+    PartnerTree t(p);
+    std::set<int> seen{0};
+    std::vector<int> frontier{0};
+    while (!frontier.empty()) {
+      const int v = frontier.back();
+      frontier.pop_back();
+      for (int w : t.partners_of(v))
+        if (seen.insert(w).second) frontier.push_back(w);
+    }
+    EXPECT_EQ(static_cast<int>(seen.size()), p) << "p=" << p;
+  }
+}
+
+TEST(PartnerTree, SinglePeHasNoPartners) {
+  PartnerTree t(1);
+  EXPECT_TRUE(t.partners_of(0).empty());
+  EXPECT_TRUE(t.edges().empty());
+}
+
+TEST(PartnerTree, EdgesListEachPairOnce) {
+  PartnerTree t(4);
+  const auto edges = t.edges();
+  std::set<std::pair<int, int>> uniq(edges.begin(), edges.end());
+  EXPECT_EQ(uniq.size(), edges.size());
+  for (const auto& [a, b] : edges) EXPECT_LT(a, b);
+}
+
+// ------------------------------------------------------ steal amount
+
+TEST(StealAmount, EqualWeightsTakeHalf) {
+  EXPECT_EQ(steal_amount(100, 1.0, 1.0), 50);
+  EXPECT_EQ(steal_amount(101, 1.0, 1.0), 50);
+}
+
+TEST(StealAmount, FasterThiefTakesMore) {
+  EXPECT_EQ(steal_amount(100, 3.0, 1.0), 75);
+  EXPECT_EQ(steal_amount(100, 1.0, 3.0), 25);
+}
+
+TEST(StealAmount, VictimAlwaysKeepsSomething) {
+  EXPECT_EQ(steal_amount(1, 1.0, 1.0), 0);
+  EXPECT_EQ(steal_amount(0, 1.0, 1.0), 0);
+  EXPECT_LT(steal_amount(10, 1000.0, 1.0), 10);
+}
+
+TEST(StealAmount, RejectsBadArgs) {
+  EXPECT_THROW(steal_amount(-1, 1.0, 1.0), ContractError);
+  EXPECT_THROW(steal_amount(10, 0.0, 1.0), ContractError);
+}
+
+// ------------------------------------------------- initial allocation
+
+TEST(InitialAllocation, EvenSplitPartitions) {
+  const auto r = initial_allocation(10, {1.0, 1.0, 1.0, 1.0});
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_EQ(r[0].begin, 0);
+  EXPECT_EQ(r[3].end, 10);
+  Index total = 0;
+  for (std::size_t j = 0; j < 4; ++j) {
+    if (j > 0) {
+      EXPECT_EQ(r[j].begin, r[j - 1].end);
+    }
+    EXPECT_GE(r[j].size(), 2);
+    EXPECT_LE(r[j].size(), 3);
+    total += r[j].size();
+  }
+  EXPECT_EQ(total, 10);
+}
+
+TEST(InitialAllocation, WeightedSplitFollowsPowers) {
+  // Paper §6.1: TreeS initial allocation by virtual power (3:1).
+  const auto r = initial_allocation(4000, {3.0, 3.0, 1.0, 1.0});
+  EXPECT_EQ(r[0].size(), 1500);
+  EXPECT_EQ(r[1].size(), 1500);
+  EXPECT_EQ(r[2].size(), 500);
+  EXPECT_EQ(r[3].size(), 500);
+}
+
+TEST(InitialAllocation, ZeroIterations) {
+  const auto r = initial_allocation(0, {1.0, 2.0});
+  for (const Range& x : r) EXPECT_TRUE(x.empty());
+}
+
+TEST(InitialAllocation, RejectsBadArgs) {
+  EXPECT_THROW(initial_allocation(10, {}), ContractError);
+  EXPECT_THROW(initial_allocation(10, {1.0, -1.0}), ContractError);
+}
+
+// --------------------------------------------------------- work pool
+
+TEST(WorkPool, PopsFrontToBack) {
+  WorkPool p;
+  p.add(Range{0, 3});
+  p.add(Range{10, 12});
+  EXPECT_EQ(p.remaining(), 5);
+  EXPECT_EQ(p.pop_front(), 0);
+  EXPECT_EQ(p.pop_front(), 1);
+  EXPECT_EQ(p.pop_front(), 2);
+  EXPECT_EQ(p.pop_front(), 10);
+  EXPECT_EQ(p.pop_front(), 11);
+  EXPECT_TRUE(p.empty());
+  EXPECT_THROW(p.pop_front(), ContractError);
+}
+
+TEST(WorkPool, IgnoresEmptyRanges) {
+  WorkPool p;
+  p.add(Range{5, 5});
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(WorkPool, DonateTakesFromBack) {
+  WorkPool p;
+  p.add(Range{0, 10});
+  const auto donated = p.donate_back(4);
+  ASSERT_EQ(donated.size(), 1u);
+  EXPECT_EQ(donated[0], (Range{6, 10}));
+  EXPECT_EQ(p.remaining(), 6);
+  EXPECT_EQ(p.pop_front(), 0);
+}
+
+TEST(WorkPool, DonateSpansRanges) {
+  WorkPool p;
+  p.add(Range{0, 4});
+  p.add(Range{10, 14});
+  const auto donated = p.donate_back(6);
+  ASSERT_EQ(donated.size(), 2u);
+  // Restored to loop order: the piece of the first range comes first.
+  EXPECT_EQ(donated[0], (Range{2, 4}));
+  EXPECT_EQ(donated[1], (Range{10, 14}));
+  EXPECT_EQ(p.remaining(), 2);
+}
+
+TEST(WorkPool, DonateClampsToRemaining) {
+  WorkPool p;
+  p.add(Range{0, 3});
+  const auto donated = p.donate_back(100);
+  EXPECT_EQ(donated[0], (Range{0, 3}));
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(WorkPool, DonatedPlusPoppedCoverEverything) {
+  WorkPool p;
+  p.add(Range{0, 100});
+  std::vector<int> count(100, 0);
+  for (const Range& r : p.donate_back(37))
+    for (Index i = r.begin; i < r.end; ++i) ++count[static_cast<std::size_t>(i)];
+  while (!p.empty()) ++count[static_cast<std::size_t>(p.pop_front())];
+  for (int c : count) EXPECT_EQ(c, 1);
+}
+
+}  // namespace
+}  // namespace lss::treesched

@@ -1,0 +1,130 @@
+// Unit tests for lss/workload: synthetic loop styles and the
+// Workload interface helpers.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lss/support/assert.hpp"
+#include "lss/workload/synthetic.hpp"
+#include "lss/workload/workload.hpp"
+
+namespace lss {
+namespace {
+
+TEST(Uniform, AllIterationsCostTheSame) {
+  UniformWorkload w(100, 7.5);
+  EXPECT_EQ(w.size(), 100);
+  for (Index i = 0; i < w.size(); ++i) EXPECT_DOUBLE_EQ(w.cost(i), 7.5);
+  EXPECT_DOUBLE_EQ(total_cost(w), 750.0);
+}
+
+TEST(Uniform, RejectsBadArgs) {
+  EXPECT_THROW(UniformWorkload(-1, 1.0), ContractError);
+  EXPECT_THROW(UniformWorkload(10, 0.0), ContractError);
+}
+
+TEST(Uniform, IndexOutOfRangeThrows) {
+  UniformWorkload w(10, 1.0);
+  EXPECT_THROW(w.cost(-1), ContractError);
+  EXPECT_THROW(w.cost(10), ContractError);
+}
+
+TEST(LinearIncreasing, TriangularCosts) {
+  LinearIncreasingWorkload w(4, 2.0);
+  EXPECT_DOUBLE_EQ(w.cost(0), 2.0);
+  EXPECT_DOUBLE_EQ(w.cost(3), 8.0);
+  EXPECT_DOUBLE_EQ(total_cost(w), 2.0 * (1 + 2 + 3 + 4));
+}
+
+TEST(LinearDecreasing, MirrorsIncreasing) {
+  LinearIncreasingWorkload inc(50, 3.0);
+  LinearDecreasingWorkload dec(50, 3.0);
+  for (Index i = 0; i < 50; ++i)
+    EXPECT_DOUBLE_EQ(dec.cost(i), inc.cost(49 - i));
+}
+
+TEST(Conditional, OnlyTwoCostValues) {
+  ConditionalWorkload w(500, 10.0, 2.0, 0.3, /*seed=*/99);
+  Index thens = 0;
+  for (Index i = 0; i < w.size(); ++i) {
+    const double c = w.cost(i);
+    EXPECT_TRUE(c == 10.0 || c == 2.0);
+    if (c == 10.0) ++thens;
+  }
+  // Bernoulli(0.3) over 500 draws: expect ~150, allow generous slack.
+  EXPECT_GT(thens, 100);
+  EXPECT_LT(thens, 210);
+}
+
+TEST(Conditional, SameSeedSameLoop) {
+  ConditionalWorkload a(100, 5.0, 1.0, 0.5, 7);
+  ConditionalWorkload b(100, 5.0, 1.0, 0.5, 7);
+  for (Index i = 0; i < 100; ++i) EXPECT_DOUBLE_EQ(a.cost(i), b.cost(i));
+}
+
+TEST(Conditional, ProbabilityBoundsEnforced) {
+  EXPECT_THROW(ConditionalWorkload(10, 1.0, 1.0, 1.5, 0), ContractError);
+  EXPECT_THROW(ConditionalWorkload(10, 1.0, 1.0, -0.1, 0), ContractError);
+}
+
+TEST(Irregular, CostsAtLeastOne) {
+  IrregularWorkload w(1000, 2.0, 1.5, 31);
+  for (Index i = 0; i < w.size(); ++i) EXPECT_GE(w.cost(i), 1.0);
+}
+
+TEST(Irregular, IsDeterministicPerSeed) {
+  IrregularWorkload a(64, 1.0, 1.0, 5);
+  IrregularWorkload b(64, 1.0, 1.0, 5);
+  IrregularWorkload c(64, 1.0, 1.0, 6);
+  bool any_diff = false;
+  for (Index i = 0; i < 64; ++i) {
+    EXPECT_DOUBLE_EQ(a.cost(i), b.cost(i));
+    any_diff = any_diff || a.cost(i) != c.cost(i);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Peaked, PeakIsAtCenter) {
+  PeakedWorkload w(1000, 10.0, 100.0, 0.5, 0.1);
+  EXPECT_GT(w.cost(500), w.cost(100));
+  EXPECT_GT(w.cost(500), w.cost(900));
+  EXPECT_NEAR(w.cost(500), 110.0, 1.0);
+  EXPECT_NEAR(w.cost(0), 10.0, 1.0);
+}
+
+TEST(Workload, CostProfileMatchesCost) {
+  LinearIncreasingWorkload w(20, 1.0);
+  const auto prof = cost_profile(w);
+  ASSERT_EQ(prof.size(), 20u);
+  for (Index i = 0; i < 20; ++i)
+    EXPECT_DOUBLE_EQ(prof[static_cast<std::size_t>(i)], w.cost(i));
+}
+
+TEST(Workload, DefaultExecuteRuns) {
+  UniformWorkload w(4, 100.0);
+  EXPECT_NO_THROW(w.execute(0));  // burns ~100 iterations
+}
+
+TEST(Permuted, ReindexesCosts) {
+  auto base = std::make_shared<LinearIncreasingWorkload>(4, 1.0);
+  PermutedWorkload w(base, {3, 2, 1, 0});
+  EXPECT_DOUBLE_EQ(w.cost(0), 4.0);
+  EXPECT_DOUBLE_EQ(w.cost(3), 1.0);
+  EXPECT_DOUBLE_EQ(total_cost(w), total_cost(*base));
+}
+
+TEST(Permuted, RejectsInvalidPermutations) {
+  auto base = std::make_shared<UniformWorkload>(3, 1.0);
+  EXPECT_THROW(PermutedWorkload(base, {0, 1}), ContractError);      // size
+  EXPECT_THROW(PermutedWorkload(base, {0, 1, 3}), ContractError);   // range
+  EXPECT_THROW(PermutedWorkload(nullptr, {}), ContractError);       // null
+}
+
+TEST(Permuted, NameMentionsBase) {
+  auto base = std::make_shared<UniformWorkload>(2, 1.0);
+  PermutedWorkload w(base, {1, 0});
+  EXPECT_NE(w.name().find("uniform"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lss
