@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_acp.dir/bench_ablation_acp.cpp.o"
+  "CMakeFiles/bench_ablation_acp.dir/bench_ablation_acp.cpp.o.d"
+  "bench_ablation_acp"
+  "bench_ablation_acp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_acp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_awf.dir/bench_ablation_awf.cpp.o"
+  "CMakeFiles/bench_ablation_awf.dir/bench_ablation_awf.cpp.o.d"
+  "bench_ablation_awf"
+  "bench_ablation_awf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_awf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

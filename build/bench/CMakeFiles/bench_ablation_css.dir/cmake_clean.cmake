@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_css.dir/bench_ablation_css.cpp.o"
+  "CMakeFiles/bench_ablation_css.dir/bench_ablation_css.cpp.o.d"
+  "bench_ablation_css"
+  "bench_ablation_css.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_css.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

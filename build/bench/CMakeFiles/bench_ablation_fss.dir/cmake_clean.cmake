@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fss.dir/bench_ablation_fss.cpp.o"
+  "CMakeFiles/bench_ablation_fss.dir/bench_ablation_fss.cpp.o.d"
+  "bench_ablation_fss"
+  "bench_ablation_fss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_hier.cpp" "bench/CMakeFiles/bench_ablation_hier.dir/bench_ablation_hier.cpp.o" "gcc" "bench/CMakeFiles/bench_ablation_hier.dir/bench_ablation_hier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_treesched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_rt.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_distsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_hier.dir/bench_ablation_hier.cpp.o"
+  "CMakeFiles/bench_ablation_hier.dir/bench_ablation_hier.cpp.o.d"
+  "bench_ablation_hier"
+  "bench_ablation_hier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_replan.dir/bench_ablation_replan.cpp.o"
+  "CMakeFiles/bench_ablation_replan.dir/bench_ablation_replan.cpp.o.d"
+  "bench_ablation_replan"
+  "bench_ablation_replan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_replan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

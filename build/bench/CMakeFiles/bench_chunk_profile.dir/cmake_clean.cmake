@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_chunk_profile.dir/bench_chunk_profile.cpp.o"
+  "CMakeFiles/bench_chunk_profile.dir/bench_chunk_profile.cpp.o.d"
+  "bench_chunk_profile"
+  "bench_chunk_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_chunk_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_errorbars.dir/bench_errorbars.cpp.o"
+  "CMakeFiles/bench_errorbars.dir/bench_errorbars.cpp.o.d"
+  "bench_errorbars"
+  "bench_errorbars.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_errorbars.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_for.dir/bench_parallel_for.cpp.o"
+  "CMakeFiles/bench_parallel_for.dir/bench_parallel_for.cpp.o.d"
+  "bench_parallel_for"
+  "bench_parallel_for.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_for.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_quadrature.dir/adaptive_quadrature.cpp.o"
+  "CMakeFiles/adaptive_quadrature.dir/adaptive_quadrature.cpp.o.d"
+  "adaptive_quadrature"
+  "adaptive_quadrature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_quadrature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

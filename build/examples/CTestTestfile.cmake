@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(cli_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(cli_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_custom_scheme "/root/repo/build/examples/custom_scheme")
+set_tests_properties(cli_custom_scheme PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_cluster_sim_default "/root/repo/build/examples/cluster_sim" "--width" "400" "--height" "200")
+set_tests_properties(cli_cluster_sim_default PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_cluster_sim_tree "/root/repo/build/examples/cluster_sim" "--scheme" "trees" "--weighted" "--width" "400" "--height" "200" "--gantt")
+set_tests_properties(cli_cluster_sim_tree PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;17;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_cluster_sim_config "/root/repo/build/examples/cluster_sim" "--config" "/root/repo/examples/paper_cluster.cfg" "--scheme" "dfiss" "--width" "400" "--height" "200")
+set_tests_properties(cli_cluster_sim_config PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_cluster_sim_bad_flag "/root/repo/build/examples/cluster_sim" "--bogus")
+set_tests_properties(cli_cluster_sim_bad_flag PROPERTIES  WILL_FAIL "TRUE" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_fault_demo "/root/repo/build/examples/fault_demo")
+set_tests_properties(cli_fault_demo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_mandelbrot_render "/root/repo/build/examples/mandelbrot_render" "64" "48" "gss" "render_test.pgm")
+set_tests_properties(cli_mandelbrot_render PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(cli_cluster_sim_replicated "/root/repo/build/examples/cluster_sim" "--scheme" "dtss" "--width" "300" "--height" "150" "--replications" "3")
+set_tests_properties(cli_cluster_sim_replicated PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")

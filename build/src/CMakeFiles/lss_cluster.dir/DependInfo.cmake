@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/cluster/acp.cpp" "src/CMakeFiles/lss_cluster.dir/lss/cluster/acp.cpp.o" "gcc" "src/CMakeFiles/lss_cluster.dir/lss/cluster/acp.cpp.o.d"
+  "/root/repo/src/lss/cluster/cluster.cpp" "src/CMakeFiles/lss_cluster.dir/lss/cluster/cluster.cpp.o" "gcc" "src/CMakeFiles/lss_cluster.dir/lss/cluster/cluster.cpp.o.d"
+  "/root/repo/src/lss/cluster/config_file.cpp" "src/CMakeFiles/lss_cluster.dir/lss/cluster/config_file.cpp.o" "gcc" "src/CMakeFiles/lss_cluster.dir/lss/cluster/config_file.cpp.o.d"
+  "/root/repo/src/lss/cluster/load.cpp" "src/CMakeFiles/lss_cluster.dir/lss/cluster/load.cpp.o" "gcc" "src/CMakeFiles/lss_cluster.dir/lss/cluster/load.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_cluster.dir/lss/cluster/acp.cpp.o"
+  "CMakeFiles/lss_cluster.dir/lss/cluster/acp.cpp.o.d"
+  "CMakeFiles/lss_cluster.dir/lss/cluster/cluster.cpp.o"
+  "CMakeFiles/lss_cluster.dir/lss/cluster/cluster.cpp.o.d"
+  "CMakeFiles/lss_cluster.dir/lss/cluster/config_file.cpp.o"
+  "CMakeFiles/lss_cluster.dir/lss/cluster/config_file.cpp.o.d"
+  "CMakeFiles/lss_cluster.dir/lss/cluster/load.cpp.o"
+  "CMakeFiles/lss_cluster.dir/lss/cluster/load.cpp.o.d"
+  "liblss_cluster.a"
+  "liblss_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/distsched/acpsa.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/acpsa.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/acpsa.cpp.o.d"
+  "/root/repo/src/lss/distsched/awf.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/awf.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/awf.cpp.o.d"
+  "/root/repo/src/lss/distsched/dfactory.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dfactory.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dfactory.cpp.o.d"
+  "/root/repo/src/lss/distsched/dfiss.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dfiss.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dfiss.cpp.o.d"
+  "/root/repo/src/lss/distsched/dfss.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dfss.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dfss.cpp.o.d"
+  "/root/repo/src/lss/distsched/dist_scheme.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dist_scheme.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dist_scheme.cpp.o.d"
+  "/root/repo/src/lss/distsched/dtfss.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dtfss.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dtfss.cpp.o.d"
+  "/root/repo/src/lss/distsched/dtss.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dtss.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/dtss.cpp.o.d"
+  "/root/repo/src/lss/distsched/weighted_adapter.cpp" "src/CMakeFiles/lss_distsched.dir/lss/distsched/weighted_adapter.cpp.o" "gcc" "src/CMakeFiles/lss_distsched.dir/lss/distsched/weighted_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_distsched.dir/lss/distsched/acpsa.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/acpsa.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/awf.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/awf.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dfactory.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dfactory.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dfiss.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dfiss.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dfss.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dfss.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dist_scheme.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dist_scheme.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dtfss.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dtfss.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dtss.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/dtss.cpp.o.d"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/weighted_adapter.cpp.o"
+  "CMakeFiles/lss_distsched.dir/lss/distsched/weighted_adapter.cpp.o.d"
+  "liblss_distsched.a"
+  "liblss_distsched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_distsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/metrics/imbalance.cpp" "src/CMakeFiles/lss_metrics.dir/lss/metrics/imbalance.cpp.o" "gcc" "src/CMakeFiles/lss_metrics.dir/lss/metrics/imbalance.cpp.o.d"
+  "/root/repo/src/lss/metrics/speedup.cpp" "src/CMakeFiles/lss_metrics.dir/lss/metrics/speedup.cpp.o" "gcc" "src/CMakeFiles/lss_metrics.dir/lss/metrics/speedup.cpp.o.d"
+  "/root/repo/src/lss/metrics/timing.cpp" "src/CMakeFiles/lss_metrics.dir/lss/metrics/timing.cpp.o" "gcc" "src/CMakeFiles/lss_metrics.dir/lss/metrics/timing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

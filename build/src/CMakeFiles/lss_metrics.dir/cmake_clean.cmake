@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_metrics.dir/lss/metrics/imbalance.cpp.o"
+  "CMakeFiles/lss_metrics.dir/lss/metrics/imbalance.cpp.o.d"
+  "CMakeFiles/lss_metrics.dir/lss/metrics/speedup.cpp.o"
+  "CMakeFiles/lss_metrics.dir/lss/metrics/speedup.cpp.o.d"
+  "CMakeFiles/lss_metrics.dir/lss/metrics/timing.cpp.o"
+  "CMakeFiles/lss_metrics.dir/lss/metrics/timing.cpp.o.d"
+  "liblss_metrics.a"
+  "liblss_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

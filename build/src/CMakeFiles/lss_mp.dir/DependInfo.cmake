@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/mp/channel.cpp" "src/CMakeFiles/lss_mp.dir/lss/mp/channel.cpp.o" "gcc" "src/CMakeFiles/lss_mp.dir/lss/mp/channel.cpp.o.d"
+  "/root/repo/src/lss/mp/collectives.cpp" "src/CMakeFiles/lss_mp.dir/lss/mp/collectives.cpp.o" "gcc" "src/CMakeFiles/lss_mp.dir/lss/mp/collectives.cpp.o.d"
+  "/root/repo/src/lss/mp/comm.cpp" "src/CMakeFiles/lss_mp.dir/lss/mp/comm.cpp.o" "gcc" "src/CMakeFiles/lss_mp.dir/lss/mp/comm.cpp.o.d"
+  "/root/repo/src/lss/mp/message.cpp" "src/CMakeFiles/lss_mp.dir/lss/mp/message.cpp.o" "gcc" "src/CMakeFiles/lss_mp.dir/lss/mp/message.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_mp.dir/lss/mp/channel.cpp.o"
+  "CMakeFiles/lss_mp.dir/lss/mp/channel.cpp.o.d"
+  "CMakeFiles/lss_mp.dir/lss/mp/collectives.cpp.o"
+  "CMakeFiles/lss_mp.dir/lss/mp/collectives.cpp.o.d"
+  "CMakeFiles/lss_mp.dir/lss/mp/comm.cpp.o"
+  "CMakeFiles/lss_mp.dir/lss/mp/comm.cpp.o.d"
+  "CMakeFiles/lss_mp.dir/lss/mp/message.cpp.o"
+  "CMakeFiles/lss_mp.dir/lss/mp/message.cpp.o.d"
+  "liblss_mp.a"
+  "liblss_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_rt.dir/lss/rt/affinity.cpp.o"
+  "CMakeFiles/lss_rt.dir/lss/rt/affinity.cpp.o.d"
+  "CMakeFiles/lss_rt.dir/lss/rt/parallel_for.cpp.o"
+  "CMakeFiles/lss_rt.dir/lss/rt/parallel_for.cpp.o.d"
+  "CMakeFiles/lss_rt.dir/lss/rt/run.cpp.o"
+  "CMakeFiles/lss_rt.dir/lss/rt/run.cpp.o.d"
+  "CMakeFiles/lss_rt.dir/lss/rt/throttle.cpp.o"
+  "CMakeFiles/lss_rt.dir/lss/rt/throttle.cpp.o.d"
+  "liblss_rt.a"
+  "liblss_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

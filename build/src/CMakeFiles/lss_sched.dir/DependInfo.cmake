@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/sched/analysis.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/analysis.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/analysis.cpp.o.d"
+  "/root/repo/src/lss/sched/css.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/css.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/css.cpp.o.d"
+  "/root/repo/src/lss/sched/factory.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/factory.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/factory.cpp.o.d"
+  "/root/repo/src/lss/sched/fiss.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/fiss.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/fiss.cpp.o.d"
+  "/root/repo/src/lss/sched/fss.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/fss.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/fss.cpp.o.d"
+  "/root/repo/src/lss/sched/gss.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/gss.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/gss.cpp.o.d"
+  "/root/repo/src/lss/sched/scheme.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/scheme.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/scheme.cpp.o.d"
+  "/root/repo/src/lss/sched/sequence.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/sequence.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/sequence.cpp.o.d"
+  "/root/repo/src/lss/sched/sss.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/sss.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/sss.cpp.o.d"
+  "/root/repo/src/lss/sched/static_sched.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/static_sched.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/static_sched.cpp.o.d"
+  "/root/repo/src/lss/sched/tfss.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/tfss.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/tfss.cpp.o.d"
+  "/root/repo/src/lss/sched/tss.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/tss.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/tss.cpp.o.d"
+  "/root/repo/src/lss/sched/wf.cpp" "src/CMakeFiles/lss_sched.dir/lss/sched/wf.cpp.o" "gcc" "src/CMakeFiles/lss_sched.dir/lss/sched/wf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_sched.dir/lss/sched/analysis.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/analysis.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/css.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/css.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/factory.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/factory.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/fiss.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/fiss.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/fss.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/fss.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/gss.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/gss.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/scheme.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/scheme.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/sequence.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/sequence.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/sss.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/sss.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/static_sched.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/static_sched.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/tfss.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/tfss.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/tss.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/tss.cpp.o.d"
+  "CMakeFiles/lss_sched.dir/lss/sched/wf.cpp.o"
+  "CMakeFiles/lss_sched.dir/lss/sched/wf.cpp.o.d"
+  "liblss_sched.a"
+  "liblss_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

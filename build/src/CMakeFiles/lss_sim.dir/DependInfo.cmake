@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/sim/centralized.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/centralized.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/centralized.cpp.o.d"
+  "/root/repo/src/lss/sim/cpu.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/cpu.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/cpu.cpp.o.d"
+  "/root/repo/src/lss/sim/engine.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/engine.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/engine.cpp.o.d"
+  "/root/repo/src/lss/sim/experiment.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/experiment.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/experiment.cpp.o.d"
+  "/root/repo/src/lss/sim/gantt.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/gantt.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/gantt.cpp.o.d"
+  "/root/repo/src/lss/sim/hier_sim.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/hier_sim.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/hier_sim.cpp.o.d"
+  "/root/repo/src/lss/sim/network.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/network.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/network.cpp.o.d"
+  "/root/repo/src/lss/sim/report.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/report.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/report.cpp.o.d"
+  "/root/repo/src/lss/sim/simulation.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/simulation.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/simulation.cpp.o.d"
+  "/root/repo/src/lss/sim/tree_sim.cpp" "src/CMakeFiles/lss_sim.dir/lss/sim/tree_sim.cpp.o" "gcc" "src/CMakeFiles/lss_sim.dir/lss/sim/tree_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_distsched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_treesched.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

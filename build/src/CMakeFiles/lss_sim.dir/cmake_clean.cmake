@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_sim.dir/lss/sim/centralized.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/centralized.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/cpu.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/cpu.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/engine.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/engine.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/experiment.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/experiment.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/gantt.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/gantt.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/hier_sim.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/hier_sim.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/network.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/network.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/report.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/report.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/simulation.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/simulation.cpp.o.d"
+  "CMakeFiles/lss_sim.dir/lss/sim/tree_sim.cpp.o"
+  "CMakeFiles/lss_sim.dir/lss/sim/tree_sim.cpp.o.d"
+  "liblss_sim.a"
+  "liblss_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/support/csv.cpp" "src/CMakeFiles/lss_support.dir/lss/support/csv.cpp.o" "gcc" "src/CMakeFiles/lss_support.dir/lss/support/csv.cpp.o.d"
+  "/root/repo/src/lss/support/prng.cpp" "src/CMakeFiles/lss_support.dir/lss/support/prng.cpp.o" "gcc" "src/CMakeFiles/lss_support.dir/lss/support/prng.cpp.o.d"
+  "/root/repo/src/lss/support/stats.cpp" "src/CMakeFiles/lss_support.dir/lss/support/stats.cpp.o" "gcc" "src/CMakeFiles/lss_support.dir/lss/support/stats.cpp.o.d"
+  "/root/repo/src/lss/support/strings.cpp" "src/CMakeFiles/lss_support.dir/lss/support/strings.cpp.o" "gcc" "src/CMakeFiles/lss_support.dir/lss/support/strings.cpp.o.d"
+  "/root/repo/src/lss/support/table.cpp" "src/CMakeFiles/lss_support.dir/lss/support/table.cpp.o" "gcc" "src/CMakeFiles/lss_support.dir/lss/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_support.dir/lss/support/csv.cpp.o"
+  "CMakeFiles/lss_support.dir/lss/support/csv.cpp.o.d"
+  "CMakeFiles/lss_support.dir/lss/support/prng.cpp.o"
+  "CMakeFiles/lss_support.dir/lss/support/prng.cpp.o.d"
+  "CMakeFiles/lss_support.dir/lss/support/stats.cpp.o"
+  "CMakeFiles/lss_support.dir/lss/support/stats.cpp.o.d"
+  "CMakeFiles/lss_support.dir/lss/support/strings.cpp.o"
+  "CMakeFiles/lss_support.dir/lss/support/strings.cpp.o.d"
+  "CMakeFiles/lss_support.dir/lss/support/table.cpp.o"
+  "CMakeFiles/lss_support.dir/lss/support/table.cpp.o.d"
+  "liblss_support.a"
+  "liblss_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

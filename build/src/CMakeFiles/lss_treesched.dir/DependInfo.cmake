@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/treesched/tree.cpp" "src/CMakeFiles/lss_treesched.dir/lss/treesched/tree.cpp.o" "gcc" "src/CMakeFiles/lss_treesched.dir/lss/treesched/tree.cpp.o.d"
+  "/root/repo/src/lss/treesched/tree_sched.cpp" "src/CMakeFiles/lss_treesched.dir/lss/treesched/tree_sched.cpp.o" "gcc" "src/CMakeFiles/lss_treesched.dir/lss/treesched/tree_sched.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

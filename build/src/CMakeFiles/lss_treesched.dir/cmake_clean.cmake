@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_treesched.dir/lss/treesched/tree.cpp.o"
+  "CMakeFiles/lss_treesched.dir/lss/treesched/tree.cpp.o.d"
+  "CMakeFiles/lss_treesched.dir/lss/treesched/tree_sched.cpp.o"
+  "CMakeFiles/lss_treesched.dir/lss/treesched/tree_sched.cpp.o.d"
+  "liblss_treesched.a"
+  "liblss_treesched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_treesched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lss/workload/file_workload.cpp" "src/CMakeFiles/lss_workload.dir/lss/workload/file_workload.cpp.o" "gcc" "src/CMakeFiles/lss_workload.dir/lss/workload/file_workload.cpp.o.d"
+  "/root/repo/src/lss/workload/linalg.cpp" "src/CMakeFiles/lss_workload.dir/lss/workload/linalg.cpp.o" "gcc" "src/CMakeFiles/lss_workload.dir/lss/workload/linalg.cpp.o.d"
+  "/root/repo/src/lss/workload/mandelbrot.cpp" "src/CMakeFiles/lss_workload.dir/lss/workload/mandelbrot.cpp.o" "gcc" "src/CMakeFiles/lss_workload.dir/lss/workload/mandelbrot.cpp.o.d"
+  "/root/repo/src/lss/workload/sampling.cpp" "src/CMakeFiles/lss_workload.dir/lss/workload/sampling.cpp.o" "gcc" "src/CMakeFiles/lss_workload.dir/lss/workload/sampling.cpp.o.d"
+  "/root/repo/src/lss/workload/synthetic.cpp" "src/CMakeFiles/lss_workload.dir/lss/workload/synthetic.cpp.o" "gcc" "src/CMakeFiles/lss_workload.dir/lss/workload/synthetic.cpp.o.d"
+  "/root/repo/src/lss/workload/workload.cpp" "src/CMakeFiles/lss_workload.dir/lss/workload/workload.cpp.o" "gcc" "src/CMakeFiles/lss_workload.dir/lss/workload/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/lss_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

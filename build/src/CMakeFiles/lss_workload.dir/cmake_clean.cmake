@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lss_workload.dir/lss/workload/file_workload.cpp.o"
+  "CMakeFiles/lss_workload.dir/lss/workload/file_workload.cpp.o.d"
+  "CMakeFiles/lss_workload.dir/lss/workload/linalg.cpp.o"
+  "CMakeFiles/lss_workload.dir/lss/workload/linalg.cpp.o.d"
+  "CMakeFiles/lss_workload.dir/lss/workload/mandelbrot.cpp.o"
+  "CMakeFiles/lss_workload.dir/lss/workload/mandelbrot.cpp.o.d"
+  "CMakeFiles/lss_workload.dir/lss/workload/sampling.cpp.o"
+  "CMakeFiles/lss_workload.dir/lss/workload/sampling.cpp.o.d"
+  "CMakeFiles/lss_workload.dir/lss/workload/synthetic.cpp.o"
+  "CMakeFiles/lss_workload.dir/lss/workload/synthetic.cpp.o.d"
+  "CMakeFiles/lss_workload.dir/lss/workload/workload.cpp.o"
+  "CMakeFiles/lss_workload.dir/lss/workload/workload.cpp.o.d"
+  "liblss_workload.a"
+  "liblss_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lss_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblss_workload.a"
+)

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_acp.dir/test_acp.cpp.o"
+  "CMakeFiles/test_acp.dir/test_acp.cpp.o.d"
+  "test_acp"
+  "test_acp.pdb"
+  "test_acp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_acp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_awf.dir/test_awf.cpp.o"
+  "CMakeFiles/test_awf.dir/test_awf.cpp.o.d"
+  "test_awf"
+  "test_awf.pdb"
+  "test_awf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_awf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

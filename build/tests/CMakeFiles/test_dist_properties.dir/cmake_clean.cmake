@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dist_properties.dir/test_dist_properties.cpp.o"
+  "CMakeFiles/test_dist_properties.dir/test_dist_properties.cpp.o.d"
+  "test_dist_properties"
+  "test_dist_properties.pdb"
+  "test_dist_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dist_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

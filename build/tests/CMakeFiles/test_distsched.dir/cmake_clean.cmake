@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_distsched.dir/test_distsched.cpp.o"
+  "CMakeFiles/test_distsched.dir/test_distsched.cpp.o.d"
+  "test_distsched"
+  "test_distsched.pdb"
+  "test_distsched[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_distsched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

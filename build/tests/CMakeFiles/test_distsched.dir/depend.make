@@ -1,0 +1,2 @@
+# Empty dependencies file for test_distsched.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_file_workload.dir/test_file_workload.cpp.o"
+  "CMakeFiles/test_file_workload.dir/test_file_workload.cpp.o.d"
+  "test_file_workload"
+  "test_file_workload.pdb"
+  "test_file_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_file_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mandelbrot.dir/test_mandelbrot.cpp.o"
+  "CMakeFiles/test_mandelbrot.dir/test_mandelbrot.cpp.o.d"
+  "test_mandelbrot"
+  "test_mandelbrot.pdb"
+  "test_mandelbrot[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mandelbrot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sched_simple.dir/test_sched_simple.cpp.o"
+  "CMakeFiles/test_sched_simple.dir/test_sched_simple.cpp.o.d"
+  "test_sched_simple"
+  "test_sched_simple.pdb"
+  "test_sched_simple[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sched_simple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

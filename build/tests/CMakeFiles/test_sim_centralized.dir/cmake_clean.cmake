@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_centralized.dir/test_sim_centralized.cpp.o"
+  "CMakeFiles/test_sim_centralized.dir/test_sim_centralized.cpp.o.d"
+  "test_sim_centralized"
+  "test_sim_centralized.pdb"
+  "test_sim_centralized[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_centralized.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

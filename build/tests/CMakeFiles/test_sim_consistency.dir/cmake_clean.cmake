@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_consistency.dir/test_sim_consistency.cpp.o"
+  "CMakeFiles/test_sim_consistency.dir/test_sim_consistency.cpp.o.d"
+  "test_sim_consistency"
+  "test_sim_consistency.pdb"
+  "test_sim_consistency[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_consistency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_cpu.dir/test_sim_cpu.cpp.o"
+  "CMakeFiles/test_sim_cpu.dir/test_sim_cpu.cpp.o.d"
+  "test_sim_cpu"
+  "test_sim_cpu.pdb"
+  "test_sim_cpu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

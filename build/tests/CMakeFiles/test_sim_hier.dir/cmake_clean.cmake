@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_hier.dir/test_sim_hier.cpp.o"
+  "CMakeFiles/test_sim_hier.dir/test_sim_hier.cpp.o.d"
+  "test_sim_hier"
+  "test_sim_hier.pdb"
+  "test_sim_hier[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_hier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_tree.dir/test_sim_tree.cpp.o"
+  "CMakeFiles/test_sim_tree.dir/test_sim_tree.cpp.o.d"
+  "test_sim_tree"
+  "test_sim_tree.pdb"
+  "test_sim_tree[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
