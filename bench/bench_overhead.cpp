@@ -1,9 +1,14 @@
 // Micro-benchmark (google-benchmark): per-decision cost of each
 // scheduling scheme — the master-side overhead the paper's
-// master_overhead models. Also measures the full drain of a loop.
+// master_overhead models. Also measures the full drain of a loop and
+// the per-chunk dispatch cost of the runtime dispenser (rt/dispatch)
+// under contention: locked vs lock-free, 1-16 threads.
 #include <benchmark/benchmark.h>
 
+#include <memory>
+
 #include "lss/distsched/dfactory.hpp"
+#include "lss/rt/dispatch.hpp"
 #include "lss/sched/factory.hpp"
 
 using namespace lss;
@@ -63,6 +68,33 @@ void BM_DrainWholeLoop(benchmark::State& state, const std::string& spec) {
   }
 }
 
+// Per-chunk dispatch cost through the runtime dispenser. Every
+// benchmark thread plays one PE and claims chunks as fast as it can;
+// a drained dispenser is rewound in place (the reset fetch is part of
+// the measured loop but amortizes over the whole grant sequence).
+// Compare the *_lockfree and *_locked variants at the same thread
+// count: the gap is the mutex, i.e. the contention component of the
+// paper's per-assignment overhead h.
+void BM_DispatchNext(benchmark::State& state, const std::string& spec,
+                     bool force_locked) {
+  static std::unique_ptr<rt::ChunkDispatcher> dispatcher;
+  if (state.thread_index() == 0) {
+    dispatcher = rt::make_dispatcher(spec, 1 << 20, state.threads(),
+                                     {.force_locked = force_locked});
+  }
+  // google-benchmark barriers all threads between here and the first
+  // iteration, so the dispatcher publish above is safe.
+  const int pe = state.thread_index();
+  for (auto _ : state) {
+    Range r = dispatcher->next(pe);
+    if (r.empty()) dispatcher->reset();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0)
+    state.SetLabel(rt::to_string(dispatcher->path()));
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SimpleNext, ss, "ss");
@@ -80,5 +112,20 @@ BENCHMARK_CAPTURE(BM_DistNext, dtfss, "dtfss");
 BENCHMARK_CAPTURE(BM_DrainWholeLoop, gss, "gss");
 BENCHMARK_CAPTURE(BM_DrainWholeLoop, tss, "tss");
 BENCHMARK_CAPTURE(BM_DrainWholeLoop, tfss, "tfss");
+
+BENCHMARK_CAPTURE(BM_DispatchNext, ss_lockfree, "ss", false)
+    ->ThreadRange(1, 16)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DispatchNext, ss_locked, "ss", true)
+    ->ThreadRange(1, 16)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DispatchNext, gss_lockfree, "gss", false)
+    ->ThreadRange(1, 16)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DispatchNext, gss_locked, "gss", true)
+    ->ThreadRange(1, 16)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DispatchNext, tfss_lockfree, "tfss", false)
+    ->ThreadRange(1, 16)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DispatchNext, tfss_locked, "tfss", true)
+    ->ThreadRange(1, 16)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DispatchNext, sss_locked_fallback, "sss", false)
+    ->ThreadRange(1, 16)->UseRealTime();
 
 BENCHMARK_MAIN();

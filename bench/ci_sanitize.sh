@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Runs the tier-1 ctest suite under a sanitizer (default: TSan).
+# The lock-free chunk dispatcher (src/lss/rt/dispatch.*) must stay
+# TSan-clean; this is the CI entry that enforces it.
+#
+#   bench/ci_sanitize.sh [thread|address|undefined]
+set -euo pipefail
+
+mode="${1:-thread}"
+case "$mode" in
+  thread|address|undefined) ;;
+  *) echo "usage: $0 [thread|address|undefined]" >&2; exit 2 ;;
+esac
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-${mode}san"
+
+cmake -B "$build" -S "$root" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLSS_SANITIZE="$mode"
+cmake --build "$build" -j "$(nproc)"
+
+# halt_on_error makes any report fail the owning test immediately.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
+
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)"

@@ -74,6 +74,7 @@
 #include "lss/mp/comm.hpp"
 #include "lss/mp/message.hpp"
 #include "lss/rt/affinity.hpp"
+#include "lss/rt/dispatch.hpp"
 #include "lss/rt/parallel_for.hpp"
 #include "lss/rt/run.hpp"
 #include "lss/rt/throttle.hpp"

@@ -2,9 +2,12 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdint>
 #include <exception>
+#include <limits>
 #include <mutex>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "lss/support/assert.hpp"
@@ -15,12 +18,46 @@ namespace {
 
 /// A worker's local queue: a contiguous range taken from the front
 /// by the owner and stolen from the back by thieves.
+///
+/// Lock-free representation: (begin, end) packed as two 32-bit
+/// offsets from the loop base into one 64-bit word, so both the
+/// owner's take_front and a thief's steal_back are a single CAS.
+/// begin only ever grows and end only ever shrinks, so a packed
+/// state value never repeats and the CAS cannot suffer ABA. Loops
+/// longer than 2^32 iterations fall back to the mutex path.
 class LocalQueue {
  public:
-  void reset(Range r) { range_ = r; }
+  static bool fits_lock_free(Index total) {
+    return total <= static_cast<Index>(std::numeric_limits<std::uint32_t>::max());
+  }
+
+  void reset(Index base, Range r, bool lock_free) {
+    base_ = base;
+    lock_free_ = lock_free;
+    if (lock_free_) {
+      state_.store(pack(static_cast<std::uint32_t>(r.begin - base),
+                        static_cast<std::uint32_t>(r.end - base)),
+                   std::memory_order_relaxed);
+    } else {
+      range_ = r;
+    }
+  }
 
   /// Owner side: take ceil(size/k) from the front.
   Range take_front(int k) {
+    if (lock_free_) {
+      std::uint64_t s = state_.load(std::memory_order_acquire);
+      for (;;) {
+        const auto [lo, hi] = unpack(s);
+        if (lo >= hi) return Range{};
+        const std::uint32_t n = (hi - lo + static_cast<std::uint32_t>(k) - 1) /
+                                static_cast<std::uint32_t>(k);
+        if (state_.compare_exchange_weak(s, pack(lo + n, hi),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+          return Range{base_ + lo, base_ + lo + n};
+      }
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (range_.empty()) return Range{};
     const Index n = (range_.size() + k - 1) / k;
@@ -29,6 +66,19 @@ class LocalQueue {
 
   /// Thief side: take ceil(size/k) from the back.
   Range steal_back(int k) {
+    if (lock_free_) {
+      std::uint64_t s = state_.load(std::memory_order_acquire);
+      for (;;) {
+        const auto [lo, hi] = unpack(s);
+        if (lo >= hi) return Range{};
+        const std::uint32_t n = (hi - lo + static_cast<std::uint32_t>(k) - 1) /
+                                static_cast<std::uint32_t>(k);
+        if (state_.compare_exchange_weak(s, pack(lo, hi - n),
+                                         std::memory_order_acq_rel,
+                                         std::memory_order_acquire))
+          return Range{base_ + hi - n, base_ + hi};
+      }
+    }
     std::lock_guard<std::mutex> lock(mu_);
     if (range_.empty()) return Range{};
     const Index n = (range_.size() + k - 1) / k;
@@ -38,11 +88,26 @@ class LocalQueue {
   }
 
   Index size() const {
+    if (lock_free_) {
+      const auto [lo, hi] = unpack(state_.load(std::memory_order_acquire));
+      return lo >= hi ? 0 : static_cast<Index>(hi - lo);
+    }
     std::lock_guard<std::mutex> lock(mu_);
     return range_.size();
   }
 
  private:
+  static std::uint64_t pack(std::uint32_t lo, std::uint32_t hi) {
+    return (static_cast<std::uint64_t>(lo) << 32) | hi;
+  }
+  static std::pair<std::uint32_t, std::uint32_t> unpack(std::uint64_t s) {
+    return {static_cast<std::uint32_t>(s >> 32),
+            static_cast<std::uint32_t>(s)};
+  }
+
+  bool lock_free_ = false;
+  Index base_ = 0;
+  std::atomic<std::uint64_t> state_{0};
   mutable std::mutex mu_;
   Range range_;
 };
@@ -61,12 +126,14 @@ ParallelForResult affinity_parallel_for(
   const int k = options.k > 0 ? options.k : threads;
 
   const Index total = end - begin;
+  const bool lock_free = LocalQueue::fits_lock_free(total);
   std::vector<LocalQueue> queues(static_cast<std::size_t>(threads));
   // Static initial partition — the affinity in affinity scheduling.
   for (int w = 0; w < threads; ++w) {
     const Index lo = begin + w * total / threads;
     const Index hi = begin + (w + 1) * total / threads;
-    queues[static_cast<std::size_t>(w)].reset(Range{lo, hi});
+    queues[static_cast<std::size_t>(w)].reset(begin, Range{lo, hi},
+                                              lock_free);
   }
 
   std::atomic<Index> remaining{total};
@@ -127,6 +194,7 @@ ParallelForResult affinity_parallel_for(
 
   ParallelForResult out;
   out.num_threads = threads;
+  out.dispatch_path = DispatchPath::AffinityQueues;
   out.chunks = chunk_count.load();
   out.iterations_per_thread = per_thread;
   for (Index n : per_thread) out.iterations += n;

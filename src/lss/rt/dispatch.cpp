@@ -1,0 +1,155 @@
+#include "lss/rt/dispatch.hpp"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "lss/sched/factory.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+std::string to_string(DispatchPath path) {
+  switch (path) {
+    case DispatchPath::LockFreeTable:
+      return "lock-free-table";
+    case DispatchPath::AtomicCounter:
+      return "atomic-counter";
+    case DispatchPath::Locked:
+      return "locked";
+    case DispatchPath::AffinityQueues:
+      return "affinity-queues";
+  }
+  return "?";
+}
+
+ChunkDispatcher::ChunkDispatcher(Index total, int num_pes)
+    : total_(total), num_pes_(num_pes) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+}
+
+namespace {
+
+// Deterministic schemes: the grant sequence is fixed by (I, p), so it
+// is materialized once (single-threaded, via sched::chunk_table) and
+// workers only race on the ticket counter. The table itself is
+// immutable after construction; the spawning of worker threads
+// publishes it.
+class TableDispatcher final : public ChunkDispatcher {
+ public:
+  TableDispatcher(Index total, int num_pes, std::string name,
+                  std::vector<Range> table)
+      : ChunkDispatcher(total, num_pes),
+        name_(std::move(name)),
+        table_(std::move(table)) {}
+
+  Range next(int /*pe*/) override {
+    const std::uint64_t ticket =
+        ticket_.fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= table_.size()) return Range{};
+    return table_[static_cast<std::size_t>(ticket)];
+  }
+
+  void reset() override { ticket_.store(0, std::memory_order_relaxed); }
+
+  DispatchPath path() const override { return DispatchPath::LockFreeTable; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<Range> table_;
+  std::atomic<std::uint64_t> ticket_{0};
+};
+
+// Pure self-scheduling: the chunk is always one iteration, so the
+// shared cursor *is* the whole scheduler state.
+class CounterDispatcher final : public ChunkDispatcher {
+ public:
+  CounterDispatcher(Index total, int num_pes, std::string name)
+      : ChunkDispatcher(total, num_pes), name_(std::move(name)) {}
+
+  Range next(int /*pe*/) override {
+    const Index i = cursor_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= total()) return Range{};
+    return Range{i, i + 1};
+  }
+
+  void reset() override { cursor_.store(0, std::memory_order_relaxed); }
+
+  DispatchPath path() const override { return DispatchPath::AtomicCounter; }
+  std::string name() const override { return name_; }
+
+ private:
+  std::string name_;
+  std::atomic<Index> cursor_{0};
+};
+
+// Fallback for stateful/adaptive schedulers: the legacy mutex around
+// ChunkScheduler::next().
+class LockedDispatcher final : public ChunkDispatcher {
+ public:
+  LockedDispatcher(Index total, int num_pes, sched::SchemeSpec spec)
+      : ChunkDispatcher(total, num_pes),
+        spec_(std::move(spec)),
+        scheduler_(spec_.make(total, num_pes)) {}
+
+  Range next(int pe) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return scheduler_->next(pe);
+  }
+
+  void reset() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    scheduler_ = spec_.make(total(), num_pes());
+  }
+
+  DispatchPath path() const override { return DispatchPath::Locked; }
+
+  std::string name() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return scheduler_->name();
+  }
+
+ private:
+  sched::SchemeSpec spec_;
+  mutable std::mutex mu_;
+  std::unique_ptr<sched::ChunkScheduler> scheduler_;
+};
+
+bool has_deterministic_sequence(const std::string& kind) {
+  // sss is stage-stateful and stays on the locked fallback; ss gets
+  // the cheaper counter path below.
+  return kind == "static" || kind == "css" || kind == "gss" ||
+         kind == "tss" || kind == "fss" || kind == "fiss" ||
+         kind == "tfss" || kind == "wf";
+}
+
+}  // namespace
+
+std::unique_ptr<ChunkDispatcher> make_dispatcher(
+    std::string_view spec, Index total, int num_pes,
+    const DispatcherOptions& options) {
+  sched::SchemeSpec parsed = sched::SchemeSpec::parse(spec);
+  if (options.force_locked)
+    return std::make_unique<LockedDispatcher>(total, num_pes,
+                                              std::move(parsed));
+  if (parsed.kind() == "ss") {
+    const auto scheduler = parsed.make(total, num_pes);
+    return std::make_unique<CounterDispatcher>(total, num_pes,
+                                               scheduler->name());
+  }
+  if (has_deterministic_sequence(parsed.kind())) {
+    const auto scheduler = parsed.make(total, num_pes);
+    std::vector<Range> table = sched::chunk_table(*scheduler);
+    return std::make_unique<TableDispatcher>(total, num_pes,
+                                             scheduler->name(),
+                                             std::move(table));
+  }
+  return std::make_unique<LockedDispatcher>(total, num_pes,
+                                            std::move(parsed));
+}
+
+}  // namespace lss::rt

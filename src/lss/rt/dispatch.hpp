@@ -1,0 +1,95 @@
+// Thread-safe chunk dispatch for the shared-memory runtime.
+//
+// The paper's cost model charges a scheduling overhead h per chunk
+// assignment (§2-3); a mutex around ChunkScheduler::next() makes that
+// overhead grow with contention, so at high thread counts the
+// dispenser itself becomes the bottleneck the schemes exist to
+// amortize. Following the distributed-chunk-calculation idea
+// (Eleliemy & Ciorba; Ciorba et al., "OpenMP Loop Scheduling
+// Revisited"), we move the chunk *calculation* out of the critical
+// section entirely whenever the scheme allows it:
+//
+//   * LockFreeTable — deterministic schemes (static, css, gss, tss,
+//     fss, fiss, tfss, wf) produce the same grant sequence for every
+//     run of a given (I, p), so the whole sequence is precomputed
+//     into an immutable table and workers claim entries with a single
+//     atomic ticket fetch_add.
+//   * AtomicCounter — pure self-scheduling (ss) needs no table at
+//     all: one fetch_add on the iteration cursor is the grant.
+//   * Locked — stateful/adaptive schedulers (sss, and anything the
+//     factory grows later) fall back to a mutex around the scheduler,
+//     exactly the legacy parallel_for path.
+//
+// Which path was taken is exposed via path() and surfaced in
+// ParallelForResult / RtResult so tests and benches can assert on it.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+
+/// How a ChunkDispatcher serves concurrent chunk requests.
+enum class DispatchPath {
+  LockFreeTable,   ///< precomputed grant table + atomic ticket
+  AtomicCounter,   ///< ss: one fetch_add on the iteration cursor
+  Locked,          ///< mutex around a stateful ChunkScheduler
+  AffinityQueues,  ///< decentralized per-thread queues (rt/affinity)
+};
+
+std::string to_string(DispatchPath path);
+
+/// A thread-safe chunk dispenser: any number of workers may call
+/// next() concurrently. Grants are non-overlapping and cover
+/// [0, total) exactly; once drained, next() returns empty ranges.
+class ChunkDispatcher {
+ public:
+  virtual ~ChunkDispatcher() = default;
+
+  ChunkDispatcher(const ChunkDispatcher&) = delete;
+  ChunkDispatcher& operator=(const ChunkDispatcher&) = delete;
+
+  /// Claims the next chunk for worker `pe` in [0, num_pes).
+  virtual Range next(int pe) = 0;
+
+  /// Rewinds to the initial state so the loop can be dispensed again
+  /// (benchmark loops). Safe to call concurrently with next(): a
+  /// racing claim lands in either the old or the new cycle, but the
+  /// per-cycle exactly-once guarantee only holds when reset() is not
+  /// interleaved with an in-progress drain you still care about.
+  virtual void reset() = 0;
+
+  virtual DispatchPath path() const = 0;
+
+  /// Underlying scheme name, identical to ChunkScheduler::name().
+  virtual std::string name() const = 0;
+
+  Index total() const { return total_; }
+  int num_pes() const { return num_pes_; }
+
+ protected:
+  ChunkDispatcher(Index total, int num_pes);
+
+ private:
+  Index total_;
+  int num_pes_;
+};
+
+struct DispatcherOptions {
+  /// Forces the legacy mutex-guarded path even for schemes that have
+  /// a lock-free form — for differential tests and benchmarks.
+  bool force_locked = false;
+};
+
+/// Builds the best dispatcher for `spec` (see sched::SchemeSpec):
+/// lock-free table for deterministic schemes, atomic counter for ss,
+/// locked scheduler otherwise. Throws lss::ContractError on unknown
+/// schemes, like the scheme factory.
+std::unique_ptr<ChunkDispatcher> make_dispatcher(
+    std::string_view spec, Index total, int num_pes,
+    const DispatcherOptions& options = {});
+
+}  // namespace lss::rt

@@ -7,7 +7,7 @@
 #include <thread>
 
 #include "lss/rt/affinity.hpp"
-#include "lss/sched/factory.hpp"
+#include "lss/rt/dispatch.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/support/strings.hpp"
 
@@ -15,8 +15,10 @@ namespace lss::rt {
 
 // Unlike the master-slave runtime in run.cpp, parallel_for uses the
 // *shared-memory* self-scheduling model the schemes were originally
-// designed for (paper §2.2): idle workers take the scheduler lock and
-// draw the next chunk directly — no master thread, no messages.
+// designed for (paper §2.2): idle workers draw the next chunk
+// directly from a shared dispenser — no master thread, no messages.
+// The dispenser (rt/dispatch) is lock-free for deterministic schemes
+// and for ss; only stateful schedulers still take a mutex.
 ParallelForResult parallel_for(Index begin, Index end,
                                const std::function<void(Index)>& body,
                                const ParallelForOptions& options) {
@@ -48,9 +50,10 @@ ParallelForResult parallel_for(Index begin, Index end,
   if (threads <= 0) threads = 2;
 
   const Index total = end - begin;
-  auto scheduler = sched::make_scheduler(options.scheme, total, threads);
+  auto dispatcher =
+      make_dispatcher(options.scheme, total, threads,
+                      {.force_locked = options.force_locked_dispatch});
 
-  std::mutex scheduler_mu;
   std::atomic<bool> stop{false};
   std::atomic<Index> chunk_count{0};
   std::exception_ptr first_error;
@@ -60,11 +63,7 @@ ParallelForResult parallel_for(Index begin, Index end,
   const auto t0 = std::chrono::steady_clock::now();
   auto worker = [&](int pe) {
     while (!stop.load(std::memory_order_relaxed)) {
-      Range chunk;
-      {
-        std::lock_guard<std::mutex> lock(scheduler_mu);
-        chunk = scheduler->next(pe);
-      }
+      const Range chunk = dispatcher->next(pe);
       if (chunk.empty()) return;
       chunk_count.fetch_add(1, std::memory_order_relaxed);
       try {
@@ -90,6 +89,7 @@ ParallelForResult parallel_for(Index begin, Index end,
 
   ParallelForResult out;
   out.num_threads = threads;
+  out.dispatch_path = dispatcher->path();
   out.chunks = chunk_count.load();
   out.iterations_per_thread = per_thread;
   for (Index n : per_thread) out.iterations += n;

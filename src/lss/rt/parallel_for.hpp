@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "lss/rt/dispatch.hpp"
 #include "lss/support/types.hpp"
 
 namespace lss::rt {
@@ -23,6 +24,9 @@ struct ParallelForOptions {
   std::string scheme = "gss";
   /// 0 = one worker per hardware thread.
   int num_threads = 0;
+  /// Forces the legacy mutex-guarded dispatch path even for schemes
+  /// with a lock-free form (differential tests / benchmarks).
+  bool force_locked_dispatch = false;
 };
 
 struct ParallelForResult {
@@ -30,6 +34,10 @@ struct ParallelForResult {
   Index iterations = 0;
   Index chunks = 0;       ///< scheduling steps across all workers
   double t_wall = 0.0;    ///< seconds
+  /// Which dispatch mechanism served the chunk grants (see
+  /// rt/dispatch.hpp): lock-free table / atomic counter / locked
+  /// fallback, or the affinity scheme's decentralized queues.
+  DispatchPath dispatch_path = DispatchPath::Locked;
   std::vector<Index> iterations_per_thread;
 };
 

@@ -7,8 +7,8 @@
 
 #include "lss/distsched/dfactory.hpp"
 #include "lss/mp/comm.hpp"
+#include "lss/rt/dispatch.hpp"
 #include "lss/rt/throttle.hpp"
-#include "lss/sched/factory.hpp"
 #include "lss/support/assert.hpp"
 
 namespace lss::rt {
@@ -101,12 +101,16 @@ RtResult run_threaded(const RtConfig& config) {
   for (double& v : vpower) v /= vmin;
 
   const Index total = config.workload->size();
-  std::unique_ptr<sched::ChunkScheduler> simple;
+  // Simple schemes go through the shared dispenser (lock-free for
+  // deterministic schemes): the master still serializes requests,
+  // but the chunk *calculation* happens once at table build time
+  // instead of inside the serve loop.
+  std::unique_ptr<ChunkDispatcher> simple;
   std::unique_ptr<distsched::DistScheduler> dist;
   if (config.distributed)
     dist = distsched::make_dist_scheduler(config.scheme, total, p);
   else
-    simple = sched::make_scheduler(config.scheme, total, p);
+    simple = make_dispatcher(config.scheme, total, p);
 
   mp::Comm comm(p + 1);
   std::vector<WorkerShared> shared(static_cast<std::size_t>(p));
@@ -188,6 +192,8 @@ RtResult run_threaded(const RtConfig& config) {
 
   RtResult out;
   out.scheme = config.distributed ? dist->name() : simple->name();
+  out.dispatch_path =
+      config.distributed ? DispatchPath::Locked : simple->path();
   out.t_parallel = seconds_since(t0);
   out.execution_count.assign(static_cast<std::size_t>(total), 0);
   out.workers.reserve(static_cast<std::size_t>(p));

@@ -18,6 +18,7 @@
 
 #include "lss/cluster/acp.hpp"
 #include "lss/metrics/timing.hpp"
+#include "lss/rt/dispatch.hpp"
 #include "lss/support/types.hpp"
 #include "lss/workload/workload.hpp"
 
@@ -47,6 +48,10 @@ struct RtWorkerStats {
 
 struct RtResult {
   std::string scheme;
+  /// How the master served chunk grants: simple schemes go through
+  /// the rt/dispatch dispenser (lock-free where the scheme allows);
+  /// distributed schemes stay on the stateful (Locked) path.
+  DispatchPath dispatch_path = DispatchPath::Locked;
   double t_parallel = 0.0;  ///< wall seconds, start to last join
   std::vector<RtWorkerStats> workers;
   Index total_iterations = 0;

@@ -16,6 +16,13 @@ std::vector<ChunkGrant> chunk_sequence(ChunkScheduler& scheduler) {
   return out;
 }
 
+std::vector<Range> chunk_table(ChunkScheduler& scheduler) {
+  std::vector<Range> out;
+  for (const ChunkGrant& g : chunk_sequence(scheduler))
+    out.push_back(g.range);
+  return out;
+}
+
 std::vector<Index> chunk_sizes(ChunkScheduler& scheduler) {
   std::vector<Index> out;
   for (const ChunkGrant& g : chunk_sequence(scheduler))

@@ -17,6 +17,11 @@ struct ChunkGrant {
 /// Round-robin request order (P0, P1, ..., Pp-1, P0, ...) until done.
 std::vector<ChunkGrant> chunk_sequence(ChunkScheduler& scheduler);
 
+/// Grant ranges only, in round-robin order — the immutable grant
+/// table the lock-free dispatcher (rt/dispatch) indexes with its
+/// atomic ticket. Drains the scheduler.
+std::vector<Range> chunk_table(ChunkScheduler& scheduler);
+
 /// Just the chunk sizes, in grant order.
 std::vector<Index> chunk_sizes(ChunkScheduler& scheduler);
 

@@ -6,7 +6,10 @@ namespace lss {
 
 namespace {
 // Sink defeating dead-code elimination of the default spin loop.
-volatile double g_burn_sink = 0.0;
+// thread_local: execute() runs concurrently on runtime worker
+// threads, and a shared sink would be a (benign but TSan-reported)
+// data race.
+thread_local volatile double g_burn_sink = 0.0;
 }  // namespace
 
 void Workload::execute(Index i) {

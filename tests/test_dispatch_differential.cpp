@@ -1,0 +1,180 @@
+// rt::make_dispatcher — differential tests against the legacy locked
+// path: for every scheme spec × (N, p), the lock-free dispenser must
+// grant exactly the same multiset of [begin, end) chunks as a
+// mutex-guarded ChunkScheduler, with no gaps, no overlap, and
+// byte-identical totals — both when drained sequentially and when
+// hammered by p concurrent threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "lss/rt/dispatch.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+namespace {
+
+const char* kSpecs[] = {
+    "static",  "ss",
+    "css:k=7", "css:k=64",
+    "gss",     "gss:k=2",
+    "tss",     "fss",
+    "fss:alpha=2,rounding=floor", "fiss",
+    "tfss",    "wf",
+    "sss",     "sss:alpha=0.7,k=4",
+};
+
+const Index kTotals[] = {0, 1, 7, 100, 1000, 4096, 100000};
+const int kPes[] = {1, 2, 4, 8, 16};
+
+/// Drains a dispatcher with a round-robin request order, exactly the
+/// convention sched::chunk_sequence uses to build the grant table.
+std::vector<Range> drain_round_robin(ChunkDispatcher& d) {
+  std::vector<Range> out;
+  int pe = 0;
+  for (;;) {
+    const Range r = d.next(pe);
+    if (r.empty()) return out;
+    out.push_back(r);
+    pe = (pe + 1) % d.num_pes();
+  }
+}
+
+/// All grants claimed by p concurrent threads, merged.
+std::vector<Range> drain_concurrent(ChunkDispatcher& d) {
+  const int p = d.num_pes();
+  std::vector<std::vector<Range>> per_pe(static_cast<std::size_t>(p));
+  std::vector<std::thread> pool;
+  pool.reserve(static_cast<std::size_t>(p));
+  for (int pe = 0; pe < p; ++pe) {
+    pool.emplace_back([&d, &per_pe, pe] {
+      for (;;) {
+        const Range r = d.next(pe);
+        if (r.empty()) return;
+        per_pe[static_cast<std::size_t>(pe)].push_back(r);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  std::vector<Range> out;
+  for (const auto& v : per_pe) out.insert(out.end(), v.begin(), v.end());
+  return out;
+}
+
+void expect_exact_cover(std::vector<Range> grants, Index total,
+                        const std::string& what) {
+  std::sort(grants.begin(), grants.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  Index cursor = 0;
+  for (const Range& r : grants) {
+    EXPECT_EQ(r.begin, cursor) << what << ": gap or overlap at " << cursor;
+    EXPECT_GT(r.size(), 0) << what << ": empty grant recorded";
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, total) << what << ": grants do not sum to the total";
+}
+
+using Case = std::tuple<const char*, Index, int>;
+
+class DispatchDifferential : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DispatchDifferential, SequentialGrantsMatchLockedPath) {
+  const auto [spec, total, p] = GetParam();
+  auto fast = make_dispatcher(spec, total, p);
+  auto locked = make_dispatcher(spec, total, p, {.force_locked = true});
+  ASSERT_EQ(locked->path(), DispatchPath::Locked);
+  EXPECT_EQ(fast->name(), locked->name());
+
+  const std::vector<Range> got = drain_round_robin(*fast);
+  const std::vector<Range> want = drain_round_robin(*locked);
+  EXPECT_EQ(got, want);
+  expect_exact_cover(got, total, std::string(spec) + " sequential");
+
+  // Drained dispatchers keep returning empty ranges.
+  EXPECT_TRUE(fast->next(0).empty());
+  EXPECT_TRUE(locked->next(0).empty());
+}
+
+TEST_P(DispatchDifferential, ConcurrentGrantsMatchLockedMultiset) {
+  const auto [spec, total, p] = GetParam();
+  auto fast = make_dispatcher(spec, total, p);
+  auto locked = make_dispatcher(spec, total, p, {.force_locked = true});
+
+  std::vector<Range> got = drain_concurrent(*fast);
+  std::vector<Range> want = drain_round_robin(*locked);
+  expect_exact_cover(got, total, std::string(spec) + " concurrent");
+
+  const auto by_begin = [](const Range& a, const Range& b) {
+    return a.begin < b.begin;
+  };
+  std::sort(got.begin(), got.end(), by_begin);
+  std::sort(want.begin(), want.end(), by_begin);
+  EXPECT_EQ(got, want) << spec << ": concurrent multiset diverged";
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string n = std::get<0>(info.param);
+  for (char& c : n)
+    if (c == ':' || c == '=' || c == ',' || c == '.') c = '_';
+  n += "_N" + std::to_string(std::get<1>(info.param));
+  n += "_p" + std::to_string(std::get<2>(info.param));
+  return n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DispatchDifferential,
+                         ::testing::Combine(::testing::ValuesIn(kSpecs),
+                                            ::testing::ValuesIn(kTotals),
+                                            ::testing::ValuesIn(kPes)),
+                         case_name);
+
+TEST(DispatchPathSelection, DeterministicSchemesAreLockFree) {
+  for (const char* spec :
+       {"static", "css:k=16", "gss", "tss", "fss", "fiss", "tfss", "wf"})
+    EXPECT_EQ(make_dispatcher(spec, 1000, 4)->path(),
+              DispatchPath::LockFreeTable)
+        << spec;
+}
+
+TEST(DispatchPathSelection, PureSsUsesTheAtomicCounter) {
+  auto d = make_dispatcher("ss", 1000, 4);
+  EXPECT_EQ(d->path(), DispatchPath::AtomicCounter);
+  EXPECT_EQ(d->name(), "ss");
+}
+
+TEST(DispatchPathSelection, StatefulSchemesFallBackToLocked) {
+  EXPECT_EQ(make_dispatcher("sss", 1000, 4)->path(), DispatchPath::Locked);
+}
+
+TEST(DispatchPathSelection, ForceLockedOverridesEverySpec) {
+  for (const char* spec : {"static", "ss", "gss", "sss"})
+    EXPECT_EQ(make_dispatcher(spec, 1000, 4, {.force_locked = true})->path(),
+              DispatchPath::Locked)
+        << spec;
+}
+
+TEST(DispatchPathSelection, UnknownSchemeThrows) {
+  EXPECT_THROW(make_dispatcher("nope", 100, 4), ContractError);
+}
+
+TEST(DispatchReset, RewindsToTheFullSequence) {
+  for (const char* spec : {"gss", "ss", "sss"}) {
+    auto d = make_dispatcher(spec, 500, 4);
+    const std::vector<Range> first = drain_round_robin(*d);
+    d->reset();
+    const std::vector<Range> second = drain_round_robin(*d);
+    EXPECT_EQ(first, second) << spec;
+  }
+}
+
+TEST(DispatchPathNames, AreStable) {
+  EXPECT_EQ(to_string(DispatchPath::LockFreeTable), "lock-free-table");
+  EXPECT_EQ(to_string(DispatchPath::AtomicCounter), "atomic-counter");
+  EXPECT_EQ(to_string(DispatchPath::Locked), "locked");
+  EXPECT_EQ(to_string(DispatchPath::AffinityQueues), "affinity-queues");
+}
+
+}  // namespace
+}  // namespace lss::rt
