@@ -4,7 +4,7 @@
 #include <memory>
 
 #include "bench_common.hpp"
-#include "lss/sched/factory.hpp"
+#include "lss/api/scheduler.hpp"
 #include "lss/sched/sequence.hpp"
 #include "lss/sim/simulation.hpp"
 #include "lss/support/strings.hpp"
@@ -19,7 +19,7 @@ int main() {
   std::cout << "Chunk sequences, I = 1000, p = 4:\n";
   for (const char* spec :
        {"fss:rounding=ceil", "fss:rounding=floor", "fss:rounding=nearest"}) {
-    auto s = sched::make_scheduler(spec, 1000, 4);
+    auto s = lss::make_simple_scheduler(spec, 1000, 4);
     std::cout << "  " << s->name() << ": "
               << sched::format_sizes(sched::chunk_sizes(*s)) << '\n';
   }

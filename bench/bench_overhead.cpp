@@ -7,9 +7,9 @@
 
 #include <memory>
 
-#include "lss/distsched/dfactory.hpp"
+#include "lss/api/scheduler.hpp"
+#include "lss/obs/trace.hpp"
 #include "lss/rt/dispatch.hpp"
-#include "lss/sched/factory.hpp"
 
 using namespace lss;
 
@@ -18,12 +18,12 @@ namespace {
 void BM_SimpleNext(benchmark::State& state, const std::string& spec) {
   const Index total = 1 << 20;
   const int p = 8;
-  auto s = sched::make_scheduler(spec, total, p);
+  auto s = lss::make_simple_scheduler(spec, total, p);
   int pe = 0;
   for (auto _ : state) {
     if (s->done()) {
       state.PauseTiming();
-      s = sched::make_scheduler(spec, total, p);
+      s = lss::make_simple_scheduler(spec, total, p);
       state.ResumeTiming();
     }
     benchmark::DoNotOptimize(s->next(pe));
@@ -37,7 +37,7 @@ void BM_DistNext(benchmark::State& state, const std::string& spec) {
   const int p = 8;
   const std::vector<double> acps{30, 30, 30, 10, 10, 10, 10, 10};
   auto make = [&] {
-    auto s = distsched::make_dist_scheduler(spec, total, p);
+    auto s = lss::make_distributed_scheduler(spec, total, p);
     s->initialize(acps);
     return s;
   };
@@ -59,7 +59,7 @@ void BM_DistNext(benchmark::State& state, const std::string& spec) {
 void BM_DrainWholeLoop(benchmark::State& state, const std::string& spec) {
   const Index total = 100000;
   for (auto _ : state) {
-    auto s = sched::make_scheduler(spec, total, 8);
+    auto s = lss::make_simple_scheduler(spec, total, 8);
     int pe = 0;
     while (!s->done()) {
       benchmark::DoNotOptimize(s->next(pe));
@@ -95,6 +95,32 @@ void BM_DispatchNext(benchmark::State& state, const std::string& spec,
     state.SetLabel(rt::to_string(dispatcher->path()));
 }
 
+// The same grant loop with runtime tracing switched ON: every grant
+// lands in the per-thread obs ring. Compare against the *_lockfree
+// rows above (tracing compiled in but disabled — the configuration
+// the <2% overhead budget applies to) to see the cost of actually
+// recording.
+void BM_DispatchNextTraced(benchmark::State& state,
+                           const std::string& spec) {
+  static std::unique_ptr<rt::ChunkDispatcher> dispatcher;
+  if (state.thread_index() == 0) {
+    obs::Tracer::instance().enable();
+    dispatcher = rt::make_dispatcher(spec, 1 << 20, state.threads(), {});
+  }
+  const int pe = state.thread_index();
+  for (auto _ : state) {
+    Range r = dispatcher->next(pe);
+    if (r.empty()) dispatcher->reset();
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.SetLabel(rt::to_string(dispatcher->path()));
+    obs::Tracer::instance().disable();
+    obs::Tracer::instance().clear();
+  }
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SimpleNext, ss, "ss");
@@ -126,6 +152,11 @@ BENCHMARK_CAPTURE(BM_DispatchNext, tfss_lockfree, "tfss", false)
 BENCHMARK_CAPTURE(BM_DispatchNext, tfss_locked, "tfss", true)
     ->ThreadRange(1, 16)->UseRealTime();
 BENCHMARK_CAPTURE(BM_DispatchNext, sss_locked_fallback, "sss", false)
+    ->ThreadRange(1, 16)->UseRealTime();
+
+BENCHMARK_CAPTURE(BM_DispatchNextTraced, ss_tracing_on, "ss")
+    ->ThreadRange(1, 16)->UseRealTime();
+BENCHMARK_CAPTURE(BM_DispatchNextTraced, gss_tracing_on, "gss")
     ->ThreadRange(1, 16)->UseRealTime();
 
 BENCHMARK_MAIN();

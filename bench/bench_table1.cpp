@@ -7,7 +7,7 @@
 #include <iostream>
 #include <string>
 
-#include "lss/sched/factory.hpp"
+#include "lss/api/scheduler.hpp"
 #include "lss/sched/sequence.hpp"
 #include "lss/sched/tss.hpp"
 #include "lss/support/table.hpp"
@@ -17,7 +17,7 @@ using namespace lss;
 namespace {
 
 std::string assigned_row(const std::string& spec) {
-  auto s = sched::make_scheduler(spec, 1000, 4);
+  auto s = lss::make_simple_scheduler(spec, 1000, 4);
   return sched::format_sizes(sched::chunk_sizes(*s));
 }
 

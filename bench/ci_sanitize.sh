@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Runs the tier-1 ctest suite under a sanitizer (default: TSan).
-# The lock-free chunk dispatcher (src/lss/rt/dispatch.*) must stay
-# TSan-clean; this is the CI entry that enforces it.
+# The lock-free chunk dispatcher (src/lss/rt/dispatch.*) and the
+# tracing subsystem (src/lss/obs/trace.*) must stay TSan-clean; this
+# is the CI entry that enforces both.
 #
 #   bench/ci_sanitize.sh [thread|address|undefined]
 set -euo pipefail
@@ -26,3 +27,10 @@ export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+
+# The tracing stress test exercises the per-thread ring registration
+# and the enable/disable flag under maximum producer contention; run
+# it repeatedly so thread interleavings vary across iterations.
+for i in 1 2 3; do
+  "$build/tests/test_obs_stress"
+done

@@ -122,10 +122,11 @@ sim::SchedulerConfig make_scheduler_config(const Options& o) {
     if (o.scheme == "trees") {
       kind = "tree";
     } else {
-      kind = "simple";
-      const std::string head = o.scheme.substr(0, o.scheme.find(':'));
-      for (const std::string& d : distsched::DistSchemeSpec::known_schemes())
-        if (head == d || o.scheme.rfind("dist(", 0) == 0) kind = "dist";
+      // The unified registry knows every scheme's family; an unknown
+      // name throws with the full list of known schemes.
+      kind = scheme_family(o.scheme) == SchemeFamily::Distributed
+                 ? "dist"
+                 : "simple";
     }
   }
   if (kind == "tree") return sim::SchedulerConfig::tree(o.weighted);

@@ -86,8 +86,8 @@ int main() {
   };
 
   HalvingScheduler mine(workload->size(), 8);
-  auto tss = sched::make_scheduler("tss", workload->size(), 8);
-  auto tfss = sched::make_scheduler("tfss", workload->size(), 8);
+  auto tss = lss::make_simple_scheduler("tss", workload->size(), 8);
+  auto tfss = lss::make_simple_scheduler("tfss", workload->size(), 8);
   std::cout << "greedy-evaluation makespans on a 3:1 cluster (s):\n";
   std::cout << "  hss(custom): " << fmt_fixed(evaluate(mine), 2) << '\n';
   std::cout << "  tss        : " << fmt_fixed(evaluate(*tss), 2) << '\n';
@@ -101,5 +101,19 @@ int main() {
   for (int pe = 0; pe < 4; ++pe)
     std::cout << dist.next(pe, pe == 0 ? 30.0 : 10.0).size() << ' ';
   std::cout << "\n";
+
+  // 4) Register the scheme so string-driven hosts (config files,
+  //    CLI flags) can construct it by name like a built-in.
+  lss::register_scheme(
+      {.name = "hss",
+       .family = lss::SchemeFamily::Simple,
+       .params = ""},
+      [](const std::string& /*spec*/, Index total, int num_pes) {
+        return lss::Scheduler(
+            std::make_unique<HalvingScheduler>(total, num_pes));
+      });
+  auto from_registry = lss::make_scheduler("hss", 1000, 4);
+  std::cout << "\nregistered + built by name: " << from_registry.name()
+            << ", first chunk " << from_registry.next(0).size() << "\n";
   return 0;
 }

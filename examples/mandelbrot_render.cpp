@@ -3,28 +3,49 @@
 // worker threads under a self-scheduling scheme, then writing a PGM.
 //
 // Usage: mandelbrot_render [width height [scheme [out.pgm]]]
+//                          [--trace trace.json]
 //   defaults: 900 600 tfss mandelbrot.pgm
+//   --trace writes a Chrome trace_event JSON of the run (open it in
+//   Perfetto or chrome://tracing to see the per-worker chunk Gantt).
 #include <fstream>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <vector>
 
+#include "lss/api/scheduler.hpp"
+#include "lss/obs/export.hpp"
+#include "lss/obs/trace.hpp"
 #include "lss/rt/run.hpp"
 #include "lss/support/strings.hpp"
 #include "lss/workload/mandelbrot.hpp"
 
-int main(int argc, char** argv) {
+int main(int argc, char** argv) try {
   using namespace lss;
   MandelbrotParams params = MandelbrotParams::paper(900, 600);
   params.max_iter = 128;
   std::string scheme = "tfss";
   std::string out_path = "mandelbrot.pgm";
-  if (argc >= 3) {
-    params.width = static_cast<int>(parse_int(argv[1]));
-    params.height = static_cast<int>(parse_int(argv[2]));
+  std::string trace_path;
+  std::vector<std::string> pos;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--trace") {
+      if (i + 1 >= argc) {
+        std::cerr << "--trace needs a file path\n";
+        return 1;
+      }
+      trace_path = argv[++i];
+    } else {
+      pos.push_back(arg);
+    }
   }
-  if (argc >= 4) scheme = argv[3];
-  if (argc >= 5) out_path = argv[4];
+  if (pos.size() >= 2) {
+    params.width = static_cast<int>(parse_int(pos[0]));
+    params.height = static_cast<int>(parse_int(pos[1]));
+  }
+  if (pos.size() >= 3) scheme = pos[2];
+  if (pos.size() >= 4) out_path = pos[3];
 
   auto workload = std::make_shared<MandelbrotWorkload>(params);
   std::cout << "computing " << workload->name() << " with scheme '"
@@ -33,12 +54,32 @@ int main(int argc, char** argv) {
   rt::RtConfig cfg;
   cfg.workload = workload;
   cfg.scheme = scheme;
+  // The unified registry knows each scheme's family, so ACP-aware
+  // specs ("dtss", "dist(gss)") route to the distributed protocol.
+  cfg.distributed = scheme_family(scheme) == SchemeFamily::Distributed;
   cfg.relative_speeds = {1.0, 1.0, 0.33, 0.33};
+  if (!trace_path.empty()) obs::Tracer::instance().enable();
   const rt::RtResult r = rt::run_threaded(cfg);
   std::cout << "done in " << fmt_fixed(r.t_parallel, 3) << " s wall; "
             << "columns per worker:";
   for (const auto& w : r.workers) std::cout << ' ' << w.iterations;
   std::cout << (r.exactly_once() ? "" : "  [COVERAGE BUG]") << '\n';
+
+  if (!trace_path.empty()) {
+    obs::Tracer::instance().disable();
+    const auto events = obs::Tracer::instance().snapshot();
+    std::ofstream ts(trace_path);
+    if (!ts) {
+      std::cerr << "cannot open " << trace_path << '\n';
+      return 1;
+    }
+    obs::ChromeTraceOptions topt;
+    topt.process_name = "mandelbrot_render";
+    topt.scheme = r.scheme;
+    ts << obs::chrome_trace_json(events, topt);
+    std::cout << "wrote " << trace_path << " (" << events.size()
+              << " events; open in Perfetto or chrome://tracing)\n";
+  }
 
   // The workers already filled the image buffer column by column; a
   // second pass through render_pgm would recompute, so serialize the
@@ -64,4 +105,7 @@ int main(int argc, char** argv) {
   std::cout << "wrote " << out_path << " (" << params.width << "x"
             << params.height << ")\n";
   return 0;
+} catch (const lss::ContractError& e) {
+  std::cerr << "error: " << e.what() << '\n';
+  return 1;
 }

@@ -19,8 +19,11 @@ int main() {
 
   // --- 1. Chunk sequences ------------------------------------------
   std::cout << "1) TFSS chunks for I = 1000, p = 4 (paper Table 1):\n   ";
-  auto tfss = sched::make_scheduler("tfss", /*total=*/1000, /*num_pes=*/4);
-  std::cout << sched::format_sizes(sched::chunk_sizes(*tfss)) << "\n\n";
+  // lss::make_scheduler accepts any scheme name, simple ("tfss",
+  // "gss:k=2", ...) or distributed ("dtss", "dist(gss)", ...).
+  auto tfss = make_scheduler("tfss", /*total=*/1000, /*num_pes=*/4);
+  std::cout << sched::format_sizes(sched::chunk_sizes(*tfss.simple()))
+            << "\n\n";
 
   // --- 2. Simulated heterogeneous cluster --------------------------
   std::cout << "2) DTSS on the paper's 3-fast + 5-slow cluster:\n";

@@ -1,0 +1,233 @@
+#include "lss/api/scheduler.hpp"
+
+#include <mutex>
+#include <utility>
+
+#include "lss/distsched/dfactory.hpp"
+#include "lss/sched/factory.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss {
+
+std::string to_string(SchemeFamily family) {
+  switch (family) {
+    case SchemeFamily::Simple:
+      return "simple";
+    case SchemeFamily::Distributed:
+      return "distributed";
+  }
+  return "?";
+}
+
+// ----------------------------------------------------------- handle
+
+Scheduler::Scheduler(std::unique_ptr<sched::ChunkScheduler> simple)
+    : simple_(std::move(simple)) {
+  LSS_REQUIRE(simple_ != nullptr, "null simple scheduler");
+}
+
+Scheduler::Scheduler(std::unique_ptr<distsched::DistScheduler> dist)
+    : dist_(std::move(dist)) {
+  LSS_REQUIRE(dist_ != nullptr, "null distributed scheduler");
+}
+
+std::string Scheduler::name() const {
+  return dist_ ? dist_->name() : simple_->name();
+}
+
+Index Scheduler::total() const {
+  return dist_ ? dist_->total() : simple_->total();
+}
+
+int Scheduler::num_pes() const {
+  return dist_ ? dist_->num_pes() : simple_->num_pes();
+}
+
+bool Scheduler::done() const {
+  return dist_ ? dist_->done() : simple_->done();
+}
+
+Index Scheduler::assigned() const {
+  return dist_ ? dist_->assigned() : simple_->assigned();
+}
+
+Index Scheduler::remaining() const {
+  return dist_ ? dist_->remaining() : simple_->remaining();
+}
+
+Index Scheduler::steps() const {
+  return dist_ ? dist_->steps() : simple_->steps();
+}
+
+void Scheduler::initialize(const std::vector<double>& initial_acps) {
+  if (dist_) dist_->initialize(initial_acps);
+}
+
+Range Scheduler::next(int pe, double acp) {
+  return dist_ ? dist_->next(pe, acp) : simple_->next(pe);
+}
+
+std::unique_ptr<sched::ChunkScheduler> Scheduler::take_simple() && {
+  LSS_REQUIRE(simple_ != nullptr,
+              "scheduler is distributed; use take_dist()");
+  return std::move(simple_);
+}
+
+std::unique_ptr<distsched::DistScheduler> Scheduler::take_dist() && {
+  LSS_REQUIRE(dist_ != nullptr, "scheduler is simple; use take_simple()");
+  return std::move(dist_);
+}
+
+// --------------------------------------------------------- registry
+
+namespace {
+
+struct Entry {
+  SchemeInfo info;
+  SchedulerMaker make;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::vector<Entry> entries;
+};
+
+Scheduler make_simple_entry(const std::string& spec, Index total,
+                            int num_pes) {
+  return Scheduler(sched::SchemeSpec::parse(spec).make(total, num_pes));
+}
+
+Scheduler make_dist_entry(const std::string& spec, Index total,
+                          int num_pes) {
+  return Scheduler(
+      distsched::DistSchemeSpec::parse(spec).make(total, num_pes));
+}
+
+Registry& registry() {
+  static Registry* r = [] {
+    auto* reg = new Registry;
+    const auto add = [&](const char* name, SchemeFamily family,
+                         const char* params, SchedulerMaker make) {
+      reg->entries.push_back(
+          Entry{SchemeInfo{name, family, params}, std::move(make)});
+    };
+    // Simple schemes (paper §2) — parameter grammar per
+    // sched::SchemeSpec.
+    add("static", SchemeFamily::Simple, "", make_simple_entry);
+    add("ss", SchemeFamily::Simple, "", make_simple_entry);
+    add("css", SchemeFamily::Simple, "k=<chunk>", make_simple_entry);
+    add("gss", SchemeFamily::Simple, "k=<min chunk>", make_simple_entry);
+    add("tss", SchemeFamily::Simple, "F=<first>,L=<last>",
+        make_simple_entry);
+    add("fss", SchemeFamily::Simple, "alpha=<a>,rounding=<mode>",
+        make_simple_entry);
+    add("fiss", SchemeFamily::Simple, "sigma=<stages>,X=<x>",
+        make_simple_entry);
+    add("tfss", SchemeFamily::Simple, "F=<first>,L=<last>",
+        make_simple_entry);
+    add("sss", SchemeFamily::Simple, "alpha=<a>,k=<min chunk>",
+        make_simple_entry);
+    add("wf", SchemeFamily::Simple,
+        "weights=<w1;w2;...>,alpha=<a>,rounding=<mode>",
+        make_simple_entry);
+    // Distributed schemes (paper §3.1, §6) — grammar per
+    // distsched::DistSchemeSpec.
+    add("dtss", SchemeFamily::Distributed, "", make_dist_entry);
+    add("dfss", SchemeFamily::Distributed, "alpha=<a>", make_dist_entry);
+    add("dfiss", SchemeFamily::Distributed, "sigma=<stages>,x=<x>",
+        make_dist_entry);
+    add("dtfss", SchemeFamily::Distributed, "", make_dist_entry);
+    add("awf", SchemeFamily::Distributed, "alpha=<a>", make_dist_entry);
+    add("dist", SchemeFamily::Distributed, "dist(<simple-spec>)",
+        make_dist_entry);
+    return reg;
+  }();
+  return *r;
+}
+
+/// Leading scheme name of a spec: everything before ':' (parameters)
+/// or '(' (the dist(...) adapter grammar), lower-cased.
+std::string leading_name(std::string_view spec) {
+  const std::string s{trim(spec)};
+  const auto cut = s.find_first_of(":(");
+  return to_lower(trim(std::string_view(s).substr(0, cut)));
+}
+
+const Entry* find_entry(const std::string& name) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const Entry& e : reg.entries)
+    if (e.info.name == name) return &e;
+  return nullptr;
+}
+
+const Entry& resolve(std::string_view spec) {
+  const std::string name = leading_name(spec);
+  LSS_REQUIRE(!name.empty(), "empty scheme spec");
+  const Entry* entry = find_entry(name);
+  LSS_REQUIRE(entry != nullptr,
+              "unknown scheme: '" + name + "'; known schemes: " +
+                  join(known_schemes(), ", "));
+  return *entry;
+}
+
+}  // namespace
+
+Scheduler make_scheduler(std::string_view spec, Index total, int num_pes) {
+  const Entry& entry = resolve(spec);
+  return entry.make(std::string(trim(spec)), total, num_pes);
+}
+
+std::unique_ptr<sched::ChunkScheduler> make_simple_scheduler(
+    std::string_view spec, Index total, int num_pes) {
+  Scheduler s = make_scheduler(spec, total, num_pes);
+  LSS_REQUIRE(!s.distributed(),
+              "scheme '" + std::string(trim(spec)) +
+                  "' is distributed; use make_distributed_scheduler");
+  return std::move(s).take_simple();
+}
+
+std::unique_ptr<distsched::DistScheduler> make_distributed_scheduler(
+    std::string_view spec, Index total, int num_pes) {
+  Scheduler s = make_scheduler(spec, total, num_pes);
+  LSS_REQUIRE(s.distributed(),
+              "scheme '" + std::string(trim(spec)) +
+                  "' is simple; use make_simple_scheduler");
+  return std::move(s).take_dist();
+}
+
+SchemeFamily scheme_family(std::string_view spec) {
+  return resolve(spec).info.family;
+}
+
+std::vector<SchemeInfo> scheme_registry() {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  std::vector<SchemeInfo> out;
+  out.reserve(reg.entries.size());
+  for (const Entry& e : reg.entries) out.push_back(e.info);
+  return out;
+}
+
+std::vector<std::string> known_schemes() {
+  std::vector<std::string> out;
+  for (const SchemeInfo& info : scheme_registry())
+    out.push_back(info.name);
+  return out;
+}
+
+void register_scheme(SchemeInfo info, SchedulerMaker make) {
+  LSS_REQUIRE(!info.name.empty(), "scheme name must be non-empty");
+  LSS_REQUIRE(info.name == to_lower(info.name),
+              "scheme names are lower-case: '" + info.name + "'");
+  LSS_REQUIRE(make != nullptr, "scheme maker must be callable");
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mu);
+  for (const Entry& e : reg.entries)
+    LSS_REQUIRE(e.info.name != info.name,
+                "scheme '" + info.name + "' is already registered");
+  reg.entries.push_back(Entry{std::move(info), std::move(make)});
+}
+
+}  // namespace lss

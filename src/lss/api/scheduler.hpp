@@ -1,0 +1,117 @@
+// The single scheduler-construction entry point.
+//
+// Before this layer, callers had to know whether a scheme was
+// "simple" (lss::sched::SchemeSpec / make_scheduler) or
+// "distributed" (lss::distsched dfactory) before they could build
+// it. lss::make_scheduler resolves both grammars from one string:
+//
+//   auto gss  = lss::make_scheduler("gss:k=2",       1000, 8);
+//   auto dtss = lss::make_scheduler("dtss",          1000, 8);
+//   auto dist = lss::make_scheduler("dist(gss:k=2)", 1000, 8);
+//
+// Construction goes through a name registry: every scheme (built-in
+// or registered at runtime via register_scheme) maps its leading name
+// to a family and a maker. The typed spec parsers
+// (sched::SchemeSpec, distsched::DistSchemeSpec) remain the parameter
+// grammar underneath; the free functions sched::make_scheduler and
+// distsched::make_dist_scheduler are deprecated shims over this API.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/distsched/dist_scheme.hpp"
+#include "lss/sched/scheme.hpp"
+
+namespace lss {
+
+enum class SchemeFamily {
+  Simple,       ///< power-oblivious master policy (paper §2)
+  Distributed,  ///< ACP-aware distributed scheme (paper §3, §6)
+};
+
+std::string to_string(SchemeFamily family);
+
+struct SchemeInfo {
+  std::string name;    ///< registry key, e.g. "gss", "dtss", "dist"
+  SchemeFamily family;
+  std::string params;  ///< parameter grammar, e.g. "k=<min chunk>"
+};
+
+/// Unified owning handle over either scheduler family. next()/done()
+/// work uniformly; the typed accessors expose the concrete API when
+/// a host needs family-specific calls (initialize, feedback, ...).
+class Scheduler {
+ public:
+  explicit Scheduler(std::unique_ptr<sched::ChunkScheduler> simple);
+  explicit Scheduler(std::unique_ptr<distsched::DistScheduler> dist);
+
+  SchemeFamily family() const {
+    return dist_ ? SchemeFamily::Distributed : SchemeFamily::Simple;
+  }
+  bool distributed() const { return dist_ != nullptr; }
+
+  std::string name() const;
+  Index total() const;
+  int num_pes() const;
+  bool done() const;
+  Index assigned() const;
+  Index remaining() const;
+  Index steps() const;
+
+  /// Distributed schemes require the initial ACP gather before
+  /// next(); for simple schemes this is a no-op.
+  void initialize(const std::vector<double>& initial_acps);
+
+  /// Serves PE `pe`. `acp` is consumed by distributed schemes and
+  /// ignored by simple ones, so hosts can drive both uniformly.
+  Range next(int pe, double acp = 1.0);
+
+  /// nullptr when the scheduler is of the other family.
+  sched::ChunkScheduler* simple() { return simple_.get(); }
+  const sched::ChunkScheduler* simple() const { return simple_.get(); }
+  distsched::DistScheduler* dist() { return dist_.get(); }
+  const distsched::DistScheduler* dist() const { return dist_.get(); }
+
+  /// Transfers ownership out (throws if the family does not match) —
+  /// for call sites that keep a typed unique_ptr.
+  std::unique_ptr<sched::ChunkScheduler> take_simple() &&;
+  std::unique_ptr<distsched::DistScheduler> take_dist() &&;
+
+ private:
+  std::unique_ptr<sched::ChunkScheduler> simple_;
+  std::unique_ptr<distsched::DistScheduler> dist_;
+};
+
+/// Builds a scheduler of either family from a spec string. Throws
+/// lss::ContractError on unknown names (the message lists every
+/// registered scheme) or malformed parameters.
+Scheduler make_scheduler(std::string_view spec, Index total, int num_pes);
+
+/// Typed conveniences over the same registry; throw when the spec
+/// resolves to the other family.
+std::unique_ptr<sched::ChunkScheduler> make_simple_scheduler(
+    std::string_view spec, Index total, int num_pes);
+std::unique_ptr<distsched::DistScheduler> make_distributed_scheduler(
+    std::string_view spec, Index total, int num_pes);
+
+/// Family of the scheme a spec names, without constructing it.
+SchemeFamily scheme_family(std::string_view spec);
+
+/// Every registered scheme, built-ins first.
+std::vector<SchemeInfo> scheme_registry();
+
+/// All registered names (simple + distributed), registry order.
+std::vector<std::string> known_schemes();
+
+/// Registers a custom scheme under `info.name` (lower-case, unique).
+/// `make` receives the full spec string and (total, num_pes).
+using SchedulerMaker =
+    std::function<Scheduler(const std::string& spec, Index total,
+                            int num_pes)>;
+void register_scheme(SchemeInfo info, SchedulerMaker make);
+
+}  // namespace lss

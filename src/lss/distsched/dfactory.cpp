@@ -27,28 +27,43 @@ DistSchemeSpec DistSchemeSpec::parse(std::string_view spec) {
 
   const auto colon = out.spec_.find(':');
   out.kind_ = to_lower(trim(out.spec_.substr(0, colon)));
+
+  const auto known = known_schemes();
+  bool kind_ok = false;
+  for (const std::string& name : known) kind_ok = kind_ok || name == out.kind_;
+  LSS_REQUIRE(kind_ok, "unknown distributed scheme: '" + out.kind_ +
+                           "'; known schemes: " + join(known, ", ") +
+                           " — or dist(<simple-spec>)");
+
   if (colon != std::string::npos) {
+    // Keys each distributed scheme consumes; anything else is a
+    // misconfiguration, not a silent no-op.
+    std::vector<std::string> accepted;
+    if (out.kind_ == "dfss" || out.kind_ == "awf") accepted = {"alpha"};
+    if (out.kind_ == "dfiss") accepted = {"sigma", "x"};
     for (const std::string& kv : split(out.spec_.substr(colon + 1), ',')) {
       const auto eq = kv.find('=');
       LSS_REQUIRE(eq != std::string::npos,
                   "malformed parameter (want key=value): '" + kv + "'");
       const std::string key = to_lower(trim(kv.substr(0, eq)));
       const std::string value{trim(kv.substr(eq + 1))};
+      bool key_ok = false;
+      for (const std::string& k : accepted) key_ok = key_ok || k == key;
+      LSS_REQUIRE(key_ok,
+                  "scheme '" + out.kind_ + "' does not accept parameter '" +
+                      key + "'" +
+                      (accepted.empty()
+                           ? " (it takes no parameters)"
+                           : " (accepts: " + join(accepted, ", ") + ")"));
       if (key == "alpha") {
         out.alpha_ = parse_double(value);
       } else if (key == "sigma") {
         out.sigma_ = static_cast<int>(parse_int(value));
       } else if (key == "x") {
         out.x_ = static_cast<int>(parse_int(value));
-      } else {
-        LSS_REQUIRE(false, "unknown scheme parameter: '" + key + "'");
       }
     }
   }
-
-  bool ok = false;
-  for (const std::string& name : known_schemes()) ok = ok || name == out.kind_;
-  LSS_REQUIRE(ok, "unknown distributed scheme: '" + out.kind_ + "'");
   return out;
 }
 

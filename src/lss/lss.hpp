@@ -53,6 +53,9 @@
 #include "lss/distsched/dtss.hpp"
 #include "lss/distsched/weighted_adapter.hpp"
 
+// Unified scheduler construction (both families, one registry)
+#include "lss/api/scheduler.hpp"
+
 // Tree Scheduling (§5, §6.1)
 #include "lss/treesched/tree.hpp"
 #include "lss/treesched/tree_sched.hpp"
@@ -61,6 +64,13 @@
 #include "lss/metrics/imbalance.hpp"
 #include "lss/metrics/speedup.hpp"
 #include "lss/metrics/timing.hpp"
+
+// Observability: tracing, counters, exporters
+#include "lss/obs/event.hpp"
+#include "lss/obs/export.hpp"
+#include "lss/obs/metrics_registry.hpp"
+#include "lss/obs/run_stats.hpp"
+#include "lss/obs/trace.hpp"
 
 // Cluster simulator (§5.1, §6.1 experiments)
 #include "lss/sim/config.hpp"

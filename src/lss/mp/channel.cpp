@@ -2,14 +2,26 @@
 
 #include <utility>
 
+#include "lss/obs/metrics_registry.hpp"
+#include "lss/obs/trace.hpp"
+
 namespace lss::mp {
 
 void Mailbox::push(Message m) {
+  std::size_t depth = 0;
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(m));
+    depth = queue_.size();
   }
   cv_.notify_all();
+  if (obs::trace_enabled()) {
+    // Registry handles are stable for the process lifetime, so the
+    // lookup cost is paid once.
+    static obs::Histogram& depth_hist =
+        obs::MetricsRegistry::instance().histogram("mp.mailbox.depth");
+    depth_hist.observe(static_cast<double>(depth));
+  }
 }
 
 std::optional<Message> Mailbox::pop_match_locked(int source, int tag) {

@@ -1,8 +1,17 @@
 #include "lss/mp/comm.hpp"
 
+#include "lss/obs/trace.hpp"
 #include "lss/support/assert.hpp"
 
 namespace lss::mp {
+
+namespace {
+
+// Trace PEs follow the rt convention: rank 0 is the master
+// (obs::kMasterPe), worker w is rank w + 1.
+int pe_of(int rank) { return rank - 1; }
+
+}  // namespace
 
 Comm::Comm(int size) {
   LSS_REQUIRE(size >= 1, "communicator needs at least one rank");
@@ -23,6 +32,8 @@ Mailbox& Comm::box(int rank) {
 
 void Comm::send(int from, int to, int tag, std::vector<std::byte> payload) {
   LSS_REQUIRE(from >= 0 && from < size(), "source rank out of range");
+  obs::emit(obs::EventKind::MsgSend, pe_of(from), {}, tag,
+            static_cast<std::int64_t>(payload.size()));
   Message m;
   m.source = from;
   m.tag = tag;
@@ -31,7 +42,10 @@ void Comm::send(int from, int to, int tag, std::vector<std::byte> payload) {
 }
 
 Message Comm::recv(int rank, int source, int tag) {
-  return box(rank).recv(source, tag);
+  Message m = box(rank).recv(source, tag);
+  obs::emit(obs::EventKind::MsgRecv, pe_of(rank), {}, m.tag,
+            pe_of(m.source));
+  return m;
 }
 
 std::optional<Message> Comm::try_recv(int rank, int source, int tag) {

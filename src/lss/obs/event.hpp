@@ -1,0 +1,44 @@
+// Observability event model — the vocabulary both the threaded
+// runtime and the simulator speak (see DESIGN.md §10).
+//
+// One flat record covers every instrumentation point: the chunk
+// lifecycle the paper's evaluation is built on (granted at the
+// master, started and finished at the PE), the message traffic that
+// produces T_com, and the rare control events (replans, faults).
+// Events are POD so the per-thread rings can copy them with no
+// allocation on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lss/support/types.hpp"
+
+namespace lss::obs {
+
+enum class EventKind : std::uint8_t {
+  ChunkGranted,   ///< master/dispenser decided a chunk for `pe`
+  ChunkStarted,   ///< `pe` began computing the chunk
+  ChunkFinished,  ///< `pe` finished computing the chunk
+  MsgSend,        ///< rank `pe` sent a message (a = tag, b = bytes)
+  MsgRecv,        ///< rank `pe` received a message (a = tag, b = source)
+  Replan,         ///< distributed master replanned (a = replan ordinal)
+  Fault,          ///< fail-stop crash fired on `pe`
+};
+
+std::string to_string(EventKind kind);
+
+/// Rank used for master-side events (exported as tid 0).
+inline constexpr int kMasterPe = -1;
+
+struct Event {
+  double ts = 0.0;   ///< seconds: steady-clock since the trace epoch
+                     ///< (runtime) or simulated time (simulator)
+  EventKind kind = EventKind::ChunkGranted;
+  std::int32_t pe = 0;       ///< PE / worker / slave id; kMasterPe = master
+  Range range{};             ///< chunk events; {0,0} otherwise
+  std::int64_t a = 0;        ///< kind-specific (tag, ordinal, ...)
+  std::int64_t b = 0;        ///< kind-specific (bytes, source, ...)
+};
+
+}  // namespace lss::obs

@@ -1,0 +1,152 @@
+#include "lss/obs/export.hpp"
+
+#include <map>
+#include <optional>
+
+#include "lss/support/strings.hpp"
+
+namespace lss::obs {
+
+namespace {
+
+std::string usec(double seconds) { return fmt_fixed(seconds * 1e6, 3); }
+
+std::string range_suffix(Range r) {
+  return "[" + std::to_string(r.begin) + "," + std::to_string(r.end) + ")";
+}
+
+int tid_of(int pe) { return pe + 1; }  // master (pe = -1) is tid 0
+
+std::string instant_event(const Event& e, int pid, const std::string& name,
+                          const std::string& args) {
+  return "{\"name\":\"" + name + "\",\"ph\":\"i\",\"ts\":" + usec(e.ts) +
+         ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid_of(e.pe)) +
+         ",\"s\":\"t\",\"args\":{" + args + "}}";
+}
+
+std::string complete_event(const Event& start, double dur_s, int pid) {
+  const Range r = start.range;
+  return "{\"name\":\"chunk " + range_suffix(r) +
+         "\",\"ph\":\"X\",\"ts\":" + usec(start.ts) +
+         ",\"dur\":" + usec(dur_s) + ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid_of(start.pe)) +
+         ",\"args\":{\"begin\":" + std::to_string(r.begin) +
+         ",\"end\":" + std::to_string(r.end) +
+         ",\"size\":" + std::to_string(r.size()) + "}}";
+}
+
+std::string thread_name_event(int tid, int pid, const std::string& name) {
+  return "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(pid) + ",\"tid\":" + std::to_string(tid) +
+         ",\"args\":{\"name\":\"" + name + "\"}}";
+}
+
+}  // namespace
+
+std::string chrome_trace_json(std::span<const Event> events,
+                              const ChromeTraceOptions& options) {
+  const int pid = options.pid;
+  std::vector<std::string> records;
+  records.reserve(events.size() + 8);
+
+  // One compute slice per Started/Finished pair; a PE computes one
+  // chunk at a time in every runner, so a single pending slot per PE
+  // suffices. A start without a finish (crashed slave, wrapped ring)
+  // degrades to an instant marker.
+  std::map<int, Event> pending;
+  std::map<int, bool> tids_seen;
+
+  auto flush_pending = [&](int pe) {
+    const auto it = pending.find(pe);
+    if (it == pending.end()) return;
+    records.push_back(
+        instant_event(it->second, pid,
+                      "chunk-started " + range_suffix(it->second.range),
+                      "\"unfinished\":true"));
+    pending.erase(it);
+  };
+
+  for (const Event& e : events) {
+    tids_seen[tid_of(e.pe)] = true;
+    switch (e.kind) {
+      case EventKind::ChunkStarted:
+        flush_pending(e.pe);  // previous start never finished
+        pending[e.pe] = e;
+        break;
+      case EventKind::ChunkFinished: {
+        const auto it = pending.find(e.pe);
+        if (it != pending.end() && it->second.range == e.range) {
+          records.push_back(
+              complete_event(it->second, e.ts - it->second.ts, pid));
+          pending.erase(it);
+        } else {
+          flush_pending(e.pe);
+          records.push_back(instant_event(
+              e, pid, "chunk-finished " + range_suffix(e.range), ""));
+        }
+        break;
+      }
+      case EventKind::ChunkGranted:
+        records.push_back(instant_event(
+            e, pid, "granted " + range_suffix(e.range),
+            "\"size\":" + std::to_string(e.range.size())));
+        break;
+      case EventKind::MsgSend:
+        records.push_back(instant_event(
+            e, pid, "msg-send",
+            "\"tag\":" + std::to_string(e.a) +
+                ",\"bytes\":" + std::to_string(e.b)));
+        break;
+      case EventKind::MsgRecv:
+        records.push_back(instant_event(
+            e, pid, "msg-recv",
+            "\"tag\":" + std::to_string(e.a) +
+                ",\"source\":" + std::to_string(e.b)));
+        break;
+      case EventKind::Replan:
+        records.push_back(instant_event(
+            e, pid, "replan", "\"ordinal\":" + std::to_string(e.a)));
+        break;
+      case EventKind::Fault:
+        records.push_back(instant_event(e, pid, "fault", ""));
+        break;
+    }
+  }
+  for (const auto& [pe, start] : pending)
+    records.push_back(
+        instant_event(start, pid,
+                      "chunk-started " + range_suffix(start.range),
+                      "\"unfinished\":true"));
+
+  std::string out = "{\"traceEvents\":[";
+  out += thread_name_event(0, pid, "master");
+  for (const auto& [tid, seen] : tids_seen) {
+    if (tid == 0) continue;
+    out += "," + thread_name_event(tid, pid,
+                                   "PE" + std::to_string(tid));
+  }
+  for (const std::string& r : records) out += "," + r;
+  out += "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"process\":\"" +
+         options.process_name + "\"";
+  if (!options.scheme.empty())
+    out += ",\"scheme\":\"" + options.scheme + "\"";
+  out += "}}";
+  return out;
+}
+
+std::string events_csv(std::span<const Event> events) {
+  std::string out = "ts,kind,pe,begin,end,a,b\n";
+  for (const Event& e : events)
+    out += fmt_fixed(e.ts, 9) + "," + to_string(e.kind) + "," +
+           std::to_string(e.pe) + "," + std::to_string(e.range.begin) +
+           "," + std::to_string(e.range.end) + "," + std::to_string(e.a) +
+           "," + std::to_string(e.b) + "\n";
+  return out;
+}
+
+std::string paper_cells(const RunStats& stats, int decimals) {
+  return stats.to_table(decimals);
+}
+
+}  // namespace lss::obs

@@ -1,0 +1,40 @@
+// Trace / stats exporters (DESIGN.md §10).
+//
+// Three consumers, three formats:
+//   * chrome_trace_json — the Chrome `trace_event` JSON array format,
+//     loadable in chrome://tracing and Perfetto. Chunk computations
+//     become complete ("X") duration slices per PE; grants, messages,
+//     replans and faults become instant ("i") events.
+//   * events_csv — flat per-event rows for ad-hoc analysis.
+//   * paper_cells — the per-PE "T_com/T_wait/T_comp" column of the
+//     paper's Tables 2-3, straight from a RunStats.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "lss/obs/event.hpp"
+#include "lss/obs/run_stats.hpp"
+
+namespace lss::obs {
+
+struct ChromeTraceOptions {
+  std::string process_name = "lss";
+  int pid = 1;
+  /// Extra metadata recorded under "otherData" (e.g. the scheme).
+  std::string scheme;
+};
+
+/// Events must be sorted by timestamp (Tracer::snapshot() order).
+/// Timestamps are exported in microseconds; PEs map to tids as
+/// tid = pe + 1, so the master (pe = -1) is tid 0.
+std::string chrome_trace_json(std::span<const Event> events,
+                              const ChromeTraceOptions& options = {});
+
+/// "ts,kind,pe,begin,end,a,b" rows, one per event.
+std::string events_csv(std::span<const Event> events);
+
+/// One "T_com/T_wait/T_comp" cell per PE (RunStats::to_table).
+std::string paper_cells(const RunStats& stats, int decimals = 1);
+
+}  // namespace lss::obs

@@ -1,0 +1,135 @@
+#include "lss/obs/metrics_registry.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::obs {
+
+namespace {
+
+std::size_t bucket_for(double value) {
+  if (!(value > 0.0)) return 0;  // negatives and NaN clamp low
+  const int e = static_cast<int>(std::ceil(std::log2(value)));
+  if (e <= 0) return 0;
+  const std::size_t b = static_cast<std::size_t>(e);
+  return b < Histogram::kBuckets ? b : Histogram::kBuckets - 1;
+}
+
+double bucket_upper_edge(std::size_t bucket) {
+  return std::ldexp(1.0, static_cast<int>(bucket));  // 2^bucket
+}
+
+}  // namespace
+
+void Histogram::observe(double value) {
+  buckets_[bucket_for(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  const std::uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::quantile(double q) const {
+  LSS_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const double target = q * static_cast<double>(n);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets_[b].load(std::memory_order_relaxed);
+    if (static_cast<double>(seen) >= target)
+      return bucket_upper_edge(b);
+  }
+  return bucket_upper_edge(kBuckets - 1);
+}
+
+std::vector<std::uint64_t> Histogram::buckets() const {
+  std::vector<std::uint64_t> out(kBuckets);
+  for (std::size_t b = 0; b < kBuckets; ++b)
+    out[b] = buckets_[b].load(std::memory_order_relaxed);
+  return out;
+}
+
+void Histogram::reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::instance() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_[std::string(name)];
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return histograms_[std::string(name)];
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot out;
+  for (const auto& [name, c] : counters_) out.counters[name] = c.value();
+  for (const auto& [name, h] : histograms_) {
+    Snapshot::Hist sh;
+    sh.count = h.count();
+    sh.sum = h.sum();
+    sh.p50 = h.quantile(0.5);
+    sh.p99 = h.quantile(0.99);
+    out.histograms[name] = sh;
+  }
+  return out;
+}
+
+std::string MetricsRegistry::to_csv() const {
+  const Snapshot s = snapshot();
+  std::string out = "metric,kind,count,sum,p50,p99\n";
+  for (const auto& [name, v] : s.counters)
+    out += name + ",counter," + std::to_string(v) + ",,,\n";
+  for (const auto& [name, h] : s.histograms)
+    out += name + ",histogram," + std::to_string(h.count) + "," +
+           fmt_fixed(h.sum, 6) + "," + fmt_fixed(h.p50, 6) + "," +
+           fmt_fixed(h.p99, 6) + "\n";
+  return out;
+}
+
+std::string MetricsRegistry::to_json() const {
+  const Snapshot s = snapshot();
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : s.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":" + std::to_string(v);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : s.histograms) {
+    if (!first) out += ',';
+    first = false;
+    out += "\"" + name + "\":{\"count\":" + std::to_string(h.count) +
+           ",\"sum\":" + fmt_fixed(h.sum, 6) +
+           ",\"p50\":" + fmt_fixed(h.p50, 6) +
+           ",\"p99\":" + fmt_fixed(h.p99, 6) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c.reset();
+  for (auto& [name, h] : histograms_) h.reset();
+}
+
+}  // namespace lss::obs

@@ -1,0 +1,98 @@
+// Process-wide counter / histogram registry (DESIGN.md §10).
+//
+// Counters and histograms are cheap shared aggregates that complement
+// the event rings: rings answer "what happened when", the registry
+// answers "how much, overall" without needing a trace session at all.
+// Lookup by name takes a lock and is meant for setup paths; the
+// returned references are stable for the process lifetime, so hot
+// paths hold a `Counter&` and pay one relaxed fetch_add.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lss::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Log2-bucketed histogram of non-negative samples. Bucket i counts
+/// samples in [2^(i-1), 2^i) of the chosen unit (bucket 0: [0, 1)),
+/// which spans sub-microsecond latencies to hours in 64 buckets.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void observe(double value);
+
+  std::uint64_t count() const {
+    return count_.load(std::memory_order_relaxed);
+  }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  /// Upper edge of the bucket containing quantile `q` in [0, 1] — a
+  /// coarse percentile good for dashboards, not for proofs.
+  double quantile(double q) const;
+  std::vector<std::uint64_t> buckets() const;
+  void reset();
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& instance();
+
+  /// Get-or-create; the reference stays valid for the process
+  /// lifetime. Takes a lock — resolve once, outside hot loops.
+  Counter& counter(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  struct Snapshot {
+    std::map<std::string, std::uint64_t> counters;
+    struct Hist {
+      std::uint64_t count = 0;
+      double sum = 0.0;
+      double p50 = 0.0;
+      double p99 = 0.0;
+    };
+    std::map<std::string, Hist> histograms;
+  };
+  Snapshot snapshot() const;
+
+  std::string to_csv() const;   ///< "metric,kind,value\n..."
+  std::string to_json() const;  ///< {"counters":{...},"histograms":{...}}
+
+  /// Zeroes every metric (references stay valid).
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  // node-based maps: stable element addresses across inserts.
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+}  // namespace lss::obs

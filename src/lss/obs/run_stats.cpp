@@ -1,0 +1,62 @@
+#include "lss/obs/run_stats.hpp"
+
+#include "lss/support/strings.hpp"
+
+namespace lss {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+template <typename T>
+std::string json_array(const std::vector<T>& xs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i > 0) out += ',';
+    out += std::to_string(xs[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string RunStats::to_json() const {
+  std::string out = "{";
+  out += "\"scheme\":\"" + json_escape(scheme) + "\"";
+  out += ",\"runner\":\"" + json_escape(runner) + "\"";
+  out += ",\"dispatch_path\":\"" + json_escape(dispatch_path) + "\"";
+  out += ",\"num_pes\":" + std::to_string(num_pes);
+  out += ",\"iterations\":" + std::to_string(iterations);
+  out += ",\"chunks\":" + std::to_string(chunks);
+  out += ",\"t_wall\":" + fmt_fixed(t_wall, 6);
+  out += ",\"per_pe\":[";
+  for (std::size_t i = 0; i < per_pe.size(); ++i) {
+    if (i > 0) out += ',';
+    out += "{\"t_com\":" + fmt_fixed(per_pe[i].t_com, 6) +
+           ",\"t_wait\":" + fmt_fixed(per_pe[i].t_wait, 6) +
+           ",\"t_comp\":" + fmt_fixed(per_pe[i].t_comp, 6) + "}";
+  }
+  out += "]";
+  out += ",\"iterations_per_pe\":" + json_array(iterations_per_pe);
+  out += ",\"chunks_per_pe\":" + json_array(chunks_per_pe);
+  out += "}";
+  return out;
+}
+
+std::string RunStats::to_table(int decimals) const {
+  std::string out;
+  for (std::size_t i = 0; i < per_pe.size(); ++i)
+    out += "PE" + std::to_string(i + 1) + "  " +
+           per_pe[i].to_cell(decimals) + "\n";
+  return out;
+}
+
+}  // namespace lss

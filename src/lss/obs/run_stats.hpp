@@ -1,0 +1,43 @@
+// lss::RunStats — the one result shape every runner can produce.
+//
+// parallel_for, the threaded master-worker runtime and the cluster
+// simulator each kept their own result struct (ParallelForResult,
+// RtResult, sim::Report); exporters and benches special-cased all
+// three. RunStats is the shared slice those structs convert into:
+// what ran, how it was dispatched, how many chunks, and the paper's
+// per-PE T_com/T_wait/T_comp breakdown where the runner measures it.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lss/metrics/timing.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss {
+
+struct RunStats {
+  std::string scheme;         ///< resolved scheme name, e.g. "gss(k=1)"
+  std::string runner;         ///< "parallel_for" | "rt" | "sim"
+  std::string dispatch_path;  ///< rt dispatch mechanism; "" when N/A
+  int num_pes = 0;
+  Index iterations = 0;       ///< loop iterations executed
+  Index chunks = 0;           ///< scheduling steps across all PEs
+  double t_wall = 0.0;        ///< wall seconds (rt) / simulated T_p (sim)
+
+  /// Per-PE breakdowns (paper Tables 2-3). Empty when the runner does
+  /// not measure them (parallel_for's shared-dispenser model has no
+  /// master round trip to attribute).
+  std::vector<metrics::TimeBreakdown> per_pe;
+  std::vector<Index> iterations_per_pe;
+  std::vector<Index> chunks_per_pe;
+
+  /// Machine-readable form for exporters and dashboards.
+  std::string to_json() const;
+
+  /// The paper's cell column: one "T_com/T_wait/T_comp" line per PE
+  /// (matches metrics::TimeBreakdown::to_cell). Empty when per_pe is.
+  std::string to_table(int decimals = 1) const;
+};
+
+}  // namespace lss

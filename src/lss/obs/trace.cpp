@@ -1,0 +1,173 @@
+#include "lss/obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::obs {
+
+std::string to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::ChunkGranted:
+      return "chunk-granted";
+    case EventKind::ChunkStarted:
+      return "chunk-started";
+    case EventKind::ChunkFinished:
+      return "chunk-finished";
+    case EventKind::MsgSend:
+      return "msg-send";
+    case EventKind::MsgRecv:
+      return "msg-recv";
+    case EventKind::Replan:
+      return "replan";
+    case EventKind::Fault:
+      return "fault";
+  }
+  return "?";
+}
+
+EventRing::EventRing(std::size_t capacity) : slots_(capacity) {
+  LSS_REQUIRE(capacity >= 1, "event ring needs capacity >= 1");
+}
+
+void EventRing::push(const Event& e) {
+  const std::uint64_t n = count_.load(std::memory_order_relaxed);
+  slots_[static_cast<std::size_t>(n % slots_.size())] = e;
+  // Release so a reader that acquires count_ after the producer went
+  // quiescent sees the slot contents.
+  count_.store(n + 1, std::memory_order_release);
+}
+
+std::uint64_t EventRing::dropped() const {
+  const std::uint64_t n = pushed();
+  const std::uint64_t cap = slots_.size();
+  return n > cap ? n - cap : 0;
+}
+
+std::vector<Event> EventRing::snapshot() const {
+  const std::uint64_t n = pushed();
+  const std::uint64_t cap = slots_.size();
+  const std::uint64_t kept = std::min(n, cap);
+  std::vector<Event> out;
+  out.reserve(static_cast<std::size_t>(kept));
+  // Oldest kept event first: when wrapped, that is slot n % cap.
+  const std::uint64_t first = n - kept;
+  for (std::uint64_t i = 0; i < kept; ++i)
+    out.push_back(slots_[static_cast<std::size_t>((first + i) % cap)]);
+  return out;
+}
+
+namespace detail {
+
+std::atomic<bool> g_trace_enabled{false};
+std::atomic<std::uint64_t> g_trace_generation{0};
+
+namespace {
+// One ring per producer thread, registered with the Tracer on first
+// emit and kept alive by shared ownership even if the thread exits
+// before the snapshot is read. The cached pointer is invalidated by
+// a generation bump whenever Tracer::clear() discards the rings.
+thread_local EventRing* t_ring = nullptr;
+thread_local std::uint64_t t_generation = 0;
+}  // namespace
+
+void emit_with_ts(double ts, EventKind kind, int pe, Range range,
+                  std::int64_t a, std::int64_t b) {
+  Event e;
+  e.ts = ts;
+  e.kind = kind;
+  e.pe = pe;
+  e.range = range;
+  e.a = a;
+  e.b = b;
+  Tracer::instance().thread_ring().push(e);
+}
+
+void emit_stamped(EventKind kind, int pe, Range range, std::int64_t a,
+                  std::int64_t b) {
+  emit_with_ts(Tracer::instance().now(), kind, pe, range, a, b);
+}
+
+}  // namespace detail
+
+Tracer::Tracer() {
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void Tracer::enable(bool rebase) {
+  if (rebase) clear();
+  detail::g_trace_enabled.store(true, std::memory_order_relaxed);
+}
+
+void Tracer::disable() {
+  detail::g_trace_enabled.store(false, std::memory_order_relaxed);
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Requires quiescent producers. The rings are discarded and the
+  // generation bumped (release pairs with the acquire in
+  // emit_with_ts) so any thread still caching a ring pointer — e.g.
+  // the main thread across two simulator runs — re-registers instead
+  // of writing into freed memory.
+  rings_.clear();
+  detail::g_trace_generation.fetch_add(1, std::memory_order_release);
+  epoch_ns_.store(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now().time_since_epoch())
+                      .count(),
+                  std::memory_order_relaxed);
+}
+
+double Tracer::now() const {
+  const std::int64_t ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count();
+  return static_cast<double>(ns -
+                             epoch_ns_.load(std::memory_order_relaxed)) *
+         1e-9;
+}
+
+EventRing& Tracer::thread_ring() {
+  const std::uint64_t gen =
+      detail::g_trace_generation.load(std::memory_order_acquire);
+  if (detail::t_ring != nullptr && detail::t_generation == gen)
+    return *detail::t_ring;
+  std::lock_guard<std::mutex> lock(mu_);
+  rings_.push_back(std::make_shared<EventRing>());
+  detail::t_ring = rings_.back().get();
+  detail::t_generation = gen;
+  return *detail::t_ring;
+}
+
+std::vector<Event> Tracer::snapshot() const {
+  std::vector<Event> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& ring : rings_) {
+      std::vector<Event> part = ring->snapshot();
+      out.insert(out.end(), part.begin(), part.end());
+    }
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const Event& x, const Event& y) { return x.ts < y.ts; });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const auto& ring : rings_) n += ring->dropped();
+  return n;
+}
+
+}  // namespace lss::obs

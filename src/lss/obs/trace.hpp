@@ -1,0 +1,155 @@
+// Low-overhead event tracing: per-thread lock-free rings + a global
+// collector (DESIGN.md §10).
+//
+// Design constraints, in priority order:
+//   1. The *disabled* path costs a single relaxed load and a
+//      predicted branch — cheap enough to leave compiled into the
+//      lock-free dispatch hot path (rt/dispatch), whose whole point
+//      is avoiding shared-state contention.
+//   2. The *enabled* path never blocks and never allocates: each
+//      producer thread owns a fixed-capacity ring (single producer,
+//      wrapping overwrite, drops counted) and only touches shared
+//      state once, when the ring is first registered.
+//   3. Snapshots are taken when producers are quiescent (workers
+//      joined / simulation finished); the ring's release-store on its
+//      event count plus the join's happens-before make the read
+//      race-free without any locking on the push side.
+//
+// Two toggles gate emission:
+//   * compile time — build with -DLSS_TRACE=0 to compile every emit
+//     out entirely (the default is 1: compiled in, runtime-off);
+//   * run time — Tracer::enable()/disable(), a process-global flag.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "lss/obs/event.hpp"
+
+#ifndef LSS_TRACE
+#define LSS_TRACE 1
+#endif
+
+namespace lss::obs {
+
+/// Fixed-capacity single-producer event ring. The owning thread
+/// pushes; anyone may snapshot once the producer is quiescent. When
+/// full it wraps and overwrites the oldest events (the tail of a run
+/// matters more than its start for straggler analysis), counting the
+/// overwritten events as dropped.
+class EventRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1u << 15;
+
+  explicit EventRing(std::size_t capacity = kDefaultCapacity);
+
+  /// Single-producer append; wait-free.
+  void push(const Event& e);
+
+  std::uint64_t pushed() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  std::size_t capacity() const { return slots_.size(); }
+  std::uint64_t dropped() const;
+
+  /// Buffered events, oldest first. Producer must be quiescent.
+  std::vector<Event> snapshot() const;
+
+ private:
+  std::vector<Event> slots_;
+  std::atomic<std::uint64_t> count_{0};
+};
+
+namespace detail {
+// Process-global enable flag. Constant-initialized so trace_enabled()
+// compiles to a load with no static-init guard in the hot path.
+extern std::atomic<bool> g_trace_enabled;
+// Bumped by Tracer::clear(); threads holding a cached ring pointer
+// from an older generation re-register instead of writing into a
+// ring that was discarded.
+extern std::atomic<std::uint64_t> g_trace_generation;
+void emit_with_ts(double ts, EventKind kind, int pe, Range range,
+                  std::int64_t a, std::int64_t b);
+void emit_stamped(EventKind kind, int pe, Range range, std::int64_t a,
+                  std::int64_t b);
+}  // namespace detail
+
+/// The one branch every instrumentation point pays when tracing is
+/// compiled in but switched off.
+inline bool trace_enabled() {
+#if LSS_TRACE
+  return detail::g_trace_enabled.load(std::memory_order_relaxed);
+#else
+  return false;
+#endif
+}
+
+/// Records an event stamped with the current trace clock (seconds of
+/// steady time since the trace epoch). No-op unless tracing is
+/// compiled in and enabled.
+inline void emit(EventKind kind, int pe, Range range = {},
+                 std::int64_t a = 0, std::int64_t b = 0) {
+#if LSS_TRACE
+  if (trace_enabled()) detail::emit_stamped(kind, pe, range, a, b);
+#else
+  (void)kind, (void)pe, (void)range, (void)a, (void)b;
+#endif
+}
+
+/// Records an event with an explicit timestamp — the simulator's
+/// virtual clock speaks the same trace format as the real runtime.
+inline void emit_at(double ts, EventKind kind, int pe, Range range = {},
+                    std::int64_t a = 0, std::int64_t b = 0) {
+#if LSS_TRACE
+  if (trace_enabled()) detail::emit_with_ts(ts, kind, pe, range, a, b);
+#else
+  (void)ts, (void)kind, (void)pe, (void)range, (void)a, (void)b;
+#endif
+}
+
+/// Process-wide collector: owns every thread's ring and the trace
+/// epoch. enable()/disable() flip the global flag; snapshot() merges
+/// all rings into one timestamp-sorted stream.
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Starts (or resumes) recording. `rebase` restarts the trace
+  /// clock at zero and drops previously buffered events, giving a
+  /// fresh session; enable(false) resumes into existing buffers.
+  void enable(bool rebase = true);
+  void disable();
+  bool enabled() const { return trace_enabled(); }
+
+  /// Discards all rings and restarts the trace epoch; producer
+  /// threads re-register on their next emit. Producers must be
+  /// quiescent.
+  void clear();
+
+  /// Seconds of steady time since the trace epoch.
+  double now() const;
+
+  /// Merged snapshot of every ring, sorted by timestamp. Producers
+  /// must be quiescent (threads joined / simulation returned).
+  std::vector<Event> snapshot() const;
+
+  /// Events lost to ring wrap-around since the last clear().
+  std::uint64_t dropped() const;
+
+  /// The calling thread's ring, registering it on first use. Public
+  /// so tests and stress harnesses can drive rings directly; emit()
+  /// is the normal producer path.
+  EventRing& thread_ring();
+
+ private:
+  Tracer();
+
+  mutable std::mutex mu_;  // guards ring registration + clear
+  std::vector<std::shared_ptr<EventRing>> rings_;
+  std::atomic<std::int64_t> epoch_ns_{0};
+};
+
+}  // namespace lss::obs

@@ -195,6 +195,7 @@ ParallelForResult affinity_parallel_for(
   ParallelForResult out;
   out.num_threads = threads;
   out.dispatch_path = DispatchPath::AffinityQueues;
+  out.scheme = "affinity";
   out.chunks = chunk_count.load();
   out.iterations_per_thread = per_thread;
   for (Index n : per_thread) out.iterations += n;

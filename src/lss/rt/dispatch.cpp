@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "lss/obs/trace.hpp"
 #include "lss/sched/factory.hpp"
 #include "lss/sched/sequence.hpp"
 #include "lss/support/assert.hpp"
@@ -46,11 +47,13 @@ class TableDispatcher final : public ChunkDispatcher {
         name_(std::move(name)),
         table_(std::move(table)) {}
 
-  Range next(int /*pe*/) override {
+  Range next(int pe) override {
     const std::uint64_t ticket =
         ticket_.fetch_add(1, std::memory_order_relaxed);
     if (ticket >= table_.size()) return Range{};
-    return table_[static_cast<std::size_t>(ticket)];
+    const Range r = table_[static_cast<std::size_t>(ticket)];
+    obs::emit(obs::EventKind::ChunkGranted, pe, r);
+    return r;
   }
 
   void reset() override { ticket_.store(0, std::memory_order_relaxed); }
@@ -71,9 +74,10 @@ class CounterDispatcher final : public ChunkDispatcher {
   CounterDispatcher(Index total, int num_pes, std::string name)
       : ChunkDispatcher(total, num_pes), name_(std::move(name)) {}
 
-  Range next(int /*pe*/) override {
+  Range next(int pe) override {
     const Index i = cursor_.fetch_add(1, std::memory_order_relaxed);
     if (i >= total()) return Range{};
+    obs::emit(obs::EventKind::ChunkGranted, pe, Range{i, i + 1});
     return Range{i, i + 1};
   }
 
@@ -97,8 +101,13 @@ class LockedDispatcher final : public ChunkDispatcher {
         scheduler_(spec_.make(total, num_pes)) {}
 
   Range next(int pe) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return scheduler_->next(pe);
+    Range r;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      r = scheduler_->next(pe);
+    }
+    if (!r.empty()) obs::emit(obs::EventKind::ChunkGranted, pe, r);
+    return r;
   }
 
   void reset() override {

@@ -6,12 +6,27 @@
 #include <mutex>
 #include <thread>
 
+#include "lss/obs/metrics_registry.hpp"
+#include "lss/obs/trace.hpp"
 #include "lss/rt/affinity.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/support/strings.hpp"
 
 namespace lss::rt {
+
+RunStats ParallelForResult::stats() const {
+  RunStats out;
+  out.scheme = scheme;
+  out.runner = "parallel_for";
+  out.dispatch_path = to_string(dispatch_path);
+  out.num_pes = num_threads;
+  out.iterations = iterations;
+  out.chunks = chunks;
+  out.t_wall = t_wall;
+  out.iterations_per_pe = iterations_per_thread;
+  return out;
+}
 
 // Unlike the master-slave runtime in run.cpp, parallel_for uses the
 // *shared-memory* self-scheduling model the schemes were originally
@@ -66,6 +81,7 @@ ParallelForResult parallel_for(Index begin, Index end,
       const Range chunk = dispatcher->next(pe);
       if (chunk.empty()) return;
       chunk_count.fetch_add(1, std::memory_order_relaxed);
+      obs::emit(obs::EventKind::ChunkStarted, pe, chunk);
       try {
         for (Index i = chunk.begin; i < chunk.end; ++i) body(begin + i);
       } catch (...) {
@@ -77,6 +93,7 @@ ParallelForResult parallel_for(Index begin, Index end,
         return;
       }
       per_thread[static_cast<std::size_t>(pe)] += chunk.size();
+      obs::emit(obs::EventKind::ChunkFinished, pe, chunk);
     }
   };
 
@@ -90,6 +107,7 @@ ParallelForResult parallel_for(Index begin, Index end,
   ParallelForResult out;
   out.num_threads = threads;
   out.dispatch_path = dispatcher->path();
+  out.scheme = dispatcher->name();
   out.chunks = chunk_count.load();
   out.iterations_per_thread = per_thread;
   for (Index n : per_thread) out.iterations += n;
@@ -97,6 +115,15 @@ ParallelForResult parallel_for(Index begin, Index end,
                    std::chrono::steady_clock::now() - t0)
                    .count();
   LSS_ASSERT(out.iterations == total, "parallel_for lost iterations");
+
+  // Registry aggregates are once-per-run, not per-chunk: cheap enough
+  // to record unconditionally.
+  auto& reg = obs::MetricsRegistry::instance();
+  reg.counter("rt.parallel_for.runs").add(1);
+  reg.counter("rt.parallel_for.iterations")
+      .add(static_cast<std::uint64_t>(out.iterations));
+  reg.counter("rt.parallel_for.chunks")
+      .add(static_cast<std::uint64_t>(out.chunks));
   return out;
 }
 

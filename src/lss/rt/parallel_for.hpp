@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "lss/obs/run_stats.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/support/types.hpp"
 
@@ -39,6 +40,11 @@ struct ParallelForResult {
   /// fallback, or the affinity scheme's decentralized queues.
   DispatchPath dispatch_path = DispatchPath::Locked;
   std::vector<Index> iterations_per_thread;
+  /// Scheme spec the run was configured with (for stats()).
+  std::string scheme;
+
+  /// The runner-agnostic result slice (obs exporters, benches).
+  RunStats stats() const;
 };
 
 /// Runs body(i) for every i in [begin, end) and returns statistics.

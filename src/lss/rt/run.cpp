@@ -5,8 +5,9 @@
 #include <thread>
 #include <utility>
 
-#include "lss/distsched/dfactory.hpp"
+#include "lss/api/scheduler.hpp"
 #include "lss/mp/comm.hpp"
+#include "lss/obs/trace.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/rt/throttle.hpp"
 #include "lss/support/assert.hpp"
@@ -63,6 +64,7 @@ void worker_main(const RtConfig& config, mp::Comm& comm, int w,
 
     mp::PayloadReader rd(m.payload);
     const Range chunk = rd.get_range();
+    obs::emit(obs::EventKind::ChunkStarted, w, chunk);
     const auto comp_start = Clock::now();
     for (Index i = chunk.begin; i < chunk.end; ++i) workload.execute(i);
     const auto busy = Clock::now() - comp_start;
@@ -75,6 +77,7 @@ void worker_main(const RtConfig& config, mp::Comm& comm, int w,
     out.stats.iterations += chunk.size();
     ++out.stats.chunks;
     out.executed.push_back(chunk);
+    obs::emit(obs::EventKind::ChunkFinished, w, chunk);
   }
 }
 
@@ -84,6 +87,26 @@ bool RtResult::exactly_once() const {
   for (int c : execution_count)
     if (c != 1) return false;
   return true;
+}
+
+RunStats RtResult::stats() const {
+  RunStats out;
+  out.scheme = scheme;
+  out.runner = "rt";
+  out.dispatch_path = to_string(dispatch_path);
+  out.num_pes = static_cast<int>(workers.size());
+  out.iterations = total_iterations;
+  out.t_wall = t_parallel;
+  out.per_pe.reserve(workers.size());
+  out.iterations_per_pe.reserve(workers.size());
+  out.chunks_per_pe.reserve(workers.size());
+  for (const RtWorkerStats& w : workers) {
+    out.chunks += w.chunks;
+    out.per_pe.push_back(w.times);
+    out.iterations_per_pe.push_back(w.iterations);
+    out.chunks_per_pe.push_back(w.chunks);
+  }
+  return out;
 }
 
 RtResult run_threaded(const RtConfig& config) {
@@ -108,7 +131,7 @@ RtResult run_threaded(const RtConfig& config) {
   std::unique_ptr<ChunkDispatcher> simple;
   std::unique_ptr<distsched::DistScheduler> dist;
   if (config.distributed)
-    dist = distsched::make_dist_scheduler(config.scheme, total, p);
+    dist = lss::make_distributed_scheduler(config.scheme, total, p);
   else
     simple = make_dispatcher(config.scheme, total, p);
 
@@ -160,7 +183,13 @@ RtResult run_threaded(const RtConfig& config) {
       const Index fb_iters = rd.get_i64();
       const double fb_seconds = rd.get_f64();
       if (fb_iters > 0) dist->on_feedback(m.source - 1, fb_iters, fb_seconds);
+      const int replans_before = dist->replans();
       const Range chunk = dist->next(m.source - 1, acp);
+      if (dist->replans() != replans_before)
+        obs::emit(obs::EventKind::Replan, obs::kMasterPe, {},
+                  dist->replans());
+      if (!chunk.empty())
+        obs::emit(obs::EventKind::ChunkGranted, m.source - 1, chunk);
       if (chunk.empty()) {
         comm.send(0, m.source, kTagTerminate, {});
         --active;

@@ -18,6 +18,7 @@
 
 #include "lss/cluster/acp.hpp"
 #include "lss/metrics/timing.hpp"
+#include "lss/obs/run_stats.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/support/types.hpp"
 #include "lss/workload/workload.hpp"
@@ -58,6 +59,9 @@ struct RtResult {
   std::vector<int> execution_count;  ///< must be all-ones
 
   bool exactly_once() const;
+
+  /// The runner-agnostic result slice (obs exporters, benches).
+  RunStats stats() const;
 };
 
 /// Runs the loop to completion; returns per-worker statistics.

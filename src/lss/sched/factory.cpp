@@ -32,6 +32,19 @@ std::vector<double> parse_weights(std::string_view v) {
   return out;
 }
 
+// Parameter keys each scheme actually consumes. A key another scheme
+// understands is still an error here — "gss:alpha=2" silently doing
+// nothing is exactly the misconfiguration this catches.
+std::vector<std::string> allowed_keys(const std::string& kind) {
+  if (kind == "css" || kind == "gss") return {"k"};
+  if (kind == "tss" || kind == "tfss") return {"f", "l"};
+  if (kind == "fss") return {"alpha", "rounding"};
+  if (kind == "fiss") return {"sigma", "x"};
+  if (kind == "sss") return {"alpha", "k"};
+  if (kind == "wf") return {"weights", "alpha", "rounding"};
+  return {};  // static, ss
+}
+
 }  // namespace
 
 SchemeSpec SchemeSpec::parse(std::string_view spec) {
@@ -39,15 +52,34 @@ SchemeSpec SchemeSpec::parse(std::string_view spec) {
   out.spec_ = std::string(trim(spec));
   const auto colon = out.spec_.find(':');
   out.kind_ = to_lower(trim(out.spec_.substr(0, colon)));
-  LSS_REQUIRE(!out.kind_.empty(), "empty scheme spec");
+  LSS_REQUIRE(!out.kind_.empty(),
+              "empty scheme spec; known schemes: " +
+                  join(known_schemes(), ", "));
+
+  // Validate the kind before touching parameters so the error names
+  // every scheme the factory understands.
+  const auto known = known_schemes();
+  bool kind_ok = false;
+  for (const std::string& name : known) kind_ok = kind_ok || name == out.kind_;
+  LSS_REQUIRE(kind_ok, "unknown scheme: '" + out.kind_ +
+                           "'; known schemes: " + join(known, ", "));
 
   if (colon != std::string::npos) {
+    const std::vector<std::string> accepted = allowed_keys(out.kind_);
     for (const std::string& kv : split(out.spec_.substr(colon + 1), ',')) {
       const auto eq = kv.find('=');
       LSS_REQUIRE(eq != std::string::npos,
                   "malformed parameter (want key=value): '" + kv + "'");
       const std::string key = to_lower(trim(kv.substr(0, eq)));
       const std::string value{trim(kv.substr(eq + 1))};
+      bool key_ok = false;
+      for (const std::string& k : accepted) key_ok = key_ok || k == key;
+      LSS_REQUIRE(key_ok,
+                  "scheme '" + out.kind_ + "' does not accept parameter '" +
+                      key + "'" +
+                      (accepted.empty()
+                           ? " (it takes no parameters)"
+                           : " (accepts: " + join(accepted, ", ") + ")"));
       if (key == "k") {
         out.k_ = parse_int(value);
       } else if (key == "f") {
@@ -64,17 +96,9 @@ SchemeSpec SchemeSpec::parse(std::string_view spec) {
         out.rounding_ = parse_rounding(value);
       } else if (key == "weights") {
         out.weights_ = parse_weights(value);
-      } else {
-        LSS_REQUIRE(false, "unknown scheme parameter: '" + key + "'");
       }
     }
   }
-
-  // Validate the kind eagerly so errors surface at parse time.
-  const auto known = known_schemes();
-  bool ok = false;
-  for (const std::string& name : known) ok = ok || name == out.kind_;
-  LSS_REQUIRE(ok, "unknown scheme: '" + out.kind_ + "'");
   return out;
 }
 

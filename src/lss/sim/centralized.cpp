@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "lss/api/scheduler.hpp"
+#include "lss/obs/trace.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/support/prng.hpp"
 
@@ -51,12 +53,13 @@ CentralizedSim::CentralizedSim(const SimConfig& config)
   }
 
   if (distributed()) {
-    dist_ = distsched::make_dist_scheduler(config.scheduler.spec, total, p);
+    dist_ =
+        lss::make_distributed_scheduler(config.scheduler.spec, total, p);
     dist_->set_replanning(config.scheduler.dist_replanning);
     gather_acps_.assign(static_cast<std::size_t>(p), 0.0);
     gather_pending_ = p;
   } else {
-    simple_ = sched::make_scheduler(config.scheduler.spec, total, p);
+    simple_ = lss::make_simple_scheduler(config.scheduler.spec, total, p);
   }
 }
 
@@ -132,6 +135,7 @@ void CentralizedSim::schedule_crashes() {
       if (st.terminated) return;  // finished before the fault fired
       st.crashed = true;
       st.finish = engine_.now();
+      obs::emit_at(engine_.now(), obs::EventKind::Fault, s);
     });
   }
 }
@@ -256,6 +260,8 @@ void CentralizedSim::slave_send_request(int s) {
 
   const double bytes = config_.protocol.request_bytes + st.carried_bytes;
   st.carried_bytes = 0.0;
+  obs::emit_at(now, obs::EventKind::MsgSend, s, {}, /*tag=*/0,
+               static_cast<std::int64_t>(bytes));
   const Transfer tr = network_.to_master(s, bytes, now);
   master_rx_bytes_ += bytes;
   st.request_busy = tr.busy;
@@ -303,6 +309,7 @@ void CentralizedSim::slave_on_reply(int s, Range chunk, double reply_busy,
   }
 
   trace_[trace_id].started_at = now;
+  obs::emit_at(now, obs::EventKind::ChunkStarted, s, chunk);
   const double done_at = st.cpu.finish_time(now, chunk_cost(chunk));
   st.times.t_comp += done_at - now;
   // Measured execution feedback, piggy-backed on the next request
@@ -319,6 +326,7 @@ void CentralizedSim::slave_on_compute_done(int s, Range chunk,
   SlaveState& st = slaves_[static_cast<std::size_t>(s)];
   if (st.crashed) return;  // died mid-computation; results lost
   trace_[trace_id].completed_at = engine_.now();
+  obs::emit_at(engine_.now(), obs::EventKind::ChunkFinished, s, chunk);
   for (Index i = chunk.begin; i < chunk.end; ++i)
     ++execution_count_[static_cast<std::size_t>(i)];
   st.iterations += chunk.size();
@@ -349,6 +357,8 @@ void CentralizedSim::slave_on_compute_done(int s, Range chunk,
 
 void CentralizedSim::master_on_arrival(int s, Request rq) {
   ++master_messages_;
+  obs::emit_at(engine_.now(), obs::EventKind::MsgRecv, obs::kMasterPe, {},
+               /*tag=*/0, /*source=*/s);
   SlaveState& st = slaves_[static_cast<std::size_t>(s)];
   st.last_heard = engine_.now();
   // Piggy-backed results acknowledge the previous chunk. If the
@@ -436,8 +446,12 @@ void CentralizedSim::master_serve(Request rq) {
     chunk = take_front(entry.range, share);
     if (entry.range.empty()) reassign_pool_.pop_front();
   } else {
+    const int replans_before = distributed() ? dist_->replans() : 0;
     chunk = distributed() ? dist_->next(rq.slave, rq.acp)
                           : simple_->next(rq.slave);
+    if (distributed() && dist_->replans() != replans_before)
+      obs::emit_at(engine_.now(), obs::EventKind::Replan, obs::kMasterPe,
+                   {}, dist_->replans());
     const bool scheduler_done =
         distributed() ? dist_->done() : simple_->done();
     if (chunk.empty() && scheduler_done && config_.faults.any()) {
@@ -456,6 +470,8 @@ void CentralizedSim::master_serve(Request rq) {
   }
   std::size_t trace_id = trace_.size();
   if (!chunk.empty()) {
+    obs::emit_at(engine_.now(), obs::EventKind::ChunkGranted, rq.slave,
+                 chunk);
     slaves_[static_cast<std::size_t>(rq.slave)].outstanding = chunk;
     slaves_[static_cast<std::size_t>(rq.slave)].outstanding_attempts =
         attempts;

@@ -26,6 +26,26 @@ std::vector<double> Report::comp_times() const {
   return out;
 }
 
+RunStats Report::stats() const {
+  RunStats out;
+  out.scheme = scheme;
+  out.runner = "sim";
+  out.dispatch_path = "sim-event";
+  out.num_pes = static_cast<int>(slaves.size());
+  out.iterations = total_iterations;
+  out.t_wall = t_parallel;
+  out.per_pe.reserve(slaves.size());
+  out.iterations_per_pe.reserve(slaves.size());
+  out.chunks_per_pe.reserve(slaves.size());
+  for (const SlaveStats& s : slaves) {
+    out.chunks += s.chunks;
+    out.per_pe.push_back(s.times);
+    out.iterations_per_pe.push_back(s.iterations);
+    out.chunks_per_pe.push_back(s.chunks);
+  }
+  return out;
+}
+
 std::string Report::to_table(int decimals) const {
   TextTable t({"PE", "Tcom/Twait/Tcomp", "iters", "chunks"});
   for (std::size_t i = 0; i < slaves.size(); ++i) {

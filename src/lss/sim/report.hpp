@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "lss/metrics/timing.hpp"
+#include "lss/obs/run_stats.hpp"
 #include "lss/support/types.hpp"
 
 namespace lss::sim {
@@ -63,6 +64,8 @@ struct Report {
   std::vector<double> comp_times() const;
   /// The paper's table cell column for this run.
   std::string to_table(int decimals = 1) const;
+  /// The runner-agnostic result slice (obs exporters, benches).
+  RunStats stats() const;
 };
 
 }  // namespace lss::sim

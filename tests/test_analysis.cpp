@@ -5,8 +5,8 @@
 #include <string>
 #include <tuple>
 
+#include "lss/api/scheduler.hpp"
 #include "lss/sched/analysis.hpp"
-#include "lss/sched/factory.hpp"
 #include "lss/sched/sequence.hpp"
 #include "lss/support/assert.hpp"
 
@@ -14,7 +14,7 @@ namespace lss::sched {
 namespace {
 
 Index actual_chunks(const std::string& spec, Index total, int p) {
-  auto s = make_scheduler(spec, total, p);
+  auto s = lss::make_simple_scheduler(spec, total, p);
   return static_cast<Index>(chunk_sizes(*s).size());
 }
 

@@ -7,7 +7,7 @@
 #include <tuple>
 #include <vector>
 
-#include "lss/distsched/dfactory.hpp"
+#include "lss/api/scheduler.hpp"
 #include "lss/support/prng.hpp"
 
 namespace lss::distsched {
@@ -34,7 +34,7 @@ class DistProperty : public ::testing::TestWithParam<Param> {
   }
   Index total() const { return std::get<2>(GetParam()); }
   std::unique_ptr<DistScheduler> make_initialized() const {
-    auto s = make_dist_scheduler(std::get<0>(GetParam()), total(),
+    auto s = lss::make_distributed_scheduler(std::get<0>(GetParam()), total(),
                                  static_cast<int>(profile().acps.size()));
     s->initialize(profile().acps);
     return s;

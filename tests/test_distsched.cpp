@@ -3,8 +3,8 @@
 // simple schemes under equal powers.
 #include <gtest/gtest.h>
 
+#include "lss/api/scheduler.hpp"
 #include "lss/distsched/acpsa.hpp"
-#include "lss/distsched/dfactory.hpp"
 #include "lss/distsched/dfiss.hpp"
 #include "lss/distsched/dfss.hpp"
 #include "lss/distsched/dtfss.hpp"
@@ -274,7 +274,7 @@ TEST(Replan, StableAcpsNeverReplan) {
 // ----------------------------------------------------------- adapter
 
 TEST(Adapter, EqualPowersFollowInnerScheme) {
-  auto d = make_dist_scheduler("dist(gss)", 1000, 4);
+  auto d = lss::make_distributed_scheduler("dist(gss)", 1000, 4);
   d->initialize({1.0, 1.0, 1.0, 1.0});
   // First stage total = sum of GSS's first 4 chunks over R=1000:
   // 250+188+141+106 = 685; each of 4 equal PEs gets ceil(685/4) = 172.
@@ -282,7 +282,7 @@ TEST(Adapter, EqualPowersFollowInnerScheme) {
 }
 
 TEST(Adapter, CoversLoop) {
-  auto d = make_dist_scheduler("dist(fiss:sigma=4)", 3000, 4);
+  auto d = lss::make_distributed_scheduler("dist(fiss:sigma=4)", 3000, 4);
   d->initialize({30.0, 10.0, 10.0, 10.0});
   Index covered = 0;
   int pe = 0;

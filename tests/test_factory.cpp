@@ -1,9 +1,16 @@
 // Scheme factory parsing tests (simple and distributed).
+//
+// This file deliberately exercises the deprecated per-family entry
+// points (sched::make_scheduler, distsched::make_dist_scheduler) to
+// prove the shims still compile and behave; new code should construct
+// through lss::make_scheduler (see test_unified_factory.cpp).
 #include <gtest/gtest.h>
 
 #include "lss/distsched/dfactory.hpp"
 #include "lss/sched/factory.hpp"
 #include "lss/support/assert.hpp"
+
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
 
 namespace lss {
 namespace {

@@ -1,0 +1,561 @@
+// Observability subsystem (lss/obs): event rings, the Tracer,
+// counter/histogram registry, RunStats, and the exporters — including
+// a Chrome trace_event round trip over real parallel_for and
+// simulator runs.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/metrics/timing.hpp"
+#include "lss/obs/event.hpp"
+#include "lss/obs/export.hpp"
+#include "lss/obs/metrics_registry.hpp"
+#include "lss/obs/run_stats.hpp"
+#include "lss/obs/trace.hpp"
+#include "lss/rt/parallel_for.hpp"
+#include "lss/rt/run.hpp"
+#include "lss/sim/simulation.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::obs {
+namespace {
+
+// ------------------------------------------------- mini JSON checker
+//
+// A strict recursive-descent syntax validator — enough to prove the
+// exporters emit loadable JSON without depending on a JSON library.
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+      }
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-'))
+      ++pos_;
+    return pos_ > start;
+  }
+
+  bool literal(const char* word) {
+    const std::string w(word);
+    if (s_.compare(pos_, w.size(), w) != 0) return false;
+    pos_ += w.size();
+    return true;
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])))
+      ++pos_;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+bool json_valid(const std::string& text) {
+  return JsonChecker(text).valid();
+}
+
+int count_of(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  for (std::size_t at = haystack.find(needle); at != std::string::npos;
+       at = haystack.find(needle, at + needle.size()))
+    ++n;
+  return n;
+}
+
+// Every test starts and ends with tracing off and all buffers empty,
+// so test order cannot matter.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+    MetricsRegistry::instance().reset();
+  }
+  void TearDown() override {
+    Tracer::instance().disable();
+    Tracer::instance().clear();
+    MetricsRegistry::instance().reset();
+  }
+};
+
+Event make_event(double ts, EventKind kind, int pe, Range r = {}) {
+  Event e;
+  e.ts = ts;
+  e.kind = kind;
+  e.pe = pe;
+  e.range = r;
+  return e;
+}
+
+// ------------------------------------------------------- event rings
+
+TEST_F(ObsTest, RingStoresInOrder) {
+  EventRing ring(16);
+  for (int i = 0; i < 5; ++i)
+    ring.push(make_event(i, EventKind::ChunkGranted, i));
+  EXPECT_EQ(ring.pushed(), 5u);
+  EXPECT_EQ(ring.dropped(), 0u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 5u);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(events[static_cast<std::size_t>(i)].pe, i);
+}
+
+TEST_F(ObsTest, RingWrapsOverwritingOldestAndCountsDrops) {
+  EventRing ring(8);
+  for (int i = 0; i < 20; ++i)
+    ring.push(make_event(i, EventKind::ChunkGranted, i));
+  EXPECT_EQ(ring.pushed(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are the newest 8, oldest first.
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(events[static_cast<std::size_t>(i)].pe, 12 + i);
+}
+
+// ------------------------------------------------------------ tracer
+
+TEST_F(ObsTest, EmitIsDroppedWhileDisabled) {
+  ASSERT_FALSE(trace_enabled());
+  emit(EventKind::ChunkGranted, 0, Range{0, 10});
+  emit_at(1.0, EventKind::Fault, 1);
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+}
+
+TEST_F(ObsTest, EmitRecordsWhileEnabled) {
+  Tracer::instance().enable();
+  EXPECT_TRUE(trace_enabled());
+  emit(EventKind::ChunkGranted, 3, Range{0, 16});
+  emit(EventKind::ChunkStarted, 3, Range{0, 16});
+  emit(EventKind::ChunkFinished, 3, Range{0, 16}, /*a=*/7, /*b=*/9);
+  Tracer::instance().disable();
+
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::ChunkGranted);
+  EXPECT_EQ(events[1].kind, EventKind::ChunkStarted);
+  EXPECT_EQ(events[2].kind, EventKind::ChunkFinished);
+  EXPECT_EQ(events[2].a, 7);
+  EXPECT_EQ(events[2].b, 9);
+  for (const Event& e : events) {
+    EXPECT_EQ(e.pe, 3);
+    EXPECT_EQ(e.range.begin, 0);
+    EXPECT_EQ(e.range.end, 16);
+    EXPECT_GE(e.ts, 0.0);
+  }
+  // Stamped in emission order on one thread => non-decreasing.
+  EXPECT_LE(events[0].ts, events[1].ts);
+  EXPECT_LE(events[1].ts, events[2].ts);
+}
+
+TEST_F(ObsTest, SnapshotMergesSortedByExplicitTimestamp) {
+  Tracer::instance().enable();
+  emit_at(1.5, EventKind::ChunkGranted, 0);
+  emit_at(0.5, EventKind::ChunkGranted, 1);
+  emit_at(1.0, EventKind::ChunkGranted, 2);
+  Tracer::instance().disable();
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].pe, 1);
+  EXPECT_EQ(events[1].pe, 2);
+  EXPECT_EQ(events[2].pe, 0);
+}
+
+TEST_F(ObsTest, ClearDropsBufferedEventsAndKeepsRecording) {
+  Tracer::instance().enable();
+  emit(EventKind::ChunkGranted, 0);
+  emit(EventKind::ChunkGranted, 1);
+  Tracer::instance().clear();
+  emit(EventKind::Fault, 2);
+  Tracer::instance().disable();
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, EventKind::Fault);
+  EXPECT_EQ(events[0].pe, 2);
+}
+
+TEST_F(ObsTest, EnableRebasesTheSession) {
+  Tracer::instance().enable();
+  emit(EventKind::ChunkGranted, 0);
+  Tracer::instance().disable();
+  Tracer::instance().enable();  // rebase=true drops the old session
+  emit(EventKind::ChunkGranted, 1);
+  Tracer::instance().disable();
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].pe, 1);
+}
+
+TEST_F(ObsTest, EventKindNamesAreStable) {
+  EXPECT_EQ(to_string(EventKind::ChunkGranted), "chunk-granted");
+  EXPECT_EQ(to_string(EventKind::ChunkStarted), "chunk-started");
+  EXPECT_EQ(to_string(EventKind::ChunkFinished), "chunk-finished");
+  EXPECT_EQ(to_string(EventKind::MsgSend), "msg-send");
+  EXPECT_EQ(to_string(EventKind::MsgRecv), "msg-recv");
+  EXPECT_EQ(to_string(EventKind::Replan), "replan");
+  EXPECT_EQ(to_string(EventKind::Fault), "fault");
+}
+
+// ------------------------------------------------- chrome trace JSON
+
+TEST_F(ObsTest, ChromeTraceRoundTrip) {
+  std::vector<Event> events;
+  // Two PEs compute one chunk each; the master grants both and one
+  // replan fires in between.
+  events.push_back(make_event(0.0, EventKind::ChunkGranted, 0, {0, 8}));
+  events.push_back(make_event(0.1, EventKind::ChunkStarted, 0, {0, 8}));
+  events.push_back(make_event(0.2, EventKind::ChunkGranted, 1, {8, 16}));
+  events.push_back(make_event(0.3, EventKind::ChunkStarted, 1, {8, 16}));
+  events.push_back(make_event(0.4, EventKind::Replan, kMasterPe));
+  events.push_back(make_event(0.5, EventKind::ChunkFinished, 0, {0, 8}));
+  events.push_back(make_event(0.6, EventKind::ChunkFinished, 1, {8, 16}));
+
+  ChromeTraceOptions opt;
+  opt.process_name = "test-process";
+  opt.scheme = "gss";
+  const std::string json = chrome_trace_json(events, opt);
+
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("test-process"), std::string::npos);
+  EXPECT_NE(json.find("\"gss\""), std::string::npos);
+  // Each started/finished pair folds into one complete ("X") slice.
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), 2);
+  // Master instant (replan) is exported on tid 0, PEs on tid pe+1.
+  EXPECT_EQ(count_of(json, "\"tid\":0"), 2);  // replan + master name
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":2"), std::string::npos);
+  // Thread-name metadata for master and both PEs.
+  EXPECT_EQ(count_of(json, "\"thread_name\""), 3);
+  EXPECT_NE(json.find("\"master\""), std::string::npos);
+  EXPECT_NE(json.find("\"PE1\""), std::string::npos);
+  EXPECT_NE(json.find("\"PE2\""), std::string::npos);
+  // Timestamps are microseconds: 0.5 s => 100000 us slice start for
+  // PE0 (started at 0.1 s) with 400000 us duration.
+  EXPECT_NE(json.find("\"ts\":100000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":400000.000"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceFlagsUnfinishedChunks) {
+  std::vector<Event> events;
+  events.push_back(make_event(0.1, EventKind::ChunkStarted, 0, {0, 4}));
+  // Crash before finishing.
+  events.push_back(make_event(0.2, EventKind::Fault, 0));
+  const std::string json = chrome_trace_json(events);
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), 0);
+  EXPECT_NE(json.find("\"unfinished\":true"), std::string::npos);
+  EXPECT_NE(json.find("fault"), std::string::npos);
+}
+
+TEST_F(ObsTest, ChromeTraceOfLiveRunLoadsAndMapsTids) {
+  Tracer::instance().enable();
+  const auto result = rt::parallel_for(
+      0, 512, [](Index) {}, {.scheme = "gss", .num_threads = 3});
+  Tracer::instance().disable();
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_FALSE(events.empty());
+
+  // Monotonic after the merge sort.
+  for (std::size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].ts, events[i].ts);
+
+  const std::string json = chrome_trace_json(events, {.scheme = "gss"});
+  EXPECT_TRUE(json_valid(json));
+  // Every chunk that started also finished, so complete slices exist
+  // and match the runner's chunk count.
+  EXPECT_EQ(count_of(json, "\"ph\":\"X\""), static_cast<int>(result.chunks));
+  EXPECT_EQ(count_of(json, "\"unfinished\""), 0);
+  // Every thread that did work appears under tid = pe + 1.
+  for (int pe = 0; pe < 3; ++pe) {
+    if (result.iterations_per_thread[static_cast<std::size_t>(pe)] == 0)
+      continue;
+    const std::string tid =
+        "\"tid\":" + std::to_string(pe + 1) + ",";
+    EXPECT_NE(json.find(tid), std::string::npos) << "missing PE " << pe;
+  }
+}
+
+TEST_F(ObsTest, EventsCsvHasHeaderAndOneRowPerEvent) {
+  std::vector<Event> events;
+  events.push_back(make_event(0.25, EventKind::ChunkGranted, 2, {3, 9}));
+  events.push_back(make_event(0.5, EventKind::MsgSend, 1));
+  const std::string csv = events_csv(events);
+  EXPECT_EQ(count_of(csv, "\n"), 3);  // header + 2 rows
+  EXPECT_EQ(csv.find("ts,kind,pe,begin,end,a,b"), 0u);
+  EXPECT_NE(csv.find("chunk-granted,2,3,9"), std::string::npos);
+  EXPECT_NE(csv.find("msg-send,1"), std::string::npos);
+}
+
+// --------------------------------------------------------- RunStats
+
+RunStats sample_stats() {
+  RunStats st;
+  st.scheme = "dtss";
+  st.runner = "sim";
+  st.dispatch_path = "sim-event";
+  st.num_pes = 2;
+  st.iterations = 100;
+  st.chunks = 7;
+  st.t_wall = 12.5;
+  metrics::TimeBreakdown a{2.7, 17.5, 3.5};
+  metrics::TimeBreakdown b{1.0, 2.0, 30.0};
+  st.per_pe = {a, b};
+  st.iterations_per_pe = {40, 60};
+  st.chunks_per_pe = {3, 4};
+  return st;
+}
+
+TEST_F(ObsTest, RunStatsJsonIsValidAndComplete) {
+  const std::string json = sample_stats().to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"scheme\":\"dtss\""), std::string::npos);
+  EXPECT_NE(json.find("\"runner\":\"sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"dispatch_path\":\"sim-event\""), std::string::npos);
+  EXPECT_NE(json.find("\"num_pes\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"iterations\":100"), std::string::npos);
+  EXPECT_NE(json.find("\"chunks\":7"), std::string::npos);
+}
+
+TEST_F(ObsTest, PaperCellsReproduceTimeBreakdownCells) {
+  const RunStats st = sample_stats();
+  const std::string cells = paper_cells(st);
+  // The paper's Tables 2-3 cell format, via TimeBreakdown::to_cell.
+  EXPECT_NE(cells.find(st.per_pe[0].to_cell(1)), std::string::npos);
+  EXPECT_NE(cells.find(st.per_pe[1].to_cell(1)), std::string::npos);
+  EXPECT_NE(cells.find("PE1"), std::string::npos);
+  EXPECT_NE(cells.find("PE2"), std::string::npos);
+}
+
+// -------------------------------------------------- metrics registry
+
+TEST_F(ObsTest, CounterAccumulatesAndResets) {
+  Counter& c = MetricsRegistry::instance().counter("test.counter");
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same name resolves to the same counter.
+  EXPECT_EQ(&MetricsRegistry::instance().counter("test.counter"), &c);
+  MetricsRegistry::instance().reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsTest, HistogramBucketsByLog2) {
+  Histogram& h = MetricsRegistry::instance().histogram("test.hist");
+  h.observe(0.5);
+  h.observe(3.0);
+  h.observe(3.9);
+  h.observe(1000.0);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_NEAR(h.sum(), 1007.4, 1e-9);
+  EXPECT_NEAR(h.mean(), 1007.4 / 4.0, 1e-9);
+  // Quantiles report the containing bucket's upper edge.
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);    // 3.0, 3.9 in (2, 4]
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 1024.0);
+}
+
+TEST_F(ObsTest, RegistrySnapshotAndExports) {
+  auto& reg = MetricsRegistry::instance();
+  reg.counter("chunks.granted").add(10);
+  reg.histogram("mailbox.depth").observe(2.0);
+  const auto snap = reg.snapshot();
+  EXPECT_EQ(snap.counters.at("chunks.granted"), 10u);
+  EXPECT_EQ(snap.histograms.at("mailbox.depth").count, 1u);
+
+  const std::string csv = reg.to_csv();
+  EXPECT_EQ(csv.find("metric,kind,count,sum,p50,p99"), 0u);
+  EXPECT_NE(csv.find("chunks.granted,counter"), std::string::npos);
+  EXPECT_NE(csv.find("mailbox.depth,histogram"), std::string::npos);
+
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_valid(json)) << json;
+  EXPECT_NE(json.find("\"chunks.granted\":10"), std::string::npos);
+}
+
+// ------------------------------------- end-to-end: the three runners
+
+TEST_F(ObsTest, ParallelForExportsStatsAndTrace) {
+  Tracer::instance().enable();
+  const auto result = rt::parallel_for(
+      0, 300, [](Index) {}, {.scheme = "tss", .num_threads = 2});
+  Tracer::instance().disable();
+
+  const RunStats st = result.stats();
+  EXPECT_EQ(st.runner, "parallel_for");
+  EXPECT_EQ(st.num_pes, 2);
+  EXPECT_EQ(st.iterations, 300);
+  EXPECT_GT(st.chunks, 0);
+  EXPECT_FALSE(st.scheme.empty());
+  EXPECT_EQ(st.dispatch_path, "lock-free-table");
+  EXPECT_TRUE(json_valid(st.to_json()));
+
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_FALSE(events.empty());
+  EXPECT_TRUE(json_valid(chrome_trace_json(events)));
+}
+
+TEST_F(ObsTest, ThreadedRuntimeExportsStatsAndTrace) {
+  Tracer::instance().enable();
+  rt::RtConfig cfg;
+  cfg.workload = std::make_shared<UniformWorkload>(100, 1000.0);
+  cfg.scheme = "gss";
+  cfg.relative_speeds = {1.0, 1.0};
+  const rt::RtResult r = rt::run_threaded(cfg);
+  Tracer::instance().disable();
+
+  const RunStats st = r.stats();
+  EXPECT_EQ(st.runner, "rt");
+  EXPECT_EQ(st.num_pes, 2);
+  EXPECT_EQ(st.iterations, 100);
+  ASSERT_EQ(st.per_pe.size(), 2u);
+  EXPECT_EQ(st.per_pe[0].to_cell(3), r.workers[0].times.to_cell(3));
+  EXPECT_TRUE(json_valid(st.to_json()));
+
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_FALSE(events.empty());
+  // Real message traffic was traced alongside the chunk lifecycle.
+  bool saw_send = false, saw_recv = false, saw_start = false;
+  for (const Event& e : events) {
+    saw_send = saw_send || e.kind == EventKind::MsgSend;
+    saw_recv = saw_recv || e.kind == EventKind::MsgRecv;
+    saw_start = saw_start || e.kind == EventKind::ChunkStarted;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_recv);
+  EXPECT_TRUE(saw_start);
+  EXPECT_TRUE(json_valid(chrome_trace_json(events)));
+}
+
+TEST_F(ObsTest, SimulatorExportsPaperCellsAndTrace) {
+  Tracer::instance().enable();
+  sim::SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(4);
+  cfg.scheduler = sim::SchedulerConfig::distributed("dtss");
+  cfg.workload = std::make_shared<UniformWorkload>(400, 25000.0);
+  const sim::Report report = sim::run_simulation(cfg);
+  Tracer::instance().disable();
+
+  const RunStats st = report.stats();
+  EXPECT_EQ(st.runner, "sim");
+  EXPECT_EQ(st.num_pes, 4);
+  EXPECT_EQ(st.iterations, report.total_iterations);
+  ASSERT_EQ(st.per_pe.size(), report.slaves.size());
+
+  // The exported paper cells are exactly the simulator's measured
+  // T_com/T_wait/T_comp columns (Tables 2-3).
+  const std::string cells = paper_cells(st);
+  for (const sim::SlaveStats& s : report.slaves)
+    EXPECT_NE(cells.find(s.times.to_cell(1)), std::string::npos) << cells;
+
+  const auto events = Tracer::instance().snapshot();
+  ASSERT_FALSE(events.empty());
+  // Simulated timestamps drive the same exporter as wall-clock ones.
+  bool saw_granted = false, saw_finished = false;
+  double max_ts = 0.0;
+  for (const Event& e : events) {
+    saw_granted = saw_granted || e.kind == EventKind::ChunkGranted;
+    saw_finished = saw_finished || e.kind == EventKind::ChunkFinished;
+    max_ts = std::max(max_ts, e.ts);
+  }
+  EXPECT_TRUE(saw_granted);
+  EXPECT_TRUE(saw_finished);
+  EXPECT_LE(max_ts, report.t_parallel + 1e-9);
+  EXPECT_TRUE(json_valid(chrome_trace_json(events)));
+}
+
+TEST_F(ObsTest, DisabledTracingLeavesRunnersSilent) {
+  // The default state: compiled in, runtime-off. Nothing may leak
+  // into the rings from any runner.
+  rt::parallel_for(0, 100, [](Index) {},
+                   {.scheme = "gss", .num_threads = 2});
+  sim::SimConfig cfg;
+  cfg.cluster = cluster::paper_cluster_for_p(4);
+  cfg.scheduler = sim::SchedulerConfig::simple("tss");
+  cfg.workload = std::make_shared<UniformWorkload>(200, 25000.0);
+  sim::run_simulation(cfg);
+  EXPECT_TRUE(Tracer::instance().snapshot().empty());
+}
+
+}  // namespace
+}  // namespace lss::obs

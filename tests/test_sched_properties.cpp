@@ -6,7 +6,7 @@
 #include <string>
 #include <tuple>
 
-#include "lss/sched/factory.hpp"
+#include "lss/api/scheduler.hpp"
 #include "lss/sched/sequence.hpp"
 
 namespace lss::sched {
@@ -18,7 +18,7 @@ class SchemeProperty : public ::testing::TestWithParam<Param> {
  protected:
   std::unique_ptr<ChunkScheduler> make() const {
     const auto& [spec, total, p] = GetParam();
-    return make_scheduler(spec, total, p);
+    return lss::make_simple_scheduler(spec, total, p);
   }
   Index total() const { return std::get<1>(GetParam()); }
   int pes() const { return std::get<2>(GetParam()); }
@@ -95,7 +95,7 @@ class DecreasingScheme
 
 TEST_P(DecreasingScheme, ChunksNeverGrow) {
   const auto& [spec, total, p] = GetParam();
-  auto s = make_scheduler(spec, total, p);
+  auto s = lss::make_simple_scheduler(spec, total, p);
   const auto sizes = chunk_sizes(*s);
   for (std::size_t i = 1; i < sizes.size(); ++i)
     EXPECT_LE(sizes[i], sizes[i - 1]) << "at step " << i;
@@ -117,7 +117,7 @@ class FissGrowth : public ::testing::TestWithParam<std::tuple<Index, int>> {};
 
 TEST_P(FissGrowth, StagesIncreaseByBump) {
   const auto& [total, p] = GetParam();
-  auto s = make_scheduler("fiss", total, p);
+  auto s = lss::make_simple_scheduler("fiss", total, p);
   const auto sizes = chunk_sizes(*s);
   const std::size_t pu = static_cast<std::size_t>(p);
   if (sizes.size() < 2 * pu) return;  // degenerate tiny loop
@@ -142,7 +142,7 @@ class StageScheme
 
 TEST_P(StageScheme, FullStagesAreEqualSized) {
   const auto& [spec, total, p] = GetParam();
-  auto s = make_scheduler(spec, total, p);
+  auto s = lss::make_simple_scheduler(spec, total, p);
   const auto sizes = chunk_sizes(*s);
   const std::size_t pu = static_cast<std::size_t>(p);
   // Ignore the final (possibly clipped) stage.
@@ -169,7 +169,7 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(GssRecurrence, MatchesDefinition) {
   const Index total = 1234;
   const int p = 5;
-  auto s = make_scheduler("gss", total, p);
+  auto s = lss::make_simple_scheduler("gss", total, p);
   Index remaining = total;
   while (remaining > 0) {
     const Range r = s->next(0);
@@ -181,7 +181,7 @@ TEST(GssRecurrence, MatchesDefinition) {
 
 // CSS assigns exactly ceil(I/k) chunks.
 TEST(CssCount, NumberOfChunks) {
-  auto s = make_scheduler("css:k=7", 100, 3);
+  auto s = lss::make_simple_scheduler("css:k=7", 100, 3);
   EXPECT_EQ(static_cast<Index>(chunk_sizes(*s).size()), (100 + 6) / 7);
 }
 

@@ -1,8 +1,8 @@
 // Safe Self-Scheduling (Liu, Saletore & Lewis 1994).
 #include <gtest/gtest.h>
 
+#include "lss/api/scheduler.hpp"
 #include "lss/sched/fss.hpp"
-#include "lss/sched/factory.hpp"
 #include "lss/sched/sequence.hpp"
 #include "lss/sched/sss.hpp"
 #include "lss/support/assert.hpp"
@@ -65,12 +65,12 @@ TEST(Sss, RejectsBadParameters) {
 }
 
 TEST(Sss, FactoryDefaultsToHalf) {
-  auto s = make_scheduler("sss", 1000, 4);
+  auto s = lss::make_simple_scheduler("sss", 1000, 4);
   EXPECT_EQ(s->next(0).size(), 125);
 }
 
 TEST(Sss, FactoryHonorsAlpha) {
-  auto s = make_scheduler("sss:alpha=0.8", 1000, 4);
+  auto s = lss::make_simple_scheduler("sss:alpha=0.8", 1000, 4);
   EXPECT_EQ(s->next(0).size(), 200);
 }
 

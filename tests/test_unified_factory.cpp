@@ -1,0 +1,247 @@
+// The unified scheduler-construction API (lss/api/scheduler.hpp):
+// one registry resolves both the simple and the distributed scheme
+// grammars, every registered name constructs, the typed helpers
+// enforce families, and runtime registration extends the registry.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/api/scheduler.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss {
+namespace {
+
+std::string contract_message(const std::function<void()>& fn) {
+  try {
+    fn();
+  } catch (const ContractError& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected ContractError";
+  return "";
+}
+
+// The spec string that constructs a scheme given only its registry
+// name ("dist" is the adapter grammar and needs an inner spec).
+std::string bare_spec(const std::string& name) {
+  return name == "dist" ? "dist(gss)" : name;
+}
+
+TEST(UnifiedFactory, EveryKnownSchemeConstructs) {
+  const auto infos = scheme_registry();
+  ASSERT_FALSE(infos.empty());
+  for (const SchemeInfo& info : infos) {
+    SCOPED_TRACE(info.name);
+    Scheduler s = make_scheduler(bare_spec(info.name), 1000, 4);
+    EXPECT_EQ(s.family(), info.family);
+    EXPECT_FALSE(s.name().empty());
+    EXPECT_EQ(s.total(), 1000);
+    EXPECT_EQ(s.num_pes(), 4);
+    EXPECT_FALSE(s.done());
+    // Drive it uniformly: initialize() is a no-op for simple schemes,
+    // acp is ignored by them.
+    s.initialize({10.0, 10.0, 10.0, 10.0});
+    Index covered = 0;
+    while (!s.done()) {
+      const Range r = s.next(static_cast<int>(covered) % 4, 10.0);
+      ASSERT_FALSE(r.empty()) << "live scheduler granted empty chunk";
+      covered += r.size();
+      ASSERT_LE(covered, 1000);
+    }
+    EXPECT_EQ(covered, 1000);
+    EXPECT_EQ(s.assigned(), 1000);
+    EXPECT_EQ(s.remaining(), 0);
+    EXPECT_GT(s.steps(), 0);
+  }
+}
+
+TEST(UnifiedFactory, KnownSchemesMatchesRegistryOrder) {
+  const auto infos = scheme_registry();
+  const auto names = known_schemes();
+  ASSERT_EQ(infos.size(), names.size());
+  for (std::size_t i = 0; i < infos.size(); ++i)
+    EXPECT_EQ(infos[i].name, names[i]);
+}
+
+TEST(UnifiedFactory, ResolvesBothParameterGrammars) {
+  // Simple grammar with parameters.
+  Scheduler gss = make_scheduler("gss:k=5", 1000, 4);
+  EXPECT_EQ(gss.family(), SchemeFamily::Simple);
+  ASSERT_NE(gss.simple(), nullptr);
+  EXPECT_EQ(gss.dist(), nullptr);
+  // Every GSS chunk respects the minimum-chunk parameter (the final
+  // chunk may be a clamped remainder).
+  const auto sizes = sched::chunk_sizes(*gss.simple());
+  for (std::size_t i = 0; i + 1 < sizes.size(); ++i)
+    EXPECT_GE(sizes[i], 5);
+
+  // Distributed grammar.
+  Scheduler dtss = make_scheduler("dtss", 1000, 4);
+  EXPECT_EQ(dtss.family(), SchemeFamily::Distributed);
+  EXPECT_TRUE(dtss.distributed());
+  ASSERT_NE(dtss.dist(), nullptr);
+  EXPECT_EQ(dtss.simple(), nullptr);
+
+  // The dist(...) adapter wraps a parameterized simple spec.
+  Scheduler wrapped = make_scheduler("dist(gss:k=2)", 1000, 4);
+  EXPECT_EQ(wrapped.family(), SchemeFamily::Distributed);
+
+  // Whitespace and case are forgiven on the scheme name.
+  EXPECT_EQ(make_scheduler("  GSS  ", 100, 2).family(),
+            SchemeFamily::Simple);
+}
+
+TEST(UnifiedFactory, SchemeFamilyResolvesWithoutConstructing) {
+  EXPECT_EQ(scheme_family("gss:k=2"), SchemeFamily::Simple);
+  EXPECT_EQ(scheme_family("static"), SchemeFamily::Simple);
+  EXPECT_EQ(scheme_family("awf"), SchemeFamily::Distributed);
+  EXPECT_EQ(scheme_family("dist(tss)"), SchemeFamily::Distributed);
+}
+
+TEST(UnifiedFactory, TypedHelpersEnforceTheFamily) {
+  // Happy paths hand back the concrete type.
+  std::unique_ptr<sched::ChunkScheduler> simple =
+      make_simple_scheduler("tss", 500, 4);
+  ASSERT_NE(simple, nullptr);
+  EXPECT_EQ(simple->total(), 500);
+
+  std::unique_ptr<distsched::DistScheduler> dist =
+      make_distributed_scheduler("dfss", 500, 4);
+  ASSERT_NE(dist, nullptr);
+  EXPECT_EQ(dist->num_pes(), 4);
+
+  // Family mismatches throw with a pointer at the right helper.
+  const std::string e1 = contract_message(
+      [] { make_simple_scheduler("dtss", 100, 2); });
+  EXPECT_NE(e1.find("is distributed"), std::string::npos) << e1;
+  EXPECT_NE(e1.find("make_distributed_scheduler"), std::string::npos);
+
+  const std::string e2 = contract_message(
+      [] { make_distributed_scheduler("gss", 100, 2); });
+  EXPECT_NE(e2.find("is simple"), std::string::npos) << e2;
+  EXPECT_NE(e2.find("make_simple_scheduler"), std::string::npos);
+}
+
+TEST(UnifiedFactory, UnknownSchemeErrorListsEveryRegisteredName) {
+  const std::string msg = contract_message(
+      [] { make_scheduler("bogus", 100, 2); });
+  EXPECT_NE(msg.find("unknown scheme: 'bogus'"), std::string::npos) << msg;
+  EXPECT_NE(msg.find("known schemes:"), std::string::npos);
+  // Both families are in the one list.
+  for (const std::string& name : known_schemes())
+    EXPECT_NE(msg.find(name), std::string::npos) << "missing " << name;
+  // Empty specs are rejected up front.
+  EXPECT_THROW(make_scheduler("", 100, 2), ContractError);
+  EXPECT_THROW(make_scheduler("   ", 100, 2), ContractError);
+}
+
+TEST(UnifiedFactory, UnknownParameterKeysAreRejected) {
+  // A key another scheme accepts is still an error for this one.
+  const std::string e1 = contract_message(
+      [] { make_scheduler("gss:alpha=2", 1000, 4); });
+  EXPECT_NE(e1.find("'gss' does not accept parameter 'alpha'"),
+            std::string::npos)
+      << e1;
+  EXPECT_NE(e1.find("accepts: k"), std::string::npos);
+
+  // Parameter-free schemes say so.
+  const std::string e2 = contract_message(
+      [] { make_scheduler("ss:k=2", 1000, 4); });
+  EXPECT_NE(e2.find("takes no parameters"), std::string::npos) << e2;
+
+  const std::string e3 = contract_message(
+      [] { make_scheduler("dtss:alpha=1", 1000, 4); });
+  EXPECT_NE(e3.find("takes no parameters"), std::string::npos) << e3;
+
+  // The distributed grammar validates keys too.
+  const std::string e4 = contract_message(
+      [] { make_scheduler("dfss:k=3", 1000, 4); });
+  EXPECT_NE(e4.find("'dfss' does not accept parameter 'k'"),
+            std::string::npos)
+      << e4;
+}
+
+TEST(UnifiedFactory, HandleDrivesBothFamiliesUniformly) {
+  // The same host loop serves a simple and a distributed scheme.
+  for (const char* spec : {"tss", "dtss"}) {
+    SCOPED_TRACE(spec);
+    Scheduler s = make_scheduler(spec, 600, 3);
+    s.initialize({20.0, 10.0, 10.0});
+    Index covered = 0;
+    int pe = 0;
+    while (!s.done()) {
+      const Range r = s.next(pe, pe == 0 ? 20.0 : 10.0);
+      covered += r.size();
+      pe = (pe + 1) % 3;
+    }
+    EXPECT_EQ(covered, 600);
+  }
+}
+
+TEST(UnifiedFactory, TakeTransfersOwnershipWithFamilyChecks) {
+  std::unique_ptr<sched::ChunkScheduler> taken =
+      make_scheduler("gss", 100, 2).take_simple();
+  ASSERT_NE(taken, nullptr);
+  EXPECT_EQ(taken->total(), 100);
+
+  EXPECT_THROW(make_scheduler("gss", 100, 2).take_dist(), ContractError);
+  EXPECT_THROW(make_scheduler("dtss", 100, 2).take_simple(),
+               ContractError);
+}
+
+TEST(UnifiedFactory, RegisterSchemeExtendsTheRegistry) {
+  // Unique name: the registry is process-global and other tests may
+  // have registered their own schemes already.
+  const std::string name = "ufregtest";
+  register_scheme(
+      {.name = name, .family = SchemeFamily::Simple, .params = ""},
+      [](const std::string& /*spec*/, Index total, int num_pes) {
+        return Scheduler(make_simple_scheduler("css:k=7", total, num_pes));
+      });
+
+  bool listed = false;
+  for (const std::string& n : known_schemes()) listed = listed || n == name;
+  EXPECT_TRUE(listed);
+
+  Scheduler s = make_scheduler(name, 100, 2);
+  EXPECT_EQ(s.family(), SchemeFamily::Simple);
+  EXPECT_EQ(s.next(0).size(), 7);
+
+  // Duplicate and malformed registrations are rejected.
+  const auto noop = [](const std::string&, Index total, int num_pes) {
+    return Scheduler(make_simple_scheduler("ss", total, num_pes));
+  };
+  EXPECT_THROW(register_scheme({.name = name,
+                                .family = SchemeFamily::Simple,
+                                .params = ""},
+                               noop),
+               ContractError);
+  EXPECT_THROW(register_scheme({.name = "gss",
+                                .family = SchemeFamily::Simple,
+                                .params = ""},
+                               noop),
+               ContractError);
+  EXPECT_THROW(register_scheme({.name = "UpperCase",
+                                .family = SchemeFamily::Simple,
+                                .params = ""},
+                               noop),
+               ContractError);
+  EXPECT_THROW(register_scheme({.name = "",
+                                .family = SchemeFamily::Simple,
+                                .params = ""},
+                               noop),
+               ContractError);
+}
+
+TEST(UnifiedFactory, FamilyNamesAreStable) {
+  EXPECT_EQ(to_string(SchemeFamily::Simple), "simple");
+  EXPECT_EQ(to_string(SchemeFamily::Distributed), "distributed");
+}
+
+}  // namespace
+}  // namespace lss
