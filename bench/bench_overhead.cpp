@@ -5,9 +5,13 @@
 // under contention: locked vs lock-free, 1-16 threads.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <memory>
+#include <thread>
 
 #include "lss/api/scheduler.hpp"
+#include "lss/mp/comm.hpp"
+#include "lss/mp/tcp.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/rt/dispatch.hpp"
 
@@ -121,6 +125,52 @@ void BM_DispatchNextTraced(benchmark::State& state,
   }
 }
 
+// One request→grant round trip over each mp::Transport backend: the
+// latency a worker pays per chunk before any computing happens. The
+// gap between the inproc and tcp rows is the wire tax of moving the
+// master out of process (syscalls + loopback framing) — the h_tcp to
+// weigh against chunk compute times when sizing schemes for the
+// socket runtime.
+void BM_TransportRoundTrip(benchmark::State& state, bool tcp) {
+  constexpr int kTagPing = 1, kTagPong = 2, kTagStop = 3;
+  const std::vector<std::byte> payload(16);
+
+  std::unique_ptr<lss::mp::Transport> transport;
+  std::thread echo;
+  if (tcp) {
+    auto master = std::make_unique<lss::mp::TcpMasterTransport>(0, 1);
+    echo = std::thread([port = master->port()] {
+      lss::mp::TcpWorkerTransport w("127.0.0.1", port);
+      while (true) {
+        lss::mp::Message m = w.recv(1, 0);
+        if (m.tag == kTagStop) break;
+        w.send(1, 0, kTagPong, std::move(m.payload));
+      }
+    });
+    master->accept_workers();
+    transport = std::move(master);
+  } else {
+    auto comm = std::make_unique<lss::mp::Comm>(2);
+    echo = std::thread([t = comm.get()] {
+      while (true) {
+        lss::mp::Message m = t->recv(1, 0);
+        if (m.tag == kTagStop) break;
+        t->send(1, 0, kTagPong, std::move(m.payload));
+      }
+    });
+    transport = std::move(comm);
+  }
+
+  for (auto _ : state) {
+    transport->send(0, 1, kTagPing, payload);
+    benchmark::DoNotOptimize(transport->recv(0, 1, kTagPong));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+
+  transport->send(0, 1, kTagStop, {});
+  echo.join();
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SimpleNext, ss, "ss");
@@ -158,5 +208,10 @@ BENCHMARK_CAPTURE(BM_DispatchNextTraced, ss_tracing_on, "ss")
     ->ThreadRange(1, 16)->UseRealTime();
 BENCHMARK_CAPTURE(BM_DispatchNextTraced, gss_tracing_on, "gss")
     ->ThreadRange(1, 16)->UseRealTime();
+
+// Blocked-in-poll time is the quantity of interest: wall clock, not
+// the main thread's CPU time.
+BENCHMARK_CAPTURE(BM_TransportRoundTrip, inproc, false)->UseRealTime();
+BENCHMARK_CAPTURE(BM_TransportRoundTrip, tcp_loopback, true)->UseRealTime();
 
 BENCHMARK_MAIN();

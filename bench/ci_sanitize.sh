@@ -1,8 +1,10 @@
 #!/usr/bin/env bash
 # Runs the tier-1 ctest suite under a sanitizer (default: TSan).
-# The lock-free chunk dispatcher (src/lss/rt/dispatch.*) and the
-# tracing subsystem (src/lss/obs/trace.*) must stay TSan-clean; this
-# is the CI entry that enforces both.
+# The lock-free chunk dispatcher (src/lss/rt/dispatch.*), the tracing
+# subsystem (src/lss/obs/trace.*), and the TCP transport
+# (src/lss/mp/tcp.*, whose worker endpoint shares a socket between
+# its owner and heartbeat threads) must stay TSan-clean; this is the
+# CI entry that enforces all three.
 #
 #   bench/ci_sanitize.sh [thread|address|undefined]
 set -euo pipefail
@@ -33,4 +35,12 @@ ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 # it repeatedly so thread interleavings vary across iterations.
 for i in 1 2 3; do
   "$build/tests/test_obs_stress"
+done
+
+# TCP loopback endpoints and the fault-recovery master loop, also
+# repeated: heartbeat threads, deadline receives, and peer-death
+# detection are all timing-dependent interleavings.
+for i in 1 2 3; do
+  "$build/tests/test_transport"
+  "$build/tests/test_rt_faults"
 done

@@ -1,0 +1,260 @@
+// Master half of the socket CLI pair: renders a Mandelbrot image by
+// self-scheduling its columns across worker processes over localhost
+// TCP — the paper's mpich master-slave programs on plain POSIX
+// sockets — or across threads over the in-process transport, from
+// the same binary.
+//
+//   lss_master [--scheme dtss] [--transport tcp|inproc] [--workers 3]
+//              [--port 0] [--width 200] [--height 120] [--max-iter 100]
+//              [--kill-after K] [--grace S] [--out image.pgm]
+//              [--no-spawn]
+//
+// With --transport tcp the master binds 127.0.0.1, spawns
+// `lss_worker` processes (found next to this binary) pointed at its
+// port, ships them the job description, and runs the fault-aware
+// rt/master loop; workers send computed columns home piggy-backed on
+// their requests. --kill-after K makes one worker die right after
+// receiving its (K+1)-th grant — the master detects the loss
+// (socket EOF / heartbeat silence) and reassigns the abandoned
+// chunk, so the run still covers every column exactly once.
+//
+// Exit status is 0 only if coverage was exactly-once — and, when a
+// kill was requested, only if the loss and a reassignment actually
+// happened.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <climits>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/comm.hpp"
+#include "lss/mp/tcp.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "net_common.hpp"
+
+namespace {
+
+using lss_cli::JobSpec;
+
+struct Options {
+  std::string scheme = "dtss";
+  std::string transport = "tcp";
+  int workers = 3;
+  int port = 0;
+  JobSpec job;
+  int kill_after = -1;  ///< negative = nobody dies
+  double grace = 10.0;
+  std::string out_path;
+  /// tcp only: don't fork the workers; wait for externally started
+  /// `lss_worker --port <port>` processes instead.
+  bool spawn = true;
+};
+
+std::string worker_binary_path() {
+  // The worker binary is built next to this one.
+  char buf[PATH_MAX];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  LSS_REQUIRE(n > 0, "cannot resolve /proc/self/exe");
+  buf[n] = '\0';
+  std::string path(buf);
+  const auto slash = path.rfind('/');
+  LSS_REQUIRE(slash != std::string::npos, "unexpected binary path");
+  return path.substr(0, slash) + "/lss_worker";
+}
+
+pid_t spawn_worker(const std::string& binary, std::uint16_t port,
+                   int die_after) {
+  const pid_t pid = fork();
+  LSS_REQUIRE(pid >= 0, "fork failed");
+  if (pid == 0) {
+    const std::string port_s = std::to_string(port);
+    const std::string die_s = std::to_string(die_after);
+    std::vector<const char*> argv = {binary.c_str(), "--port",
+                                     port_s.c_str()};
+    if (die_after >= 0) {
+      argv.push_back("--die-after");
+      argv.push_back(die_s.c_str());
+    }
+    argv.push_back(nullptr);
+    execv(binary.c_str(), const_cast<char* const*>(argv.data()));
+    perror("execv lss_worker");
+    _exit(127);
+  }
+  return pid;
+}
+
+lss::rt::MasterConfig master_config(const Options& o,
+                                    std::vector<std::uint16_t>& image) {
+  lss::rt::MasterConfig mc;
+  mc.scheme = o.scheme;
+  mc.total = o.job.width;
+  mc.num_workers = o.workers;
+  mc.faults.detect = true;
+  mc.faults.grace = o.grace;
+  if (o.job.want_results)
+    mc.on_result = [&image, height = o.job.height](
+                       int, lss::Range chunk,
+                       const std::vector<std::byte>& blob) {
+      lss_cli::apply_columns(image, height, chunk, blob);
+    };
+  return mc;
+}
+
+lss::rt::MasterOutcome run_tcp(const Options& o,
+                               std::vector<std::uint16_t>& image) {
+  lss::mp::TcpMasterTransport t(static_cast<std::uint16_t>(o.port),
+                                o.workers);
+  std::vector<pid_t> children;
+  if (o.spawn) {
+    const std::string binary = worker_binary_path();
+    for (int w = 0; w < o.workers; ++w)
+      // The last-spawned worker is the victim; its eventual rank is
+      // decided by accept order, which the master loop doesn't care
+      // about.
+      children.push_back(spawn_worker(
+          binary, t.port(), w == o.workers - 1 ? o.kill_after : -1));
+  } else {
+    std::cout << "waiting for " << o.workers << " workers on port "
+              << t.port() << "...\n";
+  }
+  t.accept_workers();
+  for (int rank = 1; rank <= o.workers; ++rank)
+    t.send(0, rank, lss::rt::protocol::kTagJob, lss_cli::encode_job(o.job));
+
+  const lss::rt::MasterConfig mc = master_config(o, image);
+  lss::rt::MasterOutcome outcome = lss::rt::run_master(t, mc);
+  for (const pid_t pid : children) waitpid(pid, nullptr, 0);
+  return outcome;
+}
+
+lss::rt::MasterOutcome run_inproc(const Options& o,
+                                  std::vector<std::uint16_t>& image) {
+  lss::MandelbrotParams params = lss::MandelbrotParams::paper(
+      static_cast<int>(o.job.width), static_cast<int>(o.job.height));
+  params.max_iter = static_cast<int>(o.job.max_iter);
+  auto workload = std::make_shared<lss::MandelbrotWorkload>(params);
+
+  lss::mp::Comm comm(o.workers + 1);
+  std::vector<std::thread> threads;
+  for (int w = 0; w < o.workers; ++w) {
+    lss::rt::WorkerLoopConfig wc;
+    wc.worker = w;
+    wc.workload = workload;
+    wc.die_after_chunks = w == o.workers - 1 ? o.kill_after : -1;
+    threads.emplace_back(
+        [&comm, wc] { lss::rt::run_worker_loop(comm, wc); });
+  }
+
+  Options adjusted = o;
+  adjusted.job.want_results = false;  // workers share this memory
+  lss::rt::MasterOutcome outcome =
+      lss::rt::run_master(comm, master_config(adjusted, image));
+  for (std::thread& th : threads) th.join();
+  image = workload->image();
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&] {
+      LSS_REQUIRE(i + 1 < argc, arg + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (arg == "--scheme") {
+      o.scheme = next();
+    } else if (arg == "--transport") {
+      o.transport = next();
+    } else if (arg == "--workers") {
+      o.workers = std::stoi(next());
+    } else if (arg == "--port") {
+      o.port = std::stoi(next());
+    } else if (arg == "--width") {
+      o.job.width = std::stoi(next());
+    } else if (arg == "--height") {
+      o.job.height = std::stoi(next());
+    } else if (arg == "--max-iter") {
+      o.job.max_iter = std::stoi(next());
+    } else if (arg == "--kill-after") {
+      o.kill_after = std::stoi(next());
+    } else if (arg == "--grace") {
+      o.grace = std::stod(next());
+    } else if (arg == "--out") {
+      o.out_path = next();
+    } else if (arg == "--no-spawn") {
+      o.spawn = false;
+    } else {
+      std::cerr << "unknown flag " << arg << '\n';
+      return 2;
+    }
+  }
+  if (o.workers < 1 ||
+      (o.transport != "tcp" && o.transport != "inproc")) {
+    std::cerr << "usage: lss_master [--scheme S] [--transport tcp|inproc]"
+                 " [--workers N] [--kill-after K] ...\n";
+    return 2;
+  }
+
+  try {
+    std::vector<std::uint16_t> image(
+        static_cast<std::size_t>(o.job.width * o.job.height), 0);
+    std::cout << "scheduling " << o.job.width << " columns with '"
+              << o.scheme << "' over " << o.transport << " on "
+              << o.workers << " workers"
+              << (o.kill_after >= 0 ? " (one will die mid-run)" : "")
+              << "...\n";
+    const lss::rt::MasterOutcome outcome =
+        o.transport == "tcp" ? run_tcp(o, image) : run_inproc(o, image);
+
+    std::cout << "scheme " << outcome.scheme_name << " over "
+              << outcome.transport << ": " << outcome.completed_iterations
+              << " columns";
+    std::cout << "; per worker:";
+    for (const lss::Index n : outcome.iterations_per_worker)
+      std::cout << ' ' << n;
+    std::cout << '\n';
+    if (!outcome.lost_workers.empty()) {
+      std::cout << "lost worker(s):";
+      for (const int w : outcome.lost_workers) std::cout << ' ' << w;
+      std::cout << "; reassigned " << outcome.reassigned_chunks
+                << " chunk(s), " << outcome.reassigned_iterations
+                << " columns\n";
+    }
+    std::cout << (outcome.exactly_once()
+                      ? "coverage: every column exactly once\n"
+                      : "COVERAGE BUG: not exactly-once\n");
+
+    if (!o.out_path.empty()) {
+      std::ofstream os(o.out_path, std::ios::binary);
+      LSS_REQUIRE(static_cast<bool>(os), "cannot open " + o.out_path);
+      lss_cli::write_pgm(os, image, o.job.width, o.job.height,
+                         o.job.max_iter);
+      std::cout << "wrote " << o.out_path << '\n';
+    }
+
+    if (!outcome.exactly_once()) return 1;
+    if (o.kill_after >= 0 &&
+        (outcome.lost_workers.empty() || outcome.reassigned_chunks == 0)) {
+      std::cerr << "expected a death and a reassignment\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "[master] fatal: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

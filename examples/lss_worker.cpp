@@ -1,0 +1,86 @@
+// Worker half of the socket CLI pair (see lss_master.cpp): connects
+// to an lss_master, receives the job description, then runs the
+// stock rt/worker loop over TCP — request, compute granted columns,
+// ship them home piggy-backed on the next request, exit on
+// Terminate.
+//
+//   lss_worker --port P [--host 127.0.0.1] [--die-after K]
+//
+// --die-after K injects a fail-stop: the process exits right after
+// receiving its (K+1)-th grant without executing or acknowledging
+// it, exactly like a worker killed mid-run. The master must detect
+// the loss and reassign the abandoned chunk.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "lss/mp/tcp.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "net_common.hpp"
+
+namespace {
+
+int parse_int(const std::string& s) { return std::stoi(s); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int die_after = -1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&] {
+      LSS_REQUIRE(i + 1 < argc, arg + " needs a value");
+      return std::string(argv[++i]);
+    };
+    if (arg == "--host") {
+      host = next();
+    } else if (arg == "--port") {
+      port = parse_int(next());
+    } else if (arg == "--die-after") {
+      die_after = parse_int(next());
+    } else {
+      std::cerr << "unknown flag " << arg << '\n';
+      return 2;
+    }
+  }
+  if (port <= 0) {
+    std::cerr << "usage: lss_worker --port P [--host H] [--die-after K]\n";
+    return 2;
+  }
+
+  try {
+    lss::mp::TcpWorkerTransport t(host, static_cast<std::uint16_t>(port));
+    const int rank = t.rank();
+    const lss_cli::JobSpec job = lss_cli::decode_job(
+        t.recv(rank, 0, lss::rt::protocol::kTagJob).payload);
+
+    lss::MandelbrotParams params = lss::MandelbrotParams::paper(
+        static_cast<int>(job.width), static_cast<int>(job.height));
+    params.max_iter = static_cast<int>(job.max_iter);
+    auto workload = std::make_shared<lss::MandelbrotWorkload>(params);
+
+    lss::rt::WorkerLoopConfig wc;
+    wc.worker = rank - 1;
+    wc.workload = workload;
+    wc.die_after_chunks = die_after;
+    if (job.want_results)
+      wc.result_of = [&workload, &job](lss::Range chunk) {
+        return lss_cli::encode_columns(workload->image(), job.height, chunk);
+      };
+
+    const lss::rt::WorkerLoopResult r = lss::rt::run_worker_loop(t, wc);
+    std::cerr << "[worker " << rank << "] "
+              << (r.died ? "died (injected) after " : "done: ") << r.chunks
+              << " chunks, " << r.iterations << " columns\n";
+  } catch (const std::exception& e) {
+    std::cerr << "[worker] fatal: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared wire vocabulary of the lss_master / lss_worker CLI pair:
+// the job description the master ships before scheduling starts
+// (rt/protocol kTagJob) and the column-blob codec workers use to
+// send computed Mandelbrot columns home. Header-only; both binaries
+// compile it into themselves, which *is* the compatibility story —
+// the CLIs are a demo pair, not a versioned wire contract.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <ostream>
+#include <vector>
+
+#include "lss/mp/message.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss_cli {
+
+/// Everything a worker needs to reconstruct the workload locally.
+struct JobSpec {
+  std::int64_t width = 200;
+  std::int64_t height = 120;
+  std::int64_t max_iter = 100;
+  /// Workers ship computed columns back on each completion.
+  bool want_results = true;
+};
+
+inline std::vector<std::byte> encode_job(const JobSpec& job) {
+  lss::mp::PayloadWriter w;
+  w.put_i64(job.width);
+  w.put_i64(job.height);
+  w.put_i64(job.max_iter);
+  w.put_i64(job.want_results ? 1 : 0);
+  return w.take();
+}
+
+inline JobSpec decode_job(const std::vector<std::byte>& payload) {
+  lss::mp::PayloadReader rd(payload);
+  JobSpec job;
+  job.width = rd.get_i64();
+  job.height = rd.get_i64();
+  job.max_iter = rd.get_i64();
+  job.want_results = rd.get_i64() != 0;
+  return job;
+}
+
+/// Serializes columns [chunk.begin, chunk.end) of a column-major
+/// width*height u16 image into a result blob.
+inline std::vector<std::byte> encode_columns(
+    const std::vector<std::uint16_t>& image, std::int64_t height,
+    lss::Range chunk) {
+  const std::size_t n =
+      static_cast<std::size_t>(chunk.size() * height) * sizeof(std::uint16_t);
+  std::vector<std::byte> blob(n);
+  std::memcpy(blob.data(),
+              image.data() + static_cast<std::size_t>(chunk.begin * height),
+              n);
+  return blob;
+}
+
+/// Writes a column blob back into the master's image at `chunk`.
+inline void apply_columns(std::vector<std::uint16_t>& image,
+                          std::int64_t height, lss::Range chunk,
+                          const std::vector<std::byte>& blob) {
+  const std::size_t n =
+      static_cast<std::size_t>(chunk.size() * height) * sizeof(std::uint16_t);
+  LSS_REQUIRE(blob.size() == n, "result blob size does not match chunk");
+  std::memcpy(image.data() + static_cast<std::size_t>(chunk.begin * height),
+              blob.data(), n);
+}
+
+/// Binary PGM of a column-major escape-count image.
+inline void write_pgm(std::ostream& os,
+                      const std::vector<std::uint16_t>& image,
+                      std::int64_t width, std::int64_t height,
+                      std::int64_t max_iter) {
+  os << "P5\n" << width << ' ' << height << "\n255\n";
+  for (std::int64_t row = 0; row < height; ++row)
+    for (std::int64_t col = 0; col < width; ++col) {
+      const std::uint16_t v =
+          image[static_cast<std::size_t>(col * height + row)];
+      os.put(static_cast<char>(255 - (v * 255) / max_iter));
+    }
+}
+
+}  // namespace lss_cli

@@ -13,8 +13,7 @@
 // or registered at runtime via register_scheme) maps its leading name
 // to a family and a maker. The typed spec parsers
 // (sched::SchemeSpec, distsched::DistSchemeSpec) remain the parameter
-// grammar underneath; the free functions sched::make_scheduler and
-// distsched::make_dist_scheduler are deprecated shims over this API.
+// grammar underneath.
 #pragma once
 
 #include <functional>

@@ -89,9 +89,4 @@ std::vector<std::string> DistSchemeSpec::known_schemes() {
   return {"dtss", "dfss", "dfiss", "dtfss", "awf", "dist"};
 }
 
-std::unique_ptr<DistScheduler> make_dist_scheduler(std::string_view spec,
-                                                   Index total, int num_pes) {
-  return DistSchemeSpec::parse(spec).make(total, num_pes);
-}
-
 }  // namespace lss::distsched

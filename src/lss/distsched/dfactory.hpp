@@ -34,12 +34,4 @@ class DistSchemeSpec {
   int x_ = -1;
 };
 
-/// Deprecated: lss::make_scheduler (lss/api/scheduler.hpp) resolves
-/// both scheme grammars; lss::make_distributed_scheduler is the typed
-/// equivalent of this function.
-[[deprecated(
-    "use lss::make_scheduler / lss::make_distributed_scheduler")]]
-std::unique_ptr<DistScheduler> make_dist_scheduler(std::string_view spec,
-                                                   Index total, int num_pes);
-
 }  // namespace lss::distsched

@@ -43,6 +43,17 @@ Message Mailbox::recv(int source, int tag) {
   }
 }
 
+std::optional<Message> Mailbox::recv_for(
+    std::chrono::steady_clock::duration timeout, int source, int tag) {
+  const auto deadline = std::chrono::steady_clock::now() + timeout;
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    if (auto m = pop_match_locked(source, tag)) return m;
+    if (cv_.wait_until(lock, deadline) == std::cv_status::timeout)
+      return pop_match_locked(source, tag);
+  }
+}
+
 std::optional<Message> Mailbox::try_recv(int source, int tag) {
   std::lock_guard<std::mutex> lock(mu_);
   return pop_match_locked(source, tag);

@@ -2,6 +2,7 @@
 // (receive by source and/or tag, in arrival order per match).
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -19,11 +20,21 @@ class Mailbox {
   /// (kAnySource / kAnyTag wildcards).
   Message recv(int source = kAnySource, int tag = kAnyTag);
 
+  /// Bounded-wait receive: nullopt once `timeout` expires with no
+  /// match. Matching and dequeue happen under one lock, so unlike a
+  /// probe-then-recv loop this cannot lose the message to a
+  /// concurrent receiver.
+  std::optional<Message> recv_for(std::chrono::steady_clock::duration timeout,
+                                  int source = kAnySource, int tag = kAnyTag);
+
   /// Non-blocking receive.
   std::optional<Message> try_recv(int source = kAnySource,
                                   int tag = kAnyTag);
 
-  /// True if a matching message is queued (MPI_Iprobe).
+  /// True if a matching message is queued (MPI_Iprobe). Advisory: a
+  /// concurrent try_recv may drain the message before the caller
+  /// acts on a true — use recv_for() to wait for one atomically
+  /// (see the probe-then-recv note on mp::Transport).
   bool probe(int source = kAnySource, int tag = kAnyTag) const;
 
   std::size_t pending() const;

@@ -48,6 +48,16 @@ Message Comm::recv(int rank, int source, int tag) {
   return m;
 }
 
+std::optional<Message> Comm::recv_for(
+    int rank, std::chrono::steady_clock::duration timeout, int source,
+    int tag) {
+  auto m = box(rank).recv_for(timeout, source, tag);
+  if (m)
+    obs::emit(obs::EventKind::MsgRecv, pe_of(rank), {}, m->tag,
+              pe_of(m->source));
+  return m;
+}
+
 std::optional<Message> Comm::try_recv(int rank, int source, int tag) {
   return box(rank).try_recv(source, tag);
 }

@@ -1,6 +1,12 @@
 // In-process communicator: a fixed set of ranks with point-to-point
 // tagged messaging. Rank 0 is the master by convention (as in the
 // paper's mpich master-slave programs).
+//
+// Comm is the in-process implementation of mp::Transport — it hosts
+// *every* rank of the job in one address space, so any rank argument
+// is local. Threads never fail-stop underneath it, hence
+// peer_alive() is constantly true and failure detection against a
+// Comm relies purely on the master's grant-age deadlines.
 #pragma once
 
 #include <memory>
@@ -9,23 +15,32 @@
 
 #include "lss/mp/channel.hpp"
 #include "lss/mp/message.hpp"
+#include "lss/mp/transport.hpp"
 
 namespace lss::mp {
 
-class Comm {
+class Comm final : public Transport {
  public:
   explicit Comm(int size);
 
-  int size() const { return static_cast<int>(boxes_.size()); }
+  int size() const override { return static_cast<int>(boxes_.size()); }
+  std::string kind() const override { return "inproc"; }
 
   /// Deliver `payload` to `to`'s mailbox, stamped with `from`.
-  void send(int from, int to, int tag, std::vector<std::byte> payload);
+  void send(int from, int to, int tag,
+            std::vector<std::byte> payload) override;
 
   /// Blocking receive into `rank`'s mailbox.
-  Message recv(int rank, int source = kAnySource, int tag = kAnyTag);
+  Message recv(int rank, int source = kAnySource,
+               int tag = kAnyTag) override;
+  std::optional<Message> recv_for(int rank,
+                                  std::chrono::steady_clock::duration timeout,
+                                  int source = kAnySource,
+                                  int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
-                                  int tag = kAnyTag);
-  bool probe(int rank, int source = kAnySource, int tag = kAnyTag) const;
+                                  int tag = kAnyTag) override;
+  bool probe(int rank, int source = kAnySource,
+             int tag = kAnyTag) const override;
 
  private:
   const Mailbox& box(int rank) const;

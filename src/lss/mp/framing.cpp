@@ -1,0 +1,71 @@
+#include "lss/mp/framing.hpp"
+
+#include <cstring>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+
+namespace {
+
+void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
+}
+
+std::uint32_t get_u32(const std::byte* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(std::to_integer<std::uint8_t>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_frame(int source, int tag,
+                                    const std::vector<std::byte>& payload,
+                                    std::uint32_t max_payload) {
+  LSS_REQUIRE(payload.size() <= max_payload,
+              "frame payload exceeds the wire limit");
+  std::vector<std::byte> out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, static_cast<std::uint32_t>(tag));
+  put_u32(out, static_cast<std::uint32_t>(source));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::uint32_t max_payload)
+    : max_payload_(max_payload) {}
+
+void FrameDecoder::feed(const std::byte* data, std::size_t n) {
+  buf_.insert(buf_.end(), data, data + n);
+  std::size_t pos = 0;
+  while (buf_.size() - pos >= kFrameHeaderBytes) {
+    const std::uint32_t len = get_u32(buf_.data() + pos);
+    LSS_REQUIRE(len <= max_payload_,
+                "frame header announces an oversized payload (" +
+                    std::to_string(len) + " > " +
+                    std::to_string(max_payload_) + " bytes)");
+    if (buf_.size() - pos < kFrameHeaderBytes + len) break;
+    Message m;
+    m.tag = static_cast<std::int32_t>(get_u32(buf_.data() + pos + 4));
+    m.source = static_cast<std::int32_t>(get_u32(buf_.data() + pos + 8));
+    const std::byte* body = buf_.data() + pos + kFrameHeaderBytes;
+    m.payload.assign(body, body + len);
+    ready_.push_back(std::move(m));
+    pos += kFrameHeaderBytes + len;
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+}
+
+std::optional<Message> FrameDecoder::next() {
+  if (ready_.empty()) return std::nullopt;
+  Message m = std::move(ready_.front());
+  ready_.pop_front();
+  return m;
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,67 @@
+// Wire framing for the socket transport: one message = a fixed
+// 12-byte header followed by the payload.
+//
+//   offset 0  u32  payload length in bytes (little-endian)
+//   offset 4  i32  tag
+//   offset 8  i32  source rank
+//   offset 12 ...  payload
+//
+// Fixed-width little-endian fields, matching the PayloadWriter /
+// PayloadReader convention the payloads themselves use. The length
+// field is bounded (kMaxFramePayload) so a corrupt or malicious
+// header cannot make the receiver allocate gigabytes; a frame
+// claiming more is a protocol error, not a big message.
+//
+// FrameDecoder is a push parser: feed() it whatever the socket
+// returned — a byte, half a header, three frames and a tail — and
+// pop complete messages with next(). This is what makes short reads
+// on a stream socket a non-event.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "lss/mp/message.hpp"
+
+namespace lss::mp {
+
+inline constexpr std::size_t kFrameHeaderBytes = 12;
+
+/// Upper bound on a frame's payload (16 MiB). Large enough for any
+/// chunk-result blob the runtime ships, small enough that a garbage
+/// length field is rejected instead of honored.
+inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
+
+/// Serializes one frame (header + payload) ready for the wire.
+/// Throws lss::ContractError if payload exceeds `max_payload`.
+std::vector<std::byte> encode_frame(
+    int source, int tag, const std::vector<std::byte>& payload,
+    std::uint32_t max_payload = kMaxFramePayload);
+
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(std::uint32_t max_payload = kMaxFramePayload);
+
+  /// Appends `n` raw bytes from the stream; complete frames become
+  /// available via next(). Throws lss::ContractError when a header
+  /// announces a payload larger than `max_payload` — the connection
+  /// is unrecoverable after that (framing is lost) and must be
+  /// closed by the caller.
+  void feed(const std::byte* data, std::size_t n);
+
+  /// Earliest fully received message, FIFO; nullopt when none.
+  std::optional<Message> next();
+
+  /// Bytes of the partially received frame still waiting for more
+  /// input (0 when the stream sits on a frame boundary).
+  std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  std::uint32_t max_payload_;
+  std::vector<std::byte> buf_;
+  std::deque<Message> ready_;
+};
+
+}  // namespace lss::mp

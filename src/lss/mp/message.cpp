@@ -30,6 +30,18 @@ PayloadWriter& PayloadWriter::put_range(Range r) {
   return put_i64(r.begin).put_i64(r.end);
 }
 
+PayloadWriter& PayloadWriter::put_blob(const std::vector<std::byte>& blob) {
+  put_i64(static_cast<std::int64_t>(blob.size()));
+  put_bytes(blob.data(), blob.size());
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::put_string(const std::string& s) {
+  put_i64(static_cast<std::int64_t>(s.size()));
+  put_bytes(s.data(), s.size());
+  return *this;
+}
+
 void PayloadReader::get_bytes(void* p, std::size_t n) {
   LSS_REQUIRE(pos_ + n <= buf_.size(), "payload underrun");
   std::memcpy(p, buf_.data() + pos_, n);
@@ -59,6 +71,22 @@ Range PayloadReader::get_range() {
   r.begin = get_i64();
   r.end = get_i64();
   return r;
+}
+
+std::vector<std::byte> PayloadReader::get_blob() {
+  const std::int64_t n = get_i64();
+  LSS_REQUIRE(n >= 0 && pos_ + static_cast<std::size_t>(n) <= buf_.size(),
+              "payload underrun");
+  std::vector<std::byte> blob(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                              buf_.begin() +
+                                  static_cast<std::ptrdiff_t>(pos_ + n));
+  pos_ += static_cast<std::size_t>(n);
+  return blob;
+}
+
+std::string PayloadReader::get_string() {
+  const std::vector<std::byte> blob = get_blob();
+  return std::string(reinterpret_cast<const char*>(blob.data()), blob.size());
 }
 
 }  // namespace lss::mp

@@ -33,6 +33,10 @@ class PayloadWriter {
   PayloadWriter& put_i32(std::int32_t v);
   PayloadWriter& put_f64(double v);
   PayloadWriter& put_range(Range r);
+  /// Length-prefixed byte blob (i64 count + raw bytes).
+  PayloadWriter& put_blob(const std::vector<std::byte>& blob);
+  /// Length-prefixed UTF-8 string.
+  PayloadWriter& put_string(const std::string& s);
 
   std::vector<std::byte> take() { return std::move(buf_); }
   std::size_t size() const { return buf_.size(); }
@@ -54,6 +58,8 @@ class PayloadReader {
   std::int32_t get_i32();
   double get_f64();
   Range get_range();
+  std::vector<std::byte> get_blob();
+  std::string get_string();
 
   bool exhausted() const { return pos_ == buf_.size(); }
 

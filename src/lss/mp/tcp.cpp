@@ -1,0 +1,486 @@
+#include "lss/mp/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <thread>
+
+#include "lss/mp/message.hpp"
+#include "lss/obs/trace.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+// Reserved control tags; never delivered to users. Negative so the
+// whole non-negative tag space stays free for protocols above.
+constexpr int kTagHello = -100;
+constexpr int kTagHelloAck = -101;
+constexpr int kTagHeartbeat = -102;
+
+constexpr std::int32_t kWireMagic = 0x4C535331;  // "LSS1"
+constexpr std::int32_t kWireVersion = 1;
+
+int pe_of(int rank) { return rank - 1; }  // master rank 0 -> obs::kMasterPe
+
+milliseconds clamp_ms(Clock::duration d) {
+  const auto ms = std::chrono::duration_cast<milliseconds>(d);
+  return ms < milliseconds(0) ? milliseconds(0) : ms;
+}
+
+void set_nodelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+/// Writes the whole buffer; false on any error (EPIPE included —
+/// MSG_NOSIGNAL keeps a dead peer from killing the process).
+bool write_all(int fd, const std::vector<std::byte>& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Non-blocking drain of `fd` into `decoder`. Returns false exactly
+/// when the connection is gone (EOF or hard error); oversized-frame
+/// protocol violations also count as gone.
+bool drain_fd(int fd, FrameDecoder& decoder) {
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), MSG_DONTWAIT);
+    if (n > 0) {
+      try {
+        decoder.feed(reinterpret_cast<const std::byte*>(buf),
+                     static_cast<std::size_t>(n));
+      } catch (const ContractError&) {
+        return false;  // framing lost; connection unrecoverable
+      }
+      continue;
+    }
+    if (n == 0) return false;  // orderly shutdown
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    return false;
+  }
+}
+
+bool poll_readable(int fd, milliseconds wait) {
+  pollfd pfd{fd, POLLIN, 0};
+  const int rc = ::poll(&pfd, 1, static_cast<int>(wait.count()));
+  return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+}
+
+std::vector<std::byte> hello_payload() {
+  PayloadWriter w;
+  w.put_i32(kWireMagic);
+  w.put_i32(kWireVersion);
+  return w.take();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Master endpoint
+
+TcpMasterTransport::TcpMasterTransport(std::uint16_t port, int num_workers,
+                                       TcpOptions options)
+    : options_(options), num_workers_(num_workers) {
+  LSS_REQUIRE(num_workers >= 1, "TCP master needs at least one worker");
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  LSS_REQUIRE(listen_fd_ >= 0, "socket() failed");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, num_workers) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    LSS_REQUIRE(false, std::string("bind/listen failed: ") +
+                           std::strerror(err));
+  }
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+  peers_.resize(static_cast<std::size_t>(num_workers));
+}
+
+TcpMasterTransport::~TcpMasterTransport() {
+  for (Peer& p : peers_)
+    if (p.fd >= 0) ::close(p.fd);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void TcpMasterTransport::accept_workers() {
+  const auto deadline = Clock::now() + options_.handshake_timeout;
+  for (int w = 0; w < num_workers_; ++w) {
+    // Wait for the next connection.
+    int fd = -1;
+    while (fd < 0) {
+      LSS_REQUIRE(Clock::now() < deadline,
+                  "timed out waiting for " + std::to_string(num_workers_) +
+                      " workers (" + std::to_string(w) + " connected)");
+      if (!poll_readable(listen_fd_, milliseconds(50))) continue;
+      fd = ::accept(listen_fd_, nullptr, nullptr);
+    }
+    set_nodelay(fd);
+    Peer& peer = peers_[static_cast<std::size_t>(w)];
+    peer.fd = fd;
+    peer.decoder = FrameDecoder(options_.max_frame_payload);
+
+    // Expect the hello before admitting the worker to the job.
+    std::optional<Message> hello;
+    while (!hello) {
+      LSS_REQUIRE(Clock::now() < deadline,
+                  "timed out waiting for a worker's hello");
+      if (poll_readable(fd, milliseconds(50)))
+        LSS_REQUIRE(drain_fd(fd, peer.decoder),
+                    "worker connection lost during handshake");
+      hello = peer.decoder.next();
+    }
+    PayloadReader rd(hello->payload);
+    LSS_REQUIRE(hello->tag == kTagHello && rd.get_i32() == kWireMagic &&
+                    rd.get_i32() == kWireVersion,
+                "peer is not an lss worker (bad hello)");
+
+    PayloadWriter ack;
+    ack.put_i32(kWireMagic);
+    ack.put_i32(kWireVersion);
+    ack.put_i32(w + 1);           // assigned rank
+    ack.put_i32(num_workers_);
+    LSS_REQUIRE(write_all(fd, encode_frame(0, kTagHelloAck, ack.take(),
+                                           options_.max_frame_payload)),
+                "failed to send hello-ack");
+    peer.open = true;
+    peer.last_seen = Clock::now();
+  }
+}
+
+void TcpMasterTransport::drop_peer(Peer& peer) {
+  if (peer.fd >= 0) {
+    ::shutdown(peer.fd, SHUT_RDWR);
+    ::close(peer.fd);
+    peer.fd = -1;
+  }
+  peer.open = false;
+}
+
+bool TcpMasterTransport::flush_decoder(int w) {
+  Peer& peer = peers_[static_cast<std::size_t>(w)];
+  bool activity = false;
+  while (auto m = peer.decoder.next()) {
+    peer.last_seen = Clock::now();
+    activity = true;
+    if (m->tag == kTagHeartbeat) continue;
+    // The connection, not the frame header, is the source of truth
+    // for who sent this.
+    m->source = w + 1;
+    inbox_.push(std::move(*m));
+  }
+  return activity;
+}
+
+bool TcpMasterTransport::pump(milliseconds wait) {
+  // A previous read may have left whole frames buffered in a
+  // decoder (e.g. a drain that slurped two frames of which only one
+  // was popped); the socket shows no data for those, so flush before
+  // blocking in poll or they'd sit until the next unrelated read.
+  bool flushed = false;
+  for (int w = 0; w < num_workers_; ++w)
+    if (peers_[static_cast<std::size_t>(w)].open && flush_decoder(w))
+      flushed = true;
+  if (flushed) return true;
+
+  std::vector<pollfd> fds;
+  std::vector<int> owner;
+  for (int w = 0; w < num_workers_; ++w) {
+    const Peer& p = peers_[static_cast<std::size_t>(w)];
+    if (p.open) {
+      fds.push_back({p.fd, POLLIN, 0});
+      owner.push_back(w);
+    }
+  }
+  if (fds.empty()) {
+    // Every peer is gone; still honor the wait so callers' deadline
+    // loops do not spin.
+    if (wait.count() > 0) std::this_thread::sleep_for(wait);
+    return false;
+  }
+  const int rc = ::poll(fds.data(), fds.size(),
+                        static_cast<int>(wait.count()));
+  if (rc <= 0) return false;
+  bool activity = false;
+  for (std::size_t i = 0; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+    Peer& peer = peers_[static_cast<std::size_t>(owner[i])];
+    const bool still_open = drain_fd(peer.fd, peer.decoder);
+    if (flush_decoder(owner[i])) activity = true;
+    if (!still_open) {
+      drop_peer(peer);
+      activity = true;
+    }
+  }
+  return activity;
+}
+
+void TcpMasterTransport::send(int from, int to, int tag,
+                              std::vector<std::byte> payload) {
+  LSS_REQUIRE(from == 0, "a TCP master endpoint only hosts rank 0");
+  LSS_REQUIRE(to >= 1 && to <= num_workers_, "destination rank out of range");
+  Peer& peer = peers_[static_cast<std::size_t>(to - 1)];
+  if (!peer.open) return;  // dead peer: surfaced via peer_alive()
+  obs::emit(obs::EventKind::MsgSend, obs::kMasterPe, {}, tag,
+            static_cast<std::int64_t>(payload.size()));
+  if (!write_all(peer.fd,
+                 encode_frame(0, tag, payload, options_.max_frame_payload)))
+    drop_peer(peer);
+}
+
+Message TcpMasterTransport::recv(int rank, int source, int tag) {
+  LSS_REQUIRE(rank == 0, "a TCP master endpoint only hosts rank 0");
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m->tag,
+                pe_of(m->source));
+      return std::move(*m);
+    }
+    pump(milliseconds(50));
+  }
+}
+
+std::optional<Message> TcpMasterTransport::recv_for(
+    int rank, Clock::duration timeout, int source, int tag) {
+  LSS_REQUIRE(rank == 0, "a TCP master endpoint only hosts rank 0");
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m->tag,
+                pe_of(m->source));
+      return m;
+    }
+    const auto left = clamp_ms(deadline - Clock::now());
+    if (left.count() == 0) return std::nullopt;
+    pump(std::min(left, milliseconds(50)));
+  }
+}
+
+std::optional<Message> TcpMasterTransport::try_recv(int rank, int source,
+                                                    int tag) {
+  LSS_REQUIRE(rank == 0, "a TCP master endpoint only hosts rank 0");
+  pump(milliseconds(0));
+  return inbox_.try_recv(source, tag);
+}
+
+bool TcpMasterTransport::probe(int rank, int source, int tag) const {
+  LSS_REQUIRE(rank == 0, "a TCP master endpoint only hosts rank 0");
+  // Reflects frames already pumped off the sockets; advisory anyway
+  // (see the probe-then-recv note on mp::Transport).
+  return inbox_.probe(source, tag);
+}
+
+bool TcpMasterTransport::peer_alive(int rank) const {
+  if (rank == 0) return true;
+  LSS_REQUIRE(rank >= 1 && rank <= num_workers_, "rank out of range");
+  const Peer& peer = peers_[static_cast<std::size_t>(rank - 1)];
+  if (!peer.open) return false;
+  if (options_.liveness_timeout.count() == 0) return true;
+  return Clock::now() - peer.last_seen <= options_.liveness_timeout;
+}
+
+void TcpMasterTransport::close_peer(int rank) {
+  LSS_REQUIRE(rank >= 1 && rank <= num_workers_, "rank out of range");
+  drop_peer(peers_[static_cast<std::size_t>(rank - 1)]);
+}
+
+// ---------------------------------------------------------------------------
+// Worker endpoint
+
+TcpWorkerTransport::TcpWorkerTransport(const std::string& host,
+                                       std::uint16_t port,
+                                       TcpOptions options)
+    : options_(options) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  LSS_REQUIRE(fd_ >= 0, "socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  LSS_REQUIRE(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+              "not an IPv4 address: " + host);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    LSS_REQUIRE(false, "connect to " + host + ":" + std::to_string(port) +
+                           " failed: " + std::strerror(err));
+  }
+  set_nodelay(fd_);
+  decoder_ = FrameDecoder(options_.max_frame_payload);
+
+  LSS_REQUIRE(write_all(fd_, encode_frame(-1, kTagHello, hello_payload(),
+                                          options_.max_frame_payload)),
+              "failed to send hello");
+  const auto deadline = Clock::now() + options_.handshake_timeout;
+  std::optional<Message> ack;
+  while (!ack) {
+    LSS_REQUIRE(Clock::now() < deadline, "timed out waiting for hello-ack");
+    if (poll_readable(fd_, milliseconds(50)))
+      LSS_REQUIRE(drain_fd(fd_, decoder_),
+                  "connection lost during handshake");
+    ack = decoder_.next();
+  }
+  PayloadReader rd(ack->payload);
+  LSS_REQUIRE(ack->tag == kTagHelloAck && rd.get_i32() == kWireMagic &&
+                  rd.get_i32() == kWireVersion,
+              "peer is not an lss master (bad hello-ack)");
+  rank_ = rd.get_i32();
+  num_workers_ = rd.get_i32();
+  open_.store(true, std::memory_order_release);
+
+  if (options_.heartbeat_period.count() > 0)
+    heartbeat_ = std::thread(&TcpWorkerTransport::heartbeat_main, this);
+}
+
+TcpWorkerTransport::~TcpWorkerTransport() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void TcpWorkerTransport::heartbeat_main() {
+  std::unique_lock<std::mutex> lock(hb_mu_);
+  while (!hb_stop_) {
+    hb_cv_.wait_for(lock, options_.heartbeat_period);
+    if (hb_stop_ || !open_.load(std::memory_order_acquire)) continue;
+    write_frame_locked(kTagHeartbeat, {});
+  }
+}
+
+void TcpWorkerTransport::write_frame_locked(
+    int tag, const std::vector<std::byte>& payload) {
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (!open_.load(std::memory_order_acquire)) return;
+  if (!write_all(fd_, encode_frame(rank_, tag, payload,
+                                   options_.max_frame_payload)))
+    open_.store(false, std::memory_order_release);
+}
+
+bool TcpWorkerTransport::flush_decoder() {
+  bool activity = false;
+  while (auto m = decoder_.next()) {
+    if (m->tag == kTagHeartbeat) continue;
+    m->source = 0;  // everything on this socket is from the master
+    inbox_.push(std::move(*m));
+    activity = true;
+  }
+  return activity;
+}
+
+bool TcpWorkerTransport::pump(milliseconds wait) {
+  // Frames left buffered by an earlier over-eager drain (e.g. the
+  // handshake reading the hello-ack and the first job in one go)
+  // never show up in poll — flush them first.
+  if (flush_decoder()) return true;
+  if (!open_.load(std::memory_order_acquire)) {
+    if (wait.count() > 0) std::this_thread::sleep_for(wait);
+    return false;
+  }
+  if (!poll_readable(fd_, wait)) return false;
+  const bool still_open = drain_fd(fd_, decoder_);
+  const bool activity = flush_decoder();
+  if (!still_open) open_.store(false, std::memory_order_release);
+  return activity;
+}
+
+void TcpWorkerTransport::send(int from, int to, int tag,
+                              std::vector<std::byte> payload) {
+  LSS_REQUIRE(from == rank_, "a TCP worker endpoint only hosts its own rank");
+  LSS_REQUIRE(to == 0, "workers only talk to the master (rank 0)");
+  obs::emit(obs::EventKind::MsgSend, pe_of(rank_), {}, tag,
+            static_cast<std::int64_t>(payload.size()));
+  write_frame_locked(tag, payload);
+}
+
+Message TcpWorkerTransport::recv(int rank, int source, int tag) {
+  LSS_REQUIRE(rank == rank_, "a TCP worker endpoint only hosts its own rank");
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m->tag,
+                pe_of(m->source));
+      return std::move(*m);
+    }
+    LSS_REQUIRE(open_.load(std::memory_order_acquire) || inbox_.pending() > 0,
+                "master connection lost while blocked in recv");
+    pump(milliseconds(50));
+  }
+}
+
+std::optional<Message> TcpWorkerTransport::recv_for(
+    int rank, Clock::duration timeout, int source, int tag) {
+  LSS_REQUIRE(rank == rank_, "a TCP worker endpoint only hosts its own rank");
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m->tag,
+                pe_of(m->source));
+      return m;
+    }
+    const auto left = clamp_ms(deadline - Clock::now());
+    if (left.count() == 0 || !open_.load(std::memory_order_acquire))
+      return std::nullopt;
+    pump(std::min(left, milliseconds(50)));
+  }
+}
+
+std::optional<Message> TcpWorkerTransport::try_recv(int rank, int source,
+                                                    int tag) {
+  LSS_REQUIRE(rank == rank_, "a TCP worker endpoint only hosts its own rank");
+  pump(milliseconds(0));
+  return inbox_.try_recv(source, tag);
+}
+
+bool TcpWorkerTransport::probe(int rank, int source, int tag) const {
+  LSS_REQUIRE(rank == rank_, "a TCP worker endpoint only hosts its own rank");
+  return inbox_.probe(source, tag);
+}
+
+bool TcpWorkerTransport::peer_alive(int rank) const {
+  if (rank == rank_) return true;
+  LSS_REQUIRE(rank == 0, "workers only track the master's liveness");
+  return open_.load(std::memory_order_acquire);
+}
+
+void TcpWorkerTransport::close_peer(int rank) {
+  LSS_REQUIRE(rank == 0, "workers only hold a link to the master");
+  std::lock_guard<std::mutex> lock(write_mu_);
+  if (open_.exchange(false, std::memory_order_acq_rel) && fd_ >= 0)
+    ::shutdown(fd_, SHUT_RDWR);
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,173 @@
+// TCP backend of mp::Transport: the paper's master-slave protocol on
+// real POSIX stream sockets (DESIGN.md §11).
+//
+// Topology is a star, exactly like the mpich runs on the 9-node Sun
+// cluster: the master listens, every worker opens one connection.
+// Each endpoint object lives in its own process (or thread, for
+// loopback tests):
+//
+//   * TcpMasterTransport — hosts rank 0. Binds/listens in the
+//     constructor (port 0 picks an ephemeral port, see port()), then
+//     accept_workers() blocks until all `num_workers` peers finished
+//     the hello handshake and have their ranks 1..N assigned in
+//     accept order.
+//   * TcpWorkerTransport — hosts one worker rank, learned from the
+//     master's hello-ack. Runs a background heartbeat thread so the
+//     master can tell "computing a long chunk" from "dead or
+//     wedged" even while the worker is off executing iterations.
+//
+// Messages travel as length-prefixed frames (mp/framing.hpp); a
+// frame announcing an oversized payload marks the connection corrupt
+// and it is dropped. Liveness at the master is socket state plus
+// heartbeat recency: peer_alive(w) turns false on EOF/reset or when
+// nothing (data or heartbeat) arrived within `liveness_timeout`.
+// Receive deadlines (`recv_for`) are poll(2)-based, so a wedged peer
+// cannot block the master loop.
+//
+// Thread-safety: a master endpoint must be driven by one thread (the
+// master loop). A worker endpoint is safe for its owner thread plus
+// the internal heartbeat thread (writes are serialized internally).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/channel.hpp"
+#include "lss/mp/framing.hpp"
+#include "lss/mp/transport.hpp"
+
+namespace lss::mp {
+
+struct TcpOptions {
+  /// Worker-side heartbeat send period; zero disables heartbeats.
+  std::chrono::milliseconds heartbeat_period{100};
+  /// Master-side: silence (no frame, no heartbeat) after which
+  /// peer_alive() reports false; zero = socket state only.
+  std::chrono::milliseconds liveness_timeout{1000};
+  /// How long accept_workers() / connect wait before giving up.
+  std::chrono::milliseconds handshake_timeout{10000};
+  /// Per-frame payload cap enforced on receive (see mp/framing.hpp).
+  std::uint32_t max_frame_payload = kMaxFramePayload;
+};
+
+class TcpMasterTransport final : public Transport {
+ public:
+  /// Binds and listens on 127.0.0.1:`port` (0 = ephemeral).
+  TcpMasterTransport(std::uint16_t port, int num_workers,
+                     TcpOptions options = {});
+  ~TcpMasterTransport() override;
+
+  /// The actually bound port — pass it to the workers.
+  std::uint16_t port() const { return port_; }
+
+  /// Accepts and handshakes all workers; throws lss::ContractError
+  /// if they do not all arrive within handshake_timeout.
+  void accept_workers();
+
+  int size() const override { return num_workers_ + 1; }
+  std::string kind() const override { return "tcp"; }
+
+  void send(int from, int to, int tag,
+            std::vector<std::byte> payload) override;
+  Message recv(int rank, int source = kAnySource,
+               int tag = kAnyTag) override;
+  std::optional<Message> recv_for(int rank,
+                                  std::chrono::steady_clock::duration timeout,
+                                  int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  std::optional<Message> try_recv(int rank, int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  bool probe(int rank, int source = kAnySource,
+             int tag = kAnyTag) const override;
+  bool peer_alive(int rank) const override;
+  void close_peer(int rank) override;
+
+ private:
+  struct Peer {
+    int fd = -1;
+    bool open = false;
+    FrameDecoder decoder{kMaxFramePayload};
+    std::chrono::steady_clock::time_point last_seen{};
+  };
+
+  /// Polls every open worker socket for up to `wait`, draining
+  /// arrived frames into the mailbox. Returns true if any frame or
+  /// connection state change was observed.
+  bool pump(std::chrono::milliseconds wait);
+  /// Pops any frames already buffered in worker w's decoder into the
+  /// mailbox. A drain can slurp several frames in one read, so this
+  /// must run before polling — the socket shows no data for them.
+  bool flush_decoder(int w);
+  void drop_peer(Peer& peer);
+
+  TcpOptions options_;
+  int num_workers_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+  std::vector<Peer> peers_;  // index w hosts rank w + 1
+  Mailbox inbox_;            // rank 0's queue
+};
+
+class TcpWorkerTransport final : public Transport {
+ public:
+  /// Connects to the master at `host`:`port` and completes the hello
+  /// handshake; throws lss::ContractError on refusal or timeout.
+  TcpWorkerTransport(const std::string& host, std::uint16_t port,
+                     TcpOptions options = {});
+  ~TcpWorkerTransport() override;
+
+  /// This endpoint's rank (1-based; worker index + 1), as assigned
+  /// by the master in accept order.
+  int rank() const { return rank_; }
+
+  int size() const override { return num_workers_ + 1; }
+  std::string kind() const override { return "tcp"; }
+
+  void send(int from, int to, int tag,
+            std::vector<std::byte> payload) override;
+  Message recv(int rank, int source = kAnySource,
+               int tag = kAnyTag) override;
+  std::optional<Message> recv_for(int rank,
+                                  std::chrono::steady_clock::duration timeout,
+                                  int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  std::optional<Message> try_recv(int rank, int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  bool probe(int rank, int source = kAnySource,
+             int tag = kAnyTag) const override;
+  bool peer_alive(int rank) const override;
+  void close_peer(int rank) override;
+
+ private:
+  bool pump(std::chrono::milliseconds wait);
+  /// Same decoder-leftover flush as the master's (the handshake
+  /// drain can slurp the hello-ack plus later frames in one read).
+  bool flush_decoder();
+  void write_frame_locked(int tag, const std::vector<std::byte>& payload);
+  void heartbeat_main();
+
+  TcpOptions options_;
+  int fd_ = -1;
+  int rank_ = -1;
+  int num_workers_ = 0;
+  /// Atomic: flipped by the pumping thread on EOF and read by the
+  /// heartbeat thread deciding whether to keep beating.
+  std::atomic<bool> open_{false};
+  FrameDecoder decoder_{kMaxFramePayload};
+  Mailbox inbox_;
+
+  std::mutex write_mu_;  // serializes main-thread sends vs heartbeats
+  std::thread heartbeat_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;
+};
+
+}  // namespace lss::mp

@@ -1,0 +1,99 @@
+// Abstract message transport: the master-worker protocol's view of
+// "how bytes move between ranks", factored out of the in-process
+// communicator so the same request/grant loops drive both threads in
+// one address space (lss::mp::Comm) and separate processes over TCP
+// (lss::mp::TcpMasterTransport / TcpWorkerTransport).
+//
+// Addressing follows the paper's mpich convention: rank 0 is the
+// master, worker w is rank w + 1. A Transport serves one or more
+// *local* ranks: the in-process Comm serves all of them, a TCP
+// endpoint serves exactly one (the master endpoint serves rank 0, a
+// worker endpoint its own rank). Calls naming a rank the endpoint
+// does not host throw lss::ContractError.
+//
+// ## probe() and the probe-then-recv race
+//
+// probe(rank, src, tag) answers "was a matching message queued at the
+// instant of the call" — it takes no reservation. When several
+// threads drain the same rank, a concurrent try_recv can consume the
+// message between a probe returning true and the caller's follow-up
+// receive, so
+//
+//     while (!t.probe(r)) spin();          // WRONG: racy + burns CPU
+//     Message m = t.recv(r);               // may block after all
+//
+// is never a correctness primitive, only a heuristic (e.g. MPI_Iprobe
+// -style load reporting). Callers that want "receive, but give up
+// after a while" must use recv_for(), which performs the matching and
+// the dequeue atomically with respect to other receivers and sleeps
+// instead of spinning.
+#pragma once
+
+#include <chrono>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "lss/mp/message.hpp"
+
+namespace lss::mp {
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  Transport(const Transport&) = delete;
+  Transport& operator=(const Transport&) = delete;
+
+  /// Total ranks in the job, master included (workers + 1).
+  virtual int size() const = 0;
+
+  /// Short backend name for stats and traces: "inproc", "tcp", ...
+  virtual std::string kind() const = 0;
+
+  /// Deliver `payload` to `to`, stamped with `from`. `from` must be a
+  /// local rank. Delivery to a dead peer is a silent no-op (the
+  /// failure surfaces through peer_alive, not through send).
+  virtual void send(int from, int to, int tag,
+                    std::vector<std::byte> payload) = 0;
+
+  /// Blocking receive of the earliest message for local rank `rank`
+  /// matching the filters (kAnySource / kAnyTag wildcards).
+  virtual Message recv(int rank, int source = kAnySource,
+                       int tag = kAnyTag) = 0;
+
+  /// Bounded-wait receive: blocks up to `timeout`, returns nullopt on
+  /// expiry. This is the deadline primitive the fault-aware master
+  /// loop is built on; unlike probe-then-recv it cannot lose a
+  /// message to a concurrent receiver.
+  virtual std::optional<Message> recv_for(
+      int rank, std::chrono::steady_clock::duration timeout,
+      int source = kAnySource, int tag = kAnyTag) = 0;
+
+  /// Non-blocking receive.
+  virtual std::optional<Message> try_recv(int rank,
+                                          int source = kAnySource,
+                                          int tag = kAnyTag) = 0;
+
+  /// True if a matching message was queued at the instant of the
+  /// call. Advisory only — see the probe-then-recv note above.
+  virtual bool probe(int rank, int source = kAnySource,
+                     int tag = kAnyTag) const = 0;
+
+  /// Liveness of the peer hosting `rank`, as far as the backend can
+  /// tell: the in-process transport always says true (threads do not
+  /// fail-stop underneath it); the TCP master combines socket state
+  /// with heartbeat recency. A false is definitive, a true is only
+  /// "no evidence of death yet".
+  virtual bool peer_alive(int rank) const { return rank < size(); }
+
+  /// Severs the link to `rank` (no-op where that has no meaning).
+  /// The fault-aware master calls this after declaring a worker dead
+  /// so a wedged-but-alive process cannot rejoin the protocol.
+  virtual void close_peer(int rank) { (void)rank; }
+
+ protected:
+  Transport() = default;
+};
+
+}  // namespace lss::mp

@@ -20,10 +20,14 @@ enum class EventKind : std::uint8_t {
   ChunkGranted,   ///< master/dispenser decided a chunk for `pe`
   ChunkStarted,   ///< `pe` began computing the chunk
   ChunkFinished,  ///< `pe` finished computing the chunk
-  MsgSend,        ///< rank `pe` sent a message (a = tag, b = bytes)
-  MsgRecv,        ///< rank `pe` received a message (a = tag, b = source)
-  Replan,         ///< distributed master replanned (a = replan ordinal)
-  Fault,          ///< fail-stop crash fired on `pe`
+  MsgSend,         ///< rank `pe` sent a message (a = tag, b = bytes)
+  MsgRecv,         ///< rank `pe` received a message (a = tag, b = source)
+  Replan,          ///< distributed master replanned (a = replan ordinal)
+  Fault,           ///< fail-stop crash fired on `pe`
+  WorkerDead,      ///< master declared worker `pe` dead (range = its
+                   ///< outstanding chunk, a = iterations reclaimed)
+  ChunkReassigned, ///< reclaimed chunk re-granted to `pe` (a = the
+                   ///< dead worker it was taken from)
 };
 
 std::string to_string(EventKind kind);

@@ -111,6 +111,16 @@ std::string chrome_trace_json(std::span<const Event> events,
       case EventKind::Fault:
         records.push_back(instant_event(e, pid, "fault", ""));
         break;
+      case EventKind::WorkerDead:
+        records.push_back(instant_event(
+            e, pid, "worker-dead " + range_suffix(e.range),
+            "\"reclaimed\":" + std::to_string(e.a)));
+        break;
+      case EventKind::ChunkReassigned:
+        records.push_back(instant_event(
+            e, pid, "reassigned " + range_suffix(e.range),
+            "\"from_worker\":" + std::to_string(e.a)));
+        break;
     }
   }
   for (const auto& [pe, start] : pending)

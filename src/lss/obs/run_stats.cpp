@@ -33,10 +33,13 @@ std::string RunStats::to_json() const {
   out += "\"scheme\":\"" + json_escape(scheme) + "\"";
   out += ",\"runner\":\"" + json_escape(runner) + "\"";
   out += ",\"dispatch_path\":\"" + json_escape(dispatch_path) + "\"";
+  out += ",\"transport\":\"" + json_escape(transport) + "\"";
   out += ",\"num_pes\":" + std::to_string(num_pes);
   out += ",\"iterations\":" + std::to_string(iterations);
   out += ",\"chunks\":" + std::to_string(chunks);
   out += ",\"t_wall\":" + fmt_fixed(t_wall, 6);
+  out += ",\"workers_lost\":" + std::to_string(workers_lost);
+  out += ",\"reassigned_chunks\":" + std::to_string(reassigned_chunks);
   out += ",\"per_pe\":[";
   for (std::size_t i = 0; i < per_pe.size(); ++i) {
     if (i > 0) out += ',';

@@ -20,10 +20,13 @@ struct RunStats {
   std::string scheme;         ///< resolved scheme name, e.g. "gss(k=1)"
   std::string runner;         ///< "parallel_for" | "rt" | "sim"
   std::string dispatch_path;  ///< rt dispatch mechanism; "" when N/A
+  std::string transport;      ///< mp::Transport::kind(); "" when N/A
   int num_pes = 0;
   Index iterations = 0;       ///< loop iterations executed
   Index chunks = 0;           ///< scheduling steps across all PEs
   double t_wall = 0.0;        ///< wall seconds (rt) / simulated T_p (sim)
+  int workers_lost = 0;       ///< workers declared dead mid-run
+  Index reassigned_chunks = 0;  ///< reclaimed grants re-granted
 
   /// Per-PE breakdowns (paper Tables 2-3). Empty when the runner does
   /// not measure them (parallel_for's shared-dispenser model has no

@@ -23,6 +23,10 @@ std::string to_string(EventKind kind) {
       return "replan";
     case EventKind::Fault:
       return "fault";
+    case EventKind::WorkerDead:
+      return "worker-dead";
+    case EventKind::ChunkReassigned:
+      return "chunk-reassigned";
   }
   return "?";
 }

@@ -1,0 +1,352 @@
+#include "lss/rt/master.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "lss/api/scheduler.hpp"
+#include "lss/obs/trace.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration secs(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+enum class WState {
+  Unseen,      // participating, no request yet
+  Active,      // has an outstanding grant
+  Idle,        // requested at least once, nothing outstanding
+  Parked,      // requested, no work available, held back
+  Terminated,  // sent Terminate
+  Dead,        // declared dead
+};
+
+struct ReclaimedChunk {
+  Range range;
+  int from_worker;
+};
+
+class MasterLoop {
+ public:
+  MasterLoop(mp::Transport& t, const MasterConfig& cfg)
+      : t_(t), cfg_(cfg), started_(Clock::now()) {
+    LSS_REQUIRE(cfg.total >= 0, "negative iteration count");
+    LSS_REQUIRE(cfg.num_workers >= 1, "master needs at least one worker");
+    LSS_REQUIRE(t.size() == cfg.num_workers + 1,
+                "transport sized for a different worker count");
+    participating_ = cfg.participating;
+    if (participating_.empty())
+      participating_.assign(static_cast<std::size_t>(cfg.num_workers), true);
+    LSS_REQUIRE(static_cast<int>(participating_.size()) == cfg.num_workers,
+                "participation mask sized for a different worker count");
+    expected_ = static_cast<int>(
+        std::count(participating_.begin(), participating_.end(), true));
+    LSS_REQUIRE(expected_ >= 1, "no participating workers (starved run)");
+
+    distributed_ = scheme_family(cfg.scheme) == SchemeFamily::Distributed;
+    if (distributed_)
+      dist_ = lss::make_distributed_scheduler(cfg.scheme, cfg.total,
+                                              cfg.num_workers);
+    else
+      simple_ = make_dispatcher(cfg.scheme, cfg.total, cfg.num_workers);
+
+    const auto p = static_cast<std::size_t>(cfg.num_workers);
+    state_.assign(p, WState::Unseen);
+    outstanding_.assign(p, std::nullopt);
+    grant_time_.assign(p, started_);
+    backoff_ = cfg.faults.poll_initial;
+
+    out_.scheme_name = distributed_ ? dist_->name() : simple_->name();
+    out_.dispatch_path =
+        distributed_ ? DispatchPath::Locked : simple_->path();
+    out_.transport = t.kind();
+    out_.execution_count.assign(static_cast<std::size_t>(cfg.total), 0);
+    out_.iterations_per_worker.assign(p, 0);
+    out_.chunks_per_worker.assign(p, 0);
+  }
+
+  MasterOutcome run() {
+    if (distributed_) gather_and_first_serve();
+    while (finished_ < expected_) {
+      if (auto m = next_request()) {
+        serve(*m);
+        backoff_ = cfg_.faults.poll_initial;
+      } else {
+        check_deaths();
+        backoff_ = std::min(backoff_ * 2.0, cfg_.faults.poll_max);
+      }
+    }
+    const Index lost = uncovered_iterations();
+    LSS_REQUIRE(lost == 0,
+                "run incomplete: every worker finished or died with " +
+                    std::to_string(lost) + " iterations uncovered");
+    if (distributed_) out_.replans = dist_->replans();
+    return std::move(out_);
+  }
+
+ private:
+  // --- receive plumbing --------------------------------------------------
+
+  std::optional<mp::Message> next_request() {
+    if (!cfg_.faults.detect)
+      return t_.recv(0, mp::kAnySource, protocol::kTagRequest);
+    return t_.recv_for(0, secs(backoff_), mp::kAnySource,
+                       protocol::kTagRequest);
+  }
+
+  // --- failure detection -------------------------------------------------
+
+  void check_deaths() {
+    if (!cfg_.faults.detect) return;
+    for (int w = 0; w < cfg_.num_workers; ++w) {
+      if (!participating_[static_cast<std::size_t>(w)]) continue;
+      const WState s = state(w);
+      if (s == WState::Terminated || s == WState::Dead) continue;
+      const bool transport_dead = !t_.peer_alive(w + 1);
+      // Grace ages against the grant for Active workers and against
+      // the loop start when the first request never came. Idle and
+      // Parked workers owe us nothing — only the transport can
+      // declare them dead.
+      double age = 0.0;
+      if (s == WState::Active)
+        age = seconds_since(grant_time_[static_cast<std::size_t>(w)]);
+      else if (s == WState::Unseen)
+        age = seconds_since(started_);
+      if (transport_dead || age > cfg_.faults.grace) declare_dead(w);
+    }
+  }
+
+  void declare_dead(int w) {
+    auto& outstanding = outstanding_[static_cast<std::size_t>(w)];
+    const Range lost = outstanding.value_or(Range{});
+    obs::emit(obs::EventKind::WorkerDead, w, lost, lost.size());
+    if (state(w) == WState::Parked) std::erase(parked_, w);
+    state(w) = WState::Dead;
+    ++finished_;  // resolved: this worker owes the protocol nothing more
+    out_.lost_workers.push_back(w);
+    if (outstanding) {
+      pool_.push_back({*outstanding, w});
+      outstanding.reset();
+    }
+    t_.close_peer(w + 1);
+    // The reclaimed chunk may be exactly what a parked worker was
+    // waiting for.
+    serve_parked_from_pool();
+  }
+
+  // --- granting ----------------------------------------------------------
+
+  /// Chunk for `w`, reclaim pool first. Returns the dead owner's id
+  /// when the chunk is a reclaim, -1 for a fresh scheduler grant.
+  std::pair<Range, int> next_chunk(int w, double acp) {
+    if (!pool_.empty()) {
+      const ReclaimedChunk c = pool_.back();
+      pool_.pop_back();
+      return {c.range, c.from_worker};
+    }
+    if (distributed_) {
+      const int replans_before = dist_->replans();
+      const Range chunk = dist_->next(w, acp);
+      if (dist_->replans() != replans_before)
+        obs::emit(obs::EventKind::Replan, obs::kMasterPe, {},
+                  dist_->replans());
+      if (!chunk.empty()) obs::emit(obs::EventKind::ChunkGranted, w, chunk);
+      return {chunk, -1};
+    }
+    // The dispenser emits its own ChunkGranted events.
+    return {simple_->next(w), -1};
+  }
+
+  void grant(int w, Range chunk, int reassigned_from) {
+    if (reassigned_from >= 0) {
+      obs::emit(obs::EventKind::ChunkGranted, w, chunk);
+      obs::emit(obs::EventKind::ChunkReassigned, w, chunk,
+                reassigned_from);
+      ++out_.reassigned_chunks;
+      out_.reassigned_iterations += chunk.size();
+    }
+    outstanding_[static_cast<std::size_t>(w)] = chunk;
+    grant_time_[static_cast<std::size_t>(w)] = Clock::now();
+    state(w) = WState::Active;
+    t_.send(0, w + 1, protocol::kTagAssign, protocol::encode_assign(chunk));
+  }
+
+  void terminate(int w) {
+    t_.send(0, w + 1, protocol::kTagTerminate, {});
+    state(w) = WState::Terminated;
+    ++finished_;
+  }
+
+  void serve_parked_from_pool() {
+    while (!pool_.empty() && !parked_.empty()) {
+      const int w = parked_.front();
+      parked_.pop_front();
+      const ReclaimedChunk c = pool_.back();
+      pool_.pop_back();
+      grant(w, c.range, c.from_worker);
+    }
+  }
+
+  // --- serving -----------------------------------------------------------
+
+  void record_completion(int w, const protocol::WorkerRequest& req) {
+    if (req.completed.empty()) return;
+    for (Index i = req.completed.begin; i < req.completed.end; ++i)
+      if (i >= 0 && i < cfg_.total)
+        ++out_.execution_count[static_cast<std::size_t>(i)];
+    out_.completed_iterations += req.completed.size();
+    out_.iterations_per_worker[static_cast<std::size_t>(w)] +=
+        req.completed.size();
+    ++out_.chunks_per_worker[static_cast<std::size_t>(w)];
+    outstanding_[static_cast<std::size_t>(w)].reset();
+    if (cfg_.on_result && !req.result.empty())
+      cfg_.on_result(w, req.completed, req.result);
+  }
+
+  void serve(const mp::Message& m) {
+    const int w = m.source - 1;
+    LSS_REQUIRE(w >= 0 && w < cfg_.num_workers,
+                "request from an unknown rank");
+    if (state(w) == WState::Dead || state(w) == WState::Terminated) {
+      // A fenced worker resurfaced (false-positive death or a stray
+      // message raced the terminate): its chunk may already be
+      // re-granted elsewhere, so its data cannot be trusted. Tell it
+      // to go away; never count its completions.
+      t_.send(0, m.source, protocol::kTagTerminate, {});
+      return;
+    }
+    const protocol::WorkerRequest req = protocol::decode_request(m.payload);
+    if (state(w) == WState::Unseen) state(w) = WState::Idle;
+    record_completion(w, req);
+    if (distributed_ && req.fb_iters > 0)
+      dist_->on_feedback(w, req.fb_iters, req.fb_seconds);
+
+    const auto [chunk, from] = next_chunk(w, req.acp);
+    if (!chunk.empty()) {
+      grant(w, chunk, from);
+      return;
+    }
+    // Nothing to grant. While a grant is outstanding elsewhere, a
+    // reclaim may yet produce work — park this worker instead of
+    // releasing capacity the recovery might need.
+    if (cfg_.faults.detect && outstanding_anywhere()) {
+      state(w) = WState::Parked;
+      parked_.push_back(w);
+      return;
+    }
+    terminate(w);
+    // The loop is fully covered; parked workers are done too.
+    while (!parked_.empty()) {
+      const int v = parked_.front();
+      parked_.pop_front();
+      terminate(v);
+    }
+  }
+
+  // --- distributed gather (paper master step 1a) -------------------------
+
+  void gather_and_first_serve() {
+    std::vector<double> acps(static_cast<std::size_t>(cfg_.num_workers),
+                             0.0);
+    std::vector<mp::Message> first;
+    auto awaited = [&] {
+      // Everyone participating and not yet dead reports once.
+      return expected_ - static_cast<int>(out_.lost_workers.size());
+    };
+    while (static_cast<int>(first.size()) < awaited()) {
+      std::optional<mp::Message> m;
+      if (cfg_.faults.detect) {
+        m = t_.recv_for(0, secs(cfg_.faults.poll_max), mp::kAnySource,
+                        protocol::kTagRequest);
+        if (!m) {
+          check_deaths();  // a death during gather shrinks awaited()
+          continue;
+        }
+      } else {
+        m = t_.recv(0, mp::kAnySource, protocol::kTagRequest);
+      }
+      const int w = m->source - 1;
+      LSS_REQUIRE(w >= 0 && w < cfg_.num_workers,
+                  "request from an unknown rank");
+      if (state(w) != WState::Unseen) continue;
+      mp::PayloadReader rd(m->payload);
+      acps[static_cast<std::size_t>(w)] = rd.get_f64();
+      state(w) = WState::Idle;
+      first.push_back(std::move(*m));
+    }
+    dist_->initialize(acps);
+    // Serve the gathered batch in decreasing-ACP order (step 1a).
+    std::stable_sort(first.begin(), first.end(),
+                     [&acps](const mp::Message& a, const mp::Message& b) {
+                       return acps[static_cast<std::size_t>(a.source - 1)] >
+                              acps[static_cast<std::size_t>(b.source - 1)];
+                     });
+    for (const mp::Message& m : first) serve(m);
+  }
+
+  // --- bookkeeping -------------------------------------------------------
+
+  WState& state(int w) { return state_[static_cast<std::size_t>(w)]; }
+  WState state(int w) const { return state_[static_cast<std::size_t>(w)]; }
+
+  bool outstanding_anywhere() const {
+    for (const auto& o : outstanding_)
+      if (o) return true;
+    return false;
+  }
+
+  Index uncovered_iterations() const {
+    Index n = 0;
+    for (int c : out_.execution_count)
+      if (c == 0) ++n;
+    return n;
+  }
+
+  mp::Transport& t_;
+  const MasterConfig& cfg_;
+  Clock::time_point started_;
+  bool distributed_ = false;
+  std::unique_ptr<ChunkDispatcher> simple_;
+  std::unique_ptr<distsched::DistScheduler> dist_;
+
+  std::vector<bool> participating_;
+  int expected_ = 0;   // participating workers
+  int finished_ = 0;   // terminated or dead participants
+  double backoff_ = 0.02;
+  std::vector<WState> state_;
+  std::vector<std::optional<Range>> outstanding_;
+  std::vector<Clock::time_point> grant_time_;
+  std::vector<ReclaimedChunk> pool_;
+  std::deque<int> parked_;
+  MasterOutcome out_;
+};
+
+}  // namespace
+
+bool MasterOutcome::exactly_once() const {
+  for (int c : execution_count)
+    if (c != 1) return false;
+  return true;
+}
+
+MasterOutcome run_master(mp::Transport& transport,
+                         const MasterConfig& config) {
+  MasterLoop loop(transport, config);
+  return loop.run();
+}
+
+}  // namespace lss::rt

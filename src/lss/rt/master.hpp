@@ -1,0 +1,107 @@
+// The paper's master role, transport-generic and fault-aware.
+//
+// run_master() serves the request/grant protocol (rt/protocol.hpp)
+// over any mp::Transport: the in-process Comm that run_threaded
+// spawns its worker threads on, or a TcpMasterTransport whose
+// workers live in other processes. One loop covers both scheduler
+// families — simple schemes dispense through the rt/dispatch
+// dispenser, distributed schemes run the paper's §3 master steps
+// (initial ACP gather, decreasing-power first serves, feedback,
+// majority-change replans).
+//
+// ## Failure handling (FaultPolicy.detect)
+//
+// With detection off, the loop blocks in recv() exactly like the
+// original runtime — a dead worker deadlocks the master, which is
+// acceptable only when workers are threads the caller controls.
+//
+// With detection on, the master receives with bounded deadlines
+// (recv_for, exponential backoff between poll slices) and declares a
+// worker dead when the transport says so (socket EOF, heartbeat
+// silence) or when its outstanding grant — or its first request —
+// ages past `grace` with no sign of life. A dead worker's
+// outstanding chunk is *reclaimed*: returned to a master-side pool
+// that takes priority over the scheduler on the next grant, so live
+// workers absorb the lost work and the run still covers [0, total)
+// exactly once (WorkerDead / ChunkReassigned trace events record
+// the recovery). Workers that request while neither the scheduler
+// nor the pool has work are parked, not terminated, until every
+// outstanding grant resolves — a reclaim may yet need them.
+//
+// A worker declared dead is fenced (Transport::close_peer) and its
+// later messages, if any, are answered with Terminate and otherwise
+// ignored: its chunk may already be re-granted, so its completions
+// no longer count.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lss/mp/transport.hpp"
+#include "lss/rt/dispatch.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+
+/// Failure-detector knobs for the master loop.
+struct FaultPolicy {
+  /// Master uses deadline receives and declares unresponsive
+  /// workers dead. Off = legacy blocking behavior.
+  bool detect = false;
+  /// Seconds an outstanding grant (or an awaited first request) may
+  /// age without any liveness signal before the worker is declared
+  /// dead. Must exceed the worst-case chunk compute time on the
+  /// slowest worker, or stragglers get shot.
+  double grace = 10.0;
+  /// Initial recv deadline slice in seconds; doubles on every idle
+  /// expiry (bounded retry/backoff) up to poll_max.
+  double poll_initial = 0.02;
+  double poll_max = 0.25;
+};
+
+struct MasterConfig {
+  /// Any spec the unified registry resolves ("tss", "dtss",
+  /// "dist(gss:k=2)", ...); the family decides the serve path.
+  std::string scheme = "tss";
+  Index total = 0;      ///< loop iterations to cover
+  int num_workers = 0;  ///< worker slots (transport ranks 1..N)
+  /// Per-worker mask of who will actually participate (send
+  /// requests); false slots never joined (e.g. zero-ACP threads that
+  /// exit before the first request) and are neither awaited nor
+  /// failure-checked. Empty = all num_workers participate.
+  std::vector<bool> participating;
+  FaultPolicy faults;
+  /// Invoked for every completed chunk that carried a result blob
+  /// (socket workers shipping computed data back to the master).
+  std::function<void(int worker, Range chunk,
+                     const std::vector<std::byte>& result)>
+      on_result;
+};
+
+/// The master's own account of the run — everything it can know
+/// without sharing memory with the workers.
+struct MasterOutcome {
+  std::string scheme_name;
+  DispatchPath dispatch_path = DispatchPath::Locked;
+  std::string transport;           ///< Transport::kind()
+  Index completed_iterations = 0;  ///< sum of acknowledged chunks
+  /// Completions per iteration as acknowledged by worker requests;
+  /// all-ones iff the run covered the loop exactly once.
+  std::vector<int> execution_count;
+  std::vector<Index> iterations_per_worker;
+  std::vector<Index> chunks_per_worker;
+  std::vector<int> lost_workers;   ///< declared dead, in death order
+  Index reassigned_chunks = 0;
+  Index reassigned_iterations = 0;
+  int replans = 0;
+
+  bool exactly_once() const;
+};
+
+/// Runs the master loop to completion. Throws lss::ContractError if
+/// every worker is lost while iterations remain uncovered.
+MasterOutcome run_master(mp::Transport& transport,
+                         const MasterConfig& config);
+
+}  // namespace lss::rt

@@ -1,0 +1,37 @@
+#include "lss/rt/protocol.hpp"
+
+namespace lss::rt::protocol {
+
+std::vector<std::byte> encode_request(const WorkerRequest& req) {
+  mp::PayloadWriter w;
+  w.put_f64(req.acp);
+  w.put_i64(req.fb_iters);
+  w.put_f64(req.fb_seconds);
+  w.put_range(req.completed);
+  w.put_blob(req.result);
+  return w.take();
+}
+
+WorkerRequest decode_request(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  WorkerRequest req;
+  req.acp = rd.get_f64();
+  req.fb_iters = rd.get_i64();
+  req.fb_seconds = rd.get_f64();
+  req.completed = rd.get_range();
+  req.result = rd.get_blob();
+  return req;
+}
+
+std::vector<std::byte> encode_assign(Range chunk) {
+  mp::PayloadWriter w;
+  w.put_range(chunk);
+  return w.take();
+}
+
+Range decode_assign(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  return rd.get_range();
+}
+
+}  // namespace lss::rt::protocol

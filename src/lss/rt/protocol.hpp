@@ -1,0 +1,50 @@
+// The self-scheduling wire protocol (paper §4's mpich master-slave
+// programs, v2): tag vocabulary and payload codecs shared by the
+// fault-aware master loop (rt/master), the worker loop (rt/worker)
+// and the socket CLIs. Transport-independent — the same frames flow
+// through the in-process Comm and the TCP endpoints.
+//
+//   worker -> master   Request    "I am free" + piggy-backed ACP,
+//                                 measured feedback, and the chunk
+//                                 just completed (the master's
+//                                 completion acknowledgement),
+//                                 optionally with a result blob.
+//   master -> worker   Assign     one iteration Range
+//   master -> worker   Terminate  empty; the worker exits its loop
+//   master -> worker   Job        host-defined job description blob
+//                                 (the CLIs ship workload parameters
+//                                 here before the first Request)
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "lss/mp/message.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::rt::protocol {
+
+inline constexpr int kTagRequest = 1;
+inline constexpr int kTagAssign = 2;
+inline constexpr int kTagTerminate = 3;
+inline constexpr int kTagJob = 4;
+
+/// Everything a worker piggy-backs on a chunk request. `completed`
+/// is empty on the first request; afterwards it names the chunk the
+/// worker just finished — receiving the *next* request is how the
+/// master learns the previous grant is no longer outstanding.
+struct WorkerRequest {
+  double acp = 1.0;       ///< available computing power (paper §3)
+  Index fb_iters = 0;     ///< iterations of the completed chunk
+  double fb_seconds = 0;  ///< measured wall seconds for them
+  Range completed{};      ///< the chunk those measurements cover
+  std::vector<std::byte> result;  ///< optional result blob for it
+};
+
+std::vector<std::byte> encode_request(const WorkerRequest& req);
+WorkerRequest decode_request(const std::vector<std::byte>& payload);
+
+std::vector<std::byte> encode_assign(Range chunk);
+Range decode_assign(const std::vector<std::byte>& payload);
+
+}  // namespace lss::rt::protocol

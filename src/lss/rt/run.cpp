@@ -5,22 +5,13 @@
 #include <thread>
 #include <utility>
 
-#include "lss/api/scheduler.hpp"
 #include "lss/mp/comm.hpp"
-#include "lss/obs/trace.hpp"
-#include "lss/rt/dispatch.hpp"
-#include "lss/rt/throttle.hpp"
+#include "lss/rt/worker.hpp"
 #include "lss/support/assert.hpp"
 
 namespace lss::rt {
 
 namespace {
-
-// Protocol tags (master is rank 0, worker w is rank w+1).
-constexpr int kTagRequest = 1;    // payload: f64 acp, i64 fb_iters,
-                                  //          f64 fb_seconds
-constexpr int kTagAssign = 2;     // payload: range
-constexpr int kTagTerminate = 3;  // empty
 
 using Clock = std::chrono::steady_clock;
 
@@ -28,60 +19,13 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-struct WorkerShared {
-  RtWorkerStats stats;
-  std::vector<Range> executed;
-};
-
-void worker_main(const RtConfig& config, mp::Comm& comm, int w,
-                 double virtual_power, int run_queue, WorkerShared& out) {
-  const int rank = w + 1;
-  Throttle throttle(
-      config.relative_speeds[static_cast<std::size_t>(w)]);
-  Workload& workload = *config.workload;
-
-  const double acp =
-      config.distributed
-          ? cluster::compute_acp(virtual_power, run_queue, config.acp)
-          : 1.0;
-  if (config.distributed && acp <= 0.0) return;  // unavailable worker
-
-  Index fb_iters = 0;
-  double fb_seconds = 0.0;
-  while (true) {
-    {
-      mp::PayloadWriter req;
-      req.put_f64(acp);
-      req.put_i64(fb_iters);
-      req.put_f64(fb_seconds);
-      comm.send(rank, 0, kTagRequest, req.take());
-    }
-    const auto wait_start = Clock::now();
-    mp::Message m = comm.recv(rank, 0);
-    out.stats.times.t_wait += seconds_since(wait_start);
-    if (m.tag == kTagTerminate) break;
-    LSS_ASSERT(m.tag == kTagAssign, "unexpected message tag");
-
-    mp::PayloadReader rd(m.payload);
-    const Range chunk = rd.get_range();
-    obs::emit(obs::EventKind::ChunkStarted, w, chunk);
-    const auto comp_start = Clock::now();
-    for (Index i = chunk.begin; i < chunk.end; ++i) workload.execute(i);
-    const auto busy = Clock::now() - comp_start;
-    throttle.pay(busy);
-    // Measured feedback (includes the throttle: it is the *effective*
-    // rate that matters) piggy-backed on the next request.
-    fb_iters = chunk.size();
-    fb_seconds = seconds_since(comp_start);
-    out.stats.times.t_comp += fb_seconds;
-    out.stats.iterations += chunk.size();
-    ++out.stats.chunks;
-    out.executed.push_back(chunk);
-    obs::emit(obs::EventKind::ChunkFinished, w, chunk);
-  }
-}
-
 }  // namespace
+
+void RtConfig::set_scheme(const std::string& spec, bool distributed) {
+  scheme = (distributed && scheme_family(spec) != SchemeFamily::Distributed)
+               ? "dist(" + spec + ")"
+               : spec;
+}
 
 bool RtResult::exactly_once() const {
   for (int c : execution_count)
@@ -94,9 +38,12 @@ RunStats RtResult::stats() const {
   out.scheme = scheme;
   out.runner = "rt";
   out.dispatch_path = to_string(dispatch_path);
+  out.transport = transport;
   out.num_pes = static_cast<int>(workers.size());
   out.iterations = total_iterations;
   out.t_wall = t_parallel;
+  out.workers_lost = static_cast<int>(lost_workers.size());
+  out.reassigned_chunks = reassigned_chunks;
   out.per_pe.reserve(workers.size());
   out.iterations_per_pe.reserve(workers.size());
   out.chunks_per_pe.reserve(workers.size());
@@ -116,6 +63,9 @@ RtResult run_threaded(const RtConfig& config) {
   LSS_REQUIRE(config.run_queues.empty() ||
                   static_cast<int>(config.run_queues.size()) == p,
               "need one run-queue length per worker (or none)");
+  LSS_REQUIRE(config.die_after_chunks.empty() ||
+                  static_cast<int>(config.die_after_chunks.size()) == p,
+              "need one die_after_chunks entry per worker (or none)");
 
   // Virtual powers: relative speeds normalized so the slowest is 1.
   std::vector<double> vpower(config.relative_speeds);
@@ -123,113 +73,76 @@ RtResult run_threaded(const RtConfig& config) {
   LSS_REQUIRE(vmin > 0.0, "relative speeds must be positive");
   for (double& v : vpower) v /= vmin;
 
+  const bool distributed =
+      scheme_family(config.scheme) == SchemeFamily::Distributed;
   const Index total = config.workload->size();
-  // Simple schemes go through the shared dispenser (lock-free for
-  // deterministic schemes): the master still serializes requests,
-  // but the chunk *calculation* happens once at table build time
-  // instead of inside the serve loop.
-  std::unique_ptr<ChunkDispatcher> simple;
-  std::unique_ptr<distsched::DistScheduler> dist;
-  if (config.distributed)
-    dist = lss::make_distributed_scheduler(config.scheme, total, p);
-  else
-    simple = make_dispatcher(config.scheme, total, p);
 
   mp::Comm comm(p + 1);
-  std::vector<WorkerShared> shared(static_cast<std::size_t>(p));
+  std::vector<WorkerLoopResult> results(static_cast<std::size_t>(p));
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
+  std::vector<bool> participating(static_cast<std::size_t>(p), true);
 
   const auto t0 = Clock::now();
-  int spawned = 0;
   for (int w = 0; w < p; ++w) {
-    const int rq = config.run_queues.empty()
-                       ? 1
-                       : config.run_queues[static_cast<std::size_t>(w)];
-    // Unavailable distributed workers never participate.
-    if (config.distributed &&
-        cluster::compute_acp(vpower[static_cast<std::size_t>(w)], rq,
-                             config.acp) <= 0.0)
-      continue;
-    ++spawned;
-    threads.emplace_back(worker_main, std::cref(config), std::ref(comm), w,
-                         vpower[static_cast<std::size_t>(w)], rq,
-                         std::ref(shared[static_cast<std::size_t>(w)]));
+    const auto sw = static_cast<std::size_t>(w);
+    const int rq = config.run_queues.empty() ? 1 : config.run_queues[sw];
+    // Distributed workers report their ACP; one with no available
+    // power never participates (exactly the paper's unavailable
+    // slave). Simple schemes are power-oblivious: acp stays 1.
+    double acp = 1.0;
+    if (distributed) {
+      acp = cluster::compute_acp(vpower[sw], rq, config.acp);
+      if (acp <= 0.0) {
+        participating[sw] = false;
+        continue;
+      }
+    }
+    WorkerLoopConfig wc;
+    wc.worker = w;
+    wc.acp = acp;
+    wc.relative_speed = config.relative_speeds[sw];
+    wc.workload = config.workload;
+    wc.die_after_chunks =
+        config.die_after_chunks.empty() ? -1 : config.die_after_chunks[sw];
+    threads.emplace_back([&comm, &results, sw, wc = std::move(wc)] {
+      results[sw] = run_worker_loop(comm, wc);
+    });
   }
-  LSS_REQUIRE(spawned > 0, "no worker has positive ACP (starved run)");
 
-  // Master loop (rank 0): distributed schemes first gather one report
-  // per participating worker (paper step 1a), then serve FIFO.
-  if (config.distributed) {
-    std::vector<double> acps(static_cast<std::size_t>(p), 0.0);
-    std::vector<mp::Message> first_requests;
-    for (int got = 0; got < spawned; ++got) {
-      mp::Message m = comm.recv(0, mp::kAnySource, kTagRequest);
-      mp::PayloadReader rd(m.payload);
-      acps[static_cast<std::size_t>(m.source - 1)] = rd.get_f64();
-      first_requests.push_back(std::move(m));
-    }
-    dist->initialize(acps);
-    // Serve the gathered batch in decreasing-ACP order (step 1a).
-    std::stable_sort(first_requests.begin(), first_requests.end(),
-                     [&acps](const mp::Message& a, const mp::Message& b) {
-                       return acps[static_cast<std::size_t>(a.source - 1)] >
-                              acps[static_cast<std::size_t>(b.source - 1)];
-                     });
-    int active = spawned;
-    auto serve = [&](const mp::Message& m) {
-      mp::PayloadReader rd(m.payload);
-      const double acp = rd.get_f64();
-      const Index fb_iters = rd.get_i64();
-      const double fb_seconds = rd.get_f64();
-      if (fb_iters > 0) dist->on_feedback(m.source - 1, fb_iters, fb_seconds);
-      const int replans_before = dist->replans();
-      const Range chunk = dist->next(m.source - 1, acp);
-      if (dist->replans() != replans_before)
-        obs::emit(obs::EventKind::Replan, obs::kMasterPe, {},
-                  dist->replans());
-      if (!chunk.empty())
-        obs::emit(obs::EventKind::ChunkGranted, m.source - 1, chunk);
-      if (chunk.empty()) {
-        comm.send(0, m.source, kTagTerminate, {});
-        --active;
-      } else {
-        mp::PayloadWriter reply;
-        reply.put_range(chunk);
-        comm.send(0, m.source, kTagAssign, reply.take());
-      }
-    };
-    for (const mp::Message& m : first_requests) serve(m);
-    while (active > 0) serve(comm.recv(0, mp::kAnySource, kTagRequest));
-  } else {
-    int active = spawned;
-    while (active > 0) {
-      mp::Message m = comm.recv(0, mp::kAnySource, kTagRequest);
-      const Range chunk = simple->next(m.source - 1);
-      if (chunk.empty()) {
-        comm.send(0, m.source, kTagTerminate, {});
-        --active;
-      } else {
-        mp::PayloadWriter reply;
-        reply.put_range(chunk);
-        comm.send(0, m.source, kTagAssign, reply.take());
-      }
-    }
-  }
+  // Master loop (rank 0) runs on this thread over the same Comm.
+  MasterConfig mc;
+  mc.scheme = config.scheme;
+  mc.total = total;
+  mc.num_workers = p;
+  mc.participating = participating;
+  mc.faults = config.faults;
+  MasterOutcome outcome = run_master(comm, mc);
 
   for (std::thread& t : threads) t.join();
 
   RtResult out;
-  out.scheme = config.distributed ? dist->name() : simple->name();
-  out.dispatch_path =
-      config.distributed ? DispatchPath::Locked : simple->path();
+  out.scheme = outcome.scheme_name;
+  out.dispatch_path = outcome.dispatch_path;
+  out.transport = outcome.transport;
   out.t_parallel = seconds_since(t0);
+  out.lost_workers = outcome.lost_workers;
+  out.reassigned_chunks = outcome.reassigned_chunks;
+  out.reassigned_iterations = outcome.reassigned_iterations;
+  out.replans = outcome.replans;
+  // Worker-side ground truth: count coverage from the chunks each
+  // thread actually executed — stronger than the master's protocol
+  // acknowledgements, since it catches real double execution.
   out.execution_count.assign(static_cast<std::size_t>(total), 0);
   out.workers.reserve(static_cast<std::size_t>(p));
-  for (const WorkerShared& ws : shared) {
-    out.workers.push_back(ws.stats);
-    out.total_iterations += ws.stats.iterations;
-    for (const Range& r : ws.executed)
+  for (const WorkerLoopResult& wr : results) {
+    RtWorkerStats ws;
+    ws.times = wr.times;
+    ws.iterations = wr.iterations;
+    ws.chunks = wr.chunks;
+    out.workers.push_back(ws);
+    out.total_iterations += wr.iterations;
+    for (const Range& r : wr.executed)
       for (Index i = r.begin; i < r.end; ++i)
         ++out.execution_count[static_cast<std::size_t>(i)];
   }

@@ -7,6 +7,10 @@
 // termination is an empty reply. Heterogeneity is emulated with
 // per-worker throttles.
 //
+// The master side is rt/master (transport-generic, optionally
+// fault-aware) and each worker thread runs rt/worker — the same
+// loops the TCP CLIs drive across processes.
+//
 // Thread-safety requirement: Workload::execute must be safe to call
 // concurrently for *distinct* iterations (true for Mandelbrot, whose
 // columns write disjoint buffer slices, and for the default burner).
@@ -16,10 +20,12 @@
 #include <string>
 #include <vector>
 
+#include "lss/api/scheduler.hpp"
 #include "lss/cluster/acp.hpp"
 #include "lss/metrics/timing.hpp"
 #include "lss/obs/run_stats.hpp"
 #include "lss/rt/dispatch.hpp"
+#include "lss/rt/master.hpp"
 #include "lss/support/types.hpp"
 #include "lss/workload/workload.hpp"
 
@@ -27,10 +33,11 @@ namespace lss::rt {
 
 struct RtConfig {
   std::shared_ptr<Workload> workload;
-  /// Simple scheme spec ("tss", "fss", ...) or distributed spec
-  /// ("dtss", "dfiss", ...) when `distributed` is true.
+  /// Any spec the unified registry resolves — simple ("tss",
+  /// "gss:k=2"), distributed ("dtss", "dfss"), or wrapped
+  /// ("dist(gss:k=2)"). The scheme's registered family decides the
+  /// master's serve path; there is no separate "distributed" switch.
   std::string scheme = "tss";
-  bool distributed = false;
   /// One entry per worker, in (0, 1]; 1.0 = full speed. Also used as
   /// the virtual powers for distributed schemes (normalized so the
   /// slowest worker has V = 1).
@@ -39,6 +46,20 @@ struct RtConfig {
   /// distributed schemes' ACP computation. Empty = all dedicated.
   std::vector<int> run_queues;
   cluster::AcpPolicy acp = cluster::AcpPolicy::improved();
+  /// Master-side failure detection (rt/master). Off by default: a
+  /// thread that never dies needs no detector.
+  FaultPolicy faults;
+  /// Fault injection, one entry per worker: worker w abandons its
+  /// (die_after_chunks[w]+1)-th grant and exits (rt/worker). Empty =
+  /// no faults; negative entries = that worker never dies. Injected
+  /// deaths require `faults.detect` or the master blocks forever.
+  std::vector<int> die_after_chunks;
+
+  /// Pre-registry spelling, where the family was a separate flag.
+  [[deprecated("set `scheme` to a registry spec; the family is "
+               "resolved by name (wrap simple schemes in dist(...) "
+               "for the ACP-aware master path)")]]
+  void set_scheme(const std::string& spec, bool distributed);
 };
 
 struct RtWorkerStats {
@@ -53,10 +74,18 @@ struct RtResult {
   /// the rt/dispatch dispenser (lock-free where the scheme allows);
   /// distributed schemes stay on the stateful (Locked) path.
   DispatchPath dispatch_path = DispatchPath::Locked;
+  std::string transport;    ///< mp::Transport::kind(), "inproc" here
   double t_parallel = 0.0;  ///< wall seconds, start to last join
   std::vector<RtWorkerStats> workers;
   Index total_iterations = 0;
-  std::vector<int> execution_count;  ///< must be all-ones
+  /// Worker-side ground truth (counted from each thread's executed
+  /// chunks, not from protocol acknowledgements): all-ones iff the
+  /// loop was covered exactly once, faults included.
+  std::vector<int> execution_count;
+  std::vector<int> lost_workers;  ///< declared dead, in death order
+  Index reassigned_chunks = 0;
+  Index reassigned_iterations = 0;
+  int replans = 0;
 
   bool exactly_once() const;
 

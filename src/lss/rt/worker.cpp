@@ -1,0 +1,71 @@
+#include "lss/rt/worker.hpp"
+
+#include <chrono>
+
+#include "lss/obs/trace.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/rt/throttle.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+WorkerLoopResult run_worker_loop(mp::Transport& t,
+                                 const WorkerLoopConfig& cfg) {
+  LSS_REQUIRE(cfg.workload != nullptr, "worker loop needs a workload");
+  const int w = cfg.worker;
+  const int rank = w + 1;
+  Throttle throttle(cfg.relative_speed);
+  Workload& workload = *cfg.workload;
+
+  WorkerLoopResult out;
+  protocol::WorkerRequest req;
+  req.acp = cfg.acp;
+  while (true) {
+    t.send(rank, 0, protocol::kTagRequest, protocol::encode_request(req));
+    const auto wait_start = Clock::now();
+    mp::Message m = t.recv(rank, 0);
+    out.times.t_wait += seconds_since(wait_start);
+    if (m.tag == protocol::kTagTerminate) break;
+    LSS_ASSERT(m.tag == protocol::kTagAssign, "unexpected message tag");
+    const Range chunk = protocol::decode_assign(m.payload);
+
+    if (cfg.die_after_chunks >= 0 && out.chunks >= cfg.die_after_chunks) {
+      // Fail-stop between recv and compute: the grant is abandoned
+      // unacknowledged, as if the process were killed here.
+      out.died = true;
+      return out;
+    }
+
+    obs::emit(obs::EventKind::ChunkStarted, w, chunk);
+    const auto comp_start = Clock::now();
+    for (Index i = chunk.begin; i < chunk.end; ++i) workload.execute(i);
+    const auto busy = Clock::now() - comp_start;
+    throttle.pay(busy);
+    // Measured feedback (includes the throttle: it is the *effective*
+    // rate that matters) and the completion acknowledgement are
+    // piggy-backed on the next request.
+    req.fb_iters = chunk.size();
+    req.fb_seconds = seconds_since(comp_start);
+    req.completed = chunk;
+    req.result = cfg.result_of ? cfg.result_of(chunk)
+                               : std::vector<std::byte>{};
+    out.times.t_comp += req.fb_seconds;
+    out.iterations += chunk.size();
+    ++out.chunks;
+    out.executed.push_back(chunk);
+    obs::emit(obs::EventKind::ChunkFinished, w, chunk);
+  }
+  return out;
+}
+
+}  // namespace lss::rt

@@ -1,0 +1,62 @@
+// The paper's slave role, transport-generic.
+//
+// run_worker_loop() speaks the rt/protocol request/grant exchange
+// over any mp::Transport: run_threaded runs it on std::threads over
+// the in-process Comm; the lss_worker CLI runs it in its own process
+// over a TcpWorkerTransport. The loop requests, computes granted
+// chunks, piggy-backs measured feedback (and, when `result_of` is
+// set, the computed data itself) on the next request, and exits on
+// Terminate.
+//
+// Fault injection: `die_after_chunks = K` makes the loop return
+// right after *receiving* its (K+1)-th grant, without executing or
+// acknowledging it — exactly the footprint of a process killed
+// between recv and compute. The abandoned chunk stays covered by
+// nobody, so a fault-aware master must reassign it for the run to
+// cover [0, total) exactly once.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "lss/metrics/timing.hpp"
+#include "lss/mp/transport.hpp"
+#include "lss/support/types.hpp"
+#include "lss/workload/workload.hpp"
+
+namespace lss::rt {
+
+struct WorkerLoopConfig {
+  /// Worker id w in [0, num_workers); speaks as transport rank w+1.
+  int worker = 0;
+  /// Available computing power reported on every request (paper §3);
+  /// 1.0 for power-oblivious simple schemes.
+  double acp = 1.0;
+  /// Heterogeneity emulation in (0, 1]; 1.0 = no throttle.
+  double relative_speed = 1.0;
+  /// Executes iterations; must be safe for concurrent distinct i.
+  std::shared_ptr<Workload> workload;
+  /// Fault injection: die on receiving grant K+1 (see header note);
+  /// negative = never.
+  int die_after_chunks = -1;
+  /// Builds the result blob shipped with the completion of `chunk`
+  /// (socket workers sending computed data home). Null = no blob.
+  std::function<std::vector<std::byte>(Range chunk)> result_of;
+};
+
+struct WorkerLoopResult {
+  metrics::TimeBreakdown times;  ///< t_wait (master RTT) + t_comp
+  Index iterations = 0;
+  Index chunks = 0;
+  std::vector<Range> executed;  ///< every chunk actually computed
+  bool died = false;            ///< fault injection fired
+};
+
+/// Runs the worker loop until Terminate (or injected death). Throws
+/// lss::ContractError if the transport to the master collapses.
+WorkerLoopResult run_worker_loop(mp::Transport& transport,
+                                 const WorkerLoopConfig& config);
+
+}  // namespace lss::rt

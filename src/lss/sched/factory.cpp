@@ -137,9 +137,4 @@ std::vector<std::string> SchemeSpec::known_schemes() {
   return {"static", "ss", "css", "gss", "tss", "fss", "fiss", "tfss", "sss", "wf"};
 }
 
-std::unique_ptr<ChunkScheduler> make_scheduler(std::string_view spec,
-                                               Index total, int num_pes) {
-  return SchemeSpec::parse(spec).make(total, num_pes);
-}
-
 }  // namespace lss::sched

@@ -43,12 +43,4 @@ class SchemeSpec {
   std::vector<double> weights_;
 };
 
-/// One-shot convenience. Deprecated: lss::make_scheduler
-/// (lss/api/scheduler.hpp) resolves simple and distributed specs
-/// through one registry; lss::make_simple_scheduler is the typed
-/// equivalent of this function.
-[[deprecated("use lss::make_scheduler / lss::make_simple_scheduler")]]
-std::unique_ptr<ChunkScheduler> make_scheduler(std::string_view spec,
-                                               Index total, int num_pes);
-
 }  // namespace lss::sched

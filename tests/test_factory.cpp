@@ -1,23 +1,19 @@
-// Scheme factory parsing tests (simple and distributed).
-//
-// This file deliberately exercises the deprecated per-family entry
-// points (sched::make_scheduler, distsched::make_dist_scheduler) to
-// prove the shims still compile and behave; new code should construct
-// through lss::make_scheduler (see test_unified_factory.cpp).
+// Scheme factory parsing tests (simple and distributed), driven
+// through the typed spec parsers (sched::SchemeSpec,
+// distsched::DistSchemeSpec). Registry-based construction is covered
+// by test_unified_factory.cpp.
 #include <gtest/gtest.h>
 
 #include "lss/distsched/dfactory.hpp"
 #include "lss/sched/factory.hpp"
 #include "lss/support/assert.hpp"
 
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-
 namespace lss {
 namespace {
 
 TEST(Factory, AllKnownSchemesConstruct) {
   for (const std::string& kind : sched::SchemeSpec::known_schemes()) {
-    auto s = sched::make_scheduler(kind, 100, 4);
+    auto s = sched::SchemeSpec::parse(kind).make(100, 4);
     ASSERT_NE(s, nullptr) << kind;
     EXPECT_FALSE(s->name().empty());
   }
@@ -29,32 +25,32 @@ TEST(Factory, UnknownSchemeThrows) {
 }
 
 TEST(Factory, CssHonorsK) {
-  auto s = sched::make_scheduler("css:k=25", 100, 4);
+  auto s = sched::SchemeSpec::parse("css:k=25").make(100, 4);
   EXPECT_EQ(s->next(0).size(), 25);
 }
 
 TEST(Factory, GssHonorsMinChunk) {
-  auto s = sched::make_scheduler("gss:k=9", 100, 50);
+  auto s = sched::SchemeSpec::parse("gss:k=9").make(100, 50);
   EXPECT_EQ(s->next(0).size(), 9);  // ceil(100/50)=2 < k=9
 }
 
 TEST(Factory, TssHonorsFirstLast) {
-  auto s = sched::make_scheduler("tss:F=30,L=2", 300, 4);
+  auto s = sched::SchemeSpec::parse("tss:F=30,L=2").make(300, 4);
   EXPECT_EQ(s->next(0).size(), 30);
 }
 
 TEST(Factory, FssHonorsAlphaAndRounding) {
-  auto s = sched::make_scheduler("fss:alpha=4,rounding=floor", 1000, 4);
+  auto s = sched::SchemeSpec::parse("fss:alpha=4,rounding=floor").make(1000, 4);
   EXPECT_EQ(s->next(0).size(), 62);  // floor(1000/16)
 }
 
 TEST(Factory, FissHonorsSigmaAndX) {
-  auto s = sched::make_scheduler("fiss:sigma=4,x=8", 800, 4);
+  auto s = sched::SchemeSpec::parse("fiss:sigma=4,x=8").make(800, 4);
   EXPECT_EQ(s->next(0).size(), 25);  // floor(800 / (8*4))
 }
 
 TEST(Factory, WfHonorsWeights) {
-  auto s = sched::make_scheduler("wf:weights=3;1", 800, 2);
+  auto s = sched::SchemeSpec::parse("wf:weights=3;1").make(800, 2);
   // Stage total 400; PE0 gets ceil(400 * 3/4) = 300.
   EXPECT_EQ(s->next(0).size(), 300);
 }
@@ -75,7 +71,7 @@ TEST(Factory, SpecStringRoundTrips) {
 TEST(DFactory, AllKnownSchemesConstruct) {
   for (const std::string& kind : distsched::DistSchemeSpec::known_schemes()) {
     const std::string spec = kind == "dist" ? "dist(tss)" : kind;
-    auto s = distsched::make_dist_scheduler(spec, 100, 4);
+    auto s = distsched::DistSchemeSpec::parse(spec).make(100, 4);
     ASSERT_NE(s, nullptr) << spec;
     EXPECT_FALSE(s->name().empty());
   }
@@ -89,13 +85,13 @@ TEST(DFactory, UnknownSchemeThrows) {
 }
 
 TEST(DFactory, ParamsPropagate) {
-  auto s = distsched::make_dist_scheduler("dfiss:sigma=4,x=9", 100, 4);
+  auto s = distsched::DistSchemeSpec::parse("dfiss:sigma=4,x=9").make(100, 4);
   EXPECT_NE(s->name().find("sigma=4"), std::string::npos);
   EXPECT_NE(s->name().find("X=9"), std::string::npos);
 }
 
 TEST(DFactory, AdapterNameShowsInner) {
-  auto s = distsched::make_dist_scheduler("dist(gss:k=2)", 100, 4);
+  auto s = distsched::DistSchemeSpec::parse("dist(gss:k=2)").make(100, 4);
   EXPECT_EQ(s->name(), "dist(gss:k=2)");
 }
 

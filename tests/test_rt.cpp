@@ -14,33 +14,32 @@
 namespace lss::rt {
 namespace {
 
-RtConfig small_config(std::string scheme, bool distributed, int workers) {
+RtConfig small_config(std::string scheme, int workers) {
   RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(200, 2000.0);
   cfg.scheme = std::move(scheme);
-  cfg.distributed = distributed;
   cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
   return cfg;
 }
 
-class RtScheme : public ::testing::TestWithParam<
-                     std::tuple<std::string, bool /*distributed*/>> {};
+class RtScheme : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(RtScheme, ExecutesEveryIterationExactlyOnce) {
-  const auto& [scheme, dist] = GetParam();
-  const RtResult r = run_threaded(small_config(scheme, dist, 4));
+  const RtResult r = run_threaded(small_config(GetParam(), 4));
   EXPECT_TRUE(r.exactly_once());
   EXPECT_EQ(r.total_iterations, 200);
   EXPECT_GT(r.t_parallel, 0.0);
+  EXPECT_EQ(r.transport, "inproc");
+  EXPECT_TRUE(r.lost_workers.empty());
+  EXPECT_EQ(r.reassigned_chunks, 0);
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Simple, RtScheme,
-    ::testing::Combine(::testing::Values("ss", "css:k=16", "gss", "tss",
-                                         "fss", "fiss", "tfss"),
-                       ::testing::Values(false)),
+    ::testing::Values("ss", "css:k=16", "gss", "tss", "fss", "fiss",
+                      "tfss"),
     [](const auto& pi) {
-      std::string n = std::get<0>(pi.param);
+      std::string n = pi.param;
       for (char& c : n)
         if (c == ':' || c == '=') c = '_';
       return n;
@@ -48,20 +47,18 @@ INSTANTIATE_TEST_SUITE_P(
 
 INSTANTIATE_TEST_SUITE_P(
     Distributed, RtScheme,
-    ::testing::Combine(::testing::Values("dtss", "dfss", "dfiss", "dtfss",
-                                         "awf"),
-                       ::testing::Values(true)),
-    [](const auto& pi) { return std::get<0>(pi.param); });
+    ::testing::Values("dtss", "dfss", "dfiss", "dtfss", "awf"),
+    [](const auto& pi) { return pi.param; });
 
 TEST(Rt, HeterogeneousWorkersStillCoverLoop) {
-  RtConfig cfg = small_config("tss", false, 4);
+  RtConfig cfg = small_config("tss", 4);
   cfg.relative_speeds = {1.0, 1.0, 0.4, 0.4};
   const RtResult r = run_threaded(cfg);
   EXPECT_TRUE(r.exactly_once());
 }
 
 TEST(Rt, DistributedSkipsZeroAcpWorkers) {
-  RtConfig cfg = small_config("dtss", true, 4);
+  RtConfig cfg = small_config("dtss", 4);
   cfg.run_queues = {1, 1, 1, 50};  // worker 3: A = floor(10/50) = 0
   const RtResult r = run_threaded(cfg);
   EXPECT_TRUE(r.exactly_once());
@@ -69,19 +66,19 @@ TEST(Rt, DistributedSkipsZeroAcpWorkers) {
 }
 
 TEST(Rt, AllWorkersStarvedThrows) {
-  RtConfig cfg = small_config("dtss", true, 2);
+  RtConfig cfg = small_config("dtss", 2);
   cfg.run_queues = {50, 50};
   EXPECT_THROW(run_threaded(cfg), ContractError);
 }
 
 TEST(Rt, SingleWorkerTakesWholeLoop) {
-  const RtResult r = run_threaded(small_config("gss", false, 1));
+  const RtResult r = run_threaded(small_config("gss", 1));
   EXPECT_EQ(r.workers[0].iterations, 200);
   EXPECT_TRUE(r.exactly_once());
 }
 
 TEST(Rt, WorkerStatsAccumulate) {
-  const RtResult r = run_threaded(small_config("fss", false, 4));
+  const RtResult r = run_threaded(small_config("fss", 4));
   Index iters = 0, chunks = 0;
   for (const auto& w : r.workers) {
     iters += w.iterations;
@@ -109,7 +106,7 @@ TEST(Rt, MandelbrotImageMatchesSerialReference) {
 }
 
 TEST(Rt, EmptyLoopFinishes) {
-  RtConfig cfg = small_config("tss", false, 3);
+  RtConfig cfg = small_config("tss", 3);
   cfg.workload = std::make_shared<UniformWorkload>(0, 1.0);
   const RtResult r = run_threaded(cfg);
   EXPECT_EQ(r.total_iterations, 0);
@@ -118,12 +115,25 @@ TEST(Rt, EmptyLoopFinishes) {
 TEST(Rt, ConfigValidation) {
   RtConfig cfg;
   EXPECT_THROW(run_threaded(cfg), ContractError);  // no workload
-  cfg = small_config("tss", false, 2);
+  cfg = small_config("tss", 2);
   cfg.run_queues = {1};  // wrong size
   EXPECT_THROW(run_threaded(cfg), ContractError);
-  cfg = small_config("tss", false, 2);
+  cfg = small_config("tss", 2);
   cfg.relative_speeds = {1.0, -1.0};
   EXPECT_THROW(run_threaded(cfg), ContractError);
+}
+
+TEST(Rt, DeprecatedSetSchemeMapsToRegistrySpecs) {
+  RtConfig cfg;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  cfg.set_scheme("gss:k=2", /*distributed=*/true);
+  EXPECT_EQ(cfg.scheme, "dist(gss:k=2)");
+  cfg.set_scheme("dtss", /*distributed=*/true);
+  EXPECT_EQ(cfg.scheme, "dtss");
+  cfg.set_scheme("tss", /*distributed=*/false);
+  EXPECT_EQ(cfg.scheme, "tss");
+#pragma GCC diagnostic pop
 }
 
 TEST(Throttle, SlowsProportionally) {
@@ -149,7 +159,6 @@ TEST(Rt, AwfFeedbackFlowsThroughTheRuntime) {
   RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(800, 60000.0);
   cfg.scheme = "awf";
-  cfg.distributed = true;
   cfg.relative_speeds = {1.0, 1.0, 0.25, 0.25};
   cfg.run_queues = {4, 4, 1, 1};
   const RtResult r = run_threaded(cfg);

@@ -1,0 +1,177 @@
+// Fault injection through the real runtime: a worker dies mid-run,
+// the master detects the loss, reclaims the abandoned chunk, and the
+// loop is still covered exactly once — over the in-process transport
+// (threads, grace-timeout detection) and over localhost TCP (socket
+// EOF / heartbeat-silence detection).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/tcp.hpp"
+#include "lss/obs/trace.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/run.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::rt {
+namespace {
+
+RtConfig faulty_config(std::string scheme, int workers) {
+  RtConfig cfg;
+  cfg.workload = std::make_shared<UniformWorkload>(200, 2000.0);
+  cfg.scheme = std::move(scheme);
+  cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
+  cfg.faults.detect = true;
+  // Threads die silently (no EOF), so the grace timer is the only
+  // detector; keep it short but far above a chunk's compute time.
+  cfg.faults.grace = 0.5;
+  return cfg;
+}
+
+TEST(RtFaults, InprocDeathIsDetectedAndChunkReassigned) {
+  RtConfig cfg = faulty_config("dtss", 3);
+  // Worker 2 abandons its first grant: deterministic — every
+  // participant always receives a first grant.
+  cfg.die_after_chunks = {-1, -1, 0};
+  const RtResult r = run_threaded(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  ASSERT_EQ(r.lost_workers.size(), 1u);
+  EXPECT_EQ(r.lost_workers[0], 2);
+  EXPECT_GE(r.reassigned_chunks, 1);
+  EXPECT_GT(r.reassigned_iterations, 0);
+  EXPECT_EQ(r.workers[2].iterations, 0);
+  const RunStats stats = r.stats();
+  EXPECT_EQ(stats.workers_lost, 1);
+  EXPECT_EQ(stats.reassigned_chunks, r.reassigned_chunks);
+}
+
+TEST(RtFaults, SimpleSchemeSurvivesDeathToo) {
+  RtConfig cfg = faulty_config("tss", 4);
+  cfg.die_after_chunks = {-1, 0, -1, -1};
+  const RtResult r = run_threaded(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  ASSERT_EQ(r.lost_workers.size(), 1u);
+  EXPECT_EQ(r.lost_workers[0], 1);
+  EXPECT_GE(r.reassigned_chunks, 1);
+}
+
+TEST(RtFaults, MidRunDeathAfterSomeChunks) {
+  RtConfig cfg = faulty_config("dfss", 3);
+  // Dies on its *second* grant: its first chunk's completions must
+  // still count exactly once after the second is reassigned.
+  cfg.die_after_chunks = {1, -1, -1};
+  const RtResult r = run_threaded(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  if (!r.lost_workers.empty()) {
+    EXPECT_EQ(r.lost_workers[0], 0);
+    EXPECT_GE(r.reassigned_chunks, 1);
+  }
+}
+
+// Regression: a live-but-slow worker must not be shot. The grace
+// period is the contract — keep chunk times far below it and assert
+// nobody is declared dead.
+TEST(RtFaults, DetectorDoesNotShootHealthyWorkers) {
+  RtConfig cfg = faulty_config("dtss", 4);
+  cfg.faults.grace = 5.0;
+  cfg.relative_speeds = {1.0, 1.0, 0.3, 0.3};  // stragglers, not corpses
+  const RtResult r = run_threaded(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  EXPECT_TRUE(r.lost_workers.empty());
+  EXPECT_EQ(r.reassigned_chunks, 0);
+}
+
+TEST(RtFaults, TraceRecordsDeathAndReassignment) {
+  obs::Tracer::instance().enable(true);
+  RtConfig cfg = faulty_config("dtss", 3);
+  cfg.die_after_chunks = {-1, -1, 0};
+  const RtResult r = run_threaded(cfg);
+  obs::Tracer::instance().disable();
+  ASSERT_TRUE(r.exactly_once());
+
+  bool death_logged = false, reassignment_logged = false;
+  for (const obs::Event& e : obs::Tracer::instance().snapshot()) {
+    if (e.kind == obs::EventKind::WorkerDead && e.pe == 2)
+      death_logged = true;
+    if (e.kind == obs::EventKind::ChunkReassigned && e.a == 2)
+      reassignment_logged = true;
+  }
+  EXPECT_TRUE(death_logged);
+  EXPECT_TRUE(reassignment_logged);
+}
+
+// The same fault story over real sockets: the victim's process-exit
+// analogue is its transport destructor closing the connection, so
+// the master sees EOF instead of waiting out the grace period.
+TEST(RtFaults, TcpDeathIsDetectedAndChunkReassigned) {
+  auto workload = std::make_shared<UniformWorkload>(200, 2000.0);
+  mp::TcpOptions topts;
+  topts.heartbeat_period = std::chrono::milliseconds(25);
+  topts.liveness_timeout = std::chrono::milliseconds(300);
+  mp::TcpMasterTransport t(0, 3, topts);
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i)
+    workers.emplace_back([port = t.port(), topts, workload] {
+      mp::TcpWorkerTransport wt("127.0.0.1", port, topts);
+      WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      // Ranks come from accept order, so pick the victim by rank,
+      // not by spawn index: rank 3 abandons its first grant.
+      wc.die_after_chunks = wt.rank() == 3 ? 0 : -1;
+      run_worker_loop(wt, wc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheme = "dtss";
+  mc.total = 200;
+  mc.num_workers = 3;
+  mc.faults.detect = true;
+  mc.faults.grace = 5.0;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_EQ(outcome.transport, "tcp");
+  ASSERT_EQ(outcome.lost_workers.size(), 1u);
+  EXPECT_EQ(outcome.lost_workers[0], 2);
+  EXPECT_GE(outcome.reassigned_chunks, 1);
+  EXPECT_EQ(outcome.completed_iterations, 200);
+}
+
+TEST(RtFaults, TcpHealthyRunLosesNobody) {
+  auto workload = std::make_shared<UniformWorkload>(150, 2000.0);
+  mp::TcpMasterTransport t(0, 2);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back([port = t.port(), workload] {
+      mp::TcpWorkerTransport wt("127.0.0.1", port);
+      WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      run_worker_loop(wt, wc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheme = "gss";
+  mc.total = 150;
+  mc.num_workers = 2;
+  mc.faults.detect = true;
+  mc.faults.grace = 5.0;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_TRUE(outcome.lost_workers.empty());
+  EXPECT_EQ(outcome.reassigned_chunks, 0);
+  EXPECT_EQ(outcome.completed_iterations, 150);
+}
+
+}  // namespace
+}  // namespace lss::rt
