@@ -14,6 +14,9 @@
 #include "lss/mp/tcp.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/rt/dispatch.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/workload/synthetic.hpp"
 
 using namespace lss;
 
@@ -171,6 +174,64 @@ void BM_TransportRoundTrip(benchmark::State& state, bool tcp) {
   echo.join();
 }
 
+// Effective per-chunk latency of the full master<->worker exchange at
+// prefetch depth 0/1/2/4 (state.range(0)): a one-worker ss run over
+// 512 unit chunks whose compute burn is small against the messaging
+// cost — the paper's end-of-loop regime where chunks are pure
+// latency. Depth 0 is the strict request->grant lockstep (PR 3
+// behavior): every chunk pays compute plus a full exchange. Depth
+// >= 1 overlaps the round trip with compute, and depth >= 2 also
+// batches completion acks (one message per ~depth/2 chunks), so
+// per-chunk time collapses toward compute plus the amortized
+// per-message cost. Manual timing brackets run_master only; socket
+// setup and thread spawn stay outside the measurement.
+void BM_PipelineDepth(benchmark::State& state, bool tcp) {
+  const int depth = static_cast<int>(state.range(0));
+  constexpr Index kChunks = 512;        // ss: one iteration per chunk
+  constexpr double kBodyCost = 2000.0;  // ~1-2 us: latency-dominated
+  auto workload =
+      std::make_shared<lss::UniformWorkload>(kChunks, kBodyCost);
+
+  lss::rt::MasterConfig mc;
+  mc.scheme = "ss";
+  mc.total = kChunks;
+  mc.num_workers = 1;
+
+  for (auto _ : state) {
+    std::unique_ptr<lss::mp::Transport> transport;
+    std::thread worker;
+    const auto worker_body = [workload, depth](lss::mp::Transport& t) {
+      lss::rt::WorkerLoopConfig wc;
+      wc.worker = 0;
+      wc.workload = workload;
+      wc.pipeline_depth = depth;
+      lss::rt::run_worker_loop(t, wc);
+    };
+    if (tcp) {
+      auto master = std::make_unique<lss::mp::TcpMasterTransport>(0, 1);
+      worker = std::thread([port = master->port(), worker_body] {
+        lss::mp::TcpWorkerTransport wt("127.0.0.1", port);
+        worker_body(wt);
+      });
+      master->accept_workers();
+      transport = std::move(master);
+    } else {
+      auto comm = std::make_unique<lss::mp::Comm>(2);
+      worker = std::thread(
+          [t = comm.get(), worker_body] { worker_body(*t); });
+      transport = std::move(comm);
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    lss::rt::run_master(*transport, mc);
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - t0;
+    worker.join();
+    state.SetIterationTime(dt.count());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kChunks));
+}
+
 }  // namespace
 
 BENCHMARK_CAPTURE(BM_SimpleNext, ss, "ss");
@@ -213,5 +274,10 @@ BENCHMARK_CAPTURE(BM_DispatchNextTraced, gss_tracing_on, "gss")
 // the main thread's CPU time.
 BENCHMARK_CAPTURE(BM_TransportRoundTrip, inproc, false)->UseRealTime();
 BENCHMARK_CAPTURE(BM_TransportRoundTrip, tcp_loopback, true)->UseRealTime();
+
+BENCHMARK_CAPTURE(BM_PipelineDepth, inproc, false)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
+BENCHMARK_CAPTURE(BM_PipelineDepth, tcp_loopback, true)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
 
 BENCHMARK_MAIN();

@@ -38,9 +38,17 @@ for i in 1 2 3; do
 done
 
 # TCP loopback endpoints and the fault-recovery master loop, also
-# repeated: heartbeat threads, deadline receives, and peer-death
-# detection are all timing-dependent interleavings.
+# repeated: heartbeat threads, deadline receives, peer-death
+# detection, and the prefetch pipeline (kill-mid-pipeline reclaim,
+# legacy-protocol interop, batched grants/acks in flight while a
+# worker dies) are all timing-dependent interleavings.
 for i in 1 2 3; do
   "$build/tests/test_transport"
   "$build/tests/test_rt_faults"
 done
+
+# The pipelined worker/master loops at every depth (0/1/2/4): the
+# reactor drain, batch-grant ingest, and batched-ack flush paths all
+# cross threads through the in-process transport.
+"$build/tests/test_rt" \
+  --gtest_filter='Rt.PipelineDepthsAllCoverExactlyOnce:Rt.IdleGapStatsSurfaceInRunStats'

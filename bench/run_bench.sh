@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Runs the pipeline-depth latency benchmark and distills it into
+# BENCH_pipeline.json — the acceptance artifact for the latency-hiding
+# chunk pipeline (DESIGN.md §12).
+#
+# BM_PipelineDepth drives a full master + 1 worker SS run of 512
+# single-iteration chunks (~1-2 µs of compute each, so the exchange is
+# latency-dominated) at pipeline depths 0/1/2/4 over both transports
+# (in-process queues and TCP loopback). We record >= 5 repetitions of
+# each configuration and report the median and p90 of *per-chunk*
+# wall time, plus each depth's speedup over depth 0 on the same
+# transport. The headline number is tcp_loopback depth>=1 vs depth 0:
+# prefetching + batched grants/acks must cut per-chunk latency >= 2x.
+#
+#   bench/run_bench.sh [reps] [build-dir]
+set -euo pipefail
+
+reps="${1:-5}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${2:-$root/build}"
+raw="$build/bench_pipeline_raw.json"
+out="$root/BENCH_pipeline.json"
+
+cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "$build" -j "$(nproc)" --target bench_overhead >/dev/null
+
+"$build/bench/bench_overhead" \
+  --benchmark_filter='BM_PipelineDepth' \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_time_unit=us \
+  --benchmark_out="$raw" \
+  --benchmark_out_format=json
+
+python3 - "$raw" "$out" <<'PY'
+import json, statistics, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+CHUNKS = 512  # keep in sync with kChunks in BM_PipelineDepth
+
+# name: BM_PipelineDepth/<transport>/<depth>/manual_time
+runs = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_PipelineDepth":
+        continue
+    transport, depth = parts[1], int(parts[2])
+    assert b["time_unit"] == "us", b["time_unit"]
+    runs.setdefault((transport, depth), []).append(b["real_time"] / CHUNKS)
+
+def p90(xs):
+    xs = sorted(xs)
+    return xs[min(len(xs) - 1, int(round(0.9 * (len(xs) - 1))))]
+
+results = {}
+for (transport, depth), samples in sorted(runs.items()):
+    results.setdefault(transport, {})[str(depth)] = {
+        "reps": len(samples),
+        "per_chunk_us_median": round(statistics.median(samples), 3),
+        "per_chunk_us_p90": round(p90(samples), 3),
+    }
+
+for transport, depths in results.items():
+    base = depths.get("0", {}).get("per_chunk_us_median")
+    for depth, r in depths.items():
+        r["speedup_vs_depth0"] = (
+            round(base / r["per_chunk_us_median"], 2) if base else None)
+
+doc = {
+    "benchmark": "BM_PipelineDepth",
+    "workload": {"chunks": CHUNKS, "scheme": "ss", "workers": 1,
+                 "body_cost_units": 2000},
+    "context": {k: raw["context"][k]
+                for k in ("num_cpus", "mhz_per_cpu", "library_version")
+                if k in raw["context"]},
+    "metric": "wall microseconds per chunk (median / p90 over reps)",
+    "results": results,
+}
+best = max((d["speedup_vs_depth0"] or 0.0)
+           for d in results.get("tcp_loopback", {}).values())
+doc["tcp_best_speedup_vs_depth0"] = best
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(doc, indent=2))
+if best < 2.0:
+    print(f"FAIL: tcp_loopback best speedup {best} < 2.0", file=sys.stderr)
+    sys.exit(1)
+print(f"OK: tcp_loopback best speedup {best} >= 2.0")
+PY

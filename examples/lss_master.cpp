@@ -7,16 +7,22 @@
 //   lss_master [--scheme dtss] [--transport tcp|inproc] [--workers 3]
 //              [--port 0] [--width 200] [--height 120] [--max-iter 100]
 //              [--kill-after K] [--grace S] [--out image.pgm]
-//              [--no-spawn]
+//              [--pipeline-depth K] [--no-spawn]
+//
+// --pipeline-depth K (default 1) is the prefetch window shipped to
+// every worker in the job description: each keeps up to K granted
+// columns queued behind the one computing, hiding the master round
+// trip; 0 restores the strict one-request/one-grant exchange.
 //
 // With --transport tcp the master binds 127.0.0.1, spawns
 // `lss_worker` processes (found next to this binary) pointed at its
 // port, ships them the job description, and runs the fault-aware
 // rt/master loop; workers send computed columns home piggy-backed on
-// their requests. --kill-after K makes one worker die right after
-// receiving its (K+1)-th grant — the master detects the loss
-// (socket EOF / heartbeat silence) and reassigns the abandoned
-// chunk, so the run still covers every column exactly once.
+// their requests. --kill-after K makes one worker die right before
+// computing its (K+1)-th chunk — the master detects the loss
+// (socket EOF / heartbeat silence) and reassigns every chunk of the
+// abandoned pipeline, so the run still covers every column exactly
+// once.
 //
 // Exit status is 0 only if coverage was exactly-once — and, when a
 // kill was requested, only if the loss and a reassignment actually
@@ -152,6 +158,7 @@ lss::rt::MasterOutcome run_inproc(const Options& o,
     wc.worker = w;
     wc.workload = workload;
     wc.die_after_chunks = w == o.workers - 1 ? o.kill_after : -1;
+    wc.pipeline_depth = static_cast<int>(o.job.pipeline_depth);
     threads.emplace_back(
         [&comm, wc] { lss::rt::run_worker_loop(comm, wc); });
   }
@@ -193,6 +200,8 @@ int main(int argc, char** argv) {
       o.kill_after = std::stoi(next());
     } else if (arg == "--grace") {
       o.grace = std::stod(next());
+    } else if (arg == "--pipeline-depth") {
+      o.job.pipeline_depth = std::stoi(next());
     } else if (arg == "--out") {
       o.out_path = next();
     } else if (arg == "--no-spawn") {

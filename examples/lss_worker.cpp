@@ -5,11 +5,16 @@
 // Terminate.
 //
 //   lss_worker --port P [--host 127.0.0.1] [--die-after K]
+//              [--pipeline-depth K]
 //
-// --die-after K injects a fail-stop: the process exits right after
-// receiving its (K+1)-th grant without executing or acknowledging
-// it, exactly like a worker killed mid-run. The master must detect
-// the loss and reassign the abandoned chunk.
+// --die-after K injects a fail-stop: the process exits right before
+// computing its (K+1)-th chunk without executing or acknowledging
+// it — or anything queued behind it — exactly like a worker killed
+// mid-run. The master must detect the loss and reassign the whole
+// abandoned pipeline.
+//
+// --pipeline-depth K overrides the prefetch window the master ships
+// in the job description (negative/absent = use the job's value).
 #include <cstdint>
 #include <iostream>
 #include <memory>
@@ -32,6 +37,7 @@ int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   int die_after = -1;
+  int pipeline_depth = -1;  // negative = take the job's value
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&] {
@@ -44,6 +50,8 @@ int main(int argc, char** argv) {
       port = parse_int(next());
     } else if (arg == "--die-after") {
       die_after = parse_int(next());
+    } else if (arg == "--pipeline-depth") {
+      pipeline_depth = parse_int(next());
     } else {
       std::cerr << "unknown flag " << arg << '\n';
       return 2;
@@ -69,6 +77,9 @@ int main(int argc, char** argv) {
     wc.worker = rank - 1;
     wc.workload = workload;
     wc.die_after_chunks = die_after;
+    wc.pipeline_depth = pipeline_depth >= 0
+                            ? pipeline_depth
+                            : static_cast<int>(job.pipeline_depth);
     if (job.want_results)
       wc.result_of = [&workload, &job](lss::Range chunk) {
         return lss_cli::encode_columns(workload->image(), job.height, chunk);

@@ -3,10 +3,12 @@
 // worker threads under a self-scheduling scheme, then writing a PGM.
 //
 // Usage: mandelbrot_render [width height [scheme [out.pgm]]]
-//                          [--trace trace.json]
+//                          [--trace trace.json] [--kernel scalar|batched]
 //   defaults: 900 600 tfss mandelbrot.pgm
 //   --trace writes a Chrome trace_event JSON of the run (open it in
 //   Perfetto or chrome://tracing to see the per-worker chunk Gantt).
+//   --kernel batched computes escape counts in 8-wide branchless
+//   batches (identical pixels, vectorized inner loop).
 #include <fstream>
 #include <iostream>
 #include <memory>
@@ -36,6 +38,12 @@ int main(int argc, char** argv) try {
         return 1;
       }
       trace_path = argv[++i];
+    } else if (arg == "--kernel") {
+      if (i + 1 >= argc) {
+        std::cerr << "--kernel needs scalar|batched\n";
+        return 1;
+      }
+      params.kernel = mandelbrot_kernel_from_string(argv[++i]);
     } else {
       pos.push_back(arg);
     }

@@ -24,6 +24,10 @@ struct JobSpec {
   std::int64_t max_iter = 100;
   /// Workers ship computed columns back on each completion.
   bool want_results = true;
+  /// Prefetch window each worker advertises (rt/worker); trailing
+  /// field so a mixed old/new CLI pair still parses (old job blobs
+  /// decode as depth 1).
+  std::int64_t pipeline_depth = 1;
 };
 
 inline std::vector<std::byte> encode_job(const JobSpec& job) {
@@ -32,6 +36,7 @@ inline std::vector<std::byte> encode_job(const JobSpec& job) {
   w.put_i64(job.height);
   w.put_i64(job.max_iter);
   w.put_i64(job.want_results ? 1 : 0);
+  w.put_i64(job.pipeline_depth);
   return w.take();
 }
 
@@ -42,6 +47,7 @@ inline JobSpec decode_job(const std::vector<std::byte>& payload) {
   job.height = rd.get_i64();
   job.max_iter = rd.get_i64();
   job.want_results = rd.get_i64() != 0;
+  if (!rd.exhausted()) job.pipeline_depth = rd.get_i64();
   return job;
 }
 

@@ -59,6 +59,20 @@ std::optional<Message> Mailbox::try_recv(int source, int tag) {
   return pop_match_locked(source, tag);
 }
 
+std::vector<Message> Mailbox::drain(int source, int tag) {
+  std::vector<Message> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin(); it != queue_.end();) {
+    if (it->matches(source, tag)) {
+      out.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return out;
+}
+
 bool Mailbox::probe(int source, int tag) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (const Message& m : queue_)

@@ -31,6 +31,14 @@ class Mailbox {
   std::optional<Message> try_recv(int source = kAnySource,
                                   int tag = kAnyTag);
 
+  /// Atomically pops *every* queued message matching the filters, in
+  /// arrival order, under one lock acquisition. This is the reactor
+  /// ready-set primitive: unlike a probe/try_recv loop, the matching
+  /// and all dequeues are indivisible with respect to concurrent
+  /// receivers, so a message can be neither claimed twice nor missed
+  /// between calls.
+  std::vector<Message> drain(int source = kAnySource, int tag = kAnyTag);
+
   /// True if a matching message is queued (MPI_Iprobe). Advisory: a
   /// concurrent try_recv may drain the message before the caller
   /// acts on a true — use recv_for() to wait for one atomically

@@ -62,6 +62,14 @@ std::optional<Message> Comm::try_recv(int rank, int source, int tag) {
   return box(rank).try_recv(source, tag);
 }
 
+std::vector<Message> Comm::drain(int rank, int source, int tag) {
+  std::vector<Message> out = box(rank).drain(source, tag);
+  for (const Message& m : out)
+    obs::emit(obs::EventKind::MsgRecv, pe_of(rank), {}, m.tag,
+              pe_of(m.source));
+  return out;
+}
+
 bool Comm::probe(int rank, int source, int tag) const {
   return box(rank).probe(source, tag);
 }

@@ -39,6 +39,11 @@ class Comm final : public Transport {
                                   int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
                                   int tag = kAnyTag) override;
+  /// One-lock multi-pop on the rank's mailbox: the whole ready-set
+  /// is claimed atomically even when several threads receive on the
+  /// same rank.
+  std::vector<Message> drain(int rank, int source = kAnySource,
+                             int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
 

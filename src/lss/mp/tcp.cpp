@@ -89,11 +89,26 @@ bool poll_readable(int fd, milliseconds wait) {
   return rc > 0 && (pfd.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
 }
 
-std::vector<std::byte> hello_payload() {
+// Hellos and acks keep the original two leading fields untouched
+// (legacy peers LSS_REQUIRE version == 1) and append the protocol
+// generation as a *trailing* i32: legacy decoders stop reading
+// before it, so a missing trailer means "kProtoLegacy peer" and an
+// extra trailer is invisible to old code. That asymmetry is the
+// whole negotiation.
+std::vector<std::byte> hello_payload(int protocol) {
   PayloadWriter w;
   w.put_i32(kWireMagic);
   w.put_i32(kWireVersion);
+  if (protocol > kProtoLegacy) w.put_i32(protocol);
   return w.take();
+}
+
+/// The trailing protocol field of a hello/ack, after `rd` consumed
+/// the fixed fields; absent = legacy peer.
+int read_protocol_trailer(PayloadReader& rd) {
+  if (rd.exhausted()) return kProtoLegacy;
+  const int proto = rd.get_i32();
+  return proto < kProtoLegacy ? kProtoLegacy : proto;
 }
 
 }  // namespace
@@ -165,12 +180,14 @@ void TcpMasterTransport::accept_workers() {
     LSS_REQUIRE(hello->tag == kTagHello && rd.get_i32() == kWireMagic &&
                     rd.get_i32() == kWireVersion,
                 "peer is not an lss worker (bad hello)");
+    peer.protocol = std::min(options_.protocol, read_protocol_trailer(rd));
 
     PayloadWriter ack;
     ack.put_i32(kWireMagic);
     ack.put_i32(kWireVersion);
     ack.put_i32(w + 1);           // assigned rank
     ack.put_i32(num_workers_);
+    if (peer.protocol > kProtoLegacy) ack.put_i32(peer.protocol);
     LSS_REQUIRE(write_all(fd, encode_frame(0, kTagHelloAck, ack.take(),
                                            options_.max_frame_payload)),
                 "failed to send hello-ack");
@@ -294,6 +311,26 @@ std::optional<Message> TcpMasterTransport::try_recv(int rank, int source,
   return inbox_.try_recv(source, tag);
 }
 
+std::vector<Message> TcpMasterTransport::drain(int rank, int source,
+                                               int tag) {
+  LSS_REQUIRE(rank == 0, "a TCP master endpoint only hosts rank 0");
+  // One non-blocking pump moves every frame already readable on any
+  // worker socket into the mailbox; the mailbox drain then claims
+  // the whole ready-set in one lock acquisition.
+  pump(milliseconds(0));
+  std::vector<Message> out = inbox_.drain(source, tag);
+  for (const Message& m : out)
+    obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m.tag,
+              pe_of(m.source));
+  return out;
+}
+
+int TcpMasterTransport::peer_protocol(int rank) const {
+  if (rank == 0) return options_.protocol;
+  LSS_REQUIRE(rank >= 1 && rank <= num_workers_, "rank out of range");
+  return peers_[static_cast<std::size_t>(rank - 1)].protocol;
+}
+
 bool TcpMasterTransport::probe(int rank, int source, int tag) const {
   LSS_REQUIRE(rank == 0, "a TCP master endpoint only hosts rank 0");
   // Reflects frames already pumped off the sockets; advisory anyway
@@ -339,7 +376,8 @@ TcpWorkerTransport::TcpWorkerTransport(const std::string& host,
   set_nodelay(fd_);
   decoder_ = FrameDecoder(options_.max_frame_payload);
 
-  LSS_REQUIRE(write_all(fd_, encode_frame(-1, kTagHello, hello_payload(),
+  LSS_REQUIRE(write_all(fd_, encode_frame(-1, kTagHello,
+                                          hello_payload(options_.protocol),
                                           options_.max_frame_payload)),
               "failed to send hello");
   const auto deadline = Clock::now() + options_.handshake_timeout;
@@ -357,6 +395,7 @@ TcpWorkerTransport::TcpWorkerTransport(const std::string& host,
               "peer is not an lss master (bad hello-ack)");
   rank_ = rd.get_i32();
   num_workers_ = rd.get_i32();
+  negotiated_ = std::min(options_.protocol, read_protocol_trailer(rd));
   open_.store(true, std::memory_order_release);
 
   if (options_.heartbeat_period.count() > 0)
@@ -463,6 +502,23 @@ std::optional<Message> TcpWorkerTransport::try_recv(int rank, int source,
   LSS_REQUIRE(rank == rank_, "a TCP worker endpoint only hosts its own rank");
   pump(milliseconds(0));
   return inbox_.try_recv(source, tag);
+}
+
+std::vector<Message> TcpWorkerTransport::drain(int rank, int source,
+                                               int tag) {
+  LSS_REQUIRE(rank == rank_, "a TCP worker endpoint only hosts its own rank");
+  pump(milliseconds(0));
+  std::vector<Message> out = inbox_.drain(source, tag);
+  for (const Message& m : out)
+    obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m.tag,
+              pe_of(m.source));
+  return out;
+}
+
+int TcpWorkerTransport::peer_protocol(int rank) const {
+  if (rank == rank_) return options_.protocol;
+  LSS_REQUIRE(rank == 0, "workers only negotiate with the master");
+  return negotiated_;
 }
 
 bool TcpWorkerTransport::probe(int rank, int source, int tag) const {

@@ -55,6 +55,11 @@ struct TcpOptions {
   std::chrono::milliseconds handshake_timeout{10000};
   /// Per-frame payload cap enforced on receive (see mp/framing.hpp).
   std::uint32_t max_frame_payload = kMaxFramePayload;
+  /// Highest protocol generation this endpoint speaks (mp::kProto*).
+  /// Each connection negotiates min(ours, peer's) in the hello/ack
+  /// handshake; set kProtoLegacy to emulate a pre-pipeline peer
+  /// byte-for-byte (interop tests).
+  int protocol = kProtoCurrent;
 };
 
 class TcpMasterTransport final : public Transport {
@@ -84,15 +89,20 @@ class TcpMasterTransport final : public Transport {
                                   int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
                                   int tag = kAnyTag) override;
+  std::vector<Message> drain(int rank, int source = kAnySource,
+                             int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
   bool peer_alive(int rank) const override;
   void close_peer(int rank) override;
+  /// Per-connection protocol generation agreed at accept time.
+  int peer_protocol(int rank) const override;
 
  private:
   struct Peer {
     int fd = -1;
     bool open = false;
+    int protocol = kProtoLegacy;  ///< negotiated at handshake
     FrameDecoder decoder{kMaxFramePayload};
     std::chrono::steady_clock::time_point last_seen{};
   };
@@ -140,10 +150,14 @@ class TcpWorkerTransport final : public Transport {
                                   int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
                                   int tag = kAnyTag) override;
+  std::vector<Message> drain(int rank, int source = kAnySource,
+                             int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
   bool peer_alive(int rank) const override;
   void close_peer(int rank) override;
+  /// Protocol generation the master's hello-ack agreed to.
+  int peer_protocol(int rank) const override;
 
  private:
   bool pump(std::chrono::milliseconds wait);
@@ -157,6 +171,7 @@ class TcpWorkerTransport final : public Transport {
   int fd_ = -1;
   int rank_ = -1;
   int num_workers_ = 0;
+  int negotiated_ = kProtoLegacy;  ///< protocol agreed with the master
   /// Atomic: flipped by the pumping thread on EOF and read by the
   /// heartbeat thread deciding whether to keep beating.
   std::atomic<bool> open_{false};

@@ -26,7 +26,9 @@
 // -style load reporting). Callers that want "receive, but give up
 // after a while" must use recv_for(), which performs the matching and
 // the dequeue atomically with respect to other receivers and sleeps
-// instead of spinning.
+// instead of spinning. Event loops that want "everything queued right
+// now" use drain(), whose matching and dequeues are one atomic step —
+// the ready-set primitive the rt master reactor is built on.
 #pragma once
 
 #include <chrono>
@@ -37,6 +39,18 @@
 #include "lss/mp/message.hpp"
 
 namespace lss::mp {
+
+/// Protocol generations negotiated per connection at handshake time
+/// (carried as a trailing hello/hello-ack field that pre-pipeline
+/// peers never read and never send, so either side may be old).
+/// kProtoLegacy peers speak the original one-request/one-grant
+/// exchange only; kProtoPipelined peers additionally understand
+/// multi-grant (batched assign) frames and piggy-backed prefetch
+/// windows. In-process backends are always current: both ends live
+/// in one binary.
+inline constexpr int kProtoLegacy = 1;
+inline constexpr int kProtoPipelined = 2;
+inline constexpr int kProtoCurrent = kProtoPipelined;
 
 class Transport {
  public:
@@ -74,6 +88,32 @@ class Transport {
   virtual std::optional<Message> try_recv(int rank,
                                           int source = kAnySource,
                                           int tag = kAnyTag) = 0;
+
+  /// Atomically pops every message queued for `rank` that matches
+  /// the filters, in arrival order — the reactor's ready-set. The
+  /// matching and all dequeues are indivisible with respect to
+  /// concurrent receivers (unlike a probe/try_recv loop, which can
+  /// lose or double-claim a message between calls). Backends that
+  /// buffer on a socket pump it without blocking first. The default
+  /// loops try_recv, which is atomic enough for single-receiver
+  /// endpoints; multi-receiver backends override with a one-lock
+  /// drain.
+  virtual std::vector<Message> drain(int rank, int source = kAnySource,
+                                     int tag = kAnyTag) {
+    std::vector<Message> out;
+    while (auto m = try_recv(rank, source, tag)) out.push_back(std::move(*m));
+    return out;
+  }
+
+  /// Protocol generation negotiated with the peer hosting `rank`
+  /// (kProtoLegacy / kProtoPipelined). In-process backends are
+  /// always kProtoCurrent; socket backends report what the
+  /// hello/hello-ack handshake agreed on, which callers must consult
+  /// before sending any frame a legacy peer would not understand.
+  virtual int peer_protocol(int rank) const {
+    (void)rank;
+    return kProtoCurrent;
+  }
 
   /// True if a matching message was queued at the instant of the
   /// call. Advisory only — see the probe-then-recv note above.

@@ -28,6 +28,10 @@ enum class EventKind : std::uint8_t {
                    ///< outstanding chunk, a = iterations reclaimed)
   ChunkReassigned, ///< reclaimed chunk re-granted to `pe` (a = the
                    ///< dead worker it was taken from)
+  PrefetchGranted, ///< master granted `pe` a chunk ahead of need
+                   ///< (a = pipeline depth after the grant)
+  PipelineStall,   ///< `pe`'s grant pipeline ran dry and it had to
+                   ///< wait (a = idle gap in nanoseconds)
 };
 
 std::string to_string(EventKind kind);

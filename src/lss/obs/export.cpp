@@ -121,6 +121,16 @@ std::string chrome_trace_json(std::span<const Event> events,
             e, pid, "reassigned " + range_suffix(e.range),
             "\"from_worker\":" + std::to_string(e.a)));
         break;
+      case EventKind::PrefetchGranted:
+        records.push_back(instant_event(
+            e, pid, "prefetch " + range_suffix(e.range),
+            "\"depth\":" + std::to_string(e.a)));
+        break;
+      case EventKind::PipelineStall:
+        records.push_back(instant_event(
+            e, pid, "pipeline-stall",
+            "\"gap_ns\":" + std::to_string(e.a)));
+        break;
     }
   }
   for (const auto& [pe, start] : pending)

@@ -28,6 +28,21 @@ std::string json_array(const std::vector<T>& xs) {
 
 }  // namespace
 
+IdleGapStats IdleGapStats::from_gaps(const std::vector<double>& gaps_s) {
+  IdleGapStats out;
+  for (double g : gaps_s) {
+    ++out.count;
+    out.total_s += g;
+    if (g > out.max_s) out.max_s = g;
+    std::size_t bucket = 0;
+    for (double us = g * 1e6; us >= 2.0 && bucket < 63; us /= 2.0)
+      ++bucket;
+    if (out.log2_us.size() <= bucket) out.log2_us.resize(bucket + 1, 0);
+    ++out.log2_us[bucket];
+  }
+  return out;
+}
+
 std::string RunStats::to_json() const {
   std::string out = "{";
   out += "\"scheme\":\"" + json_escape(scheme) + "\"";
@@ -50,6 +65,16 @@ std::string RunStats::to_json() const {
   out += "]";
   out += ",\"iterations_per_pe\":" + json_array(iterations_per_pe);
   out += ",\"chunks_per_pe\":" + json_array(chunks_per_pe);
+  out += ",\"idle_gaps_per_pe\":[";
+  for (std::size_t i = 0; i < idle_gaps_per_pe.size(); ++i) {
+    const IdleGapStats& g = idle_gaps_per_pe[i];
+    if (i > 0) out += ',';
+    out += "{\"count\":" + std::to_string(g.count) +
+           ",\"total_s\":" + fmt_fixed(g.total_s, 6) +
+           ",\"max_s\":" + fmt_fixed(g.max_s, 6) +
+           ",\"log2_us\":" + json_array(g.log2_us) + "}";
+  }
+  out += "]";
   out += "}";
   return out;
 }

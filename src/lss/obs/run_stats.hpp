@@ -16,6 +16,21 @@
 
 namespace lss {
 
+/// Per-PE summary of pipeline stalls: the wall time a worker spent
+/// blocked on an empty grant pipeline after its first chunk (the
+/// gaps rt's prefetching exists to hide).
+struct IdleGapStats {
+  Index count = 0;
+  double total_s = 0.0;
+  double max_s = 0.0;
+  /// log2 histogram over microseconds: bucket b counts gaps in
+  /// [2^b, 2^{b+1}) µs; bucket 0 also absorbs sub-µs gaps.
+  std::vector<Index> log2_us;
+
+  /// Folds raw gap lengths (seconds) into a summary.
+  static IdleGapStats from_gaps(const std::vector<double>& gaps_s);
+};
+
 struct RunStats {
   std::string scheme;         ///< resolved scheme name, e.g. "gss(k=1)"
   std::string runner;         ///< "parallel_for" | "rt" | "sim"
@@ -34,6 +49,9 @@ struct RunStats {
   std::vector<metrics::TimeBreakdown> per_pe;
   std::vector<Index> iterations_per_pe;
   std::vector<Index> chunks_per_pe;
+  /// Empty when the runner does not measure stalls (everything but
+  /// the rt master-worker runtime).
+  std::vector<IdleGapStats> idle_gaps_per_pe;
 
   /// Machine-readable form for exporters and dashboards.
   std::string to_json() const;

@@ -27,6 +27,10 @@ std::string to_string(EventKind kind) {
       return "worker-dead";
     case EventKind::ChunkReassigned:
       return "chunk-reassigned";
+    case EventKind::PrefetchGranted:
+      return "prefetch-granted";
+    case EventKind::PipelineStall:
+      return "pipeline-stall";
   }
   return "?";
 }

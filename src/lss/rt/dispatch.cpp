@@ -45,7 +45,13 @@ class TableDispatcher final : public ChunkDispatcher {
                   std::vector<Range> table)
       : ChunkDispatcher(total, num_pes),
         name_(std::move(name)),
-        table_(std::move(table)) {}
+        table_(std::move(table)) {
+    // Suffix iteration counts, so remaining() is one atomic load plus
+    // one array read: suffix_[t] = iterations in table_[t..].
+    suffix_.assign(table_.size() + 1, 0);
+    for (std::size_t t = table_.size(); t-- > 0;)
+      suffix_[t] = suffix_[t + 1] + table_[t].size();
+  }
 
   Range next(int pe) override {
     const std::uint64_t ticket =
@@ -61,9 +67,16 @@ class TableDispatcher final : public ChunkDispatcher {
   DispatchPath path() const override { return DispatchPath::LockFreeTable; }
   std::string name() const override { return name_; }
 
+  Index remaining() const override {
+    const std::uint64_t t = ticket_.load(std::memory_order_relaxed);
+    if (t >= table_.size()) return 0;
+    return suffix_[static_cast<std::size_t>(t)];
+  }
+
  private:
   std::string name_;
   std::vector<Range> table_;
+  std::vector<Index> suffix_;  // suffix_[t] = iterations left at ticket t
   std::atomic<std::uint64_t> ticket_{0};
 };
 
@@ -85,6 +98,11 @@ class CounterDispatcher final : public ChunkDispatcher {
 
   DispatchPath path() const override { return DispatchPath::AtomicCounter; }
   std::string name() const override { return name_; }
+
+  Index remaining() const override {
+    const Index c = cursor_.load(std::memory_order_relaxed);
+    return c >= total() ? 0 : total() - c;
+  }
 
  private:
   std::string name_;
@@ -120,6 +138,11 @@ class LockedDispatcher final : public ChunkDispatcher {
   std::string name() const override {
     std::lock_guard<std::mutex> lock(mu_);
     return scheduler_->name();
+  }
+
+  Index remaining() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return scheduler_->remaining();
   }
 
  private:

@@ -67,6 +67,12 @@ class ChunkDispatcher {
   /// Underlying scheme name, identical to ChunkScheduler::name().
   virtual std::string name() const = 0;
 
+  /// Iterations not yet granted — the prefetch-throttling hint. An
+  /// instantaneous snapshot: concurrent next() calls may invalidate
+  /// it before the caller acts, so it bounds optimism (how far ahead
+  /// to grant), never correctness. Never negative.
+  virtual Index remaining() const = 0;
+
   Index total() const { return total_; }
   int num_pes() const { return num_pes_; }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <deque>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include "lss/api/scheduler.hpp"
@@ -28,7 +29,7 @@ double seconds_since(Clock::time_point t0) {
 
 enum class WState {
   Unseen,      // participating, no request yet
-  Active,      // has an outstanding grant
+  Active,      // has at least one outstanding grant
   Idle,        // requested at least once, nothing outstanding
   Parked,      // requested, no work available, held back
   Terminated,  // sent Terminate
@@ -40,6 +41,12 @@ struct ReclaimedChunk {
   int from_worker;
 };
 
+// Single-poll reactor: one drain() claims the whole ready-set, every
+// queued request is ingested (completions, feedback, window updates)
+// before a replenish pass grants — so a wake-up that found five acks
+// answers all five workers without five separate poll cycles, and
+// multiple chunks owed to one worker coalesce into one AssignBatch
+// frame.
 class MasterLoop {
  public:
   MasterLoop(mp::Transport& t, const MasterConfig& cfg)
@@ -48,6 +55,7 @@ class MasterLoop {
     LSS_REQUIRE(cfg.num_workers >= 1, "master needs at least one worker");
     LSS_REQUIRE(t.size() == cfg.num_workers + 1,
                 "transport sized for a different worker count");
+    LSS_REQUIRE(cfg.max_pipeline >= 0, "negative pipeline cap");
     participating_ = cfg.participating;
     if (participating_.empty())
       participating_.assign(static_cast<std::size_t>(cfg.num_workers), true);
@@ -66,9 +74,17 @@ class MasterLoop {
 
     const auto p = static_cast<std::size_t>(cfg.num_workers);
     state_.assign(p, WState::Unseen);
-    outstanding_.assign(p, std::nullopt);
-    grant_time_.assign(p, started_);
+    outstanding_.assign(p, {});
+    last_alive_.assign(p, started_);
+    window_.assign(p, 0);
+    acp_.assign(p, 1.0);
     backoff_ = cfg.faults.poll_initial;
+    // Auto: busy-polling needs a spare hardware thread to spin on;
+    // on a single-core host it would steal the CPU the workers (or
+    // the kernel's wakeup path) need.
+    spin_ = cfg.poll_spin >= 0.0 ? cfg.poll_spin
+            : std::thread::hardware_concurrency() > 1 ? 50e-6
+                                                      : 0.0;
 
     out_.scheme_name = distributed_ ? dist_->name() : simple_->name();
     out_.dispatch_path =
@@ -82,13 +98,21 @@ class MasterLoop {
   MasterOutcome run() {
     if (distributed_) gather_and_first_serve();
     while (finished_ < expected_) {
-      if (auto m = next_request()) {
-        serve(*m);
-        backoff_ = cfg_.faults.poll_initial;
-      } else {
+      std::vector<mp::Message> ready =
+          t_.drain(0, mp::kAnySource, protocol::kTagRequest);
+      if (ready.empty()) ready = spin_for_requests();
+      if (ready.empty()) {
+        // Nothing queued: fall back to one (possibly deadline-bounded)
+        // blocking receive — the reactor's quiescent wait.
+        if (auto m = next_request()) ready.push_back(std::move(*m));
+      }
+      if (ready.empty()) {
         check_deaths();
         backoff_ = std::min(backoff_ * 2.0, cfg_.faults.poll_max);
+        continue;
       }
+      backoff_ = cfg_.faults.poll_initial;
+      replenish(ingest_all(ready));
     }
     const Index lost = uncovered_iterations();
     LSS_REQUIRE(lost == 0,
@@ -100,6 +124,26 @@ class MasterLoop {
 
  private:
   // --- receive plumbing --------------------------------------------------
+
+  /// Bounded busy-poll on the ready-set before committing to a
+  /// blocking wait. Completions usually arrive a few microseconds
+  /// apart while workers chew small chunks, and a sender whose peer
+  /// is asleep in poll() pays the peer's in-kernel wakeup inside its
+  /// own send() — on the worker's critical path, exactly where the
+  /// prefetch pipeline cannot hide it. Spinning for cfg_.poll_spin
+  /// keeps the master awake across those gaps; truly idle periods
+  /// still end in the blocking receive below.
+  std::vector<mp::Message> spin_for_requests() {
+    if (spin_ <= 0.0) return {};
+    const Clock::time_point deadline = Clock::now() + secs(spin_);
+    while (Clock::now() < deadline) {
+      std::vector<mp::Message> ready =
+          t_.drain(0, mp::kAnySource, protocol::kTagRequest);
+      if (!ready.empty()) return ready;
+      std::this_thread::yield();
+    }
+    return {};
+  }
 
   std::optional<mp::Message> next_request() {
     if (!cfg_.faults.detect)
@@ -117,13 +161,13 @@ class MasterLoop {
       const WState s = state(w);
       if (s == WState::Terminated || s == WState::Dead) continue;
       const bool transport_dead = !t_.peer_alive(w + 1);
-      // Grace ages against the grant for Active workers and against
-      // the loop start when the first request never came. Idle and
-      // Parked workers owe us nothing — only the transport can
-      // declare them dead.
+      // Grace ages against the last sign of life (any message or
+      // grant) for Active workers and against the loop start when
+      // the first request never came. Idle and Parked workers owe us
+      // nothing — only the transport can declare them dead.
       double age = 0.0;
       if (s == WState::Active)
-        age = seconds_since(grant_time_[static_cast<std::size_t>(w)]);
+        age = seconds_since(last_alive_[static_cast<std::size_t>(w)]);
       else if (s == WState::Unseen)
         age = seconds_since(started_);
       if (transport_dead || age > cfg_.faults.grace) declare_dead(w);
@@ -131,19 +175,22 @@ class MasterLoop {
   }
 
   void declare_dead(int w) {
-    auto& outstanding = outstanding_[static_cast<std::size_t>(w)];
-    const Range lost = outstanding.value_or(Range{});
-    obs::emit(obs::EventKind::WorkerDead, w, lost, lost.size());
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    // The whole in-flight pipeline dies with the worker: every
+    // granted-but-unacknowledged chunk goes back to the pool, not
+    // just the one it was computing.
+    Index lost_iters = 0;
+    for (const Range& r : dq) lost_iters += r.size();
+    obs::emit(obs::EventKind::WorkerDead, w,
+              dq.empty() ? Range{} : dq.front(), lost_iters);
     if (state(w) == WState::Parked) std::erase(parked_, w);
     state(w) = WState::Dead;
     ++finished_;  // resolved: this worker owes the protocol nothing more
     out_.lost_workers.push_back(w);
-    if (outstanding) {
-      pool_.push_back({*outstanding, w});
-      outstanding.reset();
-    }
+    for (const Range& r : dq) pool_.push_back({r, w});
+    dq.clear();
     t_.close_peer(w + 1);
-    // The reclaimed chunk may be exactly what a parked worker was
+    // The reclaimed chunks may be exactly what parked workers were
     // waiting for.
     serve_parked_from_pool();
   }
@@ -171,18 +218,58 @@ class MasterLoop {
     return {simple_->next(w), -1};
   }
 
-  void grant(int w, Range chunk, int reassigned_from) {
-    if (reassigned_from >= 0) {
-      obs::emit(obs::EventKind::ChunkGranted, w, chunk);
-      obs::emit(obs::EventKind::ChunkReassigned, w, chunk,
-                reassigned_from);
-      ++out_.reassigned_chunks;
-      out_.reassigned_iterations += chunk.size();
+  /// Iterations still grantable (pool + scheduler) — the optimism
+  /// bound for prefetching. A snapshot, not a reservation.
+  Index remaining_hint() const {
+    Index pooled = 0;
+    for (const ReclaimedChunk& c : pool_) pooled += c.range.size();
+    return pooled + (distributed_ ? dist_->remaining() : simple_->remaining());
+  }
+
+  int live_workers() const {
+    int n = 0;
+    for (int w = 0; w < cfg_.num_workers; ++w) {
+      if (!participating_[static_cast<std::size_t>(w)]) continue;
+      const WState s = state(w);
+      if (s != WState::Dead && s != WState::Terminated) ++n;
     }
-    outstanding_[static_cast<std::size_t>(w)] = chunk;
-    grant_time_[static_cast<std::size_t>(w)] = Clock::now();
+    return n;
+  }
+
+  /// Tail-throttling rule: granting `w` a chunk *beyond* its first
+  /// outstanding one is load imbalance risk — near the end of the
+  /// loop a prefetched chunk may be exactly the work another worker
+  /// will starve for. Prefetch is allowed only while every live
+  /// worker could still be handed work of the same size as `w`'s
+  /// latest grant (`ref` iterations).
+  bool prefetch_allowed(Index ref) const {
+    return remaining_hint() >= static_cast<Index>(live_workers()) * ref;
+  }
+
+  void send_grants(int w, const std::vector<Range>& chunks,
+                   const std::vector<int>& sources) {
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    for (std::size_t i = 0; i < chunks.size(); ++i) {
+      if (sources[i] >= 0) {
+        obs::emit(obs::EventKind::ChunkGranted, w, chunks[i]);
+        obs::emit(obs::EventKind::ChunkReassigned, w, chunks[i],
+                  sources[i]);
+        ++out_.reassigned_chunks;
+        out_.reassigned_iterations += chunks[i].size();
+      }
+      dq.push_back(chunks[i]);
+      if (dq.size() > 1)
+        obs::emit(obs::EventKind::PrefetchGranted, w, chunks[i],
+                  static_cast<std::int64_t>(dq.size()));
+    }
+    last_alive_[static_cast<std::size_t>(w)] = Clock::now();
     state(w) = WState::Active;
-    t_.send(0, w + 1, protocol::kTagAssign, protocol::encode_assign(chunk));
+    if (chunks.size() == 1)
+      t_.send(0, w + 1, protocol::kTagAssign,
+              protocol::encode_assign(chunks.front()));
+    else
+      t_.send(0, w + 1, protocol::kTagAssignBatch,
+              protocol::encode_assign_batch(chunks));
   }
 
   void terminate(int w) {
@@ -197,52 +284,125 @@ class MasterLoop {
       parked_.pop_front();
       const ReclaimedChunk c = pool_.back();
       pool_.pop_back();
-      grant(w, c.range, c.from_worker);
+      state(w) = WState::Idle;
+      send_grants(w, {c.range}, {c.from_worker});
     }
   }
 
-  // --- serving -----------------------------------------------------------
+  // --- ingesting ---------------------------------------------------------
 
-  void record_completion(int w, const protocol::WorkerRequest& req) {
-    if (req.completed.empty()) return;
-    for (Index i = req.completed.begin; i < req.completed.end; ++i)
+  void record_one_completion(int w, Range completed,
+                             const std::vector<std::byte>& result) {
+    if (completed.empty()) return;
+    for (Index i = completed.begin; i < completed.end; ++i)
       if (i >= 0 && i < cfg_.total)
         ++out_.execution_count[static_cast<std::size_t>(i)];
-    out_.completed_iterations += req.completed.size();
+    out_.completed_iterations += completed.size();
     out_.iterations_per_worker[static_cast<std::size_t>(w)] +=
-        req.completed.size();
+        completed.size();
     ++out_.chunks_per_worker[static_cast<std::size_t>(w)];
-    outstanding_[static_cast<std::size_t>(w)].reset();
-    if (cfg_.on_result && !req.result.empty())
-      cfg_.on_result(w, req.completed, req.result);
+    // Completions arrive in grant order, but find-and-erase keeps
+    // the bookkeeping right even if a backend reorders.
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    const auto it = std::find(dq.begin(), dq.end(), completed);
+    if (it != dq.end()) dq.erase(it);
+    if (cfg_.on_result && !result.empty())
+      cfg_.on_result(w, completed, result);
   }
 
-  void serve(const mp::Message& m) {
+  void record_completion(int w, const protocol::WorkerRequest& req) {
+    static const std::vector<std::byte> kNoResult;
+    record_one_completion(w, req.completed, req.result);
+    for (std::size_t i = 0; i < req.more_completed.size(); ++i)
+      record_one_completion(w, req.more_completed[i],
+                            i < req.more_results.size()
+                                ? req.more_results[i]
+                                : kNoResult);
+  }
+
+  /// Absorbs one request: completion ack, feedback, ACP and window
+  /// refresh. Returns the worker id, or -1 when the sender is fenced
+  /// (answered with Terminate, nothing counted).
+  int ingest(const mp::Message& m) {
     const int w = m.source - 1;
     LSS_REQUIRE(w >= 0 && w < cfg_.num_workers,
                 "request from an unknown rank");
     if (state(w) == WState::Dead || state(w) == WState::Terminated) {
       // A fenced worker resurfaced (false-positive death or a stray
-      // message raced the terminate): its chunk may already be
+      // message raced the terminate): its chunks may already be
       // re-granted elsewhere, so its data cannot be trusted. Tell it
       // to go away; never count its completions.
       t_.send(0, m.source, protocol::kTagTerminate, {});
-      return;
+      return -1;
     }
     const protocol::WorkerRequest req = protocol::decode_request(m.payload);
+    const auto sw = static_cast<std::size_t>(w);
+    last_alive_[sw] = Clock::now();
+    acp_[sw] = req.acp;
+    // Never trust a window from a peer that did not negotiate the
+    // pipelined protocol: a legacy encoding decodes as window 0, and
+    // a legacy peer must never see a batch frame or a second
+    // outstanding grant.
+    window_[sw] = t_.peer_protocol(m.source) >= mp::kProtoPipelined
+                      ? std::min(req.window, cfg_.max_pipeline)
+                      : 0;
+    if (window_[sw] < 0) window_[sw] = 0;
     if (state(w) == WState::Unseen) state(w) = WState::Idle;
     record_completion(w, req);
     if (distributed_ && req.fb_iters > 0)
       dist_->on_feedback(w, req.fb_iters, req.fb_seconds);
+    if (state(w) == WState::Active && outstanding_[sw].empty())
+      state(w) = WState::Idle;
+    return w;
+  }
 
-    const auto [chunk, from] = next_chunk(w, req.acp);
-    if (!chunk.empty()) {
-      grant(w, chunk, from);
+  /// Ingests the whole ready-set; returns the workers that spoke, in
+  /// first-arrival order, deduplicated (a deep pipeline can queue
+  /// several completions from one worker in a single wake-up).
+  std::vector<int> ingest_all(const std::vector<mp::Message>& ready) {
+    std::vector<int> order;
+    for (const mp::Message& m : ready) {
+      const int w = ingest(m);
+      if (w >= 0 && std::find(order.begin(), order.end(), w) == order.end())
+        order.push_back(w);
+    }
+    return order;
+  }
+
+  // --- replenishing ------------------------------------------------------
+
+  /// Tops `w` up to 1 + window outstanding chunks (prefetch gated by
+  /// the tail rule), coalescing everything owed into one frame. A
+  /// starved Idle worker is parked while reclaims are still possible,
+  /// terminated otherwise.
+  void replenish_worker(int w) {
+    if (state(w) != WState::Active && state(w) != WState::Idle) return;
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    std::vector<Range> grants;
+    std::vector<int> sources;
+    const int target = 1 + window_[static_cast<std::size_t>(w)];
+    while (static_cast<int>(dq.size()) + static_cast<int>(grants.size()) <
+           target) {
+      if (!dq.empty() || !grants.empty()) {
+        const Index ref =
+            grants.empty() ? dq.back().size() : grants.back().size();
+        if (!prefetch_allowed(ref)) break;
+      }
+      const auto [chunk, from] =
+          next_chunk(w, acp_[static_cast<std::size_t>(w)]);
+      if (chunk.empty()) break;
+      grants.push_back(chunk);
+      sources.push_back(from);
+    }
+    if (!grants.empty()) {
+      send_grants(w, grants, sources);
       return;
     }
-    // Nothing to grant. While a grant is outstanding elsewhere, a
-    // reclaim may yet produce work — park this worker instead of
-    // releasing capacity the recovery might need.
+    if (!dq.empty()) return;  // still busy; nothing owed right now
+    // Nothing to grant and nothing outstanding. While a grant is
+    // outstanding elsewhere, a reclaim may yet produce work — park
+    // this worker instead of releasing capacity the recovery might
+    // need.
     if (cfg_.faults.detect && outstanding_anywhere()) {
       state(w) = WState::Parked;
       parked_.push_back(w);
@@ -255,6 +415,10 @@ class MasterLoop {
       parked_.pop_front();
       terminate(v);
     }
+  }
+
+  void replenish(const std::vector<int>& order) {
+    for (int w : order) replenish_worker(w);
   }
 
   // --- distributed gather (paper master step 1a) -------------------------
@@ -285,17 +449,17 @@ class MasterLoop {
       if (state(w) != WState::Unseen) continue;
       mp::PayloadReader rd(m->payload);
       acps[static_cast<std::size_t>(w)] = rd.get_f64();
-      state(w) = WState::Idle;
       first.push_back(std::move(*m));
     }
     dist_->initialize(acps);
-    // Serve the gathered batch in decreasing-ACP order (step 1a).
+    // Serve the gathered batch in decreasing-ACP order (step 1a):
+    // the replenish pass below deals first chunks in that order.
     std::stable_sort(first.begin(), first.end(),
                      [&acps](const mp::Message& a, const mp::Message& b) {
                        return acps[static_cast<std::size_t>(a.source - 1)] >
                               acps[static_cast<std::size_t>(b.source - 1)];
                      });
-    for (const mp::Message& m : first) serve(m);
+    replenish(ingest_all(first));
   }
 
   // --- bookkeeping -------------------------------------------------------
@@ -304,8 +468,8 @@ class MasterLoop {
   WState state(int w) const { return state_[static_cast<std::size_t>(w)]; }
 
   bool outstanding_anywhere() const {
-    for (const auto& o : outstanding_)
-      if (o) return true;
+    for (const auto& dq : outstanding_)
+      if (!dq.empty()) return true;
     return false;
   }
 
@@ -327,9 +491,14 @@ class MasterLoop {
   int expected_ = 0;   // participating workers
   int finished_ = 0;   // terminated or dead participants
   double backoff_ = 0.02;
+  double spin_ = 0.0;  // resolved busy-poll budget (seconds)
   std::vector<WState> state_;
-  std::vector<std::optional<Range>> outstanding_;
-  std::vector<Clock::time_point> grant_time_;
+  /// Per-worker in-flight pipeline: every granted, unacknowledged
+  /// chunk in grant order. Front is what the worker computes now.
+  std::vector<std::deque<Range>> outstanding_;
+  std::vector<Clock::time_point> last_alive_;
+  std::vector<int> window_;     // negotiated+capped prefetch window
+  std::vector<double> acp_;     // latest reported ACP
   std::vector<ReclaimedChunk> pool_;
   std::deque<int> parked_;
   MasterOutcome out_;

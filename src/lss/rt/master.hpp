@@ -9,6 +9,21 @@
 // (initial ACP gather, decreasing-power first serves, feedback,
 // majority-change replans).
 //
+// ## Reactor + prefetch pipeline (DESIGN.md §12)
+//
+// The loop is a single-poll reactor: each wake-up atomically drains
+// every queued request (Transport::drain — the ready-set), ingests
+// them all (completions, feedback, ACP/window refresh), and only
+// then runs one replenish pass that grants work. Workers that
+// advertised a prefetch window (pipelined peers) are topped up to
+// 1 + window outstanding chunks, with everything owed to one worker
+// coalesced into a single AssignBatch frame; the extra grants hide
+// the master round trip behind the worker's compute. Prefetch is
+// throttled near the tail of the loop (the scheduler's remaining()
+// hint) so look-ahead never starves another worker of its last
+// chunk. Peers that negotiated the legacy protocol are served
+// exactly the v1 one-request/one-grant exchange.
+//
 // ## Failure handling (FaultPolicy.detect)
 //
 // With detection off, the loop blocks in recv() exactly like the
@@ -30,8 +45,10 @@
 //
 // A worker declared dead is fenced (Transport::close_peer) and its
 // later messages, if any, are answered with Terminate and otherwise
-// ignored: its chunk may already be re-granted, so its completions
-// no longer count.
+// ignored: its chunks may already be re-granted, so its completions
+// no longer count. With prefetching the worker's ENTIRE in-flight
+// pipeline — every granted, unacknowledged chunk — is reclaimed at
+// once, not just the chunk it was computing.
 #pragma once
 
 #include <functional>
@@ -72,6 +89,20 @@ struct MasterConfig {
   /// failure-checked. Empty = all num_workers participate.
   std::vector<bool> participating;
   FaultPolicy faults;
+  /// Hard cap on any worker's prefetch window, whatever it
+  /// advertises (bounds the reclaim cost of one death and the frame
+  /// size of one batch). 0 disables prefetching master-wide.
+  int max_pipeline = 64;
+  /// Reactor busy-poll budget (seconds) before each blocking wait.
+  /// Waking a poll-sleeping receiver on loopback charges microseconds
+  /// of in-kernel wakeup work to the *sender's* send() call — i.e. to
+  /// the worker's critical path, where prefetching cannot hide it. A
+  /// master that stays awake between closely spaced completions keeps
+  /// worker sends at buffer-copy cost. 0 restores pure blocking
+  /// waits; negative (default) auto-selects 50 µs on multicore hosts
+  /// and 0 on single-core ones, where spinning would steal the only
+  /// CPU from the workers.
+  double poll_spin = -1.0;
   /// Invoked for every completed chunk that carried a result blob
   /// (socket workers shipping computed data back to the master).
   std::function<void(int worker, Range chunk,

@@ -2,13 +2,23 @@
 
 namespace lss::rt::protocol {
 
-std::vector<std::byte> encode_request(const WorkerRequest& req) {
+std::vector<std::byte> encode_request(const WorkerRequest& req, int proto) {
   mp::PayloadWriter w;
   w.put_f64(req.acp);
   w.put_i64(req.fb_iters);
   w.put_f64(req.fb_seconds);
   w.put_range(req.completed);
   w.put_blob(req.result);
+  if (proto >= mp::kProtoPipelined) {
+    w.put_i32(req.window);
+    w.put_i64(static_cast<Index>(req.more_completed.size()));
+    static const std::vector<std::byte> kNoResult;
+    for (std::size_t i = 0; i < req.more_completed.size(); ++i) {
+      w.put_range(req.more_completed[i]);
+      w.put_blob(i < req.more_results.size() ? req.more_results[i]
+                                             : kNoResult);
+    }
+  }
   return w.take();
 }
 
@@ -20,6 +30,16 @@ WorkerRequest decode_request(const std::vector<std::byte>& payload) {
   req.fb_seconds = rd.get_f64();
   req.completed = rd.get_range();
   req.result = rd.get_blob();
+  if (!rd.exhausted()) req.window = rd.get_i32();
+  if (!rd.exhausted()) {
+    const Index n = rd.get_i64();
+    req.more_completed.reserve(static_cast<std::size_t>(n));
+    req.more_results.reserve(static_cast<std::size_t>(n));
+    for (Index i = 0; i < n; ++i) {
+      req.more_completed.push_back(rd.get_range());
+      req.more_results.push_back(rd.get_blob());
+    }
+  }
   return req;
 }
 
@@ -32,6 +52,22 @@ std::vector<std::byte> encode_assign(Range chunk) {
 Range decode_assign(const std::vector<std::byte>& payload) {
   mp::PayloadReader rd(payload);
   return rd.get_range();
+}
+
+std::vector<std::byte> encode_assign_batch(const std::vector<Range>& chunks) {
+  mp::PayloadWriter w;
+  w.put_i64(static_cast<Index>(chunks.size()));
+  for (const Range& c : chunks) w.put_range(c);
+  return w.take();
+}
+
+std::vector<Range> decode_assign_batch(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  const Index n = rd.get_i64();
+  std::vector<Range> chunks;
+  chunks.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) chunks.push_back(rd.get_range());
+  return chunks;
 }
 
 }  // namespace lss::rt::protocol

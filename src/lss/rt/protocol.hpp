@@ -10,16 +10,41 @@
 //                                 completion acknowledgement),
 //                                 optionally with a result blob.
 //   master -> worker   Assign     one iteration Range
+//   master -> worker   AssignBatch several Ranges coalesced into one
+//                                 frame (pipelined peers only; the
+//                                 worker queues them in order)
 //   master -> worker   Terminate  empty; the worker exits its loop
 //   master -> worker   Job        host-defined job description blob
 //                                 (the CLIs ship workload parameters
 //                                 here before the first Request)
+//
+// ## Protocol generations
+//
+// The v1 (kProtoLegacy) exchange is strictly one-request/one-grant.
+// kProtoPipelined adds three things, all invisible to a legacy peer:
+//
+//   * WorkerRequest grows a trailing `window` field — how many
+//     *additional* granted-but-unstarted chunks the worker is willing
+//     to hold. Legacy decoders stop before the trailer; decoding a
+//     legacy payload leaves window at 0. encode_request() only emits
+//     the trailer when told the peer understands it.
+//   * kTagAssignBatch, which a legacy worker would never receive
+//     because a legacy peer always advertises window 0 and the
+//     master never grants a second outstanding chunk to it.
+//   * Batched completion acks: behind the window trailer, a request
+//     may carry extra (chunk, result) completions beyond `completed`.
+//     A worker with a deep pipeline acknowledges every 1 message per
+//     ~window/2 chunks instead of per chunk — the per-chunk message
+//     cost (syscall, peer wake-up, context switch on shared cores) is
+//     amortized across the batch. Only emitted to pipelined peers; a
+//     worker serving a legacy master flushes after every chunk.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "lss/mp/message.hpp"
+#include "lss/mp/transport.hpp"
 #include "lss/support/types.hpp"
 
 namespace lss::rt::protocol {
@@ -28,6 +53,7 @@ inline constexpr int kTagRequest = 1;
 inline constexpr int kTagAssign = 2;
 inline constexpr int kTagTerminate = 3;
 inline constexpr int kTagJob = 4;
+inline constexpr int kTagAssignBatch = 5;
 
 /// Everything a worker piggy-backs on a chunk request. `completed`
 /// is empty on the first request; afterwards it names the chunk the
@@ -39,12 +65,32 @@ struct WorkerRequest {
   double fb_seconds = 0;  ///< measured wall seconds for them
   Range completed{};      ///< the chunk those measurements cover
   std::vector<std::byte> result;  ///< optional result blob for it
+  /// Prefetch window: how many extra chunks (beyond the one
+  /// in-flight) the worker will queue. Trailing field — absent on
+  /// the wire when the peer negotiated kProtoLegacy, and 0 when
+  /// decoding a legacy payload.
+  int window = 0;
+  /// Completions batched behind `completed` (kProtoPipelined only):
+  /// more_completed[i] pairs with more_results[i]. The aggregate
+  /// feedback fields above cover `completed` plus all of these.
+  std::vector<Range> more_completed;
+  std::vector<std::vector<std::byte>> more_results;
 };
 
-std::vector<std::byte> encode_request(const WorkerRequest& req);
+/// `proto` is the generation negotiated with the receiving peer
+/// (Transport::peer_protocol); legacy encodings omit the window
+/// trailer byte-for-byte as v1 wrote them.
+std::vector<std::byte> encode_request(const WorkerRequest& req,
+                                      int proto = mp::kProtoCurrent);
 WorkerRequest decode_request(const std::vector<std::byte>& payload);
 
 std::vector<std::byte> encode_assign(Range chunk);
 Range decode_assign(const std::vector<std::byte>& payload);
+
+/// Multi-grant frame: the master's reactor coalesces every chunk a
+/// replenish pass owes one worker into a single kTagAssignBatch
+/// frame. Pipelined peers only.
+std::vector<std::byte> encode_assign_batch(const std::vector<Range>& chunks);
+std::vector<Range> decode_assign_batch(const std::vector<std::byte>& payload);
 
 }  // namespace lss::rt::protocol

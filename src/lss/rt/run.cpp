@@ -33,6 +33,12 @@ bool RtResult::exactly_once() const {
   return true;
 }
 
+bool RtResult::acked_exactly_once() const {
+  for (int c : acked_count)
+    if (c != 1) return false;
+  return true;
+}
+
 RunStats RtResult::stats() const {
   RunStats out;
   out.scheme = scheme;
@@ -47,11 +53,13 @@ RunStats RtResult::stats() const {
   out.per_pe.reserve(workers.size());
   out.iterations_per_pe.reserve(workers.size());
   out.chunks_per_pe.reserve(workers.size());
+  out.idle_gaps_per_pe.reserve(workers.size());
   for (const RtWorkerStats& w : workers) {
     out.chunks += w.chunks;
     out.per_pe.push_back(w.times);
     out.iterations_per_pe.push_back(w.iterations);
     out.chunks_per_pe.push_back(w.chunks);
+    out.idle_gaps_per_pe.push_back(IdleGapStats::from_gaps(w.idle_gaps));
   }
   return out;
 }
@@ -105,6 +113,7 @@ RtResult run_threaded(const RtConfig& config) {
     wc.workload = config.workload;
     wc.die_after_chunks =
         config.die_after_chunks.empty() ? -1 : config.die_after_chunks[sw];
+    wc.pipeline_depth = config.pipeline_depth;
     threads.emplace_back([&comm, &results, sw, wc = std::move(wc)] {
       results[sw] = run_worker_loop(comm, wc);
     });
@@ -127,12 +136,15 @@ RtResult run_threaded(const RtConfig& config) {
   out.transport = outcome.transport;
   out.t_parallel = seconds_since(t0);
   out.lost_workers = outcome.lost_workers;
+  out.acked_count = std::move(outcome.execution_count);
   out.reassigned_chunks = outcome.reassigned_chunks;
   out.reassigned_iterations = outcome.reassigned_iterations;
   out.replans = outcome.replans;
   // Worker-side ground truth: count coverage from the chunks each
   // thread actually executed — stronger than the master's protocol
-  // acknowledgements, since it catches real double execution.
+  // acknowledgements, since it catches real double execution (see
+  // the RtResult::execution_count doc for the one legitimate gap:
+  // a victim's computed-but-unacked batch under pipeline_depth >= 2).
   out.execution_count.assign(static_cast<std::size_t>(total), 0);
   out.workers.reserve(static_cast<std::size_t>(p));
   for (const WorkerLoopResult& wr : results) {
@@ -140,7 +152,8 @@ RtResult run_threaded(const RtConfig& config) {
     ws.times = wr.times;
     ws.iterations = wr.iterations;
     ws.chunks = wr.chunks;
-    out.workers.push_back(ws);
+    ws.idle_gaps = wr.idle_gaps;
+    out.workers.push_back(std::move(ws));
     out.total_iterations += wr.iterations;
     for (const Range& r : wr.executed)
       for (Index i = r.begin; i < r.end; ++i)

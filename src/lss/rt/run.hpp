@@ -54,6 +54,11 @@ struct RtConfig {
   /// no faults; negative entries = that worker never dies. Injected
   /// deaths require `faults.detect` or the master blocks forever.
   std::vector<int> die_after_chunks;
+  /// Per-worker prefetch window (rt/worker): each worker keeps up to
+  /// this many granted-but-unstarted chunks queued beyond the one
+  /// computing, hiding the master round trip. 0 restores the strict
+  /// one-request/one-grant exchange.
+  int pipeline_depth = 1;
 
   /// Pre-registry spelling, where the family was a separate flag.
   [[deprecated("set `scheme` to a registry spec; the family is "
@@ -66,6 +71,9 @@ struct RtWorkerStats {
   metrics::TimeBreakdown times;
   Index iterations = 0;
   Index chunks = 0;
+  /// Post-first-grant blocks on an empty pipeline, in wall seconds
+  /// (rt/worker — the stalls prefetching exists to hide).
+  std::vector<double> idle_gaps;
 };
 
 struct RtResult {
@@ -80,14 +88,26 @@ struct RtResult {
   Index total_iterations = 0;
   /// Worker-side ground truth (counted from each thread's executed
   /// chunks, not from protocol acknowledgements): all-ones iff the
-  /// loop was covered exactly once, faults included.
+  /// loop was covered exactly once, faults included. Caveat under
+  /// faults with pipeline_depth >= 2: completion acks batch (rt/
+  /// worker), so a worker killed mid-batch may have computed chunks
+  /// whose acks never left; the master cannot tell those from
+  /// never-started grants and reassigns them, leaving a count of 2
+  /// here while `acked_count` — whose results the master actually
+  /// applies — stays exactly-once.
   std::vector<int> execution_count;
+  /// Master-side accounting: completions per iteration as
+  /// acknowledged over the protocol. Dead workers are fenced, so
+  /// this is all-ones (each result applied once) even when a
+  /// reassigned chunk re-executes worker-side.
+  std::vector<int> acked_count;
   std::vector<int> lost_workers;  ///< declared dead, in death order
   Index reassigned_chunks = 0;
   Index reassigned_iterations = 0;
   int replans = 0;
 
   bool exactly_once() const;
+  bool acked_exactly_once() const;
 
   /// The runner-agnostic result slice (obs exporters, benches).
   RunStats stats() const;

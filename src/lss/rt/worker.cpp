@@ -1,6 +1,7 @@
 #include "lss/rt/worker.hpp"
 
 #include <chrono>
+#include <deque>
 
 #include "lss/obs/trace.hpp"
 #include "lss/rt/protocol.hpp"
@@ -22,26 +23,98 @@ double seconds_since(Clock::time_point t0) {
 WorkerLoopResult run_worker_loop(mp::Transport& t,
                                  const WorkerLoopConfig& cfg) {
   LSS_REQUIRE(cfg.workload != nullptr, "worker loop needs a workload");
+  LSS_REQUIRE(cfg.pipeline_depth >= 0, "negative prefetch window");
   const int w = cfg.worker;
   const int rank = w + 1;
   Throttle throttle(cfg.relative_speed);
   Workload& workload = *cfg.workload;
+  // Against a legacy master the window stays 0 and encode_request
+  // omits the trailer, so the wire exchange is exactly the v1 loop.
+  const int proto = t.peer_protocol(0);
+  const int window =
+      proto >= mp::kProtoPipelined ? cfg.pipeline_depth : 0;
 
   WorkerLoopResult out;
+  std::deque<Range> pending;  // granted, not yet computed (FIFO)
   protocol::WorkerRequest req;
   req.acp = cfg.acp;
-  while (true) {
-    t.send(rank, 0, protocol::kTagRequest, protocol::encode_request(req));
-    const auto wait_start = Clock::now();
-    mp::Message m = t.recv(rank, 0);
-    out.times.t_wait += seconds_since(wait_start);
-    if (m.tag == protocol::kTagTerminate) break;
-    LSS_ASSERT(m.tag == protocol::kTagAssign, "unexpected message tag");
-    const Range chunk = protocol::decode_assign(m.payload);
+  req.window = window;
 
+  // Completed-but-unacknowledged chunks, flushed as one batched-ack
+  // request once the pending queue drains to half the window: deep
+  // pipelines then pay one message per ~window/2 chunks instead of
+  // one per chunk, while the unflushed half still covers the grant
+  // round trip. window <= 1 flushes after every chunk — the exact v1
+  // cadence.
+  const auto flush_at = static_cast<std::size_t>((window + 1) / 2);
+  std::vector<Range> done;
+  std::vector<std::vector<std::byte>> done_results;
+  Index done_iters = 0;
+  double done_seconds = 0.0;
+  const auto flush_acks = [&] {
+    req.fb_iters = done_iters;
+    req.fb_seconds = done_seconds;
+    req.completed = done.front();
+    req.result = std::move(done_results.front());
+    req.more_completed.assign(done.begin() + 1, done.end());
+    req.more_results.assign(
+        std::make_move_iterator(done_results.begin() + 1),
+        std::make_move_iterator(done_results.end()));
+    t.send(rank, 0, protocol::kTagRequest,
+           protocol::encode_request(req, proto));
+    done.clear();
+    done_results.clear();
+    done_iters = 0;
+    done_seconds = 0.0;
+    req.result.clear();
+    req.more_completed.clear();
+    req.more_results.clear();
+  };
+
+  // Queues grants; false = Terminate. A Terminate with chunks still
+  // pending means the master fenced us (false-positive death): those
+  // chunks are already being re-granted elsewhere, so abandon them.
+  const auto ingest = [&](const mp::Message& m) {
+    if (m.tag == protocol::kTagTerminate) return false;
+    if (m.tag == protocol::kTagAssignBatch) {
+      for (const Range& c : protocol::decode_assign_batch(m.payload))
+        pending.push_back(c);
+      return true;
+    }
+    LSS_ASSERT(m.tag == protocol::kTagAssign, "unexpected message tag");
+    pending.push_back(protocol::decode_assign(m.payload));
+    return true;
+  };
+
+  t.send(rank, 0, protocol::kTagRequest, protocol::encode_request(req, proto));
+  bool terminated = false;
+  while (!terminated) {
+    if (pending.empty()) {
+      // Pipeline dry: block on the master. Gaps after the first
+      // grant are the stalls prefetching exists to hide.
+      const bool stall = out.chunks > 0;
+      const auto wait_start = Clock::now();
+      const mp::Message m = t.recv(rank, 0);
+      const double gap = seconds_since(wait_start);
+      out.times.t_wait += gap;
+      if (stall && m.tag != protocol::kTagTerminate) {
+        out.idle_gaps.push_back(gap);
+        obs::emit(obs::EventKind::PipelineStall, w, {},
+                  static_cast<std::int64_t>(gap * 1e9));
+      }
+      if (!ingest(m)) break;
+    }
+    // Drain grants that arrived while computing — no blocking.
+    for (const mp::Message& m : t.drain(rank, 0))
+      if (!ingest(m)) terminated = true;
+    if (terminated) break;
+
+    const Range chunk = pending.front();
+    pending.pop_front();
     if (cfg.die_after_chunks >= 0 && out.chunks >= cfg.die_after_chunks) {
-      // Fail-stop between recv and compute: the grant is abandoned
-      // unacknowledged, as if the process were killed here.
+      // Fail-stop between recv and compute: this chunk and everything
+      // queued behind it are abandoned unacknowledged, as if the
+      // process were killed here mid-pipeline.
       out.died = true;
       return out;
     }
@@ -52,18 +125,23 @@ WorkerLoopResult run_worker_loop(mp::Transport& t,
     const auto busy = Clock::now() - comp_start;
     throttle.pay(busy);
     // Measured feedback (includes the throttle: it is the *effective*
-    // rate that matters) and the completion acknowledgement are
-    // piggy-backed on the next request.
-    req.fb_iters = chunk.size();
-    req.fb_seconds = seconds_since(comp_start);
-    req.completed = chunk;
-    req.result = cfg.result_of ? cfg.result_of(chunk)
-                               : std::vector<std::byte>{};
-    out.times.t_comp += req.fb_seconds;
+    // rate that matters) and the completion acknowledgements are
+    // piggy-backed on the next request, which also re-advertises the
+    // prefetch window so the master can top the pipeline back up.
+    const double chunk_seconds = seconds_since(comp_start);
+    done.push_back(chunk);
+    done_results.push_back(cfg.result_of ? cfg.result_of(chunk)
+                                         : std::vector<std::byte>{});
+    done_iters += chunk.size();
+    done_seconds += chunk_seconds;
+    out.times.t_comp += chunk_seconds;
     out.iterations += chunk.size();
     ++out.chunks;
     out.executed.push_back(chunk);
     obs::emit(obs::EventKind::ChunkFinished, w, chunk);
+    // pending.empty() implies a flush (0 <= flush_at), so the loop
+    // never blocks on the master while holding unsent acks.
+    if (pending.size() <= flush_at) flush_acks();
   }
   return out;
 }

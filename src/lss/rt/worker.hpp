@@ -8,12 +8,29 @@
 // set, the computed data itself) on the next request, and exits on
 // Terminate.
 //
+// ## Prefetch pipeline (latency hiding)
+//
+// With `pipeline_depth = k > 0` the worker advertises a window of k
+// extra chunks on every request; a pipelined master (mp::
+// kProtoPipelined) grants ahead, so up to k granted-but-unstarted
+// chunks queue locally while one computes. The master round trip
+// then overlaps compute instead of serializing with it — the worker
+// only blocks when the local queue runs dry (recorded as an obs
+// PipelineStall and an `idle_gaps` entry). Completion acks batch up
+// too: at k >= 2 the worker flushes them one message per ~k/2 chunks
+// (when the queue drains to half the window), amortizing the
+// per-message cost while the unflushed half still covers the grant
+// round trip. Against a legacy master the negotiated protocol forces
+// the window to 0 and the exchange is byte-for-byte the original
+// one-request/one-grant loop.
+//
 // Fault injection: `die_after_chunks = K` makes the loop return
-// right after *receiving* its (K+1)-th grant, without executing or
+// right before *computing* its (K+1)-th chunk, without executing or
 // acknowledging it — exactly the footprint of a process killed
-// between recv and compute. The abandoned chunk stays covered by
-// nobody, so a fault-aware master must reassign it for the run to
-// cover [0, total) exactly once.
+// between recv and compute. The abandoned chunk — and with
+// prefetching, every further chunk queued behind it — stays covered
+// by nobody, so a fault-aware master must reassign the whole
+// in-flight pipeline for the run to cover [0, total) exactly once.
 #pragma once
 
 #include <cstddef>
@@ -38,9 +55,14 @@ struct WorkerLoopConfig {
   double relative_speed = 1.0;
   /// Executes iterations; must be safe for concurrent distinct i.
   std::shared_ptr<Workload> workload;
-  /// Fault injection: die on receiving grant K+1 (see header note);
-  /// negative = never.
+  /// Fault injection: die before computing chunk K+1 (see header
+  /// note); negative = never.
   int die_after_chunks = -1;
+  /// Prefetch window: how many granted-but-unstarted chunks to keep
+  /// queued beyond the one computing (see header note). 0 restores
+  /// the strict one-request/one-grant exchange; effective only when
+  /// the master negotiated mp::kProtoPipelined.
+  int pipeline_depth = 1;
   /// Builds the result blob shipped with the completion of `chunk`
   /// (socket workers sending computed data home). Null = no blob.
   std::function<std::vector<std::byte>(Range chunk)> result_of;
@@ -52,6 +74,10 @@ struct WorkerLoopResult {
   Index chunks = 0;
   std::vector<Range> executed;  ///< every chunk actually computed
   bool died = false;            ///< fault injection fired
+  /// Wall seconds of every post-first-grant block on an empty
+  /// pipeline — the stalls prefetching exists to hide. With depth 0
+  /// this is every master round trip after the first.
+  std::vector<double> idle_gaps;
 };
 
 /// Runs the worker loop until Terminate (or injected death). Throws

@@ -1,10 +1,23 @@
 #include "lss/workload/mandelbrot.hpp"
 
 #include <ostream>
+#include <vector>
 
 #include "lss/support/assert.hpp"
 
 namespace lss {
+
+MandelbrotKernel mandelbrot_kernel_from_string(const std::string& s) {
+  if (s == "scalar") return MandelbrotKernel::Scalar;
+  if (s == "batched") return MandelbrotKernel::Batched;
+  LSS_REQUIRE(false, "unknown mandelbrot kernel '" + s +
+                         "' (want scalar|batched)");
+  return MandelbrotKernel::Scalar;
+}
+
+std::string to_string(MandelbrotKernel kernel) {
+  return kernel == MandelbrotKernel::Batched ? "batched" : "scalar";
+}
 
 MandelbrotParams MandelbrotParams::paper(int width, int height) {
   MandelbrotParams p;
@@ -28,6 +41,42 @@ int mandelbrot_escape(double cx, double cy, int max_iter) {
   return n;
 }
 
+void mandelbrot_escape_batch(double cx, const double* cy, int count,
+                             int max_iter, int* out) {
+  constexpr int W = kMandelbrotBatch;
+  int i = 0;
+  for (; i + W <= count; i += W) {
+    // Mask form of the scalar loop: lane l runs the identical
+    // recurrence, latches its escape count the first time
+    // |z|^2 > 4 (checked *after* incrementing, like the scalar ++n),
+    // then freezes. All lane operations are select-style, so the
+    // inner loop vectorizes without intrinsics.
+    double zx[W] = {}, zy[W] = {};
+    double cyv[W];
+    int cnt[W] = {};  // 0 = not escaped yet
+    for (int l = 0; l < W; ++l) cyv[l] = cy[i + l];
+    for (int it = 1; it <= max_iter; ++it) {
+      int active_lanes = 0;
+      for (int l = 0; l < W; ++l) {
+        const double zx2 = zx[l] * zx[l];
+        const double zy2 = zy[l] * zy[l];
+        if (cnt[l] == 0 && zx2 + zy2 > 4.0) cnt[l] = it;
+        const bool active = cnt[l] == 0;
+        active_lanes += active ? 1 : 0;
+        const double nzx = zx2 - zy2 + cx;
+        const double nzy = 2.0 * zx[l] * zy[l] + cyv[l];
+        zx[l] = active ? nzx : zx[l];
+        zy[l] = active ? nzy : zy[l];
+      }
+      if (active_lanes == 0) break;
+    }
+    for (int l = 0; l < W; ++l)
+      out[i + l] = cnt[l] == 0 ? max_iter : cnt[l];
+  }
+  // Partial batch: the scalar kernel keeps tail semantics identical.
+  for (; i < count; ++i) out[i] = mandelbrot_escape(cx, cy[i], max_iter);
+}
+
 MandelbrotWorkload::MandelbrotWorkload(MandelbrotParams params)
     : params_(params) {
   LSS_REQUIRE(params_.width > 0 && params_.height > 0,
@@ -39,18 +88,33 @@ MandelbrotWorkload::MandelbrotWorkload(MandelbrotParams params)
   image_.assign(static_cast<std::size_t>(params_.width) *
                     static_cast<std::size_t>(params_.height),
                 0);
+  std::vector<int> counts(static_cast<std::size_t>(params_.height));
   for (int c = 0; c < params_.width; ++c) {
+    column_counts(c, counts.data());
     double sum = 0.0;
-    const double cx = col_x(c);
-    for (int r = 0; r < params_.height; ++r)
-      sum += mandelbrot_escape(cx, row_y(r), params_.max_iter);
+    for (int n : counts) sum += n;
     column_cost_[static_cast<std::size_t>(c)] = sum;
   }
 }
 
+void MandelbrotWorkload::column_counts(int c, int* out) const {
+  const double cx = col_x(c);
+  const int h = params_.height;
+  if (params_.kernel == MandelbrotKernel::Batched) {
+    std::vector<double> cy(static_cast<std::size_t>(h));
+    for (int r = 0; r < h; ++r) cy[static_cast<std::size_t>(r)] = row_y(r);
+    mandelbrot_escape_batch(cx, cy.data(), h, params_.max_iter, out);
+    return;
+  }
+  for (int r = 0; r < h; ++r)
+    out[r] = mandelbrot_escape(cx, row_y(r), params_.max_iter);
+}
+
 std::string MandelbrotWorkload::name() const {
-  return "mandelbrot-" + std::to_string(params_.width) + "x" +
-         std::to_string(params_.height);
+  std::string n = "mandelbrot-" + std::to_string(params_.width) + "x" +
+                  std::to_string(params_.height);
+  if (params_.kernel == MandelbrotKernel::Batched) n += "-batched";
+  return n;
 }
 
 double MandelbrotWorkload::cost(Index i) const {
@@ -61,12 +125,15 @@ double MandelbrotWorkload::cost(Index i) const {
 void MandelbrotWorkload::execute(Index i) {
   LSS_REQUIRE(i >= 0 && i < size(), "column index out of range");
   const int c = static_cast<int>(i);
-  const double cx = col_x(c);
   const std::size_t base = static_cast<std::size_t>(c) *
                            static_cast<std::size_t>(params_.height);
+  // Per-call scratch: execute() runs concurrently for distinct
+  // columns, so nothing here may be shared.
+  std::vector<int> counts(static_cast<std::size_t>(params_.height));
+  column_counts(c, counts.data());
   for (int r = 0; r < params_.height; ++r)
-    image_[base + static_cast<std::size_t>(r)] = static_cast<std::uint16_t>(
-        mandelbrot_escape(cx, row_y(r), params_.max_iter));
+    image_[base + static_cast<std::size_t>(r)] =
+        static_cast<std::uint16_t>(counts[static_cast<std::size_t>(r)]);
 }
 
 int MandelbrotWorkload::pixel(int col, int row) const {

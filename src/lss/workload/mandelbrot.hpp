@@ -15,6 +15,16 @@
 
 namespace lss {
 
+/// How MandelbrotWorkload computes escape counts.
+enum class MandelbrotKernel {
+  Scalar,   ///< one point at a time, early-exit loop (the original)
+  Batched,  ///< 8-wide branchless batches (auto-vectorizable)
+};
+
+/// Parses "scalar" | "batched"; throws lss::ContractError otherwise.
+MandelbrotKernel mandelbrot_kernel_from_string(const std::string& s);
+std::string to_string(MandelbrotKernel kernel);
+
 struct MandelbrotParams {
   int width = 4000;   ///< columns == loop iterations
   int height = 2000;  ///< pixels per column
@@ -23,6 +33,9 @@ struct MandelbrotParams {
   double y_min = -1.25;
   double y_max = 1.25;
   int max_iter = 100;  ///< escape-iteration cap
+  /// Scalar by default; Batched produces identical escape counts
+  /// (same recurrence, per-lane) but lets the compiler vectorize.
+  MandelbrotKernel kernel = MandelbrotKernel::Scalar;
 
   /// The paper's window on the classic domain.
   static MandelbrotParams paper(int width = 4000, int height = 2000);
@@ -30,6 +43,19 @@ struct MandelbrotParams {
 
 /// Escape count of a single point c = (cx, cy); in [1, max_iter].
 int mandelbrot_escape(double cx, double cy, int max_iter);
+
+/// Lane width of the batched kernel.
+inline constexpr int kMandelbrotBatch = 8;
+
+/// Escape counts of `count` points sharing cx (one image column)
+/// with varying cy — full 8-wide batches run branchless in mask
+/// form (escaped lanes latch their count and freeze; the batch exits
+/// when all lanes escaped), which compilers auto-vectorize without
+/// intrinsics; the tail falls back to the scalar kernel. Each lane
+/// performs exactly the scalar recurrence, so counts match
+/// mandelbrot_escape() per point.
+void mandelbrot_escape_batch(double cx, const double* cy, int count,
+                             int max_iter, int* out);
 
 class MandelbrotWorkload final : public Workload {
  public:
@@ -57,6 +83,8 @@ class MandelbrotWorkload final : public Workload {
  private:
   double col_x(int col) const;
   double row_y(int row) const;
+  /// Escape counts of every pixel of column c (selected kernel).
+  void column_counts(int c, int* out) const;
 
   MandelbrotParams params_;
   std::vector<double> column_cost_;

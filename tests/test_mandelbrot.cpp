@@ -2,6 +2,7 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 
 #include "lss/support/assert.hpp"
 #include "lss/workload/mandelbrot.hpp"
@@ -99,6 +100,54 @@ TEST_F(MandelbrotFixture, RenderPgmHeader) {
   const std::string s = os.str();
   EXPECT_EQ(s.rfind("P5\n64 48\n255\n", 0), 0u);
   EXPECT_EQ(s.size(), std::string("P5\n64 48\n255\n").size() + 64u * 48u);
+}
+
+// --- batched kernel (differential against the scalar one) ---------------
+
+TEST(BatchedKernel, MatchesScalarPointwise) {
+  // Full batches, partial tail, and a variety of dynamics: interior
+  // points (never escape), immediate escapes, and boundary pixels.
+  const int max_iter = 200;
+  const int n = 61;  // 7 full batches of 8 + a tail of 5
+  std::vector<double> cy(n);
+  std::vector<int> got(n);
+  for (double cx : {-2.0, -1.0, -0.75, -0.5, 0.0, 0.25, 0.3, 1.2}) {
+    for (int i = 0; i < n; ++i)
+      cy[static_cast<std::size_t>(i)] = -1.25 + 2.5 * i / (n - 1.0);
+    mandelbrot_escape_batch(cx, cy.data(), n, max_iter, got.data());
+    for (int i = 0; i < n; ++i)
+      EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                mandelbrot_escape(cx, cy[static_cast<std::size_t>(i)],
+                                  max_iter))
+          << "cx=" << cx << " cy=" << cy[static_cast<std::size_t>(i)];
+  }
+}
+
+TEST(BatchedKernel, WorkloadImagesIdentical) {
+  // The switchable workload must produce bit-identical images and
+  // column costs under either kernel.
+  MandelbrotParams p = MandelbrotParams::paper(57, 41);  // odd sizes
+  p.max_iter = 96;
+  MandelbrotWorkload scalar(p);
+  p.kernel = MandelbrotKernel::Batched;
+  MandelbrotWorkload batched(p);
+  for (Index c = 0; c < scalar.size(); ++c) {
+    EXPECT_DOUBLE_EQ(scalar.cost(c), batched.cost(c)) << "column " << c;
+    scalar.execute(c);
+    batched.execute(c);
+  }
+  EXPECT_EQ(scalar.image(), batched.image());
+}
+
+TEST(BatchedKernel, NameAndParsing) {
+  EXPECT_EQ(mandelbrot_kernel_from_string("scalar"),
+            MandelbrotKernel::Scalar);
+  EXPECT_EQ(mandelbrot_kernel_from_string("batched"),
+            MandelbrotKernel::Batched);
+  EXPECT_THROW(mandelbrot_kernel_from_string("avx"), ContractError);
+  MandelbrotParams p = MandelbrotParams::paper(16, 8);
+  p.kernel = MandelbrotKernel::Batched;
+  EXPECT_EQ(MandelbrotWorkload(p).name(), "mandelbrot-16x8-batched");
 }
 
 TEST(Mandelbrot, RejectsBadParams) {

@@ -50,6 +50,43 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("dtss", "dfss", "dfiss", "dtfss", "awf"),
     [](const auto& pi) { return pi.param; });
 
+TEST(Rt, PipelineDepthsAllCoverExactlyOnce) {
+  // The prefetch window changes only *when* grants travel, never
+  // what gets executed: every depth covers the loop exactly once,
+  // simple and distributed schemes alike.
+  for (const char* scheme : {"gss", "ss", "dtss"}) {
+    for (const int depth : {0, 1, 2, 4}) {
+      RtConfig cfg = small_config(scheme, 3);
+      cfg.pipeline_depth = depth;
+      const RtResult r = run_threaded(cfg);
+      EXPECT_TRUE(r.exactly_once())
+          << scheme << " depth " << depth;
+      EXPECT_EQ(r.total_iterations, 200)
+          << scheme << " depth " << depth;
+    }
+  }
+}
+
+TEST(Rt, IdleGapStatsSurfaceInRunStats) {
+  RtConfig cfg = small_config("ss", 2);
+  cfg.pipeline_depth = 0;  // every round trip after the first stalls
+  const RtResult r = run_threaded(cfg);
+  ASSERT_TRUE(r.exactly_once());
+  const RunStats stats = r.stats();
+  ASSERT_EQ(stats.idle_gaps_per_pe.size(), 2u);
+  Index gaps = 0;
+  for (const IdleGapStats& g : stats.idle_gaps_per_pe) {
+    gaps += g.count;
+    EXPECT_GE(g.total_s, 0.0);
+    EXPECT_GE(g.max_s, 0.0);
+  }
+  // ss grants one iteration per request: 200 iterations on 2 workers
+  // means far more than zero post-first-grant stalls at depth 0.
+  EXPECT_GT(gaps, 0);
+  EXPECT_NE(stats.to_json().find("\"idle_gaps_per_pe\""),
+            std::string::npos);
+}
+
 TEST(Rt, HeterogeneousWorkersStillCoverLoop) {
   RtConfig cfg = small_config("tss", 4);
   cfg.relative_speeds = {1.0, 1.0, 0.4, 0.4};

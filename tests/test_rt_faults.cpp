@@ -5,6 +5,7 @@
 // EOF / heartbeat-silence detection).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -12,12 +13,67 @@
 #include "lss/mp/tcp.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/rt/master.hpp"
+#include "lss/rt/protocol.hpp"
 #include "lss/rt/run.hpp"
 #include "lss/rt/worker.hpp"
 #include "lss/workload/synthetic.hpp"
 
 namespace lss::rt {
 namespace {
+
+// --- wire compatibility across protocol generations ---------------------
+
+TEST(RtProtocol, LegacyRequestEncodingOmitsWindowTrailer) {
+  protocol::WorkerRequest req;
+  req.acp = 1.5;
+  req.fb_iters = 7;
+  req.fb_seconds = 0.25;
+  req.completed = {10, 17};
+  req.window = 4;
+  const auto legacy = protocol::encode_request(req, mp::kProtoLegacy);
+  const auto current = protocol::encode_request(req, mp::kProtoCurrent);
+  // The pipelined encoding is the legacy bytes plus the trailer —
+  // nothing before it moved, so a legacy decoder parses either.
+  ASSERT_GT(current.size(), legacy.size());
+  EXPECT_TRUE(std::equal(legacy.begin(), legacy.end(), current.begin()));
+
+  // Decoding a legacy payload leaves the window at its absent
+  // default; the pipelined payload round-trips it.
+  EXPECT_EQ(protocol::decode_request(legacy).window, 0);
+  const protocol::WorkerRequest rt = protocol::decode_request(current);
+  EXPECT_EQ(rt.window, 4);
+  EXPECT_EQ(rt.completed, (Range{10, 17}));
+  EXPECT_DOUBLE_EQ(rt.acp, 1.5);
+}
+
+TEST(RtProtocol, BatchedAcksRoundTripBehindTheTrailer) {
+  protocol::WorkerRequest req;
+  req.completed = {0, 4};
+  req.result = {std::byte{1}, std::byte{2}};
+  req.window = 4;
+  req.more_completed = {{4, 9}, {9, 10}};
+  req.more_results = {{std::byte{7}}, {}};
+  const protocol::WorkerRequest rt = protocol::decode_request(
+      protocol::encode_request(req, mp::kProtoCurrent));
+  EXPECT_EQ(rt.more_completed, req.more_completed);
+  EXPECT_EQ(rt.more_results, req.more_results);
+  // The legacy encoding drops the batch with the rest of the trailer;
+  // a legacy decoder still parses the leading completion cleanly.
+  const protocol::WorkerRequest old = protocol::decode_request(
+      protocol::encode_request(req, mp::kProtoLegacy));
+  EXPECT_TRUE(old.more_completed.empty());
+  EXPECT_EQ(old.completed, (Range{0, 4}));
+}
+
+TEST(RtProtocol, AssignBatchRoundTrip) {
+  const std::vector<Range> chunks = {{0, 5}, {5, 9}, {20, 21}};
+  EXPECT_EQ(protocol::decode_assign_batch(
+                protocol::encode_assign_batch(chunks)),
+            chunks);
+  EXPECT_TRUE(
+      protocol::decode_assign_batch(protocol::encode_assign_batch({}))
+          .empty());
+}
 
 RtConfig faulty_config(std::string scheme, int workers) {
   RtConfig cfg;
@@ -142,6 +198,166 @@ TEST(RtFaults, TcpDeathIsDetectedAndChunkReassigned) {
   EXPECT_EQ(outcome.lost_workers[0], 2);
   EXPECT_GE(outcome.reassigned_chunks, 1);
   EXPECT_EQ(outcome.completed_iterations, 200);
+}
+
+// A worker killed with a DEEP pipeline: it dies holding its current
+// chunk plus k granted-but-unstarted prefetches. Exactly-once then
+// requires the master to reclaim the ENTIRE in-flight pipeline, not
+// just the chunk being computed.
+TEST(RtFaults, KillMidPipelineReclaimsWholeWindow) {
+  for (const int depth : {2, 4}) {
+    // ss grants single-iteration chunks, so 200 of them exist: the
+    // victim is guaranteed a third grant long before the pool dries
+    // up, making the mid-pipeline death deterministic.
+    RtConfig cfg = faulty_config("ss", 3);
+    cfg.pipeline_depth = depth;
+    // Die after 2 computed chunks, with up to `depth` more queued.
+    cfg.die_after_chunks = {-1, 2, -1};
+    const RtResult r = run_threaded(cfg);
+    // The master's accounting — the results it actually applies —
+    // covers [0, total) exactly once: the fenced victim's whole
+    // window is reclaimed and re-served.
+    EXPECT_TRUE(r.acked_exactly_once()) << "depth " << depth;
+    // Worker-side, every iteration ran at least once, and any double
+    // execution is confined to the victim's own computed chunks: a
+    // batched ack (flushed once the queue drains to ~window/2) may
+    // still be unsent at death, so the master must reassign those
+    // chunks as if they never ran. No survivor's work re-executes.
+    Index over_executed = 0;
+    ASSERT_EQ(r.execution_count.size(),
+              static_cast<std::size_t>(cfg.workload->size()));
+    for (std::size_t i = 0; i < r.execution_count.size(); ++i) {
+      EXPECT_GE(r.execution_count[i], 1) << "iteration " << i;
+      EXPECT_LE(r.execution_count[i], 2) << "iteration " << i;
+      if (r.execution_count[i] == 2) {
+        EXPECT_EQ(r.acked_count[i], 1) << "iteration " << i;
+        ++over_executed;
+      }
+    }
+    EXPECT_LE(over_executed, r.workers[1].iterations) << "depth " << depth;
+    ASSERT_EQ(r.lost_workers.size(), 1u) << "depth " << depth;
+    EXPECT_EQ(r.lost_workers[0], 1);
+    EXPECT_EQ(r.workers[1].chunks, 2);
+    // At least the chunk in the victim's hands comes back; with a
+    // deep window the prefetched chunks behind it do too.
+    EXPECT_GE(r.reassigned_chunks, 1) << "depth " << depth;
+  }
+}
+
+TEST(RtFaults, TcpKillMidPipelineReclaimsWholeWindow) {
+  auto workload = std::make_shared<UniformWorkload>(200, 2000.0);
+  mp::TcpOptions topts;
+  topts.heartbeat_period = std::chrono::milliseconds(25);
+  topts.liveness_timeout = std::chrono::milliseconds(300);
+  mp::TcpMasterTransport t(0, 3, topts);
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i)
+    workers.emplace_back([port = t.port(), topts, workload] {
+      mp::TcpWorkerTransport wt("127.0.0.1", port, topts);
+      WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      wc.pipeline_depth = 3;
+      // Rank 3 dies holding one chunk in hand plus up to 3 granted
+      // prefetches, after acknowledging exactly one.
+      wc.die_after_chunks = wt.rank() == 3 ? 1 : -1;
+      run_worker_loop(wt, wc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheme = "dtss";
+  mc.total = 200;
+  mc.num_workers = 3;
+  mc.faults.detect = true;
+  mc.faults.grace = 5.0;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  ASSERT_EQ(outcome.lost_workers.size(), 1u);
+  EXPECT_EQ(outcome.lost_workers[0], 2);
+  EXPECT_GE(outcome.reassigned_chunks, 1);
+  EXPECT_EQ(outcome.completed_iterations, 200);
+}
+
+// Interop: a pre-pipeline worker (emulated byte-for-byte with
+// TcpOptions::protocol = kProtoLegacy) against the current master.
+// The handshake must negotiate down to the legacy protocol and the
+// master must serve it the strict one-request/one-grant exchange —
+// no batch frames, no second outstanding chunk.
+TEST(RtFaults, TcpLegacyWorkerInteropWithPipelinedMaster) {
+  auto workload = std::make_shared<UniformWorkload>(120, 2000.0);
+  mp::TcpMasterTransport t(0, 2);
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back([port = t.port(), workload, i] {
+      mp::TcpOptions wopts;
+      if (i == 0) wopts.protocol = mp::kProtoLegacy;  // the old binary
+      mp::TcpWorkerTransport wt("127.0.0.1", port, wopts);
+      EXPECT_EQ(wt.peer_protocol(0), i == 0 ? mp::kProtoLegacy
+                                            : mp::kProtoPipelined);
+      WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      wc.pipeline_depth = 4;  // moot for the legacy peer
+      run_worker_loop(wt, wc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheme = "gss";
+  mc.total = 120;
+  mc.num_workers = 2;
+  mc.faults.detect = true;
+  mc.faults.grace = 5.0;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_TRUE(outcome.lost_workers.empty());
+  EXPECT_EQ(outcome.completed_iterations, 120);
+}
+
+// The mirror mismatch: a legacy MASTER (pre-pipeline binary) must
+// tame a new worker. The ack carries no protocol trailer, so the
+// worker negotiates down and never advertises a window.
+TEST(RtFaults, TcpLegacyMasterInteropWithPipelinedWorker) {
+  auto workload = std::make_shared<UniformWorkload>(100, 2000.0);
+  mp::TcpOptions mopts;
+  mopts.protocol = mp::kProtoLegacy;  // emulate the old master binary
+  mp::TcpMasterTransport t(0, 2, mopts);
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back([port = t.port(), workload] {
+      mp::TcpWorkerTransport wt("127.0.0.1", port);
+      // hello advertised kProtoPipelined; the legacy ack negotiated
+      // it back down.
+      EXPECT_EQ(wt.peer_protocol(0), mp::kProtoLegacy);
+      WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      wc.pipeline_depth = 4;  // must be ignored: peer is legacy
+      run_worker_loop(wt, wc);
+    });
+
+  t.accept_workers();
+  EXPECT_EQ(t.peer_protocol(1), mp::kProtoLegacy);
+  EXPECT_EQ(t.peer_protocol(2), mp::kProtoLegacy);
+  MasterConfig mc;
+  mc.scheme = "tss";
+  mc.total = 100;
+  mc.num_workers = 2;
+  mc.faults.detect = true;
+  mc.faults.grace = 5.0;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_EQ(outcome.completed_iterations, 100);
 }
 
 TEST(RtFaults, TcpHealthyRunLosesNobody) {
