@@ -1,0 +1,158 @@
+// Flat master vs the hierarchical tree over TCP loopback
+// (google-benchmark): the same Mandelbrot strip self-scheduled by a
+// flat master over 8 socket workers and by a root master over 2 or 4
+// sub-master pods fronting the same 8 workers (DESIGN.md §13).
+//
+// Each benchmark iteration is one complete run; manual timing
+// brackets the master/root loop only (socket setup and thread spawn
+// stay outside). Besides wall time every variant reports
+//
+//   master_msgs     frames the top-level master ingested
+//   chunks          work chunks actually executed (pod-local for the
+//                   tree — the tree cuts FINER chunks than the flat
+//                   master at the same message budget)
+//   msgs_per_chunk  the fan-in headline: the tree must land >= 2x
+//                   under the flat master (BENCH_hier.json gate)
+//
+// bench/run_bench.sh hier distills the JSON into BENCH_hier.json
+// with the flat-vs-hier scaling table and the acceptance gates.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/tcp.hpp"
+#include "lss/mp/comm.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/root.hpp"
+#include "lss/rt/submaster.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/workload/mandelbrot.hpp"
+
+using namespace lss;
+
+namespace {
+
+constexpr int kWorkers = 8;     // total compute threads, every variant
+constexpr int kWidth = 512;     // columns to schedule
+constexpr int kHeight = 384;
+constexpr int kMaxIter = 256;
+
+std::shared_ptr<MandelbrotWorkload> make_workload() {
+  MandelbrotParams params = MandelbrotParams::paper(kWidth, kHeight);
+  params.max_iter = kMaxIter;
+  return std::make_shared<MandelbrotWorkload>(params);
+}
+
+struct RunCost {
+  double wall = 0.0;      // seconds inside the master/root loop
+  Index messages = 0;     // frames the top-level master ingested
+  Index chunks = 0;       // chunks executed (worker- or pod-local)
+};
+
+/// Flat baseline: one master, kWorkers TCP workers.
+RunCost run_flat() {
+  auto workload = make_workload();
+  mp::TcpMasterTransport t(0, kWorkers);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < kWorkers; ++w)
+    workers.emplace_back([port = t.port(), workload] {
+      mp::TcpWorkerTransport wt("127.0.0.1", port);
+      rt::WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      rt::run_worker_loop(wt, wc);
+    });
+  t.accept_workers();
+
+  rt::MasterConfig mc;
+  mc.scheme = "dtss";
+  mc.total = kWidth;
+  mc.num_workers = kWorkers;
+  const auto t0 = std::chrono::steady_clock::now();
+  const rt::MasterOutcome out = rt::run_master(t, mc);
+  RunCost cost;
+  cost.wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (std::thread& th : workers) th.join();
+  cost.messages = out.messages;
+  for (const Index c : out.chunks_per_worker) cost.chunks += c;
+  return cost;
+}
+
+/// The tree: `pods` sub-masters on TCP uplinks, each an in-process
+/// pod of kWorkers/pods worker threads — the per-host deployment the
+/// runtime targets (one sub-master process per SMP node).
+RunCost run_hier(int pods) {
+  auto workload = make_workload();
+  const int per_pod = kWorkers / pods;
+  mp::TcpMasterTransport t(0, pods);
+  std::vector<std::thread> tree;
+  for (int g = 0; g < pods; ++g)
+    tree.emplace_back([port = t.port(), workload, per_pod] {
+      mp::TcpWorkerTransport uplink("127.0.0.1", port);
+      mp::Comm pod(per_pod + 1);
+      std::vector<std::thread> workers;
+      for (int w = 0; w < per_pod; ++w)
+        workers.emplace_back([&pod, workload, w] {
+          rt::WorkerLoopConfig wc;
+          wc.worker = w;
+          wc.workload = workload;
+          rt::run_worker_loop(pod, wc);
+        });
+      rt::SubMasterConfig sc;
+      sc.pod = uplink.rank() - 1;
+      sc.total = kWidth;
+      sc.num_workers = per_pod;
+      rt::run_submaster(uplink, pod, sc);
+      for (std::thread& th : workers) th.join();
+    });
+  t.accept_workers();
+
+  rt::RootConfig rc;
+  rc.scheme = "dtss";
+  rc.total = kWidth;
+  rc.num_pods = pods;
+  const auto t0 = std::chrono::steady_clock::now();
+  const rt::RootOutcome out = rt::run_root(t, rc);
+  RunCost cost;
+  cost.wall =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  for (std::thread& th : tree) th.join();
+  cost.messages = out.messages;
+  for (const Index c : out.chunks_per_pod) cost.chunks += c;
+  return cost;
+}
+
+/// pods == 0 is the flat baseline; otherwise the tree with that many
+/// pods over the same kWorkers compute threads.
+void BM_HierScaling(benchmark::State& state, int pods) {
+  double messages = 0.0, chunks = 0.0;
+  for (auto _ : state) {
+    const RunCost cost = pods == 0 ? run_flat() : run_hier(pods);
+    state.SetIterationTime(cost.wall);
+    messages += static_cast<double>(cost.messages);
+    chunks += static_cast<double>(cost.chunks);
+  }
+  const auto runs = static_cast<double>(state.iterations());
+  state.counters["master_msgs"] = messages / runs;
+  state.counters["chunks"] = chunks / runs;
+  state.counters["msgs_per_chunk"] = chunks > 0 ? messages / chunks : 0.0;
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kWidth));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_HierScaling, flat_8w, 0)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_HierScaling, hier_2x4, 2)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_HierScaling, hier_4x2, 4)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -11,6 +11,7 @@
 
 #include "lss/api/scheduler.hpp"
 #include "lss/mp/comm.hpp"
+#include "lss/mp/framing.hpp"
 #include "lss/mp/tcp.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/rt/dispatch.hpp"
@@ -126,6 +127,30 @@ void BM_DispatchNextTraced(benchmark::State& state,
     obs::Tracer::instance().disable();
     obs::Tracer::instance().clear();
   }
+}
+
+// The send-path serialization alone: a fresh vector per frame (the
+// pre-reuse behavior) vs encoding into a kept per-connection scratch
+// buffer (mp::encode_frame_into — what Comm and the TCP endpoints do
+// now). The gap is the per-message allocation tax the buffer reuse
+// removed; it also shows up in the BM_TransportRoundTrip rows, where
+// it is buried under the syscall cost.
+void BM_FrameEncode(benchmark::State& state, bool reuse) {
+  const std::vector<std::byte> payload(
+      static_cast<std::size_t>(state.range(0)));
+  std::vector<std::byte> scratch;
+  for (auto _ : state) {
+    if (reuse) {
+      lss::mp::encode_frame_into(scratch, 1, 2, payload);
+      benchmark::DoNotOptimize(scratch.data());
+    } else {
+      std::vector<std::byte> frame = lss::mp::encode_frame(1, 2, payload);
+      benchmark::DoNotOptimize(frame.data());
+    }
+  }
+  state.SetBytesProcessed(
+      state.iterations() *
+      static_cast<std::int64_t>(payload.size() + lss::mp::kFrameHeaderBytes));
 }
 
 // One request→grant round trip over each mp::Transport backend: the
@@ -269,6 +294,11 @@ BENCHMARK_CAPTURE(BM_DispatchNextTraced, ss_tracing_on, "ss")
     ->ThreadRange(1, 16)->UseRealTime();
 BENCHMARK_CAPTURE(BM_DispatchNextTraced, gss_tracing_on, "gss")
     ->ThreadRange(1, 16)->UseRealTime();
+
+BENCHMARK_CAPTURE(BM_FrameEncode, fresh_alloc, false)
+    ->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK_CAPTURE(BM_FrameEncode, reused_buffer, true)
+    ->Arg(16)->Arg(256)->Arg(4096);
 
 // Blocked-in-poll time is the quantity of interest: wall clock, not
 // the main thread's CPU time.

@@ -39,12 +39,21 @@ done
 
 # TCP loopback endpoints and the fault-recovery master loop, also
 # repeated: heartbeat threads, deadline receives, peer-death
-# detection, and the prefetch pipeline (kill-mid-pipeline reclaim,
-# legacy-protocol interop, batched grants/acks in flight while a
-# worker dies) are all timing-dependent interleavings.
+# detection, concurrent-drain stress, and the prefetch pipeline
+# (kill-mid-pipeline reclaim, legacy-protocol interop, batched
+# grants/acks in flight while a worker dies) are all
+# timing-dependent interleavings.
 for i in 1 2 3; do
   "$build/tests/test_transport"
   "$build/tests/test_rt_faults"
+done
+
+# The hierarchical tree (ctest label `hier`): root / sub-master /
+# pod-worker threads nested over two transports, with lease recalls,
+# injected pod deaths, and transport-level death detection racing
+# the lease traffic. Repeat so the interleavings vary.
+for i in 1 2 3; do
+  ctest --test-dir "$build" --output-on-failure -L hier -j "$(nproc)"
 done
 
 # The pipelined worker/master loops at every depth (0/1/2/4): the

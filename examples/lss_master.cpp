@@ -5,9 +5,9 @@
 // the same binary.
 //
 //   lss_master [--scheme dtss] [--transport tcp|inproc] [--workers 3]
-//              [--port 0] [--width 200] [--height 120] [--max-iter 100]
-//              [--kill-after K] [--grace S] [--out image.pgm]
-//              [--pipeline-depth K] [--no-spawn]
+//              [--pods G] [--port 0] [--width 200] [--height 120]
+//              [--max-iter 100] [--kill-after K] [--grace S]
+//              [--out image.pgm] [--pipeline-depth K] [--no-spawn]
 //
 // --pipeline-depth K (default 1) is the prefetch window shipped to
 // every worker in the job description: each keeps up to K granted
@@ -24,13 +24,20 @@
 // abandoned pipeline, so the run still covers every column exactly
 // once.
 //
+// --pods G (tcp only) runs the HIERARCHICAL tree instead: this
+// process becomes the root master leasing super-chunks to G spawned
+// `lss_submaster` processes, each self-scheduling its lease across
+// --workers worker threads (DESIGN.md §13). The root holds G socket
+// conversations instead of G*workers. --kill-after K then kills one
+// whole POD (its sub-master swallows the (K+1)-th lease and goes
+// silent) and the root must reclaim the entire outstanding lease.
+//
 // Exit status is 0 only if coverage was exactly-once — and, when a
-// kill was requested, only if the loss and a reassignment actually
-// happened.
+// kill was requested, only if the loss and a reclaim/reassignment
+// actually happened.
 #include <sys/wait.h>
-#include <unistd.h>
 
-#include <climits>
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -43,6 +50,7 @@
 #include "lss/mp/tcp.hpp"
 #include "lss/rt/master.hpp"
 #include "lss/rt/protocol.hpp"
+#include "lss/rt/root.hpp"
 #include "lss/rt/worker.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/support/strings.hpp"
@@ -57,48 +65,18 @@ struct Options {
   std::string scheme = "dtss";
   std::string transport = "tcp";
   int workers = 3;
+  /// > 0 selects the hierarchical tree: this process is the root,
+  /// leasing to `pods` sub-masters of `workers` threads each.
+  int pods = 0;
   int port = 0;
   JobSpec job;
   int kill_after = -1;  ///< negative = nobody dies
   double grace = 10.0;
   std::string out_path;
-  /// tcp only: don't fork the workers; wait for externally started
-  /// `lss_worker --port <port>` processes instead.
+  /// tcp only: don't fork the tree; wait for externally started
+  /// `lss_worker` / `lss_submaster` processes instead.
   bool spawn = true;
 };
-
-std::string worker_binary_path() {
-  // The worker binary is built next to this one.
-  char buf[PATH_MAX];
-  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
-  LSS_REQUIRE(n > 0, "cannot resolve /proc/self/exe");
-  buf[n] = '\0';
-  std::string path(buf);
-  const auto slash = path.rfind('/');
-  LSS_REQUIRE(slash != std::string::npos, "unexpected binary path");
-  return path.substr(0, slash) + "/lss_worker";
-}
-
-pid_t spawn_worker(const std::string& binary, std::uint16_t port,
-                   int die_after) {
-  const pid_t pid = fork();
-  LSS_REQUIRE(pid >= 0, "fork failed");
-  if (pid == 0) {
-    const std::string port_s = std::to_string(port);
-    const std::string die_s = std::to_string(die_after);
-    std::vector<const char*> argv = {binary.c_str(), "--port",
-                                     port_s.c_str()};
-    if (die_after >= 0) {
-      argv.push_back("--die-after");
-      argv.push_back(die_s.c_str());
-    }
-    argv.push_back(nullptr);
-    execv(binary.c_str(), const_cast<char* const*>(argv.data()));
-    perror("execv lss_worker");
-    _exit(127);
-  }
-  return pid;
-}
 
 lss::rt::MasterConfig master_config(const Options& o,
                                     std::vector<std::uint16_t>& image) {
@@ -123,13 +101,18 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
                                 o.workers);
   std::vector<pid_t> children;
   if (o.spawn) {
-    const std::string binary = worker_binary_path();
-    for (int w = 0; w < o.workers; ++w)
+    const std::string binary = lss_cli::sibling_binary("lss_worker");
+    for (int w = 0; w < o.workers; ++w) {
       // The last-spawned worker is the victim; its eventual rank is
       // decided by accept order, which the master loop doesn't care
       // about.
-      children.push_back(spawn_worker(
-          binary, t.port(), w == o.workers - 1 ? o.kill_after : -1));
+      std::vector<std::string> args = {"--port", std::to_string(t.port())};
+      if (w == o.workers - 1 && o.kill_after >= 0) {
+        args.push_back("--die-after");
+        args.push_back(std::to_string(o.kill_after));
+      }
+      children.push_back(lss_cli::spawn_process(binary, args));
+    }
   } else {
     std::cout << "waiting for " << o.workers << " workers on port "
               << t.port() << "...\n";
@@ -140,6 +123,51 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
 
   const lss::rt::MasterConfig mc = master_config(o, image);
   lss::rt::MasterOutcome outcome = lss::rt::run_master(t, mc);
+  for (const pid_t pid : children) waitpid(pid, nullptr, 0);
+  return outcome;
+}
+
+/// The hierarchical tree: this process as the root master, leasing
+/// to `pods` spawned lss_submaster processes over TCP.
+lss::rt::RootOutcome run_hier(const Options& o,
+                              std::vector<std::uint16_t>& image) {
+  lss::mp::TcpMasterTransport t(static_cast<std::uint16_t>(o.port), o.pods);
+  std::vector<pid_t> children;
+  if (o.spawn) {
+    const std::string binary = lss_cli::sibling_binary("lss_submaster");
+    for (int g = 0; g < o.pods; ++g) {
+      // The last-spawned pod is the victim (same convention as the
+      // flat worker kill).
+      std::vector<std::string> args = {"--port", std::to_string(t.port()),
+                                       "--workers",
+                                       std::to_string(o.workers)};
+      if (g == o.pods - 1 && o.kill_after >= 0) {
+        args.push_back("--die-after-leases");
+        args.push_back(std::to_string(o.kill_after));
+      }
+      children.push_back(lss_cli::spawn_process(binary, args));
+    }
+  } else {
+    std::cout << "waiting for " << o.pods << " sub-masters on port "
+              << t.port() << "...\n";
+  }
+  t.accept_workers();
+  for (int rank = 1; rank <= o.pods; ++rank)
+    t.send(0, rank, lss::rt::protocol::kTagJob, lss_cli::encode_job(o.job));
+
+  lss::rt::RootConfig rc;
+  rc.scheme = o.scheme;
+  rc.total = o.job.width;
+  rc.num_pods = o.pods;
+  rc.faults.detect = true;
+  rc.faults.grace = o.grace;
+  if (o.job.want_results)
+    rc.on_result = [&image, height = o.job.height](
+                       int, lss::Range chunk,
+                       const std::vector<std::byte>& blob) {
+      lss_cli::apply_columns(image, height, chunk, blob);
+    };
+  lss::rt::RootOutcome outcome = lss::rt::run_root(t, rc);
   for (const pid_t pid : children) waitpid(pid, nullptr, 0);
   return outcome;
 }
@@ -172,38 +200,102 @@ lss::rt::MasterOutcome run_inproc(const Options& o,
   return outcome;
 }
 
+/// --pods: run the tree, print the per-pod rollup, apply the exit
+/// contract (exactly-once; a requested kill must really have cost a
+/// pod and reclaimed its lease).
+int run_hier_main(const Options& o) {
+  try {
+    std::vector<std::uint16_t> image(
+        static_cast<std::size_t>(o.job.width * o.job.height), 0);
+    std::cout << "scheduling " << o.job.width << " columns with '"
+              << o.scheme << "' over " << o.pods << " pods x " << o.workers
+              << " workers"
+              << (o.kill_after >= 0 ? " (one pod will die mid-run)" : "")
+              << "...\n";
+    const auto t0 = std::chrono::steady_clock::now();
+    const lss::rt::RootOutcome outcome = run_hier(o, image);
+    const double t_wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+
+    const lss::HierStats hs = lss::rt::hier_stats(outcome, t_wall);
+    std::cout << "scheme " << outcome.scheme_name << " over "
+              << outcome.transport << ": " << outcome.completed_iterations
+              << " columns across " << o.pods << " pods\n";
+    for (std::size_t g = 0; g < hs.per_pod.size(); ++g)
+      std::cout << "  pod " << g << ": " << hs.per_pod[g].iterations
+                << " columns in " << hs.per_pod[g].chunks << " chunks over "
+                << hs.per_pod[g].leases << " lease(s)"
+                << (hs.per_pod[g].lost ? " [LOST]" : "") << '\n';
+    std::cout << "root ingested " << hs.root_messages << " frames for "
+              << hs.chunks << " pod-level chunks ("
+              << hs.messages_per_chunk() << " messages/chunk)\n";
+    if (outcome.steals > 0)
+      std::cout << "tail rebalancing moved " << outcome.stolen_iterations
+                << " columns in " << outcome.steals << " steal(s)\n";
+    if (!outcome.lost_pods.empty()) {
+      std::cout << "lost pod(s):";
+      for (const int g : outcome.lost_pods) std::cout << ' ' << g;
+      std::cout << "; reclaimed " << outcome.reclaimed_leases
+                << " lease(s), " << outcome.reclaimed_iterations
+                << " columns\n";
+    }
+    std::cout << (outcome.exactly_once()
+                      ? "coverage: every column exactly once\n"
+                      : "COVERAGE BUG: not exactly-once\n");
+
+    if (!o.out_path.empty()) {
+      std::ofstream os(o.out_path, std::ios::binary);
+      LSS_REQUIRE(static_cast<bool>(os), "cannot open " + o.out_path);
+      lss_cli::write_pgm(os, image, o.job.width, o.job.height,
+                         o.job.max_iter);
+      std::cout << "wrote " << o.out_path << '\n';
+    }
+
+    if (!outcome.exactly_once()) return 1;
+    if (o.kill_after >= 0 && (outcome.lost_pods.empty() ||
+                              outcome.reclaimed_leases == 0)) {
+      std::cerr << "expected a pod death and a lease reclaim\n";
+      return 1;
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "[root] fatal: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   Options o;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&] {
-      LSS_REQUIRE(i + 1 < argc, arg + " needs a value");
-      return std::string(argv[++i]);
-    };
+  lss_cli::Args args(argc, argv);
+  while (args.more()) {
+    const std::string arg = args.flag();
     if (arg == "--scheme") {
-      o.scheme = next();
+      o.scheme = args.value(arg);
     } else if (arg == "--transport") {
-      o.transport = next();
+      o.transport = args.value(arg);
     } else if (arg == "--workers") {
-      o.workers = std::stoi(next());
+      o.workers = args.value_int(arg);
+    } else if (arg == "--pods") {
+      o.pods = args.value_int(arg);
     } else if (arg == "--port") {
-      o.port = std::stoi(next());
+      o.port = args.value_int(arg);
     } else if (arg == "--width") {
-      o.job.width = std::stoi(next());
+      o.job.width = args.value_int(arg);
     } else if (arg == "--height") {
-      o.job.height = std::stoi(next());
+      o.job.height = args.value_int(arg);
     } else if (arg == "--max-iter") {
-      o.job.max_iter = std::stoi(next());
+      o.job.max_iter = args.value_int(arg);
     } else if (arg == "--kill-after") {
-      o.kill_after = std::stoi(next());
+      o.kill_after = args.value_int(arg);
     } else if (arg == "--grace") {
-      o.grace = std::stod(next());
+      o.grace = args.value_double(arg);
     } else if (arg == "--pipeline-depth") {
-      o.job.pipeline_depth = std::stoi(next());
+      o.job.pipeline_depth = args.value_int(arg);
     } else if (arg == "--out") {
-      o.out_path = next();
+      o.out_path = args.value(arg);
     } else if (arg == "--no-spawn") {
       o.spawn = false;
     } else {
@@ -212,11 +304,14 @@ int main(int argc, char** argv) {
     }
   }
   if (o.workers < 1 ||
-      (o.transport != "tcp" && o.transport != "inproc")) {
+      (o.transport != "tcp" && o.transport != "inproc") ||
+      (o.pods > 0 && o.transport != "tcp")) {
     std::cerr << "usage: lss_master [--scheme S] [--transport tcp|inproc]"
-                 " [--workers N] [--kill-after K] ...\n";
+                 " [--workers N] [--pods G (tcp)] [--kill-after K] ...\n";
     return 2;
   }
+
+  if (o.pods > 0) return run_hier_main(o);
 
   try {
     std::vector<std::uint16_t> image(

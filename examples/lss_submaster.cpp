@@ -1,0 +1,119 @@
+// Middle tier of the socket CLI tree (see lss_master.cpp --pods):
+// connects upward to the root master, receives the job description,
+// then runs the rt/submaster loop — leasing super-chunks of columns
+// from the root over TCP and self-scheduling them across an
+// in-process pod of worker threads, shipping computed columns home
+// piggy-backed on its lease requests.
+//
+//   lss_submaster --port P [--host 127.0.0.1] [--workers N]
+//                 [--low-water F] [--die-after-leases K]
+//
+// --die-after-leases K injects a pod-host fail-stop: the sub-master
+// swallows its (K+1)-th lease whole and goes silent — workers,
+// leased columns and all — so the root must reclaim the ENTIRE
+// outstanding lease off the dead socket and re-serve it elsewhere.
+#include <cstdint>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/comm.hpp"
+#include "lss/mp/tcp.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/rt/submaster.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "net_common.hpp"
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int workers = 2;
+  double low_water = 0.5;
+  int die_after_leases = -1;
+  lss_cli::Args args(argc, argv);
+  while (args.more()) {
+    const std::string arg = args.flag();
+    if (arg == "--host") {
+      host = args.value(arg);
+    } else if (arg == "--port") {
+      port = args.value_int(arg);
+    } else if (arg == "--workers") {
+      workers = args.value_int(arg);
+    } else if (arg == "--low-water") {
+      low_water = args.value_double(arg);
+    } else if (arg == "--die-after-leases") {
+      die_after_leases = args.value_int(arg);
+    } else {
+      std::cerr << "unknown flag " << arg << '\n';
+      return 2;
+    }
+  }
+  if (port <= 0 || workers < 1) {
+    std::cerr << "usage: lss_submaster --port P [--host H] [--workers N]"
+                 " [--low-water F] [--die-after-leases K]\n";
+    return 2;
+  }
+
+  try {
+    lss::mp::TcpWorkerTransport uplink(host,
+                                       static_cast<std::uint16_t>(port));
+    const int rank = uplink.rank();
+    const lss_cli::JobSpec job = lss_cli::decode_job(
+        uplink.recv(rank, 0, lss::rt::protocol::kTagJob).payload);
+
+    lss::MandelbrotParams params = lss::MandelbrotParams::paper(
+        static_cast<int>(job.width), static_cast<int>(job.height));
+    params.max_iter = static_cast<int>(job.max_iter);
+    auto workload = std::make_shared<lss::MandelbrotWorkload>(params);
+
+    // The pod: worker threads against the in-process transport, the
+    // stock rt/worker loop — to them this process is an ordinary
+    // master. They share the workload image, so only the sub-master
+    // serializes columns (once, upward).
+    lss::mp::Comm pod(workers + 1);
+    std::vector<std::thread> threads;
+    for (int w = 0; w < workers; ++w) {
+      lss::rt::WorkerLoopConfig wc;
+      wc.worker = w;
+      wc.workload = workload;
+      wc.pipeline_depth = static_cast<int>(job.pipeline_depth);
+      if (job.want_results)
+        wc.result_of = [&workload, &job](lss::Range chunk) {
+          return lss_cli::encode_columns(workload->image(), job.height,
+                                         chunk);
+        };
+      threads.emplace_back(
+          [&pod, wc] { lss::rt::run_worker_loop(pod, wc); });
+    }
+
+    lss::rt::SubMasterConfig sc;
+    sc.pod = rank - 1;
+    sc.total = job.width;
+    sc.num_workers = workers;
+    sc.low_water = low_water;
+    sc.forward_results = job.want_results;
+    sc.die_after_leases = die_after_leases;
+    const lss::rt::SubMasterOutcome out =
+        lss::rt::run_submaster(uplink, pod, sc);
+    for (std::thread& th : threads) th.join();
+
+    std::cerr << "[submaster " << rank << "] "
+              << (out.died ? "died (injected) after " : "done: ")
+              << out.leases << " lease(s), "
+              << out.pod.completed_iterations << " columns on " << workers
+              << " workers, " << out.upstream_messages
+              << " upstream frame(s)"
+              << (out.donated_iterations > 0
+                      ? ", donated " + std::to_string(out.donated_iterations)
+                      : "")
+              << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "[submaster] fatal: " << e.what() << '\n';
+    return 1;
+  }
+  return 0;
+}

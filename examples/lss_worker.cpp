@@ -27,31 +27,22 @@
 #include "lss/workload/mandelbrot.hpp"
 #include "net_common.hpp"
 
-namespace {
-
-int parse_int(const std::string& s) { return std::stoi(s); }
-
-}  // namespace
-
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
   int die_after = -1;
   int pipeline_depth = -1;  // negative = take the job's value
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto next = [&] {
-      LSS_REQUIRE(i + 1 < argc, arg + " needs a value");
-      return std::string(argv[++i]);
-    };
+  lss_cli::Args args(argc, argv);
+  while (args.more()) {
+    const std::string arg = args.flag();
     if (arg == "--host") {
-      host = next();
+      host = args.value(arg);
     } else if (arg == "--port") {
-      port = parse_int(next());
+      port = args.value_int(arg);
     } else if (arg == "--die-after") {
-      die_after = parse_int(next());
+      die_after = args.value_int(arg);
     } else if (arg == "--pipeline-depth") {
-      pipeline_depth = parse_int(next());
+      pipeline_depth = args.value_int(arg);
     } else {
       std::cerr << "unknown flag " << arg << '\n';
       return 2;

@@ -1,14 +1,21 @@
-// Shared wire vocabulary of the lss_master / lss_worker CLI pair:
-// the job description the master ships before scheduling starts
-// (rt/protocol kTagJob) and the column-blob codec workers use to
-// send computed Mandelbrot columns home. Header-only; both binaries
-// compile it into themselves, which *is* the compatibility story —
-// the CLIs are a demo pair, not a versioned wire contract.
+// Shared vocabulary of the lss_master / lss_submaster / lss_worker
+// CLI family: the job description the master ships before scheduling
+// starts (rt/protocol kTagJob), the column-blob codec workers use to
+// send computed Mandelbrot columns home, the flag cursor every main
+// walks, and the fork/exec helpers the master uses to spawn the rest
+// of the tree. Header-only; all the binaries compile it into
+// themselves, which *is* the compatibility story — the CLIs are a
+// demo family, not a versioned wire contract.
 #pragma once
 
+#include <unistd.h>
+
+#include <climits>
 #include <cstdint>
+#include <cstdio>
 #include <cstring>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "lss/mp/message.hpp"
@@ -16,6 +23,60 @@
 #include "lss/support/types.hpp"
 
 namespace lss_cli {
+
+/// Flag cursor all the CLI mains walk: pull the next flag while
+/// `more()`, then fetch its operand with `value()` (or the int /
+/// double variants) — one clear failure when an operand is missing
+/// instead of a hand-rolled copy of the same loop per binary.
+class Args {
+ public:
+  Args(int argc, char** argv) : argc_(argc), argv_(argv) {}
+  bool more() const { return i_ < argc_; }
+  std::string flag() { return argv_[i_++]; }
+  std::string value(const std::string& flag) {
+    LSS_REQUIRE(i_ < argc_, flag + " needs a value");
+    return argv_[i_++];
+  }
+  int value_int(const std::string& flag) { return std::stoi(value(flag)); }
+  double value_double(const std::string& flag) {
+    return std::stod(value(flag));
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  int i_ = 1;
+};
+
+/// Path of a binary built next to the calling one — the whole CLI
+/// tree (master, sub-masters, workers) lands in one directory.
+inline std::string sibling_binary(const char* name) {
+  char buf[PATH_MAX];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  LSS_REQUIRE(n > 0, "cannot resolve /proc/self/exe");
+  std::string path(buf, static_cast<std::size_t>(n));
+  const auto slash = path.rfind('/');
+  LSS_REQUIRE(slash != std::string::npos, "unexpected binary path");
+  return path.substr(0, slash + 1) + name;
+}
+
+/// fork+exec of `binary args...`; returns the child pid (caller
+/// waitpids).
+inline pid_t spawn_process(const std::string& binary,
+                           const std::vector<std::string>& args) {
+  const pid_t pid = ::fork();
+  LSS_REQUIRE(pid >= 0, "fork failed");
+  if (pid == 0) {
+    std::vector<const char*> argv;
+    argv.push_back(binary.c_str());
+    for (const std::string& a : args) argv.push_back(a.c_str());
+    argv.push_back(nullptr);
+    ::execv(binary.c_str(), const_cast<char* const*>(argv.data()));
+    std::perror("execv");
+    _exit(127);
+  }
+  return pid;
+}
 
 /// Everything a worker needs to reconstruct the workload locally.
 struct JobSpec {

@@ -26,15 +26,22 @@ std::uint32_t get_u32(const std::byte* p) {
 std::vector<std::byte> encode_frame(int source, int tag,
                                     const std::vector<std::byte>& payload,
                                     std::uint32_t max_payload) {
+  std::vector<std::byte> out;
+  encode_frame_into(out, source, tag, payload, max_payload);
+  return out;
+}
+
+void encode_frame_into(std::vector<std::byte>& out, int source, int tag,
+                       const std::vector<std::byte>& payload,
+                       std::uint32_t max_payload) {
   LSS_REQUIRE(payload.size() <= max_payload,
               "frame payload exceeds the wire limit");
-  std::vector<std::byte> out;
+  out.clear();
   out.reserve(kFrameHeaderBytes + payload.size());
   put_u32(out, static_cast<std::uint32_t>(payload.size()));
   put_u32(out, static_cast<std::uint32_t>(tag));
   put_u32(out, static_cast<std::uint32_t>(source));
   out.insert(out.end(), payload.begin(), payload.end());
-  return out;
 }
 
 FrameDecoder::FrameDecoder(std::uint32_t max_payload)

@@ -40,6 +40,15 @@ std::vector<std::byte> encode_frame(
     int source, int tag, const std::vector<std::byte>& payload,
     std::uint32_t max_payload = kMaxFramePayload);
 
+/// Same, but serializes into `out` (cleared, capacity kept). Send
+/// paths that own a per-connection scratch buffer encode every frame
+/// into it instead of allocating a fresh vector per message — after
+/// the first few sends the buffer has grown to the connection's
+/// high-water frame size and encoding is pure byte copying.
+void encode_frame_into(std::vector<std::byte>& out, int source, int tag,
+                       const std::vector<std::byte>& payload,
+                       std::uint32_t max_payload = kMaxFramePayload);
+
 class FrameDecoder {
  public:
   explicit FrameDecoder(std::uint32_t max_payload = kMaxFramePayload);

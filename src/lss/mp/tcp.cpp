@@ -271,9 +271,9 @@ void TcpMasterTransport::send(int from, int to, int tag,
   if (!peer.open) return;  // dead peer: surfaced via peer_alive()
   obs::emit(obs::EventKind::MsgSend, obs::kMasterPe, {}, tag,
             static_cast<std::int64_t>(payload.size()));
-  if (!write_all(peer.fd,
-                 encode_frame(0, tag, payload, options_.max_frame_payload)))
-    drop_peer(peer);
+  encode_frame_into(peer.write_buf, 0, tag, payload,
+                    options_.max_frame_payload);
+  if (!write_all(peer.fd, peer.write_buf)) drop_peer(peer);
 }
 
 Message TcpMasterTransport::recv(int rank, int source, int tag) {
@@ -425,8 +425,9 @@ void TcpWorkerTransport::write_frame_locked(
     int tag, const std::vector<std::byte>& payload) {
   std::lock_guard<std::mutex> lock(write_mu_);
   if (!open_.load(std::memory_order_acquire)) return;
-  if (!write_all(fd_, encode_frame(rank_, tag, payload,
-                                   options_.max_frame_payload)))
+  encode_frame_into(write_buf_, rank_, tag, payload,
+                    options_.max_frame_payload);
+  if (!write_all(fd_, write_buf_))
     open_.store(false, std::memory_order_release);
 }
 

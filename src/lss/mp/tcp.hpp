@@ -105,6 +105,10 @@ class TcpMasterTransport final : public Transport {
     int protocol = kProtoLegacy;  ///< negotiated at handshake
     FrameDecoder decoder{kMaxFramePayload};
     std::chrono::steady_clock::time_point last_seen{};
+    /// Reusable encode scratch: every frame sent to this peer is
+    /// serialized here, so the send path stops allocating once the
+    /// buffer reaches the connection's high-water frame size.
+    std::vector<std::byte> write_buf;
   };
 
   /// Polls every open worker socket for up to `wait`, draining
@@ -179,6 +183,9 @@ class TcpWorkerTransport final : public Transport {
   Mailbox inbox_;
 
   std::mutex write_mu_;  // serializes main-thread sends vs heartbeats
+  /// Encode scratch shared by both writers, guarded by write_mu_
+  /// (same per-connection reuse as the master's Peer::write_buf).
+  std::vector<std::byte> write_buf_;
   std::thread heartbeat_;
   std::mutex hb_mu_;
   std::condition_variable hb_cv_;

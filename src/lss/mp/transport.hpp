@@ -46,11 +46,14 @@ namespace lss::mp {
 /// kProtoLegacy peers speak the original one-request/one-grant
 /// exchange only; kProtoPipelined peers additionally understand
 /// multi-grant (batched assign) frames and piggy-backed prefetch
-/// windows. In-process backends are always current: both ends live
-/// in one binary.
+/// windows; kProtoHierarchical peers additionally understand the
+/// lease frames a root master exchanges with sub-masters
+/// (rt/protocol kTagLease*). In-process backends are always current:
+/// both ends live in one binary.
 inline constexpr int kProtoLegacy = 1;
 inline constexpr int kProtoPipelined = 2;
-inline constexpr int kProtoCurrent = kProtoPipelined;
+inline constexpr int kProtoHierarchical = 3;
+inline constexpr int kProtoCurrent = kProtoHierarchical;
 
 class Transport {
  public:
@@ -106,7 +109,8 @@ class Transport {
   }
 
   /// Protocol generation negotiated with the peer hosting `rank`
-  /// (kProtoLegacy / kProtoPipelined). In-process backends are
+  /// (kProtoLegacy / kProtoPipelined / kProtoHierarchical).
+  /// In-process backends are
   /// always kProtoCurrent; socket backends report what the
   /// hello/hello-ack handshake agreed on, which callers must consult
   /// before sending any frame a legacy peer would not understand.

@@ -79,6 +79,39 @@ std::string RunStats::to_json() const {
   return out;
 }
 
+double HierStats::messages_per_chunk() const {
+  if (chunks == 0) return 0.0;
+  return static_cast<double>(root_messages) / static_cast<double>(chunks);
+}
+
+std::string HierStats::to_json() const {
+  std::string out = "{";
+  out += "\"scheme\":\"" + json_escape(scheme) + "\"";
+  out += ",\"transport\":\"" + json_escape(transport) + "\"";
+  out += ",\"num_pods\":" + std::to_string(num_pods);
+  out += ",\"iterations\":" + std::to_string(iterations);
+  out += ",\"chunks\":" + std::to_string(chunks);
+  out += ",\"root_messages\":" + std::to_string(root_messages);
+  out += ",\"messages_per_chunk\":" + fmt_fixed(messages_per_chunk(), 6);
+  out += ",\"t_wall\":" + fmt_fixed(t_wall, 6);
+  out += ",\"pods_lost\":" + std::to_string(pods_lost);
+  out += ",\"reclaimed_iterations\":" + std::to_string(reclaimed_iterations);
+  out += ",\"steals\":" + std::to_string(steals);
+  out += ",\"stolen_iterations\":" + std::to_string(stolen_iterations);
+  out += ",\"per_pod\":[";
+  for (std::size_t i = 0; i < per_pod.size(); ++i) {
+    const PodStats& p = per_pod[i];
+    if (i > 0) out += ',';
+    out += "{\"iterations\":" + std::to_string(p.iterations) +
+           ",\"chunks\":" + std::to_string(p.chunks) +
+           ",\"leases\":" + std::to_string(p.leases) +
+           ",\"lost\":" + std::string(p.lost ? "true" : "false") + "}";
+  }
+  out += "]";
+  out += "}";
+  return out;
+}
+
 std::string RunStats::to_table(int decimals) const {
   std::string out;
   for (std::size_t i = 0; i < per_pe.size(); ++i)

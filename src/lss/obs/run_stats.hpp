@@ -61,4 +61,39 @@ struct RunStats {
   std::string to_table(int decimals = 1) const;
 };
 
+/// One pod's slice of a hierarchical run, as the root master saw it.
+struct PodStats {
+  Index iterations = 0;  ///< iterations acknowledged through this pod
+  Index chunks = 0;      ///< pod-local grants to its workers (reported)
+  int leases = 0;        ///< root leases this pod consumed
+  bool lost = false;     ///< pod declared dead mid-run
+};
+
+/// Rollup of a hierarchical (root + sub-master) run: tree-wide
+/// aggregates plus the per-pod breakdown. The headline number is
+/// root_messages vs chunks — the flat master pays ~1 upward frame
+/// per chunk, the root pays ~1 per *lease*, so messages/chunk is the
+/// fan-in reduction the tree exists to buy.
+struct HierStats {
+  std::string scheme;     ///< root scheme over pods, e.g. "DTSS"
+  std::string transport;  ///< root transport kind
+  int num_pods = 0;
+  Index iterations = 0;      ///< total acknowledged iterations
+  Index chunks = 0;          ///< pod-local grants, summed over pods
+  Index root_messages = 0;   ///< upward frames the root ingested
+  double t_wall = 0.0;       ///< wall seconds of the whole run
+  int pods_lost = 0;
+  Index reclaimed_iterations = 0;  ///< dumped back by pod deaths
+  int steals = 0;                  ///< tail recalls answered with work
+  Index stolen_iterations = 0;
+  std::vector<PodStats> per_pod;
+
+  /// Root upward frames per pod-level chunk (0 when no chunks);
+  /// compare against a flat run's ~1 request per chunk.
+  double messages_per_chunk() const;
+
+  /// Machine-readable form for exporters and benches.
+  std::string to_json() const;
+};
+
 }  // namespace lss

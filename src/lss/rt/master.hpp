@@ -126,6 +126,10 @@ struct MasterOutcome {
   Index reassigned_chunks = 0;
   Index reassigned_iterations = 0;
   int replans = 0;
+  /// Request frames this master ingested over the whole run — the
+  /// per-master message load the hierarchical tree exists to shrink
+  /// (compare a flat run's master against a hierarchical root).
+  Index messages = 0;
 
   bool exactly_once() const;
 };

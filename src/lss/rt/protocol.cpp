@@ -70,4 +70,87 @@ std::vector<Range> decode_assign_batch(const std::vector<std::byte>& payload) {
   return chunks;
 }
 
+std::vector<std::byte> encode_lease_request(const LeaseRequest& req) {
+  mp::PayloadWriter w;
+  w.put_f64(req.acp_sum);
+  w.put_i32(req.pod_workers);
+  w.put_i64(req.unstarted);
+  w.put_i64(req.pod_chunks);
+  w.put_i32(req.final_flush ? 1 : 0);
+  w.put_i64(req.fb_iters);
+  w.put_f64(req.fb_seconds);
+  w.put_i64(static_cast<Index>(req.completed.size()));
+  static const std::vector<std::byte> kNoResult;
+  for (std::size_t i = 0; i < req.completed.size(); ++i) {
+    w.put_range(req.completed[i]);
+    w.put_blob(i < req.results.size() ? req.results[i] : kNoResult);
+  }
+  return w.take();
+}
+
+LeaseRequest decode_lease_request(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  LeaseRequest req;
+  req.acp_sum = rd.get_f64();
+  req.pod_workers = rd.get_i32();
+  req.unstarted = rd.get_i64();
+  req.pod_chunks = rd.get_i64();
+  req.final_flush = rd.get_i32() != 0;
+  req.fb_iters = rd.get_i64();
+  req.fb_seconds = rd.get_f64();
+  const Index n = rd.get_i64();
+  req.completed.reserve(static_cast<std::size_t>(n));
+  req.results.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    req.completed.push_back(rd.get_range());
+    req.results.push_back(rd.get_blob());
+  }
+  return req;
+}
+
+std::vector<std::byte> encode_lease_grant(const LeaseGrant& grant) {
+  mp::PayloadWriter w;
+  w.put_i32(grant.last ? 1 : 0);
+  w.put_i64(static_cast<Index>(grant.ranges.size()));
+  for (const Range& r : grant.ranges) w.put_range(r);
+  return w.take();
+}
+
+LeaseGrant decode_lease_grant(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  LeaseGrant grant;
+  grant.last = rd.get_i32() != 0;
+  const Index n = rd.get_i64();
+  grant.ranges.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) grant.ranges.push_back(rd.get_range());
+  return grant;
+}
+
+std::vector<std::byte> encode_lease_recall(Index iterations) {
+  mp::PayloadWriter w;
+  w.put_i64(iterations);
+  return w.take();
+}
+
+Index decode_lease_recall(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  return rd.get_i64();
+}
+
+std::vector<std::byte> encode_lease_return(const std::vector<Range>& ranges) {
+  mp::PayloadWriter w;
+  w.put_i64(static_cast<Index>(ranges.size()));
+  for (const Range& r : ranges) w.put_range(r);
+  return w.take();
+}
+
+std::vector<Range> decode_lease_return(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  const Index n = rd.get_i64();
+  std::vector<Range> ranges;
+  ranges.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) ranges.push_back(rd.get_range());
+  return ranges;
+}
+
 }  // namespace lss::rt::protocol

@@ -38,6 +38,32 @@
 //     cost (syscall, peer wake-up, context switch on shared cores) is
 //     amortized across the batch. Only emitted to pipelined peers; a
 //     worker serving a legacy master flushes after every chunk.
+//
+// kProtoHierarchical adds the *lease* vocabulary spoken between a
+// root master and its sub-masters (DESIGN.md §13). A sub-master is a
+// worker-shaped peer of the root (it connects like a worker and
+// handshakes the same hello) that requests whole super-chunks and
+// acknowledges pod progress in bulk:
+//
+//   submaster -> root  LeaseRequest  "lease me work" + pod ACP sum,
+//                                    aggregated feedback, and every
+//                                    chunk the pod completed since
+//                                    the last request (with result
+//                                    blobs when the job wants them)
+//   root -> submaster  LeaseGrant    iteration ranges to pool
+//                                    locally; `last` means the root
+//                                    is drained and no further
+//                                    grant will come
+//   root -> submaster  LeaseRecall   "donate ~n iterations back" —
+//                                    tail rebalancing steals the
+//                                    cold back of a laggard pod's
+//                                    lease for an exhausted one
+//   submaster -> root  LeaseReturn   the donated ranges (possibly
+//                                    empty if the pod drained its
+//                                    pool before the recall landed)
+//
+// The four lease tags are only ever sent on connections that
+// negotiated kProtoHierarchical; older peers never see them.
 #pragma once
 
 #include <cstddef>
@@ -54,6 +80,11 @@ inline constexpr int kTagAssign = 2;
 inline constexpr int kTagTerminate = 3;
 inline constexpr int kTagJob = 4;
 inline constexpr int kTagAssignBatch = 5;
+// Hierarchical (root <-> submaster) vocabulary, kProtoHierarchical+.
+inline constexpr int kTagLeaseRequest = 6;
+inline constexpr int kTagLeaseGrant = 7;
+inline constexpr int kTagLeaseRecall = 8;
+inline constexpr int kTagLeaseReturn = 9;
 
 /// Everything a worker piggy-backs on a chunk request. `completed`
 /// is empty on the first request; afterwards it names the chunk the
@@ -92,5 +123,48 @@ Range decode_assign(const std::vector<std::byte>& payload);
 /// frame. Pipelined peers only.
 std::vector<std::byte> encode_assign_batch(const std::vector<Range>& chunks);
 std::vector<Range> decode_assign_batch(const std::vector<std::byte>& payload);
+
+/// A sub-master's upward frame: lease refill request with the pod's
+/// progress piggy-backed, so the root sees one conversation per pod
+/// instead of one per worker. `completed[i]` pairs with
+/// `results[i]`; the aggregate feedback fields cover all of them.
+struct LeaseRequest {
+  double acp_sum = 1.0;  ///< sum of live pod worker ACPs (lease sizing)
+  int pod_workers = 0;   ///< live workers behind this sub-master
+  /// Iterations granted to this pod but not yet handed to any worker
+  /// — the stealable back of the lease the root may recall.
+  Index unstarted = 0;
+  Index pod_chunks = 0;  ///< cumulative pod-level grants (stats rollup)
+  /// The pod is exiting: this frame flushes its final completions and
+  /// the sub-master now blocks for the root's Terminate.
+  bool final_flush = false;
+  Index fb_iters = 0;     ///< iterations covered by the feedback below
+  double fb_seconds = 0;  ///< aggregated measured wall seconds for them
+  std::vector<Range> completed;
+  std::vector<std::vector<std::byte>> results;
+};
+
+std::vector<std::byte> encode_lease_request(const LeaseRequest& req);
+LeaseRequest decode_lease_request(const std::vector<std::byte>& payload);
+
+/// The root's downward lease: ranges for the sub-master's local pool.
+/// An empty `ranges` with `last` set is the drained notice — the pod
+/// finishes what it holds and final-flushes.
+struct LeaseGrant {
+  std::vector<Range> ranges;
+  bool last = false;  ///< no further grant will ever come
+};
+
+std::vector<std::byte> encode_lease_grant(const LeaseGrant& grant);
+LeaseGrant decode_lease_grant(const std::vector<std::byte>& payload);
+
+/// kTagLeaseRecall payload: how many iterations the root wants
+/// donated back (the victim clamps to what it still holds unstarted).
+std::vector<std::byte> encode_lease_recall(Index iterations);
+Index decode_lease_recall(const std::vector<std::byte>& payload);
+
+/// kTagLeaseReturn payload: the donated ranges, in loop order.
+std::vector<std::byte> encode_lease_return(const std::vector<Range>& ranges);
+std::vector<Range> decode_lease_return(const std::vector<std::byte>& payload);
 
 }  // namespace lss::rt::protocol

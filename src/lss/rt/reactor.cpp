@@ -1,0 +1,421 @@
+#include "lss/rt/reactor.hpp"
+
+#include <algorithm>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "lss/obs/trace.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+MasterReactor::Clock::duration MasterReactor::secs(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+double MasterReactor::seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+MasterReactor::MasterReactor(mp::Transport& t, const MasterConfig& cfg)
+    : t_(t), cfg_(cfg), started_(Clock::now()) {
+  LSS_REQUIRE(cfg.total >= 0, "negative iteration count");
+  LSS_REQUIRE(cfg.num_workers >= 1, "master needs at least one worker");
+  LSS_REQUIRE(t.size() == cfg.num_workers + 1,
+              "transport sized for a different worker count");
+  LSS_REQUIRE(cfg.max_pipeline >= 0, "negative pipeline cap");
+  participating_ = cfg.participating;
+  if (participating_.empty())
+    participating_.assign(static_cast<std::size_t>(cfg.num_workers), true);
+  LSS_REQUIRE(static_cast<int>(participating_.size()) == cfg.num_workers,
+              "participation mask sized for a different worker count");
+  expected_ = static_cast<int>(
+      std::count(participating_.begin(), participating_.end(), true));
+  LSS_REQUIRE(expected_ >= 1, "no participating workers (starved run)");
+
+  const auto p = static_cast<std::size_t>(cfg.num_workers);
+  state_.assign(p, WState::Unseen);
+  outstanding_.assign(p, {});
+  last_alive_.assign(p, started_);
+  window_.assign(p, 0);
+  acp_.assign(p, 1.0);
+  backoff_ = cfg.faults.poll_initial;
+  // Auto: busy-polling needs a spare hardware thread to spin on; on a
+  // single-core host it would steal the CPU the workers (or the
+  // kernel's wakeup path) need.
+  spin_ = cfg.poll_spin >= 0.0 ? cfg.poll_spin
+          : std::thread::hardware_concurrency() > 1 ? 50e-6
+                                                    : 0.0;
+
+  out_.transport = t.kind();
+  out_.execution_count.assign(static_cast<std::size_t>(cfg.total), 0);
+  out_.iterations_per_worker.assign(p, 0);
+  out_.chunks_per_worker.assign(p, 0);
+}
+
+MasterOutcome MasterReactor::run() {
+  before_loop();
+  while (finished_ < expected_ && !stopped_) {
+    service_aux();
+    if (stopped_) break;
+    std::vector<mp::Message> ready =
+        t_.drain(0, mp::kAnySource, protocol::kTagRequest);
+    if (ready.empty()) ready = spin_for_requests();
+    if (ready.empty()) {
+      // Nothing queued: fall back to one (possibly deadline-bounded)
+      // blocking receive — the reactor's quiescent wait.
+      if (auto m = next_request()) ready.push_back(std::move(*m));
+    }
+    if (ready.empty()) {
+      check_deaths();
+      backoff_ = std::min(backoff_ * 2.0, cfg_.faults.poll_max);
+      continue;
+    }
+    backoff_ = cfg_.faults.poll_initial;
+    replenish(ingest_all(ready));
+  }
+  if (!stopped_) check_coverage();
+  after_loop();
+  return std::move(out_);
+}
+
+void MasterReactor::check_coverage() const {
+  Index lost = 0;
+  for (int c : out_.execution_count)
+    if (c == 0) ++lost;
+  LSS_REQUIRE(lost == 0,
+              "run incomplete: every worker finished or died with " +
+                  std::to_string(lost) + " iterations uncovered");
+}
+
+// --- receive plumbing ------------------------------------------------------
+
+/// Bounded busy-poll on the ready-set before committing to a
+/// blocking wait. Completions usually arrive a few microseconds
+/// apart while workers chew small chunks, and a sender whose peer
+/// is asleep in poll() pays the peer's in-kernel wakeup inside its
+/// own send() — on the worker's critical path, exactly where the
+/// prefetch pipeline cannot hide it. Spinning for cfg_.poll_spin
+/// keeps the master awake across those gaps; truly idle periods
+/// still end in the blocking receive below.
+std::vector<mp::Message> MasterReactor::spin_for_requests() {
+  if (spin_ <= 0.0) return {};
+  const Clock::time_point deadline = Clock::now() + secs(spin_);
+  while (Clock::now() < deadline) {
+    std::vector<mp::Message> ready =
+        t_.drain(0, mp::kAnySource, protocol::kTagRequest);
+    if (!ready.empty()) return ready;
+    std::this_thread::yield();
+  }
+  return {};
+}
+
+std::optional<mp::Message> MasterReactor::next_request() {
+  if (!bounded_waits())
+    return t_.recv(0, mp::kAnySource, protocol::kTagRequest);
+  return t_.recv_for(0, idle_wait(), mp::kAnySource, protocol::kTagRequest);
+}
+
+// --- failure detection -----------------------------------------------------
+
+void MasterReactor::check_deaths() {
+  if (!cfg_.faults.detect) return;
+  for (int w = 0; w < cfg_.num_workers; ++w) {
+    if (!participating_[static_cast<std::size_t>(w)]) continue;
+    const WState s = state(w);
+    if (s == WState::Terminated || s == WState::Dead) continue;
+    const bool transport_dead = !t_.peer_alive(w + 1);
+    // Grace ages against the last sign of life (any message or
+    // grant) for Active workers and against the loop start when
+    // the first request never came. Idle and Parked workers owe us
+    // nothing — only the transport can declare them dead.
+    double age = 0.0;
+    if (s == WState::Active)
+      age = seconds_since(last_alive_[static_cast<std::size_t>(w)]);
+    else if (s == WState::Unseen)
+      age = seconds_since(started_);
+    if (transport_dead || age > cfg_.faults.grace) declare_dead(w);
+  }
+}
+
+void MasterReactor::declare_dead(int w) {
+  auto& dq = outstanding_[static_cast<std::size_t>(w)];
+  // The whole in-flight pipeline dies with the worker: every
+  // granted-but-unacknowledged chunk goes back to the pool, not
+  // just the one it was computing.
+  Index lost_iters = 0;
+  for (const Range& r : dq) lost_iters += r.size();
+  obs::emit(obs::EventKind::WorkerDead, w,
+            dq.empty() ? Range{} : dq.front(), lost_iters);
+  if (state(w) == WState::Parked) std::erase(parked_, w);
+  mutable_state(w) = WState::Dead;
+  ++finished_;  // resolved: this worker owes the protocol nothing more
+  out_.lost_workers.push_back(w);
+  for (const Range& r : dq) pool_.push_back({r, w});
+  dq.clear();
+  t_.close_peer(w + 1);
+  // The reclaimed chunks may be exactly what parked workers were
+  // waiting for.
+  replenish_parked();
+}
+
+// --- granting --------------------------------------------------------------
+
+/// Chunk for `w`, reclaim pool first. Returns the dead owner's id
+/// when the chunk is a reclaim, -1 for a fresh source grant.
+std::pair<Range, int> MasterReactor::next_chunk(int w, double acp) {
+  if (!pool_.empty()) {
+    const ReclaimedChunk c = pool_.back();
+    pool_.pop_back();
+    return {c.range, c.from_worker};
+  }
+  return {source_next(w, acp), -1};
+}
+
+/// Iterations still grantable (pool + source) — the optimism bound
+/// for prefetching. A snapshot, not a reservation.
+Index MasterReactor::remaining_hint() const {
+  return pool_remaining() + source_remaining();
+}
+
+Index MasterReactor::pool_remaining() const {
+  Index pooled = 0;
+  for (const ReclaimedChunk& c : pool_) pooled += c.range.size();
+  return pooled;
+}
+
+int MasterReactor::live_workers() const {
+  int n = 0;
+  for (int w = 0; w < cfg_.num_workers; ++w) {
+    if (!participating_[static_cast<std::size_t>(w)]) continue;
+    const WState s = state(w);
+    if (s != WState::Dead && s != WState::Terminated) ++n;
+  }
+  return n;
+}
+
+double MasterReactor::live_acp_sum() const {
+  double sum = 0.0;
+  for (int w = 0; w < cfg_.num_workers; ++w) {
+    if (!participating_[static_cast<std::size_t>(w)]) continue;
+    const WState s = state(w);
+    if (s != WState::Dead && s != WState::Terminated)
+      sum += acp_[static_cast<std::size_t>(w)];
+  }
+  return sum;
+}
+
+bool MasterReactor::seen_all() const {
+  for (int w = 0; w < cfg_.num_workers; ++w) {
+    if (!participating_[static_cast<std::size_t>(w)]) continue;
+    if (state(w) == WState::Unseen) return false;
+  }
+  return true;
+}
+
+/// Tail-throttling rule: granting `w` a chunk *beyond* its first
+/// outstanding one is load imbalance risk — near the end of the
+/// loop a prefetched chunk may be exactly the work another worker
+/// will starve for. Prefetch is allowed only while every live
+/// worker could still be handed work of the same size as `w`'s
+/// latest grant (`ref` iterations).
+bool MasterReactor::prefetch_allowed(Index ref) const {
+  return remaining_hint() >= static_cast<Index>(live_workers()) * ref;
+}
+
+void MasterReactor::send_grants(int w, const std::vector<Range>& chunks,
+                                const std::vector<int>& sources) {
+  auto& dq = outstanding_[static_cast<std::size_t>(w)];
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    if (sources[i] >= 0) {
+      obs::emit(obs::EventKind::ChunkGranted, w, chunks[i]);
+      obs::emit(obs::EventKind::ChunkReassigned, w, chunks[i],
+                sources[i]);
+      ++out_.reassigned_chunks;
+      out_.reassigned_iterations += chunks[i].size();
+    }
+    dq.push_back(chunks[i]);
+    if (dq.size() > 1)
+      obs::emit(obs::EventKind::PrefetchGranted, w, chunks[i],
+                static_cast<std::int64_t>(dq.size()));
+  }
+  last_alive_[static_cast<std::size_t>(w)] = Clock::now();
+  mutable_state(w) = WState::Active;
+  if (chunks.size() == 1)
+    t_.send(0, w + 1, protocol::kTagAssign,
+            protocol::encode_assign(chunks.front()));
+  else
+    t_.send(0, w + 1, protocol::kTagAssignBatch,
+            protocol::encode_assign_batch(chunks));
+}
+
+void MasterReactor::terminate(int w) {
+  t_.send(0, w + 1, protocol::kTagTerminate, {});
+  mutable_state(w) = WState::Terminated;
+  ++finished_;
+}
+
+void MasterReactor::terminate_all_live() {
+  for (int w = 0; w < cfg_.num_workers; ++w) {
+    if (!participating_[static_cast<std::size_t>(w)]) continue;
+    const WState s = state(w);
+    if (s == WState::Terminated || s == WState::Dead) continue;
+    if (s == WState::Parked) std::erase(parked_, w);
+    terminate(w);
+  }
+}
+
+void MasterReactor::replenish_parked() {
+  if (parked_.empty()) return;
+  std::deque<int> ws;
+  ws.swap(parked_);
+  for (const int w : ws)
+    if (state(w) == WState::Parked) mutable_state(w) = WState::Idle;
+  // A worker that gets nothing re-parks (or terminates, cascading
+  // the rest) inside replenish_worker — same rules as any replenish.
+  for (const int w : ws)
+    if (state(w) == WState::Idle) replenish_worker(w);
+}
+
+// --- ingesting -------------------------------------------------------------
+
+void MasterReactor::record_one_completion(
+    int w, Range completed, const std::vector<std::byte>& result) {
+  if (completed.empty()) return;
+  for (Index i = completed.begin; i < completed.end; ++i)
+    if (i >= 0 && i < cfg_.total)
+      ++out_.execution_count[static_cast<std::size_t>(i)];
+  out_.completed_iterations += completed.size();
+  out_.iterations_per_worker[static_cast<std::size_t>(w)] +=
+      completed.size();
+  ++out_.chunks_per_worker[static_cast<std::size_t>(w)];
+  // Completions arrive in grant order, but find-and-erase keeps
+  // the bookkeeping right even if a backend reorders.
+  auto& dq = outstanding_[static_cast<std::size_t>(w)];
+  const auto it = std::find(dq.begin(), dq.end(), completed);
+  if (it != dq.end()) dq.erase(it);
+  if (cfg_.on_result && !result.empty())
+    cfg_.on_result(w, completed, result);
+  on_completed_range(w, completed, result);
+}
+
+void MasterReactor::record_completion(int w,
+                                      const protocol::WorkerRequest& req) {
+  static const std::vector<std::byte> kNoResult;
+  record_one_completion(w, req.completed, req.result);
+  for (std::size_t i = 0; i < req.more_completed.size(); ++i)
+    record_one_completion(w, req.more_completed[i],
+                          i < req.more_results.size() ? req.more_results[i]
+                                                      : kNoResult);
+}
+
+/// Absorbs one request: completion ack, feedback, ACP and window
+/// refresh. Returns the worker id, or -1 when the sender is fenced
+/// (answered with Terminate, nothing counted).
+int MasterReactor::ingest(const mp::Message& m) {
+  const int w = m.source - 1;
+  LSS_REQUIRE(w >= 0 && w < cfg_.num_workers,
+              "request from an unknown rank");
+  ++out_.messages;
+  if (state(w) == WState::Dead || state(w) == WState::Terminated) {
+    // A fenced worker resurfaced (false-positive death or a stray
+    // message raced the terminate): its chunks may already be
+    // re-granted elsewhere, so its data cannot be trusted. Tell it
+    // to go away; never count its completions.
+    t_.send(0, m.source, protocol::kTagTerminate, {});
+    return -1;
+  }
+  const protocol::WorkerRequest req = protocol::decode_request(m.payload);
+  const auto sw = static_cast<std::size_t>(w);
+  last_alive_[sw] = Clock::now();
+  acp_[sw] = req.acp;
+  // Never trust a window from a peer that did not negotiate the
+  // pipelined protocol: a legacy encoding decodes as window 0, and
+  // a legacy peer must never see a batch frame or a second
+  // outstanding grant.
+  window_[sw] = t_.peer_protocol(m.source) >= mp::kProtoPipelined
+                    ? std::min(req.window, cfg_.max_pipeline)
+                    : 0;
+  if (window_[sw] < 0) window_[sw] = 0;
+  if (state(w) == WState::Unseen) mutable_state(w) = WState::Idle;
+  record_completion(w, req);
+  if (req.fb_iters > 0) on_feedback(w, req.fb_iters, req.fb_seconds);
+  if (state(w) == WState::Active && outstanding_[sw].empty())
+    mutable_state(w) = WState::Idle;
+  return w;
+}
+
+std::vector<int> MasterReactor::ingest_all(
+    const std::vector<mp::Message>& ready) {
+  std::vector<int> order;
+  for (const mp::Message& m : ready) {
+    const int w = ingest(m);
+    if (w >= 0 && std::find(order.begin(), order.end(), w) == order.end())
+      order.push_back(w);
+  }
+  return order;
+}
+
+// --- replenishing ----------------------------------------------------------
+
+/// Tops `w` up to 1 + window outstanding chunks (prefetch gated by
+/// the tail rule), coalescing everything owed into one frame. A
+/// starved Idle worker is parked while the source may refill or a
+/// reclaim is still possible, terminated otherwise.
+void MasterReactor::replenish_worker(int w) {
+  if (state(w) != WState::Active && state(w) != WState::Idle) return;
+  auto& dq = outstanding_[static_cast<std::size_t>(w)];
+  std::vector<Range> grants;
+  std::vector<int> sources;
+  const int target = 1 + window_[static_cast<std::size_t>(w)];
+  while (static_cast<int>(dq.size()) + static_cast<int>(grants.size()) <
+         target) {
+    if (!dq.empty() || !grants.empty()) {
+      const Index ref =
+          grants.empty() ? dq.back().size() : grants.back().size();
+      if (!prefetch_allowed(ref)) break;
+    }
+    const auto [chunk, from] =
+        next_chunk(w, acp_[static_cast<std::size_t>(w)]);
+    if (chunk.empty()) break;
+    grants.push_back(chunk);
+    sources.push_back(from);
+  }
+  if (!grants.empty()) {
+    send_grants(w, grants, sources);
+    return;
+  }
+  if (!dq.empty()) return;  // still busy; nothing owed right now
+  // Nothing to grant and nothing outstanding. While the source may
+  // refill (a lease request in flight) or a grant is outstanding
+  // elsewhere (a reclaim may yet produce work), park this worker
+  // instead of releasing capacity the run might need.
+  if (source_open() || (cfg_.faults.detect && outstanding_anywhere())) {
+    mutable_state(w) = WState::Parked;
+    parked_.push_back(w);
+    return;
+  }
+  terminate(w);
+  // The loop is fully covered; parked workers are done too.
+  while (!parked_.empty()) {
+    const int v = parked_.front();
+    parked_.pop_front();
+    terminate(v);
+  }
+}
+
+void MasterReactor::replenish(const std::vector<int>& order) {
+  for (int w : order) replenish_worker(w);
+}
+
+// --- bookkeeping -----------------------------------------------------------
+
+bool MasterReactor::outstanding_anywhere() const {
+  for (const auto& dq : outstanding_)
+    if (!dq.empty()) return true;
+  return false;
+}
+
+}  // namespace lss::rt

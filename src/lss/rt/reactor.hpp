@@ -1,0 +1,202 @@
+// The single-poll reactor core shared by every master-shaped loop in
+// the runtime: the flat master (rt/master, one level, chunks from a
+// scheduler) and the sub-master (rt/submaster, pod level, chunks cut
+// from a leased pool). Internal header — the public entry points are
+// run_master() and run_submaster().
+//
+// One wake-up of the reactor atomically drains the whole ready-set
+// (Transport::drain), ingests every queued request (completions,
+// feedback, ACP and window refresh), and only then runs a replenish
+// pass that grants work — so a wake-up that found five acks answers
+// all five workers without five separate poll cycles, and multiple
+// chunks owed to one worker coalesce into one AssignBatch frame.
+//
+// Subclasses plug in where the chunks come from (source_next /
+// source_remaining), whether the source can refill after running dry
+// (source_open — a sub-master awaiting a lease must park starved
+// workers instead of terminating them), and what else needs pumping
+// on each wake-up (service_aux — the sub-master's upstream link).
+// Everything else — pipelined grant windows, tail throttling, the
+// fault detector, reclaim pool, parking, exactly-once accounting —
+// is the base class, identical at both tree levels.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "lss/mp/transport.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+
+class MasterReactor {
+ public:
+  virtual ~MasterReactor() = default;
+
+  /// Runs the reactor to completion and yields the master-side
+  /// account of the run.
+  MasterOutcome run();
+
+ protected:
+  using Clock = std::chrono::steady_clock;
+
+  enum class WState {
+    Unseen,      // participating, no request yet
+    Active,      // has at least one outstanding grant
+    Idle,        // requested at least once, nothing outstanding
+    Parked,      // requested, no work available, held back
+    Terminated,  // sent Terminate
+    Dead,        // declared dead
+  };
+
+  struct ReclaimedChunk {
+    Range range;
+    int from_worker;
+  };
+
+  MasterReactor(mp::Transport& t, const MasterConfig& cfg);
+
+  // --- customization seams ----------------------------------------------
+
+  /// Next chunk from the subclass's work source (scheduler or leased
+  /// pool). The base consults its reclaim pool first; this is only
+  /// called when the pool is empty. Empty range = source dry *right
+  /// now* (see source_open for whether it may refill).
+  virtual Range source_next(int w, double acp) = 0;
+
+  /// Iterations the source could still grant — the prefetch
+  /// optimism bound. A snapshot, not a reservation.
+  virtual Index source_remaining() const = 0;
+
+  /// True while the source may gain work after running dry (a
+  /// sub-master with a lease refill in flight). Starved workers are
+  /// then parked, never terminated, and the run does not end.
+  virtual bool source_open() const { return false; }
+
+  /// Runs before the main loop (the distributed family's ACP gather).
+  virtual void before_loop() {}
+
+  /// Runs after the loop covered everything (outcome finalization).
+  virtual void after_loop() {}
+
+  /// Called on every reactor wake-up, busy or idle — the sub-master
+  /// pumps its upstream link here.
+  virtual void service_aux() {}
+
+  /// Aggregated measured feedback piggy-backed on a request.
+  virtual void on_feedback(int w, Index iters, double seconds) {
+    (void)w;
+    (void)iters;
+    (void)seconds;
+  }
+
+  /// Every acknowledged completion, after the base bookkeeping (the
+  /// sub-master batches these upward).
+  virtual void on_completed_range(int w, Range chunk,
+                                  const std::vector<std::byte>& result) {
+    (void)w;
+    (void)chunk;
+    (void)result;
+  }
+
+  /// End-of-run coverage contract. The flat master requires all-ones
+  /// execution counts; a sub-master doesn't — the root owns global
+  /// coverage and a recalled lease legitimately leaves local holes.
+  virtual void check_coverage() const;
+
+  /// Whether receives must carry deadlines even with fault detection
+  /// off (the sub-master always needs to wake up for its upstream).
+  virtual bool bounded_waits() const { return cfg_.faults.detect; }
+
+  /// The quiescent wait before the next wake-up when bounded.
+  virtual Clock::duration idle_wait() const { return secs(backoff_); }
+
+  // --- services for subclasses ------------------------------------------
+
+  /// Releases every parked worker back to Idle and replenishes each —
+  /// the wave that follows a pool refill (reclaim, lease grant) or a
+  /// drained notice (the replenish pass then terminates them).
+  void replenish_parked();
+
+  /// Sum of the latest reported ACPs over live workers.
+  double live_acp_sum() const;
+
+  /// True once every participating worker has sent its first request.
+  bool seen_all() const;
+
+  bool outstanding_anywhere() const;
+  int live_workers() const;
+  Index pool_remaining() const;
+  int expected() const { return expected_; }
+
+  /// Requests an early loop exit (injected pod death, upstream
+  /// fence): pending state is abandoned, coverage is not checked.
+  void stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Sends Terminate to every worker not already resolved — a pod
+  /// dying wholesale takes its workers down with it.
+  void terminate_all_live();
+
+  /// Ingests the whole ready-set; returns the workers that spoke, in
+  /// first-arrival order, deduplicated.
+  std::vector<int> ingest_all(const std::vector<mp::Message>& ready);
+
+  /// One replenish pass over the given workers, in order.
+  void replenish(const std::vector<int>& order);
+
+  /// One failure-detector sweep (no-op with detection off).
+  void check_deaths();
+
+  static Clock::duration secs(double s);
+  static double seconds_since(Clock::time_point t0);
+
+  WState state(int w) const { return state_[static_cast<std::size_t>(w)]; }
+
+  mp::Transport& t_;
+  const MasterConfig cfg_;
+  MasterOutcome out_;
+
+ private:
+  std::vector<mp::Message> spin_for_requests();
+  std::optional<mp::Message> next_request();
+  void declare_dead(int w);
+  std::pair<Range, int> next_chunk(int w, double acp);
+  Index remaining_hint() const;
+  bool prefetch_allowed(Index ref) const;
+  void send_grants(int w, const std::vector<Range>& chunks,
+                   const std::vector<int>& sources);
+  void terminate(int w);
+  void record_one_completion(int w, Range completed,
+                             const std::vector<std::byte>& result);
+  void record_completion(int w, const protocol::WorkerRequest& req);
+  int ingest(const mp::Message& m);
+  void replenish_worker(int w);
+  WState& mutable_state(int w) {
+    return state_[static_cast<std::size_t>(w)];
+  }
+
+  Clock::time_point started_;
+  std::vector<bool> participating_;
+  int expected_ = 0;   // participating workers
+  int finished_ = 0;   // terminated or dead participants
+  double backoff_ = 0.02;
+  double spin_ = 0.0;  // resolved busy-poll budget (seconds)
+  bool stopped_ = false;
+  std::vector<WState> state_;
+  /// Per-worker in-flight pipeline: every granted, unacknowledged
+  /// chunk in grant order. Front is what the worker computes now.
+  std::vector<std::deque<Range>> outstanding_;
+  std::vector<Clock::time_point> last_alive_;
+  std::vector<int> window_;  // negotiated+capped prefetch window
+  std::vector<double> acp_;  // latest reported ACP
+  std::vector<ReclaimedChunk> pool_;
+  std::deque<int> parked_;
+};
+
+}  // namespace lss::rt

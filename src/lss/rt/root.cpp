@@ -1,0 +1,455 @@
+#include "lss/rt/root.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "lss/api/scheduler.hpp"
+#include "lss/obs/trace.hpp"
+#include "lss/rt/dispatch.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/treesched/tree_sched.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration secs(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+/// Removes [r.begin, r.end) from the interval list, splitting
+/// intervals it lands inside; returns how many iterations were
+/// actually removed.
+Index subtract_range(std::vector<Range>& intervals, Range r) {
+  Index removed = 0;
+  std::vector<Range> next;
+  next.reserve(intervals.size() + 1);
+  for (const Range& o : intervals) {
+    const Index b = std::max(o.begin, r.begin);
+    const Index e = std::min(o.end, r.end);
+    if (b >= e) {
+      next.push_back(o);
+      continue;
+    }
+    removed += e - b;
+    if (o.begin < b) next.push_back({o.begin, b});
+    if (e < o.end) next.push_back({e, o.end});
+  }
+  intervals = std::move(next);
+  return removed;
+}
+
+class RootLoop {
+ public:
+  RootLoop(mp::Transport& t, const RootConfig& cfg) : t_(t), cfg_(cfg) {
+    LSS_REQUIRE(cfg.total >= 0, "total must be non-negative");
+    LSS_REQUIRE(cfg.num_pods >= 1, "need at least one pod");
+    LSS_REQUIRE(t.size() >= cfg.num_pods + 1,
+                "transport smaller than num_pods + 1");
+    distributed_ = scheme_family(cfg.scheme) == SchemeFamily::Distributed;
+    if (distributed_)
+      dist_ = lss::make_distributed_scheduler(cfg.scheme, cfg.total,
+                                              cfg.num_pods);
+    else
+      simple_ = make_dispatcher(cfg.scheme, cfg.total, cfg.num_pods);
+    out_.scheme_name = distributed_ ? dist_->name() : simple_->name();
+    out_.transport = t.kind();
+    out_.execution_count.assign(static_cast<std::size_t>(cfg.total), 0);
+    out_.iterations_per_pod.assign(static_cast<std::size_t>(cfg.num_pods),
+                                   0);
+    out_.leases_per_pod.assign(static_cast<std::size_t>(cfg.num_pods), 0);
+    out_.chunks_per_pod.assign(static_cast<std::size_t>(cfg.num_pods), 0);
+    pods_.resize(static_cast<std::size_t>(cfg.num_pods));
+    const auto now = Clock::now();
+    for (Pod& p : pods_) p.last_seen = now;
+  }
+
+  RootOutcome run() {
+    if (distributed_) {
+      gather();
+      // Every pod reported (and is owed a grant) during the gather;
+      // serving before the first blocking receive matters because
+      // nobody will send anything else until leases go out.
+      serve_wave();
+    }
+    double backoff = cfg_.faults.poll_initial;
+    while (resolved_ < cfg_.num_pods) {
+      std::vector<mp::Message> ready = t_.drain(0);
+      if (ready.empty()) {
+        auto m = t_.recv_for(0, secs(backoff));
+        if (!m) {
+          check_deaths();
+          resolve_ready();
+          serve_wave();
+          backoff = std::min(backoff * 2.0, cfg_.faults.poll_max);
+          continue;
+        }
+        ready.push_back(std::move(*m));
+      }
+      backoff = cfg_.faults.poll_initial;
+      for (const mp::Message& m : ready) ingest(m);
+      check_deaths();
+      resolve_ready();
+      serve_wave();
+    }
+    for (Index i = 0; i < cfg_.total; ++i)
+      LSS_REQUIRE(out_.execution_count[static_cast<std::size_t>(i)] > 0,
+                  "run ended with uncovered iterations (every pod that "
+                  "held them was lost)");
+    if (distributed_) out_.replans = dist_->replans();
+    return std::move(out_);
+  }
+
+ private:
+  struct Pod {
+    enum class S { Unseen, Live, Dead, Done } s = S::Unseen;
+    /// Leased, unacknowledged ranges — what a death dumps back.
+    std::vector<Range> outstanding;
+    double acp = 1.0;          // latest reported pod ACP sum
+    Index unstarted_hint = 0;  // latest reported stealable remainder
+    bool wants = false;        // lease request pending, not yet served
+    bool final_seen = false;   // pod announced its final flush
+    bool sent_last = false;    // we told it no more leases will come
+    bool recall_outstanding = false;
+    Clock::time_point last_seen;
+  };
+
+  Pod& pod(int g) { return pods_[static_cast<std::size_t>(g)]; }
+
+  // --- distributed gather (paper master step 1a, over pods) --------------
+
+  void gather() {
+    auto all_seen = [&] {
+      for (const Pod& p : pods_)
+        if (p.s == Pod::S::Unseen) return false;
+      return true;
+    };
+    while (!all_seen()) {
+      std::optional<mp::Message> m;
+      if (cfg_.faults.detect) {
+        m = t_.recv_for(0, secs(cfg_.faults.poll_max));
+        if (!m) {
+          check_deaths();  // a pod dead before its first request
+          continue;
+        }
+      } else {
+        m = t_.recv(0);
+      }
+      ingest(*m);
+    }
+    std::vector<double> acps(static_cast<std::size_t>(cfg_.num_pods), 0.0);
+    for (int g = 0; g < cfg_.num_pods; ++g)
+      if (pod(g).s == Pod::S::Live)
+        acps[static_cast<std::size_t>(g)] = pod(g).acp;
+    dist_->initialize(acps);
+  }
+
+  // --- ingest ------------------------------------------------------------
+
+  void ingest(const mp::Message& m) {
+    ++out_.messages;
+    const int g = m.source - 1;
+    LSS_REQUIRE(g >= 0 && g < cfg_.num_pods,
+                "lease frame from an unknown rank");
+    Pod& p = pod(g);
+    if (p.s == Pod::S::Dead || p.s == Pod::S::Done) {
+      // Fenced: the pod was declared dead (or already terminated) and
+      // its lease may be re-granted elsewhere — its late frames no
+      // longer count.
+      t_.send(0, m.source, protocol::kTagTerminate, {});
+      return;
+    }
+    p.last_seen = Clock::now();
+    if (m.tag == protocol::kTagLeaseRequest) {
+      ingest_request(g, protocol::decode_lease_request(m.payload));
+    } else if (m.tag == protocol::kTagLeaseReturn) {
+      ingest_return(g, protocol::decode_lease_return(m.payload));
+    }
+    // Anything else (a stray hello echo) is ignored.
+  }
+
+  void ingest_request(int g, const protocol::LeaseRequest& req) {
+    Pod& p = pod(g);
+    if (p.s == Pod::S::Unseen) p.s = Pod::S::Live;
+    p.acp = req.acp_sum;
+    p.unstarted_hint = req.unstarted;
+    out_.chunks_per_pod[static_cast<std::size_t>(g)] = req.pod_chunks;
+    for (std::size_t i = 0; i < req.completed.size(); ++i)
+      record_completion(g, req.completed[i],
+                        i < req.results.size()
+                            ? req.results[i]
+                            : std::vector<std::byte>{});
+    if (distributed_ && req.fb_iters > 0) {
+      const int replans_before = dist_->replans();
+      dist_->on_feedback(g, req.fb_iters, req.fb_seconds);
+      if (dist_->replans() != replans_before)
+        obs::emit(obs::EventKind::Replan, obs::kMasterPe, {},
+                  dist_->replans());
+    }
+    if (req.final_flush)
+      p.final_seen = true;
+    else
+      p.wants = true;
+  }
+
+  void ingest_return(int g, const std::vector<Range>& ranges) {
+    Pod& p = pod(g);
+    p.recall_outstanding = false;
+    if (ranges.empty()) {
+      // The pod drained its pool before the recall landed; its last
+      // reported remainder is stale, don't recall it again.
+      p.unstarted_hint = 0;
+      return;
+    }
+    Index returned = 0;
+    for (const Range& r : ranges) {
+      const Index removed = subtract_range(p.outstanding, r);
+      LSS_REQUIRE(removed == r.size(),
+                  "pod returned iterations the root never leased to it");
+      pool_.add(r);
+      returned += r.size();
+    }
+    p.unstarted_hint -= std::min(p.unstarted_hint, returned);
+    ++out_.steals;
+    out_.stolen_iterations += returned;
+  }
+
+  void record_completion(int g, Range chunk,
+                         const std::vector<std::byte>& result) {
+    Pod& p = pod(g);
+    const Index removed = subtract_range(p.outstanding, chunk);
+    LSS_REQUIRE(removed == chunk.size(),
+                "pod acknowledged iterations the root never leased to it");
+    for (Index i = chunk.begin; i < chunk.end; ++i)
+      ++out_.execution_count[static_cast<std::size_t>(i)];
+    out_.completed_iterations += chunk.size();
+    out_.iterations_per_pod[static_cast<std::size_t>(g)] += chunk.size();
+    if (cfg_.on_result && !result.empty()) cfg_.on_result(g, chunk, result);
+  }
+
+  // --- resolution & failure ----------------------------------------------
+
+  /// Terminates every pod whose final flush arrived and whose lease
+  /// is fully acknowledged.
+  void resolve_ready() {
+    for (int g = 0; g < cfg_.num_pods; ++g) {
+      Pod& p = pod(g);
+      if (p.s != Pod::S::Live || !p.final_seen) continue;
+      if (!p.outstanding.empty()) continue;
+      // If a recall raced the final flush the pod answers it (empty)
+      // before it sees our Terminate — frame order per peer is
+      // preserved — but that return will arrive after we fenced the
+      // pod, so stop waiting for it now.
+      p.recall_outstanding = false;
+      t_.send(0, g + 1, protocol::kTagTerminate, {});
+      p.s = Pod::S::Done;
+      ++resolved_;
+    }
+  }
+
+  void check_deaths() {
+    if (!cfg_.faults.detect) return;
+    for (int g = 0; g < cfg_.num_pods; ++g) {
+      Pod& p = pod(g);
+      if (p.s == Pod::S::Dead || p.s == Pod::S::Done) continue;
+      if (!t_.peer_alive(g + 1)) {
+        declare_dead(g);
+        continue;
+      }
+      // Grace-based suspicion only while we are owed something: a
+      // first request, lease acknowledgements, a recall return, or
+      // the final flush after `last`. (A pod mid-lease is healthy
+      // and silent for up to ~half a lease — grace must cover that.)
+      const bool owed = p.s == Pod::S::Unseen || !p.outstanding.empty() ||
+                        p.recall_outstanding ||
+                        (p.sent_last && !p.final_seen);
+      if (!owed) continue;
+      const std::chrono::duration<double> quiet = Clock::now() - p.last_seen;
+      if (quiet.count() > cfg_.faults.grace) declare_dead(g);
+    }
+  }
+
+  void declare_dead(int g) {
+    Pod& p = pod(g);
+    obs::emit(obs::EventKind::WorkerDead, g);
+    if (!p.outstanding.empty()) {
+      ++out_.reclaimed_leases;
+      for (const Range& r : p.outstanding) {
+        pool_.add(r);
+        out_.reclaimed_iterations += r.size();
+        obs::emit(obs::EventKind::ChunkReassigned, g, r);
+      }
+      p.outstanding.clear();
+    }
+    p.recall_outstanding = false;
+    p.wants = false;
+    p.s = Pod::S::Dead;
+    out_.lost_pods.push_back(g);
+    t_.close_peer(g + 1);
+    ++resolved_;
+  }
+
+  // --- serving -----------------------------------------------------------
+
+  Index sched_remaining() const {
+    return distributed_ ? dist_->remaining() : simple_->remaining();
+  }
+
+  bool any_recall_outstanding() const {
+    for (const Pod& p : pods_)
+      if (p.recall_outstanding) return true;
+    return false;
+  }
+
+  bool outstanding_elsewhere(int g) const {
+    for (int o = 0; o < cfg_.num_pods; ++o)
+      if (o != g && !pods_[static_cast<std::size_t>(o)].outstanding.empty())
+        return true;
+    return false;
+  }
+
+  void grant(int g, std::vector<Range> ranges, bool last) {
+    Pod& p = pod(g);
+    if (!ranges.empty()) {
+      ++out_.leases_per_pod[static_cast<std::size_t>(g)];
+      for (const Range& r : ranges) {
+        p.outstanding.push_back(r);
+        p.unstarted_hint += r.size();
+        obs::emit(obs::EventKind::ChunkGranted, g, r);
+      }
+    }
+    if (last) p.sent_last = true;
+    p.wants = false;
+    protocol::LeaseGrant lg;
+    lg.ranges = std::move(ranges);
+    lg.last = last;
+    t_.send(0, g + 1, protocol::kTagLeaseGrant,
+            protocol::encode_lease_grant(lg));
+  }
+
+  /// One grant pass over every pod with a pending lease request, in
+  /// decreasing reported-power order (paper step 1a generalizes to
+  /// every wave: the strongest starving pod is served first).
+  void serve_wave() {
+    std::vector<int> wanting;
+    for (int g = 0; g < cfg_.num_pods; ++g) {
+      const Pod& p = pod(g);
+      if (p.s == Pod::S::Live && p.wants && !p.final_seen)
+        wanting.push_back(g);
+    }
+    if (wanting.empty()) return;
+    std::stable_sort(wanting.begin(), wanting.end(), [this](int a, int b) {
+      return pod(a).acp > pod(b).acp;
+    });
+    for (std::size_t i = 0; i < wanting.size(); ++i) {
+      const int g = wanting[i];
+      // A pod with no live power left cannot execute anything —
+      // never lease to it (its sub-master is on its way out; the
+      // detector or its final flush resolves it).
+      if (pod(g).acp <= 0.0) continue;
+      // Reclaimed / stolen work first, split across this wave.
+      if (!pool_.empty()) {
+        const Index share = std::max<Index>(
+            1, pool_.remaining() /
+                   static_cast<Index>(wanting.size() - i));
+        grant(g, pool_.take_front(share), false);
+        continue;
+      }
+      const Range lease =
+          distributed_ ? dist_->next(g, pod(g).acp) : simple_->next(g);
+      if (!lease.empty()) {
+        grant(g, {lease}, false);
+        continue;
+      }
+      // Drained. Rebalance the tail or declare the end.
+      if (cfg_.steal && try_steal_for(g)) continue;
+      const bool recall_pending = any_recall_outstanding();
+      const bool may_reclaim_later =
+          cfg_.faults.detect && outstanding_elsewhere(g);
+      if (!recall_pending && !may_reclaim_later && pool_.empty() &&
+          sched_remaining() == 0) {
+        if (!pod(g).sent_last) grant(g, {}, true);
+        else pod(g).wants = false;
+      }
+      // Otherwise leave it wanting — the next return, reclaim or
+      // completion wave serves it.
+    }
+  }
+
+  /// Recalls ~half the largest unstarted lease remainder for pod g.
+  /// One recall in flight at a time keeps the tail calm.
+  bool try_steal_for(int g) {
+    if (any_recall_outstanding()) return true;  // wait for that return
+    int victim = -1;
+    for (int o = 0; o < cfg_.num_pods; ++o) {
+      const Pod& p = pod(o);
+      if (o == g || p.s != Pod::S::Live || p.final_seen) continue;
+      if (p.unstarted_hint < 2) continue;
+      if (victim < 0 || p.unstarted_hint > pod(victim).unstarted_hint)
+        victim = o;
+    }
+    if (victim < 0) return false;
+    const Index want = std::max<Index>(1, pod(victim).unstarted_hint / 2);
+    pod(victim).recall_outstanding = true;
+    t_.send(0, victim + 1, protocol::kTagLeaseRecall,
+            protocol::encode_lease_recall(want));
+    return true;  // requester stays wanting until the return lands
+  }
+
+  mp::Transport& t_;
+  const RootConfig cfg_;
+  RootOutcome out_;
+  bool distributed_ = false;
+  std::unique_ptr<ChunkDispatcher> simple_;
+  std::unique_ptr<distsched::DistScheduler> dist_;
+  std::vector<Pod> pods_;
+  treesched::WorkPool pool_;  // reclaimed + returned iterations
+  int resolved_ = 0;          // pods Done or Dead
+};
+
+}  // namespace
+
+bool RootOutcome::exactly_once() const {
+  for (int c : execution_count)
+    if (c != 1) return false;
+  return true;
+}
+
+RootOutcome run_root(mp::Transport& transport, const RootConfig& config) {
+  RootLoop loop(transport, config);
+  return loop.run();
+}
+
+HierStats hier_stats(const RootOutcome& root, double t_wall) {
+  HierStats out;
+  out.scheme = root.scheme_name;
+  out.transport = root.transport;
+  out.num_pods = static_cast<int>(root.iterations_per_pod.size());
+  out.iterations = root.completed_iterations;
+  out.root_messages = root.messages;
+  out.t_wall = t_wall;
+  out.pods_lost = static_cast<int>(root.lost_pods.size());
+  out.reclaimed_iterations = root.reclaimed_iterations;
+  out.steals = root.steals;
+  out.stolen_iterations = root.stolen_iterations;
+  out.per_pod.resize(static_cast<std::size_t>(out.num_pods));
+  for (std::size_t g = 0; g < out.per_pod.size(); ++g) {
+    PodStats& p = out.per_pod[g];
+    p.iterations = root.iterations_per_pod[g];
+    p.chunks = root.chunks_per_pod[g];
+    p.leases = root.leases_per_pod[g];
+    out.chunks += p.chunks;
+  }
+  for (int g : root.lost_pods)
+    out.per_pod[static_cast<std::size_t>(g)].lost = true;
+  return out;
+}
+
+}  // namespace lss::rt

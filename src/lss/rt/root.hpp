@@ -1,0 +1,99 @@
+// The top tier of the hierarchical runtime (DESIGN.md §13): the root
+// master leases super-chunks of the loop to G sub-masters (rt/
+// submaster), each fronting a pod of workers, so the root holds G
+// conversations instead of p — the per-master message load that
+// bounds a flat master's scale shrinks by the pod size.
+//
+// The root reuses the distributed schemes verbatim with *pods* as
+// the PEs: a DTSS/DFSS/... scheduler is built over G slots, each
+// pod's reported ACP *sum* is its power, and one scheduler chunk is
+// one lease. Simple schemes (gss, tss, ...) work the same way
+// through the dispenser. Pod-aggregated feedback drives AWF-style
+// replans exactly as worker feedback does in the flat master.
+//
+// Tail behavior:
+//   * Lease rebalancing — when the scheduler is drained and a pod
+//     asks for more, the root recalls roughly half of the largest
+//     *unstarted* lease remainder it knows of (LeaseRecall); the
+//     victim donates the cold back of its pool (LeaseReturn) and the
+//     returned ranges are re-leased to the starving pod. One recall
+//     is in flight at a time.
+//   * Whole-lease reclaim — a pod whose transport dies (socket EOF,
+//     heartbeat silence) or whose lease ages past `grace` with no
+//     upward frame loses its ENTIRE outstanding lease at once: every
+//     unacknowledged range returns to a root-side pool that is
+//     re-leased before the scheduler, so surviving pods absorb the
+//     lost work and the run still covers [0, total) exactly once.
+//     Note the grace caveat: a healthy pod is legitimately silent
+//     for up to ~half a lease between refills, so `grace` must
+//     exceed that; the transport-level detector is the sharp one.
+//
+// A pod is only told `last` (no further lease will come) when the
+// scheduler and the pool are both dry, no recall is pending, and —
+// under fault detection — no other pod still holds an outstanding
+// lease that a death could dump back into the pool.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lss/mp/transport.hpp"
+#include "lss/obs/run_stats.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+
+struct RootConfig {
+  /// Any spec the unified registry resolves; distributed schemes
+  /// (dtss, dfss, ...) treat pods as PEs with ACP = pod ACP sum.
+  std::string scheme = "dtss";
+  Index total = 0;    ///< loop iterations to cover
+  int num_pods = 0;   ///< sub-master slots (transport ranks 1..G)
+  FaultPolicy faults; ///< pod-level failure detection
+  /// Tail-phase lease rebalancing: recall unstarted iterations from
+  /// the laggard pod when an exhausted pod asks for more.
+  bool steal = true;
+  /// Invoked for every completed chunk that carried a result blob
+  /// upward (sub-masters running with forward_results).
+  std::function<void(int pod, Range chunk,
+                     const std::vector<std::byte>& result)>
+      on_result;
+};
+
+/// The root's account of the run.
+struct RootOutcome {
+  std::string scheme_name;
+  std::string transport;           ///< Transport::kind()
+  Index completed_iterations = 0;  ///< sum of pod-acknowledged chunks
+  /// Completions per iteration as acknowledged by lease requests;
+  /// all-ones iff the run covered the loop exactly once.
+  std::vector<int> execution_count;
+  std::vector<Index> iterations_per_pod;
+  std::vector<int> leases_per_pod;   ///< non-empty grants sent down
+  std::vector<Index> chunks_per_pod; ///< pod-local grants (reported)
+  std::vector<int> lost_pods;        ///< declared dead, in death order
+  Index reclaimed_leases = 0;      ///< dead pods that held a lease
+  Index reclaimed_iterations = 0;  ///< iterations those leases held
+  int steals = 0;                  ///< recalls answered with work
+  Index stolen_iterations = 0;     ///< iterations donated back
+  int replans = 0;
+  /// Upward frames (LeaseRequest, LeaseReturn) the root ingested —
+  /// the number to compare against a flat MasterOutcome::messages.
+  Index messages = 0;
+
+  bool exactly_once() const;
+};
+
+/// Runs the root master to completion over a transport whose peers
+/// 1..num_pods are sub-masters speaking kProtoHierarchical. Throws
+/// lss::ContractError if every pod is lost while iterations remain
+/// uncovered.
+RootOutcome run_root(mp::Transport& transport, const RootConfig& config);
+
+/// The obs-layer rollup of a hierarchical run (per-pod breakdown +
+/// tree-wide aggregates); `t_wall` is the caller-measured wall time.
+HierStats hier_stats(const RootOutcome& root, double t_wall);
+
+}  // namespace lss::rt

@@ -1,0 +1,292 @@
+#include "lss/rt/submaster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lss/rt/reactor.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/treesched/tree_sched.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+MasterConfig pod_master_config(const SubMasterConfig& sc) {
+  MasterConfig mc;
+  mc.scheme = "css:k=1";  // never consulted: the reactor source is the lease
+  mc.total = sc.total;
+  mc.num_workers = sc.num_workers;
+  mc.faults = sc.faults;
+  mc.max_pipeline = sc.max_pipeline;
+  mc.poll_spin = sc.poll_spin;
+  mc.on_result = sc.on_result;
+  return mc;
+}
+
+class SubMasterReactor final : public MasterReactor {
+ public:
+  SubMasterReactor(mp::Transport& up, mp::Transport& pod_t,
+                   const SubMasterConfig& sc)
+      : MasterReactor(pod_t, pod_master_config(sc)),
+        up_(up),
+        sc_(sc),
+        rank_up_(sc.pod + 1) {
+    LSS_REQUIRE(sc.low_water > 0.0 && sc.low_water <= 1.0,
+                "low_water must be in (0, 1]");
+    LSS_REQUIRE(up.peer_protocol(0) >= mp::kProtoHierarchical,
+                "upstream peer did not negotiate the hierarchical protocol");
+    out_.scheme_name = "lease(dfss-split)";
+  }
+
+  SubMasterOutcome finish(MasterOutcome pod) {
+    SubMasterOutcome out;
+    out.pod = std::move(pod);
+    out.leases = leases_;
+    out.leased_iterations = leased_iterations_;
+    out.recalls = recalls_;
+    out.donated_iterations = donated_iterations_;
+    out.upstream_messages = upstream_messages_;
+    out.died = died_;
+    if (!died_ && !root_lost_ && !fenced_) final_flush_and_wait();
+    return out;
+  }
+
+ protected:
+  // --- reactor seams -----------------------------------------------------
+
+  Range source_next(int w, double acp) override {
+    (void)w;
+    if (lease_.empty()) {
+      maybe_refill();
+      return {};
+    }
+    // The sim/hier_sim group split: a worker of power `acp` takes
+    // remaining * acp / (2 * acp_sum) of the local pool — DFSS with
+    // the pod as the "cluster", so local chunk decay mirrors what
+    // the distributed schemes do globally.
+    const double acp_sum = std::max(live_acp_sum(), 1e-12);
+    const double share =
+        static_cast<double>(lease_.remaining()) * acp / (2.0 * acp_sum);
+    const Index n = std::max<Index>(1, static_cast<Index>(share));
+    const Range chunk = lease_.take_front_range(n);
+    maybe_refill();
+    return chunk;
+  }
+
+  Index source_remaining() const override { return lease_.remaining(); }
+
+  /// Until the root says `last`, the pool can always refill — park
+  /// starved workers, never terminate them.
+  bool source_open() const override { return !drained_; }
+
+  void service_aux() override {
+    pump_upstream();
+    // A stopping pod (injected death, fence, lost root) must go
+    // silent NOW — a refill request after terminate_all_live() would
+    // advertise a pod with zero live workers.
+    if (stopped()) return;
+    maybe_refill();
+    // Everything local is done but a refill is still in flight: the
+    // root must not wait for the next grant cycle to learn about
+    // these completions (its tail accounting — steal sizing, lease
+    // resolution — runs on them), so flush early.
+    if (refill_outstanding_ && !up_completed_.empty() && lease_.empty() &&
+        !outstanding_anywhere())
+      send_lease_request(false);
+  }
+
+  void on_feedback(int w, Index iters, double seconds) override {
+    (void)w;
+    up_fb_iters_ += iters;
+    up_fb_seconds_ += seconds;
+  }
+
+  void on_completed_range(int w, Range chunk,
+                          const std::vector<std::byte>& result) override {
+    (void)w;
+    ++pod_chunks_;
+    up_completed_.push_back(chunk);
+    up_results_.push_back(sc_.forward_results ? result
+                                              : std::vector<std::byte>{});
+  }
+
+  /// The pod legitimately covers only part of [0, total): the rest
+  /// belongs to other pods or was recalled. Coverage is the root's
+  /// contract, not ours.
+  void check_coverage() const override {}
+
+  /// The upstream link must be pumped even when the pod is quiet.
+  bool bounded_waits() const override { return true; }
+
+  Clock::duration idle_wait() const override {
+    // Starving for a lease: poll tightly so the grant is absorbed
+    // the moment it lands. Otherwise cap the reactor's backoff so
+    // upstream recalls/grants never sit unread long — the reactor's
+    // blocking wait watches the POD transport only, and every
+    // millisecond a recall waits here is a millisecond the starving
+    // pod at the other end of the steal stays idle.
+    if (refill_outstanding_ && lease_.empty()) return secs(0.0005);
+    return std::min(MasterReactor::idle_wait(), secs(0.002));
+  }
+
+ private:
+  // --- upstream ----------------------------------------------------------
+
+  void pump_upstream() {
+    for (const mp::Message& m : up_.drain(rank_up_)) {
+      if (m.tag == protocol::kTagLeaseGrant) {
+        ingest_grant(protocol::decode_lease_grant(m.payload));
+      } else if (m.tag == protocol::kTagLeaseRecall) {
+        serve_recall(protocol::decode_lease_recall(m.payload));
+      } else if (m.tag == protocol::kTagTerminate) {
+        // The root fenced this pod (false-positive death): its lease
+        // is being re-granted elsewhere, so take the pod down.
+        fenced_ = true;
+        terminate_all_live();
+        stop();
+        return;
+      }
+      // Anything else (a stray job re-send) is ignored.
+    }
+    if (!drained_ && !up_.peer_alive(0)) {
+      // The root is gone; no lease can ever be refilled and no
+      // completion acknowledged. Fold the pod.
+      root_lost_ = true;
+      terminate_all_live();
+      stop();
+    }
+  }
+
+  void ingest_grant(const protocol::LeaseGrant& g) {
+    refill_outstanding_ = false;
+    if (!g.ranges.empty()) {
+      if (sc_.die_after_leases >= 0 && leases_ >= sc_.die_after_leases) {
+        // Injected pod death: the fresh lease is swallowed whole,
+        // everything unacknowledged stays unacknowledged, and the
+        // upstream link goes silent.
+        died_ = true;
+        terminate_all_live();
+        stop();
+        return;
+      }
+      ++leases_;
+      Index granted = 0;
+      for (const Range& r : g.ranges) {
+        lease_.add(r);
+        granted += r.size();
+      }
+      leased_iterations_ += granted;
+      last_lease_ = granted;
+    }
+    if (g.last) drained_ = true;
+    // Fresh work for parked workers — or, on a bare drained notice,
+    // the replenish pass that terminates them.
+    replenish_parked();
+  }
+
+  void serve_recall(Index want) {
+    ++recalls_;
+    const std::vector<Range> donated = lease_.donate_back(std::max<Index>(
+        0, std::min(want, lease_.remaining())));
+    for (const Range& r : donated) donated_iterations_ += r.size();
+    // Always reply, even empty-handed: the root's steal bookkeeping
+    // waits for exactly one return per recall.
+    send_up(protocol::kTagLeaseReturn, protocol::encode_lease_return(donated));
+  }
+
+  void maybe_refill() {
+    if (drained_ || refill_outstanding_) return;
+    // The first request waits for the whole pod to report, so the
+    // root sizes the first lease from the full pod ACP (the same
+    // local-gather-then-request step the hier simulation performs).
+    if (!seen_all()) return;
+    const auto low = std::max<Index>(
+        static_cast<Index>(static_cast<double>(last_lease_) * sc_.low_water),
+        1);
+    if (lease_.remaining() >= low) return;
+    send_lease_request(false);
+    refill_outstanding_ = true;
+  }
+
+  void send_lease_request(bool final_flush) {
+    protocol::LeaseRequest req;
+    req.acp_sum = live_acp_sum();
+    req.pod_workers = live_workers();
+    req.unstarted = lease_.remaining();
+    req.pod_chunks = pod_chunks_;
+    req.final_flush = final_flush;
+    req.fb_iters = up_fb_iters_;
+    req.fb_seconds = up_fb_seconds_;
+    req.completed = std::move(up_completed_);
+    req.results = std::move(up_results_);
+    up_completed_.clear();
+    up_results_.clear();
+    up_fb_iters_ = 0;
+    up_fb_seconds_ = 0.0;
+    send_up(protocol::kTagLeaseRequest, protocol::encode_lease_request(req));
+  }
+
+  void send_up(int tag, std::vector<std::byte> payload) {
+    ++upstream_messages_;
+    up_.send(rank_up_, 0, tag, std::move(payload));
+  }
+
+  /// Ships the terminal LeaseRequest (final completions, final_flush
+  /// set) and blocks for the root's Terminate, still answering any
+  /// recall that races it.
+  void final_flush_and_wait() {
+    send_lease_request(true);
+    const Clock::time_point deadline = Clock::now() + secs(10.0);
+    while (Clock::now() < deadline) {
+      auto m = up_.recv_for(rank_up_, secs(0.05));
+      if (!m) {
+        if (!up_.peer_alive(0)) return;  // root gone; nothing to wait for
+        continue;
+      }
+      if (m->tag == protocol::kTagTerminate) return;
+      if (m->tag == protocol::kTagLeaseRecall)
+        serve_recall(protocol::decode_lease_recall(m->payload));
+      // A racing LeaseGrant here can only be the drained notice
+      // (ranges empty, last) — the root never grants work to a pod
+      // that announced final_flush.
+    }
+    LSS_REQUIRE(false, "sub-master timed out waiting for the root's "
+                       "terminate after its final flush");
+  }
+
+  mp::Transport& up_;
+  const SubMasterConfig sc_;
+  const int rank_up_;
+
+  treesched::WorkPool lease_;
+  bool drained_ = false;            // root sent LeaseGrant.last
+  bool refill_outstanding_ = false; // one LeaseRequest in flight
+  bool died_ = false;
+  bool fenced_ = false;
+  bool root_lost_ = false;
+  Index last_lease_ = 0;  // size of the latest non-empty grant
+
+  // Upward batch, accumulated between lease requests.
+  std::vector<Range> up_completed_;
+  std::vector<std::vector<std::byte>> up_results_;
+  Index up_fb_iters_ = 0;
+  double up_fb_seconds_ = 0.0;
+
+  int leases_ = 0;
+  Index leased_iterations_ = 0;
+  int recalls_ = 0;
+  Index donated_iterations_ = 0;
+  Index upstream_messages_ = 0;
+  Index pod_chunks_ = 0;
+};
+
+}  // namespace
+
+SubMasterOutcome run_submaster(mp::Transport& upstream,
+                               mp::Transport& pod_transport,
+                               const SubMasterConfig& config) {
+  SubMasterReactor loop(upstream, pod_transport, config);
+  return loop.finish(loop.run());
+}
+
+}  // namespace lss::rt

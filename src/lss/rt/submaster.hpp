@@ -1,0 +1,91 @@
+// The middle tier of the hierarchical runtime (DESIGN.md §13): a
+// sub-master drives one pod of pipelined workers with the exact
+// single-poll reactor the flat master uses, but instead of a
+// scheduler it cuts chunks from a *leased* pool of iterations it
+// refills from the root master over a second transport.
+//
+// Downward (the pod) nothing changes: workers run the stock
+// rt/worker loop against what looks like an ordinary master —
+// request/grant, prefetch windows, batched acks, fault detection.
+//
+// Upward (the root) the sub-master is a worker-shaped peer speaking
+// the kProtoHierarchical lease vocabulary (rt/protocol):
+//
+//   * Chunks are cut DFSS-style from the local pool: a worker of
+//     power `acp` gets remaining * acp / (2 * pod_acp_sum)
+//     iterations (the sim/hier_sim group split), so pod-local chunk
+//     sizing stays power-aware without any per-chunk root traffic.
+//   * The pool is refilled at a low-water mark — when it drops under
+//     half the previous lease, the next LeaseRequest goes up *before*
+//     the pod runs dry, hiding the root round trip behind pod
+//     compute. Every completed chunk since the last request rides on
+//     that frame, so the root sees one conversation per pod, not one
+//     per worker.
+//   * A LeaseRecall donates the cold back of the pool to the root
+//     (treesched::WorkPool donate-from-the-back) for a starving pod;
+//     the reply is a LeaseReturn with the donated ranges.
+//   * When the pod finishes and the root has declared itself drained
+//     (LeaseGrant.last), the sub-master final-flushes its remaining
+//     completions and waits for the root's Terminate.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "lss/mp/transport.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::rt {
+
+struct SubMasterConfig {
+  int pod = 0;          ///< pod id; this sub-master is upstream rank pod+1
+  Index total = 0;      ///< full loop size (for local accounting arrays)
+  int num_workers = 0;  ///< workers in this pod (pod ranks 1..N)
+  FaultPolicy faults;   ///< pod-level failure detection (downward)
+  int max_pipeline = 64;   ///< per-worker prefetch cap (as MasterConfig)
+  double poll_spin = -1.0; ///< reactor busy-poll budget (as MasterConfig)
+  /// Refill low-water mark: request the next lease when the local
+  /// pool drops below last_lease * low_water (clamped to >= 1, so an
+  /// empty pool always requests).
+  double low_water = 0.5;
+  /// Ship completed chunks' result blobs upward on lease requests
+  /// (sockets); off when the root shares memory with the workload.
+  bool forward_results = false;
+  /// Fault injection: the sub-master abandons the run the moment the
+  /// root grants its (K+1)-th lease — pod workers are terminated, the
+  /// fresh lease and everything unacknowledged are never acked, and
+  /// the upstream link just goes silent, exactly like a pod host
+  /// dying wholesale. Negative = never.
+  int die_after_leases = -1;
+  /// Local tap for completed results (in-process pods); independent
+  /// of forward_results.
+  std::function<void(int worker, Range chunk,
+                     const std::vector<std::byte>& result)>
+      on_result;
+};
+
+struct SubMasterOutcome {
+  /// The pod-level reactor's account (chunks, iterations and
+  /// execution counts cover only what this pod executed).
+  MasterOutcome pod;
+  int leases = 0;               ///< lease grants consumed from the root
+  Index leased_iterations = 0;  ///< iterations received in them
+  int recalls = 0;              ///< LeaseRecall frames served
+  Index donated_iterations = 0; ///< iterations given back to the root
+  Index upstream_messages = 0;  ///< frames this sub-master sent the root
+  bool died = false;            ///< injected death fired
+};
+
+/// Runs the sub-master to completion: drives the pod over
+/// `pod_transport` (this process is the pod's rank 0) while leasing
+/// work from the root over `upstream` (where this process is rank
+/// config.pod + 1). Requires the upstream link to have negotiated
+/// mp::kProtoHierarchical. Throws lss::ContractError on protocol
+/// violations; a root death mid-run surfaces as the run stopping
+/// with died=false and the pod terminated.
+SubMasterOutcome run_submaster(mp::Transport& upstream,
+                               mp::Transport& pod_transport,
+                               const SubMasterConfig& config);
+
+}  // namespace lss::rt

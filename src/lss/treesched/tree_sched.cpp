@@ -37,6 +37,18 @@ std::vector<Range> WorkPool::take_front(Index n) {
   return out;
 }
 
+Range WorkPool::take_front_range(Index n) {
+  LSS_REQUIRE(n >= 0, "cannot take a negative count");
+  if (empty() || n == 0) return {};
+  Range& front = ranges_.front();
+  const Index take = std::min(n, front.size());
+  const Range out{front.begin, front.begin + take};
+  front.begin += take;
+  remaining_ -= take;
+  if (front.empty()) ranges_.erase(ranges_.begin());
+  return out;
+}
+
 std::vector<Range> WorkPool::donate_back(Index n) {
   LSS_REQUIRE(n >= 0, "cannot donate a negative count");
   n = std::min(n, remaining_);

@@ -32,6 +32,11 @@ class WorkPool {
   /// in loop order — used by group masters handing out local chunks.
   std::vector<Range> take_front(Index n);
 
+  /// Splits at most `n` iterations off the front as ONE contiguous
+  /// range: never crosses a stored-range boundary, so the result can
+  /// be granted as a single chunk. Empty pool yields an empty range.
+  Range take_front_range(Index n);
+
   const std::vector<Range>& ranges() const { return ranges_; }
 
  private:

@@ -298,7 +298,7 @@ TEST(RtFaults, TcpLegacyWorkerInteropWithPipelinedMaster) {
       if (i == 0) wopts.protocol = mp::kProtoLegacy;  // the old binary
       mp::TcpWorkerTransport wt("127.0.0.1", port, wopts);
       EXPECT_EQ(wt.peer_protocol(0), i == 0 ? mp::kProtoLegacy
-                                            : mp::kProtoPipelined);
+                                            : mp::kProtoCurrent);
       WorkerLoopConfig wc;
       wc.worker = wt.rank() - 1;
       wc.workload = workload;

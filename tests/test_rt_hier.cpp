@@ -1,0 +1,371 @@
+// The hierarchical runtime end to end: a root master leasing
+// super-chunks to sub-master reactors, each driving a pod of real
+// worker loops — lease codec round-trips, exactly-once coverage,
+// the root-message reduction the tree exists to buy, whole-lease
+// reclaim when a pod dies, and tail-phase lease stealing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/comm.hpp"
+#include "lss/mp/tcp.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/rt/root.hpp"
+#include "lss/rt/submaster.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::rt {
+namespace {
+
+// --- lease vocabulary wire format ----------------------------------------
+
+TEST(HierProtocol, LeaseRequestRoundTrip) {
+  protocol::LeaseRequest req;
+  req.acp_sum = 3.5;
+  req.pod_workers = 4;
+  req.unstarted = 123;
+  req.pod_chunks = 17;
+  req.final_flush = true;
+  req.fb_iters = 40;
+  req.fb_seconds = 0.125;
+  req.completed = {{0, 10}, {30, 35}};
+  req.results = {{std::byte{1}, std::byte{2}}, {}};
+  const protocol::LeaseRequest rt =
+      protocol::decode_lease_request(protocol::encode_lease_request(req));
+  EXPECT_DOUBLE_EQ(rt.acp_sum, 3.5);
+  EXPECT_EQ(rt.pod_workers, 4);
+  EXPECT_EQ(rt.unstarted, 123);
+  EXPECT_EQ(rt.pod_chunks, 17);
+  EXPECT_TRUE(rt.final_flush);
+  EXPECT_EQ(rt.fb_iters, 40);
+  EXPECT_DOUBLE_EQ(rt.fb_seconds, 0.125);
+  EXPECT_EQ(rt.completed, req.completed);
+  EXPECT_EQ(rt.results, req.results);
+}
+
+TEST(HierProtocol, LeaseGrantRecallReturnRoundTrip) {
+  protocol::LeaseGrant g;
+  g.ranges = {{5, 50}, {70, 71}};
+  g.last = true;
+  const protocol::LeaseGrant gr =
+      protocol::decode_lease_grant(protocol::encode_lease_grant(g));
+  EXPECT_EQ(gr.ranges, g.ranges);
+  EXPECT_TRUE(gr.last);
+  const protocol::LeaseGrant empty =
+      protocol::decode_lease_grant(protocol::encode_lease_grant({}));
+  EXPECT_TRUE(empty.ranges.empty());
+  EXPECT_FALSE(empty.last);
+
+  EXPECT_EQ(protocol::decode_lease_recall(protocol::encode_lease_recall(77)),
+            77);
+  const std::vector<Range> donated = {{100, 140}, {150, 160}};
+  EXPECT_EQ(
+      protocol::decode_lease_return(protocol::encode_lease_return(donated)),
+      donated);
+  EXPECT_TRUE(
+      protocol::decode_lease_return(protocol::encode_lease_return({}))
+          .empty());
+}
+
+// --- in-process tree harness ---------------------------------------------
+
+struct PodSpec {
+  int workers = 2;
+  double speed = 1.0;          // throttle for every worker in the pod
+  double acp = 1.0;            // reported per worker
+  int die_after_leases = -1;   // sub-master fault injection
+};
+
+struct HierRun {
+  RootOutcome root;
+  std::vector<SubMasterOutcome> pods;
+};
+
+/// Full tree on in-process transports: the root's Comm spans the
+/// sub-masters; each sub-master spans its pod's worker threads.
+HierRun run_hier(const std::shared_ptr<Workload>& workload,
+                 const std::string& scheme, const std::vector<PodSpec>& spec,
+                 FaultPolicy root_faults = {}, bool steal = true) {
+  const int pods = static_cast<int>(spec.size());
+  mp::Comm up(pods + 1);
+  HierRun out;
+  out.pods.resize(spec.size());
+
+  std::vector<std::thread> tree;
+  for (int g = 0; g < pods; ++g) {
+    tree.emplace_back([&, g] {
+      const PodSpec& ps = spec[static_cast<std::size_t>(g)];
+      mp::Comm pod(ps.workers + 1);
+      std::vector<std::thread> workers;
+      for (int w = 0; w < ps.workers; ++w)
+        workers.emplace_back([&, w] {
+          WorkerLoopConfig wc;
+          wc.worker = w;
+          wc.acp = ps.acp;
+          wc.relative_speed = ps.speed;
+          wc.workload = workload;
+          run_worker_loop(pod, wc);
+        });
+      try {
+        SubMasterConfig sc;
+        sc.pod = g;
+        sc.total = workload->size();
+        sc.num_workers = ps.workers;
+        sc.die_after_leases = ps.die_after_leases;
+        out.pods[static_cast<std::size_t>(g)] = run_submaster(up, pod, sc);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "submaster %d threw: %s\n", g, e.what());
+        std::fflush(stderr);
+        std::abort();
+      }
+      for (auto& t : workers) t.join();
+    });
+  }
+
+  RootConfig rc;
+  rc.scheme = scheme;
+  rc.total = workload->size();
+  rc.num_pods = pods;
+  rc.faults = root_faults;
+  rc.steal = steal;
+  try {
+    out.root = run_root(up, rc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "root threw: %s\n", e.what());
+    std::fflush(stderr);
+    std::abort();
+  }
+  for (auto& t : tree) t.join();
+  return out;
+}
+
+TEST(HierRuntime, TwoPodsCoverTheLoopExactlyOnce) {
+  const auto workload = std::make_shared<UniformWorkload>(2000, 500.0);
+  const HierRun r = run_hier(workload, "dtss", {{2, 1.0}, {2, 1.0}});
+  EXPECT_TRUE(r.root.exactly_once());
+  EXPECT_EQ(r.root.completed_iterations, 2000);
+  EXPECT_TRUE(r.root.lost_pods.empty());
+  Index per_pod = 0;
+  for (int g = 0; g < 2; ++g) {
+    const auto sg = static_cast<std::size_t>(g);
+    per_pod += r.root.iterations_per_pod[sg];
+    // Every pod did real work through at least one lease, and its
+    // own reactor agrees with the root's account of it.
+    EXPECT_GE(r.root.leases_per_pod[sg], 1) << "pod " << g;
+    EXPECT_GT(r.root.iterations_per_pod[sg], 0) << "pod " << g;
+    EXPECT_EQ(r.pods[sg].pod.completed_iterations,
+              r.root.iterations_per_pod[sg])
+        << "pod " << g;
+    EXPECT_EQ(r.pods[sg].leases, r.root.leases_per_pod[sg]) << "pod " << g;
+    // A pod legitimately covers only its slice — but never twice.
+    for (int c : r.pods[sg].pod.execution_count)
+      ASSERT_LE(c, 1) << "pod " << g;
+  }
+  EXPECT_EQ(per_pod, 2000);
+}
+
+TEST(HierRuntime, SimpleSchemeFamilyWorksAtTheRootToo) {
+  const auto workload = std::make_shared<UniformWorkload>(1200, 500.0);
+  const HierRun r = run_hier(workload, "gss", {{2, 1.0}, {2, 1.0}});
+  EXPECT_TRUE(r.root.exactly_once());
+  EXPECT_EQ(r.root.completed_iterations, 1200);
+}
+
+// The point of the tree: the root holds one conversation per pod,
+// not one per worker — its ingested message count per pod-level
+// chunk collapses versus a flat master over the same workers.
+TEST(HierRuntime, RootIngestsFarFewerMessagesThanAFlatMaster) {
+  const auto workload = std::make_shared<UniformWorkload>(2000, 500.0);
+
+  // Flat baseline: 4 workers on one master, same scheme.
+  mp::Comm flat(5);
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 4; ++w)
+    workers.emplace_back([&, w] {
+      WorkerLoopConfig wc;
+      wc.worker = w;
+      wc.workload = workload;
+      run_worker_loop(flat, wc);
+    });
+  MasterConfig mc;
+  mc.scheme = "dtss";
+  mc.total = workload->size();
+  mc.num_workers = 4;
+  const MasterOutcome flat_out = run_master(flat, mc);
+  for (auto& t : workers) t.join();
+  ASSERT_TRUE(flat_out.exactly_once());
+  ASSERT_GT(flat_out.messages, 0);
+  Index flat_chunks = 0;
+  for (Index c : flat_out.chunks_per_worker) flat_chunks += c;
+  ASSERT_GT(flat_chunks, 0);
+  const double flat_mpc = static_cast<double>(flat_out.messages) /
+                          static_cast<double>(flat_chunks);
+
+  // Same 4 workers as 2 pods of 2.
+  const HierRun r = run_hier(workload, "dtss", {{2, 1.0}, {2, 1.0}});
+  ASSERT_TRUE(r.root.exactly_once());
+  // The acceptance bar for the whole PR: >= 2x fewer master-ingested
+  // messages per chunk served than the flat run pays.
+  const HierStats hs = hier_stats(r.root, 0.0);
+  ASSERT_GT(hs.chunks, 0);
+  EXPECT_LE(hs.messages_per_chunk() * 2.0, flat_mpc)
+      << "root " << r.root.messages << " msgs / " << hs.chunks
+      << " chunks vs flat " << flat_out.messages << " msgs / "
+      << flat_chunks << " chunks";
+}
+
+TEST(HierStatsRollup, AggregatesAndSerializes) {
+  const auto workload = std::make_shared<UniformWorkload>(800, 500.0);
+  const HierRun r = run_hier(workload, "dfss", {{2, 1.0}, {2, 1.0}});
+  const HierStats hs = hier_stats(r.root, 1.25);
+  EXPECT_EQ(hs.num_pods, 2);
+  EXPECT_EQ(hs.iterations, 800);
+  EXPECT_EQ(hs.root_messages, r.root.messages);
+  EXPECT_DOUBLE_EQ(hs.t_wall, 1.25);
+  ASSERT_EQ(hs.per_pod.size(), 2u);
+  EXPECT_EQ(hs.per_pod[0].iterations + hs.per_pod[1].iterations, 800);
+  const std::string json = hs.to_json();
+  EXPECT_NE(json.find("\"root_messages\""), std::string::npos);
+  EXPECT_NE(json.find("\"messages_per_chunk\""), std::string::npos);
+  EXPECT_NE(json.find("\"per_pod\""), std::string::npos);
+}
+
+// --- whole-lease reclaim on pod death ------------------------------------
+
+TEST(HierFaults, DyingPodsLeaseIsReclaimedWholesale) {
+  const auto workload = std::make_shared<UniformWorkload>(400, 2000.0);
+  FaultPolicy faults;
+  faults.detect = true;
+  // In-process Comm peers never report transport death, so the grace
+  // timer is the only detector; pods refill every few hundred
+  // microseconds here, far inside the grace.
+  faults.grace = 0.8;
+  const HierRun r =
+      run_hier(workload, "dtss", {{2, 1.0}, {2, 1.0, 1.0, 1}}, faults);
+  // Pod 1 swallowed its second lease whole and went silent; the root
+  // must dump that ENTIRE lease (plus any unacknowledged tail of the
+  // first) back into the pool and re-serve it through pod 0 — and
+  // its own accounting still covers the loop exactly once.
+  EXPECT_TRUE(r.root.exactly_once());
+  EXPECT_EQ(r.root.completed_iterations, 400);
+  ASSERT_EQ(r.root.lost_pods.size(), 1u);
+  EXPECT_EQ(r.root.lost_pods[0], 1);
+  EXPECT_EQ(r.root.reclaimed_leases, 1);
+  EXPECT_GT(r.root.reclaimed_iterations, 0);
+  EXPECT_TRUE(r.pods[1].died);
+  // Everything the root counted for pod 1 came from acknowledged
+  // completions only; the swallowed lease re-ran elsewhere.
+  EXPECT_EQ(r.root.iterations_per_pod[0] + r.root.iterations_per_pod[1],
+            400);
+}
+
+TEST(HierFaults, TcpPodDeathIsDetectedByTheTransport) {
+  const auto workload = std::make_shared<UniformWorkload>(400, 2000.0);
+  mp::TcpOptions topts;
+  topts.heartbeat_period = std::chrono::milliseconds(25);
+  topts.liveness_timeout = std::chrono::milliseconds(300);
+  mp::TcpMasterTransport up(0, 2, topts);
+
+  std::vector<SubMasterOutcome> pods(2);
+  std::vector<std::thread> tree;
+  for (int g = 0; g < 2; ++g)
+    tree.emplace_back([&, g, port = up.port()] {
+      // The upstream socket lives exactly as long as the sub-master:
+      // its destruction is the EOF the root's detector sees.
+      mp::TcpWorkerTransport uplink("127.0.0.1", port, topts);
+      mp::Comm pod(3);
+      std::vector<std::thread> workers;
+      for (int w = 0; w < 2; ++w)
+        workers.emplace_back([&, w] {
+          WorkerLoopConfig wc;
+          wc.worker = w;
+          wc.workload = workload;
+          run_worker_loop(pod, wc);
+        });
+      SubMasterConfig sc;
+      sc.pod = uplink.rank() - 1;
+      sc.total = workload->size();
+      sc.num_workers = 2;
+      // Exactly one pod dies — whichever connected second.
+      sc.die_after_leases = uplink.rank() == 2 ? 1 : -1;
+      try {
+        pods[static_cast<std::size_t>(g)] = run_submaster(uplink, pod, sc);
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "tcp submaster %d threw: %s\n", g, e.what());
+        std::fflush(stderr);
+        std::abort();
+      }
+      for (auto& t : workers) t.join();
+    });
+
+  up.accept_workers();  // both sub-masters handshake before any lease
+  RootConfig rc;
+  rc.scheme = "dtss";
+  rc.total = workload->size();
+  rc.num_pods = 2;
+  rc.faults.detect = true;
+  rc.faults.grace = 30.0;  // transport EOF must fire long before this
+  RootOutcome root;
+  try {
+    root = run_root(up, rc);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "tcp root threw: %s\n", e.what());
+    std::fflush(stderr);
+    std::abort();
+  }
+  for (auto& t : tree) t.join();
+
+  EXPECT_TRUE(root.exactly_once());
+  EXPECT_EQ(root.completed_iterations, 400);
+  ASSERT_EQ(root.lost_pods.size(), 1u);
+  EXPECT_EQ(root.lost_pods[0], 1);  // upstream rank 2 = pod index 1
+  EXPECT_EQ(root.reclaimed_leases, 1);
+  EXPECT_GT(root.reclaimed_iterations, 0);
+}
+
+// --- tail-phase lease rebalancing ----------------------------------------
+
+TEST(HierSteal, ExhaustedPodStealsTheBackOfALaggardsLease) {
+  // Pod 1 reports full power but computes at 2% speed — the classic
+  // post-ACP slowdown. Its big early leases sit unstarted while pod 0
+  // drains the scheduler; the root must recall the cold back of pod
+  // 1's lease and re-serve it through pod 0.
+  const auto workload = std::make_shared<UniformWorkload>(800, 5000.0);
+  const HierRun r =
+      run_hier(workload, "dtss", {{2, 1.0}, {2, 0.02}});
+  EXPECT_TRUE(r.root.exactly_once());
+  EXPECT_EQ(r.root.completed_iterations, 800);
+  EXPECT_TRUE(r.root.lost_pods.empty());
+  EXPECT_GE(r.root.steals, 1);
+  EXPECT_GT(r.root.stolen_iterations, 0);
+  // The donations really moved through the sub-masters — mostly out
+  // of the laggard, though the tail can recall the fast pod once too.
+  EXPECT_GE(r.pods[1].recalls, 1);
+  EXPECT_GT(r.pods[1].donated_iterations, 0);
+  EXPECT_EQ(r.pods[0].donated_iterations + r.pods[1].donated_iterations,
+            r.root.stolen_iterations);
+  // And the stolen work landed on the fast pod.
+  EXPECT_GT(r.root.iterations_per_pod[0], r.root.iterations_per_pod[1]);
+}
+
+TEST(HierSteal, StealingCanBeDisabled) {
+  const auto workload = std::make_shared<UniformWorkload>(400, 1000.0);
+  const HierRun r = run_hier(workload, "dtss", {{2, 1.0}, {2, 0.1}},
+                             FaultPolicy{}, /*steal=*/false);
+  EXPECT_TRUE(r.root.exactly_once());
+  EXPECT_EQ(r.root.steals, 0);
+  EXPECT_EQ(r.root.stolen_iterations, 0);
+  EXPECT_EQ(r.pods[0].recalls + r.pods[1].recalls, 0);
+}
+
+}  // namespace
+}  // namespace lss::rt

@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "lss/mp/comm.hpp"
 #include "lss/mp/framing.hpp"
 #include "lss/mp/tcp.hpp"
 #include "lss/support/assert.hpp"
@@ -289,6 +290,118 @@ TEST(Tcp, OversizedFrameDropsThePeer) {
     std::this_thread::sleep_for(10ms);
   }
   EXPECT_TRUE(dead);
+}
+
+// ----------------------------------------------- drain under load
+// The single-poll reactors (rt/reactor, rt/root) live on drain():
+// one call claims every ready frame. These stress the claim under
+// maximum concurrency — many senders blasting while receivers drain
+// — and pin the per-source FIFO the batched-ack protocol relies on.
+// They run inside the TSan rotation (bench/ci_sanitize.sh).
+
+TEST(DrainStress, ManySendersOneDrainingMaster) {
+  constexpr int kSenders = 8;
+  constexpr int kEach = 200;
+  Comm c(kSenders + 1);
+  std::vector<std::thread> senders;
+  for (int s = 1; s <= kSenders; ++s)
+    senders.emplace_back([&c, s] {
+      for (int i = 0; i < kEach; ++i)
+        c.send(s, 0, /*tag=*/i, pattern(16, static_cast<unsigned>(s)));
+    });
+
+  std::vector<int> next_tag(kSenders + 1, 0);
+  int got = 0;
+  while (got < kSenders * kEach) {
+    const std::vector<Message> batch = c.drain(0);
+    if (batch.empty()) {
+      std::this_thread::yield();
+      continue;
+    }
+    for (const Message& m : batch) {
+      ASSERT_GE(m.source, 1);
+      ASSERT_LE(m.source, kSenders);
+      // Per-source FIFO survives the concurrent claim.
+      ASSERT_EQ(m.tag, next_tag[static_cast<std::size_t>(m.source)]++);
+      ASSERT_EQ(m.payload, pattern(16, static_cast<unsigned>(m.source)));
+      ++got;
+    }
+  }
+  for (std::thread& t : senders) t.join();
+  EXPECT_TRUE(c.drain(0).empty());
+}
+
+TEST(DrainStress, EveryRankDrainsItsOwnMailboxConcurrently) {
+  // All ranks drain the SAME shared mailroom at once while all ranks
+  // send: rank 0 fans out to everyone, everyone acks back.
+  constexpr int kRanks = 6;  // receivers 1..5, master 0
+  constexpr int kEach = 150;
+  Comm c(kRanks);
+  std::vector<std::thread> peers;
+  for (int r = 1; r < kRanks; ++r)
+    peers.emplace_back([&c, r] {
+      int seen = 0;
+      int next = 0;
+      while (seen < kEach) {
+        for (const Message& m : c.drain(r)) {
+          ASSERT_EQ(m.source, 0);
+          ASSERT_EQ(m.tag, next++);
+          c.send(r, 0, m.tag, m.payload);
+          ++seen;
+        }
+      }
+    });
+
+  for (int i = 0; i < kEach; ++i)
+    for (int r = 1; r < kRanks; ++r)
+      c.send(0, r, i, pattern(8, static_cast<unsigned>(r)));
+
+  std::vector<int> acks(kRanks, 0);
+  int got = 0;
+  while (got < (kRanks - 1) * kEach) {
+    for (const Message& m : c.drain(0)) {
+      ASSERT_EQ(m.payload, pattern(8, static_cast<unsigned>(m.source)));
+      ++acks[static_cast<std::size_t>(m.source)];
+      ++got;
+    }
+  }
+  for (std::thread& t : peers) t.join();
+  for (int r = 1; r < kRanks; ++r)
+    EXPECT_EQ(acks[static_cast<std::size_t>(r)], kEach) << "rank " << r;
+}
+
+TEST(DrainStress, TcpMasterDrainUnderConcurrentWorkerFire) {
+  constexpr int kWorkers = 4;
+  constexpr int kEach = 100;
+  TcpMasterTransport master(0, kWorkers);
+  std::vector<std::thread> wt;
+  for (int i = 0; i < kWorkers; ++i)
+    wt.emplace_back([port = master.port()] {
+      TcpWorkerTransport w("127.0.0.1", port);
+      for (int k = 0; k < kEach; ++k)
+        w.send(w.rank(), 0, k,
+               pattern(32, static_cast<unsigned>(w.rank())));
+      // Stay connected (heartbeating) until the master saw it all.
+      EXPECT_TRUE(w.recv_for(w.rank(), 10s, 0, 999).has_value());
+    });
+  master.accept_workers();
+
+  std::vector<int> next_tag(kWorkers + 1, 0);
+  int got = 0;
+  const auto deadline = Clock::now() + 20s;
+  while (got < kWorkers * kEach && Clock::now() < deadline) {
+    for (const Message& m : master.drain(0)) {
+      // Per-connection FIFO: tags from one worker arrive in order,
+      // and heartbeat frames never surface as messages.
+      ASSERT_EQ(m.tag, next_tag[static_cast<std::size_t>(m.source)]++);
+      ASSERT_EQ(m.payload, pattern(32, static_cast<unsigned>(m.source)));
+      ++got;
+    }
+  }
+  EXPECT_EQ(got, kWorkers * kEach);
+  for (int rank = 1; rank <= kWorkers; ++rank)
+    master.send(0, rank, 999, {});
+  for (std::thread& t : wt) t.join();
 }
 
 TEST(Tcp, ClosePeerFencesTheWorker) {
