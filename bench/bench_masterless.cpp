@@ -1,0 +1,67 @@
+// Chunk-acquisition cost: mediated master vs masterless dispatch
+// (google-benchmark, DESIGN.md §14). The same ss loop — one
+// iteration per chunk, the worst acquisition:compute ratio any
+// scheme produces — runs through the flat mediated master (depth 0,
+// every chunk is a full request/grant round trip) and through the
+// masterless counter (every chunk is one fetch-and-add on the shared
+// cursor; the master only janitors), at 1/2/4/8 worker threads.
+//
+// Each benchmark iteration is one complete run; manual timing uses
+// the runtime's own start-to-last-join wall clock. The headline
+// counter is
+//
+//   per_chunk_us   wall microseconds per executed chunk — the cost
+//                  of acquiring work. Mediated, it grows with the
+//                  worker count (every claim funnels through one
+//                  reactor); masterless it must stay flat
+//                  (BENCH_masterless.json gate).
+//
+// bench/run_bench.sh masterless distills the JSON into
+// BENCH_masterless.json with the mediated-vs-masterless curve.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "lss/rt/run.hpp"
+#include "lss/workload/synthetic.hpp"
+
+using namespace lss;
+
+namespace {
+
+constexpr Index kChunks = 2048;   // ss: one iteration = one chunk
+constexpr double kBodyCost = 50.0;  // tiny body: acquisition dominates
+
+rt::RtResult run_once(int workers, bool masterless) {
+  rt::RtConfig cfg;
+  cfg.workload = std::make_shared<UniformWorkload>(kChunks, kBodyCost);
+  cfg.scheme = "ss";
+  cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
+  cfg.pipeline_depth = 0;  // strict exchange: acquisition cost is bare
+  cfg.masterless = masterless;
+  return rt::run_threaded(cfg);
+}
+
+void BM_MasterlessAcquisition(benchmark::State& state, bool masterless) {
+  const int workers = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const rt::RtResult r = run_once(workers, masterless);
+    state.SetIterationTime(r.t_parallel);
+    state.counters["per_chunk_us"] = benchmark::Counter(
+        r.t_parallel * 1e6 / static_cast<double>(kChunks));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kChunks));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_MasterlessAcquisition, mediated, false)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_MasterlessAcquisition, masterless, true)
+    ->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

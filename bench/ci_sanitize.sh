@@ -28,7 +28,7 @@ export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}"
 
-ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure --no-tests=error -j "$(nproc)"
 
 # The tracing stress test exercises the per-thread ring registration
 # and the enable/disable flag under maximum producer contention; run
@@ -52,8 +52,23 @@ done
 # pod-worker threads nested over two transports, with lease recalls,
 # injected pod deaths, and transport-level death detection racing
 # the lease traffic. Repeat so the interleavings vary.
+# `--no-tests=error` turns a label that matches nothing (a renamed
+# suite, a label typo) into a hard failure instead of a silent
+# zero-test pass.
 for i in 1 2 3; do
-  ctest --test-dir "$build" --output-on-failure -L hier -j "$(nproc)"
+  ctest --test-dir "$build" --output-on-failure --no-tests=error \
+    -L hier -j "$(nproc)"
+done
+
+# Masterless dispatch (ctest label `masterless`): worker threads
+# fetch-and-add the shared ticket cursor directly — the inproc and
+# shm counters, the kTagFetchAdd frame path, the mid-loop fallback
+# to mediated grants, and the janitor's reconcile barrier are all
+# cross-thread by construction. Repeat so the claim interleavings
+# vary.
+for i in 1 2 3; do
+  ctest --test-dir "$build" --output-on-failure --no-tests=error \
+    -L masterless -j "$(nproc)"
 done
 
 # The pipelined worker/master loops at every depth (0/1/2/4): the

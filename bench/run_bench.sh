@@ -18,6 +18,12 @@
 #     2-pod tree ingests >= 2x fewer root messages per chunk than the
 #     flat master, at wall time <= 1.1x flat.
 #
+#   BENCH_masterless.json — BM_MasterlessAcquisition (DESIGN.md §14):
+#     an acquisition-bound ss loop through the mediated master vs the
+#     masterless counter at 1/2/4/8 workers. Gates: masterless
+#     per-chunk cost stays flat as workers scale (8w <= 2.5x 1w) and
+#     beats the mediated exchange >= 2x at 8 workers.
+#
 #   bench/run_bench.sh [reps] [build-dir]
 set -euo pipefail
 
@@ -27,7 +33,7 @@ build="${2:-$root/build}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_overhead bench_hier_scaling >/dev/null
+  --target bench_overhead bench_hier_scaling bench_masterless >/dev/null
 
 # ---------------------------------------------------------------- pipeline
 
@@ -189,6 +195,85 @@ if not ok:
     sys.exit(1)
 print(f"OK: hier_2x4 fan-in reduction {fanin} >= 2.0 "
       f"at wall ratio {wall_ratio} <= 1.1")
+PY
+
+# -------------------------------------------------------------- masterless
+
+raw="$build/bench_masterless_raw.json"
+out="$root/BENCH_masterless.json"
+
+"$build/bench/bench_masterless" \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_time_unit=ms \
+  --benchmark_out="$raw" \
+  --benchmark_out_format=json
+
+python3 - "$raw" "$out" <<'PY'
+import json, statistics, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# name: BM_MasterlessAcquisition/<variant>/<workers>/manual_time ;
+# variants mediated, masterless. per_chunk_us is the headline.
+runs = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_MasterlessAcquisition":
+        continue
+    variant, workers = parts[1], int(parts[2])
+    runs.setdefault((variant, workers), []).append(b["per_chunk_us"])
+
+table = {}
+for (variant, workers), samples in sorted(runs.items()):
+    table.setdefault(variant, {})[str(workers)] = {
+        "reps": len(samples),
+        "per_chunk_us_median": round(statistics.median(samples), 3),
+    }
+
+ml = table["masterless"]
+med = table["mediated"]
+flatness = round(ml["8"]["per_chunk_us_median"] /
+                 ml["1"]["per_chunk_us_median"], 2)
+advantage = round(med["8"]["per_chunk_us_median"] /
+                  ml["8"]["per_chunk_us_median"], 2)
+
+doc = {
+    "benchmark": "BM_MasterlessAcquisition",
+    "workload": {"chunks": 2048, "scheme": "ss", "body_cost_units": 50,
+                 "pipeline_depth": 0, "workers": [1, 2, 4, 8]},
+    "context": {k: raw["context"][k]
+                for k in ("num_cpus", "mhz_per_cpu", "library_version")
+                if k in raw["context"]},
+    "metric": ("median wall microseconds per chunk acquired — the "
+               "cost of claiming work, mediated round trip vs "
+               "masterless fetch-and-add"),
+    "results": table,
+    "masterless_8w_vs_1w_per_chunk_ratio": flatness,
+    "masterless_advantage_vs_mediated_8w": advantage,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(doc, indent=2))
+ok = True
+if flatness > 2.5:
+    print(f"FAIL: masterless per-chunk cost grew {flatness}x from 1 to "
+          f"8 workers (> 2.5)", file=sys.stderr)
+    ok = False
+if advantage < 2.0:
+    print(f"FAIL: masterless only {advantage}x cheaper than mediated "
+          f"at 8 workers (< 2.0)", file=sys.stderr)
+    ok = False
+if not ok:
+    sys.exit(1)
+print(f"OK: masterless per-chunk flat ({flatness}x from 1w to 8w), "
+      f"{advantage}x cheaper than mediated at 8 workers")
 PY
 
 # ----------------------------------------------- stamp + history trajectory

@@ -8,11 +8,24 @@
 //              [--pods G] [--port 0] [--width 200] [--height 120]
 //              [--max-iter 100] [--kill-after K] [--grace S]
 //              [--out image.pgm] [--pipeline-depth K] [--no-spawn]
+//              [--masterless]
 //
 // --pipeline-depth K (default 1) is the prefetch window shipped to
 // every worker in the job description: each keeps up to K granted
 // columns queued behind the one computing, hiding the master round
 // trip; 0 restores the strict one-request/one-grant exchange.
+//
+// --masterless (DESIGN.md §14) dispatches without per-chunk master
+// round trips: workers fetch-and-add a shared ticket counter and
+// compute chunk boundaries from a local replay of the scheme's grant
+// table, while this process degrades to a fault-domain janitor that
+// ingests batched completion reports and re-grants what dead
+// claimants dropped. Over tcp the spawned (same-host) fleet shares a
+// POSIX shm counter named in the job description; workers started
+// elsewhere (--no-spawn across hosts) claim over kTagFetchAdd frames
+// instead. Requires a scheme with a deterministic grant sequence
+// (ss, css, gss, tss, fss, fiss, tfss, wf) — others print a note and
+// run the mediated exchange. Not available under --pods.
 //
 // With --transport tcp the master binds 127.0.0.1, spawns
 // `lss_worker` processes (found next to this binary) pointed at its
@@ -48,6 +61,8 @@
 
 #include "lss/mp/comm.hpp"
 #include "lss/mp/tcp.hpp"
+#include "lss/rt/counter.hpp"
+#include "lss/rt/dispatch.hpp"
 #include "lss/rt/master.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/root.hpp"
@@ -76,6 +91,9 @@ struct Options {
   /// tcp only: don't fork the tree; wait for externally started
   /// `lss_worker` / `lss_submaster` processes instead.
   bool spawn = true;
+  /// Masterless dispatch (see header note). Downgraded with a note
+  /// for schemes without a deterministic grant sequence.
+  bool masterless = false;
 };
 
 lss::rt::MasterConfig master_config(const Options& o,
@@ -99,6 +117,23 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
                                std::vector<std::uint16_t>& image) {
   lss::mp::TcpMasterTransport t(static_cast<std::uint16_t>(o.port),
                                 o.workers);
+  // Masterless: a spawned fleet is same-host by construction, so the
+  // shared cursor lives in a POSIX shm segment whose name ships with
+  // the job; --no-spawn workers may be on other hosts and claim over
+  // kTagFetchAdd frames instead (empty segment name).
+  JobSpec job = o.job;
+  std::shared_ptr<lss::rt::TicketCounter> counter;
+  if (o.masterless) {
+    job.masterless = true;
+    job.scheme = o.scheme;
+    job.workers = o.workers;
+    if (o.spawn) {
+      auto shm = lss::rt::ShmTicketCounter::create(
+          "/lss-ctr-" + std::to_string(::getpid()));
+      job.counter_shm = shm->name();
+      counter = std::move(shm);
+    }
+  }
   std::vector<pid_t> children;
   if (o.spawn) {
     const std::string binary = lss_cli::sibling_binary("lss_worker");
@@ -119,9 +154,11 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
   }
   t.accept_workers();
   for (int rank = 1; rank <= o.workers; ++rank)
-    t.send(0, rank, lss::rt::protocol::kTagJob, lss_cli::encode_job(o.job));
+    t.send(0, rank, lss::rt::protocol::kTagJob, lss_cli::encode_job(job));
 
-  const lss::rt::MasterConfig mc = master_config(o, image);
+  lss::rt::MasterConfig mc = master_config(o, image);
+  mc.masterless = o.masterless;
+  mc.counter = counter;
   lss::rt::MasterOutcome outcome = lss::rt::run_master(t, mc);
   for (const pid_t pid : children) waitpid(pid, nullptr, 0);
   return outcome;
@@ -180,6 +217,9 @@ lss::rt::MasterOutcome run_inproc(const Options& o,
   auto workload = std::make_shared<lss::MandelbrotWorkload>(params);
 
   lss::mp::Comm comm(o.workers + 1);
+  std::shared_ptr<lss::rt::TicketCounter> counter;
+  if (o.masterless)
+    counter = std::make_shared<lss::rt::InprocTicketCounter>();
   std::vector<std::thread> threads;
   for (int w = 0; w < o.workers; ++w) {
     lss::rt::WorkerLoopConfig wc;
@@ -187,14 +227,27 @@ lss::rt::MasterOutcome run_inproc(const Options& o,
     wc.workload = workload;
     wc.die_after_chunks = w == o.workers - 1 ? o.kill_after : -1;
     wc.pipeline_depth = static_cast<int>(o.job.pipeline_depth);
-    threads.emplace_back(
-        [&comm, wc] { lss::rt::run_worker_loop(comm, wc); });
+    if (o.masterless) {
+      lss::rt::MasterlessWorkerConfig mwc;
+      mwc.loop = wc;
+      mwc.scheme = o.scheme;
+      mwc.total = o.job.width;
+      mwc.num_workers = o.workers;
+      mwc.counter = counter;
+      threads.emplace_back(
+          [&comm, mwc] { lss::rt::run_masterless_worker(comm, mwc); });
+    } else {
+      threads.emplace_back(
+          [&comm, wc] { lss::rt::run_worker_loop(comm, wc); });
+    }
   }
 
   Options adjusted = o;
   adjusted.job.want_results = false;  // workers share this memory
-  lss::rt::MasterOutcome outcome =
-      lss::rt::run_master(comm, master_config(adjusted, image));
+  lss::rt::MasterConfig mc = master_config(adjusted, image);
+  mc.masterless = o.masterless;
+  mc.counter = counter;
+  lss::rt::MasterOutcome outcome = lss::rt::run_master(comm, mc);
   for (std::thread& th : threads) th.join();
   image = workload->image();
   return outcome;
@@ -298,6 +351,8 @@ int main(int argc, char** argv) {
       o.out_path = args.value(arg);
     } else if (arg == "--no-spawn") {
       o.spawn = false;
+    } else if (arg == "--masterless") {
+      o.masterless = true;
     } else {
       std::cerr << "unknown flag " << arg << '\n';
       return 2;
@@ -305,10 +360,18 @@ int main(int argc, char** argv) {
   }
   if (o.workers < 1 ||
       (o.transport != "tcp" && o.transport != "inproc") ||
-      (o.pods > 0 && o.transport != "tcp")) {
+      (o.pods > 0 && o.transport != "tcp") ||
+      (o.pods > 0 && o.masterless)) {
     std::cerr << "usage: lss_master [--scheme S] [--transport tcp|inproc]"
-                 " [--workers N] [--pods G (tcp)] [--kill-after K] ...\n";
+                 " [--workers N] [--pods G (tcp)] [--kill-after K]"
+                 " [--masterless (flat only)] ...\n";
     return 2;
+  }
+  std::string why;
+  if (o.masterless && !lss::rt::masterless_supported(o.scheme, &why)) {
+    std::cout << "masterless unavailable for '" << o.scheme << "' (" << why
+              << "); running the mediated exchange\n";
+    o.masterless = false;
   }
 
   if (o.pods > 0) return run_hier_main(o);
@@ -319,6 +382,7 @@ int main(int argc, char** argv) {
     std::cout << "scheduling " << o.job.width << " columns with '"
               << o.scheme << "' over " << o.transport << " on "
               << o.workers << " workers"
+              << (o.masterless ? " [masterless]" : "")
               << (o.kill_after >= 0 ? " (one will die mid-run)" : "")
               << "...\n";
     const lss::rt::MasterOutcome outcome =

@@ -15,12 +15,20 @@
 //
 // --pipeline-depth K overrides the prefetch window the master ships
 // in the job description (negative/absent = use the job's value).
+//
+// When the job arrives marked masterless (DESIGN.md §14), the worker
+// runs the self-calculating loop instead: it replays the scheme's
+// grant table locally and claims tickets from the shm counter the
+// job names (same-host fleet) or over kTagFetchAdd frames when no
+// segment is named — no flag needed; the master decides the mode for
+// the whole fleet through the job description.
 #include <cstdint>
 #include <iostream>
 #include <memory>
 #include <string>
 
 #include "lss/mp/tcp.hpp"
+#include "lss/rt/counter.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/worker.hpp"
 #include "lss/support/assert.hpp"
@@ -76,8 +84,21 @@ int main(int argc, char** argv) {
         return lss_cli::encode_columns(workload->image(), job.height, chunk);
       };
 
-    const lss::rt::WorkerLoopResult r = lss::rt::run_worker_loop(t, wc);
+    lss::rt::WorkerLoopResult r;
+    if (job.masterless) {
+      lss::rt::MasterlessWorkerConfig mwc;
+      mwc.loop = wc;
+      mwc.scheme = job.scheme;
+      mwc.total = job.width;
+      mwc.num_workers = static_cast<int>(job.workers);
+      if (!job.counter_shm.empty())
+        mwc.counter = lss::rt::ShmTicketCounter::attach(job.counter_shm);
+      r = lss::rt::run_masterless_worker(t, mwc);
+    } else {
+      r = lss::rt::run_worker_loop(t, wc);
+    }
     std::cerr << "[worker " << rank << "] "
+              << (job.masterless ? "[masterless] " : "")
               << (r.died ? "died (injected) after " : "done: ") << r.chunks
               << " chunks, " << r.iterations << " columns\n";
   } catch (const std::exception& e) {

@@ -6,6 +6,19 @@
 // of the tree. Header-only; all the binaries compile it into
 // themselves, which *is* the compatibility story — the CLIs are a
 // demo family, not a versioned wire contract.
+//
+// ## Port convention (CLIs and tests alike)
+//
+// Nothing in this family hard-codes a listening port. Masters bind
+// port 0 — the kernel assigns an ephemeral port — and read the real
+// one back (mp::TcpMasterTransport::port()) to advertise it: the
+// CLIs pass it to forked workers on the command line, the tests
+// capture it in the worker lambdas. Suites running under `ctest -j`
+// therefore never collide on a port, and no test needs a retry loop
+// or a reserved range. Keep it that way: new sockets bind 0 and
+// publish the read-back port; `--port` with an explicit value is for
+// humans wiring up multi-host runs, never a baked-in default the
+// tests share.
 #pragma once
 
 #include <unistd.h>
@@ -89,6 +102,16 @@ struct JobSpec {
   /// field so a mixed old/new CLI pair still parses (old job blobs
   /// decode as depth 1).
   std::int64_t pipeline_depth = 1;
+  /// Masterless dispatch (DESIGN.md §14) — trailing fields again, so
+  /// old job blobs decode as the mediated exchange. The worker
+  /// replays the scheme's grant table from (scheme, workers) and
+  /// claims tickets from the shm segment named in `counter_shm`
+  /// (same-host fleet spawned by the master) or, when the name is
+  /// empty, over kTagFetchAdd frames to the master.
+  bool masterless = false;
+  std::string scheme = "ss";
+  std::int64_t workers = 1;
+  std::string counter_shm;
 };
 
 inline std::vector<std::byte> encode_job(const JobSpec& job) {
@@ -98,6 +121,10 @@ inline std::vector<std::byte> encode_job(const JobSpec& job) {
   w.put_i64(job.max_iter);
   w.put_i64(job.want_results ? 1 : 0);
   w.put_i64(job.pipeline_depth);
+  w.put_i64(job.masterless ? 1 : 0);
+  w.put_string(job.scheme);
+  w.put_i64(job.workers);
+  w.put_string(job.counter_shm);
   return w.take();
 }
 
@@ -109,6 +136,12 @@ inline JobSpec decode_job(const std::vector<std::byte>& payload) {
   job.max_iter = rd.get_i64();
   job.want_results = rd.get_i64() != 0;
   if (!rd.exhausted()) job.pipeline_depth = rd.get_i64();
+  if (!rd.exhausted()) {
+    job.masterless = rd.get_i64() != 0;
+    job.scheme = rd.get_string();
+    job.workers = rd.get_i64();
+    job.counter_shm = rd.get_string();
+  }
   return job;
 }
 

@@ -48,12 +48,16 @@ namespace lss::mp {
 /// multi-grant (batched assign) frames and piggy-backed prefetch
 /// windows; kProtoHierarchical peers additionally understand the
 /// lease frames a root master exchanges with sub-masters
-/// (rt/protocol kTagLease*). In-process backends are always current:
-/// both ends live in one binary.
+/// (rt/protocol kTagLease*); kProtoMasterless peers additionally
+/// understand the fetch-add counter frames and completion reports of
+/// the master-less dispatch mode (rt/protocol kTagFetchAdd*,
+/// kTagReport — DESIGN.md §14). In-process backends are always
+/// current: both ends live in one binary.
 inline constexpr int kProtoLegacy = 1;
 inline constexpr int kProtoPipelined = 2;
 inline constexpr int kProtoHierarchical = 3;
-inline constexpr int kProtoCurrent = kProtoHierarchical;
+inline constexpr int kProtoMasterless = 4;
+inline constexpr int kProtoCurrent = kProtoMasterless;
 
 class Transport {
  public:

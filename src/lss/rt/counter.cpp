@@ -1,0 +1,186 @@
+#include "lss/rt/counter.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <utility>
+
+#include "lss/obs/metrics_registry.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Resolved once; the registry guarantees stable references for the
+// process lifetime, so hot claims pay one relaxed atomic each.
+obs::Counter& claims_metric() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::instance().counter("masterless.claims");
+  return c;
+}
+
+obs::Histogram& latency_metric() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::instance().histogram("masterless.fetch_add_us");
+  return h;
+}
+
+double us_since(Clock::time_point t0) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+// --- inproc ----------------------------------------------------------------
+
+std::optional<std::uint64_t> InprocTicketCounter::fetch_add(std::uint64_t n) {
+  if (killed_.load(std::memory_order_relaxed)) return std::nullopt;
+  if (fail_after_ != kNeverFail &&
+      claims_.fetch_add(1, std::memory_order_relaxed) >= fail_after_) {
+    // The budget is exhausted: die exactly here and stay dead for
+    // every claimant, like a service process killed mid-loop.
+    killed_.store(true, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  const auto t0 = Clock::now();
+  const std::uint64_t first =
+      cursor_.fetch_add(n, std::memory_order_relaxed);
+  latency_metric().observe(us_since(t0));
+  claims_metric().add(1);
+  return first;
+}
+
+// --- shm -------------------------------------------------------------------
+
+struct ShmTicketCounter::Header {
+  static constexpr std::uint64_t kMagic = 0x6c73732d636e7472;  // "lss-cntr"
+  std::uint64_t magic;
+  std::atomic<std::uint64_t> cursor;
+  std::atomic<std::uint32_t> killed;
+};
+
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shm counter needs a lock-free 64-bit atomic");
+
+std::unique_ptr<ShmTicketCounter> ShmTicketCounter::create(
+    const std::string& name) {
+  const int fd =
+      ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  LSS_REQUIRE(fd >= 0, "shm_open(create " + name +
+                           ") failed: " + std::strerror(errno));
+  if (::ftruncate(fd, static_cast<off_t>(sizeof(Header))) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    LSS_REQUIRE(false,
+                "ftruncate(" + name + ") failed: " + std::strerror(err));
+  }
+  void* mem = ::mmap(nullptr, sizeof(Header), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    LSS_REQUIRE(false, "mmap(" + name + ") failed");
+  }
+  auto* header = new (mem) Header{};
+  header->cursor.store(0, std::memory_order_relaxed);
+  header->killed.store(0, std::memory_order_relaxed);
+  // Attachers check the magic *after* the fields above are in place.
+  header->magic = Header::kMagic;
+  return std::unique_ptr<ShmTicketCounter>(
+      new ShmTicketCounter(name, header, /*owner=*/true));
+}
+
+std::unique_ptr<ShmTicketCounter> ShmTicketCounter::attach(
+    const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  LSS_REQUIRE(fd >= 0, "shm_open(attach " + name +
+                           ") failed: " + std::strerror(errno));
+  struct stat st{};
+  const bool sized =
+      ::fstat(fd, &st) == 0 &&
+      st.st_size >= static_cast<off_t>(sizeof(Header));
+  if (!sized) {
+    ::close(fd);
+    LSS_REQUIRE(false, "shm segment " + name + " is not a ticket counter");
+  }
+  void* mem = ::mmap(nullptr, sizeof(Header), PROT_READ | PROT_WRITE,
+                     MAP_SHARED, fd, 0);
+  ::close(fd);
+  LSS_REQUIRE(mem != MAP_FAILED, "mmap(" + name + ") failed");
+  auto* header = static_cast<Header*>(mem);
+  if (header->magic != Header::kMagic) {
+    ::munmap(mem, sizeof(Header));
+    LSS_REQUIRE(false, "shm segment " + name + " is not a ticket counter");
+  }
+  return std::unique_ptr<ShmTicketCounter>(
+      new ShmTicketCounter(name, header, /*owner=*/false));
+}
+
+ShmTicketCounter::~ShmTicketCounter() {
+  ::munmap(header_, sizeof(Header));
+  if (owner_) ::shm_unlink(name_.c_str());
+}
+
+std::optional<std::uint64_t> ShmTicketCounter::fetch_add(std::uint64_t n) {
+  if (header_->killed.load(std::memory_order_relaxed) != 0)
+    return std::nullopt;
+  const auto t0 = Clock::now();
+  const std::uint64_t first =
+      header_->cursor.fetch_add(n, std::memory_order_relaxed);
+  latency_metric().observe(us_since(t0));
+  claims_metric().add(1);
+  return first;
+}
+
+std::uint64_t ShmTicketCounter::load() const {
+  return header_->cursor.load(std::memory_order_relaxed);
+}
+
+void ShmTicketCounter::kill() {
+  header_->killed.store(1, std::memory_order_relaxed);
+}
+
+// --- transport -------------------------------------------------------------
+
+TransportTicketCounter::TransportTicketCounter(
+    mp::Transport& transport, int rank,
+    std::chrono::steady_clock::duration timeout)
+    : t_(transport), rank_(rank), timeout_(timeout) {}
+
+std::optional<std::uint64_t> TransportTicketCounter::fetch_add(
+    std::uint64_t n) {
+  if (dead_) return std::nullopt;
+  const auto t0 = Clock::now();
+  t_.send(rank_, 0, protocol::kTagFetchAdd, protocol::encode_fetch_add(n));
+  // Tag-filtered receive: a Terminate racing in from a fencing master
+  // stays queued for the worker loop, which honors it before the
+  // next claim.
+  const auto m = t_.recv_for(rank_, timeout_, 0, protocol::kTagFetchAddReply);
+  if (!m) {
+    dead_ = true;  // silence is death; the service does not resurrect
+    return std::nullopt;
+  }
+  const protocol::FetchAddReply reply =
+      protocol::decode_fetch_add_reply(m->payload);
+  if (reply.dead) {
+    dead_ = true;
+    return std::nullopt;
+  }
+  latency_metric().observe(us_since(t0));
+  claims_metric().add(1);
+  seen_ = reply.first + n;
+  return reply.first;
+}
+
+}  // namespace lss::rt

@@ -1,0 +1,154 @@
+// The shared iteration cursor of the masterless dispatch mode
+// (DESIGN.md §14) — the "tiny atomic-counter service" that replaces
+// the per-chunk master round trip. A worker's whole chunk
+// acquisition is one fetch_add() on a TicketCounter; the ticket it
+// gets back indexes a local replay of the scheme's grant table
+// (rt/dispatch MasterlessPlan), so chunk *calculation* never touches
+// the wire at all — the same shape as Eleliemy & Ciorba's one-sided
+// RMA fetch-and-add (arXiv 2101.07050).
+//
+// Three backends, one per deployment shape:
+//
+//   * InprocTicketCounter    — one std::atomic, for worker threads
+//     sharing the master's address space (run_threaded). Carries an
+//     optional fail-after-K-claims budget so tests can kill the
+//     service deterministically mid-loop.
+//   * ShmTicketCounter       — the same atomic placed in a POSIX
+//     shared-memory segment, for same-host worker *processes* (an
+//     in-pod fleet spawned by the CLIs). The master creates and
+//     unlinks the segment; workers attach by name (shipped in the
+//     job spec).
+//   * TransportTicketCounter — worker-side proxy that speaks the
+//     kTagFetchAdd/kTagFetchAddReply frame pair to rank 0 when no
+//     memory is shared. Costs a full round trip per claim — same as
+//     a mediated grant in latency, but the reply is fixed-size and
+//     scheme-oblivious, so the service stays trivially cheap and
+//     could move into any always-on process (the root reactor serves
+//     it for its own rank-0 conversations).
+//
+// fetch_add() returning nullopt means the counter service is dead
+// (killed, detached, or silent past the deadline): the worker falls
+// back to master-mediated grants (rt/worker). Claim counts and
+// acquisition latencies feed the obs metrics registry
+// ("masterless.claims", "masterless.fallbacks",
+// "masterless.fetch_add_us") — the counter-contention signal.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "lss/mp/transport.hpp"
+
+namespace lss::rt {
+
+/// A monotone shared cursor. The counter is unbounded and knows
+/// nothing about the plan it feeds: whether a ticket falls past the
+/// end of the grant table is the claimant's check.
+class TicketCounter {
+ public:
+  virtual ~TicketCounter() = default;
+
+  TicketCounter(const TicketCounter&) = delete;
+  TicketCounter& operator=(const TicketCounter&) = delete;
+
+  /// Claims `n` consecutive tickets; returns the first, or nullopt
+  /// when the service is dead and the caller must fall back to
+  /// mediated grants. Safe for any number of concurrent claimants.
+  virtual std::optional<std::uint64_t> fetch_add(std::uint64_t n) = 0;
+
+  /// Cursor snapshot (claims so far), best-effort when dead.
+  virtual std::uint64_t load() const = 0;
+
+  /// Kills the service: every later fetch_add (from any attached
+  /// claimant) fails. Fault-injection hook.
+  virtual void kill() = 0;
+
+  virtual std::string kind() const = 0;
+
+ protected:
+  TicketCounter() = default;
+};
+
+/// Shared atomic for worker threads in the master's address space.
+class InprocTicketCounter final : public TicketCounter {
+ public:
+  static constexpr std::uint64_t kNeverFail = ~std::uint64_t{0};
+
+  /// `fail_after_claims` = K makes the K+1-th successful claim (and
+  /// everything after) fail as if the service died — deterministic
+  /// mid-loop kill for fault tests. Default: never fails.
+  explicit InprocTicketCounter(std::uint64_t fail_after_claims = kNeverFail)
+      : fail_after_(fail_after_claims) {}
+
+  std::optional<std::uint64_t> fetch_add(std::uint64_t n) override;
+  std::uint64_t load() const override {
+    return cursor_.load(std::memory_order_relaxed);
+  }
+  void kill() override { killed_.store(true, std::memory_order_relaxed); }
+  std::string kind() const override { return "inproc"; }
+
+ private:
+  std::atomic<std::uint64_t> cursor_{0};
+  std::atomic<std::uint64_t> claims_{0};
+  std::atomic<bool> killed_{false};
+  const std::uint64_t fail_after_;
+};
+
+/// The cursor in a POSIX shm segment, for same-host processes. The
+/// creator owns the segment (unlinks it on destruction); attachers
+/// just unmap. kill() is visible to every attached process — the
+/// segment carries a killed flag next to the cursor.
+class ShmTicketCounter final : public TicketCounter {
+ public:
+  /// Creates a fresh segment under `name` (a "/lss-..." shm name).
+  /// Throws lss::ContractError if the name is taken or shm fails.
+  static std::unique_ptr<ShmTicketCounter> create(const std::string& name);
+
+  /// Attaches to an existing segment. Throws if absent or malformed.
+  static std::unique_ptr<ShmTicketCounter> attach(const std::string& name);
+
+  ~ShmTicketCounter() override;
+
+  std::optional<std::uint64_t> fetch_add(std::uint64_t n) override;
+  std::uint64_t load() const override;
+  void kill() override;
+  std::string kind() const override { return "shm"; }
+  const std::string& name() const { return name_; }
+
+ private:
+  struct Header;
+  ShmTicketCounter(std::string name, Header* header, bool owner)
+      : name_(std::move(name)), header_(header), owner_(owner) {}
+
+  std::string name_;
+  Header* header_;
+  bool owner_;
+};
+
+/// Worker-side proxy: each claim is one kTagFetchAdd round trip to
+/// rank 0. A reply marked dead — or silence past `timeout` — makes
+/// this and every later claim fail (the service does not resurrect).
+class TransportTicketCounter final : public TicketCounter {
+ public:
+  TransportTicketCounter(
+      mp::Transport& transport, int rank,
+      std::chrono::steady_clock::duration timeout = std::chrono::seconds(5));
+
+  std::optional<std::uint64_t> fetch_add(std::uint64_t n) override;
+  std::uint64_t load() const override { return seen_; }
+  void kill() override { dead_ = true; }
+  std::string kind() const override { return "transport"; }
+
+ private:
+  mp::Transport& t_;
+  const int rank_;
+  const std::chrono::steady_clock::duration timeout_;
+  std::uint64_t seen_ = 0;  // highest cursor value witnessed + n
+  bool dead_ = false;
+};
+
+}  // namespace lss::rt

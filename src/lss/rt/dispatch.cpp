@@ -1,10 +1,12 @@
 #include "lss/rt/dispatch.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <mutex>
 #include <utility>
 #include <vector>
 
+#include "lss/api/scheduler.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/sched/factory.hpp"
 #include "lss/sched/sequence.hpp"
@@ -182,6 +184,67 @@ std::unique_ptr<ChunkDispatcher> make_dispatcher(
   }
   return std::make_unique<LockedDispatcher>(total, num_pes,
                                             std::move(parsed));
+}
+
+bool masterless_supported(std::string_view spec, std::string* why) {
+  if (scheme_family(spec) != SchemeFamily::Simple) {
+    // Distributed schemes replan on live feedback: no worker can
+    // replay a grant sequence that depends on everyone's measurements.
+    if (why)
+      *why = "distributed schemes need the ACP-aware mediating master";
+    return false;
+  }
+  const sched::SchemeSpec parsed = sched::SchemeSpec::parse(spec);
+  if (parsed.kind() == "ss" || has_deterministic_sequence(parsed.kind()))
+    return true;
+  if (why)
+    *why = parsed.kind() +
+           " has no deterministic grant sequence; only the master can "
+           "serve it";
+  return false;
+}
+
+bool masterless_supported(std::string_view spec) {
+  return masterless_supported(spec, nullptr);
+}
+
+MasterlessPlan::MasterlessPlan(std::string_view spec, Index total,
+                               int num_pes)
+    : total_(total), num_pes_(num_pes) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+  std::string why;
+  LSS_REQUIRE(masterless_supported(spec, &why),
+              "no masterless form for '" + std::string(spec) + "': " + why);
+  const sched::SchemeSpec parsed = sched::SchemeSpec::parse(spec);
+  const auto scheduler = parsed.make(total, num_pes);
+  name_ = scheduler->name();
+  counter_mode_ = parsed.kind() == "ss";
+  if (!counter_mode_) table_ = sched::chunk_table(*scheduler);
+}
+
+Range MasterlessPlan::chunk(std::uint64_t t) const {
+  LSS_REQUIRE(t < tickets(), "ticket past the end of the plan");
+  if (counter_mode_) {
+    const Index i = static_cast<Index>(t);
+    return Range{i, i + 1};
+  }
+  return table_[static_cast<std::size_t>(t)];
+}
+
+std::optional<std::uint64_t> MasterlessPlan::ticket_of(Range r) const {
+  if (r.empty()) return std::nullopt;
+  if (counter_mode_) {
+    if (r.size() != 1 || r.begin < 0 || r.begin >= total_)
+      return std::nullopt;
+    return static_cast<std::uint64_t>(r.begin);
+  }
+  const auto it = std::lower_bound(
+      table_.begin(), table_.end(), r.begin,
+      [](const Range& entry, Index begin) { return entry.begin < begin; });
+  if (it == table_.end() || it->begin != r.begin || it->end != r.end)
+    return std::nullopt;
+  return static_cast<std::uint64_t>(it - table_.begin());
 }
 
 }  // namespace lss::rt

@@ -24,9 +24,12 @@
 // ParallelForResult / RtResult so tests and benches can assert on it.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "lss/support/types.hpp"
 
@@ -97,5 +100,67 @@ struct DispatcherOptions {
 std::unique_ptr<ChunkDispatcher> make_dispatcher(
     std::string_view spec, Index total, int num_pes,
     const DispatcherOptions& options = {});
+
+/// True when `spec` has a masterless form (DESIGN.md §14): the
+/// deterministic table schemes plus pure ss. Stage-stateful (sss)
+/// and distributed schemes need a mediating master and stay on the
+/// request/grant exchange. Throws on unknown schemes, like the
+/// factory.
+bool masterless_supported(std::string_view spec);
+bool masterless_supported(std::string_view spec, std::string* why);
+
+/// The worker-local replay of a scheme's grant sequence — the chunk
+/// *calculation* half of masterless dispatch. Every party (each
+/// worker, plus the janitor master) builds the same plan from the
+/// same (spec, total, num_pes); a ticket claimed from the shared
+/// TicketCounter then indexes the identical table everywhere, so a
+/// single fetch-and-add replaces the whole grant conversation:
+///
+///   * deterministic schemes (static/css/gss/tss/fss/fiss/tfss/wf):
+///     the full sched::chunk_table, materialized once — ticket t is
+///     table[t], exactly what the lock-free TableDispatcher grants
+///     in-process;
+///   * ss: no table at all — ticket t *is* iteration t, the bare
+///     counter the scheme reduces to.
+///
+/// Immutable after construction; share one const instance freely.
+class MasterlessPlan {
+ public:
+  /// Throws lss::ContractError when masterless_supported(spec) is
+  /// false — callers decide the fallback, the plan never guesses.
+  MasterlessPlan(std::string_view spec, Index total, int num_pes);
+
+  /// Tickets in the plan; claims at or past this are the drained
+  /// signal.
+  std::uint64_t tickets() const {
+    return counter_mode_ ? static_cast<std::uint64_t>(total())
+                         : static_cast<std::uint64_t>(table_.size());
+  }
+
+  /// The chunk ticket `t` buys. Requires t < tickets().
+  Range chunk(std::uint64_t t) const;
+
+  /// Inverse lookup: the ticket that grants exactly `r`, or nullopt
+  /// when no ticket does. The grant table is contiguous ascending in
+  /// `begin` (chunk_table drains round-robin from the loop front),
+  /// so this is a binary search — how the janitor maps an
+  /// acknowledged completion back to its claim slot.
+  std::optional<std::uint64_t> ticket_of(Range r) const;
+
+  std::string name() const { return name_; }
+  DispatchPath path() const {
+    return counter_mode_ ? DispatchPath::AtomicCounter
+                         : DispatchPath::LockFreeTable;
+  }
+  Index total() const { return total_; }
+  int num_pes() const { return num_pes_; }
+
+ private:
+  std::string name_;
+  Index total_ = 0;
+  int num_pes_ = 1;
+  bool counter_mode_ = false;  // ss: ticket t = iteration t
+  std::vector<Range> table_;   // empty in counter mode
+};
 
 }  // namespace lss::rt

@@ -7,6 +7,7 @@
 
 #include "lss/api/scheduler.hpp"
 #include "lss/obs/trace.hpp"
+#include "lss/rt/masterless.hpp"
 #include "lss/rt/reactor.hpp"
 #include "lss/support/assert.hpp"
 
@@ -121,6 +122,12 @@ bool MasterOutcome::exactly_once() const {
 
 MasterOutcome run_master(mp::Transport& transport,
                          const MasterConfig& config) {
+  // Masterless serve path (DESIGN.md §14) — only for schemes whose
+  // grant sequence every worker can replay on its own; the rest run
+  // the mediated reactor whatever the flag says, and callers wiring
+  // masterless *workers* apply the same test.
+  if (config.masterless && masterless_supported(config.scheme))
+    return run_masterless_master(transport, config);
   SchedulerReactor loop(transport, config);
   return loop.run();
 }

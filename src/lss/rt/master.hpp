@@ -49,9 +49,21 @@
 // no longer count. With prefetching the worker's ENTIRE in-flight
 // pipeline — every granted, unacknowledged chunk — is reclaimed at
 // once, not just the chunk it was computing.
+// ## Masterless mode (DESIGN.md §14)
+//
+// With `MasterConfig.masterless` set and a scheme that has a
+// deterministic grant sequence (masterless_supported), run_master()
+// runs the *janitor* loop (rt/masterless) instead: workers claim
+// tickets from a shared counter and compute chunk boundaries
+// themselves, and the master only serves fetch-add frames (when no
+// same-host counter is shared), ingests bulk completion reports, and
+// re-grants — over the ordinary mediated exchange — whatever dead
+// claimants dropped. Schemes without a masterless form fall back to
+// the mediated reactor transparently.
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,6 +72,8 @@
 #include "lss/support/types.hpp"
 
 namespace lss::rt {
+
+class TicketCounter;
 
 /// Failure-detector knobs for the master loop.
 struct FaultPolicy {
@@ -108,6 +122,16 @@ struct MasterConfig {
   std::function<void(int worker, Range chunk,
                      const std::vector<std::byte>& result)>
       on_result;
+  /// Serve this run masterless (see header note). Silently ignored —
+  /// the mediated reactor runs instead — when the scheme has no
+  /// masterless form; callers that wire the *workers* masterless must
+  /// apply the same masterless_supported() test to stay coherent.
+  bool masterless = false;
+  /// The shared cursor workers claim from when they can reach it
+  /// directly (in-process atomic, same-host shm segment). Null with
+  /// `masterless` set = the janitor serves claims over the transport
+  /// (kTagFetchAdd frames).
+  std::shared_ptr<TicketCounter> counter;
 };
 
 /// The master's own account of the run — everything it can know

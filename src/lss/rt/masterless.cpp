@@ -1,0 +1,483 @@
+#include "lss/rt/masterless.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "lss/obs/trace.hpp"
+#include "lss/rt/counter.hpp"
+#include "lss/rt/dispatch.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::duration secs(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// A single-purpose reactor, deliberately *not* a MasterReactor
+// subclass: the shared core wakes only for kTagRequest, while the
+// janitor's ready-set spans three vocabularies (fetch-adds, reports,
+// and mediated requests) and its granting source — the reconciled
+// pool of dead claimants' tickets — only exists after a barrier the
+// shared replenish logic has no notion of.
+class MasterlessReactor {
+ public:
+  MasterlessReactor(mp::Transport& t, const MasterConfig& cfg)
+      : t_(t),
+        cfg_(cfg),
+        plan_(cfg.scheme, cfg.total, cfg.num_workers),
+        counter_(cfg.counter),
+        started_(Clock::now()) {
+    LSS_REQUIRE(cfg.num_workers >= 1, "master needs at least one worker");
+    LSS_REQUIRE(t.size() == cfg.num_workers + 1,
+                "transport sized for a different worker count");
+    LSS_REQUIRE(cfg.max_pipeline >= 0, "negative pipeline cap");
+    participating_ = cfg.participating;
+    if (participating_.empty())
+      participating_.assign(static_cast<std::size_t>(cfg.num_workers),
+                            true);
+    LSS_REQUIRE(
+        static_cast<int>(participating_.size()) == cfg.num_workers,
+        "participation mask sized for a different worker count");
+    expected_ = static_cast<int>(
+        std::count(participating_.begin(), participating_.end(), true));
+    LSS_REQUIRE(expected_ >= 1, "no participating workers (starved run)");
+
+    const auto p = static_cast<std::size_t>(cfg.num_workers);
+    state_.assign(p, WState::Unseen);
+    outstanding_.assign(p, {});
+    last_alive_.assign(p, started_);
+    window_.assign(p, 0);
+    backoff_ = cfg.faults.poll_initial;
+    spin_ = cfg.poll_spin >= 0.0 ? cfg.poll_spin
+            : std::thread::hardware_concurrency() > 1 ? 50e-6
+                                                      : 0.0;
+    done_.assign(static_cast<std::size_t>(plan_.tickets()), 0);
+
+    out_.scheme_name = plan_.name();
+    out_.dispatch_path = plan_.path();
+    out_.transport = t.kind();
+    out_.execution_count.assign(static_cast<std::size_t>(cfg.total), 0);
+    out_.iterations_per_worker.assign(p, 0);
+    out_.chunks_per_worker.assign(p, 0);
+  }
+
+  MasterOutcome run() {
+    while (finished_ < expected_) {
+      std::vector<mp::Message> ready = t_.drain(0, mp::kAnySource);
+      if (ready.empty()) ready = spin_for_messages();
+      if (ready.empty()) {
+        if (auto m = next_message()) ready.push_back(std::move(*m));
+      }
+      if (ready.empty()) {
+        check_deaths();
+        maybe_reconcile();
+        backoff_ = std::min(backoff_ * 2.0, cfg_.faults.poll_max);
+        continue;
+      }
+      backoff_ = cfg_.faults.poll_initial;
+      const std::vector<int> spoke = ingest_all(ready);
+      maybe_reconcile();
+      for (const int w : spoke) replenish_worker(w);
+    }
+    check_coverage();
+    return std::move(out_);
+  }
+
+ private:
+  enum class WState {
+    Unseen,      // participating, no frame yet
+    Claiming,    // self-scheduling off the counter
+    Active,      // has at least one outstanding mediated grant
+    Idle,        // left the claiming phase, nothing outstanding
+    Parked,      // idle and held back (work may yet be reclaimed)
+    Terminated,  // sent Terminate
+    Dead,        // declared dead
+  };
+
+  /// An uncovered chunk awaiting a mediated re-grant. `from` is the
+  /// dead worker whose mediated pipeline it was reclaimed from, or
+  /// -1 when it surfaced at reconcile (claimed by an unknowable dead
+  /// claimant, or never claimed at all on a fallback run).
+  struct PoolChunk {
+    Range range;
+    bool claimed;  // some worker's counter claim covered it
+    int from;
+  };
+
+  WState state(int w) const { return state_[static_cast<std::size_t>(w)]; }
+  WState& mutable_state(int w) {
+    return state_[static_cast<std::size_t>(w)];
+  }
+
+  // --- receive plumbing --------------------------------------------------
+
+  std::vector<mp::Message> spin_for_messages() {
+    if (spin_ <= 0.0) return {};
+    const Clock::time_point deadline = Clock::now() + secs(spin_);
+    while (Clock::now() < deadline) {
+      std::vector<mp::Message> ready = t_.drain(0, mp::kAnySource);
+      if (!ready.empty()) return ready;
+      std::this_thread::yield();
+    }
+    return {};
+  }
+
+  std::optional<mp::Message> next_message() {
+    if (!cfg_.faults.detect) return t_.recv(0, mp::kAnySource);
+    return t_.recv_for(0, secs(backoff_), mp::kAnySource);
+  }
+
+  // --- failure detection -------------------------------------------------
+
+  void check_deaths() {
+    if (!cfg_.faults.detect) return;
+    for (int w = 0; w < cfg_.num_workers; ++w) {
+      if (!participating_[static_cast<std::size_t>(w)]) continue;
+      const WState s = state(w);
+      if (s == WState::Terminated || s == WState::Dead) continue;
+      const bool transport_dead = !t_.peer_alive(w + 1);
+      // Claiming workers report every report_batch chunks and Active
+      // ones acknowledge grants, so both age against their last sign
+      // of life; Unseen ages against the loop start. Idle and Parked
+      // workers owe nothing — only the transport can call them dead.
+      double age = 0.0;
+      if (s == WState::Active || s == WState::Claiming)
+        age = seconds_since(last_alive_[static_cast<std::size_t>(w)]);
+      else if (s == WState::Unseen)
+        age = seconds_since(started_);
+      if (transport_dead || age > cfg_.faults.grace) declare_dead(w);
+    }
+  }
+
+  void declare_dead(int w) {
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    Index lost_iters = 0;
+    for (const Range& r : dq) lost_iters += r.size();
+    obs::emit(obs::EventKind::WorkerDead, w,
+              dq.empty() ? Range{} : dq.front(), lost_iters);
+    if (state(w) == WState::Parked) std::erase(parked_, w);
+    mutable_state(w) = WState::Dead;
+    ++finished_;
+    out_.lost_workers.push_back(w);
+    // Its mediated pipeline is reclaimed here; the tickets it claimed
+    // and never reported surface at the reconcile barrier instead.
+    for (const Range& r : dq)
+      pool_.push_back({r, /*claimed=*/true, /*from=*/w});
+    dq.clear();
+    t_.close_peer(w + 1);
+    replenish_parked();
+  }
+
+  // --- the reconcile barrier ---------------------------------------------
+
+  /// Once no participating worker can claim another ticket, every
+  /// not-yet-acknowledged ticket is provably abandoned: claimed ones
+  /// belong to dead claimants (a live worker reports its completions
+  /// before — or with — its drained/fallback report), unclaimed ones
+  /// were orphaned by the counter dying. Both go to the mediated
+  /// re-grant pool, in plan order so recovered runs still execute
+  /// the scheme's exact chunk sequence.
+  void maybe_reconcile() {
+    if (reconciled_) return;
+    for (int w = 0; w < cfg_.num_workers; ++w) {
+      if (!participating_[static_cast<std::size_t>(w)]) continue;
+      const WState s = state(w);
+      if (s == WState::Unseen || s == WState::Claiming) return;
+    }
+    reconciled_ = true;
+    const std::uint64_t hw =
+        std::min(counter_ ? counter_->load() : cursor_, plan_.tickets());
+    for (std::uint64_t t = 0; t < plan_.tickets(); ++t) {
+      if (done_[static_cast<std::size_t>(t)]) continue;
+      pool_.push_back({plan_.chunk(t), /*claimed=*/t < hw, /*from=*/-1});
+    }
+    replenish_parked();
+  }
+
+  // --- ingesting ---------------------------------------------------------
+
+  std::vector<int> ingest_all(const std::vector<mp::Message>& ready) {
+    std::vector<int> order;
+    for (const mp::Message& m : ready) {
+      const int w = ingest(m);
+      if (w >= 0 &&
+          std::find(order.begin(), order.end(), w) == order.end())
+        order.push_back(w);
+    }
+    return order;
+  }
+
+  int ingest(const mp::Message& m) {
+    const int w = m.source - 1;
+    LSS_REQUIRE(w >= 0 && w < cfg_.num_workers,
+                "frame from an unknown rank");
+    ++out_.messages;
+    if (state(w) == WState::Dead || state(w) == WState::Terminated) {
+      // Fenced (false-positive death or a stray frame racing the
+      // terminate): its tickets may already be re-granted, so nothing
+      // it says counts. A fetch-add gets a dead reply so its counter
+      // proxy stops immediately instead of timing out.
+      if (m.tag == protocol::kTagFetchAdd)
+        t_.send(0, m.source, protocol::kTagFetchAddReply,
+                protocol::encode_fetch_add_reply({0, /*dead=*/true}));
+      t_.send(0, m.source, protocol::kTagTerminate, {});
+      return -1;
+    }
+    last_alive_[static_cast<std::size_t>(w)] = Clock::now();
+    switch (m.tag) {
+      case protocol::kTagFetchAdd:
+        ingest_fetch_add(w, m);
+        return -1;  // a claim never makes the janitor owe a grant
+      case protocol::kTagReport:
+        ingest_report(w, m);
+        return w;
+      case protocol::kTagRequest:
+        ingest_request(w, m);
+        return w;
+      default:
+        LSS_ASSERT(false, "unexpected tag at the janitor");
+        return -1;
+    }
+  }
+
+  void ingest_fetch_add(int w, const mp::Message& m) {
+    if (state(w) == WState::Unseen) mutable_state(w) = WState::Claiming;
+    const std::uint64_t n = protocol::decode_fetch_add(m.payload);
+    protocol::FetchAddReply reply;
+    if (service_dead_) {
+      reply.dead = true;
+    } else if (counter_) {
+      // Workers that reach the shared counter directly never send
+      // this frame, but a mixed fleet (remote workers + same-host
+      // ones) may: serve the remote claim off the same cursor.
+      const auto first = counter_->fetch_add(n);
+      if (first)
+        reply.first = *first;
+      else
+        reply.dead = service_dead_ = true;
+    } else {
+      reply.first = cursor_;
+      cursor_ += n;
+    }
+    t_.send(0, m.source, protocol::kTagFetchAddReply,
+            protocol::encode_fetch_add_reply(reply));
+  }
+
+  void ingest_report(int w, const mp::Message& m) {
+    const protocol::MasterlessReport rep =
+        protocol::decode_report(m.payload);
+    if (state(w) == WState::Unseen) mutable_state(w) = WState::Claiming;
+    for (std::size_t i = 0; i < rep.completed.size(); ++i)
+      record_completion(w, rep.completed[i],
+                        i < rep.results.size()
+                            ? rep.results[i]
+                            : std::vector<std::byte>{});
+    if (rep.fallback) {
+      // One worker losing the counter degrades the whole run: kill
+      // the shared cursor (and refuse later transport claims) so
+      // every claimant converges on the mediated path instead of
+      // racing a half-dead service.
+      service_dead_ = true;
+      if (counter_) counter_->kill();
+    }
+    if ((rep.fallback || rep.drained) && state(w) == WState::Claiming)
+      mutable_state(w) = WState::Idle;
+  }
+
+  void ingest_request(int w, const mp::Message& m) {
+    const protocol::WorkerRequest req =
+        protocol::decode_request(m.payload);
+    const auto sw = static_cast<std::size_t>(w);
+    window_[sw] = t_.peer_protocol(m.source) >= mp::kProtoPipelined
+                      ? std::min(req.window, cfg_.max_pipeline)
+                      : 0;
+    if (window_[sw] < 0) window_[sw] = 0;
+    record_completion(w, req.completed, req.result);
+    for (std::size_t i = 0; i < req.more_completed.size(); ++i)
+      record_completion(w, req.more_completed[i],
+                        i < req.more_results.size()
+                            ? req.more_results[i]
+                            : std::vector<std::byte>{});
+    // A request is only ever the mediated phase: a worker that sends
+    // one has left claiming, whatever we heard from it before.
+    if (state(w) == WState::Unseen || state(w) == WState::Claiming)
+      mutable_state(w) = WState::Idle;
+    if (state(w) == WState::Active &&
+        outstanding_[sw].empty())
+      mutable_state(w) = WState::Idle;
+  }
+
+  void record_completion(int w, Range completed,
+                         const std::vector<std::byte>& result) {
+    if (completed.empty()) return;
+    for (Index i = completed.begin; i < completed.end; ++i)
+      if (i >= 0 && i < cfg_.total)
+        ++out_.execution_count[static_cast<std::size_t>(i)];
+    out_.completed_iterations += completed.size();
+    out_.iterations_per_worker[static_cast<std::size_t>(w)] +=
+        completed.size();
+    ++out_.chunks_per_worker[static_cast<std::size_t>(w)];
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    const auto it = std::find(dq.begin(), dq.end(), completed);
+    if (it != dq.end()) dq.erase(it);
+    // Every grant — claimed or mediated — is a whole plan ticket, so
+    // the inverse lookup always resolves; marking it done is what
+    // keeps the reconcile pool disjoint from acknowledged work.
+    const auto ticket = plan_.ticket_of(completed);
+    LSS_ASSERT(ticket.has_value(),
+               "completion is not a plan chunk: worker " +
+                   std::to_string(w));
+    if (!done_[static_cast<std::size_t>(*ticket)])
+      done_[static_cast<std::size_t>(*ticket)] = 1;
+    if (cfg_.on_result && !result.empty())
+      cfg_.on_result(w, completed, result);
+  }
+
+  // --- granting (recovery only) ------------------------------------------
+
+  void replenish_parked() {
+    if (parked_.empty()) return;
+    std::deque<int> ws;
+    ws.swap(parked_);
+    for (const int w : ws)
+      if (state(w) == WState::Parked) mutable_state(w) = WState::Idle;
+    for (const int w : ws)
+      if (state(w) == WState::Idle) replenish_worker(w);
+  }
+
+  void replenish_worker(int w) {
+    if (state(w) != WState::Active && state(w) != WState::Idle) return;
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    std::vector<PoolChunk> grants;
+    const int target = 1 + window_[static_cast<std::size_t>(w)];
+    while (static_cast<int>(dq.size()) +
+                   static_cast<int>(grants.size()) <
+               target &&
+           !pool_.empty()) {
+      grants.push_back(pool_.front());
+      pool_.pop_front();
+    }
+    if (!grants.empty()) {
+      send_grants(w, grants);
+      return;
+    }
+    if (!dq.empty()) return;  // still busy; nothing owed right now
+    // Nothing to grant, nothing outstanding. Before the reconcile
+    // barrier the pool may still fill (claimants are settling), and
+    // with detection on an outstanding mediated grant elsewhere may
+    // yet be reclaimed — park rather than release capacity the run
+    // might need. Otherwise everything is covered: terminate, and
+    // the parked workers with it.
+    if (!reconciled_ ||
+        (cfg_.faults.detect && outstanding_anywhere())) {
+      mutable_state(w) = WState::Parked;
+      parked_.push_back(w);
+      return;
+    }
+    terminate(w);
+    while (!parked_.empty()) {
+      const int v = parked_.front();
+      parked_.pop_front();
+      terminate(v);
+    }
+  }
+
+  void send_grants(int w, const std::vector<PoolChunk>& grants) {
+    auto& dq = outstanding_[static_cast<std::size_t>(w)];
+    std::vector<Range> chunks;
+    chunks.reserve(grants.size());
+    for (const PoolChunk& g : grants) {
+      obs::emit(obs::EventKind::ChunkGranted, w, g.range);
+      if (g.claimed) {
+        // A re-grant of work some dead claimant (or dead mediated
+        // worker) dropped — the reassignment flat-master stats track.
+        if (g.from >= 0)
+          obs::emit(obs::EventKind::ChunkReassigned, w, g.range, g.from);
+        ++out_.reassigned_chunks;
+        out_.reassigned_iterations += g.range.size();
+      }
+      dq.push_back(g.range);
+      chunks.push_back(g.range);
+    }
+    last_alive_[static_cast<std::size_t>(w)] = Clock::now();
+    mutable_state(w) = WState::Active;
+    if (chunks.size() == 1)
+      t_.send(0, w + 1, protocol::kTagAssign,
+              protocol::encode_assign(chunks.front()));
+    else
+      t_.send(0, w + 1, protocol::kTagAssignBatch,
+              protocol::encode_assign_batch(chunks));
+  }
+
+  void terminate(int w) {
+    t_.send(0, w + 1, protocol::kTagTerminate, {});
+    mutable_state(w) = WState::Terminated;
+    ++finished_;
+  }
+
+  // --- bookkeeping -------------------------------------------------------
+
+  bool outstanding_anywhere() const {
+    for (const auto& dq : outstanding_)
+      if (!dq.empty()) return true;
+    return false;
+  }
+
+  void check_coverage() const {
+    Index lost = 0;
+    for (int c : out_.execution_count)
+      if (c == 0) ++lost;
+    LSS_REQUIRE(lost == 0,
+                "run incomplete: every worker finished or died with " +
+                    std::to_string(lost) + " iterations uncovered");
+  }
+
+  mp::Transport& t_;
+  const MasterConfig cfg_;
+  MasterOutcome out_;
+  MasterlessPlan plan_;
+  std::shared_ptr<TicketCounter> counter_;  // null = transport-served
+  std::uint64_t cursor_ = 0;                // transport-mode cursor
+  bool service_dead_ = false;
+  bool reconciled_ = false;
+  std::vector<char> done_;  // per-ticket acknowledged completion
+
+  Clock::time_point started_;
+  std::vector<bool> participating_;
+  int expected_ = 0;
+  int finished_ = 0;
+  double backoff_ = 0.02;
+  double spin_ = 0.0;
+  std::vector<WState> state_;
+  std::vector<std::deque<Range>> outstanding_;  // mediated grants only
+  std::vector<Clock::time_point> last_alive_;
+  std::vector<int> window_;
+  std::deque<PoolChunk> pool_;  // uncovered, in plan order
+  std::deque<int> parked_;
+};
+
+}  // namespace
+
+MasterOutcome run_masterless_master(mp::Transport& transport,
+                                    const MasterConfig& config) {
+  MasterlessReactor loop(transport, config);
+  return loop.run();
+}
+
+}  // namespace lss::rt

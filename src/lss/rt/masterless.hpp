@@ -1,0 +1,36 @@
+// The janitor loop of masterless dispatch (DESIGN.md §14). Internal
+// header — the public entry point is run_master(), which routes here
+// when MasterConfig.masterless is set and the scheme has a
+// deterministic grant sequence (rt/dispatch masterless_supported).
+//
+// While workers self-schedule off the shared ticket counter the
+// master does no granting at all: it serves kTagFetchAdd frames
+// (only when no in-process/shm counter is shared), ingests bulk
+// kTagReport completion acknowledgements, and watches for faults.
+// Work is granted over the ordinary mediated request/grant exchange
+// only during recovery:
+//
+//   * a worker that *drained* the plan parks in the mediated loop —
+//     if a dead claimant dropped tickets, the janitor re-grants them
+//     to the survivors;
+//   * a worker whose counter *fell back* (service death) gets the
+//     uncovered remainder of the loop as mediated grants.
+//
+// Reconcile barrier: uncovered tickets can only be identified once
+// no worker may still claim — i.e. once every participating worker
+// has left the claiming phase (drained, fallback, or dead). A live
+// claimant always reports its completions before its drained/
+// fallback report, so after the barrier any claimed-but-undone
+// ticket provably belongs to a dead claimant and re-granting it
+// preserves exactly-once.
+#pragma once
+
+#include "lss/mp/transport.hpp"
+#include "lss/rt/master.hpp"
+
+namespace lss::rt {
+
+MasterOutcome run_masterless_master(mp::Transport& transport,
+                                    const MasterConfig& config);
+
+}  // namespace lss::rt

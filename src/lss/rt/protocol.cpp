@@ -153,4 +153,71 @@ std::vector<Range> decode_lease_return(const std::vector<std::byte>& payload) {
   return ranges;
 }
 
+std::vector<std::byte> encode_fetch_add(std::uint64_t n) {
+  mp::PayloadWriter w;
+  w.put_i64(static_cast<Index>(n));
+  return w.take();
+}
+
+std::uint64_t decode_fetch_add(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  return static_cast<std::uint64_t>(rd.get_i64());
+}
+
+std::vector<std::byte> encode_fetch_add_reply(const FetchAddReply& reply) {
+  mp::PayloadWriter w;
+  w.put_i64(static_cast<Index>(reply.first));
+  w.put_i32(reply.dead ? 1 : 0);
+  return w.take();
+}
+
+FetchAddReply decode_fetch_add_reply(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  FetchAddReply reply;
+  reply.first = static_cast<std::uint64_t>(rd.get_i64());
+  reply.dead = rd.get_i32() != 0;
+  return reply;
+}
+
+std::vector<std::byte> encode_report(const MasterlessReport& report) {
+  mp::PayloadWriter w;
+  w.put_f64(report.acp);
+  w.put_i64(report.fb_iters);
+  w.put_f64(report.fb_seconds);
+  w.put_i32(report.drained ? 1 : 0);
+  w.put_i32(report.fallback ? 1 : 0);
+  w.put_i64(static_cast<Index>(report.in_flight.size()));
+  for (const std::uint64_t t : report.in_flight)
+    w.put_i64(static_cast<Index>(t));
+  w.put_i64(static_cast<Index>(report.completed.size()));
+  static const std::vector<std::byte> kNoResult;
+  for (std::size_t i = 0; i < report.completed.size(); ++i) {
+    w.put_range(report.completed[i]);
+    w.put_blob(i < report.results.size() ? report.results[i] : kNoResult);
+  }
+  return w.take();
+}
+
+MasterlessReport decode_report(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  MasterlessReport report;
+  report.acp = rd.get_f64();
+  report.fb_iters = rd.get_i64();
+  report.fb_seconds = rd.get_f64();
+  report.drained = rd.get_i32() != 0;
+  report.fallback = rd.get_i32() != 0;
+  const Index k = rd.get_i64();
+  report.in_flight.reserve(static_cast<std::size_t>(k));
+  for (Index i = 0; i < k; ++i)
+    report.in_flight.push_back(static_cast<std::uint64_t>(rd.get_i64()));
+  const Index n = rd.get_i64();
+  report.completed.reserve(static_cast<std::size_t>(n));
+  report.results.reserve(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) {
+    report.completed.push_back(rd.get_range());
+    report.results.push_back(rd.get_blob());
+  }
+  return report;
+}
+
 }  // namespace lss::rt::protocol

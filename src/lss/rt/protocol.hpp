@@ -64,9 +64,37 @@
 //
 // The four lease tags are only ever sent on connections that
 // negotiated kProtoHierarchical; older peers never see them.
+//
+// kProtoMasterless adds the master-less vocabulary (DESIGN.md §14).
+// Workers fetch-and-add the shared iteration cursor and compute
+// their own chunk boundaries from a local replay of the grant table
+// (rt/dispatch MasterlessPlan); the master degrades to a fault-
+// domain janitor that serves the counter (when no same-host shared
+// counter exists), ingests bulk completion reports, and re-grants
+// only what dead claimants dropped:
+//
+//   worker -> master   FetchAdd      "advance the shared cursor by n
+//                                    and tell me where it was" — the
+//                                    whole chunk acquisition when no
+//                                    shm counter is shared
+//   master -> worker   FetchAddReply the pre-increment cursor value,
+//                                    or a dead flag when the counter
+//                                    service is gone and the worker
+//                                    must fall back to mediated
+//                                    grants
+//   worker -> master   Report        bulk completion acknowledgement
+//                                    + ACP/feedback, with `drained`
+//                                    (the plan ran out) or `fallback`
+//                                    (the counter died) marking the
+//                                    worker's exit from the claiming
+//                                    phase
+//
+// The three masterless tags are only ever sent on connections that
+// negotiated kProtoMasterless; older peers never see them.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "lss/mp/message.hpp"
@@ -85,6 +113,10 @@ inline constexpr int kTagLeaseRequest = 6;
 inline constexpr int kTagLeaseGrant = 7;
 inline constexpr int kTagLeaseRecall = 8;
 inline constexpr int kTagLeaseReturn = 9;
+// Masterless (counter + janitor) vocabulary, kProtoMasterless+.
+inline constexpr int kTagFetchAdd = 10;
+inline constexpr int kTagFetchAddReply = 11;
+inline constexpr int kTagReport = 12;
 
 /// Everything a worker piggy-backs on a chunk request. `completed`
 /// is empty on the first request; afterwards it names the chunk the
@@ -166,5 +198,55 @@ Index decode_lease_recall(const std::vector<std::byte>& payload);
 /// kTagLeaseReturn payload: the donated ranges, in loop order.
 std::vector<std::byte> encode_lease_return(const std::vector<Range>& ranges);
 std::vector<Range> decode_lease_return(const std::vector<std::byte>& payload);
+
+/// kTagFetchAdd payload: how far to advance the shared cursor. One
+/// ticket per chunk, so n is 1 in every current caller; the field
+/// exists so a future worker can claim a run of tickets in one frame.
+std::vector<std::byte> encode_fetch_add(std::uint64_t n);
+std::uint64_t decode_fetch_add(const std::vector<std::byte>& payload);
+
+/// kTagFetchAddReply payload. `first` is the cursor value before the
+/// increment — the worker's ticket. The cursor is unbounded: whether
+/// a ticket falls past the end of the plan is the *worker's* check,
+/// the counter just counts. `dead` set means the counter service is
+/// gone (or this worker is fenced) and no ticket was claimed.
+struct FetchAddReply {
+  std::uint64_t first = 0;
+  bool dead = false;
+};
+
+std::vector<std::byte> encode_fetch_add_reply(const FetchAddReply& reply);
+FetchAddReply decode_fetch_add_reply(const std::vector<std::byte>& payload);
+
+/// A masterless worker's upward frame: bulk completion
+/// acknowledgement with ACP and measured feedback. The first report
+/// of a run is empty (the worker announcing itself to the janitor);
+/// the last one carries `drained` or `fallback`, after which the
+/// worker speaks only the mediated request/grant exchange.
+struct MasterlessReport {
+  double acp = 1.0;       ///< available computing power (paper §3)
+  Index fb_iters = 0;     ///< iterations covered by the feedback below
+  double fb_seconds = 0;  ///< measured wall seconds for them
+  /// The worker's claims ran past the end of the plan: nothing is
+  /// left to self-schedule and it now blocks for mediated grants
+  /// (the janitor may still owe it reclaimed work) or Terminate.
+  bool drained = false;
+  /// The counter service died mid-loop: the worker switches to
+  /// master-mediated grants for the rest of the run.
+  bool fallback = false;
+  /// Tickets claimed but *not* computed and never to be (informational
+  /// — this worker computes each claim before the next fetch-add, so
+  /// it always reports an empty list; a worker that claimed ahead
+  /// would flush its abandoned claims here on fallback so the janitor
+  /// can re-grant them without waiting for the reconcile barrier).
+  std::vector<std::uint64_t> in_flight;
+  /// completed[i] pairs with results[i]; the aggregate feedback
+  /// fields above cover all of them.
+  std::vector<Range> completed;
+  std::vector<std::vector<std::byte>> results;
+};
+
+std::vector<std::byte> encode_report(const MasterlessReport& report);
+MasterlessReport decode_report(const std::vector<std::byte>& payload);
 
 }  // namespace lss::rt::protocol

@@ -322,6 +322,7 @@ class RootLoop {
       for (const Range& r : ranges) {
         p.outstanding.push_back(r);
         p.unstarted_hint += r.size();
+        out_.lease_log.push_back(r);
         obs::emit(obs::EventKind::ChunkGranted, g, r);
       }
     }

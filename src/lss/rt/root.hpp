@@ -82,6 +82,11 @@ struct RootOutcome {
   /// Upward frames (LeaseRequest, LeaseReturn) the root ingested —
   /// the number to compare against a flat MasterOutcome::messages.
   Index messages = 0;
+  /// Every range the root leased down, in grant order (re-leases of
+  /// reclaimed/stolen ranges appear again). With stealing off and no
+  /// faults this is exactly the scheme's chunk sequence — the hook
+  /// the cross-runtime conformance oracle checks against.
+  std::vector<Range> lease_log;
 
   bool exactly_once() const;
 };

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lss/mp/comm.hpp"
+#include "lss/rt/counter.hpp"
 #include "lss/rt/worker.hpp"
 #include "lss/support/assert.hpp"
 
@@ -84,6 +85,16 @@ RtResult run_threaded(const RtConfig& config) {
   const bool distributed =
       scheme_family(config.scheme) == SchemeFamily::Distributed;
   const Index total = config.workload->size();
+  // Both sides must agree on the dispatch mode: a masterless worker
+  // against a mediating master (or vice versa) deadlocks, so the
+  // scheme test happens once, here.
+  const bool masterless =
+      config.masterless && masterless_supported(config.scheme);
+  std::shared_ptr<TicketCounter> counter;
+  if (masterless) {
+    counter = config.counter;
+    if (!counter) counter = std::make_shared<InprocTicketCounter>();
+  }
 
   mp::Comm comm(p + 1);
   std::vector<WorkerLoopResult> results(static_cast<std::size_t>(p));
@@ -114,9 +125,21 @@ RtResult run_threaded(const RtConfig& config) {
     wc.die_after_chunks =
         config.die_after_chunks.empty() ? -1 : config.die_after_chunks[sw];
     wc.pipeline_depth = config.pipeline_depth;
-    threads.emplace_back([&comm, &results, sw, wc = std::move(wc)] {
-      results[sw] = run_worker_loop(comm, wc);
-    });
+    if (masterless) {
+      MasterlessWorkerConfig mwc;
+      mwc.loop = wc;
+      mwc.scheme = config.scheme;
+      mwc.total = total;
+      mwc.num_workers = p;
+      mwc.counter = counter;
+      threads.emplace_back([&comm, &results, sw, mwc = std::move(mwc)] {
+        results[sw] = run_masterless_worker(comm, mwc);
+      });
+    } else {
+      threads.emplace_back([&comm, &results, sw, wc = std::move(wc)] {
+        results[sw] = run_worker_loop(comm, wc);
+      });
+    }
   }
 
   // Master loop (rank 0) runs on this thread over the same Comm.
@@ -126,6 +149,8 @@ RtResult run_threaded(const RtConfig& config) {
   mc.num_workers = p;
   mc.participating = participating;
   mc.faults = config.faults;
+  mc.masterless = masterless;
+  mc.counter = counter;
   MasterOutcome outcome = run_master(comm, mc);
 
   for (std::thread& t : threads) t.join();
@@ -134,6 +159,7 @@ RtResult run_threaded(const RtConfig& config) {
   out.scheme = outcome.scheme_name;
   out.dispatch_path = outcome.dispatch_path;
   out.transport = outcome.transport;
+  out.masterless = masterless;
   out.t_parallel = seconds_since(t0);
   out.lost_workers = outcome.lost_workers;
   out.acked_count = std::move(outcome.execution_count);
@@ -153,6 +179,7 @@ RtResult run_threaded(const RtConfig& config) {
     ws.iterations = wr.iterations;
     ws.chunks = wr.chunks;
     ws.idle_gaps = wr.idle_gaps;
+    ws.executed = wr.executed;
     out.workers.push_back(std::move(ws));
     out.total_iterations += wr.iterations;
     for (const Range& r : wr.executed)

@@ -31,6 +31,8 @@
 
 namespace lss::rt {
 
+class TicketCounter;
+
 struct RtConfig {
   std::shared_ptr<Workload> workload;
   /// Any spec the unified registry resolves — simple ("tss",
@@ -59,6 +61,18 @@ struct RtConfig {
   /// computing, hiding the master round trip. 0 restores the strict
   /// one-request/one-grant exchange.
   int pipeline_depth = 1;
+  /// Masterless dispatch (DESIGN.md §14): workers fetch-and-add a
+  /// shared ticket counter and compute chunk boundaries from a local
+  /// replay of the grant table; the master degrades to fault-domain
+  /// janitor. Silently downgraded to the mediated exchange — both
+  /// sides coherently — for schemes without a masterless form
+  /// (sss, the distributed family). See RtResult::masterless for
+  /// which mode actually ran.
+  bool masterless = false;
+  /// Shared cursor for masterless runs; null = run_threaded creates
+  /// a fresh in-process one. Tests inject an InprocTicketCounter
+  /// with a fail-after budget to exercise the mid-loop fallback.
+  std::shared_ptr<TicketCounter> counter;
 
   /// Pre-registry spelling, where the family was a separate flag.
   [[deprecated("set `scheme` to a registry spec; the family is "
@@ -74,6 +88,11 @@ struct RtWorkerStats {
   /// Post-first-grant blocks on an empty pipeline, in wall seconds
   /// (rt/worker — the stalls prefetching exists to hide).
   std::vector<double> idle_gaps;
+  /// Every chunk this worker computed, in execution order. The union
+  /// across workers is what the cross-runtime conformance oracle
+  /// (tests/chunk_oracle.hpp) compares against the scheme's golden
+  /// grant table.
+  std::vector<Range> executed;
 };
 
 struct RtResult {
@@ -83,6 +102,9 @@ struct RtResult {
   /// distributed schemes stay on the stateful (Locked) path.
   DispatchPath dispatch_path = DispatchPath::Locked;
   std::string transport;    ///< mp::Transport::kind(), "inproc" here
+  /// The run actually dispatched masterless (RtConfig.masterless set
+  /// AND the scheme has a masterless form).
+  bool masterless = false;
   double t_parallel = 0.0;  ///< wall seconds, start to last join
   std::vector<RtWorkerStats> workers;
   Index total_iterations = 0;

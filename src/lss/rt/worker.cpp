@@ -2,8 +2,12 @@
 
 #include <chrono>
 #include <deque>
+#include <utility>
 
+#include "lss/obs/metrics_registry.hpp"
 #include "lss/obs/trace.hpp"
+#include "lss/rt/counter.hpp"
+#include "lss/rt/dispatch.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/throttle.hpp"
 #include "lss/support/assert.hpp"
@@ -18,10 +22,15 @@ double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
 }
 
-}  // namespace
-
-WorkerLoopResult run_worker_loop(mp::Transport& t,
-                                 const WorkerLoopConfig& cfg) {
+// The mediated request/grant loop, accumulating into `out` so it can
+// serve two callers: run_worker_loop (the whole run) and
+// run_masterless_worker (the post-drain / post-fallback phase, where
+// chunk and death accounting must continue across the switch).
+// `send_initial` announces the worker with an empty request; the
+// masterless fallback skips it — its final report already marked the
+// worker idle at the janitor, which owes it a grant or a Terminate.
+void mediated_loop(mp::Transport& t, const WorkerLoopConfig& cfg,
+                   WorkerLoopResult& out, bool send_initial) {
   LSS_REQUIRE(cfg.workload != nullptr, "worker loop needs a workload");
   LSS_REQUIRE(cfg.pipeline_depth >= 0, "negative prefetch window");
   const int w = cfg.worker;
@@ -34,7 +43,6 @@ WorkerLoopResult run_worker_loop(mp::Transport& t,
   const int window =
       proto >= mp::kProtoPipelined ? cfg.pipeline_depth : 0;
 
-  WorkerLoopResult out;
   std::deque<Range> pending;  // granted, not yet computed (FIFO)
   protocol::WorkerRequest req;
   req.acp = cfg.acp;
@@ -86,7 +94,9 @@ WorkerLoopResult run_worker_loop(mp::Transport& t,
     return true;
   };
 
-  t.send(rank, 0, protocol::kTagRequest, protocol::encode_request(req, proto));
+  if (send_initial)
+    t.send(rank, 0, protocol::kTagRequest,
+           protocol::encode_request(req, proto));
   bool terminated = false;
   while (!terminated) {
     if (pending.empty()) {
@@ -116,7 +126,7 @@ WorkerLoopResult run_worker_loop(mp::Transport& t,
       // queued behind it are abandoned unacknowledged, as if the
       // process were killed here mid-pipeline.
       out.died = true;
-      return out;
+      return;
     }
 
     obs::emit(obs::EventKind::ChunkStarted, w, chunk);
@@ -143,7 +153,111 @@ WorkerLoopResult run_worker_loop(mp::Transport& t,
     // never blocks on the master while holding unsent acks.
     if (pending.size() <= flush_at) flush_acks();
   }
+}
+
+}  // namespace
+
+WorkerLoopResult run_worker_loop(mp::Transport& t,
+                                 const WorkerLoopConfig& cfg) {
+  WorkerLoopResult out;
+  mediated_loop(t, cfg, out, /*send_initial=*/true);
   return out;
+}
+
+WorkerLoopResult run_masterless_worker(mp::Transport& t,
+                                       const MasterlessWorkerConfig& cfg) {
+  LSS_REQUIRE(cfg.loop.workload != nullptr, "worker loop needs a workload");
+  LSS_REQUIRE(cfg.report_batch >= 1, "report batch must be positive");
+  const int w = cfg.loop.worker;
+  const int rank = w + 1;
+  LSS_REQUIRE(t.peer_protocol(0) >= mp::kProtoMasterless,
+              "master did not negotiate the masterless protocol");
+  const MasterlessPlan plan(cfg.scheme, cfg.total, cfg.num_workers);
+  Throttle throttle(cfg.loop.relative_speed);
+  Workload& workload = *cfg.loop.workload;
+  std::shared_ptr<TicketCounter> counter = cfg.counter;
+  if (!counter)
+    counter = std::make_shared<TransportTicketCounter>(t, rank);
+
+  WorkerLoopResult out;
+  protocol::MasterlessReport rep;
+  rep.acp = cfg.loop.acp;
+  // Announce with an empty report: the janitor learns this worker is
+  // claiming (so it is failure-checked) without granting it anything.
+  t.send(rank, 0, protocol::kTagReport, protocol::encode_report(rep));
+
+  std::vector<Range> done;
+  std::vector<std::vector<std::byte>> done_results;
+  Index done_iters = 0;
+  double done_seconds = 0.0;
+  const auto flush = [&](bool drained, bool fallback) {
+    rep.fb_iters = done_iters;
+    rep.fb_seconds = done_seconds;
+    rep.drained = drained;
+    rep.fallback = fallback;
+    rep.completed = std::move(done);
+    rep.results = std::move(done_results);
+    t.send(rank, 0, protocol::kTagReport, protocol::encode_report(rep));
+    rep.completed.clear();
+    rep.results.clear();
+    done.clear();
+    done_results.clear();
+    done_iters = 0;
+    done_seconds = 0.0;
+  };
+
+  for (;;) {
+    // A fencing master (false-positive death) sends Terminate with no
+    // request in flight; honor it between claims.
+    while (const auto m = t.try_recv(rank, 0))
+      if (m->tag == protocol::kTagTerminate) return out;
+    const auto wait_start = Clock::now();
+    const auto claim = counter->fetch_add(1);
+    out.times.t_wait += seconds_since(wait_start);
+    if (!claim || *claim >= plan.tickets()) {
+      // Dead counter (fallback) or drained plan: flush everything,
+      // then hold in the mediated loop — the janitor re-grants the
+      // uncovered tail (dead claimants' tickets, or the whole rest of
+      // the loop on fallback) and eventually terminates us.
+      if (!claim)
+        obs::MetricsRegistry::instance()
+            .counter("masterless.fallbacks")
+            .add(1);
+      flush(/*drained=*/claim.has_value(), /*fallback=*/!claim);
+      mediated_loop(t, cfg.loop, out, /*send_initial=*/false);
+      return out;
+    }
+    const Range chunk = plan.chunk(*claim);
+    if (cfg.loop.die_after_chunks >= 0 &&
+        out.chunks >= cfg.loop.die_after_chunks) {
+      // Fail-stop between claim and compute: the claimed ticket is
+      // abandoned — the shared cursor moved past it but nobody will
+      // ever compute or report it. Only the janitor's reconcile pass
+      // can recover it.
+      out.died = true;
+      return out;
+    }
+
+    obs::emit(obs::EventKind::ChunkStarted, w, chunk);
+    const auto comp_start = Clock::now();
+    for (Index i = chunk.begin; i < chunk.end; ++i) workload.execute(i);
+    const auto busy = Clock::now() - comp_start;
+    throttle.pay(busy);
+    const double chunk_seconds = seconds_since(comp_start);
+    done.push_back(chunk);
+    done_results.push_back(cfg.loop.result_of
+                               ? cfg.loop.result_of(chunk)
+                               : std::vector<std::byte>{});
+    done_iters += chunk.size();
+    done_seconds += chunk_seconds;
+    out.times.t_comp += chunk_seconds;
+    out.iterations += chunk.size();
+    ++out.chunks;
+    out.executed.push_back(chunk);
+    obs::emit(obs::EventKind::ChunkFinished, w, chunk);
+    if (static_cast<int>(done.size()) >= cfg.report_batch)
+      flush(/*drained=*/false, /*fallback=*/false);
+  }
 }
 
 }  // namespace lss::rt

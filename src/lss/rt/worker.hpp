@@ -85,4 +85,35 @@ struct WorkerLoopResult {
 WorkerLoopResult run_worker_loop(mp::Transport& transport,
                                  const WorkerLoopConfig& config);
 
+class TicketCounter;
+
+/// Masterless dispatch (DESIGN.md §14): the worker claims tickets
+/// from the shared counter and computes chunk boundaries itself.
+struct MasterlessWorkerConfig {
+  WorkerLoopConfig loop;  ///< identity, speed, workload, fault knobs
+  /// The plan every party replays: must match the master's exactly.
+  std::string scheme = "ss";
+  Index total = 0;
+  int num_workers = 1;
+  /// Shared cursor (in-process atomic or attached shm segment).
+  /// Null = claim over the transport with kTagFetchAdd frames to
+  /// rank 0.
+  std::shared_ptr<TicketCounter> counter;
+  /// Completions per kTagReport frame (>= 1): the worker batches
+  /// this many acknowledged chunks before flushing one report to the
+  /// janitor — the message amortization that replaces the mediated
+  /// loop's per-chunk request.
+  int report_batch = 8;
+};
+
+/// Runs the masterless worker loop: claim → compute → batched
+/// report, until the plan drains or the counter service dies — then
+/// falls back into the mediated request/grant loop (without a fresh
+/// announce; the final report already marked this worker idle) so
+/// the janitor can re-grant work lost to dead claimants, and exits
+/// on Terminate. `die_after_chunks` counts chunks across both
+/// phases. Requires the master side to speak mp::kProtoMasterless.
+WorkerLoopResult run_masterless_worker(mp::Transport& transport,
+                                       const MasterlessWorkerConfig& config);
+
 }  // namespace lss::rt

@@ -1,0 +1,79 @@
+// The cross-runtime conformance oracle (one per ISSUE 6 / DESIGN.md
+// §14): for a deterministic scheme, the chunk sequence is a pure
+// function of (spec, total, num_pes) — the round-robin grant table
+// sched::chunk_table builds. Every dispatch path must reproduce it:
+//
+//   * the lock-free dispenser        (test_dispatch_differential)
+//   * the flat threaded runtime      (test_rt, inproc transport)
+//   * the TCP master/worker CLIs     (test_rt_masterless, sockets)
+//   * the hierarchical root's leases (test_rt_hier, steal off)
+//   * masterless self-calculation    (test_rt_masterless)
+//
+// Test binaries are separate executables with no shared objects, so
+// the oracle lives header-only here rather than in a test_support
+// translation unit; its own self-tests ride in test_support.cpp.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/api/scheduler.hpp"
+#include "lss/sched/sequence.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::testing {
+
+/// The golden chunk sequence: every [begin, end) grant of `spec` over
+/// a loop of `total` iterations and `num_pes` workers, in round-robin
+/// grant order. Throws lss::ContractError for specs that are not
+/// simple-family (distributed schemes depend on runtime ACP feedback
+/// and have no input-determined sequence).
+inline std::vector<Range> expected_chunk_sequence(std::string_view spec,
+                                                  Index total, int num_pes) {
+  const auto scheduler = make_simple_scheduler(spec, total, num_pes);
+  return sched::chunk_table(*scheduler);
+}
+
+/// Normalizes a grant set for multiset comparison. Deterministic
+/// grant *content* is order-free across paths (workers race), so
+/// conformance compares the sorted sequences.
+inline std::vector<Range> sorted_by_begin(std::vector<Range> chunks) {
+  std::sort(chunks.begin(), chunks.end(),
+            [](const Range& a, const Range& b) { return a.begin < b.begin; });
+  return chunks;
+}
+
+/// Asserts `grants` tile [0, total) exactly: no gap, no overlap, no
+/// empty grant. The baseline every runtime owes regardless of scheme.
+inline void expect_exact_cover(std::vector<Range> grants, Index total,
+                               const std::string& what) {
+  grants = sorted_by_begin(std::move(grants));
+  Index cursor = 0;
+  for (const Range& r : grants) {
+    EXPECT_EQ(r.begin, cursor) << what << ": gap or overlap at " << cursor;
+    EXPECT_GT(r.size(), 0) << what << ": empty grant recorded";
+    cursor = r.end;
+  }
+  EXPECT_EQ(cursor, total) << what << ": grants do not sum to the total";
+}
+
+/// The conformance check itself: `got` (in any order) must be exactly
+/// the golden sequence's multiset — same chunk boundaries, same chunk
+/// count, full cover. One assertion shared by every runtime path so a
+/// scheme change that shifts boundaries fails all paths identically.
+inline void expect_conforms(std::vector<Range> got, std::string_view spec,
+                            Index total, int num_pes,
+                            const std::string& what) {
+  expect_exact_cover(got, total, what);
+  const std::vector<Range> want =
+      sorted_by_begin(expected_chunk_sequence(spec, total, num_pes));
+  EXPECT_EQ(sorted_by_begin(std::move(got)), want)
+      << what << ": chunk multiset diverged from the golden sequence for "
+      << spec << " N=" << total << " p=" << num_pes;
+}
+
+}  // namespace lss::testing

@@ -11,6 +11,7 @@
 #include <tuple>
 #include <vector>
 
+#include "chunk_oracle.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/support/types.hpp"
 
@@ -64,18 +65,7 @@ std::vector<Range> drain_concurrent(ChunkDispatcher& d) {
   return out;
 }
 
-void expect_exact_cover(std::vector<Range> grants, Index total,
-                        const std::string& what) {
-  std::sort(grants.begin(), grants.end(),
-            [](const Range& a, const Range& b) { return a.begin < b.begin; });
-  Index cursor = 0;
-  for (const Range& r : grants) {
-    EXPECT_EQ(r.begin, cursor) << what << ": gap or overlap at " << cursor;
-    EXPECT_GT(r.size(), 0) << what << ": empty grant recorded";
-    cursor = r.end;
-  }
-  EXPECT_EQ(cursor, total) << what << ": grants do not sum to the total";
-}
+using lss::testing::expect_exact_cover;
 
 using Case = std::tuple<const char*, Index, int>;
 
@@ -107,12 +97,24 @@ TEST_P(DispatchDifferential, ConcurrentGrantsMatchLockedMultiset) {
   std::vector<Range> want = drain_round_robin(*locked);
   expect_exact_cover(got, total, std::string(spec) + " concurrent");
 
-  const auto by_begin = [](const Range& a, const Range& b) {
-    return a.begin < b.begin;
-  };
-  std::sort(got.begin(), got.end(), by_begin);
-  std::sort(want.begin(), want.end(), by_begin);
-  EXPECT_EQ(got, want) << spec << ": concurrent multiset diverged";
+  EXPECT_EQ(lss::testing::sorted_by_begin(std::move(got)),
+            lss::testing::sorted_by_begin(std::move(want)))
+      << spec << ": concurrent multiset diverged";
+}
+
+TEST_P(DispatchDifferential, DeterministicSchemesMatchTheGoldenOracle) {
+  // The dispenser is one of the runtime paths the shared conformance
+  // oracle (chunk_oracle.hpp) covers: for schemes whose sequence is a
+  // pure function of the inputs, the drained grants must be exactly
+  // the golden chunk multiset — the same bar test_rt (inproc),
+  // test_rt_masterless (counter replay) and test_rt_hier (root
+  // leases) are held to.
+  const auto [spec, total, p] = GetParam();
+  if (!masterless_supported(spec))
+    GTEST_SKIP() << spec << " has no input-determined grant table";
+  auto d = make_dispatcher(spec, total, p);
+  lss::testing::expect_conforms(drain_round_robin(*d), spec, total, p,
+                                std::string(spec) + " dispenser");
 }
 
 std::string case_name(const ::testing::TestParamInfo<Case>& info) {

@@ -107,6 +107,37 @@ TEST_P(DistProperty, StepsAreBounded) {
   EXPECT_GT(s->steps(), 0);
 }
 
+// Registry-wide invariant, both families: remaining() starts at the
+// total, never goes negative, and never increases across the full
+// grant sequence — the hint the masterless plan replay and the
+// reactor's tail-phase prefetch throttle both lean on.
+TEST(SchedulerProperties, RemainingIsNonNegativeAndMonotone) {
+  for (const lss::SchemeInfo& info : lss::scheme_registry()) {
+    // The "dist" registry entry is the wrapper grammar itself and
+    // needs an inner simple spec to be constructible.
+    const std::string spec =
+        info.name == "dist" ? "dist(gss)" : info.name;
+    const Index total = 1000;
+    const int p = 4;
+    lss::Scheduler s = lss::make_scheduler(spec, total, p);
+    s.initialize(std::vector<double>(static_cast<std::size_t>(p), 10.0));
+    EXPECT_EQ(s.remaining(), total) << spec;
+    Index prev = s.remaining();
+    int pe = 0;
+    while (!s.done()) {
+      const Range r = s.next(pe, 10.0);
+      const Index rem = s.remaining();
+      EXPECT_GE(rem, 0) << spec;
+      EXPECT_LE(rem, prev) << spec << ": remaining() increased";
+      EXPECT_EQ(prev - rem, r.size())
+          << spec << ": remaining() out of step with the grant";
+      prev = rem;
+      pe = (pe + 1) % p;
+    }
+    EXPECT_EQ(prev, 0) << spec << ": drained scheduler reports leftovers";
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, DistProperty,
     ::testing::Combine(

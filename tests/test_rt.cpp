@@ -5,6 +5,7 @@
 
 #include <memory>
 
+#include "chunk_oracle.hpp"
 #include "lss/rt/run.hpp"
 #include "lss/rt/throttle.hpp"
 #include "lss/support/assert.hpp"
@@ -85,6 +86,24 @@ TEST(Rt, IdleGapStatsSurfaceInRunStats) {
   EXPECT_GT(gaps, 0);
   EXPECT_NE(stats.to_json().find("\"idle_gaps_per_pe\""),
             std::string::npos);
+}
+
+TEST(Rt, DeterministicSchemesConformToTheGoldenChunkSequence) {
+  // The flat inproc runtime is one of the paths the shared oracle
+  // (chunk_oracle.hpp) holds to the same bar as the dispenser, the
+  // hierarchical root and the masterless counter replay: the chunks
+  // the workers actually executed are exactly the scheme's golden
+  // grant multiset.
+  for (const char* scheme :
+       {"ss", "css:k=16", "gss", "tss", "fss", "fiss", "tfss", "wf"}) {
+    const RtResult r = run_threaded(small_config(scheme, 4));
+    ASSERT_TRUE(r.exactly_once()) << scheme;
+    std::vector<Range> executed;
+    for (const RtWorkerStats& w : r.workers)
+      executed.insert(executed.end(), w.executed.begin(), w.executed.end());
+    lss::testing::expect_conforms(std::move(executed), scheme, 200, 4,
+                                  std::string("rt inproc ") + scheme);
+  }
 }
 
 TEST(Rt, HeterogeneousWorkersStillCoverLoop) {

@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "chunk_oracle.hpp"
 #include "lss/mp/comm.hpp"
 #include "lss/mp/tcp.hpp"
 #include "lss/rt/master.hpp"
@@ -178,6 +179,22 @@ TEST(HierRuntime, SimpleSchemeFamilyWorksAtTheRootToo) {
   const HierRun r = run_hier(workload, "gss", {{2, 1.0}, {2, 1.0}});
   EXPECT_TRUE(r.root.exactly_once());
   EXPECT_EQ(r.root.completed_iterations, 1200);
+}
+
+TEST(HierRuntime, RootLeasesConformToTheGoldenChunkSequence) {
+  // With stealing off and no faults, every range the root leases down
+  // is a scheduler grant over the pods-as-PEs — so the lease log must
+  // be exactly the golden chunk sequence for (scheme, total, pods).
+  // The same oracle (chunk_oracle.hpp) that checks the flat inproc
+  // runtime and the masterless counter replay.
+  const auto workload = std::make_shared<UniformWorkload>(1200, 500.0);
+  for (const char* scheme : {"gss", "tss", "fss"}) {
+    const HierRun r = run_hier(workload, scheme, {{2, 1.0}, {2, 1.0}},
+                               FaultPolicy{}, /*steal=*/false);
+    ASSERT_TRUE(r.root.exactly_once()) << scheme;
+    lss::testing::expect_conforms(r.root.lease_log, scheme, 1200, 2,
+                                  std::string("hier root leases ") + scheme);
+  }
 }
 
 // The point of the tree: the root holds one conversation per pod,

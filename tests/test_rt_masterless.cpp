@@ -1,0 +1,472 @@
+// Masterless chunk self-calculation end to end (DESIGN.md §14):
+// workers fetch-and-add a shared ticket counter and compute chunk
+// boundaries from a local replay of the grant table, the master
+// degrades to a fault-domain janitor — and every path (inproc
+// counter, shm segment, transport-served frames over TCP) must
+// produce exactly the golden chunk sequence the mediated master
+// produces, which is what the shared conformance oracle
+// (chunk_oracle.hpp) checks. Fault story: killing the counter
+// service mid-loop falls the fleet back to master-mediated grants
+// with exactly-once accounting; killing a *claimant* mid-loop makes
+// the janitor re-grant its abandoned ticket.
+//
+// The suite carries the `masterless` ctest label and rides the TSan
+// rotation (bench/ci_sanitize.sh): the concurrent fetch-add stress
+// below is the data-race canary for the counter backends.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <unistd.h>
+
+#include "chunk_oracle.hpp"
+#include "lss/mp/comm.hpp"
+#include "lss/mp/tcp.hpp"
+#include "lss/obs/metrics_registry.hpp"
+#include "lss/rt/counter.hpp"
+#include "lss/rt/dispatch.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/rt/run.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::rt {
+namespace {
+
+// --- wire vocabulary -----------------------------------------------------
+
+TEST(MasterlessProtocol, FetchAddRoundTrip) {
+  EXPECT_EQ(protocol::decode_fetch_add(protocol::encode_fetch_add(1)), 1u);
+  EXPECT_EQ(protocol::decode_fetch_add(protocol::encode_fetch_add(
+                ~std::uint64_t{0})),
+            ~std::uint64_t{0});
+}
+
+TEST(MasterlessProtocol, FetchAddReplyRoundTrip) {
+  protocol::FetchAddReply r;
+  r.first = 12345;
+  r.dead = false;
+  auto rt = protocol::decode_fetch_add_reply(
+      protocol::encode_fetch_add_reply(r));
+  EXPECT_EQ(rt.first, 12345u);
+  EXPECT_FALSE(rt.dead);
+  r.dead = true;
+  rt = protocol::decode_fetch_add_reply(protocol::encode_fetch_add_reply(r));
+  EXPECT_TRUE(rt.dead);
+}
+
+TEST(MasterlessProtocol, ReportRoundTrip) {
+  protocol::MasterlessReport rep;
+  rep.acp = 2.5;
+  rep.fb_iters = 40;
+  rep.fb_seconds = 0.125;
+  rep.drained = true;
+  rep.fallback = true;
+  rep.completed = {{0, 10}, {30, 35}};
+  rep.results = {{std::byte{1}, std::byte{2}}, {}};
+  const protocol::MasterlessReport rt =
+      protocol::decode_report(protocol::encode_report(rep));
+  EXPECT_DOUBLE_EQ(rt.acp, 2.5);
+  EXPECT_EQ(rt.fb_iters, 40);
+  EXPECT_DOUBLE_EQ(rt.fb_seconds, 0.125);
+  EXPECT_TRUE(rt.drained);
+  EXPECT_TRUE(rt.fallback);
+  EXPECT_EQ(rt.completed, rep.completed);
+  EXPECT_EQ(rt.results, rep.results);
+  const protocol::MasterlessReport empty =
+      protocol::decode_report(protocol::encode_report({}));
+  EXPECT_TRUE(empty.completed.empty());
+  EXPECT_FALSE(empty.drained);
+  EXPECT_FALSE(empty.fallback);
+}
+
+// --- which schemes have a masterless form --------------------------------
+
+TEST(MasterlessSupport, DeterministicSimpleSchemesQualify) {
+  for (const char* spec : {"ss", "static", "css:k=7", "gss", "gss:k=2",
+                           "tss", "fss", "fiss", "tfss", "wf"})
+    EXPECT_TRUE(masterless_supported(spec)) << spec;
+}
+
+TEST(MasterlessSupport, StatefulAndDistributedSchemesDoNot) {
+  std::string why;
+  EXPECT_FALSE(masterless_supported("sss", &why));
+  EXPECT_NE(why.find("deterministic"), std::string::npos) << why;
+  why.clear();
+  EXPECT_FALSE(masterless_supported("dtss", &why));
+  EXPECT_FALSE(why.empty());
+  EXPECT_FALSE(masterless_supported("dist(gss)"));
+  EXPECT_FALSE(masterless_supported("awf"));
+}
+
+// --- the per-worker plan replay ------------------------------------------
+
+TEST(MasterlessPlanReplay, TableSchemesReplayTheGoldenSequence) {
+  const MasterlessPlan plan("gss", 1000, 4);
+  EXPECT_EQ(plan.path(), DispatchPath::LockFreeTable);
+  const auto want = lss::testing::expected_chunk_sequence("gss", 1000, 4);
+  ASSERT_EQ(plan.tickets(), want.size());
+  for (std::uint64_t t = 0; t < plan.tickets(); ++t) {
+    EXPECT_EQ(plan.chunk(t), want[static_cast<std::size_t>(t)]) << t;
+    ASSERT_TRUE(plan.ticket_of(want[static_cast<std::size_t>(t)]).has_value())
+        << t;
+    EXPECT_EQ(*plan.ticket_of(want[static_cast<std::size_t>(t)]), t);
+  }
+  EXPECT_FALSE(plan.ticket_of(Range{1, 3}).has_value());
+}
+
+TEST(MasterlessPlanReplay, SsIsABareCounterWithNoTable) {
+  const MasterlessPlan plan("ss", 100, 8);
+  EXPECT_EQ(plan.path(), DispatchPath::AtomicCounter);
+  EXPECT_EQ(plan.tickets(), 100u);
+  EXPECT_EQ(plan.chunk(42), (Range{42, 43}));
+  EXPECT_EQ(*plan.ticket_of(Range{42, 43}), 42u);
+}
+
+TEST(MasterlessPlanReplay, RejectsSchemesWithoutAMasterlessForm) {
+  EXPECT_THROW(MasterlessPlan("sss", 100, 4), ContractError);
+  EXPECT_THROW(MasterlessPlan("dtss", 100, 4), ContractError);
+}
+
+// --- differential vs the flat mediated master ----------------------------
+
+RtConfig small_config(std::string scheme, int workers) {
+  RtConfig cfg;
+  cfg.workload = std::make_shared<UniformWorkload>(200, 2000.0);
+  cfg.scheme = std::move(scheme);
+  cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
+  return cfg;
+}
+
+std::vector<Range> all_executed(const RtResult& r) {
+  std::vector<Range> out;
+  for (const RtWorkerStats& w : r.workers)
+    out.insert(out.end(), w.executed.begin(), w.executed.end());
+  return out;
+}
+
+class MasterlessScheme : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MasterlessScheme, ProducesExactlyTheMediatedChunkSequence) {
+  // The same (scheme, total, workers) run twice — once through the
+  // mediated request/grant master, once masterless — must execute
+  // the identical chunk multiset: the golden sequence.
+  RtConfig cfg = small_config(GetParam(), 4);
+  const RtResult mediated = run_threaded(cfg);
+  cfg.masterless = true;
+  const RtResult self = run_threaded(cfg);
+
+  ASSERT_FALSE(mediated.masterless);
+  ASSERT_TRUE(self.masterless);
+  EXPECT_TRUE(mediated.exactly_once());
+  EXPECT_TRUE(self.exactly_once());
+  EXPECT_TRUE(self.acked_exactly_once());
+  EXPECT_EQ(self.total_iterations, 200);
+
+  const auto what = "masterless " + GetParam();
+  lss::testing::expect_conforms(all_executed(self), GetParam(), 200, 4,
+                                what);
+  EXPECT_EQ(lss::testing::sorted_by_begin(all_executed(self)),
+            lss::testing::sorted_by_begin(all_executed(mediated)))
+      << what << ": diverged from the mediated master's sequence";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Deterministic, MasterlessScheme,
+    ::testing::Values("ss", "css:k=16", "gss", "tss", "fss", "fiss",
+                      "tfss", "wf"),
+    [](const auto& pi) {
+      std::string n = pi.param;
+      for (char& c : n)
+        if (c == ':' || c == '=') c = '_';
+      return n;
+    });
+
+TEST(Masterless, UnsupportedSchemesDowngradeBothSidesCoherently) {
+  // sss has no deterministic sequence, dtss needs the ACP-aware
+  // master: asking for masterless must quietly run the mediated
+  // exchange on BOTH sides — a mixed configuration would deadlock.
+  for (const char* scheme : {"sss", "dtss"}) {
+    RtConfig cfg = small_config(scheme, 3);
+    cfg.masterless = true;
+    const RtResult r = run_threaded(cfg);
+    EXPECT_FALSE(r.masterless) << scheme;
+    EXPECT_TRUE(r.exactly_once()) << scheme;
+  }
+}
+
+TEST(Masterless, HeterogeneousWorkersStillConform) {
+  RtConfig cfg = small_config("gss", 4);
+  cfg.relative_speeds = {1.0, 1.0, 0.4, 0.4};
+  cfg.masterless = true;
+  const RtResult r = run_threaded(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  lss::testing::expect_conforms(all_executed(r), "gss", 200, 4,
+                                "masterless heterogeneous gss");
+}
+
+TEST(Masterless, JanitorIngestsFarFewerFramesThanTheMediatedMaster) {
+  // The point of the mode: chunk acquisition leaves the master's
+  // inbox. With a shared in-process counter the janitor ingests only
+  // batched completion reports — for ss (one mediated request per
+  // iteration) that is an order-of-magnitude frame reduction.
+  const auto workload = std::make_shared<UniformWorkload>(200, 500.0);
+  const auto run_once = [&](bool masterless) {
+    mp::Comm comm(3);
+    auto counter = std::make_shared<InprocTicketCounter>();
+    std::vector<std::thread> workers;
+    for (int w = 0; w < 2; ++w)
+      workers.emplace_back([&, w] {
+        WorkerLoopConfig wc;
+        wc.worker = w;
+        wc.workload = workload;
+        if (masterless) {
+          MasterlessWorkerConfig mwc;
+          mwc.loop = wc;
+          mwc.scheme = "ss";
+          mwc.total = workload->size();
+          mwc.num_workers = 2;
+          mwc.counter = counter;
+          run_masterless_worker(comm, mwc);
+        } else {
+          run_worker_loop(comm, wc);
+        }
+      });
+    MasterConfig mc;
+    mc.scheme = "ss";
+    mc.total = workload->size();
+    mc.num_workers = 2;
+    mc.masterless = masterless;
+    if (masterless) mc.counter = counter;
+    const MasterOutcome out = run_master(comm, mc);
+    for (std::thread& t : workers) t.join();
+    return out;
+  };
+  const MasterOutcome mediated = run_once(false);
+  const MasterOutcome self = run_once(true);
+  ASSERT_TRUE(mediated.exactly_once());
+  ASSERT_TRUE(self.exactly_once());
+  ASSERT_GT(mediated.messages, 0);
+  ASSERT_GT(self.messages, 0);
+  // 200 one-iteration grants on 2 workers: the mediated master
+  // ingests >= 200 requests; the janitor sees ~200/report_batch
+  // reports plus the announces.
+  EXPECT_LE(self.messages * 4, mediated.messages)
+      << "janitor " << self.messages << " vs mediated "
+      << mediated.messages;
+}
+
+// --- counter-service death: fall back to mediated grants -----------------
+
+TEST(MasterlessFallback, CounterKilledMidLoopFallsBackExactlyOnce) {
+  // The counter dies after K successful claims; every worker gets a
+  // dead claim, flushes its tail, and re-enters the mediated loop —
+  // the janitor re-grants everything the counter never served. The
+  // multiset stays the golden sequence: fallback re-grants happen at
+  // ticket granularity.
+  const auto& fallbacks =
+      obs::MetricsRegistry::instance().counter("masterless.fallbacks");
+  // gss over N=200, p=4 has 16 tickets; every K here dies mid-plan.
+  for (const std::uint64_t fail_after : {0u, 1u, 3u, 9u}) {
+    const std::uint64_t before = fallbacks.value();
+    RtConfig cfg = small_config("gss", 4);
+    cfg.masterless = true;
+    cfg.counter = std::make_shared<InprocTicketCounter>(fail_after);
+    const RtResult r = run_threaded(cfg);
+    ASSERT_TRUE(r.masterless) << "fail_after " << fail_after;
+    EXPECT_TRUE(r.exactly_once()) << "fail_after " << fail_after;
+    EXPECT_TRUE(r.acked_exactly_once()) << "fail_after " << fail_after;
+    lss::testing::expect_conforms(
+        all_executed(r), "gss", 200, 4,
+        "fallback at claim " + std::to_string(fail_after));
+    EXPECT_GT(fallbacks.value(), before) << "fail_after " << fail_after;
+  }
+}
+
+TEST(MasterlessFallback, SsFallsBackToo) {
+  RtConfig cfg = small_config("ss", 3);
+  cfg.masterless = true;
+  cfg.counter = std::make_shared<InprocTicketCounter>(25);
+  const RtResult r = run_threaded(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  EXPECT_TRUE(r.acked_exactly_once());
+  EXPECT_EQ(r.total_iterations, 200);
+}
+
+// --- claimant death: the janitor re-grants abandoned tickets -------------
+
+TEST(MasterlessFaults, DeadClaimantsTicketIsRegranted) {
+  // Worker 2 claims a ticket and dies before computing it. Nobody
+  // else can claim that ticket — the counter moved past it — so only
+  // the janitor's reconcile barrier can put it back in play. The
+  // survivors are throttled hard so the full-speed victim reliably
+  // claims its three tickets before the plan drains (the throttle
+  // sleeps between chunks, yielding the core to the victim's thread
+  // even on a single-CPU host).
+  RtConfig cfg = small_config("ss", 3);
+  cfg.masterless = true;
+  cfg.faults.detect = true;
+  cfg.faults.grace = 0.5;
+  cfg.relative_speeds = {0.01, 0.01, 1.0};
+  cfg.die_after_chunks = {-1, -1, 2};
+  const RtResult r = run_threaded(cfg);
+  ASSERT_TRUE(r.masterless);
+  ASSERT_EQ(r.lost_workers.size(), 1u);
+  EXPECT_EQ(r.lost_workers[0], 2);
+  EXPECT_GE(r.reassigned_chunks, 1);
+  EXPECT_GT(r.reassigned_iterations, 0);
+  // The victim reports in batches, so chunks it computed but never
+  // reported are re-granted and re-execute — worker-side counts may
+  // hit 2 for exactly those iterations, while the janitor's applied
+  // results stay exactly-once (same caveat as the mediated pipeline,
+  // see Rt.PipelineDepthsAllCoverExactlyOnce's fault variant).
+  EXPECT_TRUE(r.acked_exactly_once());
+  ASSERT_EQ(r.execution_count.size(), 200u);
+  for (std::size_t i = 0; i < r.execution_count.size(); ++i) {
+    EXPECT_GE(r.execution_count[i], 1) << "iteration " << i;
+    EXPECT_LE(r.execution_count[i], 2) << "iteration " << i;
+    if (r.execution_count[i] == 2) EXPECT_EQ(r.acked_count[i], 1);
+  }
+}
+
+// --- concurrent fetch-add stress (the TSan canary) -----------------------
+
+TEST(MasterlessStress, ConcurrentClaimantsGetUniqueTickets) {
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 4000;
+  InprocTicketCounter counter;
+  std::vector<std::vector<std::uint64_t>> got(kThreads);
+  std::vector<std::thread> pool;
+  for (int i = 0; i < kThreads; ++i)
+    pool.emplace_back([&counter, &got, i] {
+      got[static_cast<std::size_t>(i)].reserve(kPerThread);
+      for (std::uint64_t c = 0; c < kPerThread; ++c) {
+        const auto t = counter.fetch_add(1);
+        ASSERT_TRUE(t.has_value());
+        got[static_cast<std::size_t>(i)].push_back(*t);
+      }
+    });
+  for (std::thread& t : pool) t.join();
+
+  std::set<std::uint64_t> unique;
+  for (const auto& v : got) unique.insert(v.begin(), v.end());
+  EXPECT_EQ(unique.size(), kThreads * kPerThread);
+  EXPECT_EQ(*unique.rbegin(), kThreads * kPerThread - 1);
+  EXPECT_EQ(counter.load(), kThreads * kPerThread);
+}
+
+TEST(MasterlessStress, KillRacesWithClaimantsWithoutTearing) {
+  InprocTicketCounter counter;
+  std::atomic<std::uint64_t> claimed{0};
+  std::vector<std::thread> pool;
+  for (int i = 0; i < 4; ++i)
+    pool.emplace_back([&] {
+      while (counter.fetch_add(1).has_value())
+        claimed.fetch_add(1, std::memory_order_relaxed);
+    });
+  while (counter.load() < 1000) std::this_thread::yield();
+  counter.kill();
+  for (std::thread& t : pool) t.join();
+  // Everything claimed before the kill is a real, unique ticket.
+  EXPECT_GE(counter.load(), claimed.load());
+}
+
+// --- the shm backend -----------------------------------------------------
+
+TEST(MasterlessShm, CursorIsSharedAcrossAttachments) {
+  const std::string name =
+      "/lss-test-ctr-" + std::to_string(::getpid());
+  auto owner = ShmTicketCounter::create(name);
+  auto peer = ShmTicketCounter::attach(name);
+  EXPECT_EQ(owner->fetch_add(1), 0u);
+  EXPECT_EQ(peer->fetch_add(2), 1u);
+  EXPECT_EQ(owner->fetch_add(1), 3u);
+  EXPECT_EQ(owner->load(), 4u);
+  EXPECT_EQ(peer->load(), 4u);
+  // A kill from either side is visible to every attachment.
+  peer->kill();
+  EXPECT_FALSE(owner->fetch_add(1).has_value());
+  EXPECT_FALSE(peer->fetch_add(1).has_value());
+}
+
+TEST(MasterlessShm, CreateRejectsTakenNamesAndAttachRejectsMissing) {
+  const std::string name =
+      "/lss-test-dup-" + std::to_string(::getpid());
+  auto owner = ShmTicketCounter::create(name);
+  EXPECT_THROW(ShmTicketCounter::create(name), ContractError);
+  EXPECT_THROW(ShmTicketCounter::attach("/lss-test-no-such-segment"),
+               ContractError);
+}
+
+TEST(MasterlessShm, OwnerUnlinksTheSegmentOnDestruction) {
+  const std::string name =
+      "/lss-test-unlink-" + std::to_string(::getpid());
+  ShmTicketCounter::create(name).reset();
+  EXPECT_THROW(ShmTicketCounter::attach(name), ContractError);
+}
+
+TEST(MasterlessShm, DrivesAFullRunAsTheSharedCursor) {
+  const std::string name =
+      "/lss-test-run-" + std::to_string(::getpid());
+  RtConfig cfg = small_config("fss", 3);
+  cfg.masterless = true;
+  cfg.counter = ShmTicketCounter::create(name);
+  const RtResult r = run_threaded(cfg);
+  ASSERT_TRUE(r.masterless);
+  EXPECT_TRUE(r.exactly_once());
+  lss::testing::expect_conforms(all_executed(r), "fss", 200, 3,
+                                "shm-counter fss");
+}
+
+// --- transport-served claims over real sockets ---------------------------
+
+TEST(MasterlessTcp, SocketWorkersConformViaFetchAddFrames) {
+  // No shared memory: each claim is a kTagFetchAdd round trip to the
+  // janitor. The executed multiset must still be the golden sequence.
+  const auto workload = std::make_shared<UniformWorkload>(200, 500.0);
+  mp::TcpMasterTransport t(0, 2);
+
+  std::vector<WorkerLoopResult> results(2);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back([&, port = t.port()] {
+      mp::TcpWorkerTransport wt("127.0.0.1", port);
+      MasterlessWorkerConfig mwc;
+      mwc.loop.worker = wt.rank() - 1;
+      mwc.loop.workload = workload;
+      mwc.scheme = "gss";
+      mwc.total = workload->size();
+      mwc.num_workers = 2;  // counter left null: claim over the wire
+      results[static_cast<std::size_t>(wt.rank() - 1)] =
+          run_masterless_worker(wt, mwc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheme = "gss";
+  mc.total = workload->size();
+  mc.num_workers = 2;
+  mc.masterless = true;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_EQ(outcome.transport, "tcp");
+  EXPECT_EQ(outcome.completed_iterations, 200);
+  std::vector<Range> executed;
+  for (const WorkerLoopResult& w : results)
+    executed.insert(executed.end(), w.executed.begin(), w.executed.end());
+  lss::testing::expect_conforms(executed, "gss", 200, 2,
+                                "tcp masterless gss");
+}
+
+}  // namespace
+}  // namespace lss::rt

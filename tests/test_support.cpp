@@ -1,9 +1,13 @@
-// Unit tests for lss/support: types, prng, stats, strings, table, csv.
+// Unit tests for lss/support: types, prng, stats, strings, table, csv
+// — plus the self-tests of the shared cross-runtime conformance
+// oracle (tests/chunk_oracle.hpp), which every dispatch-path suite
+// (dispatch, rt, hier, masterless) includes.
 #include <gtest/gtest.h>
 
 #include <set>
 #include <sstream>
 
+#include "chunk_oracle.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/support/csv.hpp"
 #include "lss/support/prng.hpp"
@@ -273,6 +277,65 @@ TEST(Csv, RowWidthMismatchThrows) {
   std::ostringstream os;
   CsvWriter w(os, {"a", "b"});
   EXPECT_THROW(w.write_row({"1"}), ContractError);
+}
+
+// ---------------------------------------------------- chunk oracle
+
+TEST(ChunkOracle, SequenceTilesTheLoopInGrantOrder) {
+  for (const char* spec :
+       {"ss", "css:k=7", "gss", "tss", "fss", "fiss", "tfss", "wf",
+        "static"}) {
+    const auto seq = lss::testing::expected_chunk_sequence(spec, 500, 4);
+    Index cursor = 0;
+    for (const Range& r : seq) {
+      EXPECT_EQ(r.begin, cursor) << spec;
+      EXPECT_GT(r.size(), 0) << spec;
+      cursor = r.end;
+    }
+    EXPECT_EQ(cursor, 500) << spec;
+  }
+}
+
+TEST(ChunkOracle, SelfSchedulingIsOneIterationPerGrant) {
+  const auto seq = lss::testing::expected_chunk_sequence("ss", 10, 3);
+  ASSERT_EQ(seq.size(), 10u);
+  for (std::size_t t = 0; t < seq.size(); ++t) {
+    EXPECT_EQ(seq[t].begin, static_cast<Index>(t));
+    EXPECT_EQ(seq[t].size(), 1);
+  }
+}
+
+TEST(ChunkOracle, CssGrantsFixedChunksWithARemainderTail) {
+  const auto seq = lss::testing::expected_chunk_sequence("css:k=7", 100, 4);
+  ASSERT_EQ(seq.size(), 15u);  // 14 * 7 + 2
+  for (std::size_t t = 0; t + 1 < seq.size(); ++t)
+    EXPECT_EQ(seq[t].size(), 7);
+  EXPECT_EQ(seq.back().size(), 2);
+}
+
+TEST(ChunkOracle, IsAPureFunctionOfItsInputs) {
+  EXPECT_EQ(lss::testing::expected_chunk_sequence("gss", 1000, 8),
+            lss::testing::expected_chunk_sequence("gss", 1000, 8));
+  EXPECT_NE(lss::testing::expected_chunk_sequence("gss", 1000, 8),
+            lss::testing::expected_chunk_sequence("gss", 1000, 4));
+}
+
+TEST(ChunkOracle, RejectsSchemesWithoutAGoldenSequence) {
+  // Distributed schemes replan on live ACP feedback: no golden table.
+  EXPECT_THROW(lss::testing::expected_chunk_sequence("dtss", 100, 4),
+               ContractError);
+}
+
+TEST(ChunkOracle, SortedByBeginNormalizesRacedGrantOrders) {
+  const std::vector<Range> raced = {{8, 10}, {0, 4}, {4, 8}};
+  const std::vector<Range> want = {{0, 4}, {4, 8}, {8, 10}};
+  EXPECT_EQ(lss::testing::sorted_by_begin(raced), want);
+}
+
+TEST(ChunkOracle, ConformanceAcceptsAnyPermutationOfTheGoldenSet) {
+  auto seq = lss::testing::expected_chunk_sequence("tss", 300, 4);
+  std::reverse(seq.begin(), seq.end());
+  lss::testing::expect_conforms(seq, "tss", 300, 4, "permuted tss");
 }
 
 }  // namespace
