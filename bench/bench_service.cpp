@@ -1,0 +1,92 @@
+// Multi-tenant service throughput: jobs per second through the
+// resident lss_serve pool (google-benchmark, DESIGN.md §15). The
+// same batch of loop jobs — a fixed total, so every variant does
+// identical work — is pushed through one Service over the in-process
+// tenant transport by 1 vs 4 concurrent tenants. One tenant
+// serialises submits behind its own awaits; four tenants keep the
+// admission queue warm, so the pool never drains between jobs.
+//
+// Each benchmark iteration is one complete daemon lifetime (spawn
+// pool, serve every job, tenants bye, pool joins); manual timing
+// uses the service's own run()-entry-to-exit wall clock. Headline:
+//
+//   jobs_per_sec   completed jobs per wall second. With concurrent
+//                  tenants it must not fall below the single-tenant
+//                  rate (BENCH_service.json gate) — multiplexing the
+//                  pool across jobs is the whole point of the daemon.
+//
+// bench/run_bench.sh service distills the JSON into
+// BENCH_service.json with the 1-vs-4-tenant comparison.
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/comm.hpp"
+#include "lss/rt/job.hpp"
+#include "lss/svc/client.hpp"
+#include "lss/svc/service.hpp"
+
+using namespace lss;
+
+namespace {
+
+constexpr int kTotalJobs = 16;         // fixed across tenant counts
+constexpr Index kIterationsPerJob = 4096;
+constexpr double kBodyCost = 10.0;     // small: scheduling dominates
+
+svc::ServiceStats run_once(int tenants) {
+  const int per_tenant = kTotalJobs / tenants;
+
+  rt::JobSpec spec;
+  spec.scheme = "tss";
+  spec.relative_speeds.assign(4, 1.0);
+  spec.workload = "uniform:n=" + std::to_string(kIterationsPerJob) +
+                  ",cost=" + std::to_string(static_cast<int>(kBodyCost));
+
+  svc::ServiceConfig cfg;
+  cfg.num_workers = 4;
+  cfg.max_active = 4;
+  cfg.max_queued = kTotalJobs;
+
+  mp::Comm comm(tenants + 1);
+  std::vector<std::thread> bodies;
+  bodies.reserve(static_cast<std::size_t>(tenants));
+  for (int t = 1; t <= tenants; ++t)
+    bodies.emplace_back([&comm, &spec, per_tenant, t] {
+      svc::Client client(comm, t);
+      std::vector<std::int64_t> ids;
+      ids.reserve(static_cast<std::size_t>(per_tenant));
+      for (int j = 0; j < per_tenant; ++j)
+        ids.push_back(client.submit(spec).job_id);
+      for (const std::int64_t id : ids) (void)client.await_result(id);
+      client.bye();
+    });
+
+  svc::Service service(cfg);
+  const svc::ServiceStats stats = service.run(comm, tenants);
+  for (std::thread& th : bodies) th.join();
+  return stats;
+}
+
+void BM_ServiceThroughput(benchmark::State& state) {
+  const int tenants = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    const svc::ServiceStats stats = run_once(tenants);
+    state.SetIterationTime(stats.t_wall);
+    state.counters["jobs_per_sec"] =
+        benchmark::Counter(stats.jobs_per_second());
+    state.counters["jobs_completed"] =
+        benchmark::Counter(static_cast<double>(stats.jobs_completed));
+  }
+  state.SetItemsProcessed(state.iterations() * kTotalJobs);
+}
+
+}  // namespace
+
+BENCHMARK(BM_ServiceThroughput)
+    ->Arg(1)->Arg(4)
+    ->UseManualTime()->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

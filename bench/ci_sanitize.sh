@@ -71,6 +71,17 @@ for i in 1 2 3; do
     -L masterless -j "$(nproc)"
 done
 
+# The multi-tenant service (ctest label `service`): tenant threads
+# submit concurrently while the pool multiplexes jobs, masterless
+# tickets, and fault reclaim across them — every grant, ack, and
+# claim crosses threads through the in-process transport, and the
+# CLI smoke tests add the TCP tenant path. Repeat so the
+# submit/admission interleavings vary.
+for i in 1 2 3; do
+  ctest --test-dir "$build" --output-on-failure --no-tests=error \
+    -L service -j "$(nproc)"
+done
+
 # The pipelined worker/master loops at every depth (0/1/2/4): the
 # reactor drain, batch-grant ingest, and batched-ack flush paths all
 # cross threads through the in-process transport.

@@ -24,6 +24,12 @@
 #     per-chunk cost stays flat as workers scale (8w <= 2.5x 1w) and
 #     beats the mediated exchange >= 2x at 8 workers.
 #
+#   BENCH_service.json — BM_ServiceThroughput (DESIGN.md §15): a
+#     fixed batch of 16 loop jobs through the resident service at
+#     1 vs 4 concurrent tenants. Gate: 4-tenant jobs/sec >= 0.9x the
+#     single-tenant rate — multiplexing the pool across concurrent
+#     jobs must not cost throughput.
+#
 #   bench/run_bench.sh [reps] [build-dir]
 set -euo pipefail
 
@@ -33,7 +39,8 @@ build="${2:-$root/build}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_overhead bench_hier_scaling bench_masterless >/dev/null
+  --target bench_overhead bench_hier_scaling bench_masterless \
+  bench_service >/dev/null
 
 # ---------------------------------------------------------------- pipeline
 
@@ -274,6 +281,74 @@ if not ok:
     sys.exit(1)
 print(f"OK: masterless per-chunk flat ({flatness}x from 1w to 8w), "
       f"{advantage}x cheaper than mediated at 8 workers")
+PY
+
+# ----------------------------------------------------------------- service
+
+raw="$build/bench_service_raw.json"
+out="$root/BENCH_service.json"
+
+"$build/bench/bench_service" \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_time_unit=ms \
+  --benchmark_out="$raw" \
+  --benchmark_out_format=json
+
+python3 - "$raw" "$out" <<'PY'
+import json, statistics, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# name: BM_ServiceThroughput/<tenants>/manual_time ; jobs_per_sec is
+# the headline counter, jobs_completed the sanity check.
+runs = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_ServiceThroughput":
+        continue
+    tenants = int(parts[1])
+    assert b["jobs_completed"] == 16, b["jobs_completed"]
+    runs.setdefault(tenants, []).append(b["jobs_per_sec"])
+
+table = {}
+for tenants, samples in sorted(runs.items()):
+    table[str(tenants)] = {
+        "reps": len(samples),
+        "jobs_per_sec_median": round(statistics.median(samples), 1),
+    }
+
+ratio = round(table["4"]["jobs_per_sec_median"] /
+              table["1"]["jobs_per_sec_median"], 2)
+
+doc = {
+    "benchmark": "BM_ServiceThroughput",
+    "workload": {"jobs_total": 16, "iterations_per_job": 4096,
+                 "scheme": "tss", "pool_workers": 4,
+                 "body_cost_units": 10, "tenants": [1, 4]},
+    "context": {k: raw["context"][k]
+                for k in ("num_cpus", "mhz_per_cpu", "library_version")
+                if k in raw["context"]},
+    "metric": ("median completed jobs per wall second over one full "
+               "daemon lifetime (submit to last result)"),
+    "results": table,
+    "tenants4_vs_1_jobs_per_sec_ratio": ratio,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(doc, indent=2))
+if ratio < 0.9:
+    print(f"FAIL: 4-tenant throughput is {ratio}x the single-tenant "
+          f"rate (< 0.9)", file=sys.stderr)
+    sys.exit(1)
+print(f"OK: 4 concurrent tenants run at {ratio}x the single-tenant "
+      f"jobs/sec (>= 0.9)")
 PY
 
 # ----------------------------------------------- stamp + history trajectory

@@ -63,6 +63,7 @@
 #include "lss/mp/tcp.hpp"
 #include "lss/rt/counter.hpp"
 #include "lss/rt/dispatch.hpp"
+#include "lss/rt/job.hpp"
 #include "lss/rt/master.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/root.hpp"
@@ -347,6 +348,17 @@ int main(int argc, char** argv) {
       o.grace = args.value_double(arg);
     } else if (arg == "--pipeline-depth") {
       o.job.pipeline_depth = args.value_int(arg);
+    } else if (arg == "--job-file") {
+      // One rt::JobSpec JSON document (the same text lss_submit
+      // submits) mapped onto this CLI's knobs; flags after the file
+      // override it.
+      const lss::rt::JobSpec spec =
+          lss::rt::JobSpec::from_json(lss_cli::read_file(args.value(arg)));
+      o.scheme = spec.scheme;
+      o.workers = spec.num_pes();
+      o.job.pipeline_depth = spec.pipeline_depth;
+      o.masterless = spec.masterless;
+      o.grace = spec.faults.grace;
     } else if (arg == "--out") {
       o.out_path = args.value(arg);
     } else if (arg == "--no-spawn") {

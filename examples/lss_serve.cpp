@@ -1,0 +1,186 @@
+// The resident loop-service daemon (DESIGN.md §15): a persistent
+// worker pool serving loop jobs submitted by tenant processes over
+// localhost TCP — where lss_master is one loop then exit, lss_serve
+// stays up and multiplexes its pool across every tenant's jobs.
+//
+//   lss_serve [--workers N] [--tenants T] [--port 0]
+//             [--max-active A] [--max-queued Q]
+//             [--worker-speeds 1,0.5,...] [--die-after K,-1,...]
+//             [--stats out.json] [--spawn] [--jobs-per-tenant J]
+//             [--job JSON]
+//
+// The daemon binds 127.0.0.1 (port 0 = ephemeral, printed), waits for
+// --tenants tenant connections, then serves until every tenant says
+// bye (kTagSvcBye / disconnect) and the job table drains. Tenants
+// speak the kTagJob* protocol — normally via lss_submit, whose
+// --job-file documents are exactly rt::JobSpec::to_json().
+//
+// --spawn forks the tenants itself (lss_submit found next to this
+// binary), each submitting --jobs-per-tenant copies of --job (or a
+// built-in uniform loop) — the self-contained form the CLI smoke
+// tests run. --die-after K,-1,... injects a pool-worker death: worker
+// w exits silently before computing its (K+1)-th chunk; jobs that
+// should survive it must enable fault detection in their spec.
+//
+// Exit status is 0 only if every submitted job completed (none
+// failed) and, with --spawn, every tenant reported exactly-once
+// coverage for all of its jobs.
+#include <sys/wait.h>
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lss/mp/tcp.hpp"
+#include "lss/rt/job.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/svc/service.hpp"
+#include "net_common.hpp"
+
+namespace {
+
+struct Options {
+  int workers = 4;
+  int tenants = 1;
+  int port = 0;
+  int max_active = 4;
+  int max_queued = 32;
+  std::string worker_speeds;  // csv, e.g. "1,0.5,0.25"
+  std::string die_after;      // csv, e.g. "3,-1,-1"
+  std::string stats_path;
+  bool spawn = false;
+  int jobs_per_tenant = 1;
+  std::string job_json;
+};
+
+std::vector<double> parse_speeds(const std::string& csv) {
+  std::vector<double> out;
+  for (const std::string& part : lss::split(csv, ','))
+    out.push_back(lss::parse_double(part));
+  return out;
+}
+
+std::vector<int> parse_die_after(const std::string& csv) {
+  std::vector<int> out;
+  for (const std::string& part : lss::split(csv, ','))
+    out.push_back(static_cast<int>(lss::parse_int(part)));
+  return out;
+}
+
+/// The built-in demo job --spawn submits when no --job is given: a
+/// uniform loop planned for the pool's width.
+std::string default_job(int workers) {
+  lss::rt::JobSpec spec;
+  spec.scheme = "tss";
+  spec.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
+  spec.workload = "uniform:n=2048,cost=2";
+  return spec.to_json();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options o;
+  lss_cli::Args args(argc, argv);
+  while (args.more()) {
+    const std::string arg = args.flag();
+    if (arg == "--workers") {
+      o.workers = args.value_int(arg);
+    } else if (arg == "--tenants") {
+      o.tenants = args.value_int(arg);
+    } else if (arg == "--port") {
+      o.port = args.value_int(arg);
+    } else if (arg == "--max-active") {
+      o.max_active = args.value_int(arg);
+    } else if (arg == "--max-queued") {
+      o.max_queued = args.value_int(arg);
+    } else if (arg == "--worker-speeds") {
+      o.worker_speeds = args.value(arg);
+    } else if (arg == "--die-after") {
+      o.die_after = args.value(arg);
+    } else if (arg == "--stats") {
+      o.stats_path = args.value(arg);
+    } else if (arg == "--spawn") {
+      o.spawn = true;
+    } else if (arg == "--jobs-per-tenant") {
+      o.jobs_per_tenant = args.value_int(arg);
+    } else if (arg == "--job") {
+      o.job_json = args.value(arg);
+    } else {
+      std::cerr << "unknown flag " << arg << '\n';
+      return 2;
+    }
+  }
+  if (o.workers < 1 || o.tenants < 1 || o.jobs_per_tenant < 1) {
+    std::cerr << "usage: lss_serve [--workers N] [--tenants T] [--port P]"
+                 " [--max-active A] [--max-queued Q] [--worker-speeds csv]"
+                 " [--die-after csv] [--stats out.json]"
+                 " [--spawn [--jobs-per-tenant J] [--job JSON]]\n";
+    return 2;
+  }
+
+  try {
+    lss::mp::TcpMasterTransport t(static_cast<std::uint16_t>(o.port),
+                                  o.tenants);
+    std::vector<pid_t> children;
+    if (o.spawn) {
+      const std::string binary = lss_cli::sibling_binary("lss_submit");
+      const std::string job =
+          o.job_json.empty() ? default_job(o.workers) : o.job_json;
+      for (int i = 0; i < o.tenants; ++i) {
+        std::vector<std::string> sub_args = {"--port",
+                                             std::to_string(t.port()),
+                                             "--repeat",
+                                             std::to_string(o.jobs_per_tenant),
+                                             "--job", job};
+        children.push_back(lss_cli::spawn_process(binary, sub_args));
+      }
+    } else {
+      std::cout << "serving on 127.0.0.1:" << t.port() << ", waiting for "
+                << o.tenants << " tenant(s)...\n";
+    }
+    t.accept_workers();
+
+    lss::svc::ServiceConfig sc;
+    sc.num_workers = o.workers;
+    sc.max_active = o.max_active;
+    sc.max_queued = o.max_queued;
+    if (!o.worker_speeds.empty())
+      sc.worker_speeds = parse_speeds(o.worker_speeds);
+    if (!o.die_after.empty())
+      sc.die_after_chunks = parse_die_after(o.die_after);
+    lss::svc::Service service(sc);
+    const lss::svc::ServiceStats stats = service.run(t, o.tenants);
+
+    std::cout << "served " << stats.jobs_submitted << " submit(s): "
+              << stats.jobs_completed << " completed, " << stats.jobs_rejected
+              << " rejected, " << stats.jobs_canceled << " canceled, "
+              << stats.jobs_failed << " failed";
+    if (stats.workers_lost > 0)
+      std::cout << "; lost " << stats.workers_lost << " pool worker(s)";
+    std::cout << " (" << stats.jobs_per_second() << " jobs/s)\n";
+
+    if (!o.stats_path.empty()) {
+      std::ofstream os(o.stats_path);
+      LSS_REQUIRE(static_cast<bool>(os), "cannot open " + o.stats_path);
+      os << stats.to_json() << '\n';
+      std::cout << "wrote " << o.stats_path << '\n';
+    }
+
+    int rc = stats.jobs_failed > 0 ? 1 : 0;
+    for (const pid_t pid : children) {
+      int status = 0;
+      waitpid(pid, &status, 0);
+      if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+        std::cerr << "tenant " << pid << " failed\n";
+        rc = 1;
+      }
+    }
+    return rc;
+  } catch (const std::exception& e) {
+    std::cerr << "[serve] fatal: " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -21,6 +21,7 @@
 
 #include "lss/mp/comm.hpp"
 #include "lss/mp/tcp.hpp"
+#include "lss/rt/job.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/submaster.hpp"
 #include "lss/rt/worker.hpp"
@@ -45,6 +46,12 @@ int main(int argc, char** argv) {
       workers = args.value_int(arg);
     } else if (arg == "--low-water") {
       low_water = args.value_double(arg);
+    } else if (arg == "--job-file") {
+      // rt::JobSpec JSON; only the pod shape is this tier's to
+      // decide (scheme and depth arrive from the root with the job).
+      workers = lss::rt::JobSpec::from_json(
+                    lss_cli::read_file(args.value(arg)))
+                    .num_pes();
     } else if (arg == "--die-after-leases") {
       die_after_leases = args.value_int(arg);
     } else {

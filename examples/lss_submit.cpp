@@ -1,0 +1,106 @@
+// Tenant half of the loop-service pair: submits loop jobs to a
+// running lss_serve daemon and waits for their results.
+//
+//   lss_submit [--host 127.0.0.1] --port P
+//              (--job-file spec.json | --job JSON)... [--repeat K]
+//
+// Every --job-file / --job operand is one rt::JobSpec JSON document —
+// the same text `--job-file` means on the other CLIs — submitted
+// --repeat times (default once). Rejections are part of the
+// protocol: QueueFull is retried with backoff (the backpressure
+// contract says back off and resubmit), BadSpec is printed and fatal.
+// After the last submit the tenant awaits every result, prints one
+// line per job, says bye, and exits 0 only if every job completed
+// with exactly-once coverage.
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/tcp.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/svc/client.hpp"
+#include "lss/svc/protocol.hpp"
+#include "net_common.hpp"
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  int port = 0;
+  int repeat = 1;
+  std::vector<std::string> job_docs;
+  lss_cli::Args args(argc, argv);
+  while (args.more()) {
+    const std::string arg = args.flag();
+    if (arg == "--host") {
+      host = args.value(arg);
+    } else if (arg == "--port") {
+      port = args.value_int(arg);
+    } else if (arg == "--repeat") {
+      repeat = args.value_int(arg);
+    } else if (arg == "--job-file") {
+      job_docs.push_back(lss_cli::read_file(args.value(arg)));
+    } else if (arg == "--job") {
+      job_docs.push_back(args.value(arg));
+    } else {
+      std::cerr << "unknown flag " << arg << '\n';
+      return 2;
+    }
+  }
+  if (port <= 0 || job_docs.empty() || repeat < 1) {
+    std::cerr << "usage: lss_submit [--host H] --port P"
+                 " (--job-file spec.json | --job JSON)... [--repeat K]\n";
+    return 2;
+  }
+
+  try {
+    lss::mp::TcpWorkerTransport t(host, static_cast<std::uint16_t>(port));
+    lss::svc::Client client(t, t.rank());
+
+    std::vector<std::int64_t> ids;
+    for (const std::string& doc : job_docs)
+      for (int k = 0; k < repeat; ++k) {
+        lss::svc::JobStatusMsg verdict;
+        // QueueFull is transient by contract — back off and resubmit.
+        for (int attempt = 0;; ++attempt) {
+          verdict = client.submit_json(doc);
+          if (verdict.ok() ||
+              verdict.error != lss::svc::SubmitError::QueueFull ||
+              attempt >= 50)
+            break;
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(10 * (attempt + 1)));
+        }
+        if (!verdict.ok()) {
+          std::cerr << "submit rejected (" << to_string(verdict.error)
+                    << "): " << verdict.message << '\n';
+          client.bye();
+          return 1;
+        }
+        std::cout << "job " << verdict.job_id << " queued at position "
+                  << verdict.queue_position << '\n';
+        ids.push_back(verdict.job_id);
+      }
+
+    bool all_ok = true;
+    for (const std::int64_t id : ids) {
+      const lss::svc::JobResultMsg r = client.await_result(id);
+      std::cout << "job " << r.job_id << ' ' << to_string(r.state) << ": "
+                << r.iterations << " iterations in " << r.chunks
+                << " chunks via " << r.scheme
+                << (r.masterless ? " [masterless]" : "") << " (queued "
+                << r.t_queued << "s, active " << r.t_active << "s)";
+      if (r.workers_lost > 0)
+        std::cout << "; survived " << r.workers_lost << " worker loss(es), "
+                  << r.reassigned_chunks << " chunk(s) reassigned";
+      std::cout << (r.exactly_once ? "" : " COVERAGE BUG: not exactly-once")
+                << '\n';
+      all_ok = all_ok && r.state == lss::svc::JobState::Done && r.exactly_once;
+    }
+    client.bye();
+    return all_ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "[submit] fatal: " << e.what() << '\n';
+    return 1;
+  }
+}

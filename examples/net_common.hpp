@@ -27,7 +27,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -71,6 +73,16 @@ inline std::string sibling_binary(const char* name) {
   const auto slash = path.rfind('/');
   LSS_REQUIRE(slash != std::string::npos, "unexpected binary path");
   return path.substr(0, slash + 1) + name;
+}
+
+/// Slurps a whole file — job-file documents (rt::JobSpec JSON) are
+/// config-sized.
+inline std::string read_file(const std::string& path) {
+  std::ifstream is(path);
+  LSS_REQUIRE(static_cast<bool>(is), "cannot open " + path);
+  std::ostringstream os;
+  os << is.rdbuf();
+  return os.str();
 }
 
 /// fork+exec of `binary args...`; returns the child pid (caller

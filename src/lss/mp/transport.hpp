@@ -51,13 +51,17 @@ namespace lss::mp {
 /// (rt/protocol kTagLease*); kProtoMasterless peers additionally
 /// understand the fetch-add counter frames and completion reports of
 /// the master-less dispatch mode (rt/protocol kTagFetchAdd*,
-/// kTagReport — DESIGN.md §14). In-process backends are always
+/// kTagReport — DESIGN.md §14); kProtoService peers additionally
+/// understand the job frames a tenant exchanges with a resident
+/// lss_serve daemon (svc/protocol kTagJob* — DESIGN.md §15).
+/// In-process backends are always
 /// current: both ends live in one binary.
 inline constexpr int kProtoLegacy = 1;
 inline constexpr int kProtoPipelined = 2;
 inline constexpr int kProtoHierarchical = 3;
 inline constexpr int kProtoMasterless = 4;
-inline constexpr int kProtoCurrent = kProtoMasterless;
+inline constexpr int kProtoService = 5;
+inline constexpr int kProtoCurrent = kProtoService;
 
 class Transport {
  public:

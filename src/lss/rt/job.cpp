@@ -1,0 +1,127 @@
+#include "lss/rt/job.hpp"
+
+#include "lss/api/scheduler.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/json.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss::rt {
+
+namespace {
+
+const std::vector<std::string>& job_keys() {
+  static const std::vector<std::string> keys = {
+      "scheme",     "relative_speeds", "run_queues", "pipeline_depth",
+      "masterless", "faults",          "priority",   "workload"};
+  return keys;
+}
+
+const std::vector<std::string>& fault_keys() {
+  static const std::vector<std::string> keys = {"detect", "grace",
+                                                "poll_initial", "poll_max"};
+  return keys;
+}
+
+void require_known(const std::string& key,
+                   const std::vector<std::string>& accepted,
+                   const char* what) {
+  bool ok = false;
+  for (const std::string& k : accepted) ok = ok || k == key;
+  LSS_REQUIRE(ok, std::string(what) + " does not accept key '" + key +
+                      "' (accepts: " + join(accepted, ", ") + ")");
+}
+
+}  // namespace
+
+void JobSpec::validate() const {
+  // Resolving the family re-uses the registry's own unknown-scheme
+  // diagnostics (it names every known spec).
+  (void)scheme_family(scheme);
+  LSS_REQUIRE(!relative_speeds.empty(),
+              "job needs at least one relative_speeds entry");
+  for (std::size_t i = 0; i < relative_speeds.size(); ++i)
+    LSS_REQUIRE(relative_speeds[i] > 0.0 && relative_speeds[i] <= 1.0,
+                "relative_speeds[" + std::to_string(i) + "] = " +
+                    std::to_string(relative_speeds[i]) +
+                    " is outside (0, 1]");
+  LSS_REQUIRE(run_queues.empty() ||
+                  run_queues.size() == relative_speeds.size(),
+              "run_queues must be empty or match relative_speeds "
+              "(one entry per worker)");
+  for (std::size_t i = 0; i < run_queues.size(); ++i)
+    LSS_REQUIRE(run_queues[i] >= 1, "run_queues[" + std::to_string(i) +
+                                        "] = " + std::to_string(run_queues[i]) +
+                                        " must be >= 1");
+  LSS_REQUIRE(pipeline_depth >= 0,
+              "pipeline_depth = " + std::to_string(pipeline_depth) +
+                  " must be >= 0");
+  LSS_REQUIRE(priority >= 0,
+              "priority = " + std::to_string(priority) + " must be >= 0");
+  LSS_REQUIRE(faults.grace > 0.0, "faults.grace must be > 0");
+  LSS_REQUIRE(faults.poll_initial > 0.0, "faults.poll_initial must be > 0");
+  LSS_REQUIRE(faults.poll_max >= faults.poll_initial,
+              "faults.poll_max must be >= faults.poll_initial");
+}
+
+std::string JobSpec::to_json(int indent) const {
+  using json::Value;
+  json::Array speeds;
+  for (double v : relative_speeds) speeds.emplace_back(v);
+  json::Array queues;
+  for (int q : run_queues) queues.emplace_back(q);
+  json::Object fp{{"detect", Value(faults.detect)},
+                  {"grace", Value(faults.grace)},
+                  {"poll_initial", Value(faults.poll_initial)},
+                  {"poll_max", Value(faults.poll_max)}};
+  json::Object doc{{"scheme", Value(scheme)},
+                   {"relative_speeds", Value(std::move(speeds))},
+                   {"run_queues", Value(std::move(queues))},
+                   {"pipeline_depth", Value(pipeline_depth)},
+                   {"masterless", Value(masterless)},
+                   {"faults", Value(std::move(fp))},
+                   {"priority", Value(priority)},
+                   {"workload", Value(workload)}};
+  return Value(std::move(doc)).dump(indent);
+}
+
+JobSpec JobSpec::from_json(std::string_view text) {
+  const json::Value doc = json::Value::parse(text);
+  LSS_REQUIRE(doc.is_object(), "job spec must be a JSON object");
+  JobSpec out;
+  for (const auto& [key, value] : doc.as_object()) {
+    require_known(key, job_keys(), "job spec");
+    if (key == "scheme") {
+      out.scheme = value.as_string();
+    } else if (key == "relative_speeds") {
+      out.relative_speeds.clear();
+      for (const json::Value& v : value.as_array())
+        out.relative_speeds.push_back(v.as_number());
+    } else if (key == "run_queues") {
+      out.run_queues.clear();
+      for (const json::Value& v : value.as_array())
+        out.run_queues.push_back(static_cast<int>(v.as_int()));
+    } else if (key == "pipeline_depth") {
+      out.pipeline_depth = static_cast<int>(value.as_int());
+    } else if (key == "masterless") {
+      out.masterless = value.as_bool();
+    } else if (key == "faults") {
+      LSS_REQUIRE(value.is_object(), "job spec key 'faults' must be an object");
+      for (const auto& [fkey, fval] : value.as_object()) {
+        require_known(fkey, fault_keys(), "job spec key 'faults'");
+        if (fkey == "detect") out.faults.detect = fval.as_bool();
+        else if (fkey == "grace") out.faults.grace = fval.as_number();
+        else if (fkey == "poll_initial")
+          out.faults.poll_initial = fval.as_number();
+        else if (fkey == "poll_max") out.faults.poll_max = fval.as_number();
+      }
+    } else if (key == "priority") {
+      out.priority = static_cast<int>(value.as_int());
+    } else if (key == "workload") {
+      out.workload = value.as_string();
+    }
+  }
+  out.validate();
+  return out;
+}
+
+}  // namespace lss::rt

@@ -1,0 +1,101 @@
+// The job-facing configuration surface of the runtime.
+//
+// JobSpec is everything a *tenant* may say about a loop job — scheme,
+// emulated cluster shape, pipeline depth, dispatch mode, fault
+// policy, admission priority, and the workload spec string — in one
+// struct with one validator and one JSON round-trip. The same JSON
+// text is a `--job-file` operand on the CLIs and the kTagJobSubmit
+// payload of the lss_serve protocol (svc/protocol); RtConfig (rt/run)
+// derives from it, adding only the in-process extras a wire format
+// cannot carry (a live Workload pointer, injected faults, a shared
+// ticket counter).
+//
+// Unknown JSON keys are rejected *by name* with the accepted list,
+// exactly like sched::SchemeSpec rejects unknown scheme parameters —
+// a misspelled "pipeline_deptth" must fail the submit, not silently
+// run with the default.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lss::rt {
+
+/// Failure-detector knobs for the master loop (rt/master) and the
+/// service grant tracker (svc/service).
+struct FaultPolicy {
+  /// Master uses deadline receives and declares unresponsive
+  /// workers dead. Off = legacy blocking behavior.
+  bool detect = false;
+  /// Seconds an outstanding grant (or an awaited first request) may
+  /// age without any liveness signal before the worker is declared
+  /// dead. Must exceed the worst-case chunk compute time on the
+  /// slowest worker, or stragglers get shot.
+  double grace = 10.0;
+  /// Initial recv deadline slice in seconds; doubles on every idle
+  /// expiry (bounded retry/backoff) up to poll_max.
+  double poll_initial = 0.02;
+  double poll_max = 0.25;
+};
+
+struct JobSpec {
+  /// Any spec the unified registry resolves — simple ("tss",
+  /// "gss:k=2"), distributed ("dtss", "dfss"), or wrapped
+  /// ("dist(gss:k=2)"). The scheme's registered family decides the
+  /// master's serve path; there is no separate "distributed" switch.
+  std::string scheme = "tss";
+  /// One entry per worker, in (0, 1]; 1.0 = full speed. Also used as
+  /// the virtual powers for distributed schemes (normalized so the
+  /// slowest worker has V = 1). The size of this vector *is* the
+  /// job's scheduling width: the daemon plans each job for
+  /// relative_speeds.size() slots regardless of its pool size.
+  std::vector<double> relative_speeds;
+  /// Emulated run-queue length per worker (>= 1); used by the
+  /// distributed schemes' ACP computation. Empty = all dedicated.
+  std::vector<int> run_queues;
+  /// Per-worker prefetch window (rt/worker): each worker keeps up to
+  /// this many granted-but-unstarted chunks queued beyond the one
+  /// computing, hiding the master round trip. 0 restores the strict
+  /// one-request/one-grant exchange.
+  int pipeline_depth = 1;
+  /// Masterless dispatch (DESIGN.md §14): workers fetch-and-add a
+  /// shared ticket counter and compute chunk boundaries from a local
+  /// replay of the grant table; the master degrades to fault-domain
+  /// janitor. Silently downgraded to the mediated exchange — both
+  /// sides coherently — for schemes without a masterless form
+  /// (sss, the distributed family). See RtResult::masterless for
+  /// which mode actually ran.
+  bool masterless = false;
+  /// Failure detection. Off by default: a thread that never dies
+  /// needs no detector.
+  FaultPolicy faults;
+  /// Admission weight under contention (svc/service): higher runs
+  /// first; ties fall back to fair share between tenants, then FIFO.
+  /// Ignored by the one-job runners.
+  int priority = 0;
+  /// Workload spec for lss::make_workload ("uniform:n=4096,cost=2",
+  /// "mandelbrot:width=200,..."). Required by the daemon, which must
+  /// materialize the loop from text; optional for RtConfig, where a
+  /// live `workload` pointer wins.
+  std::string workload;
+
+  /// Scheduling width the job plans for.
+  int num_pes() const { return static_cast<int>(relative_speeds.size()); }
+
+  /// Throws lss::ContractError naming the offending field: unknown
+  /// scheme, empty speeds, a speed outside (0, 1], run-queue shape or
+  /// value, negative pipeline depth, negative priority, nonsensical
+  /// fault-policy timings. Does not materialize the workload —
+  /// make_workload() reports spec errors when the loop is built.
+  void validate() const;
+
+  /// JSON round-trip, shared by `--job-file` and kTagJobSubmit.
+  /// to_json emits every field; from_json accepts any subset of the
+  /// keys (absent = default), rejects unknown keys by name, then
+  /// validate()s.
+  std::string to_json(int indent = -1) const;
+  static JobSpec from_json(std::string_view text);
+};
+
+}  // namespace lss::rt

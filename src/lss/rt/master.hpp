@@ -69,27 +69,12 @@
 
 #include "lss/mp/transport.hpp"
 #include "lss/rt/dispatch.hpp"
+#include "lss/rt/job.hpp"  // FaultPolicy (job-facing knobs live there)
 #include "lss/support/types.hpp"
 
 namespace lss::rt {
 
 class TicketCounter;
-
-/// Failure-detector knobs for the master loop.
-struct FaultPolicy {
-  /// Master uses deadline receives and declares unresponsive
-  /// workers dead. Off = legacy blocking behavior.
-  bool detect = false;
-  /// Seconds an outstanding grant (or an awaited first request) may
-  /// age without any liveness signal before the worker is declared
-  /// dead. Must exceed the worst-case chunk compute time on the
-  /// slowest worker, or stragglers get shot.
-  double grace = 10.0;
-  /// Initial recv deadline slice in seconds; doubles on every idle
-  /// expiry (bounded retry/backoff) up to poll_max.
-  double poll_initial = 0.02;
-  double poll_max = 0.25;
-};
 
 struct MasterConfig {
   /// Any spec the unified registry resolves ("tss", "dtss",

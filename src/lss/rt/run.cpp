@@ -22,12 +22,6 @@ double seconds_since(Clock::time_point t0) {
 
 }  // namespace
 
-void RtConfig::set_scheme(const std::string& spec, bool distributed) {
-  scheme = (distributed && scheme_family(spec) != SchemeFamily::Distributed)
-               ? "dist(" + spec + ")"
-               : spec;
-}
-
 bool RtResult::exactly_once() const {
   for (int c : execution_count)
     if (c != 1) return false;
@@ -185,6 +179,11 @@ RtResult run_threaded(const RtConfig& config) {
     for (const Range& r : wr.executed)
       for (Index i = r.begin; i < r.end; ++i)
         ++out.execution_count[static_cast<std::size_t>(i)];
+  }
+  for (Index i = 0; i < total; ++i) {
+    const auto s = static_cast<std::size_t>(i);
+    if (out.execution_count[s] > out.acked_count[s])
+      out.unacked_computed += out.execution_count[s] - out.acked_count[s];
   }
   return out;
 }

@@ -25,6 +25,7 @@
 #include "lss/metrics/timing.hpp"
 #include "lss/obs/run_stats.hpp"
 #include "lss/rt/dispatch.hpp"
+#include "lss/rt/job.hpp"
 #include "lss/rt/master.hpp"
 #include "lss/support/types.hpp"
 #include "lss/workload/workload.hpp"
@@ -33,52 +34,26 @@ namespace lss::rt {
 
 class TicketCounter;
 
-struct RtConfig {
+/// One-run configuration: the job-facing JobSpec (scheme, speeds,
+/// run-queues, pipeline depth, dispatch mode, fault policy — see
+/// rt/job.hpp) plus the in-process extras a wire format cannot
+/// carry. Everything a remote tenant may configure lives in the base;
+/// this wrapper only adds what run_threaded's caller, holding real
+/// pointers, can.
+struct RtConfig : JobSpec {
+  /// The loop to run. Wins over JobSpec::workload (the spec string
+  /// exists for serialized jobs; set either).
   std::shared_ptr<Workload> workload;
-  /// Any spec the unified registry resolves — simple ("tss",
-  /// "gss:k=2"), distributed ("dtss", "dfss"), or wrapped
-  /// ("dist(gss:k=2)"). The scheme's registered family decides the
-  /// master's serve path; there is no separate "distributed" switch.
-  std::string scheme = "tss";
-  /// One entry per worker, in (0, 1]; 1.0 = full speed. Also used as
-  /// the virtual powers for distributed schemes (normalized so the
-  /// slowest worker has V = 1).
-  std::vector<double> relative_speeds;
-  /// Emulated run-queue length per worker (>= 1); used by the
-  /// distributed schemes' ACP computation. Empty = all dedicated.
-  std::vector<int> run_queues;
   cluster::AcpPolicy acp = cluster::AcpPolicy::improved();
-  /// Master-side failure detection (rt/master). Off by default: a
-  /// thread that never dies needs no detector.
-  FaultPolicy faults;
   /// Fault injection, one entry per worker: worker w abandons its
   /// (die_after_chunks[w]+1)-th grant and exits (rt/worker). Empty =
   /// no faults; negative entries = that worker never dies. Injected
   /// deaths require `faults.detect` or the master blocks forever.
   std::vector<int> die_after_chunks;
-  /// Per-worker prefetch window (rt/worker): each worker keeps up to
-  /// this many granted-but-unstarted chunks queued beyond the one
-  /// computing, hiding the master round trip. 0 restores the strict
-  /// one-request/one-grant exchange.
-  int pipeline_depth = 1;
-  /// Masterless dispatch (DESIGN.md §14): workers fetch-and-add a
-  /// shared ticket counter and compute chunk boundaries from a local
-  /// replay of the grant table; the master degrades to fault-domain
-  /// janitor. Silently downgraded to the mediated exchange — both
-  /// sides coherently — for schemes without a masterless form
-  /// (sss, the distributed family). See RtResult::masterless for
-  /// which mode actually ran.
-  bool masterless = false;
   /// Shared cursor for masterless runs; null = run_threaded creates
   /// a fresh in-process one. Tests inject an InprocTicketCounter
   /// with a fail-after budget to exercise the mid-loop fallback.
   std::shared_ptr<TicketCounter> counter;
-
-  /// Pre-registry spelling, where the family was a separate flag.
-  [[deprecated("set `scheme` to a registry spec; the family is "
-               "resolved by name (wrap simple schemes in dist(...) "
-               "for the ACP-aware master path)")]]
-  void set_scheme(const std::string& spec, bool distributed);
 };
 
 struct RtWorkerStats {
@@ -110,19 +85,24 @@ struct RtResult {
   Index total_iterations = 0;
   /// Worker-side ground truth (counted from each thread's executed
   /// chunks, not from protocol acknowledgements): all-ones iff the
-  /// loop was covered exactly once, faults included. Caveat under
-  /// faults with pipeline_depth >= 2: completion acks batch (rt/
-  /// worker), so a worker killed mid-batch may have computed chunks
-  /// whose acks never left; the master cannot tell those from
-  /// never-started grants and reassigns them, leaving a count of 2
-  /// here while `acked_count` — whose results the master actually
-  /// applies — stays exactly-once.
+  /// loop was covered exactly once, faults included. Iterations a
+  /// dead worker computed but never acknowledged are re-executed by
+  /// design and counted in `unacked_computed`.
   std::vector<int> execution_count;
   /// Master-side accounting: completions per iteration as
   /// acknowledged over the protocol. Dead workers are fenced, so
   /// this is all-ones (each result applied once) even when a
   /// reassigned chunk re-executes worker-side.
   std::vector<int> acked_count;
+  /// Iterations computed by some worker but never acknowledged —
+  /// Σ max(0, execution_count[i] - acked_count[i]). Nonzero only
+  /// under faults with pipeline_depth >= 2: completion acks batch
+  /// (rt/worker), so a worker killed mid-batch may have computed
+  /// chunks whose acks never left; the master cannot tell those from
+  /// never-started grants and reassigns them. This is the typed form
+  /// of that ambiguity — `acked_count`, whose results the master
+  /// actually applies, stays exactly-once regardless.
+  Index unacked_computed = 0;
   std::vector<int> lost_workers;  ///< declared dead, in death order
   Index reassigned_chunks = 0;
   Index reassigned_iterations = 0;

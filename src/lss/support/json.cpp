@@ -1,0 +1,394 @@
+#include "lss/support/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <utility>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::json {
+
+Value::Value(Array a)
+    : kind_(Kind::Array), arr_(std::make_shared<Array>(std::move(a))) {}
+
+Value::Value(Object o)
+    : kind_(Kind::Object), obj_(std::make_shared<Object>(std::move(o))) {}
+
+bool Value::as_bool() const {
+  LSS_REQUIRE(is_bool(), "JSON value is not a boolean");
+  return bool_;
+}
+
+double Value::as_number() const {
+  LSS_REQUIRE(is_number(), "JSON value is not a number");
+  return num_;
+}
+
+std::int64_t Value::as_int() const {
+  const double v = as_number();
+  const double r = std::nearbyint(v);
+  LSS_REQUIRE(r == v, "JSON number is not an integer");
+  return static_cast<std::int64_t>(r);
+}
+
+const std::string& Value::as_string() const {
+  LSS_REQUIRE(is_string(), "JSON value is not a string");
+  return str_;
+}
+
+const Array& Value::as_array() const {
+  LSS_REQUIRE(is_array(), "JSON value is not an array");
+  return *arr_;
+}
+
+const Object& Value::as_object() const {
+  LSS_REQUIRE(is_object(), "JSON value is not an object");
+  return *obj_;
+}
+
+const Value* Value::find(std::string_view key) const {
+  if (!is_object()) return nullptr;
+  for (const auto& [k, v] : *obj_)
+    if (k == key) return &v;
+  return nullptr;
+}
+
+bool operator==(const Value& a, const Value& b) {
+  if (a.kind_ != b.kind_) return false;
+  switch (a.kind_) {
+    case Value::Kind::Null:
+      return true;
+    case Value::Kind::Bool:
+      return a.bool_ == b.bool_;
+    case Value::Kind::Number:
+      return a.num_ == b.num_;
+    case Value::Kind::String:
+      return a.str_ == b.str_;
+    case Value::Kind::Array:
+      return *a.arr_ == *b.arr_;
+    case Value::Kind::Object:
+      return *a.obj_ == *b.obj_;
+  }
+  return false;
+}
+
+// ------------------------------------------------------------------ parsing
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value document() {
+    skip_ws();
+    Value v = value();
+    skip_ws();
+    LSS_REQUIRE(pos_ == text_.size(),
+                "trailing characters after JSON document at byte " +
+                    std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw ContractError("JSON parse error at byte " + std::to_string(pos_) +
+                        ": " + what);
+  }
+
+  bool done() const { return pos_ >= text_.size(); }
+  char peek() const {
+    if (done()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+  void skip_ws() {
+    while (!done()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value value() {
+    switch (peek()) {
+      case '{':
+        return object();
+      case '[':
+        return array();
+      case '"':
+        return Value(string());
+      case 't':
+        if (literal("true")) return Value(true);
+        fail("invalid literal");
+      case 'f':
+        if (literal("false")) return Value(false);
+        fail("invalid literal");
+      case 'n':
+        if (literal("null")) return Value();
+        fail("invalid literal");
+      default:
+        return number();
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Object out;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      out.emplace_back(std::move(key), value());
+      skip_ws();
+      const char c = take();
+      if (c == '}') return Value(std::move(out));
+      if (c != ',') fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value array() {
+    expect('[');
+    Array out;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(out));
+    }
+    while (true) {
+      skip_ws();
+      out.push_back(value());
+      skip_ws();
+      const char c = take();
+      if (c == ']') return Value(std::move(out));
+      if (c != ',') fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string string() {
+    if (peek() != '"') fail("expected string");
+    ++pos_;
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("unescaped control character in string");
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      const char e = take();
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = take();
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code += static_cast<unsigned>(h - 'A' + 10);
+            else
+              fail("invalid \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDFFF)
+            fail("surrogate pairs are not supported");
+          // UTF-8 encode the BMP code point.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          fail("invalid escape");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (!done() && peek() == '-') ++pos_;
+    while (!done() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    if (!done() && text_[pos_] == '.') {
+      ++pos_;
+      while (!done() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    if (!done() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (!done() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      while (!done() && text_[pos_] >= '0' && text_[pos_] <= '9') ++pos_;
+    }
+    const std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") fail("expected a value");
+    try {
+      std::size_t used = 0;
+      const double v = std::stod(token, &used);
+      if (used != token.size()) fail("malformed number '" + token + "'");
+      return Value(v);
+    } catch (const ContractError&) {
+      throw;
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value Value::parse(std::string_view text) { return Parser(text).document(); }
+
+// -------------------------------------------------------------- serializing
+
+std::string escape(std::string_view s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+std::string format_number(double v) {
+  LSS_REQUIRE(std::isfinite(v), "JSON cannot represent NaN or infinity");
+  if (v == std::nearbyint(v) && std::fabs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(std::llround(v)));
+    return buf;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, v);
+    if (std::stod(shorter) == v) return shorter;
+  }
+  return buf;
+}
+
+namespace {
+
+void dump_to(const Value& v, std::string& out, int indent, int depth) {
+  const auto newline = [&](int d) {
+    if (indent < 0) return;
+    out.push_back('\n');
+    out.append(static_cast<std::size_t>(indent * d), ' ');
+  };
+  switch (v.kind()) {
+    case Value::Kind::Null:
+      out += "null";
+      return;
+    case Value::Kind::Bool:
+      out += v.as_bool() ? "true" : "false";
+      return;
+    case Value::Kind::Number:
+      out += format_number(v.as_number());
+      return;
+    case Value::Kind::String:
+      out += escape(v.as_string());
+      return;
+    case Value::Kind::Array: {
+      const Array& a = v.as_array();
+      if (a.empty()) {
+        out += "[]";
+        return;
+      }
+      out.push_back('[');
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        dump_to(a[i], out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back(']');
+      return;
+    }
+    case Value::Kind::Object: {
+      const Object& o = v.as_object();
+      if (o.empty()) {
+        out += "{}";
+        return;
+      }
+      out.push_back('{');
+      for (std::size_t i = 0; i < o.size(); ++i) {
+        if (i) out.push_back(',');
+        newline(depth + 1);
+        out += escape(o[i].first);
+        out.push_back(':');
+        if (indent >= 0) out.push_back(' ');
+        dump_to(o[i].second, out, indent, depth + 1);
+      }
+      newline(depth);
+      out.push_back('}');
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::string Value::dump(int indent) const {
+  std::string out;
+  dump_to(*this, out, indent, 0);
+  return out;
+}
+
+}  // namespace lss::json

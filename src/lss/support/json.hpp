@@ -1,0 +1,98 @@
+// Minimal JSON document model: parse, build, serialize.
+//
+// The repo already *writes* JSON in several places (RunStats,
+// exporters, benches) by string concatenation; the Job API (rt/job)
+// also needs to *read* it — `--job-file` on the CLIs and the
+// kTagJobSubmit payload are the same JSON text. This is a small,
+// strict RFC 8259 subset parser: objects, arrays, strings (with the
+// standard escapes, \uXXXX limited to BMP code points), numbers,
+// booleans and null. No comments, no trailing commas, no NaN/Inf —
+// a job file that is not plain JSON should fail loudly.
+//
+// Objects preserve insertion order (a vector of pairs, not a map) so
+// round-tripped documents stay diffable, and key lookup is linear —
+// fine for config-sized documents, not meant for megabyte payloads.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lss::json {
+
+class Value;
+
+class Value {
+ public:
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Value() : kind_(Kind::Null) {}
+  Value(bool b) : kind_(Kind::Bool), bool_(b) {}
+  Value(double v) : kind_(Kind::Number), num_(v) {}
+  Value(int v) : kind_(Kind::Number), num_(v) {}
+  Value(std::int64_t v) : kind_(Kind::Number), num_(static_cast<double>(v)) {}
+  Value(std::string s) : kind_(Kind::String), str_(std::move(s)) {}
+  Value(const char* s) : kind_(Kind::String), str_(s) {}
+  Value(std::vector<Value> a);
+  Value(std::vector<std::pair<std::string, Value>> o);
+
+  /// Parses one JSON document (surrounding whitespace allowed;
+  /// trailing garbage rejected). Throws lss::ContractError with a
+  /// byte offset on malformed input.
+  static Value parse(std::string_view text);
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::Null; }
+  bool is_bool() const { return kind_ == Kind::Bool; }
+  bool is_number() const { return kind_ == Kind::Number; }
+  bool is_string() const { return kind_ == Kind::String; }
+  bool is_array() const { return kind_ == Kind::Array; }
+  bool is_object() const { return kind_ == Kind::Object; }
+
+  /// Typed accessors; throw lss::ContractError on a kind mismatch so
+  /// a job file with e.g. a string where a number belongs names the
+  /// problem instead of reading garbage.
+  bool as_bool() const;
+  double as_number() const;
+  /// as_number() that also requires an integral value.
+  std::int64_t as_int() const;
+  const std::string& as_string() const;
+  const std::vector<Value>& as_array() const;
+  const std::vector<std::pair<std::string, Value>>& as_object() const;
+
+  /// Object member lookup; nullptr when absent (or not an object).
+  const Value* find(std::string_view key) const;
+
+  /// Serializes canonically: `indent` < 0 for one line, otherwise
+  /// pretty-printed with that many spaces per level.
+  std::string dump(int indent = -1) const;
+
+  friend bool operator==(const Value& a, const Value& b);
+
+ private:
+  Kind kind_;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  // Indirect so containers of Value can be members of Value.
+  std::shared_ptr<std::vector<Value>> arr_;
+  std::shared_ptr<std::vector<std::pair<std::string, Value>>> obj_;
+};
+
+/// The container shapes behind Kind::Array / Kind::Object. Objects
+/// are ordered (a vector of pairs, not a map) — see the header note.
+using Array = std::vector<Value>;
+using Object = std::vector<std::pair<std::string, Value>>;
+
+/// JSON string escaping (quotes included) — shared with the
+/// hand-rolled writers elsewhere in the tree.
+std::string escape(std::string_view s);
+
+/// Number formatting: integral values print without a fraction part,
+/// everything else with enough digits to round-trip a double.
+std::string format_number(double v);
+
+}  // namespace lss::json

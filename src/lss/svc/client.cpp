@@ -1,0 +1,50 @@
+#include "lss/svc/client.hpp"
+
+#include <utility>
+
+#include "lss/mp/message.hpp"
+
+namespace lss::svc {
+
+Client::Client(mp::Transport& transport, int rank)
+    : t_(transport), rank_(rank) {}
+
+JobStatusMsg Client::submit(const rt::JobSpec& spec) {
+  return submit_json(spec.to_json());
+}
+
+JobStatusMsg Client::submit_json(const std::string& json) {
+  mp::PayloadWriter w;
+  w.put_string(json);
+  t_.send(rank_, 0, kTagJobSubmit, w.take());
+  // The admission verdict is always the next status frame: the
+  // service replies to every submit before processing another frame
+  // from the same tenant (frames from one rank stay ordered).
+  return decode_status(t_.recv(rank_, 0, kTagJobStatus).payload);
+}
+
+JobStatusMsg Client::status(std::int64_t job_id) {
+  JobStatusMsg query;
+  query.job_id = job_id;
+  t_.send(rank_, 0, kTagJobStatus, encode_status(query));
+  return decode_status(t_.recv(rank_, 0, kTagJobStatus).payload);
+}
+
+JobResultMsg Client::await_result(std::int64_t job_id) {
+  const auto it = stashed_.find(job_id);
+  if (it != stashed_.end()) {
+    JobResultMsg msg = std::move(it->second);
+    stashed_.erase(it);
+    return msg;
+  }
+  for (;;) {
+    JobResultMsg msg =
+        decode_result(t_.recv(rank_, 0, kTagJobResult).payload);
+    if (msg.job_id == job_id) return msg;
+    stashed_.emplace(msg.job_id, std::move(msg));
+  }
+}
+
+void Client::bye() { t_.send(rank_, 0, kTagSvcBye, {}); }
+
+}  // namespace lss::svc

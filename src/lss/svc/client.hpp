@@ -1,0 +1,51 @@
+// Tenant-side convenience over the job protocol (svc/protocol): one
+// object per tenant rank that frames submits, status queries, and the
+// blocking result wait. Purely a codec + matching layer — it owns no
+// socket; hand it whichever mp::Transport the tenant speaks (the
+// in-process Comm in tests, a TcpWorkerTransport in lss_submit).
+//
+// Results of *other* jobs arriving while await_result(id) waits are
+// stashed and handed back when their id is asked for, so a tenant may
+// submit N jobs and then await them in any order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "lss/mp/transport.hpp"
+#include "lss/rt/job.hpp"
+#include "lss/svc/protocol.hpp"
+
+namespace lss::svc {
+
+class Client {
+ public:
+  /// `rank` is this tenant's rank on `transport` (the service is
+  /// rank 0). The transport must outlive the client.
+  Client(mp::Transport& transport, int rank);
+
+  /// Submits a job; blocks for the admission verdict. `msg.ok()`
+  /// false means rejected — `msg.error` says why, `msg.message` how.
+  JobStatusMsg submit(const rt::JobSpec& spec);
+  /// Same, from raw JSON text (a --job-file document).
+  JobStatusMsg submit_json(const std::string& json);
+
+  /// Queries the service for a job's state; blocks for the reply.
+  JobStatusMsg status(std::int64_t job_id);
+
+  /// Blocks until the terminal report of `job_id` arrives. Results
+  /// of other jobs that arrive first are stashed for later calls.
+  JobResultMsg await_result(std::int64_t job_id);
+
+  /// Detaches from the service: queued jobs are canceled, and the
+  /// daemon may exit once every tenant has said bye.
+  void bye();
+
+ private:
+  mp::Transport& t_;
+  const int rank_;
+  std::map<std::int64_t, JobResultMsg> stashed_;
+};
+
+}  // namespace lss::svc

@@ -1,0 +1,141 @@
+#include "lss/svc/protocol.hpp"
+
+#include "lss/mp/message.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::svc {
+
+std::string to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Active: return "active";
+    case JobState::Done: return "done";
+    case JobState::Rejected: return "rejected";
+    case JobState::Canceled: return "canceled";
+    case JobState::Failed: return "failed";
+  }
+  return "unknown";
+}
+
+std::string to_string(SubmitError error) {
+  switch (error) {
+    case SubmitError::None: return "none";
+    case SubmitError::BadSpec: return "bad_spec";
+    case SubmitError::QueueFull: return "queue_full";
+    case SubmitError::ProtocolTooOld: return "protocol_too_old";
+  }
+  return "unknown";
+}
+
+std::vector<std::byte> encode_status(const JobStatusMsg& msg) {
+  mp::PayloadWriter w;
+  w.put_i64(msg.job_id);
+  w.put_i32(static_cast<std::int32_t>(msg.state));
+  w.put_i32(static_cast<std::int32_t>(msg.error));
+  w.put_string(msg.message);
+  w.put_i32(msg.queue_position);
+  w.put_i64(msg.completed);
+  w.put_i64(msg.total);
+  return w.take();
+}
+
+JobStatusMsg decode_status(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  JobStatusMsg msg;
+  msg.job_id = rd.get_i64();
+  msg.state = static_cast<JobState>(rd.get_i32());
+  msg.error = static_cast<SubmitError>(rd.get_i32());
+  msg.message = rd.get_string();
+  msg.queue_position = rd.get_i32();
+  msg.completed = rd.get_i64();
+  msg.total = rd.get_i64();
+  return msg;
+}
+
+std::vector<std::byte> encode_result(const JobResultMsg& msg) {
+  mp::PayloadWriter w;
+  w.put_i64(msg.job_id);
+  w.put_i32(static_cast<std::int32_t>(msg.state));
+  w.put_string(msg.scheme);
+  w.put_i64(msg.masterless ? 1 : 0);
+  w.put_i64(msg.iterations);
+  w.put_i64(msg.chunks);
+  w.put_f64(msg.t_queued);
+  w.put_f64(msg.t_active);
+  w.put_i32(msg.workers_lost);
+  w.put_i64(msg.reassigned_chunks);
+  w.put_i64(msg.exactly_once ? 1 : 0);
+  w.put_i64(static_cast<std::int64_t>(msg.executed.size()));
+  for (const Range& r : msg.executed) w.put_range(r);
+  w.put_string(msg.stats_json);
+  return w.take();
+}
+
+JobResultMsg decode_result(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  JobResultMsg msg;
+  msg.job_id = rd.get_i64();
+  msg.state = static_cast<JobState>(rd.get_i32());
+  msg.scheme = rd.get_string();
+  msg.masterless = rd.get_i64() != 0;
+  msg.iterations = rd.get_i64();
+  msg.chunks = rd.get_i64();
+  msg.t_queued = rd.get_f64();
+  msg.t_active = rd.get_f64();
+  msg.workers_lost = rd.get_i32();
+  msg.reassigned_chunks = rd.get_i64();
+  msg.exactly_once = rd.get_i64() != 0;
+  const std::int64_t n = rd.get_i64();
+  LSS_REQUIRE(n >= 0, "negative executed-chunk count in job result");
+  msg.executed.reserve(static_cast<std::size_t>(n));
+  for (std::int64_t i = 0; i < n; ++i) msg.executed.push_back(rd.get_range());
+  msg.stats_json = rd.get_string();
+  return msg;
+}
+
+std::vector<std::byte> encode_wk_grant(const WkGrant& grant) {
+  mp::PayloadWriter w;
+  w.put_i64(grant.job_id);
+  w.put_range(grant.chunk);
+  return w.take();
+}
+
+WkGrant decode_wk_grant(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  WkGrant grant;
+  grant.job_id = rd.get_i64();
+  grant.chunk = rd.get_range();
+  return grant;
+}
+
+std::vector<std::byte> encode_wk_done(const WkDone& done) {
+  mp::PayloadWriter w;
+  w.put_i64(done.job_id);
+  w.put_range(done.chunk);
+  w.put_f64(done.fb_seconds);
+  w.put_i64(done.drained ? 1 : 0);
+  return w.take();
+}
+
+WkDone decode_wk_done(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  WkDone done;
+  done.job_id = rd.get_i64();
+  done.chunk = rd.get_range();
+  done.fb_seconds = rd.get_f64();
+  done.drained = rd.get_i64() != 0;
+  return done;
+}
+
+std::vector<std::byte> encode_wk_job(std::int64_t job_id) {
+  mp::PayloadWriter w;
+  w.put_i64(job_id);
+  return w.take();
+}
+
+std::int64_t decode_wk_job(const std::vector<std::byte>& payload) {
+  mp::PayloadReader rd(payload);
+  return rd.get_i64();
+}
+
+}  // namespace lss::svc

@@ -1,0 +1,145 @@
+// The tenant-facing job protocol of the resident loop service
+// (DESIGN.md §15): tag vocabulary and payload codecs spoken between
+// an lss_serve daemon (rank 0 of a tenant-facing mp::Transport) and
+// its tenant clients (ranks 1..T). Transport-independent, like
+// rt/protocol — the same frames flow through the in-process Comm the
+// tests use and the TCP endpoints lss_submit dials.
+//
+//   tenant -> service  JobSubmit  one JobSpec as JSON text (the same
+//                                 document `--job-file` takes); the
+//                                 service always answers with a
+//                                 JobStatus — the admission verdict
+//   tenant -> service  JobStatus  query for a job id
+//   service -> tenant  JobStatus  state + queue position + progress,
+//                                 or the typed rejection
+//   service -> tenant  JobResult  terminal report: chunk sequence,
+//                                 exactly-once verdict, RunStats JSON
+//   tenant -> service  SvcBye     the tenant detaches; its queued
+//                                 jobs are canceled, running jobs
+//                                 finish (results are dropped)
+//
+// All five tags ride behind the negotiated kProtoService generation
+// (mp/transport.hpp): the service rejects submits from peers that
+// negotiated anything older with SubmitError::ProtocolTooOld rather
+// than silently misparsing frames a pre-service peer meant for the
+// worker protocol. Tag numbers continue rt/protocol's space (1-12)
+// so a misrouted frame is unambiguous in traces.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::svc {
+
+inline constexpr int kTagJobSubmit = 13;
+inline constexpr int kTagJobStatus = 14;
+inline constexpr int kTagJobResult = 15;
+inline constexpr int kTagSvcBye = 16;
+
+// Internal pool vocabulary (service <-> its worker threads, in-proc
+// Comm only — never crosses a socket). Numbered apart from the
+// tenant tags so a frame misrouted between the two transports is
+// unambiguous.
+inline constexpr int kTagWkOpen = 20;   ///< svc->wk: job id joined the pool
+inline constexpr int kTagWkGrant = 21;  ///< svc->wk: job id + chunk
+inline constexpr int kTagWkDone = 22;   ///< wk->svc: completion / drained
+inline constexpr int kTagWkClose = 23;  ///< svc->wk: job id left the pool
+inline constexpr int kTagWkExit = 24;   ///< svc->wk: the pool is closing
+
+/// Job lifecycle (DESIGN.md §15). Queued and Active are the live
+/// states; everything else is terminal.
+enum class JobState : std::int32_t {
+  Queued = 0,    ///< admitted, waiting for an active slot
+  Active = 1,    ///< scheduler instantiated, grants in flight
+  Done = 2,      ///< covered exactly once, result delivered
+  Rejected = 3,  ///< never admitted (see SubmitError)
+  Canceled = 4,  ///< tenant detached while the job was still queued
+  Failed = 5,    ///< unrecoverable mid-run loss (e.g. whole pool died)
+};
+
+std::string to_string(JobState state);
+
+/// Typed admission verdicts — the backpressure contract. A tenant
+/// seeing QueueFull backs off and resubmits; BadSpec is permanent.
+enum class SubmitError : std::int32_t {
+  None = 0,
+  BadSpec = 1,          ///< JSON/validate/make_* failed; message says why
+  QueueFull = 2,        ///< submit queue at max_queued — try again later
+  ProtocolTooOld = 3,   ///< peer negotiated < kProtoService
+};
+
+std::string to_string(SubmitError error);
+
+/// kTagJobStatus payload, both directions. As a query only `job_id`
+/// is meaningful; as a reply the rest is filled in. Also the
+/// submit acknowledgement (job_id < 0 on rejection without a job).
+struct JobStatusMsg {
+  std::int64_t job_id = -1;
+  JobState state = JobState::Queued;
+  SubmitError error = SubmitError::None;
+  std::string message;          ///< human-readable rejection reason
+  std::int32_t queue_position = -1;  ///< 0-based; -1 when not queued
+  Index completed = 0;          ///< iterations acknowledged so far
+  Index total = 0;              ///< loop size (0 until admitted)
+
+  bool ok() const { return error == SubmitError::None; }
+};
+
+std::vector<std::byte> encode_status(const JobStatusMsg& msg);
+JobStatusMsg decode_status(const std::vector<std::byte>& payload);
+
+/// kTagJobResult payload: the terminal report of one job.
+struct JobResultMsg {
+  std::int64_t job_id = -1;
+  JobState state = JobState::Done;
+  std::string scheme;        ///< resolved scheme name
+  bool masterless = false;   ///< dispatch mode that actually ran
+  Index iterations = 0;      ///< acknowledged loop iterations
+  Index chunks = 0;          ///< grants acknowledged
+  double t_queued = 0.0;     ///< seconds from submit to activation
+  double t_active = 0.0;     ///< seconds from activation to the result
+  int workers_lost = 0;      ///< pool workers lost while job was active
+  Index reassigned_chunks = 0;
+  bool exactly_once = true;  ///< every iteration acknowledged once
+  /// Every chunk acknowledged, in ack order — the multiset the
+  /// conformance oracle (tests/chunk_oracle.hpp) compares against
+  /// the scheme's golden grant table.
+  std::vector<Range> executed;
+  std::string stats_json;    ///< RunStats::to_json() of this job
+};
+
+std::vector<std::byte> encode_result(const JobResultMsg& msg);
+JobResultMsg decode_result(const std::vector<std::byte>& payload);
+
+/// kTagWkGrant payload (internal pool protocol).
+struct WkGrant {
+  std::int64_t job_id = -1;
+  Range chunk{};
+};
+
+std::vector<std::byte> encode_wk_grant(const WkGrant& grant);
+WkGrant decode_wk_grant(const std::vector<std::byte>& payload);
+
+/// kTagWkDone payload (internal pool protocol). An empty chunk with
+/// `drained` set announces "my masterless claims for this job ran
+/// past the plan" — the worker computes nothing more for it unless
+/// the service re-grants reclaimed work over kTagWkGrant.
+struct WkDone {
+  std::int64_t job_id = -1;
+  Range chunk{};
+  double fb_seconds = 0.0;  ///< measured wall seconds for the chunk
+  bool drained = false;
+};
+
+std::vector<std::byte> encode_wk_done(const WkDone& done);
+WkDone decode_wk_done(const std::vector<std::byte>& payload);
+
+/// kTagWkOpen / kTagWkClose payload: the bare job id.
+std::vector<std::byte> encode_wk_job(std::int64_t job_id);
+std::int64_t decode_wk_job(const std::vector<std::byte>& payload);
+
+}  // namespace lss::svc

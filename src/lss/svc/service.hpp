@@ -1,0 +1,111 @@
+// The resident multi-tenant loop service (DESIGN.md §15).
+//
+// Service::run() is the daemon core behind lss_serve: one thread
+// owns a pool of worker threads (an in-process mp::Comm, exactly the
+// fleet run_threaded spawns) and serves *loop jobs* submitted over a
+// second, tenant-facing mp::Transport. Where run_threaded is
+// one loop, one fleet, then exit — the paper's mpich batch shape —
+// the service keeps the fleet resident and multiplexes it across
+// concurrent jobs:
+//
+//   * every job gets its own scheduler instance from the unified
+//     registry (simple, distributed, or masterless plan), planned
+//     for JobSpec::relative_speeds.size() slots;
+//   * grants are stamped with the job id, so one worker interleaves
+//     chunks of different tenants' jobs back to back;
+//   * per-job pipeline depth bounds that job's outstanding grants
+//     per worker (1 + depth), and a service-wide window bounds them
+//     per job — the grant-side half of the backpressure contract;
+//   * admission is priority-first, then fair-share between tenants
+//     (fewest active+queued jobs first), then FIFO; the submit queue
+//     is bounded and overflow is a *typed* rejection (QueueFull),
+//     the submit-side half of the backpressure contract;
+//   * masterless jobs share a ticket counter + plan with the pool
+//     (DESIGN.md §14): workers claim and self-calculate, the service
+//     only reconciles unacknowledged tickets when the plan drains;
+//   * worker deaths are detected by grant age against the owning
+//     job's FaultPolicy.grace, the victim's whole in-flight set is
+//     reclaimed and re-granted, and — exactly like rt/master — a
+//     dead worker's late completions are fenced, so per-job
+//     accounting stays exactly-once.
+//
+// The loop follows the single-poll reactor discipline of rt/reactor:
+// each wake-up drains the pool comm and the tenant transport, ingests
+// everything, then runs one replenish/admission pass.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "lss/mp/transport.hpp"
+#include "lss/obs/run_stats.hpp"
+#include "lss/rt/job.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::svc {
+
+struct ServiceConfig {
+  /// Resident pool size (worker threads spawned by run()).
+  int num_workers = 4;
+  /// Emulated relative speed per pool worker, in (0, 1]; empty =
+  /// all full speed. Independent of any job's relative_speeds —
+  /// those size the *plan*, these throttle the *pool*.
+  std::vector<double> worker_speeds;
+  /// Submit-queue bound: submits arriving while this many jobs are
+  /// queued (admitted but not active) are rejected with QueueFull.
+  int max_queued = 32;
+  /// Concurrently *active* jobs (scheduler instantiated, grants in
+  /// flight); further admitted jobs wait in the queue.
+  int max_active = 4;
+  /// Service-wide cap on one job's outstanding grants, whatever its
+  /// pipeline depth asks for (bounds reclaim cost and frame fan-out,
+  /// like MasterConfig.max_pipeline).
+  int job_window = 64;
+  /// Fault injection, one entry per pool worker: worker w exits
+  /// silently before computing its (die_after_chunks[w]+1)-th chunk
+  /// (counted across all jobs). Empty = no faults; negative = that
+  /// worker never dies. Jobs that should survive need faults.detect.
+  std::vector<int> die_after_chunks;
+  /// Reactor poll slice while idle, seconds.
+  double poll_seconds = 0.002;
+};
+
+/// What the daemon hands back when it exits: throughput counters and
+/// the per-job RunStats rollup (keyed by job id), runner = "svc".
+struct ServiceStats {
+  std::int64_t jobs_submitted = 0;
+  std::int64_t jobs_completed = 0;
+  std::int64_t jobs_rejected = 0;
+  std::int64_t jobs_canceled = 0;
+  std::int64_t jobs_failed = 0;
+  int workers_lost = 0;
+  double t_wall = 0.0;  ///< run() entry to exit, seconds
+  std::vector<std::pair<std::int64_t, RunStats>> per_job;
+
+  /// Completed jobs per wall second (0 when nothing completed).
+  double jobs_per_second() const {
+    return t_wall > 0.0 ? static_cast<double>(jobs_completed) / t_wall : 0.0;
+  }
+
+  /// {"jobs_submitted":...,"per_job":{"<id>":{RunStats...},...}}
+  std::string to_json() const;
+};
+
+class Service {
+ public:
+  explicit Service(ServiceConfig config);
+
+  /// Serves tenants (ranks 1..num_tenants of `tenants`) until every
+  /// tenant has detached (SvcBye or peer death) and no job is queued
+  /// or active. Spawns and joins the worker pool internally; blocks
+  /// the calling thread for the daemon's whole lifetime.
+  ServiceStats run(mp::Transport& tenants, int num_tenants);
+
+ private:
+  ServiceConfig config_;
+};
+
+}  // namespace lss::svc

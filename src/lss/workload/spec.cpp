@@ -1,0 +1,110 @@
+#include "lss/workload/spec.hpp"
+
+#include <cstdint>
+#include <map>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+#include "lss/workload/mandelbrot.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss {
+
+namespace {
+
+// Parameter keys each workload actually consumes — a key another
+// workload understands is still an error here, mirroring
+// sched::SchemeSpec ("mandelbrot:n=100" must not silently build the
+// default image).
+std::vector<std::string> allowed_keys(const std::string& kind) {
+  if (kind == "uniform" || kind == "increasing" || kind == "decreasing")
+    return {"n", "cost"};
+  if (kind == "conditional") return {"n", "then", "else", "p", "seed"};
+  if (kind == "irregular") return {"n", "mu", "sigma", "seed"};
+  if (kind == "peaked") return {"n", "base", "amplitude", "center", "width"};
+  if (kind == "mandelbrot") return {"width", "height", "max_iter"};
+  return {};
+}
+
+}  // namespace
+
+std::shared_ptr<Workload> make_workload(std::string_view spec) {
+  const std::string text{trim(spec)};
+  const auto colon = text.find(':');
+  const std::string kind = to_lower(trim(text.substr(0, colon)));
+  LSS_REQUIRE(!kind.empty(), "empty workload spec; known workloads: " +
+                                 join(known_workloads(), ", "));
+
+  const auto known = known_workloads();
+  bool kind_ok = false;
+  for (const std::string& name : known) kind_ok = kind_ok || name == kind;
+  LSS_REQUIRE(kind_ok, "unknown workload: '" + kind +
+                           "'; known workloads: " + join(known, ", "));
+
+  std::map<std::string, std::string> kv;
+  if (colon != std::string::npos) {
+    const std::vector<std::string> accepted = allowed_keys(kind);
+    for (const std::string& pair : split(text.substr(colon + 1), ',')) {
+      const auto eq = pair.find('=');
+      LSS_REQUIRE(eq != std::string::npos,
+                  "malformed parameter (want key=value): '" + pair + "'");
+      const std::string key = to_lower(trim(pair.substr(0, eq)));
+      bool key_ok = false;
+      for (const std::string& k : accepted) key_ok = key_ok || k == key;
+      LSS_REQUIRE(key_ok, "workload '" + kind +
+                              "' does not accept parameter '" + key +
+                              "' (accepts: " + join(accepted, ", ") + ")");
+      kv[key] = std::string(trim(pair.substr(eq + 1)));
+    }
+  }
+
+  const auto num = [&](const char* key, double dflt) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : parse_double(it->second);
+  };
+  const auto integer = [&](const char* key, long long dflt) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? dflt : parse_int(it->second);
+  };
+
+  if (kind == "mandelbrot") {
+    MandelbrotParams p;
+    p.width = static_cast<int>(integer("width", 200));
+    p.height = static_cast<int>(integer("height", 120));
+    p.max_iter = static_cast<int>(integer("max_iter", 100));
+    LSS_REQUIRE(p.width > 0 && p.height > 0 && p.max_iter > 0,
+                "mandelbrot workload needs positive width/height/max_iter");
+    return std::make_shared<MandelbrotWorkload>(p);
+  }
+
+  const Index n = integer("n", 4096);
+  LSS_REQUIRE(n > 0, "workload '" + kind + "' needs n > 0");
+  if (kind == "uniform")
+    return std::make_shared<UniformWorkload>(n, num("cost", 1.0));
+  if (kind == "increasing")
+    return std::make_shared<LinearIncreasingWorkload>(n, num("cost", 1.0));
+  if (kind == "decreasing")
+    return std::make_shared<LinearDecreasingWorkload>(n, num("cost", 1.0));
+  if (kind == "conditional")
+    return std::make_shared<ConditionalWorkload>(
+        n, num("then", 4.0), num("else", 1.0), num("p", 0.5),
+        static_cast<std::uint64_t>(integer("seed", 42)));
+  if (kind == "irregular")
+    return std::make_shared<IrregularWorkload>(
+        n, num("mu", 1.0), num("sigma", 0.5),
+        static_cast<std::uint64_t>(integer("seed", 42)));
+  if (kind == "peaked")
+    return std::make_shared<PeakedWorkload>(n, num("base", 1.0),
+                                            num("amplitude", 9.0),
+                                            num("center", 0.5),
+                                            num("width", 0.1));
+  LSS_ASSERT(false, "unreachable: kind validated above");
+  return nullptr;
+}
+
+std::vector<std::string> known_workloads() {
+  return {"uniform",   "increasing", "decreasing", "conditional",
+          "irregular", "peaked",     "mandelbrot"};
+}
+
+}  // namespace lss

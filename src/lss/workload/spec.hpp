@@ -1,0 +1,35 @@
+// Construction of workloads by name, for job files and the daemon.
+//
+// A JobSpec travelling over the wire (rt/job, svc/protocol) cannot
+// carry a `std::shared_ptr<Workload>`; it carries this spec string
+// instead and both ends materialize the same loop. Same grammar and
+// same unknown-key discipline as sched::SchemeSpec:
+//
+//   name[:key=value[,key=value...]]
+//     uniform[:n=4096,cost=1]
+//     increasing[:n=4096,cost=1]   (linearly increasing cost)
+//     decreasing[:n=4096,cost=1]
+//     conditional[:n=4096,then=4,else=1,p=0.5,seed=42]
+//     irregular[:n=4096,mu=1,sigma=0.5,seed=42]
+//     peaked[:n=4096,base=1,amplitude=9,center=0.5,width=0.1]
+//     mandelbrot[:width=200,height=120,max_iter=100]
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/workload/workload.hpp"
+
+namespace lss {
+
+/// Builds the named workload. Throws lss::ContractError on an unknown
+/// name, an unknown key (named, with the accepted list), or an
+/// out-of-range value.
+std::shared_ptr<Workload> make_workload(std::string_view spec);
+
+/// Names make_workload() understands.
+std::vector<std::string> known_workloads();
+
+}  // namespace lss

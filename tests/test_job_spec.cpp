@@ -1,0 +1,174 @@
+// rt::JobSpec — the single job-facing config surface: JSON
+// round-trip (the --job-file / kTagJobSubmit document), unknown-key
+// rejection by name, and validate() diagnostics that name the
+// offending field. Plus the json::Value model underneath it.
+#include "lss/rt/job.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "lss/support/assert.hpp"
+#include "lss/support/json.hpp"
+#include "lss/workload/spec.hpp"
+
+namespace {
+
+using lss::ContractError;
+using lss::rt::JobSpec;
+
+/// EXPECT that `fn` throws ContractError whose message contains
+/// `needle` — every rejection must name its offender.
+template <typename Fn>
+void expect_rejects(Fn fn, const std::string& needle) {
+  try {
+    fn();
+    FAIL() << "expected a ContractError mentioning '" << needle << "'";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "error message does not mention '" << needle
+        << "': " << e.what();
+  }
+}
+
+TEST(JobSpec, JsonRoundTripPreservesEveryField) {
+  JobSpec spec;
+  spec.scheme = "gss:k=2";
+  spec.relative_speeds = {1.0, 0.5, 0.25};
+  spec.run_queues = {1, 2, 1};
+  spec.pipeline_depth = 3;
+  spec.masterless = true;
+  spec.faults.detect = true;
+  spec.faults.grace = 2.5;
+  spec.faults.poll_initial = 0.01;
+  spec.faults.poll_max = 0.5;
+  spec.priority = 7;
+  spec.workload = "uniform:n=1024,cost=2";
+
+  const JobSpec back = JobSpec::from_json(spec.to_json());
+  EXPECT_EQ(back.scheme, spec.scheme);
+  EXPECT_EQ(back.relative_speeds, spec.relative_speeds);
+  EXPECT_EQ(back.run_queues, spec.run_queues);
+  EXPECT_EQ(back.pipeline_depth, spec.pipeline_depth);
+  EXPECT_EQ(back.masterless, spec.masterless);
+  EXPECT_EQ(back.faults.detect, spec.faults.detect);
+  EXPECT_DOUBLE_EQ(back.faults.grace, spec.faults.grace);
+  EXPECT_DOUBLE_EQ(back.faults.poll_initial, spec.faults.poll_initial);
+  EXPECT_DOUBLE_EQ(back.faults.poll_max, spec.faults.poll_max);
+  EXPECT_EQ(back.priority, spec.priority);
+  EXPECT_EQ(back.workload, spec.workload);
+  EXPECT_EQ(back.num_pes(), 3);
+
+  // The pretty form parses back to the same document.
+  EXPECT_EQ(JobSpec::from_json(spec.to_json(2)).to_json(), spec.to_json());
+}
+
+TEST(JobSpec, AbsentKeysKeepDefaults) {
+  const JobSpec spec = JobSpec::from_json(
+      R"({"scheme":"tss","relative_speeds":[1.0,1.0]})");
+  EXPECT_EQ(spec.pipeline_depth, 1);
+  EXPECT_FALSE(spec.masterless);
+  EXPECT_FALSE(spec.faults.detect);
+  EXPECT_EQ(spec.priority, 0);
+  EXPECT_TRUE(spec.workload.empty());
+  EXPECT_TRUE(spec.run_queues.empty());
+}
+
+TEST(JobSpec, UnknownKeysAreRejectedByName) {
+  expect_rejects(
+      [] {
+        JobSpec::from_json(
+            R"({"scheme":"tss","relative_speeds":[1],"pipeline_deptth":2})");
+      },
+      "pipeline_deptth");
+  expect_rejects(
+      [] {
+        JobSpec::from_json(
+            R"({"scheme":"tss","relative_speeds":[1],)"
+            R"("faults":{"detect":true,"grase":2}})");
+      },
+      "grase");
+}
+
+TEST(JobSpec, InvalidValuesNameTheField) {
+  expect_rejects([] { JobSpec::from_json(R"({"scheme":"tss"})"); },
+                 "relative_speeds");
+  expect_rejects(
+      [] {
+        JobSpec::from_json(R"({"scheme":"tss","relative_speeds":[1.0,1.5]})");
+      },
+      "relative_speeds[1]");
+  expect_rejects(
+      [] {
+        JobSpec::from_json(
+            R"({"scheme":"tss","relative_speeds":[1],"pipeline_depth":-1})");
+      },
+      "pipeline_depth");
+  expect_rejects(
+      [] {
+        JobSpec::from_json(
+            R"({"scheme":"tss","relative_speeds":[1],"priority":-3})");
+      },
+      "priority");
+  expect_rejects(
+      [] {
+        JobSpec::from_json(
+            R"({"scheme":"tss","relative_speeds":[1],)"
+            R"("faults":{"grace":0}})");
+      },
+      "faults.grace");
+  expect_rejects(
+      [] {
+        JobSpec::from_json(
+            R"({"scheme":"tss","relative_speeds":[1],"run_queues":[0]})");
+      },
+      "run_queues[0]");
+}
+
+TEST(JobSpec, UnknownSchemeListsTheRegistry) {
+  // Scheme resolution reuses the unified registry's diagnostics, so
+  // a typo'd scheme names the known ones.
+  expect_rejects(
+      [] {
+        JobSpec::from_json(R"({"scheme":"gssq","relative_speeds":[1]})");
+      },
+      "gss");
+}
+
+TEST(JobSpec, WorkloadSpecsRejectUnknownParametersByName) {
+  EXPECT_NE(lss::make_workload("uniform:n=64,cost=2"), nullptr);
+  expect_rejects([] { lss::make_workload("uniform:coost=2"); }, "coost");
+  expect_rejects([] { lss::make_workload("blorple"); }, "blorple");
+}
+
+TEST(JsonValue, ParsesAndDumpsDocuments) {
+  const lss::json::Value doc = lss::json::Value::parse(
+      R"({"a": [1, 2.5, true, null, "x\n"], "b": {"c": -3}})");
+  ASSERT_TRUE(doc.is_object());
+  const lss::json::Value* a = doc.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->as_array().size(), 5u);
+  EXPECT_EQ(a->as_array()[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.5);
+  EXPECT_TRUE(a->as_array()[2].as_bool());
+  EXPECT_TRUE(a->as_array()[3].is_null());
+  EXPECT_EQ(a->as_array()[4].as_string(), "x\n");
+  EXPECT_EQ(doc.find("b")->find("c")->as_int(), -3);
+  EXPECT_EQ(doc.find("nope"), nullptr);
+  // Round trip through the compact dump.
+  EXPECT_EQ(lss::json::Value::parse(doc.dump()), doc);
+}
+
+TEST(JsonValue, RejectsMalformedDocumentsWithOffsets) {
+  expect_rejects([] { lss::json::Value::parse("{\"a\":1,}"); }, "byte 7");
+  expect_rejects([] { lss::json::Value::parse("[1, 2] trailing"); },
+                 "trailing");
+  expect_rejects([] { lss::json::Value::parse(""); },
+                 "unexpected end of input");
+  // Kind mismatches name the expectation.
+  const lss::json::Value v = lss::json::Value::parse("\"text\"");
+  EXPECT_THROW((void)v.as_number(), ContractError);
+  EXPECT_THROW((void)v.as_bool(), ContractError);
+}
+
+}  // namespace

@@ -179,17 +179,13 @@ TEST(Rt, ConfigValidation) {
   EXPECT_THROW(run_threaded(cfg), ContractError);
 }
 
-TEST(Rt, DeprecatedSetSchemeMapsToRegistrySpecs) {
-  RtConfig cfg;
-#pragma GCC diagnostic push
-#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
-  cfg.set_scheme("gss:k=2", /*distributed=*/true);
-  EXPECT_EQ(cfg.scheme, "dist(gss:k=2)");
-  cfg.set_scheme("dtss", /*distributed=*/true);
-  EXPECT_EQ(cfg.scheme, "dtss");
-  cfg.set_scheme("tss", /*distributed=*/false);
-  EXPECT_EQ(cfg.scheme, "tss");
-#pragma GCC diagnostic pop
+// The registry specs are the only spelling: the ACP-aware master
+// path is selected by name ("dtss", "dist(gss:k=2)"), never by a
+// separate flag (the old set_scheme shim is gone).
+TEST(Rt, RegistrySpecsSelectTheServePath) {
+  EXPECT_EQ(scheme_family("dist(gss:k=2)"), SchemeFamily::Distributed);
+  EXPECT_EQ(scheme_family("dtss"), SchemeFamily::Distributed);
+  EXPECT_EQ(scheme_family("tss"), SchemeFamily::Simple);
 }
 
 TEST(Throttle, SlowsProportionally) {

@@ -222,7 +222,9 @@ TEST(RtFaults, KillMidPipelineReclaimsWholeWindow) {
     // execution is confined to the victim's own computed chunks: a
     // batched ack (flushed once the queue drains to ~window/2) may
     // still be unsent at death, so the master must reassign those
-    // chunks as if they never ran. No survivor's work re-executes.
+    // chunks as if they never ran. The runtime reports exactly that
+    // ambiguity as the typed `unacked_computed` tally. No survivor's
+    // work re-executes.
     Index over_executed = 0;
     ASSERT_EQ(r.execution_count.size(),
               static_cast<std::size_t>(cfg.workload->size()));
@@ -234,7 +236,9 @@ TEST(RtFaults, KillMidPipelineReclaimsWholeWindow) {
         ++over_executed;
       }
     }
-    EXPECT_LE(over_executed, r.workers[1].iterations) << "depth " << depth;
+    EXPECT_EQ(r.unacked_computed, over_executed) << "depth " << depth;
+    EXPECT_LE(r.unacked_computed, r.workers[1].iterations)
+        << "depth " << depth;
     ASSERT_EQ(r.lost_workers.size(), 1u) << "depth " << depth;
     EXPECT_EQ(r.lost_workers[0], 1);
     EXPECT_EQ(r.workers[1].chunks, 2);

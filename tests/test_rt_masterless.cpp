@@ -325,16 +325,22 @@ TEST(MasterlessFaults, DeadClaimantsTicketIsRegranted) {
   EXPECT_GT(r.reassigned_iterations, 0);
   // The victim reports in batches, so chunks it computed but never
   // reported are re-granted and re-execute — worker-side counts may
-  // hit 2 for exactly those iterations, while the janitor's applied
-  // results stay exactly-once (same caveat as the mediated pipeline,
-  // see Rt.PipelineDepthsAllCoverExactlyOnce's fault variant).
+  // hit 2 for exactly those iterations (reported as the typed
+  // `unacked_computed` tally), while the janitor's applied results
+  // stay exactly-once (same caveat as the mediated pipeline, see
+  // Rt.PipelineDepthsAllCoverExactlyOnce's fault variant).
   EXPECT_TRUE(r.acked_exactly_once());
   ASSERT_EQ(r.execution_count.size(), 200u);
+  Index over_executed = 0;
   for (std::size_t i = 0; i < r.execution_count.size(); ++i) {
     EXPECT_GE(r.execution_count[i], 1) << "iteration " << i;
     EXPECT_LE(r.execution_count[i], 2) << "iteration " << i;
-    if (r.execution_count[i] == 2) EXPECT_EQ(r.acked_count[i], 1);
+    if (r.execution_count[i] == 2) {
+      EXPECT_EQ(r.acked_count[i], 1);
+      ++over_executed;
+    }
   }
+  EXPECT_EQ(r.unacked_computed, over_executed);
 }
 
 // --- concurrent fetch-add stress (the TSan canary) -----------------------

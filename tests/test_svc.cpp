@@ -1,0 +1,406 @@
+// The resident multi-tenant loop service (svc/service): conformance
+// of daemon jobs against the golden chunk oracle, interleaved-vs-
+// serial differential, the two halves of the backpressure contract,
+// priority admission, masterless self-scheduling through the shared
+// pool, fault reclaim with concurrent tenants, and the TCP tenant
+// path with protocol-generation gating.
+#include "lss/svc/service.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chunk_oracle.hpp"
+#include "lss/mp/comm.hpp"
+#include "lss/mp/tcp.hpp"
+#include "lss/rt/job.hpp"
+#include "lss/svc/client.hpp"
+#include "lss/svc/protocol.hpp"
+
+namespace {
+
+using lss::Index;
+using lss::Range;
+using lss::mp::Comm;
+using lss::rt::JobSpec;
+using lss::svc::Client;
+using lss::svc::JobResultMsg;
+using lss::svc::JobState;
+using lss::svc::JobStatusMsg;
+using lss::svc::Service;
+using lss::svc::ServiceConfig;
+using lss::svc::ServiceStats;
+using lss::svc::SubmitError;
+
+/// A JobSpec whose loop is `n` uniform iterations scheduled by
+/// `scheme` over `pes` equal-speed slots.
+JobSpec uniform_job(const std::string& scheme, Index n, int pes,
+                    int cost = 1) {
+  JobSpec spec;
+  spec.scheme = scheme;
+  spec.relative_speeds.assign(static_cast<std::size_t>(pes), 1.0);
+  spec.workload = "uniform:n=" + std::to_string(n) +
+                  ",cost=" + std::to_string(cost);
+  return spec;
+}
+
+/// Runs `tenant_bodies[i]` as tenant rank i+1 against a service with
+/// `config`; returns the daemon's rollup.
+ServiceStats run_service(
+    const ServiceConfig& config,
+    const std::vector<std::function<void(Client&)>>& tenant_bodies) {
+  Comm tenants(static_cast<int>(tenant_bodies.size()) + 1);
+  std::vector<std::thread> threads;
+  for (std::size_t i = 0; i < tenant_bodies.size(); ++i)
+    threads.emplace_back([&tenants, &tenant_bodies, i] {
+      Client client(tenants, static_cast<int>(i) + 1);
+      tenant_bodies[i](client);
+      client.bye();
+    });
+  Service service(config);
+  const ServiceStats stats =
+      service.run(tenants, static_cast<int>(tenant_bodies.size()));
+  for (std::thread& t : threads) t.join();
+  return stats;
+}
+
+TEST(Svc, DaemonJobConformsToTheChunkOracle) {
+  const Index n = 777;
+  const int pes = 3;
+  for (const std::string scheme : {"tss", "gss:k=2", "fiss", "css:k=40"}) {
+    ServiceConfig sc;
+    sc.num_workers = 4;  // pool wider than the job's planning width
+    std::vector<JobResultMsg> results;
+    run_service(sc, {[&](Client& c) {
+                  const JobStatusMsg verdict =
+                      c.submit(uniform_job(scheme, n, pes));
+                  ASSERT_TRUE(verdict.ok()) << verdict.message;
+                  results.push_back(c.await_result(verdict.job_id));
+                }});
+    ASSERT_EQ(results.size(), 1u);
+    const JobResultMsg& r = results[0];
+    EXPECT_EQ(r.state, JobState::Done);
+    EXPECT_TRUE(r.exactly_once);
+    EXPECT_EQ(r.iterations, n);
+    lss::testing::expect_conforms(r.executed, scheme, n, pes,
+                                  "svc " + scheme);
+  }
+}
+
+TEST(Svc, InterleavedTenantsMatchSerialRuns) {
+  const Index n = 900;
+  const int pes = 3;
+  const std::vector<std::string> schemes = {"tss", "gss", "fss", "tfss"};
+
+  // Phase 1: two tenants submit two jobs each, concurrently.
+  std::vector<JobResultMsg> interleaved(schemes.size());
+  ServiceConfig sc;
+  sc.num_workers = 3;
+  sc.max_active = 4;  // all four jobs genuinely share the pool
+  const ServiceStats stats = run_service(
+      sc, {[&](Client& c) {
+             const auto v0 = c.submit(uniform_job(schemes[0], n, pes));
+             const auto v1 = c.submit(uniform_job(schemes[1], n, pes));
+             ASSERT_TRUE(v0.ok() && v1.ok());
+             interleaved[0] = c.await_result(v0.job_id);
+             interleaved[1] = c.await_result(v1.job_id);
+           },
+           [&](Client& c) {
+             const auto v2 = c.submit(uniform_job(schemes[2], n, pes));
+             const auto v3 = c.submit(uniform_job(schemes[3], n, pes));
+             ASSERT_TRUE(v2.ok() && v3.ok());
+             interleaved[2] = c.await_result(v2.job_id);
+             interleaved[3] = c.await_result(v3.job_id);
+           }});
+  EXPECT_EQ(stats.jobs_submitted, 4);
+  EXPECT_EQ(stats.jobs_completed, 4);
+  ASSERT_EQ(stats.per_job.size(), 4u);
+  for (const auto& [id, rs] : stats.per_job) {
+    EXPECT_EQ(rs.runner, "svc");
+    EXPECT_EQ(rs.dispatch_path, "mediated");
+    EXPECT_EQ(rs.iterations, n);
+  }
+
+  // Phase 2: the same four jobs, one tenant, one at a time.
+  std::vector<JobResultMsg> serial(schemes.size());
+  ServiceConfig serial_sc;
+  serial_sc.num_workers = 3;
+  run_service(serial_sc, {[&](Client& c) {
+                for (std::size_t i = 0; i < schemes.size(); ++i) {
+                  const auto v = c.submit(uniform_job(schemes[i], n, pes));
+                  ASSERT_TRUE(v.ok());
+                  serial[i] = c.await_result(v.job_id);
+                }
+              }});
+
+  // Interleaving must not change any job's chunk multiset: both
+  // phases equal the oracle, and therefore each other.
+  for (std::size_t i = 0; i < schemes.size(); ++i) {
+    EXPECT_EQ(interleaved[i].state, JobState::Done);
+    EXPECT_TRUE(interleaved[i].exactly_once);
+    lss::testing::expect_conforms(interleaved[i].executed, schemes[i], n,
+                                  pes, "interleaved " + schemes[i]);
+    EXPECT_EQ(lss::testing::sorted_by_begin(interleaved[i].executed),
+              lss::testing::sorted_by_begin(serial[i].executed))
+        << schemes[i] << ": interleaved and serial runs diverged";
+  }
+}
+
+TEST(Svc, SubmitQueueOverflowIsATypedRejection) {
+  ServiceConfig sc;
+  sc.num_workers = 2;
+  sc.worker_speeds = {0.05, 0.05};  // stretch the active job out
+  sc.max_active = 1;
+  sc.max_queued = 1;
+  run_service(sc, {[&](Client& c) {
+                // Slow job A occupies the single active slot...
+                const auto a = c.submit(uniform_job("tss", 20000, 2, 5));
+                ASSERT_TRUE(a.ok());
+                while (c.status(a.job_id).state != JobState::Active)
+                  std::this_thread::yield();
+                // ...B fills the whole queue...
+                const auto b = c.submit(uniform_job("gss", 64, 2));
+                ASSERT_TRUE(b.ok());
+                EXPECT_EQ(b.queue_position, 0);
+                // ...so C must bounce with the typed verdict.
+                const auto rejected = c.submit(uniform_job("gss", 64, 2));
+                EXPECT_FALSE(rejected.ok());
+                EXPECT_EQ(rejected.error, SubmitError::QueueFull);
+                EXPECT_EQ(rejected.job_id, -1);
+                EXPECT_NE(rejected.message.find("full"), std::string::npos);
+                // The contract's other half: backing off and
+                // resubmitting eventually lands.
+                JobStatusMsg retry;
+                do {
+                  retry = c.submit(uniform_job("gss", 64, 2));
+                } while (!retry.ok() &&
+                         retry.error == SubmitError::QueueFull);
+                ASSERT_TRUE(retry.ok()) << retry.message;
+                EXPECT_EQ(c.await_result(a.job_id).state, JobState::Done);
+                EXPECT_EQ(c.await_result(b.job_id).state, JobState::Done);
+                EXPECT_EQ(c.await_result(retry.job_id).state,
+                          JobState::Done);
+              }});
+}
+
+TEST(Svc, PriorityOutranksSubmissionOrder) {
+  ServiceConfig sc;
+  sc.num_workers = 2;
+  sc.worker_speeds = {0.05, 0.05};
+  sc.max_active = 1;
+  Comm tenants(2);
+  std::thread tenant([&tenants] {
+    Client c(tenants, 1);
+    const auto a = c.submit(uniform_job("tss", 20000, 2, 5));
+    ASSERT_TRUE(a.ok());
+    while (c.status(a.job_id).state != JobState::Active)
+      std::this_thread::yield();
+    JobSpec low = uniform_job("gss", 64, 2);
+    JobSpec high = uniform_job("gss", 64, 2);
+    high.priority = 5;
+    const auto b = c.submit(low);
+    const auto h = c.submit(high);
+    ASSERT_TRUE(b.ok() && h.ok());
+    // Results arrive in completion order: A (running), then the
+    // high-priority job, then the earlier-submitted low one.
+    std::vector<std::int64_t> order;
+    for (int i = 0; i < 3; ++i)
+      order.push_back(
+          lss::svc::decode_result(
+              tenants.recv(1, 0, lss::svc::kTagJobResult).payload)
+              .job_id);
+    EXPECT_EQ(order,
+              (std::vector<std::int64_t>{a.job_id, h.job_id, b.job_id}));
+    c.bye();
+  });
+  Service service(sc);
+  service.run(tenants, 1);
+  tenant.join();
+}
+
+TEST(Svc, MasterlessJobSelfSchedulesThroughThePool) {
+  const Index n = 600;
+  const int pes = 3;
+  ServiceConfig sc;
+  sc.num_workers = 3;
+  run_service(sc, {[&](Client& c) {
+                JobSpec spec = uniform_job("gss", n, pes);
+                spec.masterless = true;
+                const auto v = c.submit(spec);
+                ASSERT_TRUE(v.ok());
+                const JobResultMsg r = c.await_result(v.job_id);
+                EXPECT_EQ(r.state, JobState::Done);
+                EXPECT_TRUE(r.masterless);
+                EXPECT_TRUE(r.exactly_once);
+                lss::testing::expect_conforms(r.executed, "gss", n, pes,
+                                              "svc masterless gss");
+                // A scheme without a masterless form downgrades to
+                // the mediated exchange, coherently.
+                JobSpec dist = uniform_job("dtss", n, pes);
+                dist.masterless = true;
+                const auto dv = c.submit(dist);
+                ASSERT_TRUE(dv.ok());
+                const JobResultMsg dr = c.await_result(dv.job_id);
+                EXPECT_EQ(dr.state, JobState::Done);
+                EXPECT_FALSE(dr.masterless);
+                EXPECT_TRUE(dr.exactly_once);
+                lss::testing::expect_exact_cover(dr.executed, n,
+                                                 "svc dist(dtss)");
+              }});
+}
+
+TEST(Svc, BadSpecsAreRejectedWithTheOffendingDetail) {
+  ServiceConfig sc;
+  sc.num_workers = 2;
+  run_service(sc, {[&](Client& c) {
+                // Unknown key, named.
+                auto v = c.submit_json(
+                    R"({"scheme":"tss","relative_speeds":[1],)"
+                    R"("workload":"uniform","pipeline_deptth":2})");
+                EXPECT_EQ(v.error, SubmitError::BadSpec);
+                EXPECT_NE(v.message.find("pipeline_deptth"),
+                          std::string::npos);
+                // Missing workload: the daemon cannot build the loop.
+                v = c.submit_json(
+                    R"({"scheme":"tss","relative_speeds":[1]})");
+                EXPECT_EQ(v.error, SubmitError::BadSpec);
+                EXPECT_NE(v.message.find("workload"), std::string::npos);
+                // Unknown workload parameter, named.
+                v = c.submit_json(
+                    R"({"scheme":"tss","relative_speeds":[1],)"
+                    R"("workload":"uniform:coost=2"})");
+                EXPECT_EQ(v.error, SubmitError::BadSpec);
+                EXPECT_NE(v.message.find("coost"), std::string::npos);
+                // Status of a job that never existed.
+                const JobStatusMsg s = c.status(4242);
+                EXPECT_NE(s.message.find("unknown job id"),
+                          std::string::npos);
+              }});
+}
+
+TEST(Svc, WorkerDeathReclaimsGrantsWhileOtherTenantsComplete) {
+  const Index n = 2000;
+  const int pes = 3;
+  ServiceConfig sc;
+  sc.num_workers = 3;
+  // Pool worker 0 exits silently before computing its 2nd chunk.
+  sc.die_after_chunks = {1, -1, -1};
+  JobSpec victim = uniform_job("css:k=50", n, pes);
+  victim.pipeline_depth = 2;  // keep grants queued on the dead worker
+  victim.faults.detect = true;
+  victim.faults.grace = 0.75;
+  JobSpec bystander = uniform_job("tss", 500, pes);
+  bystander.faults.detect = true;
+  bystander.faults.grace = 0.75;
+
+  JobResultMsg victim_r;
+  JobResultMsg bystander_r;
+  const ServiceStats stats = run_service(
+      sc, {[&](Client& c) {
+             const auto v = c.submit(victim);
+             ASSERT_TRUE(v.ok());
+             victim_r = c.await_result(v.job_id);
+           },
+           [&](Client& c) {
+             const auto v = c.submit(bystander);
+             ASSERT_TRUE(v.ok());
+             bystander_r = c.await_result(v.job_id);
+           }});
+
+  EXPECT_EQ(victim_r.state, JobState::Done);
+  EXPECT_TRUE(victim_r.exactly_once);
+  EXPECT_GE(victim_r.workers_lost, 1);
+  EXPECT_GE(victim_r.reassigned_chunks, 1);
+  lss::testing::expect_conforms(victim_r.executed, "css:k=50", n, pes,
+                                "svc css after worker death");
+  EXPECT_EQ(bystander_r.state, JobState::Done);
+  EXPECT_TRUE(bystander_r.exactly_once);
+  EXPECT_GE(stats.workers_lost, 1);
+}
+
+TEST(Svc, MasterlessReconcileRecoversDeadClaimantsTickets) {
+  const Index n = 1200;
+  const int pes = 3;
+  ServiceConfig sc;
+  sc.num_workers = 3;
+  // The victim claims its very first ticket and dies before computing
+  // it; the survivors are throttled so they cannot drain the whole
+  // counter before that claim happens — a ticket is always stranded.
+  sc.die_after_chunks = {0, -1, -1};
+  sc.worker_speeds = {1.0, 0.2, 0.2};
+  JobSpec spec = uniform_job("css:k=10", n, pes, 4);
+  spec.masterless = true;
+  spec.faults.detect = true;
+  spec.faults.grace = 0.75;
+  run_service(sc, {[&](Client& c) {
+                const auto v = c.submit(spec);
+                ASSERT_TRUE(v.ok());
+                const JobResultMsg r = c.await_result(v.job_id);
+                EXPECT_EQ(r.state, JobState::Done);
+                EXPECT_TRUE(r.masterless);
+                EXPECT_TRUE(r.exactly_once);
+                EXPECT_GE(r.workers_lost, 1);
+                // The dead claimant's unacknowledged tickets were
+                // re-granted as the same plan chunks, so the multiset
+                // still matches the oracle exactly.
+                EXPECT_GE(r.reassigned_chunks, 1);
+                lss::testing::expect_conforms(
+                    r.executed, "css:k=10", n, pes,
+                    "svc masterless reconcile");
+              }});
+}
+
+TEST(Svc, TcpTenantSpeaksTheJobProtocol) {
+  const Index n = 512;
+  const int pes = 2;
+  lss::mp::TcpMasterTransport t(0, 1);
+  std::thread tenant([port = t.port(), n] {
+    lss::mp::TcpWorkerTransport up("127.0.0.1", port);
+    Client c(up, up.rank());
+    const auto v = c.submit(uniform_job("tss", n, 2));
+    ASSERT_TRUE(v.ok()) << v.message;
+    const JobResultMsg r = c.await_result(v.job_id);
+    EXPECT_EQ(r.state, JobState::Done);
+    EXPECT_TRUE(r.exactly_once);
+    lss::testing::expect_conforms(r.executed, "tss", n, 2, "svc over tcp");
+    c.bye();
+  });
+  t.accept_workers();
+  ServiceConfig sc;
+  sc.num_workers = 2;
+  Service service(sc);
+  const ServiceStats stats = service.run(t, 1);
+  tenant.join();
+  EXPECT_EQ(stats.jobs_completed, 1);
+  ASSERT_EQ(stats.per_job.size(), 1u);
+  EXPECT_EQ(stats.per_job[0].second.transport, "tcp");
+  (void)pes;
+}
+
+TEST(Svc, PreServicePeersAreRefusedByGeneration) {
+  lss::mp::TcpMasterTransport t(0, 1);
+  std::thread tenant([port = t.port()] {
+    lss::mp::TcpOptions old;
+    old.protocol = lss::mp::kProtoMasterless;  // one generation too old
+    lss::mp::TcpWorkerTransport up("127.0.0.1", port, old);
+    Client c(up, up.rank());
+    const auto v = c.submit(uniform_job("tss", 64, 2));
+    EXPECT_FALSE(v.ok());
+    EXPECT_EQ(v.error, SubmitError::ProtocolTooOld);
+    c.bye();
+  });
+  t.accept_workers();
+  ServiceConfig sc;
+  sc.num_workers = 1;
+  Service service(sc);
+  const ServiceStats stats = service.run(t, 1);
+  tenant.join();
+  EXPECT_EQ(stats.jobs_rejected, 1);
+  EXPECT_EQ(stats.jobs_completed, 0);
+}
+
+}  // namespace
