@@ -1,0 +1,118 @@
+// Adaptive-vs-fixed scheduling under a mid-loop perturbation
+// (google-benchmark, DESIGN.md §16). The same uniform loop runs under
+// three fixed schemes (static, css, gss) and under the self-tuning
+// desc (css base + organic adaptive policy), in two environments:
+//
+//   steady     all four workers dedicated for the whole run. The
+//              adaptive desc must not pay for machinery it never
+//              uses: wall time within 5% of the best fixed scheme
+//              (BENCH_adaptive.json gate).
+//
+//   perturbed  a cluster::LoadScript drops two of the four workers
+//              to a 1/10 share shortly after the run starts — the
+//              paper's non-dedicated scenario, live. The fixed
+//              static split pays the full straggler tail; the
+//              adaptive desc detects the rate drift, replays the
+//              remaining iterations through lss::sim, and fences a
+//              migration to a decreasing-chunk scheme. Gate: the
+//              adaptive run beats the worst fixed scheme >= 1.3x.
+//
+// Each benchmark iteration is one complete threaded run; manual
+// timing uses the runtime's start-to-last-join wall clock. The
+// `migrations` counter records how many fences the run executed
+// (expected 0 steady, >= 1 perturbed for the adaptive variant).
+//
+// bench/run_bench.sh distills the JSON into BENCH_adaptive.json with
+// both gates.
+#include <benchmark/benchmark.h>
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lss/api/desc.hpp"
+#include "lss/cluster/load.hpp"
+#include "lss/rt/run.hpp"
+#include "lss/workload/synthetic.hpp"
+
+using namespace lss;
+
+namespace {
+
+constexpr Index kIters = 4096;
+// Heavy enough (~80 us per iteration, ~2.5 ms per css:k=32 chunk)
+// that per-chunk handoff cost is amortized away — on the single-core
+// CI box the steady comparison would otherwise measure thread
+// timeslicing churn, not scheduling policy.
+constexpr double kBodyCost = 120000.0;
+constexpr int kWorkers = 4;
+// Two workers drop to a 1/10 equal share roughly a third into the
+// steady wall time — late enough that the adaptive run has a
+// baseline (the first rate window fills in ~40 ms), early enough
+// that a big slice of the loop remains to win back.
+constexpr double kLoadStartS = 0.12;
+constexpr int kExternals = 9;
+
+SchedulerDesc adaptive_desc() {
+  // css base: chatty enough (one feedback report per 32-iteration
+  // chunk) for the drift windows to fill mid-run, mediocre enough
+  // under heterogeneity that the replayer can beat it. The gates are
+  // set well above scheduling noise (warm-up jitter on a loaded CI
+  // box can read as ~25% drift) and well below the perturbation's
+  // signal (a 1/10 share is 90% drift on half the fleet).
+  SchedulerDesc d = "css:k=32";
+  d.adaptive.enabled = true;
+  d.adaptive.check_every = 128;  // every 4 chunks granted
+  d.adaptive.drift_threshold = 0.5;
+  d.adaptive.min_gain = 0.15;
+  d.adaptive.candidates = {"gss", "tss"};
+  return d;
+}
+
+rt::RtResult run_once(const SchedulerDesc& desc, bool perturbed) {
+  rt::RtConfig cfg;
+  cfg.workload = std::make_shared<UniformWorkload>(kIters, kBodyCost);
+  cfg.scheduler = desc;
+  // Deep prefetch so chunk handoffs overlap compute — on the
+  // single-core CI box a depth-1 window still pays a timeslice wake
+  // per chunk, which would bill the chatty schemes for scheduler
+  // churn instead of policy.
+  cfg.pipeline_depth = 2;
+  cfg.relative_speeds.assign(static_cast<std::size_t>(kWorkers), 1.0);
+  if (perturbed) {
+    cfg.load_scripts.assign(static_cast<std::size_t>(kWorkers),
+                            cluster::LoadScript::none());
+    const double forever = std::numeric_limits<double>::infinity();
+    for (const std::size_t w : {std::size_t{2}, std::size_t{3}})
+      cfg.load_scripts[w] = cluster::LoadScript(
+          {cluster::LoadPhase{kLoadStartS, forever, kExternals}});
+  }
+  return rt::run_threaded(cfg);
+}
+
+void BM_AdaptiveLoop(benchmark::State& state, const SchedulerDesc& desc) {
+  const bool perturbed = state.range(0) != 0;
+  for (auto _ : state) {
+    const rt::RtResult r = run_once(desc, perturbed);
+    state.SetIterationTime(r.t_parallel);
+    state.counters["migrations"] =
+        benchmark::Counter(static_cast<double>(r.migrations));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kIters));
+}
+
+}  // namespace
+
+// Arg 0 = steady, 1 = perturbed (run_bench.sh keys off the index).
+BENCHMARK_CAPTURE(BM_AdaptiveLoop, fixed_static, SchedulerDesc("static"))
+    ->Arg(0)->Arg(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AdaptiveLoop, fixed_css32, SchedulerDesc("css:k=32"))
+    ->Arg(0)->Arg(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AdaptiveLoop, fixed_gss, SchedulerDesc("gss"))
+    ->Arg(0)->Arg(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_AdaptiveLoop, adaptive, adaptive_desc())
+    ->Arg(0)->Arg(1)->UseManualTime()->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

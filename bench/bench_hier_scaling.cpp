@@ -68,7 +68,7 @@ RunCost run_flat() {
   t.accept_workers();
 
   rt::MasterConfig mc;
-  mc.scheme = "dtss";
+  mc.scheduler = "dtss";
   mc.total = kWidth;
   mc.num_workers = kWorkers;
   const auto t0 = std::chrono::steady_clock::now();
@@ -113,7 +113,7 @@ RunCost run_hier(int pods) {
   t.accept_workers();
 
   rt::RootConfig rc;
-  rc.scheme = "dtss";
+  rc.scheduler = "dtss";
   rc.total = kWidth;
   rc.num_pods = pods;
   const auto t0 = std::chrono::steady_clock::now();

@@ -36,7 +36,7 @@ constexpr double kBodyCost = 50.0;  // tiny body: acquisition dominates
 rt::RtResult run_once(int workers, bool masterless) {
   rt::RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(kChunks, kBodyCost);
-  cfg.scheme = "ss";
+  cfg.scheduler = "ss";
   cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
   cfg.pipeline_depth = 0;  // strict exchange: acquisition cost is bare
   cfg.masterless = masterless;

@@ -218,7 +218,7 @@ void BM_PipelineDepth(benchmark::State& state, bool tcp) {
       std::make_shared<lss::UniformWorkload>(kChunks, kBodyCost);
 
   lss::rt::MasterConfig mc;
-  mc.scheme = "ss";
+  mc.scheduler = "ss";
   mc.total = kChunks;
   mc.num_workers = 1;
 

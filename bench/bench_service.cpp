@@ -40,7 +40,7 @@ svc::ServiceStats run_once(int tenants) {
   const int per_tenant = kTotalJobs / tenants;
 
   rt::JobSpec spec;
-  spec.scheme = "tss";
+  spec.scheduler = "tss";
   spec.relative_speeds.assign(4, 1.0);
   spec.workload = "uniform:n=" + std::to_string(kIterationsPerJob) +
                   ",cost=" + std::to_string(static_cast<int>(kBodyCost));

@@ -82,6 +82,17 @@ for i in 1 2 3; do
     -L service -j "$(nproc)"
 done
 
+# The adaptive replanner (ctest label `adapt`): mid-loop scheme
+# migrations fence while worker threads race grants, feedback, and
+# acks through the reactor, the masterless ticket counter, and the
+# service pool — the cut index and the rebuilt segment scheduler
+# must publish cleanly across all of them. Repeat so the fence lands
+# at varying points of the grant stream.
+for i in 1 2 3; do
+  ctest --test-dir "$build" --output-on-failure --no-tests=error \
+    -L adapt -j "$(nproc)"
+done
+
 # The pipelined worker/master loops at every depth (0/1/2/4): the
 # reactor drain, batch-grant ingest, and batched-ack flush paths all
 # cross threads through the in-process transport.

@@ -30,6 +30,12 @@
 #     single-tenant rate — multiplexing the pool across concurrent
 #     jobs must not cost throughput.
 #
+#   BENCH_adaptive.json — BM_AdaptiveLoop (DESIGN.md §16): fixed
+#     schemes vs the self-tuning desc, steady and under a scripted
+#     mid-loop load perturbation. Gates: steady adaptive wall within
+#     5% of the best fixed scheme (ratio >= 0.95), perturbed adaptive
+#     beats the worst fixed scheme >= 1.3x.
+#
 #   bench/run_bench.sh [reps] [build-dir]
 set -euo pipefail
 
@@ -40,7 +46,7 @@ build="${2:-$root/build}"
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$(nproc)" \
   --target bench_overhead bench_hier_scaling bench_masterless \
-  bench_service >/dev/null
+  bench_service bench_adaptive >/dev/null
 
 # ---------------------------------------------------------------- pipeline
 
@@ -349,6 +355,103 @@ if ratio < 0.9:
     sys.exit(1)
 print(f"OK: 4 concurrent tenants run at {ratio}x the single-tenant "
       f"jobs/sec (>= 0.9)")
+PY
+
+# ---------------------------------------------------------------- adaptive
+
+raw="$build/bench_adaptive_raw.json"
+out="$root/BENCH_adaptive.json"
+
+"$build/bench/bench_adaptive" \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_time_unit=ms \
+  --benchmark_out="$raw" \
+  --benchmark_out_format=json
+
+python3 - "$raw" "$out" <<'PY'
+import json, statistics, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+# name: BM_AdaptiveLoop/<variant>/<env>/manual_time ; env 0 = steady,
+# 1 = perturbed. Variants fixed_* are the field; `adaptive` is the
+# self-tuning desc whose `migrations` counter shows the fences.
+ENVS = {0: "steady", 1: "perturbed"}
+runs = {}
+for b in raw["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_AdaptiveLoop":
+        continue
+    variant, env = parts[1], ENVS[int(parts[2])]
+    runs.setdefault((env, variant), []).append(
+        {"wall_ms": b["real_time"], "migrations": b["migrations"]})
+
+# Gate on the per-variant minimum across reps: the CI box is shared,
+# so external load only ever *adds* time — min converges on the true
+# cost while a median still carries the neighbours' noise. Medians
+# ride along for context.
+table = {}
+for (env, variant), samples in sorted(runs.items()):
+    table.setdefault(env, {})[variant] = {
+        "reps": len(samples),
+        "wall_ms_min": round(min(s["wall_ms"] for s in samples), 2),
+        "wall_ms_median": round(
+            statistics.median(s["wall_ms"] for s in samples), 2),
+        "migrations_max": max(s["migrations"] for s in samples),
+    }
+
+def fixed_walls(env):
+    return {v: r["wall_ms_min"] for v, r in table[env].items()
+            if v.startswith("fixed_")}
+
+steady_best = min(fixed_walls("steady").values())
+steady_ratio = round(
+    steady_best / table["steady"]["adaptive"]["wall_ms_min"], 3)
+pert_worst = max(fixed_walls("perturbed").values())
+pert_ratio = round(
+    pert_worst / table["perturbed"]["adaptive"]["wall_ms_min"], 2)
+
+doc = {
+    "benchmark": "BM_AdaptiveLoop",
+    "workload": {"iterations": 4096, "body_cost_units": 120000,
+                 "workers": 4, "pipeline_depth": 2,
+                 "adaptive_base": "css:k=32",
+                 "candidates": ["gss", "tss"],
+                 "perturbation": ("workers 2,3 at 1/10 share from "
+                                  "t=120ms (cluster::LoadScript)")},
+    "context": {k: raw["context"][k]
+                for k in ("num_cpus", "mhz_per_cpu", "library_version")
+                if k in raw["context"]},
+    "metric": ("min wall ms per full run across reps (shared-box "
+               "noise only adds time); adaptive vs the best fixed "
+               "scheme steady and the worst fixed scheme perturbed"),
+    "results": table,
+    "steady_adaptive_vs_best_fixed": steady_ratio,
+    "perturbed_adaptive_vs_worst_fixed": pert_ratio,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(doc, indent=2))
+ok = True
+if steady_ratio < 0.95:
+    print(f"FAIL: steady adaptive runs at {steady_ratio}x the best "
+          f"fixed scheme (< 0.95)", file=sys.stderr)
+    ok = False
+if pert_ratio < 1.3:
+    print(f"FAIL: perturbed adaptive only {pert_ratio}x faster than "
+          f"the worst fixed scheme (< 1.3)", file=sys.stderr)
+    ok = False
+if not ok:
+    sys.exit(1)
+print(f"OK: adaptive {steady_ratio}x best fixed steady (>= 0.95), "
+      f"{pert_ratio}x worst fixed perturbed (>= 1.3)")
 PY
 
 # ----------------------------------------------- stamp + history trajectory

@@ -78,7 +78,7 @@ namespace {
 using lss_cli::JobSpec;
 
 struct Options {
-  std::string scheme = "dtss";
+  lss::SchedulerDesc scheduler{"dtss"};
   std::string transport = "tcp";
   int workers = 3;
   /// > 0 selects the hierarchical tree: this process is the root,
@@ -100,7 +100,7 @@ struct Options {
 lss::rt::MasterConfig master_config(const Options& o,
                                     std::vector<std::uint16_t>& image) {
   lss::rt::MasterConfig mc;
-  mc.scheme = o.scheme;
+  mc.scheduler = o.scheduler;
   mc.total = o.job.width;
   mc.num_workers = o.workers;
   mc.faults.detect = true;
@@ -126,7 +126,7 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
   std::shared_ptr<lss::rt::TicketCounter> counter;
   if (o.masterless) {
     job.masterless = true;
-    job.scheme = o.scheme;
+    job.scheme = o.scheduler.scheme;
     job.workers = o.workers;
     if (o.spawn) {
       auto shm = lss::rt::ShmTicketCounter::create(
@@ -194,7 +194,7 @@ lss::rt::RootOutcome run_hier(const Options& o,
     t.send(0, rank, lss::rt::protocol::kTagJob, lss_cli::encode_job(o.job));
 
   lss::rt::RootConfig rc;
-  rc.scheme = o.scheme;
+  rc.scheduler = o.scheduler;
   rc.total = o.job.width;
   rc.num_pods = o.pods;
   rc.faults.detect = true;
@@ -231,7 +231,7 @@ lss::rt::MasterOutcome run_inproc(const Options& o,
     if (o.masterless) {
       lss::rt::MasterlessWorkerConfig mwc;
       mwc.loop = wc;
-      mwc.scheme = o.scheme;
+      mwc.scheduler = o.scheduler;
       mwc.total = o.job.width;
       mwc.num_workers = o.workers;
       mwc.counter = counter;
@@ -262,7 +262,7 @@ int run_hier_main(const Options& o) {
     std::vector<std::uint16_t> image(
         static_cast<std::size_t>(o.job.width * o.job.height), 0);
     std::cout << "scheduling " << o.job.width << " columns with '"
-              << o.scheme << "' over " << o.pods << " pods x " << o.workers
+              << o.scheduler.scheme << "' over " << o.pods << " pods x " << o.workers
               << " workers"
               << (o.kill_after >= 0 ? " (one pod will die mid-run)" : "")
               << "...\n";
@@ -327,7 +327,7 @@ int main(int argc, char** argv) {
   while (args.more()) {
     const std::string arg = args.flag();
     if (arg == "--scheme") {
-      o.scheme = args.value(arg);
+      o.scheduler = lss::SchedulerDesc(args.value(arg));
     } else if (arg == "--transport") {
       o.transport = args.value(arg);
     } else if (arg == "--workers") {
@@ -354,7 +354,7 @@ int main(int argc, char** argv) {
       // override it.
       const lss::rt::JobSpec spec =
           lss::rt::JobSpec::from_json(lss_cli::read_file(args.value(arg)));
-      o.scheme = spec.scheme;
+      o.scheduler = spec.scheduler;
       o.workers = spec.num_pes();
       o.job.pipeline_depth = spec.pipeline_depth;
       o.masterless = spec.masterless;
@@ -380,8 +380,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   std::string why;
-  if (o.masterless && !lss::rt::masterless_supported(o.scheme, &why)) {
-    std::cout << "masterless unavailable for '" << o.scheme << "' (" << why
+  if (o.masterless && !lss::rt::masterless_supported(o.scheduler, &why)) {
+    std::cout << "masterless unavailable for '" << o.scheduler.scheme << "' (" << why
               << "); running the mediated exchange\n";
     o.masterless = false;
   }
@@ -392,7 +392,7 @@ int main(int argc, char** argv) {
     std::vector<std::uint16_t> image(
         static_cast<std::size_t>(o.job.width * o.job.height), 0);
     std::cout << "scheduling " << o.job.width << " columns with '"
-              << o.scheme << "' over " << o.transport << " on "
+              << o.scheduler.scheme << "' over " << o.transport << " on "
               << o.workers << " workers"
               << (o.masterless ? " [masterless]" : "")
               << (o.kill_after >= 0 ? " (one will die mid-run)" : "")

@@ -73,7 +73,7 @@ std::vector<int> parse_die_after(const std::string& csv) {
 /// uniform loop planned for the pool's width.
 std::string default_job(int workers) {
   lss::rt::JobSpec spec;
-  spec.scheme = "tss";
+  spec.scheduler = "tss";
   spec.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
   spec.workload = "uniform:n=2048,cost=2";
   return spec.to_json();

@@ -88,7 +88,7 @@ int main(int argc, char** argv) {
     if (job.masterless) {
       lss::rt::MasterlessWorkerConfig mwc;
       mwc.loop = wc;
-      mwc.scheme = job.scheme;
+      mwc.scheduler = job.scheme;
       mwc.total = job.width;
       mwc.num_workers = static_cast<int>(job.workers);
       if (!job.counter_shm.empty())

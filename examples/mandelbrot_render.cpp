@@ -63,7 +63,7 @@ int main(int argc, char** argv) try {
   cfg.workload = workload;
   // The registry knows each scheme's family, so ACP-aware specs
   // ("dtss", "dist(gss)") route to the distributed protocol.
-  cfg.scheme = scheme;
+  cfg.scheduler = scheme;
   cfg.relative_speeds = {1.0, 1.0, 0.33, 0.33};
   if (!trace_path.empty()) obs::Tracer::instance().enable();
   const rt::RtResult r = rt::run_threaded(cfg);

@@ -50,7 +50,7 @@ int main() {
   std::cout << "3) Threaded run (4 workers, two throttled to 1/3 speed):\n";
   rt::RtConfig rcfg;
   rcfg.workload = std::make_shared<UniformWorkload>(400, 20000.0);
-  rcfg.scheme = "tfss";
+  rcfg.scheduler = "tfss";
   rcfg.relative_speeds = {1.0, 1.0, 1.0 / 3.0, 1.0 / 3.0};
   const rt::RtResult result = rt::run_threaded(rcfg);
   std::cout << "   scheme " << result.scheme << ", wall "

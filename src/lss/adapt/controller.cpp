@@ -1,0 +1,100 @@
+#include "lss/adapt/controller.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "lss/sim/replay.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::adapt {
+
+AdaptController::AdaptController(AdaptivePolicy policy, Index total,
+                                 int num_pes)
+    : policy_(std::move(policy)), total_(total), tracker_(num_pes) {
+  LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
+}
+
+void AdaptController::note_feedback(int pe, Index iters, double seconds) {
+  tracker_.note(pe, iters, seconds);
+}
+
+std::optional<Migration> AdaptController::scripted(
+    Index assigned, const std::string& current) {
+  // Collapse every cut already passed into the last one — the same
+  // rule MasterlessPlan applies, so mediated and masterless runs of
+  // one desc fence at identical boundaries.
+  std::string to;
+  while (next_force_ < policy_.force.size() &&
+         policy_.force[next_force_].at <= assigned) {
+    to = policy_.force[next_force_].to;
+    ++next_force_;
+  }
+  if (to.empty() || to == current) return std::nullopt;
+  ++migrations_;
+  return Migration{to, assigned, 0.0, true};
+}
+
+double AdaptController::predicted_makespan(const std::string& spec,
+                                           Index remaining) {
+  sim::ReplaySpec rs;
+  rs.scheme = spec;
+  rs.iterations = remaining;
+  rs.rates = tracker_.rates();
+  rs.seed = policy_.replay_seed;
+  return sim::replay(rs).makespan_s;
+}
+
+std::optional<Migration> AdaptController::consider(
+    Index assigned, const std::string& current) {
+  if (auto forced = scripted(assigned, current)) return forced;
+  if (!policy_.enabled) return std::nullopt;
+  if (migrations_ >= policy_.max_migrations) return std::nullopt;
+  const Index remaining = total_ - assigned;
+  if (remaining <= 0) return std::nullopt;
+
+  // Cadence: don't re-evaluate until check_every more iterations
+  // were granted (auto: a sixteenth of the loop).
+  const Index cadence = policy_.check_every > 0
+                            ? policy_.check_every
+                            : std::max<Index>(total_ / 16, 1);
+  if (assigned - last_check_ < cadence) return std::nullopt;
+  last_check_ = assigned;
+
+  // Drift gate: enough PEs moved away from the rates the current
+  // scheme was planned for (the measured analogue of the paper's
+  // majority-change rule).
+  const double drifted =
+      tracker_.drifted_fraction(policy_.drift_threshold);
+  if (drifted < policy_.drift_fraction || drifted <= 0.0)
+    return std::nullopt;
+
+  // Replay the suffix under every candidate; require min_gain over
+  // staying before paying for a migration (hysteresis).
+  double rate_sum = 0.0;
+  for (double r : tracker_.rates()) rate_sum += std::max(r, 0.0);
+  if (rate_sum <= 0.0) return std::nullopt;
+  ++considered_;
+  const double stay = predicted_makespan(current, remaining);
+  std::string best = current;
+  double best_time = stay;
+  const std::vector<std::string>& candidates =
+      policy_.candidates.empty() ? default_adaptive_candidates()
+                                 : policy_.candidates;
+  for (const std::string& c : candidates) {
+    if (c == current) continue;
+    const double t = predicted_makespan(c, remaining);
+    if (t < best_time) {
+      best = c;
+      best_time = t;
+    }
+  }
+  if (best == current) return std::nullopt;
+  if (stay <= 0.0 || best_time > (1.0 - policy_.min_gain) * stay)
+    return std::nullopt;
+
+  ++migrations_;
+  tracker_.rebaseline();
+  return Migration{best, assigned, 1.0 - best_time / stay, false};
+}
+
+}  // namespace lss::adapt

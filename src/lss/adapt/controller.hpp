@@ -1,0 +1,82 @@
+// The mid-loop replanner: simulator-in-the-loop scheme migration.
+//
+// The paper's distributed schemes already replan *parameters* when
+// the cluster's available power shifts (step 2c). AdaptController
+// goes one level up and replans the *scheme*: when the measured
+// per-PE rates drift far enough from their baseline, it snapshots
+// the uncovered suffix, replays it through sim::replay once per
+// candidate scheme, and — if some candidate beats staying the course
+// by at least `min_gain` — tells the host to fence a migration at
+// the current chunk boundary.
+//
+// The controller only decides; the host (rt/reactor's mediated
+// master, svc's per-job scheduler, rt/root's lease server) owns the
+// fence: it drains the old scheduler to the cut index, rebuilds the
+// chosen scheme over [cut, total), and shifts subsequent grants —
+// under the same exactly-once accounting as any other grant.
+// Scripted migrations (AdaptivePolicy::force) bypass the drift gate
+// and the replay entirely: they fire at the first boundary at or
+// past their `at`, which is also what makes them replayable by every
+// party of a masterless run.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "lss/adapt/progress.hpp"
+#include "lss/api/desc.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss::adapt {
+
+/// A decision to migrate, addressed to the host holding the
+/// scheduler. `cut` is the absolute iteration index of the fence:
+/// everything below it stays with the retiring scheme's grants, the
+/// new scheme plans [cut, total).
+struct Migration {
+  std::string to;
+  Index cut = 0;
+  /// Relative predicted improvement over staying (replay-scored);
+  /// 0 for scripted migrations, which fire unconditionally.
+  double predicted_gain = 0.0;
+  bool scripted = false;
+};
+
+class AdaptController {
+ public:
+  /// `desc.adaptive` is the policy; `total` and `num_pes` describe
+  /// the loop being scheduled.
+  AdaptController(AdaptivePolicy policy, Index total, int num_pes);
+
+  /// Measured feedback, same stream the distributed schemes consume.
+  void note_feedback(int pe, Index iters, double seconds);
+
+  /// Asks whether to migrate now. `assigned` is the absolute number
+  /// of iterations granted so far (the candidate cut); `current` is
+  /// the spec of the scheme currently dispensing. Must be called at
+  /// a chunk boundary — the fence the decision assumes. Returns at
+  /// most one migration per call.
+  std::optional<Migration> consider(Index assigned,
+                                    const std::string& current);
+
+  int migrations() const { return migrations_; }
+  /// Replay-scored considerations (drift gate passed), whether or
+  /// not a migration resulted — the obs "adapt.considered" metric.
+  int considered() const { return considered_; }
+  const ProgressTracker& progress() const { return tracker_; }
+
+ private:
+  std::optional<Migration> scripted(Index assigned,
+                                    const std::string& current);
+  double predicted_makespan(const std::string& spec, Index remaining);
+
+  AdaptivePolicy policy_;
+  Index total_ = 0;
+  ProgressTracker tracker_;
+  std::size_t next_force_ = 0;
+  Index last_check_ = 0;
+  int migrations_ = 0;
+  int considered_ = 0;
+};
+
+}  // namespace lss::adapt

@@ -1,0 +1,87 @@
+#include "lss/adapt/progress.hpp"
+
+#include <cmath>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::adapt {
+
+ProgressTracker::ProgressTracker(int num_pes, int window)
+    : pe_(static_cast<std::size_t>(num_pes)), window_(window) {
+  LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+  LSS_REQUIRE(window >= 1, "window must be at least one report");
+}
+
+void ProgressTracker::note(int pe, Index iters, double seconds) {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  if (iters <= 0 || seconds <= 0.0) return;
+  PerPe& p = pe_[static_cast<std::size_t>(pe)];
+  completed_ += iters;
+  p.total_iters += iters;
+  p.total_seconds += seconds;
+  p.window_iters += iters;
+  p.window_seconds += seconds;
+  if (++p.window_reports < window_) return;
+  p.current_rate =
+      static_cast<double>(p.window_iters) / p.window_seconds;
+  p.has_current = true;
+  if (!p.has_baseline) {
+    p.baseline_rate = p.current_rate;
+    p.has_baseline = true;
+  }
+  p.window_reports = 0;
+  p.window_iters = 0;
+  p.window_seconds = 0.0;
+}
+
+bool ProgressTracker::has_baseline(int pe) const {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  return pe_[static_cast<std::size_t>(pe)].has_baseline;
+}
+
+double ProgressTracker::rate(int pe) const {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  const PerPe& p = pe_[static_cast<std::size_t>(pe)];
+  if (p.has_current) return p.current_rate;
+  if (p.total_seconds > 0.0)
+    return static_cast<double>(p.total_iters) / p.total_seconds;
+  return 0.0;
+}
+
+std::vector<double> ProgressTracker::rates() const {
+  std::vector<double> out(pe_.size(), 0.0);
+  for (int pe = 0; pe < num_pes(); ++pe)
+    out[static_cast<std::size_t>(pe)] = rate(pe);
+  return out;
+}
+
+double ProgressTracker::drift(int pe) const {
+  LSS_REQUIRE(pe >= 0 && pe < num_pes(), "PE id out of range");
+  const PerPe& p = pe_[static_cast<std::size_t>(pe)];
+  if (!p.has_baseline || !p.has_current || p.baseline_rate <= 0.0)
+    return 0.0;
+  return std::abs(p.current_rate / p.baseline_rate - 1.0);
+}
+
+void ProgressTracker::rebaseline() {
+  for (PerPe& p : pe_) {
+    if (!p.has_current) continue;
+    p.baseline_rate = p.current_rate;
+    p.has_baseline = true;
+  }
+}
+
+double ProgressTracker::drifted_fraction(double threshold) const {
+  int with_data = 0;
+  int drifted = 0;
+  for (int pe = 0; pe < num_pes(); ++pe) {
+    if (!pe_[static_cast<std::size_t>(pe)].has_baseline) continue;
+    ++with_data;
+    if (drift(pe) > threshold) ++drifted;
+  }
+  return with_data == 0
+             ? 0.0
+             : static_cast<double>(drifted) / static_cast<double>(with_data);
+}
+
+}  // namespace lss::adapt

@@ -1,0 +1,88 @@
+// Live progress accounting for the adaptive replanner.
+//
+// The mediated master (rt/reactor) and the service (svc) already
+// receive measured feedback with every worker request: "I finished
+// `iters` iterations in `seconds`". ProgressTracker folds that
+// stream into the two things a migration decision needs:
+//
+//   * the *current* per-PE delivery rate (a window over the most
+//     recent feedback, so a freshly loaded node shows up within one
+//     window, not averaged away by its whole history), and
+//   * how far each PE has drifted from the baseline rate captured
+//     when its first window filled — the paper's "available
+//     computing power changed" signal, measured instead of declared.
+//
+// The tracker is passive arithmetic; deciding what to do about drift
+// belongs to AdaptController.
+#pragma once
+
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::adapt {
+
+using lss::Index;
+
+class ProgressTracker {
+ public:
+  /// `window` = feedback reports folded into one rate sample (>= 1).
+  explicit ProgressTracker(int num_pes, int window = 4);
+
+  /// One feedback report from `pe`: `iters` iterations took
+  /// `seconds`. Reports with no work or no time are ignored.
+  void note(int pe, Index iters, double seconds);
+
+  int num_pes() const { return static_cast<int>(pe_.size()); }
+
+  /// True once `pe` has both a baseline and a complete current
+  /// window — before that, drift(pe) is 0 by definition.
+  bool has_baseline(int pe) const;
+
+  /// Current delivery rate (iters/sec) of `pe`: the latest complete
+  /// window, the partial window if none completed yet, 0 with no
+  /// data at all.
+  double rate(int pe) const;
+
+  /// All current rates, indexed by PE — the ReplaySpec::rates input.
+  std::vector<double> rates() const;
+
+  /// Relative drift |current/baseline - 1| of `pe`; 0 until a
+  /// baseline exists.
+  double drift(int pe) const;
+
+  /// Fraction of PEs (with any data) whose drift exceeds
+  /// `threshold` — compared against AdaptivePolicy::drift_fraction,
+  /// the measured analogue of the paper's majority-change rule.
+  double drifted_fraction(double threshold) const;
+
+  /// Total iterations acknowledged across all PEs.
+  Index completed() const { return completed_; }
+
+  /// Adopts every PE's current rate as its new baseline — called
+  /// after a migration so the drift detector measures against the
+  /// world the new scheme was chosen for, not the original one.
+  void rebaseline();
+
+ private:
+  struct PerPe {
+    // Lifetime totals (the fallback rate before a window completes).
+    Index total_iters = 0;
+    double total_seconds = 0.0;
+    // Current accumulating window.
+    int window_reports = 0;
+    Index window_iters = 0;
+    double window_seconds = 0.0;
+    // Latest completed window, and the first one (the baseline).
+    double current_rate = 0.0;
+    double baseline_rate = 0.0;
+    bool has_current = false;
+    bool has_baseline = false;
+  };
+
+  std::vector<PerPe> pe_;
+  int window_ = 4;
+  Index completed_ = 0;
+};
+
+}  // namespace lss::adapt

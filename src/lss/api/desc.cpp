@@ -1,0 +1,196 @@
+#include "lss/api/desc.hpp"
+
+#include <utility>
+
+#include "lss/api/scheduler.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
+
+namespace lss {
+
+namespace {
+
+const std::vector<std::string>& desc_keys() {
+  static const std::vector<std::string> keys = {"scheme", "static_acps",
+                                                "adaptive"};
+  return keys;
+}
+
+const std::vector<std::string>& adaptive_keys() {
+  static const std::vector<std::string> keys = {
+      "enabled",       "check_every", "drift_threshold",
+      "drift_fraction", "min_gain",   "max_migrations",
+      "candidates",    "replay_seed", "force"};
+  return keys;
+}
+
+const std::vector<std::string>& forced_keys() {
+  static const std::vector<std::string> keys = {"at", "to"};
+  return keys;
+}
+
+void require_known(const std::string& key,
+                   const std::vector<std::string>& accepted,
+                   const std::string& what) {
+  bool ok = false;
+  for (const std::string& k : accepted) ok = ok || k == key;
+  LSS_REQUIRE(ok, what + " does not accept key '" + key +
+                      "' (accepts: " + join(accepted, ", ") + ")");
+}
+
+AdaptivePolicy adaptive_from_json(const json::Value& value,
+                                  const std::string& what) {
+  LSS_REQUIRE(value.is_object(), what + " must be an object");
+  AdaptivePolicy out;
+  for (const auto& [key, v] : value.as_object()) {
+    require_known(key, adaptive_keys(), what);
+    if (key == "enabled") {
+      out.enabled = v.as_bool();
+    } else if (key == "check_every") {
+      out.check_every = v.as_int();
+    } else if (key == "drift_threshold") {
+      out.drift_threshold = v.as_number();
+    } else if (key == "drift_fraction") {
+      out.drift_fraction = v.as_number();
+    } else if (key == "min_gain") {
+      out.min_gain = v.as_number();
+    } else if (key == "max_migrations") {
+      out.max_migrations = static_cast<int>(v.as_int());
+    } else if (key == "candidates") {
+      for (const json::Value& c : v.as_array())
+        out.candidates.push_back(c.as_string());
+    } else if (key == "replay_seed") {
+      out.replay_seed = static_cast<std::uint64_t>(v.as_int());
+    } else if (key == "force") {
+      for (const json::Value& f : v.as_array()) {
+        LSS_REQUIRE(f.is_object(),
+                    what + " key 'force' entries must be objects");
+        AdaptivePolicy::Forced fc;
+        for (const auto& [fkey, fv] : f.as_object()) {
+          require_known(fkey, forced_keys(), what + " key 'force'");
+          if (fkey == "at") fc.at = fv.as_int();
+          else if (fkey == "to") fc.to = fv.as_string();
+        }
+        out.force.push_back(std::move(fc));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void SchedulerDesc::validate() const {
+  // Resolving the family re-uses the registry's own unknown-scheme
+  // diagnostics (it names every known spec).
+  (void)scheme_family(scheme);
+  for (std::size_t i = 0; i < static_acps.size(); ++i)
+    LSS_REQUIRE(static_acps[i] >= 0.0,
+                "static_acps[" + std::to_string(i) + "] = " +
+                    std::to_string(static_acps[i]) + " must be >= 0");
+  const AdaptivePolicy& a = adaptive;
+  LSS_REQUIRE(a.check_every >= 0, "adaptive.check_every must be >= 0");
+  LSS_REQUIRE(a.drift_threshold > 0.0,
+              "adaptive.drift_threshold must be > 0");
+  LSS_REQUIRE(a.drift_fraction > 0.0 && a.drift_fraction <= 1.0,
+              "adaptive.drift_fraction must be in (0, 1]");
+  LSS_REQUIRE(a.min_gain >= 0.0, "adaptive.min_gain must be >= 0");
+  LSS_REQUIRE(a.max_migrations >= 0,
+              "adaptive.max_migrations must be >= 0");
+  for (const std::string& c : a.candidates)
+    LSS_REQUIRE(scheme_family(c) == SchemeFamily::Simple,
+                "adaptive.candidates entry '" + c +
+                    "' is not a simple scheme (migration targets must "
+                    "be simple-family)");
+  Index prev = -1;
+  for (const AdaptivePolicy::Forced& f : a.force) {
+    LSS_REQUIRE(f.at >= 0, "adaptive.force entry has at = " +
+                               std::to_string(f.at) + " (must be >= 0)");
+    LSS_REQUIRE(f.at > prev,
+                "adaptive.force entries must be strictly increasing "
+                "in 'at' (got " +
+                    std::to_string(f.at) + " after " +
+                    std::to_string(prev) + ")");
+    prev = f.at;
+    LSS_REQUIRE(scheme_family(f.to) == SchemeFamily::Simple,
+                "adaptive.force target '" + f.to +
+                    "' is not a simple scheme (migration targets must "
+                    "be simple-family)");
+  }
+}
+
+json::Value SchedulerDesc::to_json_value() const {
+  using json::Value;
+  if (trivial()) return Value(scheme);
+  json::Object doc{{"scheme", Value(scheme)}};
+  if (!static_acps.empty()) {
+    json::Array acps;
+    for (double v : static_acps) acps.emplace_back(v);
+    doc.emplace_back("static_acps", Value(std::move(acps)));
+  }
+  if (adaptive.active()) {
+    const AdaptivePolicy def;
+    json::Object a;
+    if (adaptive.enabled) a.emplace_back("enabled", Value(true));
+    if (adaptive.check_every != def.check_every)
+      a.emplace_back("check_every", Value(adaptive.check_every));
+    if (adaptive.drift_threshold != def.drift_threshold)
+      a.emplace_back("drift_threshold", Value(adaptive.drift_threshold));
+    if (adaptive.drift_fraction != def.drift_fraction)
+      a.emplace_back("drift_fraction", Value(adaptive.drift_fraction));
+    if (adaptive.min_gain != def.min_gain)
+      a.emplace_back("min_gain", Value(adaptive.min_gain));
+    if (adaptive.max_migrations != def.max_migrations)
+      a.emplace_back("max_migrations", Value(adaptive.max_migrations));
+    if (!adaptive.candidates.empty()) {
+      json::Array cs;
+      for (const std::string& c : adaptive.candidates) cs.emplace_back(c);
+      a.emplace_back("candidates", Value(std::move(cs)));
+    }
+    if (adaptive.replay_seed != def.replay_seed)
+      a.emplace_back("replay_seed",
+                     Value(static_cast<std::int64_t>(adaptive.replay_seed)));
+    if (!adaptive.force.empty()) {
+      json::Array fs;
+      for (const AdaptivePolicy::Forced& f : adaptive.force)
+        fs.emplace_back(json::Object{{"at", Value(f.at)},
+                                     {"to", Value(f.to)}});
+      a.emplace_back("force", Value(std::move(fs)));
+    }
+    doc.emplace_back("adaptive", Value(std::move(a)));
+  }
+  return Value(std::move(doc));
+}
+
+SchedulerDesc SchedulerDesc::from_json_value(const json::Value& value,
+                                             const std::string& what) {
+  SchedulerDesc out;
+  if (value.is_string()) {
+    out.scheme = value.as_string();
+    return out;
+  }
+  LSS_REQUIRE(value.is_object(),
+              what + " must be a spec string or an object");
+  for (const auto& [key, v] : value.as_object()) {
+    require_known(key, desc_keys(), what);
+    if (key == "scheme") {
+      out.scheme = v.as_string();
+    } else if (key == "static_acps") {
+      for (const json::Value& a : v.as_array())
+        out.static_acps.push_back(a.as_number());
+    } else if (key == "adaptive") {
+      out.adaptive = adaptive_from_json(v, what + " key 'adaptive'");
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> default_adaptive_candidates() {
+  // Deterministic simple schemes spanning the chunk-size spectrum:
+  // one static extreme, the classic decreasing-chunk family, and a
+  // fixed-size middle ground. (ss is omitted — per-iteration grants
+  // are never worth a migration in the regimes the replayer models.)
+  return {"static", "css", "gss", "tss", "fss"};
+}
+
+}  // namespace lss

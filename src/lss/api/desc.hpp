@@ -1,0 +1,119 @@
+// lss::SchedulerDesc — the one scheduler description every layer
+// consumes.
+//
+// Before this type, "which scheduler" traveled as a bare spec string
+// and every adaptive/ACP knob would have needed its own field on
+// every config struct (RtConfig, MasterConfig, rt::JobSpec, the sim,
+// four CLIs). SchedulerDesc bundles the spec string, an optional
+// static ACP source, and the adaptive (replan/migration) policy into
+// one value with one validator and one JSON shape:
+//
+//   lss::SchedulerDesc d = "gss:k=2";          // implicit, spec only
+//   d.adaptive.enabled = true;                  // self-tuning on
+//   d.adaptive.force.push_back({500, "tss"});   // scripted migration
+//
+// JSON: a bare string ("tss") is the trivial shorthand; the full form
+// is an object {"scheme": ..., "static_acps": [...], "adaptive":
+// {...}} with unknown keys rejected by name, like rt::JobSpec.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lss/support/json.hpp"
+#include "lss/support/types.hpp"
+
+namespace lss {
+
+/// Mid-loop self-tuning policy (DESIGN.md §16): when and how the
+/// runtime may replan — refresh a distributed scheme's ACPs, or
+/// migrate a simple scheme to a better one chosen by simulator
+/// replay of the remaining iterations.
+struct AdaptivePolicy {
+  /// Master switch for *organic* (drift-triggered) adaptation. The
+  /// scripted `force` list below works even when this is false.
+  bool enabled = false;
+  /// Iterations granted between drift checks; 0 picks total/16
+  /// (clamped to >= 1) at run time.
+  Index check_every = 0;
+  /// A PE has drifted when its observed throughput deviates from its
+  /// baseline by more than this relative fraction.
+  double drift_threshold = 0.25;
+  /// Replan when more than this fraction of PEs drifted — the
+  /// paper's ">half the A_i changed" rule generalized.
+  double drift_fraction = 0.5;
+  /// Hysteresis: only migrate when the replayed winner predicts at
+  /// least this relative improvement over staying put.
+  double min_gain = 0.05;
+  /// Hard cap on migrations per run (replans of a distributed
+  /// scheme's ACPs are not migrations and are not counted).
+  int max_migrations = 4;
+  /// Candidate schemes the replayer scores; empty = a built-in set
+  /// of deterministic simple schemes. Migration targets must be
+  /// simple-family (a distributed scheme already self-adapts through
+  /// its ACP feedback loop).
+  std::vector<std::string> candidates;
+  /// Seed for the replay simulations — forwarded so live-triggered
+  /// replays stay reproducible (sim replay determinism contract).
+  std::uint64_t replay_seed = 1;
+
+  /// Scripted migration: switch to scheme `to` at the first chunk
+  /// boundary at or past `at` assigned iterations. Deterministic by
+  /// construction — every party can compute the resulting plan from
+  /// the desc alone, which is what keeps the masterless path open.
+  struct Forced {
+    Index at = 0;
+    std::string to;
+  };
+  /// Forced cut list, strictly increasing in `at`. Applied before —
+  /// and counted against — max_migrations.
+  std::vector<Forced> force;
+
+  /// Whether this policy can change anything at run time.
+  bool active() const { return enabled || !force.empty(); }
+};
+
+/// The unified scheduler description: scheme spec + ACP source +
+/// adaptive policy. Implicitly constructible from a spec string so
+/// `config.scheduler = "gss:k=2"` keeps working everywhere.
+struct SchedulerDesc {
+  /// Any spec the unified registry resolves — simple ("tss",
+  /// "gss:k=2"), distributed ("dtss"), or wrapped ("dist(gss:k=2)").
+  std::string scheme = "tss";
+  /// Static ACP override, one entry per PE. Empty = derive from the
+  /// host's cluster model (relative speeds / run queues), which is
+  /// what every pre-existing caller did.
+  std::vector<double> static_acps;
+  /// Self-tuning policy; inert by default.
+  AdaptivePolicy adaptive;
+
+  SchedulerDesc() = default;
+  SchedulerDesc(std::string spec) : scheme(std::move(spec)) {}
+  SchedulerDesc(std::string_view spec) : scheme(spec) {}
+  SchedulerDesc(const char* spec) : scheme(spec) {}
+
+  /// True when only the scheme string carries information — the form
+  /// that serializes to the bare-string JSON shorthand.
+  bool trivial() const { return static_acps.empty() && !adaptive.active(); }
+
+  /// Throws lss::ContractError naming the offender: unknown scheme
+  /// (registry diagnostics), bad adaptive knobs, non-simple or
+  /// unknown migration targets, a non-increasing force list.
+  void validate() const;
+
+  /// JSON: trivial descs dump as the bare spec string, everything
+  /// else as the full object. from_json_value accepts both shapes;
+  /// `what` names the enclosing key in diagnostics (e.g. "job spec
+  /// key 'scheduler'").
+  json::Value to_json_value() const;
+  static SchedulerDesc from_json_value(const json::Value& value,
+                                       const std::string& what);
+};
+
+/// The built-in candidate set used when AdaptivePolicy::candidates is
+/// empty: deterministic simple schemes spanning the chunking spectrum.
+std::vector<std::string> default_adaptive_candidates();
+
+}  // namespace lss

@@ -68,6 +68,28 @@ Range Scheduler::next(int pe, double acp) {
   return dist_ ? dist_->next(pe, acp) : simple_->next(pe);
 }
 
+SchedulerSnapshot Scheduler::snapshot() const {
+  SchedulerSnapshot out;
+  out.name = name();
+  out.family = family();
+  out.total = total();
+  out.assigned = assigned();
+  out.remaining = remaining();
+  out.steps = steps();
+  out.remaining_range = remaining_range();
+  if (dist_) {
+    out.replans = dist_->replans();
+    out.acps.reserve(static_cast<std::size_t>(num_pes()));
+    for (int pe = 0; pe < num_pes(); ++pe)
+      out.acps.push_back(std::as_const(*dist_).acpsa().get(pe));
+  }
+  return out;
+}
+
+void Scheduler::update_acp(const std::vector<double>& acps) {
+  if (dist_) dist_->update_acp(acps);
+}
+
 std::unique_ptr<sched::ChunkScheduler> Scheduler::take_simple() && {
   LSS_REQUIRE(simple_ != nullptr,
               "scheduler is distributed; use take_dist()");
@@ -95,13 +117,12 @@ struct Registry {
 
 Scheduler make_simple_entry(const std::string& spec, Index total,
                             int num_pes) {
-  return Scheduler(sched::SchemeSpec::parse(spec).make(total, num_pes));
+  return Scheduler(sched::make_scheme(spec, total, num_pes));
 }
 
 Scheduler make_dist_entry(const std::string& spec, Index total,
                           int num_pes) {
-  return Scheduler(
-      distsched::DistSchemeSpec::parse(spec).make(total, num_pes));
+  return Scheduler(distsched::make_dist_scheme(spec, total, num_pes));
 }
 
 Registry& registry() {
@@ -113,7 +134,7 @@ Registry& registry() {
           Entry{SchemeInfo{name, family, params}, std::move(make)});
     };
     // Simple schemes (paper §2) — parameter grammar per
-    // sched::SchemeSpec.
+    // sched/factory.
     add("static", SchemeFamily::Simple, "", make_simple_entry);
     add("ss", SchemeFamily::Simple, "", make_simple_entry);
     add("css", SchemeFamily::Simple, "k=<chunk>", make_simple_entry);
@@ -132,7 +153,7 @@ Registry& registry() {
         "weights=<w1;w2;...>,alpha=<a>,rounding=<mode>",
         make_simple_entry);
     // Distributed schemes (paper §3.1, §6) — grammar per
-    // distsched::DistSchemeSpec.
+    // distsched/dfactory.
     add("dtss", SchemeFamily::Distributed, "", make_dist_entry);
     add("dfss", SchemeFamily::Distributed, "alpha=<a>", make_dist_entry);
     add("dfiss", SchemeFamily::Distributed, "sigma=<stages>,x=<x>",

@@ -1,9 +1,9 @@
 // The single scheduler-construction entry point.
 //
 // Before this layer, callers had to know whether a scheme was
-// "simple" (lss::sched::SchemeSpec / make_scheduler) or
-// "distributed" (lss::distsched dfactory) before they could build
-// it. lss::make_scheduler resolves both grammars from one string:
+// "simple" (lss::sched factory) or "distributed" (lss::distsched
+// dfactory) before they could build it. lss::make_scheduler resolves
+// both grammars from one string:
 //
 //   auto gss  = lss::make_scheduler("gss:k=2",       1000, 8);
 //   auto dtss = lss::make_scheduler("dtss",          1000, 8);
@@ -11,9 +11,9 @@
 //
 // Construction goes through a name registry: every scheme (built-in
 // or registered at runtime via register_scheme) maps its leading name
-// to a family and a maker. The typed spec parsers
-// (sched::SchemeSpec, distsched::DistSchemeSpec) remain the parameter
-// grammar underneath.
+// to a family and a maker. The per-family factories
+// (sched::make_scheme, distsched::make_dist_scheme) remain the
+// parameter grammar underneath.
 #pragma once
 
 #include <functional>
@@ -38,6 +38,23 @@ struct SchemeInfo {
   std::string name;    ///< registry key, e.g. "gss", "dtss", "dist"
   SchemeFamily family;
   std::string params;  ///< parameter grammar, e.g. "k=<min chunk>"
+};
+
+/// A point-in-time view of a scheduler's progress — what the
+/// adaptive replanner (lss/adapt) snapshots before scoring candidate
+/// schemes over the remaining iterations. Both families grant from a
+/// contiguous cursor, so the un-assigned work is always the suffix
+/// `remaining_range` = [assigned, total).
+struct SchedulerSnapshot {
+  std::string name;
+  SchemeFamily family = SchemeFamily::Simple;
+  Index total = 0;
+  Index assigned = 0;
+  Index remaining = 0;
+  Index steps = 0;
+  Range remaining_range{};
+  int replans = 0;           ///< distributed only; 0 for simple
+  std::vector<double> acps;  ///< distributed only: current ACPSA
 };
 
 /// Unified owning handle over either scheduler family. next()/done()
@@ -68,6 +85,20 @@ class Scheduler {
   /// Serves PE `pe`. `acp` is consumed by distributed schemes and
   /// ignored by simple ones, so hosts can drive both uniformly.
   Range next(int pe, double acp = 1.0);
+
+  /// The contiguous un-assigned suffix [assigned(), total()) — the
+  /// iteration range a migration or replay covers.
+  Range remaining_range() const { return Range{assigned(), total()}; }
+
+  /// Progress snapshot for replanning and diagnostics.
+  SchedulerSnapshot snapshot() const;
+
+  /// Refreshes every A_i at once and replans over the remaining
+  /// iterations (distributed schemes; counted in their replans()).
+  /// A typed no-op for simple schemes, which are power-oblivious —
+  /// callers drive both families uniformly and check snapshot()
+  /// .replans when they care whether anything happened.
+  void update_acp(const std::vector<double>& acps);
 
   /// nullptr when the scheduler is of the other family.
   sched::ChunkScheduler* simple() { return simple_.get(); }

@@ -6,32 +6,43 @@
 #include "lss/distsched/dtfss.hpp"
 #include "lss/distsched/dtss.hpp"
 #include "lss/distsched/weighted_adapter.hpp"
+#include "lss/sched/factory.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/support/strings.hpp"
 
 namespace lss::distsched {
 
-DistSchemeSpec DistSchemeSpec::parse(std::string_view spec) {
-  DistSchemeSpec out;
-  out.spec_ = std::string(trim(spec));
-  LSS_REQUIRE(!out.spec_.empty(), "empty scheme spec");
+namespace {
+
+struct Parsed {
+  std::string kind;
+  std::string inner;  // for dist(...)
+  double alpha = 2.0;
+  int sigma = 3;
+  int x = -1;
+};
+
+Parsed parse(std::string_view spec) {
+  Parsed out;
+  const std::string s{trim(spec)};
+  LSS_REQUIRE(!s.empty(), "empty scheme spec");
 
   // dist(<simple-spec>) — generic adapter.
-  if (out.spec_.rfind("dist(", 0) == 0) {
-    LSS_REQUIRE(out.spec_.back() == ')', "dist(...) missing ')'");
-    out.kind_ = "dist";
-    out.inner_ = out.spec_.substr(5, out.spec_.size() - 6);
-    sched::SchemeSpec::parse(out.inner_);  // validate eagerly
+  if (s.rfind("dist(", 0) == 0) {
+    LSS_REQUIRE(s.back() == ')', "dist(...) missing ')'");
+    out.kind = "dist";
+    out.inner = s.substr(5, s.size() - 6);
+    sched::validate_scheme(out.inner);  // validate eagerly
     return out;
   }
 
-  const auto colon = out.spec_.find(':');
-  out.kind_ = to_lower(trim(out.spec_.substr(0, colon)));
+  const auto colon = s.find(':');
+  out.kind = to_lower(trim(s.substr(0, colon)));
 
-  const auto known = known_schemes();
+  const auto known = known_dist_schemes();
   bool kind_ok = false;
-  for (const std::string& name : known) kind_ok = kind_ok || name == out.kind_;
-  LSS_REQUIRE(kind_ok, "unknown distributed scheme: '" + out.kind_ +
+  for (const std::string& name : known) kind_ok = kind_ok || name == out.kind;
+  LSS_REQUIRE(kind_ok, "unknown distributed scheme: '" + out.kind +
                            "'; known schemes: " + join(known, ", ") +
                            " — or dist(<simple-spec>)");
 
@@ -39,9 +50,9 @@ DistSchemeSpec DistSchemeSpec::parse(std::string_view spec) {
     // Keys each distributed scheme consumes; anything else is a
     // misconfiguration, not a silent no-op.
     std::vector<std::string> accepted;
-    if (out.kind_ == "dfss" || out.kind_ == "awf") accepted = {"alpha"};
-    if (out.kind_ == "dfiss") accepted = {"sigma", "x"};
-    for (const std::string& kv : split(out.spec_.substr(colon + 1), ',')) {
+    if (out.kind == "dfss" || out.kind == "awf") accepted = {"alpha"};
+    if (out.kind == "dfiss") accepted = {"sigma", "x"};
+    for (const std::string& kv : split(s.substr(colon + 1), ',')) {
       const auto eq = kv.find('=');
       LSS_REQUIRE(eq != std::string::npos,
                   "malformed parameter (want key=value): '" + kv + "'");
@@ -50,42 +61,47 @@ DistSchemeSpec DistSchemeSpec::parse(std::string_view spec) {
       bool key_ok = false;
       for (const std::string& k : accepted) key_ok = key_ok || k == key;
       LSS_REQUIRE(key_ok,
-                  "scheme '" + out.kind_ + "' does not accept parameter '" +
+                  "scheme '" + out.kind + "' does not accept parameter '" +
                       key + "'" +
                       (accepted.empty()
                            ? " (it takes no parameters)"
                            : " (accepts: " + join(accepted, ", ") + ")"));
       if (key == "alpha") {
-        out.alpha_ = parse_double(value);
+        out.alpha = parse_double(value);
       } else if (key == "sigma") {
-        out.sigma_ = static_cast<int>(parse_int(value));
+        out.sigma = static_cast<int>(parse_int(value));
       } else if (key == "x") {
-        out.x_ = static_cast<int>(parse_int(value));
+        out.x = static_cast<int>(parse_int(value));
       }
     }
   }
   return out;
 }
 
-std::unique_ptr<DistScheduler> DistSchemeSpec::make(Index total,
-                                                    int num_pes) const {
-  if (kind_ == "dtss") return std::make_unique<DtssScheduler>(total, num_pes);
-  if (kind_ == "dfss")
-    return std::make_unique<DfssScheduler>(total, num_pes, alpha_);
-  if (kind_ == "dfiss")
-    return std::make_unique<DfissScheduler>(total, num_pes, sigma_, x_);
-  if (kind_ == "dtfss")
+}  // namespace
+
+std::unique_ptr<DistScheduler> make_dist_scheme(std::string_view spec,
+                                                Index total, int num_pes) {
+  const Parsed p = parse(spec);
+  if (p.kind == "dtss") return std::make_unique<DtssScheduler>(total, num_pes);
+  if (p.kind == "dfss")
+    return std::make_unique<DfssScheduler>(total, num_pes, p.alpha);
+  if (p.kind == "dfiss")
+    return std::make_unique<DfissScheduler>(total, num_pes, p.sigma, p.x);
+  if (p.kind == "dtfss")
     return std::make_unique<DtfssScheduler>(total, num_pes);
-  if (kind_ == "awf")
-    return std::make_unique<AwfScheduler>(total, num_pes, alpha_);
-  if (kind_ == "dist")
-    return std::make_unique<WeightedAdapterScheduler>(
-        total, num_pes, sched::SchemeSpec::parse(inner_));
+  if (p.kind == "awf")
+    return std::make_unique<AwfScheduler>(total, num_pes, p.alpha);
+  if (p.kind == "dist")
+    return std::make_unique<WeightedAdapterScheduler>(total, num_pes,
+                                                      p.inner);
   LSS_ASSERT(false, "unreachable: kind validated in parse()");
   return nullptr;
 }
 
-std::vector<std::string> DistSchemeSpec::known_schemes() {
+void validate_dist_scheme(std::string_view spec) { (void)parse(spec); }
+
+std::vector<std::string> known_dist_schemes() {
   return {"dtss", "dfss", "dfiss", "dtfss", "awf", "dist"};
 }
 

@@ -3,6 +3,9 @@
 // Spec grammar:  name[:key=value[,...]]
 //   dtss | dfss[:alpha=2] | dfiss[:sigma=3,x=5] | dtfss |
 //   awf[:alpha=2] | dist(<simple-spec>)   e.g. dist(gss:k=2)
+//
+// Free functions, mirroring sched/factory: the spec string is the
+// portable representation, parsed fresh per construction.
 #pragma once
 
 #include <memory>
@@ -14,24 +17,17 @@
 
 namespace lss::distsched {
 
-class DistSchemeSpec {
- public:
-  static DistSchemeSpec parse(std::string_view spec);
+/// Builds a distributed scheduler from `spec`. Throws
+/// lss::ContractError on unknown names or malformed parameters,
+/// naming the offender.
+std::unique_ptr<DistScheduler> make_dist_scheme(std::string_view spec,
+                                                Index total, int num_pes);
 
-  const std::string& kind() const { return kind_; }
-  std::string spec_string() const { return spec_; }
+/// Parses without constructing. Throws exactly when make_dist_scheme
+/// would.
+void validate_dist_scheme(std::string_view spec);
 
-  std::unique_ptr<DistScheduler> make(Index total, int num_pes) const;
-
-  static std::vector<std::string> known_schemes();
-
- private:
-  std::string kind_;
-  std::string spec_;
-  std::string inner_;  // for dist(...)
-  double alpha_ = 2.0;
-  int sigma_ = 3;
-  int x_ = -1;
-};
+/// Names of all distributed schemes the factory understands.
+std::vector<std::string> known_dist_schemes();
 
 }  // namespace lss::distsched

@@ -50,6 +50,21 @@ Range DistScheduler::next(int pe, double acp) {
   return granted;
 }
 
+void DistScheduler::update_acp(const std::vector<double>& acps) {
+  LSS_REQUIRE(initialized_, "call initialize() before update_acp()");
+  LSS_REQUIRE(static_cast<int>(acps.size()) == num_pes_,
+              "need one ACP per PE");
+  double sum = 0.0;
+  for (int pe = 0; pe < num_pes_; ++pe) {
+    acpsa_.update(pe, acps[static_cast<std::size_t>(pe)]);
+    sum += acps[static_cast<std::size_t>(pe)];
+  }
+  LSS_REQUIRE(sum > 0.0, "at least one PE must have positive ACP");
+  acpsa_.mark_planned();
+  plan(remaining());
+  ++replans_;
+}
+
 void DistScheduler::on_granted(int /*pe*/, Index /*granted*/) {}
 
 void DistScheduler::on_feedback(int /*pe*/, Index /*iterations*/,

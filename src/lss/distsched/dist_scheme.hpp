@@ -59,6 +59,12 @@ class DistScheduler {
   int replans() const { return replans_; }
   bool initialized() const { return initialized_; }
 
+  /// Replaces every stored A_i at once and replans over the
+  /// remaining iterations — the paper's step-2c replan promoted to a
+  /// typed hook (the adaptive layer and SiL experiments drive it).
+  /// Counted in replans(). Requires initialize() first.
+  void update_acp(const std::vector<double>& acps);
+
   /// Disable the step-2c majority-change replanning (for ablation:
   /// the ACPSA still tracks fresh A_i, but scheme parameters stay
   /// fixed after the initial plan).

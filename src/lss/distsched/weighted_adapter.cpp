@@ -3,16 +3,17 @@
 #include <cmath>
 #include <utility>
 
+#include "lss/sched/factory.hpp"
 #include "lss/support/assert.hpp"
 
 namespace lss::distsched {
 
-WeightedAdapterScheduler::WeightedAdapterScheduler(
-    Index total, int num_pes, sched::SchemeSpec simple_spec)
+WeightedAdapterScheduler::WeightedAdapterScheduler(Index total, int num_pes,
+                                                   std::string simple_spec)
     : DistScheduler(total, num_pes), simple_spec_(std::move(simple_spec)) {}
 
 std::string WeightedAdapterScheduler::name() const {
-  return "dist(" + simple_spec_.spec_string() + ")";
+  return "dist(" + simple_spec_ + ")";
 }
 
 void WeightedAdapterScheduler::plan(Index /*remaining_total*/) {
@@ -23,7 +24,7 @@ Index WeightedAdapterScheduler::propose_chunk(int pe) {
   if (stage_left_ == 0) {
     // SC_k = what the simple scheme would hand to p PEs next, given
     // the remaining iterations.
-    auto simple = simple_spec_.make(remaining(), num_pes());
+    auto simple = sched::make_scheme(simple_spec_, remaining(), num_pes());
     double sum = 0.0;
     for (int j = 0; j < num_pes() && !simple->done(); ++j)
       sum += static_cast<double>(simple->next(j).size());

@@ -12,15 +12,18 @@
 // up to rounding.
 #pragma once
 
+#include <string>
+
 #include "lss/distsched/dist_scheme.hpp"
-#include "lss/sched/factory.hpp"
 
 namespace lss::distsched {
 
 class WeightedAdapterScheduler final : public DistScheduler {
  public:
+  /// `simple_spec` is the inner simple-scheme spec string (already
+  /// validated by the factory), e.g. "gss:k=2".
   WeightedAdapterScheduler(Index total, int num_pes,
-                           sched::SchemeSpec simple_spec);
+                           std::string simple_spec);
 
   std::string name() const override;
 
@@ -30,7 +33,7 @@ class WeightedAdapterScheduler final : public DistScheduler {
   void on_granted(int pe, Index granted) override;
 
  private:
-  sched::SchemeSpec simple_spec_;
+  std::string simple_spec_;
   int stage_left_ = 0;
   double stage_total_ = 0.0;
 };

@@ -54,6 +54,7 @@
 #include "lss/distsched/weighted_adapter.hpp"
 
 // Unified scheduler construction (both families, one registry)
+#include "lss/api/desc.hpp"
 #include "lss/api/scheduler.hpp"
 
 // Tree Scheduling (§5, §6.1)

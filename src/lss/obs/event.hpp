@@ -32,6 +32,9 @@ enum class EventKind : std::uint8_t {
                    ///< (a = pipeline depth after the grant)
   PipelineStall,   ///< `pe`'s grant pipeline ran dry and it had to
                    ///< wait (a = idle gap in nanoseconds)
+  Migration,       ///< adaptive scheme swap fenced at a chunk
+                   ///< boundary (range = the uncovered suffix the new
+                   ///< scheme replans, a = migration ordinal)
 };
 
 std::string to_string(EventKind kind);

@@ -131,6 +131,11 @@ std::string chrome_trace_json(std::span<const Event> events,
             e, pid, "pipeline-stall",
             "\"gap_ns\":" + std::to_string(e.a)));
         break;
+      case EventKind::Migration:
+        records.push_back(instant_event(
+            e, pid, "migration " + range_suffix(e.range),
+            "\"ordinal\":" + std::to_string(e.a)));
+        break;
     }
   }
   for (const auto& [pe, start] : pending)

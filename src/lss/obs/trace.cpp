@@ -31,6 +31,8 @@ std::string to_string(EventKind kind) {
       return "prefetch-granted";
     case EventKind::PipelineStall:
       return "pipeline-stall";
+    case EventKind::Migration:
+      return "migration";
   }
   return "?";
 }

@@ -115,10 +115,10 @@ class CounterDispatcher final : public ChunkDispatcher {
 // ChunkScheduler::next().
 class LockedDispatcher final : public ChunkDispatcher {
  public:
-  LockedDispatcher(Index total, int num_pes, sched::SchemeSpec spec)
+  LockedDispatcher(Index total, int num_pes, std::string spec)
       : ChunkDispatcher(total, num_pes),
         spec_(std::move(spec)),
-        scheduler_(spec_.make(total, num_pes)) {}
+        scheduler_(sched::make_scheme(spec_, total, num_pes)) {}
 
   Range next(int pe) override {
     Range r;
@@ -132,7 +132,7 @@ class LockedDispatcher final : public ChunkDispatcher {
 
   void reset() override {
     std::lock_guard<std::mutex> lock(mu_);
-    scheduler_ = spec_.make(total(), num_pes());
+    scheduler_ = sched::make_scheme(spec_, total(), num_pes());
   }
 
   DispatchPath path() const override { return DispatchPath::Locked; }
@@ -148,7 +148,7 @@ class LockedDispatcher final : public ChunkDispatcher {
   }
 
  private:
-  sched::SchemeSpec spec_;
+  std::string spec_;
   mutable std::mutex mu_;
   std::unique_ptr<sched::ChunkScheduler> scheduler_;
 };
@@ -166,27 +166,30 @@ bool has_deterministic_sequence(const std::string& kind) {
 std::unique_ptr<ChunkDispatcher> make_dispatcher(
     std::string_view spec, Index total, int num_pes,
     const DispatcherOptions& options) {
-  sched::SchemeSpec parsed = sched::SchemeSpec::parse(spec);
+  const std::string kind = sched::scheme_kind(spec);
   if (options.force_locked)
     return std::make_unique<LockedDispatcher>(total, num_pes,
-                                              std::move(parsed));
-  if (parsed.kind() == "ss") {
-    const auto scheduler = parsed.make(total, num_pes);
+                                              std::string(spec));
+  if (kind == "ss") {
+    const auto scheduler = sched::make_scheme(spec, total, num_pes);
     return std::make_unique<CounterDispatcher>(total, num_pes,
                                                scheduler->name());
   }
-  if (has_deterministic_sequence(parsed.kind())) {
-    const auto scheduler = parsed.make(total, num_pes);
+  if (has_deterministic_sequence(kind)) {
+    const auto scheduler = sched::make_scheme(spec, total, num_pes);
     std::vector<Range> table = sched::chunk_table(*scheduler);
     return std::make_unique<TableDispatcher>(total, num_pes,
                                              scheduler->name(),
                                              std::move(table));
   }
   return std::make_unique<LockedDispatcher>(total, num_pes,
-                                            std::move(parsed));
+                                            std::string(spec));
 }
 
-bool masterless_supported(std::string_view spec, std::string* why) {
+namespace {
+
+/// Spec-only half of the masterless test: family + grant determinism.
+bool spec_masterless_supported(std::string_view spec, std::string* why) {
   if (scheme_family(spec) != SchemeFamily::Simple) {
     // Distributed schemes replan on live feedback: no worker can
     // replay a grant sequence that depends on everyone's measurements.
@@ -194,33 +197,88 @@ bool masterless_supported(std::string_view spec, std::string* why) {
       *why = "distributed schemes need the ACP-aware mediating master";
     return false;
   }
-  const sched::SchemeSpec parsed = sched::SchemeSpec::parse(spec);
-  if (parsed.kind() == "ss" || has_deterministic_sequence(parsed.kind()))
-    return true;
+  const std::string kind = sched::scheme_kind(spec);
+  if (kind == "ss" || has_deterministic_sequence(kind)) return true;
   if (why)
-    *why = parsed.kind() +
+    *why = kind +
            " has no deterministic grant sequence; only the master can "
            "serve it";
   return false;
 }
 
-bool masterless_supported(std::string_view spec) {
-  return masterless_supported(spec, nullptr);
+}  // namespace
+
+bool masterless_supported(const SchedulerDesc& desc, std::string* why) {
+  if (desc.adaptive.enabled) {
+    // Organic (drift-triggered) migration decisions are made from the
+    // live feedback stream only the mediating master aggregates; no
+    // worker could replay them. Scripted cuts below are fine: the
+    // force list is shared state, like the scheme itself.
+    if (why)
+      *why = "organic adaptive replanning needs the mediating master's "
+             "feedback stream; use scripted (force) migrations for the "
+             "masterless path";
+    return false;
+  }
+  if (!spec_masterless_supported(desc.scheme, why)) return false;
+  for (const AdaptivePolicy::Forced& f : desc.adaptive.force)
+    if (!spec_masterless_supported(f.to, why)) return false;
+  return true;
 }
 
-MasterlessPlan::MasterlessPlan(std::string_view spec, Index total,
+bool masterless_supported(const SchedulerDesc& desc) {
+  return masterless_supported(desc, nullptr);
+}
+
+MasterlessPlan::MasterlessPlan(const SchedulerDesc& desc, Index total,
                                int num_pes)
     : total_(total), num_pes_(num_pes) {
   LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
   LSS_REQUIRE(num_pes >= 1, "need at least one PE");
+  desc.validate();
   std::string why;
-  LSS_REQUIRE(masterless_supported(spec, &why),
-              "no masterless form for '" + std::string(spec) + "': " + why);
-  const sched::SchemeSpec parsed = sched::SchemeSpec::parse(spec);
-  const auto scheduler = parsed.make(total, num_pes);
-  name_ = scheduler->name();
-  counter_mode_ = parsed.kind() == "ss";
-  if (!counter_mode_) table_ = sched::chunk_table(*scheduler);
+  LSS_REQUIRE(masterless_supported(desc, &why),
+              "no masterless form for '" + desc.scheme + "': " + why);
+
+  if (desc.adaptive.force.empty()) {
+    const auto scheduler = sched::make_scheme(desc.scheme, total, num_pes);
+    name_ = scheduler->name();
+    counter_mode_ = sched::scheme_kind(desc.scheme) == "ss";
+    if (!counter_mode_) table_ = sched::chunk_table(*scheduler);
+    return;
+  }
+
+  // Scripted migrations: one concatenated table. Every party derives
+  // the same segment boundaries from the same desc, so the shared
+  // ticket counter still indexes an identical plan everywhere — the
+  // migration needs no extra protocol. A cut at `at` takes effect at
+  // the first chunk boundary at or past `at` assigned iterations,
+  // exactly the fencing rule the mediated paths use. Segments always
+  // materialize a table (even for ss, whose table is unit chunks):
+  // counter mode cannot express a scheme change.
+  Index covered = 0;
+  std::size_t next_cut = 0;
+  std::string current = desc.scheme;
+  const auto& force = desc.adaptive.force;
+  name_ = "";
+  while (covered < total || name_.empty()) {
+    while (next_cut < force.size() && force[next_cut].at <= covered) {
+      current = force[next_cut].to;
+      ++next_cut;
+    }
+    const auto scheduler =
+        sched::make_scheme(current, total - covered, num_pes);
+    if (!name_.empty()) name_ += "->";
+    name_ += scheduler->name();
+    if (covered >= total) break;
+    const Index due =
+        next_cut < force.size() ? force[next_cut].at : total;
+    for (const Range& r : sched::chunk_table(*scheduler)) {
+      table_.push_back(Range{r.begin + covered, r.end + covered});
+      if (table_.back().end >= due) break;
+    }
+    covered = table_.back().end;
+  }
 }
 
 Range MasterlessPlan::chunk(std::uint64_t t) const {

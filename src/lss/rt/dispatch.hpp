@@ -31,6 +31,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lss/api/desc.hpp"
 #include "lss/support/types.hpp"
 
 namespace lss::rt {
@@ -93,7 +94,7 @@ struct DispatcherOptions {
   bool force_locked = false;
 };
 
-/// Builds the best dispatcher for `spec` (see sched::SchemeSpec):
+/// Builds the best dispatcher for `spec` (see sched/factory):
 /// lock-free table for deterministic schemes, atomic counter for ss,
 /// locked scheduler otherwise. Throws lss::ContractError on unknown
 /// schemes, like the scheme factory.
@@ -101,13 +102,20 @@ std::unique_ptr<ChunkDispatcher> make_dispatcher(
     std::string_view spec, Index total, int num_pes,
     const DispatcherOptions& options = {});
 
-/// True when `spec` has a masterless form (DESIGN.md §14): the
+/// True when the desc has a masterless form (DESIGN.md §14): the
 /// deterministic table schemes plus pure ss. Stage-stateful (sss)
 /// and distributed schemes need a mediating master and stay on the
-/// request/grant exchange. Throws on unknown schemes, like the
-/// factory.
-bool masterless_supported(std::string_view spec);
-bool masterless_supported(std::string_view spec, std::string* why);
+/// request/grant exchange; every scripted migration target
+/// (adaptive.force) must itself have a masterless form, and *organic*
+/// adaptive replanning (`adaptive.enabled`) is rejected outright —
+/// drift-triggered decisions depend on live feedback only the
+/// mediating master aggregates, while the forced cut list is part of
+/// the desc every party already shares, so scripted migrations keep
+/// the masterless path (DESIGN.md §16). Implicit conversion makes
+/// `masterless_supported("gss")` keep working. Throws on unknown
+/// schemes, like the factory.
+bool masterless_supported(const SchedulerDesc& desc);
+bool masterless_supported(const SchedulerDesc& desc, std::string* why);
 
 /// The worker-local replay of a scheme's grant sequence — the chunk
 /// *calculation* half of masterless dispatch. Every party (each
@@ -126,9 +134,19 @@ bool masterless_supported(std::string_view spec, std::string* why);
 /// Immutable after construction; share one const instance freely.
 class MasterlessPlan {
  public:
-  /// Throws lss::ContractError when masterless_supported(spec) is
+  /// Throws lss::ContractError when masterless_supported(desc) is
   /// false — callers decide the fallback, the plan never guesses.
-  MasterlessPlan(std::string_view spec, Index total, int num_pes);
+  ///
+  /// Scripted migrations (adaptive.force) become a
+  /// single concatenated table: scheme A's chunks up to the first
+  /// boundary at/past each cut, then the successor scheme replanned
+  /// over the uncovered suffix, shifted into place. Because the cut
+  /// list is part of the desc every worker and the janitor already
+  /// share, the swapped plan needs no protocol change — the ticket
+  /// counter indexes the same table everywhere. Throws when any
+  /// segment lacks a masterless form or the policy is organic
+  /// (adaptive.enabled).
+  MasterlessPlan(const SchedulerDesc& desc, Index total, int num_pes);
 
   /// Tickets in the plan; claims at or past this are the drained
   /// signal.

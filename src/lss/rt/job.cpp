@@ -11,8 +11,8 @@ namespace {
 
 const std::vector<std::string>& job_keys() {
   static const std::vector<std::string> keys = {
-      "scheme",     "relative_speeds", "run_queues", "pipeline_depth",
-      "masterless", "faults",          "priority",   "workload"};
+      "scheme",     "scheduler", "relative_speeds", "run_queues",
+      "pipeline_depth", "masterless", "faults", "priority", "workload"};
   return keys;
 }
 
@@ -34,9 +34,13 @@ void require_known(const std::string& key,
 }  // namespace
 
 void JobSpec::validate() const {
-  // Resolving the family re-uses the registry's own unknown-scheme
-  // diagnostics (it names every known spec).
-  (void)scheme_family(scheme);
+  // Scheme, static ACPs and adaptive policy all validate through the
+  // desc (which re-uses the registry's unknown-scheme diagnostics).
+  scheduler.validate();
+  LSS_REQUIRE(scheduler.static_acps.empty() ||
+                  scheduler.static_acps.size() == relative_speeds.size(),
+              "scheduler.static_acps must be empty or match "
+              "relative_speeds (one entry per worker)");
   LSS_REQUIRE(!relative_speeds.empty(),
               "job needs at least one relative_speeds entry");
   for (std::size_t i = 0; i < relative_speeds.size(); ++i)
@@ -73,14 +77,22 @@ std::string JobSpec::to_json(int indent) const {
                   {"grace", Value(faults.grace)},
                   {"poll_initial", Value(faults.poll_initial)},
                   {"poll_max", Value(faults.poll_max)}};
-  json::Object doc{{"scheme", Value(scheme)},
-                   {"relative_speeds", Value(std::move(speeds))},
+  json::Object doc;
+  // The trivial desc keeps the historical bare-string "scheme" key so
+  // existing job files and golden JSON stay byte-stable; anything
+  // richer needs the full "scheduler" object.
+  if (scheduler.trivial())
+    doc.emplace_back("scheme", Value(scheduler.scheme));
+  else
+    doc.emplace_back("scheduler", scheduler.to_json_value());
+  json::Object rest{{"relative_speeds", Value(std::move(speeds))},
                    {"run_queues", Value(std::move(queues))},
                    {"pipeline_depth", Value(pipeline_depth)},
                    {"masterless", Value(masterless)},
                    {"faults", Value(std::move(fp))},
                    {"priority", Value(priority)},
                    {"workload", Value(workload)}};
+  for (auto& kv : rest) doc.emplace_back(std::move(kv));
   return Value(std::move(doc)).dump(indent);
 }
 
@@ -88,10 +100,17 @@ JobSpec JobSpec::from_json(std::string_view text) {
   const json::Value doc = json::Value::parse(text);
   LSS_REQUIRE(doc.is_object(), "job spec must be a JSON object");
   JobSpec out;
+  bool saw_scheme = false;
+  bool saw_scheduler = false;
   for (const auto& [key, value] : doc.as_object()) {
     require_known(key, job_keys(), "job spec");
     if (key == "scheme") {
-      out.scheme = value.as_string();
+      saw_scheme = true;
+      out.scheduler = SchedulerDesc(value.as_string());
+    } else if (key == "scheduler") {
+      saw_scheduler = true;
+      out.scheduler =
+          SchedulerDesc::from_json_value(value, "job spec key 'scheduler'");
     } else if (key == "relative_speeds") {
       out.relative_speeds.clear();
       for (const json::Value& v : value.as_array())
@@ -120,6 +139,8 @@ JobSpec JobSpec::from_json(std::string_view text) {
       out.workload = value.as_string();
     }
   }
+  LSS_REQUIRE(!(saw_scheme && saw_scheduler),
+              "job spec accepts either 'scheme' or 'scheduler', not both");
   out.validate();
   return out;
 }

@@ -11,7 +11,7 @@
 // ticket counter).
 //
 // Unknown JSON keys are rejected *by name* with the accepted list,
-// exactly like sched::SchemeSpec rejects unknown scheme parameters —
+// exactly like the scheme factory rejects unknown scheme parameters —
 // a misspelled "pipeline_deptth" must fail the submit, not silently
 // run with the default.
 #pragma once
@@ -19,6 +19,8 @@
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "lss/api/desc.hpp"
 
 namespace lss::rt {
 
@@ -40,11 +42,16 @@ struct FaultPolicy {
 };
 
 struct JobSpec {
-  /// Any spec the unified registry resolves — simple ("tss",
-  /// "gss:k=2"), distributed ("dtss", "dfss"), or wrapped
-  /// ("dist(gss:k=2)"). The scheme's registered family decides the
-  /// master's serve path; there is no separate "distributed" switch.
-  std::string scheme = "tss";
+  /// The unified scheduler description (api/desc): the scheme spec —
+  /// any family the registry resolves, simple ("tss", "gss:k=2"),
+  /// distributed ("dtss"), or wrapped ("dist(gss:k=2)") — plus the
+  /// optional static ACPs and adaptive (replan/migration) policy.
+  /// Implicitly constructible from a spec string, so
+  /// `spec.scheduler = "gss:k=2"` is the common form; the scheme's
+  /// registered family decides the master's serve path. In JSON this
+  /// is either the key "scheme" (bare-string shorthand) or the key
+  /// "scheduler" (the full object) — never both.
+  SchedulerDesc scheduler;
   /// One entry per worker, in (0, 1]; 1.0 = full speed. Also used as
   /// the virtual powers for distributed schemes (normalized so the
   /// slowest worker has V = 1). The size of this vector *is* the

@@ -5,10 +5,12 @@
 #include <optional>
 #include <utility>
 
+#include "lss/adapt/controller.hpp"
 #include "lss/api/scheduler.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/rt/masterless.hpp"
 #include "lss/rt/reactor.hpp"
+#include "lss/sched/factory.hpp"
 #include "lss/support/assert.hpp"
 
 namespace lss::rt {
@@ -23,20 +25,39 @@ class SchedulerReactor final : public MasterReactor {
  public:
   SchedulerReactor(mp::Transport& t, const MasterConfig& cfg)
       : MasterReactor(t, cfg) {
-    distributed_ = scheme_family(cfg.scheme) == SchemeFamily::Distributed;
-    if (distributed_)
-      dist_ = lss::make_distributed_scheduler(cfg.scheme, cfg.total,
+    const SchedulerDesc& desc = cfg.scheduler;
+    desc.validate();
+    distributed_ =
+        scheme_family(desc.scheme) == SchemeFamily::Distributed;
+    if (distributed_) {
+      dist_ = lss::make_distributed_scheduler(desc.scheme, cfg.total,
                                               cfg.num_workers);
-    else
-      simple_ = make_dispatcher(cfg.scheme, cfg.total, cfg.num_workers);
-    out_.scheme_name = distributed_ ? dist_->name() : simple_->name();
+      // A distributed scheme already adapts through its ACP feedback
+      // loop; the organic policy just drives the typed update_acp
+      // replan from *measured* rates instead of reported A_i.
+      if (desc.adaptive.enabled)
+        controller_.emplace(desc.adaptive, cfg.total, cfg.num_workers);
+    } else if (desc.adaptive.active()) {
+      // Migratable serve path: the reactor is single-threaded, so the
+      // segment scheduler needs no dispatcher; grants are fenced and
+      // shifted by the retired segments' offset.
+      controller_.emplace(desc.adaptive, cfg.total, cfg.num_workers);
+      spec_ = desc.scheme;
+      seg_ = sched::make_scheme(spec_, cfg.total, cfg.num_workers);
+    } else {
+      simple_ = make_dispatcher(desc.scheme, cfg.total, cfg.num_workers);
+    }
+    out_.scheme_name = distributed_ ? dist_->name()
+                       : seg_      ? seg_->name()
+                                   : simple_->name();
     out_.dispatch_path =
-        distributed_ ? DispatchPath::Locked : simple_->path();
+        (distributed_ || seg_) ? DispatchPath::Locked : simple_->path();
   }
 
  protected:
   Range source_next(int w, double acp) override {
     if (distributed_) {
+      if (controller_) maybe_refresh_acps();
       const int replans_before = dist_->replans();
       const Range chunk = dist_->next(w, acp);
       if (dist_->replans() != replans_before)
@@ -45,12 +66,22 @@ class SchedulerReactor final : public MasterReactor {
       if (!chunk.empty()) obs::emit(obs::EventKind::ChunkGranted, w, chunk);
       return chunk;
     }
+    if (seg_) {
+      maybe_migrate();
+      Range r = seg_->next(w);
+      if (r.empty()) return r;
+      const Range shifted{r.begin + offset_, r.end + offset_};
+      obs::emit(obs::EventKind::ChunkGranted, w, shifted);
+      return shifted;
+    }
     // The dispenser emits its own ChunkGranted events.
     return simple_->next(w);
   }
 
   Index source_remaining() const override {
-    return distributed_ ? dist_->remaining() : simple_->remaining();
+    return distributed_ ? dist_->remaining()
+           : seg_       ? seg_->remaining()
+                        : simple_->remaining();
   }
 
   void before_loop() override {
@@ -59,13 +90,61 @@ class SchedulerReactor final : public MasterReactor {
 
   void after_loop() override {
     if (distributed_) out_.replans = dist_->replans();
+    if (controller_) out_.migrations = controller_->migrations();
   }
 
   void on_feedback(int w, Index iters, double seconds) override {
     if (distributed_) dist_->on_feedback(w, iters, seconds);
+    if (controller_) controller_->note_feedback(w, iters, seconds);
   }
 
  private:
+  // --- adaptive replanning (DESIGN.md §16) -------------------------------
+
+  /// Simple family: asks the controller whether to fence a scheme
+  /// migration at the current chunk boundary. The reactor grants
+  /// single-threaded, so `offset_ + seg_->assigned()` *is* a chunk
+  /// boundary; every grant below the cut belongs to the retiring
+  /// scheme (its outstanding chunks drain or reclaim exactly as
+  /// before — the reclaim pool bypasses the scheduler entirely), and
+  /// the new scheme plans the uncovered suffix [cut, total).
+  void maybe_migrate() {
+    const Index cut = offset_ + seg_->assigned();
+    const auto m = controller_->consider(cut, spec_);
+    if (!m) return;
+    spec_ = m->to;
+    offset_ = cut;
+    seg_ = sched::make_scheme(spec_, cfg_.total - offset_,
+                              cfg_.num_workers);
+    out_.scheme_name += "->" + seg_->name();
+    obs::emit(obs::EventKind::Migration, obs::kMasterPe,
+              Range{offset_, cfg_.total}, controller_->migrations());
+  }
+
+  /// Distributed family, organic policy: on measured drift, feed the
+  /// live rates back as ACPs (the paper's step-2c replan, driven by
+  /// observation instead of self-reported A_i). The controller's
+  /// replay machinery is not consulted — the scheme's own planner is
+  /// the authority on how to split the suffix.
+  void maybe_refresh_acps() {
+    const adapt::ProgressTracker& tr = controller_->progress();
+    const Index assigned = dist_->assigned();
+    const Index cadence = std::max<Index>(cfg_.total / 16, 1);
+    if (assigned - last_refresh_ < cadence) return;
+    const AdaptivePolicy& pol = cfg_.scheduler.adaptive;
+    if (tr.drifted_fraction(pol.drift_threshold) < pol.drift_fraction)
+      return;
+    last_refresh_ = assigned;
+    std::vector<double> rates = tr.rates();
+    double sum = 0.0;
+    for (double r : rates) sum += r;
+    if (sum <= 0.0) return;
+    for (double& r : rates) r /= sum;
+    dist_->update_acp(rates);
+    obs::emit(obs::EventKind::Replan, obs::kMasterPe, {},
+              dist_->replans());
+  }
+
   // --- distributed gather (paper master step 1a) -------------------------
 
   void gather_and_first_serve() {
@@ -110,6 +189,14 @@ class SchedulerReactor final : public MasterReactor {
   bool distributed_ = false;
   std::unique_ptr<ChunkDispatcher> simple_;
   std::unique_ptr<distsched::DistScheduler> dist_;
+  // Adaptive serve path (simple family): the current segment's
+  // scheduler over [offset_, total), granting segment-relative
+  // ranges the reactor shifts by offset_.
+  std::unique_ptr<sched::ChunkScheduler> seg_;
+  std::string spec_;
+  Index offset_ = 0;
+  Index last_refresh_ = 0;
+  std::optional<adapt::AdaptController> controller_;
 };
 
 }  // namespace
@@ -122,11 +209,12 @@ bool MasterOutcome::exactly_once() const {
 
 MasterOutcome run_master(mp::Transport& transport,
                          const MasterConfig& config) {
-  // Masterless serve path (DESIGN.md §14) — only for schemes whose
-  // grant sequence every worker can replay on its own; the rest run
-  // the mediated reactor whatever the flag says, and callers wiring
+  // Masterless serve path (DESIGN.md §14) — only for descs whose
+  // grant sequence every worker can replay on its own (scheme with a
+  // deterministic table, scripted migrations only); the rest run the
+  // mediated reactor whatever the flag says, and callers wiring
   // masterless *workers* apply the same test.
-  if (config.masterless && masterless_supported(config.scheme))
+  if (config.masterless && masterless_supported(config.scheduler))
     return run_masterless_master(transport, config);
   SchedulerReactor loop(transport, config);
   return loop.run();

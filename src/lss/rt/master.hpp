@@ -77,9 +77,15 @@ namespace lss::rt {
 class TicketCounter;
 
 struct MasterConfig {
-  /// Any spec the unified registry resolves ("tss", "dtss",
-  /// "dist(gss:k=2)", ...); the family decides the serve path.
-  std::string scheme = "tss";
+  /// The unified scheduler description (api/desc): any spec the
+  /// registry resolves ("tss", "dtss", "dist(gss:k=2)", ...) — the
+  /// family decides the serve path — plus the adaptive policy. With
+  /// `scheduler.adaptive` active and a simple-family scheme, the
+  /// reactor runs the simulator-in-the-loop replanner: it tracks
+  /// per-worker delivery rates from piggy-backed feedback and, at a
+  /// chunk boundary, fences a migration to a better scheme over the
+  /// uncovered suffix (DESIGN.md §16).
+  SchedulerDesc scheduler;  // default scheme: "tss"
   Index total = 0;      ///< loop iterations to cover
   int num_workers = 0;  ///< worker slots (transport ranks 1..N)
   /// Per-worker mask of who will actually participate (send
@@ -135,6 +141,9 @@ struct MasterOutcome {
   Index reassigned_chunks = 0;
   Index reassigned_iterations = 0;
   int replans = 0;
+  /// Adaptive scheme migrations fenced during the run (scripted +
+  /// organic); scheme_name records the whole chain ("css:k=64->tss").
+  int migrations = 0;
   /// Request frames this master ingested over the whole run — the
   /// per-master message load the hierarchical tree exists to shrink
   /// (compare a flat run's master against a hierarchical root).

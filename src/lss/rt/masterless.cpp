@@ -40,7 +40,7 @@ class MasterlessReactor {
   MasterlessReactor(mp::Transport& t, const MasterConfig& cfg)
       : t_(t),
         cfg_(cfg),
-        plan_(cfg.scheme, cfg.total, cfg.num_workers),
+        plan_(cfg.scheduler, cfg.total, cfg.num_workers),
         counter_(cfg.counter),
         started_(Clock::now()) {
     LSS_REQUIRE(cfg.num_workers >= 1, "master needs at least one worker");

@@ -20,7 +20,7 @@
 namespace lss::rt {
 
 struct ParallelForOptions {
-  /// Simple scheme spec (see sched::SchemeSpec::parse): "static",
+  /// Simple scheme spec (see sched::make_scheme): "static",
   /// "ss", "css:k=..", "gss", "tss", "fss", "fiss", "tfss", "wf".
   std::string scheme = "gss";
   /// 0 = one worker per hardware thread.

@@ -6,10 +6,12 @@
 #include <optional>
 #include <utility>
 
+#include "lss/adapt/controller.hpp"
 #include "lss/api/scheduler.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/rt/protocol.hpp"
+#include "lss/sched/factory.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/treesched/tree_sched.hpp"
 
@@ -53,13 +55,27 @@ class RootLoop {
     LSS_REQUIRE(cfg.num_pods >= 1, "need at least one pod");
     LSS_REQUIRE(t.size() >= cfg.num_pods + 1,
                 "transport smaller than num_pods + 1");
-    distributed_ = scheme_family(cfg.scheme) == SchemeFamily::Distributed;
-    if (distributed_)
-      dist_ = lss::make_distributed_scheduler(cfg.scheme, cfg.total,
+    const SchedulerDesc& desc = cfg.scheduler;
+    desc.validate();
+    distributed_ =
+        scheme_family(desc.scheme) == SchemeFamily::Distributed;
+    if (distributed_) {
+      dist_ = lss::make_distributed_scheduler(desc.scheme, cfg.total,
                                               cfg.num_pods);
-    else
-      simple_ = make_dispatcher(cfg.scheme, cfg.total, cfg.num_pods);
-    out_.scheme_name = distributed_ ? dist_->name() : simple_->name();
+    } else if (desc.adaptive.active()) {
+      // Adaptive lease path (simple family): same fenced-migration
+      // machinery as the flat master — the root is single-threaded,
+      // so the segment scheduler needs no dispatcher and every cut
+      // lands on a lease boundary.
+      controller_.emplace(desc.adaptive, cfg.total, cfg.num_pods);
+      spec_ = desc.scheme;
+      seg_ = sched::make_scheme(spec_, cfg.total, cfg.num_pods);
+    } else {
+      simple_ = make_dispatcher(desc.scheme, cfg.total, cfg.num_pods);
+    }
+    out_.scheme_name = distributed_ ? dist_->name()
+                       : seg_      ? seg_->name()
+                                   : simple_->name();
     out_.transport = t.kind();
     out_.execution_count.assign(static_cast<std::size_t>(cfg.total), 0);
     out_.iterations_per_pod.assign(static_cast<std::size_t>(cfg.num_pods),
@@ -193,6 +209,8 @@ class RootLoop {
         obs::emit(obs::EventKind::Replan, obs::kMasterPe, {},
                   dist_->replans());
     }
+    if (controller_ && req.fb_iters > 0)
+      controller_->note_feedback(g, req.fb_iters, req.fb_seconds);
     if (req.final_flush)
       p.final_seen = true;
     else
@@ -299,7 +317,39 @@ class RootLoop {
   // --- serving -----------------------------------------------------------
 
   Index sched_remaining() const {
-    return distributed_ ? dist_->remaining() : simple_->remaining();
+    return distributed_ ? dist_->remaining()
+           : seg_       ? seg_->remaining()
+                        : simple_->remaining();
+  }
+
+  /// Adaptive lease path: ask the controller whether to fence a
+  /// scheme migration at the current lease boundary (DESIGN.md §16).
+  /// The root grants single-threaded, so `offset_ + seg_->assigned()`
+  /// *is* a lease boundary; outstanding leases below the cut drain or
+  /// reclaim exactly as before — the reclaim pool bypasses the
+  /// scheduler entirely — and the new scheme plans [cut, total).
+  void maybe_migrate() {
+    const Index cut = offset_ + seg_->assigned();
+    const auto m = controller_->consider(cut, spec_);
+    if (!m) return;
+    spec_ = m->to;
+    offset_ = cut;
+    seg_ = sched::make_scheme(spec_, cfg_.total - offset_, cfg_.num_pods);
+    out_.scheme_name += "->" + seg_->name();
+    out_.migrations = controller_->migrations();
+    obs::emit(obs::EventKind::Migration, obs::kMasterPe,
+              Range{offset_, cfg_.total}, controller_->migrations());
+  }
+
+  Range sched_next(int g) {
+    if (distributed_) return dist_->next(g, pod(g).acp);
+    if (seg_) {
+      maybe_migrate();
+      const Range r = seg_->next(g);
+      if (r.empty()) return r;
+      return Range{r.begin + offset_, r.end + offset_};
+    }
+    return simple_->next(g);
   }
 
   bool any_recall_outstanding() const {
@@ -363,8 +413,7 @@ class RootLoop {
         grant(g, pool_.take_front(share), false);
         continue;
       }
-      const Range lease =
-          distributed_ ? dist_->next(g, pod(g).acp) : simple_->next(g);
+      const Range lease = sched_next(g);
       if (!lease.empty()) {
         grant(g, {lease}, false);
         continue;
@@ -410,6 +459,13 @@ class RootLoop {
   bool distributed_ = false;
   std::unique_ptr<ChunkDispatcher> simple_;
   std::unique_ptr<distsched::DistScheduler> dist_;
+  // Adaptive lease path (simple family): the current segment's
+  // scheduler over [offset_, total), granting segment-relative
+  // ranges shifted by offset_ (mirrors the flat master's).
+  std::unique_ptr<sched::ChunkScheduler> seg_;
+  std::string spec_;
+  Index offset_ = 0;
+  std::optional<adapt::AdaptController> controller_;
   std::vector<Pod> pods_;
   treesched::WorkPool pool_;  // reclaimed + returned iterations
   int resolved_ = 0;          // pods Done or Dead

@@ -46,9 +46,13 @@
 namespace lss::rt {
 
 struct RootConfig {
-  /// Any spec the unified registry resolves; distributed schemes
-  /// (dtss, dfss, ...) treat pods as PEs with ACP = pod ACP sum.
-  std::string scheme = "dtss";
+  /// The unified scheduler description (api/desc); distributed
+  /// schemes (dtss, dfss, ...) treat pods as PEs with ACP = pod ACP
+  /// sum. With `scheduler.adaptive` active and a simple-family
+  /// scheme, the root runs the same simulator-in-the-loop replanner
+  /// as the flat master (DESIGN.md §16), fencing scheme migrations
+  /// between lease grants.
+  SchedulerDesc scheduler{"dtss"};
   Index total = 0;    ///< loop iterations to cover
   int num_pods = 0;   ///< sub-master slots (transport ranks 1..G)
   FaultPolicy faults; ///< pod-level failure detection
@@ -79,6 +83,9 @@ struct RootOutcome {
   int steals = 0;                  ///< recalls answered with work
   Index stolen_iterations = 0;     ///< iterations donated back
   int replans = 0;
+  /// Adaptive scheme migrations fenced during the run (scripted +
+  /// organic); scheme_name records the chain ("css:k=64->tss").
+  int migrations = 0;
   /// Upward frames (LeaseRequest, LeaseReturn) the root ingested —
   /// the number to compare against a flat MasterOutcome::messages.
   Index messages = 0;

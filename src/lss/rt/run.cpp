@@ -69,6 +69,9 @@ RtResult run_threaded(const RtConfig& config) {
   LSS_REQUIRE(config.die_after_chunks.empty() ||
                   static_cast<int>(config.die_after_chunks.size()) == p,
               "need one die_after_chunks entry per worker (or none)");
+  LSS_REQUIRE(config.load_scripts.empty() ||
+                  static_cast<int>(config.load_scripts.size()) == p,
+              "need one load script per worker (or none)");
 
   // Virtual powers: relative speeds normalized so the slowest is 1.
   std::vector<double> vpower(config.relative_speeds);
@@ -77,13 +80,15 @@ RtResult run_threaded(const RtConfig& config) {
   for (double& v : vpower) v /= vmin;
 
   const bool distributed =
-      scheme_family(config.scheme) == SchemeFamily::Distributed;
+      scheme_family(config.scheduler.scheme) == SchemeFamily::Distributed;
   const Index total = config.workload->size();
   // Both sides must agree on the dispatch mode: a masterless worker
   // against a mediating master (or vice versa) deadlocks, so the
-  // scheme test happens once, here.
+  // desc test happens once, here. Note this is the desc-aware test:
+  // organic adaptive policies downgrade to the mediated exchange
+  // (both sides coherently), scripted migrations stay masterless.
   const bool masterless =
-      config.masterless && masterless_supported(config.scheme);
+      config.masterless && masterless_supported(config.scheduler);
   std::shared_ptr<TicketCounter> counter;
   if (masterless) {
     counter = config.counter;
@@ -105,7 +110,11 @@ RtResult run_threaded(const RtConfig& config) {
     // slave). Simple schemes are power-oblivious: acp stays 1.
     double acp = 1.0;
     if (distributed) {
-      acp = cluster::compute_acp(vpower[sw], rq, config.acp);
+      // The desc's static ACPs win over the derived cluster model —
+      // the explicit "ACP source" of the SchedulerDesc contract.
+      acp = config.scheduler.static_acps.empty()
+                ? cluster::compute_acp(vpower[sw], rq, config.acp)
+                : config.scheduler.static_acps[sw];
       if (acp <= 0.0) {
         participating[sw] = false;
         continue;
@@ -118,11 +127,12 @@ RtResult run_threaded(const RtConfig& config) {
     wc.workload = config.workload;
     wc.die_after_chunks =
         config.die_after_chunks.empty() ? -1 : config.die_after_chunks[sw];
+    if (!config.load_scripts.empty()) wc.load = config.load_scripts[sw];
     wc.pipeline_depth = config.pipeline_depth;
     if (masterless) {
       MasterlessWorkerConfig mwc;
       mwc.loop = wc;
-      mwc.scheme = config.scheme;
+      mwc.scheduler = config.scheduler;
       mwc.total = total;
       mwc.num_workers = p;
       mwc.counter = counter;
@@ -138,7 +148,7 @@ RtResult run_threaded(const RtConfig& config) {
 
   // Master loop (rank 0) runs on this thread over the same Comm.
   MasterConfig mc;
-  mc.scheme = config.scheme;
+  mc.scheduler = config.scheduler;
   mc.total = total;
   mc.num_workers = p;
   mc.participating = participating;
@@ -160,6 +170,7 @@ RtResult run_threaded(const RtConfig& config) {
   out.reassigned_chunks = outcome.reassigned_chunks;
   out.reassigned_iterations = outcome.reassigned_iterations;
   out.replans = outcome.replans;
+  out.migrations = outcome.migrations;
   // Worker-side ground truth: count coverage from the chunks each
   // thread actually executed — stronger than the master's protocol
   // acknowledgements, since it catches real double execution (see

@@ -22,6 +22,7 @@
 
 #include "lss/api/scheduler.hpp"
 #include "lss/cluster/acp.hpp"
+#include "lss/cluster/load.hpp"
 #include "lss/metrics/timing.hpp"
 #include "lss/obs/run_stats.hpp"
 #include "lss/rt/dispatch.hpp"
@@ -50,6 +51,12 @@ struct RtConfig : JobSpec {
   /// no faults; negative entries = that worker never dies. Injected
   /// deaths require `faults.detect` or the master blocks forever.
   std::vector<int> die_after_chunks;
+  /// Scripted external load, one script per worker (empty = all
+  /// dedicated): worker w's effective speed becomes
+  /// relative_speeds[w] / Q(t) while load_scripts[w] has a phase
+  /// active — the live perturbation the adaptive policy's drift
+  /// detector (and the adaptive-vs-fixed bench) runs against.
+  cluster::LoadScripts load_scripts;
   /// Shared cursor for masterless runs; null = run_threaded creates
   /// a fresh in-process one. Tests inject an InprocTicketCounter
   /// with a fail-after budget to exercise the mid-loop fallback.
@@ -107,6 +114,9 @@ struct RtResult {
   Index reassigned_chunks = 0;
   Index reassigned_iterations = 0;
   int replans = 0;
+  /// Adaptive scheme migrations the master fenced (DESIGN.md §16);
+  /// `scheme` then records the chain ("css:k=64->tss").
+  int migrations = 0;
 
   bool exactly_once() const;
   bool acked_exactly_once() const;

@@ -13,7 +13,7 @@ namespace {
 
 MasterConfig pod_master_config(const SubMasterConfig& sc) {
   MasterConfig mc;
-  mc.scheme = "css:k=1";  // never consulted: the reactor source is the lease
+  mc.scheduler = "css:k=1";  // never consulted: the reactor source is the lease
   mc.total = sc.total;
   mc.num_workers = sc.num_workers;
   mc.faults = sc.faults;

@@ -1,12 +1,19 @@
 #include "lss/rt/throttle.hpp"
 
 #include <thread>
+#include <utility>
 
 #include "lss/support/assert.hpp"
 
 namespace lss::rt {
 
-Throttle::Throttle(double relative_speed) : relative_speed_(relative_speed) {
+Throttle::Throttle(double relative_speed)
+    : Throttle(relative_speed, cluster::LoadScript::none()) {}
+
+Throttle::Throttle(double relative_speed, cluster::LoadScript load)
+    : relative_speed_(relative_speed),
+      load_(std::move(load)),
+      start_(std::chrono::steady_clock::now()) {
   LSS_REQUIRE(relative_speed > 0.0 && relative_speed <= 1.0,
               "relative speed must be in (0, 1]");
 }
@@ -14,9 +21,18 @@ Throttle::Throttle(double relative_speed) : relative_speed_(relative_speed) {
 std::chrono::duration<double> Throttle::pay(
     std::chrono::duration<double> busy) {
   LSS_REQUIRE(busy.count() >= 0.0, "negative busy time");
-  if (relative_speed_ >= 1.0) return std::chrono::duration<double>(0.0);
+  double effective = relative_speed_;
+  if (!load_.empty()) {
+    const double t = std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count();
+    // Equal-share assumption (cluster/load): our process gets a
+    // 1/Q(t) share of the node while Q(t)-1 externals run.
+    effective /= static_cast<double>(load_.run_queue_at(t));
+  }
+  if (effective >= 1.0) return std::chrono::duration<double>(0.0);
   const std::chrono::duration<double> pause =
-      busy * (1.0 / relative_speed_ - 1.0);
+      busy * (1.0 / effective - 1.0);
   std::this_thread::sleep_for(pause);
   return pause;
 }

@@ -3,9 +3,19 @@
 // of real compute, so its *effective* rate matches a proportionally
 // slower machine. This substitutes for the paper's physically slower
 // UltraSPARC-1 slaves on a single host (see DESIGN.md substitutions).
+//
+// A cluster::LoadScript turns the static throttle into a *live* one:
+// the paper's non-dedicated experiments launch external CPU-bound
+// processes mid-run, so the node's equal-share rate becomes
+// s / Q(t) with Q(t) the scripted run-queue length at wall time t.
+// That is what gives the adaptive replanner (DESIGN.md §16) a real
+// mid-loop drift to detect: the same worker delivers measurably
+// fewer iterations per second once its script's load phase begins.
 #pragma once
 
 #include <chrono>
+
+#include "lss/cluster/load.hpp"
 
 namespace lss::rt {
 
@@ -14,14 +24,23 @@ class Throttle {
   /// `relative_speed` in (0, 1]; 1.0 disables throttling.
   explicit Throttle(double relative_speed);
 
+  /// Live variant: the effective speed at wall time t (measured from
+  /// construction, which is the worker's loop start) is
+  /// relative_speed / load.run_queue_at(t). An empty script behaves
+  /// exactly like the static constructor.
+  Throttle(double relative_speed, cluster::LoadScript load);
+
   double relative_speed() const { return relative_speed_; }
 
   /// Sleep long enough that `busy` seconds of work look like
-  /// busy / relative_speed seconds of wall time. Returns the pause.
+  /// busy / effective_speed(now) seconds of wall time. Returns the
+  /// pause.
   std::chrono::duration<double> pay(std::chrono::duration<double> busy);
 
  private:
   double relative_speed_;
+  cluster::LoadScript load_;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace lss::rt

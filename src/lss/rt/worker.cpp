@@ -35,7 +35,7 @@ void mediated_loop(mp::Transport& t, const WorkerLoopConfig& cfg,
   LSS_REQUIRE(cfg.pipeline_depth >= 0, "negative prefetch window");
   const int w = cfg.worker;
   const int rank = w + 1;
-  Throttle throttle(cfg.relative_speed);
+  Throttle throttle(cfg.relative_speed, cfg.load);
   Workload& workload = *cfg.workload;
   // Against a legacy master the window stays 0 and encode_request
   // omits the trailer, so the wire exchange is exactly the v1 loop.
@@ -172,8 +172,8 @@ WorkerLoopResult run_masterless_worker(mp::Transport& t,
   const int rank = w + 1;
   LSS_REQUIRE(t.peer_protocol(0) >= mp::kProtoMasterless,
               "master did not negotiate the masterless protocol");
-  const MasterlessPlan plan(cfg.scheme, cfg.total, cfg.num_workers);
-  Throttle throttle(cfg.loop.relative_speed);
+  const MasterlessPlan plan(cfg.scheduler, cfg.total, cfg.num_workers);
+  Throttle throttle(cfg.loop.relative_speed, cfg.loop.load);
   Workload& workload = *cfg.loop.workload;
   std::shared_ptr<TicketCounter> counter = cfg.counter;
   if (!counter)

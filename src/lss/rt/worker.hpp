@@ -38,6 +38,8 @@
 #include <memory>
 #include <vector>
 
+#include "lss/api/desc.hpp"
+#include "lss/cluster/load.hpp"
 #include "lss/metrics/timing.hpp"
 #include "lss/mp/transport.hpp"
 #include "lss/support/types.hpp"
@@ -53,6 +55,11 @@ struct WorkerLoopConfig {
   double acp = 1.0;
   /// Heterogeneity emulation in (0, 1]; 1.0 = no throttle.
   double relative_speed = 1.0;
+  /// Scripted external load (paper's non-dedicated runs): while a
+  /// phase is active the effective speed drops to relative_speed /
+  /// Q(t) — the live perturbation the adaptive replanner reacts to.
+  /// Empty = dedicated node.
+  cluster::LoadScript load;
   /// Executes iterations; must be safe for concurrent distinct i.
   std::shared_ptr<Workload> workload;
   /// Fault injection: die before computing chunk K+1 (see header
@@ -91,8 +98,9 @@ class TicketCounter;
 /// from the shared counter and computes chunk boundaries itself.
 struct MasterlessWorkerConfig {
   WorkerLoopConfig loop;  ///< identity, speed, workload, fault knobs
-  /// The plan every party replays: must match the master's exactly.
-  std::string scheme = "ss";
+  /// The desc every party replays the plan from — scheme plus any
+  /// scripted migrations; must match the master's exactly.
+  SchedulerDesc scheduler{"ss"};
   Index total = 0;
   int num_workers = 1;
   /// Shared cursor (in-process atomic or attached shm segment).

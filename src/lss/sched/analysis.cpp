@@ -12,20 +12,20 @@ Index predicted_chunks(std::string_view spec, Index total, int num_pes) {
   LSS_REQUIRE(total >= 0, "iteration count must be non-negative");
   LSS_REQUIRE(num_pes >= 1, "need at least one PE");
   if (total == 0) return 0;
-  const SchemeSpec parsed = SchemeSpec::parse(spec);
+  const std::string kind = scheme_kind(spec);
   const double I = static_cast<double>(total);
   const double p = static_cast<double>(num_pes);
 
-  if (parsed.kind() == "static")
+  if (kind == "static")
     return std::min<Index>(total, num_pes);
-  if (parsed.kind() == "ss") return total;
-  if (parsed.kind() == "css") {
+  if (kind == "ss") return total;
+  if (kind == "css") {
     // ceil(I / k): recover k by asking the generator for one chunk.
-    auto s = parsed.make(total, num_pes);
+    auto s = make_scheme(spec, total, num_pes);
     const Index k = s->next(0).size();
     return (total + k - 1) / k;
   }
-  if (parsed.kind() == "tss" || parsed.kind() == "tfss") {
+  if (kind == "tss" || kind == "tfss") {
     // With the defaults F = floor(I/2p), L = 1 the *assigned* count is
     // the smallest n with n*F - D*n(n-1)/2 >= I, using the integer
     // decrement D = floor((F-L)/(N-1)); integer flooring makes the
@@ -42,25 +42,25 @@ Index predicted_chunks(std::string_view spec, Index total, int num_pes) {
     const double n = (b - std::sqrt(disc)) / (2.0 * D);
     return static_cast<Index>(std::ceil(n));
   }
-  if (parsed.kind() == "gss") {
+  if (kind == "gss") {
     // Chunks shrink by (1 - 1/p) per step: about p * ln(I/p) + p.
     return static_cast<Index>(std::ceil(
                p * std::log(std::max(1.0, I / p)))) +
            num_pes;
   }
-  if (parsed.kind() == "fss" || parsed.kind() == "sss" ||
-      parsed.kind() == "wf") {
+  if (kind == "fss" || kind == "sss" ||
+      kind == "wf") {
     // Stages halve the remainder: ~log2(I/p) stages of p chunks.
     return static_cast<Index>(
         p * std::ceil(std::log2(std::max(2.0, I / p))));
   }
-  if (parsed.kind() == "fiss") {
+  if (kind == "fiss") {
     // Exactly sigma stages of p chunks (+ rounding spill-over).
-    auto s = parsed.make(total, num_pes);
+    auto s = make_scheme(spec, total, num_pes);
     return static_cast<Index>(chunk_sizes(*s).size());
   }
   LSS_REQUIRE(false,
-              "no chunk-count model for scheme '" + parsed.kind() + "'");
+              "no chunk-count model for scheme '" + kind + "'");
   return 0;
 }
 

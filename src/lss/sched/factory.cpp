@@ -45,14 +45,25 @@ std::vector<std::string> allowed_keys(const std::string& kind) {
   return {};  // static, ss
 }
 
-}  // namespace
+/// Parse result, local to one make_scheme/validate_scheme call.
+struct Parsed {
+  std::string kind;
+  Index k = 1;
+  Index first = -1;
+  Index last = -1;
+  double alpha = 2.0;
+  int sigma = 3;
+  int x = -1;
+  Rounding rounding = Rounding::Ceil;
+  std::vector<double> weights;
+};
 
-SchemeSpec SchemeSpec::parse(std::string_view spec) {
-  SchemeSpec out;
-  out.spec_ = std::string(trim(spec));
-  const auto colon = out.spec_.find(':');
-  out.kind_ = to_lower(trim(out.spec_.substr(0, colon)));
-  LSS_REQUIRE(!out.kind_.empty(),
+Parsed parse(std::string_view spec) {
+  Parsed out;
+  const std::string s{trim(spec)};
+  const auto colon = s.find(':');
+  out.kind = to_lower(trim(s.substr(0, colon)));
+  LSS_REQUIRE(!out.kind.empty(),
               "empty scheme spec; known schemes: " +
                   join(known_schemes(), ", "));
 
@@ -60,13 +71,13 @@ SchemeSpec SchemeSpec::parse(std::string_view spec) {
   // every scheme the factory understands.
   const auto known = known_schemes();
   bool kind_ok = false;
-  for (const std::string& name : known) kind_ok = kind_ok || name == out.kind_;
-  LSS_REQUIRE(kind_ok, "unknown scheme: '" + out.kind_ +
+  for (const std::string& name : known) kind_ok = kind_ok || name == out.kind;
+  LSS_REQUIRE(kind_ok, "unknown scheme: '" + out.kind +
                            "'; known schemes: " + join(known, ", "));
 
   if (colon != std::string::npos) {
-    const std::vector<std::string> accepted = allowed_keys(out.kind_);
-    for (const std::string& kv : split(out.spec_.substr(colon + 1), ',')) {
+    const std::vector<std::string> accepted = allowed_keys(out.kind);
+    for (const std::string& kv : split(s.substr(colon + 1), ',')) {
       const auto eq = kv.find('=');
       LSS_REQUIRE(eq != std::string::npos,
                   "malformed parameter (want key=value): '" + kv + "'");
@@ -75,66 +86,75 @@ SchemeSpec SchemeSpec::parse(std::string_view spec) {
       bool key_ok = false;
       for (const std::string& k : accepted) key_ok = key_ok || k == key;
       LSS_REQUIRE(key_ok,
-                  "scheme '" + out.kind_ + "' does not accept parameter '" +
+                  "scheme '" + out.kind + "' does not accept parameter '" +
                       key + "'" +
                       (accepted.empty()
                            ? " (it takes no parameters)"
                            : " (accepts: " + join(accepted, ", ") + ")"));
       if (key == "k") {
-        out.k_ = parse_int(value);
+        out.k = parse_int(value);
       } else if (key == "f") {
-        out.first_ = parse_int(value);
+        out.first = parse_int(value);
       } else if (key == "l") {
-        out.last_ = parse_int(value);
+        out.last = parse_int(value);
       } else if (key == "alpha") {
-        out.alpha_ = parse_double(value);
+        out.alpha = parse_double(value);
       } else if (key == "sigma") {
-        out.sigma_ = static_cast<int>(parse_int(value));
+        out.sigma = static_cast<int>(parse_int(value));
       } else if (key == "x") {
-        out.x_ = static_cast<int>(parse_int(value));
+        out.x = static_cast<int>(parse_int(value));
       } else if (key == "rounding") {
-        out.rounding_ = parse_rounding(value);
+        out.rounding = parse_rounding(value);
       } else if (key == "weights") {
-        out.weights_ = parse_weights(value);
+        out.weights = parse_weights(value);
       }
     }
   }
   return out;
 }
 
-std::unique_ptr<ChunkScheduler> SchemeSpec::make(Index total,
-                                                 int num_pes) const {
-  if (kind_ == "static")
+}  // namespace
+
+std::unique_ptr<ChunkScheduler> make_scheme(std::string_view spec,
+                                            Index total, int num_pes) {
+  const Parsed p = parse(spec);
+  if (p.kind == "static")
     return std::make_unique<StaticScheduler>(total, num_pes);
-  if (kind_ == "ss") return std::make_unique<CssScheduler>(total, num_pes, 1);
-  if (kind_ == "css")
-    return std::make_unique<CssScheduler>(total, num_pes, k_);
-  if (kind_ == "gss")
-    return std::make_unique<GssScheduler>(total, num_pes, k_);
-  if (kind_ == "tss")
-    return std::make_unique<TssScheduler>(total, num_pes, first_, last_);
-  if (kind_ == "fss")
-    return std::make_unique<FssScheduler>(total, num_pes, alpha_, rounding_);
-  if (kind_ == "fiss")
-    return std::make_unique<FissScheduler>(total, num_pes, sigma_, x_);
-  if (kind_ == "tfss")
-    return std::make_unique<TfssScheduler>(total, num_pes, first_, last_);
-  if (kind_ == "sss") {
-    const double a = alpha_ == 2.0 ? 0.5 : alpha_;  // scheme default
-    return std::make_unique<SssScheduler>(total, num_pes, a, k_);
+  if (p.kind == "ss") return std::make_unique<CssScheduler>(total, num_pes, 1);
+  if (p.kind == "css")
+    return std::make_unique<CssScheduler>(total, num_pes, p.k);
+  if (p.kind == "gss")
+    return std::make_unique<GssScheduler>(total, num_pes, p.k);
+  if (p.kind == "tss")
+    return std::make_unique<TssScheduler>(total, num_pes, p.first, p.last);
+  if (p.kind == "fss")
+    return std::make_unique<FssScheduler>(total, num_pes, p.alpha,
+                                          p.rounding);
+  if (p.kind == "fiss")
+    return std::make_unique<FissScheduler>(total, num_pes, p.sigma, p.x);
+  if (p.kind == "tfss")
+    return std::make_unique<TfssScheduler>(total, num_pes, p.first, p.last);
+  if (p.kind == "sss") {
+    const double a = p.alpha == 2.0 ? 0.5 : p.alpha;  // scheme default
+    return std::make_unique<SssScheduler>(total, num_pes, a, p.k);
   }
-  if (kind_ == "wf") {
-    std::vector<double> w = weights_;
+  if (p.kind == "wf") {
+    std::vector<double> w = p.weights;
     if (w.empty()) w.assign(static_cast<std::size_t>(num_pes), 1.0);
     return std::make_unique<WfScheduler>(total, num_pes, std::move(w),
-                                         alpha_, rounding_);
+                                         p.alpha, p.rounding);
   }
   LSS_ASSERT(false, "unreachable: kind validated in parse()");
   return nullptr;
 }
 
-std::vector<std::string> SchemeSpec::known_schemes() {
-  return {"static", "ss", "css", "gss", "tss", "fss", "fiss", "tfss", "sss", "wf"};
+void validate_scheme(std::string_view spec) { (void)parse(spec); }
+
+std::string scheme_kind(std::string_view spec) { return parse(spec).kind; }
+
+std::vector<std::string> known_schemes() {
+  return {"static", "ss",   "css",  "gss", "tss",
+          "fss",    "fiss", "tfss", "sss", "wf"};
 }
 
 }  // namespace lss::sched

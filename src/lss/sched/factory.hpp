@@ -5,6 +5,11 @@
 //   fss[:alpha=2,rounding=ceil] | fiss[:sigma=3,X=5] |
 //   tfss[:F=...,L=...] | sss[:alpha=0.5,k=1] |
 //   wf:weights=3;3;1[,alpha=2]
+//
+// Free functions replaced the old SchemeSpec value class: parsed
+// state never needs to outlive a call, so the spec *string* is the
+// one currency every layer trades in (lss::SchedulerDesc, the
+// dispatchers, the masterless plans all carry it verbatim).
 #pragma once
 
 #include <memory>
@@ -16,31 +21,21 @@
 
 namespace lss::sched {
 
-/// Parsed scheme specification; construct schedulers per (I, p).
-class SchemeSpec {
- public:
-  /// Throws lss::ContractError on unknown scheme or malformed params.
-  static SchemeSpec parse(std::string_view spec);
+/// Builds a simple scheduler from `spec`. Throws lss::ContractError
+/// on unknown scheme names or malformed/unaccepted parameters, with
+/// the offending name/key in the message.
+std::unique_ptr<ChunkScheduler> make_scheme(std::string_view spec,
+                                            Index total, int num_pes);
 
-  const std::string& kind() const { return kind_; }
-  std::string spec_string() const { return spec_; }
+/// Parses without constructing — the cheap up-front validity check.
+/// Throws exactly when make_scheme would.
+void validate_scheme(std::string_view spec);
 
-  std::unique_ptr<ChunkScheduler> make(Index total, int num_pes) const;
+/// Leading (lower-cased) scheme name of a validated spec, e.g.
+/// "gss:k=2" -> "gss". Throws on unknown schemes.
+std::string scheme_kind(std::string_view spec);
 
-  /// Names of all schemes the factory understands.
-  static std::vector<std::string> known_schemes();
-
- private:
-  std::string kind_;
-  std::string spec_;
-  Index k_ = 1;
-  Index first_ = -1;
-  Index last_ = -1;
-  double alpha_ = 2.0;
-  int sigma_ = 3;
-  int x_ = -1;
-  Rounding rounding_ = Rounding::Ceil;
-  std::vector<double> weights_;
-};
+/// Names of all schemes the factory understands.
+std::vector<std::string> known_schemes();
 
 }  // namespace lss::sched

@@ -1,0 +1,82 @@
+#include "lss/sim/replay.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "lss/api/scheduler.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/support/prng.hpp"
+
+namespace lss::sim {
+
+ReplayResult replay(const ReplaySpec& spec) {
+  LSS_REQUIRE(spec.iterations >= 0,
+              "replay iteration count must be non-negative");
+  LSS_REQUIRE(!spec.rates.empty(), "replay needs at least one PE rate");
+  LSS_REQUIRE(spec.overhead_s >= 0.0, "overhead must be non-negative");
+  LSS_REQUIRE(spec.start_jitter_s >= 0.0,
+              "start jitter must be non-negative");
+
+  const int num_pes = static_cast<int>(spec.rates.size());
+  double rate_sum = 0.0;
+  for (double r : spec.rates) rate_sum += std::max(r, 0.0);
+  LSS_REQUIRE(spec.iterations == 0 || rate_sum > 0.0,
+              "no PE has a positive rate; the suffix can never finish");
+
+  ReplayResult out;
+  out.pe_busy_s.assign(spec.rates.size(), 0.0);
+  out.finish_s = spec.clock_origin_s;
+  if (spec.iterations == 0) return out;
+
+  Scheduler scheduler =
+      make_scheduler(spec.scheme, spec.iterations, num_pes);
+  // Distributed candidates see the measured rates as their ACPs —
+  // exactly what the live master would feed a replacement scheme.
+  std::vector<double> acps(spec.rates.size(), 0.0);
+  for (std::size_t i = 0; i < spec.rates.size(); ++i)
+    acps[i] = std::max(spec.rates[i], 0.0) / rate_sum;
+  scheduler.initialize(acps);
+
+  constexpr double kNever = std::numeric_limits<double>::infinity();
+  // free_at[i]: when PE i next requests; kNever = absent or retired.
+  std::vector<double> free_at(spec.rates.size(), kNever);
+  Xoshiro256 rng(spec.seed);
+  for (std::size_t i = 0; i < spec.rates.size(); ++i) {
+    const double jitter = spec.start_jitter_s > 0.0
+                              ? rng.next_double() * spec.start_jitter_s
+                              : 0.0;
+    if (spec.rates[i] > 0.0) free_at[i] = spec.clock_origin_s + jitter;
+  }
+
+  double finish = spec.clock_origin_s;
+  while (true) {
+    // Earliest requester wins; ties break on the lowest PE id, so the
+    // grant order is a pure function of (spec, seed).
+    int pe = -1;
+    for (std::size_t i = 0; i < free_at.size(); ++i)
+      if (free_at[i] < kNever &&
+          (pe < 0 || free_at[i] < free_at[static_cast<std::size_t>(pe)]))
+        pe = static_cast<int>(i);
+    if (pe < 0) break;
+
+    const Range chunk = scheduler.next(pe, acps[static_cast<std::size_t>(pe)]);
+    if (chunk.empty()) {
+      free_at[static_cast<std::size_t>(pe)] = kNever;
+      continue;
+    }
+    const double service =
+        static_cast<double>(chunk.size()) /
+            spec.rates[static_cast<std::size_t>(pe)] +
+        spec.overhead_s;
+    free_at[static_cast<std::size_t>(pe)] += service;
+    out.pe_busy_s[static_cast<std::size_t>(pe)] += service;
+    finish = std::max(finish, free_at[static_cast<std::size_t>(pe)]);
+    ++out.chunks;
+  }
+
+  out.finish_s = finish;
+  out.makespan_s = finish - spec.clock_origin_s;
+  return out;
+}
+
+}  // namespace lss::sim

@@ -1,0 +1,65 @@
+// Headless what-if replay: the fast forward simulation the adaptive
+// replanner (lss/adapt) scores candidate schemes with, mid-run.
+//
+// A live master that suspects its scheme no longer fits the cluster
+// snapshots what it knows — the uncovered iteration suffix and each
+// PE's *measured* delivery rate — and asks, for every candidate
+// scheme, "if the remaining work were dispensed under you, when would
+// the loop finish?". replay() answers by rebuilding the candidate
+// from the unified registry over the suffix and running the same
+// grant conversation the mediated master runs, against virtual PEs
+// whose service time for a chunk of c iterations is c / rate plus the
+// per-grant overhead h the paper's cost model charges (§2-3).
+//
+// Everything is deterministic by construction: the virtual clock
+// starts at `clock_origin_s` (so predictions line up with the live
+// run's timeline) and the only randomness — the optional start
+// jitter that staggers the first requests like SimConfig does — is
+// drawn from the explicit `seed`. Two replays of the same spec return
+// bit-identical results, which is what lets the controller's
+// decisions (and the tests that replay them) reproduce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "lss/support/types.hpp"
+
+namespace lss::sim {
+
+struct ReplaySpec {
+  /// Candidate spec, any family the unified registry resolves
+  /// ("gss:k=2", "dtss", ...). Distributed candidates are initialized
+  /// with the normalized rates as their ACPs.
+  std::string scheme = "tss";
+  /// The uncovered suffix: how many iterations remain to dispense.
+  Index iterations = 0;
+  /// Measured per-PE delivery rate, iterations per second. A PE with
+  /// rate <= 0 is absent (it never requests work).
+  std::vector<double> rates;
+  /// Per-grant scheduling overhead h, charged to the PE's timeline on
+  /// every chunk it claims (the paper's h in T_par).
+  double overhead_s = 0.0;
+  /// Virtual-clock origin: predictions are absolute times on the
+  /// caller's timeline, not zero-based.
+  double clock_origin_s = 0.0;
+  /// Each PE's first request is delayed Uniform(0, start_jitter_s),
+  /// drawn deterministically from `seed`. 0 = synchronized start.
+  double start_jitter_s = 0.0;
+  std::uint64_t seed = 1;
+};
+
+struct ReplayResult {
+  double finish_s = 0.0;    ///< absolute: clock_origin_s + makespan
+  double makespan_s = 0.0;  ///< predicted T_par for the suffix
+  Index chunks = 0;         ///< grants the candidate would issue
+  std::vector<double> pe_busy_s;  ///< per-PE busy time (compute + h)
+};
+
+/// Runs the forward simulation to completion. Throws
+/// lss::ContractError on unknown schemes or when no PE has a
+/// positive rate while iterations remain.
+ReplayResult replay(const ReplaySpec& spec);
+
+}  // namespace lss::sim

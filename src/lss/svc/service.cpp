@@ -5,10 +5,12 @@
 #include <deque>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <set>
 #include <thread>
 #include <utility>
 
+#include "lss/adapt/controller.hpp"
 #include "lss/api/scheduler.hpp"
 #include "lss/cluster/acp.hpp"
 #include "lss/mp/comm.hpp"
@@ -218,6 +220,15 @@ struct Job {
   std::vector<double> acps;              // distributed schemes only
   std::int64_t slot_cursor = 0;          // strict round-robin next() order
 
+  // Adaptive replanning (mediated simple family, DESIGN.md §16): the
+  // scheduler above covers [sched_offset, total) and grants
+  // segment-relative ranges the service shifts; scheme_chain records
+  // the migration history ("css:k=64->tss").
+  std::string sched_spec;
+  Index sched_offset = 0;
+  std::string scheme_chain;
+  std::optional<adapt::AdaptController> controller;
+
   // Active-state machinery (masterless path).
   bool masterless = false;
   std::shared_ptr<const rt::MasterlessPlan> plan;
@@ -366,8 +377,9 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
                  active.end());
 
     RunStats rs;
-    rs.scheme = j.scheduler ? j.scheduler->name()
-                            : (j.plan ? j.plan->name() : j.spec.scheme);
+    rs.scheme = !j.scheme_chain.empty()
+                    ? j.scheme_chain
+                    : (j.plan ? j.plan->name() : j.spec.scheduler.scheme);
     rs.runner = "svc";
     rs.dispatch_path = j.masterless ? "masterless" : "mediated";
     rs.transport = tenants.kind();
@@ -472,6 +484,9 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
       if (j.scheduler && j.scheduler->distributed() && g->slot >= 0)
         j.scheduler->dist()->on_feedback(g->slot, done.chunk.size(),
                                          done.fb_seconds);
+      if (j.controller && g->slot >= 0)
+        j.controller->note_feedback(g->slot, done.chunk.size(),
+                                    done.fb_seconds);
       wq.erase(g);
       --j.outstanding;
     }
@@ -519,8 +534,8 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
                       "mandelbrot)");
           j.workload = make_workload(j.spec.workload);
           // Fail unknown schemes now, not at activation.
-          (void)make_scheduler(j.spec.scheme, j.workload->size(),
-                               j.spec.num_pes());
+          (void)make_scheduler(j.spec.scheduler.scheme,
+                               j.workload->size(), j.spec.num_pes());
         } catch (const ContractError& e) {
           reply.state = JobState::Rejected;
           reply.error = SubmitError::BadSpec;
@@ -662,7 +677,7 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
           JobResultMsg msg;
           msg.job_id = j.id;
           msg.state = JobState::Failed;
-          msg.scheme = j.spec.scheme;
+          msg.scheme = j.spec.scheduler.scheme;
           msg.exactly_once = false;
           tenants.send(0, j.tenant, kTagJobResult, encode_result(msg));
         }
@@ -694,36 +709,52 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
       j.t_queued = seconds_since(j.submitted_at);
       j.acked.assign(static_cast<std::size_t>(j.total), 0);
       j.masterless = j.spec.masterless &&
-                     rt::masterless_supported(j.spec.scheme);
+                     rt::masterless_supported(j.spec.scheduler);
       WorkerJobView view;
       view.workload = j.workload;
       if (j.masterless) {
+        // A desc with scripted migrations builds the segmented plan —
+        // every claimant derives the same concatenated table.
         j.plan = std::make_shared<const rt::MasterlessPlan>(
-            j.spec.scheme, j.total, j.pes);
+            j.spec.scheduler, j.total, j.pes);
         j.counter = std::make_shared<rt::InprocTicketCounter>();
         j.acked_ticket.assign(static_cast<std::size_t>(j.plan->tickets()),
                               false);
         view.plan = j.plan;
         view.counter = j.counter;
       } else {
+        j.sched_spec = j.spec.scheduler.scheme;
         j.scheduler = std::make_unique<Scheduler>(
-            make_scheduler(j.spec.scheme, j.total, j.pes));
+            make_scheduler(j.sched_spec, j.total, j.pes));
+        j.scheme_chain = j.scheduler->name();
         if (j.scheduler->distributed()) {
-          // Service-side ACPs from the job's emulated cluster shape,
-          // exactly how run_threaded derives virtual powers.
-          std::vector<double> vpower(j.spec.relative_speeds);
-          const double vmin =
-              *std::min_element(vpower.begin(), vpower.end());
-          for (double& v : vpower) v /= vmin;
-          j.acps.resize(vpower.size());
-          const auto policy = cluster::AcpPolicy::improved();
-          for (std::size_t s = 0; s < vpower.size(); ++s)
-            j.acps[s] = cluster::compute_acp(
-                vpower[s], j.spec.run_queues.empty()
-                               ? 1
-                               : j.spec.run_queues[s],
-                policy);
+          // Service-side ACPs: the job's static override, or derived
+          // from its emulated cluster shape exactly how run_threaded
+          // derives virtual powers.
+          if (!j.spec.scheduler.static_acps.empty()) {
+            j.acps = j.spec.scheduler.static_acps;
+          } else {
+            std::vector<double> vpower(j.spec.relative_speeds);
+            const double vmin =
+                *std::min_element(vpower.begin(), vpower.end());
+            for (double& v : vpower) v /= vmin;
+            j.acps.resize(vpower.size());
+            const auto policy = cluster::AcpPolicy::improved();
+            for (std::size_t s = 0; s < vpower.size(); ++s)
+              j.acps[s] = cluster::compute_acp(
+                  vpower[s], j.spec.run_queues.empty()
+                                 ? 1
+                                 : j.spec.run_queues[s],
+                  policy);
+          }
           j.scheduler->initialize(j.acps);
+        } else if (j.spec.scheduler.adaptive.active()) {
+          // Per-job adaptive policy (DESIGN.md §16): the replenish
+          // pass consults the controller at chunk boundaries and
+          // fences a migration by rebuilding the scheduler over the
+          // uncovered suffix.
+          j.controller.emplace(j.spec.scheduler.adaptive, j.total,
+                               j.pes);
         }
       }
       directory.put(j.id, std::move(view));
@@ -779,6 +810,22 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
           chunk = j.reclaim.front();
           j.reclaim.pop_front();
         } else {
+          // Adaptive jobs: fence a scheme migration at this chunk
+          // boundary when the controller says so. Grants below the
+          // cut drain or reclaim as before (the reclaim queue above
+          // bypasses the scheduler), the new scheme plans the
+          // uncovered suffix [cut, total).
+          if (j.controller) {
+            const Index cut = j.sched_offset + j.scheduler->assigned();
+            if (const auto m = j.controller->consider(cut, j.sched_spec)) {
+              j.sched_spec = m->to;
+              j.sched_offset = cut;
+              j.scheduler = std::make_unique<Scheduler>(make_scheduler(
+                  j.sched_spec, j.total - j.sched_offset, j.pes));
+              j.scheme_chain += "->" + j.scheduler->name();
+              metrics.counter("svc.migrations").add();
+            }
+          }
           slot = static_cast<int>(j.slot_cursor % j.pes);
           const double acp =
               j.acps.empty() ? 1.0
@@ -786,6 +833,8 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
           chunk = j.scheduler->next(slot, acp);
           ++j.slot_cursor;
           if (chunk.size() == 0) break;  // scheduler drained
+          chunk.begin += j.sched_offset;
+          chunk.end += j.sched_offset;
         }
         GrantRecord rec;
         rec.job = id;

@@ -14,7 +14,7 @@ namespace {
 
 // Parameter keys each workload actually consumes — a key another
 // workload understands is still an error here, mirroring
-// sched::SchemeSpec ("mandelbrot:n=100" must not silently build the
+// the scheme factory ("mandelbrot:n=100" must not silently build the
 // default image).
 std::vector<std::string> allowed_keys(const std::string& kind) {
   if (kind == "uniform" || kind == "increasing" || kind == "decreasing")

@@ -3,7 +3,7 @@
 // A JobSpec travelling over the wire (rt/job, svc/protocol) cannot
 // carry a `std::shared_ptr<Workload>`; it carries this spec string
 // instead and both ends materialize the same loop. Same grammar and
-// same unknown-key discipline as sched::SchemeSpec:
+// same unknown-key discipline as the scheme factory:
 //
 //   name[:key=value[,key=value...]]
 //     uniform[:n=4096,cost=1]

@@ -21,6 +21,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lss/api/desc.hpp"
 #include "lss/api/scheduler.hpp"
 #include "lss/sched/sequence.hpp"
 #include "lss/support/types.hpp"
@@ -36,6 +37,37 @@ inline std::vector<Range> expected_chunk_sequence(std::string_view spec,
                                                   Index total, int num_pes) {
   const auto scheduler = make_simple_scheduler(spec, total, num_pes);
   return sched::chunk_table(*scheduler);
+}
+
+/// The golden sequence for a desc with scripted migrations (ISSUE 8 /
+/// DESIGN.md §16): scheme A's grant table up to the first chunk
+/// boundary at or past each forced cut, then the successor scheme
+/// replanned over the uncovered suffix and shifted into place. Every
+/// dispatch path — the mediated reactor's fenced swap, the service's
+/// per-job rebuild, the masterless concatenated plan — owes exactly
+/// this prefix+suffix concatenation.
+inline std::vector<Range> expected_migrated_sequence(
+    const SchedulerDesc& desc, Index total, int num_pes) {
+  std::vector<Range> out;
+  Index covered = 0;
+  std::size_t next_cut = 0;
+  std::string current = desc.scheme;
+  const auto& force = desc.adaptive.force;
+  while (covered < total) {
+    while (next_cut < force.size() && force[next_cut].at <= covered) {
+      current = force[next_cut].to;
+      ++next_cut;
+    }
+    const Index due =
+        next_cut < force.size() ? force[next_cut].at : total;
+    for (const Range& r :
+         expected_chunk_sequence(current, total - covered, num_pes)) {
+      out.push_back(Range{r.begin + covered, r.end + covered});
+      if (out.back().end >= due) break;
+    }
+    covered = out.back().end;
+  }
+  return out;
 }
 
 /// Normalizes a grant set for multiset comparison. Deterministic

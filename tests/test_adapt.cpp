@@ -1,0 +1,486 @@
+// The self-tuning scheduler's parts in isolation (DESIGN.md §16):
+// the deterministic replay engine, the drift tracker, the migration
+// controller's scripted and organic decision rules, the unified
+// SchedulerDesc JSON shape, and the segmented masterless plan a
+// scripted desc compiles to.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <vector>
+
+#include "chunk_oracle.hpp"
+#include "lss/adapt/controller.hpp"
+#include "lss/adapt/progress.hpp"
+#include "lss/api/desc.hpp"
+#include "lss/api/scheduler.hpp"
+#include "lss/cluster/load.hpp"
+#include "lss/rt/dispatch.hpp"
+#include "lss/rt/job.hpp"
+#include "lss/rt/throttle.hpp"
+#include "lss/sim/replay.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss {
+namespace {
+
+// --- sim::replay ----------------------------------------------------------
+
+TEST(Replay, SameSeedIsBitIdentical) {
+  sim::ReplaySpec spec;
+  spec.scheme = "gss";
+  spec.iterations = 500;
+  spec.rates = {3.0, 1.0, 2.0};
+  spec.overhead_s = 0.01;
+  spec.start_jitter_s = 0.5;
+  spec.seed = 42;
+  const sim::ReplayResult a = sim::replay(spec);
+  const sim::ReplayResult b = sim::replay(spec);
+  EXPECT_EQ(a.finish_s, b.finish_s);
+  EXPECT_EQ(a.makespan_s, b.makespan_s);
+  EXPECT_EQ(a.chunks, b.chunks);
+  EXPECT_EQ(a.pe_busy_s, b.pe_busy_s);
+}
+
+TEST(Replay, StaticUniformHasClosedFormMakespan) {
+  // static over 100 iterations on two rate-1 PEs: one 50-iteration
+  // chunk each, 50 seconds of busy time, finishing at origin + 50.
+  sim::ReplaySpec spec;
+  spec.scheme = "static";
+  spec.iterations = 100;
+  spec.rates = {1.0, 1.0};
+  spec.clock_origin_s = 5.0;
+  const sim::ReplayResult r = sim::replay(spec);
+  EXPECT_EQ(r.chunks, 2);
+  EXPECT_DOUBLE_EQ(r.makespan_s, 50.0);
+  EXPECT_DOUBLE_EQ(r.finish_s, 55.0);
+  ASSERT_EQ(r.pe_busy_s.size(), 2u);
+  EXPECT_DOUBLE_EQ(r.pe_busy_s[0], 50.0);
+  EXPECT_DOUBLE_EQ(r.pe_busy_s[1], 50.0);
+}
+
+TEST(Replay, ZeroRatePesNeverRequest) {
+  sim::ReplaySpec spec;
+  spec.scheme = "tss";
+  spec.iterations = 200;
+  spec.rates = {2.0, 0.0, 1.0};  // middle PE is absent
+  const sim::ReplayResult r = sim::replay(spec);
+  ASSERT_EQ(r.pe_busy_s.size(), 3u);
+  EXPECT_EQ(r.pe_busy_s[1], 0.0);
+  EXPECT_GT(r.pe_busy_s[0], 0.0);
+  EXPECT_GT(r.pe_busy_s[2], 0.0);
+}
+
+TEST(Replay, RejectsUnservableSpecs) {
+  sim::ReplaySpec spec;
+  spec.scheme = "bogus";
+  spec.iterations = 10;
+  spec.rates = {1.0};
+  EXPECT_THROW(sim::replay(spec), ContractError);
+  spec.scheme = "tss";
+  spec.rates = {0.0, 0.0};  // work remains but nobody can do it
+  EXPECT_THROW(sim::replay(spec), ContractError);
+}
+
+// --- adapt::ProgressTracker -----------------------------------------------
+
+TEST(ProgressTracker, WindowedRateAndDrift) {
+  adapt::ProgressTracker tr(2, /*window=*/2);
+  EXPECT_EQ(tr.rate(0), 0.0);
+  EXPECT_FALSE(tr.has_baseline(0));
+
+  // First complete window becomes the baseline: 10 it/s.
+  tr.note(0, 10, 1.0);
+  EXPECT_DOUBLE_EQ(tr.rate(0), 10.0);  // partial-window fallback
+  tr.note(0, 10, 1.0);
+  EXPECT_TRUE(tr.has_baseline(0));
+  EXPECT_DOUBLE_EQ(tr.rate(0), 10.0);
+  EXPECT_DOUBLE_EQ(tr.drift(0), 0.0);
+
+  // Second window at 20 it/s: drift |20/10 - 1| = 1.
+  tr.note(0, 20, 1.0);
+  tr.note(0, 20, 1.0);
+  EXPECT_DOUBLE_EQ(tr.rate(0), 20.0);
+  EXPECT_DOUBLE_EQ(tr.drift(0), 1.0);
+
+  // Only PEs with data count toward the drifted fraction.
+  EXPECT_DOUBLE_EQ(tr.drifted_fraction(0.5), 1.0);
+  EXPECT_EQ(tr.completed(), 60);
+
+  // Rebaselining adopts the current rate: drift resets.
+  tr.rebaseline();
+  EXPECT_DOUBLE_EQ(tr.drift(0), 0.0);
+}
+
+TEST(ProgressTracker, IgnoresEmptyReports) {
+  adapt::ProgressTracker tr(1, /*window=*/1);
+  tr.note(0, 0, 1.0);
+  tr.note(0, 5, 0.0);
+  tr.note(0, -3, 1.0);
+  EXPECT_EQ(tr.completed(), 0);
+  EXPECT_EQ(tr.rate(0), 0.0);
+}
+
+// --- adapt::AdaptController -----------------------------------------------
+
+TEST(AdaptController, ScriptedCutsFireAtOrPastTheirIndex) {
+  AdaptivePolicy pol;
+  pol.force.push_back({50, "tss"});
+  pol.force.push_back({120, "gss"});
+  adapt::AdaptController c(pol, 200, 4);
+
+  EXPECT_FALSE(c.consider(49, "css:k=8").has_value());
+  const auto m = c.consider(57, "css:k=8");  // first boundary past 50
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to, "tss");
+  EXPECT_EQ(m->cut, 57);
+  EXPECT_TRUE(m->scripted);
+  EXPECT_EQ(c.migrations(), 1);
+
+  const auto m2 = c.consider(120, "tss");
+  ASSERT_TRUE(m2.has_value());
+  EXPECT_EQ(m2->to, "gss");
+  EXPECT_EQ(c.migrations(), 2);
+  EXPECT_FALSE(c.consider(150, "gss").has_value());  // list exhausted
+}
+
+TEST(AdaptController, OverdueCutsCollapseToTheLast) {
+  // Both cuts are already behind the boundary: one fence, to the
+  // final target — the same collapse rule MasterlessPlan applies.
+  AdaptivePolicy pol;
+  pol.force.push_back({10, "tss"});
+  pol.force.push_back({20, "fss"});
+  adapt::AdaptController c(pol, 200, 4);
+  const auto m = c.consider(64, "gss");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to, "fss");
+  EXPECT_EQ(c.migrations(), 1);
+}
+
+TEST(AdaptController, ScriptedNoOpWhenTargetIsCurrent) {
+  AdaptivePolicy pol;
+  pol.force.push_back({10, "gss"});
+  adapt::AdaptController c(pol, 200, 4);
+  EXPECT_FALSE(c.consider(15, "gss").has_value());
+  EXPECT_EQ(c.migrations(), 0);
+  EXPECT_FALSE(c.consider(30, "gss").has_value());  // entry consumed
+}
+
+adapt::AdaptController organic_controller(std::vector<std::string> cands,
+                                          Index total = 400) {
+  AdaptivePolicy pol;
+  pol.enabled = true;
+  pol.check_every = 10;
+  pol.drift_threshold = 0.1;
+  pol.drift_fraction = 0.4;
+  pol.min_gain = 0.05;
+  pol.candidates = std::move(cands);
+  return adapt::AdaptController(pol, total, 2);
+}
+
+/// Default tracker window is 4 reports: one baseline window at
+/// `base` it/s, then one current window at `now` it/s.
+void feed_drift(adapt::AdaptController& c, int pe, Index base, Index now) {
+  for (int i = 0; i < 4; ++i) c.note_feedback(pe, base, 1.0);
+  for (int i = 0; i < 4; ++i) c.note_feedback(pe, now, 1.0);
+}
+
+TEST(AdaptController, OrganicMigratesWhenReplayPredictsAGain) {
+  adapt::AdaptController c = organic_controller({"gss"});
+  feed_drift(c, 0, 10, 10);
+  feed_drift(c, 1, 10, 1);  // half the cluster slowed 10x
+
+  // "static" splits the 380-iteration suffix evenly: the slow PE
+  // alone takes 190 s. gss's decreasing chunks finish in a fraction
+  // of that, far past the 5% hysteresis bar.
+  const auto m = c.consider(20, "static");
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->to, "gss");
+  EXPECT_EQ(m->cut, 20);
+  EXPECT_FALSE(m->scripted);
+  EXPECT_GT(m->predicted_gain, 0.4);
+  EXPECT_EQ(c.migrations(), 1);
+  EXPECT_EQ(c.considered(), 1);
+
+  // The migration rebaselined the tracker: no drift, no re-trigger.
+  EXPECT_FALSE(c.consider(40, "gss").has_value());
+}
+
+TEST(AdaptController, OrganicHonorsCadenceAndDriftGates) {
+  adapt::AdaptController c = organic_controller({"gss"});
+  feed_drift(c, 0, 10, 10);
+  feed_drift(c, 1, 10, 1);
+  // Cadence: only 5 of the 10-iteration check interval elapsed.
+  EXPECT_FALSE(c.consider(5, "static").has_value());
+  EXPECT_EQ(c.considered(), 0);
+
+  // Drift gate: a steady cluster never reaches the replayer.
+  adapt::AdaptController steady = organic_controller({"gss"});
+  feed_drift(steady, 0, 10, 10);
+  feed_drift(steady, 1, 10, 10);
+  EXPECT_FALSE(steady.consider(20, "static").has_value());
+  EXPECT_EQ(steady.considered(), 0);
+}
+
+TEST(AdaptController, OrganicKeepsTheSchemeWithoutMinGain) {
+  // The drift gate passes but the only candidate replays no better
+  // than staying: considered, not migrated.
+  adapt::AdaptController c = organic_controller({"static"});
+  feed_drift(c, 0, 10, 10);
+  feed_drift(c, 1, 10, 1);
+  EXPECT_FALSE(c.consider(20, "gss").has_value());
+  EXPECT_EQ(c.considered(), 1);
+  EXPECT_EQ(c.migrations(), 0);
+}
+
+TEST(AdaptController, DisabledPolicyNeverMigrates) {
+  AdaptivePolicy pol;  // enabled = false, no force list
+  adapt::AdaptController c(pol, 400, 2);
+  feed_drift(c, 0, 10, 10);
+  feed_drift(c, 1, 10, 1);
+  EXPECT_FALSE(c.consider(40, "static").has_value());
+}
+
+TEST(AdaptController, MaxMigrationsCapsOrganicMoves) {
+  AdaptivePolicy pol;
+  pol.enabled = true;
+  pol.check_every = 10;
+  pol.drift_threshold = 0.1;
+  pol.drift_fraction = 0.4;
+  pol.min_gain = 0.0;
+  pol.max_migrations = 1;
+  pol.candidates = {"gss", "static"};
+  adapt::AdaptController c(pol, 400, 2);
+  feed_drift(c, 0, 10, 10);
+  feed_drift(c, 1, 10, 1);
+  ASSERT_TRUE(c.consider(20, "static").has_value());
+  // Fresh drift after the rebaseline would justify another move, but
+  // the cap is spent.
+  feed_drift(c, 1, 1, 20);
+  EXPECT_FALSE(c.consider(40, "static").has_value());
+  EXPECT_EQ(c.migrations(), 1);
+}
+
+// --- SchedulerDesc --------------------------------------------------------
+
+TEST(SchedulerDesc, TrivialDescRoundTripsAsBareString) {
+  const SchedulerDesc d = "gss:k=2";
+  EXPECT_TRUE(d.trivial());
+  const json::Value v = d.to_json_value();
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "gss:k=2");
+  const SchedulerDesc back = SchedulerDesc::from_json_value(v, "test");
+  EXPECT_EQ(back.scheme, "gss:k=2");
+  EXPECT_TRUE(back.trivial());
+}
+
+TEST(SchedulerDesc, FullDescRoundTripsAsObject) {
+  SchedulerDesc d = "css:k=16";
+  d.static_acps = {0.5, 0.25, 0.25};
+  d.adaptive.enabled = true;
+  d.adaptive.check_every = 32;
+  d.adaptive.drift_threshold = 0.4;
+  d.adaptive.min_gain = 0.1;
+  d.adaptive.max_migrations = 2;
+  d.adaptive.candidates = {"gss", "tss"};
+  d.adaptive.replay_seed = 99;
+  d.adaptive.force.push_back({100, "tss"});
+  d.adaptive.force.push_back({200, "fss"});
+
+  const json::Value v = d.to_json_value();
+  ASSERT_TRUE(v.is_object());
+  const SchedulerDesc back = SchedulerDesc::from_json_value(v, "test");
+  EXPECT_EQ(back.scheme, d.scheme);
+  EXPECT_EQ(back.static_acps, d.static_acps);
+  EXPECT_EQ(back.adaptive.enabled, d.adaptive.enabled);
+  EXPECT_EQ(back.adaptive.check_every, d.adaptive.check_every);
+  EXPECT_EQ(back.adaptive.drift_threshold, d.adaptive.drift_threshold);
+  EXPECT_EQ(back.adaptive.min_gain, d.adaptive.min_gain);
+  EXPECT_EQ(back.adaptive.max_migrations, d.adaptive.max_migrations);
+  EXPECT_EQ(back.adaptive.candidates, d.adaptive.candidates);
+  EXPECT_EQ(back.adaptive.replay_seed, d.adaptive.replay_seed);
+  ASSERT_EQ(back.adaptive.force.size(), 2u);
+  EXPECT_EQ(back.adaptive.force[0].at, 100);
+  EXPECT_EQ(back.adaptive.force[0].to, "tss");
+  EXPECT_EQ(back.adaptive.force[1].at, 200);
+  EXPECT_EQ(back.adaptive.force[1].to, "fss");
+  back.validate();
+}
+
+TEST(SchedulerDesc, UnknownKeysAreRejectedByName) {
+  using json::Value;
+  const Value bad(json::Object{{"scheme", Value("gss")},
+                               {"chunk_floor", Value(4)}});
+  try {
+    (void)SchedulerDesc::from_json_value(bad, "test desc");
+    FAIL() << "unknown key accepted";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("chunk_floor"),
+              std::string::npos)
+        << e.what();
+  }
+
+  const Value bad_adaptive(json::Object{
+      {"scheme", Value("gss")},
+      {"adaptive", Value(json::Object{{"treshold", Value(0.5)}})}});
+  EXPECT_THROW(SchedulerDesc::from_json_value(bad_adaptive, "test desc"),
+               ContractError);
+}
+
+TEST(SchedulerDesc, ValidateNamesTheOffendingKnob) {
+  SchedulerDesc unknown = "no-such-scheme";
+  EXPECT_THROW(unknown.validate(), ContractError);
+
+  SchedulerDesc decreasing = "gss";
+  decreasing.adaptive.force.push_back({100, "tss"});
+  decreasing.adaptive.force.push_back({100, "fss"});
+  EXPECT_THROW(decreasing.validate(), ContractError);
+
+  SchedulerDesc dist_target = "gss";
+  dist_target.adaptive.force.push_back({50, "dtss"});
+  EXPECT_THROW(dist_target.validate(), ContractError);
+
+  SchedulerDesc dist_candidate = "gss";
+  dist_candidate.adaptive.candidates = {"awf"};
+  EXPECT_THROW(dist_candidate.validate(), ContractError);
+
+  SchedulerDesc bad_fraction = "gss";
+  bad_fraction.adaptive.drift_fraction = 0.0;
+  EXPECT_THROW(bad_fraction.validate(), ContractError);
+
+  SchedulerDesc negative_acp = "gss";
+  negative_acp.static_acps = {1.0, -0.5};
+  EXPECT_THROW(negative_acp.validate(), ContractError);
+}
+
+TEST(SchedulerDesc, JobSpecAcceptsEitherSchemeKeyButNotBoth) {
+  const rt::JobSpec legacy = rt::JobSpec::from_json(
+      R"({"scheme": "gss:k=2", "relative_speeds": [1, 1],
+          "workload": "uniform:n=50,cost=1"})");
+  EXPECT_EQ(legacy.scheduler.scheme, "gss:k=2");
+
+  const rt::JobSpec unified = rt::JobSpec::from_json(
+      R"({"scheduler": {"scheme": "css:k=8",
+                        "adaptive": {"force": [{"at": 10, "to": "tss"}]}},
+          "relative_speeds": [1, 1],
+          "workload": "uniform:n=50,cost=1"})");
+  EXPECT_EQ(unified.scheduler.scheme, "css:k=8");
+  ASSERT_EQ(unified.scheduler.adaptive.force.size(), 1u);
+  EXPECT_EQ(unified.scheduler.adaptive.force[0].to, "tss");
+
+  EXPECT_THROW(rt::JobSpec::from_json(
+                   R"({"scheme": "gss", "scheduler": "tss",
+                       "relative_speeds": [1, 1],
+                       "workload": "uniform:n=50,cost=1"})"),
+               ContractError);
+}
+
+// --- masterless plan for scripted descs -----------------------------------
+
+TEST(MasterlessPlan, SegmentedTableMatchesTheMigratedOracle) {
+  SchedulerDesc d = "gss";
+  d.adaptive.force.push_back({37, "tss"});
+  d.adaptive.force.push_back({120, "css:k=8"});
+  const rt::MasterlessPlan plan(d, 200, 4);
+  // The plan names the whole chain, one segment per fence.
+  EXPECT_EQ(plan.name().rfind("gss->tss", 0), 0u) << plan.name();
+  EXPECT_NE(plan.name().find("->css(k=8)"), std::string::npos)
+      << plan.name();
+
+  std::vector<Range> table;
+  for (std::uint64_t t = 0; t < plan.tickets(); ++t)
+    table.push_back(plan.chunk(t));
+  const std::vector<Range> want =
+      testing::expected_migrated_sequence(d, 200, 4);
+  EXPECT_EQ(table, want);
+  for (std::uint64_t t = 0; t < plan.tickets(); ++t)
+    EXPECT_EQ(plan.ticket_of(plan.chunk(t)),
+              std::optional<std::uint64_t>(t));
+}
+
+TEST(MasterlessPlan, SsSegmentsMaterializeATable) {
+  // Counter mode cannot express a scheme change: a forced desc with
+  // an ss segment still builds the concatenated table.
+  SchedulerDesc d = "ss";
+  d.adaptive.force.push_back({10, "gss"});
+  const rt::MasterlessPlan plan(d, 100, 4);
+  const std::vector<Range> want =
+      testing::expected_migrated_sequence(d, 100, 4);
+  ASSERT_EQ(plan.tickets(), want.size());
+  for (std::uint64_t t = 0; t < plan.tickets(); ++t)
+    EXPECT_EQ(plan.chunk(t), want[static_cast<std::size_t>(t)]);
+}
+
+TEST(MasterlessPlan, SupportGateExplainsItself) {
+  std::string why;
+  EXPECT_TRUE(rt::masterless_supported("gss"));
+
+  SchedulerDesc organic = "gss";
+  organic.adaptive.enabled = true;
+  EXPECT_FALSE(rt::masterless_supported(organic, &why));
+  EXPECT_NE(why.find("organic"), std::string::npos) << why;
+
+  SchedulerDesc bad_target = "gss";
+  bad_target.adaptive.force.push_back({10, "sss"});
+  EXPECT_FALSE(rt::masterless_supported(bad_target, &why));
+
+  SchedulerDesc scripted = "gss";
+  scripted.adaptive.force.push_back({10, "tss"});
+  EXPECT_TRUE(rt::masterless_supported(scripted));
+}
+
+// --- live load-script throttle --------------------------------------------
+
+TEST(LoadThrottle, ScriptedExternalsCutTheEffectiveSpeed) {
+  using std::chrono::duration;
+  // One constant external process: equal share = 1/2, so every busy
+  // second costs one extra second of pause.
+  rt::Throttle loaded(1.0, cluster::LoadScript::constant(1));
+  const auto pause = loaded.pay(duration<double>(0.01));
+  EXPECT_GE(pause.count(), 0.009);
+
+  // An empty script at full speed never pauses — the static throttle.
+  rt::Throttle dedicated(1.0, cluster::LoadScript::none());
+  EXPECT_EQ(dedicated.pay(duration<double>(0.01)).count(), 0.0);
+
+  // A phase that has not started yet does not throttle either.
+  rt::Throttle later(
+      1.0, cluster::LoadScript({cluster::LoadPhase{3600.0, 7200.0, 4}}));
+  EXPECT_EQ(later.pay(duration<double>(0.01)).count(), 0.0);
+}
+
+// --- Scheduler facade snapshot / update_acp -------------------------------
+
+TEST(SchedulerFacade, SnapshotTracksTheContiguousCursor) {
+  Scheduler s = make_scheduler("tss", 100, 4);
+  const Range first = s.next(0);
+  ASSERT_FALSE(first.empty());
+  const SchedulerSnapshot snap = s.snapshot();
+  EXPECT_EQ(snap.family, SchemeFamily::Simple);
+  EXPECT_EQ(snap.total, 100);
+  EXPECT_EQ(snap.assigned, first.end);
+  EXPECT_EQ(snap.remaining, 100 - first.end);
+  EXPECT_EQ(snap.remaining_range, (Range{first.end, 100}));
+  EXPECT_EQ(snap.steps, 1);
+  EXPECT_EQ(snap.replans, 0);
+
+  // update_acp is a typed no-op for the power-oblivious family.
+  s.update_acp({1.0, 2.0, 3.0, 4.0});
+  EXPECT_EQ(s.snapshot().replans, 0);
+}
+
+TEST(SchedulerFacade, UpdateAcpReplansDistributedSchemes) {
+  Scheduler s = make_scheduler("dtss", 100, 2);
+  s.initialize({0.5, 0.5});
+  (void)s.next(0, 0.5);
+  const int before = s.snapshot().replans;
+  s.update_acp({0.9, 0.1});
+  const SchedulerSnapshot snap = s.snapshot();
+  EXPECT_EQ(snap.family, SchemeFamily::Distributed);
+  EXPECT_GT(snap.replans, before);
+  ASSERT_EQ(snap.acps.size(), 2u);
+  EXPECT_DOUBLE_EQ(snap.acps[0], 0.9);
+}
+
+}  // namespace
+}  // namespace lss

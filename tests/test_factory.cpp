@@ -1,7 +1,7 @@
 // Scheme factory parsing tests (simple and distributed), driven
-// through the typed spec parsers (sched::SchemeSpec,
-// distsched::DistSchemeSpec). Registry-based construction is covered
-// by test_unified_factory.cpp.
+// through the per-family free functions (sched::make_scheme,
+// distsched::make_dist_scheme). Registry-based construction is
+// covered by test_unified_factory.cpp.
 #include <gtest/gtest.h>
 
 #include "lss/distsched/dfactory.hpp"
@@ -12,86 +12,97 @@ namespace lss {
 namespace {
 
 TEST(Factory, AllKnownSchemesConstruct) {
-  for (const std::string& kind : sched::SchemeSpec::known_schemes()) {
-    auto s = sched::SchemeSpec::parse(kind).make(100, 4);
+  for (const std::string& kind : sched::known_schemes()) {
+    auto s = sched::make_scheme(kind, 100, 4);
     ASSERT_NE(s, nullptr) << kind;
     EXPECT_FALSE(s->name().empty());
   }
 }
 
 TEST(Factory, UnknownSchemeThrows) {
-  EXPECT_THROW(sched::SchemeSpec::parse("bogus"), ContractError);
-  EXPECT_THROW(sched::SchemeSpec::parse(""), ContractError);
+  EXPECT_THROW(sched::validate_scheme("bogus"), ContractError);
+  EXPECT_THROW(sched::validate_scheme(""), ContractError);
+  EXPECT_THROW(sched::make_scheme("bogus", 100, 4), ContractError);
 }
 
 TEST(Factory, CssHonorsK) {
-  auto s = sched::SchemeSpec::parse("css:k=25").make(100, 4);
+  auto s = sched::make_scheme("css:k=25", 100, 4);
   EXPECT_EQ(s->next(0).size(), 25);
 }
 
 TEST(Factory, GssHonorsMinChunk) {
-  auto s = sched::SchemeSpec::parse("gss:k=9").make(100, 50);
+  auto s = sched::make_scheme("gss:k=9", 100, 50);
   EXPECT_EQ(s->next(0).size(), 9);  // ceil(100/50)=2 < k=9
 }
 
 TEST(Factory, TssHonorsFirstLast) {
-  auto s = sched::SchemeSpec::parse("tss:F=30,L=2").make(300, 4);
+  auto s = sched::make_scheme("tss:F=30,L=2", 300, 4);
   EXPECT_EQ(s->next(0).size(), 30);
 }
 
 TEST(Factory, FssHonorsAlphaAndRounding) {
-  auto s = sched::SchemeSpec::parse("fss:alpha=4,rounding=floor").make(1000, 4);
+  auto s = sched::make_scheme("fss:alpha=4,rounding=floor", 1000, 4);
   EXPECT_EQ(s->next(0).size(), 62);  // floor(1000/16)
 }
 
 TEST(Factory, FissHonorsSigmaAndX) {
-  auto s = sched::SchemeSpec::parse("fiss:sigma=4,x=8").make(800, 4);
+  auto s = sched::make_scheme("fiss:sigma=4,x=8", 800, 4);
   EXPECT_EQ(s->next(0).size(), 25);  // floor(800 / (8*4))
 }
 
 TEST(Factory, WfHonorsWeights) {
-  auto s = sched::SchemeSpec::parse("wf:weights=3;1").make(800, 2);
+  auto s = sched::make_scheme("wf:weights=3;1", 800, 2);
   // Stage total 400; PE0 gets ceil(400 * 3/4) = 300.
   EXPECT_EQ(s->next(0).size(), 300);
 }
 
 TEST(Factory, MalformedParamsThrow) {
-  EXPECT_THROW(sched::SchemeSpec::parse("css:k"), ContractError);
-  EXPECT_THROW(sched::SchemeSpec::parse("css:bad=1"), ContractError);
-  EXPECT_THROW(sched::SchemeSpec::parse("fss:rounding=up"), ContractError);
-  EXPECT_THROW(sched::SchemeSpec::parse("css:k=abc"), ContractError);
+  EXPECT_THROW(sched::validate_scheme("css:k"), ContractError);
+  EXPECT_THROW(sched::validate_scheme("css:bad=1"), ContractError);
+  EXPECT_THROW(sched::validate_scheme("fss:rounding=up"), ContractError);
+  EXPECT_THROW(sched::validate_scheme("css:k=abc"), ContractError);
 }
 
-TEST(Factory, SpecStringRoundTrips) {
-  const auto spec = sched::SchemeSpec::parse("fss:alpha=2.5");
-  EXPECT_EQ(spec.spec_string(), "fss:alpha=2.5");
-  EXPECT_EQ(spec.kind(), "fss");
+TEST(Factory, SchemeKindStripsParams) {
+  EXPECT_EQ(sched::scheme_kind("fss:alpha=2.5"), "fss");
+  EXPECT_EQ(sched::scheme_kind("  TSS:F=4,L=1 "), "tss");
+}
+
+TEST(Factory, UnknownParamNamesTheOffender) {
+  try {
+    sched::validate_scheme("css:bad=1");
+    FAIL() << "expected ContractError";
+  } catch (const ContractError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'bad'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("accepts"), std::string::npos) << msg;
+  }
 }
 
 TEST(DFactory, AllKnownSchemesConstruct) {
-  for (const std::string& kind : distsched::DistSchemeSpec::known_schemes()) {
+  for (const std::string& kind : distsched::known_dist_schemes()) {
     const std::string spec = kind == "dist" ? "dist(tss)" : kind;
-    auto s = distsched::DistSchemeSpec::parse(spec).make(100, 4);
+    auto s = distsched::make_dist_scheme(spec, 100, 4);
     ASSERT_NE(s, nullptr) << spec;
     EXPECT_FALSE(s->name().empty());
   }
 }
 
 TEST(DFactory, UnknownSchemeThrows) {
-  EXPECT_THROW(distsched::DistSchemeSpec::parse("tss"), ContractError);
-  EXPECT_THROW(distsched::DistSchemeSpec::parse("dist(tss"), ContractError);
-  EXPECT_THROW(distsched::DistSchemeSpec::parse("dist(nope)"),
+  EXPECT_THROW(distsched::validate_dist_scheme("tss"), ContractError);
+  EXPECT_THROW(distsched::validate_dist_scheme("dist(tss"), ContractError);
+  EXPECT_THROW(distsched::validate_dist_scheme("dist(nope)"),
                ContractError);
 }
 
 TEST(DFactory, ParamsPropagate) {
-  auto s = distsched::DistSchemeSpec::parse("dfiss:sigma=4,x=9").make(100, 4);
+  auto s = distsched::make_dist_scheme("dfiss:sigma=4,x=9", 100, 4);
   EXPECT_NE(s->name().find("sigma=4"), std::string::npos);
   EXPECT_NE(s->name().find("X=9"), std::string::npos);
 }
 
 TEST(DFactory, AdapterNameShowsInner) {
-  auto s = distsched::DistSchemeSpec::parse("dist(gss:k=2)").make(100, 4);
+  auto s = distsched::make_dist_scheme("dist(gss:k=2)", 100, 4);
   EXPECT_EQ(s->name(), "dist(gss:k=2)");
 }
 

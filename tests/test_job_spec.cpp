@@ -33,7 +33,7 @@ void expect_rejects(Fn fn, const std::string& needle) {
 
 TEST(JobSpec, JsonRoundTripPreservesEveryField) {
   JobSpec spec;
-  spec.scheme = "gss:k=2";
+  spec.scheduler = "gss:k=2";
   spec.relative_speeds = {1.0, 0.5, 0.25};
   spec.run_queues = {1, 2, 1};
   spec.pipeline_depth = 3;
@@ -46,7 +46,7 @@ TEST(JobSpec, JsonRoundTripPreservesEveryField) {
   spec.workload = "uniform:n=1024,cost=2";
 
   const JobSpec back = JobSpec::from_json(spec.to_json());
-  EXPECT_EQ(back.scheme, spec.scheme);
+  EXPECT_EQ(back.scheduler.scheme, spec.scheduler.scheme);
   EXPECT_EQ(back.relative_speeds, spec.relative_speeds);
   EXPECT_EQ(back.run_queues, spec.run_queues);
   EXPECT_EQ(back.pipeline_depth, spec.pipeline_depth);

@@ -479,7 +479,7 @@ TEST_F(ObsTest, ThreadedRuntimeExportsStatsAndTrace) {
   Tracer::instance().enable();
   rt::RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(100, 1000.0);
-  cfg.scheme = "gss";
+  cfg.scheduler = "gss";
   cfg.relative_speeds = {1.0, 1.0};
   const rt::RtResult r = rt::run_threaded(cfg);
   Tracer::instance().disable();

@@ -18,7 +18,7 @@ namespace {
 RtConfig small_config(std::string scheme, int workers) {
   RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(200, 2000.0);
-  cfg.scheme = std::move(scheme);
+  cfg.scheduler = std::move(scheme);
   cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
   return cfg;
 }
@@ -154,7 +154,7 @@ TEST(Rt, MandelbrotImageMatchesSerialReference) {
 
   RtConfig cfg;
   cfg.workload = parallel;
-  cfg.scheme = "tfss";
+  cfg.scheduler = "tfss";
   cfg.relative_speeds = {1.0, 1.0, 1.0};
   const RtResult r = run_threaded(cfg);
   EXPECT_TRUE(r.exactly_once());
@@ -210,7 +210,7 @@ TEST(Rt, AwfFeedbackFlowsThroughTheRuntime) {
   // genuinely fast workers.
   RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(800, 60000.0);
-  cfg.scheme = "awf";
+  cfg.scheduler = "awf";
   cfg.relative_speeds = {1.0, 1.0, 0.25, 0.25};
   cfg.run_queues = {4, 4, 1, 1};
   const RtResult r = run_threaded(cfg);
@@ -223,7 +223,7 @@ TEST(Rt, AwfFeedbackFlowsThroughTheRuntime) {
 TEST(Rt, ThrottledWorkerDoesLessWork) {
   RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(400, 40000.0);
-  cfg.scheme = "ss";  // one iteration at a time: pure race
+  cfg.scheduler = "ss";  // one iteration at a time: pure race
   cfg.relative_speeds = {1.0, 0.2};
   const RtResult r = run_threaded(cfg);
   EXPECT_TRUE(r.exactly_once());

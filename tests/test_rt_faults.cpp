@@ -78,7 +78,7 @@ TEST(RtProtocol, AssignBatchRoundTrip) {
 RtConfig faulty_config(std::string scheme, int workers) {
   RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(200, 2000.0);
-  cfg.scheme = std::move(scheme);
+  cfg.scheduler = std::move(scheme);
   cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
   cfg.faults.detect = true;
   // Threads die silently (no EOF), so the grace timer is the only
@@ -184,7 +184,7 @@ TEST(RtFaults, TcpDeathIsDetectedAndChunkReassigned) {
 
   t.accept_workers();
   MasterConfig mc;
-  mc.scheme = "dtss";
+  mc.scheduler = "dtss";
   mc.total = 200;
   mc.num_workers = 3;
   mc.faults.detect = true;
@@ -271,7 +271,7 @@ TEST(RtFaults, TcpKillMidPipelineReclaimsWholeWindow) {
 
   t.accept_workers();
   MasterConfig mc;
-  mc.scheme = "dtss";
+  mc.scheduler = "dtss";
   mc.total = 200;
   mc.num_workers = 3;
   mc.faults.detect = true;
@@ -312,7 +312,7 @@ TEST(RtFaults, TcpLegacyWorkerInteropWithPipelinedMaster) {
 
   t.accept_workers();
   MasterConfig mc;
-  mc.scheme = "gss";
+  mc.scheduler = "gss";
   mc.total = 120;
   mc.num_workers = 2;
   mc.faults.detect = true;
@@ -352,7 +352,7 @@ TEST(RtFaults, TcpLegacyMasterInteropWithPipelinedWorker) {
   EXPECT_EQ(t.peer_protocol(1), mp::kProtoLegacy);
   EXPECT_EQ(t.peer_protocol(2), mp::kProtoLegacy);
   MasterConfig mc;
-  mc.scheme = "tss";
+  mc.scheduler = "tss";
   mc.total = 100;
   mc.num_workers = 2;
   mc.faults.detect = true;
@@ -379,7 +379,7 @@ TEST(RtFaults, TcpHealthyRunLosesNobody) {
 
   t.accept_workers();
   MasterConfig mc;
-  mc.scheme = "gss";
+  mc.scheduler = "gss";
   mc.total = 150;
   mc.num_workers = 2;
   mc.faults.detect = true;

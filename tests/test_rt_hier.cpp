@@ -133,7 +133,7 @@ HierRun run_hier(const std::shared_ptr<Workload>& workload,
   }
 
   RootConfig rc;
-  rc.scheme = scheme;
+  rc.scheduler = scheme;
   rc.total = workload->size();
   rc.num_pods = pods;
   rc.faults = root_faults;
@@ -214,7 +214,7 @@ TEST(HierRuntime, RootIngestsFarFewerMessagesThanAFlatMaster) {
       run_worker_loop(flat, wc);
     });
   MasterConfig mc;
-  mc.scheme = "dtss";
+  mc.scheduler = "dtss";
   mc.total = workload->size();
   mc.num_workers = 4;
   const MasterOutcome flat_out = run_master(flat, mc);
@@ -326,7 +326,7 @@ TEST(HierFaults, TcpPodDeathIsDetectedByTheTransport) {
 
   up.accept_workers();  // both sub-masters handshake before any lease
   RootConfig rc;
-  rc.scheme = "dtss";
+  rc.scheduler = "dtss";
   rc.total = workload->size();
   rc.num_pods = 2;
   rc.faults.detect = true;

@@ -141,7 +141,7 @@ TEST(MasterlessPlanReplay, RejectsSchemesWithoutAMasterlessForm) {
 RtConfig small_config(std::string scheme, int workers) {
   RtConfig cfg;
   cfg.workload = std::make_shared<UniformWorkload>(200, 2000.0);
-  cfg.scheme = std::move(scheme);
+  cfg.scheduler = std::move(scheme);
   cfg.relative_speeds.assign(static_cast<std::size_t>(workers), 1.0);
   return cfg;
 }
@@ -231,7 +231,7 @@ TEST(Masterless, JanitorIngestsFarFewerFramesThanTheMediatedMaster) {
         if (masterless) {
           MasterlessWorkerConfig mwc;
           mwc.loop = wc;
-          mwc.scheme = "ss";
+          mwc.scheduler = "ss";
           mwc.total = workload->size();
           mwc.num_workers = 2;
           mwc.counter = counter;
@@ -241,7 +241,7 @@ TEST(Masterless, JanitorIngestsFarFewerFramesThanTheMediatedMaster) {
         }
       });
     MasterConfig mc;
-    mc.scheme = "ss";
+    mc.scheduler = "ss";
     mc.total = workload->size();
     mc.num_workers = 2;
     mc.masterless = masterless;
@@ -448,7 +448,7 @@ TEST(MasterlessTcp, SocketWorkersConformViaFetchAddFrames) {
       MasterlessWorkerConfig mwc;
       mwc.loop.worker = wt.rank() - 1;
       mwc.loop.workload = workload;
-      mwc.scheme = "gss";
+      mwc.scheduler = "gss";
       mwc.total = workload->size();
       mwc.num_workers = 2;  // counter left null: claim over the wire
       results[static_cast<std::size_t>(wt.rank() - 1)] =
@@ -457,7 +457,7 @@ TEST(MasterlessTcp, SocketWorkersConformViaFetchAddFrames) {
 
   t.accept_workers();
   MasterConfig mc;
-  mc.scheme = "gss";
+  mc.scheduler = "gss";
   mc.total = workload->size();
   mc.num_workers = 2;
   mc.masterless = true;

@@ -41,7 +41,7 @@ using lss::svc::SubmitError;
 JobSpec uniform_job(const std::string& scheme, Index n, int pes,
                     int cost = 1) {
   JobSpec spec;
-  spec.scheme = scheme;
+  spec.scheduler = scheme;
   spec.relative_speeds.assign(static_cast<std::size_t>(pes), 1.0);
   spec.workload = "uniform:n=" + std::to_string(n) +
                   ",cost=" + std::to_string(cost);
