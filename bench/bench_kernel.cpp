@@ -1,0 +1,83 @@
+// Micro-benchmark (google-benchmark): throughput of the Mandelbrot
+// escape kernels behind the runtime SIMD dispatch (DESIGN.md §17) —
+// scalar vs the portable batched loop vs the hand-vectorized AVX2 /
+// AVX-512 paths. All four compute the identical IEEE recurrence
+// (the differential tests hold them to bit-identical escape counts),
+// so the rows differ only in instruction selection: this bench
+// prices what `kernel=auto` buys on the host CPU.
+//
+// bench/run_bench.sh distills the rows into BENCH_kernel.json; ISA
+// rows the host cannot run are skipped (reported as errors in the
+// raw JSON), not silently benchmarked on the wrong path.
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "lss/workload/mandelbrot.hpp"
+#include "lss/workload/simd.hpp"
+
+using namespace lss;
+
+namespace {
+
+// One image column crossing the set boundary (the paper's plotted
+// region), so lanes escape at widely different iterations — the
+// regime where the batch kernels' latch/mask machinery actually
+// works instead of every lane exiting together.
+constexpr int kHeight = 4096;
+constexpr int kMaxIter = 256;
+constexpr double kCx = -0.7443;
+
+std::vector<double> column_cy() {
+  std::vector<double> cy(kHeight);
+  for (int i = 0; i < kHeight; ++i)
+    cy[static_cast<std::size_t>(i)] =
+        -1.25 + 2.5 * i / (kHeight - 1.0);
+  return cy;
+}
+
+void BM_MandelbrotKernel(benchmark::State& state,
+                         const std::string& kernel) {
+  const std::vector<double> cy = column_cy();
+  std::vector<int> out(kHeight);
+
+  if (kernel == "scalar") {
+    for (auto _ : state) {
+      for (int i = 0; i < kHeight; ++i)
+        out[static_cast<std::size_t>(i)] =
+            mandelbrot_escape(kCx, cy[static_cast<std::size_t>(i)],
+                              kMaxIter);
+      benchmark::DoNotOptimize(out.data());
+      benchmark::ClobberMemory();
+    }
+  } else {
+    // "batched" is the portable 8-wide loop; "avx2"/"avx512" are the
+    // intrinsic paths, present only when compiled in AND the cpu
+    // reports the feature.
+    const simd::Isa isa = kernel == "batched"
+                              ? simd::Isa::Portable
+                              : simd::isa_from_string(kernel);
+    if (!simd::isa_available(isa)) {
+      state.SkipWithError((kernel + " unavailable on this host").c_str());
+      return;
+    }
+    const simd::MandelbrotBatchFn fn = simd::mandelbrot_batch_fn(isa);
+    for (auto _ : state) {
+      fn(kCx, cy.data(), kHeight, kMaxIter, out.data());
+      benchmark::DoNotOptimize(out.data());
+      benchmark::ClobberMemory();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kHeight));
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_MandelbrotKernel, scalar, "scalar");
+BENCHMARK_CAPTURE(BM_MandelbrotKernel, batched, "batched");
+BENCHMARK_CAPTURE(BM_MandelbrotKernel, avx2, "avx2");
+BENCHMARK_CAPTURE(BM_MandelbrotKernel, avx512, "avx512");
+
+BENCHMARK_MAIN();

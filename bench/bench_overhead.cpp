@@ -5,13 +5,18 @@
 // under contention: locked vs lock-free, 1-16 threads.
 #include <benchmark/benchmark.h>
 
+#include <unistd.h>
+
+#include <atomic>
 #include <chrono>
 #include <memory>
+#include <string>
 #include <thread>
 
 #include "lss/api/scheduler.hpp"
 #include "lss/mp/comm.hpp"
 #include "lss/mp/framing.hpp"
+#include "lss/mp/shm_transport.hpp"
 #include "lss/mp/tcp.hpp"
 #include "lss/obs/trace.hpp"
 #include "lss/rt/dispatch.hpp"
@@ -153,22 +158,50 @@ void BM_FrameEncode(benchmark::State& state, bool reuse) {
       static_cast<std::int64_t>(payload.size() + lss::mp::kFrameHeaderBytes));
 }
 
+// Which mp::Transport backend a transport benchmark exercises.
+enum class Wire { kInproc, kTcp, kShm };
+
+// Fresh segment name per construction: the benchmark loop tears a
+// segment down and builds the next one immediately, and a unique
+// name keeps a late unlink from racing the next shm_open.
+std::string bench_shm_name(const char* stem) {
+  static std::atomic<int> seq{0};
+  return std::string("/lss-bench-") + stem + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(seq.fetch_add(1));
+}
+
 // One request→grant round trip over each mp::Transport backend: the
 // latency a worker pays per chunk before any computing happens. The
 // gap between the inproc and tcp rows is the wire tax of moving the
 // master out of process (syscalls + loopback framing) — the h_tcp to
 // weigh against chunk compute times when sizing schemes for the
-// socket runtime.
-void BM_TransportRoundTrip(benchmark::State& state, bool tcp) {
+// socket runtime. The shm row is the same exchange through the
+// shared-memory rings (DESIGN.md §17): no syscalls on the hot path,
+// so it prices the framing + cursor protocol alone.
+void BM_TransportRoundTrip(benchmark::State& state, Wire wire) {
   constexpr int kTagPing = 1, kTagPong = 2, kTagStop = 3;
   const std::vector<std::byte> payload(16);
 
   std::unique_ptr<lss::mp::Transport> transport;
   std::thread echo;
-  if (tcp) {
+  if (wire == Wire::kTcp) {
     auto master = std::make_unique<lss::mp::TcpMasterTransport>(0, 1);
     echo = std::thread([port = master->port()] {
       lss::mp::TcpWorkerTransport w("127.0.0.1", port);
+      while (true) {
+        lss::mp::Message m = w.recv(1, 0);
+        if (m.tag == kTagStop) break;
+        w.send(1, 0, kTagPong, std::move(m.payload));
+      }
+    });
+    master->accept_workers();
+    transport = std::move(master);
+  } else if (wire == Wire::kShm) {
+    auto master = std::make_unique<lss::mp::ShmMasterTransport>(
+        bench_shm_name("rt"), 1);
+    echo = std::thread([name = master->name()] {
+      lss::mp::ShmWorkerTransport w(name);
       while (true) {
         lss::mp::Message m = w.recv(1, 0);
         if (m.tag == kTagStop) break;
@@ -208,9 +241,12 @@ void BM_TransportRoundTrip(benchmark::State& state, bool tcp) {
 // >= 1 overlaps the round trip with compute, and depth >= 2 also
 // batches completion acks (one message per ~depth/2 chunks), so
 // per-chunk time collapses toward compute plus the amortized
-// per-message cost. Manual timing brackets run_master only; socket
-// setup and thread spawn stay outside the measurement.
-void BM_PipelineDepth(benchmark::State& state, bool tcp) {
+// per-message cost. Manual timing brackets run_master only; socket /
+// segment setup and thread spawn stay outside the measurement. The
+// shm rows put a raw-speed floor under the fleet: the acceptance gate
+// in bench/run_bench.sh holds shm depth 0 to >= 2x faster per chunk
+// than tcp_loopback depth 0.
+void BM_PipelineDepth(benchmark::State& state, Wire wire) {
   const int depth = static_cast<int>(state.range(0));
   constexpr Index kChunks = 512;        // ss: one iteration per chunk
   constexpr double kBodyCost = 2000.0;  // ~1-2 us: latency-dominated
@@ -232,10 +268,19 @@ void BM_PipelineDepth(benchmark::State& state, bool tcp) {
       wc.pipeline_depth = depth;
       lss::rt::run_worker_loop(t, wc);
     };
-    if (tcp) {
+    if (wire == Wire::kTcp) {
       auto master = std::make_unique<lss::mp::TcpMasterTransport>(0, 1);
       worker = std::thread([port = master->port(), worker_body] {
         lss::mp::TcpWorkerTransport wt("127.0.0.1", port);
+        worker_body(wt);
+      });
+      master->accept_workers();
+      transport = std::move(master);
+    } else if (wire == Wire::kShm) {
+      auto master = std::make_unique<lss::mp::ShmMasterTransport>(
+          bench_shm_name("pd"), 1);
+      worker = std::thread([name = master->name(), worker_body] {
+        lss::mp::ShmWorkerTransport wt(name);
         worker_body(wt);
       });
       master->accept_workers();
@@ -302,12 +347,17 @@ BENCHMARK_CAPTURE(BM_FrameEncode, reused_buffer, true)
 
 // Blocked-in-poll time is the quantity of interest: wall clock, not
 // the main thread's CPU time.
-BENCHMARK_CAPTURE(BM_TransportRoundTrip, inproc, false)->UseRealTime();
-BENCHMARK_CAPTURE(BM_TransportRoundTrip, tcp_loopback, true)->UseRealTime();
+BENCHMARK_CAPTURE(BM_TransportRoundTrip, inproc, Wire::kInproc)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_TransportRoundTrip, tcp_loopback, Wire::kTcp)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_TransportRoundTrip, shm, Wire::kShm)->UseRealTime();
 
-BENCHMARK_CAPTURE(BM_PipelineDepth, inproc, false)
+BENCHMARK_CAPTURE(BM_PipelineDepth, inproc, Wire::kInproc)
     ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
-BENCHMARK_CAPTURE(BM_PipelineDepth, tcp_loopback, true)
+BENCHMARK_CAPTURE(BM_PipelineDepth, tcp_loopback, Wire::kTcp)
+    ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
+BENCHMARK_CAPTURE(BM_PipelineDepth, shm, Wire::kShm)
     ->Arg(0)->Arg(1)->Arg(2)->Arg(4)->UseManualTime();
 
 BENCHMARK_MAIN();

@@ -82,6 +82,20 @@ for i in 1 2 3; do
     -L service -j "$(nproc)"
 done
 
+# The shared-memory ring transport (ctest label `shm`): SPSC byte
+# rings with acquire/release cursors, futex doorbells racing
+# yield-spin peeks, slot claim fetch-adds, heartbeat timestamp
+# stores, owner-shutdown storms against parked workers, and the
+# 8-worker fetch-add/grant stress — every byte crosses processes or
+# threads through the segment, so all three sanitizers matter here
+# (TSan for the ring protocol, ASan/UBSan for the raw-byte framing
+# on top of it). Repeat so wrap positions and park/wake timings
+# vary.
+for i in 1 2 3; do
+  ctest --test-dir "$build" --output-on-failure --no-tests=error \
+    -L shm -j "$(nproc)"
+done
+
 # The adaptive replanner (ctest label `adapt`): mid-loop scheme
 # migrations fence while worker threads race grants, feedback, and
 # acks through the reactor, the masterless ticket counter, and the

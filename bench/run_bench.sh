@@ -6,11 +6,22 @@
 # commits).
 #
 #   BENCH_pipeline.json — BM_PipelineDepth (DESIGN.md §12): per-chunk
-#     wall time at prefetch depths 0/1/2/4 over both transports. Gate:
-#     tcp_loopback depth>=1 must cut per-chunk latency >= 1.7x vs
-#     depth 0. (Was 2x before the per-connection encode-buffer reuse:
-#     that optimisation sped the *unpipelined* baseline up ~17%, which
-#     compresses the ratio even though every absolute number improved.)
+#     wall time at prefetch depths 0/1/2/4 over all three transports
+#     (inproc, tcp_loopback, shm). Gates: tcp_loopback depth>=1 must
+#     cut per-chunk latency >= 1.7x vs depth 0 (was 2x before the
+#     per-connection encode-buffer reuse: that optimisation sped the
+#     *unpipelined* baseline up ~17%, which compresses the ratio even
+#     though every absolute number improved); and the shared-memory
+#     rings (DESIGN.md §17) must run depth 0 >= 2x faster per chunk
+#     than tcp_loopback depth 0 — the raw-speed floor the shm
+#     transport exists to hold.
+#
+#   BENCH_kernel.json — BM_MandelbrotKernel (DESIGN.md §17): per-pixel
+#     escape-kernel throughput, scalar vs the portable batched loop vs
+#     the AVX2 / AVX-512 intrinsic paths (ISA rows the host cannot run
+#     are skipped and recorded as unavailable). Gate: the widest
+#     available vector kernel — what `kernel=auto` resolves to — must
+#     beat scalar >= 1.5x per pixel.
 #
 #   BENCH_hier.json — BM_HierScaling (DESIGN.md §13): the same
 #     Mandelbrot strip under a flat 8-worker master vs the
@@ -45,8 +56,8 @@ build="${2:-$root/build}"
 
 cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build" -j "$(nproc)" \
-  --target bench_overhead bench_hier_scaling bench_masterless \
-  bench_service bench_adaptive >/dev/null
+  --target bench_overhead bench_kernel bench_hier_scaling \
+  bench_masterless bench_service bench_adaptive >/dev/null
 
 # ---------------------------------------------------------------- pipeline
 
@@ -113,15 +124,112 @@ doc = {
 best = max((d["speedup_vs_depth0"] or 0.0)
            for d in results.get("tcp_loopback", {}).values())
 doc["tcp_best_speedup_vs_depth0"] = best
+
+# The raw-speed floor: the shm rings vs TCP loopback at depth 0, the
+# unpipelined regime where every chunk pays one full round trip.
+tcp0 = results["tcp_loopback"]["0"]["per_chunk_us_median"]
+shm0 = results["shm"]["0"]["per_chunk_us_median"]
+shm_floor = round(tcp0 / shm0, 2)
+doc["shm_speedup_vs_tcp_depth0"] = shm_floor
+
 with open(out_path, "w") as f:
     json.dump(doc, f, indent=2)
     f.write("\n")
 
 print(json.dumps(doc, indent=2))
+ok = True
 if best < 1.7:
     print(f"FAIL: tcp_loopback best speedup {best} < 1.7", file=sys.stderr)
+    ok = False
+if shm_floor < 2.0:
+    print(f"FAIL: shm depth 0 only {shm_floor}x faster than "
+          f"tcp_loopback depth 0 (< 2.0)", file=sys.stderr)
+    ok = False
+if not ok:
     sys.exit(1)
 print(f"OK: tcp_loopback best speedup {best} >= 1.7")
+print(f"OK: shm depth 0 is {shm_floor}x faster than tcp_loopback "
+      f"depth 0 (>= 2.0)")
+PY
+
+# ------------------------------------------------------------------ kernel
+
+raw="$build/bench_kernel_raw.json"
+out="$root/BENCH_kernel.json"
+
+"$build/bench/bench_kernel" \
+  --benchmark_repetitions="$reps" \
+  --benchmark_report_aggregates_only=false \
+  --benchmark_time_unit=us \
+  --benchmark_out="$raw" \
+  --benchmark_out_format=json || true  # skipped ISA rows exit non-zero
+
+python3 - "$raw" "$out" <<'PY'
+import json, statistics, sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+PIXELS = 4096  # keep in sync with kHeight in BM_MandelbrotKernel
+
+# name: BM_MandelbrotKernel/<kernel>; an ISA the host cannot run is
+# reported with error_occurred and recorded as unavailable.
+runs, unavailable = {}, set()
+for b in raw["benchmarks"]:
+    if b.get("run_type") != "iteration":
+        continue
+    parts = b["name"].split("/")
+    if parts[0] != "BM_MandelbrotKernel":
+        continue
+    kernel = parts[1]
+    if b.get("error_occurred"):
+        unavailable.add(kernel)
+        continue
+    assert b["time_unit"] == "us", b["time_unit"]
+    runs.setdefault(kernel, []).append(b["real_time"] * 1000.0 / PIXELS)
+
+results = {}
+for kernel, samples in runs.items():
+    results[kernel] = {
+        "reps": len(samples),
+        "ns_per_pixel_median": round(statistics.median(samples), 2),
+    }
+
+scalar = results["scalar"]["ns_per_pixel_median"]
+for kernel, r in results.items():
+    r["speedup_vs_scalar"] = round(scalar / r["ns_per_pixel_median"], 2)
+
+# `kernel=auto` resolves to the widest available ISA.
+auto = next(k for k in ("avx512", "avx2", "batched", "scalar")
+            if k in results)
+auto_speedup = results[auto]["speedup_vs_scalar"]
+
+doc = {
+    "benchmark": "BM_MandelbrotKernel",
+    "workload": {"pixels_per_column": PIXELS, "max_iter": 256,
+                 "cx": -0.7443,
+                 "region": "boundary-crossing column, mixed escapes"},
+    "context": {k: raw["context"][k]
+                for k in ("num_cpus", "mhz_per_cpu", "library_version")
+                if k in raw["context"]},
+    "metric": "nanoseconds per pixel (median over reps)",
+    "results": {k: results[k] for k in sorted(results)},
+    "unavailable_on_host": sorted(unavailable),
+    "auto_resolves_to": auto,
+    "auto_speedup_vs_scalar": auto_speedup,
+}
+with open(out_path, "w") as f:
+    json.dump(doc, f, indent=2)
+    f.write("\n")
+
+print(json.dumps(doc, indent=2))
+if auto_speedup < 1.5:
+    print(f"FAIL: kernel=auto ({auto}) only {auto_speedup}x scalar "
+          f"(< 1.5)", file=sys.stderr)
+    sys.exit(1)
+print(f"OK: kernel=auto resolves to {auto}, {auto_speedup}x scalar "
+      f"(>= 1.5)")
 PY
 
 # -------------------------------------------------------------------- hier

@@ -4,11 +4,11 @@
 // sockets — or across threads over the in-process transport, from
 // the same binary.
 //
-//   lss_master [--scheme dtss] [--transport tcp|inproc] [--workers 3]
+//   lss_master [--scheme dtss] [--transport tcp|shm|inproc] [--workers 3]
 //              [--pods G] [--port 0] [--width 200] [--height 120]
 //              [--max-iter 100] [--kill-after K] [--grace S]
 //              [--out image.pgm] [--pipeline-depth K] [--no-spawn]
-//              [--masterless]
+//              [--masterless] [--pin]
 //
 // --pipeline-depth K (default 1) is the prefetch window shipped to
 // every worker in the job description: each keeps up to K granted
@@ -37,6 +37,17 @@
 // abandoned pipeline, so the run still covers every column exactly
 // once.
 //
+// --transport shm runs the same process tree over the shared-memory
+// ring transport (DESIGN.md §17) instead of sockets: the master
+// creates a POSIX shm segment ("/lss-fleet-<pid>"), children attach
+// by name (--shm). Same-host only; with --no-spawn, start workers
+// with `lss_worker --shm <name>` on this machine.
+//
+// --pin pins every worker to a cpu (rt::pick_pin_cpu's
+// NUMA-interleaved layout, keyed by worker index): threads directly
+// under --transport inproc, spawned processes via their own --pin
+// flag. Best-effort — a refused pin leaves that worker floating.
+//
 // --pods G (tcp only) runs the HIERARCHICAL tree instead: this
 // process becomes the root master leasing super-chunks to G spawned
 // `lss_submaster` processes, each self-scheduling its lease across
@@ -53,6 +64,7 @@
 #include <chrono>
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
@@ -60,7 +72,9 @@
 #include <vector>
 
 #include "lss/mp/comm.hpp"
+#include "lss/mp/shm_transport.hpp"
 #include "lss/mp/tcp.hpp"
+#include "lss/rt/affinity.hpp"
 #include "lss/rt/counter.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/rt/job.hpp"
@@ -95,7 +109,39 @@ struct Options {
   /// Masterless dispatch (see header note). Downgraded with a note
   /// for schemes without a deterministic grant sequence.
   bool masterless = false;
+  /// Pin every worker to a cpu (see header note).
+  bool pin = false;
 };
+
+/// The master-side endpoint of the fleet plus how spawned children
+/// reach it — the only part of the process tree that differs between
+/// tcp and shm.
+struct Fleet {
+  std::unique_ptr<lss::mp::Transport> transport;
+  std::function<void()> accept;           ///< blocks for the fleet
+  std::vector<std::string> connect_args;  ///< child flags to reach us
+  std::string endpoint;                   ///< human-readable
+};
+
+Fleet make_fleet(const Options& o, int peers) {
+  Fleet f;
+  if (o.transport == "shm") {
+    const std::string name = "/lss-fleet-" + std::to_string(::getpid());
+    auto t = std::make_unique<lss::mp::ShmMasterTransport>(name, peers);
+    f.accept = [raw = t.get()] { raw->accept_workers(); };
+    f.connect_args = {"--shm", name};
+    f.endpoint = "shm segment " + name;
+    f.transport = std::move(t);
+  } else {
+    auto t = std::make_unique<lss::mp::TcpMasterTransport>(
+        static_cast<std::uint16_t>(o.port), peers);
+    f.accept = [raw = t.get()] { raw->accept_workers(); };
+    f.connect_args = {"--port", std::to_string(t->port())};
+    f.endpoint = "port " + std::to_string(t->port());
+    f.transport = std::move(t);
+  }
+  return f;
+}
 
 lss::rt::MasterConfig master_config(const Options& o,
                                     std::vector<std::uint16_t>& image) {
@@ -114,13 +160,13 @@ lss::rt::MasterConfig master_config(const Options& o,
   return mc;
 }
 
-lss::rt::MasterOutcome run_tcp(const Options& o,
-                               std::vector<std::uint16_t>& image) {
-  lss::mp::TcpMasterTransport t(static_cast<std::uint16_t>(o.port),
-                                o.workers);
-  // Masterless: a spawned fleet is same-host by construction, so the
-  // shared cursor lives in a POSIX shm segment whose name ships with
-  // the job; --no-spawn workers may be on other hosts and claim over
+lss::rt::MasterOutcome run_fleet(const Options& o,
+                                 std::vector<std::uint16_t>& image) {
+  Fleet f = make_fleet(o, o.workers);
+  // Masterless: a spawned fleet is same-host by construction — and an
+  // shm fleet is same-host by definition — so the shared cursor lives
+  // in a POSIX shm segment whose name ships with the job; tcp
+  // --no-spawn workers may be on other hosts and claim over
   // kTagFetchAdd frames instead (empty segment name).
   JobSpec job = o.job;
   std::shared_ptr<lss::rt::TicketCounter> counter;
@@ -128,7 +174,7 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
     job.masterless = true;
     job.scheme = o.scheduler.scheme;
     job.workers = o.workers;
-    if (o.spawn) {
+    if (o.spawn || o.transport == "shm") {
       auto shm = lss::rt::ShmTicketCounter::create(
           "/lss-ctr-" + std::to_string(::getpid()));
       job.counter_shm = shm->name();
@@ -142,7 +188,8 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
       // The last-spawned worker is the victim; its eventual rank is
       // decided by accept order, which the master loop doesn't care
       // about.
-      std::vector<std::string> args = {"--port", std::to_string(t.port())};
+      std::vector<std::string> args = f.connect_args;
+      if (o.pin) args.push_back("--pin");
       if (w == o.workers - 1 && o.kill_after >= 0) {
         args.push_back("--die-after");
         args.push_back(std::to_string(o.kill_after));
@@ -150,35 +197,37 @@ lss::rt::MasterOutcome run_tcp(const Options& o,
       children.push_back(lss_cli::spawn_process(binary, args));
     }
   } else {
-    std::cout << "waiting for " << o.workers << " workers on port "
-              << t.port() << "...\n";
+    std::cout << "waiting for " << o.workers << " workers on "
+              << f.endpoint << "...\n";
   }
-  t.accept_workers();
+  f.accept();
   for (int rank = 1; rank <= o.workers; ++rank)
-    t.send(0, rank, lss::rt::protocol::kTagJob, lss_cli::encode_job(job));
+    f.transport->send(0, rank, lss::rt::protocol::kTagJob,
+                      lss_cli::encode_job(job));
 
   lss::rt::MasterConfig mc = master_config(o, image);
   mc.masterless = o.masterless;
   mc.counter = counter;
-  lss::rt::MasterOutcome outcome = lss::rt::run_master(t, mc);
+  lss::rt::MasterOutcome outcome = lss::rt::run_master(*f.transport, mc);
   for (const pid_t pid : children) waitpid(pid, nullptr, 0);
   return outcome;
 }
 
 /// The hierarchical tree: this process as the root master, leasing
-/// to `pods` spawned lss_submaster processes over TCP.
+/// to `pods` spawned lss_submaster processes over tcp or shm.
 lss::rt::RootOutcome run_hier(const Options& o,
                               std::vector<std::uint16_t>& image) {
-  lss::mp::TcpMasterTransport t(static_cast<std::uint16_t>(o.port), o.pods);
+  Fleet f = make_fleet(o, o.pods);
   std::vector<pid_t> children;
   if (o.spawn) {
     const std::string binary = lss_cli::sibling_binary("lss_submaster");
     for (int g = 0; g < o.pods; ++g) {
       // The last-spawned pod is the victim (same convention as the
       // flat worker kill).
-      std::vector<std::string> args = {"--port", std::to_string(t.port()),
-                                       "--workers",
-                                       std::to_string(o.workers)};
+      std::vector<std::string> args = f.connect_args;
+      args.push_back("--workers");
+      args.push_back(std::to_string(o.workers));
+      if (o.pin) args.push_back("--pin");
       if (g == o.pods - 1 && o.kill_after >= 0) {
         args.push_back("--die-after-leases");
         args.push_back(std::to_string(o.kill_after));
@@ -186,12 +235,13 @@ lss::rt::RootOutcome run_hier(const Options& o,
       children.push_back(lss_cli::spawn_process(binary, args));
     }
   } else {
-    std::cout << "waiting for " << o.pods << " sub-masters on port "
-              << t.port() << "...\n";
+    std::cout << "waiting for " << o.pods << " sub-masters on "
+              << f.endpoint << "...\n";
   }
-  t.accept_workers();
+  f.accept();
   for (int rank = 1; rank <= o.pods; ++rank)
-    t.send(0, rank, lss::rt::protocol::kTagJob, lss_cli::encode_job(o.job));
+    f.transport->send(0, rank, lss::rt::protocol::kTagJob,
+                      lss_cli::encode_job(o.job));
 
   lss::rt::RootConfig rc;
   rc.scheduler = o.scheduler;
@@ -205,7 +255,7 @@ lss::rt::RootOutcome run_hier(const Options& o,
                        const std::vector<std::byte>& blob) {
       lss_cli::apply_columns(image, height, chunk, blob);
     };
-  lss::rt::RootOutcome outcome = lss::rt::run_root(t, rc);
+  lss::rt::RootOutcome outcome = lss::rt::run_root(*f.transport, rc);
   for (const pid_t pid : children) waitpid(pid, nullptr, 0);
   return outcome;
 }
@@ -235,11 +285,15 @@ lss::rt::MasterOutcome run_inproc(const Options& o,
       mwc.total = o.job.width;
       mwc.num_workers = o.workers;
       mwc.counter = counter;
-      threads.emplace_back(
-          [&comm, mwc] { lss::rt::run_masterless_worker(comm, mwc); });
+      threads.emplace_back([&comm, mwc, pin = o.pin, w] {
+        if (pin) lss::rt::pin_current_thread(lss::rt::pick_pin_cpu(w));
+        lss::rt::run_masterless_worker(comm, mwc);
+      });
     } else {
-      threads.emplace_back(
-          [&comm, wc] { lss::rt::run_worker_loop(comm, wc); });
+      threads.emplace_back([&comm, wc, pin = o.pin, w] {
+        if (pin) lss::rt::pin_current_thread(lss::rt::pick_pin_cpu(w));
+        lss::rt::run_worker_loop(comm, wc);
+      });
     }
   }
 
@@ -359,24 +413,29 @@ int main(int argc, char** argv) {
       o.job.pipeline_depth = spec.pipeline_depth;
       o.masterless = spec.masterless;
       o.grace = spec.faults.grace;
+      if (!spec.transport.empty()) o.transport = spec.transport;
     } else if (arg == "--out") {
       o.out_path = args.value(arg);
     } else if (arg == "--no-spawn") {
       o.spawn = false;
     } else if (arg == "--masterless") {
       o.masterless = true;
+    } else if (arg == "--pin") {
+      o.pin = true;
     } else {
       std::cerr << "unknown flag " << arg << '\n';
       return 2;
     }
   }
   if (o.workers < 1 ||
-      (o.transport != "tcp" && o.transport != "inproc") ||
-      (o.pods > 0 && o.transport != "tcp") ||
+      (o.transport != "tcp" && o.transport != "shm" &&
+       o.transport != "inproc") ||
+      (o.pods > 0 && o.transport == "inproc") ||
       (o.pods > 0 && o.masterless)) {
-    std::cerr << "usage: lss_master [--scheme S] [--transport tcp|inproc]"
-                 " [--workers N] [--pods G (tcp)] [--kill-after K]"
-                 " [--masterless (flat only)] ...\n";
+    std::cerr << "usage: lss_master [--scheme S]"
+                 " [--transport tcp|shm|inproc]"
+                 " [--workers N] [--pods G (tcp|shm)] [--kill-after K]"
+                 " [--masterless (flat only)] [--pin] ...\n";
     return 2;
   }
   std::string why;
@@ -397,8 +456,9 @@ int main(int argc, char** argv) {
               << (o.masterless ? " [masterless]" : "")
               << (o.kill_after >= 0 ? " (one will die mid-run)" : "")
               << "...\n";
-    const lss::rt::MasterOutcome outcome =
-        o.transport == "tcp" ? run_tcp(o, image) : run_inproc(o, image);
+    const lss::rt::MasterOutcome outcome = o.transport == "inproc"
+                                               ? run_inproc(o, image)
+                                               : run_fleet(o, image);
 
     std::cout << "scheme " << outcome.scheme_name << " over "
               << outcome.transport << ": " << outcome.completed_iterations

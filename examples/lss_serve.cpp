@@ -4,10 +4,18 @@
 // stays up and multiplexes its pool across every tenant's jobs.
 //
 //   lss_serve [--workers N] [--tenants T] [--port 0]
+//             [--transport tcp|shm] [--pin]
 //             [--max-active A] [--max-queued Q]
 //             [--worker-speeds 1,0.5,...] [--die-after K,-1,...]
 //             [--stats out.json] [--spawn] [--jobs-per-tenant J]
 //             [--job JSON]
+//
+// --transport shm serves tenants over the shared-memory ring
+// transport (DESIGN.md §17) instead of sockets: the daemon creates a
+// segment ("/lss-serve-<pid>"), prints the name, and same-host
+// tenants attach with `lss_submit --shm NAME`. --pin pins each pool
+// worker thread to rt::pick_pin_cpu(w) (best-effort,
+// NUMA-interleaved).
 //
 // The daemon binds 127.0.0.1 (port 0 = ephemeral, printed), waits for
 // --tenants tenant connections, then serves until every tenant says
@@ -26,12 +34,16 @@
 // failed) and, with --spawn, every tenant reported exactly-once
 // coverage for all of its jobs.
 #include <sys/wait.h>
+#include <unistd.h>
 
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "lss/mp/shm_transport.hpp"
 #include "lss/mp/tcp.hpp"
 #include "lss/rt/job.hpp"
 #include "lss/support/assert.hpp"
@@ -45,6 +57,8 @@ struct Options {
   int workers = 4;
   int tenants = 1;
   int port = 0;
+  std::string transport = "tcp";
+  bool pin = false;
   int max_active = 4;
   int max_queued = 32;
   std::string worker_speeds;  // csv, e.g. "1,0.5,0.25"
@@ -92,6 +106,10 @@ int main(int argc, char** argv) {
       o.tenants = args.value_int(arg);
     } else if (arg == "--port") {
       o.port = args.value_int(arg);
+    } else if (arg == "--transport") {
+      o.transport = args.value(arg);
+    } else if (arg == "--pin") {
+      o.pin = true;
     } else if (arg == "--max-active") {
       o.max_active = args.value_int(arg);
     } else if (arg == "--max-queued") {
@@ -113,8 +131,10 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (o.workers < 1 || o.tenants < 1 || o.jobs_per_tenant < 1) {
+  if (o.workers < 1 || o.tenants < 1 || o.jobs_per_tenant < 1 ||
+      (o.transport != "tcp" && o.transport != "shm")) {
     std::cerr << "usage: lss_serve [--workers N] [--tenants T] [--port P]"
+                 " [--transport tcp|shm] [--pin]"
                  " [--max-active A] [--max-queued Q] [--worker-speeds csv]"
                  " [--die-after csv] [--stats out.json]"
                  " [--spawn [--jobs-per-tenant J] [--job JSON]]\n";
@@ -122,26 +142,45 @@ int main(int argc, char** argv) {
   }
 
   try {
-    lss::mp::TcpMasterTransport t(static_cast<std::uint16_t>(o.port),
-                                  o.tenants);
+    // The tenant-facing endpoint: sockets or shared-memory rings,
+    // same kTagJob* protocol either way.
+    std::unique_ptr<lss::mp::Transport> transport;
+    std::function<void()> accept;
+    std::vector<std::string> connect_args;
+    std::string endpoint;
+    if (o.transport == "shm") {
+      const std::string name = "/lss-serve-" + std::to_string(::getpid());
+      auto t = std::make_unique<lss::mp::ShmMasterTransport>(name,
+                                                             o.tenants);
+      accept = [raw = t.get()] { raw->accept_workers(); };
+      connect_args = {"--shm", name};
+      endpoint = "shm segment " + name;
+      transport = std::move(t);
+    } else {
+      auto t = std::make_unique<lss::mp::TcpMasterTransport>(
+          static_cast<std::uint16_t>(o.port), o.tenants);
+      accept = [raw = t.get()] { raw->accept_workers(); };
+      connect_args = {"--port", std::to_string(t->port())};
+      endpoint = "127.0.0.1:" + std::to_string(t->port());
+      transport = std::move(t);
+    }
     std::vector<pid_t> children;
     if (o.spawn) {
       const std::string binary = lss_cli::sibling_binary("lss_submit");
       const std::string job =
           o.job_json.empty() ? default_job(o.workers) : o.job_json;
       for (int i = 0; i < o.tenants; ++i) {
-        std::vector<std::string> sub_args = {"--port",
-                                             std::to_string(t.port()),
-                                             "--repeat",
-                                             std::to_string(o.jobs_per_tenant),
-                                             "--job", job};
+        std::vector<std::string> sub_args = connect_args;
+        sub_args.insert(sub_args.end(),
+                        {"--repeat", std::to_string(o.jobs_per_tenant),
+                         "--job", job});
         children.push_back(lss_cli::spawn_process(binary, sub_args));
       }
     } else {
-      std::cout << "serving on 127.0.0.1:" << t.port() << ", waiting for "
+      std::cout << "serving on " << endpoint << ", waiting for "
                 << o.tenants << " tenant(s)...\n";
     }
-    t.accept_workers();
+    accept();
 
     lss::svc::ServiceConfig sc;
     sc.num_workers = o.workers;
@@ -151,8 +190,10 @@ int main(int argc, char** argv) {
       sc.worker_speeds = parse_speeds(o.worker_speeds);
     if (!o.die_after.empty())
       sc.die_after_chunks = parse_die_after(o.die_after);
+    sc.pin_threads = o.pin;
     lss::svc::Service service(sc);
-    const lss::svc::ServiceStats stats = service.run(t, o.tenants);
+    const lss::svc::ServiceStats stats =
+        service.run(*transport, o.tenants);
 
     std::cout << "served " << stats.jobs_submitted << " submit(s): "
               << stats.jobs_completed << " completed, " << stats.jobs_rejected

@@ -5,8 +5,14 @@
 // in-process pod of worker threads, shipping computed columns home
 // piggy-backed on its lease requests.
 //
-//   lss_submaster --port P [--host 127.0.0.1] [--workers N]
-//                 [--low-water F] [--die-after-leases K]
+//   lss_submaster (--port P [--host 127.0.0.1] | --shm NAME)
+//                 [--workers N] [--low-water F] [--die-after-leases K]
+//                 [--pin]
+//
+// --shm NAME attaches the uplink to the root's shared-memory ring
+// segment (lss_master --pods G --transport shm) instead of a socket;
+// same-host only. --pin pins each pod worker thread to
+// rt::pick_pin_cpu(w) (best-effort).
 //
 // --die-after-leases K injects a pod-host fail-stop: the sub-master
 // swallows its (K+1)-th lease whole and goes silent — workers,
@@ -20,7 +26,9 @@
 #include <vector>
 
 #include "lss/mp/comm.hpp"
+#include "lss/mp/shm_transport.hpp"
 #include "lss/mp/tcp.hpp"
+#include "lss/rt/affinity.hpp"
 #include "lss/rt/job.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/submaster.hpp"
@@ -32,9 +40,11 @@
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  std::string shm_name;
   int workers = 2;
   double low_water = 0.5;
   int die_after_leases = -1;
+  bool pin = false;
   lss_cli::Args args(argc, argv);
   while (args.more()) {
     const std::string arg = args.flag();
@@ -42,6 +52,10 @@ int main(int argc, char** argv) {
       host = args.value(arg);
     } else if (arg == "--port") {
       port = args.value_int(arg);
+    } else if (arg == "--shm") {
+      shm_name = args.value(arg);
+    } else if (arg == "--pin") {
+      pin = true;
     } else if (arg == "--workers") {
       workers = args.value_int(arg);
     } else if (arg == "--low-water") {
@@ -59,16 +73,27 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (port <= 0 || workers < 1) {
-    std::cerr << "usage: lss_submaster --port P [--host H] [--workers N]"
-                 " [--low-water F] [--die-after-leases K]\n";
+  if ((port <= 0 && shm_name.empty()) || workers < 1) {
+    std::cerr << "usage: lss_submaster (--port P [--host H] | --shm NAME)"
+                 " [--workers N] [--low-water F] [--die-after-leases K]"
+                 " [--pin]\n";
     return 2;
   }
 
   try {
-    lss::mp::TcpWorkerTransport uplink(host,
-                                       static_cast<std::uint16_t>(port));
-    const int rank = uplink.rank();
+    std::unique_ptr<lss::mp::Transport> up;
+    int rank = 0;
+    if (!shm_name.empty()) {
+      auto wt = std::make_unique<lss::mp::ShmWorkerTransport>(shm_name);
+      rank = wt->rank();
+      up = std::move(wt);
+    } else {
+      auto wt = std::make_unique<lss::mp::TcpWorkerTransport>(
+          host, static_cast<std::uint16_t>(port));
+      rank = wt->rank();
+      up = std::move(wt);
+    }
+    lss::mp::Transport& uplink = *up;
     const lss_cli::JobSpec job = lss_cli::decode_job(
         uplink.recv(rank, 0, lss::rt::protocol::kTagJob).payload);
 
@@ -93,8 +118,10 @@ int main(int argc, char** argv) {
           return lss_cli::encode_columns(workload->image(), job.height,
                                          chunk);
         };
-      threads.emplace_back(
-          [&pod, wc] { lss::rt::run_worker_loop(pod, wc); });
+      threads.emplace_back([&pod, wc, pin, w] {
+        if (pin) lss::rt::pin_current_thread(lss::rt::pick_pin_cpu(w));
+        lss::rt::run_worker_loop(pod, wc);
+      });
     }
 
     lss::rt::SubMasterConfig sc;

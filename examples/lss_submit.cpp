@@ -1,8 +1,11 @@
 // Tenant half of the loop-service pair: submits loop jobs to a
 // running lss_serve daemon and waits for their results.
 //
-//   lss_submit [--host 127.0.0.1] --port P
+//   lss_submit ([--host 127.0.0.1] --port P | --shm NAME)
 //              (--job-file spec.json | --job JSON)... [--repeat K]
+//
+// --shm NAME attaches to a daemon serving over the shared-memory
+// ring transport (lss_serve --transport shm); same-host only.
 //
 // Every --job-file / --job operand is one rt::JobSpec JSON document —
 // the same text `--job-file` means on the other CLIs — submitted
@@ -14,10 +17,12 @@
 // with exactly-once coverage.
 #include <chrono>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "lss/mp/shm_transport.hpp"
 #include "lss/mp/tcp.hpp"
 #include "lss/support/assert.hpp"
 #include "lss/svc/client.hpp"
@@ -27,6 +32,7 @@
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  std::string shm_name;
   int repeat = 1;
   std::vector<std::string> job_docs;
   lss_cli::Args args(argc, argv);
@@ -36,6 +42,8 @@ int main(int argc, char** argv) {
       host = args.value(arg);
     } else if (arg == "--port") {
       port = args.value_int(arg);
+    } else if (arg == "--shm") {
+      shm_name = args.value(arg);
     } else if (arg == "--repeat") {
       repeat = args.value_int(arg);
     } else if (arg == "--job-file") {
@@ -47,15 +55,26 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
-  if (port <= 0 || job_docs.empty() || repeat < 1) {
-    std::cerr << "usage: lss_submit [--host H] --port P"
+  if ((port <= 0 && shm_name.empty()) || job_docs.empty() || repeat < 1) {
+    std::cerr << "usage: lss_submit ([--host H] --port P | --shm NAME)"
                  " (--job-file spec.json | --job JSON)... [--repeat K]\n";
     return 2;
   }
 
   try {
-    lss::mp::TcpWorkerTransport t(host, static_cast<std::uint16_t>(port));
-    lss::svc::Client client(t, t.rank());
+    std::unique_ptr<lss::mp::Transport> transport;
+    int rank = 0;
+    if (!shm_name.empty()) {
+      auto wt = std::make_unique<lss::mp::ShmWorkerTransport>(shm_name);
+      rank = wt->rank();
+      transport = std::move(wt);
+    } else {
+      auto wt = std::make_unique<lss::mp::TcpWorkerTransport>(
+          host, static_cast<std::uint16_t>(port));
+      rank = wt->rank();
+      transport = std::move(wt);
+    }
+    lss::svc::Client client(*transport, rank);
 
     std::vector<std::int64_t> ids;
     for (const std::string& doc : job_docs)

@@ -4,8 +4,14 @@
 // ship them home piggy-backed on the next request, exit on
 // Terminate.
 //
-//   lss_worker --port P [--host 127.0.0.1] [--die-after K]
-//              [--pipeline-depth K]
+//   lss_worker (--port P [--host 127.0.0.1] | --shm NAME)
+//              [--die-after K] [--pipeline-depth K] [--pin]
+//
+// --shm NAME attaches to a master's shared-memory ring segment
+// (lss_master --transport shm prints/ships the name) instead of
+// connecting a socket; same-host only. --pin pins this process's
+// worker thread to rt::pick_pin_cpu(rank - 1) once the rank is
+// known (best-effort).
 //
 // --die-after K injects a fail-stop: the process exits right before
 // computing its (K+1)-th chunk without executing or acknowledging
@@ -27,7 +33,9 @@
 #include <memory>
 #include <string>
 
+#include "lss/mp/shm_transport.hpp"
 #include "lss/mp/tcp.hpp"
+#include "lss/rt/affinity.hpp"
 #include "lss/rt/counter.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/worker.hpp"
@@ -38,8 +46,10 @@
 int main(int argc, char** argv) {
   std::string host = "127.0.0.1";
   int port = 0;
+  std::string shm_name;
   int die_after = -1;
   int pipeline_depth = -1;  // negative = take the job's value
+  bool pin = false;
   lss_cli::Args args(argc, argv);
   while (args.more()) {
     const std::string arg = args.flag();
@@ -47,23 +57,40 @@ int main(int argc, char** argv) {
       host = args.value(arg);
     } else if (arg == "--port") {
       port = args.value_int(arg);
+    } else if (arg == "--shm") {
+      shm_name = args.value(arg);
     } else if (arg == "--die-after") {
       die_after = args.value_int(arg);
     } else if (arg == "--pipeline-depth") {
       pipeline_depth = args.value_int(arg);
+    } else if (arg == "--pin") {
+      pin = true;
     } else {
       std::cerr << "unknown flag " << arg << '\n';
       return 2;
     }
   }
-  if (port <= 0) {
-    std::cerr << "usage: lss_worker --port P [--host H] [--die-after K]\n";
+  if (port <= 0 && shm_name.empty()) {
+    std::cerr << "usage: lss_worker (--port P [--host H] | --shm NAME)"
+                 " [--die-after K] [--pin]\n";
     return 2;
   }
 
   try {
-    lss::mp::TcpWorkerTransport t(host, static_cast<std::uint16_t>(port));
-    const int rank = t.rank();
+    std::unique_ptr<lss::mp::Transport> transport;
+    int rank = 0;
+    if (!shm_name.empty()) {
+      auto wt = std::make_unique<lss::mp::ShmWorkerTransport>(shm_name);
+      rank = wt->rank();
+      transport = std::move(wt);
+    } else {
+      auto wt = std::make_unique<lss::mp::TcpWorkerTransport>(
+          host, static_cast<std::uint16_t>(port));
+      rank = wt->rank();
+      transport = std::move(wt);
+    }
+    lss::mp::Transport& t = *transport;
+    if (pin) lss::rt::pin_current_thread(lss::rt::pick_pin_cpu(rank - 1));
     const lss_cli::JobSpec job = lss_cli::decode_job(
         t.recv(rank, 0, lss::rt::protocol::kTagJob).payload);
 

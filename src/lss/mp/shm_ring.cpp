@@ -1,0 +1,402 @@
+#include "lss/mp/shm_ring.hpp"
+
+#include <fcntl.h>
+#include <linux/futex.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <sys/syscall.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <new>
+#include <thread>
+
+namespace lss::mp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+// --- owned-segment cleanup registry ----------------------------------------
+//
+// Fixed-capacity slot table so the signal handler path allocates
+// nothing: registration writes a name under the mutex and flips the
+// slot's `used` flag last; the handler only reads flags and calls
+// shm_unlink (a plain syscall, async-signal-safe).
+
+constexpr int kMaxOwned = 64;
+constexpr int kMaxOwnedName = 128;
+
+struct OwnedSlot {
+  std::atomic<int> used{0};
+  char name[kMaxOwnedName];
+};
+
+OwnedSlot g_owned[kMaxOwned];
+std::mutex g_owned_mu;
+std::once_flag g_install_once;
+
+constexpr int kCleanupSignals[] = {SIGINT, SIGTERM, SIGHUP};
+struct sigaction g_old_actions[3];
+
+extern "C" void lss_shm_unlink_owned() {
+  for (OwnedSlot& slot : g_owned)
+    if (slot.used.load(std::memory_order_acquire) != 0)
+      ::shm_unlink(slot.name);
+}
+
+extern "C" void lss_shm_signal_cleanup(int sig) {
+  lss_shm_unlink_owned();
+  // Restore the disposition that was in place before we installed
+  // ourselves and re-raise, so the process still dies (or reaches
+  // the application's own handler) with the original semantics.
+  for (int i = 0; i < 3; ++i)
+    if (kCleanupSignals[i] == sig) ::sigaction(sig, &g_old_actions[i], nullptr);
+  ::raise(sig);
+}
+
+void install_cleanup_handlers() {
+  std::call_once(g_install_once, [] {
+    std::atexit(lss_shm_unlink_owned);
+    struct sigaction sa{};
+    sa.sa_handler = lss_shm_signal_cleanup;
+    ::sigemptyset(&sa.sa_mask);
+    for (int i = 0; i < 3; ++i)
+      ::sigaction(kCleanupSignals[i], &sa, &g_old_actions[i]);
+  });
+}
+
+// --- futex ------------------------------------------------------------------
+
+// Non-PRIVATE ops: the words live in a MAP_SHARED segment and the
+// waiter/waker can be different processes.
+long futex_call(std::atomic<std::uint32_t>* word, int op, std::uint32_t val,
+                const timespec* timeout) {
+  return ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), op, val,
+                   timeout, nullptr, 0);
+}
+
+std::size_t align_up(std::size_t n, std::size_t a) {
+  return (n + a - 1) / a * a;
+}
+
+}  // namespace
+
+void shm_register_owned(const std::string& name) {
+  install_cleanup_handlers();
+  std::lock_guard<std::mutex> lock(g_owned_mu);
+  for (OwnedSlot& slot : g_owned) {
+    if (slot.used.load(std::memory_order_relaxed) != 0) continue;
+    std::strncpy(slot.name, name.c_str(), kMaxOwnedName - 1);
+    slot.name[kMaxOwnedName - 1] = '\0';
+    slot.used.store(1, std::memory_order_release);
+    return;
+  }
+  // Table full: cleanup stays best-effort (the owner's destructor
+  // still unlinks); never an error on the create path.
+}
+
+void shm_unregister_owned(const std::string& name) {
+  std::lock_guard<std::mutex> lock(g_owned_mu);
+  for (OwnedSlot& slot : g_owned) {
+    if (slot.used.load(std::memory_order_relaxed) == 0) continue;
+    if (std::strncmp(slot.name, name.c_str(), kMaxOwnedName) != 0) continue;
+    slot.used.store(0, std::memory_order_release);
+    return;
+  }
+}
+
+// --- doorbell ---------------------------------------------------------------
+
+void doorbell_ring(Doorbell& bell) {
+  // seq_cst pairs with the waiter's announce-then-recheck (Dekker):
+  // either the waiter sees the new sequence, or we see its waiting
+  // flag and pay the wake syscall.
+  bell.seq.fetch_add(1, std::memory_order_seq_cst);
+  if (bell.waiting.load(std::memory_order_seq_cst) != 0)
+    futex_call(&bell.seq, FUTEX_WAKE, /*val=*/INT32_MAX, nullptr);
+}
+
+std::uint32_t doorbell_peek(const Doorbell& bell) {
+  return bell.seq.load(std::memory_order_acquire);
+}
+
+bool doorbell_wait(Doorbell& bell, std::uint32_t seen, milliseconds timeout,
+                   int yield_spins) {
+  const auto deadline = Clock::now() + timeout;
+  // Yield phase: on a single-CPU box each yield is the context
+  // switch that lets the producer run, so the common ping-pong never
+  // touches the futex at all.
+  for (int i = 0; i < yield_spins; ++i) {
+    if (bell.seq.load(std::memory_order_acquire) != seen) return true;
+    std::this_thread::yield();
+  }
+  while (true) {
+    bell.waiting.store(1, std::memory_order_seq_cst);
+    if (bell.seq.load(std::memory_order_seq_cst) != seen) {
+      bell.waiting.store(0, std::memory_order_relaxed);
+      return true;
+    }
+    const auto left = deadline - Clock::now();
+    if (left <= Clock::duration::zero()) {
+      bell.waiting.store(0, std::memory_order_relaxed);
+      return false;
+    }
+    const auto ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(left).count();
+    timespec ts{};
+    ts.tv_sec = static_cast<time_t>(ns / 1000000000);
+    ts.tv_nsec = static_cast<long>(ns % 1000000000);
+    futex_call(&bell.seq, FUTEX_WAIT, seen, &ts);
+    bell.waiting.store(0, std::memory_order_relaxed);
+    if (bell.seq.load(std::memory_order_acquire) != seen) return true;
+  }
+}
+
+int default_yield_spins() {
+  static const int spins =
+      std::thread::hardware_concurrency() <= 1 ? 64 : 256;
+  return spins;
+}
+
+// --- ring -------------------------------------------------------------------
+
+std::size_t ShmRing::readable() const {
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  return static_cast<std::size_t>(tail - head);
+}
+
+std::size_t ShmRing::writable() const {
+  const std::uint64_t head = hdr_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+  return capacity_ - static_cast<std::size_t>(tail - head);
+}
+
+std::size_t ShmRing::write_some(const std::byte* src, std::size_t n) {
+  const std::uint64_t head = hdr_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+  const std::size_t free = capacity_ - static_cast<std::size_t>(tail - head);
+  n = std::min(n, free);
+  if (n == 0) return 0;
+  const std::size_t idx = static_cast<std::size_t>(tail % capacity_);
+  const std::size_t first = std::min(n, capacity_ - idx);
+  std::memcpy(data_ + idx, src, first);
+  if (n > first) std::memcpy(data_, src + first, n - first);
+  hdr_->tail.store(tail + n, std::memory_order_release);
+  return n;
+}
+
+std::size_t ShmRing::read_some(std::byte* dst, std::size_t max) {
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  const std::size_t avail = static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min(max, avail);
+  if (n == 0) return 0;
+  const std::size_t idx = static_cast<std::size_t>(head % capacity_);
+  const std::size_t first = std::min(n, capacity_ - idx);
+  std::memcpy(dst, data_ + idx, first);
+  if (n > first) std::memcpy(dst + first, data_, n - first);
+  hdr_->head.store(head + n, std::memory_order_release);
+  doorbell_ring(hdr_->space);
+  return n;
+}
+
+// --- segment ----------------------------------------------------------------
+
+namespace {
+
+std::size_t slots_offset() { return align_up(sizeof(ShmSegmentHdr), 64); }
+std::size_t slot_stride() { return align_up(sizeof(ShmWorkerSlot), 64); }
+
+std::size_t data_offset(int num_workers) {
+  return slots_offset() +
+         static_cast<std::size_t>(num_workers) * slot_stride();
+}
+
+}  // namespace
+
+std::size_t ShmSegment::layout_bytes(int num_workers, std::size_t capacity) {
+  return data_offset(num_workers) +
+         static_cast<std::size_t>(num_workers) * 2 * capacity;
+}
+
+ShmSegment::ShmSegment(std::string name, void* mem, std::size_t bytes,
+                       bool owner)
+    : name_(std::move(name)),
+      mem_(mem),
+      bytes_(bytes),
+      hdr_(static_cast<ShmSegmentHdr*>(mem)),
+      owner_(owner) {}
+
+ShmSegment::ShmSegment(ShmSegment&& other) noexcept
+    : name_(std::move(other.name_)),
+      mem_(other.mem_),
+      bytes_(other.bytes_),
+      hdr_(other.hdr_),
+      owner_(other.owner_) {
+  other.mem_ = nullptr;
+  other.hdr_ = nullptr;
+  other.owner_ = false;
+}
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& other) noexcept {
+  if (this != &other) {
+    this->~ShmSegment();
+    new (this) ShmSegment(std::move(other));
+  }
+  return *this;
+}
+
+ShmSegment::~ShmSegment() {
+  if (hdr_ == nullptr) return;
+  if (owner_) {
+    hdr_->closed.store(1, std::memory_order_release);
+    // Unpark everyone: workers blocked on their grant bell or on a
+    // full upstream ring must notice the hangup now, not at their
+    // next timeout slice.
+    const int n = static_cast<int>(hdr_->num_workers);
+    for (int w = 0; w < n; ++w) {
+      ShmWorkerSlot& s = slot(w);
+      doorbell_ring(s.bell);
+      doorbell_ring(s.to_master.space);
+      doorbell_ring(s.to_worker.space);
+    }
+    ::munmap(mem_, bytes_);
+    ::shm_unlink(name_.c_str());
+    shm_unregister_owned(name_);
+  } else {
+    ::munmap(mem_, bytes_);
+  }
+  mem_ = nullptr;
+  hdr_ = nullptr;
+}
+
+ShmSegment ShmSegment::create(const std::string& name, int num_workers,
+                              std::size_t ring_capacity, int protocol) {
+  LSS_REQUIRE(num_workers >= 1, "shm segment needs at least one worker");
+  LSS_REQUIRE(ring_capacity >= 1024, "shm ring capacity must be >= 1 KiB");
+  const std::size_t cap = align_up(ring_capacity, 64);
+  const std::size_t bytes = layout_bytes(num_workers, cap);
+
+  const int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  LSS_REQUIRE(fd >= 0, "shm_open(create " + name +
+                           ") failed: " + std::strerror(errno));
+  // Register before anything can fail: a crash between here and the
+  // destructor must still unlink the name.
+  shm_register_owned(name);
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    shm_unregister_owned(name);
+    LSS_REQUIRE(false,
+                "ftruncate(" + name + ") failed: " + std::strerror(err));
+  }
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                     0);
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    ::shm_unlink(name.c_str());
+    shm_unregister_owned(name);
+    LSS_REQUIRE(false, "mmap(" + name + ") failed");
+  }
+
+  auto* hdr = new (mem) ShmSegmentHdr{};
+  hdr->version = ShmSegmentHdr::kVersion;
+  hdr->num_workers = static_cast<std::uint32_t>(num_workers);
+  hdr->ring_capacity = cap;
+  hdr->owner_pid = static_cast<std::int32_t>(::getpid());
+  hdr->master_protocol = protocol;
+  hdr->next_slot.store(0, std::memory_order_relaxed);
+  hdr->closed.store(0, std::memory_order_relaxed);
+  for (int w = 0; w < num_workers; ++w)
+    new (static_cast<std::byte*>(mem) + slots_offset() +
+         static_cast<std::size_t>(w) * slot_stride()) ShmWorkerSlot{};
+  // Attachers check the magic *after* everything above is in place
+  // (same publication order as ShmTicketCounter::create).
+  hdr->magic = ShmSegmentHdr::kMagic;
+  return ShmSegment(name, mem, bytes, /*owner=*/true);
+}
+
+ShmSegment ShmSegment::attach(const std::string& name) {
+  const int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0)
+    throw ShmAttachError("shm_open(attach " + name +
+                             ") failed: " + std::strerror(errno),
+                         /*dead_owner=*/false);
+  struct stat st{};
+  if (::fstat(fd, &st) != 0 ||
+      st.st_size < static_cast<off_t>(sizeof(ShmSegmentHdr))) {
+    ::close(fd);
+    throw ShmAttachError("shm segment " + name + " is not an lss transport",
+                         /*dead_owner=*/false);
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd,
+                     0);
+  ::close(fd);
+  if (mem == MAP_FAILED)
+    throw ShmAttachError("mmap(" + name + ") failed", /*dead_owner=*/false);
+  auto* hdr = static_cast<ShmSegmentHdr*>(mem);
+  if (hdr->magic != ShmSegmentHdr::kMagic ||
+      hdr->version != ShmSegmentHdr::kVersion ||
+      layout_bytes(static_cast<int>(hdr->num_workers),
+                   static_cast<std::size_t>(hdr->ring_capacity)) > bytes) {
+    ::munmap(mem, bytes);
+    throw ShmAttachError("shm segment " + name + " is not an lss transport",
+                         /*dead_owner=*/false);
+  }
+  ShmSegment seg(name, mem, bytes, /*owner=*/false);
+  // A dead owner is the one failure that would otherwise *hang* the
+  // attacher (nobody will ever serve its rings): report it as such.
+  if (seg.owner_dead())
+    throw ShmAttachError("shm segment " + name + " is orphaned: owner pid " +
+                             std::to_string(hdr->owner_pid) + " is dead",
+                         /*dead_owner=*/true);
+  if (hdr->closed.load(std::memory_order_acquire) != 0)
+    throw ShmAttachError("shm segment " + name + " is already closed",
+                         /*dead_owner=*/false);
+  return seg;
+}
+
+ShmWorkerSlot& ShmSegment::slot(int w) {
+  LSS_ASSERT(hdr_ != nullptr && w >= 0 &&
+                 w < static_cast<int>(hdr_->num_workers),
+             "shm slot index out of range");
+  return *reinterpret_cast<ShmWorkerSlot*>(
+      base() + slots_offset() + static_cast<std::size_t>(w) * slot_stride());
+}
+
+ShmRing ShmSegment::to_worker_ring(int w) {
+  const auto cap = static_cast<std::size_t>(hdr_->ring_capacity);
+  std::byte* data =
+      base() + data_offset(static_cast<int>(hdr_->num_workers)) +
+      static_cast<std::size_t>(w) * 2 * cap;
+  return ShmRing(&slot(w).to_worker, data, cap);
+}
+
+ShmRing ShmSegment::to_master_ring(int w) {
+  const auto cap = static_cast<std::size_t>(hdr_->ring_capacity);
+  std::byte* data =
+      base() + data_offset(static_cast<int>(hdr_->num_workers)) +
+      static_cast<std::size_t>(w) * 2 * cap + cap;
+  return ShmRing(&slot(w).to_master, data, cap);
+}
+
+bool ShmSegment::owner_dead() const {
+  const pid_t pid = static_cast<pid_t>(hdr_->owner_pid);
+  if (pid <= 0) return false;
+  return ::kill(pid, 0) != 0 && errno == ESRCH;
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,248 @@
+// Shared-memory plumbing of the shm transport (DESIGN.md §17): a
+// POSIX shm segment holding two SPSC byte rings per worker plus the
+// futex doorbells that replace poll(2) as the wakeup primitive.
+//
+// The segment is the shm sibling of the TCP star: the master creates
+// it (O_CREAT|O_EXCL, mirroring ShmTicketCounter's lifecycle), each
+// worker attaches by name and claims a slot with one fetch_add —
+// that slot index *is* the worker's rank - 1, so rank assignment
+// needs no handshake frames at all. Rings carry the ordinary wire
+// frames (mp/framing.hpp) as a byte stream: a frame larger than the
+// ring streams through in pieces and the consumer's FrameDecoder
+// reassembles it, exactly like short reads on a stream socket.
+//
+// Wakeups are eventcounts over shared futex words (Doorbell): the
+// producer publishes bytes, bumps the consumer's doorbell sequence,
+// and issues the futex syscall only when the consumer has declared
+// itself parked — the uncontended fast path is two atomic ops and
+// zero syscalls. Waiters spin on sched_yield() a bounded number of
+// rounds before parking; on a single-CPU box the yield *is* the
+// context switch to the producer, so the futex round trip (and its
+// wake syscall on the far side) is skipped entirely — the same
+// single-core reasoning as MasterConfig::poll_spin.
+//
+// Ownership rules (the hygiene contract):
+//   * the creator is the owner: its destructor marks the segment
+//     closed, wakes every parked peer, and shm_unlink()s the name;
+//   * every owned name is also registered with the process-wide
+//     cleanup registry (shm_register_owned), whose atexit and
+//     SIGINT/SIGTERM/SIGHUP handlers unlink leftovers — a killed
+//     master must not leak /dev/shm segments;
+//   * attachers just munmap; they detect a *dead* owner by pid
+//     (ShmAttachError with dead_owner() == true) instead of hanging
+//     on a doorbell nobody will ever ring again.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+
+/// Typed failure of ShmSegment::attach — distinguishes "segment
+/// missing/malformed" and, via dead_owner(), "segment exists but its
+/// creator died without unlinking" (the case that would otherwise
+/// hang the attacher forever).
+class ShmAttachError : public ContractError {
+ public:
+  ShmAttachError(const std::string& what, bool dead_owner)
+      : ContractError(what), dead_owner_(dead_owner) {}
+  bool dead_owner() const { return dead_owner_; }
+
+ private:
+  bool dead_owner_;
+};
+
+// ---------------------------------------------------------------------------
+// Owned-segment cleanup registry (atexit + fatal-signal unlink).
+
+/// Registers a shm name owned by this process: it will be
+/// shm_unlink()ed from atexit and from SIGINT/SIGTERM/SIGHUP if the
+/// owner never reaches its destructor. Install-once, async-signal-
+/// safe (fixed slots, no allocation in the handler path).
+void shm_register_owned(const std::string& name);
+
+/// Removes a name after the owner unlinked it normally.
+void shm_unregister_owned(const std::string& name);
+
+// ---------------------------------------------------------------------------
+// Futex eventcount.
+
+/// A shared-memory eventcount: `seq` is the futex word, `waiting`
+/// announces a parked consumer so producers only pay the wake
+/// syscall when someone is actually asleep. Lives inside the mapped
+/// segment; one waiter, any number of notifiers.
+struct Doorbell {
+  std::atomic<std::uint32_t> seq{0};
+  std::atomic<std::uint32_t> waiting{0};
+};
+
+/// Notifier side: bump the sequence, wake the waiter iff parked.
+void doorbell_ring(Doorbell& bell);
+
+/// Waiter side: returns the sequence to pass to doorbell_wait().
+/// Read *before* re-checking the guarded condition, or a ring
+/// between the check and the wait is missed until the next timeout.
+std::uint32_t doorbell_peek(const Doorbell& bell);
+
+/// Blocks until the sequence moves past `seen` or `timeout` elapses;
+/// spins `yield_spins` sched_yield() rounds before parking in futex.
+/// Returns true when the bell rang (false = timeout).
+bool doorbell_wait(Doorbell& bell, std::uint32_t seen,
+                   std::chrono::milliseconds timeout, int yield_spins);
+
+/// Auto spin policy: a single-CPU box parks immediately after a few
+/// yields (spinning steals the only core from the producer); a
+/// multicore box affords more yield rounds before the futex.
+int default_yield_spins();
+
+// ---------------------------------------------------------------------------
+// SPSC byte ring.
+
+/// In-segment ring state. `tail` is the producer cursor, `head` the
+/// consumer cursor (both monotone byte counts; index = cursor mod
+/// capacity). `space` is rung by the consumer whenever head
+/// advances, so a producer blocked on a full ring can park on it.
+/// Data-arrival notification is *not* here: each endpoint owns one
+/// doorbell covering all its inbound rings (the master would
+/// otherwise need one futex wait per worker).
+struct ShmRingHdr {
+  alignas(64) std::atomic<std::uint64_t> tail{0};
+  alignas(64) std::atomic<std::uint64_t> head{0};
+  alignas(64) Doorbell space;
+};
+
+/// Process-local view of one ring (header + data area inside the
+/// mapped segment). Strictly single-producer / single-consumer.
+class ShmRing {
+ public:
+  ShmRing() = default;
+  ShmRing(ShmRingHdr* hdr, std::byte* data, std::size_t capacity)
+      : hdr_(hdr), data_(data), capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  /// Bytes ready to read (consumer view, acquire on tail).
+  std::size_t readable() const;
+  /// Free space (producer view, acquire on head).
+  std::size_t writable() const;
+
+  /// Copies up to `n` bytes in; returns bytes accepted (0 when
+  /// full). Publishes with a release store so the consumer's acquire
+  /// load of `tail` sees the data. Producer thread only.
+  std::size_t write_some(const std::byte* src, std::size_t n);
+
+  /// Copies up to `max` bytes out and rings the space doorbell;
+  /// returns bytes read. Consumer thread only.
+  std::size_t read_some(std::byte* dst, std::size_t max);
+
+  /// The consumer-rung space eventcount (producers park on it).
+  Doorbell& space() { return hdr_->space; }
+
+ private:
+  ShmRingHdr* hdr_ = nullptr;
+  std::byte* data_ = nullptr;
+  std::size_t capacity_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Segment layout.
+
+/// Worker attach progress, in `ShmWorkerSlot::state`.
+enum : std::uint32_t {
+  kSlotEmpty = 0,
+  kSlotAttached = 1,
+  kSlotBye = 2,  ///< worker detached cleanly (the shm EOF)
+};
+
+struct ShmSegmentHdr {
+  static constexpr std::uint64_t kMagic = 0x6c73732d72696e67;  // "lss-ring"
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::uint64_t magic;  ///< written last at create; attachers check
+  std::uint32_t version;
+  std::uint32_t num_workers;
+  std::uint64_t ring_capacity;  ///< bytes per direction per worker
+  std::int32_t owner_pid;       ///< attachers probe it with kill(0)
+  std::int32_t master_protocol;
+  /// Slot claim cursor: a worker's rank is fetch_add(1) + 1.
+  std::atomic<std::uint32_t> next_slot;
+  /// Owner sets on destruction: every blocked peer unblocks and
+  /// reports the master dead.
+  std::atomic<std::uint32_t> closed;
+  /// Rung by any worker after writing toward the master (or changing
+  /// its slot state); the master's one futex wait covers the fleet.
+  Doorbell master_bell;
+};
+
+struct ShmWorkerSlot {
+  std::atomic<std::uint32_t> state;  ///< kSlotEmpty/Attached/Bye
+  std::int32_t protocol;             ///< written before state->Attached
+  std::int32_t pid;
+  /// CLOCK_MONOTONIC nanoseconds, bumped by the worker's heartbeat
+  /// thread; the master's liveness signal while the worker computes.
+  std::atomic<std::uint64_t> heartbeat_ns;
+  /// Master's close_peer fence: the worker treats it as a hangup.
+  std::atomic<std::uint32_t> fenced;
+  /// Rung by the master after writing toward this worker.
+  Doorbell bell;
+  ShmRingHdr to_worker;
+  ShmRingHdr to_master;
+};
+
+/// The mapped segment: header + per-worker slots + ring data areas.
+/// Create/attach/unlink lifecycle mirrors ShmTicketCounter, plus the
+/// cleanup registry and dead-owner detection described above.
+class ShmSegment {
+ public:
+  ShmSegment() = default;
+  ShmSegment(const ShmSegment&) = delete;
+  ShmSegment& operator=(const ShmSegment&) = delete;
+  ShmSegment(ShmSegment&& other) noexcept;
+  ShmSegment& operator=(ShmSegment&& other) noexcept;
+  ~ShmSegment();
+
+  /// Creates and owns a fresh segment under `name` ("/lss-...").
+  /// Throws lss::ContractError if the name is taken or shm fails.
+  static ShmSegment create(const std::string& name, int num_workers,
+                           std::size_t ring_capacity, int protocol);
+
+  /// Attaches to an existing segment. Throws ShmAttachError when the
+  /// segment is missing, malformed, closed, or its owner is dead.
+  static ShmSegment attach(const std::string& name);
+
+  bool valid() const { return hdr_ != nullptr; }
+  bool owner() const { return owner_; }
+  const std::string& name() const { return name_; }
+
+  ShmSegmentHdr& header() { return *hdr_; }
+  const ShmSegmentHdr& header() const { return *hdr_; }
+  ShmWorkerSlot& slot(int w);
+  const ShmWorkerSlot& slot(int w) const {
+    return const_cast<ShmSegment*>(this)->slot(w);
+  }
+  ShmRing to_worker_ring(int w);
+  ShmRing to_master_ring(int w);
+
+  /// True when the creating process is gone (ESRCH on kill(pid, 0)).
+  bool owner_dead() const;
+
+  /// Total mapping size for `num_workers` workers with `capacity`
+  /// bytes per ring (layout arithmetic, exposed for tests).
+  static std::size_t layout_bytes(int num_workers, std::size_t capacity);
+
+ private:
+  ShmSegment(std::string name, void* mem, std::size_t bytes, bool owner);
+  std::byte* base() { return static_cast<std::byte*>(mem_); }
+
+  std::string name_;
+  void* mem_ = nullptr;
+  std::size_t bytes_ = 0;
+  ShmSegmentHdr* hdr_ = nullptr;
+  bool owner_ = false;
+};
+
+}  // namespace lss::mp

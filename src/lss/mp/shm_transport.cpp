@@ -1,0 +1,505 @@
+#include "lss/mp/shm_transport.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "lss/mp/message.hpp"
+#include "lss/obs/trace.hpp"
+#include "lss/support/assert.hpp"
+
+namespace lss::mp {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using std::chrono::milliseconds;
+
+int pe_of(int rank) { return rank - 1; }  // master rank 0 -> obs::kMasterPe
+
+milliseconds clamp_ms(Clock::duration d) {
+  const auto ms = std::chrono::duration_cast<milliseconds>(d);
+  return ms < milliseconds(0) ? milliseconds(0) : ms;
+}
+
+/// steady_clock is CLOCK_MONOTONIC on Linux: one epoch for every
+/// process on the box, so slot heartbeat timestamps compare directly.
+std::uint64_t now_mono_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+}
+
+/// Scratch size per ring read; frames larger than this just take
+/// several read/feed rounds.
+constexpr std::size_t kReadChunk = 64 * 1024;
+
+/// Writes the whole buffer into `ring`, ringing the consumer's
+/// doorbell after every published piece and parking on the ring's
+/// space eventcount while full. Returns false when `gone()` reports
+/// the consumer dead (bytes may be partially written — the stream is
+/// abandoned with its peer, like a TCP send into a reset socket).
+template <typename GoneFn>
+bool write_ring_all(ShmRing ring, Doorbell& consumer_bell,
+                    const std::vector<std::byte>& bytes, int yield_spins,
+                    GoneFn gone) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const std::uint32_t seen = doorbell_peek(ring.space());
+    const std::size_t n =
+        ring.write_some(bytes.data() + off, bytes.size() - off);
+    if (n > 0) {
+      off += n;
+      doorbell_ring(consumer_bell);
+      continue;
+    }
+    if (gone()) return false;
+    doorbell_wait(ring.space(), seen, milliseconds(10), yield_spins);
+  }
+  return true;
+}
+
+int resolve_yield_spins(int configured) {
+  return configured >= 0 ? configured : default_yield_spins();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Master endpoint
+
+ShmMasterTransport::ShmMasterTransport(const std::string& name,
+                                       int num_workers, ShmOptions options)
+    : options_(options),
+      num_workers_(num_workers),
+      yield_spins_(resolve_yield_spins(options.yield_spins)),
+      seg_(ShmSegment::create(name, num_workers, options.ring_capacity,
+                              options.protocol)),
+      read_buf_(kReadChunk) {
+  peers_.resize(static_cast<std::size_t>(num_workers));
+  for (Peer& p : peers_)
+    p.decoder = FrameDecoder(options_.max_frame_payload);
+}
+
+ShmMasterTransport::~ShmMasterTransport() = default;
+
+void ShmMasterTransport::accept_workers() {
+  const auto deadline = Clock::now() + options_.handshake_timeout;
+  while (true) {
+    const std::uint32_t seen = doorbell_peek(seg_.header().master_bell);
+    int attached = 0;
+    for (int w = 0; w < num_workers_; ++w) {
+      Peer& peer = peers_[static_cast<std::size_t>(w)];
+      if (peer.open) {
+        ++attached;
+        continue;
+      }
+      ShmWorkerSlot& slot = seg_.slot(w);
+      // Bye counts as arrived: a worker that attached and already
+      // detached left its frames and its EOF marker in the ring, and
+      // the pump's drain-then-drop path handles them like any other
+      // hangup. Only a never-claimed slot is still missing.
+      const std::uint32_t state =
+          slot.state.load(std::memory_order_acquire);
+      if (state == kSlotAttached || state == kSlotBye) {
+        peer.open = true;
+        peer.protocol = std::min(options_.protocol, slot.protocol);
+        peer.last_seen_ns = now_mono_ns();
+        ++attached;
+      }
+    }
+    if (attached == num_workers_) return;
+    LSS_REQUIRE(Clock::now() < deadline,
+                "timed out waiting for " + std::to_string(num_workers_) +
+                    " workers (" + std::to_string(attached) + " attached)");
+    doorbell_wait(seg_.header().master_bell, seen, milliseconds(50),
+                  yield_spins_);
+  }
+}
+
+void ShmMasterTransport::drop_peer(int w) {
+  Peer& peer = peers_[static_cast<std::size_t>(w)];
+  peer.open = false;
+  ShmWorkerSlot& slot = seg_.slot(w);
+  slot.fenced.store(1, std::memory_order_release);
+  // Unpark the worker wherever it sleeps — its grant bell or a full
+  // upstream ring — so it notices the fence now.
+  doorbell_ring(slot.bell);
+  doorbell_ring(seg_.to_master_ring(w).space());
+}
+
+bool ShmMasterTransport::flush_decoder(int w) {
+  Peer& peer = peers_[static_cast<std::size_t>(w)];
+  bool activity = false;
+  while (auto m = peer.decoder.next()) {
+    activity = true;
+    // The slot, not the frame header, says who sent this.
+    m->source = w + 1;
+    inbox_.push(std::move(*m));
+  }
+  return activity;
+}
+
+bool ShmMasterTransport::ingest_peer(int w) {
+  Peer& peer = peers_[static_cast<std::size_t>(w)];
+  if (!peer.open) return false;
+  ShmRing ring = seg_.to_master_ring(w);
+  bool activity = false;
+  while (true) {
+    const std::size_t n = ring.read_some(read_buf_.data(), read_buf_.size());
+    if (n == 0) break;
+    try {
+      peer.decoder.feed(read_buf_.data(), n);
+    } catch (const ContractError&) {
+      drop_peer(w);  // framing lost; the stream is unrecoverable
+      return true;
+    }
+    activity = true;
+  }
+  if (flush_decoder(w)) activity = true;
+  if (activity) peer.last_seen_ns = now_mono_ns();
+  // Bye only counts once the ring is drained: the worker's last
+  // frames precede its detach.
+  if (seg_.slot(w).state.load(std::memory_order_acquire) == kSlotBye &&
+      ring.readable() == 0) {
+    peer.open = false;
+    activity = true;
+  }
+  return activity;
+}
+
+bool ShmMasterTransport::pump(milliseconds wait) {
+  // Frames a previous read left whole in a decoder never show up as
+  // new ring bytes — flush them before blocking (same ordering rule
+  // as the TCP pump).
+  bool flushed = false;
+  for (int w = 0; w < num_workers_; ++w)
+    if (peers_[static_cast<std::size_t>(w)].open && flush_decoder(w))
+      flushed = true;
+  if (flushed) return true;
+
+  // Peek the doorbell *before* scanning the rings: bytes published
+  // after the scan bump a sequence we have not seen, so the wait
+  // below returns immediately instead of missing them.
+  const std::uint32_t seen = doorbell_peek(seg_.header().master_bell);
+  bool activity = false;
+  for (int w = 0; w < num_workers_; ++w)
+    if (ingest_peer(w)) activity = true;
+  if (activity || wait.count() == 0) return activity;
+
+  doorbell_wait(seg_.header().master_bell, seen, wait, yield_spins_);
+  for (int w = 0; w < num_workers_; ++w)
+    if (ingest_peer(w)) activity = true;
+  return activity;
+}
+
+void ShmMasterTransport::send(int from, int to, int tag,
+                              std::vector<std::byte> payload) {
+  LSS_REQUIRE(from == 0, "a shm master endpoint only hosts rank 0");
+  LSS_REQUIRE(to >= 1 && to <= num_workers_, "destination rank out of range");
+  const int w = to - 1;
+  Peer& peer = peers_[static_cast<std::size_t>(w)];
+  if (!peer.open) return;  // dead peer: surfaced via peer_alive()
+  obs::emit(obs::EventKind::MsgSend, obs::kMasterPe, {}, tag,
+            static_cast<std::int64_t>(payload.size()));
+  encode_frame_into(peer.write_buf, 0, tag, payload,
+                    options_.max_frame_payload);
+  ShmWorkerSlot& slot = seg_.slot(w);
+  const bool ok = write_ring_all(
+      seg_.to_worker_ring(w), slot.bell, peer.write_buf, yield_spins_, [&] {
+        return slot.state.load(std::memory_order_acquire) == kSlotBye;
+      });
+  if (!ok) peer.open = false;
+}
+
+Message ShmMasterTransport::recv(int rank, int source, int tag) {
+  LSS_REQUIRE(rank == 0, "a shm master endpoint only hosts rank 0");
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m->tag,
+                pe_of(m->source));
+      return std::move(*m);
+    }
+    pump(milliseconds(50));
+  }
+}
+
+std::optional<Message> ShmMasterTransport::recv_for(
+    int rank, Clock::duration timeout, int source, int tag) {
+  LSS_REQUIRE(rank == 0, "a shm master endpoint only hosts rank 0");
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m->tag,
+                pe_of(m->source));
+      return m;
+    }
+    const auto left = clamp_ms(deadline - Clock::now());
+    if (left.count() == 0) return std::nullopt;
+    pump(std::min(left, milliseconds(50)));
+  }
+}
+
+std::optional<Message> ShmMasterTransport::try_recv(int rank, int source,
+                                                    int tag) {
+  LSS_REQUIRE(rank == 0, "a shm master endpoint only hosts rank 0");
+  pump(milliseconds(0));
+  return inbox_.try_recv(source, tag);
+}
+
+std::vector<Message> ShmMasterTransport::drain(int rank, int source,
+                                               int tag) {
+  LSS_REQUIRE(rank == 0, "a shm master endpoint only hosts rank 0");
+  // One non-blocking pump moves every frame already published in any
+  // ring into the mailbox; the mailbox drain then claims the whole
+  // ready-set in one lock acquisition.
+  pump(milliseconds(0));
+  std::vector<Message> out = inbox_.drain(source, tag);
+  for (const Message& m : out)
+    obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m.tag,
+              pe_of(m.source));
+  return out;
+}
+
+int ShmMasterTransport::peer_protocol(int rank) const {
+  if (rank == 0) return options_.protocol;
+  LSS_REQUIRE(rank >= 1 && rank <= num_workers_, "rank out of range");
+  return peers_[static_cast<std::size_t>(rank - 1)].protocol;
+}
+
+bool ShmMasterTransport::probe(int rank, int source, int tag) const {
+  LSS_REQUIRE(rank == 0, "a shm master endpoint only hosts rank 0");
+  // Reflects frames already pumped off the rings; advisory anyway
+  // (see the probe-then-recv note on mp::Transport).
+  return inbox_.probe(source, tag);
+}
+
+bool ShmMasterTransport::peer_alive(int rank) const {
+  if (rank == 0) return true;
+  LSS_REQUIRE(rank >= 1 && rank <= num_workers_, "rank out of range");
+  const Peer& peer = peers_[static_cast<std::size_t>(rank - 1)];
+  if (!peer.open) return false;
+  if (options_.liveness_timeout.count() == 0) return true;
+  // Heartbeats are timestamp stores, not frames, so recency is a
+  // subtraction — a worker off computing a long chunk keeps beating.
+  // Data recency covers heartbeat-disabled peers, like TCP's
+  // last_seen.
+  const std::uint64_t hb = std::max(
+      seg_.slot(rank - 1).heartbeat_ns.load(std::memory_order_acquire),
+      peer.last_seen_ns);
+  const std::uint64_t now = now_mono_ns();
+  const auto timeout_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          options_.liveness_timeout)
+          .count());
+  return now <= hb || now - hb <= timeout_ns;
+}
+
+void ShmMasterTransport::close_peer(int rank) {
+  LSS_REQUIRE(rank >= 1 && rank <= num_workers_, "rank out of range");
+  drop_peer(rank - 1);
+}
+
+// ---------------------------------------------------------------------------
+// Worker endpoint
+
+ShmWorkerTransport::ShmWorkerTransport(const std::string& name,
+                                       ShmOptions options)
+    : options_(options),
+      yield_spins_(resolve_yield_spins(options.yield_spins)),
+      seg_(ShmSegment::attach(name)),
+      read_buf_(kReadChunk) {
+  ShmSegmentHdr& hdr = seg_.header();
+  num_workers_ = static_cast<int>(hdr.num_workers);
+  const std::uint32_t slot_idx =
+      hdr.next_slot.fetch_add(1, std::memory_order_acq_rel);
+  LSS_REQUIRE(slot_idx < hdr.num_workers,
+              "shm segment " + name + " has no free worker slots (" +
+                  std::to_string(hdr.num_workers) + " already claimed)");
+  rank_ = static_cast<int>(slot_idx) + 1;
+  negotiated_ = std::min(options_.protocol, hdr.master_protocol);
+  decoder_ = FrameDecoder(options_.max_frame_payload);
+
+  ShmWorkerSlot& slot = seg_.slot(static_cast<int>(slot_idx));
+  slot.protocol = options_.protocol;
+  slot.pid = static_cast<std::int32_t>(::getpid());
+  slot.heartbeat_ns.store(now_mono_ns(), std::memory_order_release);
+  slot.state.store(kSlotAttached, std::memory_order_release);
+  doorbell_ring(hdr.master_bell);
+  open_.store(true, std::memory_order_release);
+
+  if (options_.heartbeat_period.count() > 0)
+    heartbeat_ = std::thread(&ShmWorkerTransport::heartbeat_main, this);
+}
+
+ShmWorkerTransport::~ShmWorkerTransport() {
+  {
+    std::lock_guard<std::mutex> lock(hb_mu_);
+    hb_stop_ = true;
+  }
+  hb_cv_.notify_all();
+  if (heartbeat_.joinable()) heartbeat_.join();
+  if (rank_ >= 1) {
+    // The shm EOF: the master drops the peer once the upstream ring
+    // drains past this marker.
+    seg_.slot(rank_ - 1).state.store(kSlotBye, std::memory_order_release);
+    doorbell_ring(seg_.header().master_bell);
+  }
+}
+
+void ShmWorkerTransport::heartbeat_main() {
+  std::unique_lock<std::mutex> lock(hb_mu_);
+  while (!hb_stop_) {
+    hb_cv_.wait_for(lock, options_.heartbeat_period);
+    if (hb_stop_ || !open_.load(std::memory_order_acquire)) continue;
+    seg_.slot(rank_ - 1).heartbeat_ns.store(now_mono_ns(),
+                                            std::memory_order_release);
+  }
+}
+
+bool ShmWorkerTransport::master_gone() const {
+  if (seg_.header().closed.load(std::memory_order_acquire) != 0) return true;
+  if (seg_.slot(rank_ - 1).fenced.load(std::memory_order_acquire) != 0)
+    return true;
+  return seg_.owner_dead();
+}
+
+bool ShmWorkerTransport::flush_decoder() {
+  bool activity = false;
+  while (auto m = decoder_.next()) {
+    m->source = 0;  // everything inbound is from the master
+    inbox_.push(std::move(*m));
+    activity = true;
+  }
+  return activity;
+}
+
+bool ShmWorkerTransport::ingest() {
+  ShmRing ring = seg_.to_worker_ring(rank_ - 1);
+  bool activity = false;
+  while (true) {
+    const std::size_t n = ring.read_some(read_buf_.data(), read_buf_.size());
+    if (n == 0) break;
+    try {
+      decoder_.feed(read_buf_.data(), n);
+    } catch (const ContractError&) {
+      open_.store(false, std::memory_order_release);
+      return true;
+    }
+    activity = true;
+  }
+  if (flush_decoder()) activity = true;
+  if (master_gone() && ring.readable() == 0)
+    open_.store(false, std::memory_order_release);
+  return activity;
+}
+
+bool ShmWorkerTransport::pump(milliseconds wait) {
+  if (flush_decoder()) return true;
+  if (!open_.load(std::memory_order_acquire)) {
+    // Connection gone; still honor the wait so deadline loops do not
+    // spin (mirrors the TCP worker pump).
+    if (wait.count() > 0) std::this_thread::sleep_for(wait);
+    return false;
+  }
+  const std::uint32_t seen = doorbell_peek(seg_.slot(rank_ - 1).bell);
+  bool activity = ingest();
+  if (activity || wait.count() == 0) return activity;
+  doorbell_wait(seg_.slot(rank_ - 1).bell, seen, wait, yield_spins_);
+  return ingest();
+}
+
+void ShmWorkerTransport::send(int from, int to, int tag,
+                              std::vector<std::byte> payload) {
+  LSS_REQUIRE(from == rank_, "a shm worker endpoint only hosts its own rank");
+  LSS_REQUIRE(to == 0, "workers only talk to the master (rank 0)");
+  if (!open_.load(std::memory_order_acquire)) return;
+  obs::emit(obs::EventKind::MsgSend, pe_of(rank_), {}, tag,
+            static_cast<std::int64_t>(payload.size()));
+  encode_frame_into(write_buf_, rank_, tag, payload,
+                    options_.max_frame_payload);
+  const bool ok = write_ring_all(seg_.to_master_ring(rank_ - 1),
+                                 seg_.header().master_bell, write_buf_,
+                                 yield_spins_,
+                                 [this] { return master_gone(); });
+  if (!ok) open_.store(false, std::memory_order_release);
+}
+
+Message ShmWorkerTransport::recv(int rank, int source, int tag) {
+  LSS_REQUIRE(rank == rank_, "a shm worker endpoint only hosts its own rank");
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m->tag,
+                pe_of(m->source));
+      return std::move(*m);
+    }
+    LSS_REQUIRE(open_.load(std::memory_order_acquire) || inbox_.pending() > 0,
+                "master connection lost while blocked in recv");
+    pump(milliseconds(50));
+  }
+}
+
+std::optional<Message> ShmWorkerTransport::recv_for(
+    int rank, Clock::duration timeout, int source, int tag) {
+  LSS_REQUIRE(rank == rank_, "a shm worker endpoint only hosts its own rank");
+  const auto deadline = Clock::now() + timeout;
+  while (true) {
+    if (auto m = inbox_.try_recv(source, tag)) {
+      obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m->tag,
+                pe_of(m->source));
+      return m;
+    }
+    const auto left = clamp_ms(deadline - Clock::now());
+    if (left.count() == 0 || !open_.load(std::memory_order_acquire))
+      return std::nullopt;
+    pump(std::min(left, milliseconds(50)));
+  }
+}
+
+std::optional<Message> ShmWorkerTransport::try_recv(int rank, int source,
+                                                    int tag) {
+  LSS_REQUIRE(rank == rank_, "a shm worker endpoint only hosts its own rank");
+  pump(milliseconds(0));
+  return inbox_.try_recv(source, tag);
+}
+
+std::vector<Message> ShmWorkerTransport::drain(int rank, int source,
+                                               int tag) {
+  LSS_REQUIRE(rank == rank_, "a shm worker endpoint only hosts its own rank");
+  pump(milliseconds(0));
+  std::vector<Message> out = inbox_.drain(source, tag);
+  for (const Message& m : out)
+    obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m.tag,
+              pe_of(m.source));
+  return out;
+}
+
+int ShmWorkerTransport::peer_protocol(int rank) const {
+  if (rank == rank_) return options_.protocol;
+  LSS_REQUIRE(rank == 0, "workers only negotiate with the master");
+  return negotiated_;
+}
+
+bool ShmWorkerTransport::probe(int rank, int source, int tag) const {
+  LSS_REQUIRE(rank == rank_, "a shm worker endpoint only hosts its own rank");
+  return inbox_.probe(source, tag);
+}
+
+bool ShmWorkerTransport::peer_alive(int rank) const {
+  if (rank == rank_) return true;
+  LSS_REQUIRE(rank == 0, "workers only track the master's liveness");
+  return open_.load(std::memory_order_acquire) && !master_gone();
+}
+
+void ShmWorkerTransport::close_peer(int rank) {
+  LSS_REQUIRE(rank == 0, "workers only hold a link to the master");
+  if (open_.exchange(false, std::memory_order_acq_rel) && rank_ >= 1) {
+    seg_.slot(rank_ - 1).state.store(kSlotBye, std::memory_order_release);
+    doorbell_ring(seg_.header().master_bell);
+  }
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,203 @@
+// Shared-memory backend of mp::Transport: the TCP star topology with
+// the sockets swapped for SPSC byte rings in one POSIX shm segment
+// (DESIGN.md §17).
+//
+// Same-host fleets pay TCP-loopback prices per chunk — syscall +
+// stack traversal both ways — for bytes that never leave the box.
+// This backend moves the same wire frames (mp/framing.hpp, codecs
+// unchanged) through shared memory instead: send() is a memcpy into
+// the peer's ring plus a doorbell bump, recv() is a memcpy out, and
+// the futex syscall only happens when a side actually has to sleep.
+// Everything layered on mp::Transport — drain, the depth-k prefetch
+// pipeline, batched acks, masterless FetchAdd frames, the service
+// protocol — rides it transparently.
+//
+//   * ShmMasterTransport — hosts rank 0. Creates and owns the
+//     segment (the name travels to workers out of band, e.g. in the
+//     spawned CLI's argv); accept_workers() blocks until all
+//     `num_workers` slots are claimed. Destruction marks the segment
+//     closed, wakes every parked peer, and unlinks the name.
+//   * ShmWorkerTransport — attaches by name; its rank is the claimed
+//     slot index + 1 (fetch_add, no handshake frames). Runs the same
+//     background heartbeat thread as the TCP worker, except a
+//     heartbeat is one atomic timestamp store, not a frame.
+//
+// Liveness mirrors TCP: the master reports a worker dead on clean
+// detach (slot state Bye — the shm EOF) or when its heartbeat
+// timestamp goes stale past `liveness_timeout`; workers report the
+// master dead when the segment's closed flag is set (or the owning
+// pid vanished). Protocol generations negotiate min(ours, peer's)
+// through the segment header / slot fields, byte-compatible with the
+// TCP hello handshake's outcome.
+//
+// Thread-safety: exactly the TCP contract — one driving thread per
+// master endpoint; a worker endpoint is its owner thread plus the
+// internal heartbeat thread (which touches only its own atomic).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/channel.hpp"
+#include "lss/mp/framing.hpp"
+#include "lss/mp/shm_ring.hpp"
+#include "lss/mp/transport.hpp"
+
+namespace lss::mp {
+
+struct ShmOptions {
+  /// Ring bytes per direction per worker. Frames larger than this
+  /// stream through in pieces; 1 MiB keeps any sane result blob in
+  /// one write.
+  std::size_t ring_capacity = 1u << 20;
+  /// Worker-side heartbeat-timestamp period; zero disables (the
+  /// master then falls back to data recency only).
+  std::chrono::milliseconds heartbeat_period{100};
+  /// Master-side: heartbeat/data silence after which peer_alive()
+  /// reports false; zero = slot state only.
+  std::chrono::milliseconds liveness_timeout{1000};
+  /// How long accept_workers() waits for the fleet.
+  std::chrono::milliseconds handshake_timeout{10000};
+  /// Per-frame payload cap enforced on receive (see mp/framing.hpp).
+  std::uint32_t max_frame_payload = kMaxFramePayload;
+  /// Highest protocol generation this endpoint speaks; each pairing
+  /// negotiates min(ours, peer's) like the TCP hello exchange.
+  int protocol = kProtoCurrent;
+  /// sched_yield rounds before parking in futex; -1 = auto (see
+  /// default_yield_spins — single-core parks almost immediately).
+  int yield_spins = -1;
+};
+
+class ShmMasterTransport final : public Transport {
+ public:
+  /// Creates and owns the segment under `name` ("/lss-...").
+  ShmMasterTransport(const std::string& name, int num_workers,
+                     ShmOptions options = {});
+  ~ShmMasterTransport() override;
+
+  /// The segment name — ship it to the workers.
+  const std::string& name() const { return seg_.name(); }
+
+  /// Blocks until all worker slots are claimed; throws
+  /// lss::ContractError if they do not all arrive in time.
+  void accept_workers();
+
+  int size() const override { return num_workers_ + 1; }
+  std::string kind() const override { return "shm"; }
+
+  void send(int from, int to, int tag,
+            std::vector<std::byte> payload) override;
+  Message recv(int rank, int source = kAnySource,
+               int tag = kAnyTag) override;
+  std::optional<Message> recv_for(int rank,
+                                  std::chrono::steady_clock::duration timeout,
+                                  int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  std::optional<Message> try_recv(int rank, int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  std::vector<Message> drain(int rank, int source = kAnySource,
+                             int tag = kAnyTag) override;
+  bool probe(int rank, int source = kAnySource,
+             int tag = kAnyTag) const override;
+  bool peer_alive(int rank) const override;
+  void close_peer(int rank) override;
+  int peer_protocol(int rank) const override;
+
+ private:
+  struct Peer {
+    bool open = false;
+    int protocol = kProtoLegacy;  ///< min(ours, slot's) at accept
+    /// Monotonic ns of the last ring bytes read from this worker;
+    /// liveness is max(this, the slot's heartbeat timestamp).
+    std::uint64_t last_seen_ns = 0;
+    FrameDecoder decoder{kMaxFramePayload};
+    /// Reusable encode scratch (same role as the TCP Peer's).
+    std::vector<std::byte> write_buf;
+  };
+
+  /// Reads all available ring bytes from every open worker into the
+  /// mailbox; waits on the master doorbell up to `wait` when nothing
+  /// is ready. Returns true on any delivered frame or state change.
+  bool pump(std::chrono::milliseconds wait);
+  bool ingest_peer(int w);
+  bool flush_decoder(int w);
+  void drop_peer(int w);
+
+  ShmOptions options_;
+  int num_workers_;
+  int yield_spins_;
+  ShmSegment seg_;
+  std::vector<Peer> peers_;  // index w hosts rank w + 1
+  std::vector<std::byte> read_buf_;
+  Mailbox inbox_;  // rank 0's queue
+};
+
+class ShmWorkerTransport final : public Transport {
+ public:
+  /// Attaches to the master's segment and claims the next free slot.
+  /// Throws ShmAttachError (segment missing / malformed / closed /
+  /// owner dead) or lss::ContractError (all slots taken).
+  explicit ShmWorkerTransport(const std::string& name,
+                              ShmOptions options = {});
+  ~ShmWorkerTransport() override;
+
+  /// This endpoint's rank (slot index + 1, claim order).
+  int rank() const { return rank_; }
+
+  int size() const override { return num_workers_ + 1; }
+  std::string kind() const override { return "shm"; }
+
+  void send(int from, int to, int tag,
+            std::vector<std::byte> payload) override;
+  Message recv(int rank, int source = kAnySource,
+               int tag = kAnyTag) override;
+  std::optional<Message> recv_for(int rank,
+                                  std::chrono::steady_clock::duration timeout,
+                                  int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  std::optional<Message> try_recv(int rank, int source = kAnySource,
+                                  int tag = kAnyTag) override;
+  std::vector<Message> drain(int rank, int source = kAnySource,
+                             int tag = kAnyTag) override;
+  bool probe(int rank, int source = kAnySource,
+             int tag = kAnyTag) const override;
+  bool peer_alive(int rank) const override;
+  void close_peer(int rank) override;
+  int peer_protocol(int rank) const override;
+
+ private:
+  bool pump(std::chrono::milliseconds wait);
+  bool ingest();
+  bool flush_decoder();
+  /// Master gone (segment closed, slot fenced, or owner pid dead)?
+  bool master_gone() const;
+  void heartbeat_main();
+
+  ShmOptions options_;
+  int rank_ = -1;
+  int num_workers_ = 0;
+  int negotiated_ = kProtoLegacy;
+  int yield_spins_;
+  ShmSegment seg_;
+  /// Flipped by the pumping thread when the master hangs up; read by
+  /// the heartbeat thread deciding whether to keep beating.
+  std::atomic<bool> open_{false};
+  FrameDecoder decoder_{kMaxFramePayload};
+  std::vector<std::byte> read_buf_;
+  std::vector<std::byte> write_buf_;
+  Mailbox inbox_;
+
+  std::thread heartbeat_;
+  std::mutex hb_mu_;
+  std::condition_variable hb_cv_;
+  bool hb_stop_ = false;
+};
+
+}  // namespace lss::mp

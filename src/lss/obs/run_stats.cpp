@@ -65,6 +65,7 @@ std::string RunStats::to_json() const {
   out += "]";
   out += ",\"iterations_per_pe\":" + json_array(iterations_per_pe);
   out += ",\"chunks_per_pe\":" + json_array(chunks_per_pe);
+  out += ",\"pinned_cpus\":" + json_array(pinned_cpus);
   out += ",\"idle_gaps_per_pe\":[";
   for (std::size_t i = 0; i < idle_gaps_per_pe.size(); ++i) {
     const IdleGapStats& g = idle_gaps_per_pe[i];

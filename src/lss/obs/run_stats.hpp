@@ -49,6 +49,10 @@ struct RunStats {
   std::vector<metrics::TimeBreakdown> per_pe;
   std::vector<Index> iterations_per_pe;
   std::vector<Index> chunks_per_pe;
+  /// CPU each PE's thread was pinned to, -1 where the pin was
+  /// refused; empty when the run did not pin (rt::RtConfig's
+  /// pin_threads, `--pin` on the CLIs).
+  std::vector<int> pinned_cpus;
   /// Empty when the runner does not measure stalls (everything but
   /// the rt master-worker runtime).
   std::vector<IdleGapStats> idle_gaps_per_pe;

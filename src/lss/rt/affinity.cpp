@@ -1,16 +1,22 @@
 #include "lss/rt/affinity.hpp"
 
+#include <pthread.h>
+#include <sched.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <exception>
+#include <fstream>
 #include <limits>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "lss/support/assert.hpp"
+#include "lss/support/strings.hpp"
 
 namespace lss::rt {
 
@@ -204,6 +210,107 @@ ParallelForResult affinity_parallel_for(
                    .count();
   LSS_ASSERT(out.iterations == total, "affinity scheduling lost iterations");
   return out;
+}
+
+// --- Per-PE thread pinning ------------------------------------------
+
+namespace {
+
+/// Parses a kernel cpulist ("0-3,8,10-11") into cpu ids. Malformed
+/// pieces are skipped rather than thrown — sysfs formats drift and
+/// pinning is best-effort.
+std::vector<int> parse_cpulist(const std::string& text) {
+  std::vector<int> cpus;
+  for (const std::string& piece : split(text, ',')) {
+    const std::string p{trim(piece)};
+    if (p.empty()) continue;
+    const auto dash = p.find('-');
+    try {
+      if (dash == std::string::npos) {
+        cpus.push_back(static_cast<int>(parse_int(p)));
+      } else {
+        const int lo = static_cast<int>(parse_int(p.substr(0, dash)));
+        const int hi = static_cast<int>(parse_int(p.substr(dash + 1)));
+        for (int c = lo; c <= hi; ++c) cpus.push_back(c);
+      }
+    } catch (const std::exception&) {
+      continue;
+    }
+  }
+  return cpus;
+}
+
+}  // namespace
+
+int online_cpu_count() {
+  cpu_set_t mask;
+  if (::sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+    const int n = CPU_COUNT(&mask);
+    if (n > 0) return n;
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? static_cast<int>(hc) : 1;
+}
+
+std::vector<int> pin_cpu_layout() {
+  cpu_set_t mask;
+  const bool have_mask = ::sched_getaffinity(0, sizeof(mask), &mask) == 0;
+  const auto allowed = [&](int cpu) {
+    if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+    return !have_mask || CPU_ISSET(cpu, &mask);
+  };
+
+  // One cpu list per NUMA node, restricted to the affinity mask.
+  // Node directories are contiguous (node0, node1, ...), so stop at
+  // the first missing one.
+  std::vector<std::vector<int>> nodes;
+  std::size_t node_cpus = 0;
+  for (int node = 0;; ++node) {
+    std::ifstream in("/sys/devices/system/node/node" +
+                     std::to_string(node) + "/cpulist");
+    if (!in) break;
+    std::string text;
+    std::getline(in, text);
+    std::vector<int> cpus;
+    for (int cpu : parse_cpulist(text))
+      if (allowed(cpu)) cpus.push_back(cpu);
+    node_cpus += cpus.size();
+    nodes.push_back(std::move(cpus));
+  }
+
+  // Interleave across nodes: pass i takes each node's i-th cpu, so
+  // consecutive workers land on different memory controllers.
+  std::vector<int> layout;
+  layout.reserve(node_cpus);
+  for (std::size_t i = 0; layout.size() < node_cpus; ++i)
+    for (const std::vector<int>& node : nodes)
+      if (i < node.size()) layout.push_back(node[i]);
+
+  if (layout.empty()) {
+    // No usable sysfs topology: the allowed cpus in id order.
+    if (have_mask)
+      for (int cpu = 0; cpu < CPU_SETSIZE; ++cpu)
+        if (CPU_ISSET(cpu, &mask)) layout.push_back(cpu);
+    if (layout.empty())
+      for (int cpu = 0; cpu < online_cpu_count(); ++cpu)
+        layout.push_back(cpu);
+  }
+  return layout;
+}
+
+int pick_pin_cpu(int worker) {
+  static const std::vector<int> layout = pin_cpu_layout();
+  if (layout.empty()) return -1;  // unreachable; belt and braces
+  const std::size_t w = static_cast<std::size_t>(worker < 0 ? 0 : worker);
+  return layout[w % layout.size()];
+}
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(cpu, &set);
+  return ::pthread_setaffinity_np(::pthread_self(), sizeof(set), &set) == 0;
 }
 
 }  // namespace lss::rt

@@ -9,9 +9,18 @@
 //     steals 1/k of it from the back.
 //
 // Exposed through rt::parallel_for with scheme "affinity[:k=<n>]".
+//
+// This header also carries the runtime's *thread placement* helpers
+// (pin_cpu_layout / pin_current_thread): opt-in per-PE pinning used
+// by run_threaded and the svc worker pool (RtConfig::pin_threads,
+// `--pin` on the CLIs). Placement is NUMA-interleaved — consecutive
+// workers land on different nodes so a fleet smaller than the
+// machine still spreads across memory controllers — and always
+// best-effort: a refused pin degrades to the unpinned behaviour.
 #pragma once
 
 #include <functional>
+#include <vector>
 
 #include "lss/rt/parallel_for.hpp"
 #include "lss/support/types.hpp"
@@ -29,5 +38,29 @@ struct AffinityOptions {
 ParallelForResult affinity_parallel_for(
     Index begin, Index end, const std::function<void(Index)>& body,
     const AffinityOptions& options = {});
+
+// --- Per-PE thread pinning ------------------------------------------
+
+/// CPUs this process may actually run on (its sched_getaffinity
+/// mask, so cgroup/cpuset limits are respected); at least 1.
+int online_cpu_count();
+
+/// The CPU ids worker threads pin to, in assignment order. Node cpu
+/// lists come from /sys/devices/system/node/node*/cpulist and are
+/// interleaved round-robin across nodes (worker 0 → node0's first
+/// cpu, worker 1 → node1's first, ...), restricted to the process
+/// affinity mask. Hosts without that sysfs tree (or whose nodes are
+/// fully masked off) fall back to the allowed cpus in id order.
+/// Never empty.
+std::vector<int> pin_cpu_layout();
+
+/// The CPU worker `worker` (0-based) pins to: the layout entry at
+/// worker mod layout size. The layout is computed once per process.
+int pick_pin_cpu(int worker);
+
+/// Pins the calling thread to `cpu`. Returns false instead of
+/// throwing when the kernel refuses (cpu offline, outside the
+/// cpuset, out of range) — pinning is best-effort by contract.
+bool pin_current_thread(int cpu);
 
 }  // namespace lss::rt

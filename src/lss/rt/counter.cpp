@@ -10,6 +10,7 @@
 #include <new>
 #include <utility>
 
+#include "lss/mp/shm_ring.hpp"
 #include "lss/obs/metrics_registry.hpp"
 #include "lss/rt/protocol.hpp"
 #include "lss/support/assert.hpp"
@@ -78,10 +79,15 @@ std::unique_ptr<ShmTicketCounter> ShmTicketCounter::create(
       ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
   LSS_REQUIRE(fd >= 0, "shm_open(create " + name +
                            ") failed: " + std::strerror(errno));
+  // Same hygiene contract as the shm transport segment: a master
+  // killed before ~ShmTicketCounter must not leak the /dev/shm name,
+  // so the owner registers with the atexit/signal unlink registry.
+  mp::shm_register_owned(name);
   if (::ftruncate(fd, static_cast<off_t>(sizeof(Header))) != 0) {
     const int err = errno;
     ::close(fd);
     ::shm_unlink(name.c_str());
+    mp::shm_unregister_owned(name);
     LSS_REQUIRE(false,
                 "ftruncate(" + name + ") failed: " + std::strerror(err));
   }
@@ -90,6 +96,7 @@ std::unique_ptr<ShmTicketCounter> ShmTicketCounter::create(
   ::close(fd);
   if (mem == MAP_FAILED) {
     ::shm_unlink(name.c_str());
+    mp::shm_unregister_owned(name);
     LSS_REQUIRE(false, "mmap(" + name + ") failed");
   }
   auto* header = new (mem) Header{};
@@ -129,7 +136,10 @@ std::unique_ptr<ShmTicketCounter> ShmTicketCounter::attach(
 
 ShmTicketCounter::~ShmTicketCounter() {
   ::munmap(header_, sizeof(Header));
-  if (owner_) ::shm_unlink(name_.c_str());
+  if (owner_) {
+    ::shm_unlink(name_.c_str());
+    mp::shm_unregister_owned(name_);
+  }
 }
 
 std::optional<std::uint64_t> ShmTicketCounter::fetch_add(std::uint64_t n) {

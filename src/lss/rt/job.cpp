@@ -12,7 +12,8 @@ namespace {
 const std::vector<std::string>& job_keys() {
   static const std::vector<std::string> keys = {
       "scheme",     "scheduler", "relative_speeds", "run_queues",
-      "pipeline_depth", "masterless", "faults", "priority", "workload"};
+      "pipeline_depth", "masterless", "faults", "priority", "workload",
+      "transport"};
   return keys;
 }
 
@@ -65,6 +66,10 @@ void JobSpec::validate() const {
   LSS_REQUIRE(faults.poll_initial > 0.0, "faults.poll_initial must be > 0");
   LSS_REQUIRE(faults.poll_max >= faults.poll_initial,
               "faults.poll_max must be >= faults.poll_initial");
+  LSS_REQUIRE(transport.empty() || transport == "tcp" || transport == "shm" ||
+                  transport == "inproc",
+              "transport = '" + transport +
+                  "' must be one of \"\", tcp, shm, inproc");
 }
 
 std::string JobSpec::to_json(int indent) const {
@@ -91,7 +96,8 @@ std::string JobSpec::to_json(int indent) const {
                    {"masterless", Value(masterless)},
                    {"faults", Value(std::move(fp))},
                    {"priority", Value(priority)},
-                   {"workload", Value(workload)}};
+                   {"workload", Value(workload)},
+                   {"transport", Value(transport)}};
   for (auto& kv : rest) doc.emplace_back(std::move(kv));
   return Value(std::move(doc)).dump(indent);
 }
@@ -137,6 +143,8 @@ JobSpec JobSpec::from_json(std::string_view text) {
       out.priority = static_cast<int>(value.as_int());
     } else if (key == "workload") {
       out.workload = value.as_string();
+    } else if (key == "transport") {
+      out.transport = value.as_string();
     }
   }
   LSS_REQUIRE(!(saw_scheme && saw_scheduler),

@@ -86,6 +86,12 @@ struct JobSpec {
   /// materialize the loop from text; optional for RtConfig, where a
   /// live `workload` pointer wins.
   std::string workload;
+  /// Preferred mp transport for runners that open one: "tcp"
+  /// (localhost sockets), "shm" (same-host shared-memory rings), or
+  /// "" = the runner's default. lss_master maps it onto its
+  /// `--transport` flag; in-process runners (run_threaded, the
+  /// lss_serve pool) ignore it.
+  std::string transport;
 
   /// Scheduling width the job plans for.
   int num_pes() const { return static_cast<int>(relative_speeds.size()); }

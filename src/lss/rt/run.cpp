@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "lss/mp/comm.hpp"
+#include "lss/rt/affinity.hpp"
 #include "lss/rt/counter.hpp"
 #include "lss/rt/worker.hpp"
 #include "lss/support/assert.hpp"
@@ -56,6 +57,14 @@ RunStats RtResult::stats() const {
     out.chunks_per_pe.push_back(w.chunks);
     out.idle_gaps_per_pe.push_back(IdleGapStats::from_gaps(w.idle_gaps));
   }
+  // Surface placement only when some pin actually landed; an
+  // unpinned run keeps the field empty rather than all -1.
+  for (const RtWorkerStats& w : workers)
+    if (w.pinned_cpu >= 0) {
+      for (const RtWorkerStats& v : workers)
+        out.pinned_cpus.push_back(v.pinned_cpu);
+      break;
+    }
   return out;
 }
 
@@ -100,6 +109,10 @@ RtResult run_threaded(const RtConfig& config) {
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(p));
   std::vector<bool> participating(static_cast<std::size_t>(p), true);
+  // Written by each worker thread into its own slot before the join;
+  // stays -1 when pinning is off or the kernel refused the pin.
+  std::vector<int> pinned(static_cast<std::size_t>(p), -1);
+  const bool pin = config.pin_threads;
 
   const auto t0 = Clock::now();
   for (int w = 0; w < p; ++w) {
@@ -136,13 +149,19 @@ RtResult run_threaded(const RtConfig& config) {
       mwc.total = total;
       mwc.num_workers = p;
       mwc.counter = counter;
-      threads.emplace_back([&comm, &results, sw, mwc = std::move(mwc)] {
-        results[sw] = run_masterless_worker(comm, mwc);
-      });
+      threads.emplace_back(
+          [&comm, &results, &pinned, pin, w, sw, mwc = std::move(mwc)] {
+            if (pin && pin_current_thread(pick_pin_cpu(w)))
+              pinned[sw] = pick_pin_cpu(w);
+            results[sw] = run_masterless_worker(comm, mwc);
+          });
     } else {
-      threads.emplace_back([&comm, &results, sw, wc = std::move(wc)] {
-        results[sw] = run_worker_loop(comm, wc);
-      });
+      threads.emplace_back(
+          [&comm, &results, &pinned, pin, w, sw, wc = std::move(wc)] {
+            if (pin && pin_current_thread(pick_pin_cpu(w)))
+              pinned[sw] = pick_pin_cpu(w);
+            results[sw] = run_worker_loop(comm, wc);
+          });
     }
   }
 
@@ -178,13 +197,15 @@ RtResult run_threaded(const RtConfig& config) {
   // a victim's computed-but-unacked batch under pipeline_depth >= 2).
   out.execution_count.assign(static_cast<std::size_t>(total), 0);
   out.workers.reserve(static_cast<std::size_t>(p));
-  for (const WorkerLoopResult& wr : results) {
+  for (std::size_t sw = 0; sw < results.size(); ++sw) {
+    const WorkerLoopResult& wr = results[sw];
     RtWorkerStats ws;
     ws.times = wr.times;
     ws.iterations = wr.iterations;
     ws.chunks = wr.chunks;
     ws.idle_gaps = wr.idle_gaps;
     ws.executed = wr.executed;
+    ws.pinned_cpu = pinned[sw];
     out.workers.push_back(std::move(ws));
     out.total_iterations += wr.iterations;
     for (const Range& r : wr.executed)

@@ -61,6 +61,10 @@ struct RtConfig : JobSpec {
   /// a fresh in-process one. Tests inject an InprocTicketCounter
   /// with a fail-after budget to exercise the mid-loop fallback.
   std::shared_ptr<TicketCounter> counter;
+  /// Pin worker w's thread to rt::pick_pin_cpu(w) (NUMA-interleaved;
+  /// see rt/affinity.hpp). Best-effort: a refused pin leaves that
+  /// worker floating and its RtWorkerStats::pinned_cpu at -1.
+  bool pin_threads = false;
 };
 
 struct RtWorkerStats {
@@ -75,6 +79,9 @@ struct RtWorkerStats {
   /// (tests/chunk_oracle.hpp) compares against the scheme's golden
   /// grant table.
   std::vector<Range> executed;
+  /// CPU this worker's thread was pinned to; -1 when pinning was off
+  /// or the pin was refused (RtConfig::pin_threads).
+  int pinned_cpu = -1;
 };
 
 struct RtResult {

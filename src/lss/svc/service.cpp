@@ -15,6 +15,7 @@
 #include "lss/cluster/acp.hpp"
 #include "lss/mp/comm.hpp"
 #include "lss/obs/metrics_registry.hpp"
+#include "lss/rt/affinity.hpp"
 #include "lss/rt/counter.hpp"
 #include "lss/rt/dispatch.hpp"
 #include "lss/rt/throttle.hpp"
@@ -315,7 +316,11 @@ ServiceStats Service::run(mp::Transport& tenants, int num_tenants) {
         config_.die_after_chunks.empty() ? -1 : config_.die_after_chunks[w];
     wc.poll_seconds = config_.poll_seconds;
     wc.directory = &directory;
-    threads.emplace_back([&pool, wc] { run_pool_worker(pool, wc); });
+    const bool pin = config_.pin_threads;
+    threads.emplace_back([&pool, pin, w, wc] {
+      if (pin) rt::pin_current_thread(rt::pick_pin_cpu(w));
+      run_pool_worker(pool, wc);
+    });
   }
 
   ServiceStats stats;

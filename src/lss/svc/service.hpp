@@ -71,6 +71,10 @@ struct ServiceConfig {
   std::vector<int> die_after_chunks;
   /// Reactor poll slice while idle, seconds.
   double poll_seconds = 0.002;
+  /// Pin pool worker w's thread to rt::pick_pin_cpu(w)
+  /// (NUMA-interleaved; see rt/affinity.hpp). Best-effort: refused
+  /// pins leave that worker floating. `--pin` on lss_serve.
+  bool pin_threads = false;
 };
 
 /// What the daemon hands back when it exits: throughput counters and

@@ -10,13 +10,28 @@ namespace lss {
 MandelbrotKernel mandelbrot_kernel_from_string(const std::string& s) {
   if (s == "scalar") return MandelbrotKernel::Scalar;
   if (s == "batched") return MandelbrotKernel::Batched;
+  if (s == "avx2") return MandelbrotKernel::Avx2;
+  if (s == "avx512") return MandelbrotKernel::Avx512;
+  if (s == "auto") return MandelbrotKernel::Auto;
   LSS_REQUIRE(false, "unknown mandelbrot kernel '" + s +
-                         "' (want scalar|batched)");
+                         "' (want auto|scalar|batched|avx2|avx512)");
   return MandelbrotKernel::Scalar;
 }
 
 std::string to_string(MandelbrotKernel kernel) {
-  return kernel == MandelbrotKernel::Batched ? "batched" : "scalar";
+  switch (kernel) {
+    case MandelbrotKernel::Batched:
+      return "batched";
+    case MandelbrotKernel::Avx2:
+      return "avx2";
+    case MandelbrotKernel::Avx512:
+      return "avx512";
+    case MandelbrotKernel::Auto:
+      return "auto";
+    case MandelbrotKernel::Scalar:
+      break;
+  }
+  return "scalar";
 }
 
 MandelbrotParams MandelbrotParams::paper(int width, int height) {
@@ -77,6 +92,40 @@ void mandelbrot_escape_batch(double cx, const double* cy, int count,
   for (; i < count; ++i) out[i] = mandelbrot_escape(cx, cy[i], max_iter);
 }
 
+namespace {
+
+/// Auto resolves once, at workload construction: the widest ISA the
+/// cpuid probe reports, else the portable batched loop. An explicit
+/// avx2/avx512 request on a host without it throws here (inside
+/// mandelbrot_batch_fn) rather than silently degrading.
+MandelbrotKernel resolve_kernel(MandelbrotKernel kernel) {
+  if (kernel != MandelbrotKernel::Auto) return kernel;
+  switch (simd::best_isa()) {
+    case simd::Isa::Avx512:
+      return MandelbrotKernel::Avx512;
+    case simd::Isa::Avx2:
+      return MandelbrotKernel::Avx2;
+    case simd::Isa::Portable:
+      break;
+  }
+  return MandelbrotKernel::Batched;
+}
+
+simd::MandelbrotBatchFn kernel_batch_fn(MandelbrotKernel kernel) {
+  switch (kernel) {
+    case MandelbrotKernel::Batched:
+      return &mandelbrot_escape_batch;
+    case MandelbrotKernel::Avx2:
+      return simd::mandelbrot_batch_fn(simd::Isa::Avx2);
+    case MandelbrotKernel::Avx512:
+      return simd::mandelbrot_batch_fn(simd::Isa::Avx512);
+    default:
+      return nullptr;  // Scalar: the point-at-a-time loop
+  }
+}
+
+}  // namespace
+
 MandelbrotWorkload::MandelbrotWorkload(MandelbrotParams params)
     : params_(params) {
   LSS_REQUIRE(params_.width > 0 && params_.height > 0,
@@ -84,6 +133,8 @@ MandelbrotWorkload::MandelbrotWorkload(MandelbrotParams params)
   LSS_REQUIRE(params_.max_iter > 0, "max_iter must be positive");
   LSS_REQUIRE(params_.x_max > params_.x_min && params_.y_max > params_.y_min,
               "domain must be non-empty");
+  params_.kernel = resolve_kernel(params_.kernel);
+  batch_fn_ = kernel_batch_fn(params_.kernel);
   column_cost_.resize(static_cast<std::size_t>(params_.width));
   image_.assign(static_cast<std::size_t>(params_.width) *
                     static_cast<std::size_t>(params_.height),
@@ -100,10 +151,10 @@ MandelbrotWorkload::MandelbrotWorkload(MandelbrotParams params)
 void MandelbrotWorkload::column_counts(int c, int* out) const {
   const double cx = col_x(c);
   const int h = params_.height;
-  if (params_.kernel == MandelbrotKernel::Batched) {
+  if (batch_fn_ != nullptr) {
     std::vector<double> cy(static_cast<std::size_t>(h));
     for (int r = 0; r < h; ++r) cy[static_cast<std::size_t>(r)] = row_y(r);
-    mandelbrot_escape_batch(cx, cy.data(), h, params_.max_iter, out);
+    batch_fn_(cx, cy.data(), h, params_.max_iter, out);
     return;
   }
   for (int r = 0; r < h; ++r)
@@ -113,7 +164,10 @@ void MandelbrotWorkload::column_counts(int c, int* out) const {
 std::string MandelbrotWorkload::name() const {
   std::string n = "mandelbrot-" + std::to_string(params_.width) + "x" +
                   std::to_string(params_.height);
-  if (params_.kernel == MandelbrotKernel::Batched) n += "-batched";
+  // The kernel here is always the *resolved* one, so "auto" surfaces
+  // as what it actually picked.
+  if (params_.kernel != MandelbrotKernel::Scalar)
+    n += "-" + to_string(params_.kernel);
   return n;
 }
 

@@ -11,17 +11,24 @@
 #include <string>
 #include <vector>
 
+#include "lss/workload/simd.hpp"
 #include "lss/workload/workload.hpp"
 
 namespace lss {
 
-/// How MandelbrotWorkload computes escape counts.
+/// How MandelbrotWorkload computes escape counts. Every kernel
+/// produces bit-identical counts (same IEEE operations per point, no
+/// fused multiply-add); they differ only in instruction selection.
 enum class MandelbrotKernel {
   Scalar,   ///< one point at a time, early-exit loop (the original)
   Batched,  ///< 8-wide branchless batches (auto-vectorizable)
+  Avx2,     ///< hand-vectorized 4-wide (simd_avx2.cpp); cpuid-gated
+  Avx512,   ///< hand-vectorized 8-wide (simd_avx512.cpp); cpuid-gated
+  Auto,     ///< widest ISA this host offers, else Batched
 };
 
-/// Parses "scalar" | "batched"; throws lss::ContractError otherwise.
+/// Parses "scalar" | "batched" | "avx2" | "avx512" | "auto"; throws
+/// lss::ContractError otherwise.
 MandelbrotKernel mandelbrot_kernel_from_string(const std::string& s);
 std::string to_string(MandelbrotKernel kernel);
 
@@ -33,8 +40,10 @@ struct MandelbrotParams {
   double y_min = -1.25;
   double y_max = 1.25;
   int max_iter = 100;  ///< escape-iteration cap
-  /// Scalar by default; Batched produces identical escape counts
-  /// (same recurrence, per-lane) but lets the compiler vectorize.
+  /// Scalar by default; every other kernel produces identical escape
+  /// counts (same recurrence, per-lane) faster. Auto resolves to the
+  /// widest ISA the host offers at workload construction; asking for
+  /// avx2/avx512 on a host without it throws lss::ContractError.
   MandelbrotKernel kernel = MandelbrotKernel::Scalar;
 
   /// The paper's window on the classic domain.
@@ -86,7 +95,10 @@ class MandelbrotWorkload final : public Workload {
   /// Escape counts of every pixel of column c (selected kernel).
   void column_counts(int c, int* out) const;
 
-  MandelbrotParams params_;
+  MandelbrotParams params_;  ///< kernel resolved (never Auto) here
+  /// Non-null for the batch kernels: the implementation the resolved
+  /// kernel dispatched to, picked once at construction.
+  simd::MandelbrotBatchFn batch_fn_ = nullptr;
   std::vector<double> column_cost_;
   std::vector<std::uint16_t> image_;
 };

@@ -1,0 +1,112 @@
+#include "lss/workload/simd.hpp"
+
+#include "lss/support/assert.hpp"
+#include "lss/workload/mandelbrot.hpp"
+
+namespace lss::simd {
+
+namespace {
+
+bool cpu_supports(Isa isa) {
+#if defined(__x86_64__) || defined(__i386__)
+  switch (isa) {
+    case Isa::Portable:
+      return true;
+    case Isa::Avx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case Isa::Avx512:
+      return __builtin_cpu_supports("avx512f") != 0;
+  }
+#endif
+  return isa == Isa::Portable;
+}
+
+}  // namespace
+
+Isa isa_from_string(const std::string& s) {
+  if (s == "portable") return Isa::Portable;
+  if (s == "avx2") return Isa::Avx2;
+  if (s == "avx512") return Isa::Avx512;
+  LSS_REQUIRE(false,
+              "unknown simd isa '" + s + "' (want portable|avx2|avx512)");
+  return Isa::Portable;
+}
+
+std::string to_string(Isa isa) {
+  switch (isa) {
+    case Isa::Avx2:
+      return "avx2";
+    case Isa::Avx512:
+      return "avx512";
+    case Isa::Portable:
+      break;
+  }
+  return "portable";
+}
+
+bool isa_compiled(Isa isa) {
+  switch (isa) {
+    case Isa::Portable:
+      return true;
+    case Isa::Avx2:
+#if LSS_SIMD_AVX2
+      return true;
+#else
+      return false;
+#endif
+    case Isa::Avx512:
+#if LSS_SIMD_AVX512
+      return true;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+bool isa_available(Isa isa) {
+  static const bool avx2 = isa_compiled(Isa::Avx2) && cpu_supports(Isa::Avx2);
+  static const bool avx512 =
+      isa_compiled(Isa::Avx512) && cpu_supports(Isa::Avx512);
+  switch (isa) {
+    case Isa::Avx2:
+      return avx2;
+    case Isa::Avx512:
+      return avx512;
+    case Isa::Portable:
+      break;
+  }
+  return true;
+}
+
+Isa best_isa() {
+  if (isa_available(Isa::Avx512)) return Isa::Avx512;
+  if (isa_available(Isa::Avx2)) return Isa::Avx2;
+  return Isa::Portable;
+}
+
+MandelbrotBatchFn mandelbrot_batch_fn(Isa isa) {
+  LSS_REQUIRE(isa_available(isa),
+              "simd isa '" + to_string(isa) + "' is not available: " +
+                  (isa_compiled(isa) ? "the cpu does not report the feature"
+                                     : "not compiled into this binary"));
+  switch (isa) {
+    case Isa::Avx2:
+#if LSS_SIMD_AVX2
+      return &detail::mandelbrot_batch_avx2;
+#else
+      break;
+#endif
+    case Isa::Avx512:
+#if LSS_SIMD_AVX512
+      return &detail::mandelbrot_batch_avx512;
+#else
+      break;
+#endif
+    case Isa::Portable:
+      break;
+  }
+  return &mandelbrot_escape_batch;
+}
+
+}  // namespace lss::simd

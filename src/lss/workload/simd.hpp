@@ -1,0 +1,72 @@
+// Runtime SIMD dispatch for the Mandelbrot escape kernel (DESIGN.md
+// §17): the batched 8-wide portable kernel stays the semantic ground
+// truth, and hand-vectorized AVX2 / AVX-512 implementations of the
+// *same* recurrence are selected at runtime from a cpuid probe.
+//
+// The contract is bit identity: every implementation performs the
+// identical IEEE double operations per point (mul, sub, add — never
+// a fused multiply-add, which rounds once instead of twice), latches
+// a lane's escape count the first time |z|^2 > 4 is observed after
+// the increment, and reports max_iter for points that never escape.
+// A differential test (test_mandelbrot_simd) holds every compiled
+// path to the scalar kernel's exact counts.
+//
+// Each ISA implementation lives in its own translation unit compiled
+// with just that ISA's -m flags (and -ffp-contract=off), so the
+// baseline build never emits an instruction the host might not have;
+// dispatch picks an implementation only when BOTH the binary carries
+// it and the cpu reports the feature.
+#pragma once
+
+#include <string>
+
+namespace lss {
+
+// Redeclared from mandelbrot.hpp so the ISA translation units can
+// share the scalar tail without pulling wider headers into code
+// compiled under non-baseline -m flags.
+int mandelbrot_escape(double cx, double cy, int max_iter);
+
+namespace simd {
+
+enum class Isa {
+  Portable,  ///< the auto-vectorizable batched loop (always present)
+  Avx2,      ///< 4 × double per vector, blendv masking
+  Avx512,    ///< 8 × double per vector, mask registers
+};
+
+/// Parses "portable" | "avx2" | "avx512"; throws lss::ContractError.
+Isa isa_from_string(const std::string& s);
+std::string to_string(Isa isa);
+
+/// Was the implementation compiled into this binary? (The compiler
+/// may not support the -m flags — see the CMake guard.)
+bool isa_compiled(Isa isa);
+
+/// Compiled AND the cpu reports the feature (cpuid probe, cached).
+bool isa_available(Isa isa);
+
+/// The widest available ISA — what `kernel=auto` resolves to.
+Isa best_isa();
+
+/// Signature shared with mandelbrot_escape_batch: escape counts of
+/// `count` points at (cx, cy[i]) into out[i].
+using MandelbrotBatchFn = void (*)(double cx, const double* cy, int count,
+                                   int max_iter, int* out);
+
+/// The implementation for `isa`. Throws lss::ContractError when the
+/// ISA is not available on this host — an explicitly requested
+/// kernel must fail loudly, not silently degrade.
+MandelbrotBatchFn mandelbrot_batch_fn(Isa isa);
+
+namespace detail {
+// Defined in simd_avx2.cpp / simd_avx512.cpp when the compiler can
+// build them (LSS_SIMD_AVX2 / LSS_SIMD_AVX512).
+void mandelbrot_batch_avx2(double cx, const double* cy, int count,
+                           int max_iter, int* out);
+void mandelbrot_batch_avx512(double cx, const double* cy, int count,
+                             int max_iter, int* out);
+}  // namespace detail
+
+}  // namespace simd
+}  // namespace lss

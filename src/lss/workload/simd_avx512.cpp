@@ -1,0 +1,53 @@
+// AVX-512F Mandelbrot escape kernel — 8 doubles per vector with mask
+// registers instead of blend vectors. Compiled with -mavx512f
+// -ffp-contract=off: AVX-512F brings its own fused multiply-add
+// forms, so suppressing contraction here is what keeps the rounding
+// identical to the scalar kernel. Only dispatch (simd.cpp) may call
+// this, and only after the cpuid probe.
+#include <immintrin.h>
+
+#include "lss/workload/simd.hpp"
+
+namespace lss::simd::detail {
+
+void mandelbrot_batch_avx512(double cx, const double* cy, int count,
+                             int max_iter, int* out) {
+  const __m512d vcx = _mm512_set1_pd(cx);
+  const __m512d vfour = _mm512_set1_pd(4.0);
+  const __m512d vtwo = _mm512_set1_pd(2.0);
+  const __m512i vzero = _mm512_setzero_si512();
+  int i = 0;
+  for (; i + 8 <= count; i += 8) {
+    __m512d zx = _mm512_setzero_pd();
+    __m512d zy = _mm512_setzero_pd();
+    const __m512d vcy = _mm512_loadu_pd(cy + i);
+    __m512i cnt = vzero;  // 0 = not escaped yet
+    for (int it = 1; it <= max_iter; ++it) {
+      const __m512d zx2 = _mm512_mul_pd(zx, zx);
+      const __m512d zy2 = _mm512_mul_pd(zy, zy);
+      const __mmask8 esc = _mm512_cmp_pd_mask(_mm512_add_pd(zx2, zy2),
+                                              vfour, _CMP_GT_OQ);
+      const __mmask8 unlatched = _mm512_cmpeq_epi64_mask(cnt, vzero);
+      // Latch the post-increment iteration number exactly once.
+      cnt = _mm512_mask_mov_epi64(
+          cnt, static_cast<__mmask8>(esc & unlatched),
+          _mm512_set1_epi64(it));
+      const __mmask8 active = static_cast<__mmask8>(unlatched & ~esc);
+      if (active == 0) break;
+      const __m512d nzx = _mm512_add_pd(_mm512_sub_pd(zx2, zy2), vcx);
+      const __m512d nzy = _mm512_add_pd(
+          _mm512_mul_pd(vtwo, _mm512_mul_pd(zx, zy)), vcy);
+      zx = _mm512_mask_mov_pd(zx, active, nzx);
+      zy = _mm512_mask_mov_pd(zy, active, nzy);
+    }
+    alignas(64) long long latched[8];
+    _mm512_store_si512(latched, cnt);
+    for (int l = 0; l < 8; ++l)
+      out[i + l] =
+          latched[l] == 0 ? max_iter : static_cast<int>(latched[l]);
+  }
+  // Partial vector: the scalar kernel keeps tail semantics identical.
+  for (; i < count; ++i) out[i] = mandelbrot_escape(cx, cy[i], max_iter);
+}
+
+}  // namespace lss::simd::detail

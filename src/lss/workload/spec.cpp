@@ -22,7 +22,7 @@ std::vector<std::string> allowed_keys(const std::string& kind) {
   if (kind == "conditional") return {"n", "then", "else", "p", "seed"};
   if (kind == "irregular") return {"n", "mu", "sigma", "seed"};
   if (kind == "peaked") return {"n", "base", "amplitude", "center", "width"};
-  if (kind == "mandelbrot") return {"width", "height", "max_iter"};
+  if (kind == "mandelbrot") return {"width", "height", "max_iter", "kernel"};
   return {};
 }
 
@@ -72,6 +72,8 @@ std::shared_ptr<Workload> make_workload(std::string_view spec) {
     p.width = static_cast<int>(integer("width", 200));
     p.height = static_cast<int>(integer("height", 120));
     p.max_iter = static_cast<int>(integer("max_iter", 100));
+    if (const auto it = kv.find("kernel"); it != kv.end())
+      p.kernel = mandelbrot_kernel_from_string(it->second);
     LSS_REQUIRE(p.width > 0 && p.height > 0 && p.max_iter > 0,
                 "mandelbrot workload needs positive width/height/max_iter");
     return std::make_shared<MandelbrotWorkload>(p);

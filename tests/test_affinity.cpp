@@ -1,9 +1,12 @@
 // Affinity scheduling (Markatos & LeBlanc; the paper's ref. [12]).
 #include <gtest/gtest.h>
+#include <sched.h>
 
 #include <atomic>
 #include <numeric>
+#include <set>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "lss/rt/affinity.hpp"
@@ -116,6 +119,35 @@ TEST(Affinity, BadSchemeStringThrows) {
 TEST(Affinity, ValidationMirrorsParallelFor) {
   EXPECT_THROW(affinity_parallel_for(0, 10, nullptr), ContractError);
   EXPECT_THROW(affinity_parallel_for(10, 0, [](Index) {}), ContractError);
+}
+
+TEST(Pinning, LayoutCoversAllowedCpusWithoutDuplicates) {
+  const std::vector<int> layout = pin_cpu_layout();
+  ASSERT_FALSE(layout.empty());
+  EXPECT_EQ(static_cast<int>(layout.size()), online_cpu_count());
+  std::set<int> seen;
+  for (int cpu : layout) {
+    EXPECT_GE(cpu, 0);
+    EXPECT_TRUE(seen.insert(cpu).second) << "cpu " << cpu << " repeated";
+  }
+  // Stable per process: every worker computes the same assignment.
+  EXPECT_EQ(pin_cpu_layout(), layout);
+  EXPECT_EQ(pick_pin_cpu(0), layout[0]);
+  EXPECT_EQ(pick_pin_cpu(static_cast<int>(layout.size())), layout[0]);
+}
+
+TEST(Pinning, PinLandsTheThreadOnTheRequestedCpu) {
+  const int cpu = pick_pin_cpu(0);
+  std::thread([cpu] {
+    ASSERT_TRUE(pin_current_thread(cpu));
+    // Once pinned, the thread cannot run anywhere else.
+    EXPECT_EQ(::sched_getcpu(), cpu);
+  }).join();
+}
+
+TEST(Pinning, RefusedPinsReportFalseInsteadOfThrowing) {
+  EXPECT_FALSE(pin_current_thread(-1));
+  EXPECT_FALSE(pin_current_thread(1 << 24));
 }
 
 TEST(Affinity, ManyThreadsManyIterationsStress) {

@@ -44,6 +44,7 @@ TEST(JobSpec, JsonRoundTripPreservesEveryField) {
   spec.faults.poll_max = 0.5;
   spec.priority = 7;
   spec.workload = "uniform:n=1024,cost=2";
+  spec.transport = "shm";
 
   const JobSpec back = JobSpec::from_json(spec.to_json());
   EXPECT_EQ(back.scheduler.scheme, spec.scheduler.scheme);
@@ -57,6 +58,7 @@ TEST(JobSpec, JsonRoundTripPreservesEveryField) {
   EXPECT_DOUBLE_EQ(back.faults.poll_max, spec.faults.poll_max);
   EXPECT_EQ(back.priority, spec.priority);
   EXPECT_EQ(back.workload, spec.workload);
+  EXPECT_EQ(back.transport, spec.transport);
   EXPECT_EQ(back.num_pes(), 3);
 
   // The pretty form parses back to the same document.
@@ -72,6 +74,7 @@ TEST(JobSpec, AbsentKeysKeepDefaults) {
   EXPECT_EQ(spec.priority, 0);
   EXPECT_TRUE(spec.workload.empty());
   EXPECT_TRUE(spec.run_queues.empty());
+  EXPECT_TRUE(spec.transport.empty());
 }
 
 TEST(JobSpec, UnknownKeysAreRejectedByName) {
@@ -123,6 +126,12 @@ TEST(JobSpec, InvalidValuesNameTheField) {
             R"({"scheme":"tss","relative_speeds":[1],"run_queues":[0]})");
       },
       "run_queues[0]");
+  expect_rejects(
+      [] {
+        JobSpec::from_json(
+            R"({"scheme":"tss","relative_speeds":[1],"transport":"udp"})");
+      },
+      "transport");
 }
 
 TEST(JobSpec, UnknownSchemeListsTheRegistry) {

@@ -6,6 +6,8 @@
 
 #include "lss/support/assert.hpp"
 #include "lss/workload/mandelbrot.hpp"
+#include "lss/workload/simd.hpp"
+#include "lss/workload/spec.hpp"
 
 namespace lss {
 namespace {
@@ -148,6 +150,108 @@ TEST(BatchedKernel, NameAndParsing) {
   MandelbrotParams p = MandelbrotParams::paper(16, 8);
   p.kernel = MandelbrotKernel::Batched;
   EXPECT_EQ(MandelbrotWorkload(p).name(), "mandelbrot-16x8-batched");
+}
+
+// --- runtime SIMD dispatch (simd.hpp) -----------------------------------
+//
+// The differential contract: every ISA implementation the binary
+// carries and the cpu offers must reproduce the scalar kernel's
+// iteration counts BIT-IDENTICALLY — same recurrence, same rounding
+// (no fused multiply-add), same post-increment escape latch.
+
+std::vector<simd::Isa> available_isas() {
+  std::vector<simd::Isa> out = {simd::Isa::Portable};
+  for (simd::Isa isa : {simd::Isa::Avx2, simd::Isa::Avx512})
+    if (simd::isa_available(isa)) out.push_back(isa);
+  return out;
+}
+
+TEST(SimdKernel, EveryAvailableIsaMatchesScalarPointwise) {
+  const int max_iter = 200;
+  const int n = 61;  // full vectors of 4 and 8, plus ragged tails
+  std::vector<double> cy(n);
+  std::vector<int> got(n);
+  for (int i = 0; i < n; ++i)
+    cy[static_cast<std::size_t>(i)] = -1.25 + 2.5 * i / (n - 1.0);
+  for (const simd::Isa isa : available_isas()) {
+    const simd::MandelbrotBatchFn fn = simd::mandelbrot_batch_fn(isa);
+    ASSERT_NE(fn, nullptr);
+    for (double cx : {-2.0, -1.0, -0.75, -0.5, 0.0, 0.25, 0.3, 1.2}) {
+      fn(cx, cy.data(), n, max_iter, got.data());
+      for (int i = 0; i < n; ++i)
+        EXPECT_EQ(got[static_cast<std::size_t>(i)],
+                  mandelbrot_escape(cx, cy[static_cast<std::size_t>(i)],
+                                    max_iter))
+            << simd::to_string(isa) << " cx=" << cx
+            << " cy=" << cy[static_cast<std::size_t>(i)];
+    }
+  }
+}
+
+TEST(SimdKernel, WorkloadImagesIdenticalAcrossEveryKernel) {
+  MandelbrotParams p = MandelbrotParams::paper(57, 41);  // odd sizes
+  p.max_iter = 96;
+  MandelbrotWorkload scalar(p);
+  for (Index c = 0; c < scalar.size(); ++c) scalar.execute(c);
+
+  std::vector<MandelbrotKernel> kernels = {MandelbrotKernel::Batched,
+                                           MandelbrotKernel::Auto};
+  if (simd::isa_available(simd::Isa::Avx2))
+    kernels.push_back(MandelbrotKernel::Avx2);
+  if (simd::isa_available(simd::Isa::Avx512))
+    kernels.push_back(MandelbrotKernel::Avx512);
+  for (const MandelbrotKernel k : kernels) {
+    p.kernel = k;
+    MandelbrotWorkload w(p);
+    for (Index c = 0; c < w.size(); ++c) {
+      EXPECT_DOUBLE_EQ(scalar.cost(c), w.cost(c))
+          << to_string(k) << " column " << c;
+      w.execute(c);
+    }
+    EXPECT_EQ(scalar.image(), w.image()) << to_string(k);
+  }
+}
+
+TEST(SimdKernel, AutoResolvesToTheWidestAvailableIsa) {
+  MandelbrotParams p = MandelbrotParams::paper(16, 8);
+  p.kernel = MandelbrotKernel::Auto;
+  const MandelbrotWorkload w(p);
+  // Auto never survives construction; the name shows the real pick.
+  ASSERT_NE(w.params().kernel, MandelbrotKernel::Auto);
+  EXPECT_EQ(w.name(), "mandelbrot-16x8-" + to_string(w.params().kernel));
+  if (simd::isa_available(simd::Isa::Avx512)) {
+    EXPECT_EQ(w.params().kernel, MandelbrotKernel::Avx512);
+  } else if (simd::isa_available(simd::Isa::Avx2)) {
+    EXPECT_EQ(w.params().kernel, MandelbrotKernel::Avx2);
+  } else {
+    EXPECT_EQ(w.params().kernel, MandelbrotKernel::Batched);
+  }
+}
+
+TEST(SimdKernel, ExplicitlyRequestedUnavailableIsaThrows) {
+  // The dispatch must refuse loudly, never degrade silently.
+  for (const simd::Isa isa : {simd::Isa::Avx2, simd::Isa::Avx512}) {
+    if (simd::isa_available(isa)) continue;
+    EXPECT_THROW(simd::mandelbrot_batch_fn(isa), ContractError);
+    MandelbrotParams p = MandelbrotParams::paper(16, 8);
+    p.kernel = isa == simd::Isa::Avx2 ? MandelbrotKernel::Avx2
+                                      : MandelbrotKernel::Avx512;
+    EXPECT_THROW(MandelbrotWorkload{p}, ContractError);
+  }
+  EXPECT_THROW(simd::isa_from_string("sse9"), ContractError);
+  EXPECT_EQ(simd::isa_from_string("avx2"), simd::Isa::Avx2);
+  EXPECT_EQ(simd::to_string(simd::best_isa()),
+            simd::to_string(simd::best_isa()));  // stable across calls
+}
+
+TEST(SimdKernel, SpecStringSelectsTheKernel) {
+  const auto w = make_workload("mandelbrot:width=16,height=8,kernel=auto");
+  // Spec-built workloads resolve auto like direct construction.
+  EXPECT_NE(w->name().find("mandelbrot-16x8-"), std::string::npos);
+  EXPECT_EQ(w->name().find("auto"), std::string::npos);
+  EXPECT_THROW(make_workload("mandelbrot:kernel=sse9"), ContractError);
+  // Only mandelbrot understands the key.
+  EXPECT_THROW(make_workload("uniform:kernel=auto"), ContractError);
 }
 
 TEST(Mandelbrot, RejectsBadParams) {

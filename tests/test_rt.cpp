@@ -6,6 +6,7 @@
 #include <memory>
 
 #include "chunk_oracle.hpp"
+#include "lss/rt/affinity.hpp"
 #include "lss/rt/run.hpp"
 #include "lss/rt/throttle.hpp"
 #include "lss/support/assert.hpp"
@@ -50,6 +51,27 @@ INSTANTIATE_TEST_SUITE_P(
     Distributed, RtScheme,
     ::testing::Values("dtss", "dfss", "dfiss", "dtfss", "awf"),
     [](const auto& pi) { return pi.param; });
+
+TEST(Rt, PinnedRunRecordsPlacementAndStaysExactlyOnce) {
+  RtConfig cfg = small_config("gss", 3);
+  cfg.pin_threads = true;
+  const RtResult r = run_threaded(cfg);
+  EXPECT_TRUE(r.exactly_once());
+  ASSERT_EQ(r.workers.size(), 3u);
+  const std::vector<int> layout = pin_cpu_layout();
+  for (std::size_t w = 0; w < r.workers.size(); ++w)
+    EXPECT_EQ(r.workers[w].pinned_cpu, layout[w % layout.size()]);
+  const RunStats stats = r.stats();
+  ASSERT_EQ(stats.pinned_cpus.size(), 3u);
+  const std::string json = stats.to_json();
+  EXPECT_NE(json.find("\"pinned_cpus\":["), std::string::npos);
+}
+
+TEST(Rt, UnpinnedRunLeavesPlacementEmpty) {
+  const RtResult r = run_threaded(small_config("gss", 3));
+  for (const RtWorkerStats& w : r.workers) EXPECT_EQ(w.pinned_cpu, -1);
+  EXPECT_TRUE(r.stats().pinned_cpus.empty());
+}
 
 TEST(Rt, PipelineDepthsAllCoverExactlyOnce) {
   // The prefetch window changes only *when* grants travel, never

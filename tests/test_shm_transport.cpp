@@ -1,0 +1,583 @@
+// The shm transport (DESIGN.md §17) from the ring up: SPSC byte
+// rings and futex doorbells, segment lifecycle and the dead-owner /
+// signal-path hygiene contract, the full mp::Transport surface over
+// shared memory, and the real runtime — conformance oracle, fault
+// reclamation, masterless fetch-add frames — riding it unchanged.
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/mman.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "chunk_oracle.hpp"
+#include "lss/mp/shm_ring.hpp"
+#include "lss/mp/shm_transport.hpp"
+#include "lss/rt/counter.hpp"
+#include "lss/rt/master.hpp"
+#include "lss/rt/run.hpp"
+#include "lss/rt/worker.hpp"
+#include "lss/workload/synthetic.hpp"
+
+namespace lss::mp {
+namespace {
+
+std::vector<std::byte> pattern(std::size_t n, unsigned seed) {
+  std::vector<std::byte> out(n);
+  for (std::size_t i = 0; i < n; ++i)
+    out[i] = static_cast<std::byte>((seed + i * 7) & 0xff);
+  return out;
+}
+
+std::string unique_name(const std::string& what) {
+  return "/lss-test-" + what + "-" + std::to_string(::getpid());
+}
+
+// --- ring --------------------------------------------------------------
+
+TEST(ShmRing, BytesRoundTripAndWrapAcrossTheBoundary) {
+  const std::string name = unique_name("ring");
+  ShmSegment seg = ShmSegment::create(name, 1, 1024, kProtoCurrent);
+  ShmRing ring = seg.to_worker_ring(0);
+  ASSERT_EQ(ring.capacity(), 1024u);
+  EXPECT_EQ(ring.readable(), 0u);
+  EXPECT_EQ(ring.writable(), 1024u);
+
+  // Many 600-byte messages through a 1024-byte ring: every cycle
+  // after the first crosses the wrap point.
+  std::vector<std::byte> got(600);
+  for (unsigned round = 0; round < 10; ++round) {
+    const auto msg = pattern(600, round);
+    ASSERT_EQ(ring.write_some(msg.data(), msg.size()), 600u);
+    EXPECT_EQ(ring.readable(), 600u);
+    ASSERT_EQ(ring.read_some(got.data(), got.size()), 600u);
+    EXPECT_EQ(got, msg) << "round " << round;
+  }
+
+  // A full ring accepts exactly capacity and then refuses.
+  const auto big = pattern(2000, 99);
+  EXPECT_EQ(ring.write_some(big.data(), big.size()), 1024u);
+  EXPECT_EQ(ring.write_some(big.data(), big.size()), 0u);
+  EXPECT_EQ(ring.writable(), 0u);
+}
+
+TEST(ShmRing, LayoutScalesWithWorkersAndCapacity) {
+  const std::size_t one = ShmSegment::layout_bytes(1, 1024);
+  const std::size_t four = ShmSegment::layout_bytes(4, 1024);
+  // Each extra worker costs one slot plus two rings.
+  EXPECT_EQ(four - one, 3 * (ShmSegment::layout_bytes(2, 1024) - one));
+  EXPECT_GE(one, sizeof(ShmSegmentHdr) + sizeof(ShmWorkerSlot) + 2 * 1024);
+}
+
+// --- doorbell ----------------------------------------------------------
+
+TEST(ShmDoorbell, WaitTimesOutQuietAndWakesOnRing) {
+  Doorbell bell;
+  const std::uint32_t seen = doorbell_peek(bell);
+  EXPECT_FALSE(doorbell_wait(bell, seen, std::chrono::milliseconds(20),
+                             /*yield_spins=*/4));
+
+  // A ring between peek and wait is never missed.
+  doorbell_ring(bell);
+  EXPECT_TRUE(doorbell_wait(bell, seen, std::chrono::milliseconds(1000),
+                            /*yield_spins=*/0));
+
+  // A ring from another thread unparks a futex-blocked waiter.
+  const std::uint32_t seen2 = doorbell_peek(bell);
+  std::thread ringer([&bell] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    doorbell_ring(bell);
+  });
+  EXPECT_TRUE(doorbell_wait(bell, seen2, std::chrono::milliseconds(5000),
+                            /*yield_spins=*/0));
+  ringer.join();
+}
+
+// --- segment lifecycle -------------------------------------------------
+
+TEST(ShmSegment, AttachRejectsMissingAndTakenNames) {
+  EXPECT_THROW(ShmSegment::attach("/lss-test-no-such-segment"),
+               ShmAttachError);
+  try {
+    ShmSegment::attach("/lss-test-no-such-segment");
+    FAIL() << "attach to a missing segment returned";
+  } catch (const ShmAttachError& e) {
+    EXPECT_FALSE(e.dead_owner());
+  }
+
+  const std::string name = unique_name("dup");
+  ShmSegment owner = ShmSegment::create(name, 1, 4096, kProtoCurrent);
+  EXPECT_THROW(ShmSegment::create(name, 1, 4096, kProtoCurrent),
+               ContractError);
+}
+
+TEST(ShmSegment, OwnerDestructionUnlinksAndClosesForAttachers) {
+  const std::string name = unique_name("unlink");
+  { ShmSegment owner = ShmSegment::create(name, 2, 4096, kProtoCurrent); }
+  EXPECT_THROW(ShmSegment::attach(name), ShmAttachError);
+  EXPECT_LT(::shm_open(name.c_str(), O_RDWR, 0600), 0);
+  EXPECT_EQ(errno, ENOENT);
+}
+
+// The hole this transport must not have: a master killed outright
+// (no destructor, no atexit) leaves the segment in /dev/shm, and a
+// late worker must get a *typed* refusal instead of parking on a
+// doorbell nobody will ever ring.
+TEST(ShmSegment, AttachAfterOwnerDeathReportsDeadOwnerNotAHang) {
+  const std::string name = unique_name("orphan");
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    // _exit skips atexit and destructors: the crash analogue.
+    try {
+      ShmSegment seg = ShmSegment::create(name, 1, 4096, kProtoCurrent);
+      ::_exit(0);
+    } catch (...) {
+      ::_exit(127);
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+
+  try {
+    ShmSegment::attach(name);
+    FAIL() << "attach to an orphaned segment returned";
+  } catch (const ShmAttachError& e) {
+    EXPECT_TRUE(e.dead_owner()) << e.what();
+  }
+  // The orphan really is leaked until someone cleans it; do so here.
+  ::shm_unlink(name.c_str());
+}
+
+// A master killed by SIGTERM/SIGINT reaches the registry's signal
+// path instead: the segment (and any shm ticket counter) must be
+// unlinked before the process dies with the original disposition.
+TEST(ShmSegment, SignalPathUnlinksOwnedSegments) {
+  const std::string seg_name = unique_name("sigseg");
+  const std::string ctr_name = unique_name("sigctr");
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) {
+    try {
+      ShmSegment seg = ShmSegment::create(seg_name, 1, 4096, kProtoCurrent);
+      auto ctr = lss::rt::ShmTicketCounter::create(ctr_name);
+      ::raise(SIGTERM);  // handler unlinks, restores, re-raises
+      ::_exit(126);      // unreachable if the re-raise worked
+    } catch (...) {
+      ::_exit(127);
+    }
+  }
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  EXPECT_TRUE(WIFSIGNALED(status)) << "status " << status;
+  if (WIFSIGNALED(status)) {
+    EXPECT_EQ(WTERMSIG(status), SIGTERM);
+  }
+
+  for (const std::string& name : {seg_name, ctr_name}) {
+    EXPECT_LT(::shm_open(name.c_str(), O_RDWR, 0600), 0) << name;
+    EXPECT_EQ(errno, ENOENT) << name;
+    ::shm_unlink(name.c_str());  // belt and braces if the test fails
+  }
+}
+
+// --- transport surface -------------------------------------------------
+
+TEST(ShmTransport, FramesRoundTripBothWaysWithSlotSourcedRanks) {
+  const std::string name = unique_name("rt");
+  ShmMasterTransport master(name, 2);
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back([&name] {
+      ShmWorkerTransport wt(name);
+      ASSERT_TRUE(wt.rank() == 1 || wt.rank() == 2);
+      EXPECT_EQ(wt.size(), 3);
+      EXPECT_EQ(wt.kind(), "shm");
+      EXPECT_EQ(wt.peer_protocol(0), kProtoCurrent);
+      wt.send(wt.rank(), 0, 7, pattern(64, static_cast<unsigned>(wt.rank())));
+      const Message m = wt.recv(wt.rank());
+      EXPECT_EQ(m.source, 0);
+      EXPECT_EQ(m.tag, 40 + wt.rank());
+      EXPECT_EQ(m.payload, pattern(128, static_cast<unsigned>(m.tag)));
+      EXPECT_TRUE(wt.peer_alive(0));
+    });
+
+  master.accept_workers();
+  EXPECT_EQ(master.size(), 3);
+  EXPECT_EQ(master.kind(), "shm");
+  for (int got = 0; got < 2;) {
+    const Message m = master.recv(0, kAnySource, 7);
+    ASSERT_TRUE(m.source == 1 || m.source == 2);
+    EXPECT_EQ(m.payload, pattern(64, static_cast<unsigned>(m.source)));
+    master.send(0, m.source, 40 + m.source,
+                pattern(128, static_cast<unsigned>(40 + m.source)));
+    ++got;
+  }
+  for (std::thread& t : workers) t.join();
+}
+
+TEST(ShmTransport, LargeFramesStreamThroughASmallRing) {
+  // 1 MiB payloads through 4 KiB rings: both directions must stream
+  // in pieces and reassemble byte-exact, like short reads on a
+  // socket.
+  const std::string name = unique_name("stream");
+  ShmOptions opts;
+  opts.ring_capacity = 4096;
+  ShmMasterTransport master(name, 1, opts);
+  const auto big = pattern(1u << 20, 5);
+
+  std::thread worker([&name, &opts, &big] {
+    ShmWorkerTransport wt(name, opts);
+    const Message m = wt.recv(wt.rank());
+    EXPECT_EQ(m.payload, big);
+    wt.send(wt.rank(), 0, 2, m.payload);
+  });
+
+  master.accept_workers();
+  master.send(0, 1, 1, big);
+  const Message echo = master.recv(0);
+  EXPECT_EQ(echo.source, 1);
+  EXPECT_EQ(echo.payload, big);
+  worker.join();
+}
+
+TEST(ShmTransport, DrainProbeAndTryRecvSeeTheWholeReadySet) {
+  const std::string name = unique_name("drain");
+  ShmMasterTransport master(name, 1);
+  std::atomic<bool> sent{false};
+
+  std::thread worker([&name, &sent] {
+    ShmWorkerTransport wt(name);
+    for (int i = 0; i < 3; ++i)
+      wt.send(wt.rank(), 0, 10 + i, pattern(32, static_cast<unsigned>(i)));
+    sent.store(true);
+    // Stay attached until the master hangs up, so Bye does not race
+    // the drain below.
+    while (wt.peer_alive(0))
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  });
+
+  master.accept_workers();
+  while (!sent.load()) std::this_thread::yield();
+  // All three frames are published; one non-blocking drain must
+  // surface them in send order.
+  std::vector<Message> got;
+  while (got.size() < 3) {
+    auto batch = master.drain(0);
+    got.insert(got.end(), std::make_move_iterator(batch.begin()),
+               std::make_move_iterator(batch.end()));
+  }
+  ASSERT_EQ(got.size(), 3u);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].tag, 10 + i);
+    EXPECT_EQ(got[static_cast<std::size_t>(i)].source, 1);
+  }
+  EXPECT_FALSE(master.probe(0));
+  EXPECT_FALSE(master.try_recv(0).has_value());
+  master.close_peer(1);
+  worker.join();
+}
+
+TEST(ShmTransport, ProtocolNegotiatesToTheMinimum) {
+  const std::string name = unique_name("proto");
+  ShmMasterTransport master(name, 2);
+
+  std::vector<int> negotiated(2, -1);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 2; ++i)
+    workers.emplace_back([&name, &negotiated, i] {
+      ShmOptions wopts;
+      if (i == 0) wopts.protocol = kProtoLegacy;  // the old binary
+      ShmWorkerTransport wt(name, wopts);
+      negotiated[static_cast<std::size_t>(wt.rank() - 1)] =
+          wt.peer_protocol(0);
+    });
+  master.accept_workers();
+  for (std::thread& t : workers) t.join();
+
+  // One peer negotiated down to legacy, the other stayed current;
+  // the master agrees slot by slot.
+  std::vector<int> sorted = negotiated;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted.front(), kProtoLegacy);
+  EXPECT_EQ(sorted.back(), kProtoCurrent);
+  for (int w = 0; w < 2; ++w)
+    EXPECT_EQ(master.peer_protocol(w + 1),
+              negotiated[static_cast<std::size_t>(w)]);
+}
+
+TEST(ShmTransport, WorkerByeReadsAsDeathOnlyAfterItsFramesDrain) {
+  const std::string name = unique_name("bye");
+  ShmMasterTransport master(name, 1);
+  {
+    ShmWorkerTransport wt(name);
+    master.accept_workers();
+    wt.send(wt.rank(), 0, 3, pattern(256, 1));
+    // Destructor marks the slot Bye — the shm EOF — with the frame
+    // still in the ring.
+  }
+  // The frame outruns the Bye: it must still be delivered.
+  const auto m = master.recv_for(0, std::chrono::seconds(5));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, pattern(256, 1));
+  // ...and only then does the peer read as dead.
+  for (int spins = 0; master.peer_alive(1) && spins < 1000; ++spins)
+    master.drain(0);
+  EXPECT_FALSE(master.peer_alive(1));
+  EXPECT_FALSE(master.recv_for(0, std::chrono::milliseconds(50)).has_value());
+}
+
+TEST(ShmTransport, AcceptCountsAWorkerThatAlreadyCameAndWent) {
+  const std::string name = unique_name("flash");
+  ShmMasterTransport master(name, 1);
+  {
+    // Attach, speak, detach — all before the master ever polls the
+    // slot. The Bye must count as "arrived" (the worker DID claim
+    // the slot and its frames are in the ring), or accept_workers
+    // would sit out its whole handshake timeout on a slot nobody
+    // will flip back to Attached.
+    ShmWorkerTransport wt(name);
+    wt.send(wt.rank(), 0, 3, pattern(64, 9));
+  }
+  master.accept_workers();
+  const auto m = master.recv_for(0, std::chrono::seconds(5));
+  ASSERT_TRUE(m.has_value());
+  EXPECT_EQ(m->payload, pattern(64, 9));
+  for (int spins = 0; master.peer_alive(1) && spins < 1000; ++spins)
+    master.drain(0);
+  EXPECT_FALSE(master.peer_alive(1));
+}
+
+TEST(ShmTransport, MasterShutdownUnblocksAParkedWorker) {
+  const std::string name = unique_name("hangup");
+  auto master = std::make_unique<ShmMasterTransport>(name, 1);
+  std::atomic<bool> attached{false};
+
+  std::thread worker([&name, &attached] {
+    ShmWorkerTransport wt(name);
+    attached.store(true);
+    // recv parks on the grant doorbell; the master's destructor must
+    // wake it into the typed connection-lost failure, not a hang.
+    EXPECT_THROW(wt.recv(wt.rank()), ContractError);
+    EXPECT_FALSE(wt.peer_alive(0));
+  });
+
+  master->accept_workers();
+  while (!attached.load()) std::this_thread::yield();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  master.reset();  // closed flag + doorbell storm + unlink
+  worker.join();
+  EXPECT_THROW(ShmWorkerTransport{name}, ShmAttachError);
+}
+
+TEST(ShmTransport, ExtraWorkerBeyondTheFleetIsRefused) {
+  const std::string name = unique_name("full");
+  ShmMasterTransport master(name, 1);
+  ShmWorkerTransport first(name);
+  EXPECT_THROW(ShmWorkerTransport{name}, ContractError);
+}
+
+TEST(ShmTransport, AcceptTimesOutWhenTheFleetNeverArrives) {
+  const std::string name = unique_name("timeout");
+  ShmOptions opts;
+  opts.handshake_timeout = std::chrono::milliseconds(100);
+  ShmMasterTransport master(name, 2, opts);
+  EXPECT_THROW(master.accept_workers(), ContractError);
+}
+
+}  // namespace
+}  // namespace lss::mp
+
+// ---------------------------------------------------------------------------
+// The real runtime over shm: the same request/grant, pipeline, fault
+// and masterless machinery that runs over inproc and TCP, with only
+// the transport swapped.
+
+namespace lss::rt {
+namespace {
+
+std::string unique_name(const std::string& what) {
+  return "/lss-test-" + what + "-" + std::to_string(::getpid());
+}
+
+TEST(ShmRt, MediatedRunConformsToTheOracle) {
+  const auto workload = std::make_shared<UniformWorkload>(200, 500.0);
+  const std::string name = unique_name("conform");
+  mp::ShmMasterTransport t(name, 3);
+
+  std::vector<WorkerLoopResult> results(3);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i)
+    workers.emplace_back([&name, &results, workload] {
+      mp::ShmWorkerTransport wt(name);
+      WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      results[static_cast<std::size_t>(wt.rank() - 1)] =
+          run_worker_loop(wt, wc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheduler = "gss";
+  mc.total = 200;
+  mc.num_workers = 3;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_EQ(outcome.transport, "shm");
+  EXPECT_EQ(outcome.completed_iterations, 200);
+  std::vector<Range> executed;
+  for (const WorkerLoopResult& w : results)
+    executed.insert(executed.end(), w.executed.begin(), w.executed.end());
+  lss::testing::expect_conforms(executed, "gss", 200, 3, "shm gss");
+}
+
+TEST(ShmRt, KillMidPipelineReclaimsWholeWindow) {
+  const auto workload = std::make_shared<UniformWorkload>(200, 2000.0);
+  const std::string name = unique_name("fault");
+  mp::ShmOptions topts;
+  topts.heartbeat_period = std::chrono::milliseconds(25);
+  topts.liveness_timeout = std::chrono::milliseconds(300);
+  mp::ShmMasterTransport t(name, 3, topts);
+
+  std::vector<std::thread> workers;
+  for (int i = 0; i < 3; ++i)
+    workers.emplace_back([&name, topts, workload] {
+      mp::ShmWorkerTransport wt(name, topts);
+      WorkerLoopConfig wc;
+      wc.worker = wt.rank() - 1;
+      wc.workload = workload;
+      wc.pipeline_depth = 3;
+      // Rank 3 dies holding one chunk in hand plus up to 3 granted
+      // prefetches, after acknowledging exactly one — its transport
+      // destructor is the Bye the master must treat as death and
+      // reclaim the whole window from.
+      wc.die_after_chunks = wt.rank() == 3 ? 1 : -1;
+      run_worker_loop(wt, wc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheduler = "dtss";
+  mc.total = 200;
+  mc.num_workers = 3;
+  mc.faults.detect = true;
+  mc.faults.grace = 5.0;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_EQ(outcome.transport, "shm");
+  ASSERT_EQ(outcome.lost_workers.size(), 1u);
+  EXPECT_EQ(outcome.lost_workers[0], 2);
+  EXPECT_GE(outcome.reassigned_chunks, 1);
+  EXPECT_EQ(outcome.completed_iterations, 200);
+}
+
+// The 8-worker stress: every chunk acquisition is a kTagFetchAdd
+// frame into the janitor plus a batched report back — with ss over
+// N=400 that is ~400 claim round trips racing through eight rings
+// at once, the densest grant/ack traffic the runtime produces.
+TEST(ShmRt, EightWorkerMasterlessFetchAddStressConforms) {
+  constexpr int kWorkers = 8;
+  const auto workload = std::make_shared<UniformWorkload>(400, 100.0);
+  const std::string name = unique_name("stress");
+  mp::ShmMasterTransport t(name, kWorkers);
+
+  std::vector<WorkerLoopResult> results(kWorkers);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kWorkers; ++i)
+    workers.emplace_back([&name, &results, workload] {
+      mp::ShmWorkerTransport wt(name);
+      MasterlessWorkerConfig mwc;
+      mwc.loop.worker = wt.rank() - 1;
+      mwc.loop.workload = workload;
+      mwc.scheduler = "ss";
+      mwc.total = workload->size();
+      mwc.num_workers = kWorkers;  // counter null: claims over the wire
+      results[static_cast<std::size_t>(wt.rank() - 1)] =
+          run_masterless_worker(wt, mwc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheduler = "ss";
+  mc.total = workload->size();
+  mc.num_workers = kWorkers;
+  mc.masterless = true;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_EQ(outcome.transport, "shm");
+  EXPECT_EQ(outcome.completed_iterations, 400);
+  std::vector<Range> executed;
+  for (const WorkerLoopResult& w : results)
+    executed.insert(executed.end(), w.executed.begin(), w.executed.end());
+  lss::testing::expect_conforms(executed, "ss", 400, kWorkers,
+                                "shm masterless ss x8");
+}
+
+// The same stress with the claims going through a *shared-memory
+// cursor* instead of frames: every worker attaches its own
+// ShmTicketCounter view and the janitor only ingests batched
+// reports. Exercises the counter and both ring directions under
+// eight concurrent claimants.
+TEST(ShmRt, EightWorkerShmCounterStressConforms) {
+  constexpr int kWorkers = 8;
+  const auto workload = std::make_shared<UniformWorkload>(400, 100.0);
+  const std::string name = unique_name("ctrstress");
+  const std::string ctr_name = unique_name("ctrstress-ctr");
+  mp::ShmMasterTransport t(name, kWorkers);
+  std::shared_ptr<TicketCounter> owner = ShmTicketCounter::create(ctr_name);
+
+  std::vector<WorkerLoopResult> results(kWorkers);
+  std::vector<std::thread> workers;
+  for (int i = 0; i < kWorkers; ++i)
+    workers.emplace_back([&name, &ctr_name, &results, workload] {
+      mp::ShmWorkerTransport wt(name);
+      MasterlessWorkerConfig mwc;
+      mwc.loop.worker = wt.rank() - 1;
+      mwc.loop.workload = workload;
+      mwc.scheduler = "ss";
+      mwc.total = workload->size();
+      mwc.num_workers = kWorkers;
+      mwc.counter = ShmTicketCounter::attach(ctr_name);
+      results[static_cast<std::size_t>(wt.rank() - 1)] =
+          run_masterless_worker(wt, mwc);
+    });
+
+  t.accept_workers();
+  MasterConfig mc;
+  mc.scheduler = "ss";
+  mc.total = workload->size();
+  mc.num_workers = kWorkers;
+  mc.masterless = true;
+  mc.counter = owner;
+  const MasterOutcome outcome = run_master(t, mc);
+  for (std::thread& th : workers) th.join();
+
+  EXPECT_TRUE(outcome.exactly_once());
+  EXPECT_EQ(outcome.completed_iterations, 400);
+  std::vector<Range> executed;
+  for (const WorkerLoopResult& w : results)
+    executed.insert(executed.end(), w.executed.begin(), w.executed.end());
+  lss::testing::expect_conforms(executed, "ss", 400, kWorkers,
+                                "shm counter ss x8");
+}
+
+}  // namespace
+}  // namespace lss::rt
