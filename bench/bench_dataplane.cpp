@@ -1,0 +1,162 @@
+// Acceptance benchmark for the zero-copy data plane (DESIGN.md §18):
+// result-carrying chunks over the shared-memory transport, the
+// pre-pool copying path vs the pooled/scatter-gather one.
+//
+// One master and one shm worker ping-pong a grant/request exchange
+// where every request carries a result blob of state.range(0) bytes
+// (4 KiB / 16 KiB / 64 KiB — the pixel-column regime of the CLI
+// family). The two modes differ only in how the bytes move:
+//
+//   seed      — the pre-PR-10 shape: the worker materializes the
+//               result as a fresh vector (result_of), encodes the
+//               request into another fresh vector, sends it by
+//               value; the master decodes with the owning decoder,
+//               which copies the blob out a third time. Five copies
+//               of the payload and three allocations per chunk.
+//   zerocopy  — the current shape: the request head is built in a
+//               persistent scratch buffer, and the blob bytes ride a
+//               second sendv span straight from the producer's image
+//               into the ring (in-ring frame construction); the
+//               master decodes the pooled payload as a view. Two
+//               copies, zero steady-state allocations.
+//
+// The gate in bench/run_bench.sh holds zerocopy to >= 1.5x the seed
+// throughput at 16 KiB blobs, min-across-reps on both sides (the
+// PR 9 noise-floor convention: min is the stable statistic on the
+// shared CI box).
+#include <benchmark/benchmark.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lss/mp/message.hpp"
+#include "lss/mp/shm_transport.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/support/types.hpp"
+
+namespace {
+
+namespace proto = lss::rt::protocol;
+
+enum class Mode { kSeed, kZeroCopy };
+
+constexpr int kTagNext = proto::kTagAssign;
+constexpr int kTagStop = proto::kTagTerminate;
+
+std::string bench_shm_name(const char* stem) {
+  static std::atomic<int> seq{0};
+  return std::string("/lss-bench-") + stem + "-" +
+         std::to_string(::getpid()) + "-" +
+         std::to_string(seq.fetch_add(1));
+}
+
+// The copying worker: result_of-style fresh blob, owned encode, send
+// by value — every chunk allocates and copies like the seed runtime.
+void seed_worker(lss::mp::Transport& t, const std::vector<std::byte>& image,
+                 std::size_t blob_bytes) {
+  std::int64_t n = 0;
+  while (true) {
+    const lss::mp::Message m = t.recv(1, 0);
+    if (m.tag == kTagStop) break;
+    std::vector<std::byte> result(image.begin(),
+                                  image.begin() +
+                                      static_cast<long>(blob_bytes));
+    proto::WorkerRequest req;
+    req.acp = 1.0;
+    req.fb_iters = n;
+    req.fb_seconds = 0.001;
+    req.completed = lss::Range{n, n + 1};
+    req.result = std::move(result);
+    t.send(1, 0, proto::kTagRequest, proto::encode_request(req));
+    ++n;
+  }
+}
+
+// The zero-copy worker: persistent head scratch + the blob riding a
+// second sendv span straight out of the producer's image.
+void zerocopy_worker(lss::mp::Transport& t,
+                     const std::vector<std::byte>& image,
+                     std::size_t blob_bytes) {
+  std::vector<std::byte> head;
+  std::int64_t n = 0;
+  while (true) {
+    const lss::mp::Message m = t.recv(1, 0);
+    if (m.tag == kTagStop) break;
+    head.clear();
+    {
+      lss::mp::PayloadWriter w(head);
+      w.put_f64(1.0);
+      w.put_i64(n);
+      w.put_f64(0.001);
+      w.put_range({n, n + 1});
+      w.put_i64(static_cast<std::int64_t>(blob_bytes));
+    }
+    const std::span<const std::byte> parts[] = {
+        head, std::span<const std::byte>(image.data(), blob_bytes)};
+    t.sendv(1, 0, proto::kTagRequest, parts);
+    ++n;
+  }
+}
+
+void BM_DataplaneBlob(benchmark::State& state, Mode mode) {
+  const std::size_t blob_bytes = static_cast<std::size_t>(state.range(0));
+  auto master = std::make_unique<lss::mp::ShmMasterTransport>(
+      bench_shm_name("dp"), 1);
+  std::thread worker([name = master->name(), mode, blob_bytes] {
+    lss::mp::ShmWorkerTransport w(name);
+    const std::vector<std::byte> image(std::size_t{64} << 10,
+                                       std::byte{0x5A});
+    if (mode == Mode::kSeed)
+      seed_worker(w, image, blob_bytes);
+    else
+      zerocopy_worker(w, image, blob_bytes);
+  });
+  master->accept_workers();
+
+  const std::vector<std::byte> next(8);
+  std::vector<lss::mp::Message> ready;
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    master->send(0, 1, kTagNext, next);
+    lss::mp::Message m = master->recv(0, 1, proto::kTagRequest);
+    if (mode == Mode::kSeed) {
+      const proto::WorkerRequest req = proto::decode_request(m.payload);
+      sink += static_cast<std::uint64_t>(req.result.size()) +
+              static_cast<std::uint64_t>(req.result[0]);
+    } else {
+      const proto::WorkerRequestView req =
+          proto::decode_request_view(m.payload);
+      sink += static_cast<std::uint64_t>(req.result.size()) +
+              static_cast<std::uint64_t>(req.result[0]);
+    }
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blob_bytes));
+
+  master->send(0, 1, kTagStop, {});
+  worker.join();
+}
+
+}  // namespace
+
+BENCHMARK_CAPTURE(BM_DataplaneBlob, shm_seed, Mode::kSeed)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(BM_DataplaneBlob, shm_zerocopy, Mode::kZeroCopy)
+    ->Arg(4096)
+    ->Arg(16384)
+    ->Arg(65536)
+    ->UseRealTime();
+
+BENCHMARK_MAIN();

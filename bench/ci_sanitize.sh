@@ -107,6 +107,19 @@ for i in 1 2 3; do
     -L adapt -j "$(nproc)"
 done
 
+# The zero-copy data plane (ctest label `dataplane`): the lock-free
+# BufferPool rings recycling storage across producer/consumer
+# threads, span decoders walking pooled payloads in place (an OOB
+# here is exactly what ASan exists to catch — the codec fuzz suite
+# feeds every decoder truncated and corrupted frames), in-ring
+# scatter-gather frame construction, and the counting-allocator
+# steady-state gate with both endpoint threads live. Repeat so the
+# pool ring interleavings vary.
+for i in 1 2 3; do
+  ctest --test-dir "$build" --output-on-failure --no-tests=error \
+    -L dataplane -j "$(nproc)"
+done
+
 # The pipelined worker/master loops at every depth (0/1/2/4): the
 # reactor drain, batch-grant ingest, and batched-ack flush paths all
 # cross threads through the in-process transport.

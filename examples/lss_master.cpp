@@ -67,6 +67,7 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
@@ -154,7 +155,7 @@ lss::rt::MasterConfig master_config(const Options& o,
   if (o.job.want_results)
     mc.on_result = [&image, height = o.job.height](
                        int, lss::Range chunk,
-                       const std::vector<std::byte>& blob) {
+                       std::span<const std::byte> blob) {
       lss_cli::apply_columns(image, height, chunk, blob);
     };
   return mc;
@@ -252,7 +253,7 @@ lss::rt::RootOutcome run_hier(const Options& o,
   if (o.job.want_results)
     rc.on_result = [&image, height = o.job.height](
                        int, lss::Range chunk,
-                       const std::vector<std::byte>& blob) {
+                       std::span<const std::byte> blob) {
       lss_cli::apply_columns(image, height, chunk, blob);
     };
   lss::rt::RootOutcome outcome = lss::rt::run_root(*f.transport, rc);

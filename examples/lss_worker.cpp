@@ -107,8 +107,9 @@ int main(int argc, char** argv) {
                             ? pipeline_depth
                             : static_cast<int>(job.pipeline_depth);
     if (job.want_results)
-      wc.result_of = [&workload, &job](lss::Range chunk) {
-        return lss_cli::encode_columns(workload->image(), job.height, chunk);
+      wc.result_into = [&workload, &job](lss::Range chunk,
+                                         lss::mp::PayloadWriter& out) {
+        lss_cli::write_columns(workload->image(), job.height, chunk, out);
       };
 
     lss::rt::WorkerLoopResult r;

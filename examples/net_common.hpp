@@ -29,6 +29,7 @@
 #include <cstring>
 #include <fstream>
 #include <ostream>
+#include <span>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -140,7 +141,7 @@ inline std::vector<std::byte> encode_job(const JobSpec& job) {
   return w.take();
 }
 
-inline JobSpec decode_job(const std::vector<std::byte>& payload) {
+inline JobSpec decode_job(std::span<const std::byte> payload) {
   lss::mp::PayloadReader rd(payload);
   JobSpec job;
   job.width = rd.get_i64();
@@ -171,10 +172,22 @@ inline std::vector<std::byte> encode_columns(
   return blob;
 }
 
+/// Streams the same columns directly into a request frame under
+/// construction — the worker's zero-copy result path
+/// (WorkerLoopConfig::result_into): no per-chunk blob vector exists,
+/// the pixels go image -> frame in one copy.
+inline void write_columns(const std::vector<std::uint16_t>& image,
+                          std::int64_t height, lss::Range chunk,
+                          lss::mp::PayloadWriter& out) {
+  out.put_raw(image.data() + static_cast<std::size_t>(chunk.begin * height),
+              static_cast<std::size_t>(chunk.size() * height) *
+                  sizeof(std::uint16_t));
+}
+
 /// Writes a column blob back into the master's image at `chunk`.
 inline void apply_columns(std::vector<std::uint16_t>& image,
                           std::int64_t height, lss::Range chunk,
-                          const std::vector<std::byte>& blob) {
+                          std::span<const std::byte> blob) {
   const std::size_t n =
       static_cast<std::size_t>(chunk.size() * height) * sizeof(std::uint16_t);
   LSS_REQUIRE(blob.size() == n, "result blob size does not match chunk");

@@ -1,0 +1,131 @@
+#include "lss/mp/buffer_pool.hpp"
+
+namespace lss::mp {
+
+namespace {
+
+// Smallest class whose byte size is >= n, or kNumClasses when n
+// exceeds the largest class.
+int class_for_size(std::size_t n) {
+  std::size_t bytes = BufferPool::kMinClassBytes;
+  for (int c = 0; c < BufferPool::kNumClasses; ++c, bytes <<= 1)
+    if (n <= bytes) return c;
+  return BufferPool::kNumClasses;
+}
+
+// Largest class whose byte size is <= cap, or -1 when cap is smaller
+// than the smallest class. Used on release: the recycled vector must
+// satisfy any future acquire of that class without growing.
+int class_for_capacity(std::size_t cap) {
+  int c = -1;
+  std::size_t bytes = BufferPool::kMinClassBytes;
+  while (c + 1 < BufferPool::kNumClasses && bytes <= cap) {
+    ++c;
+    bytes <<= 1;
+  }
+  return c;
+}
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(std::size_t ring_slots) {
+  const std::size_t slots = round_up_pow2(ring_slots < 2 ? 2 : ring_slots);
+  for (ClassRing& ring : classes_) {
+    ring.cells = std::make_unique<Cell[]>(slots);
+    ring.mask = slots - 1;
+    for (std::size_t i = 0; i < slots; ++i)
+      ring.cells[i].seq.store(i, std::memory_order_relaxed);
+  }
+}
+
+BufferPool& BufferPool::global() {
+  static BufferPool pool;
+  return pool;
+}
+
+// Vyukov bounded MPMC: each cell carries a sequence number; a
+// producer claims the cell whose seq equals its ticket, a consumer
+// the cell whose seq equals ticket + 1. Full/empty are detected by
+// the seq lagging the ticket — no locks, no spinning beyond the CAS
+// retry on a contended ticket.
+bool BufferPool::ClassRing::push(std::vector<std::byte>& v) {
+  std::size_t pos = enqueue_pos.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells[pos & mask];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                      static_cast<std::ptrdiff_t>(pos);
+    if (diff == 0) {
+      if (enqueue_pos.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed))
+        break;
+    } else if (diff < 0) {
+      return false;  // ring full
+    } else {
+      pos = enqueue_pos.load(std::memory_order_relaxed);
+    }
+  }
+  Cell& cell = cells[pos & mask];
+  cell.item = std::move(v);
+  cell.seq.store(pos + 1, std::memory_order_release);
+  return true;
+}
+
+bool BufferPool::ClassRing::pop(std::vector<std::byte>& v) {
+  std::size_t pos = dequeue_pos.load(std::memory_order_relaxed);
+  for (;;) {
+    Cell& cell = cells[pos & mask];
+    const std::size_t seq = cell.seq.load(std::memory_order_acquire);
+    const auto diff = static_cast<std::ptrdiff_t>(seq) -
+                      static_cast<std::ptrdiff_t>(pos + 1);
+    if (diff == 0) {
+      if (dequeue_pos.compare_exchange_weak(pos, pos + 1,
+                                            std::memory_order_relaxed))
+        break;
+    } else if (diff < 0) {
+      return false;  // ring empty
+    } else {
+      pos = dequeue_pos.load(std::memory_order_relaxed);
+    }
+  }
+  Cell& cell = cells[pos & mask];
+  v = std::move(cell.item);
+  cell.seq.store(pos + mask + 1, std::memory_order_release);
+  return true;
+}
+
+Buffer BufferPool::acquire(std::size_t n) {
+  Buffer b;
+  const int c = class_for_size(n);
+  if (c >= kNumClasses) {
+    b.buf_.reserve(n);  // beyond the largest class: unpooled
+    return b;
+  }
+  if (!classes_[c].pop(b.buf_)) b.buf_.reserve(class_bytes(c));
+  b.buf_.clear();
+  b.pool_ = this;
+  return b;
+}
+
+void BufferPool::release(std::vector<std::byte> v) {
+  const int c = class_for_capacity(v.capacity());
+  if (c < 0) return;  // too small to satisfy any class — just free
+  v.clear();
+  classes_[c].push(v);  // full ring: push fails, v frees on return
+}
+
+std::size_t BufferPool::parked() const {
+  std::size_t n = 0;
+  for (const ClassRing& ring : classes_)
+    n += ring.enqueue_pos.load(std::memory_order_relaxed) -
+         ring.dequeue_pos.load(std::memory_order_relaxed);
+  return n;
+}
+
+}  // namespace lss::mp

@@ -1,0 +1,171 @@
+// Pooled byte buffers for the message data plane.
+//
+// Every frame the runtime receives used to materialize as a fresh
+// std::vector<std::byte> and die a few microseconds later — at shm
+// speeds (~1.8 µs/chunk) the allocator round-trip is a first-order
+// cost. BufferPool recycles that storage: buffers are handed out by
+// power-of-two size class and return to the pool automatically when
+// the owning Buffer (and therefore the Message carrying it) is
+// destroyed. After warm-up the steady-state message path performs
+// zero heap allocations (asserted by tests/test_dataplane.cpp).
+//
+// ## Ownership rules (DESIGN.md §18)
+//
+// - `Buffer` is a unique owner. Moving transfers the storage and the
+//   pool link; copying makes an *unpooled* deep copy (copies are the
+//   slow path by construction, so they never steal pooled storage).
+// - A plain std::vector<std::byte> converts implicitly into an
+//   unpooled Buffer, which keeps every legacy `send(..., vector)`
+//   call site compiling unchanged; unpooled buffers free normally.
+// - `take()` detaches the bytes as a plain vector for callers that
+//   must own them beyond the message (collectives); the storage
+//   leaves the pool's economy at that point.
+// - The pool is process-global (`BufferPool::global()`): buffers may
+//   outlive the transport that filled them, so per-endpoint pools
+//   would dangle. Releasing into a full class ring simply frees —
+//   the pool bounds its own footprint.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace lss::mp {
+
+class BufferPool;
+
+/// A byte buffer that returns its storage to a BufferPool on
+/// destruction (when pool-acquired; plain-vector buffers just free).
+class Buffer {
+ public:
+  Buffer() = default;
+  /// Implicit on purpose: legacy call sites hand plain vectors to
+  /// send(); they become unpooled buffers with identical semantics.
+  Buffer(std::vector<std::byte> v) : buf_(std::move(v)) {}  // NOLINT
+
+  Buffer(const Buffer& o) : buf_(o.buf_) {}  // deep copy, unpooled
+  Buffer& operator=(const Buffer& o) {
+    if (this != &o) {
+      release();
+      buf_ = o.buf_;
+    }
+    return *this;
+  }
+  Buffer(Buffer&& o) noexcept : buf_(std::move(o.buf_)), pool_(o.pool_) {
+    o.buf_.clear();
+    o.pool_ = nullptr;
+  }
+  Buffer& operator=(Buffer&& o) noexcept {
+    if (this != &o) {
+      release();
+      buf_ = std::move(o.buf_);
+      pool_ = o.pool_;
+      o.buf_.clear();
+      o.pool_ = nullptr;
+    }
+    return *this;
+  }
+  ~Buffer() { release(); }
+
+  const std::byte* data() const { return buf_.data(); }
+  std::byte* data() { return buf_.data(); }
+  std::size_t size() const { return buf_.size(); }
+  bool empty() const { return buf_.empty(); }
+  const std::byte* begin() const { return buf_.data(); }
+  const std::byte* end() const { return buf_.data() + buf_.size(); }
+
+  std::span<const std::byte> view() const { return {buf_.data(), buf_.size()}; }
+  operator std::span<const std::byte>() const { return view(); }  // NOLINT
+
+  /// Detaches the bytes as a plain vector (the storage permanently
+  /// leaves the pool). For callers that outlive the message.
+  std::vector<std::byte> take() {
+    pool_ = nullptr;
+    return std::move(buf_);
+  }
+
+  /// Mutable access to the underlying storage, for writers that
+  /// build a payload in place (PayloadWriter's external-buffer mode)
+  /// and recv paths that fill a pooled buffer.
+  std::vector<std::byte>& storage() { return buf_; }
+
+  friend bool operator==(const Buffer& a, const Buffer& b) {
+    return a.buf_ == b.buf_;
+  }
+  friend bool operator==(const Buffer& a, const std::vector<std::byte>& b) {
+    return a.buf_ == b;
+  }
+
+ private:
+  friend class BufferPool;
+  void release();
+
+  std::vector<std::byte> buf_;
+  BufferPool* pool_ = nullptr;
+};
+
+/// Lock-free size-classed free list of byte vectors. Classes are
+/// powers of two from 64 B to 16 MiB (the frame payload cap); each
+/// class is a bounded MPMC ring (Vyukov), so acquire/release are a
+/// couple of CAS-free atomic ops from any thread.
+class BufferPool {
+ public:
+  /// `ring_slots` is the per-class capacity (rounded up to a power
+  /// of two); releases beyond it fall back to freeing.
+  explicit BufferPool(std::size_t ring_slots = 64);
+  ~BufferPool() = default;
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// The process-wide pool every transport and hot path shares.
+  static BufferPool& global();
+
+  /// An empty (size 0) buffer with capacity >= `n`, recycled when a
+  /// same-class buffer is available, freshly reserved otherwise.
+  /// Requests beyond the largest class return an unpooled buffer.
+  Buffer acquire(std::size_t n);
+
+  /// Returns storage to the class its capacity fits (Buffer calls
+  /// this from its destructor; storage too small or beyond the
+  /// largest class, or arriving at a full ring, is freed).
+  void release(std::vector<std::byte> v);
+
+  /// Buffers currently parked across all classes (observability).
+  std::size_t parked() const;
+
+  static constexpr std::size_t kMinClassBytes = 64;
+  static constexpr int kNumClasses = 19;  // 64 B .. 16 MiB
+  static constexpr std::size_t class_bytes(int c) {
+    return kMinClassBytes << c;
+  }
+
+ private:
+  struct Cell {
+    std::atomic<std::size_t> seq;
+    std::vector<std::byte> item;
+  };
+  struct ClassRing {
+    std::unique_ptr<Cell[]> cells;
+    std::size_t mask = 0;
+    alignas(64) std::atomic<std::size_t> enqueue_pos{0};
+    alignas(64) std::atomic<std::size_t> dequeue_pos{0};
+
+    bool push(std::vector<std::byte>& v);
+    bool pop(std::vector<std::byte>& v);
+  };
+
+  ClassRing classes_[kNumClasses];
+};
+
+inline void Buffer::release() {
+  if (pool_ != nullptr) {
+    BufferPool* p = pool_;
+    pool_ = nullptr;
+    p->release(std::move(buf_));
+    buf_.clear();
+  }
+}
+
+}  // namespace lss::mp

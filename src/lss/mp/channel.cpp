@@ -25,8 +25,9 @@ void Mailbox::push(Message m) {
 }
 
 std::optional<Message> Mailbox::pop_match_locked(int source, int tag) {
-  for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+  for (Message* it = queue_.begin(); it != queue_.end(); ++it) {
     if (it->matches(source, tag)) {
+      if (it == queue_.begin()) return queue_.pop_front();
       Message m = std::move(*it);
       queue_.erase(it);
       return m;
@@ -59,17 +60,31 @@ std::optional<Message> Mailbox::try_recv(int source, int tag) {
   return pop_match_locked(source, tag);
 }
 
-std::vector<Message> Mailbox::drain(int source, int tag) {
-  std::vector<Message> out;
+void Mailbox::drain_into(std::vector<Message>& out, int source, int tag) {
+  out.clear();
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = queue_.begin(); it != queue_.end();) {
+  if (source == kAnySource && tag == kAnyTag) {
+    // Common case (reactor ready-set): take everything in order.
+    while (!queue_.empty()) out.push_back(queue_.pop_front());
+    return;
+  }
+  // Index into the live range: erase may compact the underlying
+  // storage (pointer-invalidating), but logical positions are stable.
+  std::size_t i = 0;
+  while (i < queue_.size()) {
+    Message* it = queue_.begin() + i;
     if (it->matches(source, tag)) {
       out.push_back(std::move(*it));
-      it = queue_.erase(it);
+      queue_.erase(queue_.begin() + i);
     } else {
-      ++it;
+      ++i;
     }
   }
+}
+
+std::vector<Message> Mailbox::drain(int source, int tag) {
+  std::vector<Message> out;
+  drain_into(out, source, tag);
   return out;
 }
 

@@ -1,14 +1,21 @@
 // Per-rank mailbox: an unbounded MPSC queue with MPI-style matching
 // (receive by source and/or tag, in arrival order per match).
+//
+// Storage is a RingFifo (vector + head index) rather than a deque:
+// at steady state pushes and pops recycle one contiguous buffer and
+// allocate nothing, which the data plane's zero-allocation gate
+// depends on (std::deque churns a block allocation every ~block of
+// messages even at constant depth).
 #pragma once
 
 #include <chrono>
 #include <condition_variable>
-#include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "lss/mp/message.hpp"
+#include "lss/support/ring_fifo.hpp"
 
 namespace lss::mp {
 
@@ -32,11 +39,15 @@ class Mailbox {
                                   int tag = kAnyTag);
 
   /// Atomically pops *every* queued message matching the filters, in
-  /// arrival order, under one lock acquisition. This is the reactor
-  /// ready-set primitive: unlike a probe/try_recv loop, the matching
-  /// and all dequeues are indivisible with respect to concurrent
-  /// receivers, so a message can be neither claimed twice nor missed
-  /// between calls.
+  /// arrival order, under one lock acquisition, replacing the
+  /// contents of `out` (cleared, capacity kept — reactor loops reuse
+  /// one vector allocation-free). This is the reactor ready-set
+  /// primitive: unlike a probe/try_recv loop, the matching and all
+  /// dequeues are indivisible with respect to concurrent receivers,
+  /// so a message can be neither claimed twice nor missed between
+  /// calls.
+  void drain_into(std::vector<Message>& out, int source = kAnySource,
+                  int tag = kAnyTag);
   std::vector<Message> drain(int source = kAnySource, int tag = kAnyTag);
 
   /// True if a matching message is queued (MPI_Iprobe). Advisory: a
@@ -52,7 +63,7 @@ class Mailbox {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::deque<Message> queue_;
+  RingFifo<Message> queue_;
 };
 
 }  // namespace lss::mp

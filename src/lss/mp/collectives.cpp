@@ -71,7 +71,7 @@ std::vector<std::byte> broadcast(Comm& comm, int rank, int root,
     return payload;
   }
   Message m = comm.recv(rank, root, kTagBcast);
-  return std::move(m.payload);
+  return m.payload.take();
 }
 
 std::vector<std::vector<std::byte>> gather(Comm& comm, int rank, int root,
@@ -87,7 +87,7 @@ std::vector<std::vector<std::byte>> gather(Comm& comm, int rank, int root,
   out[static_cast<std::size_t>(root)] = std::move(payload);
   for (int i = 0; i < comm.size() - 1; ++i) {
     Message m = comm.recv(root, kAnySource, kTagGather);
-    out[static_cast<std::size_t>(m.source)] = std::move(m.payload);
+    out[static_cast<std::size_t>(m.source)] = m.payload.take();
   }
   return out;
 }

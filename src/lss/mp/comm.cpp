@@ -30,7 +30,7 @@ Mailbox& Comm::box(int rank) {
   return *boxes_[static_cast<std::size_t>(rank)];
 }
 
-void Comm::send(int from, int to, int tag, std::vector<std::byte> payload) {
+void Comm::send(int from, int to, int tag, Buffer payload) {
   LSS_REQUIRE(from >= 0 && from < size(), "source rank out of range");
   obs::emit(obs::EventKind::MsgSend, pe_of(from), {}, tag,
             static_cast<std::int64_t>(payload.size()));
@@ -62,12 +62,12 @@ std::optional<Message> Comm::try_recv(int rank, int source, int tag) {
   return box(rank).try_recv(source, tag);
 }
 
-std::vector<Message> Comm::drain(int rank, int source, int tag) {
-  std::vector<Message> out = box(rank).drain(source, tag);
+void Comm::drain_into(int rank, std::vector<Message>& out, int source,
+                      int tag) {
+  box(rank).drain_into(out, source, tag);
   for (const Message& m : out)
     obs::emit(obs::EventKind::MsgRecv, pe_of(rank), {}, m.tag,
               pe_of(m.source));
-  return out;
 }
 
 bool Comm::probe(int rank, int source, int tag) const {

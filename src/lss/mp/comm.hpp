@@ -27,8 +27,7 @@ class Comm final : public Transport {
   std::string kind() const override { return "inproc"; }
 
   /// Deliver `payload` to `to`'s mailbox, stamped with `from`.
-  void send(int from, int to, int tag,
-            std::vector<std::byte> payload) override;
+  void send(int from, int to, int tag, Buffer payload) override;
 
   /// Blocking receive into `rank`'s mailbox.
   Message recv(int rank, int source = kAnySource,
@@ -41,9 +40,10 @@ class Comm final : public Transport {
                                   int tag = kAnyTag) override;
   /// One-lock multi-pop on the rank's mailbox: the whole ready-set
   /// is claimed atomically even when several threads receive on the
-  /// same rank.
-  std::vector<Message> drain(int rank, int source = kAnySource,
-                             int tag = kAnyTag) override;
+  /// same rank (safe for concurrent drainers, unlike the base
+  /// default).
+  void drain_into(int rank, std::vector<Message>& out,
+                  int source = kAnySource, int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
 

@@ -1,6 +1,7 @@
 #include "lss/mp/framing.hpp"
 
 #include <cstring>
+#include <string>
 
 #include "lss/support/assert.hpp"
 
@@ -13,6 +14,11 @@ void put_u32(std::vector<std::byte>& out, std::uint32_t v) {
     out.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xffu));
 }
 
+void put_u32_at(std::byte* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out[i] = static_cast<std::byte>((v >> (8 * i)) & 0xffu);
+}
+
 std::uint32_t get_u32(const std::byte* p) {
   std::uint32_t v = 0;
   for (int i = 0; i < 4; ++i)
@@ -23,8 +29,22 @@ std::uint32_t get_u32(const std::byte* p) {
 
 }  // namespace
 
+void encode_frame_header(std::byte (&out)[kFrameHeaderBytes], int source,
+                         int tag, std::uint32_t payload_len) {
+  put_u32_at(out, payload_len);
+  put_u32_at(out + 4, static_cast<std::uint32_t>(tag));
+  put_u32_at(out + 8, static_cast<std::uint32_t>(source));
+}
+
+void decode_frame_header(const std::byte* hdr, std::uint32_t& payload_len,
+                         int& tag, int& source) {
+  payload_len = get_u32(hdr);
+  tag = static_cast<std::int32_t>(get_u32(hdr + 4));
+  source = static_cast<std::int32_t>(get_u32(hdr + 8));
+}
+
 std::vector<std::byte> encode_frame(int source, int tag,
-                                    const std::vector<std::byte>& payload,
+                                    std::span<const std::byte> payload,
                                     std::uint32_t max_payload) {
   std::vector<std::byte> out;
   encode_frame_into(out, source, tag, payload, max_payload);
@@ -32,7 +52,7 @@ std::vector<std::byte> encode_frame(int source, int tag,
 }
 
 void encode_frame_into(std::vector<std::byte>& out, int source, int tag,
-                       const std::vector<std::byte>& payload,
+                       std::span<const std::byte> payload,
                        std::uint32_t max_payload) {
   LSS_REQUIRE(payload.size() <= max_payload,
               "frame payload exceeds the wire limit");
@@ -61,7 +81,9 @@ void FrameDecoder::feed(const std::byte* data, std::size_t n) {
     m.tag = static_cast<std::int32_t>(get_u32(buf_.data() + pos + 4));
     m.source = static_cast<std::int32_t>(get_u32(buf_.data() + pos + 8));
     const std::byte* body = buf_.data() + pos + kFrameHeaderBytes;
-    m.payload.assign(body, body + len);
+    Buffer b = BufferPool::global().acquire(len);
+    b.storage().insert(b.storage().end(), body, body + len);
+    m.payload = std::move(b);
     ready_.push_back(std::move(m));
     pos += kFrameHeaderBytes + len;
   }
@@ -70,9 +92,7 @@ void FrameDecoder::feed(const std::byte* data, std::size_t n) {
 
 std::optional<Message> FrameDecoder::next() {
   if (ready_.empty()) return std::nullopt;
-  Message m = std::move(ready_.front());
-  ready_.pop_front();
-  return m;
+  return ready_.pop_front();
 }
 
 }  // namespace lss::mp

@@ -15,15 +15,18 @@
 // FrameDecoder is a push parser: feed() it whatever the socket
 // returned — a byte, half a header, three frames and a tail — and
 // pop complete messages with next(). This is what makes short reads
-// on a stream socket a non-event.
+// on a stream socket a non-event. Decoded payloads land in pooled
+// Buffers (mp::BufferPool), so the steady-state recv path recycles
+// storage instead of allocating per frame.
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "lss/mp/message.hpp"
+#include "lss/support/ring_fifo.hpp"
 
 namespace lss::mp {
 
@@ -34,10 +37,22 @@ inline constexpr std::size_t kFrameHeaderBytes = 12;
 /// length field is rejected instead of honored.
 inline constexpr std::uint32_t kMaxFramePayload = 16u << 20;
 
+/// Writes the 12-byte frame header into `out`. Scatter-gather send
+/// paths (writev, in-ring reserve/commit) build the header on the
+/// stack and ship it alongside payload spans — the frame is never
+/// assembled contiguously in memory.
+void encode_frame_header(std::byte (&out)[kFrameHeaderBytes], int source,
+                         int tag, std::uint32_t payload_len);
+
+/// Parses the 12-byte header at `hdr` (no bounds check — the caller
+/// guarantees kFrameHeaderBytes are present).
+void decode_frame_header(const std::byte* hdr, std::uint32_t& payload_len,
+                         int& tag, int& source);
+
 /// Serializes one frame (header + payload) ready for the wire.
 /// Throws lss::ContractError if payload exceeds `max_payload`.
 std::vector<std::byte> encode_frame(
-    int source, int tag, const std::vector<std::byte>& payload,
+    int source, int tag, std::span<const std::byte> payload,
     std::uint32_t max_payload = kMaxFramePayload);
 
 /// Same, but serializes into `out` (cleared, capacity kept). Send
@@ -46,7 +61,7 @@ std::vector<std::byte> encode_frame(
 /// the first few sends the buffer has grown to the connection's
 /// high-water frame size and encoding is pure byte copying.
 void encode_frame_into(std::vector<std::byte>& out, int source, int tag,
-                       const std::vector<std::byte>& payload,
+                       std::span<const std::byte> payload,
                        std::uint32_t max_payload = kMaxFramePayload);
 
 class FrameDecoder {
@@ -70,7 +85,7 @@ class FrameDecoder {
  private:
   std::uint32_t max_payload_;
   std::vector<std::byte> buf_;
-  std::deque<Message> ready_;
+  RingFifo<Message> ready_;
 };
 
 }  // namespace lss::mp

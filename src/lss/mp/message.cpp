@@ -8,7 +8,7 @@ namespace lss::mp {
 
 void PayloadWriter::put_bytes(const void* p, std::size_t n) {
   const auto* b = static_cast<const std::byte*>(p);
-  buf_.insert(buf_.end(), b, b + n);
+  out_->insert(out_->end(), b, b + n);
 }
 
 PayloadWriter& PayloadWriter::put_i64(std::int64_t v) {
@@ -30,7 +30,7 @@ PayloadWriter& PayloadWriter::put_range(Range r) {
   return put_i64(r.begin).put_i64(r.end);
 }
 
-PayloadWriter& PayloadWriter::put_blob(const std::vector<std::byte>& blob) {
+PayloadWriter& PayloadWriter::put_blob(std::span<const std::byte> blob) {
   put_i64(static_cast<std::int64_t>(blob.size()));
   put_bytes(blob.data(), blob.size());
   return *this;
@@ -40,6 +40,38 @@ PayloadWriter& PayloadWriter::put_string(const std::string& s) {
   put_i64(static_cast<std::int64_t>(s.size()));
   put_bytes(s.data(), s.size());
   return *this;
+}
+
+PayloadWriter& PayloadWriter::put_raw(std::span<const std::byte> bytes) {
+  put_bytes(bytes.data(), bytes.size());
+  return *this;
+}
+
+PayloadWriter& PayloadWriter::put_raw(const void* p, std::size_t n) {
+  put_bytes(p, n);
+  return *this;
+}
+
+void PayloadWriter::patch_i64(std::size_t at, std::int64_t v) {
+  LSS_REQUIRE(at + sizeof v <= out_->size(), "patch outside written payload");
+  std::memcpy(out_->data() + at, &v, sizeof v);
+}
+
+void PayloadWriter::patch_i32(std::size_t at, std::int32_t v) {
+  LSS_REQUIRE(at + sizeof v <= out_->size(), "patch outside written payload");
+  std::memcpy(out_->data() + at, &v, sizeof v);
+}
+
+void PayloadWriter::patch_f64(std::size_t at, double v) {
+  LSS_REQUIRE(at + sizeof v <= out_->size(), "patch outside written payload");
+  std::memcpy(out_->data() + at, &v, sizeof v);
+}
+
+std::vector<std::byte> PayloadWriter::take() {
+  LSS_REQUIRE(out_ == &own_,
+              "take() on an external-buffer writer — the caller owns "
+              "the storage");
+  return std::move(own_);
 }
 
 void PayloadReader::get_bytes(void* p, std::size_t n) {
@@ -73,20 +105,33 @@ Range PayloadReader::get_range() {
   return r;
 }
 
-std::vector<std::byte> PayloadReader::get_blob() {
+std::int64_t PayloadReader::get_count(std::size_t min_entry_bytes) {
+  const std::int64_t n = get_i64();
+  LSS_REQUIRE(min_entry_bytes > 0, "element size must be positive");
+  LSS_REQUIRE(n >= 0 && static_cast<std::uint64_t>(n) <=
+                            remaining() / min_entry_bytes,
+              "element count exceeds the payload");
+  return n;
+}
+
+std::span<const std::byte> PayloadReader::get_blob_view() {
   const std::int64_t n = get_i64();
   LSS_REQUIRE(n >= 0 && pos_ + static_cast<std::size_t>(n) <= buf_.size(),
               "payload underrun");
-  std::vector<std::byte> blob(buf_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                              buf_.begin() +
-                                  static_cast<std::ptrdiff_t>(pos_ + n));
+  std::span<const std::byte> view =
+      buf_.subspan(pos_, static_cast<std::size_t>(n));
   pos_ += static_cast<std::size_t>(n);
-  return blob;
+  return view;
+}
+
+std::vector<std::byte> PayloadReader::get_blob() {
+  const std::span<const std::byte> view = get_blob_view();
+  return std::vector<std::byte>(view.begin(), view.end());
 }
 
 std::string PayloadReader::get_string() {
-  const std::vector<std::byte> blob = get_blob();
-  return std::string(reinterpret_cast<const char*>(blob.data()), blob.size());
+  const std::span<const std::byte> view = get_blob_view();
+  return std::string(reinterpret_cast<const char*>(view.data()), view.size());
 }
 
 }  // namespace lss::mp

@@ -1,13 +1,22 @@
 // Message type and payload (de)serialization for the in-process
 // message-passing layer — the shape of MPI point-to-point traffic
 // (source, tag, byte buffer) without the wire.
+//
+// Payloads are mp::Buffer (pooled storage, see buffer_pool.hpp):
+// a received Message returns its bytes to the BufferPool when it
+// dies, and decoding reads *views* into that storage
+// (std::span<const std::byte>) instead of copying slices out, so
+// the steady-state recv path is allocation-free and — with
+// get_blob_view() — copy-free up to the consumer.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "lss/mp/buffer_pool.hpp"
 #include "lss/support/types.hpp"
 
 namespace lss::mp {
@@ -18,7 +27,7 @@ inline constexpr int kAnyTag = -1;
 struct Message {
   int source = kAnySource;
   int tag = 0;
-  std::vector<std::byte> payload;
+  Buffer payload;
 
   bool matches(int source_filter, int tag_filter) const {
     return (source_filter == kAnySource || source_filter == source) &&
@@ -27,45 +36,105 @@ struct Message {
 };
 
 /// Append-only payload builder (little-endian, fixed-width fields).
+///
+/// Two storage modes: the default constructor appends into an owned
+/// vector handed off with take(); the external-buffer constructor
+/// appends into caller-provided storage (a pooled Buffer or a reused
+/// scratch vector), which is how hot paths build frames in place
+/// without ever owning a temporary. mark()/patch_*() support the
+/// fields whose values are only known at flush time (the worker's
+/// in-place batched request: feedback counters and the trailer
+/// count), keeping the wire format byte-identical to the
+/// build-then-copy encoding.
 class PayloadWriter {
  public:
+  PayloadWriter() : out_(&own_) {}
+  /// External-buffer mode: appends to `out` (not cleared — callers
+  /// that reuse scratch clear it first). take() is invalid here.
+  explicit PayloadWriter(std::vector<std::byte>& out) : out_(&out) {}
+  explicit PayloadWriter(Buffer& out) : out_(&out.storage()) {}
+
+  // out_ aliases own_ in the default mode; copying or moving would
+  // leave the copy appending into the original's storage.
+  PayloadWriter(const PayloadWriter&) = delete;
+  PayloadWriter& operator=(const PayloadWriter&) = delete;
+
   PayloadWriter& put_i64(std::int64_t v);
   PayloadWriter& put_i32(std::int32_t v);
   PayloadWriter& put_f64(double v);
   PayloadWriter& put_range(Range r);
   /// Length-prefixed byte blob (i64 count + raw bytes).
-  PayloadWriter& put_blob(const std::vector<std::byte>& blob);
+  PayloadWriter& put_blob(std::span<const std::byte> blob);
   /// Length-prefixed UTF-8 string.
   PayloadWriter& put_string(const std::string& s);
+  /// Raw bytes, no prefix — for result payloads streamed into an
+  /// already-prefixed region (see result_into on the worker).
+  PayloadWriter& put_raw(std::span<const std::byte> bytes);
+  PayloadWriter& put_raw(const void* p, std::size_t n);
 
-  std::vector<std::byte> take() { return std::move(buf_); }
-  std::size_t size() const { return buf_.size(); }
+  /// Current write offset, for a later patch_*() — the in-place
+  /// equivalent of "fill this field in at flush time".
+  std::size_t mark() const { return out_->size(); }
+  void patch_i64(std::size_t at, std::int64_t v);
+  void patch_i32(std::size_t at, std::int32_t v);
+  void patch_f64(std::size_t at, double v);
+
+  std::vector<std::byte> take();
+  std::size_t size() const { return out_->size(); }
 
  private:
   void put_bytes(const void* p, std::size_t n);
-  std::vector<std::byte> buf_;
+  std::vector<std::byte> own_;
+  std::vector<std::byte>* out_;
 };
 
-/// Sequential payload reader; throws lss::ContractError on underrun.
+/// Sequential payload reader over a borrowed byte view; throws
+/// lss::ContractError on underrun. get_blob_view()/get_string_view()
+/// return spans into the underlying storage — valid only while the
+/// Message (or other owner) is alive.
 class PayloadReader {
  public:
-  explicit PayloadReader(const std::vector<std::byte>& buf) : buf_(buf) {}
+  explicit PayloadReader(std::span<const std::byte> buf) : buf_(buf) {}
+  // Lvalue owners: reading straight from a vector or pooled Buffer
+  // is common in tests and cold paths; these overloads also break
+  // the otherwise-ambiguous choice between the span range conversion
+  // and an implicit Buffer temporary.
+  explicit PayloadReader(const std::vector<std::byte>& buf)
+      : buf_(std::span<const std::byte>(buf)) {}
+  explicit PayloadReader(const Buffer& buf) : buf_(buf.view()) {}
   // The reader references the buffer; binding a temporary would
   // dangle as soon as the full expression ends.
   explicit PayloadReader(std::vector<std::byte>&&) = delete;
+  explicit PayloadReader(Buffer&&) = delete;
 
   std::int64_t get_i64();
   std::int32_t get_i32();
   double get_f64();
   Range get_range();
+  /// Length-prefixed blob, copied out. Prefer get_blob_view() on hot
+  /// paths — this survives the owner, the view does not.
   std::vector<std::byte> get_blob();
+  /// Length-prefixed blob as a view into the payload storage — the
+  /// zero-copy consumption path for result bytes.
+  std::span<const std::byte> get_blob_view();
   std::string get_string();
 
   bool exhausted() const { return pos_ == buf_.size(); }
+  /// Unread bytes left.
+  std::size_t remaining() const { return buf_.size() - pos_; }
+  /// The unread tail, without consuming it.
+  std::span<const std::byte> rest() const { return buf_.subspan(pos_); }
+
+  /// A wire-supplied element count about to drive a decode loop (and
+  /// usually a reserve): validated against what the unread bytes
+  /// could possibly hold — every element encodes to at least
+  /// `min_entry_bytes` — so a hostile or corrupt count throws
+  /// ContractError here instead of sizing an allocation.
+  std::int64_t get_count(std::size_t min_entry_bytes);
 
  private:
   void get_bytes(void* p, std::size_t n);
-  const std::vector<std::byte>& buf_;
+  std::span<const std::byte> buf_;
   std::size_t pos_ = 0;
 };
 

@@ -196,6 +196,39 @@ std::size_t ShmRing::write_some(const std::byte* src, std::size_t n) {
   return n;
 }
 
+bool ShmRing::reserve(std::size_t n, std::span<std::byte>& a,
+                      std::span<std::byte>& b) {
+  const std::uint64_t head = hdr_->head.load(std::memory_order_acquire);
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+  const std::size_t free = capacity_ - static_cast<std::size_t>(tail - head);
+  if (free < n) return false;
+  const std::size_t idx = static_cast<std::size_t>(tail % capacity_);
+  const std::size_t first = std::min(n, capacity_ - idx);
+  a = {data_ + idx, first};
+  b = {data_, n - first};
+  return true;
+}
+
+void ShmRing::commit(std::size_t n) {
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_relaxed);
+  hdr_->tail.store(tail + n, std::memory_order_release);
+}
+
+std::size_t ShmRing::read_into(std::vector<std::byte>& out, std::size_t max) {
+  const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);
+  const std::size_t avail = static_cast<std::size_t>(tail - head);
+  const std::size_t n = std::min(max, avail);
+  if (n == 0) return 0;
+  const std::size_t idx = static_cast<std::size_t>(head % capacity_);
+  const std::size_t first = std::min(n, capacity_ - idx);
+  out.insert(out.end(), data_ + idx, data_ + idx + first);
+  if (n > first) out.insert(out.end(), data_, data_ + (n - first));
+  hdr_->head.store(head + n, std::memory_order_release);
+  doorbell_ring(hdr_->space);
+  return n;
+}
+
 std::size_t ShmRing::read_some(std::byte* dst, std::size_t max) {
   const std::uint64_t tail = hdr_->tail.load(std::memory_order_acquire);
   const std::uint64_t head = hdr_->head.load(std::memory_order_relaxed);

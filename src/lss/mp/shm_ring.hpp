@@ -37,7 +37,9 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "lss/support/assert.hpp"
 
@@ -135,9 +137,27 @@ class ShmRing {
   /// load of `tail` sees the data. Producer thread only.
   std::size_t write_some(const std::byte* src, std::size_t n);
 
+  /// In-place frame construction (DESIGN.md §18): exposes the next
+  /// `n` bytes of ring space as up to two spans (`b` is empty unless
+  /// the reservation wraps) without moving the producer cursor.
+  /// Returns false when fewer than `n` bytes are free. The producer
+  /// writes the frame directly into the spans and publishes it with
+  /// commit(n) — no staging buffer, no second memcpy. Producer
+  /// thread only; reserve/commit pairs must not interleave with
+  /// write_some.
+  bool reserve(std::size_t n, std::span<std::byte>& a, std::span<std::byte>& b);
+  /// Publishes `n` bytes written through the spans of a successful
+  /// reserve(n) (release store on the producer cursor).
+  void commit(std::size_t n);
+
   /// Copies up to `max` bytes out and rings the space doorbell;
   /// returns bytes read. Consumer thread only.
   std::size_t read_some(std::byte* dst, std::size_t max);
+
+  /// Appends up to `max` bytes to `out` (wrap-aware, no zero-fill
+  /// pass — this is the pooled-Buffer fill path) and rings the space
+  /// doorbell; returns bytes read. Consumer thread only.
+  std::size_t read_into(std::vector<std::byte>& out, std::size_t max);
 
   /// The consumer-rung space eventcount (producers park on it).
   Doorbell& space() { return hdr_->space; }

@@ -33,24 +33,19 @@ std::uint64_t now_mono_ns() {
           .count());
 }
 
-/// Scratch size per ring read; frames larger than this just take
-/// several read/feed rounds.
-constexpr std::size_t kReadChunk = 64 * 1024;
-
-/// Writes the whole buffer into `ring`, ringing the consumer's
+/// Writes `len` raw bytes into `ring`, ringing the consumer's
 /// doorbell after every published piece and parking on the ring's
 /// space eventcount while full. Returns false when `gone()` reports
 /// the consumer dead (bytes may be partially written — the stream is
 /// abandoned with its peer, like a TCP send into a reset socket).
 template <typename GoneFn>
-bool write_ring_all(ShmRing ring, Doorbell& consumer_bell,
-                    const std::vector<std::byte>& bytes, int yield_spins,
-                    GoneFn gone) {
+bool write_bytes_all(ShmRing& ring, Doorbell& consumer_bell,
+                     const std::byte* bytes, std::size_t len, int yield_spins,
+                     GoneFn gone) {
   std::size_t off = 0;
-  while (off < bytes.size()) {
+  while (off < len) {
     const std::uint32_t seen = doorbell_peek(ring.space());
-    const std::size_t n =
-        ring.write_some(bytes.data() + off, bytes.size() - off);
+    const std::size_t n = ring.write_some(bytes + off, len - off);
     if (n > 0) {
       off += n;
       doorbell_ring(consumer_bell);
@@ -62,11 +57,109 @@ bool write_ring_all(ShmRing ring, Doorbell& consumer_bell,
   return true;
 }
 
+/// Sends one frame (header + payload parts) into `ring`. Fast path:
+/// the whole frame's space is reserved and the bytes are laid down
+/// directly in the ring (reserve/commit — no staging buffer, one
+/// doorbell). Frames larger than the ring stream through piecewise.
+/// Returns false when the consumer died mid-send.
+template <typename GoneFn>
+bool write_frame_ring(ShmRing ring, Doorbell& consumer_bell, int source,
+                      int tag, std::span<const std::span<const std::byte>> parts,
+                      std::uint32_t max_payload, int yield_spins, GoneFn gone) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  LSS_REQUIRE(total <= max_payload, "frame payload exceeds the wire limit");
+  std::byte header[kFrameHeaderBytes];
+  encode_frame_header(header, source, tag, static_cast<std::uint32_t>(total));
+  const std::size_t frame = kFrameHeaderBytes + total;
+
+  if (frame <= ring.capacity()) {
+    while (true) {
+      const std::uint32_t seen = doorbell_peek(ring.space());
+      std::span<std::byte> a, b;
+      if (ring.reserve(frame, a, b)) {
+        // One cursor across the (possibly wrapped) reservation.
+        std::span<std::byte> cur = a;
+        auto lay = [&](const std::byte* src, std::size_t n) {
+          while (n > 0) {
+            if (cur.empty()) {
+              cur = b;
+              b = {};
+            }
+            const std::size_t k = std::min(n, cur.size());
+            std::memcpy(cur.data(), src, k);
+            cur = cur.subspan(k);
+            src += k;
+            n -= k;
+          }
+        };
+        lay(header, kFrameHeaderBytes);
+        for (const auto& p : parts) lay(p.data(), p.size());
+        ring.commit(frame);
+        doorbell_ring(consumer_bell);
+        return true;
+      }
+      if (gone()) return false;
+      doorbell_wait(ring.space(), seen, milliseconds(10), yield_spins);
+    }
+  }
+
+  // Frame larger than the ring: stream it (the consumer's
+  // RingFrameReader reassembles, like short reads on a socket).
+  if (!write_bytes_all(ring, consumer_bell, header, kFrameHeaderBytes,
+                       yield_spins, gone))
+    return false;
+  for (const auto& p : parts)
+    if (!write_bytes_all(ring, consumer_bell, p.data(), p.size(), yield_spins,
+                         gone))
+      return false;
+  return true;
+}
+
 int resolve_yield_spins(int configured) {
   return configured >= 0 ? configured : default_yield_spins();
 }
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// RingFrameReader
+
+bool RingFrameReader::drain(ShmRing& ring, Mailbox& inbox, int source_rank) {
+  bool any = false;
+  while (true) {
+    if (!in_payload_) {
+      const std::size_t got = ring.read_some(
+          header_ + header_fill_, kFrameHeaderBytes - header_fill_);
+      if (got == 0) break;
+      any = true;
+      header_fill_ += got;
+      if (header_fill_ < kFrameHeaderBytes) continue;
+      std::uint32_t len = 0;
+      decode_frame_header(header_, len, msg_.tag, msg_.source);
+      LSS_REQUIRE(len <= max_payload_,
+                  "frame header announces an oversized payload (" +
+                      std::to_string(len) + " > " +
+                      std::to_string(max_payload_) + " bytes)");
+      msg_.payload = BufferPool::global().acquire(len);
+      need_ = len;
+      header_fill_ = 0;
+      in_payload_ = true;
+    } else if (need_ > 0) {
+      const std::size_t got = ring.read_into(msg_.payload.storage(), need_);
+      if (got == 0) break;
+      any = true;
+      need_ -= got;
+    }
+    if (in_payload_ && need_ == 0) {
+      msg_.source = source_rank;  // the ring says who sent this
+      inbox.push(std::move(msg_));
+      msg_ = Message{};
+      in_payload_ = false;
+    }
+  }
+  return any;
+}
 
 // ---------------------------------------------------------------------------
 // Master endpoint
@@ -77,11 +170,10 @@ ShmMasterTransport::ShmMasterTransport(const std::string& name,
       num_workers_(num_workers),
       yield_spins_(resolve_yield_spins(options.yield_spins)),
       seg_(ShmSegment::create(name, num_workers, options.ring_capacity,
-                              options.protocol)),
-      read_buf_(kReadChunk) {
+                              options.protocol)) {
   peers_.resize(static_cast<std::size_t>(num_workers));
   for (Peer& p : peers_)
-    p.decoder = FrameDecoder(options_.max_frame_payload);
+    p.reader = RingFrameReader(options_.max_frame_payload);
 }
 
 ShmMasterTransport::~ShmMasterTransport() = default;
@@ -131,35 +223,20 @@ void ShmMasterTransport::drop_peer(int w) {
   doorbell_ring(seg_.to_master_ring(w).space());
 }
 
-bool ShmMasterTransport::flush_decoder(int w) {
-  Peer& peer = peers_[static_cast<std::size_t>(w)];
-  bool activity = false;
-  while (auto m = peer.decoder.next()) {
-    activity = true;
-    // The slot, not the frame header, says who sent this.
-    m->source = w + 1;
-    inbox_.push(std::move(*m));
-  }
-  return activity;
-}
-
 bool ShmMasterTransport::ingest_peer(int w) {
   Peer& peer = peers_[static_cast<std::size_t>(w)];
   if (!peer.open) return false;
   ShmRing ring = seg_.to_master_ring(w);
   bool activity = false;
-  while (true) {
-    const std::size_t n = ring.read_some(read_buf_.data(), read_buf_.size());
-    if (n == 0) break;
-    try {
-      peer.decoder.feed(read_buf_.data(), n);
-    } catch (const ContractError&) {
-      drop_peer(w);  // framing lost; the stream is unrecoverable
-      return true;
-    }
-    activity = true;
+  try {
+    // The reader streams ring bytes straight into pooled payloads and
+    // pushes complete frames into the mailbox, stamped with the slot's
+    // rank (the slot, not the frame header, says who sent them).
+    activity = peer.reader.drain(ring, inbox_, w + 1);
+  } catch (const ContractError&) {
+    drop_peer(w);  // framing lost; the stream is unrecoverable
+    return true;
   }
-  if (flush_decoder(w)) activity = true;
   if (activity) peer.last_seen_ns = now_mono_ns();
   // Bye only counts once the ring is drained: the worker's last
   // frames precede its detach.
@@ -172,15 +249,6 @@ bool ShmMasterTransport::ingest_peer(int w) {
 }
 
 bool ShmMasterTransport::pump(milliseconds wait) {
-  // Frames a previous read left whole in a decoder never show up as
-  // new ring bytes — flush them before blocking (same ordering rule
-  // as the TCP pump).
-  bool flushed = false;
-  for (int w = 0; w < num_workers_; ++w)
-    if (peers_[static_cast<std::size_t>(w)].open && flush_decoder(w))
-      flushed = true;
-  if (flushed) return true;
-
   // Peek the doorbell *before* scanning the rings: bytes published
   // after the scan bump a sequence we have not seen, so the wait
   // below returns immediately instead of missing them.
@@ -196,20 +264,26 @@ bool ShmMasterTransport::pump(milliseconds wait) {
   return activity;
 }
 
-void ShmMasterTransport::send(int from, int to, int tag,
-                              std::vector<std::byte> payload) {
+void ShmMasterTransport::send(int from, int to, int tag, Buffer payload) {
+  const std::span<const std::byte> part = payload;
+  sendv(from, to, tag, {&part, 1});
+}
+
+void ShmMasterTransport::sendv(
+    int from, int to, int tag,
+    std::span<const std::span<const std::byte>> parts) {
   LSS_REQUIRE(from == 0, "a shm master endpoint only hosts rank 0");
   LSS_REQUIRE(to >= 1 && to <= num_workers_, "destination rank out of range");
   const int w = to - 1;
   Peer& peer = peers_[static_cast<std::size_t>(w)];
   if (!peer.open) return;  // dead peer: surfaced via peer_alive()
-  obs::emit(obs::EventKind::MsgSend, obs::kMasterPe, {}, tag,
-            static_cast<std::int64_t>(payload.size()));
-  encode_frame_into(peer.write_buf, 0, tag, payload,
-                    options_.max_frame_payload);
+  std::int64_t total = 0;
+  for (const auto& p : parts) total += static_cast<std::int64_t>(p.size());
+  obs::emit(obs::EventKind::MsgSend, obs::kMasterPe, {}, tag, total);
   ShmWorkerSlot& slot = seg_.slot(w);
-  const bool ok = write_ring_all(
-      seg_.to_worker_ring(w), slot.bell, peer.write_buf, yield_spins_, [&] {
+  const bool ok = write_frame_ring(
+      seg_.to_worker_ring(w), slot.bell, 0, tag, parts,
+      options_.max_frame_payload, yield_spins_, [&] {
         return slot.state.load(std::memory_order_acquire) == kSlotBye;
       });
   if (!ok) peer.open = false;
@@ -250,18 +324,17 @@ std::optional<Message> ShmMasterTransport::try_recv(int rank, int source,
   return inbox_.try_recv(source, tag);
 }
 
-std::vector<Message> ShmMasterTransport::drain(int rank, int source,
-                                               int tag) {
+void ShmMasterTransport::drain_into(int rank, std::vector<Message>& out,
+                                    int source, int tag) {
   LSS_REQUIRE(rank == 0, "a shm master endpoint only hosts rank 0");
   // One non-blocking pump moves every frame already published in any
   // ring into the mailbox; the mailbox drain then claims the whole
   // ready-set in one lock acquisition.
   pump(milliseconds(0));
-  std::vector<Message> out = inbox_.drain(source, tag);
+  inbox_.drain_into(out, source, tag);
   for (const Message& m : out)
     obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m.tag,
               pe_of(m.source));
-  return out;
 }
 
 int ShmMasterTransport::peer_protocol(int rank) const {
@@ -310,8 +383,7 @@ ShmWorkerTransport::ShmWorkerTransport(const std::string& name,
                                        ShmOptions options)
     : options_(options),
       yield_spins_(resolve_yield_spins(options.yield_spins)),
-      seg_(ShmSegment::attach(name)),
-      read_buf_(kReadChunk) {
+      seg_(ShmSegment::attach(name)) {
   ShmSegmentHdr& hdr = seg_.header();
   num_workers_ = static_cast<int>(hdr.num_workers);
   const std::uint32_t slot_idx =
@@ -321,7 +393,7 @@ ShmWorkerTransport::ShmWorkerTransport(const std::string& name,
                   std::to_string(hdr.num_workers) + " already claimed)");
   rank_ = static_cast<int>(slot_idx) + 1;
   negotiated_ = std::min(options_.protocol, hdr.master_protocol);
-  decoder_ = FrameDecoder(options_.max_frame_payload);
+  reader_ = RingFrameReader(options_.max_frame_payload);
 
   ShmWorkerSlot& slot = seg_.slot(static_cast<int>(slot_idx));
   slot.protocol = options_.protocol;
@@ -367,38 +439,22 @@ bool ShmWorkerTransport::master_gone() const {
   return seg_.owner_dead();
 }
 
-bool ShmWorkerTransport::flush_decoder() {
-  bool activity = false;
-  while (auto m = decoder_.next()) {
-    m->source = 0;  // everything inbound is from the master
-    inbox_.push(std::move(*m));
-    activity = true;
-  }
-  return activity;
-}
-
 bool ShmWorkerTransport::ingest() {
   ShmRing ring = seg_.to_worker_ring(rank_ - 1);
   bool activity = false;
-  while (true) {
-    const std::size_t n = ring.read_some(read_buf_.data(), read_buf_.size());
-    if (n == 0) break;
-    try {
-      decoder_.feed(read_buf_.data(), n);
-    } catch (const ContractError&) {
-      open_.store(false, std::memory_order_release);
-      return true;
-    }
-    activity = true;
+  try {
+    // Everything inbound is from the master: stamp source 0.
+    activity = reader_.drain(ring, inbox_, 0);
+  } catch (const ContractError&) {
+    open_.store(false, std::memory_order_release);
+    return true;
   }
-  if (flush_decoder()) activity = true;
   if (master_gone() && ring.readable() == 0)
     open_.store(false, std::memory_order_release);
   return activity;
 }
 
 bool ShmWorkerTransport::pump(milliseconds wait) {
-  if (flush_decoder()) return true;
   if (!open_.load(std::memory_order_acquire)) {
     // Connection gone; still honor the wait so deadline loops do not
     // spin (mirrors the TCP worker pump).
@@ -412,19 +468,24 @@ bool ShmWorkerTransport::pump(milliseconds wait) {
   return ingest();
 }
 
-void ShmWorkerTransport::send(int from, int to, int tag,
-                              std::vector<std::byte> payload) {
+void ShmWorkerTransport::send(int from, int to, int tag, Buffer payload) {
+  const std::span<const std::byte> part = payload;
+  sendv(from, to, tag, {&part, 1});
+}
+
+void ShmWorkerTransport::sendv(
+    int from, int to, int tag,
+    std::span<const std::span<const std::byte>> parts) {
   LSS_REQUIRE(from == rank_, "a shm worker endpoint only hosts its own rank");
   LSS_REQUIRE(to == 0, "workers only talk to the master (rank 0)");
   if (!open_.load(std::memory_order_acquire)) return;
-  obs::emit(obs::EventKind::MsgSend, pe_of(rank_), {}, tag,
-            static_cast<std::int64_t>(payload.size()));
-  encode_frame_into(write_buf_, rank_, tag, payload,
-                    options_.max_frame_payload);
-  const bool ok = write_ring_all(seg_.to_master_ring(rank_ - 1),
-                                 seg_.header().master_bell, write_buf_,
-                                 yield_spins_,
-                                 [this] { return master_gone(); });
+  std::int64_t total = 0;
+  for (const auto& p : parts) total += static_cast<std::int64_t>(p.size());
+  obs::emit(obs::EventKind::MsgSend, pe_of(rank_), {}, tag, total);
+  const bool ok = write_frame_ring(
+      seg_.to_master_ring(rank_ - 1), seg_.header().master_bell, rank_, tag,
+      parts, options_.max_frame_payload, yield_spins_,
+      [this] { return master_gone(); });
   if (!ok) open_.store(false, std::memory_order_release);
 }
 
@@ -466,15 +527,14 @@ std::optional<Message> ShmWorkerTransport::try_recv(int rank, int source,
   return inbox_.try_recv(source, tag);
 }
 
-std::vector<Message> ShmWorkerTransport::drain(int rank, int source,
-                                               int tag) {
+void ShmWorkerTransport::drain_into(int rank, std::vector<Message>& out,
+                                    int source, int tag) {
   LSS_REQUIRE(rank == rank_, "a shm worker endpoint only hosts its own rank");
   pump(milliseconds(0));
-  std::vector<Message> out = inbox_.drain(source, tag);
+  inbox_.drain_into(out, source, tag);
   for (const Message& m : out)
     obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m.tag,
               pe_of(m.source));
-  return out;
 }
 
 int ShmWorkerTransport::peer_protocol(int rank) const {

@@ -52,6 +52,36 @@
 
 namespace lss::mp {
 
+/// Streams ring bytes straight into pooled message payloads: a
+/// 12-byte header accumulator, then the payload read directly into a
+/// BufferPool buffer sized for the frame. Compared to the socket
+/// path's FrameDecoder this removes both the 64 KiB staging read and
+/// the assemble-then-copy of the frame body — on shm the only copy
+/// between the producer's ring commit and the decoded payload is the
+/// ring-to-buffer read itself. Throws lss::ContractError when a
+/// header announces more than `max_payload` (the stream is
+/// unrecoverable; the caller drops the peer).
+class RingFrameReader {
+ public:
+  RingFrameReader() = default;
+  explicit RingFrameReader(std::uint32_t max_payload)
+      : max_payload_(max_payload) {}
+
+  /// Consumes every readable byte of `ring`; completed frames are
+  /// pushed into `inbox` stamped with `source_rank` (the ring, not
+  /// the frame header, says who sent them). Returns true when any
+  /// byte was consumed.
+  bool drain(ShmRing& ring, Mailbox& inbox, int source_rank);
+
+ private:
+  std::uint32_t max_payload_ = kMaxFramePayload;
+  std::size_t header_fill_ = 0;
+  std::byte header_[kFrameHeaderBytes];
+  bool in_payload_ = false;
+  std::size_t need_ = 0;
+  Message msg_;
+};
+
 struct ShmOptions {
   /// Ring bytes per direction per worker. Frames larger than this
   /// stream through in pieces; 1 MiB keeps any sane result blob in
@@ -92,8 +122,13 @@ class ShmMasterTransport final : public Transport {
   int size() const override { return num_workers_ + 1; }
   std::string kind() const override { return "shm"; }
 
-  void send(int from, int to, int tag,
-            std::vector<std::byte> payload) override;
+  void send(int from, int to, int tag, Buffer payload) override;
+  /// In-ring frame construction: the frame's ring space is reserved
+  /// and header + parts are laid down directly in it (one commit,
+  /// one doorbell) — no staging buffer. Frames larger than the ring
+  /// stream through piecewise as before.
+  void sendv(int from, int to, int tag,
+             std::span<const std::span<const std::byte>> parts) override;
   Message recv(int rank, int source = kAnySource,
                int tag = kAnyTag) override;
   std::optional<Message> recv_for(int rank,
@@ -102,8 +137,8 @@ class ShmMasterTransport final : public Transport {
                                   int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
                                   int tag = kAnyTag) override;
-  std::vector<Message> drain(int rank, int source = kAnySource,
-                             int tag = kAnyTag) override;
+  void drain_into(int rank, std::vector<Message>& out,
+                  int source = kAnySource, int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
   bool peer_alive(int rank) const override;
@@ -117,9 +152,7 @@ class ShmMasterTransport final : public Transport {
     /// Monotonic ns of the last ring bytes read from this worker;
     /// liveness is max(this, the slot's heartbeat timestamp).
     std::uint64_t last_seen_ns = 0;
-    FrameDecoder decoder{kMaxFramePayload};
-    /// Reusable encode scratch (same role as the TCP Peer's).
-    std::vector<std::byte> write_buf;
+    RingFrameReader reader{kMaxFramePayload};
   };
 
   /// Reads all available ring bytes from every open worker into the
@@ -127,7 +160,6 @@ class ShmMasterTransport final : public Transport {
   /// is ready. Returns true on any delivered frame or state change.
   bool pump(std::chrono::milliseconds wait);
   bool ingest_peer(int w);
-  bool flush_decoder(int w);
   void drop_peer(int w);
 
   ShmOptions options_;
@@ -135,7 +167,6 @@ class ShmMasterTransport final : public Transport {
   int yield_spins_;
   ShmSegment seg_;
   std::vector<Peer> peers_;  // index w hosts rank w + 1
-  std::vector<std::byte> read_buf_;
   Mailbox inbox_;  // rank 0's queue
 };
 
@@ -154,8 +185,10 @@ class ShmWorkerTransport final : public Transport {
   int size() const override { return num_workers_ + 1; }
   std::string kind() const override { return "shm"; }
 
-  void send(int from, int to, int tag,
-            std::vector<std::byte> payload) override;
+  void send(int from, int to, int tag, Buffer payload) override;
+  /// Same in-ring reserve/commit construction as the master's.
+  void sendv(int from, int to, int tag,
+             std::span<const std::span<const std::byte>> parts) override;
   Message recv(int rank, int source = kAnySource,
                int tag = kAnyTag) override;
   std::optional<Message> recv_for(int rank,
@@ -164,8 +197,8 @@ class ShmWorkerTransport final : public Transport {
                                   int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
                                   int tag = kAnyTag) override;
-  std::vector<Message> drain(int rank, int source = kAnySource,
-                             int tag = kAnyTag) override;
+  void drain_into(int rank, std::vector<Message>& out,
+                  int source = kAnySource, int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
   bool peer_alive(int rank) const override;
@@ -175,7 +208,6 @@ class ShmWorkerTransport final : public Transport {
  private:
   bool pump(std::chrono::milliseconds wait);
   bool ingest();
-  bool flush_decoder();
   /// Master gone (segment closed, slot fenced, or owner pid dead)?
   bool master_gone() const;
   void heartbeat_main();
@@ -189,9 +221,7 @@ class ShmWorkerTransport final : public Transport {
   /// Flipped by the pumping thread when the master hangs up; read by
   /// the heartbeat thread deciding whether to keep beating.
   std::atomic<bool> open_{false};
-  FrameDecoder decoder_{kMaxFramePayload};
-  std::vector<std::byte> read_buf_;
-  std::vector<std::byte> write_buf_;
+  RingFrameReader reader_{kMaxFramePayload};
   Mailbox inbox_;
 
   std::thread heartbeat_;

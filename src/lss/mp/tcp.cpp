@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -56,6 +57,56 @@ bool write_all(int fd, const std::vector<std::byte>& bytes) {
       return false;
     }
     off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Scatter-gather cap: 12-byte header + up to 15 payload spans per
+/// frame. Every runtime frame today is 1–2 spans; callers with more
+/// gather first (Transport::sendv default).
+constexpr std::size_t kMaxSendParts = 15;
+
+/// Writes one frame as [header | parts...] via sendmsg — the frame
+/// never exists contiguously in user space. Handles partial writes
+/// by advancing the iovec window; false when the connection is gone.
+bool write_frame_sgv(int fd, int source, int tag,
+                     std::span<const std::span<const std::byte>> parts,
+                     std::uint32_t max_payload) {
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
+  LSS_REQUIRE(total <= max_payload, "frame payload exceeds the wire limit");
+  std::byte header[kFrameHeaderBytes];
+  encode_frame_header(header, source, tag, static_cast<std::uint32_t>(total));
+
+  iovec iov[1 + kMaxSendParts];
+  iov[0] = {header, kFrameHeaderBytes};
+  std::size_t cnt = 1;
+  for (const auto& p : parts) {
+    if (p.empty()) continue;
+    iov[cnt++] = {const_cast<std::byte*>(p.data()), p.size()};
+  }
+
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = cnt;
+  while (msg.msg_iovlen > 0) {
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    while (n > 0 && msg.msg_iovlen > 0) {
+      if (static_cast<std::size_t>(n) >= msg.msg_iov[0].iov_len) {
+        n -= static_cast<ssize_t>(msg.msg_iov[0].iov_len);
+        ++msg.msg_iov;
+        --msg.msg_iovlen;
+      } else {
+        msg.msg_iov[0].iov_base =
+            static_cast<char*>(msg.msg_iov[0].iov_base) + n;
+        msg.msg_iov[0].iov_len -= static_cast<std::size_t>(n);
+        n = 0;
+      }
+    }
   }
   return true;
 }
@@ -263,17 +314,28 @@ bool TcpMasterTransport::pump(milliseconds wait) {
   return activity;
 }
 
-void TcpMasterTransport::send(int from, int to, int tag,
-                              std::vector<std::byte> payload) {
+void TcpMasterTransport::send(int from, int to, int tag, Buffer payload) {
+  const std::span<const std::byte> part = payload.view();
+  sendv(from, to, tag, {&part, 1});
+}
+
+void TcpMasterTransport::sendv(
+    int from, int to, int tag,
+    std::span<const std::span<const std::byte>> parts) {
   LSS_REQUIRE(from == 0, "a TCP master endpoint only hosts rank 0");
   LSS_REQUIRE(to >= 1 && to <= num_workers_, "destination rank out of range");
+  if (parts.size() > kMaxSendParts) {
+    Transport::sendv(from, to, tag, parts);  // gather fallback
+    return;
+  }
   Peer& peer = peers_[static_cast<std::size_t>(to - 1)];
   if (!peer.open) return;  // dead peer: surfaced via peer_alive()
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
   obs::emit(obs::EventKind::MsgSend, obs::kMasterPe, {}, tag,
-            static_cast<std::int64_t>(payload.size()));
-  encode_frame_into(peer.write_buf, 0, tag, payload,
-                    options_.max_frame_payload);
-  if (!write_all(peer.fd, peer.write_buf)) drop_peer(peer);
+            static_cast<std::int64_t>(total));
+  if (!write_frame_sgv(peer.fd, 0, tag, parts, options_.max_frame_payload))
+    drop_peer(peer);
 }
 
 Message TcpMasterTransport::recv(int rank, int source, int tag) {
@@ -311,18 +373,17 @@ std::optional<Message> TcpMasterTransport::try_recv(int rank, int source,
   return inbox_.try_recv(source, tag);
 }
 
-std::vector<Message> TcpMasterTransport::drain(int rank, int source,
-                                               int tag) {
+void TcpMasterTransport::drain_into(int rank, std::vector<Message>& out,
+                                    int source, int tag) {
   LSS_REQUIRE(rank == 0, "a TCP master endpoint only hosts rank 0");
   // One non-blocking pump moves every frame already readable on any
   // worker socket into the mailbox; the mailbox drain then claims
   // the whole ready-set in one lock acquisition.
   pump(milliseconds(0));
-  std::vector<Message> out = inbox_.drain(source, tag);
+  inbox_.drain_into(out, source, tag);
   for (const Message& m : out)
     obs::emit(obs::EventKind::MsgRecv, obs::kMasterPe, {}, m.tag,
               pe_of(m.source));
-  return out;
 }
 
 int TcpMasterTransport::peer_protocol(int rank) const {
@@ -422,12 +483,10 @@ void TcpWorkerTransport::heartbeat_main() {
 }
 
 void TcpWorkerTransport::write_frame_locked(
-    int tag, const std::vector<std::byte>& payload) {
+    int tag, std::span<const std::span<const std::byte>> parts) {
   std::lock_guard<std::mutex> lock(write_mu_);
   if (!open_.load(std::memory_order_acquire)) return;
-  encode_frame_into(write_buf_, rank_, tag, payload,
-                    options_.max_frame_payload);
-  if (!write_all(fd_, write_buf_))
+  if (!write_frame_sgv(fd_, rank_, tag, parts, options_.max_frame_payload))
     open_.store(false, std::memory_order_release);
 }
 
@@ -458,13 +517,25 @@ bool TcpWorkerTransport::pump(milliseconds wait) {
   return activity;
 }
 
-void TcpWorkerTransport::send(int from, int to, int tag,
-                              std::vector<std::byte> payload) {
+void TcpWorkerTransport::send(int from, int to, int tag, Buffer payload) {
+  const std::span<const std::byte> part = payload.view();
+  sendv(from, to, tag, {&part, 1});
+}
+
+void TcpWorkerTransport::sendv(
+    int from, int to, int tag,
+    std::span<const std::span<const std::byte>> parts) {
   LSS_REQUIRE(from == rank_, "a TCP worker endpoint only hosts its own rank");
   LSS_REQUIRE(to == 0, "workers only talk to the master (rank 0)");
+  if (parts.size() > kMaxSendParts) {
+    Transport::sendv(from, to, tag, parts);  // gather fallback
+    return;
+  }
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.size();
   obs::emit(obs::EventKind::MsgSend, pe_of(rank_), {}, tag,
-            static_cast<std::int64_t>(payload.size()));
-  write_frame_locked(tag, payload);
+            static_cast<std::int64_t>(total));
+  write_frame_locked(tag, parts);
 }
 
 Message TcpWorkerTransport::recv(int rank, int source, int tag) {
@@ -505,15 +576,14 @@ std::optional<Message> TcpWorkerTransport::try_recv(int rank, int source,
   return inbox_.try_recv(source, tag);
 }
 
-std::vector<Message> TcpWorkerTransport::drain(int rank, int source,
-                                               int tag) {
+void TcpWorkerTransport::drain_into(int rank, std::vector<Message>& out,
+                                    int source, int tag) {
   LSS_REQUIRE(rank == rank_, "a TCP worker endpoint only hosts its own rank");
   pump(milliseconds(0));
-  std::vector<Message> out = inbox_.drain(source, tag);
+  inbox_.drain_into(out, source, tag);
   for (const Message& m : out)
     obs::emit(obs::EventKind::MsgRecv, pe_of(rank_), {}, m.tag,
               pe_of(m.source));
-  return out;
 }
 
 int TcpWorkerTransport::peer_protocol(int rank) const {

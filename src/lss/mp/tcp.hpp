@@ -79,8 +79,11 @@ class TcpMasterTransport final : public Transport {
   int size() const override { return num_workers_ + 1; }
   std::string kind() const override { return "tcp"; }
 
-  void send(int from, int to, int tag,
-            std::vector<std::byte> payload) override;
+  void send(int from, int to, int tag, Buffer payload) override;
+  /// Header + parts leave via one sendmsg (scatter-gather): the
+  /// frame is never assembled contiguously in user space.
+  void sendv(int from, int to, int tag,
+             std::span<const std::span<const std::byte>> parts) override;
   Message recv(int rank, int source = kAnySource,
                int tag = kAnyTag) override;
   std::optional<Message> recv_for(int rank,
@@ -89,8 +92,8 @@ class TcpMasterTransport final : public Transport {
                                   int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
                                   int tag = kAnyTag) override;
-  std::vector<Message> drain(int rank, int source = kAnySource,
-                             int tag = kAnyTag) override;
+  void drain_into(int rank, std::vector<Message>& out,
+                  int source = kAnySource, int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
   bool peer_alive(int rank) const override;
@@ -105,10 +108,6 @@ class TcpMasterTransport final : public Transport {
     int protocol = kProtoLegacy;  ///< negotiated at handshake
     FrameDecoder decoder{kMaxFramePayload};
     std::chrono::steady_clock::time_point last_seen{};
-    /// Reusable encode scratch: every frame sent to this peer is
-    /// serialized here, so the send path stops allocating once the
-    /// buffer reaches the connection's high-water frame size.
-    std::vector<std::byte> write_buf;
   };
 
   /// Polls every open worker socket for up to `wait`, draining
@@ -144,8 +143,10 @@ class TcpWorkerTransport final : public Transport {
   int size() const override { return num_workers_ + 1; }
   std::string kind() const override { return "tcp"; }
 
-  void send(int from, int to, int tag,
-            std::vector<std::byte> payload) override;
+  void send(int from, int to, int tag, Buffer payload) override;
+  /// Header + parts leave via one sendmsg under the write lock.
+  void sendv(int from, int to, int tag,
+             std::span<const std::span<const std::byte>> parts) override;
   Message recv(int rank, int source = kAnySource,
                int tag = kAnyTag) override;
   std::optional<Message> recv_for(int rank,
@@ -154,8 +155,8 @@ class TcpWorkerTransport final : public Transport {
                                   int tag = kAnyTag) override;
   std::optional<Message> try_recv(int rank, int source = kAnySource,
                                   int tag = kAnyTag) override;
-  std::vector<Message> drain(int rank, int source = kAnySource,
-                             int tag = kAnyTag) override;
+  void drain_into(int rank, std::vector<Message>& out,
+                  int source = kAnySource, int tag = kAnyTag) override;
   bool probe(int rank, int source = kAnySource,
              int tag = kAnyTag) const override;
   bool peer_alive(int rank) const override;
@@ -168,7 +169,8 @@ class TcpWorkerTransport final : public Transport {
   /// Same decoder-leftover flush as the master's (the handshake
   /// drain can slurp the hello-ack plus later frames in one read).
   bool flush_decoder();
-  void write_frame_locked(int tag, const std::vector<std::byte>& payload);
+  void write_frame_locked(int tag,
+                          std::span<const std::span<const std::byte>> parts);
   void heartbeat_main();
 
   TcpOptions options_;
@@ -183,9 +185,6 @@ class TcpWorkerTransport final : public Transport {
   Mailbox inbox_;
 
   std::mutex write_mu_;  // serializes main-thread sends vs heartbeats
-  /// Encode scratch shared by both writers, guarded by write_mu_
-  /// (same per-connection reuse as the master's Peer::write_buf).
-  std::vector<std::byte> write_buf_;
   std::thread heartbeat_;
   std::mutex hb_mu_;
   std::condition_variable hb_cv_;

@@ -31,12 +31,15 @@
 // the ready-set primitive the rt master reactor is built on.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "lss/mp/message.hpp"
+#include "lss/support/assert.hpp"
 
 namespace lss::mp {
 
@@ -78,9 +81,27 @@ class Transport {
 
   /// Deliver `payload` to `to`, stamped with `from`. `from` must be a
   /// local rank. Delivery to a dead peer is a silent no-op (the
-  /// failure surfaces through peer_alive, not through send).
-  virtual void send(int from, int to, int tag,
-                    std::vector<std::byte> payload) = 0;
+  /// failure surfaces through peer_alive, not through send). Buffer
+  /// converts implicitly from std::vector<std::byte>; hot paths pass
+  /// pooled buffers so steady-state sends allocate nothing.
+  virtual void send(int from, int to, int tag, Buffer payload) = 0;
+
+  /// Scatter-gather send: delivers the concatenation of `parts` as
+  /// one message, without requiring the caller to assemble it. TCP
+  /// ships header + parts via writev; the shm backend reserves the
+  /// frame's ring space and commits the parts directly into it; the
+  /// default gathers into a pooled buffer and calls send(). The
+  /// parts are fully consumed before sendv returns (borrow, not
+  /// ownership transfer).
+  virtual void sendv(int from, int to, int tag,
+                     std::span<const std::span<const std::byte>> parts) {
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    Buffer b = BufferPool::global().acquire(total);
+    for (const auto& p : parts)
+      b.storage().insert(b.storage().end(), p.begin(), p.end());
+    send(from, to, tag, std::move(b));
+  }
 
   /// Blocking receive of the earliest message for local rank `rank`
   /// matching the filters (kAnySource / kAnyTag wildcards).
@@ -105,14 +126,39 @@ class Transport {
   /// matching and all dequeues are indivisible with respect to
   /// concurrent receivers (unlike a probe/try_recv loop, which can
   /// lose or double-claim a message between calls). Backends that
-  /// buffer on a socket pump it without blocking first. The default
-  /// loops try_recv, which is atomic enough for single-receiver
-  /// endpoints; multi-receiver backends override with a one-lock
-  /// drain.
-  virtual std::vector<Message> drain(int rank, int source = kAnySource,
-                                     int tag = kAnyTag) {
-    std::vector<Message> out;
+  /// buffer on a socket pump it without blocking first.
+  ///
+  /// `out` is *replaced* (cleared, capacity kept) — event loops pass
+  /// the same vector every iteration and steady-state drains
+  /// allocate nothing.
+  ///
+  /// The default loops try_recv, which is only atomic for a single
+  /// receiver; it enforces that contract with an always-on check
+  /// that throws lss::ContractError when two threads overlap inside
+  /// it (the overlap it can observe — interleavings that miss each
+  /// other remain the caller's responsibility, which is exactly why
+  /// multi-receiver backends must override with a one-lock drain,
+  /// as the mailbox-backed ones do).
+  virtual void drain_into(int rank, std::vector<Message>& out,
+                          int source = kAnySource, int tag = kAnyTag) {
+    out.clear();
+    const int prev = default_drainers_.fetch_add(1, std::memory_order_acq_rel);
+    struct Guard {
+      std::atomic<int>& n;
+      ~Guard() { n.fetch_sub(1, std::memory_order_acq_rel); }
+    } guard{default_drainers_};
+    LSS_REQUIRE(prev == 0,
+                "concurrent drain() on the default try_recv path — this "
+                "backend's drain is single-receiver only");
     while (auto m = try_recv(rank, source, tag)) out.push_back(std::move(*m));
+  }
+
+  /// Convenience wrapper over drain_into for call sites that want a
+  /// fresh vector (cold paths, tests).
+  std::vector<Message> drain(int rank, int source = kAnySource,
+                             int tag = kAnyTag) {
+    std::vector<Message> out;
+    drain_into(rank, out, source, tag);
     return out;
   }
 
@@ -146,6 +192,10 @@ class Transport {
 
  protected:
   Transport() = default;
+
+ private:
+  // Observes overlapping default-path drains (see drain_into).
+  std::atomic<int> default_drainers_{0};
 };
 
 }  // namespace lss::mp

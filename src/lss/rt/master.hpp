@@ -64,6 +64,7 @@
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -110,8 +111,10 @@ struct MasterConfig {
   double poll_spin = -1.0;
   /// Invoked for every completed chunk that carried a result blob
   /// (socket workers shipping computed data back to the master).
+  /// `result` views the request message's pooled payload — zero-copy
+  /// from the wire; copy it if it must outlive the callback.
   std::function<void(int worker, Range chunk,
-                     const std::vector<std::byte>& result)>
+                     std::span<const std::byte> result)>
       on_result;
   /// Serve this run masterless (see header note). Silently ignored —
   /// the mediated reactor runs instead — when the scheme has no

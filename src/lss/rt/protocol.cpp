@@ -22,7 +22,7 @@ std::vector<std::byte> encode_request(const WorkerRequest& req, int proto) {
   return w.take();
 }
 
-WorkerRequest decode_request(const std::vector<std::byte>& payload) {
+WorkerRequest decode_request(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   WorkerRequest req;
   req.acp = rd.get_f64();
@@ -32,7 +32,7 @@ WorkerRequest decode_request(const std::vector<std::byte>& payload) {
   req.result = rd.get_blob();
   if (!rd.exhausted()) req.window = rd.get_i32();
   if (!rd.exhausted()) {
-    const Index n = rd.get_i64();
+    const Index n = rd.get_count(24);  // range (16) + blob prefix (8)
     req.more_completed.reserve(static_cast<std::size_t>(n));
     req.more_results.reserve(static_cast<std::size_t>(n));
     for (Index i = 0; i < n; ++i) {
@@ -43,13 +43,35 @@ WorkerRequest decode_request(const std::vector<std::byte>& payload) {
   return req;
 }
 
+WorkerRequestView decode_request_view(std::span<const std::byte> payload) {
+  mp::PayloadReader rd(payload);
+  WorkerRequestView req;
+  req.acp = rd.get_f64();
+  req.fb_iters = rd.get_i64();
+  req.fb_seconds = rd.get_f64();
+  req.completed = rd.get_range();
+  req.result = rd.get_blob_view();
+  if (!rd.exhausted()) req.window = rd.get_i32();
+  if (!rd.exhausted()) {
+    req.more_count = rd.get_count(24);  // range (16) + blob prefix (8)
+    req.more = rd.rest();
+  }
+  return req;
+}
+
 std::vector<std::byte> encode_assign(Range chunk) {
   mp::PayloadWriter w;
   w.put_range(chunk);
   return w.take();
 }
 
-Range decode_assign(const std::vector<std::byte>& payload) {
+void encode_assign_into(std::vector<std::byte>& out, Range chunk) {
+  out.clear();
+  mp::PayloadWriter w(out);
+  w.put_range(chunk);
+}
+
+Range decode_assign(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   return rd.get_range();
 }
@@ -61,9 +83,17 @@ std::vector<std::byte> encode_assign_batch(const std::vector<Range>& chunks) {
   return w.take();
 }
 
-std::vector<Range> decode_assign_batch(const std::vector<std::byte>& payload) {
+void encode_assign_batch_into(std::vector<std::byte>& out,
+                              std::span<const Range> chunks) {
+  out.clear();
+  mp::PayloadWriter w(out);
+  w.put_i64(static_cast<Index>(chunks.size()));
+  for (const Range& c : chunks) w.put_range(c);
+}
+
+std::vector<Range> decode_assign_batch(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
-  const Index n = rd.get_i64();
+  const Index n = rd.get_count(sizeof(Range));
   std::vector<Range> chunks;
   chunks.reserve(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) chunks.push_back(rd.get_range());
@@ -88,7 +118,7 @@ std::vector<std::byte> encode_lease_request(const LeaseRequest& req) {
   return w.take();
 }
 
-LeaseRequest decode_lease_request(const std::vector<std::byte>& payload) {
+LeaseRequest decode_lease_request(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   LeaseRequest req;
   req.acp_sum = rd.get_f64();
@@ -98,7 +128,7 @@ LeaseRequest decode_lease_request(const std::vector<std::byte>& payload) {
   req.final_flush = rd.get_i32() != 0;
   req.fb_iters = rd.get_i64();
   req.fb_seconds = rd.get_f64();
-  const Index n = rd.get_i64();
+  const Index n = rd.get_count(24);  // range (16) + blob prefix (8)
   req.completed.reserve(static_cast<std::size_t>(n));
   req.results.reserve(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) {
@@ -116,11 +146,11 @@ std::vector<std::byte> encode_lease_grant(const LeaseGrant& grant) {
   return w.take();
 }
 
-LeaseGrant decode_lease_grant(const std::vector<std::byte>& payload) {
+LeaseGrant decode_lease_grant(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   LeaseGrant grant;
   grant.last = rd.get_i32() != 0;
-  const Index n = rd.get_i64();
+  const Index n = rd.get_count(sizeof(Range));
   grant.ranges.reserve(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) grant.ranges.push_back(rd.get_range());
   return grant;
@@ -132,7 +162,7 @@ std::vector<std::byte> encode_lease_recall(Index iterations) {
   return w.take();
 }
 
-Index decode_lease_recall(const std::vector<std::byte>& payload) {
+Index decode_lease_recall(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   return rd.get_i64();
 }
@@ -144,9 +174,9 @@ std::vector<std::byte> encode_lease_return(const std::vector<Range>& ranges) {
   return w.take();
 }
 
-std::vector<Range> decode_lease_return(const std::vector<std::byte>& payload) {
+std::vector<Range> decode_lease_return(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
-  const Index n = rd.get_i64();
+  const Index n = rd.get_count(sizeof(Range));
   std::vector<Range> ranges;
   ranges.reserve(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) ranges.push_back(rd.get_range());
@@ -159,7 +189,7 @@ std::vector<std::byte> encode_fetch_add(std::uint64_t n) {
   return w.take();
 }
 
-std::uint64_t decode_fetch_add(const std::vector<std::byte>& payload) {
+std::uint64_t decode_fetch_add(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   return static_cast<std::uint64_t>(rd.get_i64());
 }
@@ -171,7 +201,7 @@ std::vector<std::byte> encode_fetch_add_reply(const FetchAddReply& reply) {
   return w.take();
 }
 
-FetchAddReply decode_fetch_add_reply(const std::vector<std::byte>& payload) {
+FetchAddReply decode_fetch_add_reply(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   FetchAddReply reply;
   reply.first = static_cast<std::uint64_t>(rd.get_i64());
@@ -198,7 +228,7 @@ std::vector<std::byte> encode_report(const MasterlessReport& report) {
   return w.take();
 }
 
-MasterlessReport decode_report(const std::vector<std::byte>& payload) {
+MasterlessReport decode_report(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   MasterlessReport report;
   report.acp = rd.get_f64();
@@ -206,11 +236,11 @@ MasterlessReport decode_report(const std::vector<std::byte>& payload) {
   report.fb_seconds = rd.get_f64();
   report.drained = rd.get_i32() != 0;
   report.fallback = rd.get_i32() != 0;
-  const Index k = rd.get_i64();
+  const Index k = rd.get_count(sizeof(std::int64_t));
   report.in_flight.reserve(static_cast<std::size_t>(k));
   for (Index i = 0; i < k; ++i)
     report.in_flight.push_back(static_cast<std::uint64_t>(rd.get_i64()));
-  const Index n = rd.get_i64();
+  const Index n = rd.get_count(24);  // range (16) + blob prefix (8)
   report.completed.reserve(static_cast<std::size_t>(n));
   report.results.reserve(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) {

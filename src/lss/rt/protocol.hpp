@@ -95,6 +95,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "lss/mp/message.hpp"
@@ -145,16 +146,64 @@ struct WorkerRequest {
 /// trailer byte-for-byte as v1 wrote them.
 std::vector<std::byte> encode_request(const WorkerRequest& req,
                                       int proto = mp::kProtoCurrent);
-WorkerRequest decode_request(const std::vector<std::byte>& payload);
+WorkerRequest decode_request(std::span<const std::byte> payload);
+
+/// Zero-copy decode of a request payload: result bytes stay views
+/// into the message's pooled storage (valid only while the Message
+/// lives), and the batched-completion trailer is walked in place via
+/// for_each_more() instead of materializing per-entry vectors. The
+/// master's hot ingest path reads every chunk's result without one
+/// heap allocation.
+struct WorkerRequestView {
+  double acp = 1.0;
+  Index fb_iters = 0;
+  double fb_seconds = 0;
+  Range completed{};
+  std::span<const std::byte> result;
+  int window = 0;
+  Index more_count = 0;  ///< batched completions behind `completed`
+  /// Raw trailer bytes: more_count × (range, blob), undecoded.
+  std::span<const std::byte> more;
+
+  /// Walks the batched completions: fn(Range, std::span<const
+  /// std::byte> result) per entry, in wire order.
+  template <typename Fn>
+  void for_each_more(Fn&& fn) const {
+    mp::PayloadReader rd(more);
+    for (Index i = 0; i < more_count; ++i) {
+      const Range r = rd.get_range();
+      const std::span<const std::byte> blob = rd.get_blob_view();
+      fn(r, blob);
+    }
+  }
+};
+
+WorkerRequestView decode_request_view(std::span<const std::byte> payload);
 
 std::vector<std::byte> encode_assign(Range chunk);
-Range decode_assign(const std::vector<std::byte>& payload);
+/// Encodes into reused scratch (cleared, capacity kept) — the
+/// reactor's allocation-free grant path pairs this with
+/// Transport::sendv.
+void encode_assign_into(std::vector<std::byte>& out, Range chunk);
+Range decode_assign(std::span<const std::byte> payload);
 
 /// Multi-grant frame: the master's reactor coalesces every chunk a
 /// replenish pass owes one worker into a single kTagAssignBatch
 /// frame. Pipelined peers only.
 std::vector<std::byte> encode_assign_batch(const std::vector<Range>& chunks);
-std::vector<Range> decode_assign_batch(const std::vector<std::byte>& payload);
+void encode_assign_batch_into(std::vector<std::byte>& out,
+                              std::span<const Range> chunks);
+std::vector<Range> decode_assign_batch(std::span<const std::byte> payload);
+
+/// In-place walk of a kTagAssignBatch payload: fn(Range) per grant,
+/// in wire order — the worker queues grants without materializing a
+/// vector.
+template <typename Fn>
+void for_each_assigned(std::span<const std::byte> payload, Fn&& fn) {
+  mp::PayloadReader rd(payload);
+  const Index n = rd.get_i64();
+  for (Index i = 0; i < n; ++i) fn(rd.get_range());
+}
 
 /// A sub-master's upward frame: lease refill request with the pod's
 /// progress piggy-backed, so the root sees one conversation per pod
@@ -177,7 +226,7 @@ struct LeaseRequest {
 };
 
 std::vector<std::byte> encode_lease_request(const LeaseRequest& req);
-LeaseRequest decode_lease_request(const std::vector<std::byte>& payload);
+LeaseRequest decode_lease_request(std::span<const std::byte> payload);
 
 /// The root's downward lease: ranges for the sub-master's local pool.
 /// An empty `ranges` with `last` set is the drained notice — the pod
@@ -188,22 +237,22 @@ struct LeaseGrant {
 };
 
 std::vector<std::byte> encode_lease_grant(const LeaseGrant& grant);
-LeaseGrant decode_lease_grant(const std::vector<std::byte>& payload);
+LeaseGrant decode_lease_grant(std::span<const std::byte> payload);
 
 /// kTagLeaseRecall payload: how many iterations the root wants
 /// donated back (the victim clamps to what it still holds unstarted).
 std::vector<std::byte> encode_lease_recall(Index iterations);
-Index decode_lease_recall(const std::vector<std::byte>& payload);
+Index decode_lease_recall(std::span<const std::byte> payload);
 
 /// kTagLeaseReturn payload: the donated ranges, in loop order.
 std::vector<std::byte> encode_lease_return(const std::vector<Range>& ranges);
-std::vector<Range> decode_lease_return(const std::vector<std::byte>& payload);
+std::vector<Range> decode_lease_return(std::span<const std::byte> payload);
 
 /// kTagFetchAdd payload: how far to advance the shared cursor. One
 /// ticket per chunk, so n is 1 in every current caller; the field
 /// exists so a future worker can claim a run of tickets in one frame.
 std::vector<std::byte> encode_fetch_add(std::uint64_t n);
-std::uint64_t decode_fetch_add(const std::vector<std::byte>& payload);
+std::uint64_t decode_fetch_add(std::span<const std::byte> payload);
 
 /// kTagFetchAddReply payload. `first` is the cursor value before the
 /// increment — the worker's ticket. The cursor is unbounded: whether
@@ -216,7 +265,7 @@ struct FetchAddReply {
 };
 
 std::vector<std::byte> encode_fetch_add_reply(const FetchAddReply& reply);
-FetchAddReply decode_fetch_add_reply(const std::vector<std::byte>& payload);
+FetchAddReply decode_fetch_add_reply(std::span<const std::byte> payload);
 
 /// A masterless worker's upward frame: bulk completion
 /// acknowledgement with ACP and measured feedback. The first report
@@ -247,6 +296,6 @@ struct MasterlessReport {
 };
 
 std::vector<std::byte> encode_report(const MasterlessReport& report);
-MasterlessReport decode_report(const std::vector<std::byte>& payload);
+MasterlessReport decode_report(std::span<const std::byte> payload);
 
 }  // namespace lss::rt::protocol

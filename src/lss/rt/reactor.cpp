@@ -60,21 +60,20 @@ MasterOutcome MasterReactor::run() {
   while (finished_ < expected_ && !stopped_) {
     service_aux();
     if (stopped_) break;
-    std::vector<mp::Message> ready =
-        t_.drain(0, mp::kAnySource, protocol::kTagRequest);
-    if (ready.empty()) ready = spin_for_requests();
-    if (ready.empty()) {
+    t_.drain_into(0, ready_, mp::kAnySource, protocol::kTagRequest);
+    if (ready_.empty()) spin_for_requests();
+    if (ready_.empty()) {
       // Nothing queued: fall back to one (possibly deadline-bounded)
       // blocking receive — the reactor's quiescent wait.
-      if (auto m = next_request()) ready.push_back(std::move(*m));
+      if (auto m = next_request()) ready_.push_back(std::move(*m));
     }
-    if (ready.empty()) {
+    if (ready_.empty()) {
       check_deaths();
       backoff_ = std::min(backoff_ * 2.0, cfg_.faults.poll_max);
       continue;
     }
     backoff_ = cfg_.faults.poll_initial;
-    replenish(ingest_all(ready));
+    replenish(ingest_all(ready_));
   }
   if (!stopped_) check_coverage();
   after_loop();
@@ -100,16 +99,14 @@ void MasterReactor::check_coverage() const {
 /// prefetch pipeline cannot hide it. Spinning for cfg_.poll_spin
 /// keeps the master awake across those gaps; truly idle periods
 /// still end in the blocking receive below.
-std::vector<mp::Message> MasterReactor::spin_for_requests() {
-  if (spin_ <= 0.0) return {};
+void MasterReactor::spin_for_requests() {
+  if (spin_ <= 0.0) return;
   const Clock::time_point deadline = Clock::now() + secs(spin_);
   while (Clock::now() < deadline) {
-    std::vector<mp::Message> ready =
-        t_.drain(0, mp::kAnySource, protocol::kTagRequest);
-    if (!ready.empty()) return ready;
+    t_.drain_into(0, ready_, mp::kAnySource, protocol::kTagRequest);
+    if (!ready_.empty()) return;
     std::this_thread::yield();
   }
-  return {};
 }
 
 std::optional<mp::Message> MasterReactor::next_request() {
@@ -225,30 +222,35 @@ bool MasterReactor::prefetch_allowed(Index ref) const {
   return remaining_hint() >= static_cast<Index>(live_workers()) * ref;
 }
 
-void MasterReactor::send_grants(int w, const std::vector<Range>& chunks,
-                                const std::vector<int>& sources) {
+void MasterReactor::send_grants(int w) {
   auto& dq = outstanding_[static_cast<std::size_t>(w)];
-  for (std::size_t i = 0; i < chunks.size(); ++i) {
-    if (sources[i] >= 0) {
-      obs::emit(obs::EventKind::ChunkGranted, w, chunks[i]);
-      obs::emit(obs::EventKind::ChunkReassigned, w, chunks[i],
-                sources[i]);
+  for (std::size_t i = 0; i < grants_.size(); ++i) {
+    if (grant_sources_[i] >= 0) {
+      obs::emit(obs::EventKind::ChunkGranted, w, grants_[i]);
+      obs::emit(obs::EventKind::ChunkReassigned, w, grants_[i],
+                grant_sources_[i]);
       ++out_.reassigned_chunks;
-      out_.reassigned_iterations += chunks[i].size();
+      out_.reassigned_iterations += grants_[i].size();
     }
-    dq.push_back(chunks[i]);
+    dq.push_back(grants_[i]);
     if (dq.size() > 1)
-      obs::emit(obs::EventKind::PrefetchGranted, w, chunks[i],
+      obs::emit(obs::EventKind::PrefetchGranted, w, grants_[i],
                 static_cast<std::int64_t>(dq.size()));
   }
   last_alive_[static_cast<std::size_t>(w)] = Clock::now();
   mutable_state(w) = WState::Active;
-  if (chunks.size() == 1)
-    t_.send(0, w + 1, protocol::kTagAssign,
-            protocol::encode_assign(chunks.front()));
-  else
-    t_.send(0, w + 1, protocol::kTagAssignBatch,
-            protocol::encode_assign_batch(chunks));
+  // Encode into reused scratch and hand the transport a span: no
+  // temporary payload vector, no Buffer copy — the TCP backend
+  // writev-gathers it and the shm backend lays it down in-ring.
+  if (grants_.size() == 1) {
+    protocol::encode_assign_into(send_buf_, grants_.front());
+    const std::span<const std::byte> part(send_buf_);
+    t_.sendv(0, w + 1, protocol::kTagAssign, {&part, 1});
+  } else {
+    protocol::encode_assign_batch_into(send_buf_, grants_);
+    const std::span<const std::byte> part(send_buf_);
+    t_.sendv(0, w + 1, protocol::kTagAssignBatch, {&part, 1});
+  }
 }
 
 void MasterReactor::terminate(int w) {
@@ -281,8 +283,8 @@ void MasterReactor::replenish_parked() {
 
 // --- ingesting -------------------------------------------------------------
 
-void MasterReactor::record_one_completion(
-    int w, Range completed, const std::vector<std::byte>& result) {
+void MasterReactor::record_one_completion(int w, Range completed,
+                                          std::span<const std::byte> result) {
   if (completed.empty()) return;
   for (Index i = completed.begin; i < completed.end; ++i)
     if (i >= 0 && i < cfg_.total)
@@ -301,14 +303,12 @@ void MasterReactor::record_one_completion(
   on_completed_range(w, completed, result);
 }
 
-void MasterReactor::record_completion(int w,
-                                      const protocol::WorkerRequest& req) {
-  static const std::vector<std::byte> kNoResult;
+void MasterReactor::record_completion(
+    int w, const protocol::WorkerRequestView& req) {
   record_one_completion(w, req.completed, req.result);
-  for (std::size_t i = 0; i < req.more_completed.size(); ++i)
-    record_one_completion(w, req.more_completed[i],
-                          i < req.more_results.size() ? req.more_results[i]
-                                                      : kNoResult);
+  req.for_each_more([&](Range r, std::span<const std::byte> result) {
+    record_one_completion(w, r, result);
+  });
 }
 
 /// Absorbs one request: completion ack, feedback, ACP and window
@@ -327,7 +327,8 @@ int MasterReactor::ingest(const mp::Message& m) {
     t_.send(0, m.source, protocol::kTagTerminate, {});
     return -1;
   }
-  const protocol::WorkerRequest req = protocol::decode_request(m.payload);
+  const protocol::WorkerRequestView req =
+      protocol::decode_request_view(m.payload);
   const auto sw = static_cast<std::size_t>(w);
   last_alive_[sw] = Clock::now();
   acp_[sw] = req.acp;
@@ -347,15 +348,15 @@ int MasterReactor::ingest(const mp::Message& m) {
   return w;
 }
 
-std::vector<int> MasterReactor::ingest_all(
+const std::vector<int>& MasterReactor::ingest_all(
     const std::vector<mp::Message>& ready) {
-  std::vector<int> order;
+  order_.clear();
   for (const mp::Message& m : ready) {
     const int w = ingest(m);
-    if (w >= 0 && std::find(order.begin(), order.end(), w) == order.end())
-      order.push_back(w);
+    if (w >= 0 && std::find(order_.begin(), order_.end(), w) == order_.end())
+      order_.push_back(w);
   }
-  return order;
+  return order_;
 }
 
 // --- replenishing ----------------------------------------------------------
@@ -367,24 +368,24 @@ std::vector<int> MasterReactor::ingest_all(
 void MasterReactor::replenish_worker(int w) {
   if (state(w) != WState::Active && state(w) != WState::Idle) return;
   auto& dq = outstanding_[static_cast<std::size_t>(w)];
-  std::vector<Range> grants;
-  std::vector<int> sources;
+  grants_.clear();
+  grant_sources_.clear();
   const int target = 1 + window_[static_cast<std::size_t>(w)];
-  while (static_cast<int>(dq.size()) + static_cast<int>(grants.size()) <
+  while (static_cast<int>(dq.size()) + static_cast<int>(grants_.size()) <
          target) {
-    if (!dq.empty() || !grants.empty()) {
+    if (!dq.empty() || !grants_.empty()) {
       const Index ref =
-          grants.empty() ? dq.back().size() : grants.back().size();
+          grants_.empty() ? dq.back().size() : grants_.back().size();
       if (!prefetch_allowed(ref)) break;
     }
     const auto [chunk, from] =
         next_chunk(w, acp_[static_cast<std::size_t>(w)]);
     if (chunk.empty()) break;
-    grants.push_back(chunk);
-    sources.push_back(from);
+    grants_.push_back(chunk);
+    grant_sources_.push_back(from);
   }
-  if (!grants.empty()) {
-    send_grants(w, grants, sources);
+  if (!grants_.empty()) {
+    send_grants(w);
     return;
   }
   if (!dq.empty()) return;  // still busy; nothing owed right now

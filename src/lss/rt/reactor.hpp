@@ -30,6 +30,7 @@
 #include "lss/mp/transport.hpp"
 #include "lss/rt/master.hpp"
 #include "lss/rt/protocol.hpp"
+#include "lss/support/ring_fifo.hpp"
 #include "lss/support/types.hpp"
 
 namespace lss::rt {
@@ -96,9 +97,11 @@ class MasterReactor {
   }
 
   /// Every acknowledged completion, after the base bookkeeping (the
-  /// sub-master batches these upward).
+  /// sub-master batches these upward). `result` views the request
+  /// message's pooled storage — copy it before the ingest pass ends
+  /// if it must outlive the message.
   virtual void on_completed_range(int w, Range chunk,
-                                  const std::vector<std::byte>& result) {
+                                  std::span<const std::byte> result) {
     (void)w;
     (void)chunk;
     (void)result;
@@ -144,8 +147,9 @@ class MasterReactor {
   void terminate_all_live();
 
   /// Ingests the whole ready-set; returns the workers that spoke, in
-  /// first-arrival order, deduplicated.
-  std::vector<int> ingest_all(const std::vector<mp::Message>& ready);
+  /// first-arrival order, deduplicated. The returned list is reactor
+  /// scratch, overwritten by the next ingest pass.
+  const std::vector<int>& ingest_all(const std::vector<mp::Message>& ready);
 
   /// One replenish pass over the given workers, in order.
   void replenish(const std::vector<int>& order);
@@ -163,18 +167,17 @@ class MasterReactor {
   MasterOutcome out_;
 
  private:
-  std::vector<mp::Message> spin_for_requests();
+  void spin_for_requests();
   std::optional<mp::Message> next_request();
   void declare_dead(int w);
   std::pair<Range, int> next_chunk(int w, double acp);
   Index remaining_hint() const;
   bool prefetch_allowed(Index ref) const;
-  void send_grants(int w, const std::vector<Range>& chunks,
-                   const std::vector<int>& sources);
+  void send_grants(int w);
   void terminate(int w);
   void record_one_completion(int w, Range completed,
-                             const std::vector<std::byte>& result);
-  void record_completion(int w, const protocol::WorkerRequest& req);
+                             std::span<const std::byte> result);
+  void record_completion(int w, const protocol::WorkerRequestView& req);
   int ingest(const mp::Message& m);
   void replenish_worker(int w);
   WState& mutable_state(int w) {
@@ -191,12 +194,21 @@ class MasterReactor {
   std::vector<WState> state_;
   /// Per-worker in-flight pipeline: every granted, unacknowledged
   /// chunk in grant order. Front is what the worker computes now.
-  std::vector<std::deque<Range>> outstanding_;
+  /// RingFifo, not std::deque: the deque's block churn allocates per
+  /// push in steady state and would break the zero-allocation gate.
+  std::vector<RingFifo<Range>> outstanding_;
   std::vector<Clock::time_point> last_alive_;
   std::vector<int> window_;  // negotiated+capped prefetch window
   std::vector<double> acp_;  // latest reported ACP
   std::vector<ReclaimedChunk> pool_;
   std::deque<int> parked_;
+  // Reusable scratch for the drain → ingest → replenish cycle: after
+  // warmup every wake-up runs in previously grown capacity.
+  std::vector<mp::Message> ready_;   // drained ready-set
+  std::vector<int> order_;           // ingest arrival order
+  std::vector<Range> grants_;        // chunks owed in one replenish
+  std::vector<int> grant_sources_;   // reclaim origins (-1 = fresh)
+  std::vector<std::byte> send_buf_;  // encoded grant payload
 };
 
 }  // namespace lss::rt

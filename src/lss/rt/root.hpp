@@ -35,6 +35,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -62,7 +63,7 @@ struct RootConfig {
   /// Invoked for every completed chunk that carried a result blob
   /// upward (sub-masters running with forward_results).
   std::function<void(int pod, Range chunk,
-                     const std::vector<std::byte>& result)>
+                     std::span<const std::byte> result)>
       on_result;
 };
 

@@ -102,12 +102,16 @@ class SubMasterReactor final : public MasterReactor {
   }
 
   void on_completed_range(int w, Range chunk,
-                          const std::vector<std::byte>& result) override {
+                          std::span<const std::byte> result) override {
     (void)w;
     ++pod_chunks_;
     up_completed_.push_back(chunk);
-    up_results_.push_back(sc_.forward_results ? result
-                                              : std::vector<std::byte>{});
+    // The view dies with the ingest pass; the upward batch outlives
+    // it, so forwarded results are copied into owned storage here.
+    up_results_.emplace_back(sc_.forward_results
+                                 ? std::vector<std::byte>(result.begin(),
+                                                          result.end())
+                                 : std::vector<std::byte>{});
   }
 
   /// The pod legitimately covers only part of [0, total): the rest

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "lss/mp/transport.hpp"
@@ -61,7 +62,7 @@ struct SubMasterConfig {
   /// Local tap for completed results (in-process pods); independent
   /// of forward_results.
   std::function<void(int worker, Range chunk,
-                     const std::vector<std::byte>& result)>
+                     std::span<const std::byte> result)>
       on_result;
 };
 

@@ -1,7 +1,7 @@
 #include "lss/rt/worker.hpp"
 
 #include <chrono>
-#include <deque>
+#include <span>
 #include <utility>
 
 #include "lss/obs/metrics_registry.hpp"
@@ -11,6 +11,7 @@
 #include "lss/rt/protocol.hpp"
 #include "lss/rt/throttle.hpp"
 #include "lss/support/assert.hpp"
+#include "lss/support/ring_fifo.hpp"
 
 namespace lss::rt {
 
@@ -20,6 +21,23 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point t0) {
   return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Appends `chunk`'s length-prefixed result blob to `wr`, streaming
+// through result_into when set (the bytes land directly in the frame
+// under construction), else materializing result_of's vector. The
+// length prefix is patched after the fact because a streaming
+// producer does not know its size up front.
+void write_result_blob(const WorkerLoopConfig& cfg, Range chunk,
+                       mp::PayloadWriter& wr) {
+  const std::size_t len_at = wr.mark();
+  wr.put_i64(0);
+  const std::size_t begin = wr.mark();
+  if (cfg.result_into)
+    cfg.result_into(chunk, wr);
+  else if (cfg.result_of)
+    wr.put_raw(cfg.result_of(chunk));
+  wr.patch_i64(len_at, static_cast<std::int64_t>(wr.mark() - begin));
 }
 
 // The mediated request/grant loop, accumulating into `out` so it can
@@ -43,40 +61,69 @@ void mediated_loop(mp::Transport& t, const WorkerLoopConfig& cfg,
   const int window =
       proto >= mp::kProtoPipelined ? cfg.pipeline_depth : 0;
 
-  std::deque<Range> pending;  // granted, not yet computed (FIFO)
-  protocol::WorkerRequest req;
-  req.acp = cfg.acp;
-  req.window = window;
+  RingFifo<Range> pending;  // granted, not yet computed (FIFO)
 
-  // Completed-but-unacknowledged chunks, flushed as one batched-ack
-  // request once the pending queue drains to half the window: deep
-  // pipelines then pay one message per ~window/2 chunks instead of
-  // one per chunk, while the unflushed half still covers the grant
-  // round trip. window <= 1 flushes after every chunk — the exact v1
-  // cadence.
+  // Completed-but-unacknowledged chunks are batched into one request
+  // frame built *in place*: the first completion fills the fixed head
+  // (range + result blob + window trailer), later ones append behind
+  // the trailer whose count is patched per entry, and the aggregate
+  // feedback fields sit at fixed offsets patched at flush time. The
+  // buffer persists across flushes, so once it and the transport's
+  // pools reach their high-water sizes a chunk costs zero heap
+  // allocations — and the wire bytes stay identical to the
+  // build-then-copy encoding. The flush fires once the pending queue
+  // drains to half the window: deep pipelines then pay one message
+  // per ~window/2 chunks instead of one per chunk, while the
+  // unflushed half still covers the grant round trip. window <= 1
+  // flushes after every chunk — the exact v1 cadence.
+  constexpr std::size_t kFbItersAt = 8;     // behind acp (f64)
+  constexpr std::size_t kFbSecondsAt = 16;  // behind fb_iters (i64)
   const auto flush_at = static_cast<std::size_t>((window + 1) / 2);
-  std::vector<Range> done;
-  std::vector<std::vector<std::byte>> done_results;
+  std::vector<std::byte> req_buf;
+  std::size_t more_at = 0;  // offset of the batched-completion count
+  Index more = 0;           // completions batched behind the first
+  std::size_t batched = 0;  // completions in req_buf
   Index done_iters = 0;
   double done_seconds = 0.0;
-  const auto flush_acks = [&] {
-    req.fb_iters = done_iters;
-    req.fb_seconds = done_seconds;
-    req.completed = done.front();
-    req.result = std::move(done_results.front());
-    req.more_completed.assign(done.begin() + 1, done.end());
-    req.more_results.assign(
-        std::make_move_iterator(done_results.begin() + 1),
-        std::make_move_iterator(done_results.end()));
-    t.send(rank, 0, protocol::kTagRequest,
-           protocol::encode_request(req, proto));
-    done.clear();
-    done_results.clear();
+  const auto begin_request = [&] {
+    req_buf.clear();
+    mp::PayloadWriter wr(req_buf);
+    wr.put_f64(cfg.acp);
+    wr.put_i64(0);    // fb_iters, patched at flush
+    wr.put_f64(0.0);  // fb_seconds, patched at flush
+    batched = 0;
+    more = 0;
     done_iters = 0;
     done_seconds = 0.0;
-    req.result.clear();
-    req.more_completed.clear();
-    req.more_results.clear();
+  };
+  const auto add_completed = [&](Range chunk) {
+    mp::PayloadWriter wr(req_buf);
+    if (batched == 0) {
+      wr.put_range(chunk);
+      write_result_blob(cfg, chunk, wr);
+      if (proto >= mp::kProtoPipelined) {
+        wr.put_i32(window);
+        more_at = wr.mark();
+        wr.put_i64(0);  // trailer count, patched per batched entry
+      }
+    } else {
+      // Only a pipelined master grants deep enough for a second
+      // unflushed completion, so the trailer is always present here.
+      LSS_ASSERT(proto >= mp::kProtoPipelined,
+                 "batched ack against a legacy master");
+      wr.put_range(chunk);
+      write_result_blob(cfg, chunk, wr);
+      wr.patch_i64(more_at, ++more);
+    }
+    ++batched;
+  };
+  const auto flush_acks = [&] {
+    mp::PayloadWriter wr(req_buf);
+    wr.patch_i64(kFbItersAt, done_iters);
+    wr.patch_f64(kFbSecondsAt, done_seconds);
+    const std::span<const std::byte> part(req_buf);
+    t.sendv(rank, 0, protocol::kTagRequest, {&part, 1});
+    begin_request();
   };
 
   // Queues grants; false = Terminate. A Terminate with chunks still
@@ -85,8 +132,8 @@ void mediated_loop(mp::Transport& t, const WorkerLoopConfig& cfg,
   const auto ingest = [&](const mp::Message& m) {
     if (m.tag == protocol::kTagTerminate) return false;
     if (m.tag == protocol::kTagAssignBatch) {
-      for (const Range& c : protocol::decode_assign_batch(m.payload))
-        pending.push_back(c);
+      protocol::for_each_assigned(m.payload,
+                                  [&](Range c) { pending.push_back(c); });
       return true;
     }
     LSS_ASSERT(m.tag == protocol::kTagAssign, "unexpected message tag");
@@ -94,9 +141,15 @@ void mediated_loop(mp::Transport& t, const WorkerLoopConfig& cfg,
     return true;
   };
 
-  if (send_initial)
+  if (send_initial) {
+    protocol::WorkerRequest announce;
+    announce.acp = cfg.acp;
+    announce.window = window;
     t.send(rank, 0, protocol::kTagRequest,
-           protocol::encode_request(req, proto));
+           protocol::encode_request(announce, proto));
+  }
+  begin_request();
+  std::vector<mp::Message> arrived;  // drain scratch, reused
   bool terminated = false;
   while (!terminated) {
     if (pending.empty()) {
@@ -115,12 +168,12 @@ void mediated_loop(mp::Transport& t, const WorkerLoopConfig& cfg,
       if (!ingest(m)) break;
     }
     // Drain grants that arrived while computing — no blocking.
-    for (const mp::Message& m : t.drain(rank, 0))
+    t.drain_into(rank, arrived, 0);
+    for (const mp::Message& m : arrived)
       if (!ingest(m)) terminated = true;
     if (terminated) break;
 
-    const Range chunk = pending.front();
-    pending.pop_front();
+    const Range chunk = pending.pop_front();
     if (cfg.die_after_chunks >= 0 && out.chunks >= cfg.die_after_chunks) {
       // Fail-stop between recv and compute: this chunk and everything
       // queued behind it are abandoned unacknowledged, as if the
@@ -139,9 +192,7 @@ void mediated_loop(mp::Transport& t, const WorkerLoopConfig& cfg,
     // piggy-backed on the next request, which also re-advertises the
     // prefetch window so the master can top the pipeline back up.
     const double chunk_seconds = seconds_since(comp_start);
-    done.push_back(chunk);
-    done_results.push_back(cfg.result_of ? cfg.result_of(chunk)
-                                         : std::vector<std::byte>{});
+    add_completed(chunk);
     done_iters += chunk.size();
     done_seconds += chunk_seconds;
     out.times.t_comp += chunk_seconds;
@@ -245,9 +296,14 @@ WorkerLoopResult run_masterless_worker(mp::Transport& t,
     throttle.pay(busy);
     const double chunk_seconds = seconds_since(comp_start);
     done.push_back(chunk);
-    done_results.push_back(cfg.loop.result_of
-                               ? cfg.loop.result_of(chunk)
-                               : std::vector<std::byte>{});
+    std::vector<std::byte> blob;
+    if (cfg.loop.result_into) {
+      mp::PayloadWriter bw(blob);
+      cfg.loop.result_into(chunk, bw);
+    } else if (cfg.loop.result_of) {
+      blob = cfg.loop.result_of(chunk);
+    }
+    done_results.push_back(std::move(blob));
     done_iters += chunk.size();
     done_seconds += chunk_seconds;
     out.times.t_comp += chunk_seconds;

@@ -41,6 +41,7 @@
 #include "lss/api/desc.hpp"
 #include "lss/cluster/load.hpp"
 #include "lss/metrics/timing.hpp"
+#include "lss/mp/message.hpp"
 #include "lss/mp/transport.hpp"
 #include "lss/support/types.hpp"
 #include "lss/workload/workload.hpp"
@@ -70,8 +71,16 @@ struct WorkerLoopConfig {
   /// the strict one-request/one-grant exchange; effective only when
   /// the master negotiated mp::kProtoPipelined.
   int pipeline_depth = 1;
+  /// Streams the result bytes for `chunk` directly into the request
+  /// frame under construction (PayloadWriter::put_raw / put_i64 /
+  /// ...): the zero-copy result path — no per-chunk blob vector is
+  /// ever materialized. Preferred over result_of; when both are set,
+  /// result_into wins. Null = fall back to result_of.
+  std::function<void(Range chunk, mp::PayloadWriter& out)> result_into;
   /// Builds the result blob shipped with the completion of `chunk`
-  /// (socket workers sending computed data home). Null = no blob.
+  /// (socket workers sending computed data home). Allocates one
+  /// vector per chunk — kept for callers that need an owned blob;
+  /// hot paths should migrate to result_into. Null = no blob.
   std::function<std::vector<std::byte>(Range chunk)> result_of;
 };
 

@@ -1,0 +1,80 @@
+// Allocation-amortizing FIFO: a vector plus a head index.
+//
+// std::deque allocates and frees a block every ~block-size pushes
+// even when the queue's depth is bounded — which is exactly the
+// steady state of the runtime's hot paths (worker pending windows,
+// reactor outstanding pipelines, frame-decoder ready sets). This
+// container instead reuses one contiguous buffer: pops advance a
+// head index, and the dead prefix is recycled by compaction (a
+// memmove, never an allocation) once it dominates the live range.
+// After warm-up the buffer has grown to the queue's high-water depth
+// and push/pop are allocation-free, which is what the data plane's
+// zero-allocation gate (tests/test_dataplane.cpp) measures.
+//
+// Not thread-safe; callers that share one (mp::Mailbox) lock.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace lss {
+
+template <typename T>
+class RingFifo {
+ public:
+  bool empty() const { return head_ == items_.size(); }
+  std::size_t size() const { return items_.size() - head_; }
+
+  void push_back(T v) { items_.push_back(std::move(v)); }
+
+  T& front() { return items_[head_]; }
+  const T& front() const { return items_[head_]; }
+  T& back() { return items_.back(); }
+  const T& back() const { return items_.back(); }
+
+  /// Pops and returns the head. The vacated slot is left moved-from,
+  /// so element-owned resources (pooled buffers) are released
+  /// immediately, not at the next compaction.
+  T pop_front() {
+    T v = std::move(items_[head_]);
+    ++head_;
+    compact_if_stale();
+    return v;
+  }
+
+  /// Removes the element at `it` (a live-range iterator), shifting
+  /// the tail left — O(n) moves, zero allocations.
+  void erase(T* it) {
+    items_.erase(items_.begin() + (it - items_.data()));
+    compact_if_stale();
+  }
+
+  void clear() {
+    items_.clear();
+    head_ = 0;
+  }
+
+  // Live range [begin, end): iteration in FIFO order.
+  T* begin() { return items_.data() + head_; }
+  T* end() { return items_.data() + items_.size(); }
+  const T* begin() const { return items_.data() + head_; }
+  const T* end() const { return items_.data() + items_.size(); }
+
+ private:
+  void compact_if_stale() {
+    if (head_ == items_.size()) {
+      items_.clear();  // capacity kept
+      head_ = 0;
+    } else if (head_ >= 32 && head_ * 2 >= items_.size()) {
+      items_.erase(items_.begin(),
+                   items_.begin() + static_cast<std::ptrdiff_t>(head_));
+      head_ = 0;
+    }
+  }
+
+  std::vector<T> items_;
+  std::size_t head_ = 0;
+};
+
+}  // namespace lss

@@ -39,7 +39,7 @@ std::vector<std::byte> encode_status(const JobStatusMsg& msg) {
   return w.take();
 }
 
-JobStatusMsg decode_status(const std::vector<std::byte>& payload) {
+JobStatusMsg decode_status(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   JobStatusMsg msg;
   msg.job_id = rd.get_i64();
@@ -71,7 +71,7 @@ std::vector<std::byte> encode_result(const JobResultMsg& msg) {
   return w.take();
 }
 
-JobResultMsg decode_result(const std::vector<std::byte>& payload) {
+JobResultMsg decode_result(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   JobResultMsg msg;
   msg.job_id = rd.get_i64();
@@ -85,8 +85,7 @@ JobResultMsg decode_result(const std::vector<std::byte>& payload) {
   msg.workers_lost = rd.get_i32();
   msg.reassigned_chunks = rd.get_i64();
   msg.exactly_once = rd.get_i64() != 0;
-  const std::int64_t n = rd.get_i64();
-  LSS_REQUIRE(n >= 0, "negative executed-chunk count in job result");
+  const std::int64_t n = rd.get_count(sizeof(lss::Range));
   msg.executed.reserve(static_cast<std::size_t>(n));
   for (std::int64_t i = 0; i < n; ++i) msg.executed.push_back(rd.get_range());
   msg.stats_json = rd.get_string();
@@ -100,7 +99,7 @@ std::vector<std::byte> encode_wk_grant(const WkGrant& grant) {
   return w.take();
 }
 
-WkGrant decode_wk_grant(const std::vector<std::byte>& payload) {
+WkGrant decode_wk_grant(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   WkGrant grant;
   grant.job_id = rd.get_i64();
@@ -117,7 +116,7 @@ std::vector<std::byte> encode_wk_done(const WkDone& done) {
   return w.take();
 }
 
-WkDone decode_wk_done(const std::vector<std::byte>& payload) {
+WkDone decode_wk_done(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   WkDone done;
   done.job_id = rd.get_i64();
@@ -133,7 +132,7 @@ std::vector<std::byte> encode_wk_job(std::int64_t job_id) {
   return w.take();
 }
 
-std::int64_t decode_wk_job(const std::vector<std::byte>& payload) {
+std::int64_t decode_wk_job(std::span<const std::byte> payload) {
   mp::PayloadReader rd(payload);
   return rd.get_i64();
 }

@@ -28,6 +28,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -90,7 +91,7 @@ struct JobStatusMsg {
 };
 
 std::vector<std::byte> encode_status(const JobStatusMsg& msg);
-JobStatusMsg decode_status(const std::vector<std::byte>& payload);
+JobStatusMsg decode_status(std::span<const std::byte> payload);
 
 /// kTagJobResult payload: the terminal report of one job.
 struct JobResultMsg {
@@ -113,7 +114,7 @@ struct JobResultMsg {
 };
 
 std::vector<std::byte> encode_result(const JobResultMsg& msg);
-JobResultMsg decode_result(const std::vector<std::byte>& payload);
+JobResultMsg decode_result(std::span<const std::byte> payload);
 
 /// kTagWkGrant payload (internal pool protocol).
 struct WkGrant {
@@ -122,7 +123,7 @@ struct WkGrant {
 };
 
 std::vector<std::byte> encode_wk_grant(const WkGrant& grant);
-WkGrant decode_wk_grant(const std::vector<std::byte>& payload);
+WkGrant decode_wk_grant(std::span<const std::byte> payload);
 
 /// kTagWkDone payload (internal pool protocol). An empty chunk with
 /// `drained` set announces "my masterless claims for this job ran
@@ -136,10 +137,10 @@ struct WkDone {
 };
 
 std::vector<std::byte> encode_wk_done(const WkDone& done);
-WkDone decode_wk_done(const std::vector<std::byte>& payload);
+WkDone decode_wk_done(std::span<const std::byte> payload);
 
 /// kTagWkOpen / kTagWkClose payload: the bare job id.
 std::vector<std::byte> encode_wk_job(std::int64_t job_id);
-std::int64_t decode_wk_job(const std::vector<std::byte>& payload);
+std::int64_t decode_wk_job(std::span<const std::byte> payload);
 
 }  // namespace lss::svc

@@ -1,9 +1,21 @@
-// AVX2 Mandelbrot escape kernel — 4 doubles per vector, blendv-style
-// lane masking. Compiled with -mavx2 -ffp-contract=off (and nothing
-// else from the wider build): the multiply/subtract/add sequence
-// must round exactly like the scalar kernel's, so fused multiply-add
+// AVX2 Mandelbrot escape kernel — 4 doubles per vector, counting
+// form. Compiled with -mavx2 -ffp-contract=off (and nothing else
+// from the wider build): the multiply/subtract/add sequence must
+// round exactly like the scalar kernel's, so fused multiply-add
 // contraction is forbidden. Only dispatch (simd.cpp) may call this,
 // and only after the cpuid probe.
+//
+// Instead of latching the escape iteration with blends (compare
+// cnt==0, blendv the iteration number in, blendv the z updates —
+// three blendvs plus two integer compares per iteration), the loop
+// counts: cnt -= active adds one per still-active lane (active is
+// all-ones = -1), and an escape simply clears the lane's active bit,
+// freezing its count at the escape iteration. The z recurrence runs
+// unmasked — an escaped lane's z may blow up to inf/NaN, but the
+// lane no longer feeds cnt, and _CMP_GT_OQ is ordered (false on
+// NaN), so a diverged frozen lane can never re-arm anything. Lanes
+// that never escape count all the way to max_iter, which is exactly
+// the scalar kernel's return in that case.
 #include <immintrin.h>
 
 #include "lss/workload/simd.hpp"
@@ -15,39 +27,30 @@ void mandelbrot_batch_avx2(double cx, const double* cy, int count,
   const __m256d vcx = _mm256_set1_pd(cx);
   const __m256d vfour = _mm256_set1_pd(4.0);
   const __m256d vtwo = _mm256_set1_pd(2.0);
-  const __m256i vzero = _mm256_setzero_si256();
   int i = 0;
   for (; i + 4 <= count; i += 4) {
     __m256d zx = _mm256_setzero_pd();
     __m256d zy = _mm256_setzero_pd();
     const __m256d vcy = _mm256_loadu_pd(cy + i);
-    __m256i cnt = vzero;  // 0 = not escaped yet, like the batched loop
-    for (int it = 1; it <= max_iter; ++it) {
+    __m256i cnt = _mm256_setzero_si256();
+    __m256i active = _mm256_set1_epi64x(-1);
+    for (int it = 0; it < max_iter; ++it) {
+      // The scalar ++n runs before its escape check: count this
+      // iteration first, then decide whether it was the last.
+      cnt = _mm256_sub_epi64(cnt, active);
       const __m256d zx2 = _mm256_mul_pd(zx, zx);
       const __m256d zy2 = _mm256_mul_pd(zy, zy);
-      // Latch: lanes with cnt == 0 whose |z|^2 went past 4 record
-      // this iteration number (the post-increment check).
       const __m256d esc =
           _mm256_cmp_pd(_mm256_add_pd(zx2, zy2), vfour, _CMP_GT_OQ);
-      const __m256i unlatched = _mm256_cmpeq_epi64(cnt, vzero);
-      const __m256i newly =
-          _mm256_and_si256(_mm256_castpd_si256(esc), unlatched);
-      cnt = _mm256_blendv_epi8(cnt, _mm256_set1_epi64x(it), newly);
-      const __m256i active = _mm256_cmpeq_epi64(cnt, vzero);
+      active = _mm256_andnot_si256(_mm256_castpd_si256(esc), active);
       if (_mm256_testz_si256(active, active)) break;
-      // z <- z^2 + c on active lanes; frozen lanes keep their z.
       const __m256d nzx = _mm256_add_pd(_mm256_sub_pd(zx2, zy2), vcx);
-      const __m256d nzy = _mm256_add_pd(
-          _mm256_mul_pd(vtwo, _mm256_mul_pd(zx, zy)), vcy);
-      const __m256d actd = _mm256_castsi256_pd(active);
-      zx = _mm256_blendv_pd(zx, nzx, actd);
-      zy = _mm256_blendv_pd(zy, nzy, actd);
+      zy = _mm256_add_pd(_mm256_mul_pd(vtwo, _mm256_mul_pd(zx, zy)), vcy);
+      zx = nzx;
     }
     alignas(32) long long latched[4];
     _mm256_store_si256(reinterpret_cast<__m256i*>(latched), cnt);
-    for (int l = 0; l < 4; ++l)
-      out[i + l] =
-          latched[l] == 0 ? max_iter : static_cast<int>(latched[l]);
+    for (int l = 0; l < 4; ++l) out[i + l] = static_cast<int>(latched[l]);
   }
   // Partial vector: the scalar kernel keeps tail semantics identical.
   for (; i < count; ++i) out[i] = mandelbrot_escape(cx, cy[i], max_iter);

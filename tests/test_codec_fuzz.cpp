@@ -1,0 +1,458 @@
+// Property tests for every wire codec in rt/protocol and
+// svc/protocol: randomized round-trips (decode(encode(x)) == x), then
+// systematic hostility — every strict prefix of a valid payload and
+// every single-byte corruption must either decode cleanly or throw
+// lss::ContractError. Nothing else: no other exception type, no
+// crash, no out-of-bounds read (the dataplane label runs under all
+// three sanitizers in bench/ci_sanitize.sh, so an OOB here is a CI
+// failure, not a silent pass). Counts and blob lengths read from the
+// wire are validated against the bytes actually present
+// (PayloadReader::get_count / get_blob_view) before they size any
+// allocation, which is what keeps the corruption pass from oom-ing
+// the test runner.
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "lss/mp/message.hpp"
+#include "lss/rt/protocol.hpp"
+#include "lss/support/assert.hpp"
+#include "lss/svc/protocol.hpp"
+
+namespace {
+
+using lss::ContractError;
+using lss::Index;
+using lss::Range;
+
+std::mt19937_64& rng() {
+  static std::mt19937_64 gen(0xC0DECF52u);  // deterministic: a property test
+  return gen;
+}
+
+std::int64_t rand_i64() { return static_cast<std::int64_t>(rng()()); }
+double rand_f64() {
+  return std::uniform_real_distribution<double>(-1e6, 1e6)(rng());
+}
+Range rand_range() {
+  const std::int64_t b = std::uniform_int_distribution<std::int64_t>(
+      0, 1 << 20)(rng());
+  return Range{b, b + std::uniform_int_distribution<std::int64_t>(
+                         0, 4096)(rng())};
+}
+std::vector<std::byte> rand_blob(std::size_t max_len) {
+  std::vector<std::byte> b(
+      std::uniform_int_distribution<std::size_t>(0, max_len)(rng()));
+  for (std::byte& x : b) x = static_cast<std::byte>(rng()());
+  return b;
+}
+std::string rand_string(std::size_t max_len) {
+  std::string s(std::uniform_int_distribution<std::size_t>(0, max_len)(rng()),
+                '\0');
+  for (char& c : s) c = static_cast<char>('a' + rng()() % 26);
+  return s;
+}
+
+/// The hostility property: for every strict prefix and every
+/// single-byte corruption of `payload`, `decode` either returns
+/// normally or throws ContractError. The mutated copy is heap-exact
+/// (its vector holds exactly the bytes under test) so any
+/// past-the-end read trips ASan.
+void check_hostile(std::span<const std::byte> payload,
+                   const std::function<void(std::span<const std::byte>)>&
+                       decode) {
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    std::vector<std::byte> prefix(payload.begin(),
+                                  payload.begin() + static_cast<long>(cut));
+    try {
+      decode(prefix);
+    } catch (const ContractError&) {
+    }
+  }
+  static constexpr std::byte kPokes[] = {
+      std::byte{0xFF}, std::byte{0x80}, std::byte{0x01}, std::byte{0x00}};
+  for (std::size_t at = 0; at < payload.size(); ++at) {
+    for (const std::byte poke : kPokes) {
+      std::vector<std::byte> mutated(payload.begin(), payload.end());
+      mutated[at] = poke;
+      try {
+        decode(mutated);
+      } catch (const ContractError&) {
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------ rt/protocol
+
+namespace proto = lss::rt::protocol;
+
+proto::WorkerRequest rand_request() {
+  proto::WorkerRequest req;
+  req.acp = rand_f64();
+  req.fb_iters = rand_i64();
+  req.fb_seconds = rand_f64();
+  req.completed = rand_range();
+  req.result = rand_blob(256);
+  req.window = static_cast<int>(rng()() % 64);
+  const std::size_t more = rng()() % 4;
+  for (std::size_t i = 0; i < more; ++i) {
+    req.more_completed.push_back(rand_range());
+    req.more_results.push_back(rand_blob(64));
+  }
+  return req;
+}
+
+TEST(CodecFuzz, WorkerRequestRoundTrips) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const proto::WorkerRequest req = rand_request();
+    const auto wire = proto::encode_request(req);
+    const proto::WorkerRequest back = proto::decode_request(wire);
+    EXPECT_EQ(back.acp, req.acp);
+    EXPECT_EQ(back.fb_iters, req.fb_iters);
+    EXPECT_EQ(back.fb_seconds, req.fb_seconds);
+    EXPECT_EQ(back.completed, req.completed);
+    EXPECT_EQ(back.result, req.result);
+    EXPECT_EQ(back.window, req.window);
+    EXPECT_EQ(back.more_completed, req.more_completed);
+    EXPECT_EQ(back.more_results, req.more_results);
+  }
+}
+
+TEST(CodecFuzz, WorkerRequestViewMatchesOwnedDecode) {
+  for (int trial = 0; trial < 200; ++trial) {
+    const proto::WorkerRequest req = rand_request();
+    const auto wire = proto::encode_request(req);
+    const proto::WorkerRequestView view = proto::decode_request_view(wire);
+    EXPECT_EQ(view.acp, req.acp);
+    EXPECT_EQ(view.completed, req.completed);
+    EXPECT_EQ(std::vector<std::byte>(view.result.begin(), view.result.end()),
+              req.result);
+    EXPECT_EQ(view.window, req.window);
+    ASSERT_EQ(view.more_count,
+              static_cast<Index>(req.more_completed.size()));
+    std::size_t i = 0;
+    view.for_each_more([&](Range r, std::span<const std::byte> blob) {
+      EXPECT_EQ(r, req.more_completed[i]);
+      EXPECT_EQ(std::vector<std::byte>(blob.begin(), blob.end()),
+                req.more_results[i]);
+      ++i;
+    });
+    EXPECT_EQ(i, req.more_completed.size());
+  }
+}
+
+TEST(CodecFuzz, LegacyRequestEncodingOmitsTheTrailer) {
+  proto::WorkerRequest req = rand_request();
+  req.more_completed.clear();
+  req.more_results.clear();
+  const auto legacy = proto::encode_request(req, lss::mp::kProtoLegacy);
+  const proto::WorkerRequest back = proto::decode_request(legacy);
+  EXPECT_EQ(back.window, 0);  // absent on the wire decodes as 0
+  EXPECT_EQ(back.completed, req.completed);
+  EXPECT_EQ(back.result, req.result);
+}
+
+TEST(CodecFuzz, WorkerRequestSurvivesHostileBytes) {
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto wire = proto::encode_request(rand_request());
+    check_hostile(wire, [](std::span<const std::byte> p) {
+      const proto::WorkerRequest r = proto::decode_request(p);
+      (void)r;
+    });
+    check_hostile(wire, [](std::span<const std::byte> p) {
+      const proto::WorkerRequestView v = proto::decode_request_view(p);
+      // Walking the trailer is part of the decode surface.
+      v.for_each_more([](Range, std::span<const std::byte>) {});
+    });
+  }
+}
+
+TEST(CodecFuzz, AssignRoundTripsAndSurvives) {
+  for (int trial = 0; trial < 50; ++trial) {
+    const Range chunk = rand_range();
+    EXPECT_EQ(proto::decode_assign(proto::encode_assign(chunk)), chunk);
+    std::vector<std::byte> out;
+    proto::encode_assign_into(out, chunk);
+    EXPECT_EQ(out, proto::encode_assign(chunk));
+  }
+  check_hostile(proto::encode_assign(rand_range()),
+                [](std::span<const std::byte> p) {
+                  (void)proto::decode_assign(p);
+                });
+}
+
+TEST(CodecFuzz, AssignBatchRoundTripsAndSurvives) {
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Range> chunks;
+    for (std::size_t i = 0; i < rng()() % 8; ++i)
+      chunks.push_back(rand_range());
+    const auto wire = proto::encode_assign_batch(chunks);
+    EXPECT_EQ(proto::decode_assign_batch(wire), chunks);
+    std::vector<std::byte> out;
+    proto::encode_assign_batch_into(out, chunks);
+    EXPECT_EQ(out, wire);
+    std::vector<Range> walked;
+    proto::for_each_assigned(wire, [&](Range r) { walked.push_back(r); });
+    EXPECT_EQ(walked, chunks);
+  }
+  std::vector<Range> chunks(5);
+  for (Range& r : chunks) r = rand_range();
+  check_hostile(proto::encode_assign_batch(chunks),
+                [](std::span<const std::byte> p) {
+                  (void)proto::decode_assign_batch(p);
+                });
+}
+
+TEST(CodecFuzz, LeaseRequestRoundTripsAndSurvives) {
+  for (int trial = 0; trial < 100; ++trial) {
+    proto::LeaseRequest req;
+    req.acp_sum = rand_f64();
+    req.pod_workers = static_cast<int>(rng()() % 64);
+    req.unstarted = rand_i64();
+    req.pod_chunks = rand_i64();
+    req.final_flush = rng()() % 2 != 0;
+    req.fb_iters = rand_i64();
+    req.fb_seconds = rand_f64();
+    for (std::size_t i = 0; i < rng()() % 4; ++i) {
+      req.completed.push_back(rand_range());
+      req.results.push_back(rand_blob(64));
+    }
+    const auto wire = proto::encode_lease_request(req);
+    const proto::LeaseRequest back = proto::decode_lease_request(wire);
+    EXPECT_EQ(back.acp_sum, req.acp_sum);
+    EXPECT_EQ(back.pod_workers, req.pod_workers);
+    EXPECT_EQ(back.unstarted, req.unstarted);
+    EXPECT_EQ(back.pod_chunks, req.pod_chunks);
+    EXPECT_EQ(back.final_flush, req.final_flush);
+    EXPECT_EQ(back.fb_iters, req.fb_iters);
+    EXPECT_EQ(back.fb_seconds, req.fb_seconds);
+    EXPECT_EQ(back.completed, req.completed);
+    EXPECT_EQ(back.results, req.results);
+    if (trial == 0)
+      check_hostile(wire, [](std::span<const std::byte> p) {
+        (void)proto::decode_lease_request(p);
+      });
+  }
+}
+
+TEST(CodecFuzz, LeaseGrantRecallReturnRoundTripAndSurvive) {
+  for (int trial = 0; trial < 100; ++trial) {
+    proto::LeaseGrant grant;
+    grant.last = rng()() % 2 != 0;
+    for (std::size_t i = 0; i < rng()() % 6; ++i)
+      grant.ranges.push_back(rand_range());
+    const auto gw = proto::encode_lease_grant(grant);
+    const proto::LeaseGrant gback = proto::decode_lease_grant(gw);
+    EXPECT_EQ(gback.last, grant.last);
+    EXPECT_EQ(gback.ranges, grant.ranges);
+
+    const Index want = rand_i64();
+    EXPECT_EQ(proto::decode_lease_recall(proto::encode_lease_recall(want)),
+              want);
+
+    std::vector<Range> donated;
+    for (std::size_t i = 0; i < rng()() % 6; ++i)
+      donated.push_back(rand_range());
+    EXPECT_EQ(proto::decode_lease_return(proto::encode_lease_return(donated)),
+              donated);
+    if (trial == 0) {
+      check_hostile(gw, [](std::span<const std::byte> p) {
+        (void)proto::decode_lease_grant(p);
+      });
+      check_hostile(proto::encode_lease_return(donated),
+                    [](std::span<const std::byte> p) {
+                      (void)proto::decode_lease_return(p);
+                    });
+      check_hostile(proto::encode_lease_recall(want),
+                    [](std::span<const std::byte> p) {
+                      (void)proto::decode_lease_recall(p);
+                    });
+    }
+  }
+}
+
+TEST(CodecFuzz, FetchAddRoundTripsAndSurvives) {
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::uint64_t n = rng()();
+    EXPECT_EQ(proto::decode_fetch_add(proto::encode_fetch_add(n)), n);
+    proto::FetchAddReply reply;
+    reply.first = rng()();
+    reply.dead = rng()() % 2 != 0;
+    const proto::FetchAddReply back =
+        proto::decode_fetch_add_reply(proto::encode_fetch_add_reply(reply));
+    EXPECT_EQ(back.first, reply.first);
+    EXPECT_EQ(back.dead, reply.dead);
+  }
+  check_hostile(proto::encode_fetch_add_reply({}),
+                [](std::span<const std::byte> p) {
+                  (void)proto::decode_fetch_add_reply(p);
+                });
+}
+
+TEST(CodecFuzz, MasterlessReportRoundTripsAndSurvives) {
+  for (int trial = 0; trial < 100; ++trial) {
+    proto::MasterlessReport report;
+    report.acp = rand_f64();
+    report.fb_iters = rand_i64();
+    report.fb_seconds = rand_f64();
+    report.drained = rng()() % 2 != 0;
+    report.fallback = rng()() % 2 != 0;
+    for (std::size_t i = 0; i < rng()() % 4; ++i)
+      report.in_flight.push_back(rng()());
+    for (std::size_t i = 0; i < rng()() % 4; ++i) {
+      report.completed.push_back(rand_range());
+      report.results.push_back(rand_blob(64));
+    }
+    const auto wire = proto::encode_report(report);
+    const proto::MasterlessReport back = proto::decode_report(wire);
+    EXPECT_EQ(back.acp, report.acp);
+    EXPECT_EQ(back.fb_iters, report.fb_iters);
+    EXPECT_EQ(back.drained, report.drained);
+    EXPECT_EQ(back.fallback, report.fallback);
+    EXPECT_EQ(back.in_flight, report.in_flight);
+    EXPECT_EQ(back.completed, report.completed);
+    EXPECT_EQ(back.results, report.results);
+    if (trial == 0)
+      check_hostile(wire, [](std::span<const std::byte> p) {
+        (void)proto::decode_report(p);
+      });
+  }
+}
+
+// ----------------------------------------------------------- svc/protocol
+
+namespace svc = lss::svc;
+
+TEST(CodecFuzz, JobStatusRoundTripsAndSurvives) {
+  for (int trial = 0; trial < 100; ++trial) {
+    svc::JobStatusMsg msg;
+    msg.job_id = rand_i64();
+    msg.state = static_cast<svc::JobState>(rng()() % 6);
+    msg.error = static_cast<svc::SubmitError>(rng()() % 4);
+    msg.message = rand_string(64);
+    msg.queue_position = static_cast<std::int32_t>(rng()() % 128);
+    msg.completed = rand_i64();
+    msg.total = rand_i64();
+    const auto wire = svc::encode_status(msg);
+    const svc::JobStatusMsg back = svc::decode_status(wire);
+    EXPECT_EQ(back.job_id, msg.job_id);
+    EXPECT_EQ(back.state, msg.state);
+    EXPECT_EQ(back.error, msg.error);
+    EXPECT_EQ(back.message, msg.message);
+    EXPECT_EQ(back.queue_position, msg.queue_position);
+    EXPECT_EQ(back.completed, msg.completed);
+    EXPECT_EQ(back.total, msg.total);
+    if (trial == 0)
+      check_hostile(wire, [](std::span<const std::byte> p) {
+        (void)svc::decode_status(p);
+      });
+  }
+}
+
+TEST(CodecFuzz, JobResultRoundTripsAndSurvives) {
+  for (int trial = 0; trial < 50; ++trial) {
+    svc::JobResultMsg msg;
+    msg.job_id = rand_i64();
+    msg.state = static_cast<svc::JobState>(rng()() % 6);
+    msg.scheme = rand_string(24);
+    msg.masterless = rng()() % 2 != 0;
+    msg.iterations = rand_i64();
+    msg.chunks = rand_i64();
+    msg.t_queued = rand_f64();
+    msg.t_active = rand_f64();
+    msg.workers_lost = static_cast<int>(rng()() % 8);
+    msg.reassigned_chunks = rand_i64();
+    msg.exactly_once = rng()() % 2 != 0;
+    for (std::size_t i = 0; i < rng()() % 8; ++i)
+      msg.executed.push_back(rand_range());
+    msg.stats_json = rand_string(128);
+    const auto wire = svc::encode_result(msg);
+    const svc::JobResultMsg back = svc::decode_result(wire);
+    EXPECT_EQ(back.job_id, msg.job_id);
+    EXPECT_EQ(back.state, msg.state);
+    EXPECT_EQ(back.scheme, msg.scheme);
+    EXPECT_EQ(back.masterless, msg.masterless);
+    EXPECT_EQ(back.iterations, msg.iterations);
+    EXPECT_EQ(back.chunks, msg.chunks);
+    EXPECT_EQ(back.t_queued, msg.t_queued);
+    EXPECT_EQ(back.t_active, msg.t_active);
+    EXPECT_EQ(back.workers_lost, msg.workers_lost);
+    EXPECT_EQ(back.reassigned_chunks, msg.reassigned_chunks);
+    EXPECT_EQ(back.exactly_once, msg.exactly_once);
+    EXPECT_EQ(back.executed, msg.executed);
+    EXPECT_EQ(back.stats_json, msg.stats_json);
+    if (trial == 0)
+      check_hostile(wire, [](std::span<const std::byte> p) {
+        (void)svc::decode_result(p);
+      });
+  }
+}
+
+TEST(CodecFuzz, PoolFramesRoundTripAndSurvive) {
+  for (int trial = 0; trial < 50; ++trial) {
+    svc::WkGrant grant{rand_i64(), rand_range()};
+    const svc::WkGrant gback =
+        svc::decode_wk_grant(svc::encode_wk_grant(grant));
+    EXPECT_EQ(gback.job_id, grant.job_id);
+    EXPECT_EQ(gback.chunk, grant.chunk);
+
+    svc::WkDone done{rand_i64(), rand_range(), rand_f64(),
+                     rng()() % 2 != 0};
+    const svc::WkDone dback = svc::decode_wk_done(svc::encode_wk_done(done));
+    EXPECT_EQ(dback.job_id, done.job_id);
+    EXPECT_EQ(dback.chunk, done.chunk);
+    EXPECT_EQ(dback.fb_seconds, done.fb_seconds);
+    EXPECT_EQ(dback.drained, done.drained);
+
+    const std::int64_t id = rand_i64();
+    EXPECT_EQ(svc::decode_wk_job(svc::encode_wk_job(id)), id);
+  }
+  check_hostile(svc::encode_wk_grant({1, {2, 3}}),
+                [](std::span<const std::byte> p) {
+                  (void)svc::decode_wk_grant(p);
+                });
+  check_hostile(svc::encode_wk_done({1, {2, 3}, 0.5, true}),
+                [](std::span<const std::byte> p) {
+                  (void)svc::decode_wk_done(p);
+                });
+}
+
+// --------------------------------------------- reader-level count guards
+
+TEST(CodecFuzz, HostileCountThrowsBeforeAllocating) {
+  // A frame claiming 2^60 ranges with 8 bytes of body must die in
+  // get_count, not in a reserve() sized from the wire.
+  lss::mp::PayloadWriter w;
+  w.put_i64(std::int64_t{1} << 60);
+  const auto wire = w.take();
+  EXPECT_THROW((void)proto::decode_assign_batch(wire), ContractError);
+  EXPECT_THROW((void)proto::decode_lease_return(wire), ContractError);
+
+  lss::mp::PayloadWriter neg;
+  neg.put_i64(-1);
+  const auto negw = neg.take();
+  EXPECT_THROW((void)proto::decode_assign_batch(negw), ContractError);
+}
+
+TEST(CodecFuzz, HostileBlobLengthThrows) {
+  lss::mp::PayloadWriter w;
+  w.put_i64(std::int64_t{1} << 62);  // blob "length"
+  const auto wire = w.take();
+  lss::mp::PayloadReader rd(wire);
+  EXPECT_THROW((void)rd.get_blob_view(), ContractError);
+
+  lss::mp::PayloadWriter neg;
+  neg.put_i64(-8);
+  const auto negw = neg.take();
+  lss::mp::PayloadReader rd2(negw);
+  EXPECT_THROW((void)rd2.get_blob(), ContractError);
+}
+
+}  // namespace
